@@ -1,0 +1,311 @@
+package v6class
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus ablation benches for the design choices called out in DESIGN.md.
+// Each benchmark regenerates its experiment end to end from the synthetic
+// world; b.N iterations re-run the analysis (the lab caches generated days,
+// so steady-state iterations measure classification, not data synthesis).
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"v6class/internal/experiments"
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+	"v6class/internal/temporal"
+	"v6class/internal/trie"
+)
+
+// benchLab is shared across benchmarks; experiments only read from it.
+var benchLab = experiments.NewLab(synth.Config{Seed: 7, Scale: 0.05})
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(benchLab)
+		if len(r.Daily) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2(benchLab)
+		if len(r.AddrDaily) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(benchLab)
+		if len(r.Rows) != 12 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure2(benchLab)
+		if len(r.University.Bits) == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3(benchLab)
+		if len(r.Curves) != 5 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure4(benchLab)
+		if len(r.Days) != 21 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure5a(benchLab)
+		if r.ASNs == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure5b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure5b(benchLab)
+		if r.Prefixes == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure5cToH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure5Plots(benchLab)
+		if len(r.All.Bits) == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkRouterDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RouterDiscovery(benchLab)
+		if r.StableRouters == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkPTRHarvest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.PTRHarvest(benchLab)
+		if r.HarvestNames == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkEUI64Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.EUI64Churn(benchLab)
+		if r.NotStableEUI64 == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkLongestStablePrefixes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.LongestStablePrefixes(benchLab)
+		if len(r.Prefixes) == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkSignatureCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SignatureCensus(benchLab)
+		if r.Prefixes == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkHighlights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Highlights(benchLab)
+		if r.Top5AddrShare == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Growth(benchLab)
+		if len(r.Epochs) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// ---- Ablations ----
+
+// benchAddrs returns a deterministic population of clustered addresses.
+func benchAddrs(n int) []ipaddr.Addr {
+	r := rand.New(rand.NewSource(17))
+	out := make([]ipaddr.Addr, n)
+	for i := range out {
+		var buf [16]byte
+		r.Read(buf[:])
+		copy(buf[:6], []byte{0x20, 0x01, 0x0d, 0xb8, byte(r.Intn(8)), byte(r.Intn(16))})
+		out[i] = ipaddr.AddrFrom16(buf)
+	}
+	return out
+}
+
+// BenchmarkAggregateCountsTrie measures the one-pass trie computation of
+// all 129 aggregate counts n_p.
+func BenchmarkAggregateCountsTrie(b *testing.B) {
+	addrs := benchAddrs(100000)
+	var tr trie.Trie
+	for _, a := range addrs {
+		tr.AddAddr(a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := tr.AggregateCounts()
+		if c[128] == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkAggregateCountsSort measures the sort-based alternative the
+// paper's appendix sketches (fixed-width hex, sort, cut, uniq) for a single
+// prefix length — the trie computes all 129 lengths in about the time this
+// takes for one.
+func BenchmarkAggregateCountsSort(b *testing.B) {
+	addrs := benchAddrs(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys := make([]string, len(addrs))
+		for j, a := range addrs {
+			keys[j] = a.HexString()[:112/4]
+		}
+		sort.Strings(keys)
+		n := 0
+		for j := range keys {
+			if j == 0 || keys[j] != keys[j-1] {
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkDensifyTrie measures least-specific densification via the trie.
+func BenchmarkDensifyTrie(b *testing.B) {
+	addrs := benchAddrs(100000)
+	var tr trie.Trie
+	for _, a := range addrs {
+		tr.AddAddr(a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.DensePrefixes(2, 112)
+	}
+}
+
+// BenchmarkDensifyFixedBucket measures the fixed-length alternative
+// (truncate to /p and bucket), which answers only one prefix length.
+func BenchmarkDensifyFixedBucket(b *testing.B) {
+	addrs := benchAddrs(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := make(map[ipaddr.Prefix]uint64, len(addrs))
+		for _, a := range addrs {
+			counts[ipaddr.PrefixFrom(a, 112)]++
+		}
+		dense := 0
+		for _, c := range counts {
+			if c >= 2 {
+				dense++
+			}
+		}
+		_ = dense
+	}
+}
+
+// BenchmarkStabilityWindowSweep measures daily stability classification
+// across window sizes, the Section 6.1.1 "more research is warranted"
+// parameter sweep.
+func BenchmarkStabilityWindowSweep(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	store := temporal.NewStore[ipaddr.Addr](30)
+	addrs := benchAddrs(30000)
+	for _, a := range addrs {
+		for d := 0; d < 30; d++ {
+			if r.Intn(4) == 0 {
+				store.Observe(a, temporal.Day(d))
+			}
+		}
+	}
+	for _, w := range []int{3, 7, 15} {
+		w := w
+		b.Run(windowName(w), func(b *testing.B) {
+			opts := temporal.Options{Window: temporal.Window{Before: w / 2, After: w / 2}}
+			for i := 0; i < b.N; i++ {
+				_ = store.ClassifyDay(15, 3, opts)
+			}
+		})
+	}
+}
+
+func windowName(w int) string {
+	switch w {
+	case 3:
+		return "window3d"
+	case 7:
+		return "window7d"
+	default:
+		return "window15d"
+	}
+}
+
+// BenchmarkMRAWeekMedium measures the full MRA computation over a week of
+// the medium population — the headline spatial-analysis workload.
+func BenchmarkMRAWeekMedium(b *testing.B) {
+	var set spatial.AddressSet
+	for d := synth.EpochMar2015; d < synth.EpochMar2015+7; d++ {
+		for _, rec := range benchLab.Day(d).Records {
+			set.Add(rec.Addr)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := set.MRA()
+		if m.N == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}

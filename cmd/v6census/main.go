@@ -1,0 +1,559 @@
+// Command v6census classifies active IPv6 addresses from aggregated daily
+// logs (as produced by v6gen, or any data in the same text format),
+// implementing the temporal and spatial classifiers of Plonka & Berger
+// (IMC 2015).
+//
+// Usage:
+//
+//	v6census summary   [-in FILE]                      Table 1-style format tally
+//	v6census stability [-in FILE] [-ref DAY] [-n N]    nd-stable classification
+//	v6census mra       [-in FILE] [-format ascii|svg|data] [-title T]
+//	v6census dense     [-in FILE] [-n N] [-p P] [-least-specific]
+//	v6census popdist   [-in FILE] [-agg P] [-of addrs|64s]
+//	v6census aguri     [-in FILE] [-min-frac F]
+//	v6census classify  [ADDR...]                       format-classify addresses
+//	v6census signature [-in FILE]                      MRA-based spatial signature
+//	v6census lsp       -a FILE -b FILE [-min-bits N] [-min-support N]
+//	v6census lifetime  [-in FILE]                      lifespan and return-rate stats
+//	v6census ingest    -in FILE -state FILE            add logs to a census snapshot
+//	v6census overlap   [-in FILE] [-ref DAY]           Figure 4 overlap series
+//
+// All subcommands read every "#day N" section of the input; files ending
+// in ".gz" are decompressed transparently.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/cdnlog"
+	"v6class/internal/core"
+	"v6class/internal/ipaddr"
+	"v6class/internal/mraplot"
+	"v6class/internal/spatial"
+	"v6class/internal/stats"
+	"v6class/internal/temporal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("v6census: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "summary":
+		cmdSummary(args)
+	case "stability":
+		cmdStability(args)
+	case "mra":
+		cmdMRA(args)
+	case "dense":
+		cmdDense(args)
+	case "popdist":
+		cmdPopDist(args)
+	case "aguri":
+		cmdAguri(args)
+	case "classify":
+		cmdClassify(args)
+	case "signature":
+		cmdSignature(args)
+	case "lsp":
+		cmdLSP(args)
+	case "lifetime":
+		cmdLifetime(args)
+	case "ingest":
+		cmdIngest(args)
+	case "overlap":
+		cmdOverlap(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: v6census {summary|stability|mra|dense|popdist|aguri|classify|signature|lsp|lifetime|ingest|overlap} [flags]")
+	os.Exit(2)
+}
+
+// readLogs loads all day sections from the input (gzip transparent).
+func readLogs(path string) []cdnlog.DayLog {
+	logs, err := cdnlog.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(logs) == 0 {
+		log.Fatal("no day sections in input")
+	}
+	return logs
+}
+
+// censusOf ingests logs into a Census sized to fit them.
+func censusOf(logs []cdnlog.DayLog) *core.Census {
+	maxDay := 0
+	for _, l := range logs {
+		if l.Day > maxDay {
+			maxDay = l.Day
+		}
+	}
+	c := core.NewCensus(core.CensusConfig{StudyDays: maxDay + 1})
+	for _, l := range logs {
+		c.AddDay(l)
+	}
+	return c
+}
+
+func cmdSummary(args []string) {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	fs.Parse(args)
+	logs := readLogs(*in)
+
+	sum := addrclass.Summarize(cdnlog.UniqueAddrs(logs))
+	p64 := make(map[ipaddr.Prefix]bool)
+	macs := make(map[addrclass.MAC]bool)
+	for _, a := range cdnlog.UniqueAddrs(logs) {
+		k := addrclass.Classify(a)
+		if k.IsTransition() {
+			continue
+		}
+		p64[ipaddr.PrefixFrom(a, 64)] = true
+		if mac, ok := addrclass.EUI64MAC(a); ok {
+			macs[mac] = true
+		}
+	}
+	fmt.Printf("days:               %d\n", len(logs))
+	fmt.Printf("unique addresses:   %d\n", sum.Total)
+	for _, k := range []addrclass.Kind{addrclass.KindTeredo, addrclass.KindISATAP, addrclass.Kind6to4} {
+		fmt.Printf("%-19s %d (%.2f%%)\n", k.String()+":", sum.ByKind[k], 100*float64(sum.ByKind[k])/float64(sum.Total))
+	}
+	fmt.Printf("other (native):     %d (%.2f%%)\n", sum.Native(), 100*float64(sum.Native())/float64(sum.Total))
+	fmt.Printf("native /64s:        %d\n", len(p64))
+	if len(p64) > 0 {
+		fmt.Printf("avg addrs per /64:  %.2f\n", float64(sum.Native())/float64(len(p64)))
+	}
+	fmt.Printf("EUI-64 addresses:   %d\n", sum.ByKind[addrclass.KindEUI64])
+	fmt.Printf("EUI-64 MACs:        %d\n", len(macs))
+}
+
+func cmdStability(args []string) {
+	fs := flag.NewFlagSet("stability", flag.ExitOnError)
+	in := fs.String("in", "", "input log file (- for stdin)")
+	state := fs.String("state", "", "census snapshot to classify instead of raw logs")
+	ref := fs.Int("ref", -1, "reference day (default: middle day of input)")
+	n := fs.Int("n", 3, "the n of nd-stable")
+	window := fs.Int("window", 7, "window half-width in days")
+	fs.Parse(args)
+
+	var c *core.Census
+	switch {
+	case *state != "":
+		f, err := os.Open(*state)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		c, err = core.ReadCensus(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *ref < 0 {
+			log.Fatal("-state requires an explicit -ref day")
+		}
+	default:
+		if *in == "" {
+			*in = "-"
+		}
+		logs := readLogs(*in)
+		c = censusOf(logs)
+		if *ref < 0 {
+			*ref = logs[len(logs)/2].Day
+		}
+	}
+
+	for _, pop := range []struct {
+		name string
+		p    core.Population
+	}{{"addresses", core.Addresses}, {"/64 prefixes", core.Prefixes64}} {
+		st := c.Stability(pop.p, *ref, *n)
+		fmt.Printf("%s active on day %d: %d\n", pop.name, *ref, st.Active)
+		fmt.Printf("  %dd-stable (-%dd,+%dd): %d (%.2f%%)\n",
+			*n, *window, *window, st.Stable, pct(st.Stable, st.Active))
+		fmt.Printf("  not %dd-stable:        %d (%.2f%%)\n", *n, st.NotStable, pct(st.NotStable, st.Active))
+	}
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func cmdMRA(args []string) {
+	fs := flag.NewFlagSet("mra", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	format := fs.String("format", "ascii", "output format: ascii, svg, or data")
+	title := fs.String("title", "MRA plot", "plot title")
+	native := fs.Bool("native-only", true, "exclude transition-mechanism addresses")
+	fs.Parse(args)
+	logs := readLogs(*in)
+
+	var set spatial.AddressSet
+	for _, a := range cdnlog.UniqueAddrs(logs) {
+		if *native && addrclass.Classify(a).IsTransition() {
+			continue
+		}
+		set.Add(a)
+	}
+	plot := mraplot.New(fmt.Sprintf("%s (%d addrs)", *title, set.Len()), set.MRA())
+	switch *format {
+	case "ascii":
+		fmt.Print(plot.ASCII())
+	case "svg":
+		fmt.Print(plot.SVG())
+	case "data":
+		fmt.Print(plot.DataRows())
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+}
+
+func cmdDense(args []string) {
+	fs := flag.NewFlagSet("dense", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	n := fs.Uint64("n", 2, "minimum addresses per dense prefix")
+	p := fs.Int("p", 112, "dense prefix length")
+	least := fs.Bool("least-specific", false, "report least-specific dense prefixes (densify)")
+	limit := fs.Int("limit", 20, "example prefixes to print")
+	fs.Parse(args)
+	logs := readLogs(*in)
+
+	var set spatial.AddressSet
+	for _, a := range cdnlog.UniqueAddrs(logs) {
+		set.Add(a)
+	}
+	cls := spatial.DensityClass{N: *n, P: *p}
+	var res spatial.DensityResult
+	if *least {
+		res = set.DenseLeastSpecific(cls)
+	} else {
+		res = set.DenseFixed(cls)
+	}
+	fmt.Printf("density class:      %v\n", cls)
+	fmt.Printf("dense prefixes:     %d\n", len(res.Prefixes))
+	fmt.Printf("covered addresses:  %d\n", res.CoveredAddresses)
+	fmt.Printf("possible addresses: %.0f\n", res.PossibleAddresses)
+	fmt.Printf("address density:    %.10f\n", res.Density())
+	_, examples := spatial.ScanTargets(res, *limit)
+	for _, ex := range examples {
+		fmt.Printf("  %v\n", ex)
+	}
+}
+
+func cmdPopDist(args []string) {
+	fs := flag.NewFlagSet("popdist", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	agg := fs.Int("agg", 48, "aggregate prefix length")
+	of := fs.String("of", "addrs", "population unit: addrs or 64s")
+	fs.Parse(args)
+	logs := readLogs(*in)
+
+	var set spatial.AddressSet
+	for _, a := range cdnlog.UniqueAddrs(logs) {
+		switch *of {
+		case "addrs":
+			set.Add(a)
+		case "64s":
+			set.AddPrefix(ipaddr.PrefixFrom(a, 64))
+		default:
+			log.Fatalf("unknown unit %q", *of)
+		}
+	}
+	pops := set.AggregatePopulations(*agg)
+	ccdf := stats.CCDF(stats.Counts(pops))
+	fmt.Printf("%d-aggregates of %s: %d occupied\n", *agg, *of, len(pops))
+	if len(ccdf) == 0 {
+		return
+	}
+	max := ccdf[len(ccdf)-1].Value
+	for _, v := range stats.LogBuckets(max) {
+		fmt.Printf("  population >= %-9.0f proportion %.3e\n", v, stats.CCDFAt(ccdf, v))
+	}
+}
+
+func cmdAguri(args []string) {
+	fs := flag.NewFlagSet("aguri", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	frac := fs.Float64("min-frac", 0.01, "minimum fraction of total hits per reported prefix")
+	fs.Parse(args)
+	logs := readLogs(*in)
+
+	// Hits weight the aguri profile, as Cho et al.'s traffic profiler does.
+	var set spatial.AddressSet
+	for _, l := range logs {
+		for _, rec := range l.Records {
+			set.Trie().Add(ipaddr.PrefixFrom(rec.Addr, 128), rec.Hits)
+		}
+	}
+	min := uint64(float64(set.Total()) * *frac)
+	if min == 0 {
+		min = 1
+	}
+	out := set.Trie().AguriAggregate(min)
+	fmt.Printf("aguri profile (threshold %.2f%% = %d hits):\n", *frac*100, min)
+	for _, pc := range out {
+		fmt.Printf("  %-45v %10d (%.2f%%)\n", pc.Prefix, pc.Count, 100*float64(pc.Count)/float64(set.Total()))
+	}
+}
+
+// cmdClassify format-classifies addresses given as arguments, or one per
+// line on standard input when no arguments are given.
+func cmdClassify(args []string) {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	fs.Parse(args)
+	classifyOne := func(s string) {
+		a, err := ipaddr.ParseAddr(s)
+		if err != nil {
+			fmt.Printf("%-42s invalid: %v\n", s, err)
+			return
+		}
+		kind := addrclass.Classify(a)
+		fmt.Printf("%-42s %v", a, kind)
+		if mac, ok := addrclass.EUI64MAC(a); ok {
+			fmt.Printf(" mac=%v", mac)
+		}
+		if v4, ok := addrclass.Embedded6to4IPv4(a); ok {
+			fmt.Printf(" v4=%d.%d.%d.%d", v4>>24, v4>>16&0xff, v4>>8&0xff, v4&0xff)
+		}
+		fmt.Println()
+	}
+	if fs.NArg() > 0 {
+		for _, s := range fs.Args() {
+			classifyOne(s)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			classifyOne(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// cmdSignature reports the MRA-based spatial signature of the input
+// population, plus the key ratios the classification rests on.
+func cmdSignature(args []string) {
+	fs := flag.NewFlagSet("signature", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	fs.Parse(args)
+	logs := readLogs(*in)
+
+	var set spatial.AddressSet
+	for _, a := range cdnlog.UniqueAddrs(logs) {
+		set.Add(a)
+	}
+	m := set.MRA()
+	fmt.Printf("population:      %d addresses\n", set.Len())
+	fmt.Printf("signature:       %v\n", spatial.ClassifySignature(m))
+	fmt.Printf("u-bit notch:     %v\n", m.UBitNotch())
+	fmt.Printf("gamma16 @ 16-32: %.2f\n", m.Ratio(16, 16))
+	fmt.Printf("gamma16 @ 32-48: %.2f\n", m.Ratio(32, 16))
+	fmt.Printf("gamma16 @ 48-64: %.2f\n", m.Ratio(48, 16))
+	fmt.Printf("gamma16 @112-128:%.2f\n", m.Ratio(112, 16))
+}
+
+// cmdLSP discovers the longest stable prefixes between two log files
+// covering separated periods (the Section 7.2 proposal).
+func cmdLSP(args []string) {
+	fs := flag.NewFlagSet("lsp", flag.ExitOnError)
+	fileA := fs.String("a", "", "first-period log file")
+	fileB := fs.String("b", "", "second-period log file")
+	minBits := fs.Int("min-bits", 32, "minimum stable prefix length")
+	minSupport := fs.Uint64("min-support", 4, "minimum supporting addresses")
+	limit := fs.Int("limit", 30, "prefixes to print")
+	fs.Parse(args)
+	if *fileA == "" || *fileB == "" {
+		log.Fatal("lsp requires -a and -b")
+	}
+	logsA := readLogs(*fileA)
+	logsB := readLogs(*fileB)
+
+	// Re-day the logs into one census: period A keeps its days, period B
+	// is shifted past A if they overlap.
+	maxA := 0
+	for _, l := range logsA {
+		if l.Day > maxA {
+			maxA = l.Day
+		}
+	}
+	shift := 0
+	minB := int(^uint(0) >> 1)
+	for _, l := range logsB {
+		if l.Day < minB {
+			minB = l.Day
+		}
+	}
+	if minB <= maxA {
+		shift = maxA + 1 - minB
+	}
+	maxB := 0
+	for _, l := range logsB {
+		if l.Day+shift > maxB {
+			maxB = l.Day + shift
+		}
+	}
+	c := core.NewCensus(core.CensusConfig{StudyDays: maxB + 1})
+	for _, l := range logsA {
+		c.AddDay(l)
+	}
+	for _, l := range logsB {
+		l.Day += shift
+		c.AddDay(l)
+	}
+	got := c.LongestStablePrefixes(0, maxA, logsB[0].Day+shift, maxB, *minBits, *minSupport)
+	fmt.Printf("%d stable prefixes (>= /%d, support >= %d):\n", len(got), *minBits, *minSupport)
+	for i, p := range got {
+		if i >= *limit {
+			fmt.Printf("  ... %d more\n", len(got)-*limit)
+			break
+		}
+		fmt.Printf("  %-45v support %d\n", p.Prefix, p.Support)
+	}
+}
+
+// cmdLifetime reports lifespan statistics and day-over-day return
+// probabilities for the input's addresses and /64s.
+func cmdLifetime(args []string) {
+	fs := flag.NewFlagSet("lifetime", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	fs.Parse(args)
+	logs := readLogs(*in)
+
+	minDay, maxDay := logs[0].Day, logs[0].Day
+	for _, l := range logs {
+		if l.Day < minDay {
+			minDay = l.Day
+		}
+		if l.Day > maxDay {
+			maxDay = l.Day
+		}
+	}
+	addrs := temporal.NewStore[ipaddr.Addr](maxDay + 1)
+	p64s := temporal.NewStore[ipaddr.Prefix](maxDay + 1)
+	for _, l := range logs {
+		for _, r := range l.Records {
+			addrs.Observe(r.Addr, temporal.Day(l.Day))
+			p64s.Observe(ipaddr.PrefixFrom(r.Addr, 64), temporal.Day(l.Day))
+		}
+	}
+	report := func(name string, st temporal.LifetimeStats) {
+		fmt.Printf("%s: %d keys, %.1f%% single-day, median span %d day(s)\n",
+			name, st.Keys, 100*st.SingleDayShare(), st.MedianSpan())
+	}
+	report("addresses", addrs.Lifetimes(temporal.Day(minDay), temporal.Day(maxDay)))
+	report("/64s", p64s.Lifetimes(temporal.Day(minDay), temporal.Day(maxDay)))
+	maxGap := maxDay - minDay
+	if maxGap > 7 {
+		maxGap = 7
+	}
+	if maxGap >= 1 {
+		rp := addrs.ReturnProbability(temporal.Day(minDay), temporal.Day(maxDay), maxGap)
+		rp64 := p64s.ReturnProbability(temporal.Day(minDay), temporal.Day(maxDay), maxGap)
+		fmt.Println("return probability by gap (addresses vs /64s):")
+		for g := 1; g <= maxGap; g++ {
+			fmt.Printf("  +%dd: %.3f vs %.3f\n", g, rp[g], rp64[g])
+		}
+	}
+}
+
+// cmdIngest adds a log file's days to a census snapshot, creating the
+// snapshot when absent. The snapshot's study length must accommodate every
+// ingested day.
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	state := fs.String("state", "", "census snapshot path (created if missing)")
+	studyDays := fs.Int("study-days", 0, "study length for a new snapshot (default: max day + 30)")
+	fs.Parse(args)
+	if *state == "" {
+		log.Fatal("ingest requires -state")
+	}
+	logs := readLogs(*in)
+
+	var c *core.Census
+	if f, err := os.Open(*state); err == nil {
+		c, err = core.ReadCensus(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading %s: %v", *state, err)
+		}
+	} else {
+		days := *studyDays
+		if days == 0 {
+			maxDay := 0
+			for _, l := range logs {
+				if l.Day > maxDay {
+					maxDay = l.Day
+				}
+			}
+			days = maxDay + 30
+		}
+		c = core.NewCensus(core.CensusConfig{StudyDays: days})
+	}
+	for _, l := range logs {
+		c.AddDay(l)
+	}
+	f, err := os.Create(*state)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d day(s) into %s (study length %d)\n", len(logs), *state, c.StudyDays())
+}
+
+// cmdOverlap prints the Figure 4 series: per-day active counts and the
+// overlap of each day's population with a reference day.
+func cmdOverlap(args []string) {
+	fs := flag.NewFlagSet("overlap", flag.ExitOnError)
+	in := fs.String("in", "-", "input log file (- for stdin)")
+	ref := fs.Int("ref", -1, "reference day (default: middle day of input)")
+	fs.Parse(args)
+	logs := readLogs(*in)
+	c := censusOf(logs)
+	if *ref < 0 {
+		*ref = logs[len(logs)/2].Day
+	}
+	minDay, maxDay := logs[0].Day, logs[0].Day
+	for _, l := range logs {
+		if l.Day < minDay {
+			minDay = l.Day
+		}
+		if l.Day > maxDay {
+			maxDay = l.Day
+		}
+	}
+	series := c.OverlapSeries(core.Addresses, *ref, *ref-minDay, maxDay-*ref)
+	series64 := c.OverlapSeries(core.Prefixes64, *ref, *ref-minDay, maxDay-*ref)
+	fmt.Printf("%-6s %12s %12s %12s %12s\n", "day", "active", "ref overlap", "active /64s", "ref /64s")
+	for d := minDay; d <= maxDay; d++ {
+		i := d - minDay
+		fmt.Printf("%-6d %12d %12d %12d %12d\n", d,
+			c.ActiveCount(core.Addresses, d), series[i],
+			c.ActiveCount(core.Prefixes64, d), series64[i])
+	}
+}

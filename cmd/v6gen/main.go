@@ -1,0 +1,57 @@
+// Command v6gen generates synthetic CDN aggregated logs: the stand-in for
+// the study's proprietary data source. It writes one "#day N" section per
+// study day in the cdnlog text format, consumable by v6census.
+//
+// Usage:
+//
+//	v6gen [-seed N] [-scale F] [-from DAY] [-to DAY] [-o FILE]
+//
+// Example: generate the final epoch week of the medium world:
+//
+//	v6gen -scale 1 -from 372 -to 379 -o week.log.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"v6class/internal/cdnlog"
+	"v6class/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("v6gen: ")
+	var (
+		seed  = flag.Uint64("seed", 7, "world seed")
+		scale = flag.Float64("scale", 0.1, "population scale (1.0 = medium world)")
+		from  = flag.Int("from", synth.EpochMar2015, "first study day (inclusive)")
+		to    = flag.Int("to", synth.EpochMar2015+7, "last study day (exclusive)")
+		out   = flag.String("o", "-", "output file (- for stdout; .gz compresses)")
+	)
+	flag.Parse()
+	days, records, err := generate(*seed, *scale, *from, *to, *out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "v6gen: wrote %d days, %d records\n", days, records)
+}
+
+// generate builds the world and writes the requested day range to out,
+// returning the number of days and records written.
+func generate(seed uint64, scale float64, from, to int, out string) (days, records int, err error) {
+	if from < 0 || to > synth.StudyDays || from >= to {
+		return 0, 0, fmt.Errorf("bad day range [%d,%d); study period is [0,%d)", from, to, synth.StudyDays)
+	}
+	world := synth.NewWorld(synth.Config{Seed: seed, Scale: scale})
+	logs := world.Days(from, to)
+	for _, day := range logs {
+		records += len(day.Records)
+	}
+	if err := cdnlog.WriteFile(out, logs); err != nil {
+		return 0, 0, err
+	}
+	return len(logs), records, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"testing"
+
+	"v6class/internal/cdnlog"
+	"v6class/internal/synth"
+)
+
+func TestGenerateRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/out.log"
+	days, records, err := generate(7, 0.02, synth.EpochMar2015, synth.EpochMar2015+2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days != 2 || records == 0 {
+		t.Fatalf("generated %d days, %d records", days, records)
+	}
+	logs, err := cdnlog.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 2 || logs[0].Day != synth.EpochMar2015 {
+		t.Fatalf("read back %d days starting %d", len(logs), logs[0].Day)
+	}
+	n := 0
+	for _, l := range logs {
+		n += len(l.Records)
+	}
+	if n != records {
+		t.Fatalf("read %d records, wrote %d", n, records)
+	}
+}
+
+func TestGenerateGzipAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	a := dir + "/a.log.gz"
+	b := dir + "/b.log.gz"
+	if _, _, err := generate(9, 0.02, 100, 102, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := generate(9, 0.02, 100, 102, b); err != nil {
+		t.Fatal(err)
+	}
+	la, err := cdnlog.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := cdnlog.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(la) != len(lb) {
+		t.Fatal("nondeterministic day count")
+	}
+	for i := range la {
+		if len(la[i].Records) != len(lb[i].Records) {
+			t.Fatalf("day %d differs", i)
+		}
+		for j := range la[i].Records {
+			if la[i].Records[j] != lb[i].Records[j] {
+				t.Fatalf("record %d/%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateBadRanges(t *testing.T) {
+	for _, c := range []struct{ from, to int }{
+		{-1, 5}, {5, 5}, {10, 5}, {0, synth.StudyDays + 1},
+	} {
+		if _, _, err := generate(1, 0.01, c.from, c.to, t.TempDir()+"/x.log"); err == nil {
+			t.Errorf("range [%d,%d) should fail", c.from, c.to)
+		}
+	}
+}

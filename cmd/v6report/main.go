@@ -1,0 +1,172 @@
+// Command v6report runs the full paper reproduction: every table and
+// figure of the evaluation section of Plonka & Berger (IMC 2015),
+// regenerated from the synthetic world and printed in the paper's layout.
+//
+// Usage:
+//
+//	v6report [-seed N] [-scale F] [-only LIST] [-svg DIR] [-data DIR]
+//
+// -only selects a comma-separated subset of: table1, table2, table3, fig2,
+// fig3, fig4, fig5a, fig5b, fig5plots, discovery, ptr, eui64, lsp,
+// signatures, highlights, growth, sweep, lifetimes.
+// -svg writes the MRA plots as SVG files into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"v6class/internal/experiments"
+	"v6class/internal/mraplot"
+	"v6class/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("v6report: ")
+	var (
+		seed  = flag.Uint64("seed", 7, "world seed")
+		scale = flag.Float64("scale", 0.1, "population scale (1.0 = medium world)")
+		only  = flag.String("only", "", "comma-separated experiment subset")
+		svg   = flag.String("svg", "", "directory to write MRA plot SVGs into")
+		data  = flag.String("data", "", "directory to write figure data series (gnuplot rows) into")
+	)
+	flag.Parse()
+	if err := report(os.Stdout, *seed, *scale, *only, *svg, *data); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// report runs the selected experiments against a fresh world and writes
+// the rendered results to w.
+func report(w io.Writer, seed uint64, scale float64, only, svgDir, dataDir string) error {
+	selected := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			selected[name] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	lab := experiments.NewLab(synth.Config{Seed: seed, Scale: scale})
+	fmt.Fprintf(w, "v6class reproduction of Plonka & Berger, IMC 2015\n")
+	fmt.Fprintf(w, "world: seed=%d scale=%g (epochs at days %d, %d, %d)\n\n",
+		seed, scale, synth.EpochMar2014, synth.EpochSep2014, synth.EpochMar2015)
+
+	run := func(name string, f func() string) {
+		if !want(name) {
+			return
+		}
+		start := time.Now()
+		out := f()
+		fmt.Fprintf(w, "== %s (%.1fs) ==\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+
+	var fig5plots experiments.Figure5PlotsResult
+	var fig3 experiments.Figure3Result
+	var fig5a experiments.Figure5aResult
+	run("table1", func() string { return experiments.Table1(lab).Render() })
+	run("table2", func() string { return experiments.Table2(lab).Render() })
+	run("table3", func() string { return experiments.Table3(lab).Render() })
+	run("fig2", func() string { return experiments.Figure2(lab).Render() })
+	run("fig3", func() string { fig3 = experiments.Figure3(lab); return fig3.Render() })
+	run("fig4", func() string { return experiments.Figure4(lab).Render() })
+	run("fig5a", func() string { fig5a = experiments.Figure5a(lab); return fig5a.Render() })
+	run("fig5b", func() string { return experiments.Figure5b(lab).Render() })
+	run("fig5plots", func() string {
+		fig5plots = experiments.Figure5Plots(lab)
+		return fig5plots.Render()
+	})
+	run("discovery", func() string { return experiments.RouterDiscovery(lab).Render() })
+	run("ptr", func() string { return experiments.PTRHarvest(lab).Render() })
+	run("eui64", func() string { return experiments.EUI64Churn(lab).Render() })
+	run("lsp", func() string { return experiments.LongestStablePrefixes(lab).Render() })
+	run("signatures", func() string { return experiments.SignatureCensus(lab).Render() })
+	run("highlights", func() string { return experiments.Highlights(lab).Render() })
+	run("growth", func() string { return experiments.Growth(lab).Render() })
+	run("sweep", func() string { return experiments.WindowSweep(lab).Render() })
+	run("lifetimes", func() string { return experiments.Lifetimes(lab).Render() })
+
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return err
+		}
+		writeData := func(name, rows string) error {
+			path := filepath.Join(dataDir, name)
+			if err := os.WriteFile(path, []byte(rows), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", path)
+			return nil
+		}
+		if want("fig3") {
+			if err := writeData("fig3.dat", fig3.Plot().DataRows()); err != nil {
+				return err
+			}
+		}
+		if want("fig5a") {
+			if err := writeData("fig5a.dat", fig5a.Plot().DataRows()); err != nil {
+				return err
+			}
+		}
+		if want("fig5plots") {
+			for name, plot := range map[string]mraplot.Plot{
+				"fig5c.dat": fig5plots.All, "fig5d.dat": fig5plots.SixToF,
+				"fig5e.dat": fig5plots.USMobile, "fig5f.dat": fig5plots.EUISP,
+				"fig5g.dat": fig5plots.Dept, "fig5h.dat": fig5plots.JPISP,
+			} {
+				if err := writeData(name, plot.DataRows()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if svgDir != "" && (want("fig5plots") || want("fig3") || want("fig5a")) {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			return err
+		}
+		if want("fig3") {
+			if err := writeSVG(w, svgDir, "fig3-populations.svg", fig3.Plot().SVG()); err != nil {
+				return err
+			}
+		}
+		if want("fig5a") {
+			if err := writeSVG(w, svgDir, "fig5a-per-asn.svg", fig5a.Plot().SVG()); err != nil {
+				return err
+			}
+		}
+	}
+	if svgDir != "" && want("fig5plots") {
+		plots := map[string]mraplot.Plot{
+			"fig5c-all.svg":       fig5plots.All,
+			"fig5d-6to4.svg":      fig5plots.SixToF,
+			"fig5e-us-mobile.svg": fig5plots.USMobile,
+			"fig5f-eu-isp.svg":    fig5plots.EUISP,
+			"fig5g-dept.svg":      fig5plots.Dept,
+			"fig5h-jp-isp.svg":    fig5plots.JPISP,
+		}
+		for name, plot := range plots {
+			if err := writeSVG(w, svgDir, name, plot.SVG()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSVG writes one SVG document into dir and logs the path.
+func writeSVG(w io.Writer, dir, name, svg string) error {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

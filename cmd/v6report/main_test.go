@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestReportSubset(t *testing.T) {
+	var b strings.Builder
+	if err := report(&b, 7, 0.02, "table1,growth", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== table1", "Teredo addresses", "== growth", "Deployment growth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Unselected experiments must not run.
+	if strings.Contains(out, "== table2") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestReportSVGOutput(t *testing.T) {
+	dir := t.TempDir() + "/plots"
+	var b strings.Builder
+	if err := report(&b, 7, 0.02, "fig5plots", dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("wrote %d SVGs, want 6", len(entries))
+	}
+	data, err := os.ReadFile(dir + "/fig5e-us-mobile.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("not an SVG document")
+	}
+}
+
+func TestReportFullSmallWorld(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	var b strings.Builder
+	if err := report(&b, 7, 0.02, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Every experiment header must appear.
+	for _, name := range []string{
+		"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5a",
+		"fig5b", "fig5plots", "discovery", "ptr", "eui64", "lsp",
+		"signatures", "highlights", "growth", "sweep",
+	} {
+		if !strings.Contains(out, "== "+name+" (") {
+			t.Errorf("experiment %q missing from full report", name)
+		}
+	}
+}
+
+func TestReportDataOutput(t *testing.T) {
+	dir := t.TempDir() + "/data"
+	var b strings.Builder
+	if err := report(&b, 7, 0.02, "fig3,fig5plots", "", dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 { // fig3 + six MRA plots
+		t.Fatalf("wrote %d data files, want 7", len(entries))
+	}
+	raw, err := os.ReadFile(dir + "/fig3.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "32-agg. of IPv6 addrs\t") {
+		t.Error("fig3 data rows malformed")
+	}
+}

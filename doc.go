@@ -1,0 +1,11 @@
+// Package v6class reproduces "Temporal and Spatial Classification of Active
+// IPv6 Addresses" (Plonka & Berger, IMC 2015) as a Go library.
+//
+// The implementation lives under internal/: see internal/core for the
+// classification engine, internal/experiments for the per-table/figure
+// reproduction drivers, and DESIGN.md for the full system inventory. The
+// benchmarks in this package regenerate every table and figure of the
+// paper's evaluation; run them with:
+//
+//	go test -bench=. -benchmem
+package v6class

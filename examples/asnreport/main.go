@@ -1,0 +1,117 @@
+// Asnreport: a per-network census — group a week of client addresses by
+// origin ASN, then characterize each network's addressing practice with the
+// format, temporal, and MRA-signature classifiers. This is the paper's
+// Section 7.1 conclusion in action: estimating users from /64 counts
+// requires knowing each network's addressing practice first.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/bgp"
+	"v6class/internal/core"
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+)
+
+func main() {
+	world := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05})
+	census := core.NewCensus(core.CensusConfig{StudyDays: synth.StudyDays})
+	ref := synth.EpochMar2015
+	for d := ref - 7; d <= ref+7; d++ {
+		census.AddDay(world.Day(d))
+	}
+
+	// Group the week's native addresses by ASN.
+	type netStats struct {
+		name   string
+		addrs  []ipaddr.Addr
+		p64s   map[ipaddr.Prefix]bool
+		eui64  int
+		stable int
+	}
+	byASN := map[bgp.ASN]*netStats{}
+	stable := map[ipaddr.Addr]bool{}
+	for _, a := range census.StableAddrs(ref, 3) {
+		stable[a] = true
+	}
+	for d := ref; d < ref+7; d++ {
+		for _, a := range census.AddrsActiveOn(d) {
+			o, ok := world.Table.Lookup(a)
+			if !ok {
+				continue
+			}
+			ns := byASN[o.ASN]
+			if ns == nil {
+				ns = &netStats{name: o.Name, p64s: map[ipaddr.Prefix]bool{}}
+				byASN[o.ASN] = ns
+			}
+			ns.addrs = append(ns.addrs, a)
+			ns.p64s[ipaddr.PrefixFrom(a, 64)] = true
+			if addrclass.IsEUI64(a) {
+				ns.eui64++
+			}
+			if stable[a] {
+				ns.stable++
+			}
+		}
+	}
+
+	// Rank by address count and report the top networks.
+	type row struct {
+		asn bgp.ASN
+		ns  *netStats
+	}
+	rows := make([]row, 0, len(byASN))
+	for asn, ns := range byASN {
+		rows = append(rows, row{asn, ns})
+	}
+	sort.Slice(rows, func(i, j int) bool { return len(rows[i].ns.addrs) > len(rows[j].ns.addrs) })
+
+	fmt.Printf("%-6s %-16s %8s %8s %7s %7s %6s  %s\n",
+		"ASN", "operator", "addrs", "/64s", "a//64", "eui64", "stable", "MRA signature")
+	for i, r := range rows {
+		if i >= 12 {
+			break
+		}
+		ns := r.ns
+		var set spatial.AddressSet
+		seen := map[ipaddr.Addr]bool{}
+		for _, a := range ns.addrs {
+			if !seen[a] {
+				seen[a] = true
+				set.Add(a)
+			}
+		}
+		sig := spatial.ClassifySignature(set.MRA())
+		uniq := set.Len()
+		fmt.Printf("%-6d %-16s %8d %8d %7.2f %6.1f%% %5.1f%%  %v\n",
+			r.asn, ns.name, uniq, len(ns.p64s),
+			float64(uniq)/float64(len(ns.p64s)),
+			100*float64(ns.eui64)/float64(len(ns.addrs)),
+			100*float64(ns.stable)/float64(len(ns.addrs)),
+			sig)
+	}
+
+	// The Section 7.1 point: /64 counts misestimate subscribers in both
+	// directions depending on practice.
+	fmt.Println("\nsubscriber estimation caveats (Sec 7.1):")
+	for _, name := range []string{"us-mobile-1", "jp-isp", "eu-univ-dept"} {
+		op, i := world.OperatorByName(name)
+		if op == nil {
+			continue
+		}
+		active := op.ProvisionedSubscribers(world.Env(i), ref)
+		var p64s map[ipaddr.Prefix]bool
+		for asn, ns := range byASN {
+			if asn == op.ASN {
+				p64s = ns.p64s
+			}
+		}
+		fmt.Printf("  %-14s provisioned subscribers %6d, weekly active /64s %6d\n",
+			name, active, len(p64s))
+	}
+}

@@ -1,0 +1,52 @@
+// Mraexplore: contrast the MRA plots of operators with different
+// addressing practices — the Figure 2 / Figure 5 exploration — and apply
+// aguri aggregation to read an operator's address plan off its traffic.
+package main
+
+import (
+	"fmt"
+
+	"v6class/internal/mraplot"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+)
+
+func main() {
+	world := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05})
+
+	// One week of activity, split by operator.
+	sets := map[string]*spatial.AddressSet{}
+	for _, name := range []string{"us-mobile-1", "eu-isp", "jp-isp", "eu-univ-dept"} {
+		sets[name] = &spatial.AddressSet{}
+	}
+	for d := synth.EpochMar2015; d < synth.EpochMar2015+7; d++ {
+		for _, rec := range world.Day(d).Records {
+			o, ok := world.Table.Lookup(rec.Addr)
+			if !ok {
+				continue
+			}
+			if set := sets[o.Name]; set != nil {
+				set.Add(rec.Addr)
+			}
+		}
+	}
+
+	for _, name := range []string{"us-mobile-1", "eu-isp", "jp-isp", "eu-univ-dept"} {
+		set := sets[name]
+		m := set.MRA()
+		fmt.Print(mraplot.New(fmt.Sprintf("%s (%d addrs)", name, set.Len()), m).ASCII())
+		// Read off the signature numbers the paper discusses.
+		fmt.Printf("  γ16 at 48 (subnetting density): %.1f\n", m.Ratio(48, 16))
+		fmt.Printf("  γ1 at 70 (privacy u bit):       %.2f\n", m.Ratio(70, 1))
+		fmt.Printf("  γ16 at 112 (low-bit packing):   %.1f\n\n", m.Ratio(112, 16))
+	}
+
+	// Aguri aggregation reveals where the traffic concentrates in the
+	// mobile carrier's pools.
+	mob := sets["us-mobile-1"]
+	fmt.Println("aguri profile of us-mobile-1 (>= 5% of addresses per prefix):")
+	min := uint64(float64(mob.Total()) * 0.05)
+	for _, pc := range mob.Trie().AguriAggregate(min) {
+		fmt.Printf("  %-30v %6d\n", pc.Prefix, pc.Count)
+	}
+}

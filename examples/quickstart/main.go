@@ -1,0 +1,61 @@
+// Quickstart: classify a handful of IPv6 addresses by format, run a
+// temporal stability analysis over a two-week toy log, and compute an MRA
+// plot — the three classifiers of Plonka & Berger (IMC 2015) in one page.
+package main
+
+import (
+	"fmt"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/cdnlog"
+	"v6class/internal/core"
+	"v6class/internal/ipaddr"
+	"v6class/internal/mraplot"
+)
+
+func main() {
+	// --- Format classification (paper Figure 1 examples) ---
+	fmt.Println("Format classification:")
+	for _, s := range []string{
+		"2001:db8:10:1::103",                     // fixed IID
+		"2001:db8:167:1109::10:901",              // structured IID
+		"2001:db8:0:1cdf:21e:c2ff:fec0:11db",     // SLAAC EUI-64
+		"2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a", // privacy address
+		"2002:c000:204::1",                       // 6to4
+	} {
+		a := ipaddr.MustParseAddr(s)
+		kind := addrclass.Classify(a)
+		fmt.Printf("  %-42s %v\n", a, kind)
+		if mac, ok := addrclass.EUI64MAC(a); ok {
+			fmt.Printf("  %-42s embedded MAC %v\n", "", mac)
+		}
+	}
+
+	// --- Temporal classification ---
+	// A 15-day toy study: one stable host and one privacy host in the
+	// same /64.
+	census := core.NewCensus(core.CensusConfig{StudyDays: 15})
+	stable := ipaddr.MustParseAddr("2001:db8:42:1::103")
+	network := ipaddr.MustParseAddr("2001:db8:42:1::")
+	for day := 0; day < 15; day++ {
+		log := cdnlog.DayLog{Day: day}
+		if day%3 == 0 { // the stable host visits every third day
+			log.Records = append(log.Records, cdnlog.Record{Addr: stable, Hits: 3})
+		}
+		// The privacy host regenerates its address daily.
+		privacy := network.WithIID(0x1a2b<<48 | uint64(day)*0x9e3779b97f4a7c15>>16)
+		log.Records = append(log.Records, cdnlog.Record{Addr: privacy, Hits: 5})
+		census.AddDay(log)
+	}
+	st := census.Stability(core.Addresses, 6, 3)
+	fmt.Printf("\nTemporal classification at day 6 (3d-stable, -7d,+7d):\n")
+	fmt.Printf("  active %d: stable %d, not stable %d\n", st.Active, st.Stable, st.NotStable)
+	st64 := census.Stability(core.Prefixes64, 6, 3)
+	fmt.Printf("  /64s: active %d, stable %d (the /64 outlives its addresses)\n",
+		st64.Active, st64.Stable)
+
+	// --- Spatial classification ---
+	set := census.NativeSet(0, 3, 6, 9, 12)
+	fmt.Printf("\nMRA plot of all observed addresses (%d):\n", set.Len())
+	fmt.Print(mraplot.New("quickstart population", set.MRA()).ASCII())
+}

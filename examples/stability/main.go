@@ -1,0 +1,59 @@
+// Stability: run the paper's temporal classification over a month of
+// synthetic CDN logs — the Table 2 / Figure 4 methodology end to end —
+// and use the result to pick probe targets.
+package main
+
+import (
+	"fmt"
+
+	"v6class/internal/core"
+	"v6class/internal/synth"
+)
+
+func main() {
+	world := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05})
+	census := core.NewCensus(core.CensusConfig{StudyDays: synth.StudyDays})
+
+	// Ingest a three-week window around the final epoch.
+	ref := synth.EpochMar2015
+	fmt.Printf("ingesting days %d..%d of the synthetic study...\n", ref-7, ref+13)
+	for d := ref - 7; d <= ref+13; d++ {
+		census.AddDay(world.Day(d))
+	}
+
+	// Daily stability at the reference day, for several n.
+	fmt.Printf("\nstability of the population active on day %d:\n", ref)
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		st := census.Stability(core.Addresses, ref, n)
+		fmt.Printf("  %dd-stable addresses: %6d / %d (%.2f%%)\n",
+			n, st.Stable, st.Active, 100*float64(st.Stable)/float64(st.Active))
+	}
+	st64 := census.Stability(core.Prefixes64, ref, 3)
+	fmt.Printf("  3d-stable /64s:      %6d / %d (%.2f%%)\n",
+		st64.Stable, st64.Active, 100*float64(st64.Stable)/float64(st64.Active))
+
+	// Weekly roll-up (the Table 2c/2d methodology).
+	wk := census.WeeklyStability(core.Addresses, ref, 3)
+	fmt.Printf("\nweekly: %d unique actives, %d 3d-stable (%.2f%%)\n",
+		wk.Active, wk.Stable, 100*float64(wk.Stable)/float64(wk.Active))
+
+	// The Figure 4 overlap curve: how quickly does today's population
+	// evaporate?
+	series := census.OverlapSeries(core.Addresses, ref, 7, 7)
+	fmt.Printf("\noverlap with day %d (Figure 4):\n", ref)
+	for i, v := range series {
+		day := ref - 7 + i
+		bar := ""
+		for j := 0; j < 40*v/series[7]; j++ {
+			bar += "#"
+		}
+		fmt.Printf("  day %3d %6d %s\n", day, v, bar)
+	}
+
+	// Stable addresses are the paper's probe-target recommendation.
+	targets := census.StableAddrs(ref, 3)
+	fmt.Printf("\n%d 3d-stable addresses selected as probe targets; first 5:\n", len(targets))
+	for i := 0; i < len(targets) && i < 5; i++ {
+		fmt.Printf("  %v\n", targets[i])
+	}
+}

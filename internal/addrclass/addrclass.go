@@ -1,0 +1,237 @@
+// Package addrclass classifies IPv6 addresses by their standards-defined
+// format, reproducing the address-content analysis of Sections 3 and 4 of
+// Plonka & Berger (IMC 2015): the transition mechanisms that the study culls
+// (Teredo, ISATAP, 6to4), the EUI-64 addresses whose embedded MAC addresses
+// guide the study's reverse engineering of operator practice, and heuristics
+// for the remaining "Other" (native) addresses.
+package addrclass
+
+import (
+	"fmt"
+	"math/bits"
+
+	"v6class/internal/ipaddr"
+)
+
+// Kind is a format-derived address class. Transition-mechanism kinds are
+// authoritative (their formats are reserved); the IID kinds for native
+// addresses are heuristic, per the paper's observation that randomness in 63
+// bits cannot be detected reliably from a single address.
+type Kind uint8
+
+const (
+	// KindOther is native IPv6 whose IID fits no recognized pattern;
+	// overwhelmingly SLAAC privacy addresses (RFC 4941) in client
+	// populations.
+	KindOther Kind = iota
+	// KindTeredo is an RFC 4380 Teredo address (2001::/32).
+	KindTeredo
+	// Kind6to4 is an RFC 3056 6to4 address (2002::/16).
+	Kind6to4
+	// KindISATAP is an RFC 5214 ISATAP address (IID ::0200:5efe:a.b.c.d or
+	// ::0000:5efe:a.b.c.d).
+	KindISATAP
+	// KindEUI64 is a SLAAC address with an EUI-64 expansion of an Ethernet
+	// MAC in its IID (ff:fe in the middle bytes).
+	KindEUI64
+	// KindLowIID is native IPv6 with a small integer IID (all IID bits
+	// above the bottom 16 are zero), the typical shape of manually
+	// assigned or DHCPv6 sequential addresses such as the paper's
+	// Figure 1 example "2001:db8:10:1::103".
+	KindLowIID
+	// KindStructuredIID is native IPv6 whose IID is neither tiny nor
+	// random-looking: few distinct nybble values or long zero runs,
+	// suggesting an operator-structured value such as Figure 1's
+	// "2001:db8:167:1109::10:901".
+	KindStructuredIID
+	// KindEmbeddedIPv4 is native IPv6 whose IID embeds a dotted-quad IPv4
+	// address in its low 32 bits by the ad hoc conventions of Section 3
+	// (only claimed when the low 32 bits resemble a public unicast IPv4
+	// address and the rest of the IID is zero).
+	KindEmbeddedIPv4
+)
+
+var kindNames = [...]string{
+	KindOther:         "other",
+	KindTeredo:        "teredo",
+	Kind6to4:          "6to4",
+	KindISATAP:        "isatap",
+	KindEUI64:         "eui64",
+	KindLowIID:        "low-iid",
+	KindStructuredIID: "structured-iid",
+	KindEmbeddedIPv4:  "embedded-ipv4",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsTransition reports whether k is one of the early transition mechanisms
+// the paper culls from its census (Teredo, ISATAP, 6to4).
+func (k Kind) IsTransition() bool {
+	return k == KindTeredo || k == Kind6to4 || k == KindISATAP
+}
+
+var (
+	teredoPrefix = ipaddr.MustParsePrefix("2001::/32")
+	sixToFour    = ipaddr.MustParsePrefix("2002::/16")
+)
+
+// Classify returns the format class of a. Transition mechanisms are
+// detected first (they are authoritative), then EUI-64, then the native-IID
+// heuristics.
+func Classify(a ipaddr.Addr) Kind {
+	switch {
+	case teredoPrefix.Contains(a):
+		return KindTeredo
+	case sixToFour.Contains(a):
+		return Kind6to4
+	case isISATAP(a):
+		return KindISATAP
+	case IsEUI64(a):
+		return KindEUI64
+	}
+	iid := a.IID()
+	switch {
+	case iid&^0xffff == 0:
+		return KindLowIID
+	case isEmbeddedIPv4(iid):
+		return KindEmbeddedIPv4
+	case isStructured(iid):
+		return KindStructuredIID
+	}
+	return KindOther
+}
+
+// isISATAP matches the RFC 5214 IID format ::[02]00:5efe:a.b.c.d — the
+// first 32 bits of the IID are 0000:5efe or 0200:5efe (the u bit may be
+// set for administered addresses).
+func isISATAP(a ipaddr.Addr) bool {
+	top := uint32(a.IID() >> 32)
+	return top&^0x02000000 == 0x00005efe
+}
+
+// IsEUI64 reports whether a's IID has the EUI-64 expansion signature: the
+// bytes 0xff, 0xfe in IID byte positions 3 and 4 (address bytes 11 and 12).
+// Per RFC 4291 an Ethernet MAC m0:m1:m2:m3:m4:m5 expands to
+// m0^02:m1:m2:ff:fe:m3:m4:m5.
+func IsEUI64(a ipaddr.Addr) bool {
+	return (a.IID()>>24)&0xffff == 0xfffe
+}
+
+// MAC is a 48-bit Ethernet hardware address recovered from an EUI-64 IID.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EUI64MAC extracts the embedded MAC address from an EUI-64 IID, undoing
+// the u-bit (universal/local) inversion. ok is false when a is not EUI-64.
+func EUI64MAC(a ipaddr.Addr) (MAC, bool) {
+	if !IsEUI64(a) {
+		return MAC{}, false
+	}
+	iid := a.IID()
+	return MAC{
+		byte(iid>>56) ^ 0x02, // u bit flipped back
+		byte(iid >> 48),
+		byte(iid >> 40),
+		byte(iid >> 16),
+		byte(iid >> 8),
+		byte(iid),
+	}, true
+}
+
+// EUI64FromMAC builds the 64-bit EUI-64 IID for a MAC address, flipping the
+// u bit per RFC 4291. It is the inverse of EUI64MAC and is used by the
+// synthetic workload generator.
+func EUI64FromMAC(m MAC) uint64 {
+	return uint64(m[0]^0x02)<<56 | uint64(m[1])<<48 | uint64(m[2])<<40 |
+		0xfffe<<24 | uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
+// Embedded6to4IPv4 extracts the IPv4 address embedded in bits 16..48 of a
+// 6to4 address. ok is false for non-6to4 addresses.
+func Embedded6to4IPv4(a ipaddr.Addr) (uint32, bool) {
+	if !sixToFour.Contains(a) {
+		return 0, false
+	}
+	return uint32(a.NetworkID() >> 16), true
+}
+
+// EmbeddedISATAPIPv4 extracts the IPv4 address embedded in the low 32 bits
+// of an ISATAP IID. ok is false for non-ISATAP addresses.
+func EmbeddedISATAPIPv4(a ipaddr.Addr) (uint32, bool) {
+	if !isISATAP(a) {
+		return 0, false
+	}
+	return uint32(a.IID()), true
+}
+
+// isEmbeddedIPv4 heuristically detects an IPv4 address stored in the low 32
+// bits of an otherwise zero IID, the common router/dual-stack convenience
+// described in Section 3. The candidate's first octet must be a plausible
+// public unicast value.
+func isEmbeddedIPv4(iid uint64) bool {
+	if iid>>32 != 0 {
+		return false
+	}
+	v4 := uint32(iid)
+	first := byte(v4 >> 24)
+	switch {
+	case first == 0, first == 10, first == 127, first >= 224:
+		return false
+	case first == 192 && byte(v4>>16) == 168:
+		return false
+	case first == 172 && byte(v4>>16)&0xf0 == 16:
+		return false
+	}
+	// Require a nonzero host part beyond 16 bits to distinguish from
+	// operator-structured 32-bit values; dotted quads in practice have
+	// high-entropy low octets.
+	return v4 > 0xffff
+}
+
+// isStructured flags IIDs that look operator-assigned rather than
+// pseudorandom: a long run of zero nybbles (8 or more of the 16), or very
+// few distinct nybble values. RFC 4941 privacy IIDs are near-uniform and
+// fail both tests with overwhelming probability.
+func isStructured(iid uint64) bool {
+	var distinct uint16
+	zeros := 0
+	for i := 0; i < 16; i++ {
+		nyb := (iid >> (60 - 4*i)) & 0xf
+		distinct |= 1 << nyb
+		if nyb == 0 {
+			zeros++
+		}
+	}
+	return zeros >= 8 || bits.OnesCount16(distinct) <= 4
+}
+
+// Summary tallies a population of addresses by Kind, the shape of the
+// paper's Table 1 rows.
+type Summary struct {
+	Total  int
+	ByKind map[Kind]int
+}
+
+// Summarize classifies every address and tallies the result.
+func Summarize(addrs []ipaddr.Addr) Summary {
+	s := Summary{Total: len(addrs), ByKind: make(map[Kind]int)}
+	for _, a := range addrs {
+		s.ByKind[Classify(a)]++
+	}
+	return s
+}
+
+// Native reports the count of addresses using native end-to-end transport
+// (everything but the culled transition mechanisms), the paper's "Other
+// addresses" row in Table 1.
+func (s Summary) Native() int {
+	return s.Total - s.ByKind[KindTeredo] - s.ByKind[Kind6to4] - s.ByKind[KindISATAP]
+}

@@ -1,0 +1,201 @@
+package addrclass
+
+import (
+	"math/rand"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+func a(t *testing.T, s string) ipaddr.Addr {
+	t.Helper()
+	x, err := ipaddr.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestClassifyKnownFormats(t *testing.T) {
+	cases := []struct {
+		addr string
+		want Kind
+	}{
+		// Transition mechanisms.
+		{"2001:0:4136:e378:8000:63bf:3fff:fdd2", KindTeredo},
+		{"2002:c000:204::1", Kind6to4},
+		{"2001:db8::5efe:c000:204", KindISATAP},     // 0000:5efe
+		{"2001:db8::200:5efe:c000:204", KindISATAP}, // 0200:5efe
+		// EUI-64 (paper Figure 1 (iii)).
+		{"2001:db8:0:1cdf:21e:c2ff:fec0:11db", KindEUI64},
+		// Low IID (Figure 1 (i)).
+		{"2001:db8:10:1::103", KindLowIID},
+		// Structured IID (Figure 1 (ii)).
+		{"2001:db8:167:1109::10:901", KindStructuredIID},
+		// Privacy / pseudorandom (Figure 1 (iv)).
+		{"2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a", KindOther},
+		// Embedded IPv4 convenience.
+		{"2001:db8::c000:204", KindEmbeddedIPv4}, // ::192.0.2.4
+		// 2001:db8::/32 must NOT be Teredo (2001::/32 is 2001:0::).
+		{"2001:db8::1", KindLowIID},
+	}
+	for _, c := range cases {
+		if got := Classify(a(t, c.addr)); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestTransitionPrecedence(t *testing.T) {
+	// A 6to4 address whose IID happens to look EUI-64 must classify as 6to4:
+	// the reserved prefix is authoritative.
+	x := a(t, "2002:c000:204:1:21e:c2ff:fec0:11db")
+	if got := Classify(x); got != Kind6to4 {
+		t.Errorf("Classify = %v, want 6to4", got)
+	}
+	if !Kind6to4.IsTransition() || !KindTeredo.IsTransition() || !KindISATAP.IsTransition() {
+		t.Error("transition kinds misreported")
+	}
+	if KindEUI64.IsTransition() || KindOther.IsTransition() {
+		t.Error("non-transition kinds misreported")
+	}
+}
+
+func TestEUI64MACRoundTrip(t *testing.T) {
+	// 2001:db8:0:1cdf:21e:c2ff:fec0:11db embeds MAC 00:1e:c2:c0:11:db
+	// (u bit: IID byte 0x02 ^ 0x02 = 0x00).
+	x := a(t, "2001:db8:0:1cdf:21e:c2ff:fec0:11db")
+	mac, ok := EUI64MAC(x)
+	if !ok {
+		t.Fatal("EUI64MAC should succeed")
+	}
+	if got := mac.String(); got != "00:1e:c2:c0:11:db" {
+		t.Errorf("MAC = %s", got)
+	}
+	// Round trip through EUI64FromMAC.
+	iid := EUI64FromMAC(mac)
+	if iid != x.IID() {
+		t.Errorf("EUI64FromMAC = %x, want %x", iid, x.IID())
+	}
+	// Non-EUI-64 must fail.
+	if _, ok := EUI64MAC(a(t, "2001:db8::1")); ok {
+		t.Error("EUI64MAC of low-IID address should fail")
+	}
+}
+
+func TestEUI64FromMACPaperOutlier(t *testing.T) {
+	// The paper's footnote: MAC 00:11:22:33:44:56 was the most prevalent
+	// (duplicated) MAC. Verify the expansion we generate for it.
+	mac := MAC{0x00, 0x11, 0x22, 0x33, 0x44, 0x56}
+	iid := EUI64FromMAC(mac)
+	x := ipaddr.AddrFrom128(a(t, "2001:db8::").Uint128()).WithIID(iid)
+	if !IsEUI64(x) {
+		t.Fatal("expansion should be EUI-64")
+	}
+	back, _ := EUI64MAC(x)
+	if back != mac {
+		t.Errorf("round trip = %v", back)
+	}
+	if x.String() != "2001:db8::211:22ff:fe33:4456" {
+		t.Errorf("expanded = %s", x)
+	}
+}
+
+func TestEmbedded6to4IPv4(t *testing.T) {
+	// 2002:c000:0204::/48 embeds 192.0.2.4.
+	v4, ok := Embedded6to4IPv4(a(t, "2002:c000:204::1"))
+	if !ok || v4 != 0xc0000204 {
+		t.Errorf("Embedded6to4IPv4 = %x, %v", v4, ok)
+	}
+	if _, ok := Embedded6to4IPv4(a(t, "2001:db8::1")); ok {
+		t.Error("non-6to4 should fail")
+	}
+}
+
+func TestEmbeddedISATAPIPv4(t *testing.T) {
+	v4, ok := EmbeddedISATAPIPv4(a(t, "2001:db8::5efe:c000:204"))
+	if !ok || v4 != 0xc0000204 {
+		t.Errorf("EmbeddedISATAPIPv4 = %x, %v", v4, ok)
+	}
+	if _, ok := EmbeddedISATAPIPv4(a(t, "2001:db8::1")); ok {
+		t.Error("non-ISATAP should fail")
+	}
+}
+
+func TestEmbeddedIPv4Heuristic(t *testing.T) {
+	// Private/special first octets must not be claimed.
+	private := []string{
+		"2001:db8::a00:1",    // 10.0.0.1
+		"2001:db8::7f00:1",   // 127.0.0.1
+		"2001:db8::c0a8:101", // 192.168.1.1
+		"2001:db8::ac10:101", // 172.16.1.1
+		"2001:db8::e000:1",   // 224.0.0.1
+	}
+	for _, s := range private {
+		if got := Classify(a(t, s)); got == KindEmbeddedIPv4 {
+			t.Errorf("Classify(%s) claimed embedded IPv4 for special range", s)
+		}
+	}
+	if got := Classify(a(t, "2001:db8::801:203")); got != KindEmbeddedIPv4 { // 8.1.2.3
+		t.Errorf("8.1.2.3 embed = %v", got)
+	}
+}
+
+func TestPrivacyAddressesClassifyOther(t *testing.T) {
+	// Pseudorandom IIDs must classify as Other with overwhelming
+	// probability; test a sample of 10k.
+	r := rand.New(rand.NewSource(4))
+	net := a(t, "2001:db8:1:2::")
+	other := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		iid := r.Uint64()
+		// RFC 4941 clears the u bit (bit 70 of the address, bit 6 of the
+		// IID's top byte).
+		iid &^= 1 << 57
+		if Classify(net.WithIID(iid)) == KindOther {
+			other++
+		}
+	}
+	if float64(other)/n < 0.99 {
+		t.Errorf("only %d/%d random IIDs classified Other", other, n)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	addrs := []ipaddr.Addr{
+		a(t, "2001:0:4136:e378:8000:63bf:3fff:fdd2"),   // teredo
+		a(t, "2002:c000:204::1"),                       // 6to4
+		a(t, "2002:c000:204::2"),                       // 6to4
+		a(t, "2001:db8::5efe:c000:204"),                // isatap
+		a(t, "2001:db8:0:1cdf:21e:c2ff:fec0:11db"),     // eui64
+		a(t, "2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a"), // other
+		a(t, "2001:db8:10:1::103"),                     // low-iid
+	}
+	s := Summarize(addrs)
+	if s.Total != 7 {
+		t.Errorf("Total = %d", s.Total)
+	}
+	if s.ByKind[Kind6to4] != 2 || s.ByKind[KindTeredo] != 1 || s.ByKind[KindISATAP] != 1 {
+		t.Errorf("transition counts: %v", s.ByKind)
+	}
+	if got := s.Native(); got != 3 {
+		t.Errorf("Native = %d, want 3", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindEUI64.String() != "eui64" || KindOther.String() != "other" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind = %s", Kind(200))
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	x := ipaddr.MustParseAddr("2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a")
+	for i := 0; i < b.N; i++ {
+		_ = Classify(x)
+	}
+}

@@ -1,0 +1,126 @@
+// Package bgp models the routing-registry side of the measurement study: a
+// table of advertised BGP prefixes with originating autonomous systems, and
+// longest-prefix-match lookup to attribute observed client addresses to
+// their origin ASN and covering BGP prefix, as Section 4 of Plonka & Berger
+// (IMC 2015) does when grouping addresses by network.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/trie"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Origin describes one advertised prefix.
+type Origin struct {
+	Prefix ipaddr.Prefix
+	ASN    ASN
+	Name   string // operator name, for reports
+}
+
+// Table is a longest-prefix-match routing table. The zero value is an empty
+// table ready for use. Tables are not safe for concurrent mutation.
+type Table struct {
+	lpm     trie.Trie
+	origins map[ipaddr.Prefix]Origin
+	byASN   map[ASN][]ipaddr.Prefix
+}
+
+// Add announces prefix p originated by asn. Announcing the same prefix twice
+// replaces its origin (as a routing update would).
+func (t *Table) Add(p ipaddr.Prefix, asn ASN, name string) {
+	if t.origins == nil {
+		t.origins = make(map[ipaddr.Prefix]Origin)
+		t.byASN = make(map[ASN][]ipaddr.Prefix)
+	}
+	if old, ok := t.origins[p]; ok {
+		// Withdraw from the old ASN's list.
+		l := t.byASN[old.ASN]
+		for i, q := range l {
+			if q == p {
+				t.byASN[old.ASN] = append(l[:i], l[i+1:]...)
+				break
+			}
+		}
+	} else {
+		t.lpm.Add(p, 1)
+	}
+	t.origins[p] = Origin{Prefix: p, ASN: asn, Name: name}
+	t.byASN[asn] = append(t.byASN[asn], p)
+}
+
+// Len returns the number of advertised prefixes.
+func (t *Table) Len() int { return len(t.origins) }
+
+// ASNs returns the distinct origin ASNs in ascending order.
+func (t *Table) ASNs() []ASN {
+	out := make([]ASN, 0, len(t.byASN))
+	for a := range t.byASN {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PrefixesOf returns the prefixes advertised by asn, in prefix order.
+func (t *Table) PrefixesOf(asn ASN) []ipaddr.Prefix {
+	out := append([]ipaddr.Prefix(nil), t.byASN[asn]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Cmp(out[j]) < 0 })
+	return out
+}
+
+// Lookup returns the origin of the longest advertised prefix covering a.
+func (t *Table) Lookup(a ipaddr.Addr) (Origin, bool) {
+	p, _, ok := t.lpm.LongestPrefixMatch(a)
+	if !ok {
+		return Origin{}, false
+	}
+	o, ok := t.origins[p]
+	return o, ok
+}
+
+// Prefixes returns all advertised prefixes in prefix order.
+func (t *Table) Prefixes() []ipaddr.Prefix {
+	out := make([]ipaddr.Prefix, 0, len(t.origins))
+	for p := range t.origins {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cmp(out[j]) < 0 })
+	return out
+}
+
+// GroupByASN partitions addresses by origin ASN. Addresses matching no
+// advertised prefix are grouped under the zero ASN.
+func (t *Table) GroupByASN(addrs []ipaddr.Addr) map[ASN][]ipaddr.Addr {
+	out := make(map[ASN][]ipaddr.Addr)
+	for _, a := range addrs {
+		o, ok := t.Lookup(a)
+		if !ok {
+			out[0] = append(out[0], a)
+			continue
+		}
+		out[o.ASN] = append(out[o.ASN], a)
+	}
+	return out
+}
+
+// GroupByPrefix partitions addresses by covering advertised prefix,
+// dropping addresses that match none.
+func (t *Table) GroupByPrefix(addrs []ipaddr.Addr) map[ipaddr.Prefix][]ipaddr.Addr {
+	out := make(map[ipaddr.Prefix][]ipaddr.Addr)
+	for _, a := range addrs {
+		if o, ok := t.Lookup(a); ok {
+			out[o.Prefix] = append(out[o.Prefix], a)
+		}
+	}
+	return out
+}
+
+func (o Origin) String() string {
+	return fmt.Sprintf("%v AS%d (%s)", o.Prefix, o.ASN, o.Name)
+}

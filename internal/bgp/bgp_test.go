@@ -1,0 +1,159 @@
+package bgp
+
+import (
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+func mustAddr(t *testing.T, s string) ipaddr.Addr {
+	t.Helper()
+	a, err := ipaddr.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustPfx(t *testing.T, s string) ipaddr.Prefix {
+	t.Helper()
+	p, err := ipaddr.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func buildTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := &Table{}
+	tbl.Add(mustPfx(t, "2001:db8::/32"), 64500, "ExampleNet")
+	tbl.Add(mustPfx(t, "2001:db8:ff::/48"), 64501, "MoreSpecific")
+	tbl.Add(mustPfx(t, "2600::/24"), 64502, "BigISP")
+	tbl.Add(mustPfx(t, "2a00::/16"), 64503, "EUCarrier")
+	return tbl
+}
+
+func TestLookupLongestMatch(t *testing.T) {
+	tbl := buildTable(t)
+	cases := []struct {
+		addr string
+		asn  ASN
+		ok   bool
+	}{
+		{"2001:db8::1", 64500, true},
+		{"2001:db8:ff::1", 64501, true}, // more-specific wins
+		{"2001:db8:fe::1", 64500, true},
+		{"2600:42::1", 64502, true}, // third byte 0x00 stays inside the /24
+		{"2a00:1:2:3::4", 64503, true},
+		{"3fff::1", 0, false},
+	}
+	for _, c := range cases {
+		o, ok := tbl.Lookup(mustAddr(t, c.addr))
+		if ok != c.ok {
+			t.Errorf("Lookup(%s) ok = %v, want %v", c.addr, ok, c.ok)
+			continue
+		}
+		if ok && o.ASN != c.asn {
+			t.Errorf("Lookup(%s) = AS%d, want AS%d", c.addr, o.ASN, c.asn)
+		}
+	}
+}
+
+func TestReAnnounceReplacesOrigin(t *testing.T) {
+	tbl := buildTable(t)
+	tbl.Add(mustPfx(t, "2001:db8::/32"), 64999, "NewOwner")
+	o, ok := tbl.Lookup(mustAddr(t, "2001:db8::1"))
+	if !ok || o.ASN != 64999 {
+		t.Errorf("after re-announce, Lookup = %v (%v)", o, ok)
+	}
+	if tbl.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (replace, not add)", tbl.Len())
+	}
+	// The old ASN no longer advertises it.
+	if got := tbl.PrefixesOf(64500); len(got) != 0 {
+		t.Errorf("old ASN still has %v", got)
+	}
+	if got := tbl.PrefixesOf(64999); len(got) != 1 {
+		t.Errorf("new ASN has %v", got)
+	}
+}
+
+func TestASNsAndPrefixes(t *testing.T) {
+	tbl := buildTable(t)
+	asns := tbl.ASNs()
+	want := []ASN{64500, 64501, 64502, 64503}
+	if len(asns) != len(want) {
+		t.Fatalf("ASNs = %v", asns)
+	}
+	for i := range want {
+		if asns[i] != want[i] {
+			t.Errorf("ASNs[%d] = %d, want %d", i, asns[i], want[i])
+		}
+	}
+	prefixes := tbl.Prefixes()
+	if len(prefixes) != 4 {
+		t.Fatalf("Prefixes = %v", prefixes)
+	}
+	for i := 1; i < len(prefixes); i++ {
+		if prefixes[i-1].Cmp(prefixes[i]) >= 0 {
+			t.Error("Prefixes not sorted")
+		}
+	}
+}
+
+func TestGroupByASN(t *testing.T) {
+	tbl := buildTable(t)
+	addrs := []ipaddr.Addr{
+		mustAddr(t, "2001:db8::1"),
+		mustAddr(t, "2001:db8::2"),
+		mustAddr(t, "2600::1"),
+		mustAddr(t, "3fff::1"), // unrouted
+	}
+	groups := tbl.GroupByASN(addrs)
+	if len(groups[64500]) != 2 {
+		t.Errorf("AS64500 group = %v", groups[64500])
+	}
+	if len(groups[64502]) != 1 {
+		t.Errorf("AS64502 group = %v", groups[64502])
+	}
+	if len(groups[0]) != 1 {
+		t.Errorf("unrouted group = %v", groups[0])
+	}
+}
+
+func TestGroupByPrefix(t *testing.T) {
+	tbl := buildTable(t)
+	addrs := []ipaddr.Addr{
+		mustAddr(t, "2001:db8::1"),
+		mustAddr(t, "2001:db8:ff::1"),
+		mustAddr(t, "3fff::1"),
+	}
+	groups := tbl.GroupByPrefix(addrs)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[mustPfx(t, "2001:db8::/32")]) != 1 {
+		t.Error("covering /32 should have exactly the less-specific client")
+	}
+	if len(groups[mustPfx(t, "2001:db8:ff::/48")]) != 1 {
+		t.Error("/48 should capture its more-specific client")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var tbl Table
+	if _, ok := tbl.Lookup(mustAddr(t, "::1")); ok {
+		t.Error("empty table should not match")
+	}
+	if tbl.Len() != 0 || len(tbl.ASNs()) != 0 {
+		t.Error("empty table should be empty")
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	o := Origin{Prefix: mustPfx(t, "2001:db8::/32"), ASN: 64500, Name: "X"}
+	if got := o.String(); got != "2001:db8::/32 AS64500 (X)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package ccdfplot renders complementary-CDF plots on log-log axes — the
+// presentation of Figures 3 and 5a of Plonka & Berger (IMC 2015) — without
+// external plotting libraries, as ASCII charts, SVG documents, or raw data
+// rows.
+package ccdfplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"v6class/internal/stats"
+)
+
+// Series is one named CCDF curve.
+type Series struct {
+	Label  string
+	Points []stats.CCDFPoint
+}
+
+// Plot is a renderable log-log CCDF chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// markers are assigned to series in order for the ASCII rendering.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// bounds returns the maximum x value and minimum nonzero proportion across
+// all series; ok is false when the plot has no points.
+func (p Plot) bounds() (maxX, minY float64, ok bool) {
+	minY = 1.0
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			if pt.Value > maxX {
+				maxX = pt.Value
+			}
+			if pt.Proportion > 0 && pt.Proportion < minY {
+				minY = pt.Proportion
+			}
+			ok = true
+		}
+	}
+	return maxX, minY, ok
+}
+
+// ASCII renders the chart with a log10 x-axis and a log10 y-axis. Each
+// series draws with its own marker; later series overwrite earlier ones on
+// shared cells.
+func (p Plot) ASCII() string {
+	const width, height = 64, 16
+	maxX, minY, ok := p.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Title)
+	if !ok {
+		b.WriteString("(empty plot)\n")
+		return b.String()
+	}
+	decadesX := math.Max(1, math.Ceil(math.Log10(math.Max(maxX, 2))))
+	decadesY := math.Max(1, math.Ceil(-math.Log10(minY)))
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		marker := markers[si%len(markers)]
+		for _, pt := range s.Points {
+			if pt.Proportion <= 0 || pt.Value < 1 {
+				continue
+			}
+			col := int(math.Log10(pt.Value) / decadesX * float64(width-1))
+			row := int(-math.Log10(pt.Proportion) / decadesY * float64(height-1))
+			if col < 0 {
+				col = 0
+			}
+			if col >= width {
+				col = width - 1
+			}
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = marker
+		}
+		fmt.Fprintf(&b, "  [%c] %s\n", marker, s.Label)
+	}
+	for i, row := range grid {
+		// Left axis label: the proportion at this row.
+		prop := math.Pow(10, -float64(i)/float64(height-1)*decadesY)
+		fmt.Fprintf(&b, "%8.1e |%s\n", prop, row)
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  1%s%.0e\n", "", strings.Repeat(" ", width-8), math.Pow(10, decadesX))
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  %s\n", "", p.XLabel)
+	}
+	return b.String()
+}
+
+// SVG renders the chart as a standalone SVG document with log-log axes.
+func (p Plot) SVG() string {
+	const (
+		w, h           = 640, 420
+		mLeft, mBottom = 70, 50
+		mTop, mRight   = 30, 20
+	)
+	maxX, minY, ok := p.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14">%s</text>`+"\n", mLeft, xmlEscape(p.Title))
+	if !ok {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	decadesX := math.Max(1, math.Ceil(math.Log10(math.Max(maxX, 2))))
+	decadesY := math.Max(1, math.Ceil(-math.Log10(minY)))
+	plotW, plotH := float64(w-mLeft-mRight), float64(h-mTop-mBottom)
+	x := func(v float64) float64 {
+		if v < 1 {
+			v = 1
+		}
+		return float64(mLeft) + plotW*math.Log10(v)/decadesX
+	}
+	y := func(prop float64) float64 {
+		if prop <= 0 {
+			prop = math.Pow(10, -decadesY)
+		}
+		return float64(mTop) + plotH*(-math.Log10(prop))/decadesY
+	}
+	// Grid lines per decade.
+	for d := 0.0; d <= decadesX; d++ {
+		xx := float64(mLeft) + plotW*d/decadesX
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", xx, mTop, xx, h-mBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">1e%d</text>`+"\n", xx, h-mBottom+16, int(d))
+	}
+	for d := 0.0; d <= decadesY; d++ {
+		yy := float64(mTop) + plotH*d/decadesY
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mLeft, yy, w-mRight, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">1e-%d</text>`+"\n", mLeft-6, yy+4, int(d))
+	}
+	colors := []string{"#cc2222", "#2244cc", "#228833", "#aa7700", "#7722aa", "#116677"}
+	for si, s := range p.Series {
+		color := colors[si%len(colors)]
+		var pb strings.Builder
+		for _, pt := range s.Points {
+			if pt.Proportion <= 0 {
+				continue
+			}
+			fmt.Fprintf(&pb, "%.1f,%.1f ", x(pt.Value), y(pt.Proportion))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(pb.String()), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s">%s</text>`+"\n",
+			w-mRight-180, mTop+14+14*si, color, xmlEscape(s.Label))
+	}
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			mLeft+int(plotW/2), h-8, xmlEscape(p.XLabel))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// DataRows renders tab-separated (series, value, proportion) rows for
+// external tooling.
+func (p Plot) DataRows() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# series\tvalue\tproportion\n", p.Title)
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "%s\t%g\t%g\n", s.Label, pt.Value, pt.Proportion)
+		}
+	}
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

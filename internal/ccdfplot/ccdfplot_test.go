@@ -1,0 +1,94 @@
+package ccdfplot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"v6class/internal/stats"
+)
+
+func samplePlot() Plot {
+	r := rand.New(rand.NewSource(2))
+	heavy := make([]float64, 2000)
+	for i := range heavy {
+		heavy[i] = float64(1 + int(r.ExpFloat64()*500))
+	}
+	light := make([]float64, 500)
+	for i := range light {
+		light[i] = float64(1 + r.Intn(5))
+	}
+	return Plot{
+		Title:  "aggregate populations",
+		XLabel: "Aggregate Population, log scale",
+		Series: []Series{
+			{Label: "heavy tail", Points: stats.CCDF(heavy)},
+			{Label: "light", Points: stats.CCDF(light)},
+		},
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out := samplePlot().ASCII()
+	if !strings.Contains(out, "aggregate populations") {
+		t.Error("title missing")
+	}
+	for _, want := range []string{"[*] heavy tail", "[o] light", "1.0e+00", "Aggregate Population"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear on the grid.
+	if strings.Count(out, "*") < 3 {
+		t.Error("heavy-tail series not plotted")
+	}
+}
+
+func TestSVG(t *testing.T) {
+	svg := samplePlot().SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a complete SVG")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	if !strings.Contains(svg, "heavy tail") {
+		t.Error("legend missing")
+	}
+	// Decade labels on both axes.
+	if !strings.Contains(svg, ">1e0<") || !strings.Contains(svg, ">1e-1<") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestDataRows(t *testing.T) {
+	rows := samplePlot().DataRows()
+	lines := strings.Split(strings.TrimSpace(rows), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("rows = %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# aggregate populations") {
+		t.Error("title comment missing")
+	}
+	if !strings.Contains(rows, "heavy tail\t") {
+		t.Error("series column missing")
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	p := Plot{Title: "empty"}
+	if out := p.ASCII(); !strings.Contains(out, "(empty plot)") {
+		t.Errorf("empty ASCII:\n%s", out)
+	}
+	if svg := p.SVG(); !strings.Contains(svg, "</svg>") {
+		t.Error("empty SVG broken")
+	}
+}
+
+func TestTitleEscaping(t *testing.T) {
+	p := Plot{Title: `a <b> & "c"`, Series: []Series{{Label: "<x>", Points: stats.CCDF([]float64{1, 2})}}}
+	svg := p.SVG()
+	if strings.Contains(svg, "<b>") || strings.Contains(svg, "<x>") {
+		t.Error("titles not escaped")
+	}
+}

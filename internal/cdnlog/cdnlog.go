@@ -1,0 +1,195 @@
+// Package cdnlog models the study's primary data source: aggregated logs of
+// WWW server activity containing hit counts per client IP address, rolled up
+// over 24-hour intervals (Section 4.1 of Plonka & Berger, IMC 2015).
+//
+// The package provides the record model, a day-keyed aggregator that mirrors
+// the CDN's 24-hour roll-up (including its timestamp slew: an observation
+// can be attributed to the processing day rather than the activity day), and
+// a line-oriented text serialization so datasets can be written to and read
+// from disk by the command-line tools.
+package cdnlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"v6class/internal/ipaddr"
+)
+
+// Record is one aggregated log entry: a client address and its successful
+// request count for the day. Only successfully handled requests enter the
+// aggregation, which is how the study avoids spoofed sources.
+type Record struct {
+	Addr ipaddr.Addr
+	Hits uint64
+}
+
+// DayLog is the aggregated log for one study day.
+type DayLog struct {
+	Day     int
+	Records []Record
+}
+
+// Addrs returns just the client addresses of the day.
+func (d DayLog) Addrs() []ipaddr.Addr {
+	out := make([]ipaddr.Addr, len(d.Records))
+	for i, r := range d.Records {
+		out[i] = r.Addr
+	}
+	return out
+}
+
+// TotalHits returns the day's total request count.
+func (d DayLog) TotalHits() uint64 {
+	var n uint64
+	for _, r := range d.Records {
+		n += r.Hits
+	}
+	return n
+}
+
+// Aggregator accumulates raw hits into per-day aggregated logs, as the CDN's
+// log processing does.
+type Aggregator struct {
+	days map[int]map[ipaddr.Addr]uint64
+}
+
+// NewAggregator returns an empty Aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{days: make(map[int]map[ipaddr.Addr]uint64)}
+}
+
+// Add records hits from addr on the given day. Zero-hit adds are ignored.
+func (a *Aggregator) Add(day int, addr ipaddr.Addr, hits uint64) {
+	if hits == 0 {
+		return
+	}
+	m := a.days[day]
+	if m == nil {
+		m = make(map[ipaddr.Addr]uint64)
+		a.days[day] = m
+	}
+	m[addr] += hits
+}
+
+// Days returns the days with any activity, ascending.
+func (a *Aggregator) Days() []int {
+	out := make([]int, 0, len(a.days))
+	for d := range a.days {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Day returns the aggregated log for one day, with records in address order
+// (deterministic output for serialization and tests).
+func (a *Aggregator) Day(day int) DayLog {
+	m := a.days[day]
+	recs := make([]Record, 0, len(m))
+	for addr, hits := range m {
+		recs = append(recs, Record{Addr: addr, Hits: hits})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Addr.Less(recs[j].Addr) })
+	return DayLog{Day: day, Records: recs}
+}
+
+// WriteDay serializes one day's aggregated log in the text format:
+//
+//	#day <n>
+//	<address> <hits>
+//	...
+func WriteDay(w io.Writer, d DayLog) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#day %d\n", d.Day); err != nil {
+		return err
+	}
+	for _, r := range d.Records {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", r.Addr, r.Hits); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAll parses a stream of WriteDay-formatted logs (one or more days).
+// Blank lines and lines beginning with "//" are ignored.
+func ReadAll(r io.Reader) ([]DayLog, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []DayLog
+	var cur *DayLog
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if strings.HasPrefix(line, "#day ") {
+			day, err := strconv.Atoi(strings.TrimSpace(line[len("#day "):]))
+			if err != nil {
+				return nil, fmt.Errorf("cdnlog: line %d: bad day header %q", lineNo, line)
+			}
+			out = append(out, DayLog{Day: day})
+			cur = &out[len(out)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("cdnlog: line %d: record before any #day header", lineNo)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("cdnlog: line %d: want \"addr hits\", got %q", lineNo, line)
+		}
+		addr, err := ipaddr.ParseAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("cdnlog: line %d: %v", lineNo, err)
+		}
+		hits, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil || hits == 0 {
+			return nil, fmt.Errorf("cdnlog: line %d: bad hit count %q", lineNo, fields[1])
+		}
+		cur.Records = append(cur.Records, Record{Addr: addr, Hits: hits})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Merge unions several day logs for the same or different days into one
+// multi-day view keyed by day, summing hit counts for repeated addresses.
+func Merge(logs []DayLog) []DayLog {
+	agg := NewAggregator()
+	for _, l := range logs {
+		for _, r := range l.Records {
+			agg.Add(l.Day, r.Addr, r.Hits)
+		}
+	}
+	days := agg.Days()
+	out := make([]DayLog, 0, len(days))
+	for _, d := range days {
+		out = append(out, agg.Day(d))
+	}
+	return out
+}
+
+// UniqueAddrs returns the distinct addresses across the given logs.
+func UniqueAddrs(logs []DayLog) []ipaddr.Addr {
+	seen := make(map[ipaddr.Addr]bool)
+	var out []ipaddr.Addr
+	for _, l := range logs {
+		for _, r := range l.Records {
+			if !seen[r.Addr] {
+				seen[r.Addr] = true
+				out = append(out, r.Addr)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package cdnlog
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+func rec(t *testing.T, addr string, hits uint64) Record {
+	t.Helper()
+	a, err := ipaddr.ParseAddr(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Record{Addr: a, Hits: hits}
+}
+
+func TestAggregator(t *testing.T) {
+	agg := NewAggregator()
+	a1, _ := ipaddr.ParseAddr("2001:db8::1")
+	a2, _ := ipaddr.ParseAddr("2001:db8::2")
+	agg.Add(5, a1, 3)
+	agg.Add(5, a1, 2)
+	agg.Add(5, a2, 1)
+	agg.Add(7, a2, 10)
+	agg.Add(7, a1, 0) // ignored
+
+	if days := agg.Days(); len(days) != 2 || days[0] != 5 || days[1] != 7 {
+		t.Fatalf("Days = %v", days)
+	}
+	d5 := agg.Day(5)
+	if len(d5.Records) != 2 {
+		t.Fatalf("day 5 records = %v", d5.Records)
+	}
+	if d5.Records[0].Addr != a1 || d5.Records[0].Hits != 5 {
+		t.Errorf("day 5 first record = %v", d5.Records[0])
+	}
+	if d5.TotalHits() != 6 {
+		t.Errorf("TotalHits = %d", d5.TotalHits())
+	}
+	addrs := d5.Addrs()
+	if len(addrs) != 2 || !addrs[0].Less(addrs[1]) {
+		t.Errorf("Addrs = %v", addrs)
+	}
+	d7 := agg.Day(7)
+	if len(d7.Records) != 1 || d7.Records[0].Hits != 10 {
+		t.Errorf("day 7 = %v", d7.Records)
+	}
+	if got := agg.Day(99); len(got.Records) != 0 {
+		t.Errorf("missing day should be empty, got %v", got.Records)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	logs := []DayLog{
+		{Day: 17, Records: []Record{rec(t, "2001:db8::1", 5), rec(t, "2001:db8::2", 1)}},
+		{Day: 18, Records: []Record{rec(t, "2002:c000:204::1", 7)}},
+	}
+	var buf bytes.Buffer
+	for _, l := range logs {
+		if err := WriteDay(&buf, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d days", len(got))
+	}
+	for i := range logs {
+		if got[i].Day != logs[i].Day || len(got[i].Records) != len(logs[i].Records) {
+			t.Fatalf("day %d mismatch: %+v", i, got[i])
+		}
+		for j := range logs[i].Records {
+			if got[i].Records[j] != logs[i].Records[j] {
+				t.Errorf("record mismatch: %v vs %v", got[i].Records[j], logs[i].Records[j])
+			}
+		}
+	}
+}
+
+func TestReadAllTolerant(t *testing.T) {
+	in := `
+// a comment
+#day 3
+
+2001:db8::1 4
+`
+	logs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 || logs[0].Day != 3 || len(logs[0].Records) != 1 {
+		t.Fatalf("logs = %+v", logs)
+	}
+}
+
+func TestReadAllErrors(t *testing.T) {
+	bad := []string{
+		"2001:db8::1 4\n",           // record before header
+		"#day x\n",                  // bad day
+		"#day 1\nnot-an-addr 4\n",   // bad address
+		"#day 1\n2001:db8::1 z\n",   // bad hits
+		"#day 1\n2001:db8::1 0\n",   // zero hits
+		"#day 1\n2001:db8::1\n",     // missing hits
+		"#day 1\n2001:db8::1 1 2\n", // extra field
+	}
+	for _, in := range bad {
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadAll(%q) should fail", in)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	logs := []DayLog{
+		{Day: 1, Records: []Record{rec(t, "2001:db8::1", 2)}},
+		{Day: 1, Records: []Record{rec(t, "2001:db8::1", 3), rec(t, "2001:db8::2", 1)}},
+		{Day: 2, Records: []Record{rec(t, "2001:db8::1", 1)}},
+	}
+	merged := Merge(logs)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if merged[0].Day != 1 || len(merged[0].Records) != 2 || merged[0].Records[0].Hits != 5 {
+		t.Errorf("merged day 1 = %+v", merged[0])
+	}
+}
+
+func TestUniqueAddrs(t *testing.T) {
+	logs := []DayLog{
+		{Day: 1, Records: []Record{rec(t, "2001:db8::1", 2), rec(t, "2001:db8::2", 1)}},
+		{Day: 2, Records: []Record{rec(t, "2001:db8::1", 1), rec(t, "2001:db8::3", 1)}},
+	}
+	got := UniqueAddrs(logs)
+	if len(got) != 3 {
+		t.Errorf("UniqueAddrs = %v", got)
+	}
+}
+
+func TestReadWriteFilePlain(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/logs.txt"
+	logs := []DayLog{
+		{Day: 1, Records: []Record{rec(t, "2001:db8::1", 2)}},
+		{Day: 2, Records: []Record{rec(t, "2001:db8::2", 5)}},
+	}
+	if err := WriteFile(path, logs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Records[0].Hits != 5 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestReadWriteFileGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/logs.txt.gz"
+	logs := []DayLog{{Day: 7, Records: []Record{rec(t, "2001:db8::1", 1)}}}
+	if err := WriteFile(path, logs); err != nil {
+		t.Fatal(err)
+	}
+	// The file must actually be gzip (magic bytes 1f 8b).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("not gzip: % x", raw[:2])
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Day != 7 {
+		t.Fatalf("gzip round trip = %+v", got)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/nope.log"); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := dir + "/bad.gz"
+	if err := os.WriteFile(bad, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("corrupt gzip should error")
+	}
+}

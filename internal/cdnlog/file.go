@@ -1,0 +1,73 @@
+package cdnlog
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// File helpers: real aggregated-log datasets are large, so the tools read
+// and write gzip-compressed files transparently, selected by the ".gz"
+// filename suffix.
+
+// ReadFile loads all day sections from path, decompressing when the name
+// ends in ".gz". "-" reads standard input (never decompressed).
+func ReadFile(path string) ([]DayLog, error) {
+	if path == "-" {
+		return ReadAll(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("cdnlog: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	logs, err := ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("cdnlog: %s: %w", path, err)
+	}
+	return logs, nil
+}
+
+// WriteFile writes day logs to path, compressing when the name ends in
+// ".gz". "-" writes standard output (never compressed).
+func WriteFile(path string, logs []DayLog) (err error) {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, cerr := os.Create(path)
+		if cerr != nil {
+			return cerr
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+		if strings.HasSuffix(path, ".gz") {
+			zw := gzip.NewWriter(f)
+			defer func() {
+				if cerr := zw.Close(); err == nil {
+					err = cerr
+				}
+			}()
+			w = zw
+		}
+	}
+	for _, l := range logs {
+		if err := WriteDay(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

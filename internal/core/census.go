@@ -1,0 +1,312 @@
+// Package core is the public face of the library: a Census ingests
+// aggregated daily logs of active IPv6 client addresses and answers the
+// temporal and spatial classification questions of Plonka & Berger
+// (IMC 2015).
+//
+// A Census tracks, per study day, both full addresses and their /64
+// prefixes, segregates the early transition mechanisms (Teredo, ISATAP,
+// 6to4) exactly as the paper does, and exposes:
+//
+//   - temporal classification: nd-stable classes over sliding windows,
+//     weekly roll-ups, epoch (6-month / 1-year) stability — for addresses
+//     and /64s (Section 5.1);
+//   - spatial classification: MRA count ratios and plots, n@/p-dense prefix
+//     classes, aggregate population distributions (Section 5.2);
+//   - format classification per Table 1;
+//   - the combined "longest stable prefixes" discovery sketched as future
+//     work in Section 7.2.
+//
+// Typical use:
+//
+//	c := core.NewCensus(core.CensusConfig{StudyDays: 30})
+//	for day, log := range logs {
+//		c.AddDay(log)
+//	}
+//	daily := c.Stability(core.Addresses, 17, 3)   // Table 2a cell
+//	set := c.NativeSet(17)                        // spatial population
+//	dense := set.DenseFixed(spatial.DensityClass{N: 2, P: 112})
+package core
+
+import (
+	"fmt"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/cdnlog"
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+	"v6class/internal/temporal"
+	"v6class/internal/trie"
+)
+
+// Population selects which key population a temporal query classifies.
+type Population int
+
+const (
+	// Addresses classifies full /128 client addresses.
+	Addresses Population = iota
+	// Prefixes64 classifies the /64 prefixes extracted from them.
+	Prefixes64
+)
+
+// CensusConfig configures a Census.
+type CensusConfig struct {
+	// StudyDays is the length of the study period in days (required).
+	StudyDays int
+	// KeepTransition retains Teredo/ISATAP/6to4 addresses in the
+	// temporal stores instead of segregating them. The paper's analyses
+	// run with this false (the default): transition mechanisms are
+	// tallied for Table 1 but excluded from classification.
+	KeepTransition bool
+	// StabilityOptions configures nd-stable classification; the zero
+	// value uses the paper's (-7d,+7d) window.
+	StabilityOptions temporal.Options
+}
+
+// Census is the main analysis engine. It is not safe for concurrent
+// mutation; analyses may run concurrently once ingestion is complete.
+type Census struct {
+	cfg   CensusConfig
+	addrs *temporal.Store[ipaddr.Addr]
+	p64s  *temporal.Store[ipaddr.Prefix]
+
+	// Per-day format tallies for Table 1, over all ingested addresses
+	// (including transition mechanisms).
+	kinds map[int]addrclass.Summary
+	// Per-day EUI-64 distinct MAC tallies.
+	macs map[int]map[addrclass.MAC]bool
+}
+
+// NewCensus returns an empty Census for a study period.
+func NewCensus(cfg CensusConfig) *Census {
+	if cfg.StudyDays <= 0 {
+		panic("core: CensusConfig.StudyDays must be positive")
+	}
+	return &Census{
+		cfg:   cfg,
+		addrs: temporal.NewStore[ipaddr.Addr](cfg.StudyDays),
+		p64s:  temporal.NewStore[ipaddr.Prefix](cfg.StudyDays),
+		kinds: make(map[int]addrclass.Summary),
+		macs:  make(map[int]map[addrclass.MAC]bool),
+	}
+}
+
+// StudyDays returns the configured study length.
+func (c *Census) StudyDays() int { return c.cfg.StudyDays }
+
+// AddDay ingests one aggregated daily log.
+func (c *Census) AddDay(log cdnlog.DayLog) {
+	day := log.Day
+	sum := c.kinds[day]
+	if sum.ByKind == nil {
+		sum = addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}
+	}
+	for _, r := range log.Records {
+		kind := addrclass.Classify(r.Addr)
+		sum.Total++
+		sum.ByKind[kind]++
+		if kind == addrclass.KindEUI64 {
+			if mac, ok := addrclass.EUI64MAC(r.Addr); ok {
+				m := c.macs[day]
+				if m == nil {
+					m = make(map[addrclass.MAC]bool)
+					c.macs[day] = m
+				}
+				m[mac] = true
+			}
+		}
+		if kind.IsTransition() && !c.cfg.KeepTransition {
+			continue
+		}
+		c.addrs.Observe(r.Addr, temporal.Day(day))
+		c.p64s.Observe(ipaddr.PrefixFrom(r.Addr, 64), temporal.Day(day))
+	}
+	c.kinds[day] = sum
+}
+
+// DaySummary returns the Table 1 format tally of one ingested day, with
+// distinct-MAC count for the EUI-64 rows.
+type DaySummary struct {
+	Day     int
+	Total   int
+	ByKind  map[addrclass.Kind]int
+	Native  int
+	Addrs64 int // distinct /64s of native addresses
+	MACs    int // distinct EUI-64 MACs
+}
+
+// Summary returns the format tally for a day. Days never ingested yield a
+// zero summary.
+func (c *Census) Summary(day int) DaySummary {
+	sum := c.kinds[day]
+	return DaySummary{
+		Day:     day,
+		Total:   sum.Total,
+		ByKind:  sum.ByKind,
+		Native:  sum.Native(),
+		Addrs64: c.p64s.ActiveCount(temporal.Day(day)),
+		MACs:    len(c.macs[day]),
+	}
+}
+
+// Stability computes the daily nd-stable split of the selected population
+// for a reference day (a Table 2a/2b cell).
+func (c *Census) Stability(pop Population, ref, n int) temporal.DailyStability {
+	switch pop {
+	case Addresses:
+		return c.addrs.ClassifyDay(temporal.Day(ref), n, c.cfg.StabilityOptions)
+	case Prefixes64:
+		return c.p64s.ClassifyDay(temporal.Day(ref), n, c.cfg.StabilityOptions)
+	}
+	panic(fmt.Sprintf("core: unknown population %d", pop))
+}
+
+// WeeklyStability computes the weekly nd-stable split (a Table 2c/2d cell).
+func (c *Census) WeeklyStability(pop Population, start, n int) temporal.WeeklyStability {
+	switch pop {
+	case Addresses:
+		return c.addrs.ClassifyWeek(temporal.Day(start), n, c.cfg.StabilityOptions)
+	case Prefixes64:
+		return c.p64s.ClassifyWeek(temporal.Day(start), n, c.cfg.StabilityOptions)
+	}
+	panic(fmt.Sprintf("core: unknown population %d", pop))
+}
+
+// EpochStable counts keys active in both inclusive day ranges — the 6m- and
+// 1y-stable classes.
+func (c *Census) EpochStable(pop Population, aFrom, aTo, bFrom, bTo int) int {
+	switch pop {
+	case Addresses:
+		return c.addrs.EpochStable(temporal.Day(aFrom), temporal.Day(aTo), temporal.Day(bFrom), temporal.Day(bTo))
+	case Prefixes64:
+		return c.p64s.EpochStable(temporal.Day(aFrom), temporal.Day(aTo), temporal.Day(bFrom), temporal.Day(bTo))
+	}
+	panic(fmt.Sprintf("core: unknown population %d", pop))
+}
+
+// ActiveCount returns the distinct active keys on a day.
+func (c *Census) ActiveCount(pop Population, day int) int {
+	if pop == Addresses {
+		return c.addrs.ActiveCount(temporal.Day(day))
+	}
+	return c.p64s.ActiveCount(temporal.Day(day))
+}
+
+// ActiveInRange returns the distinct keys active on at least one day of the
+// inclusive range.
+func (c *Census) ActiveInRange(pop Population, from, to int) int {
+	if pop == Addresses {
+		return c.addrs.ActiveInRange(temporal.Day(from), temporal.Day(to))
+	}
+	return c.p64s.ActiveInRange(temporal.Day(from), temporal.Day(to))
+}
+
+// OverlapSeries returns the Figure 4 overlap curve of the selected
+// population around a reference day.
+func (c *Census) OverlapSeries(pop Population, ref, before, after int) []int {
+	if pop == Addresses {
+		return c.addrs.OverlapSeries(temporal.Day(ref), before, after)
+	}
+	return c.p64s.OverlapSeries(temporal.Day(ref), before, after)
+}
+
+// StableAddrs returns the nd-stable addresses for a reference day (probe
+// target selection, Section 6.1.1).
+func (c *Census) StableAddrs(ref, n int) []ipaddr.Addr {
+	return c.addrs.StableKeys(temporal.Day(ref), n, c.cfg.StabilityOptions)
+}
+
+// AddrsActiveOn returns the native addresses active on a day.
+func (c *Census) AddrsActiveOn(day int) []ipaddr.Addr {
+	return c.addrs.KeysActiveOn(temporal.Day(day))
+}
+
+// NativeSet builds the spatial population of native addresses active on the
+// given days (e.g. one day, or a 7-day week). Each distinct address counts
+// once regardless of how many of the days it was active, matching the
+// paper's distinct-address populations.
+func (c *Census) NativeSet(days ...int) *spatial.AddressSet {
+	var set spatial.AddressSet
+	seen := make(map[ipaddr.Addr]bool)
+	for _, d := range days {
+		for _, a := range c.addrs.KeysActiveOn(temporal.Day(d)) {
+			if !seen[a] {
+				seen[a] = true
+				set.Add(a)
+			}
+		}
+	}
+	return &set
+}
+
+// Prefix64Set builds the spatial population of distinct active /64s on the
+// given days (for Figure 3's "/64s" curves).
+func (c *Census) Prefix64Set(days ...int) *spatial.AddressSet {
+	var set spatial.AddressSet
+	seen := make(map[ipaddr.Prefix]bool)
+	for _, d := range days {
+		for _, p := range c.p64s.KeysActiveOn(temporal.Day(d)) {
+			if !seen[p] {
+				seen[p] = true
+				set.AddPrefix(p)
+			}
+		}
+	}
+	return &set
+}
+
+// LongestStablePrefix is one discovered stable network-identifier prefix
+// (Section 7.2): a prefix observed active in two separated periods, with
+// the number of period-B addresses supporting it.
+type LongestStablePrefix struct {
+	Prefix  ipaddr.Prefix
+	Support uint64
+}
+
+// LongestStablePrefixes implements the paper's future-work proposal: find
+// the longest prefixes stable across two periods, without relying on
+// long-lived IIDs. For every address active in period B, the longest common
+// prefix with any address active in period A is computed (one trie walk);
+// the resulting stable prefixes are tallied and those with at least
+// minSupport supporting addresses and at least minBits length are returned,
+// deduplicated to the least-specific non-overlapping set, in prefix order.
+func (c *Census) LongestStablePrefixes(aFrom, aTo, bFrom, bTo int, minBits int, minSupport uint64) []LongestStablePrefix {
+	// Build the period-A address trie.
+	var aTrie trie.Trie
+	seenA := make(map[ipaddr.Addr]bool)
+	for d := aFrom; d <= aTo; d++ {
+		for _, a := range c.addrs.KeysActiveOn(temporal.Day(d)) {
+			if !seenA[a] {
+				seenA[a] = true
+				aTrie.AddAddr(a)
+			}
+		}
+	}
+	if aTrie.Len() == 0 {
+		return nil
+	}
+	// Tally stable prefixes from period-B addresses.
+	var support trie.Trie
+	seenB := make(map[ipaddr.Addr]bool)
+	for d := bFrom; d <= bTo; d++ {
+		for _, b := range c.addrs.KeysActiveOn(temporal.Day(d)) {
+			if seenB[b] {
+				continue
+			}
+			seenB[b] = true
+			cpl := aTrie.MaxCommonPrefixLen(b)
+			if cpl >= minBits {
+				support.Add(ipaddr.PrefixFrom(b, cpl), 1)
+			}
+		}
+	}
+	// Report the least-specific prefixes meeting the support floor; the
+	// aguri aggregation rolls thin support upward so a /64 supported by
+	// many slightly-different /68 observations still surfaces.
+	var out []LongestStablePrefix
+	for _, pc := range support.AguriAggregate(minSupport) {
+		if pc.Prefix.Bits() >= minBits && pc.Count >= minSupport {
+			out = append(out, LongestStablePrefix{Prefix: pc.Prefix, Support: pc.Count})
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/cdnlog"
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+)
+
+func day(dayNum int, addrs ...string) cdnlog.DayLog {
+	l := cdnlog.DayLog{Day: dayNum}
+	for _, s := range addrs {
+		l.Records = append(l.Records, cdnlog.Record{Addr: ipaddr.MustParseAddr(s), Hits: 1})
+	}
+	return l
+}
+
+func TestCensusIngestAndSummary(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 30})
+	c.AddDay(day(10,
+		"2001:db8:1:1::1",                      // low-iid native
+		"2001:db8:1:1:21e:c2ff:fec0:11db",      // eui-64 native
+		"2001:db8:1:2:3031:f3fd:bbdd:2c2a",     // privacy native
+		"2002:c000:204::1",                     // 6to4 (segregated)
+		"2001:0:4136:e378:8000:63bf:3fff:fdd2", // teredo (segregated)
+	))
+	s := c.Summary(10)
+	if s.Total != 5 {
+		t.Errorf("Total = %d", s.Total)
+	}
+	if s.Native != 3 {
+		t.Errorf("Native = %d", s.Native)
+	}
+	if s.ByKind[addrclass.Kind6to4] != 1 || s.ByKind[addrclass.KindTeredo] != 1 {
+		t.Errorf("transition tallies: %v", s.ByKind)
+	}
+	if s.MACs != 1 {
+		t.Errorf("MACs = %d", s.MACs)
+	}
+	// Native /64s: 2001:db8:1:1::/64 and 2001:db8:1:2::/64.
+	if s.Addrs64 != 2 {
+		t.Errorf("Addrs64 = %d", s.Addrs64)
+	}
+	// Transition addresses excluded from temporal stores by default.
+	if c.ActiveCount(Addresses, 10) != 3 {
+		t.Errorf("ActiveCount = %d, want 3 native", c.ActiveCount(Addresses, 10))
+	}
+	// Missing day gives zero summary.
+	if z := c.Summary(29); z.Total != 0 || z.Addrs64 != 0 {
+		t.Errorf("missing day summary = %+v", z)
+	}
+}
+
+func TestKeepTransitionOption(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 30, KeepTransition: true})
+	c.AddDay(day(10, "2002:c000:204::1"))
+	if c.ActiveCount(Addresses, 10) != 1 {
+		t.Error("KeepTransition should retain 6to4 in temporal store")
+	}
+}
+
+func TestCensusStability(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 30})
+	// stable appears on days 14 and 17; ephemeral only on 17.
+	c.AddDay(day(14, "2001:db8::1"))
+	c.AddDay(day(17, "2001:db8::1", "2001:db8:0:1:aaaa:bbbb:cccc:dddd"))
+
+	st := c.Stability(Addresses, 17, 3)
+	if st.Active != 2 || st.Stable != 1 || st.NotStable != 1 {
+		t.Errorf("address stability = %+v", st)
+	}
+	// Both /64s distinct; only the first is stable.
+	st64 := c.Stability(Prefixes64, 17, 3)
+	if st64.Active != 2 || st64.Stable != 1 {
+		t.Errorf("prefix stability = %+v", st64)
+	}
+	stable := c.StableAddrs(17, 3)
+	if len(stable) != 1 || stable[0] != ipaddr.MustParseAddr("2001:db8::1") {
+		t.Errorf("StableAddrs = %v", stable)
+	}
+}
+
+func TestCensusWeeklyAndEpoch(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 400})
+	c.AddDay(day(10, "2001:db8::1"))
+	c.AddDay(day(13, "2001:db8::1"))
+	c.AddDay(day(375, "2001:db8::1", "2001:db8::2"))
+
+	w := c.WeeklyStability(Addresses, 10, 3)
+	if w.Active != 1 || w.Stable != 1 {
+		t.Errorf("weekly = %+v", w)
+	}
+	if got := c.EpochStable(Addresses, 8, 15, 370, 380); got != 1 {
+		t.Errorf("EpochStable = %d", got)
+	}
+	if got := c.EpochStable(Prefixes64, 8, 15, 370, 380); got != 1 {
+		t.Errorf("EpochStable /64 = %d", got)
+	}
+	if got := c.ActiveInRange(Addresses, 370, 380); got != 2 {
+		t.Errorf("ActiveInRange = %d", got)
+	}
+}
+
+func TestCensusOverlapSeries(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 30})
+	c.AddDay(day(15, "2001:db8::1"))
+	c.AddDay(day(17, "2001:db8::1", "2001:db8::2"))
+	series := c.OverlapSeries(Addresses, 17, 7, 7)
+	if len(series) != 15 {
+		t.Fatalf("series = %v", series)
+	}
+	if series[7] != 2 {
+		t.Errorf("ref overlap = %d", series[7])
+	}
+	if series[5] != 1 {
+		t.Errorf("day-15 overlap = %d", series[5])
+	}
+}
+
+func TestNativeSetAndPrefixSet(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 30})
+	c.AddDay(day(10, "2001:db8::1", "2001:db8::2", "2002:c000:204::1"))
+	c.AddDay(day(11, "2001:db8:0:1::1"))
+	set := c.NativeSet(10, 11)
+	if set.Len() != 3 {
+		t.Errorf("NativeSet len = %d (6to4 must be excluded)", set.Len())
+	}
+	p64 := c.Prefix64Set(10, 11)
+	if p64.Len() != 2 {
+		t.Errorf("Prefix64Set len = %d", p64.Len())
+	}
+	// Spatial classes compose with the set.
+	dense := set.DenseFixed(spatial.DensityClass{N: 2, P: 112})
+	if len(dense.Prefixes) != 1 {
+		t.Errorf("dense = %+v", dense)
+	}
+}
+
+func TestAddrsActiveOn(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 30})
+	c.AddDay(day(10, "2001:db8::1", "2001:db8::2"))
+	if got := c.AddrsActiveOn(10); len(got) != 2 {
+		t.Errorf("AddrsActiveOn = %v", got)
+	}
+}
+
+func TestLongestStablePrefixes(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 400})
+	// A /64 whose hosts rotate privacy IIDs between periods: the /64 is
+	// the longest stable prefix.
+	c.AddDay(day(10,
+		"2001:db8:42:1:1111:2222:3333:4444",
+		"2001:db8:42:1:5555:6666:7777:8888",
+		"2001:db8:42:1:9999:aaaa:bbbb:cccc",
+	))
+	c.AddDay(day(370,
+		"2001:db8:42:1:dddd:eeee:ffff:1111",
+		"2001:db8:42:1:2222:3333:4444:5555",
+		"2001:db8:42:1:6666:7777:8888:9999",
+	))
+	// An unrelated network active only in period B.
+	c.AddDay(day(371, "2600:1::1", "2600:2::2"))
+
+	got := c.LongestStablePrefixes(8, 15, 365, 375, 48, 2)
+	if len(got) != 1 {
+		t.Fatalf("LSP = %+v", got)
+	}
+	if got[0].Prefix.Bits() < 64 {
+		t.Errorf("stable prefix /%d, want >= /64", got[0].Prefix.Bits())
+	}
+	if !got[0].Prefix.Contains(ipaddr.MustParseAddr("2001:db8:42:1::")) {
+		t.Errorf("stable prefix %v misses the stable /64", got[0].Prefix)
+	}
+	if got[0].Support < 2 {
+		t.Errorf("support = %d", got[0].Support)
+	}
+	// Empty period A.
+	if got := c.LongestStablePrefixes(0, 5, 365, 375, 48, 2); got != nil {
+		t.Errorf("empty period A should yield nil, got %v", got)
+	}
+}
+
+func TestCensusEndToEndWithSynth(t *testing.T) {
+	// Smoke: ingest a synthetic week and check the headline proportions.
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.01})
+	c := NewCensus(CensusConfig{StudyDays: synth.StudyDays})
+	ref := synth.EpochMar2015
+	for d := ref - 7; d <= ref+7; d++ {
+		c.AddDay(w.Day(d))
+	}
+	st := c.Stability(Addresses, ref, 3)
+	if st.Active == 0 {
+		t.Fatal("no active addresses")
+	}
+	frac := float64(st.Stable) / float64(st.Active)
+	// Paper: 9.44% of daily addresses are 3d-stable; accept a broad band.
+	if frac < 0.01 || frac > 0.6 {
+		t.Errorf("3d-stable address fraction = %v", frac)
+	}
+	st64 := c.Stability(Prefixes64, ref, 3)
+	frac64 := float64(st64.Stable) / float64(st64.Active)
+	// Paper: 89.8% of daily /64s are 3d-stable; /64s must be far stabler
+	// than addresses.
+	if frac64 < frac*2 {
+		t.Errorf("/64 stability %v not much above address stability %v", frac64, frac)
+	}
+}
+
+func TestNewCensusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StudyDays 0 should panic")
+		}
+	}()
+	NewCensus(CensusConfig{})
+}
+
+func TestNativeSetDistinctAcrossDays(t *testing.T) {
+	// An address active on several days must count once in the spatial
+	// population (the paper's populations are distinct addresses).
+	c := NewCensus(CensusConfig{StudyDays: 30})
+	c.AddDay(day(10, "2001:db8::1", "2001:db8::2"))
+	c.AddDay(day(11, "2001:db8::1"))
+	c.AddDay(day(12, "2001:db8::1"))
+	set := c.NativeSet(10, 11, 12)
+	if set.Len() != 2 {
+		t.Errorf("Len = %d", set.Len())
+	}
+	if set.Total() != 2 {
+		t.Errorf("Total = %d, want 2 (distinct, not per-day)", set.Total())
+	}
+	pops := set.AggregatePopulations(112)
+	if len(pops) != 1 || pops[0] != 2 {
+		t.Errorf("populations = %v, want [2]", pops)
+	}
+	p64 := c.Prefix64Set(10, 11, 12)
+	if p64.Total() != 1 {
+		t.Errorf("p64 Total = %d, want 1", p64.Total())
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/ipaddr"
+	"v6class/internal/temporal"
+)
+
+// Census persistence: a compact binary snapshot of the ingested state so a
+// daily pipeline can extend a census incrementally (ingest today's log,
+// save, classify) without replaying the whole study. The format is
+// versioned and self-describing enough to reject foreign files.
+
+// censusMagic identifies the snapshot format; bump the trailing digit on
+// incompatible changes.
+const censusMagic = "v6census-state-1"
+
+// WriteTo serializes the census state. It implements io.WriterTo.
+func (c *Census) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v any) {
+		if cw.err == nil {
+			cw.err = binary.Write(cw, binary.LittleEndian, v)
+		}
+	}
+
+	cw.WriteString(censusMagic)
+	write(uint32(c.cfg.StudyDays))
+	write(boolByte(c.cfg.KeepTransition))
+
+	// Address store.
+	write(uint64(c.addrs.Len()))
+	c.addrs.Range(func(k ipaddr.Addr, b *temporal.BitSet) bool {
+		buf := k.As16()
+		cw.Write(buf[:])
+		writeWords(cw, b.Words())
+		return cw.err == nil
+	})
+
+	// /64 store: keys serialize as their 8-byte network identifiers.
+	write(uint64(c.p64s.Len()))
+	c.p64s.Range(func(k ipaddr.Prefix, b *temporal.BitSet) bool {
+		write(k.Addr().NetworkID())
+		writeWords(cw, b.Words())
+		return cw.err == nil
+	})
+
+	// Per-day format summaries.
+	write(uint32(len(c.kinds)))
+	for day, sum := range c.kinds {
+		write(uint32(day))
+		write(uint32(sum.Total))
+		write(uint8(len(sum.ByKind)))
+		for kind, n := range sum.ByKind {
+			write(uint8(kind))
+			write(uint32(n))
+		}
+	}
+
+	// Per-day EUI-64 MAC sets.
+	write(uint32(len(c.macs)))
+	for day, macs := range c.macs {
+		write(uint32(day))
+		write(uint32(len(macs)))
+		for mac := range macs {
+			cw.Write(mac[:])
+		}
+	}
+
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// ReadCensus deserializes a census snapshot written by WriteTo.
+func ReadCensus(r io.Reader) (*Census, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	magic := make([]byte, len(censusMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if string(magic) != censusMagic {
+		return nil, fmt.Errorf("core: not a census snapshot (magic %q)", magic)
+	}
+	var studyDays uint32
+	var keep uint8
+	if err := read(&studyDays); err != nil {
+		return nil, err
+	}
+	if err := read(&keep); err != nil {
+		return nil, err
+	}
+	if studyDays == 0 || studyDays > 1<<20 {
+		return nil, fmt.Errorf("core: implausible study length %d", studyDays)
+	}
+	c := NewCensus(CensusConfig{StudyDays: int(studyDays), KeepTransition: keep != 0})
+
+	// Address store.
+	var nAddrs uint64
+	if err := read(&nAddrs); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nAddrs; i++ {
+		var buf [16]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		words, err := readWords(br)
+		if err != nil {
+			return nil, err
+		}
+		c.addrs.Restore(ipaddr.AddrFrom16(buf), temporal.BitSetFromWords(words))
+	}
+
+	// /64 store.
+	var n64 uint64
+	if err := read(&n64); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n64; i++ {
+		var net uint64
+		if err := read(&net); err != nil {
+			return nil, err
+		}
+		words, err := readWords(br)
+		if err != nil {
+			return nil, err
+		}
+		p := ipaddr.PrefixFrom(ipaddr.AddrFromSegments([8]uint16{
+			uint16(net >> 48), uint16(net >> 32), uint16(net >> 16), uint16(net),
+		}), 64)
+		c.p64s.Restore(p, temporal.BitSetFromWords(words))
+	}
+
+	// Per-day format summaries.
+	var nDays uint32
+	if err := read(&nDays); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nDays; i++ {
+		var day, total uint32
+		var nKinds uint8
+		if err := read(&day); err != nil {
+			return nil, err
+		}
+		if err := read(&total); err != nil {
+			return nil, err
+		}
+		if err := read(&nKinds); err != nil {
+			return nil, err
+		}
+		sum := addrclass.Summary{Total: int(total), ByKind: make(map[addrclass.Kind]int, nKinds)}
+		for j := uint8(0); j < nKinds; j++ {
+			var kind uint8
+			var n uint32
+			if err := read(&kind); err != nil {
+				return nil, err
+			}
+			if err := read(&n); err != nil {
+				return nil, err
+			}
+			sum.ByKind[addrclass.Kind(kind)] = int(n)
+		}
+		c.kinds[int(day)] = sum
+	}
+
+	// Per-day EUI-64 MAC sets.
+	var nMacDays uint32
+	if err := read(&nMacDays); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nMacDays; i++ {
+		var day, n uint32
+		if err := read(&day); err != nil {
+			return nil, err
+		}
+		if err := read(&n); err != nil {
+			return nil, err
+		}
+		set := make(map[addrclass.MAC]bool, n)
+		for j := uint32(0); j < n; j++ {
+			var mac addrclass.MAC
+			if _, err := io.ReadFull(br, mac[:]); err != nil {
+				return nil, err
+			}
+			set[mac] = true
+		}
+		c.macs[int(day)] = set
+	}
+	return c, nil
+}
+
+func writeWords(cw *countingWriter, words []uint64) {
+	if cw.err != nil {
+		return
+	}
+	cw.err = binary.Write(cw, binary.LittleEndian, uint16(len(words)))
+	if cw.err == nil {
+		cw.err = binary.Write(cw, binary.LittleEndian, words)
+	}
+}
+
+func readWords(r io.Reader) ([]uint64, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<14 {
+		return nil, fmt.Errorf("core: implausible bitset size %d", n)
+	}
+	words := make([]uint64, n)
+	if err := binary.Read(r, binary.LittleEndian, words); err != nil {
+		return nil, err
+	}
+	return words, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// countingWriter tracks bytes written and sticks on the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}
+
+func (cw *countingWriter) WriteString(s string) {
+	cw.Write([]byte(s))
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"v6class/internal/synth"
+)
+
+func TestCensusSnapshotRoundTrip(t *testing.T) {
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.01})
+	orig := NewCensus(CensusConfig{StudyDays: synth.StudyDays})
+	ref := synth.EpochMar2015
+	for d := ref - 7; d <= ref+7; d++ {
+		orig.AddDay(w.Day(d))
+	}
+
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadCensus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every analysis must agree between original and restored census.
+	if got.StudyDays() != orig.StudyDays() {
+		t.Errorf("StudyDays: %d vs %d", got.StudyDays(), orig.StudyDays())
+	}
+	for _, pop := range []Population{Addresses, Prefixes64} {
+		so, sg := orig.Stability(pop, ref, 3), got.Stability(pop, ref, 3)
+		if so != sg {
+			t.Errorf("pop %d stability: %+v vs %+v", pop, so, sg)
+		}
+		if orig.ActiveCount(pop, ref) != got.ActiveCount(pop, ref) {
+			t.Errorf("pop %d active counts differ", pop)
+		}
+		wo, wg := orig.WeeklyStability(pop, ref, 3), got.WeeklyStability(pop, ref, 3)
+		if wo != wg {
+			t.Errorf("pop %d weekly: %+v vs %+v", pop, wo, wg)
+		}
+	}
+	sumO, sumG := orig.Summary(ref), got.Summary(ref)
+	if sumO.Total != sumG.Total || sumO.Native != sumG.Native || sumO.MACs != sumG.MACs {
+		t.Errorf("summary: %+v vs %+v", sumO, sumG)
+	}
+	for k, v := range sumO.ByKind {
+		if sumG.ByKind[k] != v {
+			t.Errorf("kind %v: %d vs %d", k, sumG.ByKind[k], v)
+		}
+	}
+	// Overlap series (exercises restored per-day counters).
+	oo := orig.OverlapSeries(Addresses, ref, 7, 7)
+	og := got.OverlapSeries(Addresses, ref, 7, 7)
+	for i := range oo {
+		if oo[i] != og[i] {
+			t.Fatalf("overlap[%d]: %d vs %d", i, oo[i], og[i])
+		}
+	}
+}
+
+func TestCensusSnapshotIncremental(t *testing.T) {
+	// Ingest half the window, snapshot, restore, ingest the rest: must
+	// equal a single-pass census.
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.01})
+	ref := synth.EpochMar2015
+
+	full := NewCensus(CensusConfig{StudyDays: synth.StudyDays})
+	for d := ref - 7; d <= ref+7; d++ {
+		full.AddDay(w.Day(d))
+	}
+
+	part := NewCensus(CensusConfig{StudyDays: synth.StudyDays})
+	for d := ref - 7; d <= ref; d++ {
+		part.AddDay(w.Day(d))
+	}
+	var buf bytes.Buffer
+	if _, err := part.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ReadCensus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := ref + 1; d <= ref+7; d++ {
+		resumed.AddDay(w.Day(d))
+	}
+
+	if a, b := full.Stability(Addresses, ref, 3), resumed.Stability(Addresses, ref, 3); a != b {
+		t.Errorf("incremental stability: %+v vs %+v", a, b)
+	}
+	if a, b := full.ActiveCount(Prefixes64, ref+5), resumed.ActiveCount(Prefixes64, ref+5); a != b {
+		t.Errorf("incremental /64 count: %d vs %d", a, b)
+	}
+}
+
+func TestReadCensusRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a census at all, definitely",
+		censusMagic, // truncated after magic
+	}
+	for _, in := range cases {
+		if _, err := ReadCensus(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCensus(%q) should fail", in)
+		}
+	}
+	// Corrupt study length.
+	bad := censusMagic + "\xff\xff\xff\xff\x00"
+	if _, err := ReadCensus(strings.NewReader(bad)); err == nil {
+		t.Error("implausible study length should fail")
+	}
+}

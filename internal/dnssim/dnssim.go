@@ -1,0 +1,129 @@
+// Package dnssim provides a synthetic ip6.arpa reverse DNS for the
+// simulated world, supporting the Section 6.2.3 experiment of Plonka &
+// Berger (IMC 2015): sweeping PTR queries across dense prefixes harvests
+// domain names — location-bearing router names and host names such as the
+// department's "dhcpv6-*" clients — well beyond the names of addresses
+// already observed active.
+package dnssim
+
+import (
+	"fmt"
+	"strings"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/netmodel"
+	"v6class/internal/probe"
+)
+
+// Zone is a populated reverse zone. Build one with NewZone.
+type Zone struct {
+	records map[ipaddr.Addr]string
+}
+
+// cityCodes gives routers location-bearing names, the property that makes
+// PTR harvesting valuable to geolocation per the paper.
+var cityCodes = []string{"nyc", "fra", "lon", "tyo", "syd", "ams", "sjc", "iad", "cdg", "sin"}
+
+// NewZone synthesizes PTR records for the world:
+//   - every router interface (responding or silent) gets a geo-coded name,
+//   - the DHCPv6 department publishes "dhcpv6-N" names for its whole pool,
+//   - resolver addresses get service names.
+//
+// Ordinary client addresses (privacy, mobile) have no PTR records, matching
+// operational reality.
+func NewZone(t *probe.Topology) *Zone {
+	z := &Zone{records: make(map[ipaddr.Addr]string)}
+	w := t.World()
+	for _, op := range w.Operators {
+		for pi, p := range op.Prefixes {
+			for i, a := range t.AllInterfaces(p, op) {
+				city := cityCodes[(i+pi)%len(cityCodes)]
+				z.records[a] = fmt.Sprintf("ae%d.rtr%d.%s.%s.example.net", i%8, i, city, hostSafe(op.Name))
+			}
+		}
+		if dhcp, ok := op.Plan.(*netmodel.DHCPDensePlan); ok {
+			for h := 0; h < dhcp.Hosts; h++ {
+				z.records[dhcp.HostAddr(h)] = fmt.Sprintf("dhcpv6-%d.dept.%s.example.edu", h, hostSafe(op.Name))
+			}
+		}
+	}
+	for i, r := range t.Resolvers() {
+		z.records[r] = fmt.Sprintf("resolver%d.example.net", i)
+	}
+	return z
+}
+
+func hostSafe(s string) string {
+	return strings.ReplaceAll(strings.ToLower(s), " ", "-")
+}
+
+// Len returns the number of PTR records in the zone.
+func (z *Zone) Len() int { return len(z.records) }
+
+// PTR resolves the reverse record of a; ok is false for NXDOMAIN.
+func (z *Zone) PTR(a ipaddr.Addr) (string, bool) {
+	name, ok := z.records[a]
+	return name, ok
+}
+
+// Add publishes a PTR record (used by tests and custom worlds).
+func (z *Zone) Add(a ipaddr.Addr, name string) {
+	z.records[a] = name
+}
+
+// HarvestAddrs queries every address in the list and returns the distinct
+// names found.
+func (z *Zone) HarvestAddrs(addrs []ipaddr.Addr) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range addrs {
+		if name, ok := z.records[a]; ok && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// HarvestPrefix sweeps PTR queries across every address of a prefix,
+// returning the distinct names. It refuses prefixes wider than maxBits
+// host bits (a /104 spans 16M queries; the paper swept 2.12M).
+func (z *Zone) HarvestPrefix(p ipaddr.Prefix, maxHostBits int) ([]string, error) {
+	host := 128 - p.Bits()
+	if host > maxHostBits {
+		return nil, fmt.Errorf("dnssim: refusing to sweep %v (%d host bits > %d)", p, host, maxHostBits)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	a := p.First()
+	n := p.NumAddresses()
+	for i := uint64(0); i < n; i++ {
+		if name, ok := z.records[a]; ok && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+		a = a.Next()
+	}
+	return out, nil
+}
+
+// HarvestPrefixes sweeps a set of prefixes (e.g. the 3@/120-dense class)
+// and returns the distinct names across all of them, plus the number of
+// queries issued.
+func (z *Zone) HarvestPrefixes(prefixes []ipaddr.Prefix, maxHostBits int) (names []string, queries uint64, err error) {
+	seen := make(map[string]bool)
+	for _, p := range prefixes {
+		got, err := z.HarvestPrefix(p, maxHostBits)
+		if err != nil {
+			return nil, queries, err
+		}
+		queries += p.NumAddresses()
+		for _, name := range got {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	return names, queries, nil
+}

@@ -1,0 +1,138 @@
+package dnssim
+
+import (
+	"strings"
+	"testing"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/netmodel"
+	"v6class/internal/probe"
+	"v6class/internal/synth"
+)
+
+func zoneAndTopo(t *testing.T) (*Zone, *probe.Topology) {
+	t.Helper()
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.02})
+	tp := probe.NewTopology(w, synth.EpochMar2015)
+	return NewZone(tp), tp
+}
+
+func TestZonePopulated(t *testing.T) {
+	z, tp := zoneAndTopo(t)
+	if z.Len() < 500 {
+		t.Fatalf("zone has only %d records", z.Len())
+	}
+	// Router interfaces resolve with geo-coded names.
+	op, _ := tp.World().OperatorByName("us-mobile-1")
+	routers := tp.BorderRouters(op.Prefixes[0], op)
+	name, ok := z.PTR(routers[0])
+	if !ok {
+		t.Fatal("border router has no PTR")
+	}
+	if !strings.Contains(name, "rtr") || !strings.HasSuffix(name, "example.net") {
+		t.Errorf("router name = %q", name)
+	}
+}
+
+func TestDHCPHostNames(t *testing.T) {
+	z, tp := zoneAndTopo(t)
+	op, _ := tp.World().OperatorByName("eu-univ-dept")
+	dhcp := op.Plan.(*netmodel.DHCPDensePlan)
+	name, ok := z.PTR(dhcp.HostAddr(0))
+	if !ok {
+		t.Fatal("DHCP host 0 has no PTR")
+	}
+	if !strings.HasPrefix(name, "dhcpv6-0.") {
+		t.Errorf("host name = %q", name)
+	}
+	// Every pool address has a name, even if inactive today.
+	for h := 0; h < dhcp.Hosts; h++ {
+		if _, ok := z.PTR(dhcp.HostAddr(h)); !ok {
+			t.Fatalf("host %d missing PTR", h)
+		}
+	}
+}
+
+func TestClientAddressesHaveNoPTR(t *testing.T) {
+	z, tp := zoneAndTopo(t)
+	day := tp.World().Day(synth.EpochMar2015)
+	misses := 0
+	checked := 0
+	for _, r := range day.Records {
+		// Skip the DHCP department, whose clients legitimately resolve.
+		if o, ok := tp.World().Table.Lookup(r.Addr); ok && o.Name == "eu-univ-dept" {
+			continue
+		}
+		checked++
+		if _, ok := z.PTR(r.Addr); !ok {
+			misses++
+		}
+		if checked >= 2000 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	if float64(misses)/float64(checked) < 0.95 {
+		t.Errorf("too many client PTRs: %d/%d resolve", checked-misses, checked)
+	}
+}
+
+func TestHarvestAddrsDeduplicates(t *testing.T) {
+	z, _ := zoneAndTopo(t)
+	a := ipaddr.MustParseAddr("2001:db8::1")
+	z.Add(a, "dup.example")
+	b := ipaddr.MustParseAddr("2001:db8::2")
+	z.Add(b, "dup.example")
+	names := z.HarvestAddrs([]ipaddr.Addr{a, b, a})
+	if len(names) != 1 || names[0] != "dup.example" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestHarvestPrefix(t *testing.T) {
+	z, tp := zoneAndTopo(t)
+	op, _ := tp.World().OperatorByName("us-mobile-1")
+	// Sweep the /120 containing the border ::1..::n run.
+	infra := tp.BorderRouters(op.Prefixes[0], op)[0]
+	p := ipaddr.PrefixFrom(infra, 120)
+	names, err := z.HarvestPrefix(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep must find more names than the responding set alone: the
+	// silent standby interfaces resolve too.
+	responding := z.HarvestAddrs(tp.BorderRouters(op.Prefixes[0], op))
+	if len(names) <= len(responding)/2 {
+		t.Errorf("sweep found %d names vs %d responding", len(names), len(responding))
+	}
+	// Refuse oversized sweeps.
+	if _, err := z.HarvestPrefix(ipaddr.PrefixFrom(infra, 64), 16); err == nil {
+		t.Error("64-bit sweep should be refused")
+	}
+}
+
+func TestHarvestPrefixes(t *testing.T) {
+	z, tp := zoneAndTopo(t)
+	op, _ := tp.World().OperatorByName("jp-isp")
+	infra := tp.BorderRouters(op.Prefixes[0], op)[0]
+	prefixes := []ipaddr.Prefix{
+		ipaddr.PrefixFrom(infra, 120),
+		ipaddr.PrefixFrom(infra, 120), // duplicate: names dedupe, queries sum
+	}
+	names, queries, err := z.HarvestPrefixes(prefixes, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queries != 512 {
+		t.Errorf("queries = %d, want 512", queries)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}

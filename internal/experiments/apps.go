@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/core"
+	"v6class/internal/dnssim"
+	"v6class/internal/ipaddr"
+	"v6class/internal/probe"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+)
+
+// RouterDiscoveryResult reproduces the Section 6.1.1 experiment: probing a
+// randomly selected subset of 3d-stable addresses discovers far more router
+// addresses than the long-standing IPv4-style strategy (recursive resolver
+// addresses plus randomly selected active WWW clients).
+type RouterDiscoveryResult struct {
+	Targets         int // targets per strategy
+	BaselineRouters int
+	StableRouters   int
+	PctMore         float64 // paper: +129%
+}
+
+// RouterDiscovery runs the target-selection comparison. Classification uses
+// the final epoch; probing happens two weeks later, by which time ephemeral
+// targets have gone dark.
+func RouterDiscovery(l *Lab) RouterDiscoveryResult {
+	classifyDay := synth.EpochMar2015
+	probeDay := classifyDay + 14
+	c := l.Census([2]int{classifyDay - 7, classifyDay + 7})
+	topo := probe.NewTopology(l.World, probeDay)
+
+	actives := c.AddrsActiveOn(classifyDay)
+	stable := c.StableAddrs(classifyDay, 3)
+	n := len(stable)
+	if len(actives) < n {
+		n = len(actives)
+	}
+	// Deterministic "random" subsets: every kth element.
+	sample := func(s []ipaddr.Addr, n int) []ipaddr.Addr {
+		if len(s) <= n {
+			return s
+		}
+		out := make([]ipaddr.Addr, 0, n)
+		step := len(s) / n
+		for i := 0; i < len(s) && len(out) < n; i += step {
+			out = append(out, s[i])
+		}
+		return out
+	}
+	resolvers := topo.Resolvers()
+	baselineTargets := append(append([]ipaddr.Addr{}, resolvers...), sample(actives, n)...)
+	stableTargets := append(append([]ipaddr.Addr{}, resolvers...), sample(stable, n)...)
+
+	baseline := topo.Discover(baselineTargets)
+	withStable := topo.Discover(stableTargets)
+	res := RouterDiscoveryResult{
+		Targets:         n + len(resolvers),
+		BaselineRouters: len(baseline),
+		StableRouters:   len(withStable),
+	}
+	if res.BaselineRouters > 0 {
+		res.PctMore = 100 * float64(res.StableRouters-res.BaselineRouters) / float64(res.BaselineRouters)
+	}
+	return res
+}
+
+// Render summarizes the comparison.
+func (r RouterDiscoveryResult) Render() string {
+	return fmt.Sprintf(
+		"Router discovery (Sec 6.1.1): %d targets per strategy\n"+
+			"  IPv4-style strategy (resolvers + random actives): %d routers\n"+
+			"  3d-stable strategy:                               %d routers (%+.0f%%)\n",
+		r.Targets, r.BaselineRouters, r.StableRouters, r.PctMore)
+}
+
+// PTRHarvestResult reproduces the Section 6.2.3 experiment: sweeping
+// ip6.arpa PTR queries across the 3@/120-dense prefixes of the router
+// dataset yields names beyond those of the already-known addresses.
+type PTRHarvestResult struct {
+	DensePrefixes  int
+	Queries        uint64
+	BaselineNames  int // names of known router + client addresses
+	HarvestNames   int // names found by sweeping dense prefixes
+	AdditionalName int // harvest-only names (paper: +47K)
+}
+
+// PTRHarvest runs the dense-prefix PTR sweep against the synthetic zone.
+func PTRHarvest(l *Lab) PTRHarvestResult {
+	probeDay := synth.EpochMar2015 - 28
+	topo := probe.NewTopology(l.World, probeDay)
+	zone := dnssim.NewZone(topo)
+
+	routers := RouterDatasetFor(l)
+	var set spatial.AddressSet
+	for _, a := range routers {
+		set.Add(a)
+	}
+	dense := set.DenseFixed(spatial.DensityClass{N: 3, P: 120})
+	prefixes := make([]ipaddr.Prefix, len(dense.Prefixes))
+	for i, pc := range dense.Prefixes {
+		prefixes[i] = pc.Prefix
+	}
+
+	// Baseline: names resolvable for addresses already known — the router
+	// dataset plus the active WWW clients of the probe day.
+	known := append(append([]ipaddr.Addr{}, routers...), l.Day(probeDay).Addrs()...)
+	baseline := zone.HarvestAddrs(known)
+
+	names, queries, err := zone.HarvestPrefixes(prefixes, 16)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: dense sweep failed: %v", err))
+	}
+	baseSet := make(map[string]bool, len(baseline))
+	for _, n := range baseline {
+		baseSet[n] = true
+	}
+	extra := 0
+	for _, n := range names {
+		if !baseSet[n] {
+			extra++
+		}
+	}
+	return PTRHarvestResult{
+		DensePrefixes:  len(prefixes),
+		Queries:        queries,
+		BaselineNames:  len(baseline),
+		HarvestNames:   len(names),
+		AdditionalName: extra,
+	}
+}
+
+// Render summarizes the harvest.
+func (r PTRHarvestResult) Render() string {
+	return fmt.Sprintf(
+		"PTR harvest (Sec 6.2.3): %d 3@/120-dense prefixes, %d queries\n"+
+			"  names from known addresses:   %d\n"+
+			"  names from dense-prefix sweep: %d (%d additional)\n",
+		r.DensePrefixes, r.Queries, r.BaselineNames, r.HarvestNames, r.AdditionalName)
+}
+
+// EUI64ChurnResult reproduces the Section 6.1.1 EUI-64 analysis: of the
+// EUI-64 addresses classified "not 3d-stable" in the September week, the
+// fraction whose IID appears in more than one address (the subnet moved
+// under a stable IID) and the fraction whose IID also appears in a
+// 3d-stable address.
+type EUI64ChurnResult struct {
+	NotStableEUI64   int
+	MultiAddrIIDPct  float64 // paper: 62%
+	AlsoStableIIDPct float64 // paper: 14%
+}
+
+// EUI64Churn runs the analysis over the September epoch week.
+func EUI64Churn(l *Lab) EUI64ChurnResult {
+	epoch := synth.EpochSep2014
+	c := l.Census([2]int{epoch - 7, epoch + 13})
+
+	// Precompute the weekly 3d-stable address set: stable on any
+	// reference day of the week.
+	weeklyStable := make(map[ipaddr.Addr]bool)
+	for ref := epoch; ref < epoch+7; ref++ {
+		for _, a := range c.StableAddrs(ref, 3) {
+			weeklyStable[a] = true
+		}
+	}
+
+	// Classify every EUI-64 address seen in the week.
+	stableIIDs := make(map[uint64]bool)
+	iidAddrs := make(map[uint64]map[ipaddr.Addr]bool)
+	notStable := make(map[ipaddr.Addr]uint64) // addr -> iid
+	for d := epoch; d < epoch+7; d++ {
+		for _, a := range c.AddrsActiveOn(d) {
+			if !addrclass.IsEUI64(a) {
+				continue
+			}
+			iid := a.IID()
+			m := iidAddrs[iid]
+			if m == nil {
+				m = make(map[ipaddr.Addr]bool)
+				iidAddrs[iid] = m
+			}
+			m[a] = true
+			if weeklyStable[a] {
+				stableIIDs[iid] = true
+				delete(notStable, a)
+			} else {
+				notStable[a] = iid
+			}
+		}
+	}
+	res := EUI64ChurnResult{NotStableEUI64: len(notStable)}
+	if len(notStable) == 0 {
+		return res
+	}
+	multi, also := 0, 0
+	for _, iid := range notStable {
+		if len(iidAddrs[iid]) > 1 {
+			multi++
+		}
+		if stableIIDs[iid] {
+			also++
+		}
+	}
+	res.MultiAddrIIDPct = 100 * float64(multi) / float64(len(notStable))
+	res.AlsoStableIIDPct = 100 * float64(also) / float64(len(notStable))
+	return res
+}
+
+// Render summarizes the churn analysis.
+func (r EUI64ChurnResult) Render() string {
+	return fmt.Sprintf(
+		"EUI-64 churn (Sec 6.1.1): %d not-3d-stable EUI-64 addresses\n"+
+			"  IID appears in >1 address:      %.0f%% (paper: 62%%)\n"+
+			"  IID also in a 3d-stable address: %.0f%% (paper: 14%%)\n",
+		r.NotStableEUI64, r.MultiAddrIIDPct, r.AlsoStableIIDPct)
+}
+
+// LSPResult reproduces the Section 7.2 future-work proposal: automatically
+// discovered longest stable prefixes across the two final epochs.
+type LSPResult struct {
+	Prefixes []core.LongestStablePrefix
+	// ByLength tallies discovered prefixes by length bucket.
+	ByLength map[int]int
+}
+
+// LongestStablePrefixes discovers stable network identifiers between the
+// September and March epoch weeks.
+func LongestStablePrefixes(l *Lab) LSPResult {
+	c := l.Census(
+		[2]int{synth.EpochSep2014, synth.EpochSep2014 + 6},
+		[2]int{synth.EpochMar2015, synth.EpochMar2015 + 6},
+	)
+	got := c.LongestStablePrefixes(
+		synth.EpochSep2014, synth.EpochSep2014+6,
+		synth.EpochMar2015, synth.EpochMar2015+6,
+		32, 4,
+	)
+	res := LSPResult{Prefixes: got, ByLength: make(map[int]int)}
+	for _, p := range got {
+		res.ByLength[p.Prefix.Bits()/16*16]++
+	}
+	return res
+}
+
+// Render summarizes the discovered prefixes.
+func (r LSPResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Longest stable prefixes (Sec 7.2): %d discovered\n", len(r.Prefixes))
+	for _, bucket := range []int{32, 48, 64, 80, 96, 112} {
+		if n := r.ByLength[bucket]; n > 0 {
+			fmt.Fprintf(&b, "  /%d-/%d: %d\n", bucket, bucket+15, n)
+		}
+	}
+	show := r.Prefixes
+	if len(show) > 10 {
+		show = show[:10]
+	}
+	for _, p := range show {
+		fmt.Fprintf(&b, "  %v (support %d)\n", p.Prefix, p.Support)
+	}
+	return b.String()
+}

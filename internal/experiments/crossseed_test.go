@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"v6class/internal/core"
+	"v6class/internal/synth"
+)
+
+// TestInvariantsAcrossSeeds guards against overfitting the reproduction to
+// one random world: the paper's headline orderings must hold for any seed.
+func TestInvariantsAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{11, 23, 99} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			l := NewLab(synth.Config{Seed: seed, Scale: 0.03})
+			ref := synth.EpochMar2015
+			c := l.Census([2]int{ref - 7, ref + 7})
+
+			// /64 stability >> address stability.
+			a := c.Stability(core.Addresses, ref, 3)
+			p := c.Stability(core.Prefixes64, ref, 3)
+			if a.Active == 0 || p.Active == 0 {
+				t.Fatal("empty world")
+			}
+			aFrac := float64(a.Stable) / float64(a.Active)
+			pFrac := float64(p.Stable) / float64(p.Active)
+			if pFrac <= aFrac {
+				t.Errorf("seed %d: /64 stability %v <= addr stability %v", seed, pFrac, aFrac)
+			}
+			if aFrac < 0.02 || aFrac > 0.5 {
+				t.Errorf("seed %d: addr 3d-stable fraction %v outside paper band", seed, aFrac)
+			}
+
+			// Router discovery: stable targets win.
+			d := RouterDiscovery(l)
+			if d.PctMore <= 0 {
+				t.Errorf("seed %d: discovery gain %+.0f%%", seed, d.PctMore)
+			}
+
+			// Dense prefixes exist and the PTR sweep finds extra names.
+			ptr := PTRHarvest(l)
+			if ptr.DensePrefixes == 0 || ptr.AdditionalName <= 0 {
+				t.Errorf("seed %d: ptr harvest = %+v", seed, ptr)
+			}
+
+			// Highlights: mobile /64 reuse within a week.
+			h := Highlights(l)
+			if h.ReusedMobile64Share < 0.3 {
+				t.Errorf("seed %d: mobile reuse %v", seed, h.ReusedMobile64Share)
+			}
+		})
+	}
+}

@@ -1,0 +1,509 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"v6class/internal/spatial"
+	"v6class/internal/stats"
+	"v6class/internal/synth"
+)
+
+// labCache shares one small lab across tests; experiments only read from it.
+var labCache *Lab
+
+func lab(t *testing.T) *Lab {
+	t.Helper()
+	if labCache == nil {
+		labCache = NewLab(synth.Config{Seed: 7, Scale: 0.1})
+	}
+	return labCache
+}
+
+func TestTable1ShapesMatchPaper(t *testing.T) {
+	r := Table1(lab(t))
+	if len(r.Daily) != 3 || len(r.Weekly) != 3 {
+		t.Fatalf("columns: %d daily, %d weekly", len(r.Daily), len(r.Weekly))
+	}
+	for i, c := range r.Daily {
+		if c.Total == 0 {
+			t.Fatalf("daily column %d empty", i)
+		}
+		// Native transport dominates.
+		if frac := float64(c.Other) / float64(c.Total); frac < 0.8 {
+			t.Errorf("col %d: native fraction %v", i, frac)
+		}
+		// Weekly counts exceed daily counts (privacy churn).
+		if r.Weekly[i].Total <= c.Total {
+			t.Errorf("col %d: weekly %d <= daily %d", i, r.Weekly[i].Total, c.Total)
+		}
+		// Avg addresses per /64 in a plausible band (paper: 2.4-5.9).
+		if c.AvgPer < 1 || c.AvgPer > 10 {
+			t.Errorf("col %d: avg per /64 = %v", i, c.AvgPer)
+		}
+		// Weekly avg per /64 exceeds daily (paper: 2.63 vs 5.88).
+		if r.Weekly[i].AvgPer <= c.AvgPer {
+			t.Errorf("col %d: weekly avg %v <= daily %v", i, r.Weekly[i].AvgPer, c.AvgPer)
+		}
+		// MAC count does not exceed EUI-64 address count.
+		if c.MACs > c.EUI64 {
+			t.Errorf("col %d: MACs %d > EUI64 %d", i, c.MACs, c.EUI64)
+		}
+	}
+	// Growth across the year.
+	if r.Daily[2].Total <= r.Daily[0].Total {
+		t.Error("population should grow across epochs")
+	}
+	out := r.Render()
+	for _, want := range []string{"Teredo addresses", "6to4 addresses", "ave. addrs per /64", "EUI-64 IIDs (MACs)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2ShapesMatchPaper(t *testing.T) {
+	r := Table2(lab(t))
+	if len(r.AddrDaily) != 3 || len(r.P64Daily) != 3 || len(r.AddrWeekly) != 3 || len(r.P64Weekly) != 3 {
+		t.Fatal("missing columns")
+	}
+	for i := range r.AddrDaily {
+		a, p := r.AddrDaily[i], r.P64Daily[i]
+		if a.Stable3d.Of == 0 || p.Stable3d.Of == 0 {
+			t.Fatalf("column %d empty", i)
+		}
+		addrFrac := float64(a.Stable3d.Count) / float64(a.Stable3d.Of)
+		p64Frac := float64(p.Stable3d.Count) / float64(p.Stable3d.Of)
+		// The paper's headline: /64s are far stabler than addresses
+		// (89.8% vs 9.44% daily).
+		if p64Frac <= addrFrac {
+			t.Errorf("col %d: /64 stability %v <= addr stability %v", i, p64Frac, addrFrac)
+		}
+		if addrFrac > 0.5 {
+			t.Errorf("col %d: addr 3d-stable fraction %v too high", i, addrFrac)
+		}
+		if p64Frac < 0.3 {
+			t.Errorf("col %d: /64 3d-stable fraction %v too low", i, p64Frac)
+		}
+		// Partition: stable + not = active.
+		if a.Stable3d.Count+a.Not3d.Count != a.Stable3d.Of {
+			t.Errorf("col %d: daily partition broken", i)
+		}
+	}
+	// 6m-stable present from the second epoch; 1y-stable only at the last.
+	if r.AddrDaily[0].Stable6m.Count != 0 || r.AddrDaily[1].Stable6m.Count == 0 {
+		t.Error("6m-stable column placement wrong")
+	}
+	if r.AddrDaily[2].Stable1y.Count == 0 {
+		t.Error("1y-stable missing at final epoch")
+	}
+	// Weekly address stability is lower than daily in relative terms
+	// (papers: 3.82% weekly vs 9.44% daily) because the base is much
+	// larger.
+	aD := r.AddrDaily[2]
+	aW := r.AddrWeekly[2]
+	if float64(aW.Stable3d.Count)/float64(aW.Stable3d.Of) >= float64(aD.Stable3d.Count)/float64(aD.Stable3d.Of) {
+		t.Error("weekly stable fraction should be below daily")
+	}
+	// 1y-stable /64 count far exceeds 1y-stable address count.
+	if r.P64Weekly[2].Stable1y.Count <= r.AddrWeekly[2].Stable1y.Count {
+		t.Error("1y-stable /64s should exceed 1y-stable addresses")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Table 2a") || !strings.Contains(out, "1y-stable (-1y)") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable3ShapesMatchPaper(t *testing.T) {
+	r := Table3(lab(t))
+	if r.RouterAddrs < 100 {
+		t.Fatalf("router dataset = %d", r.RouterAddrs)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if row.CoveredAddresses > uint64(r.RouterAddrs) {
+			t.Errorf("row %d covers more addresses than exist", i)
+		}
+		if len(row.Prefixes) > 0 && row.Density() <= 0 {
+			t.Errorf("row %d density = %v", i, row.Density())
+		}
+	}
+	// Within the /112 family, larger n gives fewer (or equal) dense
+	// prefixes — rows 4..9 are 64,32,16,8,4,2 @ /112.
+	for i := 4; i < 9; i++ {
+		if len(r.Rows[i].Prefixes) > len(r.Rows[i+1].Prefixes) {
+			t.Errorf("n@/112 monotonicity broken at row %d", i)
+		}
+	}
+	// Density decreases as the prefix widens at fixed n=2 (rows 9,10,11:
+	// /112, /108, /104), as in the paper.
+	if r.Rows[9].Density() < r.Rows[10].Density() || r.Rows[10].Density() < r.Rows[11].Density() {
+		t.Error("density should fall with wider prefixes")
+	}
+	// Dense prefixes exist at the classic 2@/112 class.
+	if len(r.Rows[9].Prefixes) == 0 {
+		t.Error("no 2@/112-dense prefixes found")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "2 @ /112") || !strings.Contains(out, "Possible Addresses") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure2Contrast(t *testing.T) {
+	r := Figure2(lab(t))
+	// Dept: DHCP addresses packed in the low bits, so the 112-128 16-bit
+	// segment carries heavy aggregation; the university's random privacy
+	// IIDs leave it near 1.
+	uniSeg := seg16Ratio(r.University, 112)
+	denseSeg := seg16Ratio(r.DensePack, 112)
+	if denseSeg < 4 {
+		t.Errorf("dense network 112-128 segment ratio = %v, want large", denseSeg)
+	}
+	if denseSeg <= uniSeg {
+		t.Errorf("dense segment ratio (%v) should exceed university (%v)", denseSeg, uniSeg)
+	}
+	// University: structured subnetting means the 32-48 segment splits
+	// into a limited number of values, far fewer than the 16-bit maximum.
+	uni32 := seg16Ratio(r.University, 32)
+	if uni32 <= 1 || uni32 > 16384 {
+		t.Errorf("university 32-48 segment ratio = %v", uni32)
+	}
+	if !strings.Contains(r.Render(), "Fig 2a") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure3CurvesMatchPaperShape(t *testing.T) {
+	r := Figure3(lab(t))
+	if len(r.Curves) != 5 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	for _, c := range r.Curves {
+		if len(c.CCDF) == 0 {
+			t.Fatalf("curve %q empty", c.Label)
+		}
+		if c.CCDF[0].Proportion != 1 {
+			t.Errorf("curve %q should start at 1", c.Label)
+		}
+	}
+	// The 112-agg curve must fall off far faster than the 32-agg curve: a
+	// tiny share of /112s hold 10+ addresses vs a large share of /32s.
+	agg32 := ccdfAt(r.Curves[0].CCDF, 10)
+	agg112 := ccdfAt(r.Curves[4].CCDF, 10)
+	if agg112 >= agg32 {
+		t.Errorf("112-agg P(pop>=10) %v should be far below 32-agg %v", agg112, agg32)
+	}
+	if !strings.Contains(r.Render(), "112-agg") {
+		t.Error("render incomplete")
+	}
+}
+
+func ccdfAt(c []stats.CCDFPoint, v float64) float64 {
+	return stats.CCDFAt(c, v)
+}
+
+// fmtSscan parses a "p\tk\tratio" data row.
+func fmtSscan(line string, pp, k *int, r *float64) (int, error) {
+	return fmt.Sscanf(line, "%d\t%d\t%g", pp, k, r)
+}
+
+func TestFigure4StepwiseOverlap(t *testing.T) {
+	r := Figure4(lab(t))
+	if len(r.Days) != 21 {
+		t.Fatalf("window = %d days", len(r.Days))
+	}
+	// The overlap at the reference day equals that day's active count.
+	refIdx := 7
+	if r.Addr1[refIdx] != r.ActiveAddrs[refIdx] {
+		t.Errorf("ref overlap %d != active %d", r.Addr1[refIdx], r.ActiveAddrs[refIdx])
+	}
+	// Overlap falls moving away from the reference day (paper's stepwise
+	// decline), comparing day 1 away vs 5 away.
+	if r.Addr1[refIdx-1] <= r.Addr1[refIdx-5] {
+		t.Errorf("overlap should decay with distance: 1-away %d, 5-away %d",
+			r.Addr1[refIdx-1], r.Addr1[refIdx-5])
+	}
+	// /64 overlap declines far more slowly than address overlap.
+	addrDecay := float64(r.Addr1[refIdx-1]) / float64(r.Addr1[refIdx])
+	p64Decay := float64(r.P641[refIdx-1]) / float64(r.P641[refIdx])
+	if p64Decay <= addrDecay {
+		t.Errorf("/64 overlap decay %v should exceed addr decay %v", p64Decay, addrDecay)
+	}
+	if !strings.Contains(r.Render(), "Figure 4") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure5aDominance(t *testing.T) {
+	r := Figure5a(lab(t))
+	if r.ASNs < 20 {
+		t.Fatalf("ASNs = %d", r.ASNs)
+	}
+	// The paper: top 5 ASNs hold 59% of addresses, 85% of /64s; accept a
+	// broad band around dominance.
+	if r.Top5AddrShare < 0.35 {
+		t.Errorf("top-5 address share = %v", r.Top5AddrShare)
+	}
+	if r.Top5P64Share < 0.35 {
+		t.Errorf("top-5 /64 share = %v", r.Top5P64Share)
+	}
+	if len(r.Stable64PerASN) == 0 {
+		t.Error("no 6m-stable /64 curve")
+	}
+	if !strings.Contains(r.Render(), "per-ASN") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure5bSegments(t *testing.T) {
+	r := Figure5b(lab(t))
+	if r.Prefixes < 20 {
+		t.Fatalf("prefixes = %d", r.Prefixes)
+	}
+	// Paper: most aggregation happens between bits 32 and 80; the
+	// median ratio of segment 48-64 or 64-80 should dominate segment
+	// 0-16 (which is inside every BGP prefix, hence ratio 1).
+	if r.Boxes[0].Median > r.Boxes[3].Median {
+		t.Errorf("segment 0-16 median %v should not exceed 48-64 median %v",
+			r.Boxes[0].Median, r.Boxes[3].Median)
+	}
+	// The 64-80 segment (privacy IIDs) should show strong aggregation.
+	if r.Boxes[4].Median < 2 {
+		t.Errorf("segment 64-80 median = %v, want > 2", r.Boxes[4].Median)
+	}
+	if !strings.Contains(r.Render(), "16-bit segment") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure5PlotsSignatures(t *testing.T) {
+	r := Figure5Plots(lab(t))
+	// 5e US mobile: dense pool utilization in bits 44-64 => the 48-64
+	// 16-bit segment ratio is large.
+	mobile48 := seg16Ratio(r.USMobile, 48)
+	if mobile48 < 8 {
+		t.Errorf("mobile 48-64 segment ratio = %v, want large (dense pools)", mobile48)
+	}
+	// 5h JP ISP: one active /64 per /48 => 48-64 segment ratio near 1.
+	jp48 := seg16Ratio(r.JPISP, 48)
+	if jp48 > 2 {
+		t.Errorf("JP 48-64 segment ratio = %v, want ~1 (no aggregation)", jp48)
+	}
+	// 5g dept: aggregation concentrated at 112-128.
+	dept112 := seg16Ratio(r.Dept, 112)
+	if dept112 < 8 {
+		t.Errorf("dept 112-128 segment ratio = %v, want large", dept112)
+	}
+	// 5d 6to4: the embedded IPv4 bits 16-48 dominate.
+	sixToF16 := seg16Ratio(r.SixToF, 16)
+	if sixToF16 < 4 {
+		t.Errorf("6to4 16-32 segment ratio = %v, want large", sixToF16)
+	}
+	if !strings.Contains(r.Render(), "Fig 5c") {
+		t.Error("render incomplete")
+	}
+}
+
+// seg16Ratio extracts the 16-bit-segment ratio at p from a plot's data rows.
+func seg16Ratio(p interface{ DataRows() string }, at int) float64 {
+	var ratio float64
+	for _, line := range strings.Split(p.DataRows(), "\n") {
+		var pp, k int
+		var r float64
+		if n, _ := fmtSscan(line, &pp, &k, &r); n == 3 && k == 16 && pp == at {
+			ratio = r
+		}
+	}
+	return ratio
+}
+
+func TestRouterDiscoveryStableWins(t *testing.T) {
+	r := RouterDiscovery(lab(t))
+	if r.BaselineRouters == 0 || r.StableRouters == 0 {
+		t.Fatalf("empty discovery: %+v", r)
+	}
+	// The paper's effect: stable targets discover substantially more
+	// routers (+129% at paper scale; attenuated here because the shared
+	// infrastructure base is proportionally larger in a small world).
+	if r.PctMore < 15 {
+		t.Errorf("stable strategy gained only %+.0f%%", r.PctMore)
+	}
+	if !strings.Contains(r.Render(), "3d-stable strategy") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestPTRHarvestFindsExtraNames(t *testing.T) {
+	r := PTRHarvest(lab(t))
+	if r.DensePrefixes == 0 {
+		t.Fatal("no dense prefixes to sweep")
+	}
+	if r.AdditionalName <= 0 {
+		t.Errorf("sweep found no additional names: %+v", r)
+	}
+	if !strings.Contains(r.Render(), "additional") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestEUI64ChurnShape(t *testing.T) {
+	r := EUI64Churn(lab(t))
+	if r.NotStableEUI64 == 0 {
+		t.Fatal("no not-3d-stable EUI-64 addresses")
+	}
+	// A substantial share of unstable EUI-64 IIDs recur under other
+	// network identifiers (paper: 62%).
+	if r.MultiAddrIIDPct < 10 {
+		t.Errorf("multi-address IID share = %v%%", r.MultiAddrIIDPct)
+	}
+	if r.AlsoStableIIDPct < 0 || r.AlsoStableIIDPct > 100 {
+		t.Errorf("also-stable share = %v%%", r.AlsoStableIIDPct)
+	}
+	if !strings.Contains(r.Render(), "EUI-64 churn") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestLongestStablePrefixes(t *testing.T) {
+	r := LongestStablePrefixes(lab(t))
+	if len(r.Prefixes) == 0 {
+		t.Fatal("no stable prefixes discovered")
+	}
+	// The static ISPs and mobile pools should surface stable prefixes at
+	// /48-or-longer granularity.
+	deep := 0
+	for _, p := range r.Prefixes {
+		if p.Prefix.Bits() >= 48 {
+			deep++
+		}
+	}
+	if deep == 0 {
+		t.Error("no deep stable prefixes found")
+	}
+	if !strings.Contains(r.Render(), "Longest stable prefixes") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSignatureCensus(t *testing.T) {
+	r := SignatureCensus(lab(t))
+	if r.Prefixes < 20 {
+		t.Fatalf("prefixes = %d", r.Prefixes)
+	}
+	// The world contains all the shapes: privacy ISPs, mobile pools, and
+	// the dense department must each be recognized somewhere.
+	if r.BySignature[spatial.SigPrivacySparse] == 0 {
+		t.Error("no privacy-sparse prefixes found")
+	}
+	if r.BySignature[spatial.SigDensePacked] == 0 {
+		t.Error("no dense-packed prefixes found")
+	}
+	total := 0
+	for _, n := range r.BySignature {
+		total += n
+	}
+	if total != r.Prefixes {
+		t.Errorf("tallies sum to %d, want %d", total, r.Prefixes)
+	}
+	if !strings.Contains(r.Render(), "signature census") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestHighlights(t *testing.T) {
+	r := Highlights(lab(t))
+	// Dominance of the top-5 ASNs (paper: 85% of /64s, 59% of addrs).
+	if r.Top5AddrShare < 0.35 || r.Top5AddrShare > 1 {
+		t.Errorf("top-5 addr share = %v", r.Top5AddrShare)
+	}
+	if r.Top5P64Share < 0.35 || r.Top5P64Share > 1 {
+		t.Errorf("top-5 /64 share = %v", r.Top5P64Share)
+	}
+	// A single ASN dominates the 6m-stable /64s (paper: 74%).
+	if r.OneASNStable64Share < 0.2 {
+		t.Errorf("one-ASN stable-64 share = %v", r.OneASNStable64Share)
+	}
+	// Mobile /64s are reused within the week (paper's key observation).
+	if r.ReusedMobile64Share < 0.5 {
+		t.Errorf("mobile reuse share = %v", r.ReusedMobile64Share)
+	}
+	// Dense client regions exist in a substantial share of ASNs.
+	if r.DenseASNShare <= 0 || r.DenseASNShare > 1 {
+		t.Errorf("dense ASN share = %v", r.DenseASNShare)
+	}
+	if !strings.Contains(r.Render(), "highlights") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	r := Growth(lab(t))
+	if len(r.Epochs) != 3 {
+		t.Fatalf("epochs = %v", r.Epochs)
+	}
+	// ASNs and addresses grow across the study (the paper's 3,842 ->
+	// 4,420 ASNs and near-doubling of addresses).
+	if r.ASNs[2] <= r.ASNs[0] {
+		t.Errorf("ASNs should grow: %v", r.ASNs)
+	}
+	if r.Addresses[2] <= r.Addresses[0] {
+		t.Errorf("addresses should grow: %v", r.Addresses)
+	}
+	if r.Countries[0] < 5 {
+		t.Errorf("countries = %v", r.Countries)
+	}
+	if !strings.Contains(r.Render(), "Deployment growth") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestWindowSweep(t *testing.T) {
+	r := WindowSweep(lab(t))
+	if r.Active == 0 || len(r.Spectrum) != 7 {
+		t.Fatalf("sweep = %+v", r)
+	}
+	// Monotone: nd-stable implies (n-1)d-stable.
+	for i := 1; i < len(r.Spectrum); i++ {
+		if r.Spectrum[i] > r.Spectrum[i-1] {
+			t.Errorf("spectrum not monotone at n=%d: %v", i+1, r.Spectrum)
+		}
+	}
+	// Wider windows find at least as many stable addresses.
+	if r.ByWindow[7] < r.ByWindow[3] || r.ByWindow[3] < r.ByWindow[1] {
+		t.Errorf("window monotonicity broken: %v", r.ByWindow)
+	}
+	if !strings.Contains(r.Render(), "parameter sweep") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	r := Lifetimes(lab(t))
+	if r.Addrs.Keys == 0 || r.P64s.Keys == 0 {
+		t.Fatal("empty lifetime stats")
+	}
+	// The paper's motivation: most addresses are short-lived; /64s are
+	// far less ephemeral.
+	if r.Addrs.SingleDayShare() < 0.3 {
+		t.Errorf("single-day address share = %v, want majority-ish", r.Addrs.SingleDayShare())
+	}
+	if r.P64s.SingleDayShare() >= r.Addrs.SingleDayShare() {
+		t.Errorf("/64 single-day share %v should be below address share %v",
+			r.P64s.SingleDayShare(), r.Addrs.SingleDayShare())
+	}
+	// Return probability decays for addresses and stays high for /64s.
+	if r.AddrReturn[1] <= r.AddrReturn[5] {
+		t.Errorf("address return probability should decay: %v", r.AddrReturn)
+	}
+	if r.P64Return[1] < r.AddrReturn[1] {
+		t.Errorf("/64 return probability %v below address %v", r.P64Return[1], r.AddrReturn[1])
+	}
+	if !strings.Contains(r.Render(), "lifetimes") {
+		t.Error("render incomplete")
+	}
+}

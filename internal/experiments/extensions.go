@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/bgp"
+	"v6class/internal/cdnlog"
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+)
+
+// SignatureCensusResult is the MRA-based classification of every active BGP
+// prefix — the future work the paper defers at the end of Section 5.2.1,
+// here applied in situ like the other classifiers.
+type SignatureCensusResult struct {
+	Prefixes int
+	// BySignature tallies prefixes per spatial signature.
+	BySignature map[spatial.Signature]int
+	// Examples maps each signature to a few example prefixes.
+	Examples map[spatial.Signature][]ipaddr.Prefix
+}
+
+// SignatureCensus classifies every BGP prefix's weekly population by MRA
+// signature.
+func SignatureCensus(l *Lab) SignatureCensusResult {
+	week := l.WeekAddrs(synth.EpochMar2015)
+	sets := map[ipaddr.Prefix]*spatial.AddressSet{}
+	for _, log := range week {
+		for _, r := range log.Records {
+			o, ok := l.World.Table.Lookup(r.Addr)
+			if !ok {
+				continue
+			}
+			s := sets[o.Prefix]
+			if s == nil {
+				s = &spatial.AddressSet{}
+				sets[o.Prefix] = s
+			}
+			s.Add(r.Addr)
+		}
+	}
+	res := SignatureCensusResult{
+		Prefixes:    len(sets),
+		BySignature: make(map[spatial.Signature]int),
+		Examples:    make(map[spatial.Signature][]ipaddr.Prefix),
+	}
+	// Deterministic order for examples.
+	prefixes := make([]ipaddr.Prefix, 0, len(sets))
+	for p := range sets {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Cmp(prefixes[j]) < 0 })
+	for _, p := range prefixes {
+		sig := spatial.ClassifySignature(sets[p].MRA())
+		res.BySignature[sig]++
+		if len(res.Examples[sig]) < 3 {
+			res.Examples[sig] = append(res.Examples[sig], p)
+		}
+	}
+	return res
+}
+
+// Render prints the tally with example prefixes.
+func (r SignatureCensusResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MRA signature census (Sec 5.2.1 future work): %d active BGP prefixes\n", r.Prefixes)
+	for sig := spatial.SigEmpty; sig <= spatial.SigEmbeddedIPv4; sig++ {
+		n := r.BySignature[sig]
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-18s %4d", sig, n)
+		for _, p := range r.Examples[sig] {
+			fmt.Fprintf(&b, "  %v", p)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HighlightsResult reproduces the bulleted measurement highlights of the
+// paper's introduction (Section 1) that are not already covered by a table:
+// top-ASN dominance, the one-ASN share of six-month-stable /64s, /64 reuse,
+// and the dense-region share of ASNs.
+type HighlightsResult struct {
+	// Top5P64Share: "the top 5 ASNs represent 85% of active /64s".
+	Top5P64Share float64
+	// Top5AddrShare: "... and 59% of all active addresses".
+	Top5AddrShare float64
+	// OneASNStable64Share: "74% of the /64s observed as active during two
+	// weeks separated by 6 months are associated with just 1 ASN".
+	OneASNStable64Share float64
+	// ReusedMobile64Share is the fraction of one day's mobile /64s that
+	// appear again within a week under a different fixed-IID address —
+	// the "/64s are reused, certainly within a week" bullet.
+	ReusedMobile64Share float64
+	// DenseASNShare: "49% of active IPv6 ASNs have BGP prefixes
+	// containing [dense] regions, e.g. /112 prefixes containing multiple
+	// active WWW client addresses".
+	DenseASNShare float64
+}
+
+// Highlights computes the Section 1 headline figures over the final epoch.
+func Highlights(l *Lab) HighlightsResult {
+	week := l.WeekAddrs(synth.EpochMar2015)
+	prevWeek := l.WeekAddrs(synth.EpochSep2014)
+	var res HighlightsResult
+
+	// Per-ASN address and /64 tallies (native only).
+	type tally struct {
+		addrs uint64
+		p64s  map[ipaddr.Prefix]bool
+		set   *spatial.AddressSet
+	}
+	byASN := map[bgp.ASN]*tally{}
+	for _, a := range cdnlog.UniqueAddrs(week) {
+		if addrclass.Classify(a).IsTransition() {
+			continue
+		}
+		o, ok := l.World.Table.Lookup(a)
+		if !ok {
+			continue
+		}
+		t := byASN[o.ASN]
+		if t == nil {
+			t = &tally{p64s: make(map[ipaddr.Prefix]bool), set: &spatial.AddressSet{}}
+			byASN[o.ASN] = t
+		}
+		t.addrs++
+		t.p64s[ipaddr.PrefixFrom(a, 64)] = true
+		t.set.Add(a)
+	}
+	var totalAddrs, total64 uint64
+	type cnt struct{ a, p uint64 }
+	var counts []cnt
+	denseASNs := 0
+	for _, t := range byASN {
+		counts = append(counts, cnt{t.addrs, uint64(len(t.p64s))})
+		totalAddrs += t.addrs
+		total64 += uint64(len(t.p64s))
+		if len(t.set.DenseFixed(spatial.DensityClass{N: 2, P: 112}).Prefixes) > 0 {
+			denseASNs++
+		}
+	}
+	if len(byASN) > 0 {
+		res.DenseASNShare = float64(denseASNs) / float64(len(byASN))
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i].a > counts[j].a })
+	var a5 uint64
+	for i := 0; i < len(counts) && i < 5; i++ {
+		a5 += counts[i].a
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i].p > counts[j].p })
+	var p5 uint64
+	for i := 0; i < len(counts) && i < 5; i++ {
+		p5 += counts[i].p
+	}
+	if totalAddrs > 0 {
+		res.Top5AddrShare = float64(a5) / float64(totalAddrs)
+	}
+	if total64 > 0 {
+		res.Top5P64Share = float64(p5) / float64(total64)
+	}
+
+	// Six-month-stable /64s by ASN: the one-ASN share.
+	prev64 := map[ipaddr.Prefix]bool{}
+	for _, a := range cdnlog.UniqueAddrs(prevWeek) {
+		if !addrclass.Classify(a).IsTransition() {
+			prev64[ipaddr.PrefixFrom(a, 64)] = true
+		}
+	}
+	stableByASN := map[bgp.ASN]uint64{}
+	var stableTotal uint64
+	for asn, t := range byASN {
+		for p := range t.p64s {
+			if prev64[p] {
+				stableByASN[asn]++
+				stableTotal++
+			}
+		}
+	}
+	var stableMax uint64
+	for _, n := range stableByASN {
+		if n > stableMax {
+			stableMax = n
+		}
+	}
+	if stableTotal > 0 {
+		res.OneASNStable64Share = float64(stableMax) / float64(stableTotal)
+	}
+
+	// Mobile /64 reuse within a week: of the /64s a mobile carrier used
+	// on the first day, how many recur later in the week under a
+	// different address (a different subscriber's device)?
+	mobile, _ := l.World.OperatorByName("us-mobile-1")
+	day0 := map[ipaddr.Prefix]ipaddr.Addr{}
+	for _, r := range week[0].Records {
+		if o, ok := l.World.Table.Lookup(r.Addr); ok && o.ASN == mobile.ASN {
+			day0[ipaddr.PrefixFrom(r.Addr, 64)] = r.Addr
+		}
+	}
+	reused := map[ipaddr.Prefix]bool{}
+	for _, log := range week[1:] {
+		for _, r := range log.Records {
+			p64 := ipaddr.PrefixFrom(r.Addr, 64)
+			if first, ok := day0[p64]; ok && first != r.Addr {
+				reused[p64] = true
+			}
+		}
+	}
+	if len(day0) > 0 {
+		res.ReusedMobile64Share = float64(len(reused)) / float64(len(day0))
+	}
+	return res
+}
+
+// Render prints the highlight bullets with the paper's figures alongside.
+func (r HighlightsResult) Render() string {
+	return fmt.Sprintf(
+		"Section 1 highlights:\n"+
+			"  top-5 ASNs: %.0f%% of active /64s (paper: 85%%), %.0f%% of addresses (paper: 59%%)\n"+
+			"  6m-stable /64s in one ASN: %.0f%% (paper: 74%%)\n"+
+			"  mobile /64s reused within a week: %.0f%% (paper: \"certainly within a week\")\n"+
+			"  ASNs with 2@/112-dense client regions: %.0f%% (paper: 49%%)\n",
+		100*r.Top5P64Share, 100*r.Top5AddrShare,
+		100*r.OneASNStable64Share, 100*r.ReusedMobile64Share, 100*r.DenseASNShare)
+}

@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"v6class/internal/ccdfplot"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/bgp"
+	"v6class/internal/core"
+	"v6class/internal/ipaddr"
+	"v6class/internal/mraplot"
+	"v6class/internal/netmodel"
+	"v6class/internal/spatial"
+	"v6class/internal/stats"
+	"v6class/internal/synth"
+)
+
+// Figure2Result holds the two contrasting MRA plots of Figure 2: a
+// university whose structured plan uses few nybble values below its /32,
+// and a network with tightly packed low-bit addresses.
+type Figure2Result struct {
+	University mraplot.Plot // Figure 2a
+	DensePack  mraplot.Plot // Figure 2b
+}
+
+// Figure2 regenerates Figure 2 over one epoch week.
+func Figure2(l *Lab) Figure2Result {
+	week := l.WeekAddrs(synth.EpochMar2015)
+	var uni, dense spatial.AddressSet
+	uniOp, _ := l.World.OperatorByName("us-university")
+	denseOp, _ := l.World.OperatorByName("eu-univ-dept")
+	for _, log := range week {
+		for _, r := range log.Records {
+			switch o, ok := l.World.Table.Lookup(r.Addr); {
+			case !ok:
+			case o.ASN == uniOp.ASN:
+				uni.Add(r.Addr)
+			case o.ASN == denseOp.ASN:
+				dense.Add(r.Addr)
+			}
+		}
+	}
+	return Figure2Result{
+		University: mraplot.New(fmt.Sprintf("Fig 2a: US university, %d addrs", uni.Len()), uni.MRA()),
+		DensePack:  mraplot.New(fmt.Sprintf("Fig 2b: dense low-bit network, %d addrs", dense.Len()), dense.MRA()),
+	}
+}
+
+// Render prints both plots as ASCII charts.
+func (r Figure2Result) Render() string {
+	return r.University.ASCII() + "\n" + r.DensePack.ASCII()
+}
+
+// Figure3Curve is one aggregate-population CCDF curve.
+type Figure3Curve struct {
+	Label string
+	CCDF  []stats.CCDFPoint
+}
+
+// Figure3Result reproduces Figure 3: aggregate population distributions of
+// addresses and /64s over a week.
+type Figure3Result struct {
+	Addrs  int
+	P64s   int
+	Curves []Figure3Curve
+}
+
+// Figure3 regenerates the paper's Figure 3 over the last epoch week.
+func Figure3(l *Lab) Figure3Result {
+	c := l.Census([2]int{synth.EpochMar2015, synth.EpochMar2015 + 6})
+	days := make([]int, 7)
+	for i := range days {
+		days[i] = synth.EpochMar2015 + i
+	}
+	addrSet := c.NativeSet(days...)
+	p64Set := c.Prefix64Set(days...)
+	res := Figure3Result{Addrs: addrSet.Len(), P64s: p64Set.Len()}
+	add := func(label string, set *spatial.AddressSet, p int) {
+		pops := set.AggregatePopulations(p)
+		res.Curves = append(res.Curves, Figure3Curve{
+			Label: label,
+			CCDF:  stats.CCDF(stats.Counts(pops)),
+		})
+	}
+	add("32-agg. of IPv6 addrs", addrSet, 32)
+	add("32-agg. of /64s", p64Set, 32)
+	add("48-agg. of IPv6 addrs", addrSet, 48)
+	add("48-agg. of /64s", p64Set, 48)
+	add("112-agg. of IPv6 addrs", addrSet, 112)
+	return res
+}
+
+// Plot assembles the curves into a renderable log-log CCDF chart.
+func (r Figure3Result) Plot() ccdfplot.Plot {
+	p := ccdfplot.Plot{
+		Title: fmt.Sprintf("Figure 3: aggregate populations (%s addrs, %s /64s)",
+			fmtCount(uint64(r.Addrs)), fmtCount(uint64(r.P64s))),
+		XLabel: "Aggregate Population, log scale",
+	}
+	for _, c := range r.Curves {
+		p.Series = append(p.Series, ccdfplot.Series{Label: c.Label, Points: c.CCDF})
+	}
+	return p
+}
+
+// Render prints the log-log chart plus each curve at log-spaced values.
+func (r Figure3Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Plot().ASCII())
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "%s:\n", c.Label)
+		if len(c.CCDF) == 0 {
+			b.WriteString("  (empty)\n")
+			continue
+		}
+		max := c.CCDF[len(c.CCDF)-1].Value
+		for _, v := range stats.LogBuckets(max) {
+			fmt.Fprintf(&b, "  pop >= %-9.0f  proportion %.2e\n", v, stats.CCDFAt(c.CCDF, v))
+		}
+	}
+	return b.String()
+}
+
+// Figure4Result reproduces Figure 4: per-day active counts and the overlap
+// with two reference days, for addresses (a) and /64s (b).
+type Figure4Result struct {
+	Days       []int // absolute study days of the window
+	Ref1, Ref2 int
+	// ActiveAddrs[i] is the active address count on Days[i]; Overlap1/2
+	// are the subsets also active on the reference days.
+	ActiveAddrs, Addr1, Addr2 []int
+	ActiveP64s, P641, P642    []int
+}
+
+// Figure4 regenerates Figure 4 around the final epoch (the paper's March
+// 10-30 window with references March 17 and 23).
+func Figure4(l *Lab) Figure4Result {
+	ref1 := synth.EpochMar2015
+	ref2 := synth.EpochMar2015 + 6
+	from, to := ref1-7, ref2+7
+	c := l.Census([2]int{from, to})
+	res := Figure4Result{Ref1: ref1, Ref2: ref2}
+	for d := from; d <= to; d++ {
+		res.Days = append(res.Days, d)
+		res.ActiveAddrs = append(res.ActiveAddrs, c.ActiveCount(core.Addresses, d))
+		res.ActiveP64s = append(res.ActiveP64s, c.ActiveCount(core.Prefixes64, d))
+	}
+	res.Addr1 = c.OverlapSeries(core.Addresses, ref1, 7, to-ref1)
+	res.Addr2 = c.OverlapSeries(core.Addresses, ref2, ref2-from, 7)
+	res.P641 = c.OverlapSeries(core.Prefixes64, ref1, 7, to-ref1)
+	res.P642 = c.OverlapSeries(core.Prefixes64, ref2, ref2-from, 7)
+	return res
+}
+
+// Render prints the series as aligned columns.
+func (r Figure4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: stability study around days %d and %d\n", r.Ref1, r.Ref2)
+	header := []string{"day", "active addrs", "ref1 overlap", "ref2 overlap", "active /64s", "ref1 /64s", "ref2 /64s"}
+	var rows [][]string
+	for i, d := range r.Days {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", d),
+			fmtCount(uint64(r.ActiveAddrs[i])),
+			overlapCell(r.Addr1, i),
+			overlapCell(r.Addr2, i),
+			fmtCount(uint64(r.ActiveP64s[i])),
+			overlapCell(r.P641, i),
+			overlapCell(r.P642, i),
+		})
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+func overlapCell(series []int, i int) string {
+	if i < 0 || i >= len(series) {
+		return ""
+	}
+	return fmtCount(uint64(series[i]))
+}
+
+// Figure5aResult reproduces Figure 5a: CCDFs of per-ASN counts.
+type Figure5aResult struct {
+	ASNs           int
+	AddrsPerASN    []stats.CCDFPoint
+	P64sPerASN     []stats.CCDFPoint
+	EUI64PerASN    []stats.CCDFPoint
+	Stable64PerASN []stats.CCDFPoint
+	TopASNAddrs    uint64 // the largest per-ASN address count
+	TopASNShare    float64
+	Top5AddrShare  float64
+	Top5P64Share   float64
+}
+
+// Figure5a regenerates the per-ASN distributions of Figure 5a over the last
+// epoch week, including the 6-month-stable /64 curve.
+func Figure5a(l *Lab) Figure5aResult {
+	week := l.WeekAddrs(synth.EpochMar2015)
+	prevWeek := l.WeekAddrs(synth.EpochSep2014)
+
+	type tally struct {
+		addrs, eui uint64
+		p64s       map[ipaddr.Prefix]bool
+		stable64   uint64
+	}
+	byASN := map[bgp.ASN]*tally{}
+	get := func(asn bgp.ASN) *tally {
+		t := byASN[asn]
+		if t == nil {
+			t = &tally{p64s: make(map[ipaddr.Prefix]bool)}
+			byASN[asn] = t
+		}
+		return t
+	}
+	seen := map[ipaddr.Addr]bool{}
+	for _, log := range week {
+		for _, r := range log.Records {
+			if seen[r.Addr] {
+				continue
+			}
+			seen[r.Addr] = true
+			kind := addrclass.Classify(r.Addr)
+			if kind.IsTransition() {
+				continue
+			}
+			o, ok := l.World.Table.Lookup(r.Addr)
+			if !ok {
+				continue
+			}
+			t := get(o.ASN)
+			t.addrs++
+			t.p64s[ipaddr.PrefixFrom(r.Addr, 64)] = true
+			if kind == addrclass.KindEUI64 {
+				t.eui++
+			}
+		}
+	}
+	// 6-month-stable /64s per ASN: /64s active in both epoch weeks.
+	prev64 := map[ipaddr.Prefix]bool{}
+	for _, log := range prevWeek {
+		for _, r := range log.Records {
+			if !addrclass.Classify(r.Addr).IsTransition() {
+				prev64[ipaddr.PrefixFrom(r.Addr, 64)] = true
+			}
+		}
+	}
+	for asn, t := range byASN {
+		for p := range t.p64s {
+			if prev64[p] {
+				t.stable64++
+			}
+		}
+		_ = asn
+	}
+
+	var addrs, p64s, eui, stable []float64
+	var totalAddrs, total64 uint64
+	type asnCount struct {
+		addrs uint64
+		p64s  uint64
+	}
+	var perASN []asnCount
+	for _, t := range byASN {
+		addrs = append(addrs, float64(t.addrs))
+		p64s = append(p64s, float64(len(t.p64s)))
+		perASN = append(perASN, asnCount{t.addrs, uint64(len(t.p64s))})
+		totalAddrs += t.addrs
+		total64 += uint64(len(t.p64s))
+		if t.eui > 0 {
+			eui = append(eui, float64(t.eui))
+		}
+		if t.stable64 > 0 {
+			stable = append(stable, float64(t.stable64))
+		}
+	}
+	sort.Slice(perASN, func(i, j int) bool { return perASN[i].addrs > perASN[j].addrs })
+	res := Figure5aResult{
+		ASNs:           len(byASN),
+		AddrsPerASN:    stats.CCDF(addrs),
+		P64sPerASN:     stats.CCDF(p64s),
+		EUI64PerASN:    stats.CCDF(eui),
+		Stable64PerASN: stats.CCDF(stable),
+	}
+	if len(perASN) > 0 && totalAddrs > 0 {
+		res.TopASNAddrs = perASN[0].addrs
+		res.TopASNShare = float64(perASN[0].addrs) / float64(totalAddrs)
+		var a5, p5 uint64
+		for i := 0; i < len(perASN) && i < 5; i++ {
+			a5 += perASN[i].addrs
+		}
+		sort.Slice(perASN, func(i, j int) bool { return perASN[i].p64s > perASN[j].p64s })
+		for i := 0; i < len(perASN) && i < 5; i++ {
+			p5 += perASN[i].p64s
+		}
+		res.Top5AddrShare = float64(a5) / float64(totalAddrs)
+		if total64 > 0 {
+			res.Top5P64Share = float64(p5) / float64(total64)
+		}
+	}
+	return res
+}
+
+// Plot assembles the per-ASN curves into a renderable log-log CCDF chart.
+func (r Figure5aResult) Plot() ccdfplot.Plot {
+	return ccdfplot.Plot{
+		Title:  fmt.Sprintf("Figure 5a: per-ASN counts, %d ASNs", r.ASNs),
+		XLabel: "Count, log scale",
+		Series: []ccdfplot.Series{
+			{Label: "active addresses per ASN", Points: r.AddrsPerASN},
+			{Label: "active /64s per ASN", Points: r.P64sPerASN},
+			{Label: "EUI-64 addresses per ASN", Points: r.EUI64PerASN},
+			{Label: "6m-stable /64s per ASN", Points: r.Stable64PerASN},
+		},
+	}
+}
+
+// Render prints summary statistics and curve excerpts.
+func (r Figure5aResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Plot().ASCII())
+	fmt.Fprintf(&b, "Figure 5a: per-ASN count distributions, %d active ASNs\n", r.ASNs)
+	fmt.Fprintf(&b, "  top ASN: %s addrs (%.0f%% of all)\n", fmtCount(r.TopASNAddrs), 100*r.TopASNShare)
+	fmt.Fprintf(&b, "  top-5 ASNs: %.0f%% of addrs, %.0f%% of /64s\n", 100*r.Top5AddrShare, 100*r.Top5P64Share)
+	curve := func(label string, c []stats.CCDFPoint) {
+		fmt.Fprintf(&b, "  %s: ", label)
+		if len(c) == 0 {
+			b.WriteString("(empty)\n")
+			return
+		}
+		max := c[len(c)-1].Value
+		for _, v := range []float64{1, 10, 100, 1000, 10000, 100000} {
+			if v > max {
+				break
+			}
+			fmt.Fprintf(&b, ">=%.0f:%.3f ", v, stats.CCDFAt(c, v))
+		}
+		b.WriteByte('\n')
+	}
+	curve("active addrs per ASN", r.AddrsPerASN)
+	curve("active /64s per ASN", r.P64sPerASN)
+	curve("EUI-64 addrs per ASN", r.EUI64PerASN)
+	curve("6m-stable /64s per ASN", r.Stable64PerASN)
+	return b.String()
+}
+
+// Figure5bResult reproduces Figure 5b: distributions of 16-bit-segment
+// aggregation ratios across BGP prefixes.
+type Figure5bResult struct {
+	Prefixes int
+	// Boxes[i] summarizes the gamma^16 ratios of segment [16i, 16i+16)
+	// across prefixes.
+	Boxes [8]stats.BoxSummary
+}
+
+// Figure5b regenerates the box-plot distributions over the last epoch week.
+func Figure5b(l *Lab) Figure5bResult {
+	week := l.WeekAddrs(synth.EpochMar2015)
+	sets := map[ipaddr.Prefix]*spatial.AddressSet{}
+	for _, log := range week {
+		for _, r := range log.Records {
+			if addrclass.Classify(r.Addr).IsTransition() {
+				continue
+			}
+			o, ok := l.World.Table.Lookup(r.Addr)
+			if !ok {
+				continue
+			}
+			s := sets[o.Prefix]
+			if s == nil {
+				s = &spatial.AddressSet{}
+				sets[o.Prefix] = s
+			}
+			s.Add(r.Addr)
+		}
+	}
+	var ratios [8][]float64
+	for _, s := range sets {
+		m := s.MRA()
+		for seg := 0; seg < 8; seg++ {
+			ratios[seg] = append(ratios[seg], m.Ratio(16*seg, 16))
+		}
+	}
+	res := Figure5bResult{Prefixes: len(sets)}
+	for seg := 0; seg < 8; seg++ {
+		if len(ratios[seg]) > 0 {
+			res.Boxes[seg] = stats.Box(ratios[seg])
+		}
+	}
+	return res
+}
+
+// Render prints one box summary per 16-bit segment.
+func (r Figure5bResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5b: 16-bit segment aggregation ratio distributions, %d BGP prefixes\n", r.Prefixes)
+	header := []string{"segment", "median", "p25", "p75", "p5", "p95", "p99", "max"}
+	var rows [][]string
+	for seg, box := range r.Boxes {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d-%d", 16*seg, 16*seg+16),
+			trim3(box.Median), trim3(box.P25), trim3(box.P75),
+			trim3(box.P5), trim3(box.P95), trim3(box.P99), trim3(box.Max),
+		})
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+// Figure5PlotsResult reproduces the six MRA plots of Figure 5c-5h.
+type Figure5PlotsResult struct {
+	All      mraplot.Plot // 5c: all native client addresses
+	SixToF   mraplot.Plot // 5d: 6to4 clients
+	USMobile mraplot.Plot // 5e: a U.S. mobile carrier
+	EUISP    mraplot.Plot // 5f: a European ISP BGP prefix
+	Dept     mraplot.Plot // 5g: one department /64
+	JPISP    mraplot.Plot // 5h: a Japanese ISP BGP prefix
+}
+
+// Figure5Plots regenerates Figures 5c through 5h over the last epoch week.
+func Figure5Plots(l *Lab) Figure5PlotsResult {
+	week := l.WeekAddrs(synth.EpochMar2015)
+	var all, sixToF, mobile, eu, dept, jp spatial.AddressSet
+	mobileOp, _ := l.World.OperatorByName("us-mobile-1")
+	euOp, _ := l.World.OperatorByName("eu-isp")
+	deptOp, _ := l.World.OperatorByName("eu-univ-dept")
+	jpOp, _ := l.World.OperatorByName("jp-isp")
+	deptPlan := deptOp.Plan.(*netmodel.DHCPDensePlan)
+	jpPrefix := jpOp.Prefixes[0]
+	seen := map[ipaddr.Addr]bool{}
+	for _, log := range week {
+		for _, r := range log.Records {
+			if seen[r.Addr] {
+				continue
+			}
+			seen[r.Addr] = true
+			kind := addrclass.Classify(r.Addr)
+			if kind == addrclass.Kind6to4 {
+				sixToF.Add(r.Addr)
+				continue
+			}
+			if kind.IsTransition() {
+				continue
+			}
+			all.Add(r.Addr)
+			o, ok := l.World.Table.Lookup(r.Addr)
+			if !ok {
+				continue
+			}
+			switch {
+			case o.ASN == mobileOp.ASN:
+				mobile.Add(r.Addr)
+			case o.ASN == euOp.ASN:
+				eu.Add(r.Addr)
+			case o.ASN == deptOp.ASN && deptPlan.Network.Contains(r.Addr):
+				dept.Add(r.Addr)
+			case o.ASN == jpOp.ASN && jpPrefix.Contains(r.Addr):
+				jp.Add(r.Addr)
+			}
+		}
+	}
+	plot := func(label string, s *spatial.AddressSet) mraplot.Plot {
+		return mraplot.New(fmt.Sprintf("%s: %s addrs", label, fmtCount(uint64(s.Len()))), s.MRA())
+	}
+	return Figure5PlotsResult{
+		All:      plot("Fig 5c: all native clients", &all),
+		SixToF:   plot("Fig 5d: 6to4 clients", &sixToF),
+		USMobile: plot("Fig 5e: US mobile carrier", &mobile),
+		EUISP:    plot("Fig 5f: EU ISP prefix", &eu),
+		Dept:     plot("Fig 5g: EU univ dept /64", &dept),
+		JPISP:    plot("Fig 5h: JP ISP prefix", &jp),
+	}
+}
+
+// Render prints all six ASCII plots.
+func (r Figure5PlotsResult) Render() string {
+	plots := []mraplot.Plot{r.All, r.SixToF, r.USMobile, r.EUISP, r.Dept, r.JPISP}
+	var b strings.Builder
+	for _, p := range plots {
+		b.WriteString(p.ASCII())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"v6class/internal/bgp"
+	"v6class/internal/core"
+	"v6class/internal/synth"
+	"v6class/internal/temporal"
+)
+
+// GrowthResult reproduces the Section 4.1 deployment-growth observations:
+// active BGP prefixes, origin ASNs, and countries at each epoch (the paper
+// sees 5,531 prefixes / 3,842 ASNs in March 2014 growing to 6,872 / 4,420
+// a year later, with clients in 133 countries).
+type GrowthResult struct {
+	Epochs    []string
+	Prefixes  []int
+	ASNs      []int
+	Countries []int
+	Addresses []int
+}
+
+// Growth measures deployment growth across the three epochs, over each
+// epoch day's active population.
+func Growth(l *Lab) GrowthResult {
+	var res GrowthResult
+	for _, e := range Epochs() {
+		day := l.Day(e.Day)
+		prefixes := map[string]bool{}
+		asns := map[bgp.ASN]bool{}
+		countries := map[string]bool{}
+		for _, r := range day.Records {
+			o, ok := l.World.Table.Lookup(r.Addr)
+			if !ok {
+				continue
+			}
+			prefixes[o.Prefix.String()] = true
+			asns[o.ASN] = true
+			if op, _ := l.World.OperatorByName(o.Name); op != nil {
+				countries[op.Country] = true
+			}
+		}
+		res.Epochs = append(res.Epochs, e.Label)
+		res.Prefixes = append(res.Prefixes, len(prefixes))
+		res.ASNs = append(res.ASNs, len(asns))
+		res.Countries = append(res.Countries, len(countries))
+		res.Addresses = append(res.Addresses, len(day.Records))
+	}
+	return res
+}
+
+// Render prints the growth table.
+func (r GrowthResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Deployment growth (Sec 4.1):\n")
+	header := []string{"epoch", "addresses", "BGP prefixes", "origin ASNs", "countries"}
+	var rows [][]string
+	for i := range r.Epochs {
+		rows = append(rows, []string{
+			r.Epochs[i],
+			fmtCount(uint64(r.Addresses[i])),
+			fmt.Sprintf("%d", r.Prefixes[i]),
+			fmt.Sprintf("%d", r.ASNs[i]),
+			fmt.Sprintf("%d", r.Countries[i]),
+		})
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+// WindowSweepResult is the Section 6.1.1 parameter exploration: how the
+// stable population varies with n and with the sliding-window size.
+type WindowSweepResult struct {
+	Ref int
+	// Spectrum[n-1] is the count of nd-stable addresses under the default
+	// window for n in [1, len].
+	Spectrum []int
+	Active   int
+	// ByWindow maps window half-width to the 3d-stable count.
+	ByWindow map[int]int
+}
+
+// WindowSweep sweeps n and window size at the final epoch.
+func WindowSweep(l *Lab) WindowSweepResult {
+	ref := synth.EpochMar2015
+	c := l.Census([2]int{ref - 7, ref + 7})
+	res := WindowSweepResult{Ref: ref, ByWindow: make(map[int]int)}
+	st := c.Stability(core.Addresses, ref, 1)
+	res.Active = st.Active
+
+	for n := 1; n <= 7; n++ {
+		res.Spectrum = append(res.Spectrum, c.Stability(core.Addresses, ref, n).Stable)
+	}
+	for _, half := range []int{1, 3, 5, 7} {
+		cw := core.NewCensus(core.CensusConfig{
+			StudyDays: l.World.StudyLength(),
+			StabilityOptions: temporal.Options{
+				Window: temporal.Window{Before: half, After: half},
+			},
+		})
+		for d := ref - 7; d <= ref+7; d++ {
+			cw.AddDay(l.Day(d))
+		}
+		res.ByWindow[half] = cw.Stability(core.Addresses, ref, 3).Stable
+	}
+	return res
+}
+
+// Render prints the sweep.
+func (r WindowSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stability parameter sweep (Sec 6.1.1), day %d, %d active:\n", r.Ref, r.Active)
+	b.WriteString("  nd-stable spectrum (window -7d,+7d):\n")
+	for n, count := range r.Spectrum {
+		fmt.Fprintf(&b, "    n=%d: %d (%.1f%%)\n", n+1, count, 100*float64(count)/float64(r.Active))
+	}
+	b.WriteString("  3d-stable by window half-width:\n")
+	for _, half := range []int{1, 3, 5, 7} {
+		fmt.Fprintf(&b, "    (-%dd,+%dd): %d\n", half, half, r.ByWindow[half])
+	}
+	return b.String()
+}

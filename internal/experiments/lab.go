@@ -1,0 +1,160 @@
+// Package experiments contains one driver per table and figure of Plonka &
+// Berger (IMC 2015), each regenerating its result from the synthetic world
+// and rendering rows comparable with the paper's. EXPERIMENTS.md records
+// paper-versus-measured values for every driver.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"v6class/internal/cdnlog"
+	"v6class/internal/core"
+	"v6class/internal/synth"
+)
+
+// Lab wires a synthetic world to the analysis engine and caches generated
+// days so the many experiments sharing epochs do not regenerate them.
+type Lab struct {
+	World *synth.World
+	days  map[int]cdnlog.DayLog
+}
+
+// NewLab builds a lab over a fresh world.
+func NewLab(cfg synth.Config) *Lab {
+	return &Lab{World: synth.NewWorld(cfg), days: make(map[int]cdnlog.DayLog)}
+}
+
+// Day returns the aggregated log for a study day, generating it on first
+// use.
+func (l *Lab) Day(d int) cdnlog.DayLog {
+	if log, ok := l.days[d]; ok {
+		return log
+	}
+	log := l.World.Day(d)
+	l.days[d] = log
+	return log
+}
+
+// Census builds a Census ingesting the given inclusive day ranges.
+func (l *Lab) Census(ranges ...[2]int) *core.Census {
+	c := core.NewCensus(core.CensusConfig{StudyDays: l.World.StudyLength()})
+	for _, r := range ranges {
+		for d := r[0]; d <= r[1]; d++ {
+			c.AddDay(l.Day(d))
+		}
+	}
+	return c
+}
+
+// EpochRanges returns the day ranges every stability experiment ingests:
+// a ±7-day analysis window around each epoch week.
+func EpochRanges() [][2]int {
+	return [][2]int{
+		{synth.EpochMar2014 - 7, synth.EpochMar2014 + 13},
+		{synth.EpochSep2014 - 7, synth.EpochSep2014 + 13},
+		{synth.EpochMar2015 - 7, synth.EpochMar2015 + 13},
+	}
+}
+
+// Epochs returns the three epoch reference days with their labels.
+func Epochs() []Epoch {
+	return []Epoch{
+		{Label: "Mar 2014", Day: synth.EpochMar2014},
+		{Label: "Sep 2014", Day: synth.EpochSep2014},
+		{Label: "Mar 2015", Day: synth.EpochMar2015},
+	}
+}
+
+// Epoch is one of the study's three sampling points.
+type Epoch struct {
+	Label string
+	Day   int
+}
+
+// WeekAddrs returns the distinct addresses of an epoch week.
+func (l *Lab) WeekAddrs(epochDay int) []cdnlog.DayLog {
+	logs := make([]cdnlog.DayLog, 0, 7)
+	for d := epochDay; d < epochDay+7; d++ {
+		logs = append(logs, l.Day(d))
+	}
+	return logs
+}
+
+// fmtCount renders a count the way the paper's tables do: three significant
+// figures with a magnitude suffix (e.g. "13.7M", "588K", "1.81B").
+func fmtCount(n uint64) string {
+	f := float64(n)
+	switch {
+	case f >= 1e9:
+		return trim3(f/1e9) + "B"
+	case f >= 1e6:
+		return trim3(f/1e6) + "M"
+	case f >= 1e3:
+		return trim3(f/1e3) + "K"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// trim3 formats to three significant figures.
+func trim3(f float64) string {
+	switch {
+	case f >= 100:
+		return fmt.Sprintf("%.0f", f)
+	case f >= 10:
+		return fmt.Sprintf("%.1f", f)
+	}
+	return fmt.Sprintf("%.2f", f)
+}
+
+// fmtPct renders a proportion as the paper does ("9.44%", "0.103%").
+func fmtPct(num, den uint64) string {
+	if den == 0 {
+		return "-"
+	}
+	p := 100 * float64(num) / float64(den)
+	switch {
+	case p >= 10:
+		return fmt.Sprintf("%.1f%%", p)
+	case p >= 1:
+		return fmt.Sprintf("%.2f%%", p)
+	}
+	return fmt.Sprintf("%.3f%%", p)
+}
+
+// table renders rows of cells as an aligned text table.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

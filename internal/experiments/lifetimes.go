@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/synth"
+	"v6class/internal/temporal"
+)
+
+// LifetimesResult quantifies the paper's Section 1 motivation — "the vast
+// majority of IPv6 addresses exist for short periods, e.g., 24 hours or
+// less, and in all likelihood will never be used again" — over a 15-day
+// window: observed lifespans, the single-day share, and the day-over-day
+// return probability behind Figure 4's decay.
+type LifetimesResult struct {
+	Addrs      temporal.LifetimeStats
+	P64s       temporal.LifetimeStats
+	AddrReturn []float64 // return probability by gap (index = gap days)
+	P64Return  []float64
+}
+
+// Lifetimes measures address and /64 lifetimes over the final epoch's
+// 15-day window.
+func Lifetimes(l *Lab) LifetimesResult {
+	from := synth.EpochMar2015 - 7
+	to := synth.EpochMar2015 + 7
+	addrs := temporal.NewStore[ipaddr.Addr](l.World.StudyLength())
+	p64s := temporal.NewStore[ipaddr.Prefix](l.World.StudyLength())
+	for d := from; d <= to; d++ {
+		for _, r := range l.Day(d).Records {
+			addrs.Observe(r.Addr, temporal.Day(d))
+			p64s.Observe(ipaddr.PrefixFrom(r.Addr, 64), temporal.Day(d))
+		}
+	}
+	return LifetimesResult{
+		Addrs:      addrs.Lifetimes(temporal.Day(from), temporal.Day(to)),
+		P64s:       p64s.Lifetimes(temporal.Day(from), temporal.Day(to)),
+		AddrReturn: addrs.ReturnProbability(temporal.Day(from), temporal.Day(to), 7),
+		P64Return:  p64s.ReturnProbability(temporal.Day(from), temporal.Day(to), 7),
+	}
+}
+
+// Render prints the lifetime comparison.
+func (r LifetimesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Address and /64 lifetimes over 15 days (Sec 1 motivation):\n")
+	line := func(name string, st temporal.LifetimeStats) {
+		fmt.Fprintf(&b, "  %-10s %7d keys, %4.1f%% single-day, median span %d day(s)\n",
+			name, st.Keys, 100*st.SingleDayShare(), st.MedianSpan())
+	}
+	line("addresses", r.Addrs)
+	line("/64s", r.P64s)
+	b.WriteString("  return probability by gap (addresses vs /64s):\n")
+	for g := 1; g < len(r.AddrReturn) && g < len(r.P64Return); g++ {
+		fmt.Fprintf(&b, "    +%dd: %.3f vs %.3f\n", g, r.AddrReturn[g], r.P64Return[g])
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/cdnlog"
+	"v6class/internal/ipaddr"
+)
+
+// Table1Epoch holds the address characteristics of one epoch, one column of
+// the paper's Table 1 (per day or per week).
+type Table1Epoch struct {
+	Label   string
+	Teredo  uint64
+	ISATAP  uint64
+	SixToF  uint64
+	Other   uint64 // native addresses
+	Total   uint64
+	Other64 uint64  // native /64 prefixes
+	AvgPer  float64 // average native addresses per /64
+	EUI64   uint64  // EUI-64 addresses, excluding 6to4
+	MACs    uint64  // distinct EUI-64 IIDs (MACs)
+}
+
+// Table1Result reproduces Table 1: daily (a) and weekly (b) characteristics
+// at the three epochs.
+type Table1Result struct {
+	Daily  []Table1Epoch
+	Weekly []Table1Epoch
+}
+
+// Table1 regenerates the paper's Table 1 from the synthetic world.
+func Table1(l *Lab) Table1Result {
+	var res Table1Result
+	for _, e := range Epochs() {
+		res.Daily = append(res.Daily, characterize(e.Label, []cdnlog.DayLog{l.Day(e.Day)}))
+		res.Weekly = append(res.Weekly, characterize(e.Label+" wk", l.WeekAddrs(e.Day)))
+	}
+	return res
+}
+
+// characterize computes one Table 1 column over the distinct addresses of
+// the given logs.
+func characterize(label string, logs []cdnlog.DayLog) Table1Epoch {
+	col := Table1Epoch{Label: label}
+	p64 := make(map[ipaddr.Prefix]bool)
+	macs := make(map[addrclass.MAC]bool)
+	for _, a := range cdnlog.UniqueAddrs(logs) {
+		col.Total++
+		kind := addrclass.Classify(a)
+		switch kind {
+		case addrclass.KindTeredo:
+			col.Teredo++
+			continue
+		case addrclass.KindISATAP:
+			col.ISATAP++
+			continue
+		case addrclass.Kind6to4:
+			col.SixToF++
+			continue
+		}
+		col.Other++
+		p64[ipaddr.PrefixFrom(a, 64)] = true
+		if kind == addrclass.KindEUI64 {
+			col.EUI64++
+			if mac, ok := addrclass.EUI64MAC(a); ok {
+				macs[mac] = true
+			}
+		}
+	}
+	col.Other64 = uint64(len(p64))
+	col.MACs = uint64(len(macs))
+	if col.Other64 > 0 {
+		col.AvgPer = float64(col.Other) / float64(col.Other64)
+	}
+	return col
+}
+
+// Render prints the result in the paper's row layout.
+func (r Table1Result) Render() string {
+	var b strings.Builder
+	render := func(title string, cols []Table1Epoch) {
+		b.WriteString(title + "\n")
+		header := []string{"Characteristic"}
+		for _, c := range cols {
+			header = append(header, c.Label)
+		}
+		row := func(name string, f func(Table1Epoch) string) []string {
+			cells := []string{name}
+			for _, c := range cols {
+				cells = append(cells, f(c))
+			}
+			return cells
+		}
+		rows := [][]string{
+			row("Teredo addresses", func(c Table1Epoch) string { return fmtCount(c.Teredo) + " (" + fmtPct(c.Teredo, c.Total) + ")" }),
+			row("ISATAP addresses", func(c Table1Epoch) string { return fmtCount(c.ISATAP) + " (" + fmtPct(c.ISATAP, c.Total) + ")" }),
+			row("6to4 addresses", func(c Table1Epoch) string { return fmtCount(c.SixToF) + " (" + fmtPct(c.SixToF, c.Total) + ")" }),
+			row("Other addresses", func(c Table1Epoch) string { return fmtCount(c.Other) + " (" + fmtPct(c.Other, c.Total) + ")" }),
+			row("Other /64 prefixes", func(c Table1Epoch) string { return fmtCount(c.Other64) }),
+			row("ave. addrs per /64", func(c Table1Epoch) string { return trim3(c.AvgPer) }),
+			row("EUI-64 addr (!6to4)", func(c Table1Epoch) string { return fmtCount(c.EUI64) + " (" + fmtPct(c.EUI64, c.Total) + ")" }),
+			row("EUI-64 IIDs (MACs)", func(c Table1Epoch) string { return fmtCount(c.MACs) }),
+		}
+		b.WriteString(table(header, rows))
+		b.WriteByte('\n')
+	}
+	render("Table 1a: address characteristics per day", r.Daily)
+	render("Table 1b: address characteristics per week", r.Weekly)
+	return b.String()
+}

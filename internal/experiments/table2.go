@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+
+	"v6class/internal/core"
+)
+
+// Table2Cell is one stability figure: a count and its base population.
+type Table2Cell struct {
+	Count uint64
+	Of    uint64
+}
+
+// Table2Column is one epoch column of a stability table.
+type Table2Column struct {
+	Label    string
+	Stable3d Table2Cell
+	Not3d    Table2Cell
+	Stable6m Table2Cell // zero at the first epoch
+	Stable1y Table2Cell // only at the last epoch
+}
+
+// Table2Result reproduces Table 2: daily and weekly stability of addresses
+// and /64 prefixes across the three epochs.
+type Table2Result struct {
+	AddrDaily  []Table2Column // Table 2a
+	P64Daily   []Table2Column // Table 2b
+	AddrWeekly []Table2Column // Table 2c
+	P64Weekly  []Table2Column // Table 2d
+}
+
+// Table2 regenerates the paper's Table 2 from the synthetic world. The
+// census ingests a ±7-day window around each epoch week, matching the
+// paper's sliding-window methodology.
+func Table2(l *Lab) Table2Result {
+	c := l.Census(EpochRanges()...)
+	epochs := Epochs()
+	var res Table2Result
+	for i, e := range epochs {
+		// Daily stability at the epoch day.
+		for _, pop := range []core.Population{core.Addresses, core.Prefixes64} {
+			st := c.Stability(pop, e.Day, 3)
+			col := Table2Column{
+				Label:    e.Label,
+				Stable3d: Table2Cell{uint64(st.Stable), uint64(st.Active)},
+				Not3d:    Table2Cell{uint64(st.NotStable), uint64(st.Active)},
+			}
+			// 6m-stable (-6m): active on this epoch day and on the day six
+			// months earlier.
+			if i > 0 {
+				prev := epochs[i-1].Day
+				n := uint64(c.EpochStable(pop, prev, prev, e.Day, e.Day))
+				col.Stable6m = Table2Cell{n, uint64(st.Active)}
+			}
+			// 1y-stable (-1y): active on this epoch day and a year earlier.
+			if i == 2 {
+				first := epochs[0].Day
+				n := uint64(c.EpochStable(pop, first, first, e.Day, e.Day))
+				col.Stable1y = Table2Cell{n, uint64(st.Active)}
+			}
+			if pop == core.Addresses {
+				res.AddrDaily = append(res.AddrDaily, col)
+			} else {
+				res.P64Daily = append(res.P64Daily, col)
+			}
+		}
+		// Weekly stability over the epoch week.
+		for _, pop := range []core.Population{core.Addresses, core.Prefixes64} {
+			wk := c.WeeklyStability(pop, e.Day, 3)
+			col := Table2Column{
+				Label:    e.Label + " wk",
+				Stable3d: Table2Cell{uint64(wk.Stable), uint64(wk.Active)},
+				Not3d:    Table2Cell{uint64(wk.NotStable), uint64(wk.Active)},
+			}
+			if i > 0 {
+				prev := epochs[i-1].Day
+				n := uint64(c.EpochStable(pop, prev, prev+6, e.Day, e.Day+6))
+				col.Stable6m = Table2Cell{n, uint64(wk.Active)}
+			}
+			if i == 2 {
+				first := epochs[0].Day
+				n := uint64(c.EpochStable(pop, first, first+6, e.Day, e.Day+6))
+				col.Stable1y = Table2Cell{n, uint64(wk.Active)}
+			}
+			if pop == core.Addresses {
+				res.AddrWeekly = append(res.AddrWeekly, col)
+			} else {
+				res.P64Weekly = append(res.P64Weekly, col)
+			}
+		}
+	}
+	return res
+}
+
+// Render prints the four sub-tables in the paper's layout.
+func (r Table2Result) Render() string {
+	var b strings.Builder
+	sub := func(title string, cols []Table2Column) {
+		b.WriteString(title + "\n")
+		header := []string{"class"}
+		for _, c := range cols {
+			header = append(header, c.Label)
+		}
+		cell := func(c Table2Cell) string {
+			if c.Of == 0 && c.Count == 0 {
+				return ""
+			}
+			return fmtCount(c.Count) + " (" + fmtPct(c.Count, c.Of) + ")"
+		}
+		rows := [][]string{
+			{"3d-stable"}, {"not 3d-stable"}, {"6m-stable (-6m)"}, {"1y-stable (-1y)"},
+		}
+		for _, c := range cols {
+			rows[0] = append(rows[0], cell(c.Stable3d))
+			rows[1] = append(rows[1], cell(c.Not3d))
+			rows[2] = append(rows[2], cell(c.Stable6m))
+			rows[3] = append(rows[3], cell(c.Stable1y))
+		}
+		b.WriteString(table(header, rows))
+		b.WriteByte('\n')
+	}
+	sub("Table 2a: stability of IPv6 addresses per day", r.AddrDaily)
+	sub("Table 2b: stability of /64 prefixes per day", r.P64Daily)
+	sub("Table 2c: stability of IPv6 addresses per week", r.AddrWeekly)
+	sub("Table 2d: stability of /64 prefixes per week", r.P64Weekly)
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/probe"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+)
+
+// Table3Classes are the twelve density classes of the paper's Table 3, in
+// its row order.
+var Table3Classes = []spatial.DensityClass{
+	{N: 2, P: 124},
+	{N: 3, P: 120},
+	{N: 2, P: 120},
+	{N: 2, P: 116},
+	{N: 64, P: 112},
+	{N: 32, P: 112},
+	{N: 16, P: 112},
+	{N: 8, P: 112},
+	{N: 4, P: 112},
+	{N: 2, P: 112},
+	{N: 2, P: 108},
+	{N: 2, P: 104},
+}
+
+// Table3Result reproduces Table 3: dense prefixes identified at various
+// densities over the router-address dataset.
+type Table3Result struct {
+	RouterAddrs int
+	Rows        []spatial.DensityResult
+	// Dataset is the router-address set, exposed for the downstream PTR
+	// harvesting experiment.
+	Dataset []ipaddr.Addr
+}
+
+// RouterDatasetFor synthesizes the Section 4.2 router dataset: probing in
+// "February 2015" (a month before the last epoch) against the paper's three
+// target types — resolvers, CDN-server-location proxies, and a mix of WWW
+// client addresses including previously identified stable ones.
+func RouterDatasetFor(l *Lab) []ipaddr.Addr {
+	probeDay := synth.EpochMar2015 - 28
+	topo := probe.NewTopology(l.World, probeDay)
+
+	// Client targets: actives from the probe day plus stable addresses
+	// identified at the earlier epochs (the paper's 18M-target mix).
+	targets := l.Day(probeDay).Addrs()
+	c := l.Census([2]int{synth.EpochSep2014 - 7, synth.EpochSep2014 + 7})
+	targets = append(targets, c.StableAddrs(synth.EpochSep2014, 3)...)
+	return topo.RouterDataset(targets)
+}
+
+// Table3 regenerates the paper's Table 3.
+func Table3(l *Lab) Table3Result {
+	routers := RouterDatasetFor(l)
+	var set spatial.AddressSet
+	for _, a := range routers {
+		set.Add(a)
+	}
+	res := Table3Result{RouterAddrs: len(routers), Dataset: routers}
+	for _, cls := range Table3Classes {
+		res.Rows = append(res.Rows, set.DenseFixed(cls))
+	}
+	return res
+}
+
+// Render prints the table in the paper's column layout.
+func (r Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: dense prefixes for %s router addresses\n", fmtCount(uint64(r.RouterAddrs)))
+	header := []string{"Density Class", "Dense Prefixes", "Router Addresses", "Possible Addresses", "Address Density"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Class.String(),
+			fmtCount(uint64(len(row.Prefixes))),
+			fmtCount(row.CoveredAddresses),
+			fmtCount(uint64(row.PossibleAddresses)),
+			fmt.Sprintf("%.10f", row.Density()),
+		})
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}

@@ -1,0 +1,335 @@
+// Package ipaddr provides IPv6 address and prefix value types built on
+// 128-bit integer arithmetic.
+//
+// It implements its own RFC 4291 text parsing and RFC 5952 canonical
+// formatting rather than delegating to net/netip so that the rest of the
+// repository can manipulate addresses as numbers: the temporal and spatial
+// classifiers of Plonka & Berger (IMC 2015) need arbitrary-length prefix
+// extraction, bit and nybble inspection, and dense iteration over prefix
+// ranges, all of which map directly onto the underlying uint128 value.
+package ipaddr
+
+import (
+	"fmt"
+	"strings"
+
+	"v6class/internal/uint128"
+)
+
+// Addr is an IPv6 address: an immutable 128-bit value. The zero value is the
+// unspecified address "::". Addr is comparable and suitable as a map key.
+type Addr struct {
+	u uint128.Uint128
+}
+
+// AddrFrom128 returns the address with numeric value u.
+func AddrFrom128(u uint128.Uint128) Addr { return Addr{u: u} }
+
+// AddrFrom16 returns the address for the 16-byte big-endian representation b.
+func AddrFrom16(b [16]byte) Addr { return Addr{u: uint128.FromBytes(b)} }
+
+// AddrFromSegments returns the address assembled from eight 16-bit segments,
+// most-significant first, i.e. the eight colon-separated pieces of the
+// presentation format.
+func AddrFromSegments(s [8]uint16) Addr {
+	var hi, lo uint64
+	for i := 0; i < 4; i++ {
+		hi = hi<<16 | uint64(s[i])
+		lo = lo<<16 | uint64(s[i+4])
+	}
+	return Addr{u: uint128.New(hi, lo)}
+}
+
+// Uint128 returns the address's numeric value.
+func (a Addr) Uint128() uint128.Uint128 { return a.u }
+
+// As16 returns the 16-byte big-endian representation of the address.
+func (a Addr) As16() [16]byte { return a.u.Bytes() }
+
+// Segments returns the eight 16-bit segments of the address,
+// most-significant first.
+func (a Addr) Segments() [8]uint16 {
+	var s [8]uint16
+	for i := 0; i < 4; i++ {
+		s[i] = uint16(a.u.Hi >> (48 - 16*i))
+		s[i+4] = uint16(a.u.Lo >> (48 - 16*i))
+	}
+	return s
+}
+
+// IsZero reports whether a is the unspecified address "::".
+func (a Addr) IsZero() bool { return a.u.IsZero() }
+
+// Cmp compares two addresses numerically.
+func (a Addr) Cmp(b Addr) int { return a.u.Cmp(b.u) }
+
+// Less reports whether a sorts before b numerically.
+func (a Addr) Less(b Addr) bool { return a.u.Less(b.u) }
+
+// Bit returns the bit at position i (0 = most significant).
+func (a Addr) Bit(i int) uint { return a.u.Bit(i) }
+
+// Nybble returns the 4-bit value at nybble position i, where position 0 is
+// the most-significant hexadecimal character of the fully expanded address
+// and position 31 the least. It panics if i is out of range.
+func (a Addr) Nybble(i int) uint8 {
+	if i < 0 || i > 31 {
+		panic(fmt.Sprintf("ipaddr: nybble index %d out of range", i))
+	}
+	if i < 16 {
+		return uint8(a.u.Hi>>(60-4*i)) & 0xf
+	}
+	return uint8(a.u.Lo>>(60-4*(i-16))) & 0xf
+}
+
+// IID returns the low 64 bits of the address, the interface identifier under
+// the canonical /64 subnetting of RFC 4291.
+func (a Addr) IID() uint64 { return a.u.Lo }
+
+// NetworkID returns the high 64 bits of the address, the canonical /64
+// network identifier.
+func (a Addr) NetworkID() uint64 { return a.u.Hi }
+
+// Next returns the numerically next address, wrapping at the top of the
+// space.
+func (a Addr) Next() Addr { return Addr{u: a.u.Add64(1)} }
+
+// Prev returns the numerically previous address, wrapping at zero.
+func (a Addr) Prev() Addr { return Addr{u: a.u.Sub64(1)} }
+
+// CommonPrefixLen returns the length of the longest common prefix of a and b
+// in bits (128 when equal).
+func (a Addr) CommonPrefixLen(b Addr) int { return a.u.CommonPrefixLen(b.u) }
+
+// Mask returns the address with all but its first n bits zeroed, i.e. the
+// base address of its /n prefix.
+func (a Addr) Mask(n int) Addr { return Addr{u: a.u.And(uint128.Mask(n))} }
+
+// WithIID returns the address with its low 64 bits replaced by iid.
+func (a Addr) WithIID(iid uint64) Addr {
+	return Addr{u: uint128.New(a.u.Hi, iid)}
+}
+
+// String returns the RFC 5952 canonical text representation: lower-case
+// hexadecimal, leading zeros suppressed, and the single longest run of two or
+// more zero segments (leftmost on tie) compressed to "::".
+func (a Addr) String() string {
+	s := a.Segments()
+
+	// Find the longest run of zero segments of length >= 2.
+	bestStart, bestLen := -1, 1
+	runStart := -1
+	for i := 0; i <= 8; i++ {
+		if i < 8 && s[i] == 0 {
+			if runStart < 0 {
+				runStart = i
+			}
+			continue
+		}
+		if runStart >= 0 {
+			if n := i - runStart; n > bestLen {
+				bestStart, bestLen = runStart, n
+			}
+			runStart = -1
+		}
+	}
+
+	var b strings.Builder
+	b.Grow(41)
+	appendHex := func(v uint16) {
+		const hexdigits = "0123456789abcdef"
+		started := false
+		for shift := 12; shift >= 0; shift -= 4 {
+			d := (v >> shift) & 0xf
+			if d != 0 || started || shift == 0 {
+				b.WriteByte(hexdigits[d])
+				started = true
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if i == bestStart {
+			b.WriteString("::")
+			i += bestLen - 1 // loop increment advances past the run
+			continue
+		}
+		// "::" already supplies the separator for the segment after the run.
+		if i > 0 && !(bestStart >= 0 && i == bestStart+bestLen) {
+			b.WriteByte(':')
+		}
+		appendHex(s[i])
+	}
+	return b.String()
+}
+
+// Expanded returns the fully expanded 39-character representation with all
+// leading zeros, e.g. "2001:0db8:0000:0000:0000:0000:0000:0001".
+func (a Addr) Expanded() string {
+	s := a.Segments()
+	parts := make([]string, 8)
+	for i, v := range s {
+		parts[i] = fmt.Sprintf("%04x", v)
+	}
+	return strings.Join(parts, ":")
+}
+
+// HexString returns the address as 32 contiguous hexadecimal characters with
+// no separators, the "fixed-width hex format" the paper's appendix suggests
+// for sort-based aggregation.
+func (a Addr) HexString() string {
+	return fmt.Sprintf("%016x%016x", a.u.Hi, a.u.Lo)
+}
+
+// MustParseAddr is like ParseAddr but panics on error; intended for
+// constants and tests.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses an IPv6 address in any RFC 4291 text form, including "::"
+// compression and an embedded dotted-quad IPv4 suffix
+// (e.g. "::ffff:192.0.2.1").
+func ParseAddr(s string) (Addr, error) {
+	orig := s
+	if s == "" {
+		return Addr{}, fmt.Errorf("ipaddr: empty address")
+	}
+	// Reject zones and port-ish forms outright.
+	if strings.ContainsAny(s, "%[]/ ") {
+		return Addr{}, fmt.Errorf("ipaddr: invalid character in %q", orig)
+	}
+
+	var segs []uint16 // parsed segments
+	ellipsis := -1    // index in segs where "::" appeared
+	rest := s
+
+	// Leading "::".
+	if strings.HasPrefix(rest, "::") {
+		ellipsis = 0
+		rest = rest[2:]
+		if rest == "" {
+			return Addr{}, nil // "::"
+		}
+	} else if strings.HasPrefix(rest, ":") {
+		return Addr{}, fmt.Errorf("ipaddr: address %q begins with lone colon", orig)
+	}
+
+	for rest != "" {
+		// An embedded IPv4 suffix occupies the final two segments.
+		if strings.Contains(firstField(rest), ".") {
+			v4, err := parseIPv4(rest)
+			if err != nil {
+				return Addr{}, fmt.Errorf("ipaddr: bad IPv4 suffix in %q: %v", orig, err)
+			}
+			segs = append(segs, uint16(v4>>16), uint16(v4))
+			rest = ""
+			break
+		}
+		i := strings.IndexByte(rest, ':')
+		var field string
+		if i < 0 {
+			field, rest = rest, ""
+		} else {
+			field, rest = rest[:i], rest[i+1:]
+			if rest == "" && field != "" {
+				// Trailing single colon is only valid as part of "::".
+				return Addr{}, fmt.Errorf("ipaddr: address %q ends with lone colon", orig)
+			}
+		}
+		if field == "" {
+			// "::" in the middle.
+			if ellipsis >= 0 {
+				return Addr{}, fmt.Errorf("ipaddr: multiple \"::\" in %q", orig)
+			}
+			ellipsis = len(segs)
+			continue
+		}
+		if len(field) > 4 {
+			return Addr{}, fmt.Errorf("ipaddr: segment %q too long in %q", field, orig)
+		}
+		var v uint32
+		for _, c := range []byte(field) {
+			d, ok := hexVal(c)
+			if !ok {
+				return Addr{}, fmt.Errorf("ipaddr: bad hex digit %q in %q", string(c), orig)
+			}
+			v = v<<4 | uint32(d)
+		}
+		segs = append(segs, uint16(v))
+		if len(segs) > 8 {
+			return Addr{}, fmt.Errorf("ipaddr: too many segments in %q", orig)
+		}
+	}
+
+	if ellipsis < 0 {
+		if len(segs) != 8 {
+			return Addr{}, fmt.Errorf("ipaddr: %q has %d segments, want 8", orig, len(segs))
+		}
+	} else {
+		if len(segs) >= 8 {
+			return Addr{}, fmt.Errorf("ipaddr: %q has no room for \"::\"", orig)
+		}
+		// Expand the ellipsis with zeros.
+		expanded := make([]uint16, 8)
+		copy(expanded, segs[:ellipsis])
+		copy(expanded[8-(len(segs)-ellipsis):], segs[ellipsis:])
+		segs = expanded
+	}
+
+	var s8 [8]uint16
+	copy(s8[:], segs)
+	return AddrFromSegments(s8), nil
+}
+
+// firstField returns s up to (not including) its first ':'.
+func firstField(s string) string {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// parseIPv4 parses a dotted-quad IPv4 address into its 32-bit value.
+func parseIPv4(s string) (uint32, error) {
+	var v uint32
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("need 4 octets, have %d", len(parts))
+	}
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return 0, fmt.Errorf("bad octet %q", p)
+		}
+		if len(p) > 1 && p[0] == '0' {
+			return 0, fmt.Errorf("octet %q has leading zero", p)
+		}
+		var o uint32
+		for _, c := range []byte(p) {
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("bad octet %q", p)
+			}
+			o = o*10 + uint32(c-'0')
+		}
+		if o > 255 {
+			return 0, fmt.Errorf("octet %q out of range", p)
+		}
+		v = v<<8 | o
+	}
+	return v, nil
+}
+
+func hexVal(c byte) (uint8, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,246 @@
+package ipaddr
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+)
+
+func TestParseAddrValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical RFC 5952 form
+	}{
+		{"::", "::"},
+		{"::1", "::1"},
+		{"1::", "1::"},
+		{"2001:db8::1", "2001:db8::1"},
+		{"2001:DB8::1", "2001:db8::1"},
+		{"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+		{"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"}, // leftmost longest run compressed
+		{"2001:db8::0:1:0:0:1", "2001:db8::1:0:0:1"},  // same value
+		{"fe80::1:2:3:4", "fe80::1:2:3:4"},
+		{"2002:c000:0204::", "2002:c000:204::"},
+		{"::ffff:192.0.2.128", "::ffff:c000:280"},                                            // IPv4-mapped
+		{"64:ff9b::192.0.2.33", "64:ff9b::c000:221"},                                         // NAT64 WKP
+		{"2001:db8:10:1::103", "2001:db8:10:1::103"},                                         // paper Figure 1 (i)
+		{"2001:db8:167:1109::10:901", "2001:db8:167:1109::10:901"},                           // Figure 1 (ii)
+		{"2001:db8:0:1cdf:21e:c2ff:fec0:11db", "2001:db8:0:1cdf:21e:c2ff:fec0:11db"},         // Figure 1 (iii)
+		{"2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a", "2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a"}, // Figure 1 (iv)
+		{"a:b:c:d:e:f:1:2", "a:b:c:d:e:f:1:2"},
+		{"0:0:0:0:0:0:0:0", "::"},
+		{"1:0:0:0:0:0:0:1", "1::1"},
+		{"2001:db8::", "2001:db8::"},
+	}
+	for _, c := range cases {
+		a, err := ParseAddr(c.in)
+		if err != nil {
+			t.Errorf("ParseAddr(%q): %v", c.in, err)
+			continue
+		}
+		if got := a.String(); got != c.want {
+			t.Errorf("ParseAddr(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAddrInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		":",
+		":::",
+		"::1::",
+		"1:2:3:4:5:6:7",      // too few
+		"1:2:3:4:5:6:7:8:9",  // too many
+		"12345::",            // segment too long
+		"g::1",               // bad hex
+		"1:2:3:4:5:6:7:8::",  // no room for ::
+		"::1:2:3:4:5:6:7:8",  // no room for ::
+		"2001:db8::1%eth0",   // zone not allowed
+		"[::1]",              // brackets not allowed
+		"1::2::3",            // double ellipsis
+		"::ffff:192.0.2.999", // bad IPv4 octet
+		"::ffff:192.0.2",     // short IPv4
+		"::ffff:192.0.2.1.5", // long IPv4
+		"::ffff:192.0.02.1",  // leading zero octet
+		"1:",                 // trailing lone colon
+		":1",                 // leading lone colon
+		"fe80::1 ",           // stray space
+	}
+	for _, s := range bad {
+		if a, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) = %v, want error", s, a)
+		}
+	}
+}
+
+// TestAgainstNetip cross-checks parsing and formatting against the standard
+// library for a corpus of addresses, including randomly generated ones.
+func TestAgainstNetip(t *testing.T) {
+	corpus := []string{
+		"::", "::1", "1::", "2001:db8::1", "fe80::1:2:3:4",
+		"2001:db8:0:1cdf:21e:c2ff:fec0:11db",
+		"2002:c000:204::", "ff02::fb", "64:ff9b::c000:221",
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		var b [16]byte
+		r.Read(b[:])
+		// Bias toward zero runs so "::" compression paths are exercised.
+		if r.Intn(2) == 0 {
+			start := r.Intn(14)
+			n := r.Intn(16 - start)
+			for j := start; j < start+n; j++ {
+				b[j] = 0
+			}
+		}
+		corpus = append(corpus, netip.AddrFrom16(b).String())
+	}
+	for _, s := range corpus {
+		std, err := netip.ParseAddr(s)
+		if err != nil {
+			t.Fatalf("netip rejects corpus entry %q: %v", s, err)
+		}
+		ours, err := ParseAddr(s)
+		if err != nil {
+			t.Errorf("ParseAddr(%q): %v", s, err)
+			continue
+		}
+		if ours.As16() != std.As16() {
+			t.Errorf("ParseAddr(%q) bytes = %x, netip = %x", s, ours.As16(), std.As16())
+		}
+		if ours.String() != std.String() {
+			t.Errorf("String mismatch for %q: ours %q, netip %q", s, ours.String(), std.String())
+		}
+	}
+}
+
+func TestSegmentsRoundTrip(t *testing.T) {
+	s := [8]uint16{0x2001, 0xdb8, 0, 0x1cdf, 0x21e, 0xc2ff, 0xfec0, 0x11db}
+	a := AddrFromSegments(s)
+	if a.Segments() != s {
+		t.Errorf("Segments round trip failed: %v", a.Segments())
+	}
+	if a.String() != "2001:db8:0:1cdf:21e:c2ff:fec0:11db" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestNybble(t *testing.T) {
+	a := MustParseAddr("0123:4567:89ab:cdef:0123:4567:89ab:cdef")
+	want := []uint8{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf}
+	for i := 0; i < 32; i++ {
+		if got := a.Nybble(i); got != want[i%16] {
+			t.Errorf("Nybble(%d) = %x, want %x", i, got, want[i%16])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Nybble(32) should panic")
+		}
+	}()
+	a.Nybble(32)
+}
+
+func TestIIDAndNetworkID(t *testing.T) {
+	a := MustParseAddr("2001:db8:1:2:aaaa:bbbb:cccc:dddd")
+	if a.NetworkID() != 0x20010db800010002 {
+		t.Errorf("NetworkID = %x", a.NetworkID())
+	}
+	if a.IID() != 0xaaaabbbbccccdddd {
+		t.Errorf("IID = %x", a.IID())
+	}
+	b := a.WithIID(0x1234)
+	if b.String() != "2001:db8:1:2::1234" {
+		t.Errorf("WithIID = %q", b.String())
+	}
+}
+
+func TestNextPrev(t *testing.T) {
+	a := MustParseAddr("2001:db8::ffff:ffff:ffff:ffff")
+	if got := a.Next().String(); got != "2001:db8:0:1::" {
+		t.Errorf("Next = %q", got)
+	}
+	if a.Next().Prev() != a {
+		t.Error("Next then Prev should be identity")
+	}
+	if MustParseAddr("::").Prev() != MustParseAddr("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff") {
+		t.Error(":: Prev should wrap to all-ones")
+	}
+}
+
+func TestMaskAddr(t *testing.T) {
+	a := MustParseAddr("2001:db8:1234:5678:9abc:def0:1234:5678")
+	cases := []struct {
+		bits int
+		want string
+	}{
+		{0, "::"},
+		{16, "2001::"},
+		{32, "2001:db8::"},
+		{48, "2001:db8:1234::"},
+		{64, "2001:db8:1234:5678::"},
+		{128, "2001:db8:1234:5678:9abc:def0:1234:5678"},
+		{67, "2001:db8:1234:5678:8000::"},
+	}
+	for _, c := range cases {
+		if got := a.Mask(c.bits).String(); got != c.want {
+			t.Errorf("Mask(%d) = %q, want %q", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestAddrOrdering(t *testing.T) {
+	addrs := []Addr{
+		MustParseAddr("ff02::1"),
+		MustParseAddr("::"),
+		MustParseAddr("2001:db8::2"),
+		MustParseAddr("2001:db8::1"),
+		MustParseAddr("::1"),
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	want := []string{"::", "::1", "2001:db8::1", "2001:db8::2", "ff02::1"}
+	for i, a := range addrs {
+		if a.String() != want[i] {
+			t.Errorf("sorted[%d] = %q, want %q", i, a.String(), want[i])
+		}
+	}
+}
+
+func TestExpandedAndHexString(t *testing.T) {
+	a := MustParseAddr("2001:db8::1")
+	if got := a.Expanded(); got != "2001:0db8:0000:0000:0000:0000:0000:0001" {
+		t.Errorf("Expanded = %q", got)
+	}
+	if got := a.HexString(); got != "20010db8000000000000000000000001" {
+		t.Errorf("HexString = %q", got)
+	}
+}
+
+func TestCommonPrefixLenAddrs(t *testing.T) {
+	a := MustParseAddr("2001:db8::1")
+	b := MustParseAddr("2001:db8::2")
+	if got := a.CommonPrefixLen(b); got != 126 {
+		t.Errorf("cpl = %d, want 126", got)
+	}
+	if got := a.CommonPrefixLen(a); got != 128 {
+		t.Errorf("cpl self = %d", got)
+	}
+}
+
+func BenchmarkParseAddr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAddr("2001:db8:0:1cdf:21e:c2ff:fec0:11db"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddrString(b *testing.B) {
+	a := MustParseAddr("2001:db8::1:0:0:1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.String()
+	}
+}

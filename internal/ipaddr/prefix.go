@@ -1,0 +1,175 @@
+package ipaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"v6class/internal/uint128"
+)
+
+// Prefix is an IPv6 address prefix: a base address and a length in bits.
+// A valid Prefix always has its address masked to the prefix length; use
+// PrefixFrom (which masks) or ParsePrefix to construct one. The zero value is
+// ::/0, the prefix covering the whole address space. Prefix is comparable and
+// suitable as a map key.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// PrefixFrom returns the prefix of the given length containing addr. The
+// address is masked down to the prefix length; bits is clamped to [0,128].
+func PrefixFrom(addr Addr, bits int) Prefix {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > 128 {
+		bits = 128
+	}
+	return Prefix{addr: addr.Mask(bits), bits: uint8(bits)}
+}
+
+// Addr returns the prefix's base (masked) address.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// Contains reports whether the prefix covers addr.
+func (p Prefix) Contains(a Addr) bool {
+	return a.Mask(int(p.bits)) == p.addr
+}
+
+// ContainsPrefix reports whether p covers all of q, i.e. q is equal to or
+// more specific than p and lies within it.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.bits >= p.bits && q.addr.Mask(int(p.bits)) == p.addr
+}
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
+}
+
+// First returns the numerically lowest address in the prefix (the base
+// address).
+func (p Prefix) First() Addr { return p.addr }
+
+// Last returns the numerically highest address in the prefix.
+func (p Prefix) Last() Addr {
+	return Addr{u: p.addr.u.Or(uint128.Mask(int(p.bits)).Not())}
+}
+
+// NumAddresses returns the number of addresses the prefix spans, saturating
+// at 2^64-1 for prefixes shorter than /64 (whose true size does not fit in a
+// uint64). Callers needing exact sizes for short prefixes should use
+// NumAddresses128.
+func (p Prefix) NumAddresses() uint64 {
+	host := 128 - int(p.bits)
+	if host >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1) << host
+}
+
+// NumAddresses128 returns the exact number of addresses spanned, as a
+// uint128; a /0 spans 2^128 which saturates to Max.
+func (p Prefix) NumAddresses128() uint128.Uint128 {
+	host := 128 - int(p.bits)
+	if host >= 128 {
+		return uint128.Max
+	}
+	return uint128.One.Shl(uint(host))
+}
+
+// Parent returns the prefix one bit shorter that contains p. Parent of ::/0
+// is ::/0 itself.
+func (p Prefix) Parent() Prefix {
+	if p.bits == 0 {
+		return p
+	}
+	return PrefixFrom(p.addr, int(p.bits)-1)
+}
+
+// Children returns the two prefixes one bit longer that partition p. It
+// panics for a /128.
+func (p Prefix) Children() (zero, one Prefix) {
+	if p.bits >= 128 {
+		panic("ipaddr: /128 prefix has no children")
+	}
+	n := int(p.bits)
+	zero = Prefix{addr: p.addr, bits: uint8(n + 1)}
+	one = Prefix{addr: Addr{u: p.addr.u.SetBit(n, 1)}, bits: uint8(n + 1)}
+	return zero, one
+}
+
+// Truncate returns p shortened to bits (a no-op if p is already as short or
+// shorter).
+func (p Prefix) Truncate(bits int) Prefix {
+	if bits >= int(p.bits) {
+		return p
+	}
+	return PrefixFrom(p.addr, bits)
+}
+
+// Supernet returns the smallest prefix containing both p and q.
+func (p Prefix) Supernet(q Prefix) Prefix {
+	n := p.addr.CommonPrefixLen(q.addr)
+	if n > int(p.bits) {
+		n = int(p.bits)
+	}
+	if n > int(q.bits) {
+		n = int(q.bits)
+	}
+	return PrefixFrom(p.addr, n)
+}
+
+// Cmp orders prefixes by base address, then by length (shorter first). This
+// is the in-order traversal order of a binary trie.
+func (p Prefix) Cmp(q Prefix) int {
+	if c := p.addr.Cmp(q.addr); c != 0 {
+		return c
+	}
+	switch {
+	case p.bits < q.bits:
+		return -1
+	case p.bits > q.bits:
+		return 1
+	}
+	return 0
+}
+
+// String returns the canonical "addr/bits" representation.
+func (p Prefix) String() string {
+	return p.addr.String() + "/" + strconv.Itoa(int(p.bits))
+}
+
+// MustParsePrefix is like ParsePrefix but panics on error; intended for
+// constants and tests.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses an "addr/bits" prefix. The address part may have bits
+// set beyond the prefix length; they are masked off, matching the paper's
+// treatment of prefixes as aggregates.
+func ParsePrefix(s string) (Prefix, error) {
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return Prefix{}, fmt.Errorf("ipaddr: prefix %q missing '/'", s)
+	}
+	a, err := ParseAddr(s[:i])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[i+1:])
+	if err != nil || bits < 0 || bits > 128 {
+		return Prefix{}, fmt.Errorf("ipaddr: bad prefix length %q", s[i+1:])
+	}
+	return PrefixFrom(a, bits), nil
+}

@@ -1,0 +1,228 @@
+package ipaddr
+
+import (
+	"math/rand"
+	"testing"
+
+	"v6class/internal/uint128"
+)
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"2001:db8::/32", "2001:db8::/32"},
+		{"2001:db8::1/32", "2001:db8::/32"}, // host bits masked off
+		{"::/0", "::/0"},
+		{"2002::/16", "2002::/16"},
+		{"2001:db8::1/128", "2001:db8::1/128"},
+		{"2001:db8:ffff::/33", "2001:db8:8000::/33"},
+	}
+	for _, c := range cases {
+		p, err := ParsePrefix(c.in)
+		if err != nil {
+			t.Errorf("ParsePrefix(%q): %v", c.in, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("ParsePrefix(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	for _, s := range []string{"", "2001:db8::", "2001:db8::/129", "2001:db8::/-1", "2001:db8::/x", "bogus/64"} {
+		if p, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) = %v, want error", s, p)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/32")
+	if !p.Contains(MustParseAddr("2001:db8::1")) {
+		t.Error("should contain 2001:db8::1")
+	}
+	if !p.Contains(MustParseAddr("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff")) {
+		t.Error("should contain last address")
+	}
+	if p.Contains(MustParseAddr("2001:db9::")) {
+		t.Error("should not contain 2001:db9::")
+	}
+	all := MustParsePrefix("::/0")
+	if !all.Contains(MustParseAddr("ffff::1")) {
+		t.Error("::/0 should contain everything")
+	}
+	host := MustParsePrefix("2001:db8::1/128")
+	if !host.Contains(MustParseAddr("2001:db8::1")) || host.Contains(MustParseAddr("2001:db8::2")) {
+		t.Error("/128 containment wrong")
+	}
+}
+
+func TestPrefixContainsPrefixAndOverlaps(t *testing.T) {
+	p32 := MustParsePrefix("2001:db8::/32")
+	p48 := MustParsePrefix("2001:db8:1::/48")
+	p48out := MustParsePrefix("2001:db9:1::/48")
+	if !p32.ContainsPrefix(p48) {
+		t.Error("/32 should contain /48 within it")
+	}
+	if p48.ContainsPrefix(p32) {
+		t.Error("/48 should not contain its /32")
+	}
+	if p32.ContainsPrefix(p48out) {
+		t.Error("should not contain outside /48")
+	}
+	if !p32.Overlaps(p48) || !p48.Overlaps(p32) {
+		t.Error("nested prefixes overlap")
+	}
+	if p48.Overlaps(p48out) {
+		t.Error("disjoint prefixes should not overlap")
+	}
+	if !p32.ContainsPrefix(p32) {
+		t.Error("prefix contains itself")
+	}
+}
+
+func TestPrefixFirstLast(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/32")
+	if got := p.First().String(); got != "2001:db8::" {
+		t.Errorf("First = %q", got)
+	}
+	if got := p.Last().String(); got != "2001:db8:ffff:ffff:ffff:ffff:ffff:ffff" {
+		t.Errorf("Last = %q", got)
+	}
+	h := MustParsePrefix("::1/128")
+	if h.First() != h.Last() {
+		t.Error("/128 First != Last")
+	}
+}
+
+func TestNumAddresses(t *testing.T) {
+	if got := MustParsePrefix("2001:db8::/112").NumAddresses(); got != 65536 {
+		t.Errorf("/112 spans %d", got)
+	}
+	if got := MustParsePrefix("2001:db8::1/128").NumAddresses(); got != 1 {
+		t.Errorf("/128 spans %d", got)
+	}
+	if got := MustParsePrefix("2001:db8::/64").NumAddresses(); got != ^uint64(0) {
+		t.Errorf("/64 should saturate, got %d", got)
+	}
+	if got := MustParsePrefix("2001:db8::/64").NumAddresses128(); got != uint128.New(1, 0) {
+		t.Errorf("/64 exact = %v", got)
+	}
+	if got := MustParsePrefix("::/0").NumAddresses128(); got != uint128.Max {
+		t.Errorf("::/0 should saturate to Max")
+	}
+}
+
+func TestParentChildren(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/32")
+	zero, one := p.Children()
+	if zero.String() != "2001:db8::/33" {
+		t.Errorf("zero child = %q", zero)
+	}
+	if one.String() != "2001:db8:8000::/33" {
+		t.Errorf("one child = %q", one)
+	}
+	if zero.Parent() != p || one.Parent() != p {
+		t.Error("Parent of children should be p")
+	}
+	if got := MustParsePrefix("::/0").Parent(); got != MustParsePrefix("::/0") {
+		t.Errorf("Parent of ::/0 = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Children of /128 should panic")
+		}
+	}()
+	MustParsePrefix("::1/128").Children()
+}
+
+func TestTruncateSupernet(t *testing.T) {
+	p := MustParsePrefix("2001:db8:1234::/48")
+	if got := p.Truncate(32).String(); got != "2001:db8::/32" {
+		t.Errorf("Truncate(32) = %q", got)
+	}
+	if got := p.Truncate(64); got != p {
+		t.Errorf("Truncate beyond length should be identity, got %v", got)
+	}
+	q := MustParsePrefix("2001:db8:ffff::/48")
+	s := p.Supernet(q)
+	if !s.ContainsPrefix(p) || !s.ContainsPrefix(q) {
+		t.Errorf("Supernet %v does not contain both", s)
+	}
+	// 0x1234 and 0xffff differ in their first bit, so the supernet is /32.
+	if s.String() != "2001:db8::/32" {
+		t.Errorf("Supernet = %q", s)
+	}
+	if got := p.Supernet(p); got != p {
+		t.Errorf("Supernet with self = %v", got)
+	}
+}
+
+func TestPrefixCmp(t *testing.T) {
+	a := MustParsePrefix("2001:db8::/32")
+	b := MustParsePrefix("2001:db8::/48")
+	c := MustParsePrefix("2001:db9::/32")
+	if a.Cmp(b) >= 0 {
+		t.Error("shorter prefix with same base sorts first")
+	}
+	if b.Cmp(c) >= 0 {
+		t.Error("lower base sorts first regardless of length")
+	}
+	if a.Cmp(a) != 0 {
+		t.Error("Cmp self != 0")
+	}
+}
+
+func TestPrefixFromClamps(t *testing.T) {
+	a := MustParseAddr("2001:db8::1")
+	if got := PrefixFrom(a, -4).Bits(); got != 0 {
+		t.Errorf("negative bits clamp: %d", got)
+	}
+	if got := PrefixFrom(a, 200).Bits(); got != 128 {
+		t.Errorf("oversize bits clamp: %d", got)
+	}
+}
+
+// Property: for random addresses and lengths, Contains(a) iff the masked
+// address equals the base; children partition the parent.
+func TestPropPrefixInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		var b [16]byte
+		r.Read(b[:])
+		a := AddrFrom16(b)
+		bits := r.Intn(129)
+		p := PrefixFrom(a, bits)
+		if !p.Contains(a) {
+			t.Fatalf("prefix %v should contain its seed address %v", p, a)
+		}
+		if p.First().Mask(bits) != p.Addr() {
+			t.Fatalf("First not aligned for %v", p)
+		}
+		if !p.Contains(p.Last()) {
+			t.Fatalf("Last not contained for %v", p)
+		}
+		if bits < 128 {
+			zero, one := p.Children()
+			if !p.ContainsPrefix(zero) || !p.ContainsPrefix(one) {
+				t.Fatalf("children of %v not contained", p)
+			}
+			if zero.Overlaps(one) {
+				t.Fatalf("children of %v overlap", p)
+			}
+			if zero.Contains(a) == one.Contains(a) {
+				t.Fatalf("exactly one child of %v must contain %v", p, a)
+			}
+		}
+	}
+}
+
+func BenchmarkPrefixContains(b *testing.B) {
+	p := MustParsePrefix("2001:db8::/32")
+	a := MustParseAddr("2001:db8:1:2:3:4:5:6")
+	for i := 0; i < b.N; i++ {
+		if !p.Contains(a) {
+			b.Fatal("should contain")
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package mraplot renders Multi-Resolution Aggregate plots — the
+// visualization introduced by Plonka & Berger (IMC 2015, Section 5.2.1) —
+// without external plotting libraries. A plot shows aggregate count ratios
+// on a log2 vertical scale against prefix length, at single-bit, 4-bit
+// (nybble), and 16-bit (colon-segment) resolutions, exposing the density or
+// sparsity of each segment of an address population.
+//
+// Three renderers are provided: data series (for external tooling), a
+// fixed-width ASCII chart (for terminals and the repository's reports), and
+// a standalone SVG document.
+package mraplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"v6class/internal/spatial"
+)
+
+// Plot is a renderable MRA plot: a title and the three canonical series.
+type Plot struct {
+	Title  string
+	Bits   []spatial.RatioPoint // k=1, "single bits"
+	Nybble []spatial.RatioPoint // k=4, "4-bit segments"
+	Seg16  []spatial.RatioPoint // k=16, "16-bit segments"
+}
+
+// New builds a Plot from a population's MRA counts.
+func New(title string, m spatial.MRA) Plot {
+	return Plot{
+		Title:  title,
+		Bits:   m.Series(1),
+		Nybble: m.Series(4),
+		Seg16:  m.Series(16),
+	}
+}
+
+// DataRows renders the plot's underlying values as tab-separated rows
+// (p, k, ratio), one row per point, suitable for gnuplot or spreadsheet
+// import.
+func (p Plot) DataRows() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# p\tk\tratio\n", p.Title)
+	for _, series := range []struct {
+		k   int
+		pts []spatial.RatioPoint
+	}{{1, p.Bits}, {4, p.Nybble}, {16, p.Seg16}} {
+		for _, pt := range series.pts {
+			fmt.Fprintf(&b, "%d\t%d\t%.6g\n", pt.P, series.k, pt.Ratio)
+		}
+	}
+	return b.String()
+}
+
+// ASCII renders the plot as a fixed-width chart: the vertical axis is
+// log2(ratio) from 0 (ratio 1) to 16 (ratio 65536), the horizontal axis is
+// prefix length 0..128. Series markers: '.' single bits, 'o' 4-bit, '#'
+// 16-bit (later series overwrite earlier at shared cells).
+func (p Plot) ASCII() string {
+	const (
+		width  = 65 // one column per 2 bits, plus axis
+		height = 17 // one row per log2 unit: 2^0 .. 2^16
+	)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(pts []spatial.RatioPoint, k int, marker byte) {
+		for _, pt := range pts {
+			if pt.Ratio < 1 {
+				continue // empty population
+			}
+			row := int(math.Round(math.Log2(pt.Ratio)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			// Mark every column the segment [p, p+k) spans so coarse
+			// resolutions draw as steps, like the paper's plots.
+			for x := pt.P; x < pt.P+k; x += 2 {
+				col := x / 2
+				if col >= width {
+					col = width - 1
+				}
+				grid[height-1-row][col] = marker
+			}
+		}
+	}
+	plot(p.Bits, 1, '.')
+	plot(p.Nybble, 4, 'o')
+	plot(p.Seg16, 16, '#')
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Title)
+	fmt.Fprintf(&b, "ratio (log2)  [#]=16-bit [o]=4-bit [.]=single bits\n")
+	for i, row := range grid {
+		fmt.Fprintf(&b, "%6d |%s\n", 1<<(height-1-i), row)
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        0       16      32      48      64      80      96      112     128\n")
+	return b.String()
+}
+
+// SVG renders the plot as a standalone SVG document with a log2 y-axis,
+// polyline per series, and the paper's axis conventions.
+func (p Plot) SVG() string {
+	const (
+		w, h           = 640, 420
+		mLeft, mBottom = 60, 40
+		mTop, mRight   = 30, 20
+	)
+	plotW, plotH := float64(w-mLeft-mRight), float64(h-mTop-mBottom)
+	x := func(bit int) float64 { return float64(mLeft) + plotW*float64(bit)/128 }
+	y := func(ratio float64) float64 {
+		if ratio < 1 {
+			ratio = 1
+		}
+		return float64(mTop) + plotH*(1-math.Log2(ratio)/16)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14">%s</text>`+"\n", mLeft, xmlEscape(p.Title))
+	// Axes and gridlines.
+	for e := 0; e <= 16; e += 2 {
+		yy := y(math.Pow(2, float64(e)))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mLeft, yy, w-mRight, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%d</text>`+"\n", mLeft-6, yy+4, 1<<e)
+	}
+	for bit := 0; bit <= 128; bit += 16 {
+		xx := x(bit)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", xx, mTop, xx, h-mBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%d</text>`+"\n", xx, h-mBottom+16, bit)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">Prefix length (p)</text>`+"\n", mLeft+int(plotW/2), h-6)
+
+	series := []struct {
+		pts   []spatial.RatioPoint
+		k     int
+		color string
+		name  string
+	}{
+		{p.Seg16, 16, "#cc2222", "16-bit segments"},
+		{p.Nybble, 4, "#222222", "4-bit segments"},
+		{p.Bits, 1, "#2244cc", "single bits"},
+	}
+	for si, s := range series {
+		var pb strings.Builder
+		for _, pt := range s.pts {
+			// Draw each segment as a horizontal step across [p, p+k).
+			fmt.Fprintf(&pb, "%.1f,%.1f %.1f,%.1f ", x(pt.P), y(pt.Ratio), x(pt.P+s.k), y(pt.Ratio))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(pb.String()), s.color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s">%s</text>`+"\n",
+			w-mRight-130, mTop+14+14*si, s.color, s.name)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

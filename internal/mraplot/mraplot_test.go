@@ -1,0 +1,114 @@
+package mraplot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+)
+
+func samplePlot(t *testing.T) Plot {
+	t.Helper()
+	var s spatial.AddressSet
+	r := rand.New(rand.NewSource(5))
+	net := ipaddr.MustParseAddr("2001:db8::")
+	for i := 0; i < 2000; i++ {
+		s.Add(net.WithIID(r.Uint64() &^ (1 << 57)))
+	}
+	return New("test population", s.MRA())
+}
+
+func TestNewPlotSeries(t *testing.T) {
+	p := samplePlot(t)
+	if len(p.Bits) != 128 {
+		t.Errorf("bits series = %d points", len(p.Bits))
+	}
+	if len(p.Nybble) != 32 {
+		t.Errorf("nybble series = %d points", len(p.Nybble))
+	}
+	if len(p.Seg16) != 8 {
+		t.Errorf("seg16 series = %d points", len(p.Seg16))
+	}
+}
+
+func TestDataRows(t *testing.T) {
+	p := samplePlot(t)
+	rows := p.DataRows()
+	if !strings.HasPrefix(rows, "# test population\n") {
+		t.Error("missing title comment")
+	}
+	lines := strings.Split(strings.TrimSpace(rows), "\n")
+	// 2 comment lines + 128 + 32 + 8 data rows.
+	if len(lines) != 2+128+32+8 {
+		t.Errorf("rows = %d lines", len(lines))
+	}
+	if !strings.Contains(rows, "\t16\t") {
+		t.Error("missing k=16 rows")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	p := samplePlot(t)
+	art := p.ASCII()
+	if !strings.Contains(art, "test population") {
+		t.Error("missing title")
+	}
+	// Must contain all three markers for this population.
+	for _, marker := range []string{".", "o", "#"} {
+		if !strings.Contains(art, marker) {
+			t.Errorf("marker %q absent", marker)
+		}
+	}
+	// Axis labels.
+	if !strings.Contains(art, "65536") || !strings.Contains(art, "128") {
+		t.Error("axis labels missing")
+	}
+	// Fixed shape: every grid row same width.
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) < 20 {
+		t.Errorf("ASCII plot has %d lines", len(lines))
+	}
+}
+
+func TestSVG(t *testing.T) {
+	p := samplePlot(t)
+	svg := p.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if strings.Count(svg, "<polyline") != 3 {
+		t.Errorf("want 3 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	for _, legend := range []string{"16-bit segments", "4-bit segments", "single bits"} {
+		if !strings.Contains(svg, legend) {
+			t.Errorf("legend %q missing", legend)
+		}
+	}
+}
+
+func TestXMLEscapeInTitle(t *testing.T) {
+	var s spatial.AddressSet
+	s.Add(ipaddr.MustParseAddr("2001:db8::1"))
+	p := New(`a <b> & "c"`, s.MRA())
+	svg := p.SVG()
+	if strings.Contains(svg, "<b>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;b&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestEmptyPopulationPlots(t *testing.T) {
+	var s spatial.AddressSet
+	p := New("empty", s.MRA())
+	// Must not panic and must produce structurally valid output.
+	if out := p.ASCII(); !strings.Contains(out, "empty") {
+		t.Error("ASCII of empty population broken")
+	}
+	if out := p.SVG(); !strings.Contains(out, "</svg>") {
+		t.Error("SVG of empty population broken")
+	}
+}

@@ -1,0 +1,56 @@
+package netmodel
+
+// Deterministic hashing utilities: the synthetic world derives every choice
+// (which subscribers are active, which /64 a mobile gateway hands out, a
+// host's privacy IID for the day) from stateless hashes of structured keys,
+// so that any study day can be regenerated independently and reproducibly
+// without materializing the full year.
+
+// splitmix64 is the finalizer of the SplitMix64 generator; a fast, well-
+// mixed 64-bit permutation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix hashes a variadic key to a uint64. The empty key hashes the seed 0.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // pi, for want of nothing up the sleeve
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// chance reports a deterministic biased coin: true with probability p for
+// the given key.
+func chance(p float64, vals ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return unit(mix(vals...)) < p
+}
+
+// pick returns a deterministic value in [0, n) for the given key; n must be
+// positive.
+func pick(n int, vals ...uint64) int {
+	return int(mix(vals...) % uint64(n))
+}
+
+// Hash exposes the deterministic mixing function to sibling packages (the
+// synthetic world's timestamp slew) so every randomized decision in a world
+// draws from one keyed stream.
+func Hash(vals ...uint64) uint64 { return mix(vals...) }
+
+// HashChance exposes the deterministic biased coin keyed like Hash.
+func HashChance(p float64, vals ...uint64) bool { return chance(p, vals...) }

@@ -1,0 +1,187 @@
+// Package netmodel models network operators and their IPv6 addressing
+// plans, the behavioural substrate that replaces the proprietary CDN logs
+// of Plonka & Berger (IMC 2015).
+//
+// Every operator practice the paper observes in the wild is modelled
+// explicitly so the classifiers have the same signal to find:
+//
+//   - a mobile carrier assigning /64s dynamically from dense pools, whose
+//     devices use a small set of fixed interface identifiers (Figure 5e and
+//     the duplicate-MAC footnote);
+//   - a European ISP embedding an on-demand-rotated pseudorandom field in
+//     the network identifier, with privacy-extension hosts (Figure 5f);
+//   - a Japanese ISP with static per-subscriber assignment where every /48
+//     contains a single active /64 (Figure 5h);
+//   - a university with a structured subnet plan using few nybble values
+//     (Figure 2a);
+//   - a department running DHCPv6 in one /64, producing a dense /112
+//     (Figure 5g);
+//   - 6to4, Teredo and ISATAP transition-mechanism clients (Table 1).
+//
+// All behaviour is a deterministic function of (seed, operator, subscriber,
+// day), so any study day can be regenerated independently.
+package netmodel
+
+import (
+	"v6class/internal/addrclass"
+	"v6class/internal/bgp"
+	"v6class/internal/ipaddr"
+	"v6class/internal/uint128"
+)
+
+// Salt values separate the hash domains of unrelated decisions.
+const (
+	saltActive = iota + 1
+	saltAssoc
+	saltDevKind
+	saltFixedIID
+	saltMAC
+	saltPrivacy
+	saltHits
+	saltHosts
+	saltSubnet
+	saltRotation
+	saltBiased
+	saltHostActive
+	saltEUI64Seen
+	saltNybble
+	saltDept
+	saltVLAN
+	saltV4
+	saltIIDKind
+	saltTeredo
+	saltExtra
+	saltLife
+	saltLifePhase
+	saltRare
+)
+
+// Operator is one autonomous system with an addressing plan and a
+// subscriber population.
+type Operator struct {
+	Name        string
+	ASN         bgp.ASN
+	Country     string
+	Prefixes    []ipaddr.Prefix // advertised BGP prefixes
+	Plan        Plan
+	Subscribers int     // population at study start
+	Growth      float64 // population multiplier across the whole study (1 = flat)
+	ActiveDaily float64 // probability a provisioned subscriber is active on a day
+	StartDay    int     // day the operator first appears (models ASN growth)
+}
+
+// Observation is one synthetic log fact: an address active on a day with a
+// hit count.
+type Observation struct {
+	Addr ipaddr.Addr
+	Hits uint64
+}
+
+// Env carries the study-wide parameters every plan decision hashes over.
+type Env struct {
+	Seed      uint64
+	OpID      uint64 // stable operator index
+	StudyDays int
+}
+
+// Plan generates the active addresses of one subscriber on one day.
+type Plan interface {
+	// Name identifies the plan kind in reports.
+	Name() string
+	// SubscriberDay appends subscriber sub's active addresses for the
+	// given day to out and returns it. It is only called for subscribers
+	// already decided to be active that day.
+	SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr
+}
+
+// ProvisionedSubscribers returns how many subscribers exist on the given
+// day, growing linearly from Subscribers to Subscribers*Growth across the
+// study.
+func (op *Operator) ProvisionedSubscribers(env Env, day int) int {
+	if day < op.StartDay {
+		return 0
+	}
+	g := 1.0
+	if env.StudyDays > 1 && op.Growth > 0 {
+		g = 1 + (op.Growth-1)*float64(day)/float64(env.StudyDays-1)
+	}
+	n := int(float64(op.Subscribers) * g)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Day generates the operator's aggregated observations for one day.
+//
+// A quarter of subscribers are rare visitors whose activity probability is
+// an order of magnitude lower: the paper notes that even long-lived client
+// addresses "return as WWW clients only infrequently" (Section 4.1), which
+// is what keeps a tenth of daily /64s out of the 3d-stable class.
+func (op *Operator) Day(env Env, day int) []Observation {
+	var addrs []ipaddr.Addr
+	n := op.ProvisionedSubscribers(env, day)
+	for sub := 0; sub < n; sub++ {
+		p := op.ActiveDaily
+		if chance(0.25, env.Seed, env.OpID, uint64(sub), saltRare) {
+			p *= 0.08
+		}
+		if !chance(p, env.Seed, env.OpID, uint64(sub), uint64(day), saltActive) {
+			continue
+		}
+		addrs = op.Plan.SubscriberDay(env, op, sub, day, addrs)
+	}
+	out := make([]Observation, len(addrs))
+	for i, a := range addrs {
+		out[i] = Observation{Addr: a, Hits: hitCount(env, a, day)}
+	}
+	return out
+}
+
+// hitCount draws a deterministic, heavy-tailed daily request count for an
+// address.
+func hitCount(env Env, a ipaddr.Addr, day int) uint64 {
+	u := a.Uint128()
+	h := mix(env.Seed, u.Hi, u.Lo, uint64(day), saltHits)
+	hits := 1 + h%9
+	if h>>32%10 == 0 { // a tenth of clients are heavy
+		hits += h >> 48 % 200
+	}
+	return hits
+}
+
+// addr64 assembles an address from a 64-bit network identifier and an IID.
+func addr64(net, iid uint64) ipaddr.Addr {
+	return ipaddr.AddrFrom128(uint128.New(net, iid))
+}
+
+// privacyIID draws an RFC 4941 pseudorandom IID (u bit cleared) for the
+// given key, typically including the day or regeneration epoch so the
+// address is periodically regenerated.
+func privacyIID(vals ...uint64) uint64 {
+	return mix(vals...) &^ (1 << 57)
+}
+
+// privacyEpoch returns the regeneration epoch of a host's privacy address
+// on the given day. RFC 4941 default preferred lifetimes are 24 hours, but
+// hosts keep an address across days while continuously attached, so
+// lifetimes of one to three days (varying per host, with a per-host phase)
+// model the stepwise activity-overlap decay of the paper's Figure 4.
+func privacyEpoch(env Env, sub, host, day int) uint64 {
+	life := 1 + pick(3, env.Seed, env.OpID, uint64(sub), uint64(host), saltLife)
+	phase := pick(life, env.Seed, env.OpID, uint64(sub), uint64(host), saltLifePhase)
+	return uint64((day + phase) / life)
+}
+
+// macForIndex deterministically assigns a MAC to an index within an
+// operator's device pool. Index 0 is the paper's most-prevalent duplicate
+// MAC, 00:11:22:33:44:56.
+func macForIndex(env Env, idx int) addrclass.MAC {
+	if idx == 0 {
+		return addrclass.MAC{0x00, 0x11, 0x22, 0x33, 0x44, 0x56}
+	}
+	h := mix(env.Seed, env.OpID, uint64(idx), saltMAC)
+	return addrclass.MAC{
+		0x00, 0x1e, byte(h >> 40), byte(h >> 32), byte(h >> 24), byte(h >> 16),
+	}
+}

@@ -1,0 +1,542 @@
+package netmodel
+
+import (
+	"testing"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/ipaddr"
+)
+
+func env() Env { return Env{Seed: 42, OpID: 1, StudyDays: 380} }
+
+func pfx(t *testing.T, s string) ipaddr.Prefix {
+	t.Helper()
+	p, err := ipaddr.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHashDeterminism(t *testing.T) {
+	if mix(1, 2, 3) != mix(1, 2, 3) {
+		t.Error("mix not deterministic")
+	}
+	if mix(1, 2, 3) == mix(1, 2, 4) {
+		t.Error("mix collision on trivially different keys")
+	}
+	if mix(1, 2) == mix(2, 1) {
+		t.Error("mix should be order sensitive")
+	}
+	u := unit(mix(9))
+	if u < 0 || u >= 1 {
+		t.Errorf("unit out of range: %v", u)
+	}
+	if chance(0, 1) || !chance(1, 1) {
+		t.Error("chance boundary behaviour wrong")
+	}
+	// pick must stay in range and be roughly uniform.
+	var buckets [10]int
+	for i := 0; i < 10000; i++ {
+		v := pick(10, 5, uint64(i))
+		if v < 0 || v >= 10 {
+			t.Fatalf("pick out of range: %d", v)
+		}
+		buckets[v]++
+	}
+	for i, b := range buckets {
+		if b < 700 || b > 1300 {
+			t.Errorf("bucket %d badly skewed: %d/10000", i, b)
+		}
+	}
+}
+
+func TestProvisionedSubscribersGrowth(t *testing.T) {
+	op := &Operator{Subscribers: 1000, Growth: 2.0}
+	e := env()
+	if got := op.ProvisionedSubscribers(e, 0); got != 1000 {
+		t.Errorf("day 0: %d", got)
+	}
+	if got := op.ProvisionedSubscribers(e, e.StudyDays-1); got != 2000 {
+		t.Errorf("last day: %d", got)
+	}
+	mid := op.ProvisionedSubscribers(e, e.StudyDays/2)
+	if mid <= 1000 || mid >= 2000 {
+		t.Errorf("midpoint: %d", mid)
+	}
+	// StartDay gates existence.
+	late := &Operator{Subscribers: 10, Growth: 1, StartDay: 100}
+	if late.ProvisionedSubscribers(e, 50) != 0 {
+		t.Error("operator before StartDay should have no subscribers")
+	}
+	if late.ProvisionedSubscribers(e, 100) == 0 {
+		t.Error("operator at StartDay should have subscribers")
+	}
+}
+
+func TestMobilePlanBehaviour(t *testing.T) {
+	plan := &MobilePlan{
+		Pools:       []ipaddr.Prefix{pfx(t, "2600:1000::/44"), pfx(t, "2600:1010::/44")},
+		PoolBits:    10,
+		FixedIIDs:   8,
+		EUI64Frac:   0.3,
+		PrivacyFrac: 0.2,
+	}
+	op := &Operator{Name: "mobile", Plan: plan, Subscribers: 500, Growth: 1, ActiveDaily: 1}
+	e := env()
+
+	if plan.PoolSize() != 2048 {
+		t.Errorf("PoolSize = %d", plan.PoolSize())
+	}
+
+	// Determinism: the same day generates identical output.
+	d1 := op.Day(e, 10)
+	d2 := op.Day(e, 10)
+	if len(d1) != len(d2) {
+		t.Fatalf("non-deterministic day: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("non-deterministic record %d", i)
+		}
+	}
+
+	// /64s rotate across days for a given subscriber (with high
+	// probability over 500 subscribers).
+	day10 := map[uint64]bool{}
+	var addrs10 []ipaddr.Addr
+	for _, o := range d1 {
+		day10[o.Addr.NetworkID()] = true
+		addrs10 = append(addrs10, o.Addr)
+	}
+	d11 := op.Day(e, 11)
+	changed := 0
+	for i := 0; i < len(d11) && i < len(d1); i++ {
+		if d1[i].Addr.NetworkID() != d11[i].Addr.NetworkID() {
+			changed++
+		}
+	}
+	if changed < len(d1)/2 {
+		t.Errorf("only %d/%d mobile /64s changed across days", changed, len(d1))
+	}
+
+	// All /64s must come from the configured pools.
+	for _, o := range d1 {
+		in := false
+		for _, pool := range plan.Pools {
+			if pool.Contains(o.Addr) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			t.Fatalf("address %v outside pools", o.Addr)
+		}
+	}
+
+	// The duplicate-MAC signature: the same EUI-64 IID must appear under
+	// multiple different /64s on one day.
+	iidNets := map[uint64]map[uint64]bool{}
+	for _, o := range d1 {
+		if addrclass.IsEUI64(o.Addr) {
+			m := iidNets[o.Addr.IID()]
+			if m == nil {
+				m = map[uint64]bool{}
+				iidNets[o.Addr.IID()] = m
+			}
+			m[o.Addr.NetworkID()] = true
+		}
+	}
+	multi := 0
+	for _, nets := range iidNets {
+		if len(nets) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("expected duplicated EUI-64 IIDs across /64s (shared-MAC devices)")
+	}
+
+	// Hits are positive.
+	for _, o := range d1 {
+		if o.Hits == 0 {
+			t.Fatal("zero hit count")
+		}
+	}
+}
+
+func TestPrivacySubnetISPPlan(t *testing.T) {
+	plan := &PrivacySubnetISPPlan{
+		Base:             pfx(t, "2a02:8000::/24"),
+		Pops:             16,
+		MeanRotationDays: 30,
+		HostsMax:         3,
+		EUI64Prob:        0.3,
+	}
+	e := env()
+	// Bit layout: bit 40 is always zero; the biased byte is most often 0x00
+	// or 0x01.
+	biasHits := 0
+	const subs = 2000
+	for sub := 0; sub < subs; sub++ {
+		net := plan.Network64(e, sub, 10)
+		if net>>23&1 != 0 {
+			t.Fatalf("bit 40 set in network id %x", net)
+		}
+		if b := net & 0xff; b == 0x00 || b == 0x01 {
+			biasHits++
+		}
+		// Network stays inside the /24.
+		if net&^((1<<40)-1) != plan.Base.Addr().NetworkID() {
+			t.Fatalf("network %x escapes base", net)
+		}
+	}
+	if float64(biasHits)/subs < 0.7 {
+		t.Errorf("biased byte hit only %d/%d", biasHits, subs)
+	}
+
+	// Rotation: the network eventually changes for (almost) every
+	// subscriber across half a year, but holds within a day.
+	rotated := 0
+	for sub := 0; sub < 200; sub++ {
+		if plan.Network64(e, sub, 0) != plan.Network64(e, sub, 180) {
+			rotated++
+		}
+		if plan.Network64(e, sub, 50) != plan.Network64(e, sub, 50) {
+			t.Fatal("same-day network must be stable")
+		}
+	}
+	if rotated < 150 {
+		t.Errorf("only %d/200 subscribers rotated over 180 days", rotated)
+	}
+
+	op := &Operator{Name: "eu", Plan: plan, Subscribers: 300, Growth: 1, ActiveDaily: 1}
+	day := op.Day(e, 5)
+	if len(day) < 300 {
+		t.Errorf("day yields %d observations", len(day))
+	}
+	// Privacy addresses live one to three days: consecutive-day overlap is
+	// substantial but bounded, while five days later only the stable
+	// (EUI-64) addresses remain.
+	set := map[ipaddr.Addr]bool{}
+	for _, o := range day {
+		set[o.Addr] = true
+	}
+	overlapAt := func(d int) int {
+		n := 0
+		for _, o := range op.Day(e, d) {
+			if set[o.Addr] {
+				n++
+			}
+		}
+		return n
+	}
+	next := overlapAt(6)
+	far := overlapAt(10)
+	if float64(next) > 0.8*float64(len(day)) {
+		t.Errorf("privacy addresses too stable: %d/%d next-day overlap", next, len(day))
+	}
+	if far >= next {
+		t.Errorf("overlap should decay: next-day %d, five-days %d", next, far)
+	}
+	if float64(far) > 0.5*float64(len(day)) {
+		t.Errorf("far overlap too high: %d/%d", far, len(day))
+	}
+}
+
+func TestStaticISPPlan(t *testing.T) {
+	plan := &StaticISPPlan{
+		Bases:     []ipaddr.Prefix{pfx(t, "2400:2650::/32")},
+		HostsMax:  3,
+		EUI64Prob: 0.3,
+	}
+	e := env()
+	// One active /64 per subscriber, constant across days.
+	for sub := 0; sub < 100; sub++ {
+		if plan.Network64(e, sub) != plan.Network64(e, sub) {
+			t.Fatal("static network must be deterministic")
+		}
+	}
+	// Distinct subscribers get distinct /48s (distinct idx), and their
+	// /48's 16-bit subnet value is constant => one /64 per /48.
+	seen48 := map[uint64]uint64{}
+	for sub := 0; sub < 1000; sub++ {
+		net := plan.Network64(e, sub)
+		p48 := net >> 16
+		if prev, ok := seen48[p48]; ok && prev != net {
+			t.Fatalf("/48 %x carries two /64s: %x and %x", p48, prev, net)
+		}
+		seen48[p48] = net
+	}
+
+	op := &Operator{Name: "jp", Plan: plan, Subscribers: 200, Growth: 1, ActiveDaily: 1}
+	d := op.Day(e, 3)
+	// EUI-64 addresses appear.
+	eui := 0
+	for _, o := range d {
+		if addrclass.IsEUI64(o.Addr) {
+			eui++
+		}
+	}
+	if eui == 0 {
+		t.Error("expected some EUI-64 observations")
+	}
+}
+
+func TestUniversityPlan(t *testing.T) {
+	plan := &UniversityPlan{
+		Base:         pfx(t, "2607:f8b0::/32"),
+		NybbleValues: []uint64{0x0, 0x1, 0x8},
+		Departments:  200,
+		HostsMax:     6,
+	}
+	e := env()
+	nybbles := map[uint64]bool{}
+	for sub := 0; sub < 500; sub++ {
+		net := plan.Network64(e, sub)
+		nyb := net >> 28 & 0xf
+		nybbles[nyb] = true
+		ok := false
+		for _, v := range plan.NybbleValues {
+			if nyb == v {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("unexpected nybble %x", nyb)
+		}
+	}
+	if len(nybbles) != 3 {
+		t.Errorf("observed %d nybble values, want 3", len(nybbles))
+	}
+}
+
+func TestDHCPDensePlan(t *testing.T) {
+	plan := &DHCPDensePlan{
+		Network:    pfx(t, "2001:db8:100:64::/64"),
+		PoolBase:   0x1000,
+		Hosts:      100,
+		ActiveProb: 0.7,
+	}
+	e := env()
+	op := &Operator{Name: "dept", Plan: plan, Subscribers: 1, Growth: 1, ActiveDaily: 1}
+	d := op.Day(e, 0)
+	if len(d) < 40 || len(d) > 100 {
+		t.Errorf("active hosts = %d, want ~70", len(d))
+	}
+	// All in the /64, numerically adjacent region.
+	for _, o := range d {
+		if !plan.Network.Contains(o.Addr) {
+			t.Fatalf("%v outside /64", o.Addr)
+		}
+		if o.Addr.IID() < 0x1000 || o.Addr.IID() >= 0x1000+uint64(plan.Hosts) {
+			t.Fatalf("IID %x outside DHCP pool", o.Addr.IID())
+		}
+	}
+	// Stable addresses: host addresses never change.
+	if plan.HostAddr(5) != plan.HostAddr(5) {
+		t.Error("HostAddr must be stable")
+	}
+}
+
+func TestSixToFourPlan(t *testing.T) {
+	plan := &SixToFourPlan{V4Pools: []uint32{0xc633, 0xcb00}, RenumberDays: 7}
+	e := env()
+	op := &Operator{Name: "6to4", Plan: plan, Subscribers: 300, Growth: 1, ActiveDaily: 1}
+	d := op.Day(e, 0)
+	for _, o := range d {
+		if addrclass.Classify(o.Addr) != addrclass.Kind6to4 {
+			t.Fatalf("%v not classified 6to4", o.Addr)
+		}
+		v4, _ := addrclass.Embedded6to4IPv4(o.Addr)
+		hi := uint32(v4 >> 16)
+		if hi != 0xc633 && hi != 0xcb00 {
+			t.Fatalf("embedded v4 %x outside pools", v4)
+		}
+	}
+	// Renumbering: across an epoch boundary many clients change prefix.
+	d7 := op.Day(e, 7)
+	same := 0
+	for i := 0; i < len(d) && i < len(d7); i++ {
+		if d[i].Addr.NetworkID() == d7[i].Addr.NetworkID() {
+			same++
+		}
+	}
+	if same > len(d)*9/10 {
+		t.Errorf("6to4 prefixes too static across epochs: %d/%d", same, len(d))
+	}
+}
+
+func TestTeredoAndISATAPPlans(t *testing.T) {
+	e := env()
+	top := &Operator{Name: "teredo", Plan: &TeredoPlan{}, Subscribers: 50, Growth: 1, ActiveDaily: 1}
+	for _, o := range top.Day(e, 0) {
+		if got := addrclass.Classify(o.Addr); got != addrclass.KindTeredo {
+			t.Fatalf("%v classified %v, want teredo", o.Addr, got)
+		}
+	}
+	iop := &Operator{
+		Name:        "isatap",
+		Plan:        &ISATAPPlan{Base: pfx(t, "2001:db8:5000::/48"), V4Base: 0xc0a8},
+		Subscribers: 50, Growth: 1, ActiveDaily: 1,
+	}
+	for _, o := range iop.Day(e, 0) {
+		if got := addrclass.Classify(o.Addr); got != addrclass.KindISATAP {
+			t.Fatalf("%v classified %v, want isatap", o.Addr, got)
+		}
+	}
+	// ISATAP addresses are stable across days.
+	a0 := iop.Day(e, 0)
+	a1 := iop.Day(e, 1)
+	if len(a0) == 0 || len(a1) == 0 {
+		t.Fatal("empty ISATAP days")
+	}
+	stable := 0
+	seen := map[ipaddr.Addr]bool{}
+	for _, o := range a0 {
+		seen[o.Addr] = true
+	}
+	for _, o := range a1 {
+		if seen[o.Addr] {
+			stable++
+		}
+	}
+	if stable == 0 {
+		t.Error("ISATAP addresses should recur across days")
+	}
+}
+
+func TestMacForIndex(t *testing.T) {
+	e := env()
+	if macForIndex(e, 0).String() != "00:11:22:33:44:56" {
+		t.Errorf("index 0 should be the paper's duplicate MAC, got %v", macForIndex(e, 0))
+	}
+	if macForIndex(e, 1) == macForIndex(e, 2) {
+		t.Error("distinct indexes should give distinct MACs")
+	}
+	if macForIndex(e, 1) != macForIndex(e, 1) {
+		t.Error("MAC assignment must be deterministic")
+	}
+}
+
+func TestRFC7217StablePrivacyHosts(t *testing.T) {
+	plan := &StaticISPPlan{
+		Bases:       []ipaddr.Prefix{pfx(t, "2400:2650::/32")},
+		HostsMax:    1,
+		RFC7217Prob: 1, // every host uses stable privacy addresses
+	}
+	e := env()
+	op := &Operator{Name: "jp", Plan: plan, Subscribers: 100, Growth: 1, ActiveDaily: 1}
+	d0 := op.Day(e, 0)
+	d9 := op.Day(e, 9)
+	if len(d0) == 0 {
+		t.Fatal("empty day")
+	}
+	// Addresses look like RFC 4941 privacy addresses to the format
+	// classifier...
+	other := 0
+	for _, o := range d0 {
+		if addrclass.Classify(o.Addr) == addrclass.KindOther {
+			other++
+		}
+	}
+	if float64(other)/float64(len(d0)) < 0.95 {
+		t.Errorf("only %d/%d stable-privacy addrs classified Other", other, len(d0))
+	}
+	// ...but are perfectly stable across days (static network identifier).
+	seen := map[ipaddr.Addr]bool{}
+	for _, o := range d0 {
+		seen[o.Addr] = true
+	}
+	stable := 0
+	for _, o := range d9 {
+		if seen[o.Addr] {
+			stable++
+		}
+	}
+	// A subscriber active on both days produces the identical address, so
+	// the overlap is bounded only by which subscribers (including the
+	// rare visitors) happen to be active each day.
+	min := len(d0)
+	if len(d9) < min {
+		min = len(d9)
+	}
+	if float64(stable) < 0.9*float64(min) {
+		t.Errorf("stable-privacy addrs should mostly recur: day0 %d, day9 %d, overlap %d",
+			len(d0), len(d9), stable)
+	}
+}
+
+func TestPlanNames(t *testing.T) {
+	plans := map[string]Plan{
+		"mobile-dynamic64":      &MobilePlan{},
+		"privacy-subnet-isp":    &PrivacySubnetISPPlan{},
+		"static-isp":            &StaticISPPlan{},
+		"university-structured": &UniversityPlan{},
+		"dhcpv6-dense":          &DHCPDensePlan{},
+		"6to4":                  &SixToFourPlan{},
+		"teredo":                &TeredoPlan{},
+		"isatap":                &ISATAPPlan{},
+	}
+	for want, p := range plans {
+		if got := p.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestUniversityPlanDay(t *testing.T) {
+	plan := &UniversityPlan{
+		Base:         pfx(t, "2607:f010::/32"),
+		NybbleValues: []uint64{0x0, 0x1, 0x8},
+		Departments:  50,
+		HostsMax:     6,
+	}
+	e := env()
+	op := &Operator{Name: "uni", Plan: plan, Subscribers: 200, Growth: 1, ActiveDaily: 1}
+	d := op.Day(e, 3)
+	if len(d) == 0 {
+		t.Fatal("empty university day")
+	}
+	for _, o := range d {
+		if !plan.Base.Contains(o.Addr) {
+			t.Fatalf("%v escapes the /32", o.Addr)
+		}
+		// All hosts use privacy addresses: classified Other.
+		if k := addrclass.Classify(o.Addr); k != addrclass.KindOther {
+			t.Fatalf("%v classified %v", o.Addr, k)
+		}
+	}
+	// Privacy addresses persist for their 1-3 day lifetime then vanish.
+	set := map[ipaddr.Addr]bool{}
+	for _, o := range d {
+		set[o.Addr] = true
+	}
+	far := 0
+	for _, o := range op.Day(e, 13) {
+		if set[o.Addr] {
+			far++
+		}
+	}
+	if far != 0 {
+		t.Errorf("%d university privacy addrs survived 10 days", far)
+	}
+}
+
+func TestExportedHash(t *testing.T) {
+	if Hash(1, 2) != Hash(1, 2) || Hash(1, 2) == Hash(2, 1) {
+		t.Error("Hash misbehaves")
+	}
+	if HashChance(0, 1) || !HashChance(1, 1) {
+		t.Error("HashChance boundaries wrong")
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if HashChance(0.3, 42, uint64(i)) {
+			hits++
+		}
+	}
+	if hits < 2700 || hits > 3300 {
+		t.Errorf("HashChance(0.3) hit %d/10000", hits)
+	}
+}

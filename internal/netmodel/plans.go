@@ -1,0 +1,356 @@
+package netmodel
+
+import (
+	"v6class/internal/addrclass"
+	"v6class/internal/ipaddr"
+)
+
+// MobilePlan models the U.S. mobile carriers of Figure 5e: user equipment
+// receives a different /64 on each association, drawn least-recently-used
+// from dense pools sized to gateway capacity, so /64s are reused by other
+// subscribers within days. Devices use fixed interface identifiers from a
+// small shared set — some of them EUI-64 expansions of duplicated MACs —
+// plus optional daily privacy addresses.
+type MobilePlan struct {
+	// Pools are the /44-style pool prefixes /64s are drawn from.
+	Pools []ipaddr.Prefix
+	// PoolBits is the log2 number of /64s used per pool prefix, packed
+	// densely from the bottom of the pool (bits 44-64 nearly fully used
+	// at paper scale).
+	PoolBits int
+	// FixedIIDs is the size of the shared fixed-IID set; small values
+	// force many devices to share the same IID simultaneously.
+	FixedIIDs int
+	// EUI64Frac is the fraction of devices whose fixed IID is an EUI-64
+	// expansion (of a possibly duplicated MAC) rather than a small
+	// integer.
+	EUI64Frac float64
+	// PrivacyFrac is the fraction of devices that also expose a
+	// regenerated-daily privacy address.
+	PrivacyFrac float64
+}
+
+func (p *MobilePlan) Name() string { return "mobile-dynamic64" }
+
+// pool64 returns the /64 network identifier for pool slot idx.
+func (p *MobilePlan) pool64(idx int) uint64 {
+	pool := idx >> p.PoolBits
+	offset := idx & (1<<p.PoolBits - 1)
+	return p.Pools[pool].Addr().NetworkID() + uint64(offset)
+}
+
+// PoolSize returns the total number of /64s across all pools.
+func (p *MobilePlan) PoolSize() int { return len(p.Pools) << p.PoolBits }
+
+func (p *MobilePlan) SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr {
+	// A fresh association each day: the /64 is a pseudo-LRU pool slot,
+	// keyed by day so tomorrow's assignment differs and the slot is
+	// reused by a different subscriber.
+	slot := pick(p.PoolSize(), env.Seed, env.OpID, uint64(sub), uint64(day), saltAssoc)
+	net := p.pool64(slot)
+
+	if chance(p.EUI64Frac, env.Seed, env.OpID, uint64(sub), saltDevKind) {
+		// EUI-64 fixed IID; a quarter of such devices carry the
+		// most-duplicated MAC (index 0).
+		idx := pick(p.FixedIIDs, env.Seed, env.OpID, uint64(sub), saltFixedIID)
+		if pick(4, env.Seed, env.OpID, uint64(sub), saltMAC) == 0 {
+			idx = 0
+		}
+		out = append(out, addr64(net, addrclass.EUI64FromMAC(macForIndex(env, idx))))
+	} else {
+		// Small-integer fixed IID shared across many devices (::1-style).
+		iid := uint64(1 + pick(p.FixedIIDs, env.Seed, env.OpID, uint64(sub), saltFixedIID))
+		out = append(out, addr64(net, iid))
+	}
+	if chance(p.PrivacyFrac, env.Seed, env.OpID, uint64(sub), uint64(day), saltPrivacy) {
+		out = append(out, addr64(net, privacyIID(env.Seed, env.OpID, uint64(sub), uint64(day), saltPrivacy)))
+	}
+	return out
+}
+
+// PrivacySubnetISPPlan models the European ISP of Figure 5f: the network
+// identifier carries a pseudorandom 15-bit field (bits 41-55) that
+// subscribers may rotate on demand, followed by a biased 8-bit field (bits
+// 56-63) most often 0x00 or 0x01. Households run a few hosts using daily
+// privacy addresses, with EUI-64 addresses surfacing occasionally.
+type PrivacySubnetISPPlan struct {
+	// Base is the operator prefix the subscriber field is placed under
+	// (a /24-ish allocation).
+	Base ipaddr.Prefix
+	// Pops is the number of points of presence occupying bits 24-39.
+	Pops int
+	// MeanRotationDays is the average interval between a subscriber's
+	// on-demand network-identifier rotations.
+	MeanRotationDays int
+	// HostsMax is the maximum devices per household (minimum 1).
+	HostsMax int
+	// EUI64Prob is the fraction of hosts that use EUI-64 SLAAC (exposing
+	// a stable address) instead of privacy extensions.
+	EUI64Prob float64
+	// StaticHostProb is the fraction of hosts holding stable small-integer
+	// addresses (DHCPv6 or manual assignment, the paper's Figure 1(i)).
+	StaticHostProb float64
+	// RFC7217Prob is the fraction of hosts using stable privacy addresses
+	// (RFC 7217, the paper's footnote 1): the IID is pseudorandom in
+	// content but constant for a given (host, network) pair, so only
+	// temporal analysis can tell these from RFC 4941 privacy addresses.
+	RFC7217Prob float64
+}
+
+func (p *PrivacySubnetISPPlan) Name() string { return "privacy-subnet-isp" }
+
+// Network64 returns subscriber sub's /64 network identifier on the given
+// day, exported so tests can verify the rotation and bias structure.
+func (p *PrivacySubnetISPPlan) Network64(env Env, sub, day int) uint64 {
+	base := p.Base.Addr().NetworkID()
+	pop := uint64(pick(p.Pops, env.Seed, env.OpID, uint64(sub), saltSubnet))
+	// Rotation epoch: the pseudorandom field holds within an epoch and
+	// re-rolls across epochs; epoch length varies per subscriber around
+	// the mean.
+	period := 1 + p.MeanRotationDays/2 + pick(p.MeanRotationDays, env.Seed, env.OpID, uint64(sub), saltRotation)
+	epoch := uint64(day / period)
+	rnd15 := mix(env.Seed, env.OpID, uint64(sub), epoch, saltRotation) & 0x7fff
+	// Biased final byte: 0x00 half the time, 0x01 a third, else varied.
+	var biased uint64
+	switch b := pick(6, env.Seed, env.OpID, uint64(sub), saltBiased); b {
+	case 0, 1, 2:
+		biased = 0x00
+	case 3, 4:
+		biased = 0x01
+	default:
+		biased = mix(env.Seed, env.OpID, uint64(sub), saltBiased) & 0xff
+	}
+	// Layout: bits 24-39 pop, bit 40 zero, bits 41-55 pseudorandom,
+	// bits 56-63 biased byte.
+	return base | pop<<24 | rnd15<<8 | biased
+}
+
+func (p *PrivacySubnetISPPlan) SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr {
+	net := p.Network64(env, sub, day)
+	hosts := 1 + pick(p.HostsMax, env.Seed, env.OpID, uint64(sub), saltHosts)
+	for h := 0; h < hosts; h++ {
+		if h > 0 && !chance(0.6, env.Seed, env.OpID, uint64(sub), uint64(h), uint64(day), saltHostActive) {
+			continue
+		}
+		// A host's addressing style is a property of the host: EUI-64
+		// SLAAC, a stable small-integer (DHCPv6/manual) address, or
+		// privacy extensions.
+		switch r := unit(mix(env.Seed, env.OpID, uint64(sub), uint64(h), saltDevKind)); {
+		case r < p.EUI64Prob:
+			mac := macForIndex(env, 1+sub*16+h)
+			out = append(out, addr64(net, addrclass.EUI64FromMAC(mac)))
+		case r < p.EUI64Prob+p.StaticHostProb:
+			iid := 0x100 + mix(env.Seed, env.OpID, uint64(sub), uint64(h), saltFixedIID)&0xfff
+			out = append(out, addr64(net, iid))
+		case r < p.EUI64Prob+p.StaticHostProb+p.RFC7217Prob:
+			// Stable privacy: pseudorandom content keyed by (host, net),
+			// constant until the network identifier changes.
+			out = append(out, addr64(net, privacyIID(env.Seed, env.OpID, uint64(sub), uint64(h), net, saltPrivacy)))
+		default:
+			epoch := privacyEpoch(env, sub, h, day)
+			out = append(out, addr64(net, privacyIID(env.Seed, env.OpID, uint64(sub), uint64(h), epoch, saltPrivacy)))
+		}
+	}
+	return out
+}
+
+// StaticISPPlan models the Japanese ISP of Figure 5h: each subscriber holds
+// a static /48 of which a single /64 is active (so the 48-64 bit segment
+// shows no aggregation), making active /64 counts a reasonable subscriber
+// estimate. Households run privacy-address hosts plus occasional EUI-64.
+type StaticISPPlan struct {
+	// Bases are /32-ish allocations subdivided into per-subscriber /48s.
+	Bases []ipaddr.Prefix
+	// HostsMax is the maximum devices per household (minimum 1).
+	HostsMax int
+	// EUI64Prob is the fraction of hosts that use EUI-64 SLAAC (exposing
+	// a stable address) instead of privacy extensions.
+	EUI64Prob float64
+	// StaticHostProb is the fraction of hosts holding stable small-integer
+	// addresses (DHCPv6 or manual assignment, the paper's Figure 1(i)).
+	StaticHostProb float64
+	// RFC7217Prob is the fraction of hosts using stable privacy addresses
+	// (RFC 7217, the paper's footnote 1): the IID is pseudorandom in
+	// content but constant for a given (host, network) pair, so only
+	// temporal analysis can tell these from RFC 4941 privacy addresses.
+	RFC7217Prob float64
+}
+
+func (p *StaticISPPlan) Name() string { return "static-isp" }
+
+// Network64 returns the single active /64 of subscriber sub: a static /48
+// (base + index) plus a per-subscriber constant 16-bit subnet value.
+func (p *StaticISPPlan) Network64(env Env, sub int) uint64 {
+	base := p.Bases[sub%len(p.Bases)]
+	idx := uint64(sub/len(p.Bases)) & 0xffff // /48 index within the /32
+	subnet16 := mix(env.Seed, env.OpID, uint64(sub), saltSubnet) & 0xffff
+	return base.Addr().NetworkID() | idx<<16 | subnet16
+}
+
+func (p *StaticISPPlan) SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr {
+	net := p.Network64(env, sub)
+	hosts := 1 + pick(p.HostsMax, env.Seed, env.OpID, uint64(sub), saltHosts)
+	for h := 0; h < hosts; h++ {
+		if h > 0 && !chance(0.6, env.Seed, env.OpID, uint64(sub), uint64(h), uint64(day), saltHostActive) {
+			continue
+		}
+		// A host's addressing style is a property of the host: EUI-64
+		// SLAAC, a stable small-integer (DHCPv6/manual) address, or
+		// privacy extensions.
+		switch r := unit(mix(env.Seed, env.OpID, uint64(sub), uint64(h), saltDevKind)); {
+		case r < p.EUI64Prob:
+			mac := macForIndex(env, 1+sub*16+h)
+			out = append(out, addr64(net, addrclass.EUI64FromMAC(mac)))
+		case r < p.EUI64Prob+p.StaticHostProb:
+			iid := 0x100 + mix(env.Seed, env.OpID, uint64(sub), uint64(h), saltFixedIID)&0xfff
+			out = append(out, addr64(net, iid))
+		case r < p.EUI64Prob+p.StaticHostProb+p.RFC7217Prob:
+			// Stable privacy: pseudorandom content keyed by (host, net),
+			// constant until the network identifier changes.
+			out = append(out, addr64(net, privacyIID(env.Seed, env.OpID, uint64(sub), uint64(h), net, saltPrivacy)))
+		default:
+			epoch := privacyEpoch(env, sub, h, day)
+			out = append(out, addr64(net, privacyIID(env.Seed, env.OpID, uint64(sub), uint64(h), epoch, saltPrivacy)))
+		}
+	}
+	return out
+}
+
+// UniversityPlan models the U.S. university of Figure 2a: a /32 whose
+// subnet plan uses only three hexadecimal character values at the first
+// nybble below the BGP prefix ("customer networks" and "large customer
+// networks"), with sparse /64s populated by privacy-address clients.
+type UniversityPlan struct {
+	Base ipaddr.Prefix // the /32
+	// NybbleValues are the (three) values observed at bits 32-35.
+	NybbleValues []uint64
+	// Departments bounds the subnet index at bits 36-47.
+	Departments int
+	// HostsMax is the maximum clients per subnet (minimum 1).
+	HostsMax int
+}
+
+func (p *UniversityPlan) Name() string { return "university-structured" }
+
+// Network64 returns the /64 for subnet sub, exported for tests.
+func (p *UniversityPlan) Network64(env Env, sub int) uint64 {
+	nyb := p.NybbleValues[pick(len(p.NybbleValues), env.Seed, env.OpID, uint64(sub), saltNybble)]
+	dept := uint64(pick(p.Departments, env.Seed, env.OpID, uint64(sub), saltDept)) & 0xfff
+	vlan := mix(env.Seed, env.OpID, uint64(sub), saltVLAN) & 0xf
+	// Layout below the /32: bits 32-35 nybble, 36-47 department,
+	// 48-59 zero, 60-63 vlan.
+	return p.Base.Addr().NetworkID() | nyb<<28 | dept<<16 | vlan
+}
+
+func (p *UniversityPlan) SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr {
+	net := p.Network64(env, sub)
+	hosts := 1 + pick(p.HostsMax, env.Seed, env.OpID, uint64(sub), saltHosts)
+	for h := 0; h < hosts; h++ {
+		if !chance(0.5, env.Seed, env.OpID, uint64(sub), uint64(h), uint64(day), saltHostActive) {
+			continue
+		}
+		epoch := privacyEpoch(env, sub, h, day)
+		out = append(out, addr64(net, privacyIID(env.Seed, env.OpID, uint64(sub), uint64(h), epoch, saltPrivacy)))
+	}
+	return out
+}
+
+// DHCPDensePlan models the European university department of Figure 5g: a
+// single /64 serving on the order of a hundred hosts whose DHCPv6-assigned
+// addresses sit numerically adjacent in the low bits, forming 2@/112-dense
+// prefixes. Subscriber 0 is the whole department; plans of this kind are
+// configured with Subscribers=1 on their operator.
+type DHCPDensePlan struct {
+	Network ipaddr.Prefix // the /64
+	// PoolBase is the first assigned low-64-bit value (e.g. 0x1000).
+	PoolBase uint64
+	// Hosts is the DHCP client population.
+	Hosts int
+	// ActiveProb is the per-day probability a host is active.
+	ActiveProb float64
+}
+
+func (p *DHCPDensePlan) Name() string { return "dhcpv6-dense" }
+
+// HostAddr returns host h's stable DHCPv6 address, exported for the DNS
+// simulator which publishes matching PTR records.
+func (p *DHCPDensePlan) HostAddr(h int) ipaddr.Addr {
+	return addr64(p.Network.Addr().NetworkID(), p.PoolBase+uint64(h))
+}
+
+func (p *DHCPDensePlan) SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr {
+	for h := 0; h < p.Hosts; h++ {
+		if chance(p.ActiveProb, env.Seed, env.OpID, uint64(h), uint64(day), saltHostActive) {
+			out = append(out, p.HostAddr(h))
+		}
+	}
+	return out
+}
+
+// SixToFourPlan models remaining 6to4 (RFC 3056) clients: the IPv4 address
+// embedded in bits 16-48 dominates aggregation (Figure 5d). Client IPv4
+// addresses churn on a weekly-ish epoch.
+type SixToFourPlan struct {
+	// V4Pools are 16-bit IPv4 prefixes (upper halves of dotted quads,
+	// e.g. 0xc633 for 198.51.0.0/16) client addresses are drawn from.
+	V4Pools []uint32
+	// RenumberDays is the epoch length after which a client's IPv4
+	// address (and hence 6to4 prefix) changes.
+	RenumberDays int
+}
+
+func (p *SixToFourPlan) Name() string { return "6to4" }
+
+func (p *SixToFourPlan) SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr {
+	epoch := uint64(0)
+	if p.RenumberDays > 0 {
+		epoch = uint64(day / p.RenumberDays)
+	}
+	pool := p.V4Pools[pick(len(p.V4Pools), env.Seed, env.OpID, uint64(sub), saltV4)]
+	v4 := uint64(pool)<<16 | mix(env.Seed, env.OpID, uint64(sub), epoch, saltV4)&0xffff
+	// 2002:V4V4:V4V4:0000::/64
+	net := uint64(0x2002)<<48 | v4<<16
+	switch pick(10, env.Seed, env.OpID, uint64(sub), saltIIDKind) {
+	case 0, 1, 2, 3, 4: // EUI-64 router/host interface
+		mac := macForIndex(env, 1+sub)
+		out = append(out, addr64(net, addrclass.EUI64FromMAC(mac)))
+	case 5, 6, 7: // low fixed IID
+		out = append(out, addr64(net, uint64(1+pick(16, env.Seed, env.OpID, uint64(sub), saltFixedIID))))
+	default: // privacy
+		out = append(out, addr64(net, privacyIID(env.Seed, env.OpID, uint64(sub), uint64(day), saltPrivacy)))
+	}
+	return out
+}
+
+// TeredoPlan models residual Teredo (RFC 4380) clients: addresses under
+// 2001::/32 whose tail encodes server, flags, and obfuscated client
+// address/port — effectively ephemeral random values.
+type TeredoPlan struct{}
+
+func (p *TeredoPlan) Name() string { return "teredo" }
+
+func (p *TeredoPlan) SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr {
+	h := mix(env.Seed, env.OpID, uint64(sub), uint64(day), saltTeredo)
+	server := uint64(0xc0000200) + h>>56 // a handful of servers
+	net := uint64(0x20010000)<<32 | server
+	return append(out, addr64(net, mix(h, saltTeredo)))
+}
+
+// ISATAPPlan models intra-site ISATAP (RFC 5214) hosts: native prefixes
+// with the reserved 0000:5efe IID prefix and an embedded (stable) IPv4
+// address.
+type ISATAPPlan struct {
+	Base ipaddr.Prefix // the site prefix (/48-ish)
+	// V4Base is the upper 16 bits of the site's IPv4 network.
+	V4Base uint32
+}
+
+func (p *ISATAPPlan) Name() string { return "isatap" }
+
+func (p *ISATAPPlan) SubscriberDay(env Env, op *Operator, sub, day int, out []ipaddr.Addr) []ipaddr.Addr {
+	subnet := uint64(pick(256, env.Seed, env.OpID, uint64(sub), saltSubnet))
+	net := p.Base.Addr().NetworkID() | subnet
+	v4 := uint64(p.V4Base)<<16 | mix(env.Seed, env.OpID, uint64(sub), saltV4)&0xffff
+	iid := uint64(0x00005efe)<<32 | v4
+	return append(out, addr64(net, iid))
+}

@@ -1,0 +1,228 @@
+// Package probe simulates the active-measurement side of the study: the
+// TTL-limited probing of Section 4.2 of Plonka & Berger (IMC 2015) that
+// collects router interface addresses from ICMPv6 Time Exceeded responses,
+// and the Section 6.1.1 experiment showing that 3d-stable WWW client
+// addresses make far better traceroute targets than the classic IPv4-style
+// selection.
+//
+// The simulated topology hangs off the synthetic world's BGP table: probing
+// any routed address reveals a border router, a point-to-point link
+// interface, and an aggregation router for the target's region; the
+// last-hop router is revealed only when the target address is still active
+// on the probe day — which is exactly why ephemeral privacy addresses are
+// poor targets and stable addresses are good ones.
+package probe
+
+import (
+	"v6class/internal/bgp"
+	"v6class/internal/ipaddr"
+	"v6class/internal/netmodel"
+	"v6class/internal/synth"
+	"v6class/internal/uint128"
+)
+
+// Topology is the simulated router infrastructure of a world.
+type Topology struct {
+	world *synth.World
+	// active is the set of client addresses live on the probe day. The
+	// collection methodology counts only ICMPv6 Time Exceeded responses
+	// (Section 4.2); a probe toward a vanished host dies at the edge
+	// with Destination Unreachable instead, so the last-hop router is
+	// observed only for targets that are still live — the mechanism
+	// behind the paper's Section 6.1.1 result.
+	active map[ipaddr.Addr]bool
+}
+
+// NewTopology builds the router topology of w, with probes happening on
+// the given study day (whose active address set gates last-hop
+// observability).
+func NewTopology(w *synth.World, probeDay int) *Topology {
+	t := &Topology{world: w, active: make(map[ipaddr.Addr]bool)}
+	for _, r := range w.Day(probeDay).Records {
+		t.active[r.Addr] = true
+	}
+	return t
+}
+
+// World returns the underlying synthetic world.
+func (t *Topology) World() *synth.World { return t.world }
+
+// Router interface IIDs live in per-prefix infrastructure /64s: the top
+// /64 of each advertised prefix, which no client plan allocates from.
+const (
+	// lastHopIID marks last-hop (subscriber-side) router interfaces.
+	lastHopIID = 0xfffffffffffffffe
+	// aggIIDBase marks aggregation router interfaces.
+	aggIIDBase = 0xffffffff00000000
+	// groupShift sizes a last-hop router's coverage: one last-hop (CPE or
+	// subscriber-edge) router per /64.
+	groupShift = 0
+)
+
+// infraNet returns the infrastructure /64 of an advertised prefix.
+func infraNet(p ipaddr.Prefix) uint64 {
+	return ipaddr.PrefixFrom(p.Last(), 64).Addr().NetworkID()
+}
+
+// BorderRouters returns the border-router interface addresses of prefix p:
+// a dense run ::1..::n in the infrastructure /64 (the dense /112 blocks of
+// Table 3), plus /127 point-to-point interfaces and a couple of EUI-64
+// interfaces. Only the "responding" subset appears in traceroute paths; see
+// AllInterfaces for the full set (used by the DNS harvesting experiment).
+func (t *Topology) BorderRouters(p ipaddr.Prefix, op *netmodel.Operator) []ipaddr.Addr {
+	net := infraNet(p)
+	n := routersFor(op)
+	out := make([]ipaddr.Addr, 0, n+n/2+2)
+	for i := 1; i <= n; i++ {
+		out = append(out, addr64(net, uint64(i)))
+	}
+	// Point-to-point /127 pairs at a dense offset block.
+	for i := 0; i < n/2; i++ {
+		out = append(out, addr64(net, 0x10000+uint64(2*i)))
+	}
+	// A couple of EUI-64-addressed interfaces.
+	out = append(out,
+		addr64(net, 0x021122fffe000001),
+		addr64(net, 0x021122fffe000002),
+	)
+	return out
+}
+
+// AllInterfaces returns every router interface with a DNS PTR record in
+// prefix p's infrastructure: twice the responding border set (silent
+// standby interfaces still have names), both ends of each /127, and the
+// EUI-64 pair. The DNS harvesting experiment of Section 6.2.3 finds these
+// extra interfaces by sweeping dense prefixes.
+func (t *Topology) AllInterfaces(p ipaddr.Prefix, op *netmodel.Operator) []ipaddr.Addr {
+	net := infraNet(p)
+	n := routersFor(op)
+	out := make([]ipaddr.Addr, 0, 3*n+2)
+	for i := 1; i <= 2*n; i++ {
+		out = append(out, addr64(net, uint64(i)))
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, addr64(net, 0x10000+uint64(i)))
+	}
+	out = append(out,
+		addr64(net, 0x021122fffe000001),
+		addr64(net, 0x021122fffe000002),
+	)
+	return out
+}
+
+// routersFor sizes a prefix's border-router count by operator population.
+func routersFor(op *netmodel.Operator) int {
+	switch {
+	case op.Subscribers >= 5000:
+		return 48
+	case op.Subscribers >= 1000:
+		return 16
+	default:
+		return 6
+	}
+}
+
+// Resolvers returns the recursive DNS server addresses of the world: one or
+// two per operator, in the infrastructure /64 at the conventional :53
+// offsets. These are the paper's first probe-target type.
+func (t *Topology) Resolvers() []ipaddr.Addr {
+	var out []ipaddr.Addr
+	for _, op := range t.world.Operators {
+		net := infraNet(op.Prefixes[0])
+		out = append(out, addr64(net, 0x5300))
+		if op.Subscribers > 2000 {
+			out = append(out, addr64(net, 0x5301))
+		}
+	}
+	return out
+}
+
+// aggRouter returns the aggregation router interface for a client /64.
+// Aggregation is coarse — four region routers per advertised prefix — so
+// probing many dead targets quickly exhausts the aggregation layer's
+// contribution to discovery; further gains require live targets.
+func aggRouter(p ipaddr.Prefix, clientNet uint64) ipaddr.Addr {
+	region := clientNet >> 18 & 0x3
+	return addr64(infraNet(p), aggIIDBase|region)
+}
+
+// lastHopRouter returns the last-hop router interface for a client /64:
+// one per 2^groupShift consecutive /64s, addressed within the group's
+// first /64.
+func lastHopRouter(clientNet uint64) ipaddr.Addr {
+	group := clientNet >> groupShift << groupShift
+	return addr64(group, lastHopIID)
+}
+
+// Trace simulates a TTL-limited probe toward target, returning the router
+// interfaces that answer with ICMPv6 Time Exceeded, in hop order. An
+// unrouted target yields no responses. The last hop answers only when the
+// target address is active on the probe day.
+func (t *Topology) Trace(target ipaddr.Addr) []ipaddr.Addr {
+	origin, ok := t.world.Table.Lookup(target)
+	if !ok {
+		return nil
+	}
+	op, _ := t.world.OperatorByName(origin.Name)
+	if op == nil {
+		return nil
+	}
+	// Border router: paths to a region consistently cross the same
+	// border, so dead targets exhaust the border layer quickly.
+	borders := t.BorderRouters(origin.Prefix, op)
+	region := target.NetworkID() >> 18 & 0x3
+	b := borders[int(region)%routersFor(op)]
+	// Distribution hop: the ingress interface of a /127 point-to-point
+	// link, one of up to 64 per prefix packed in a dense block — the
+	// paper's Table 3 finds 64@/112-dense infrastructure exactly because
+	// router link interfaces are numbered adjacently.
+	p2p := addr64(infraNet(origin.Prefix), 0x10000+2*(target.NetworkID()>>8&0x3f))
+	path := []ipaddr.Addr{b, p2p, aggRouter(origin.Prefix, target.NetworkID())}
+	if t.active[target] || t.isInfra(origin.Prefix, op, target) {
+		path = append(path, lastHopRouter(target.NetworkID()))
+	}
+	return path
+}
+
+// isInfra reports whether target is itself infrastructure (resolvers and
+// router interfaces always respond).
+func (t *Topology) isInfra(p ipaddr.Prefix, op *netmodel.Operator, target ipaddr.Addr) bool {
+	return target.NetworkID() == infraNet(p)
+}
+
+// Discover probes every target and returns the distinct router interfaces
+// observed, the Section 4.2 collection methodology.
+func (t *Topology) Discover(targets []ipaddr.Addr) []ipaddr.Addr {
+	seen := make(map[ipaddr.Addr]bool)
+	var out []ipaddr.Addr
+	for _, tgt := range targets {
+		for _, r := range t.Trace(tgt) {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// RouterDataset synthesizes the Section 4.2 router-address dataset by
+// probing the three target types the paper used: recursive resolver
+// addresses, the CDN's own server locations (modelled as resolvers of the
+// largest operators), and a mixed selection of WWW client addresses. The
+// result feeds Table 3's dense-prefix analysis.
+func (t *Topology) RouterDataset(clientTargets []ipaddr.Addr) []ipaddr.Addr {
+	targets := t.Resolvers()
+	targets = append(targets, clientTargets...)
+	return t.Discover(targets)
+}
+
+func addr64(net, iid uint64) ipaddr.Addr {
+	return ipaddr.AddrFrom128(uint128.New(net, iid))
+}
+
+// ASNOf is a convenience for reports: the origin ASN of an address.
+func (t *Topology) ASNOf(a ipaddr.Addr) (bgp.ASN, bool) {
+	o, ok := t.world.Table.Lookup(a)
+	return o.ASN, ok
+}

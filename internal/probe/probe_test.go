@@ -1,0 +1,195 @@
+package probe
+
+import (
+	"testing"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/synth"
+	"v6class/internal/uint128"
+)
+
+func topo(t *testing.T) *Topology {
+	t.Helper()
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.02})
+	return NewTopology(w, synth.EpochMar2015)
+}
+
+func TestTraceRoutedTarget(t *testing.T) {
+	tp := topo(t)
+	day := tp.World().Day(synth.EpochMar2015)
+	if len(day.Records) == 0 {
+		t.Fatal("empty day")
+	}
+	// An active client address traces to four hops: border, p2p link,
+	// aggregation, last-hop.
+	target := day.Records[0].Addr
+	path := tp.Trace(target)
+	if len(path) != 4 {
+		t.Fatalf("active target path = %v", path)
+	}
+	// Path routers belong to the target's operator space or group.
+	for _, r := range path {
+		if r == target {
+			t.Error("router must differ from target")
+		}
+	}
+	// Determinism.
+	path2 := tp.Trace(target)
+	for i := range path {
+		if path[i] != path2[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestTraceInactiveTargetStopsEarly(t *testing.T) {
+	tp := topo(t)
+	// A routed but never-assigned /64: mobile pools are packed from the
+	// bottom of each /44 and infrastructure sits in the top /64, so a /64
+	// just below the top is never live.
+	op, _ := tp.World().OperatorByName("us-mobile-1")
+	deadNet := ipaddr.PrefixFrom(op.Prefixes[0].Last(), 64).Addr().NetworkID() - 2
+	target := addrAt(deadNet, 0xdeadbeefdeadbeef)
+	path := tp.Trace(target)
+	if len(path) != 3 {
+		t.Fatalf("dead-subnet target should stop at aggregation: %v", path)
+	}
+}
+
+// addrAt builds an address from a /64 network identifier and IID.
+func addrAt(net, iid uint64) ipaddr.Addr {
+	return ipaddr.AddrFrom128(uint128.New(net, iid))
+}
+
+func TestTraceUnroutedTarget(t *testing.T) {
+	tp := topo(t)
+	target := ipaddr.MustParseAddr("3fff::1")
+	if path := tp.Trace(target); len(path) != 0 {
+		t.Fatalf("unrouted target path = %v", path)
+	}
+}
+
+func TestResolversAreProbeable(t *testing.T) {
+	tp := topo(t)
+	res := tp.Resolvers()
+	if len(res) < 40 {
+		t.Fatalf("only %d resolvers", len(res))
+	}
+	// Resolvers are infrastructure: their traces reach the last hop.
+	for _, r := range res[:10] {
+		if path := tp.Trace(r); len(path) != 4 {
+			t.Fatalf("resolver %v path = %v", r, path)
+		}
+	}
+}
+
+func TestDiscoverDeduplicates(t *testing.T) {
+	tp := topo(t)
+	day := tp.World().Day(synth.EpochMar2015)
+	targets := day.Addrs()
+	if len(targets) > 500 {
+		targets = targets[:500]
+	}
+	found := tp.Discover(targets)
+	seen := map[ipaddr.Addr]bool{}
+	for _, r := range found {
+		if seen[r] {
+			t.Fatalf("duplicate router %v", r)
+		}
+		seen[r] = true
+	}
+	if len(found) < 10 {
+		t.Errorf("discovered only %d routers", len(found))
+	}
+}
+
+func TestLiveTargetsBeatDeadTargets(t *testing.T) {
+	// The Section 6.1.1 effect in miniature: targets that have gone dark
+	// (expired privacy addresses) reveal fewer routers than targets still
+	// live at probe time, because only live targets' paths expose the
+	// last-hop routers.
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05})
+	probeDay := synth.EpochMar2015 + 14
+	tp := NewTopology(w, probeDay)
+
+	older := w.Day(synth.EpochMar2015) // two weeks before probing
+	activeNow := map[ipaddr.Addr]bool{}
+	for _, r := range w.Day(probeDay).Records {
+		activeNow[r.Addr] = true
+	}
+	var dead, live []ipaddr.Addr
+	for _, a := range older.Addrs() {
+		if len(dead) >= 500 && len(live) >= 500 {
+			break
+		}
+		if activeNow[a] {
+			live = append(live, a)
+		} else {
+			dead = append(dead, a)
+		}
+	}
+	if len(live) < 100 || len(dead) < 100 {
+		t.Skipf("degenerate split: %d live, %d dead", len(live), len(dead))
+	}
+	n := len(live)
+	if n > len(dead) {
+		n = len(dead)
+	}
+	liveRouters := tp.Discover(live[:n])
+	deadRouters := tp.Discover(dead[:n])
+	if len(liveRouters) <= len(deadRouters) {
+		t.Errorf("live targets found %d routers, dead %d; want live > dead",
+			len(liveRouters), len(deadRouters))
+	}
+}
+
+func TestBorderRoutersDense(t *testing.T) {
+	tp := topo(t)
+	op, _ := tp.World().OperatorByName("us-mobile-1")
+	routers := tp.BorderRouters(op.Prefixes[0], op)
+	if len(routers) < 10 {
+		t.Fatalf("border set = %d", len(routers))
+	}
+	// The ::1..::n run is numerically adjacent (dense /112 material).
+	if routers[0].IID() != 1 || routers[1].IID() != 2 {
+		t.Errorf("border run should start ::1, ::2; got %v %v", routers[0], routers[1])
+	}
+	all := tp.AllInterfaces(op.Prefixes[0], op)
+	if len(all) <= len(routers) {
+		t.Errorf("AllInterfaces (%d) should exceed responding set (%d)", len(all), len(routers))
+	}
+	// The responding set is a subset of the named set.
+	named := map[ipaddr.Addr]bool{}
+	for _, a := range all {
+		named[a] = true
+	}
+	miss := 0
+	for _, a := range routers {
+		if !named[a] {
+			miss++
+		}
+	}
+	if miss > len(routers)/2 {
+		t.Errorf("%d responding interfaces missing from AllInterfaces", miss)
+	}
+}
+
+func TestRouterDataset(t *testing.T) {
+	tp := topo(t)
+	day := tp.World().Day(synth.EpochMar2015)
+	clients := day.Addrs()
+	if len(clients) > 1000 {
+		clients = clients[:1000]
+	}
+	routers := tp.RouterDataset(clients)
+	if len(routers) < 50 {
+		t.Errorf("router dataset = %d", len(routers))
+	}
+	// All router addresses re-resolve to an ASN (they live in advertised
+	// space).
+	for _, r := range routers[:20] {
+		if _, ok := tp.ASNOf(r); !ok {
+			t.Errorf("router %v outside advertised space", r)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the future work deferred at the end of the paper's
+// Section 5.2.1: "While defining MRA-based address classes is left for
+// future work, we begin by developing spatial classification by identifying
+// dense prefixes." Here the underlying (x, y) values of the MRA plot are
+// turned into a prefix classifier: each population is labelled by the
+// addressing practice its MRA signature reveals, mechanizing the visual
+// reading of Figures 2 and 5.
+
+// Signature is an MRA-derived spatial class for an address population
+// (typically the addresses of one BGP prefix or operator).
+type Signature uint8
+
+const (
+	// SigEmpty is a population too small to classify (fewer than
+	// MinSignatureAddrs addresses).
+	SigEmpty Signature = iota
+	// SigPrivacySparse is the RFC 4941 shape of Figure 2a: IIDs are
+	// pseudorandom, so single-bit ratios sit near 2 just after bit 64,
+	// drop to 1 at the cleared "u" bit (bit 70), and flat-line at 1 in
+	// the deep bits where every address is alone in its prefix.
+	SigPrivacySparse
+	// SigDensePacked is the Figure 5g shape: addresses numerically
+	// adjacent in the low bits (static assignment or DHCPv6), with the
+	// 112-128 segment carrying heavy aggregation.
+	SigDensePacked
+	// SigPoolSaturated is the Figure 5e mobile-carrier shape: the 44-64
+	// bit segment is densely utilized by dynamic /64 pools.
+	SigPoolSaturated
+	// SigStructuredSubnet is the Figure 2a left-half shape without heavy
+	// pool usage: moderate aggregation concentrated in the subnetting
+	// bits (32-64), sparse IIDs below.
+	SigStructuredSubnet
+	// SigEmbeddedIPv4 is the Figure 5d 6to4 shape: aggregation dominated
+	// by the embedded IPv4 address in bits 16-48.
+	SigEmbeddedIPv4
+)
+
+var signatureNames = [...]string{
+	SigEmpty:            "empty",
+	SigPrivacySparse:    "privacy-sparse",
+	SigDensePacked:      "dense-packed",
+	SigPoolSaturated:    "pool-saturated",
+	SigStructuredSubnet: "structured-subnet",
+	SigEmbeddedIPv4:     "embedded-ipv4",
+}
+
+func (s Signature) String() string {
+	if int(s) < len(signatureNames) {
+		return signatureNames[s]
+	}
+	return fmt.Sprintf("signature(%d)", uint8(s))
+}
+
+// MinSignatureAddrs is the smallest population the signature classifier
+// will label; smaller sets return SigEmpty.
+const MinSignatureAddrs = 32
+
+// UBitNotch reports whether the population shows the RFC 4941 "u bit
+// cleared" notch: substantial splitting just after bit 64 but essentially
+// none at bit 70.
+func (m MRA) UBitNotch() bool {
+	after64 := (m.Ratio(64, 1) + m.Ratio(65, 1) + m.Ratio(66, 1)) / 3
+	return after64 > 1.5 && m.Ratio(70, 1) < 1.05
+}
+
+// SegmentWeight returns the fraction of the population's total log2
+// "splitting mass" carried by the 16-bit segments within [from, to). The
+// weights over the eight segments sum to 1 for a non-trivial population,
+// because the product of the segment ratios is N.
+func (m MRA) SegmentWeight(from, to int) float64 {
+	total := 0.0
+	window := 0.0
+	for p := 0; p+16 <= 128; p += 16 {
+		r := m.Ratio(p, 16)
+		if r < 1 {
+			return 0 // empty population
+		}
+		mass := log2(r)
+		total += mass
+		if p >= from && p+16 <= to {
+			window += mass
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return window / total
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// ClassifySignature labels a population by its MRA shape. Rules are
+// applied most-specific first; they mirror the visual reading the paper
+// gives for each figure.
+func ClassifySignature(m MRA) Signature {
+	if m.N < MinSignatureAddrs {
+		return SigEmpty
+	}
+	// 6to4-style: the embedded IPv4 spans bits 16-48, so the 16-32
+	// segment — fixed inside any ordinary allocation — splits heavily.
+	if m.SegmentWeight(16, 32) > 0.25 && m.SegmentWeight(16, 48) > 0.5 {
+		return SigEmbeddedIPv4
+	}
+	// Dense low-bit packing: the 112-128 segment carries a large share
+	// and a strong absolute ratio.
+	if m.Ratio(112, 16) >= 8 && m.SegmentWeight(112, 128) > 0.3 {
+		return SigDensePacked
+	}
+	// Saturated dynamic pools: very heavy splitting in 48-64.
+	if m.Ratio(48, 16) >= 64 {
+		return SigPoolSaturated
+	}
+	// The privacy shape: the u-bit notch plus deep-bit sparsity.
+	if m.UBitNotch() && m.Ratio(120, 1) < 1.1 {
+		return SigPrivacySparse
+	}
+	// Otherwise: subnet-structured if the 32-64 window leads.
+	if m.SegmentWeight(32, 64) >= 0.3 {
+		return SigStructuredSubnet
+	}
+	return SigPrivacySparse
+}

@@ -1,0 +1,144 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+// populations below mirror the synthetic operator plans so the classifier
+// is tested against exactly the shapes it will meet.
+
+func privacyPopulation(n int) *AddressSet {
+	var s AddressSet
+	r := rand.New(rand.NewSource(11))
+	for subnet := 0; subnet < 32; subnet++ {
+		net := ipaddr.AddrFromSegments([8]uint16{0x2001, 0xdb8, 0, uint16(subnet)})
+		for h := 0; h < n/32+1; h++ {
+			s.Add(net.WithIID(r.Uint64() &^ (1 << 57)))
+		}
+	}
+	return &s
+}
+
+func densePopulation() *AddressSet {
+	var s AddressSet
+	base := ipaddr.MustParseAddr("2001:db8:100:64::1000")
+	for i := 0; i < 100; i++ {
+		s.Add(ipaddr.AddrFrom128(base.Uint128().Add64(uint64(i))))
+	}
+	return &s
+}
+
+func TestUBitNotch(t *testing.T) {
+	if !privacyPopulation(2000).MRA().UBitNotch() {
+		t.Error("privacy population should show the u-bit notch")
+	}
+	if densePopulation().MRA().UBitNotch() {
+		t.Error("dense population should not show the notch")
+	}
+}
+
+func TestSegmentWeightSumsToOne(t *testing.T) {
+	m := privacyPopulation(1000).MRA()
+	total := 0.0
+	for p := 0; p < 128; p += 16 {
+		total += m.SegmentWeight(p, p+16)
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("segment weights sum to %v", total)
+	}
+	if got := m.SegmentWeight(0, 128); got < 0.999 {
+		t.Errorf("full-window weight = %v", got)
+	}
+	var empty AddressSet
+	if got := empty.MRA().SegmentWeight(0, 128); got != 0 {
+		t.Errorf("empty population weight = %v", got)
+	}
+}
+
+func TestClassifySignaturePrivacy(t *testing.T) {
+	if got := ClassifySignature(privacyPopulation(2000).MRA()); got != SigPrivacySparse {
+		t.Errorf("privacy population = %v", got)
+	}
+}
+
+func TestClassifySignatureDense(t *testing.T) {
+	if got := ClassifySignature(densePopulation().MRA()); got != SigDensePacked {
+		t.Errorf("dense population = %v", got)
+	}
+}
+
+func TestClassifySignaturePool(t *testing.T) {
+	// A saturated pool: contiguous /64s each holding one fixed-IID
+	// address — the mobile-carrier shape.
+	var s AddressSet
+	base := ipaddr.MustParseAddr("2600:1000::")
+	for slot := 0; slot < 4096; slot++ {
+		net := base.Uint128()
+		net.Hi += uint64(slot)
+		s.Add(ipaddr.AddrFrom128(net).WithIID(uint64(1 + slot%6)))
+	}
+	if got := ClassifySignature(s.MRA()); got != SigPoolSaturated {
+		t.Errorf("pool population = %v", got)
+	}
+}
+
+func TestClassifySignatureEmbeddedIPv4(t *testing.T) {
+	// 6to4: random embedded IPv4s, subnet 0, a fixed IID.
+	var s AddressSet
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		v4 := uint64(r.Uint32())
+		net := uint64(0x2002)<<48 | v4<<16
+		s.Add(addrFromNet(net, 1))
+	}
+	if got := ClassifySignature(s.MRA()); got != SigEmbeddedIPv4 {
+		t.Errorf("6to4 population = %v", got)
+	}
+}
+
+// addrFromNet assembles an address from its 64-bit halves.
+func addrFromNet(net, iid uint64) ipaddr.Addr {
+	a := ipaddr.AddrFromSegments([8]uint16{
+		uint16(net >> 48), uint16(net >> 32), uint16(net >> 16), uint16(net),
+	})
+	return a.WithIID(iid)
+}
+
+func TestClassifySignatureStructured(t *testing.T) {
+	// A university-like plan: few subnet values, a handful of stable
+	// low-IID hosts per subnet (so deep bits neither random nor packed).
+	var s AddressSet
+	r := rand.New(rand.NewSource(17))
+	for sub := 0; sub < 300; sub++ {
+		net := uint64(0x2607f010)<<32 | uint64(sub%3)<<28 | uint64(r.Intn(200))<<16
+		for h := 0; h < 2; h++ {
+			s.Add(addrFromNet(net, uint64(0x100+r.Intn(64)*16)))
+		}
+	}
+	if got := ClassifySignature(s.MRA()); got != SigStructuredSubnet {
+		t.Errorf("structured population = %v", got)
+	}
+}
+
+func TestClassifySignatureEmpty(t *testing.T) {
+	var s AddressSet
+	if got := ClassifySignature(s.MRA()); got != SigEmpty {
+		t.Errorf("empty = %v", got)
+	}
+	s.Add(ipaddr.MustParseAddr("2001:db8::1"))
+	if got := ClassifySignature(s.MRA()); got != SigEmpty {
+		t.Errorf("tiny population = %v", got)
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	if SigPrivacySparse.String() != "privacy-sparse" || SigEmpty.String() != "empty" {
+		t.Error("signature names wrong")
+	}
+	if Signature(99).String() != "signature(99)" {
+		t.Error("unknown signature name wrong")
+	}
+}

@@ -1,0 +1,186 @@
+// Package spatial implements the spatial classification of Section 5.2 of
+// Plonka & Berger (IMC 2015): Multi-Resolution Aggregate (MRA) count ratios
+// over an address population, prefix-density classes ("n@/p-dense"), and the
+// aggregate population distributions of Kohler et al. used in Figure 3.
+package spatial
+
+import (
+	"fmt"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/trie"
+)
+
+// AddressSet is a population of observed addresses (or fixed-length
+// prefixes) under spatial analysis. The zero value is an empty set.
+type AddressSet struct {
+	tr trie.Trie
+}
+
+// Add records one observation of address a. Repeated additions of the same
+// address increase its observation count but not the population's distinct
+// size.
+func (s *AddressSet) Add(a ipaddr.Addr) { s.tr.AddAddr(a) }
+
+// AddPrefix records one observation of a fixed-length aggregate, e.g. a /64;
+// used when the population under analysis is a set of prefixes rather than
+// full addresses (Figure 3's "/64s" curves).
+func (s *AddressSet) AddPrefix(p ipaddr.Prefix) { s.tr.Add(p, 1) }
+
+// Len returns the number of distinct addresses (or prefixes) in the set.
+func (s *AddressSet) Len() int { return s.tr.Len() }
+
+// Total returns the total observation count including repeats.
+func (s *AddressSet) Total() uint64 { return s.tr.Total() }
+
+// Trie exposes the underlying counting trie for advanced operations
+// (aguri aggregation, custom walks).
+func (s *AddressSet) Trie() *trie.Trie { return &s.tr }
+
+// MRA holds the active-aggregate counts n_p of a population for every
+// prefix length p in [0, 128], from which MRA count ratios are derived.
+type MRA struct {
+	// Counts[p] is n_p: the number of /p prefixes covering the set.
+	Counts [129]uint64
+	// N is the number of distinct items; equal to Counts[128] for full
+	// address sets.
+	N uint64
+}
+
+// MRA computes the multi-resolution aggregate counts of the set.
+func (s *AddressSet) MRA() MRA {
+	return MRA{Counts: s.tr.AggregateCounts(), N: uint64(s.tr.Len())}
+}
+
+// Ratio returns the MRA count ratio γ^k_p = n_{p+k} / n_p. The result is in
+// [1, 2^k] for a non-empty set; it is 0 for an empty set or out-of-range
+// arguments.
+func (m MRA) Ratio(p, k int) float64 {
+	if p < 0 || k <= 0 || p+k > 128 || m.Counts[p] == 0 {
+		return 0
+	}
+	return float64(m.Counts[p+k]) / float64(m.Counts[p])
+}
+
+// RatioPoint is one plotted MRA ratio: the ratio γ^k_p at horizontal
+// position p (the paper plots the ratio of segment [p, p+k) at x = p).
+type RatioPoint struct {
+	P     int
+	Ratio float64
+}
+
+// Series returns the canonical ratio series for resolution k (1, 4, 8, or
+// 16 in the paper): γ^k_p for p = 0, k, 2k, ..., 128-k. Empty sets yield
+// all-zero ratios.
+func (m MRA) Series(k int) []RatioPoint {
+	if k <= 0 || 128%k != 0 {
+		panic(fmt.Sprintf("spatial: resolution %d does not divide 128", k))
+	}
+	out := make([]RatioPoint, 0, 128/k)
+	for p := 0; p+k <= 128; p += k {
+		out = append(out, RatioPoint{P: p, Ratio: m.Ratio(p, k)})
+	}
+	return out
+}
+
+// DensityClass identifies the paper's "n@/p-dense" spatial class: prefixes
+// of length P containing at least N observed addresses.
+type DensityClass struct {
+	N uint64
+	P int
+}
+
+func (c DensityClass) String() string { return fmt.Sprintf("%d @ /%d", c.N, c.P) }
+
+// DensityResult summarizes a density classification, mirroring a row of the
+// paper's Table 3.
+type DensityResult struct {
+	Class DensityClass
+	// Prefixes are the dense prefixes with their covered address counts.
+	Prefixes []trie.PrefixCount
+	// CoveredAddresses is the number of observed addresses inside dense
+	// prefixes (Table 3's "Router Addresses" column).
+	CoveredAddresses uint64
+	// PossibleAddresses is the total address capacity of the dense
+	// prefixes (Table 3's "Possible Addresses"), as a float64 because /p
+	// capacities overflow uint64 for p < 64.
+	PossibleAddresses float64
+}
+
+// Density returns the ratio of covered to possible addresses (Table 3's
+// "Address Density"); 0 when no prefixes are dense.
+func (r DensityResult) Density() float64 {
+	if r.PossibleAddresses == 0 {
+		return 0
+	}
+	return float64(r.CoveredAddresses) / r.PossibleAddresses
+}
+
+// DenseFixed computes the n@/p-dense class with the prefix length fixed at
+// exactly P, the methodology behind Table 3.
+func (s *AddressSet) DenseFixed(c DensityClass) DensityResult {
+	return summarizeDense(c, s.tr.FixedLengthDense(c.N, c.P))
+}
+
+// DenseLeastSpecific computes the generalized density class via the
+// densify operation: the least-specific non-overlapping prefixes meeting
+// the class density (Section 5.2.3).
+func (s *AddressSet) DenseLeastSpecific(c DensityClass) DensityResult {
+	return summarizeDense(c, s.tr.DensePrefixes(c.N, c.P))
+}
+
+func summarizeDense(c DensityClass, prefixes []trie.PrefixCount) DensityResult {
+	r := DensityResult{Class: c, Prefixes: prefixes}
+	for _, pc := range prefixes {
+		r.CoveredAddresses += pc.Count
+		r.PossibleAddresses += prefixSizeFloat(pc.Prefix.Bits())
+	}
+	return r
+}
+
+func prefixSizeFloat(bits int) float64 {
+	size := 1.0
+	for i := 0; i < 128-bits; i++ {
+		size *= 2
+	}
+	return size
+}
+
+// AggregatePopulations returns the per-/p-prefix item counts of the set —
+// Kohler et al.'s aggregate population — for aggregate length p. Each
+// element is the number of items in one occupied /p; feeding the result to
+// stats.CCDF reproduces Figure 3's curves.
+func (s *AddressSet) AggregatePopulations(p int) []uint64 {
+	dense := s.tr.FixedLengthDense(1, p)
+	out := make([]uint64, len(dense))
+	for i, pc := range dense {
+		out[i] = pc.Count
+	}
+	return out
+}
+
+// ScanTargets expands dense prefixes into the total number of probe-able
+// addresses they span (the "Possible Addresses" a scanner would sweep),
+// saturating at math.MaxUint64-representable sizes via float64. It also
+// returns up to limit concrete example target prefixes for tooling output.
+func ScanTargets(r DensityResult, limit int) (total float64, examples []ipaddr.Prefix) {
+	total = r.PossibleAddresses
+	for i := 0; i < len(r.Prefixes) && i < limit; i++ {
+		examples = append(examples, r.Prefixes[i].Prefix)
+	}
+	return total, examples
+}
+
+// AguriProfile runs the aguri aggregation of Cho et al. with the threshold
+// expressed as a fraction of total observations, the profiler's native
+// parameterization.
+func (s *AddressSet) AguriProfile(fraction float64) []trie.PrefixCount {
+	if fraction <= 0 {
+		fraction = 0.01
+	}
+	min := uint64(float64(s.Total()) * fraction)
+	if min == 0 {
+		min = 1
+	}
+	return s.tr.AguriAggregate(min)
+}

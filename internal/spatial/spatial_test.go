@@ -1,0 +1,297 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+func a(t *testing.T, s string) ipaddr.Addr {
+	t.Helper()
+	x, err := ipaddr.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestMRARatioBounds(t *testing.T) {
+	var s AddressSet
+	r := rand.New(rand.NewSource(1))
+	net := a(t, "2001:db8::")
+	for i := 0; i < 1000; i++ {
+		s.Add(net.WithIID(r.Uint64()))
+	}
+	m := s.MRA()
+	for _, k := range []int{1, 4, 8, 16} {
+		for _, pt := range m.Series(k) {
+			if pt.Ratio < 1 || pt.Ratio > math.Pow(2, float64(k))+1e-9 {
+				t.Errorf("γ^%d_%d = %v out of [1, 2^%d]", k, pt.P, pt.Ratio, k)
+			}
+		}
+	}
+}
+
+// TestMRAProductInvariant checks the paper's note: for a given resolution k,
+// the product of the ratios equals the total number of addresses in the set.
+func TestMRAProductInvariant(t *testing.T) {
+	var s AddressSet
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		var b [16]byte
+		r.Read(b[:])
+		b[0], b[1] = 0x20, 0x01
+		s.Add(ipaddr.AddrFrom16(b))
+	}
+	m := s.MRA()
+	for _, k := range []int{1, 4, 8, 16} {
+		prod := 1.0
+		for _, pt := range m.Series(k) {
+			prod *= pt.Ratio
+		}
+		if math.Abs(prod-float64(m.N))/float64(m.N) > 1e-9 {
+			t.Errorf("k=%d: product of ratios = %v, want %d", k, prod, m.N)
+		}
+	}
+}
+
+// TestPrivacySignature reproduces the Figure 2a discussion: many privacy
+// addresses per /64 make the single-bit ratio ~2 just after bit 64, with a
+// drop to ~1 at bit 70 (the cleared "u" bit), then a decline to 1 as
+// prefixes empty out.
+func TestPrivacySignature(t *testing.T) {
+	var s AddressSet
+	r := rand.New(rand.NewSource(3))
+	// 64 /64s x 200 pseudorandom-IID hosts; u bit (IID bit 6, address bit
+	// 70) cleared per RFC 4941.
+	for subnet := 0; subnet < 64; subnet++ {
+		net := ipaddr.AddrFromSegments([8]uint16{0x2001, 0x0db8, 0, uint16(subnet)})
+		for h := 0; h < 200; h++ {
+			iid := r.Uint64() &^ (1 << 57) // clear u bit
+			s.Add(net.WithIID(iid))
+		}
+	}
+	m := s.MRA()
+	// Ratios for bits 64..69 should be near 2.
+	for p := 64; p < 70; p++ {
+		if got := m.Ratio(p, 1); got < 1.9 {
+			t.Errorf("γ_%d = %v, want ~2 for dense privacy population", p, got)
+		}
+	}
+	// Bit 70 ("u" bit cleared everywhere) must not split: ratio 1.
+	if got := m.Ratio(70, 1); got != 1 {
+		t.Errorf("γ_70 = %v, want exactly 1 (u bit cleared)", got)
+	}
+	// Deep bits: every address alone in its prefix; ratio returns to 1.
+	if got := m.Ratio(120, 1); got > 1.001 {
+		t.Errorf("γ_120 = %v, want ~1", got)
+	}
+}
+
+func TestDensePackedSignature(t *testing.T) {
+	// The Figure 2b / 5g scenario: addresses tightly packed in the low 16
+	// bits produce prominent ratios in the 112-128 segment.
+	var s AddressSet
+	base := a(t, "2001:db8:10:8::")
+	for i := 0; i < 256; i++ {
+		s.Add(ipaddr.AddrFrom128(base.Uint128().Add64(uint64(i))))
+	}
+	m := s.MRA()
+	if got := m.Ratio(112, 16); got < 255 {
+		t.Errorf("γ^16_112 = %v, want ~256 for a packed /112", got)
+	}
+	if got := m.Ratio(96, 16); got != 1 {
+		t.Errorf("γ^16_96 = %v, want 1", got)
+	}
+}
+
+func TestSeriesPanicsOnBadResolution(t *testing.T) {
+	var s AddressSet
+	s.Add(a(t, "2001:db8::1"))
+	m := s.MRA()
+	defer func() {
+		if recover() == nil {
+			t.Error("Series(5) should panic (5 does not divide 128)")
+		}
+	}()
+	m.Series(5)
+}
+
+func TestEmptySetMRA(t *testing.T) {
+	var s AddressSet
+	m := s.MRA()
+	if m.N != 0 {
+		t.Error("empty set N != 0")
+	}
+	if got := m.Ratio(64, 1); got != 0 {
+		t.Errorf("empty ratio = %v", got)
+	}
+	for _, pt := range m.Series(16) {
+		if pt.Ratio != 0 {
+			t.Errorf("empty series ratio at %d = %v", pt.P, pt.Ratio)
+		}
+	}
+}
+
+func TestDenseFixedTable3Arithmetic(t *testing.T) {
+	// Build 3 dense /124 blocks of 4 addresses each plus scattered noise,
+	// then verify the Table 3 row arithmetic: possible = prefixes * 16.
+	var s AddressSet
+	bases := []string{"2001:db8::10", "2001:db8::40", "2001:db8:0:1::"}
+	for _, b := range bases {
+		x := a(t, b)
+		for i := 0; i < 4; i++ {
+			s.Add(ipaddr.AddrFrom128(x.Uint128().Add64(uint64(i))))
+		}
+	}
+	s.Add(a(t, "2600::1")) // lone noise address
+	r := s.DenseFixed(DensityClass{N: 2, P: 124})
+	if len(r.Prefixes) != 3 {
+		t.Fatalf("dense prefixes = %v", r.Prefixes)
+	}
+	if r.CoveredAddresses != 12 {
+		t.Errorf("covered = %d, want 12", r.CoveredAddresses)
+	}
+	if r.PossibleAddresses != 48 {
+		t.Errorf("possible = %v, want 48", r.PossibleAddresses)
+	}
+	if math.Abs(r.Density()-0.25) > 1e-12 {
+		t.Errorf("density = %v, want 0.25", r.Density())
+	}
+	if r.Class.String() != "2 @ /124" {
+		t.Errorf("class string = %q", r.Class)
+	}
+}
+
+func TestDenseLeastSpecific(t *testing.T) {
+	var s AddressSet
+	base := a(t, "2001:db8::")
+	for i := 0; i < 64; i++ {
+		s.Add(ipaddr.AddrFrom128(base.Uint128().Add64(uint64(i))))
+	}
+	r := s.DenseLeastSpecific(DensityClass{N: 2, P: 122})
+	if len(r.Prefixes) != 1 {
+		t.Fatalf("prefixes = %v", r.Prefixes)
+	}
+	if got := r.Prefixes[0].Prefix.Bits(); got > 122 {
+		t.Errorf("least-specific should be <= /122, got /%d", got)
+	}
+	if r.CoveredAddresses != 64 {
+		t.Errorf("covered = %d", r.CoveredAddresses)
+	}
+}
+
+func TestAggregatePopulations(t *testing.T) {
+	var s AddressSet
+	// Two /48s: one with 3 addresses, one with 1.
+	for _, x := range []string{"2001:db8:1::1", "2001:db8:1::2", "2001:db8:1:2::3", "2001:db8:2::1"} {
+		s.Add(a(t, x))
+	}
+	pops := s.AggregatePopulations(48)
+	if len(pops) != 2 {
+		t.Fatalf("pops = %v", pops)
+	}
+	// Sorted by prefix: 2001:db8:1::/48 first with 3, then /48 with 1.
+	if pops[0] != 3 || pops[1] != 1 {
+		t.Errorf("pops = %v, want [3 1]", pops)
+	}
+}
+
+func TestAggregatePopulationsOfPrefixSet(t *testing.T) {
+	// Population of /64s aggregated at /48: Figure 3's "48-agg. of /64s".
+	var s AddressSet
+	for _, x := range []string{"2001:db8:1:1::/64", "2001:db8:1:2::/64", "2001:db8:2:1::/64"} {
+		p, err := ipaddr.ParsePrefix(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddPrefix(p)
+	}
+	pops := s.AggregatePopulations(48)
+	if len(pops) != 2 || pops[0] != 2 || pops[1] != 1 {
+		t.Errorf("pops = %v, want [2 1]", pops)
+	}
+}
+
+func TestScanTargets(t *testing.T) {
+	var s AddressSet
+	base := a(t, "2001:db8::")
+	for i := 0; i < 4; i++ {
+		s.Add(ipaddr.AddrFrom128(base.Uint128().Add64(uint64(i))))
+	}
+	r := s.DenseFixed(DensityClass{N: 2, P: 112})
+	total, examples := ScanTargets(r, 10)
+	if total != 65536 {
+		t.Errorf("total = %v", total)
+	}
+	if len(examples) != 1 || examples[0].String() != "2001:db8::/112" {
+		t.Errorf("examples = %v", examples)
+	}
+	// Limit smaller than result set.
+	_, ex0 := ScanTargets(r, 0)
+	if len(ex0) != 0 {
+		t.Errorf("limit 0 gave %v", ex0)
+	}
+}
+
+func TestAddressSetAccessors(t *testing.T) {
+	var s AddressSet
+	s.Add(a(t, "2001:db8::1"))
+	s.Add(a(t, "2001:db8::1"))
+	s.Add(a(t, "2001:db8::2"))
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Total() != 3 {
+		t.Errorf("Total = %d", s.Total())
+	}
+	if s.Trie() == nil {
+		t.Error("Trie accessor nil")
+	}
+}
+
+func BenchmarkMRA100k(b *testing.B) {
+	var s AddressSet
+	r := rand.New(rand.NewSource(1))
+	net := ipaddr.MustParseAddr("2001:db8::")
+	for i := 0; i < 100000; i++ {
+		s.Add(net.WithIID(r.Uint64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.MRA()
+	}
+}
+
+func TestAguriProfile(t *testing.T) {
+	var s AddressSet
+	base := a(t, "2001:db8::")
+	for i := 0; i < 90; i++ {
+		s.Add(ipaddr.AddrFrom128(base.Uint128().Add64(uint64(i))))
+	}
+	s.Add(a(t, "2600::1"))
+	prof := s.AguriProfile(0.5)
+	var total uint64
+	for _, pc := range prof {
+		total += pc.Count
+	}
+	if total != s.Total() {
+		t.Errorf("profile total %d != %d", total, s.Total())
+	}
+	// Some non-root prefix must meet the threshold (45 of 91 observations).
+	found := false
+	for _, pc := range prof {
+		if pc.Prefix.Bits() > 0 && pc.Count >= 45 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no prefix met the aguri threshold in %v", prof)
+	}
+	// Degenerate fraction falls back to a sane default.
+	if got := s.AguriProfile(0); len(got) == 0 {
+		t.Error("zero fraction should still profile")
+	}
+}

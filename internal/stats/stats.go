@@ -1,0 +1,167 @@
+// Package stats provides the small statistical toolkit the measurement
+// analyses need: complementary CDFs over counts, quantiles, and the
+// box-plot summaries used by Figure 5b of Plonka & Berger (IMC 2015).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CCDFPoint is one point of a complementary cumulative distribution
+// function: the proportion of samples with Value >= the given value.
+type CCDFPoint struct {
+	Value      float64
+	Proportion float64
+}
+
+// CCDF computes the complementary CDF of the samples: for each distinct
+// sample value v (ascending), the proportion of samples >= v. This matches
+// the paper's "Complementary CDF Proportion" axes (Figures 3 and 5a), where
+// every curve starts at proportion 1 for the minimum value.
+//
+// The input is not modified. An empty input yields nil.
+func CCDF(samples []float64) []CCDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var out []CCDFPoint
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		out = append(out, CCDFPoint{Value: s[i], Proportion: float64(len(s)-i) / n})
+		i = j
+	}
+	return out
+}
+
+// CCDFAt evaluates a CCDF (as returned by CCDF) at value v: the proportion
+// of samples >= v. Values beyond the observed maximum give 0.
+func CCDFAt(ccdf []CCDFPoint, v float64) float64 {
+	// Find the first point with Value >= v; its proportion is the answer.
+	i := sort.Search(len(ccdf), func(i int) bool { return ccdf[i].Value >= v })
+	if i == len(ccdf) {
+		return 0
+	}
+	return ccdf[i].Proportion
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples using linear
+// interpolation between closest ranks. It panics on an empty sample set or
+// an out-of-range q.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		panic("stats: Quantile of empty sample set")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile %v out of range", q))
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// BoxSummary is the summary used for the paper's embellished box plots:
+// median, middle 50% (quartiles), middle 90% (5th/95th percentiles), the
+// 99th percentile, and the absolute extremes.
+type BoxSummary struct {
+	Min, P5, P25, Median, P75, P95, P99, Max float64
+	N                                        int
+}
+
+// Box computes a BoxSummary. It panics on an empty sample set.
+func Box(samples []float64) BoxSummary {
+	if len(samples) == 0 {
+		panic("stats: Box of empty sample set")
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return BoxSummary{
+		Min:    s[0],
+		P5:     quantileSorted(s, 0.05),
+		P25:    quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.50),
+		P75:    quantileSorted(s, 0.75),
+		P95:    quantileSorted(s, 0.95),
+		P99:    quantileSorted(s, 0.99),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// Mean returns the arithmetic mean; 0 for an empty set.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// GeometricMean returns the geometric mean of strictly positive samples;
+// 0 for an empty set. It panics if any sample is <= 0.
+func GeometricMean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range samples {
+		if v <= 0 {
+			panic("stats: GeometricMean of non-positive sample")
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(samples)))
+}
+
+// Counts converts integer counts to float64 samples, a common adapter for
+// the CCDF/Box helpers.
+func Counts[T ~int | ~int64 | ~uint64 | ~int32 | ~uint32](in []T) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// LogBuckets builds logarithmically spaced bucket boundaries from 1 to at
+// least max, base 10 with 1-2-5 subdivisions (1, 2, 5, 10, 20, 50, ...).
+// Useful for rendering log-scale axes without a plotting library.
+func LogBuckets(max float64) []float64 {
+	if max < 1 {
+		return []float64{1}
+	}
+	var out []float64
+	for base := 1.0; ; base *= 10 {
+		for _, m := range []float64{1, 2, 5} {
+			v := base * m
+			out = append(out, v)
+			if v >= max {
+				return out
+			}
+		}
+	}
+}

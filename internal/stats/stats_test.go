@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCCDFBasic(t *testing.T) {
+	ccdf := CCDF([]float64{1, 1, 2, 5, 5, 5, 10})
+	// Distinct values 1,2,5,10; proportions 7/7, 5/7, 4/7, 1/7.
+	want := []CCDFPoint{
+		{1, 1},
+		{2, 5.0 / 7},
+		{5, 4.0 / 7},
+		{10, 1.0 / 7},
+	}
+	if len(ccdf) != len(want) {
+		t.Fatalf("ccdf = %v", ccdf)
+	}
+	for i := range want {
+		if ccdf[i].Value != want[i].Value || math.Abs(ccdf[i].Proportion-want[i].Proportion) > 1e-12 {
+			t.Errorf("ccdf[%d] = %v, want %v", i, ccdf[i], want[i])
+		}
+	}
+}
+
+func TestCCDFEmptyAndSingle(t *testing.T) {
+	if CCDF(nil) != nil {
+		t.Error("CCDF(nil) should be nil")
+	}
+	one := CCDF([]float64{42})
+	if len(one) != 1 || one[0].Value != 42 || one[0].Proportion != 1 {
+		t.Errorf("CCDF single = %v", one)
+	}
+}
+
+func TestCCDFAt(t *testing.T) {
+	ccdf := CCDF([]float64{1, 2, 5, 10})
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{0, 1}, // below min: everything >= 0
+		{1, 1},
+		{1.5, 0.75}, // first value >= 1.5 is 2
+		{5, 0.5},
+		{10, 0.25},
+		{11, 0},
+	}
+	for _, c := range cases {
+		if got := CCDFAt(ccdf, c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CCDFAt(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	CCDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("CCDF mutated its input")
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = math.Floor(r.ExpFloat64() * 100)
+	}
+	ccdf := CCDF(samples)
+	for i := 1; i < len(ccdf); i++ {
+		if ccdf[i].Value <= ccdf[i-1].Value {
+			t.Fatal("values must be strictly increasing")
+		}
+		if ccdf[i].Proportion >= ccdf[i-1].Proportion {
+			t.Fatal("proportions must be strictly decreasing")
+		}
+	}
+	if ccdf[0].Proportion != 1 {
+		t.Error("CCDF must start at proportion 1")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+		func() { Box(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBox(t *testing.T) {
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = float64(i + 1) // 1..100
+	}
+	b := Box(s)
+	if b.Min != 1 || b.Max != 100 || b.N != 100 {
+		t.Errorf("Box extremes: %+v", b)
+	}
+	if math.Abs(b.Median-50.5) > 1e-9 {
+		t.Errorf("median = %v", b.Median)
+	}
+	if b.P25 >= b.Median || b.Median >= b.P75 || b.P5 >= b.P25 || b.P75 >= b.P95 || b.P95 >= b.P99 {
+		t.Errorf("box order violated: %+v", b)
+	}
+}
+
+func TestMeanGeometricMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+	if GeometricMean(nil) != 0 {
+		t.Error("GeometricMean(nil) should be 0")
+	}
+	if got := GeometricMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeometricMean = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeometricMean of zero should panic")
+		}
+	}()
+	GeometricMean([]float64{0})
+}
+
+func TestCounts(t *testing.T) {
+	got := Counts([]uint64{1, 2, 3})
+	if len(got) != 3 || got[2] != 3 {
+		t.Errorf("Counts = %v", got)
+	}
+	got2 := Counts([]int{5})
+	if got2[0] != 5 {
+		t.Errorf("Counts int = %v", got2)
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	got := LogBuckets(100)
+	want := []float64{1, 2, 5, 10, 20, 50, 100}
+	if len(got) != len(want) {
+		t.Fatalf("LogBuckets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("LogBuckets[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := LogBuckets(0.5); len(got) != 1 || got[0] != 1 {
+		t.Errorf("LogBuckets(0.5) = %v", got)
+	}
+	// Always ends at or beyond max.
+	for _, max := range []float64{3, 7, 42, 1234567} {
+		b := LogBuckets(max)
+		if b[len(b)-1] < max {
+			t.Errorf("LogBuckets(%v) ends at %v", max, b[len(b)-1])
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package synth assembles the synthetic Internet that stands in for the
+// study's proprietary data sources (Section 4 of Plonka & Berger, IMC 2015):
+// a world of network operators with realistic addressing plans, a BGP table
+// attributing prefixes to origin ASNs, and a generator producing the CDN's
+// aggregated daily logs for any study day on demand.
+//
+// The default world reproduces the population structure the paper reports —
+// two dominant mobile carriers with dynamic /64 pools, large European,
+// Japanese and American ISPs, a structured university, a DHCPv6 department,
+// a 6to4 client cloud, and a long tail of smaller networks — at a
+// configurable scale (the paper's hundreds of millions of daily addresses
+// scale down by roughly four orders of magnitude by default).
+package synth
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"v6class/internal/bgp"
+	"v6class/internal/cdnlog"
+	"v6class/internal/ipaddr"
+	"v6class/internal/netmodel"
+)
+
+// Study epoch day indices. The study timeline places the paper's three
+// sampling epochs with a 7-day analysis margin before the first.
+const (
+	// StudyDays is the length of the simulated study period.
+	StudyDays = 392
+	// EpochMar2014 is the day index of "March 17, 2014".
+	EpochMar2014 = 7
+	// EpochSep2014 is the day index of "September 17, 2014" (+6 months).
+	EpochSep2014 = 191
+	// EpochMar2015 is the day index of "March 17, 2015" (+1 year).
+	EpochMar2015 = 372
+)
+
+// Config parameterizes world construction.
+type Config struct {
+	// Seed drives all deterministic choices. Worlds with equal configs
+	// are identical.
+	Seed uint64
+	// Scale multiplies every operator's subscriber population. 1.0 is
+	// the "medium" world (~50K daily addresses); tests use much smaller
+	// values.
+	Scale float64
+	// StudyDays overrides the study length; 0 means StudyDays.
+	StudyDays int
+	// SlewProb is the probability an observation is attributed to the
+	// following day's aggregated log rather than its activity day,
+	// modelling the paper's timestamp slew: "the time epoch of the
+	// completion of processing ... might be offset by as much as a day
+	// from when the requests actually occurred" (Section 4.1).
+	SlewProb float64
+}
+
+func (c Config) studyDays() int {
+	if c.StudyDays > 0 {
+		return c.StudyDays
+	}
+	return StudyDays
+}
+
+// World is the assembled synthetic Internet.
+type World struct {
+	Cfg       Config
+	Operators []*netmodel.Operator
+	Table     *bgp.Table
+}
+
+// scaled returns n scaled by the config, with a floor of 1.
+func (c Config) scaled(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func mustPfx(s string) ipaddr.Prefix {
+	p, err := ipaddr.ParsePrefix(s)
+	if err != nil {
+		panic(fmt.Sprintf("synth: bad prefix literal %q: %v", s, err))
+	}
+	return p
+}
+
+// NewWorld builds the default operator roster at the configured scale.
+func NewWorld(cfg Config) *World {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	w := &World{Cfg: cfg, Table: &bgp.Table{}}
+
+	// Two dominant U.S. mobile carriers (Figure 5e): dynamic /64 pools
+	// across many /44s, fixed device IIDs from a small shared set.
+	mobile1Pools := make([]ipaddr.Prefix, 8)
+	for i := range mobile1Pools {
+		mobile1Pools[i] = mustPfx(fmt.Sprintf("2600:10%x0::/44", i))
+	}
+	w.add(&netmodel.Operator{
+		Name: "us-mobile-1", ASN: 64501, Country: "US",
+		Prefixes: mobile1Pools,
+		Plan: &netmodel.MobilePlan{
+			Pools: mobile1Pools, PoolBits: poolBits(cfg.scaled(12000), 8),
+			FixedIIDs: 48, EUI64Frac: 0.10, PrivacyFrac: 0.25,
+		},
+		Subscribers: cfg.scaled(12000), Growth: 2.1, ActiveDaily: 0.7,
+	})
+	mobile2Pools := make([]ipaddr.Prefix, 4)
+	for i := range mobile2Pools {
+		mobile2Pools[i] = mustPfx(fmt.Sprintf("2600:20%x0::/44", i))
+	}
+	w.add(&netmodel.Operator{
+		Name: "us-mobile-2", ASN: 64502, Country: "US",
+		Prefixes: mobile2Pools,
+		Plan: &netmodel.MobilePlan{
+			Pools: mobile2Pools, PoolBits: poolBits(cfg.scaled(7000), 4),
+			FixedIIDs: 64, EUI64Frac: 0.08, PrivacyFrac: 0.3,
+		},
+		Subscribers: cfg.scaled(7000), Growth: 2.3, ActiveDaily: 0.65,
+	})
+
+	// The European ISP with on-demand pseudorandom subnet rotation
+	// (Figure 5f).
+	w.add(&netmodel.Operator{
+		Name: "eu-isp", ASN: 64503, Country: "DE",
+		Prefixes: []ipaddr.Prefix{mustPfx("2a02:8000::/24")},
+		Plan: &netmodel.PrivacySubnetISPPlan{
+			Base: mustPfx("2a02:8000::/24"), Pops: 48,
+			MeanRotationDays: 45, HostsMax: 5, EUI64Prob: 0.05, StaticHostProb: 0.08, RFC7217Prob: 0.06,
+		},
+		Subscribers: cfg.scaled(6000), Growth: 1.8, ActiveDaily: 0.65,
+	})
+
+	// The Japanese ISP with static per-subscriber /48s (Figure 5h).
+	jpBases := []ipaddr.Prefix{mustPfx("2400:2650::/32"), mustPfx("2400:2651::/32")}
+	w.add(&netmodel.Operator{
+		Name: "jp-isp", ASN: 64504, Country: "JP",
+		Prefixes:    jpBases,
+		Plan:        &netmodel.StaticISPPlan{Bases: jpBases, HostsMax: 5, EUI64Prob: 0.06, StaticHostProb: 0.12},
+		Subscribers: cfg.scaled(5000), Growth: 1.7, ActiveDaily: 0.6,
+	})
+
+	// A large U.S. cable ISP, statically addressed.
+	usBases := []ipaddr.Prefix{mustPfx("2601:0100::/32"), mustPfx("2601:0200::/32")}
+	w.add(&netmodel.Operator{
+		Name: "us-isp", ASN: 64505, Country: "US",
+		Prefixes:    usBases,
+		Plan:        &netmodel.StaticISPPlan{Bases: usBases, HostsMax: 5, EUI64Prob: 0.04, StaticHostProb: 0.10},
+		Subscribers: cfg.scaled(4000), Growth: 2.0, ActiveDaily: 0.6,
+	})
+
+	// The U.S. university with a structured plan using three nybble
+	// values (Figure 2a).
+	w.add(&netmodel.Operator{
+		Name: "us-university", ASN: 64510, Country: "US",
+		Prefixes: []ipaddr.Prefix{mustPfx("2607:f010::/32")},
+		Plan: &netmodel.UniversityPlan{
+			Base: mustPfx("2607:f010::/32"), NybbleValues: []uint64{0x0, 0x1, 0x8},
+			Departments: 200, HostsMax: 6,
+		},
+		Subscribers: cfg.scaled(400), Growth: 1.4, ActiveDaily: 0.5,
+	})
+
+	// The European university department on DHCPv6 in one /64
+	// (Figure 5g). Population is the department itself.
+	w.add(&netmodel.Operator{
+		Name: "eu-univ-dept", ASN: 64511, Country: "NL",
+		Prefixes: []ipaddr.Prefix{mustPfx("2a00:1450:100::/48")},
+		Plan: &netmodel.DHCPDensePlan{
+			Network: mustPfx("2a00:1450:100:64::/64"), PoolBase: 0x1000,
+			Hosts: 110, ActiveProb: 0.75,
+		},
+		Subscribers: 1, Growth: 1, ActiveDaily: 1,
+	})
+
+	// The 6to4 client cloud (Figure 5d); its reserved /16 is attributed
+	// to the relay operators' ASN for segregation, as the paper does.
+	w.add(&netmodel.Operator{
+		Name: "6to4-clients", ASN: 64520, Country: "ZZ",
+		Prefixes: []ipaddr.Prefix{mustPfx("2002::/16")},
+		Plan: &netmodel.SixToFourPlan{
+			V4Pools:      []uint32{0xc633, 0xcb00, 0x1801, 0x2e04, 0x5bcd},
+			RenumberDays: 10,
+		},
+		Subscribers: cfg.scaled(2500), Growth: 0.9, ActiveDaily: 0.5,
+	})
+
+	// Residual Teredo and ISATAP populations (Table 1's top rows).
+	w.add(&netmodel.Operator{
+		Name: "teredo-clients", ASN: 64521, Country: "ZZ",
+		Prefixes:    []ipaddr.Prefix{mustPfx("2001::/32")},
+		Plan:        &netmodel.TeredoPlan{},
+		Subscribers: cfg.scaled(60), Growth: 4.0, ActiveDaily: 0.4,
+	})
+	w.add(&netmodel.Operator{
+		Name: "isatap-enterprise", ASN: 64522, Country: "US",
+		Prefixes: []ipaddr.Prefix{mustPfx("2620:0100::/44")},
+		Plan: &netmodel.ISATAPPlan{
+			Base: mustPfx("2620:0100::/48"), V4Base: 0x0a00,
+		},
+		Subscribers: cfg.scaled(120), Growth: 1.3, ActiveDaily: 0.5,
+	})
+
+	// A long tail of smaller ISPs with varied plans and countries; a
+	// third of them appear mid-study, modelling ASN growth (the paper
+	// sees 3,842 -> 4,420 active ASNs over the year).
+	countries := []string{"US", "DE", "JP", "FR", "GB", "BR", "IN", "CN", "AU", "CA", "SE", "NL", "CZ", "PL", "KR", "MX", "ZA", "IT", "ES", "NO"}
+	for i := 0; i < 40; i++ {
+		base := mustPfx(fmt.Sprintf("2a0c:%x00::/32", 0x10+i))
+		subs := cfg.scaled(150 + (i*331)%1100)
+		startDay := 0
+		if i%3 == 2 {
+			startDay = 60 + (i*37)%280
+		}
+		var plan netmodel.Plan
+		switch i % 4 {
+		case 0:
+			plan = &netmodel.StaticISPPlan{Bases: []ipaddr.Prefix{base}, HostsMax: 3, EUI64Prob: 0.05, StaticHostProb: 0.10, RFC7217Prob: 0.05}
+		case 1:
+			plan = &netmodel.PrivacySubnetISPPlan{
+				Base: ipaddr.PrefixFrom(base.Addr(), 24), Pops: 8,
+				MeanRotationDays: 60, HostsMax: 2, EUI64Prob: 0.04, StaticHostProb: 0.08, RFC7217Prob: 0.05,
+			}
+		case 2:
+			plan = &netmodel.MobilePlan{
+				Pools: []ipaddr.Prefix{ipaddr.PrefixFrom(base.Addr(), 44)}, PoolBits: poolBits(subs, 1),
+				FixedIIDs: 32, EUI64Frac: 0.08, PrivacyFrac: 0.2,
+			}
+		default:
+			plan = &netmodel.UniversityPlan{
+				Base: base, NybbleValues: []uint64{0x0, 0x4, 0xc},
+				Departments: 60, HostsMax: 4,
+			}
+		}
+		w.add(&netmodel.Operator{
+			Name: fmt.Sprintf("tail-isp-%02d", i), ASN: bgp.ASN(64600 + i),
+			Country:     countries[i%len(countries)],
+			Prefixes:    []ipaddr.Prefix{base},
+			Plan:        plan,
+			Subscribers: subs, Growth: 1.2 + float64(i%7)*0.2,
+			ActiveDaily: 0.45 + float64(i%5)*0.08,
+			StartDay:    startDay,
+		})
+	}
+	return w
+}
+
+// poolBits sizes a mobile pool: enough /64 slots per pool prefix to hold
+// about 1.5x the per-pool subscriber share, so that daily reassignment
+// keeps pools densely utilized (the Figure 5e signature).
+func poolBits(subs, pools int) int {
+	perPool := subs * 3 / 2 / pools
+	b := 1
+	for 1<<b < perPool {
+		b++
+	}
+	if b > 20 { // a /44 has 2^20 /64s
+		b = 20
+	}
+	return b
+}
+
+// add registers an operator and announces its prefixes.
+func (w *World) add(op *netmodel.Operator) {
+	w.Operators = append(w.Operators, op)
+	for _, p := range op.Prefixes {
+		w.Table.Add(p, op.ASN, op.Name)
+	}
+}
+
+// Env returns the hashing environment for operator index i.
+func (w *World) Env(i int) netmodel.Env {
+	return netmodel.Env{Seed: w.Cfg.Seed, OpID: uint64(i + 1), StudyDays: w.Cfg.studyDays()}
+}
+
+// StudyLength returns the configured study period in days.
+func (w *World) StudyLength() int { return w.Cfg.studyDays() }
+
+// OperatorDay generates operator i's observations for a day.
+func (w *World) OperatorDay(i, day int) []netmodel.Observation {
+	return w.Operators[i].Day(w.Env(i), day)
+}
+
+// Day generates the full aggregated log for one study day, merging all
+// operators (duplicate addresses across operators sum their hits, as the
+// CDN's aggregation would). With a nonzero SlewProb, a slice of each day's
+// observations lands in the following day's log instead.
+// Operators generate concurrently; the aggregation step makes the result
+// deterministic regardless of completion order.
+func (w *World) Day(day int) cdnlog.DayLog {
+	perOp := make([][]netmodel.Observation, len(w.Operators))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range w.Operators {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perOp[i] = w.operatorDaySlewed(i, day)
+		}(i)
+	}
+	wg.Wait()
+
+	agg := cdnlog.NewAggregator()
+	for _, obs := range perOp {
+		for _, o := range obs {
+			agg.Add(day, o.Addr, o.Hits)
+		}
+	}
+	return agg.Day(day)
+}
+
+// operatorDaySlewed returns operator i's observations attributed to the
+// given log day, applying timestamp slew when configured.
+func (w *World) operatorDaySlewed(i, day int) []netmodel.Observation {
+	if w.Cfg.SlewProb <= 0 {
+		return w.OperatorDay(i, day)
+	}
+	var out []netmodel.Observation
+	// Today's observations that are processed on time...
+	for _, o := range w.OperatorDay(i, day) {
+		if !w.slewed(o, day) {
+			out = append(out, o)
+		}
+	}
+	// ...plus yesterday's that slipped into today's aggregation.
+	if day > 0 {
+		for _, o := range w.OperatorDay(i, day-1) {
+			if w.slewed(o, day-1) {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// slewed reports whether an observation of a given activity day lands in
+// the next day's log.
+func (w *World) slewed(o netmodel.Observation, day int) bool {
+	u := o.Addr.Uint128()
+	return netmodel.HashChance(w.Cfg.SlewProb, w.Cfg.Seed, u.Hi, u.Lo, uint64(day), 0x51e3)
+}
+
+// Days generates a contiguous range of daily logs [from, to).
+func (w *World) Days(from, to int) []cdnlog.DayLog {
+	out := make([]cdnlog.DayLog, 0, to-from)
+	for d := from; d < to; d++ {
+		out = append(out, w.Day(d))
+	}
+	return out
+}
+
+// OperatorByName returns the operator and its index, or nil and -1.
+func (w *World) OperatorByName(name string) (*netmodel.Operator, int) {
+	for i, op := range w.Operators {
+		if op.Name == name {
+			return op, i
+		}
+	}
+	return nil, -1
+}

@@ -1,0 +1,121 @@
+package temporal
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bit set indexed by day number. It is the
+// per-address activity record: bit i is set when the address was observed
+// active on study day i.
+type BitSet struct {
+	w []uint64
+}
+
+// NewBitSet returns a BitSet able to hold days [0, n).
+func NewBitSet(n int) *BitSet {
+	return &BitSet{w: make([]uint64, (n+63)/64)}
+}
+
+// Set marks day i active. Out-of-range days are ignored.
+func (b *BitSet) Set(i int) {
+	if i < 0 || i >= len(b.w)*64 {
+		return
+	}
+	b.w[i/64] |= 1 << (i % 64)
+}
+
+// Get reports whether day i is active.
+func (b *BitSet) Get(i int) bool {
+	if i < 0 || i >= len(b.w)*64 {
+		return false
+	}
+	return b.w[i/64]&(1<<(i%64)) != 0
+}
+
+// Count returns the number of active days.
+func (b *BitSet) Count() int {
+	n := 0
+	for _, w := range b.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AnyInRange reports whether any day in [from, to] (inclusive) is active.
+func (b *BitSet) AnyInRange(from, to int) bool {
+	if from < 0 {
+		from = 0
+	}
+	max := len(b.w)*64 - 1
+	if to > max {
+		to = max
+	}
+	for i := from; i <= to; {
+		word, bit := i/64, i%64
+		w := b.w[word] >> bit
+		// Bits remaining in this word that are still within range.
+		remain := 64 - bit
+		if span := to - i + 1; span < remain {
+			remain = span
+		}
+		if w&maskLow(remain) != 0 {
+			return true
+		}
+		i += remain
+	}
+	return false
+}
+
+// First returns the first active day at or after from, or -1 if none.
+func (b *BitSet) First(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from / 64; i < len(b.w); i++ {
+		w := b.w[i]
+		if i == from/64 {
+			w &^= maskLow(from % 64)
+		}
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Last returns the last active day at or before to, or -1 if none.
+func (b *BitSet) Last(to int) int {
+	max := len(b.w)*64 - 1
+	if to > max {
+		to = max
+	}
+	if to < 0 {
+		return -1
+	}
+	for i := to / 64; i >= 0; i-- {
+		w := b.w[i]
+		if i == to/64 {
+			keep := to%64 + 1
+			w &= maskLow(keep)
+		}
+		if w != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// maskLow returns a uint64 with the low n bits set (n in [0,64]).
+func maskLow(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << n) - 1
+}
+
+// Words exposes the raw backing words (little-endian day order) for
+// serialization. The returned slice must not be modified.
+func (b *BitSet) Words() []uint64 { return b.w }
+
+// BitSetFromWords reconstructs a BitSet from serialized words.
+func BitSetFromWords(w []uint64) *BitSet {
+	return &BitSet{w: append([]uint64(nil), w...)}
+}

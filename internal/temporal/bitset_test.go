@@ -1,0 +1,176 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	b := NewBitSet(100)
+	if b.Count() != 0 {
+		t.Error("new bitset should be empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(99)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !b.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	for _, i := range []int{1, 62, 65, 98} {
+		if b.Get(i) {
+			t.Errorf("bit %d should be clear", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	// Out of range is ignored / false.
+	b.Set(-1)
+	b.Set(1000)
+	if b.Get(-1) || b.Get(1000) {
+		t.Error("out-of-range Get should be false")
+	}
+	if b.Count() != 4 {
+		t.Error("out-of-range Set should be ignored")
+	}
+	// Idempotent set.
+	b.Set(0)
+	if b.Count() != 4 {
+		t.Error("re-Set should not change Count")
+	}
+}
+
+func TestBitSetAnyInRange(t *testing.T) {
+	b := NewBitSet(200)
+	b.Set(70)
+	cases := []struct {
+		from, to int
+		want     bool
+	}{
+		{0, 69, false},
+		{0, 70, true},
+		{70, 70, true},
+		{71, 199, false},
+		{70, 199, true},
+		{-10, 300, true}, // clamped
+		{80, 60, false},  // inverted range
+	}
+	for _, c := range cases {
+		if got := b.AnyInRange(c.from, c.to); got != c.want {
+			t.Errorf("AnyInRange(%d,%d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	empty := NewBitSet(64)
+	if empty.AnyInRange(0, 63) {
+		t.Error("empty AnyInRange should be false")
+	}
+}
+
+func TestBitSetFirstLast(t *testing.T) {
+	b := NewBitSet(300)
+	if b.First(0) != -1 || b.Last(299) != -1 {
+		t.Error("empty bitset First/Last should be -1")
+	}
+	for _, i := range []int{5, 64, 128, 250} {
+		b.Set(i)
+	}
+	if got := b.First(0); got != 5 {
+		t.Errorf("First(0) = %d", got)
+	}
+	if got := b.First(6); got != 64 {
+		t.Errorf("First(6) = %d", got)
+	}
+	if got := b.First(251); got != -1 {
+		t.Errorf("First(251) = %d", got)
+	}
+	if got := b.Last(299); got != 250 {
+		t.Errorf("Last(299) = %d", got)
+	}
+	if got := b.Last(249); got != 128 {
+		t.Errorf("Last(249) = %d", got)
+	}
+	if got := b.Last(4); got != -1 {
+		t.Errorf("Last(4) = %d", got)
+	}
+	if got := b.First(-10); got != 5 {
+		t.Errorf("First(-10) = %d", got)
+	}
+	if got := b.Last(1000); got != 250 {
+		t.Errorf("Last(1000) = %d", got)
+	}
+}
+
+// Property test against a brute-force boolean slice.
+func TestPropBitSetMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(400)
+		b := NewBitSet(n)
+		ref := make([]bool, n)
+		for i := 0; i < n/3+1; i++ {
+			x := r.Intn(n)
+			b.Set(x)
+			ref[x] = true
+		}
+		for i := 0; i < n; i++ {
+			if b.Get(i) != ref[i] {
+				t.Fatalf("Get(%d) mismatch", i)
+			}
+		}
+		// Count.
+		want := 0
+		for _, v := range ref {
+			if v {
+				want++
+			}
+		}
+		if b.Count() != want {
+			t.Fatalf("Count = %d, want %d", b.Count(), want)
+		}
+		// Random ranges.
+		for q := 0; q < 30; q++ {
+			from, to := r.Intn(n), r.Intn(n)
+			wantAny := false
+			lo, hi := from, to
+			if lo < 0 {
+				lo = 0
+			}
+			for i := lo; i <= hi && i < n; i++ {
+				if ref[i] {
+					wantAny = true
+					break
+				}
+			}
+			if got := b.AnyInRange(from, to); got != wantAny {
+				t.Fatalf("AnyInRange(%d,%d) = %v, want %v", from, to, got, wantAny)
+			}
+			// First/Last against reference.
+			wantFirst := -1
+			for i := from; i >= 0 && i < n; i++ {
+				if ref[i] {
+					wantFirst = i
+					break
+				}
+			}
+			if from < 0 {
+				wantFirst = -2 // unused
+			}
+			if got := b.First(from); from >= 0 && got != wantFirst {
+				t.Fatalf("First(%d) = %d, want %d", from, got, wantFirst)
+			}
+			wantLast := -1
+			for i := to; i >= 0; i-- {
+				if i < n && ref[i] {
+					wantLast = i
+					break
+				}
+			}
+			if got := b.Last(to); got != wantLast {
+				t.Fatalf("Last(%d) = %d, want %d", to, got, wantLast)
+			}
+		}
+	}
+}

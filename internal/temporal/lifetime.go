@@ -1,0 +1,149 @@
+package temporal
+
+import "sort"
+
+// Lifetime analysis: the paper's temporal dimension is motivated by "the
+// vast majority of IPv6 addresses exist for short periods, e.g., 24 hours
+// or less, and in all likelihood will never be used again" (Section 1).
+// These helpers quantify exactly that over a Store: observed lifespans
+// (from first to last sighting), active-day counts, and single-day shares.
+
+// LifetimeStats summarizes the observed lifetimes of a key population over
+// a day range.
+type LifetimeStats struct {
+	// Keys is the number of distinct keys observed in the range.
+	Keys int
+	// SingleDay is the number observed on exactly one day — the
+	// ephemeral class that likely "will never be used again".
+	SingleDay int
+	// SpanHistogram[s] counts keys whose observed span (last day - first
+	// day + 1) equals s+1; index 0 is a single day.
+	SpanHistogram []int
+	// ActiveDaysHistogram[d] counts keys observed on exactly d+1 days.
+	ActiveDaysHistogram []int
+}
+
+// SingleDayShare returns the fraction of keys seen on only one day.
+func (s LifetimeStats) SingleDayShare() float64 {
+	if s.Keys == 0 {
+		return 0
+	}
+	return float64(s.SingleDay) / float64(s.Keys)
+}
+
+// MedianSpan returns the median observed span in days (1 = one day);
+// 0 for an empty population.
+func (s LifetimeStats) MedianSpan() int {
+	total := 0
+	for _, n := range s.SpanHistogram {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	half := (total + 1) / 2
+	seen := 0
+	for span, n := range s.SpanHistogram {
+		seen += n
+		if seen >= half {
+			return span + 1
+		}
+	}
+	return len(s.SpanHistogram)
+}
+
+// Lifetimes computes lifetime statistics for all keys with any activity in
+// [from, to] (inclusive), using only observations within the range.
+func (s *Store[K]) Lifetimes(from, to Day) LifetimeStats {
+	if int(from) < 0 {
+		from = 0
+	}
+	if int(to) >= s.numDays {
+		to = Day(s.numDays - 1)
+	}
+	span := int(to-from) + 1
+	if span <= 0 {
+		return LifetimeStats{}
+	}
+	out := LifetimeStats{
+		SpanHistogram:       make([]int, span),
+		ActiveDaysHistogram: make([]int, span),
+	}
+	for _, b := range s.keys {
+		first := b.First(int(from))
+		if first < 0 || first > int(to) {
+			continue
+		}
+		last := b.Last(int(to))
+		out.Keys++
+		life := last - first // 0-based span
+		out.SpanHistogram[life]++
+		days := 0
+		for d := b.First(first); d >= 0 && d <= int(to); d = b.First(d + 1) {
+			days++
+		}
+		out.ActiveDaysHistogram[days-1]++
+		if days == 1 {
+			out.SingleDay++
+		}
+	}
+	return out
+}
+
+// ReturnProbability returns, for each gap g in [1, maxGap], the probability
+// that a key active on some day is active again exactly g days later,
+// estimated over the day range [from, to-maxGap]. This is the per-day decay
+// behind Figure 4's stepwise overlap curves.
+func (s *Store[K]) ReturnProbability(from, to Day, maxGap int) []float64 {
+	num := make([]int, maxGap+1)
+	den := make([]int, maxGap+1)
+	for _, b := range s.keys {
+		for d := b.First(int(from)); d >= 0 && d <= int(to); d = b.First(d + 1) {
+			for g := 1; g <= maxGap; g++ {
+				if d+g > int(to) {
+					break
+				}
+				den[g]++
+				if b.Get(d + g) {
+					num[g]++
+				}
+			}
+		}
+	}
+	out := make([]float64, maxGap+1)
+	for g := 1; g <= maxGap; g++ {
+		if den[g] > 0 {
+			out[g] = float64(num[g]) / float64(den[g])
+		}
+	}
+	return out
+}
+
+// TopRecurring returns up to limit keys with the most active days in
+// [from, to], most active first — a target-selection helper complementing
+// nd-stable classes.
+func (s *Store[K]) TopRecurring(from, to Day, limit int) []K {
+	type kc struct {
+		k K
+		n int
+	}
+	var all []kc
+	for k, b := range s.keys {
+		n := 0
+		for d := b.First(int(from)); d >= 0 && d <= int(to); d = b.First(d + 1) {
+			n++
+		}
+		if n > 1 {
+			all = append(all, kc{k, n})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	if limit > len(all) {
+		limit = len(all)
+	}
+	out := make([]K, limit)
+	for i := range out {
+		out[i] = all[i].k
+	}
+	return out
+}

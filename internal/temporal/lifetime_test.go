@@ -1,0 +1,140 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLifetimesBasics(t *testing.T) {
+	s := obs(30, map[string][]int{
+		"once":   {10},
+		"twice":  {10, 12},    // span 3, active 2
+		"long":   {5, 10, 20}, // span 16, active 3
+		"border": {0, 29},     // span 30, active 2
+	})
+	st := s.Lifetimes(0, 29)
+	if st.Keys != 4 {
+		t.Fatalf("Keys = %d", st.Keys)
+	}
+	if st.SingleDay != 1 {
+		t.Errorf("SingleDay = %d", st.SingleDay)
+	}
+	if got := st.SingleDayShare(); got != 0.25 {
+		t.Errorf("SingleDayShare = %v", got)
+	}
+	if st.SpanHistogram[0] != 1 { // "once"
+		t.Errorf("span-1 count = %d", st.SpanHistogram[0])
+	}
+	if st.SpanHistogram[2] != 1 { // "twice": days 10..12
+		t.Errorf("span-3 count = %d", st.SpanHistogram[2])
+	}
+	if st.SpanHistogram[29] != 1 { // "border"
+		t.Errorf("span-30 count = %d", st.SpanHistogram[29])
+	}
+	if st.ActiveDaysHistogram[1] != 2 { // twice + border
+		t.Errorf("active-2 count = %d", st.ActiveDaysHistogram[1])
+	}
+	if st.ActiveDaysHistogram[2] != 1 { // long
+		t.Errorf("active-3 count = %d", st.ActiveDaysHistogram[2])
+	}
+}
+
+func TestLifetimesRangeRestriction(t *testing.T) {
+	s := obs(30, map[string][]int{
+		"early": {2, 3},
+		"mid":   {10, 15},
+		"late":  {25},
+	})
+	st := s.Lifetimes(8, 20)
+	if st.Keys != 1 {
+		t.Fatalf("Keys = %d (only mid is inside)", st.Keys)
+	}
+	if st.SpanHistogram[5] != 1 { // 10..15
+		t.Errorf("span hist = %v", st.SpanHistogram)
+	}
+	// Clamping out-of-range arguments.
+	if got := s.Lifetimes(-5, 100); got.Keys != 3 {
+		t.Errorf("clamped Keys = %d", got.Keys)
+	}
+	if got := s.Lifetimes(20, 10); got.Keys != 0 {
+		t.Errorf("inverted range Keys = %d", got.Keys)
+	}
+}
+
+func TestMedianSpan(t *testing.T) {
+	s := obs(30, map[string][]int{
+		"a": {1}, "b": {2}, "c": {3}, // three single-day keys
+		"d": {5, 14}, // span 10
+	})
+	st := s.Lifetimes(0, 29)
+	if got := st.MedianSpan(); got != 1 {
+		t.Errorf("MedianSpan = %d", got)
+	}
+	if (LifetimeStats{}).MedianSpan() != 0 {
+		t.Error("empty MedianSpan should be 0")
+	}
+}
+
+func TestReturnProbability(t *testing.T) {
+	// Key active every day: return probability 1 at every gap.
+	s := NewStore[string](20)
+	for d := 0; d < 20; d++ {
+		s.Observe("always", Day(d))
+	}
+	// Key active on alternating days: gap-2 probability 1, gap-1 ~0.
+	for d := 0; d < 20; d += 2 {
+		s.Observe("alternating", Day(d))
+	}
+	rp := s.ReturnProbability(0, 19, 3)
+	if rp[1] < 0.5 || rp[1] > 0.8 {
+		t.Errorf("gap-1 probability = %v (always=1, alternating=0)", rp[1])
+	}
+	if rp[2] != 1 {
+		t.Errorf("gap-2 probability = %v, want 1", rp[2])
+	}
+}
+
+func TestReturnProbabilityDecay(t *testing.T) {
+	// Synthetic privacy-like population: addresses live 1-3 consecutive
+	// days and never return. Return probability must decay to zero by
+	// gap 3.
+	r := rand.New(rand.NewSource(6))
+	s := NewStore[int](60)
+	key := 0
+	for start := 0; start < 50; start++ {
+		for i := 0; i < 20; i++ {
+			life := 1 + r.Intn(3)
+			for d := start; d < start+life && d < 60; d++ {
+				s.Observe(key, Day(d))
+			}
+			key++
+		}
+	}
+	rp := s.ReturnProbability(0, 59, 5)
+	if rp[1] <= rp[3] {
+		t.Errorf("gap-1 %v should exceed gap-3 %v", rp[1], rp[3])
+	}
+	if rp[4] != 0 || rp[5] != 0 {
+		t.Errorf("beyond max lifetime, probability should be 0: %v", rp)
+	}
+}
+
+func TestTopRecurring(t *testing.T) {
+	s := obs(30, map[string][]int{
+		"best": {1, 2, 3, 4, 5},
+		"good": {1, 5, 9},
+		"meh":  {1, 2},
+		"once": {7},
+	})
+	top := s.TopRecurring(0, 29, 2)
+	if len(top) != 2 || top[0] != "best" || top[1] != "good" {
+		t.Errorf("TopRecurring = %v", top)
+	}
+	// Single-day keys never qualify.
+	all := s.TopRecurring(0, 29, 10)
+	for _, k := range all {
+		if k == "once" {
+			t.Error("single-day key included")
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package temporal implements the stability analysis of Section 5.1 of
+// Plonka & Berger (IMC 2015): classifying addresses (and prefixes of any
+// length) as "nd-stable" from their instances of activity over time.
+//
+// Definition (paper): an address is nd-stable when there exist observations
+// of activity on two different days with an intervening period of at least
+// n-1 days, i.e. on days d1 < d2 with d2-d1 >= n. The daily analysis anchors
+// one of the pair at a reference day r and considers a sliding window around
+// it — the paper's "3d-stable (-7d,+7d)" — while the weekly analysis unions
+// the per-day classes over the seven reference days of a week (Table 2c/2d).
+//
+// The Store is generic over the classified key so the same machinery serves
+// full 128-bit addresses and /64 prefixes (or any other aggregate).
+package temporal
+
+import "sort"
+
+// Day is a zero-based day index within a study period.
+type Day int
+
+// Store records which days each key was observed active. The zero Store is
+// not usable; construct with NewStore. Store is not safe for concurrent
+// mutation.
+type Store[K comparable] struct {
+	numDays int
+	keys    map[K]*BitSet
+	perDay  []int // observations of distinct keys per day
+}
+
+// NewStore returns a Store for a study period of numDays days.
+func NewStore[K comparable](numDays int) *Store[K] {
+	if numDays <= 0 {
+		panic("temporal: study period must have at least one day")
+	}
+	return &Store[K]{
+		numDays: numDays,
+		keys:    make(map[K]*BitSet),
+		perDay:  make([]int, numDays),
+	}
+}
+
+// NumDays returns the length of the study period.
+func (s *Store[K]) NumDays() int { return s.numDays }
+
+// Len returns the number of distinct keys ever observed.
+func (s *Store[K]) Len() int { return len(s.keys) }
+
+// Observe records that k was active on day d. Observations outside the study
+// period are ignored. Duplicate observations are idempotent.
+func (s *Store[K]) Observe(k K, d Day) {
+	if d < 0 || int(d) >= s.numDays {
+		return
+	}
+	b := s.keys[k]
+	if b == nil {
+		b = NewBitSet(s.numDays)
+		s.keys[k] = b
+	}
+	if !b.Get(int(d)) {
+		b.Set(int(d))
+		s.perDay[d]++
+	}
+}
+
+// Active reports whether k was observed on day d.
+func (s *Store[K]) Active(k K, d Day) bool {
+	b := s.keys[k]
+	return b != nil && b.Get(int(d))
+}
+
+// ActiveCount returns the number of distinct keys observed on day d.
+func (s *Store[K]) ActiveCount(d Day) int {
+	if d < 0 || int(d) >= s.numDays {
+		return 0
+	}
+	return s.perDay[d]
+}
+
+// ActivePerDay returns the per-day distinct key counts for the whole study
+// period (the "active per day" series of Figure 4).
+func (s *Store[K]) ActivePerDay() []int {
+	return append([]int(nil), s.perDay...)
+}
+
+// Days returns the sorted active days of k (empty when never observed).
+func (s *Store[K]) Days(k K) []Day {
+	b := s.keys[k]
+	if b == nil {
+		return nil
+	}
+	var out []Day
+	for d := b.First(0); d >= 0; d = b.First(d + 1) {
+		out = append(out, Day(d))
+	}
+	return out
+}
+
+// Window is a sliding observation window around a reference day, expressed
+// as day offsets: the paper's "(-7d,+7d)" is Window{Before: 7, After: 7}.
+type Window struct {
+	Before int
+	After  int
+}
+
+// DefaultWindow is the paper's 15-day sliding window.
+var DefaultWindow = Window{Before: 7, After: 7}
+
+// Options configures stability classification.
+type Options struct {
+	// Window is the sliding window around the reference day. The zero
+	// value means DefaultWindow.
+	Window Window
+	// SlewDays widens the required gap to accommodate the aggregated
+	// logs' timestamp slew (observations can land on the processing day
+	// rather than the activity day, per Section 4.1): a gap of g days is
+	// only accepted as evidence of nd-stability when g >= n + SlewDays.
+	SlewDays int
+	// AnyPair, when true, accepts any pair of active days within the
+	// window as evidence; when false (the default) one day of the pair
+	// must be the reference day, matching the Figure 4 / Table 2
+	// intersect-with-reference-day methodology.
+	AnyPair bool
+}
+
+func (o Options) window() Window {
+	if o.Window == (Window{}) {
+		return DefaultWindow
+	}
+	return o.Window
+}
+
+// NDStable reports whether k is nd-stable with respect to reference day ref
+// under opts. A key inactive on ref is never nd-stable for that reference
+// day (the daily analysis classifies the population active on ref).
+func (s *Store[K]) NDStable(k K, ref Day, n int, opts Options) bool {
+	b := s.keys[k]
+	if b == nil || !b.Get(int(ref)) {
+		return false
+	}
+	return s.ndStableActive(b, ref, n, opts)
+}
+
+// ndStableActive assumes b.Get(ref) and applies the pair test.
+func (s *Store[K]) ndStableActive(b *BitSet, ref Day, n int, opts Options) bool {
+	w := opts.window()
+	need := n + opts.SlewDays
+	lo, hi := int(ref)-w.Before, int(ref)+w.After
+	if !opts.AnyPair {
+		// A partner day at distance >= need on either side of ref.
+		return b.AnyInRange(lo, int(ref)-need) || b.AnyInRange(int(ref)+need, hi)
+	}
+	// Any pair: the extremal active days within the window decide.
+	first := b.First(lo)
+	if first < 0 || first > hi {
+		return false
+	}
+	last := b.Last(hi)
+	return last-first >= need
+}
+
+// DailyStability summarizes stability of the population active on a
+// reference day.
+type DailyStability struct {
+	Ref       Day
+	N         int // the "n" of nd-stable
+	Active    int // keys active on Ref
+	Stable    int // of those, nd-stable
+	NotStable int // Active - Stable
+}
+
+// ClassifyDay computes the nd-stable split of the population active on ref,
+// the shape of one column of Table 2a/2b.
+func (s *Store[K]) ClassifyDay(ref Day, n int, opts Options) DailyStability {
+	out := DailyStability{Ref: ref, N: n}
+	for _, b := range s.keys {
+		if !b.Get(int(ref)) {
+			continue
+		}
+		out.Active++
+		if s.ndStableActive(b, ref, n, opts) {
+			out.Stable++
+		}
+	}
+	out.NotStable = out.Active - out.Stable
+	return out
+}
+
+// StableKeys returns the nd-stable keys for reference day ref, in no
+// particular order.
+func (s *Store[K]) StableKeys(ref Day, n int, opts Options) []K {
+	var out []K
+	for k, b := range s.keys {
+		if b.Get(int(ref)) && s.ndStableActive(b, ref, n, opts) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// WeeklyStability summarizes stability over a 7-day span of reference days.
+type WeeklyStability struct {
+	Start     Day
+	N         int
+	Active    int // distinct keys active during the week
+	Stable    int // distinct keys nd-stable on at least one reference day
+	NotStable int // Active - Stable
+}
+
+// ClassifyWeek computes the weekly stability split per the paper's Table
+// 2c/2d methodology: for each of the seven days starting at start, the
+// nd-stable keys are determined; the count of unique nd-stable keys over
+// those days is reported, and "not stable" is the remainder of the week's
+// unique active keys.
+func (s *Store[K]) ClassifyWeek(start Day, n int, opts Options) WeeklyStability {
+	out := WeeklyStability{Start: start, N: n}
+	for _, b := range s.keys {
+		activeInWeek := false
+		stable := false
+		for d := start; d < start+7; d++ {
+			if int(d) >= s.numDays {
+				break
+			}
+			if !b.Get(int(d)) {
+				continue
+			}
+			activeInWeek = true
+			if s.ndStableActive(b, d, n, opts) {
+				stable = true
+				break
+			}
+		}
+		if activeInWeek {
+			out.Active++
+			if stable {
+				out.Stable++
+			}
+		}
+	}
+	out.NotStable = out.Active - out.Stable
+	return out
+}
+
+// OverlapSeries returns, for each day d in [ref-before, ref+after], the
+// number of keys active on both d and ref — the "Mar 17 active" overlap
+// curve of Figure 4. Days outside the study period report zero. The result
+// has before+after+1 entries; entry before corresponds to ref itself.
+func (s *Store[K]) OverlapSeries(ref Day, before, after int) []int {
+	out := make([]int, before+after+1)
+	for _, b := range s.keys {
+		if !b.Get(int(ref)) {
+			continue
+		}
+		for i := range out {
+			d := int(ref) - before + i
+			if d >= 0 && d < s.numDays && b.Get(d) {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// ActiveInRange returns the number of distinct keys active on at least one
+// day of [from, to] (inclusive).
+func (s *Store[K]) ActiveInRange(from, to Day) int {
+	n := 0
+	for _, b := range s.keys {
+		if b.AnyInRange(int(from), int(to)) {
+			n++
+		}
+	}
+	return n
+}
+
+// EpochStable counts keys active during both [aFrom,aTo] and [bFrom,bTo]
+// (inclusive ranges): the paper's 6m-stable and 1y-stable classes, where the
+// two ranges are the same calendar window six months or a year apart.
+func (s *Store[K]) EpochStable(aFrom, aTo, bFrom, bTo Day) int {
+	n := 0
+	for _, b := range s.keys {
+		if b.AnyInRange(int(aFrom), int(aTo)) && b.AnyInRange(int(bFrom), int(bTo)) {
+			n++
+		}
+	}
+	return n
+}
+
+// EpochStableKeys returns the keys counted by EpochStable.
+func (s *Store[K]) EpochStableKeys(aFrom, aTo, bFrom, bTo Day) []K {
+	var out []K
+	for k, b := range s.keys {
+		if b.AnyInRange(int(aFrom), int(aTo)) && b.AnyInRange(int(bFrom), int(bTo)) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// KeysActiveOn returns the distinct keys active on day d, in no particular
+// order.
+func (s *Store[K]) KeysActiveOn(d Day) []K {
+	var out []K
+	for k, b := range s.keys {
+		if b.Get(int(d)) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// StabilitySpectrum returns, for each n in [1, maxN], the count of keys that
+// are nd-stable on ref — the monotone non-increasing spectrum used by the
+// window-sweep ablation. (nd-stable implies (n-1)d-stable, Section 5.1.)
+func (s *Store[K]) StabilitySpectrum(ref Day, maxN int, opts Options) []int {
+	out := make([]int, maxN)
+	for _, b := range s.keys {
+		if !b.Get(int(ref)) {
+			continue
+		}
+		// Find the largest n for which the key qualifies; it then counts
+		// toward every smaller n.
+		for n := maxN; n >= 1; n-- {
+			if s.ndStableActive(b, ref, n, opts) {
+				for i := 0; i < n; i++ {
+					out[i]++
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// LongestGapStable returns keys sorted by their maximum observed activity
+// gap (descending), up to limit keys — a helper for selecting probe targets
+// with the longest demonstrated lifetimes.
+func (s *Store[K]) LongestGapStable(limit int) []K {
+	type kg struct {
+		k   K
+		gap int
+	}
+	var all []kg
+	for k, b := range s.keys {
+		first := b.First(0)
+		last := b.Last(s.numDays - 1)
+		if first >= 0 && last > first {
+			all = append(all, kg{k: k, gap: last - first})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].gap > all[j].gap })
+	if limit > len(all) {
+		limit = len(all)
+	}
+	out := make([]K, limit)
+	for i := 0; i < limit; i++ {
+		out[i] = all[i].k
+	}
+	return out
+}
+
+// Range visits every key with its activity bitset, for serialization.
+// Returning false stops the iteration. The bitsets must not be modified.
+func (s *Store[K]) Range(fn func(k K, days *BitSet) bool) {
+	for k, b := range s.keys {
+		if !fn(k, b) {
+			return
+		}
+	}
+}
+
+// Restore installs a deserialized activity bitset for k, replacing any
+// existing record and updating the per-day counters.
+func (s *Store[K]) Restore(k K, b *BitSet) {
+	if old := s.keys[k]; old != nil {
+		for d := old.First(0); d >= 0 && d < s.numDays; d = old.First(d + 1) {
+			s.perDay[d]--
+		}
+	}
+	s.keys[k] = b
+	for d := b.First(0); d >= 0 && d < s.numDays; d = b.First(d + 1) {
+		s.perDay[d]++
+	}
+}

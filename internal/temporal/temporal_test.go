@@ -1,0 +1,354 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// obs builds a store over numDays with the given key->active-days map.
+func obs(numDays int, m map[string][]int) *Store[string] {
+	s := NewStore[string](numDays)
+	for k, days := range m {
+		for _, d := range days {
+			s.Observe(k, Day(d))
+		}
+	}
+	return s
+}
+
+func TestObserveAndCounts(t *testing.T) {
+	s := obs(30, map[string][]int{
+		"a": {10, 11, 12},
+		"b": {10},
+		"c": {12, 20},
+	})
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.ActiveCount(10) != 2 || s.ActiveCount(12) != 2 || s.ActiveCount(20) != 1 || s.ActiveCount(0) != 0 {
+		t.Errorf("per-day counts wrong: %v", s.ActivePerDay())
+	}
+	if !s.Active("a", 10) || s.Active("a", 13) {
+		t.Error("Active wrong")
+	}
+	// Idempotent observation.
+	s.Observe("a", 10)
+	if s.ActiveCount(10) != 2 {
+		t.Error("duplicate Observe should not change counts")
+	}
+	// Out-of-range ignored.
+	s.Observe("z", -1)
+	s.Observe("z", 30)
+	if s.Len() != 3 {
+		t.Error("out-of-range Observe should be ignored")
+	}
+	days := s.Days("c")
+	if len(days) != 2 || days[0] != 12 || days[1] != 20 {
+		t.Errorf("Days(c) = %v", days)
+	}
+	if s.Days("missing") != nil {
+		t.Error("Days of unknown key should be nil")
+	}
+}
+
+// TestNDStablePaperDefinition verifies the paper's worked definition:
+// seen March 17 and 18 => 1d-stable; seen March 17 and 19 => 2d-stable and
+// also 1d-stable; classes are not mutually exclusive.
+func TestNDStablePaperDefinition(t *testing.T) {
+	// Day 17 = "March 17".
+	s := obs(40, map[string][]int{
+		"mar17+18": {17, 18},
+		"mar17+19": {17, 19},
+		"onlyone":  {17},
+		"mar17+20": {17, 20},
+	})
+	opts := Options{}
+	if !s.NDStable("mar17+18", 17, 1, opts) {
+		t.Error("17+18 should be 1d-stable")
+	}
+	if s.NDStable("mar17+18", 17, 2, opts) {
+		t.Error("17+18 should NOT be 2d-stable")
+	}
+	if !s.NDStable("mar17+19", 17, 2, opts) {
+		t.Error("17+19 should be 2d-stable")
+	}
+	if !s.NDStable("mar17+19", 17, 1, opts) {
+		t.Error("2d-stable implies 1d-stable")
+	}
+	if s.NDStable("onlyone", 17, 1, opts) {
+		t.Error("single observation is never stable")
+	}
+	if !s.NDStable("mar17+20", 17, 3, opts) {
+		t.Error("17+20 should be 3d-stable")
+	}
+	// Key inactive on the reference day is not classified.
+	if s.NDStable("mar17+18", 19, 1, opts) {
+		t.Error("inactive on ref day should not be stable")
+	}
+	if s.NDStable("nosuchkey", 17, 1, opts) {
+		t.Error("unknown key should not be stable")
+	}
+}
+
+func TestNDStableWindowClipping(t *testing.T) {
+	// Partner day outside the (-7,+7) window must not count.
+	s := obs(40, map[string][]int{
+		"far":  {17, 30}, // 13 days later: outside +7
+		"edge": {17, 24}, // exactly +7: inside
+	})
+	opts := Options{}
+	if s.NDStable("far", 17, 3, opts) {
+		t.Error("partner beyond window must not count")
+	}
+	if !s.NDStable("edge", 17, 7, opts) {
+		t.Error("partner at window edge should count")
+	}
+	// A wider window accepts the far partner.
+	wide := Options{Window: Window{Before: 15, After: 15}}
+	if !s.NDStable("far", 17, 3, wide) {
+		t.Error("wide window should accept far partner")
+	}
+}
+
+func TestNDStableBeforeRef(t *testing.T) {
+	s := obs(40, map[string][]int{"past": {10, 17}})
+	if !s.NDStable("past", 17, 7, Options{}) {
+		t.Error("partner 7 days before ref should count")
+	}
+	if s.NDStable("past", 17, 8, Options{}) {
+		t.Error("8d-stable needs gap >= 8")
+	}
+}
+
+func TestSlewDays(t *testing.T) {
+	// With a 1-day slew allowance, a gap of n is no longer sufficient.
+	s := obs(40, map[string][]int{"x": {17, 20}})
+	if !s.NDStable("x", 17, 3, Options{}) {
+		t.Error("gap 3 is 3d-stable without slew")
+	}
+	if s.NDStable("x", 17, 3, Options{SlewDays: 1}) {
+		t.Error("gap 3 is not 3d-stable with 1-day slew")
+	}
+	s2 := obs(40, map[string][]int{"x": {17, 21}})
+	if !s2.NDStable("x", 17, 3, Options{SlewDays: 1}) {
+		t.Error("gap 4 satisfies 3d-stable with 1-day slew")
+	}
+}
+
+func TestAnyPairOption(t *testing.T) {
+	// Active on ref (17) and on 14+20: anchored pairs give max gap 3, but
+	// the any-pair rule sees gap 6.
+	s := obs(40, map[string][]int{"x": {14, 17, 20}})
+	if s.NDStable("x", 17, 5, Options{}) {
+		t.Error("anchored: max gap from ref is 3")
+	}
+	if !s.NDStable("x", 17, 5, Options{AnyPair: true}) {
+		t.Error("any-pair: days 14 and 20 give gap 6")
+	}
+	// Anchored stability always implies any-pair stability.
+	for n := 1; n <= 3; n++ {
+		if s.NDStable("x", 17, n, Options{}) && !s.NDStable("x", 17, n, Options{AnyPair: true}) {
+			t.Errorf("anchored %dd-stable must imply any-pair", n)
+		}
+	}
+}
+
+func TestClassifyDay(t *testing.T) {
+	s := obs(40, map[string][]int{
+		"stable1":  {17, 20},
+		"stable2":  {14, 17},
+		"unstable": {17},
+		"adjacent": {17, 18}, // 1d- but not 3d-stable
+		"absent":   {10, 13},
+	})
+	r := s.ClassifyDay(17, 3, Options{})
+	if r.Active != 4 {
+		t.Errorf("Active = %d, want 4", r.Active)
+	}
+	if r.Stable != 2 {
+		t.Errorf("Stable = %d, want 2", r.Stable)
+	}
+	if r.NotStable != 2 {
+		t.Errorf("NotStable = %d", r.NotStable)
+	}
+	keys := s.StableKeys(17, 3, Options{})
+	if len(keys) != 2 {
+		t.Errorf("StableKeys = %v", keys)
+	}
+}
+
+func TestClassifyWeek(t *testing.T) {
+	s := obs(40, map[string][]int{
+		// Stable relative to day 19 (gap 3 within its window).
+		"s1": {19, 22},
+		// Active two days of the week but never 3 apart within any window
+		// anchored at an active day... 20 and 21: gap 1. Not 3d-stable.
+		"u1": {20, 21},
+		// Active only outside the week.
+		"out": {5, 9},
+		// Stable via a pre-week partner: active day 17, also day 14.
+		"s2": {14, 17},
+	})
+	r := s.ClassifyWeek(17, 3, Options{})
+	if r.Active != 3 {
+		t.Errorf("Active = %d, want 3", r.Active)
+	}
+	if r.Stable != 2 {
+		t.Errorf("Stable = %d, want 2 (s1, s2)", r.Stable)
+	}
+	if r.NotStable != 1 {
+		t.Errorf("NotStable = %d", r.NotStable)
+	}
+}
+
+func TestClassifyWeekClipsAtStudyEnd(t *testing.T) {
+	s := obs(20, map[string][]int{"x": {18, 19}})
+	r := s.ClassifyWeek(15, 1, Options{})
+	if r.Active != 1 || r.Stable != 1 {
+		t.Errorf("clipped week: %+v", r)
+	}
+}
+
+func TestOverlapSeries(t *testing.T) {
+	s := obs(40, map[string][]int{
+		"a": {15, 16, 17, 18},
+		"b": {17},
+		"c": {10, 17, 24},
+		"d": {16, 18}, // not active on ref; excluded entirely
+	})
+	series := s.OverlapSeries(17, 7, 7)
+	if len(series) != 15 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	// Index 7 is ref itself: all three ref-active keys.
+	if series[7] != 3 {
+		t.Errorf("ref overlap = %d, want 3", series[7])
+	}
+	// Day 16 (index 6): only "a".
+	if series[6] != 1 {
+		t.Errorf("day16 overlap = %d, want 1", series[6])
+	}
+	// Day 10 (index 0): only "c".
+	if series[0] != 1 {
+		t.Errorf("day10 overlap = %d, want 1", series[0])
+	}
+	// Day 24 (index 14): only "c".
+	if series[14] != 1 {
+		t.Errorf("day24 overlap = %d, want 1", series[14])
+	}
+}
+
+func TestEpochStable(t *testing.T) {
+	s := obs(400, map[string][]int{
+		"yearlong": {10, 360},
+		"once":     {10},
+		"recent":   {360, 361},
+		"both2":    {12, 355},
+	})
+	// "6 months": active in days [5,15] and in [350,365].
+	if got := s.EpochStable(5, 15, 350, 365); got != 2 {
+		t.Errorf("EpochStable = %d, want 2", got)
+	}
+	keys := s.EpochStableKeys(5, 15, 350, 365)
+	if len(keys) != 2 {
+		t.Errorf("EpochStableKeys = %v", keys)
+	}
+	if got := s.ActiveInRange(350, 365); got != 3 {
+		t.Errorf("ActiveInRange = %d, want 3", got)
+	}
+}
+
+func TestStabilitySpectrumMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	s := NewStore[int](60)
+	for k := 0; k < 300; k++ {
+		days := 1 + r.Intn(6)
+		for i := 0; i < days; i++ {
+			s.Observe(k, Day(20+r.Intn(15)-7))
+		}
+	}
+	spec := s.StabilitySpectrum(20, 7, Options{})
+	for i := 1; i < len(spec); i++ {
+		if spec[i] > spec[i-1] {
+			t.Fatalf("spectrum not monotone at n=%d: %v", i+1, spec)
+		}
+	}
+	// n=1 equals count of keys active on ref with any partner day.
+	want := 0
+	for k := 0; k < 300; k++ {
+		if s.NDStable(k, 20, 1, Options{}) {
+			want++
+		}
+	}
+	if spec[0] != want {
+		t.Errorf("spectrum[0] = %d, want %d", spec[0], want)
+	}
+}
+
+func TestKeysActiveOn(t *testing.T) {
+	s := obs(30, map[string][]int{"a": {5}, "b": {5, 6}, "c": {6}})
+	keys := s.KeysActiveOn(5)
+	if len(keys) != 2 {
+		t.Errorf("KeysActiveOn = %v", keys)
+	}
+}
+
+func TestLongestGapStable(t *testing.T) {
+	s := obs(100, map[string][]int{
+		"wide":   {0, 90},
+		"narrow": {10, 12},
+		"mid":    {20, 60},
+		"single": {50},
+	})
+	got := s.LongestGapStable(2)
+	if len(got) != 2 || got[0] != "wide" || got[1] != "mid" {
+		t.Errorf("LongestGapStable = %v", got)
+	}
+	// Limit larger than population.
+	if got := s.LongestGapStable(10); len(got) != 3 {
+		t.Errorf("LongestGapStable(10) = %v (single-day keys excluded)", got)
+	}
+}
+
+func TestNewStorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStore(0) should panic")
+		}
+	}()
+	NewStore[string](0)
+}
+
+// Property: nd-stable implies (n-1)d-stable for all options combinations.
+func TestPropStabilityMonotoneInN(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	s := NewStore[int](50)
+	for k := 0; k < 500; k++ {
+		for i := 0; i < 1+r.Intn(5); i++ {
+			s.Observe(k, Day(r.Intn(50)))
+		}
+	}
+	for _, opts := range []Options{{}, {AnyPair: true}, {SlewDays: 1}, {Window: Window{Before: 3, After: 3}}} {
+		for k := 0; k < 500; k++ {
+			for n := 2; n <= 8; n++ {
+				if s.NDStable(k, 25, n, opts) && !s.NDStable(k, 25, n-1, opts) {
+					t.Fatalf("key %d: %dd-stable but not %dd-stable (opts %+v)", k, n, n-1, opts)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkClassifyDay(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := NewStore[int](30)
+	for k := 0; k < 100000; k++ {
+		for i := 0; i < 3; i++ {
+			s.Observe(k, Day(r.Intn(30)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ClassifyDay(15, 3, Options{})
+	}
+}

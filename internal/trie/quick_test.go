@@ -1,0 +1,199 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"v6class/internal/ipaddr"
+)
+
+// insertion is one randomized trie operation for property testing.
+type insertion struct {
+	Addr  [16]byte
+	Bits  uint8 // prefix length in [0,128]
+	Count uint8 // observation count in [0,255]
+}
+
+func (insertion) Generate(r *rand.Rand, size int) reflect.Value {
+	var ins insertion
+	r.Read(ins.Addr[:])
+	// Cluster half the keys to force shared paths and branch nodes.
+	if r.Intn(2) == 0 {
+		copy(ins.Addr[:5], []byte{0x20, 0x01, 0x0d, 0xb8, byte(r.Intn(2))})
+	}
+	ins.Bits = uint8(r.Intn(129))
+	ins.Count = uint8(r.Intn(6))
+	return reflect.ValueOf(ins)
+}
+
+func (ins insertion) prefix() ipaddr.Prefix {
+	return ipaddr.PrefixFrom(ipaddr.AddrFrom16(ins.Addr), int(ins.Bits))
+}
+
+// TestQuickTrieAccounting checks, for arbitrary insertion sequences, that
+// Total is conserved, Len counts distinct nonzero prefixes, and the root
+// subtree covers everything.
+func TestQuickTrieAccounting(t *testing.T) {
+	f := func(ops []insertion) bool {
+		var tr Trie
+		want := make(map[ipaddr.Prefix]uint64)
+		var total uint64
+		for _, op := range ops {
+			tr.Add(op.prefix(), uint64(op.Count))
+			if op.Count > 0 {
+				want[op.prefix()] += uint64(op.Count)
+				total += uint64(op.Count)
+			}
+		}
+		if tr.Total() != total {
+			return false
+		}
+		if tr.Len() != len(want) {
+			return false
+		}
+		if total > 0 && tr.SubtreeCount(ipaddr.PrefixFrom(ipaddr.Addr{}, 0)) != total {
+			return false
+		}
+		// Exact counts for every inserted prefix.
+		for p, c := range want {
+			if tr.Count(p) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLPMMatchesBruteForce checks longest-prefix match against a
+// linear scan for arbitrary tables and queries.
+func TestQuickLPMMatchesBruteForce(t *testing.T) {
+	f := func(ops []insertion, queryRaw [16]byte) bool {
+		var tr Trie
+		prefixes := make(map[ipaddr.Prefix]bool)
+		for _, op := range ops {
+			if op.Count == 0 {
+				continue
+			}
+			tr.Add(op.prefix(), uint64(op.Count))
+			prefixes[op.prefix()] = true
+		}
+		q := ipaddr.AddrFrom16(queryRaw)
+		var best ipaddr.Prefix
+		found := false
+		for p := range prefixes {
+			if p.Contains(q) && (!found || p.Bits() > best.Bits()) {
+				best, found = p, true
+			}
+		}
+		got, _, ok := tr.LongestPrefixMatch(q)
+		if ok != found {
+			return false
+		}
+		return !found || got == best
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Also query addresses biased into the clustered region so matches
+	// are common, not just misses.
+	f2 := func(ops []insertion) bool {
+		var tr Trie
+		prefixes := make(map[ipaddr.Prefix]bool)
+		for _, op := range ops {
+			if op.Count == 0 {
+				continue
+			}
+			tr.Add(op.prefix(), uint64(op.Count))
+			prefixes[op.prefix()] = true
+		}
+		q := ipaddr.MustParseAddr("2001:db8::42")
+		var best ipaddr.Prefix
+		found := false
+		for p := range prefixes {
+			if p.Contains(q) && (!found || p.Bits() > best.Bits()) {
+				best, found = p, true
+			}
+		}
+		got, _, ok := tr.LongestPrefixMatch(q)
+		return ok == found && (!found || got == best)
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDensifyInvariants checks that for arbitrary address sets the
+// dense prefixes are non-overlapping, meet the reporting floor, and cover
+// only observed counts.
+func TestQuickDensifyInvariants(t *testing.T) {
+	f := func(ops []insertion) bool {
+		var tr Trie
+		var total uint64
+		for _, op := range ops {
+			// Force full addresses for density semantics.
+			tr.AddAddr(ipaddr.AddrFrom16(op.Addr))
+			total++
+		}
+		for _, cls := range []struct {
+			n uint64
+			p int
+		}{{2, 112}, {3, 120}, {2, 64}} {
+			out := tr.DensePrefixes(cls.n, cls.p)
+			var covered uint64
+			for i, pc := range out {
+				if pc.Count < cls.n {
+					return false
+				}
+				covered += pc.Count
+				for j := i + 1; j < len(out); j++ {
+					if pc.Prefix.Overlaps(out[j].Prefix) {
+						return false
+					}
+				}
+			}
+			if covered > total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAggregateCountsShape checks the structural laws of n_p for
+// arbitrary populations: monotone, at-most-doubling, endpoints.
+func TestQuickAggregateCountsShape(t *testing.T) {
+	f := func(ops []insertion) bool {
+		var tr Trie
+		distinct := make(map[ipaddr.Addr]bool)
+		for _, op := range ops {
+			a := ipaddr.AddrFrom16(op.Addr)
+			tr.AddAddr(a)
+			distinct[a] = true
+		}
+		c := tr.AggregateCounts()
+		if len(distinct) == 0 {
+			return c[0] == 0 && c[128] == 0
+		}
+		if c[0] != 1 || c[128] != uint64(len(distinct)) {
+			return false
+		}
+		for p := 1; p <= 128; p++ {
+			if c[p] < c[p-1] || c[p] > 2*c[p-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}

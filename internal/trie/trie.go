@@ -1,0 +1,408 @@
+// Package trie implements a path-compressed binary radix (Patricia) trie
+// keyed by IPv6 prefixes with per-item counts.
+//
+// It is the data structure behind the spatial classification of Plonka &
+// Berger (IMC 2015): the aguri-style aggregation of Cho et al. (QofIS 2001),
+// the "densify" operation of Section 5.2.3 that discovers least-specific
+// dense prefixes, and the active-aggregate counts n_p of Kohler et al.
+// (IMW 2002) from which Multi-Resolution Aggregate count ratios are derived.
+//
+// A Trie is not safe for concurrent mutation; concurrent readers are safe
+// once construction is complete.
+package trie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"v6class/internal/ipaddr"
+)
+
+// node is a trie node. Internal nodes exist exactly at branch points (two
+// children) or where an item (count > 0) was stored; path compression elides
+// all other positions.
+type node struct {
+	prefix ipaddr.Prefix
+	count  uint64 // count stored exactly at this prefix
+	total  uint64 // count plus all descendants' counts (maintained on insert)
+	child  [2]*node
+}
+
+// Trie is a prefix-keyed counting radix trie. The zero value is an empty
+// trie ready for use.
+type Trie struct {
+	root  *node
+	items int // number of distinct prefixes with count > 0
+	nodes int // total node count, for introspection
+}
+
+// PrefixCount pairs a prefix with an observation count; it is the element
+// type of aggregation and densification results.
+type PrefixCount struct {
+	Prefix ipaddr.Prefix
+	Count  uint64
+}
+
+// Len returns the number of distinct prefixes stored (with nonzero count).
+func (t *Trie) Len() int { return t.items }
+
+// Nodes returns the total number of trie nodes, including pure branch nodes.
+func (t *Trie) Nodes() int { return t.nodes }
+
+// Total returns the sum of all stored counts.
+func (t *Trie) Total() uint64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.total
+}
+
+// AddAddr records one observation of the full address a (a /128 item).
+func (t *Trie) AddAddr(a ipaddr.Addr) { t.Add(ipaddr.PrefixFrom(a, 128), 1) }
+
+// Add records count observations of prefix p.
+func (t *Trie) Add(p ipaddr.Prefix, count uint64) {
+	if count == 0 {
+		return
+	}
+	if t.root == nil {
+		t.root = &node{prefix: p, count: count, total: count}
+		t.items++
+		t.nodes++
+		return
+	}
+	t.root = t.insert(t.root, p, count)
+}
+
+func (t *Trie) insert(n *node, q ipaddr.Prefix, c uint64) *node {
+	cpl := n.prefix.Addr().CommonPrefixLen(q.Addr())
+	if cpl > n.prefix.Bits() {
+		cpl = n.prefix.Bits()
+	}
+	if cpl > q.Bits() {
+		cpl = q.Bits()
+	}
+	switch {
+	case cpl == n.prefix.Bits() && cpl == q.Bits():
+		// q is exactly this node.
+		if n.count == 0 {
+			t.items++
+		}
+		n.count += c
+		n.total += c
+		return n
+
+	case cpl == n.prefix.Bits():
+		// q lies below n; descend.
+		n.total += c
+		b := q.Addr().Bit(n.prefix.Bits())
+		if n.child[b] == nil {
+			n.child[b] = &node{prefix: q, count: c, total: c}
+			t.items++
+			t.nodes++
+		} else {
+			n.child[b] = t.insert(n.child[b], q, c)
+		}
+		return n
+
+	case cpl == q.Bits():
+		// q is an ancestor of n; splice a new item node above n.
+		nn := &node{prefix: q, count: c, total: c + n.total}
+		nn.child[n.prefix.Addr().Bit(cpl)] = n
+		t.items++
+		t.nodes++
+		return nn
+
+	default:
+		// n and q diverge below cpl; create a pure branch node.
+		br := &node{prefix: ipaddr.PrefixFrom(q.Addr(), cpl), total: n.total + c}
+		br.child[n.prefix.Addr().Bit(cpl)] = n
+		br.child[q.Addr().Bit(cpl)] = &node{prefix: q, count: c, total: c}
+		t.items += 1
+		t.nodes += 2
+		return br
+	}
+}
+
+// Count returns the count stored exactly at prefix p (not including more
+// specific descendants).
+func (t *Trie) Count(p ipaddr.Prefix) uint64 {
+	n := t.root
+	for n != nil {
+		if !n.prefix.ContainsPrefix(p) {
+			return 0
+		}
+		if n.prefix == p {
+			return n.count
+		}
+		if n.prefix.Bits() >= p.Bits() {
+			return 0
+		}
+		n = n.child[p.Addr().Bit(n.prefix.Bits())]
+	}
+	return 0
+}
+
+// SubtreeCount returns the sum of counts of all stored items covered by p
+// (including p itself).
+func (t *Trie) SubtreeCount(p ipaddr.Prefix) uint64 {
+	n := t.root
+	for n != nil {
+		if p.ContainsPrefix(n.prefix) {
+			return n.total
+		}
+		if !n.prefix.ContainsPrefix(p) {
+			return 0
+		}
+		n = n.child[p.Addr().Bit(n.prefix.Bits())]
+	}
+	return 0
+}
+
+// LongestPrefixMatch returns the longest stored prefix (count > 0) that
+// contains a, with its count. ok is false when no stored prefix covers a.
+func (t *Trie) LongestPrefixMatch(a ipaddr.Addr) (p ipaddr.Prefix, count uint64, ok bool) {
+	n := t.root
+	for n != nil && n.prefix.Contains(a) {
+		if n.count > 0 {
+			p, count, ok = n.prefix, n.count, true
+		}
+		if n.prefix.Bits() == 128 {
+			break
+		}
+		n = n.child[a.Bit(n.prefix.Bits())]
+	}
+	return p, count, ok
+}
+
+// MaxCommonPrefixLen returns the maximum common-prefix length, in bits,
+// between a and any item stored in the trie; -1 for an empty trie. Because
+// descending a binary trie by a's bits always reaches the subtree sharing
+// the longest prefix, this is a single root-to-leaf walk.
+func (t *Trie) MaxCommonPrefixLen(a ipaddr.Addr) int {
+	n := t.root
+	if n == nil {
+		return -1
+	}
+	for {
+		cpl := n.prefix.Addr().CommonPrefixLen(a)
+		if cpl < n.prefix.Bits() {
+			// Diverged inside this node's compressed path.
+			return cpl
+		}
+		if n.prefix.Bits() == 128 {
+			return 128
+		}
+		next := n.child[a.Bit(n.prefix.Bits())]
+		if next == nil {
+			// a's side is empty; the best match is this node's own
+			// prefix (if it is an item) or anything below the other
+			// child, all sharing exactly n.prefix.Bits() bits... unless
+			// the node itself is an item whose prefix fully matches.
+			return n.prefix.Bits()
+		}
+		n = next
+	}
+}
+
+// Walk visits every stored item (count > 0) in lexicographic (in-order)
+// prefix order. Returning false from fn stops the walk.
+func (t *Trie) Walk(fn func(PrefixCount) bool) {
+	t.walkNodes(t.root, func(n *node) bool {
+		if n.count == 0 {
+			return true
+		}
+		return fn(PrefixCount{Prefix: n.prefix, Count: n.count})
+	})
+}
+
+// walkNodes visits every node in-order (parent before children; children in
+// bit order — for a trie this yields prefixes in ipaddr.Prefix.Cmp order).
+func (t *Trie) walkNodes(n *node, fn func(*node) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !fn(n) {
+		return false
+	}
+	return t.walkNodes(n.child[0], fn) && t.walkNodes(n.child[1], fn)
+}
+
+// Items returns all stored items in order. It is a convenience for tests and
+// small result sets; prefer Walk for large tries.
+func (t *Trie) Items() []PrefixCount {
+	var out []PrefixCount
+	t.Walk(func(pc PrefixCount) bool {
+		out = append(out, pc)
+		return true
+	})
+	return out
+}
+
+// AggregateCounts returns the active-aggregate counts n_p of Kohler et al.
+// for all p in [0,128]: n_p is the number of distinct /p prefixes needed to
+// cover the stored items. Items shorter than p count once (they are covered
+// by a single /p region in the classifier's usage, where item sets are
+// uniform-depth: all /128 addresses or all /64 prefixes).
+//
+// In a path-compressed binary trie each branch point at split bit s
+// contributes exactly one additional /p aggregate for every p > s, so all
+// 129 values come from one walk building a histogram of split bits.
+func (t *Trie) AggregateCounts() [129]uint64 {
+	var counts [129]uint64
+	if t.root == nil {
+		return counts
+	}
+	var hist [129]uint64 // hist[s]: branch points splitting at bit s
+	t.walkNodes(t.root, func(n *node) bool {
+		if n.child[0] != nil && n.child[1] != nil {
+			hist[n.prefix.Bits()]++
+		}
+		return true
+	})
+	running := uint64(1)
+	for p := 0; p <= 128; p++ {
+		counts[p] = running
+		if p < 128 {
+			running += hist[p]
+		}
+	}
+	return counts
+}
+
+// DensePrefixes implements the paper's densify operation (Section 5.2.3):
+// given the density class parameters n and p (a prefix is "n@/p-dense" when
+// a /p covers at least n observed items), it returns the least-specific,
+// non-overlapping prefixes whose item density meets or exceeds n/2^(128-p),
+// each carrying its covered item count. Prefixes with fewer than n items are
+// skipped, mirroring the paper's reporting step. Results are in prefix order.
+//
+// The returned prefixes may be shorter than p (a /104 can be 2@/112-dense if
+// it is dense enough overall); use FixedLengthDense for exactly-length-p
+// classes.
+func (t *Trie) DensePrefixes(n uint64, p int) []PrefixCount {
+	if n == 0 {
+		n = 1
+	}
+	var out []PrefixCount
+	t.dense(t.root, n, p, &out)
+	return out
+}
+
+// denseThreshold returns the minimum subtree count for a node at prefix
+// length length to meet density n/2^(128-p), saturating on overflow.
+func denseThreshold(n uint64, p, length int) uint64 {
+	if length >= p {
+		// 2^(p-length) <= 1: any single observation meets the density,
+		// but the reporting floor of n still applies at the call site.
+		return 1
+	}
+	shift := uint(p - length)
+	if shift >= 64 || n > (^uint64(0))>>shift {
+		return ^uint64(0) // unreachable density for so short a prefix
+	}
+	return n << shift
+}
+
+func (t *Trie) dense(nd *node, n uint64, p int, out *[]PrefixCount) {
+	if nd == nil {
+		return
+	}
+	if nd.total < n {
+		// No descendant can reach the reporting floor.
+		return
+	}
+	if nd.total >= denseThreshold(n, p, nd.prefix.Bits()) {
+		*out = append(*out, PrefixCount{Prefix: nd.prefix, Count: nd.total})
+		return
+	}
+	t.dense(nd.child[0], n, p, out)
+	t.dense(nd.child[1], n, p, out)
+}
+
+// FixedLengthDense returns every length-p prefix covering at least n items,
+// i.e. the paper's "n@/p-dense" class with the prefix length fixed, along
+// with covered item counts, in prefix order. This matches the paper's
+// shortcut of inserting items pre-truncated to /p.
+func (t *Trie) FixedLengthDense(n uint64, p int) []PrefixCount {
+	var out []PrefixCount
+	t.fixedDense(t.root, n, p, &out)
+	return out
+}
+
+func (t *Trie) fixedDense(nd *node, n uint64, p int, out *[]PrefixCount) {
+	if nd == nil || nd.total < n {
+		return
+	}
+	if nd.prefix.Bits() >= p {
+		// The whole subtree lies within one /p; its covering prefix is the
+		// node's truncation. (An ancestor cannot have emitted it: ancestors
+		// are shorter than p or we would have stopped there.)
+		*out = append(*out, PrefixCount{Prefix: nd.prefix.Truncate(p), Count: nd.total})
+		return
+	}
+	t.fixedDense(nd.child[0], n, p, out)
+	t.fixedDense(nd.child[1], n, p, out)
+}
+
+// AguriAggregate performs the aggregation of Cho et al.: items whose counts
+// are below minCount are merged upward into ancestors until the accumulated
+// count reaches minCount; the root absorbs any remainder. The result is the
+// aggregated traffic profile in prefix order. The trie itself is not
+// modified.
+//
+// Callers expressing the aguri threshold as a fraction of total observations
+// should pass minCount = ceil(fraction * t.Total()).
+func (t *Trie) AguriAggregate(minCount uint64) []PrefixCount {
+	if minCount == 0 {
+		minCount = 1
+	}
+	var out []PrefixCount
+	rem := t.aguri(t.root, minCount, &out)
+	if rem > 0 {
+		// Remainder aggregates to the root of the address space.
+		out = append(out, PrefixCount{Prefix: ipaddr.PrefixFrom(ipaddr.Addr{}, 0), Count: rem})
+	}
+	// Emit in prefix order: the recursion appends children before parents
+	// (post-order); re-sort for a stable, readable profile.
+	sortPrefixCounts(out)
+	return out
+}
+
+// aguri returns the count that could not be emitted within nd's subtree and
+// must aggregate into nd's ancestors.
+func (t *Trie) aguri(nd *node, minCount uint64, out *[]PrefixCount) uint64 {
+	if nd == nil {
+		return 0
+	}
+	acc := nd.count
+	acc += t.aguri(nd.child[0], minCount, out)
+	acc += t.aguri(nd.child[1], minCount, out)
+	if acc >= minCount {
+		*out = append(*out, PrefixCount{Prefix: nd.prefix, Count: acc})
+		return 0
+	}
+	return acc
+}
+
+func sortPrefixCounts(s []PrefixCount) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Prefix.Cmp(s[j].Prefix) < 0 })
+}
+
+// String renders the trie structure for debugging: one node per line,
+// indented by tree depth, annotated with counts.
+func (t *Trie) String() string {
+	var b strings.Builder
+	var rec func(n *node, depth int)
+	rec = func(n *node, depth int) {
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%s%v count=%d total=%d\n", strings.Repeat("  ", depth), n.prefix, n.count, n.total)
+		rec(n.child[0], depth+1)
+		rec(n.child[1], depth+1)
+	}
+	rec(t.root, 0)
+	return b.String()
+}

@@ -1,0 +1,244 @@
+// Package uint128 implements 128-bit unsigned integer arithmetic.
+//
+// It is the numeric substrate for IPv6 address manipulation throughout this
+// repository: addresses are 128-bit values, prefixes are masked 128-bit
+// values, and the Multi-Resolution Aggregate and density computations of
+// Plonka & Berger (IMC 2015) require shifting, masking, and comparing such
+// values without resorting to big.Int allocations.
+//
+// Uint128 is a small value type; all operations return new values and none
+// allocate.
+package uint128
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Uint128 is an unsigned 128-bit integer comprising two 64-bit halves.
+// The zero value is the number 0 and is ready to use.
+type Uint128 struct {
+	Hi uint64 // most-significant 64 bits
+	Lo uint64 // least-significant 64 bits
+}
+
+// Zero is the number 0.
+var Zero = Uint128{}
+
+// One is the number 1.
+var One = Uint128{Lo: 1}
+
+// Max is the largest representable value, 2^128 - 1.
+var Max = Uint128{Hi: ^uint64(0), Lo: ^uint64(0)}
+
+// New returns a Uint128 from its two 64-bit halves.
+func New(hi, lo uint64) Uint128 { return Uint128{Hi: hi, Lo: lo} }
+
+// From64 returns a Uint128 holding the 64-bit value v.
+func From64(v uint64) Uint128 { return Uint128{Lo: v} }
+
+// FromBytes interprets the 16-byte big-endian array b as a Uint128.
+func FromBytes(b [16]byte) Uint128 {
+	var u Uint128
+	for i := 0; i < 8; i++ {
+		u.Hi = u.Hi<<8 | uint64(b[i])
+		u.Lo = u.Lo<<8 | uint64(b[i+8])
+	}
+	return u
+}
+
+// Bytes returns the 16-byte big-endian representation of u.
+func (u Uint128) Bytes() [16]byte {
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[7-i] = byte(u.Hi >> (8 * i))
+		b[15-i] = byte(u.Lo >> (8 * i))
+	}
+	return b
+}
+
+// IsZero reports whether u == 0.
+func (u Uint128) IsZero() bool { return u.Hi == 0 && u.Lo == 0 }
+
+// Cmp compares u and v, returning -1 if u < v, 0 if u == v, and +1 if u > v.
+func (u Uint128) Cmp(v Uint128) int {
+	switch {
+	case u.Hi < v.Hi:
+		return -1
+	case u.Hi > v.Hi:
+		return 1
+	case u.Lo < v.Lo:
+		return -1
+	case u.Lo > v.Lo:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether u < v.
+func (u Uint128) Less(v Uint128) bool { return u.Cmp(v) < 0 }
+
+// Add returns u + v, wrapping on overflow.
+func (u Uint128) Add(v Uint128) Uint128 {
+	lo, carry := bits.Add64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Add64(u.Hi, v.Hi, carry)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// AddCarry returns u + v and the outgoing carry (0 or 1).
+func (u Uint128) AddCarry(v Uint128) (sum Uint128, carry uint64) {
+	lo, c := bits.Add64(u.Lo, v.Lo, 0)
+	hi, c2 := bits.Add64(u.Hi, v.Hi, c)
+	return Uint128{Hi: hi, Lo: lo}, c2
+}
+
+// Add64 returns u + v, wrapping on overflow.
+func (u Uint128) Add64(v uint64) Uint128 {
+	lo, carry := bits.Add64(u.Lo, v, 0)
+	return Uint128{Hi: u.Hi + carry, Lo: lo}
+}
+
+// Sub returns u - v, wrapping on underflow.
+func (u Uint128) Sub(v Uint128) Uint128 {
+	lo, borrow := bits.Sub64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Sub64(u.Hi, v.Hi, borrow)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Sub64 returns u - v, wrapping on underflow.
+func (u Uint128) Sub64(v uint64) Uint128 {
+	lo, borrow := bits.Sub64(u.Lo, v, 0)
+	return Uint128{Hi: u.Hi - borrow, Lo: lo}
+}
+
+// Mul64 returns u * v, wrapping on overflow.
+func (u Uint128) Mul64(v uint64) Uint128 {
+	hi, lo := bits.Mul64(u.Lo, v)
+	return Uint128{Hi: hi + u.Hi*v, Lo: lo}
+}
+
+// And returns the bitwise AND of u and v.
+func (u Uint128) And(v Uint128) Uint128 { return Uint128{Hi: u.Hi & v.Hi, Lo: u.Lo & v.Lo} }
+
+// Or returns the bitwise OR of u and v.
+func (u Uint128) Or(v Uint128) Uint128 { return Uint128{Hi: u.Hi | v.Hi, Lo: u.Lo | v.Lo} }
+
+// Xor returns the bitwise XOR of u and v.
+func (u Uint128) Xor(v Uint128) Uint128 { return Uint128{Hi: u.Hi ^ v.Hi, Lo: u.Lo ^ v.Lo} }
+
+// Not returns the bitwise complement of u.
+func (u Uint128) Not() Uint128 { return Uint128{Hi: ^u.Hi, Lo: ^u.Lo} }
+
+// Shl returns u << n. Shifts of 128 or more return zero.
+func (u Uint128) Shl(n uint) Uint128 {
+	switch {
+	case n >= 128:
+		return Uint128{}
+	case n >= 64:
+		return Uint128{Hi: u.Lo << (n - 64)}
+	case n == 0:
+		return u
+	}
+	return Uint128{Hi: u.Hi<<n | u.Lo>>(64-n), Lo: u.Lo << n}
+}
+
+// Shr returns u >> n. Shifts of 128 or more return zero.
+func (u Uint128) Shr(n uint) Uint128 {
+	switch {
+	case n >= 128:
+		return Uint128{}
+	case n >= 64:
+		return Uint128{Lo: u.Hi >> (n - 64)}
+	case n == 0:
+		return u
+	}
+	return Uint128{Hi: u.Hi >> n, Lo: u.Lo>>n | u.Hi<<(64-n)}
+}
+
+// Bit returns the value (0 or 1) of the bit at position i, where position 0
+// is the most-significant bit and 127 the least-significant. This big-endian
+// numbering matches IPv6 prefix semantics: bit i of an address is the bit
+// selected by a /i+1 prefix's final mask position.
+func (u Uint128) Bit(i int) uint {
+	if i < 0 || i > 127 {
+		return 0
+	}
+	if i < 64 {
+		return uint(u.Hi>>(63-i)) & 1
+	}
+	return uint(u.Lo>>(127-i)) & 1
+}
+
+// SetBit returns u with the bit at big-endian position i set to b (0 or 1).
+func (u Uint128) SetBit(i int, b uint) Uint128 {
+	if i < 0 || i > 127 {
+		return u
+	}
+	if i < 64 {
+		mask := uint64(1) << (63 - i)
+		if b == 0 {
+			u.Hi &^= mask
+		} else {
+			u.Hi |= mask
+		}
+		return u
+	}
+	mask := uint64(1) << (127 - i)
+	if b == 0 {
+		u.Lo &^= mask
+	} else {
+		u.Lo |= mask
+	}
+	return u
+}
+
+// LeadingZeros returns the number of leading (most-significant) zero bits in
+// u; it returns 128 for u == 0.
+func (u Uint128) LeadingZeros() int {
+	if u.Hi != 0 {
+		return bits.LeadingZeros64(u.Hi)
+	}
+	return 64 + bits.LeadingZeros64(u.Lo)
+}
+
+// TrailingZeros returns the number of trailing (least-significant) zero bits
+// in u; it returns 128 for u == 0.
+func (u Uint128) TrailingZeros() int {
+	if u.Lo != 0 {
+		return bits.TrailingZeros64(u.Lo)
+	}
+	return 64 + bits.TrailingZeros64(u.Hi)
+}
+
+// OnesCount returns the number of one bits ("population count") in u.
+func (u Uint128) OnesCount() int {
+	return bits.OnesCount64(u.Hi) + bits.OnesCount64(u.Lo)
+}
+
+// Mask returns a Uint128 whose first n most-significant bits are ones and the
+// remaining bits are zeros. Mask(0) is zero; Mask(128) is Max. Values of n
+// outside [0,128] are clamped.
+func Mask(n int) Uint128 {
+	if n <= 0 {
+		return Uint128{}
+	}
+	if n >= 128 {
+		return Max
+	}
+	return Max.Shl(uint(128 - n)) // ones in the top n bits only
+}
+
+// CommonPrefixLen returns the length, in bits, of the longest common prefix
+// of u and v, counted from the most-significant bit. It is 128 when u == v.
+func (u Uint128) CommonPrefixLen(v Uint128) int {
+	return u.Xor(v).LeadingZeros()
+}
+
+// String returns the value in hexadecimal with a 0x prefix and no leading
+// zeros beyond the minimum, e.g. "0x20010db8000000000000000000000001".
+func (u Uint128) String() string {
+	if u.Hi == 0 {
+		return fmt.Sprintf("0x%x", u.Lo)
+	}
+	return fmt.Sprintf("0x%x%016x", u.Hi, u.Lo)
+}

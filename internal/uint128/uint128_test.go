@@ -1,0 +1,447 @@
+package uint128
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts u to a math/big.Int for cross-checking against a reference
+// implementation.
+func toBig(u Uint128) *big.Int {
+	b := new(big.Int).SetUint64(u.Hi)
+	b.Lsh(b, 64)
+	return b.Or(b, new(big.Int).SetUint64(u.Lo))
+}
+
+func fromBig(b *big.Int) Uint128 {
+	mask := new(big.Int).SetUint64(^uint64(0))
+	lo := new(big.Int).And(b, mask).Uint64()
+	hi := new(big.Int).Rsh(b, 64)
+	hi.And(hi, mask)
+	return Uint128{Hi: hi.Uint64(), Lo: lo}
+}
+
+var mod128 = new(big.Int).Lsh(big.NewInt(1), 128)
+
+func TestConstants(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero is not zero")
+	}
+	if One.Hi != 0 || One.Lo != 1 {
+		t.Errorf("One = %v", One)
+	}
+	if Max.Hi != ^uint64(0) || Max.Lo != ^uint64(0) {
+		t.Errorf("Max = %v", Max)
+	}
+	if Max.Add(One) != Zero {
+		t.Error("Max+1 should wrap to zero")
+	}
+}
+
+func TestAddSubKnown(t *testing.T) {
+	cases := []struct {
+		a, b, sum Uint128
+	}{
+		{Zero, Zero, Zero},
+		{One, One, From64(2)},
+		{From64(^uint64(0)), One, New(1, 0)},       // carry into Hi
+		{New(0, ^uint64(0)), New(0, 1), New(1, 0)}, // same, explicit
+		{New(^uint64(0), ^uint64(0)), One, Zero},   // full wrap
+		{New(5, 10), New(7, 20), New(12, 30)},      // no carry
+		{New(1, 1<<63), New(0, 1<<63), New(2, 0)},  // carry from Lo MSB
+	}
+	for _, c := range cases {
+		if got := c.a.Add(c.b); got != c.sum {
+			t.Errorf("%v + %v = %v, want %v", c.a, c.b, got, c.sum)
+		}
+		if got := c.sum.Sub(c.b); got != c.a {
+			t.Errorf("%v - %v = %v, want %v", c.sum, c.b, got, c.a)
+		}
+	}
+}
+
+func TestAdd64Sub64(t *testing.T) {
+	u := New(3, ^uint64(0))
+	if got := u.Add64(1); got != New(4, 0) {
+		t.Errorf("Add64 carry: got %v", got)
+	}
+	if got := New(4, 0).Sub64(1); got != u {
+		t.Errorf("Sub64 borrow: got %v", got)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a    Uint128
+		b    uint64
+		want Uint128
+	}{
+		{From64(3), 4, From64(12)},
+		{New(0, 1<<63), 2, New(1, 0)},
+		{New(1, 0), 3, New(3, 0)},
+		{Max, 1, Max},
+	}
+	for _, c := range cases {
+		if got := c.a.Mul64(c.b); got != c.want {
+			t.Errorf("%v * %d = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestShlShrKnown(t *testing.T) {
+	u := New(0, 1)
+	if got := u.Shl(64); got != New(1, 0) {
+		t.Errorf("1<<64 = %v", got)
+	}
+	if got := u.Shl(127); got != New(1<<63, 0) {
+		t.Errorf("1<<127 = %v", got)
+	}
+	if got := u.Shl(128); got != Zero {
+		t.Errorf("1<<128 = %v", got)
+	}
+	v := New(1<<63, 0)
+	if got := v.Shr(127); got != One {
+		t.Errorf("MSB>>127 = %v", got)
+	}
+	if got := v.Shr(128); got != Zero {
+		t.Errorf(">>128 = %v", got)
+	}
+	if got := New(0xabcd, 0x1234).Shl(0); got != New(0xabcd, 0x1234) {
+		t.Errorf("<<0 changed value: %v", got)
+	}
+	if got := New(0xabcd, 0x1234).Shr(0); got != New(0xabcd, 0x1234) {
+		t.Errorf(">>0 changed value: %v", got)
+	}
+}
+
+func TestBitNumbering(t *testing.T) {
+	// Bit 0 is the most-significant bit.
+	u := New(1<<63, 0)
+	if u.Bit(0) != 1 {
+		t.Error("bit 0 of MSB-set value should be 1")
+	}
+	if u.Bit(1) != 0 {
+		t.Error("bit 1 should be 0")
+	}
+	v := New(0, 1)
+	if v.Bit(127) != 1 {
+		t.Error("bit 127 of 1 should be 1")
+	}
+	if v.Bit(126) != 0 {
+		t.Error("bit 126 of 1 should be 0")
+	}
+	// Bit 64 is the MSB of Lo.
+	w := New(0, 1<<63)
+	if w.Bit(64) != 1 {
+		t.Error("bit 64 should be MSB of Lo")
+	}
+	// Out of range reads return 0.
+	if u.Bit(-1) != 0 || u.Bit(128) != 0 {
+		t.Error("out-of-range Bit should return 0")
+	}
+}
+
+func TestSetBit(t *testing.T) {
+	u := Zero
+	for i := 0; i < 128; i++ {
+		u = u.SetBit(i, 1)
+		if u.Bit(i) != 1 {
+			t.Fatalf("SetBit(%d,1) not visible via Bit", i)
+		}
+	}
+	if u != Max {
+		t.Errorf("setting all bits should give Max, got %v", u)
+	}
+	for i := 0; i < 128; i++ {
+		u = u.SetBit(i, 0)
+		if u.Bit(i) != 0 {
+			t.Fatalf("SetBit(%d,0) not visible via Bit", i)
+		}
+	}
+	if u != Zero {
+		t.Errorf("clearing all bits should give Zero, got %v", u)
+	}
+	// Out of range is a no-op.
+	if got := One.SetBit(200, 1); got != One {
+		t.Errorf("out-of-range SetBit changed value: %v", got)
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != Zero {
+		t.Errorf("Mask(0) = %v", Mask(0))
+	}
+	if Mask(128) != Max {
+		t.Errorf("Mask(128) = %v", Mask(128))
+	}
+	if Mask(-5) != Zero || Mask(200) != Max {
+		t.Error("Mask should clamp out-of-range arguments")
+	}
+	if Mask(64) != New(^uint64(0), 0) {
+		t.Errorf("Mask(64) = %v", Mask(64))
+	}
+	if Mask(1) != New(1<<63, 0) {
+		t.Errorf("Mask(1) = %v", Mask(1))
+	}
+	for n := 0; n <= 128; n++ {
+		m := Mask(n)
+		if m.OnesCount() != n {
+			t.Errorf("Mask(%d) has %d ones", n, m.OnesCount())
+		}
+		if n > 0 && m.Bit(0) != 1 {
+			t.Errorf("Mask(%d) bit 0 should be set", n)
+		}
+		if n < 128 && m.Bit(127) != 0 {
+			t.Errorf("Mask(%d) bit 127 should be clear", n)
+		}
+	}
+}
+
+func TestLeadingTrailingZeros(t *testing.T) {
+	if Zero.LeadingZeros() != 128 || Zero.TrailingZeros() != 128 {
+		t.Error("zero should have 128 leading and trailing zeros")
+	}
+	if One.LeadingZeros() != 127 || One.TrailingZeros() != 0 {
+		t.Errorf("One: lz=%d tz=%d", One.LeadingZeros(), One.TrailingZeros())
+	}
+	if Max.LeadingZeros() != 0 || Max.TrailingZeros() != 0 {
+		t.Error("Max should have no leading/trailing zeros")
+	}
+	u := New(0, 1<<20)
+	if u.LeadingZeros() != 107 {
+		t.Errorf("lz = %d", u.LeadingZeros())
+	}
+	if u.TrailingZeros() != 20 {
+		t.Errorf("tz = %d", u.TrailingZeros())
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := New(0x20010db800000000, 0)
+	if got := a.CommonPrefixLen(a); got != 128 {
+		t.Errorf("cpl with self = %d", got)
+	}
+	b := a.SetBit(127, 1)
+	if got := a.CommonPrefixLen(b); got != 127 {
+		t.Errorf("cpl differing last bit = %d", got)
+	}
+	c := a.SetBit(0, 1) // a has bit 0 == 0 (0x2001... starts 0010)
+	if got := a.CommonPrefixLen(c); got != 0 {
+		t.Errorf("cpl differing first bit = %d", got)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	u := New(0x0123456789abcdef, 0xfedcba9876543210)
+	b := u.Bytes()
+	want := [16]byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
+		0xfe, 0xdc, 0xba, 0x98, 0x76, 0x54, 0x32, 0x10}
+	if b != want {
+		t.Errorf("Bytes() = %x, want %x", b, want)
+	}
+	if FromBytes(b) != u {
+		t.Error("FromBytes(Bytes()) != identity")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		u    Uint128
+		want string
+	}{
+		{Zero, "0x0"},
+		{One, "0x1"},
+		{From64(0xdeadbeef), "0xdeadbeef"},
+		{New(1, 0), "0x10000000000000000"},
+		{New(0x2001, 0x1), "0x20010000000000000001"},
+	}
+	for _, c := range cases {
+		if got := c.u.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.u, got, c.want)
+		}
+	}
+}
+
+func TestCmpOrdering(t *testing.T) {
+	ordered := []Uint128{Zero, One, From64(2), New(0, ^uint64(0)), New(1, 0), New(1, 1), Max}
+	for i := range ordered {
+		for j := range ordered {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := ordered[i].Cmp(ordered[j]); got != want {
+				t.Errorf("Cmp(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+			if got := ordered[i].Less(ordered[j]); got != (want < 0) {
+				t.Errorf("Less(%v,%v) = %v", ordered[i], ordered[j], got)
+			}
+		}
+	}
+}
+
+// ---- property-based tests against math/big ----
+
+func randU128(r *rand.Rand) Uint128 {
+	// Mix sparse and dense values so shifts and carries are well exercised.
+	switch r.Intn(4) {
+	case 0:
+		return From64(r.Uint64())
+	case 1:
+		return New(r.Uint64(), 0)
+	case 2:
+		return One.Shl(uint(r.Intn(128)))
+	}
+	return New(r.Uint64(), r.Uint64())
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 2000,
+		Rand:     rand.New(rand.NewSource(1)),
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(randU128(r))
+			}
+		},
+	}
+}
+
+func TestPropAddMatchesBig(t *testing.T) {
+	f := func(a, b Uint128) bool {
+		got := a.Add(b)
+		want := new(big.Int).Add(toBig(a), toBig(b))
+		want.Mod(want, mod128)
+		return toBig(got).Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSubMatchesBig(t *testing.T) {
+	f := func(a, b Uint128) bool {
+		got := a.Sub(b)
+		want := new(big.Int).Sub(toBig(a), toBig(b))
+		want.Mod(want, mod128)
+		if want.Sign() < 0 {
+			want.Add(want, mod128)
+		}
+		return toBig(got).Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddSubInverse(t *testing.T) {
+	f := func(a, b Uint128) bool { return a.Add(b).Sub(b) == a }
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropShiftMatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a := randU128(r)
+		n := uint(r.Intn(140))
+		gotL := toBig(a.Shl(n))
+		wantL := new(big.Int).Lsh(toBig(a), n)
+		wantL.Mod(wantL, mod128)
+		if gotL.Cmp(wantL) != 0 {
+			t.Fatalf("%v << %d: got %v want %v", a, n, gotL, wantL)
+		}
+		gotR := toBig(a.Shr(n))
+		wantR := new(big.Int).Rsh(toBig(a), n)
+		if gotR.Cmp(wantR) != 0 {
+			t.Fatalf("%v >> %d: got %v want %v", a, n, gotR, wantR)
+		}
+	}
+}
+
+func TestPropBitwiseMatchesBig(t *testing.T) {
+	f := func(a, b Uint128) bool {
+		andOK := toBig(a.And(b)).Cmp(new(big.Int).And(toBig(a), toBig(b))) == 0
+		orOK := toBig(a.Or(b)).Cmp(new(big.Int).Or(toBig(a), toBig(b))) == 0
+		xorOK := toBig(a.Xor(b)).Cmp(new(big.Int).Xor(toBig(a), toBig(b))) == 0
+		return andOK && orOK && xorOK
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNotIsXorMax(t *testing.T) {
+	f := func(a, b Uint128) bool { return a.Not() == a.Xor(Max) }
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBytesRoundTrip(t *testing.T) {
+	f := func(a, b Uint128) bool { return FromBytes(a.Bytes()) == a }
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCmpMatchesBig(t *testing.T) {
+	f := func(a, b Uint128) bool { return a.Cmp(b) == toBig(a).Cmp(toBig(b)) }
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMul64MatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		a := randU128(r)
+		v := r.Uint64()
+		got := toBig(a.Mul64(v))
+		want := new(big.Int).Mul(toBig(a), new(big.Int).SetUint64(v))
+		want.Mod(want, mod128)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("%v * %d: got %v want %v", a, v, got, want)
+		}
+	}
+}
+
+func TestPropCommonPrefixLenDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		a, b := randU128(r), randU128(r)
+		n := a.CommonPrefixLen(b)
+		// First n bits agree.
+		for j := 0; j < n; j++ {
+			if a.Bit(j) != b.Bit(j) {
+				t.Fatalf("bit %d differs within common prefix of length %d", j, n)
+			}
+		}
+		// Bit n differs, unless identical.
+		if n < 128 && a.Bit(n) == b.Bit(n) {
+			t.Fatalf("bit %d should differ (cpl=%d)", n, n)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := New(0x0123456789abcdef, 0xfedcba9876543210), New(1, ^uint64(0))
+	for i := 0; i < b.N; i++ {
+		x = x.Add(y)
+	}
+	_ = x
+}
+
+func BenchmarkShl(b *testing.B) {
+	x := New(0x0123456789abcdef, 0xfedcba9876543210)
+	for i := 0; i < b.N; i++ {
+		x = x.Shl(uint(i & 127))
+	}
+	_ = x
+}
