@@ -19,7 +19,9 @@
 //	v6census overlap   [-in FILE] [-ref DAY]           Figure 4 overlap series
 //
 // All subcommands read every "#day N" section of the input; files ending
-// in ".gz" are decompressed transparently.
+// in ".gz" are decompressed transparently. The stability, ingest and
+// overlap subcommands accept -parallel to ingest through the sharded
+// concurrent pipeline (identical results, GOMAXPROCS-scaled throughput).
 package main
 
 import (
@@ -93,19 +95,32 @@ func readLogs(path string) []cdnlog.DayLog {
 	return logs
 }
 
-// censusOf ingests logs into a Census sized to fit them.
-func censusOf(logs []cdnlog.DayLog) *core.Census {
+// buildCensus constructs the chosen ingestion engine and feeds it logs.
+// With parallel true the sharded concurrent pipeline ingests and freezes
+// the census; both engines answer every analysis identically.
+func buildCensus(logs []cdnlog.DayLog, cfg core.CensusConfig, parallel bool) core.Analyzer {
+	if parallel {
+		c := core.NewShardedCensus(cfg)
+		c.AddDays(logs)
+		c.Freeze()
+		return c
+	}
+	c := core.NewCensus(cfg)
+	for _, l := range logs {
+		c.AddDay(l)
+	}
+	return c
+}
+
+// censusOf ingests logs into a census sized to fit them.
+func censusOf(logs []cdnlog.DayLog, parallel bool) core.Analyzer {
 	maxDay := 0
 	for _, l := range logs {
 		if l.Day > maxDay {
 			maxDay = l.Day
 		}
 	}
-	c := core.NewCensus(core.CensusConfig{StudyDays: maxDay + 1})
-	for _, l := range logs {
-		c.AddDay(l)
-	}
-	return c
+	return buildCensus(logs, core.CensusConfig{StudyDays: maxDay + 1}, parallel)
 }
 
 func cmdSummary(args []string) {
@@ -148,9 +163,10 @@ func cmdStability(args []string) {
 	ref := fs.Int("ref", -1, "reference day (default: middle day of input)")
 	n := fs.Int("n", 3, "the n of nd-stable")
 	window := fs.Int("window", 7, "window half-width in days")
+	parallel := fs.Bool("parallel", false, "ingest with the sharded concurrent pipeline")
 	fs.Parse(args)
 
-	var c *core.Census
+	var c core.Analyzer
 	switch {
 	case *state != "":
 		f, err := os.Open(*state)
@@ -158,9 +174,18 @@ func cmdStability(args []string) {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		c, err = core.ReadCensus(f)
-		if err != nil {
-			log.Fatal(err)
+		if *parallel {
+			sc, err := core.ReadShardedCensus(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sc.Freeze()
+			c = sc
+		} else {
+			c, err = core.ReadCensus(f)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		if *ref < 0 {
 			log.Fatal("-state requires an explicit -ref day")
@@ -170,17 +195,18 @@ func cmdStability(args []string) {
 			*in = "-"
 		}
 		logs := readLogs(*in)
-		c = censusOf(logs)
+		c = censusOf(logs, *parallel)
 		if *ref < 0 {
 			*ref = logs[len(logs)/2].Day
 		}
 	}
 
+	opts := temporal.Options{Window: temporal.Window{Before: *window, After: *window}}
 	for _, pop := range []struct {
 		name string
 		p    core.Population
 	}{{"addresses", core.Addresses}, {"/64 prefixes", core.Prefixes64}} {
-		st := c.Stability(pop.p, *ref, *n)
+		st := c.StabilityWith(pop.p, *ref, *n, opts)
 		fmt.Printf("%s active on day %d: %d\n", pop.name, *ref, st.Active)
 		fmt.Printf("  %dd-stable (-%dd,+%dd): %d (%.2f%%)\n",
 			*n, *window, *window, st.Stable, pct(st.Stable, st.Active))
@@ -484,36 +510,49 @@ func cmdIngest(args []string) {
 	in := fs.String("in", "-", "input log file (- for stdin)")
 	state := fs.String("state", "", "census snapshot path (created if missing)")
 	studyDays := fs.Int("study-days", 0, "study length for a new snapshot (default: max day + 30)")
+	parallel := fs.Bool("parallel", false, "ingest with the sharded concurrent pipeline")
 	fs.Parse(args)
 	if *state == "" {
 		log.Fatal("ingest requires -state")
 	}
 	logs := readLogs(*in)
 
-	var c *core.Census
-	if f, err := os.Open(*state); err == nil {
-		c, err = core.ReadCensus(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("reading %s: %v", *state, err)
-		}
-	} else {
-		days := *studyDays
-		if days == 0 {
-			maxDay := 0
-			for _, l := range logs {
-				if l.Day > maxDay {
-					maxDay = l.Day
-				}
+	newDays := *studyDays
+	if newDays == 0 {
+		maxDay := 0
+		for _, l := range logs {
+			if l.Day > maxDay {
+				maxDay = l.Day
 			}
-			days = maxDay + 30
 		}
-		c = core.NewCensus(core.CensusConfig{StudyDays: days})
+		newDays = maxDay + 30
 	}
-	for _, l := range logs {
-		c.AddDay(l)
+
+	var c core.Analyzer
+	f, err := os.Open(*state)
+	switch {
+	case err == nil && *parallel:
+		sc, rerr := core.ReadShardedCensus(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatalf("reading %s: %v", *state, rerr)
+		}
+		sc.AddDays(logs)
+		c = sc
+	case err == nil:
+		seq, rerr := core.ReadCensus(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatalf("reading %s: %v", *state, rerr)
+		}
+		for _, l := range logs {
+			seq.AddDay(l)
+		}
+		c = seq
+	default:
+		c = buildCensus(logs, core.CensusConfig{StudyDays: newDays}, *parallel)
 	}
-	f, err := os.Create(*state)
+	f, err = os.Create(*state)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -532,9 +571,10 @@ func cmdOverlap(args []string) {
 	fs := flag.NewFlagSet("overlap", flag.ExitOnError)
 	in := fs.String("in", "-", "input log file (- for stdin)")
 	ref := fs.Int("ref", -1, "reference day (default: middle day of input)")
+	parallel := fs.Bool("parallel", false, "ingest with the sharded concurrent pipeline")
 	fs.Parse(args)
 	logs := readLogs(*in)
-	c := censusOf(logs)
+	c := censusOf(logs, *parallel)
 	if *ref < 0 {
 		*ref = logs[len(logs)/2].Day
 	}

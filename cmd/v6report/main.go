@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	v6report [-seed N] [-scale F] [-only LIST] [-svg DIR] [-data DIR]
+//	v6report [-seed N] [-scale F] [-only LIST] [-workers N] [-svg DIR] [-data DIR]
 //
 // -only selects a comma-separated subset of: table1, table2, table3, fig2,
 // fig3, fig4, fig5a, fig5b, fig5plots, discovery, ptr, eui64, lsp,
-// signatures, highlights, growth, sweep, lifetimes.
+// signatures, highlights, growth, sweep, lifetimes (the registry names of
+// internal/experiments are accepted as synonyms).
+// -workers bounds the pool regenerating independent experiments in
+// parallel (0 = GOMAXPROCS, 1 = sequential).
 // -svg writes the MRA plots as SVG files into the given directory.
 package main
 
@@ -20,7 +23,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"v6class/internal/experiments"
 	"v6class/internal/mraplot"
@@ -31,67 +33,87 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("v6report: ")
 	var (
-		seed  = flag.Uint64("seed", 7, "world seed")
-		scale = flag.Float64("scale", 0.1, "population scale (1.0 = medium world)")
-		only  = flag.String("only", "", "comma-separated experiment subset")
-		svg   = flag.String("svg", "", "directory to write MRA plot SVGs into")
-		data  = flag.String("data", "", "directory to write figure data series (gnuplot rows) into")
+		seed    = flag.Uint64("seed", 7, "world seed")
+		scale   = flag.Float64("scale", 0.1, "population scale (1.0 = medium world)")
+		only    = flag.String("only", "", "comma-separated experiment subset")
+		workers = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		svg     = flag.String("svg", "", "directory to write MRA plot SVGs into")
+		data    = flag.String("data", "", "directory to write figure data series (gnuplot rows) into")
 	)
 	flag.Parse()
-	if err := report(os.Stdout, *seed, *scale, *only, *svg, *data); err != nil {
+	if err := report(os.Stdout, *seed, *scale, *only, *workers, *svg, *data); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// report runs the selected experiments against a fresh world and writes
-// the rendered results to w.
-func report(w io.Writer, seed uint64, scale float64, only, svgDir, dataDir string) error {
+// reportAliases maps experiment registry names to this command's
+// historical short names (identity where absent).
+var reportAliases = map[string]string{
+	"figure2":          "fig2",
+	"figure3":          "fig3",
+	"figure4":          "fig4",
+	"figure5a":         "fig5a",
+	"figure5b":         "fig5b",
+	"figure5c-h":       "fig5plots",
+	"routers":          "discovery",
+	"ptr-harvest":      "ptr",
+	"eui64-churn":      "eui64",
+	"signature-census": "signatures",
+	"window-sweep":     "sweep",
+}
+
+// report runs the selected experiments against a fresh world on a bounded
+// worker pool and writes the rendered results to w.
+func report(w io.Writer, seed uint64, scale float64, only string, workers int, svgDir, dataDir string) error {
 	selected := map[string]bool{}
 	for _, name := range strings.Split(only, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			selected[name] = true
 		}
 	}
-	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+	display := func(registry string) string {
+		if short, ok := reportAliases[registry]; ok {
+			return short
+		}
+		return registry
+	}
+	want := func(registry string) bool {
+		return len(selected) == 0 || selected[registry] || selected[display(registry)]
+	}
 
 	lab := experiments.NewLab(synth.Config{Seed: seed, Scale: scale})
 	fmt.Fprintf(w, "v6class reproduction of Plonka & Berger, IMC 2015\n")
 	fmt.Fprintf(w, "world: seed=%d scale=%g (epochs at days %d, %d, %d)\n\n",
 		seed, scale, synth.EpochMar2014, synth.EpochSep2014, synth.EpochMar2015)
 
-	run := func(name string, f func() string) {
-		if !want(name) {
-			return
-		}
-		start := time.Now()
-		out := f()
-		fmt.Fprintf(w, "== %s (%.1fs) ==\n%s\n", name, time.Since(start).Seconds(), out)
-	}
-
+	// The plot-file outputs need the figure objects, not just their
+	// rendering; when requested, swap in capturing closures so each figure
+	// is computed exactly once, inside the pool (RunDrivers joins its
+	// workers, so the captures are visible afterwards).
 	var fig5plots experiments.Figure5PlotsResult
 	var fig3 experiments.Figure3Result
 	var fig5a experiments.Figure5aResult
-	run("table1", func() string { return experiments.Table1(lab).Render() })
-	run("table2", func() string { return experiments.Table2(lab).Render() })
-	run("table3", func() string { return experiments.Table3(lab).Render() })
-	run("fig2", func() string { return experiments.Figure2(lab).Render() })
-	run("fig3", func() string { fig3 = experiments.Figure3(lab); return fig3.Render() })
-	run("fig4", func() string { return experiments.Figure4(lab).Render() })
-	run("fig5a", func() string { fig5a = experiments.Figure5a(lab); return fig5a.Render() })
-	run("fig5b", func() string { return experiments.Figure5b(lab).Render() })
-	run("fig5plots", func() string {
-		fig5plots = experiments.Figure5Plots(lab)
-		return fig5plots.Render()
+	plotsNeeded := dataDir != "" || svgDir != ""
+	var drivers []experiments.Driver
+	for _, d := range experiments.Drivers() {
+		if !want(d.Name) {
+			continue
+		}
+		if plotsNeeded {
+			switch d.Name {
+			case "figure3":
+				d.Run = func(l *experiments.Lab) string { fig3 = experiments.Figure3(l); return fig3.Render() }
+			case "figure5a":
+				d.Run = func(l *experiments.Lab) string { fig5a = experiments.Figure5a(l); return fig5a.Render() }
+			case "figure5c-h":
+				d.Run = func(l *experiments.Lab) string { fig5plots = experiments.Figure5Plots(l); return fig5plots.Render() }
+			}
+		}
+		drivers = append(drivers, d)
+	}
+	experiments.RunDriversStream(lab, workers, drivers, func(r experiments.DriverResult) {
+		fmt.Fprintf(w, "== %s (%.1fs) ==\n%s\n", display(r.Name), r.Elapsed.Seconds(), r.Output)
 	})
-	run("discovery", func() string { return experiments.RouterDiscovery(lab).Render() })
-	run("ptr", func() string { return experiments.PTRHarvest(lab).Render() })
-	run("eui64", func() string { return experiments.EUI64Churn(lab).Render() })
-	run("lsp", func() string { return experiments.LongestStablePrefixes(lab).Render() })
-	run("signatures", func() string { return experiments.SignatureCensus(lab).Render() })
-	run("highlights", func() string { return experiments.Highlights(lab).Render() })
-	run("growth", func() string { return experiments.Growth(lab).Render() })
-	run("sweep", func() string { return experiments.WindowSweep(lab).Render() })
-	run("lifetimes", func() string { return experiments.Lifetimes(lab).Render() })
 
 	if dataDir != "" {
 		if err := os.MkdirAll(dataDir, 0o755); err != nil {
@@ -105,17 +127,17 @@ func report(w io.Writer, seed uint64, scale float64, only, svgDir, dataDir strin
 			fmt.Fprintf(w, "wrote %s\n", path)
 			return nil
 		}
-		if want("fig3") {
+		if want("figure3") {
 			if err := writeData("fig3.dat", fig3.Plot().DataRows()); err != nil {
 				return err
 			}
 		}
-		if want("fig5a") {
+		if want("figure5a") {
 			if err := writeData("fig5a.dat", fig5a.Plot().DataRows()); err != nil {
 				return err
 			}
 		}
-		if want("fig5plots") {
+		if want("figure5c-h") {
 			for name, plot := range map[string]mraplot.Plot{
 				"fig5c.dat": fig5plots.All, "fig5d.dat": fig5plots.SixToF,
 				"fig5e.dat": fig5plots.USMobile, "fig5f.dat": fig5plots.EUISP,
@@ -128,22 +150,22 @@ func report(w io.Writer, seed uint64, scale float64, only, svgDir, dataDir strin
 		}
 	}
 
-	if svgDir != "" && (want("fig5plots") || want("fig3") || want("fig5a")) {
+	if svgDir != "" && (want("figure5c-h") || want("figure3") || want("figure5a")) {
 		if err := os.MkdirAll(svgDir, 0o755); err != nil {
 			return err
 		}
-		if want("fig3") {
+		if want("figure3") {
 			if err := writeSVG(w, svgDir, "fig3-populations.svg", fig3.Plot().SVG()); err != nil {
 				return err
 			}
 		}
-		if want("fig5a") {
+		if want("figure5a") {
 			if err := writeSVG(w, svgDir, "fig5a-per-asn.svg", fig5a.Plot().SVG()); err != nil {
 				return err
 			}
 		}
 	}
-	if svgDir != "" && want("fig5plots") {
+	if svgDir != "" && want("figure5c-h") {
 		plots := map[string]mraplot.Plot{
 			"fig5c-all.svg":       fig5plots.All,
 			"fig5d-6to4.svg":      fig5plots.SixToF,

@@ -8,7 +8,7 @@ import (
 
 func TestReportSubset(t *testing.T) {
 	var b strings.Builder
-	if err := report(&b, 7, 0.02, "table1,growth", "", ""); err != nil {
+	if err := report(&b, 7, 0.02, "table1,growth", 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -26,7 +26,7 @@ func TestReportSubset(t *testing.T) {
 func TestReportSVGOutput(t *testing.T) {
 	dir := t.TempDir() + "/plots"
 	var b strings.Builder
-	if err := report(&b, 7, 0.02, "fig5plots", dir, ""); err != nil {
+	if err := report(&b, 7, 0.02, "fig5plots", 0, dir, ""); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -50,7 +50,7 @@ func TestReportFullSmallWorld(t *testing.T) {
 		t.Skip("full report in -short mode")
 	}
 	var b strings.Builder
-	if err := report(&b, 7, 0.02, "", "", ""); err != nil {
+	if err := report(&b, 7, 0.02, "", 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -69,7 +69,7 @@ func TestReportFullSmallWorld(t *testing.T) {
 func TestReportDataOutput(t *testing.T) {
 	dir := t.TempDir() + "/data"
 	var b strings.Builder
-	if err := report(&b, 7, 0.02, "fig3,fig5plots", "", dir); err != nil {
+	if err := report(&b, 7, 0.02, "fig3,fig5plots", 2, "", dir); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

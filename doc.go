@@ -8,4 +8,34 @@
 // paper's evaluation; run them with:
 //
 //	go test -bench=. -benchmem
+//
+// # Concurrency model
+//
+// The paper's datasets are a year of daily CDN logs with millions of
+// distinct addresses per day, so ingestion is built to scale with cores
+// while every analysis stays reproducible:
+//
+//   - core.Census is the sequential engine: one goroutine ingests with
+//     AddDay; analyses may run concurrently once ingestion is done.
+//   - core.ShardedCensus is the concurrent engine. AddDays/Ingest split
+//     logs into record chunks, classify them on a GOMAXPROCS-sized worker
+//     pool, and route the surviving observations by key hash over
+//     per-shard channels into temporal.ShardedStore shards (each shard an
+//     independent key map with its own per-day counters). Because
+//     observations are idempotent day-bits and the Table 1 tallies are
+//     sums, the result is identical to the sequential engine no matter how
+//     the scheduler interleaves the pipeline — the equivalence suite in
+//     internal/core enforces this.
+//   - Freeze is the barrier between the two phases of a ShardedCensus:
+//     before it, any number of goroutines may ingest; after it, ingestion
+//     panics, every query is lock-free, and analyses fan out across shards
+//     in parallel.
+//   - internal/experiments regenerates independent table/figure cells on a
+//     bounded worker pool (experiments.RunAll) over a concurrency-safe
+//     shared Lab; sequential and parallel runs render identical output.
+//
+// BenchmarkIngest in this package compares the two engines over a
+// million-address synthetic world; sweep core counts with
+//
+//	go test -bench=BenchmarkIngest -cpu=1,2,4,8
 package v6class

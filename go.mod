@@ -1,0 +1,3 @@
+module v6class
+
+go 1.24

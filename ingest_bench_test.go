@@ -1,0 +1,116 @@
+package v6class
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"v6class/internal/cdnlog"
+	"v6class/internal/core"
+	"v6class/internal/experiments"
+	"v6class/internal/synth"
+)
+
+// Ingestion benchmarks: the sequential Census against the sharded
+// concurrent pipeline over a million-address synthetic world, plus
+// end-to-end experiment regeneration on one worker versus a bounded pool.
+// Shard and worker counts follow GOMAXPROCS, so sweep cores with e.g.
+//
+//	go test -bench=BenchmarkIngest -cpu=1,2,4,8
+//
+// On a single core the sharded pipeline pays its routing overhead for
+// nothing; from ~2 cores it overtakes AddDay and scales with the machine.
+
+const ingestStudyDays = 40
+
+var (
+	ingestOnce    sync.Once
+	ingestLogs    []cdnlog.DayLog
+	ingestRecords int
+)
+
+// ingestWorld generates four consecutive daily logs totalling ~1.05M
+// records (about 250-270K distinct addresses per day), once per process.
+func ingestWorld() ([]cdnlog.DayLog, int) {
+	ingestOnce.Do(func() {
+		w := synth.NewWorld(synth.Config{Seed: 99, Scale: 5, StudyDays: ingestStudyDays})
+		ingestLogs = w.Days(10, 14)
+		for _, l := range ingestLogs {
+			ingestRecords += len(l.Records)
+		}
+	})
+	return ingestLogs, ingestRecords
+}
+
+func BenchmarkIngest(b *testing.B) {
+	logs, records := ingestWorld()
+	cfg := core.CensusConfig{StudyDays: ingestStudyDays}
+	perIter := func(b *testing.B) {
+		b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := core.NewCensus(cfg)
+			for _, l := range logs {
+				c.AddDay(l)
+			}
+			if c.ActiveCount(core.Addresses, 10) == 0 {
+				b.Fatal("bad result")
+			}
+		}
+		perIter(b)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := core.NewShardedCensus(cfg)
+			c.AddDays(logs)
+			c.Freeze()
+			if c.ActiveCount(core.Addresses, 10) == 0 {
+				b.Fatal("bad result")
+			}
+		}
+		perIter(b)
+	})
+}
+
+// BenchmarkIngestStream measures the streaming entry point: a producer
+// feeding Ingest day by day, as a daily pipeline tailing logs would.
+func BenchmarkIngestStream(b *testing.B) {
+	logs, records := ingestWorld()
+	cfg := core.CensusConfig{StudyDays: ingestStudyDays}
+	for i := 0; i < b.N; i++ {
+		c := core.NewShardedCensus(cfg)
+		ch := make(chan cdnlog.DayLog)
+		go func() {
+			for _, l := range logs {
+				ch <- l
+			}
+			close(ch)
+		}()
+		c.Ingest(ch)
+		c.Freeze()
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkExperiments regenerates every registered table/figure driver,
+// sequentially and on a GOMAXPROCS-bounded pool; the lab's day cache is
+// warmed first so both measure classification, not data synthesis.
+func BenchmarkExperiments(b *testing.B) {
+	experiments.RunAll(benchLab, runtime.GOMAXPROCS(0)) // warm day cache
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := experiments.RunAll(benchLab, 1); len(got) == 0 {
+				b.Fatal("bad result")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := experiments.RunAll(benchLab, 0); len(got) == 0 {
+				b.Fatal("bad result")
+			}
+		}
+	})
+}

@@ -25,10 +25,31 @@
 //	daily := c.Stability(core.Addresses, 17, 3)   // Table 2a cell
 //	set := c.NativeSet(17)                        // spatial population
 //	dense := set.DenseFixed(spatial.DensityClass{N: 2, P: 112})
+//
+// # Concurrency model
+//
+// Two ingestion engines share one analysis layer:
+//
+//   - Census is the sequential engine: AddDay runs on the caller's
+//     goroutine and is not safe for concurrent mutation. Analyses may run
+//     concurrently with each other once ingestion is complete.
+//   - ShardedCensus is the concurrent engine: records are classified by a
+//     pool of workers and routed by key hash over per-shard channels into
+//     temporal.ShardedStore shards, so ingestion scales with GOMAXPROCS.
+//     AddDays and Ingest may themselves be called from several goroutines
+//     at once. Analyses are permitted only after Freeze, which ends the
+//     ingestion phase and makes every query lock-free; post-freeze
+//     analyses may run concurrently and internally fan out across shards.
+//
+// Both engines produce identical analysis results for the same logs (the
+// equivalence suite in census_equivalence_test.go holds them to that), so
+// callers choose purely on workload: Census for small or incremental
+// studies, ShardedCensus for bulk ingestion of large ones.
 package core
 
 import (
 	"fmt"
+	"io"
 
 	"v6class/internal/addrclass"
 	"v6class/internal/cdnlog"
@@ -62,12 +83,31 @@ type CensusConfig struct {
 	StabilityOptions temporal.Options
 }
 
-// Census is the main analysis engine. It is not safe for concurrent
-// mutation; analyses may run concurrently once ingestion is complete.
-type Census struct {
+// keyStore is the temporal-store surface the analysis layer needs; both
+// *temporal.Store and *temporal.ShardedStore satisfy it, which is how the
+// sequential and sharded censuses share every analysis method.
+type keyStore[K comparable] interface {
+	Observe(k K, d temporal.Day)
+	Len() int
+	ActiveCount(d temporal.Day) int
+	ActiveInRange(from, to temporal.Day) int
+	ClassifyDay(ref temporal.Day, n int, opts temporal.Options) temporal.DailyStability
+	ClassifyWeek(start temporal.Day, n int, opts temporal.Options) temporal.WeeklyStability
+	EpochStable(aFrom, aTo, bFrom, bTo temporal.Day) int
+	OverlapSeries(ref temporal.Day, before, after int) []int
+	StableKeys(ref temporal.Day, n int, opts temporal.Options) []K
+	KeysActiveOn(d temporal.Day) []K
+	Range(fn func(k K, days *temporal.BitSet) bool)
+	Restore(k K, b *temporal.BitSet)
+}
+
+// censusState is the engine-independent census: the two key stores plus the
+// per-day format tallies, with every analysis defined against the keyStore
+// interface. Census and ShardedCensus embed it.
+type censusState struct {
 	cfg   CensusConfig
-	addrs *temporal.Store[ipaddr.Addr]
-	p64s  *temporal.Store[ipaddr.Prefix]
+	addrs keyStore[ipaddr.Addr]
+	p64s  keyStore[ipaddr.Prefix]
 
 	// Per-day format tallies for Table 1, over all ingested addresses
 	// (including transition mechanisms).
@@ -76,22 +116,71 @@ type Census struct {
 	macs map[int]map[addrclass.MAC]bool
 }
 
-// NewCensus returns an empty Census for a study period.
-func NewCensus(cfg CensusConfig) *Census {
+// Analyzer is the full analysis interface shared by Census and
+// ShardedCensus: everything but ingestion. Callers that only classify can
+// accept an Analyzer and stay agnostic of the ingestion engine.
+type Analyzer interface {
+	StudyDays() int
+	Summary(day int) DaySummary
+	Stability(pop Population, ref, n int) temporal.DailyStability
+	StabilityWith(pop Population, ref, n int, opts temporal.Options) temporal.DailyStability
+	WeeklyStability(pop Population, start, n int) temporal.WeeklyStability
+	EpochStable(pop Population, aFrom, aTo, bFrom, bTo int) int
+	ActiveCount(pop Population, day int) int
+	ActiveInRange(pop Population, from, to int) int
+	OverlapSeries(pop Population, ref, before, after int) []int
+	StableAddrs(ref, n int) []ipaddr.Addr
+	AddrsActiveOn(day int) []ipaddr.Addr
+	NativeSet(days ...int) *spatial.AddressSet
+	Prefix64Set(days ...int) *spatial.AddressSet
+	LongestStablePrefixes(aFrom, aTo, bFrom, bTo int, minBits int, minSupport uint64) []LongestStablePrefix
+	io.WriterTo
+}
+
+// Census is the sequential analysis engine. It is not safe for concurrent
+// mutation; analyses may run concurrently once ingestion is complete. For
+// concurrent bulk ingestion use ShardedCensus.
+type Census struct {
+	censusState
+}
+
+var _ Analyzer = (*Census)(nil)
+
+func checkConfig(cfg CensusConfig) {
 	if cfg.StudyDays <= 0 {
 		panic("core: CensusConfig.StudyDays must be positive")
 	}
-	return &Census{
+}
+
+// NewCensus returns an empty sequential Census for a study period.
+func NewCensus(cfg CensusConfig) *Census {
+	checkConfig(cfg)
+	return &Census{censusState{
 		cfg:   cfg,
 		addrs: temporal.NewStore[ipaddr.Addr](cfg.StudyDays),
 		p64s:  temporal.NewStore[ipaddr.Prefix](cfg.StudyDays),
 		kinds: make(map[int]addrclass.Summary),
 		macs:  make(map[int]map[addrclass.MAC]bool),
-	}
+	}}
 }
 
 // StudyDays returns the configured study length.
-func (c *Census) StudyDays() int { return c.cfg.StudyDays }
+func (c *censusState) StudyDays() int { return c.cfg.StudyDays }
+
+// classifyRecord applies the Table 1 bookkeeping for one record into sum and
+// the day's MAC set (allocated through getMACs on first use), and reports
+// whether the address belongs in the temporal stores.
+func (c *censusState) classifyRecord(r cdnlog.Record, sum *addrclass.Summary, getMACs func() map[addrclass.MAC]bool) bool {
+	kind := addrclass.Classify(r.Addr)
+	sum.Total++
+	sum.ByKind[kind]++
+	if kind == addrclass.KindEUI64 {
+		if mac, ok := addrclass.EUI64MAC(r.Addr); ok {
+			getMACs()[mac] = true
+		}
+	}
+	return !kind.IsTransition() || c.cfg.KeepTransition
+}
 
 // AddDay ingests one aggregated daily log.
 func (c *Census) AddDay(log cdnlog.DayLog) {
@@ -100,25 +189,19 @@ func (c *Census) AddDay(log cdnlog.DayLog) {
 	if sum.ByKind == nil {
 		sum = addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}
 	}
+	getMACs := func() map[addrclass.MAC]bool {
+		m := c.macs[day]
+		if m == nil {
+			m = make(map[addrclass.MAC]bool)
+			c.macs[day] = m
+		}
+		return m
+	}
 	for _, r := range log.Records {
-		kind := addrclass.Classify(r.Addr)
-		sum.Total++
-		sum.ByKind[kind]++
-		if kind == addrclass.KindEUI64 {
-			if mac, ok := addrclass.EUI64MAC(r.Addr); ok {
-				m := c.macs[day]
-				if m == nil {
-					m = make(map[addrclass.MAC]bool)
-					c.macs[day] = m
-				}
-				m[mac] = true
-			}
+		if c.classifyRecord(r, &sum, getMACs) {
+			c.addrs.Observe(r.Addr, temporal.Day(day))
+			c.p64s.Observe(ipaddr.PrefixFrom(r.Addr, 64), temporal.Day(day))
 		}
-		if kind.IsTransition() && !c.cfg.KeepTransition {
-			continue
-		}
-		c.addrs.Observe(r.Addr, temporal.Day(day))
-		c.p64s.Observe(ipaddr.PrefixFrom(r.Addr, 64), temporal.Day(day))
 	}
 	c.kinds[day] = sum
 }
@@ -136,7 +219,7 @@ type DaySummary struct {
 
 // Summary returns the format tally for a day. Days never ingested yield a
 // zero summary.
-func (c *Census) Summary(day int) DaySummary {
+func (c *censusState) Summary(day int) DaySummary {
 	sum := c.kinds[day]
 	return DaySummary{
 		Day:     day,
@@ -150,18 +233,25 @@ func (c *Census) Summary(day int) DaySummary {
 
 // Stability computes the daily nd-stable split of the selected population
 // for a reference day (a Table 2a/2b cell).
-func (c *Census) Stability(pop Population, ref, n int) temporal.DailyStability {
+func (c *censusState) Stability(pop Population, ref, n int) temporal.DailyStability {
+	return c.StabilityWith(pop, ref, n, c.cfg.StabilityOptions)
+}
+
+// StabilityWith is Stability with explicit classification options,
+// overriding the configured StabilityOptions (snapshots do not record
+// options, so post-restore callers use this to pick their window).
+func (c *censusState) StabilityWith(pop Population, ref, n int, opts temporal.Options) temporal.DailyStability {
 	switch pop {
 	case Addresses:
-		return c.addrs.ClassifyDay(temporal.Day(ref), n, c.cfg.StabilityOptions)
+		return c.addrs.ClassifyDay(temporal.Day(ref), n, opts)
 	case Prefixes64:
-		return c.p64s.ClassifyDay(temporal.Day(ref), n, c.cfg.StabilityOptions)
+		return c.p64s.ClassifyDay(temporal.Day(ref), n, opts)
 	}
 	panic(fmt.Sprintf("core: unknown population %d", pop))
 }
 
 // WeeklyStability computes the weekly nd-stable split (a Table 2c/2d cell).
-func (c *Census) WeeklyStability(pop Population, start, n int) temporal.WeeklyStability {
+func (c *censusState) WeeklyStability(pop Population, start, n int) temporal.WeeklyStability {
 	switch pop {
 	case Addresses:
 		return c.addrs.ClassifyWeek(temporal.Day(start), n, c.cfg.StabilityOptions)
@@ -173,7 +263,7 @@ func (c *Census) WeeklyStability(pop Population, start, n int) temporal.WeeklySt
 
 // EpochStable counts keys active in both inclusive day ranges — the 6m- and
 // 1y-stable classes.
-func (c *Census) EpochStable(pop Population, aFrom, aTo, bFrom, bTo int) int {
+func (c *censusState) EpochStable(pop Population, aFrom, aTo, bFrom, bTo int) int {
 	switch pop {
 	case Addresses:
 		return c.addrs.EpochStable(temporal.Day(aFrom), temporal.Day(aTo), temporal.Day(bFrom), temporal.Day(bTo))
@@ -184,7 +274,7 @@ func (c *Census) EpochStable(pop Population, aFrom, aTo, bFrom, bTo int) int {
 }
 
 // ActiveCount returns the distinct active keys on a day.
-func (c *Census) ActiveCount(pop Population, day int) int {
+func (c *censusState) ActiveCount(pop Population, day int) int {
 	if pop == Addresses {
 		return c.addrs.ActiveCount(temporal.Day(day))
 	}
@@ -193,7 +283,7 @@ func (c *Census) ActiveCount(pop Population, day int) int {
 
 // ActiveInRange returns the distinct keys active on at least one day of the
 // inclusive range.
-func (c *Census) ActiveInRange(pop Population, from, to int) int {
+func (c *censusState) ActiveInRange(pop Population, from, to int) int {
 	if pop == Addresses {
 		return c.addrs.ActiveInRange(temporal.Day(from), temporal.Day(to))
 	}
@@ -202,7 +292,7 @@ func (c *Census) ActiveInRange(pop Population, from, to int) int {
 
 // OverlapSeries returns the Figure 4 overlap curve of the selected
 // population around a reference day.
-func (c *Census) OverlapSeries(pop Population, ref, before, after int) []int {
+func (c *censusState) OverlapSeries(pop Population, ref, before, after int) []int {
 	if pop == Addresses {
 		return c.addrs.OverlapSeries(temporal.Day(ref), before, after)
 	}
@@ -211,12 +301,12 @@ func (c *Census) OverlapSeries(pop Population, ref, before, after int) []int {
 
 // StableAddrs returns the nd-stable addresses for a reference day (probe
 // target selection, Section 6.1.1).
-func (c *Census) StableAddrs(ref, n int) []ipaddr.Addr {
+func (c *censusState) StableAddrs(ref, n int) []ipaddr.Addr {
 	return c.addrs.StableKeys(temporal.Day(ref), n, c.cfg.StabilityOptions)
 }
 
 // AddrsActiveOn returns the native addresses active on a day.
-func (c *Census) AddrsActiveOn(day int) []ipaddr.Addr {
+func (c *censusState) AddrsActiveOn(day int) []ipaddr.Addr {
 	return c.addrs.KeysActiveOn(temporal.Day(day))
 }
 
@@ -224,7 +314,7 @@ func (c *Census) AddrsActiveOn(day int) []ipaddr.Addr {
 // given days (e.g. one day, or a 7-day week). Each distinct address counts
 // once regardless of how many of the days it was active, matching the
 // paper's distinct-address populations.
-func (c *Census) NativeSet(days ...int) *spatial.AddressSet {
+func (c *censusState) NativeSet(days ...int) *spatial.AddressSet {
 	var set spatial.AddressSet
 	seen := make(map[ipaddr.Addr]bool)
 	for _, d := range days {
@@ -240,7 +330,7 @@ func (c *Census) NativeSet(days ...int) *spatial.AddressSet {
 
 // Prefix64Set builds the spatial population of distinct active /64s on the
 // given days (for Figure 3's "/64s" curves).
-func (c *Census) Prefix64Set(days ...int) *spatial.AddressSet {
+func (c *censusState) Prefix64Set(days ...int) *spatial.AddressSet {
 	var set spatial.AddressSet
 	seen := make(map[ipaddr.Prefix]bool)
 	for _, d := range days {
@@ -269,7 +359,7 @@ type LongestStablePrefix struct {
 // the resulting stable prefixes are tallied and those with at least
 // minSupport supporting addresses and at least minBits length are returned,
 // deduplicated to the least-specific non-overlapping set, in prefix order.
-func (c *Census) LongestStablePrefixes(aFrom, aTo, bFrom, bTo int, minBits int, minSupport uint64) []LongestStablePrefix {
+func (c *censusState) LongestStablePrefixes(aFrom, aTo, bFrom, bTo int, minBits int, minSupport uint64) []LongestStablePrefix {
 	// Build the period-A address trie.
 	var aTrie trie.Trie
 	seenA := make(map[ipaddr.Addr]bool)

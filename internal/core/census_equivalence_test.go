@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"v6class/internal/cdnlog"
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+)
+
+// The equivalence suite: for several seeded synthetic worlds, the sharded
+// concurrent census must answer every analysis identically to the
+// sequential census over the same logs — the contract that lets later
+// scaling work refactor the pipeline against a fixed reference.
+
+// equivWorlds are the synthetic worlds the suite sweeps: varying seeds,
+// scales, shard counts and timestamp slew.
+var equivWorlds = []struct {
+	name    string
+	cfg     synth.Config
+	days    int // ingested days [0, days)
+	shards  int
+	workers int
+}{
+	{"small", synth.Config{Seed: 1, Scale: 0.01, StudyDays: 30}, 25, 0, 0},
+	{"one-shard", synth.Config{Seed: 2, Scale: 0.01, StudyDays: 20}, 15, 1, 2},
+	{"many-shards", synth.Config{Seed: 3, Scale: 0.02, StudyDays: 24}, 20, 16, 3},
+	{"slewed", synth.Config{Seed: 4, Scale: 0.015, StudyDays: 28, SlewProb: 0.3}, 22, 4, 4},
+}
+
+func worldLogs(t testing.TB, cfg synth.Config, days int) []cdnlog.DayLog {
+	t.Helper()
+	return synth.NewWorld(cfg).Days(0, days)
+}
+
+func buildBoth(t testing.TB, cfg CensusConfig, logs []cdnlog.DayLog, shards, workers int) (*Census, *ShardedCensus) {
+	t.Helper()
+	seq := NewCensus(cfg)
+	for _, l := range logs {
+		seq.AddDay(l)
+	}
+	sh := NewShardedCensusN(cfg, shards, workers)
+	sh.AddDays(logs)
+	sh.Freeze()
+	return seq, sh
+}
+
+func TestShardedCensusEquivalence(t *testing.T) {
+	for _, w := range equivWorlds {
+		t.Run(w.name, func(t *testing.T) {
+			logs := worldLogs(t, w.cfg, w.days)
+			cfg := CensusConfig{StudyDays: w.cfg.StudyDays}
+			seq, sh := buildBoth(t, cfg, logs, w.shards, w.workers)
+			assertCensusesAgree(t, seq, sh, w.days)
+		})
+	}
+}
+
+// TestShardedCensusEquivalenceKeepTransition covers the KeepTransition
+// configuration, where transition-mechanism addresses enter the stores.
+func TestShardedCensusEquivalenceKeepTransition(t *testing.T) {
+	cfg := synth.Config{Seed: 5, Scale: 0.01, StudyDays: 20}
+	logs := worldLogs(t, cfg, 15)
+	seq, sh := buildBoth(t, CensusConfig{StudyDays: 20, KeepTransition: true}, logs, 0, 0)
+	assertCensusesAgree(t, seq, sh, 15)
+}
+
+// assertCensusesAgree compares the full Analyzer surface of the two
+// engines.
+func assertCensusesAgree(t *testing.T, seq, sh Analyzer, days int) {
+	t.Helper()
+	if seq.StudyDays() != sh.StudyDays() {
+		t.Fatal("StudyDays mismatch")
+	}
+	for d := 0; d < days; d++ {
+		if !reflect.DeepEqual(seq.Summary(d), sh.Summary(d)) {
+			t.Fatalf("Summary(%d): sequential %+v, sharded %+v", d, seq.Summary(d), sh.Summary(d))
+		}
+		for _, pop := range []Population{Addresses, Prefixes64} {
+			if seq.ActiveCount(pop, d) != sh.ActiveCount(pop, d) {
+				t.Fatalf("ActiveCount(%v, %d) mismatch", pop, d)
+			}
+			if seq.Stability(pop, d, 3) != sh.Stability(pop, d, 3) {
+				t.Fatalf("Stability(%v, %d): sequential %+v, sharded %+v",
+					pop, d, seq.Stability(pop, d, 3), sh.Stability(pop, d, 3))
+			}
+		}
+	}
+	mid := days / 2
+	for _, pop := range []Population{Addresses, Prefixes64} {
+		if seq.WeeklyStability(pop, mid-3, 3) != sh.WeeklyStability(pop, mid-3, 3) {
+			t.Fatalf("WeeklyStability(%v) mismatch", pop)
+		}
+		if seq.EpochStable(pop, 0, 3, days-4, days-1) != sh.EpochStable(pop, 0, 3, days-4, days-1) {
+			t.Fatalf("EpochStable(%v) mismatch", pop)
+		}
+		if seq.ActiveInRange(pop, 1, days-2) != sh.ActiveInRange(pop, 1, days-2) {
+			t.Fatalf("ActiveInRange(%v) mismatch", pop)
+		}
+		if !reflect.DeepEqual(seq.OverlapSeries(pop, mid, 5, 5), sh.OverlapSeries(pop, mid, 5, 5)) {
+			t.Fatalf("OverlapSeries(%v) mismatch", pop)
+		}
+	}
+	a, b := seq.StableAddrs(mid, 3), sh.StableAddrs(mid, 3)
+	sortAddrSlice(a)
+	sortAddrSlice(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("StableAddrs mismatch")
+	}
+	a, b = seq.AddrsActiveOn(mid), sh.AddrsActiveOn(mid)
+	sortAddrSlice(a)
+	sortAddrSlice(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("AddrsActiveOn mismatch")
+	}
+	week := []int{mid, mid + 1, mid + 2, mid + 3, mid + 4, mid + 5, mid + 6}
+	if !sameSet(seq.NativeSet(week...), sh.NativeSet(week...)) {
+		t.Fatal("NativeSet mismatch")
+	}
+	if !sameSet(seq.Prefix64Set(week...), sh.Prefix64Set(week...)) {
+		t.Fatal("Prefix64Set mismatch")
+	}
+	lspSeq := seq.LongestStablePrefixes(0, 4, days-5, days-1, 24, 2)
+	lspSh := sh.LongestStablePrefixes(0, 4, days-5, days-1, 24, 2)
+	if !reflect.DeepEqual(lspSeq, lspSh) {
+		t.Fatalf("LongestStablePrefixes: sequential %v, sharded %v", lspSeq, lspSh)
+	}
+}
+
+// sameSet compares two spatial populations item-by-item (the trie walk is
+// in prefix order, so equal sets render equal item lists).
+func sameSet(a, b *spatial.AddressSet) bool {
+	return reflect.DeepEqual(a.Trie().Items(), b.Trie().Items())
+}
+
+func sortAddrSlice(s []ipaddr.Addr) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+}
+
+// TestShardedCensusPersistRoundTrip writes a sharded census and reads it
+// back through both readers; analyses must survive unchanged.
+func TestShardedCensusPersistRoundTrip(t *testing.T) {
+	cfg := synth.Config{Seed: 6, Scale: 0.01, StudyDays: 20}
+	const days = 16
+	logs := worldLogs(t, cfg, days)
+	seq, sh := buildBoth(t, CensusConfig{StudyDays: 20}, logs, 0, 0)
+
+	var buf bytes.Buffer
+	if _, err := sh.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	seqBack, err := ReadCensus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCensusesAgree(t, seq, seqBack, days)
+
+	shBack, err := ReadShardedCensus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shBack.Freeze()
+	assertCensusesAgree(t, seq, shBack, days)
+}
+
+// TestShardedCensusIncremental checks that a snapshot-restored sharded
+// census can keep ingesting and still matches the sequential engine fed
+// the same split.
+func TestShardedCensusIncremental(t *testing.T) {
+	cfg := synth.Config{Seed: 7, Scale: 0.01, StudyDays: 24}
+	const days = 20
+	logs := worldLogs(t, cfg, days)
+
+	seq := NewCensus(CensusConfig{StudyDays: 24})
+	for _, l := range logs {
+		seq.AddDay(l)
+	}
+
+	first := NewShardedCensus(CensusConfig{StudyDays: 24})
+	first.AddDays(logs[:days/2])
+	var buf bytes.Buffer
+	if _, err := first.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadShardedCensus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.AddDays(logs[days/2:])
+	second.Freeze()
+	assertCensusesAgree(t, seq, second, days)
+}

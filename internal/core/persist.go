@@ -20,8 +20,12 @@ import (
 // incompatible changes.
 const censusMagic = "v6census-state-1"
 
-// WriteTo serializes the census state. It implements io.WriterTo.
-func (c *Census) WriteTo(w io.Writer) (int64, error) {
+// WriteTo serializes the census state. It implements io.WriterTo. The
+// method is shared by Census and ShardedCensus (the snapshot format does
+// not record sharding; a snapshot written by either engine is readable by
+// ReadCensus and ReadShardedCensus alike). A ShardedCensus must not be
+// ingesting concurrently while it is written.
+func (c *censusState) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
 	write := func(v any) {
 		if cw.err == nil {
@@ -78,44 +82,73 @@ func (c *Census) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.err
 }
 
-// ReadCensus deserializes a census snapshot written by WriteTo.
+// ReadCensus deserializes a census snapshot written by WriteTo into a
+// sequential Census.
 func ReadCensus(r io.Reader) (*Census, error) {
+	var c *Census
+	err := readSnapshot(r, func(cfg CensusConfig) *censusState {
+		c = NewCensus(cfg)
+		return &c.censusState
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReadShardedCensus deserializes a census snapshot into a concurrent
+// ShardedCensus ready for further ingestion (call Freeze before analyses).
+func ReadShardedCensus(r io.Reader) (*ShardedCensus, error) {
+	var c *ShardedCensus
+	err := readSnapshot(r, func(cfg CensusConfig) *censusState {
+		c = NewShardedCensus(cfg)
+		return &c.censusState
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// readSnapshot parses a snapshot, calling build with the decoded config to
+// obtain the state to restore into.
+func readSnapshot(r io.Reader, build func(CensusConfig) *censusState) error {
 	br := bufio.NewReader(r)
 	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
 
 	magic := make([]byte, len(censusMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+		return fmt.Errorf("core: reading snapshot header: %w", err)
 	}
 	if string(magic) != censusMagic {
-		return nil, fmt.Errorf("core: not a census snapshot (magic %q)", magic)
+		return fmt.Errorf("core: not a census snapshot (magic %q)", magic)
 	}
 	var studyDays uint32
 	var keep uint8
 	if err := read(&studyDays); err != nil {
-		return nil, err
+		return err
 	}
 	if err := read(&keep); err != nil {
-		return nil, err
+		return err
 	}
 	if studyDays == 0 || studyDays > 1<<20 {
-		return nil, fmt.Errorf("core: implausible study length %d", studyDays)
+		return fmt.Errorf("core: implausible study length %d", studyDays)
 	}
-	c := NewCensus(CensusConfig{StudyDays: int(studyDays), KeepTransition: keep != 0})
+	c := build(CensusConfig{StudyDays: int(studyDays), KeepTransition: keep != 0})
 
 	// Address store.
 	var nAddrs uint64
 	if err := read(&nAddrs); err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint64(0); i < nAddrs; i++ {
 		var buf [16]byte
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, err
+			return err
 		}
 		words, err := readWords(br)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.addrs.Restore(ipaddr.AddrFrom16(buf), temporal.BitSetFromWords(words))
 	}
@@ -123,16 +156,16 @@ func ReadCensus(r io.Reader) (*Census, error) {
 	// /64 store.
 	var n64 uint64
 	if err := read(&n64); err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint64(0); i < n64; i++ {
 		var net uint64
 		if err := read(&net); err != nil {
-			return nil, err
+			return err
 		}
 		words, err := readWords(br)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := ipaddr.PrefixFrom(ipaddr.AddrFromSegments([8]uint16{
 			uint16(net >> 48), uint16(net >> 32), uint16(net >> 16), uint16(net),
@@ -143,29 +176,29 @@ func ReadCensus(r io.Reader) (*Census, error) {
 	// Per-day format summaries.
 	var nDays uint32
 	if err := read(&nDays); err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint32(0); i < nDays; i++ {
 		var day, total uint32
 		var nKinds uint8
 		if err := read(&day); err != nil {
-			return nil, err
+			return err
 		}
 		if err := read(&total); err != nil {
-			return nil, err
+			return err
 		}
 		if err := read(&nKinds); err != nil {
-			return nil, err
+			return err
 		}
 		sum := addrclass.Summary{Total: int(total), ByKind: make(map[addrclass.Kind]int, nKinds)}
 		for j := uint8(0); j < nKinds; j++ {
 			var kind uint8
 			var n uint32
 			if err := read(&kind); err != nil {
-				return nil, err
+				return err
 			}
 			if err := read(&n); err != nil {
-				return nil, err
+				return err
 			}
 			sum.ByKind[addrclass.Kind(kind)] = int(n)
 		}
@@ -175,27 +208,27 @@ func ReadCensus(r io.Reader) (*Census, error) {
 	// Per-day EUI-64 MAC sets.
 	var nMacDays uint32
 	if err := read(&nMacDays); err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint32(0); i < nMacDays; i++ {
 		var day, n uint32
 		if err := read(&day); err != nil {
-			return nil, err
+			return err
 		}
 		if err := read(&n); err != nil {
-			return nil, err
+			return err
 		}
 		set := make(map[addrclass.MAC]bool, n)
 		for j := uint32(0); j < n; j++ {
 			var mac addrclass.MAC
 			if _, err := io.ReadFull(br, mac[:]); err != nil {
-				return nil, err
+				return err
 			}
 			set[mac] = true
 		}
 		c.macs[int(day)] = set
 	}
-	return c, nil
+	return nil
 }
 
 func writeWords(cw *countingWriter, words []uint64) {

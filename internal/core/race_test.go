@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"v6class/internal/cdnlog"
+	"v6class/internal/synth"
+)
+
+// Race coverage for the concurrent census: several Ingest pipelines running
+// at once, AddDay from many goroutines, and post-freeze analyses fanning
+// out in parallel. Run with -race; the equivalence assertions double as a
+// determinism check under scheduling chaos.
+
+func TestShardedCensusConcurrentIngest(t *testing.T) {
+	cfg := synth.Config{Seed: 11, Scale: 0.01, StudyDays: 24}
+	const days = 18
+	logs := worldLogs(t, cfg, days)
+
+	seq := NewCensus(CensusConfig{StudyDays: 24})
+	for _, l := range logs {
+		seq.AddDay(l)
+	}
+
+	sh := NewShardedCensus(CensusConfig{StudyDays: 24})
+	// Three concurrent Ingest pipelines over interleaved slices, plus a
+	// goroutine hammering AddDay — every entry is ingested exactly once.
+	var wg sync.WaitGroup
+	for part := 0; part < 3; part++ {
+		ch := make(chan cdnlog.DayLog)
+		wg.Add(2)
+		go func(part int, ch chan<- cdnlog.DayLog) {
+			defer wg.Done()
+			defer close(ch)
+			for i := part; i < len(logs); i += 4 {
+				ch <- logs[i]
+			}
+		}(part, ch)
+		go func(ch <-chan cdnlog.DayLog) {
+			defer wg.Done()
+			sh.Ingest(ch)
+		}(ch)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 3; i < len(logs); i += 4 {
+			sh.AddDay(logs[i])
+		}
+	}()
+	wg.Wait()
+	sh.Freeze()
+
+	// Post-freeze analyses from many goroutines at once.
+	var ag sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		ag.Add(1)
+		go func(g int) {
+			defer ag.Done()
+			d := g % days
+			if got, want := sh.Summary(d), seq.Summary(d); got.Total != want.Total {
+				t.Errorf("Summary(%d).Total = %d, want %d", d, got.Total, want.Total)
+			}
+			if got, want := sh.Stability(Addresses, d, 3), seq.Stability(Addresses, d, 3); got != want {
+				t.Errorf("Stability(%d) = %+v, want %+v", d, got, want)
+			}
+			_ = sh.OverlapSeries(Prefixes64, days/2, 5, 5)
+			_ = sh.ActiveInRange(Addresses, 0, days-1)
+			_ = sh.NativeSet(d)
+		}(g)
+	}
+	ag.Wait()
+	if t.Failed() {
+		return
+	}
+	assertCensusesAgree(t, seq, sh, days)
+}
+
+func TestShardedCensusIngestAfterFreezePanics(t *testing.T) {
+	sh := NewShardedCensus(CensusConfig{StudyDays: 5})
+	sh.AddDay(cdnlog.DayLog{Day: 1})
+	sh.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddDays after Freeze did not panic")
+		}
+	}()
+	sh.AddDays(worldLogs(t, synth.Config{Seed: 1, Scale: 0.01, StudyDays: 5}, 2))
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/cdnlog"
+	"v6class/internal/ipaddr"
+	"v6class/internal/netmodel"
+	"v6class/internal/temporal"
+)
+
+// The sharded ingestion pipeline: daily logs are split into record chunks,
+// a pool of classify workers formats-classifies each chunk (Table 1
+// bookkeeping stays worker-local), and surviving observations are routed by
+// key hash over per-shard channels to applier goroutines, each of which owns
+// its temporal shard for the duration of a batch. The shape is
+//
+//	logs -> [chunk] -> classify workers -> per-shard channels -> appliers
+//
+// and every stage is deterministic in aggregate: observations are
+// idempotent day-bits, tallies are sums, so the result is independent of
+// scheduling and equal to what the sequential Census produces.
+
+const (
+	// ingestChunk is the record count of one classification job.
+	ingestChunk = 4096
+	// shardBatch is the observation count of one routed shard batch; the
+	// shard lock is taken once per batch.
+	shardBatch = 1024
+)
+
+// hashAddr mixes an address into the shard hash space (the netmodel
+// splitmix64 mixer, so equal runs shard identically).
+func hashAddr(a ipaddr.Addr) uint64 {
+	u := a.Uint128()
+	return netmodel.Hash(u.Hi, u.Lo)
+}
+
+// hashP64 mixes a /64 prefix into the shard hash space.
+func hashP64(p ipaddr.Prefix) uint64 {
+	return netmodel.Hash(p.Addr().NetworkID(), uint64(p.Bits()))
+}
+
+// ShardedCensus is the concurrent analysis engine: the same analyses as
+// Census over temporal.ShardedStore shards, fed by a parallel ingestion
+// pipeline. AddDay, AddDays and Ingest are safe to call from any number of
+// goroutines. Analyses require Freeze first; once frozen the census is
+// immutable and every query is lock-free and internally parallel.
+type ShardedCensus struct {
+	censusState
+	saddrs *temporal.ShardedStore[ipaddr.Addr]
+	sp64s  *temporal.ShardedStore[ipaddr.Prefix]
+
+	workers int
+	mu      sync.Mutex // guards kinds/macs during ingestion
+}
+
+var _ Analyzer = (*ShardedCensus)(nil)
+
+// NewShardedCensus returns an empty concurrent Census with GOMAXPROCS-scaled
+// shard and worker counts.
+func NewShardedCensus(cfg CensusConfig) *ShardedCensus {
+	return NewShardedCensusN(cfg, 0, 0)
+}
+
+// NewShardedCensusN sizes the engine explicitly: shards temporal shards
+// (rounded up to a power of two) and workers classification workers. Zero
+// selects the GOMAXPROCS-scaled default for either.
+func NewShardedCensusN(cfg CensusConfig, shards, workers int) *ShardedCensus {
+	checkConfig(cfg)
+	if shards <= 0 {
+		shards = temporal.DefaultShardCount()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	saddrs := temporal.NewShardedStoreN(cfg.StudyDays, shards, hashAddr)
+	sp64s := temporal.NewShardedStoreN(cfg.StudyDays, shards, hashP64)
+	return &ShardedCensus{
+		censusState: censusState{
+			cfg:   cfg,
+			addrs: saddrs,
+			p64s:  sp64s,
+			kinds: make(map[int]addrclass.Summary),
+			macs:  make(map[int]map[addrclass.MAC]bool),
+		},
+		saddrs:  saddrs,
+		sp64s:   sp64s,
+		workers: workers,
+	}
+}
+
+// Freeze ends the ingestion phase: all AddDay/AddDays/Ingest calls must
+// have returned. After Freeze, ingestion panics and analyses are lock-free.
+func (c *ShardedCensus) Freeze() {
+	c.saddrs.Freeze()
+	c.sp64s.Freeze()
+	// Publish the tallies written under mu to lock-free readers.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// Frozen reports whether Freeze has been called.
+func (c *ShardedCensus) Frozen() bool { return c.saddrs.Frozen() }
+
+// AddDay ingests one aggregated daily log through the pipeline.
+func (c *ShardedCensus) AddDay(log cdnlog.DayLog) { c.AddDays([]cdnlog.DayLog{log}) }
+
+// AddDays ingests a batch of daily logs concurrently.
+func (c *ShardedCensus) AddDays(logs []cdnlog.DayLog) {
+	ch := make(chan cdnlog.DayLog, len(logs))
+	for _, l := range logs {
+		ch <- l
+	}
+	close(ch)
+	c.Ingest(ch)
+}
+
+// ingestJob is one classification unit: a chunk of records of one day.
+type ingestJob struct {
+	day  int
+	recs []cdnlog.Record
+}
+
+// Ingest consumes daily logs from a channel until it is closed, running the
+// full classify/route/apply pipeline, and returns when every observation
+// has been applied. Several Ingest calls may run at once; call Freeze after
+// they have all returned.
+func (c *ShardedCensus) Ingest(logs <-chan cdnlog.DayLog) {
+	if c.Frozen() {
+		panic("core: ingest into frozen ShardedCensus")
+	}
+	nShards := c.saddrs.NumShards()
+	jobs := make(chan ingestJob, 2*c.workers)
+	addrCh := make([]chan []temporal.Obs[ipaddr.Addr], nShards)
+	p64Ch := make([]chan []temporal.Obs[ipaddr.Prefix], c.sp64s.NumShards())
+
+	var appliers sync.WaitGroup
+	for i := range addrCh {
+		addrCh[i] = make(chan []temporal.Obs[ipaddr.Addr], 4)
+		appliers.Add(1)
+		go func(i int) {
+			defer appliers.Done()
+			for batch := range addrCh[i] {
+				c.saddrs.ApplyBatch(i, batch)
+			}
+		}(i)
+	}
+	for i := range p64Ch {
+		p64Ch[i] = make(chan []temporal.Obs[ipaddr.Prefix], 4)
+		appliers.Add(1)
+		go func(i int) {
+			defer appliers.Done()
+			for batch := range p64Ch[i] {
+				c.sp64s.ApplyBatch(i, batch)
+			}
+		}(i)
+	}
+
+	var workers sync.WaitGroup
+	for w := 0; w < c.workers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			c.classifyWorker(jobs, addrCh, p64Ch)
+		}()
+	}
+
+	for l := range logs {
+		c.ensureDay(l.Day)
+		for off := 0; off < len(l.Records); off += ingestChunk {
+			end := min(off+ingestChunk, len(l.Records))
+			jobs <- ingestJob{day: l.Day, recs: l.Records[off:end]}
+		}
+	}
+	close(jobs)
+	workers.Wait()
+	for i := range addrCh {
+		close(addrCh[i])
+	}
+	for i := range p64Ch {
+		close(p64Ch[i])
+	}
+	appliers.Wait()
+}
+
+// ensureDay records that a day was ingested (possibly with zero records),
+// matching the sequential Census's per-day summary presence.
+func (c *ShardedCensus) ensureDay(day int) {
+	c.mu.Lock()
+	if c.kinds[day].ByKind == nil {
+		c.kinds[day] = addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}
+	}
+	c.mu.Unlock()
+}
+
+// dayTally is one worker's private Table 1 bookkeeping for one day.
+type dayTally struct {
+	sum  addrclass.Summary
+	macs map[addrclass.MAC]bool
+}
+
+// classifyWorker drains jobs, classifying records into worker-local tallies
+// and routing surviving observations to shard batches; on exit it flushes
+// the batches and merges the tallies (both merges commute, so worker
+// scheduling cannot change the result).
+func (c *ShardedCensus) classifyWorker(jobs <-chan ingestJob, addrCh []chan []temporal.Obs[ipaddr.Addr], p64Ch []chan []temporal.Obs[ipaddr.Prefix]) {
+	tallies := make(map[int]*dayTally)
+	addrBuf := make([][]temporal.Obs[ipaddr.Addr], len(addrCh))
+	p64Buf := make([][]temporal.Obs[ipaddr.Prefix], len(p64Ch))
+
+	for j := range jobs {
+		t := tallies[j.day]
+		if t == nil {
+			t = &dayTally{sum: addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}}
+			tallies[j.day] = t
+		}
+		getMACs := func() map[addrclass.MAC]bool {
+			if t.macs == nil {
+				t.macs = make(map[addrclass.MAC]bool)
+			}
+			return t.macs
+		}
+		d := temporal.Day(j.day)
+		for _, r := range j.recs {
+			if !c.classifyRecord(r, &t.sum, getMACs) {
+				continue
+			}
+			ai := c.saddrs.ShardFor(r.Addr)
+			addrBuf[ai] = append(addrBuf[ai], temporal.Obs[ipaddr.Addr]{Key: r.Addr, Day: d})
+			if len(addrBuf[ai]) >= shardBatch {
+				addrCh[ai] <- addrBuf[ai]
+				addrBuf[ai] = nil
+			}
+			p := ipaddr.PrefixFrom(r.Addr, 64)
+			pi := c.sp64s.ShardFor(p)
+			p64Buf[pi] = append(p64Buf[pi], temporal.Obs[ipaddr.Prefix]{Key: p, Day: d})
+			if len(p64Buf[pi]) >= shardBatch {
+				p64Ch[pi] <- p64Buf[pi]
+				p64Buf[pi] = nil
+			}
+		}
+	}
+	for i, b := range addrBuf {
+		if len(b) > 0 {
+			addrCh[i] <- b
+		}
+	}
+	for i, b := range p64Buf {
+		if len(b) > 0 {
+			p64Ch[i] <- b
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for day, t := range tallies {
+		sum := c.kinds[day]
+		if sum.ByKind == nil {
+			sum = addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}
+		}
+		sum.Total += t.sum.Total
+		for k, n := range t.sum.ByKind {
+			sum.ByKind[k] += n
+		}
+		c.kinds[day] = sum
+		if len(t.macs) > 0 {
+			m := c.macs[day]
+			if m == nil {
+				m = make(map[addrclass.MAC]bool, len(t.macs))
+				c.macs[day] = m
+			}
+			for mac := range t.macs {
+				m[mac] = true
+			}
+		}
+	}
+}

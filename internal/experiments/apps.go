@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"v6class/internal/addrclass"
@@ -33,8 +34,12 @@ func RouterDiscovery(l *Lab) RouterDiscoveryResult {
 	c := l.Census([2]int{classifyDay - 7, classifyDay + 7})
 	topo := probe.NewTopology(l.World, probeDay)
 
+	// The stores return keys in map order; sort so the "every kth" sample
+	// below is genuinely deterministic, run to run and engine to engine.
 	actives := c.AddrsActiveOn(classifyDay)
+	sort.Slice(actives, func(i, j int) bool { return actives[i].Less(actives[j]) })
 	stable := c.StableAddrs(classifyDay, 3)
+	sort.Slice(stable, func(i, j int) bool { return stable[i].Less(stable[j]) })
 	n := len(stable)
 	if len(actives) < n {
 		n = len(actives)

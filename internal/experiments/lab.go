@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"v6class/internal/cdnlog"
 	"v6class/internal/core"
@@ -14,29 +15,45 @@ import (
 )
 
 // Lab wires a synthetic world to the analysis engine and caches generated
-// days so the many experiments sharing epochs do not regenerate them.
+// days so the many experiments sharing epochs do not regenerate them. A Lab
+// is safe for concurrent use: drivers running in parallel (RunAll) share
+// one day cache, and a day is generated exactly once no matter how many
+// drivers race for it.
 type Lab struct {
 	World *synth.World
-	days  map[int]cdnlog.DayLog
+
+	mu   sync.Mutex
+	days map[int]*labDay
+}
+
+// labDay is one cache slot; the once gates generation so concurrent callers
+// of Lab.Day block on the generating goroutine instead of duplicating work.
+type labDay struct {
+	once sync.Once
+	log  cdnlog.DayLog
 }
 
 // NewLab builds a lab over a fresh world.
 func NewLab(cfg synth.Config) *Lab {
-	return &Lab{World: synth.NewWorld(cfg), days: make(map[int]cdnlog.DayLog)}
+	return &Lab{World: synth.NewWorld(cfg), days: make(map[int]*labDay)}
 }
 
 // Day returns the aggregated log for a study day, generating it on first
-// use.
+// use. Safe for concurrent use.
 func (l *Lab) Day(d int) cdnlog.DayLog {
-	if log, ok := l.days[d]; ok {
-		return log
+	l.mu.Lock()
+	e := l.days[d]
+	if e == nil {
+		e = &labDay{}
+		l.days[d] = e
 	}
-	log := l.World.Day(d)
-	l.days[d] = log
-	return log
+	l.mu.Unlock()
+	e.once.Do(func() { e.log = l.World.Day(d) })
+	return e.log
 }
 
-// Census builds a Census ingesting the given inclusive day ranges.
+// Census builds a sequential Census ingesting the given inclusive day
+// ranges.
 func (l *Lab) Census(ranges ...[2]int) *core.Census {
 	c := core.NewCensus(core.CensusConfig{StudyDays: l.World.StudyLength()})
 	for _, r := range ranges {
@@ -44,6 +61,22 @@ func (l *Lab) Census(ranges ...[2]int) *core.Census {
 			c.AddDay(l.Day(d))
 		}
 	}
+	return c
+}
+
+// ShardedCensus builds a frozen concurrent census over the given inclusive
+// day ranges via the sharded ingestion pipeline; it is interchangeable with
+// Census for every analysis.
+func (l *Lab) ShardedCensus(ranges ...[2]int) *core.ShardedCensus {
+	c := core.NewShardedCensus(core.CensusConfig{StudyDays: l.World.StudyLength()})
+	var logs []cdnlog.DayLog
+	for _, r := range ranges {
+		for d := r[0]; d <= r[1]; d++ {
+			logs = append(logs, l.Day(d))
+		}
+	}
+	c.AddDays(logs)
+	c.Freeze()
 	return c
 }
 

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Parallel experiment regeneration: every table and figure driver is an
+// independent cell, so the full reproduction fans out over a bounded worker
+// pool sharing one Lab (whose day cache is concurrency-safe). Results come
+// back in registry order regardless of completion order, so sequential and
+// parallel runs render identically.
+
+// Driver is one registered experiment: a name and a function regenerating
+// the experiment from a lab and rendering it as text.
+type Driver struct {
+	Name string
+	Run  func(*Lab) string
+}
+
+// Drivers returns the registry of every table/figure/application driver, in
+// the paper's presentation order.
+func Drivers() []Driver {
+	return []Driver{
+		{"table1", func(l *Lab) string { return Table1(l).Render() }},
+		{"table2", func(l *Lab) string { return Table2(l).Render() }},
+		{"table3", func(l *Lab) string { return Table3(l).Render() }},
+		{"figure2", func(l *Lab) string { return Figure2(l).Render() }},
+		{"figure3", func(l *Lab) string { return Figure3(l).Render() }},
+		{"figure4", func(l *Lab) string { return Figure4(l).Render() }},
+		{"figure5a", func(l *Lab) string { return Figure5a(l).Render() }},
+		{"figure5b", func(l *Lab) string { return Figure5b(l).Render() }},
+		{"figure5c-h", func(l *Lab) string { return Figure5Plots(l).Render() }},
+		{"routers", func(l *Lab) string { return RouterDiscovery(l).Render() }},
+		{"ptr-harvest", func(l *Lab) string { return PTRHarvest(l).Render() }},
+		{"eui64-churn", func(l *Lab) string { return EUI64Churn(l).Render() }},
+		{"lsp", func(l *Lab) string { return LongestStablePrefixes(l).Render() }},
+		{"signature-census", func(l *Lab) string { return SignatureCensus(l).Render() }},
+		{"highlights", func(l *Lab) string { return Highlights(l).Render() }},
+		{"growth", func(l *Lab) string { return Growth(l).Render() }},
+		{"window-sweep", func(l *Lab) string { return WindowSweep(l).Render() }},
+		{"lifetimes", func(l *Lab) string { return Lifetimes(l).Render() }},
+	}
+}
+
+// DriverResult is one driver's rendered output, with its wall-clock cost
+// (measured under whatever pool contention the run had).
+type DriverResult struct {
+	Name    string
+	Output  string
+	Elapsed time.Duration
+}
+
+// RunAll regenerates every registered experiment on a pool of at most
+// workers goroutines (0 means GOMAXPROCS) and returns the results in
+// registry order.
+func RunAll(l *Lab, workers int) []DriverResult {
+	return RunDrivers(l, workers, Drivers())
+}
+
+// RunDrivers runs an explicit driver subset on a bounded pool, returning
+// results in the given order.
+func RunDrivers(l *Lab, workers int, drivers []Driver) []DriverResult {
+	out := make([]DriverResult, 0, len(drivers))
+	RunDriversStream(l, workers, drivers, func(r DriverResult) { out = append(out, r) })
+	return out
+}
+
+// RunDriversStream runs a driver subset on a bounded pool, calling emit
+// with each result as soon as it and all its predecessors have completed —
+// output stays in the given order but streams instead of waiting for the
+// slowest driver. emit runs on the calling goroutine.
+func RunDriversStream(l *Lab, workers int, drivers []Driver, emit func(DriverResult)) {
+	if len(drivers) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(drivers) {
+		workers = len(drivers)
+	}
+	type indexed struct {
+		i int
+		r DriverResult
+	}
+	next := make(chan int)
+	results := make(chan indexed, len(drivers))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				d := drivers[i]
+				start := time.Now()
+				results <- indexed{i, DriverResult{Name: d.Name, Output: d.Run(l), Elapsed: time.Since(start)}}
+			}
+		}()
+	}
+	go func() {
+		for i := range drivers {
+			next <- i
+		}
+		close(next)
+	}()
+	pending := make(map[int]DriverResult, len(drivers))
+	emitNext := 0
+	for received := 0; received < len(drivers); received++ {
+		ir := <-results
+		pending[ir.i] = ir.r
+		for {
+			r, ok := pending[emitNext]
+			if !ok {
+				break
+			}
+			delete(pending, emitNext)
+			emit(r)
+			emitNext++
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"v6class/internal/synth"
+)
+
+// TestRunAllParallelMatchesSequential regenerates every driver on one
+// worker and on a pool, and requires identical rendered output in
+// identical order — the cells are independent, so parallelism must be
+// invisible in the results.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every experiment twice")
+	}
+	l := NewLab(synth.Config{Seed: 7, Scale: 0.01})
+	seq := RunAll(l, 1)
+	par := RunAll(l, 4)
+	if len(seq) != len(par) || len(seq) != len(Drivers()) {
+		t.Fatalf("got %d sequential and %d parallel results for %d drivers",
+			len(seq), len(par), len(Drivers()))
+	}
+	for i := range seq {
+		if seq[i].Name != par[i].Name {
+			t.Fatalf("result %d: name %q vs %q", i, seq[i].Name, par[i].Name)
+		}
+		if seq[i].Output != par[i].Output {
+			t.Errorf("driver %s: parallel output differs from sequential", seq[i].Name)
+		}
+		if seq[i].Output == "" {
+			t.Errorf("driver %s: empty output", seq[i].Name)
+		}
+	}
+}
+
+// TestLabDayConcurrent hammers the shared day cache; with -race this
+// verifies the generate-once gate.
+func TestLabDayConcurrent(t *testing.T) {
+	l := NewLab(synth.Config{Seed: 9, Scale: 0.01})
+	want := l.World.Day(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := 0; d < 6; d++ {
+				got := l.Day(3)
+				if len(got.Records) != len(want.Records) {
+					t.Errorf("Day(3) returned %d records, want %d", len(got.Records), len(want.Records))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLabShardedCensusMatchesCensus checks the lab's two census builders
+// agree on a representative analysis.
+func TestLabShardedCensusMatchesCensus(t *testing.T) {
+	l := NewLab(synth.Config{Seed: 8, Scale: 0.01})
+	r := [2]int{synth.EpochMar2014 - 7, synth.EpochMar2014 + 13}
+	seq := l.Census(r)
+	sh := l.ShardedCensus(r)
+	for d := r[0]; d <= r[1]; d++ {
+		if seq.Summary(d).Total != sh.Summary(d).Total {
+			t.Fatalf("Summary(%d) mismatch", d)
+		}
+	}
+	ref := synth.EpochMar2014
+	if seq.Stability(0, ref, 3) != sh.Stability(0, ref, 3) {
+		t.Fatal("Stability mismatch")
+	}
+}

@@ -1,0 +1,88 @@
+package ipaddr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the RFC 4291 parser: any input either fails to parse
+// or yields an address whose every text form (canonical, expanded, raw hex)
+// survives a round trip back to the same 128-bit value.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"::",
+		"::1",
+		"1::",
+		"2001:db8::1",
+		"2001:0db8:0000:0000:0000:0000:0000:0001",
+		"fe80::1:2:3:4",
+		"2002:c633:6401::1",
+		"::ffff:192.0.2.1",
+		"1:2:3:4:5:6:7:8",
+		"a:b:c:d:e:f:a:b",
+		"2600:1000:0:64::",
+		"::192.0.2.255",
+		"1:2:3:4:5:6:192.0.2.1",
+		"2001:db8::0:0:1", // non-canonical: "::" not at longest run
+		"0:0:0:0:0:0:0:0",
+		":::",
+		"1:::2",
+		"12345::",
+		"::ffff:999.0.2.1",
+		"2001:db8::1%eth0",
+		"2001:db8::/32",
+		" ::1",
+		"g::1",
+		"1:2:3:4:5:6:7",
+		"1:2:3:4:5:6:7:8:9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		// The canonical form must reparse to the same value and already be
+		// canonical.
+		canon := a.String()
+		b, err := ParseAddr(canon)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q) ok but canonical %q fails: %v", s, canon, err)
+		}
+		if a != b {
+			t.Fatalf("round trip changed value: %q -> %q -> %q", s, canon, b)
+		}
+		if again := b.String(); again != canon {
+			t.Fatalf("String not canonical: %q renders %q then %q", s, canon, again)
+		}
+		if strings.ToLower(canon) != canon {
+			t.Fatalf("String %q not lower-case", canon)
+		}
+		// The expanded form must reparse to the same value.
+		exp := a.Expanded()
+		if len(exp) != 39 {
+			t.Fatalf("Expanded(%q) = %q, want 39 chars", s, exp)
+		}
+		c, err := ParseAddr(exp)
+		if err != nil || c != a {
+			t.Fatalf("Expanded round trip failed: %q -> %q (%v)", s, exp, err)
+		}
+		// The raw hex form must agree with the segments.
+		hex := a.HexString()
+		if len(hex) != 32 {
+			t.Fatalf("HexString(%q) = %q, want 32 chars", s, hex)
+		}
+		var fromHex strings.Builder
+		for i := 0; i < 32; i += 4 {
+			if i > 0 {
+				fromHex.WriteByte(':')
+			}
+			fromHex.WriteString(hex[i : i+4])
+		}
+		d, err := ParseAddr(fromHex.String())
+		if err != nil || d != a {
+			t.Fatalf("HexString round trip failed: %q -> %q (%v)", s, hex, err)
+		}
+	})
+}

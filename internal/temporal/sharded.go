@@ -1,0 +1,355 @@
+package temporal
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedStore is a Store partitioned across several independent shards by
+// key hash, so that ingestion can proceed on many goroutines at once: each
+// key deterministically belongs to exactly one shard, writers synchronize
+// per shard, and every analysis merges per-shard results (the stability
+// classes, overlap series and epoch counts are all sums over disjoint key
+// partitions).
+//
+// Concurrency model:
+//
+//   - Before Freeze, Observe/ApplyBatch/Restore may be called from any
+//     number of goroutines; each locks only the shard it touches. Queries
+//     are also safe (they lock each shard while reading it) but see an
+//     in-progress census.
+//   - Freeze flips the store into its read-only phase: subsequent writes
+//     panic, and queries stop taking locks entirely. Call it once ingestion
+//     has completed (after any ingesting goroutines have been joined).
+//   - Queries fan out across shards on up to GOMAXPROCS goroutines and
+//     merge, so post-freeze analyses parallelize for free.
+type ShardedStore[K comparable] struct {
+	numDays int
+	hash    func(K) uint64
+	frozen  atomic.Bool
+	shards  []storeShard[K]
+}
+
+type storeShard[K comparable] struct {
+	mu sync.Mutex
+	st *Store[K]
+	// Pad to a full 64-byte cache line (8B mutex + 8B pointer + 48B) so
+	// neighboring shard locks don't false-share.
+	_ [48]byte
+}
+
+// Obs is one routed observation: key k was active on day d. It is the batch
+// element type of ApplyBatch.
+type Obs[K comparable] struct {
+	Key K
+	Day Day
+}
+
+// DefaultShardCount returns the shard count used by NewShardedStore: the
+// smallest power of two >= GOMAXPROCS, so the hash's low bits spread keys
+// evenly and every core can own a shard.
+func DefaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < 128 {
+		s <<= 1
+	}
+	return s
+}
+
+// NewShardedStore returns a ShardedStore with DefaultShardCount shards.
+// hash must be a deterministic, well-mixed function of the key; equal
+// configurations then produce identical shard layouts.
+func NewShardedStore[K comparable](numDays int, hash func(K) uint64) *ShardedStore[K] {
+	return NewShardedStoreN(numDays, DefaultShardCount(), hash)
+}
+
+// NewShardedStoreN returns a ShardedStore with an explicit shard count,
+// rounded up to a power of two.
+func NewShardedStoreN[K comparable](numDays, shardCount int, hash func(K) uint64) *ShardedStore[K] {
+	if numDays <= 0 {
+		panic("temporal: study period must have at least one day")
+	}
+	if hash == nil {
+		panic("temporal: ShardedStore needs a key hash")
+	}
+	n := 1
+	for n < shardCount && n < 1<<16 {
+		n <<= 1
+	}
+	s := &ShardedStore[K]{numDays: numDays, hash: hash, shards: make([]storeShard[K], n)}
+	for i := range s.shards {
+		s.shards[i].st = NewStore[K](numDays)
+	}
+	return s
+}
+
+// NumDays returns the length of the study period.
+func (s *ShardedStore[K]) NumDays() int { return s.numDays }
+
+// NumShards returns the shard count.
+func (s *ShardedStore[K]) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the index of the shard owning key k.
+func (s *ShardedStore[K]) ShardFor(k K) int {
+	return int(s.hash(k) & uint64(len(s.shards)-1))
+}
+
+// Freeze ends the ingestion phase. After Freeze, writes panic and queries
+// run lock-free. Callers must join all ingesting goroutines first; Freeze
+// itself acquires every shard lock once so that their effects are visible
+// to subsequent lock-free readers.
+func (s *ShardedStore[K]) Freeze() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	s.frozen.Store(true)
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Frozen reports whether Freeze has been called.
+func (s *ShardedStore[K]) Frozen() bool { return s.frozen.Load() }
+
+func (s *ShardedStore[K]) writable() {
+	if s.frozen.Load() {
+		panic("temporal: write to frozen ShardedStore")
+	}
+}
+
+// Observe records that k was active on day d. Safe for concurrent use
+// before Freeze.
+func (s *ShardedStore[K]) Observe(k K, d Day) {
+	s.writable()
+	sh := &s.shards[s.ShardFor(k)]
+	sh.mu.Lock()
+	sh.st.Observe(k, d)
+	sh.mu.Unlock()
+}
+
+// ApplyBatch records a batch of observations that all belong to the given
+// shard (every key must satisfy ShardFor(key) == shard, as produced by a
+// routing stage). The shard lock is taken once for the whole batch, which
+// is what makes channel-routed pipelines cheap.
+func (s *ShardedStore[K]) ApplyBatch(shard int, batch []Obs[K]) {
+	s.writable()
+	sh := &s.shards[shard]
+	sh.mu.Lock()
+	for _, o := range batch {
+		sh.st.Observe(o.Key, o.Day)
+	}
+	sh.mu.Unlock()
+}
+
+// Restore installs a deserialized activity bitset for k, routing to its
+// shard. Safe for concurrent use before Freeze.
+func (s *ShardedStore[K]) Restore(k K, b *BitSet) {
+	s.writable()
+	sh := &s.shards[s.ShardFor(k)]
+	sh.mu.Lock()
+	sh.st.Restore(k, b)
+	sh.mu.Unlock()
+}
+
+// withShard runs fn on the shard owning k, locking unless frozen.
+func (s *ShardedStore[K]) withShard(k K, fn func(st *Store[K])) {
+	sh := &s.shards[s.ShardFor(k)]
+	if s.frozen.Load() {
+		fn(sh.st)
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.st)
+}
+
+// shardMap runs fn over every shard concurrently and returns the per-shard
+// results in shard order. Before Freeze each shard is read under its lock.
+func shardMap[K comparable, T any](s *ShardedStore[K], fn func(st *Store[K]) T) []T {
+	out := make([]T, len(s.shards))
+	if len(s.shards) == 1 {
+		s.withShard0(0, func(st *Store[K]) { out[0] = fn(st) })
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.withShard0(i, func(st *Store[K]) { out[i] = fn(st) })
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// withShard0 is withShard by shard index.
+func (s *ShardedStore[K]) withShard0(i int, fn func(st *Store[K])) {
+	sh := &s.shards[i]
+	if s.frozen.Load() {
+		fn(sh.st)
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.st)
+}
+
+// sumInts merges per-shard int results.
+func sumInts(parts []int) int {
+	n := 0
+	for _, p := range parts {
+		n += p
+	}
+	return n
+}
+
+// sumVecs merges per-shard []int results element-wise.
+func sumVecs(parts [][]int) []int {
+	if len(parts) == 0 {
+		return nil
+	}
+	out := make([]int, len(parts[0]))
+	for _, p := range parts {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// concat merges per-shard key slices (nil when all empty, matching Store's
+// nil results).
+func concat[K any](parts [][]K) []K {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]K, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Len returns the number of distinct keys ever observed.
+func (s *ShardedStore[K]) Len() int {
+	return sumInts(shardMap(s, func(st *Store[K]) int { return st.Len() }))
+}
+
+// Active reports whether k was observed on day d.
+func (s *ShardedStore[K]) Active(k K, d Day) bool {
+	var out bool
+	s.withShard(k, func(st *Store[K]) { out = st.Active(k, d) })
+	return out
+}
+
+// Days returns the sorted active days of k.
+func (s *ShardedStore[K]) Days(k K) []Day {
+	var out []Day
+	s.withShard(k, func(st *Store[K]) { out = st.Days(k) })
+	return out
+}
+
+// NDStable reports whether k is nd-stable with respect to ref under opts.
+func (s *ShardedStore[K]) NDStable(k K, ref Day, n int, opts Options) bool {
+	var out bool
+	s.withShard(k, func(st *Store[K]) { out = st.NDStable(k, ref, n, opts) })
+	return out
+}
+
+// ActiveCount returns the number of distinct keys observed on day d.
+func (s *ShardedStore[K]) ActiveCount(d Day) int {
+	return sumInts(shardMap(s, func(st *Store[K]) int { return st.ActiveCount(d) }))
+}
+
+// ActivePerDay returns the per-day distinct key counts.
+func (s *ShardedStore[K]) ActivePerDay() []int {
+	return sumVecs(shardMap(s, func(st *Store[K]) []int { return st.ActivePerDay() }))
+}
+
+// ClassifyDay computes the nd-stable split of the population active on ref
+// by summing the disjoint per-shard splits.
+func (s *ShardedStore[K]) ClassifyDay(ref Day, n int, opts Options) DailyStability {
+	out := DailyStability{Ref: ref, N: n}
+	for _, p := range shardMap(s, func(st *Store[K]) DailyStability { return st.ClassifyDay(ref, n, opts) }) {
+		out.Active += p.Active
+		out.Stable += p.Stable
+	}
+	out.NotStable = out.Active - out.Stable
+	return out
+}
+
+// ClassifyWeek computes the weekly stability split.
+func (s *ShardedStore[K]) ClassifyWeek(start Day, n int, opts Options) WeeklyStability {
+	out := WeeklyStability{Start: start, N: n}
+	for _, p := range shardMap(s, func(st *Store[K]) WeeklyStability { return st.ClassifyWeek(start, n, opts) }) {
+		out.Active += p.Active
+		out.Stable += p.Stable
+	}
+	out.NotStable = out.Active - out.Stable
+	return out
+}
+
+// StableKeys returns the nd-stable keys for reference day ref.
+func (s *ShardedStore[K]) StableKeys(ref Day, n int, opts Options) []K {
+	return concat(shardMap(s, func(st *Store[K]) []K { return st.StableKeys(ref, n, opts) }))
+}
+
+// OverlapSeries returns the Figure 4 overlap curve around ref.
+func (s *ShardedStore[K]) OverlapSeries(ref Day, before, after int) []int {
+	return sumVecs(shardMap(s, func(st *Store[K]) []int { return st.OverlapSeries(ref, before, after) }))
+}
+
+// ActiveInRange returns the distinct keys active on at least one day of
+// [from, to].
+func (s *ShardedStore[K]) ActiveInRange(from, to Day) int {
+	return sumInts(shardMap(s, func(st *Store[K]) int { return st.ActiveInRange(from, to) }))
+}
+
+// EpochStable counts keys active during both inclusive day ranges.
+func (s *ShardedStore[K]) EpochStable(aFrom, aTo, bFrom, bTo Day) int {
+	return sumInts(shardMap(s, func(st *Store[K]) int { return st.EpochStable(aFrom, aTo, bFrom, bTo) }))
+}
+
+// EpochStableKeys returns the keys counted by EpochStable.
+func (s *ShardedStore[K]) EpochStableKeys(aFrom, aTo, bFrom, bTo Day) []K {
+	return concat(shardMap(s, func(st *Store[K]) []K { return st.EpochStableKeys(aFrom, aTo, bFrom, bTo) }))
+}
+
+// KeysActiveOn returns the distinct keys active on day d.
+func (s *ShardedStore[K]) KeysActiveOn(d Day) []K {
+	return concat(shardMap(s, func(st *Store[K]) []K { return st.KeysActiveOn(d) }))
+}
+
+// StabilitySpectrum returns, for each n in [1, maxN], the count of keys
+// nd-stable on ref.
+func (s *ShardedStore[K]) StabilitySpectrum(ref Day, maxN int, opts Options) []int {
+	return sumVecs(shardMap(s, func(st *Store[K]) []int { return st.StabilitySpectrum(ref, maxN, opts) }))
+}
+
+// Range visits every key with its activity bitset, shard by shard, for
+// serialization. Returning false stops the iteration. Range takes each
+// shard's lock unless the store is frozen.
+func (s *ShardedStore[K]) Range(fn func(k K, days *BitSet) bool) {
+	for i := range s.shards {
+		stop := false
+		s.withShard0(i, func(st *Store[K]) {
+			st.Range(func(k K, b *BitSet) bool {
+				if !fn(k, b) {
+					stop = true
+					return false
+				}
+				return true
+			})
+		})
+		if stop {
+			return
+		}
+	}
+}

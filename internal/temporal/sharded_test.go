@@ -1,0 +1,214 @@
+package temporal
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// hash64 is a splitmix64-style mixer for test keys.
+func hash64(k uint64) uint64 {
+	k += 0x9e3779b97f4a7c15
+	k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9
+	k = (k ^ (k >> 27)) * 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// randomObs returns a deterministic random observation stream.
+func randomObs(seed int64, keys, n, numDays int) []Obs[uint64] {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Obs[uint64], n)
+	for i := range out {
+		out[i] = Obs[uint64]{Key: uint64(r.Intn(keys)), Day: Day(r.Intn(numDays))}
+	}
+	return out
+}
+
+// TestShardedStoreMatchesStore drives the same observation stream into a
+// plain Store and a ShardedStore and asserts every query agrees.
+func TestShardedStoreMatchesStore(t *testing.T) {
+	const numDays = 40
+	for _, shards := range []int{1, 4, 8} {
+		seq := NewStore[uint64](numDays)
+		sh := NewShardedStoreN[uint64](numDays, shards, hash64)
+		obs := randomObs(int64(shards), 300, 20000, numDays)
+		for _, o := range obs {
+			seq.Observe(o.Key, o.Day)
+			sh.Observe(o.Key, o.Day)
+		}
+		sh.Freeze()
+		if !sh.Frozen() {
+			t.Fatalf("shards=%d: store not frozen after Freeze", shards)
+		}
+		assertStoresAgree(t, seq, sh)
+	}
+}
+
+// TestShardedStoreConcurrentObserve hammers Observe and ApplyBatch from
+// many goroutines (the -race workhorse) and checks the result still
+// matches a sequential Store.
+func TestShardedStoreConcurrentObserve(t *testing.T) {
+	const numDays = 30
+	const writers = 8
+	seq := NewStore[uint64](numDays)
+	sh := NewShardedStoreN[uint64](numDays, 8, hash64)
+
+	streams := make([][]Obs[uint64], writers)
+	for w := range streams {
+		streams[w] = randomObs(int64(100+w), 500, 5000, numDays)
+		for _, o := range streams[w] {
+			seq.Observe(o.Key, o.Day)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				// Route into per-shard batches, as the census pipeline does.
+				batches := make([][]Obs[uint64], sh.NumShards())
+				for _, o := range streams[w] {
+					i := sh.ShardFor(o.Key)
+					batches[i] = append(batches[i], o)
+				}
+				for i, b := range batches {
+					if len(b) > 0 {
+						sh.ApplyBatch(i, b)
+					}
+				}
+			} else {
+				for _, o := range streams[w] {
+					sh.Observe(o.Key, o.Day)
+				}
+			}
+		}(w)
+	}
+	// Concurrent pre-freeze reads must be safe too (they see an
+	// in-progress census; only absence of races is asserted).
+	var rg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for d := 0; d < numDays; d++ {
+				_ = sh.ActiveCount(Day(d))
+				_ = sh.ClassifyDay(Day(d), 3, Options{})
+			}
+		}()
+	}
+	wg.Wait()
+	rg.Wait()
+	sh.Freeze()
+	assertStoresAgree(t, seq, sh)
+}
+
+func TestShardedStoreWriteAfterFreezePanics(t *testing.T) {
+	sh := NewShardedStoreN[uint64](10, 2, hash64)
+	sh.Observe(1, 2)
+	sh.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Freeze did not panic")
+		}
+	}()
+	sh.Observe(3, 4)
+}
+
+func TestShardedStoreRestoreRoutes(t *testing.T) {
+	sh := NewShardedStoreN[uint64](20, 4, hash64)
+	b := NewBitSet(20)
+	b.Set(3)
+	b.Set(11)
+	sh.Restore(42, b)
+	if got := sh.Days(42); !reflect.DeepEqual(got, []Day{3, 11}) {
+		t.Fatalf("Days(42) = %v, want [3 11]", got)
+	}
+	if sh.ActiveCount(3) != 1 || sh.ActiveCount(11) != 1 || sh.ActiveCount(4) != 0 {
+		t.Fatal("Restore did not update per-day counters")
+	}
+}
+
+// assertStoresAgree checks every merged query against the sequential
+// reference.
+func assertStoresAgree(t *testing.T, seq *Store[uint64], sh *ShardedStore[uint64]) {
+	t.Helper()
+	numDays := seq.NumDays()
+	if sh.Len() != seq.Len() {
+		t.Fatalf("Len: sharded %d, sequential %d", sh.Len(), seq.Len())
+	}
+	if !reflect.DeepEqual(sh.ActivePerDay(), seq.ActivePerDay()) {
+		t.Fatal("ActivePerDay mismatch")
+	}
+	opts := Options{Window: Window{Before: 5, After: 5}}
+	for d := 0; d < numDays; d++ {
+		day := Day(d)
+		if sh.ActiveCount(day) != seq.ActiveCount(day) {
+			t.Fatalf("ActiveCount(%d) mismatch", d)
+		}
+		if sh.ClassifyDay(day, 3, opts) != seq.ClassifyDay(day, 3, opts) {
+			t.Fatalf("ClassifyDay(%d) mismatch", d)
+		}
+		if sh.ClassifyWeek(day, 3, opts) != seq.ClassifyWeek(day, 3, opts) {
+			t.Fatalf("ClassifyWeek(%d) mismatch", d)
+		}
+		a := seq.KeysActiveOn(day)
+		b := sh.KeysActiveOn(day)
+		sortKeys(a)
+		sortKeys(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("KeysActiveOn(%d) mismatch", d)
+		}
+		a = seq.StableKeys(day, 3, opts)
+		b = sh.StableKeys(day, 3, opts)
+		sortKeys(a)
+		sortKeys(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("StableKeys(%d) mismatch", d)
+		}
+	}
+	ref := Day(numDays / 2)
+	if !reflect.DeepEqual(sh.OverlapSeries(ref, 7, 7), seq.OverlapSeries(ref, 7, 7)) {
+		t.Fatal("OverlapSeries mismatch")
+	}
+	if sh.ActiveInRange(2, Day(numDays-3)) != seq.ActiveInRange(2, Day(numDays-3)) {
+		t.Fatal("ActiveInRange mismatch")
+	}
+	if sh.EpochStable(0, 5, Day(numDays-6), Day(numDays-1)) != seq.EpochStable(0, 5, Day(numDays-6), Day(numDays-1)) {
+		t.Fatal("EpochStable mismatch")
+	}
+	a := seq.EpochStableKeys(0, 5, Day(numDays-6), Day(numDays-1))
+	b := sh.EpochStableKeys(0, 5, Day(numDays-6), Day(numDays-1))
+	sortKeys(a)
+	sortKeys(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("EpochStableKeys mismatch")
+	}
+	if !reflect.DeepEqual(sh.StabilitySpectrum(ref, 7, opts), seq.StabilitySpectrum(ref, 7, opts)) {
+		t.Fatal("StabilitySpectrum mismatch")
+	}
+	// Range must visit every key exactly once.
+	seen := make(map[uint64]int)
+	sh.Range(func(k uint64, days *BitSet) bool {
+		seen[k]++
+		return true
+	})
+	if len(seen) != seq.Len() {
+		t.Fatalf("Range visited %d keys, want %d", len(seen), seq.Len())
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("Range visited key %d %d times", k, n)
+		}
+		if !reflect.DeepEqual(sh.Days(k), seq.Days(k)) {
+			t.Fatalf("Days(%d) mismatch", k)
+		}
+	}
+}
+
+func sortKeys(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,124 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+// Property tests tying SubtreeCount and AggregateCounts to brute-force
+// references on random prefix sets: the two answer the same question —
+// "how much sits under a /p region" — from opposite directions, so they
+// must agree with each other and with a flat scan of the items.
+
+// randPrefixSet builds a random mixed-length prefix set, clustered so that
+// branch nodes, pure-branch nodes and nested items all occur.
+func randPrefixSet(r *rand.Rand, n int) []PrefixCount {
+	out := make([]PrefixCount, 0, n)
+	for i := 0; i < n; i++ {
+		var buf [16]byte
+		r.Read(buf[:])
+		if r.Intn(2) == 0 {
+			copy(buf[:6], []byte{0x20, 0x01, 0x0d, 0xb8, byte(r.Intn(4)), byte(r.Intn(8))})
+		}
+		bits := []int{32, 48, 56, 64, 96, 112, 128}[r.Intn(7)]
+		out = append(out, PrefixCount{
+			Prefix: ipaddr.PrefixFrom(ipaddr.AddrFrom16(buf), bits),
+			Count:  uint64(1 + r.Intn(5)),
+		})
+	}
+	return out
+}
+
+// bruteSubtreeCount sums the counts of stored items covered by p.
+func bruteSubtreeCount(items []PrefixCount, p ipaddr.Prefix) uint64 {
+	var sum uint64
+	for _, it := range items {
+		if p.ContainsPrefix(it.Prefix) {
+			sum += it.Count
+		}
+	}
+	return sum
+}
+
+func TestPropSubtreeCountMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for round := 0; round < 30; round++ {
+		set := randPrefixSet(r, 60)
+		var tr Trie
+		for _, pc := range set {
+			tr.Add(pc.Prefix, pc.Count)
+		}
+		items := tr.Items()
+
+		// Query every stored prefix, each of its ancestors at a few
+		// lengths, and random unrelated prefixes.
+		var queries []ipaddr.Prefix
+		for _, pc := range set {
+			queries = append(queries, pc.Prefix)
+			for _, up := range []int{0, 16, 33, 64} {
+				if up < pc.Prefix.Bits() {
+					queries = append(queries, pc.Prefix.Truncate(up))
+				}
+			}
+		}
+		for i := 0; i < 40; i++ {
+			var buf [16]byte
+			r.Read(buf[:])
+			queries = append(queries, ipaddr.PrefixFrom(ipaddr.AddrFrom16(buf), r.Intn(129)))
+		}
+		for _, q := range queries {
+			if got, want := tr.SubtreeCount(q), bruteSubtreeCount(items, q); got != want {
+				t.Fatalf("round %d: SubtreeCount(%v) = %d, brute force %d", round, q, got, want)
+			}
+		}
+	}
+}
+
+// TestPropSubtreeAggregateConsistency checks the two aggregate views agree
+// on uniform-depth /128 sets: AggregateCounts[p] equals the number of
+// distinct /p truncations (brute force), which equals the number of /p
+// regions with a nonzero SubtreeCount, and those regions' SubtreeCounts
+// partition Total.
+func TestPropSubtreeAggregateConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for round := 0; round < 15; round++ {
+		var tr Trie
+		addrs := make(map[ipaddr.Addr]bool)
+		for i := 0; i < 200; i++ {
+			var buf [16]byte
+			r.Read(buf[:])
+			if r.Intn(3) > 0 {
+				copy(buf[:6], []byte{0x26, 0x00, byte(r.Intn(2)), 0x10, byte(r.Intn(4)), 0})
+			}
+			a := ipaddr.AddrFrom16(buf)
+			if !addrs[a] {
+				addrs[a] = true
+				tr.AddAddr(a)
+			}
+		}
+		counts := tr.AggregateCounts()
+		for _, p := range []int{0, 1, 16, 24, 32, 47, 48, 64, 96, 127, 128} {
+			distinct := make(map[ipaddr.Prefix]bool)
+			for a := range addrs {
+				distinct[ipaddr.PrefixFrom(a, p)] = true
+			}
+			if counts[p] != uint64(len(distinct)) {
+				t.Fatalf("round %d: AggregateCounts[%d] = %d, brute force %d",
+					round, p, counts[p], len(distinct))
+			}
+			var sum uint64
+			for q := range distinct {
+				sc := tr.SubtreeCount(q)
+				if sc == 0 {
+					t.Fatalf("round %d: occupied /%d region %v has zero SubtreeCount", round, p, q)
+				}
+				sum += sc
+			}
+			if sum != tr.Total() {
+				t.Fatalf("round %d: /%d SubtreeCounts sum to %d, Total %d", round, p, sum, tr.Total())
+			}
+		}
+	}
+}
