@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` output (the benchstat text
+// format) on standard input into a JSON document on standard output, so CI
+// can publish machine-readable benchmark artifacts alongside the raw text:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | tee bench.txt | benchjson > BENCH_pr.json
+//
+// Context lines (goos, goarch, cpu) are collected into a context object;
+// each benchmark line becomes one record carrying its package (from the
+// preceding pkg: line), sub-benchmark name, iteration count, and every
+// reported metric — the standard ns/op, B/op, allocs/op plus any custom
+// b.ReportMetric units such as records/s.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Result is the whole converted run.
+type Result struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// contextKeys are the benchstat header lines hoisted into Result.Context;
+// pkg: is tracked separately because it changes per package.
+var contextKeys = map[string]bool{"goos": true, "goarch": true, "cpu": true}
+
+// parseBench reads `go test -bench` text output and extracts every
+// benchmark line. Unrecognized lines (test chatter, PASS/ok trailers) are
+// skipped, so the converter accepts the raw output of a multi-package run.
+func parseBench(r io.Reader) (Result, error) {
+	res := Result{Context: map[string]string{}, Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if key, val, ok := strings.Cut(line, ": "); ok && !strings.Contains(key, " ") {
+			switch {
+			case key == "pkg":
+				pkg = val
+			case contextKeys[key]:
+				res.Context[key] = val
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is: name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Package: pkg, Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return res, fmt.Errorf("benchjson: bad metric value %q in %q", fields[i], line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		res.Benchmarks = append(res.Benchmarks, b)
+	}
+	return res, sc.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	res, err := parseBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatal(err)
+	}
+}

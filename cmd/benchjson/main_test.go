@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: v6class
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIngest/sequential-8         	       1	1462049864 ns/op	    721017 records/s
+BenchmarkIngest/sharded-8            	       1	 544961317 ns/op	   1934347 records/s
+BenchmarkIngestStream-8              	       1	 640847210 ns/op	   1644939 records/s	51200 B/op	  12 allocs/op
+PASS
+ok  	v6class	12.921s
+pkg: v6class/internal/serve
+BenchmarkServeLookup-8               	       1	  68938929 ns/op
+some unrelated test log line
+BenchmarkServeStabilityCached-8      	       1	     47931 ns/op
+PASS
+ok  	v6class/internal/serve	0.163s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Context["goos"] != "linux" || res.Context["goarch"] != "amd64" {
+		t.Errorf("context: %v", res.Context)
+	}
+	if res.Context["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu context: %q", res.Context["cpu"])
+	}
+	if len(res.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(res.Benchmarks))
+	}
+	first := res.Benchmarks[0]
+	if first.Package != "v6class" || first.Name != "BenchmarkIngest/sequential-8" || first.Iterations != 1 {
+		t.Errorf("first benchmark: %+v", first)
+	}
+	if first.Metrics["ns/op"] != 1462049864 || first.Metrics["records/s"] != 721017 {
+		t.Errorf("first metrics: %v", first.Metrics)
+	}
+	stream := res.Benchmarks[2]
+	if stream.Metrics["B/op"] != 51200 || stream.Metrics["allocs/op"] != 12 {
+		t.Errorf("benchmem metrics: %v", stream.Metrics)
+	}
+	serveLookup := res.Benchmarks[3]
+	if serveLookup.Package != "v6class/internal/serve" {
+		t.Errorf("package tracking across pkg: lines broke: %+v", serveLookup)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	res, err := parseBench(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from chatter", len(res.Benchmarks))
+	}
+}

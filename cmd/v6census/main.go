@@ -15,7 +15,7 @@
 //	v6census signature [-in FILE]                      MRA-based spatial signature
 //	v6census lsp       -a FILE -b FILE [-min-bits N] [-min-support N]
 //	v6census lifetime  [-in FILE]                      lifespan and return-rate stats
-//	v6census ingest    -in FILE -state FILE            add logs to a census snapshot
+//	v6census ingest    -in FILE -state FILE [-force]   add logs to a census snapshot
 //	v6census overlap   [-in FILE] [-ref DAY]           Figure 4 overlap series
 //
 // All subcommands read every "#day N" section of the input; files ending
@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"v6class/internal/addrclass"
 	"v6class/internal/cdnlog"
@@ -506,26 +507,68 @@ func cmdLifetime(args []string) {
 // snapshot when absent. The snapshot's study length must accommodate every
 // ingested day.
 func cmdIngest(args []string) {
-	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	if err := runIngest(args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runIngest is cmdIngest's testable body. An existing -state file that can
+// be read as a census snapshot is extended (the incremental workflow);
+// one that cannot — a foreign file, a truncated snapshot, an unreadable
+// path — is never silently overwritten: ingestion refuses unless -force is
+// given, in which case a fresh census replaces it.
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
 	in := fs.String("in", "-", "input log file (- for stdin)")
 	state := fs.String("state", "", "census snapshot path (created if missing)")
 	studyDays := fs.Int("study-days", 0, "study length for a new snapshot (default: max day + 30)")
 	parallel := fs.Bool("parallel", false, "ingest with the sharded concurrent pipeline")
-	fs.Parse(args)
-	if *state == "" {
-		log.Fatal("ingest requires -state")
+	force := fs.Bool("force", false, "replace an existing -state file that is not a readable census snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	logs := readLogs(*in)
+	if *state == "" {
+		return fmt.Errorf("ingest requires -state")
+	}
+	logs, err := cdnlog.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	if len(logs) == 0 {
+		return fmt.Errorf("no day sections in input")
+	}
 
+	maxDay := 0
+	for _, l := range logs {
+		if l.Day > maxDay {
+			maxDay = l.Day
+		}
+	}
 	newDays := *studyDays
 	if newDays == 0 {
-		maxDay := 0
-		for _, l := range logs {
-			if l.Day > maxDay {
-				maxDay = l.Day
-			}
-		}
 		newDays = maxDay + 30
+	}
+	// Observations beyond a census's study length are silently ignored by
+	// the temporal stores, so refusing up front is the only way to avoid
+	// quiet data loss.
+	checkFits := func(c core.Analyzer) error {
+		if maxDay >= c.StudyDays() {
+			return fmt.Errorf("snapshot %s has study length %d and cannot hold day %d; re-create it with a larger -study-days", *state, c.StudyDays(), maxDay)
+		}
+		return nil
+	}
+
+	// fresh reports whether overwriting state with a newly built census is
+	// permitted: always for a path that does not exist yet, only under
+	// -force when something unreadable is already there.
+	fresh := func(reason error) (core.Analyzer, error) {
+		if reason != nil && !*force {
+			return nil, fmt.Errorf("refusing to overwrite %s: %v (use -force to replace it)", *state, reason)
+		}
+		if *studyDays > 0 && maxDay >= *studyDays {
+			return nil, fmt.Errorf("-study-days %d cannot hold day %d", *studyDays, maxDay)
+		}
+		return buildCensus(logs, core.CensusConfig{StudyDays: newDays}, *parallel), nil
 	}
 
 	var c core.Analyzer
@@ -535,34 +578,70 @@ func cmdIngest(args []string) {
 		sc, rerr := core.ReadShardedCensus(f)
 		f.Close()
 		if rerr != nil {
-			log.Fatalf("reading %s: %v", *state, rerr)
+			if c, err = fresh(fmt.Errorf("not a readable census snapshot: %w", rerr)); err != nil {
+				return err
+			}
+		} else {
+			if err := checkFits(sc); err != nil {
+				return err
+			}
+			sc.AddDays(logs)
+			c = sc
 		}
-		sc.AddDays(logs)
-		c = sc
 	case err == nil:
 		seq, rerr := core.ReadCensus(f)
 		f.Close()
 		if rerr != nil {
-			log.Fatalf("reading %s: %v", *state, rerr)
+			if c, err = fresh(fmt.Errorf("not a readable census snapshot: %w", rerr)); err != nil {
+				return err
+			}
+		} else {
+			if err := checkFits(seq); err != nil {
+				return err
+			}
+			for _, l := range logs {
+				seq.AddDay(l)
+			}
+			c = seq
 		}
-		for _, l := range logs {
-			seq.AddDay(l)
+	case os.IsNotExist(err):
+		if c, err = fresh(nil); err != nil {
+			return err
 		}
-		c = seq
 	default:
-		c = buildCensus(logs, core.CensusConfig{StudyDays: newDays}, *parallel)
+		// The path exists but cannot even be opened (permissions, a
+		// directory, ...): clobbering it was the old silent-overwrite bug.
+		if c, err = fresh(err); err != nil {
+			return err
+		}
 	}
-	f, err = os.Create(*state)
+	// Write to a temp file and rename over the target, so a failed or
+	// interrupted write can never destroy the existing snapshot.
+	tmp, err := os.CreateTemp(filepath.Dir(*state), ".v6census-state-*")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if _, err := c.WriteTo(f); err != nil {
-		log.Fatal(err)
+	if _, err := c.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
 	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// CreateTemp makes the file 0600; restore the conventional snapshot
+	// mode so other daily-pipeline users (v6served, backups) can read it.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), *state); err != nil {
+		os.Remove(tmp.Name())
+		return err
 	}
 	fmt.Printf("ingested %d day(s) into %s (study length %d)\n", len(logs), *state, c.StudyDays())
+	return nil
 }
 
 // cmdOverlap prints the Figure 4 series: per-day active counts and the

@@ -228,6 +228,119 @@ func TestCmdIngestAndStabilityFromState(t *testing.T) {
 	}
 }
 
+// TestIngestRefusesToOverwriteForeignState covers the -force protection:
+// a -state path holding anything but a readable census snapshot must not
+// be silently overwritten.
+func TestIngestRefusesToOverwriteForeignState(t *testing.T) {
+	path := sampleLog(t)
+	dir := t.TempDir()
+
+	t.Run("foreign file", func(t *testing.T) {
+		state := dir + "/precious.dat"
+		if err := os.WriteFile(state, []byte("user data, not a census"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := runIngest([]string{"-in", path, "-state", state})
+		if err == nil || !strings.Contains(err.Error(), "-force") {
+			t.Fatalf("ingest into a foreign file should refuse and mention -force, got: %v", err)
+		}
+		// The file must be untouched after the refusal.
+		got, rerr := os.ReadFile(state)
+		if rerr != nil || string(got) != "user data, not a census" {
+			t.Fatalf("refused ingest modified the state file: %q, %v", got, rerr)
+		}
+		// With -force it is replaced by a valid snapshot.
+		out := capture(t, func() {
+			if err := runIngest([]string{"-in", path, "-state", state, "-force"}); err != nil {
+				t.Errorf("forced ingest: %v", err)
+			}
+		})
+		if !strings.Contains(out, "ingested 2 day(s)") {
+			t.Errorf("forced ingest output:\n%s", out)
+		}
+		st := capture(t, func() { cmdStability([]string{"-state", state, "-ref", "13", "-n", "3"}) })
+		if !strings.Contains(st, "3d-stable") {
+			t.Errorf("forced snapshot unreadable:\n%s", st)
+		}
+	})
+
+	t.Run("truncated snapshot", func(t *testing.T) {
+		state := dir + "/truncated.state"
+		good := dir + "/good.state"
+		if err := runIngest([]string{"-in", path, "-state", good}); err != nil {
+			t.Fatal(err)
+		}
+		full, err := os.ReadFile(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(state, full[:len(full)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := runIngest([]string{"-in", path, "-state", state}); err == nil || !strings.Contains(err.Error(), "-force") {
+			t.Fatalf("ingest into a truncated snapshot should refuse, got: %v", err)
+		}
+		// The parallel reader takes the same protection.
+		if err := runIngest([]string{"-in", path, "-state", state, "-parallel"}); err == nil || !strings.Contains(err.Error(), "-force") {
+			t.Fatalf("parallel ingest into a truncated snapshot should refuse, got: %v", err)
+		}
+	})
+
+	t.Run("unopenable path", func(t *testing.T) {
+		// A directory can be os.Open'd but never read as a snapshot.
+		state := dir + "/subdir"
+		if err := os.Mkdir(state, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := runIngest([]string{"-in", path, "-state", state}); err == nil {
+			t.Fatal("ingest into a directory should fail")
+		}
+	})
+
+	t.Run("missing state still created without force", func(t *testing.T) {
+		state := dir + "/new.state"
+		if err := runIngest([]string{"-in", path, "-state", state}); err != nil {
+			t.Fatalf("creating a fresh snapshot must not need -force: %v", err)
+		}
+	})
+
+	t.Run("days beyond the study length are refused, not dropped", func(t *testing.T) {
+		// A snapshot sized for 20 days cannot absorb a day-25 log: the
+		// temporal stores would silently ignore it.
+		state := dir + "/short.state"
+		if err := runIngest([]string{"-in", path, "-state", state, "-study-days", "20"}); err != nil {
+			t.Fatal(err)
+		}
+		late := dir + "/late.log"
+		if err := cdnlog.WriteFile(late, []cdnlog.DayLog{{Day: 25, Records: []cdnlog.Record{
+			{Addr: ipaddr.MustParseAddr("2001:db8:1:1::103"), Hits: 1},
+		}}}); err != nil {
+			t.Fatal(err)
+		}
+		err := runIngest([]string{"-in", late, "-state", state})
+		if err == nil || !strings.Contains(err.Error(), "study length") {
+			t.Fatalf("over-length ingest should refuse, got: %v", err)
+		}
+		// Creating a fresh snapshot with too small an explicit length is
+		// refused the same way.
+		if err := runIngest([]string{"-in", late, "-state", dir + "/tiny.state", "-study-days", "5"}); err == nil {
+			t.Fatal("creating a snapshot too small for its logs should fail")
+		}
+	})
+
+	t.Run("bad flag returns an error instead of exiting", func(t *testing.T) {
+		if err := runIngest([]string{"-no-such-flag"}); err == nil {
+			t.Fatal("unknown flag should surface as an error")
+		}
+	})
+
+	t.Run("missing input returns an error instead of exiting", func(t *testing.T) {
+		if err := runIngest([]string{"-in", dir + "/no/such.log", "-state", dir + "/x.state"}); err == nil {
+			t.Fatal("unreadable -in should surface as an error")
+		}
+	})
+}
+
 func TestCmdOverlap(t *testing.T) {
 	path := sampleLog(t)
 	out := capture(t, func() { cmdOverlap([]string{"-in", path, "-ref", "13"}) })

@@ -1,0 +1,130 @@
+// Command v6served is the online census query service: it loads one or
+// more persisted census snapshots (as written by "v6census ingest -state",
+// or any Census/ShardedCensus WriteTo), freezes them, and serves
+// concurrent read-only queries over HTTP — per-prefix lookups, stability
+// tables, dense-prefix sweeps, top-k aggregates, overlap series, and (in
+// demo mode) per-request experiment regeneration.
+//
+// Usage:
+//
+//	v6served -state census.state [-state name=other.state ...] [-listen :8470]
+//	v6served -demo [-demo-scale F] [-demo-seed N]
+//
+// Each -state may be a bare path (the snapshot is named after the file
+// base name, extension stripped) or an explicit NAME=PATH pair. The most
+// recently given -state snapshot serves unqualified queries; clients
+// select others with ?snap=NAME. Snapshots can be swapped at runtime
+// without dropping in-flight queries:
+//
+//	curl -X POST 'localhost:8470/v1/reload?snap=census'
+//
+// That re-reads the snapshot's recorded file. Pointing a reload at a
+// different path is an admin operation requiring -admin-token:
+//
+//	v6served -state census.state -admin-token SECRET
+//	curl -X POST -H 'Authorization: Bearer SECRET' \
+//	  'localhost:8470/v1/reload?snap=census&path=/new/census.state'
+//
+// With -demo the server generates a small synthetic world instead of (or
+// in addition to) loading files, installs a census of its first epoch
+// window as snapshot "demo", and enables the /v1/experiments endpoints.
+// See internal/serve for the endpoint reference, and examples/queryclient
+// for a walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"v6class/internal/experiments"
+	"v6class/internal/serve"
+	"v6class/internal/synth"
+)
+
+// statePath is one -state argument: a snapshot name and its file path.
+type statePath struct {
+	name, path string
+}
+
+// config is the parsed command line, separated from flag handling so tests
+// can build servers directly.
+type config struct {
+	states     []statePath
+	demo       bool
+	demoScale  float64
+	demoSeed   uint64
+	cache      int
+	adminToken string
+}
+
+// parseState splits a -state argument into its name and path; bare paths
+// are named after the file base name with the extension stripped.
+func parseState(arg string) statePath {
+	if name, path, ok := strings.Cut(arg, "="); ok && name != "" && !strings.Contains(name, "/") {
+		return statePath{name: name, path: path}
+	}
+	base := filepath.Base(arg)
+	return statePath{name: strings.TrimSuffix(base, filepath.Ext(base)), path: arg}
+}
+
+// buildServer assembles the query service: loaded snapshot files plus,
+// in demo mode, a generated census and the experiments lab.
+func buildServer(cfg config) (*serve.Server, error) {
+	opts := serve.Options{CacheEntries: cfg.cache, AdminToken: cfg.adminToken}
+	scale := cfg.demoScale
+	if scale <= 0 {
+		scale = 0.02
+	}
+	var lab *experiments.Lab
+	if cfg.demo {
+		lab = experiments.NewLab(synth.Config{Seed: cfg.demoSeed, Scale: scale})
+		opts.Lab = lab
+	}
+	s := serve.New(opts)
+	if cfg.demo {
+		// The demo snapshot covers the first epoch's analysis window, the
+		// densest slice of the synthetic study. It installs first so a
+		// real -state snapshot, when also given, stays the default.
+		c := lab.ShardedCensus([2]int{synth.EpochMar2014 - 7, synth.EpochMar2014 + 13})
+		s.Install("demo", "", c) // no file source: generated, not reloadable
+		log.Printf("installed generated snapshot %q (seed %d, scale %g)", "demo", cfg.demoSeed, scale)
+	}
+	for _, st := range cfg.states {
+		if err := s.LoadFile(st.name, st.path); err != nil {
+			return nil, err
+		}
+		log.Printf("loaded snapshot %q from %s", st.name, st.path)
+	}
+	if len(s.Names()) == 0 {
+		return nil, fmt.Errorf("nothing to serve: give at least one -state snapshot or -demo")
+	}
+	return s, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("v6served: ")
+	var cfg config
+	listen := flag.String("listen", ":8470", "listen address")
+	flag.Func("state", "census snapshot to serve: PATH or NAME=PATH (repeatable)", func(v string) error {
+		cfg.states = append(cfg.states, parseState(v))
+		return nil
+	})
+	flag.BoolVar(&cfg.demo, "demo", false, "serve a generated synthetic census and enable /v1/experiments")
+	flag.Float64Var(&cfg.demoScale, "demo-scale", 0.02, "population scale of the demo world")
+	flag.Uint64Var(&cfg.demoSeed, "demo-seed", 7, "seed of the demo world")
+	flag.IntVar(&cfg.cache, "cache", 0, "result cache entries (0 = default)")
+	flag.StringVar(&cfg.adminToken, "admin-token", "", "token authorizing /v1/reload with an explicit path= (unset: source-only reloads)")
+	flag.Parse()
+
+	s, err := buildServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %v on %s", s.Names(), *listen)
+	log.Fatal(http.ListenAndServe(*listen, s.Handler()))
+}

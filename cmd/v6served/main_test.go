@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"v6class/internal/core"
+	"v6class/internal/synth"
+)
+
+func TestParseState(t *testing.T) {
+	for _, tc := range []struct {
+		arg, name, path string
+	}{
+		{"census.state", "census", "census.state"},
+		{"/data/mar2015.state", "mar2015", "/data/mar2015.state"},
+		{"live=/data/today.state", "live", "/data/today.state"},
+		{"a=b=c", "a", "b=c"},
+		// A '=' inside a path with a directory-ish "name" is a path.
+		{"/data/odd=name.state", "odd=name", "/data/odd=name.state"},
+	} {
+		got := parseState(tc.arg)
+		if got.name != tc.name || got.path != tc.path {
+			t.Errorf("parseState(%q) = %+v, want {%s %s}", tc.arg, got, tc.name, tc.path)
+		}
+	}
+}
+
+// writeSnapshot builds a small census and persists it.
+func writeSnapshot(t *testing.T) string {
+	t.Helper()
+	w := synth.NewWorld(synth.Config{Seed: 3, Scale: 0.005, StudyDays: 20})
+	c := core.NewCensus(core.CensusConfig{StudyDays: 20})
+	for d := 3; d <= 12; d++ {
+		c.AddDay(w.Day(d))
+	}
+	path := filepath.Join(t.TempDir(), "census.state")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildServerFromState(t *testing.T) {
+	path := writeSnapshot(t)
+	s, err := buildServer(config{states: []statePath{parseState(path)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest("GET", "/v1/meta", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != 200 {
+		t.Fatalf("meta status %d: %s", w.Code, w.Body.String())
+	}
+	var meta struct {
+		Snapshot  string `json:"snapshot"`
+		StudyDays int    `json:"studyDays"`
+		Addresses int    `json:"addresses"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Snapshot != "census" || meta.StudyDays != 20 || meta.Addresses == 0 {
+		t.Errorf("unexpected meta %+v", meta)
+	}
+
+	// Experiments must be disabled without -demo.
+	r = httptest.NewRequest("GET", "/v1/experiments", nil)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != 404 {
+		t.Errorf("experiments without -demo: status %d, want 404", w.Code)
+	}
+}
+
+// TestDemoDoesNotStealDefault asserts that combining -demo with -state
+// keeps the real snapshot as the default for unqualified queries.
+func TestDemoDoesNotStealDefault(t *testing.T) {
+	path := writeSnapshot(t)
+	s, err := buildServer(config{demo: true, demoScale: 0.002, demoSeed: 7, states: []statePath{parseState(path)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest("GET", "/v1/meta", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	var meta struct {
+		Snapshot string `json:"snapshot"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Snapshot != "census" {
+		t.Errorf("default snapshot %q, want the -state census", meta.Snapshot)
+	}
+	// The demo snapshot and experiments remain reachable.
+	r = httptest.NewRequest("GET", "/v1/meta?snap=demo", nil)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != 200 {
+		t.Errorf("demo snapshot unreachable: %d", w.Code)
+	}
+}
+
+func TestBuildServerDemo(t *testing.T) {
+	s, err := buildServer(config{demo: true, demoScale: 0.002, demoSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/meta?snap=demo", "/v1/experiments", "/healthz"} {
+		r := httptest.NewRequest("GET", path, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != 200 {
+			t.Errorf("GET %s: status %d: %s", path, w.Code, w.Body.String())
+		}
+	}
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	if _, err := buildServer(config{}); err == nil {
+		t.Error("empty config should refuse to serve")
+	}
+	if _, err := buildServer(config{states: []statePath{{name: "x", path: "/does/not/exist"}}}); err == nil {
+		t.Error("missing snapshot file should fail")
+	}
+	// A file that is not a census snapshot must be rejected, not served.
+	bogus := filepath.Join(t.TempDir(), "bogus.state")
+	if err := os.WriteFile(bogus, []byte("definitely not a census"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(config{states: []statePath{parseState(bogus)}}); err == nil {
+		t.Error("foreign file should fail to load")
+	}
+}

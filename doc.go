@@ -38,4 +38,21 @@
 // million-address synthetic world; sweep core counts with
 //
 //	go test -bench=BenchmarkIngest -cpu=1,2,4,8
+//
+// # Serving layer
+//
+// Above both engines sits the online query path (internal/serve, run as
+// cmd/v6served): persisted census snapshots are loaded through the
+// sharded engine, frozen, and served over HTTP to any number of
+// concurrent clients — per-prefix lookups (format classification,
+// activity, availability/volatility, nd-stability), stability tables,
+// densify sweeps, top-k aggregates, and overlap series, all answered by
+// the same exported query API of internal/core that the batch tools use,
+// so served and batch results are identical by construction. Expensive
+// analyses go through a sharded result cache keyed by snapshot epoch, and
+// snapshots swap at runtime RCU-style (POST /v1/reload) without dropping
+// in-flight queries. See internal/serve for the architecture and endpoint
+// reference, examples/queryclient for a walkthrough, and
+// BenchmarkServe* in internal/serve for the serving-path benchmarks that
+// run next to the ingestion benchmarks in CI.
 package v6class

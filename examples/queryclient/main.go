@@ -1,0 +1,132 @@
+// Queryclient walks through the v6served HTTP API end to end: it builds a
+// small census from the synthetic world, persists it, serves it with
+// internal/serve in-process, and then asks every kind of question a
+// network operator would — who is this address, is it stable, where are
+// the dense blocks, which aggregates dominate — finishing with a live
+// snapshot swap under load.
+//
+// The same walkthrough against a standalone server, with curl:
+//
+//	# build a snapshot and start the service
+//	v6gen -days 15 -scale 0.01 -out logs.txt
+//	v6census ingest -in logs.txt -state census.state
+//	v6served -state census.state -listen :8470 &
+//
+//	# what is loaded?
+//	curl -s localhost:8470/healthz
+//	curl -s localhost:8470/v1/meta
+//
+//	# one day's Table-1 format tally
+//	curl -s 'localhost:8470/v1/summary?day=7'
+//
+//	# the nd-stable split on the middle day (Table 2 cell, any window)
+//	curl -s 'localhost:8470/v1/stability?pop=addrs&ref=7&n=3&window=7'
+//	curl -s 'localhost:8470/v1/stability?pop=64s&ref=7&n=3&weekly=true'
+//
+//	# everything known about one address and its /64
+//	curl -s 'localhost:8470/v1/lookup?addr=2001:db8::1&ref=7'
+//	curl -s 'localhost:8470/v1/lookup?p64=2001:db8::/64'
+//
+//	# spatial structure: dense blocks and the busiest /48 aggregates
+//	curl -s 'localhost:8470/v1/dense?from=0&to=14&n=2&p=112&least=true'
+//	curl -s 'localhost:8470/v1/topk?pop=addrs&p=48&k=5&day=7'
+//
+//	# extend the snapshot with tomorrow's log, then swap it in without
+//	# dropping a single query
+//	v6census ingest -in tomorrow.txt -state census.state
+//	curl -s -X POST 'localhost:8470/v1/reload?snap=census'
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"v6class/internal/core"
+	"v6class/internal/serve"
+	"v6class/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build a 15-day census from the synthetic world and persist it, as a
+	// daily pipeline would with "v6census ingest -state".
+	w := synth.NewWorld(synth.Config{Seed: 11, Scale: 0.01, StudyDays: 15})
+	c := core.NewCensus(core.CensusConfig{StudyDays: 15})
+	for d := 0; d < 15; d++ {
+		c.AddDay(w.Day(d))
+	}
+	dir, err := os.MkdirTemp("", "queryclient")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	state := filepath.Join(dir, "census.state")
+	f, err := os.Create(state)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// Serve it, as "v6served -state census.state" would.
+	s := serve.New(serve.Options{})
+	if err := s.LoadFile("census", state); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("GET %s\n  %s\n", path, body)
+	}
+
+	fmt.Println("--- service state ---")
+	get("/healthz")
+	get("/v1/meta")
+
+	fmt.Println("\n--- temporal classification ---")
+	get("/v1/summary?day=7")
+	get("/v1/stability?pop=addrs&ref=7&n=3&window=7")
+	get("/v1/stability?pop=64s&ref=7&n=3&window=7")
+
+	fmt.Println("\n--- per-prefix lookup ---")
+	if addrs := c.AddrsActiveOn(7); len(addrs) > 0 {
+		get("/v1/lookup?addr=" + addrs[0].String() + "&ref=7")
+	}
+
+	fmt.Println("\n--- spatial classification ---")
+	get("/v1/dense?from=0&to=14&n=2&p=112&least=true")
+	get("/v1/topk?pop=addrs&p=48&k=5&day=7")
+
+	// Reload: swap the same snapshot back in (a daily pipeline would have
+	// extended it first); in-flight queries keep their generation.
+	fmt.Println("\n--- snapshot reload ---")
+	resp, err := http.Post(base+"/v1/reload?snap=census", "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("POST /v1/reload?snap=census\n  %s\n", body)
+	get("/v1/meta") // note the bumped epoch
+}

@@ -1,3 +1,5 @@
 module v6class
 
-go 1.24
+// 1.23 so CI's version matrix (1.23, 1.24) exercises both supported
+// toolchains; the code uses no 1.24-only language features or APIs.
+go 1.23

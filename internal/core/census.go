@@ -99,6 +99,11 @@ type keyStore[K comparable] interface {
 	KeysActiveOn(d temporal.Day) []K
 	Range(fn func(k K, days *temporal.BitSet) bool)
 	Restore(k K, b *temporal.BitSet)
+	// Point queries (per-key, lock-free after a ShardedStore freeze).
+	Active(k K, d temporal.Day) bool
+	Days(k K) []temporal.Day
+	NDStable(k K, ref temporal.Day, n int, opts temporal.Options) bool
+	Activity(k K) (temporal.Activity, bool)
 }
 
 // censusState is the engine-independent census: the two key stores plus the
@@ -134,6 +139,14 @@ type Analyzer interface {
 	NativeSet(days ...int) *spatial.AddressSet
 	Prefix64Set(days ...int) *spatial.AddressSet
 	LongestStablePrefixes(aFrom, aTo, bFrom, bTo int, minBits int, minSupport uint64) []LongestStablePrefix
+	// Read-only point and aggregate queries (query.go); on a frozen
+	// ShardedCensus these are lock-free and safe for any concurrency.
+	Keys(pop Population) int
+	LookupAddr(a ipaddr.Addr) AddrLookup
+	LookupPrefix64(p ipaddr.Prefix) KeyReport
+	AddrStable(a ipaddr.Addr, ref, n int, opts temporal.Options) bool
+	Prefix64Stable(p ipaddr.Prefix, ref, n int, opts temporal.Options) bool
+	TopAggregates(pop Population, p, k int, days ...int) []TopAggregate
 	io.WriterTo
 }
 

@@ -101,6 +101,100 @@ func TestCensusSnapshotIncremental(t *testing.T) {
 	}
 }
 
+// validSnapshot serializes a small census for corruption tests.
+func validSnapshot(t *testing.T) []byte {
+	t.Helper()
+	c := NewCensus(CensusConfig{StudyDays: 20})
+	c.AddDay(day(3,
+		"2001:db8:1:1::1",
+		"2001:db8:1:1:21e:c2ff:fec0:11db",
+		"2001:db8:9:2:3031:f3fd:bbdd:2c2a",
+		"2002:c000:204::1",
+	))
+	c.AddDay(day(7, "2001:db8:1:1::1", "2001:db8:42::7"))
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readers holds both snapshot readers; every error path must fail through
+// each, since a serving layer may load with either engine.
+var readers = []struct {
+	name string
+	read func(r *strings.Reader) error
+}{
+	{"sequential", func(r *strings.Reader) error { _, err := ReadCensus(r); return err }},
+	{"sharded", func(r *strings.Reader) error { _, err := ReadShardedCensus(r); return err }},
+}
+
+// TestReadCensusTruncated sweeps prefixes of a valid snapshot: every
+// truncation point must produce an error, never a panic or a silently
+// partial census.
+func TestReadCensusTruncated(t *testing.T) {
+	full := validSnapshot(t)
+	cuts := []int{0, 1, len(censusMagic) - 1, len(censusMagic), len(censusMagic) + 2}
+	for n := len(censusMagic) + 5; n < len(full)-1; n += 13 {
+		cuts = append(cuts, n)
+	}
+	cuts = append(cuts, len(full)-1)
+	for _, rd := range readers {
+		for _, n := range cuts {
+			if err := rd.read(strings.NewReader(string(full[:n]))); err == nil {
+				t.Errorf("%s: reading %d of %d bytes should fail", rd.name, n, len(full))
+			}
+		}
+		// The untruncated snapshot still reads, so the sweep is honest.
+		if err := rd.read(strings.NewReader(string(full))); err != nil {
+			t.Errorf("%s: full snapshot failed: %v", rd.name, err)
+		}
+	}
+}
+
+// TestReadCensusVersionMismatch rejects snapshots of a different format
+// version (the magic's trailing digit) and of foreign kinds entirely.
+func TestReadCensusVersionMismatch(t *testing.T) {
+	full := validSnapshot(t)
+	futureVersion := "v6census-state-2" + string(full[len(censusMagic):])
+	wrongKind := "v6report-resultsX" + string(full[len(censusMagic):])
+	textFile := "#day 3\n2001:db8::1 5\n"
+	for _, rd := range readers {
+		for name, in := range map[string]string{
+			"future version": futureVersion,
+			"wrong kind":     wrongKind,
+			"text log":       textFile,
+		} {
+			err := rd.read(strings.NewReader(in))
+			if err == nil {
+				t.Errorf("%s: %s should be rejected", rd.name, name)
+				continue
+			}
+			if !strings.Contains(err.Error(), "not a census snapshot") {
+				t.Errorf("%s: %s: error should identify the foreign magic, got %v", rd.name, name, err)
+			}
+		}
+	}
+}
+
+// TestReadCensusImplausibleSizes rejects headers whose counts would make
+// the reader allocate or loop absurdly.
+func TestReadCensusImplausibleSizes(t *testing.T) {
+	full := validSnapshot(t)
+	// The bitset word count lives right after the first 16-byte address
+	// key; overwrite it with a huge value.
+	corrupt := []byte(string(full))
+	off := len(censusMagic) + 4 + 1 + 8 + 16 // header + addr count + first key
+	corrupt[off] = 0xff
+	corrupt[off+1] = 0xff
+	for _, rd := range readers {
+		if err := rd.read(strings.NewReader(string(corrupt))); err == nil ||
+			!strings.Contains(err.Error(), "implausible") {
+			t.Errorf("%s: huge bitset should be rejected as implausible, got %v", rd.name, err)
+		}
+	}
+}
+
 func TestReadCensusRejectsGarbage(t *testing.T) {
 	cases := []string{
 		"",

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sort"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/ipaddr"
+	"v6class/internal/temporal"
+)
+
+// The exported read-only query API over censusState: per-key point lookups
+// (classification, activity, availability/volatility, nd-stability) and
+// top-k aggregate queries, shared by both engines. These are the primitives
+// an online service needs to answer questions about a built census without
+// re-running batch analyses; on a frozen ShardedCensus every one of them is
+// lock-free and safe under unbounded read concurrency.
+
+// KeyReport is everything the census knows about one key's activity: its
+// temporal extent, the days themselves, and the derived availability and
+// volatility measures. The zero KeyReport (Known false) means the key was
+// never observed.
+type KeyReport struct {
+	Known      bool    `json:"known"`
+	First      int     `json:"first"`          // first active day
+	Last       int     `json:"last"`           // last active day
+	ActiveDays int     `json:"activeDays"`     // distinct active days
+	SpanDays   int     `json:"spanDays"`       // Last-First+1
+	Runs       int     `json:"runs"`           // contiguous activity runs
+	Available  float64 `json:"availability"`   // ActiveDays / SpanDays
+	Volatility float64 `json:"volatility"`     // Runs / SpanDays
+	Days       []int   `json:"days,omitempty"` // sorted active days
+}
+
+func reportOf[K comparable](st keyStore[K], k K) KeyReport {
+	act, ok := st.Activity(k)
+	if !ok {
+		return KeyReport{}
+	}
+	days := st.Days(k)
+	out := KeyReport{
+		Known:      true,
+		First:      int(act.First),
+		Last:       int(act.Last),
+		ActiveDays: act.ActiveDays,
+		SpanDays:   act.SpanDays(),
+		Runs:       act.Runs,
+		Available:  act.Availability(),
+		Volatility: act.Volatility(),
+		Days:       make([]int, len(days)),
+	}
+	for i, d := range days {
+		out.Days[i] = int(d)
+	}
+	return out
+}
+
+// AddrLookup is the full point-lookup result for one address: its format
+// classification, its own activity, and the activity of its /64 prefix.
+type AddrLookup struct {
+	Addr     ipaddr.Addr    `json:"-"`
+	Kind     addrclass.Kind `json:"-"`
+	Report   KeyReport      `json:"address"`
+	Prefix64 KeyReport      `json:"prefix64"`
+}
+
+// LookupAddr reports everything the census knows about one address. The
+// format classification is computed from the address bits, so it is present
+// even for addresses the census never observed (Report.Known false).
+func (c *censusState) LookupAddr(a ipaddr.Addr) AddrLookup {
+	return AddrLookup{
+		Addr:     a,
+		Kind:     addrclass.Classify(a),
+		Report:   reportOf(c.addrs, a),
+		Prefix64: reportOf(c.p64s, ipaddr.PrefixFrom(a, 64)),
+	}
+}
+
+// LookupPrefix64 reports the activity of one /64 prefix.
+func (c *censusState) LookupPrefix64(p ipaddr.Prefix) KeyReport {
+	return reportOf(c.p64s, p)
+}
+
+// AddrStable reports whether an address is nd-stable with respect to ref
+// under opts (the per-key form of Stability).
+func (c *censusState) AddrStable(a ipaddr.Addr, ref, n int, opts temporal.Options) bool {
+	return c.addrs.NDStable(a, temporal.Day(ref), n, opts)
+}
+
+// Prefix64Stable reports whether a /64 prefix is nd-stable with respect to
+// ref under opts.
+func (c *censusState) Prefix64Stable(p ipaddr.Prefix, ref, n int, opts temporal.Options) bool {
+	return c.p64s.NDStable(p, temporal.Day(ref), n, opts)
+}
+
+// Keys returns the number of distinct keys of the population ever observed.
+func (c *censusState) Keys(pop Population) int {
+	if pop == Addresses {
+		return c.addrs.Len()
+	}
+	return c.p64s.Len()
+}
+
+// TopAggregate is one occupied /p aggregate with its population, a row of a
+// top-k aggregate query.
+type TopAggregate struct {
+	Prefix ipaddr.Prefix `json:"-"`
+	Count  uint64        `json:"count"`
+}
+
+// TopAggregates returns the k most populated /p aggregates of the selected
+// population over the given days, largest first (ties broken by prefix
+// order, so equal censuses rank identically). k <= 0 returns every occupied
+// aggregate.
+func (c *censusState) TopAggregates(pop Population, p, k int, days ...int) []TopAggregate {
+	var dense []TopAggregate
+	src := c.NativeSet
+	if pop == Prefixes64 {
+		src = c.Prefix64Set
+	}
+	for _, pc := range src(days...).Trie().FixedLengthDense(1, p) {
+		dense = append(dense, TopAggregate{Prefix: pc.Prefix, Count: pc.Count})
+	}
+	sort.Slice(dense, func(i, j int) bool {
+		if dense[i].Count != dense[j].Count {
+			return dense[i].Count > dense[j].Count
+		}
+		return dense[i].Prefix.Cmp(dense[j].Prefix) < 0
+	})
+	if k > 0 && len(dense) > k {
+		dense = dense[:k]
+	}
+	return dense
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/ipaddr"
+	"v6class/internal/synth"
+	"v6class/internal/temporal"
+)
+
+// queryWorld builds matched sequential and sharded censuses over the same
+// days, as the equivalence suite does.
+func queryWorld(t *testing.T) (*Census, *ShardedCensus) {
+	t.Helper()
+	w := synth.NewWorld(synth.Config{Seed: 5, Scale: 0.01, StudyDays: 30})
+	seq := NewCensus(CensusConfig{StudyDays: 30})
+	sh := NewShardedCensus(CensusConfig{StudyDays: 30})
+	for d := 4; d <= 18; d++ {
+		log := w.Day(d)
+		seq.AddDay(log)
+		sh.AddDay(log)
+	}
+	sh.Freeze()
+	return seq, sh
+}
+
+func TestLookupAddrReport(t *testing.T) {
+	seq, _ := queryWorld(t)
+	addrs := seq.AddrsActiveOn(11)
+	if len(addrs) == 0 {
+		t.Fatal("no active addresses")
+	}
+	a := addrs[0]
+	lk := seq.LookupAddr(a)
+	if !lk.Report.Known {
+		t.Fatal("active address must be known")
+	}
+	if lk.Kind != addrclass.Classify(a) {
+		t.Errorf("kind %v, want %v", lk.Kind, addrclass.Classify(a))
+	}
+	days := seq.addrs.Days(a)
+	if lk.Report.ActiveDays != len(days) || len(lk.Report.Days) != len(days) {
+		t.Errorf("report days %v vs store %v", lk.Report.Days, days)
+	}
+	if lk.Report.First != int(days[0]) || lk.Report.Last != int(days[len(days)-1]) {
+		t.Errorf("extent [%d,%d] vs store %v", lk.Report.First, lk.Report.Last, days)
+	}
+	if lk.Report.SpanDays != lk.Report.Last-lk.Report.First+1 {
+		t.Errorf("span %d inconsistent with extent", lk.Report.SpanDays)
+	}
+	if lk.Report.Available <= 0 || lk.Report.Available > 1 || lk.Report.Volatility <= 0 || lk.Report.Volatility > 1 {
+		t.Errorf("availability %v / volatility %v out of range", lk.Report.Available, lk.Report.Volatility)
+	}
+	if !lk.Prefix64.Known {
+		t.Error("the /64 of an active address must be known")
+	}
+
+	// An address never observed: unknown report, but still classified.
+	missing := seq.LookupAddr(ipaddr.MustParseAddr("2001:db8:dead:beef::1"))
+	if missing.Report.Known || missing.Report.ActiveDays != 0 {
+		t.Errorf("missing address report %+v", missing.Report)
+	}
+}
+
+// TestQueryEquivalence holds the new query API to the same standard as the
+// rest of the analysis layer: identical answers from both engines.
+func TestQueryEquivalence(t *testing.T) {
+	seq, sh := queryWorld(t)
+
+	if seq.Keys(Addresses) != sh.Keys(Addresses) || seq.Keys(Prefixes64) != sh.Keys(Prefixes64) {
+		t.Errorf("key counts differ: %d/%d vs %d/%d",
+			seq.Keys(Addresses), seq.Keys(Prefixes64), sh.Keys(Addresses), sh.Keys(Prefixes64))
+	}
+
+	opts := temporal.Options{Window: temporal.Window{Before: 7, After: 7}}
+	addrs := seq.AddrsActiveOn(11)
+	if len(addrs) < 10 {
+		t.Fatalf("want >= 10 active addresses, have %d", len(addrs))
+	}
+	for _, a := range addrs[:10] {
+		la, lb := seq.LookupAddr(a), sh.LookupAddr(a)
+		if !reflect.DeepEqual(la, lb) {
+			t.Fatalf("LookupAddr(%v): %+v vs %+v", a, la, lb)
+		}
+		if seq.AddrStable(a, 11, 3, opts) != sh.AddrStable(a, 11, 3, opts) {
+			t.Fatalf("AddrStable(%v) disagrees", a)
+		}
+		p := ipaddr.PrefixFrom(a, 64)
+		if !reflect.DeepEqual(seq.LookupPrefix64(p), sh.LookupPrefix64(p)) {
+			t.Fatalf("LookupPrefix64(%v) disagrees", p)
+		}
+		if seq.Prefix64Stable(p, 11, 3, opts) != sh.Prefix64Stable(p, 11, 3, opts) {
+			t.Fatalf("Prefix64Stable(%v) disagrees", p)
+		}
+	}
+
+	for _, pop := range []Population{Addresses, Prefixes64} {
+		ta := seq.TopAggregates(pop, 48, 10, 10, 11, 12)
+		tb := sh.TopAggregates(pop, 48, 10, 10, 11, 12)
+		if !reflect.DeepEqual(ta, tb) {
+			t.Fatalf("TopAggregates(pop %d): %v vs %v", pop, ta, tb)
+		}
+	}
+}
+
+// TestQueriesSurviveSnapshot asserts the point queries answer identically
+// after a persistence round trip (the serving path: write, load, query).
+func TestQueriesSurviveSnapshot(t *testing.T) {
+	seq, _ := queryWorld(t)
+	var buf bytes.Buffer
+	if _, err := seq.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadShardedCensus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Freeze()
+
+	addrs := seq.AddrsActiveOn(11)
+	for _, a := range addrs[:5] {
+		if !reflect.DeepEqual(seq.LookupAddr(a), restored.LookupAddr(a)) {
+			t.Fatalf("LookupAddr(%v) changed across snapshot", a)
+		}
+	}
+	if !reflect.DeepEqual(seq.TopAggregates(Addresses, 48, 5, 11), restored.TopAggregates(Addresses, 48, 5, 11)) {
+		t.Error("TopAggregates changed across snapshot")
+	}
+}
+
+func TestTopAggregatesOrdering(t *testing.T) {
+	c := NewCensus(CensusConfig{StudyDays: 3})
+	c.AddDay(day(0,
+		"2001:db8:1::1", "2001:db8:1::2", "2001:db8:1::3",
+		"2001:db8:2::1", "2001:db8:2::2",
+		"2001:db8:3::1", "2001:db8:4::1"))
+	got := c.TopAggregates(Addresses, 48, 3, 0)
+	if len(got) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(got))
+	}
+	if got[0].Count != 3 || got[0].Prefix.String() != "2001:db8:1::/48" {
+		t.Errorf("row 0: %v %d", got[0].Prefix, got[0].Count)
+	}
+	if got[1].Count != 2 {
+		t.Errorf("row 1 count %d, want 2", got[1].Count)
+	}
+	// The tie between :3:: and :4:: (count 1) breaks in prefix order.
+	if got[2].Prefix.String() != "2001:db8:3::/48" {
+		t.Errorf("row 2 tie-break: %v", got[2].Prefix)
+	}
+	// k=0 returns every occupied aggregate.
+	if all := c.TopAggregates(Addresses, 48, 0, 0); len(all) != 4 {
+		t.Errorf("k=0 rows %d, want 4", len(all))
+	}
+}

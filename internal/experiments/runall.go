@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -42,6 +43,39 @@ func Drivers() []Driver {
 		{"window-sweep", func(l *Lab) string { return WindowSweep(l).Render() }},
 		{"lifetimes", func(l *Lab) string { return Lifetimes(l).Render() }},
 	}
+}
+
+// FindDriver returns the registered driver with the given name.
+func FindDriver(name string) (Driver, bool) {
+	for _, d := range Drivers() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Driver{}, false
+}
+
+// DriverNames returns every registered driver name in presentation order.
+func DriverNames() []string {
+	ds := Drivers()
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// RunDriver regenerates one named experiment — the per-request entry point
+// used by serving layers, as opposed to the batch RunAll. The Lab is safe
+// for concurrent use, so any number of RunDriver calls may run at once.
+func RunDriver(l *Lab, name string) (DriverResult, error) {
+	d, ok := FindDriver(name)
+	if !ok {
+		return DriverResult{}, fmt.Errorf("experiments: unknown driver %q", name)
+	}
+	start := time.Now()
+	out := d.Run(l)
+	return DriverResult{Name: d.Name, Output: out, Elapsed: time.Since(start)}, nil
 }
 
 // DriverResult is one driver's rendered output, with its wall-clock cost

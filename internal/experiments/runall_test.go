@@ -35,6 +35,47 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRunDriver exercises the per-request entry point: named lookup,
+// concurrent single-driver runs, and unknown-name errors.
+func TestRunDriver(t *testing.T) {
+	if _, ok := FindDriver("table1"); !ok {
+		t.Fatal("table1 driver not registered")
+	}
+	if _, ok := FindDriver("bogus"); ok {
+		t.Fatal("bogus driver should not resolve")
+	}
+	names := DriverNames()
+	if len(names) != len(Drivers()) || names[0] != "table1" {
+		t.Fatalf("DriverNames: %v", names)
+	}
+	if _, err := RunDriver(nil, "bogus"); err == nil {
+		t.Error("unknown driver should error")
+	}
+
+	l := NewLab(synth.Config{Seed: 7, Scale: 0.002})
+	want, err := RunDriver(l, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Output == "" || want.Name != "table1" {
+		t.Fatalf("RunDriver result %+v", want)
+	}
+	// Per-request means concurrent: same driver from several goroutines
+	// over the shared lab must agree (exercised under -race in CI).
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := RunDriver(l, "table1")
+			if err != nil || got.Output != want.Output {
+				t.Errorf("concurrent RunDriver: err %v, output equal %v", err, got.Output == want.Output)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestLabDayConcurrent hammers the shared day cache; with -race this
 // verifies the generate-once gate.
 func TestLabDayConcurrent(t *testing.T) {

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"v6class/internal/core"
+	"v6class/internal/ipaddr"
+	"v6class/internal/synth"
+)
+
+// Serving benchmarks: request latency through the full handler stack
+// (routing, snapshot resolution, analysis, JSON encoding, cache). They run
+// in CI's bench job next to the ingestion benchmarks, so the perf
+// trajectory covers both the write and the read path.
+
+var (
+	benchOnce   sync.Once
+	benchServer *Server
+	benchMux    http.Handler
+	benchAddrs  []ipaddr.Addr
+	benchPath   string
+	benchDir    string
+)
+
+// TestMain removes the benchmark snapshot directory, which outlives any
+// single benchmark because benchSetup shares it across them.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchDir != "" {
+		os.RemoveAll(benchDir)
+	}
+	os.Exit(code)
+}
+
+// benchSetup builds one moderately sized frozen census (a ±7d window of a
+// scaled synthetic world) and a server around it, once per process.
+func benchSetup(b *testing.B) {
+	benchOnce.Do(func() {
+		w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05, StudyDays: 40})
+		c := core.NewCensus(core.CensusConfig{StudyDays: 40})
+		for d := 10; d <= 24; d++ {
+			c.AddDay(w.Day(d))
+		}
+		dir, err := os.MkdirTemp("", "v6served-bench")
+		if err != nil {
+			panic(err)
+		}
+		benchDir = dir
+		benchPath = filepath.Join(dir, "bench.state")
+		f, err := os.Create(benchPath)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := c.WriteTo(f); err != nil {
+			panic(err)
+		}
+		f.Close()
+
+		benchServer = New(Options{})
+		if err := benchServer.LoadFile("bench", benchPath); err != nil {
+			panic(err)
+		}
+		benchMux = benchServer.Handler()
+		benchAddrs = c.AddrsActiveOn(17)
+		if len(benchAddrs) == 0 {
+			panic("bench census has no active addresses")
+		}
+	})
+}
+
+// do issues one request through the handler stack and fails on non-200.
+func do(b *testing.B, path string) {
+	r := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	benchMux.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		b.Fatalf("GET %s: status %d: %s", path, w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeLookup measures the uncached point-lookup path (the
+// latency floor of the service), with concurrent clients.
+func BenchmarkServeLookup(b *testing.B) {
+	benchSetup(b)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			a := benchAddrs[i%len(benchAddrs)]
+			do(b, "/v1/lookup?addr="+a.String()+"&ref=17&n=3")
+			i++
+		}
+	})
+}
+
+// BenchmarkServeStabilityCold measures the full stability-table
+// computation by varying parameters so every request misses the cache.
+func BenchmarkServeStabilityCold(b *testing.B) {
+	benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		// The iteration index lands in n, so every request carries a
+		// never-before-seen cache key (n barely affects the computation:
+		// ClassifyDay scans every key regardless).
+		do(b, fmt.Sprintf("/v1/stability?pop=addrs&ref=%d&n=%d&window=7", 10+i%15, 1+i))
+	}
+}
+
+// BenchmarkServeStabilityCached measures the cache-hit path with
+// concurrent clients asking the same expensive question.
+func BenchmarkServeStabilityCached(b *testing.B) {
+	benchSetup(b)
+	do(b, "/v1/stability?pop=addrs&ref=17&n=3&window=7") // warm
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			do(b, "/v1/stability?pop=addrs&ref=17&n=3&window=7")
+		}
+	})
+}
+
+// BenchmarkServeDenseCold measures the densify sweep — the service's most
+// expensive query — uncached (the density threshold n varies the key, so
+// every request recomputes; the sweep cost is dominated by the population
+// build and trie walk, which n barely affects).
+func BenchmarkServeDenseCold(b *testing.B) {
+	benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		do(b, fmt.Sprintf("/v1/dense?from=10&to=24&n=%d&p=112&least=true", 2+i))
+	}
+}
+
+// BenchmarkServeTopK measures a cached top-k aggregate query under
+// concurrent clients.
+func BenchmarkServeTopK(b *testing.B) {
+	benchSetup(b)
+	do(b, "/v1/topk?pop=addrs&p=48&k=10&day=17") // warm
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			do(b, "/v1/topk?pop=addrs&p=48&k=10&day=17")
+		}
+	})
+}
+
+// BenchmarkServeReload measures a full snapshot load + RCU swap.
+func BenchmarkServeReload(b *testing.B) {
+	benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if err := benchServer.LoadFile("bench", benchPath); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

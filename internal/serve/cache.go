@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The result cache for expensive analyses (densify sweeps, stability
+// tables, top-k aggregates, experiment regenerations). It is sharded so
+// concurrent request handlers contend only on the shard their key hashes
+// to, and bounded per shard with arbitrary eviction — correctness never
+// depends on an entry being present, because every key embeds the snapshot
+// epoch it was computed from (see doc.go), so a stale engine can never be
+// read through a fresh key.
+
+// cacheShards is the shard count; a power of two so the key hash's low
+// bits select a shard.
+const cacheShards = 16
+
+// Cache is a sharded in-memory map from canonical query keys to rendered
+// response bodies. The zero value is not usable; construct with newCache.
+type Cache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string][]byte
+	// Pad to a full 64-byte cache line (8B mutex + 8B map header + 48B)
+	// so neighboring shard locks don't false-share.
+	_ [48]byte
+}
+
+// newCache returns a Cache bounded at roughly entries total entries
+// (rounded up to a multiple of the shard count); entries <= 0 selects the
+// default of 4096.
+func newCache(entries int) *Cache {
+	if entries <= 0 {
+		entries = 4096
+	}
+	per := (entries + cacheShards - 1) / cacheShards
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string][]byte)
+	}
+	return c
+}
+
+// fnv1a hashes a key (FNV-1a 64).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)&(cacheShards-1)]
+}
+
+// Get returns the cached body for key, if present. The returned slice must
+// not be modified.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	v, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores a body under key, evicting an arbitrary entry from the shard
+// when it is full. Concurrent computations of the same key may both Put;
+// last write wins and both values are equally valid (handlers are
+// deterministic functions of the key).
+func (c *Cache) Put(key string, v []byte) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if _, exists := sh.m[key]; !exists && len(sh.m) >= c.perShard {
+		for k := range sh.m {
+			delete(sh.m, k)
+			break
+		}
+	}
+	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,84 @@
+// Package serve is the online query layer over built censuses: an HTTP
+// service that loads persisted census snapshots, freezes them, and answers
+// concurrent read-only questions — the operational capability Plonka &
+// Berger frame their classifiers as enabling (acting on stable addresses),
+// as opposed to the batch reports of cmd/v6census and cmd/v6report.
+//
+// # Architecture
+//
+// Three layers, all read-only after startup:
+//
+//   - A snapshot registry: named *Snapshot entries, each wrapping a frozen
+//     core.Analyzer (snapshot files load through core.ReadShardedCensus and
+//     are frozen immediately, so every query is lock-free and internally
+//     parallel). The registry itself is an atomic.Pointer to an immutable
+//     table — readers pay one pointer load, never a lock.
+//   - Request handlers: each resolves its *Snapshot once at dispatch and
+//     computes against that generation only, translating HTTP parameters to
+//     the exported query API of internal/core (point lookups, stability
+//     tables, densify sweeps, top-k aggregates, overlap series) and, when a
+//     lab is attached, the per-request experiment drivers of
+//     internal/experiments.
+//   - A sharded result cache for the expensive analyses (stability tables,
+//     dense sweeps, top-k, experiments): 16 independently locked shards
+//     bounded per shard, with arbitrary eviction.
+//
+// # Cache keying
+//
+// Cache keys are canonical strings of the form
+//
+//	<snapshot name>|<epoch>|<endpoint>?<canonical params>
+//
+// The epoch is a server-unique generation counter bumped by every load, so
+// a key can never read a result computed from a different engine: after a
+// reload, fresh requests miss (fresh epoch) and recompute against the
+// fresh engine, while entries of retired generations are never requested
+// again and age out by eviction. Experiment results, computed from the
+// immutable lab rather than a snapshot, use a plain "experiment?name=" key
+// with no epoch. Handlers are deterministic functions of their key, so
+// racing computations of one key are benign (last Put wins, values equal).
+// Render-only parameters (dense's limit, topk's k) stay out of the key:
+// the sweep is cached once with up to 100 examples/rows and the requested
+// cut is applied at render time, so iterating limit or k cannot force the
+// expensive sweep to recompute.
+//
+// # Snapshot reload protocol
+//
+// POST /v1/reload?snap=NAME&path=FILE loads FILE, freezes it, and swaps it
+// in as the new generation of NAME (path omitted re-reads the snapshot's
+// recorded source; snap omitted targets the default snapshot). Only
+// installed names can be reloaded, and generated snapshots (installed
+// without a file source) cannot be source-reloaded. When
+// Options.AdminToken is configured, every reload requires it via the
+// Authorization: Bearer header (never the URL, which would leak the
+// secret into access logs) — a reload is a full load plus
+// cache invalidation, too expensive to hand to anonymous clients, so
+// production deployments should always set a token. Without one (the
+// dev/demo posture) source-only reloads are open and explicit paths are
+// refused outright, so an anonymous client can never point the server at
+// an arbitrary file. The swap is
+// RCU-style: the new generation is built completely off to the side, then
+// published with one atomic pointer store. In-flight requests hold the
+// *Snapshot they resolved at dispatch and finish against it — a reload
+// never fails or torments a running query — and the old engine is
+// reclaimed by the garbage collector once the last such request returns.
+// Requests dispatched after the store see the new generation, identified
+// by the X-V6-Epoch response header. A failed load (missing file, foreign
+// format, truncation) leaves the serving generation untouched.
+//
+// # Endpoints
+//
+//	GET  /healthz                 liveness, snapshot names, cache stats
+//	GET  /v1/meta                 snapshot metadata and key counts
+//	GET  /v1/summary?day=         Table 1 format tally of one day
+//	GET  /v1/stability?pop=&ref=&n=&window=[&weekly=true]   nd-stable split
+//	GET  /v1/lookup?addr=|p64=[&ref=&n=&window=]            point lookup
+//	GET  /v1/dense?day=|from=&to=&n=&p=[&least=true]        n@/p-dense sweep
+//	GET  /v1/topk?pop=&p=&k=&day=|from=&to=                 top-k aggregates
+//	GET  /v1/overlap?pop=&ref=&before=&after=               Figure 4 series
+//	GET  /v1/experiments[/{name}]                           driver registry
+//	POST /v1/reload?snap=&path=                             swap a snapshot
+//
+// Every snapshot-backed endpoint accepts ?snap=NAME to select among the
+// loaded snapshots; the default is the most recently installed one.
+package serve

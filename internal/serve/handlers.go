@@ -1,0 +1,681 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"v6class/internal/core"
+	"v6class/internal/experiments"
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+	"v6class/internal/temporal"
+)
+
+// maxDayRange bounds from/to day selections so a single request cannot ask
+// for an unbounded population build.
+const maxDayRange = 1024
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, body)
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// snapshotHandler resolves the request's snapshot (?snap=NAME, default the
+// most recently installed) once, at dispatch; the handler then works
+// against that immutable generation for its whole lifetime, however many
+// reloads land meanwhile. The resolved name and epoch are echoed as
+// headers so clients (and the reload tests) can tell generations apart.
+func (s *Server) snapshotHandler(fn func(http.ResponseWriter, *http.Request, *Snapshot)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("snap")
+		snap := s.Snapshot(name)
+		if snap == nil {
+			writeErr(w, http.StatusNotFound, "no snapshot %q installed", name)
+			return
+		}
+		w.Header().Set("X-V6-Snapshot", snap.Name)
+		w.Header().Set("X-V6-Epoch", strconv.FormatUint(snap.Epoch, 10))
+		fn(w, r, snap)
+	}
+}
+
+// snapKey prefixes a canonical query key with the snapshot's name and
+// epoch, so a cache entry can never be read through a different engine
+// generation. A nil snapshot (lab-backed results) keys as-is.
+func snapKey(snap *Snapshot, key string) string {
+	if snap == nil {
+		return key
+	}
+	return fmt.Sprintf("%s|%d|%s", snap.Name, snap.Epoch, key)
+}
+
+// cachedBody resolves the canonical key through the result cache,
+// computing, marshaling and storing on a miss. Keys embed the snapshot
+// epoch, so a reload naturally invalidates: fresh requests compute against
+// the fresh engine under a fresh key while stale entries age out by
+// eviction.
+func (s *Server) cachedBody(snap *Snapshot, key string, compute func() any) ([]byte, error) {
+	key = snapKey(snap, key)
+	if body, ok := s.cache.Get(key); ok {
+		return body, nil
+	}
+	body, err := json.Marshal(compute())
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, body)
+	return body, nil
+}
+
+// cached serves cachedBody's result directly as the response.
+func (s *Server) cached(w http.ResponseWriter, snap *Snapshot, key string, compute func() any) {
+	body, err := s.cachedBody(snap, key, compute)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encoding response")
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return n, nil
+}
+
+// requireInt parses a mandatory integer query parameter.
+func requireInt(r *http.Request, name string) (int, error) {
+	if r.URL.Query().Get(name) == "" {
+		return 0, fmt.Errorf("missing required parameter %s", name)
+	}
+	return intParam(r, name, 0)
+}
+
+// popParam parses the population selector: addresses by default, /64
+// prefixes for pop=64s.
+func popParam(r *http.Request) (core.Population, string, error) {
+	switch v := r.URL.Query().Get("pop"); v {
+	case "", "addrs", "addresses":
+		return core.Addresses, "addrs", nil
+	case "64s", "p64", "prefixes64":
+		return core.Prefixes64, "64s", nil
+	default:
+		return 0, "", fmt.Errorf("parameter pop: unknown population %q (want addrs or 64s)", v)
+	}
+}
+
+// daysParam parses the day selection of population-building endpoints:
+// either day=N or an inclusive from=/to= range.
+func daysParam(r *http.Request) ([]int, error) {
+	q := r.URL.Query()
+	if q.Get("day") != "" {
+		d, err := requireInt(r, "day")
+		if err != nil {
+			return nil, err
+		}
+		return []int{d}, nil
+	}
+	if q.Get("from") == "" || q.Get("to") == "" {
+		return nil, fmt.Errorf("missing day selection: give day=N or from=N&to=N")
+	}
+	from, err := requireInt(r, "from")
+	if err != nil {
+		return nil, err
+	}
+	to, err := requireInt(r, "to")
+	if err != nil {
+		return nil, err
+	}
+	if to < from || to-from+1 > maxDayRange {
+		return nil, fmt.Errorf("bad day range [%d,%d] (want from <= to, at most %d days)", from, to, maxDayRange)
+	}
+	days := make([]int, 0, to-from+1)
+	for d := from; d <= to; d++ {
+		days = append(days, d)
+	}
+	return days, nil
+}
+
+// optsParam parses the stability window (window=N means the paper-style
+// (-Nd,+Nd) window, default 7).
+func optsParam(r *http.Request) (temporal.Options, int, error) {
+	window, err := intParam(r, "window", 7)
+	if err != nil || window <= 0 {
+		return temporal.Options{}, 0, fmt.Errorf("parameter window: want a positive day count")
+	}
+	return temporal.Options{Window: temporal.Window{Before: window, After: window}}, window, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"uptimeSec": int(time.Since(s.started).Seconds()),
+		"snapshots": s.Names(),
+		"cache": map[string]uint64{
+			"entries": uint64(s.cache.Len()),
+			"hits":    hits,
+			"misses":  misses,
+		},
+	})
+}
+
+type metaResponse struct {
+	Snapshot   string `json:"snapshot"`
+	Source     string `json:"source"`
+	Epoch      uint64 `json:"epoch"`
+	LoadedAt   string `json:"loadedAt"`
+	StudyDays  int    `json:"studyDays"`
+	Addresses  int    `json:"addresses"`
+	Prefixes64 int    `json:"prefixes64"`
+}
+
+func metaOf(snap *Snapshot) metaResponse {
+	return metaResponse{
+		Snapshot:   snap.Name,
+		Source:     snap.Source,
+		Epoch:      snap.Epoch,
+		LoadedAt:   snap.LoadedAt.UTC().Format(time.RFC3339),
+		StudyDays:  snap.Analyzer.StudyDays(),
+		Addresses:  snap.Analyzer.Keys(core.Addresses),
+		Prefixes64: snap.Analyzer.Keys(core.Prefixes64),
+	}
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	writeJSON(w, http.StatusOK, metaOf(snap))
+}
+
+type summaryResponse struct {
+	Day     int            `json:"day"`
+	Total   int            `json:"total"`
+	Native  int            `json:"native"`
+	Addrs64 int            `json:"addrs64"`
+	MACs    int            `json:"macs"`
+	ByKind  map[string]int `json:"byKind"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	day, err := requireInt(r, "day")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sum := snap.Analyzer.Summary(day)
+	resp := summaryResponse{
+		Day:     sum.Day,
+		Total:   sum.Total,
+		Native:  sum.Native,
+		Addrs64: sum.Addrs64,
+		MACs:    sum.MACs,
+		ByKind:  make(map[string]int, len(sum.ByKind)),
+	}
+	for k, n := range sum.ByKind {
+		resp.ByKind[k.String()] = n
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type stabilityResponse struct {
+	Pop       string `json:"pop"`
+	Ref       int    `json:"ref"`
+	N         int    `json:"n"`
+	Window    int    `json:"window"`
+	Weekly    bool   `json:"weekly"`
+	Active    int    `json:"active"`
+	Stable    int    `json:"stable"`
+	NotStable int    `json:"notStable"`
+}
+
+func (s *Server) handleStability(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	pop, popName, err := popParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ref, err := requireInt(r, "ref")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, err := intParam(r, "n", 3)
+	if err != nil || n <= 0 {
+		writeErr(w, http.StatusBadRequest, "parameter n: want a positive day count")
+		return
+	}
+	opts, window, err := optsParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	weekly := r.URL.Query().Get("weekly") == "true"
+	if weekly {
+		// Weekly classification follows the snapshot's configured window
+		// (the paper's ±7d); the window parameter applies to daily
+		// classification only, so zero it rather than echo (and cache
+		// under) a value that did not shape the result.
+		window = 0
+	}
+	key := fmt.Sprintf("stability?pop=%s&ref=%d&n=%d&window=%d&weekly=%v", popName, ref, n, window, weekly)
+	s.cached(w, snap, key, func() any {
+		resp := stabilityResponse{Pop: popName, Ref: ref, N: n, Window: window, Weekly: weekly}
+		if weekly {
+			st := snap.Analyzer.WeeklyStability(pop, ref, n)
+			resp.Active, resp.Stable, resp.NotStable = st.Active, st.Stable, st.NotStable
+		} else {
+			st := snap.Analyzer.StabilityWith(pop, ref, n, opts)
+			resp.Active, resp.Stable, resp.NotStable = st.Active, st.Stable, st.NotStable
+		}
+		return resp
+	})
+}
+
+type lookupResponse struct {
+	Addr           string          `json:"addr,omitempty"`
+	Kind           string          `json:"kind,omitempty"`
+	Prefix         string          `json:"prefix,omitempty"`
+	Address        *core.KeyReport `json:"address,omitempty"`
+	Prefix64       core.KeyReport  `json:"prefix64"`
+	Stable         *bool           `json:"stable,omitempty"`
+	Prefix64Stable *bool           `json:"prefix64Stable,omitempty"`
+}
+
+// handleLookup is the per-prefix point lookup: format classification,
+// temporal availability/volatility, and (when ref is given) nd-stability,
+// for an address and its /64, or for a bare /64.
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	n, err := intParam(r, "n", 3)
+	if err != nil || n <= 0 {
+		writeErr(w, http.StatusBadRequest, "parameter n: want a positive day count")
+		return
+	}
+	opts, _, err := optsParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hasRef := q.Get("ref") != ""
+	ref, err := intParam(r, "ref", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	switch {
+	case q.Get("addr") != "":
+		a, err := ipaddr.ParseAddr(q.Get("addr"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "parameter addr: %v", err)
+			return
+		}
+		lk := snap.Analyzer.LookupAddr(a)
+		resp := lookupResponse{
+			Addr:     lk.Addr.String(),
+			Kind:     lk.Kind.String(),
+			Prefix:   ipaddr.PrefixFrom(a, 64).String(),
+			Address:  &lk.Report,
+			Prefix64: lk.Prefix64,
+		}
+		if hasRef {
+			st := snap.Analyzer.AddrStable(a, ref, n, opts)
+			p64st := snap.Analyzer.Prefix64Stable(ipaddr.PrefixFrom(a, 64), ref, n, opts)
+			resp.Stable, resp.Prefix64Stable = &st, &p64st
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case q.Get("p64") != "":
+		p, err := ipaddr.ParsePrefix(q.Get("p64"))
+		switch {
+		case err == nil && p.Bits() != 64:
+			// The census keys /64s only; answering a /48 or /56 question
+			// with the /64 of its base address would be a different key.
+			writeErr(w, http.StatusBadRequest, "parameter p64: want a /64 prefix, got /%d", p.Bits())
+			return
+		case err != nil:
+			a, aerr := ipaddr.ParseAddr(q.Get("p64"))
+			if aerr != nil {
+				writeErr(w, http.StatusBadRequest, "parameter p64: %v", err)
+				return
+			}
+			p = ipaddr.PrefixFrom(a, 64)
+		}
+		p = ipaddr.PrefixFrom(p.Addr(), 64)
+		resp := lookupResponse{
+			Prefix:   p.String(),
+			Prefix64: snap.Analyzer.LookupPrefix64(p),
+		}
+		if hasRef {
+			p64st := snap.Analyzer.Prefix64Stable(p, ref, n, opts)
+			resp.Prefix64Stable = &p64st
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeErr(w, http.StatusBadRequest, "missing lookup key: give addr= or p64=")
+	}
+}
+
+type denseResponse struct {
+	N        uint64   `json:"n"`
+	P        int      `json:"p"`
+	Least    bool     `json:"leastSpecific"`
+	Days     []int    `json:"days"`
+	Prefixes int      `json:"prefixes"`
+	Covered  uint64   `json:"coveredAddresses"`
+	Possible float64  `json:"possibleAddresses"`
+	Density  float64  `json:"density"`
+	Examples []string `json:"examples,omitempty"`
+}
+
+// maxExamples caps the example prefixes (dense) and rows (topk) a cached
+// sweep retains; requested limits beyond it are clamped. Keeping limit/k
+// out of the cache key means a client iterating them cannot force the
+// expensive sweep to recompute.
+const maxExamples = 100
+
+// handleDense runs the n@/p-dense classification (optionally the densify
+// least-specific sweep) over the population of the selected days. This is
+// the service's most expensive query, so the sweep is cached under a
+// limit-free key (with maxExamples examples) and the requested limit is
+// applied at render time.
+func (s *Server) handleDense(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	days, err := daysParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, err := intParam(r, "n", 2)
+	if err != nil || n <= 0 {
+		writeErr(w, http.StatusBadRequest, "parameter n: want a positive count")
+		return
+	}
+	p, err := intParam(r, "p", 112)
+	if err != nil || p < 0 || p > 128 {
+		writeErr(w, http.StatusBadRequest, "parameter p: want a prefix length in [0,128]")
+		return
+	}
+	limit, err := intParam(r, "limit", 20)
+	if err != nil || limit < 0 {
+		writeErr(w, http.StatusBadRequest, "parameter limit: want a non-negative count")
+		return
+	}
+	if limit > maxExamples {
+		limit = maxExamples
+	}
+	least := r.URL.Query().Get("least") == "true"
+	key := fmt.Sprintf("dense?n=%d&p=%d&least=%v&days=%s", n, p, least, daysKey(days))
+	// The hot path serves the per-limit rendered body directly; a miss
+	// derives it from the limit-free cached sweep, so neither path
+	// recomputes and repeat queries skip the decode entirely.
+	renderKey := snapKey(snap, fmt.Sprintf("%s&limit=%d", key, limit))
+	if body, ok := s.cache.Get(renderKey); ok {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	body, err := s.cachedBody(snap, key, func() any {
+		set := snap.Analyzer.NativeSet(days...)
+		cls := spatial.DensityClass{N: uint64(n), P: p}
+		var res spatial.DensityResult
+		if least {
+			res = set.DenseLeastSpecific(cls)
+		} else {
+			res = set.DenseFixed(cls)
+		}
+		resp := denseResponse{
+			N: uint64(n), P: p, Least: least, Days: days,
+			Prefixes: len(res.Prefixes),
+			Covered:  res.CoveredAddresses,
+			Possible: res.PossibleAddresses,
+			Density:  res.Density(),
+		}
+		_, examples := spatial.ScanTargets(res, maxExamples)
+		for _, ex := range examples {
+			resp.Examples = append(resp.Examples, ex.String())
+		}
+		return resp
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encoding response")
+		return
+	}
+	var resp denseResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		writeErr(w, http.StatusInternalServerError, "decoding cached response")
+		return
+	}
+	if len(resp.Examples) > limit {
+		resp.Examples = resp.Examples[:limit]
+	}
+	rendered, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encoding response")
+		return
+	}
+	s.cache.Put(renderKey, rendered)
+	writeBody(w, http.StatusOK, rendered)
+}
+
+type topkRow struct {
+	Prefix string `json:"prefix"`
+	Count  uint64 `json:"count"`
+}
+
+type topkResponse struct {
+	Pop      string    `json:"pop"`
+	P        int       `json:"p"`
+	K        int       `json:"k"`
+	Days     []int     `json:"days"`
+	Occupied int       `json:"occupied"`
+	Rows     []topkRow `json:"rows"`
+}
+
+// handleTopK returns the k most populated /p aggregates of the selected
+// days' population. Like dense, the aggregate sweep is cached under a
+// k-free key (with maxExamples rows) and k is applied at render time.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	pop, popName, err := popParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	days, err := daysParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := intParam(r, "p", 48)
+	if err != nil || p < 0 || p > 128 {
+		writeErr(w, http.StatusBadRequest, "parameter p: want a prefix length in [0,128]")
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil || k <= 0 {
+		writeErr(w, http.StatusBadRequest, "parameter k: want a positive count")
+		return
+	}
+	if k > maxExamples {
+		k = maxExamples
+	}
+	key := fmt.Sprintf("topk?pop=%s&p=%d&days=%s", popName, p, daysKey(days))
+	renderKey := snapKey(snap, fmt.Sprintf("%s&k=%d", key, k))
+	if body, ok := s.cache.Get(renderKey); ok {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	body, err := s.cachedBody(snap, key, func() any {
+		all := snap.Analyzer.TopAggregates(pop, p, 0, days...)
+		resp := topkResponse{Pop: popName, P: p, Days: days, Occupied: len(all), Rows: []topkRow{}}
+		for i, agg := range all {
+			if i >= maxExamples {
+				break
+			}
+			resp.Rows = append(resp.Rows, topkRow{Prefix: agg.Prefix.String(), Count: agg.Count})
+		}
+		return resp
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encoding response")
+		return
+	}
+	var resp topkResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		writeErr(w, http.StatusInternalServerError, "decoding cached response")
+		return
+	}
+	resp.K = k
+	if len(resp.Rows) > k {
+		resp.Rows = resp.Rows[:k]
+	}
+	rendered, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encoding response")
+		return
+	}
+	s.cache.Put(renderKey, rendered)
+	writeBody(w, http.StatusOK, rendered)
+}
+
+type overlapResponse struct {
+	Pop    string `json:"pop"`
+	Ref    int    `json:"ref"`
+	Before int    `json:"before"`
+	After  int    `json:"after"`
+	Series []int  `json:"series"`
+}
+
+func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	pop, popName, err := popParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ref, err := requireInt(r, "ref")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	before, err := intParam(r, "before", 7)
+	if err != nil || before < 0 || before > maxDayRange {
+		writeErr(w, http.StatusBadRequest, "parameter before: want a day count in [0,%d]", maxDayRange)
+		return
+	}
+	after, err := intParam(r, "after", 7)
+	if err != nil || after < 0 || after > maxDayRange {
+		writeErr(w, http.StatusBadRequest, "parameter after: want a day count in [0,%d]", maxDayRange)
+		return
+	}
+	key := fmt.Sprintf("overlap?pop=%s&ref=%d&before=%d&after=%d", popName, ref, before, after)
+	s.cached(w, snap, key, func() any {
+		return overlapResponse{
+			Pop: popName, Ref: ref, Before: before, After: after,
+			Series: snap.Analyzer.OverlapSeries(pop, ref, before, after),
+		}
+	})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	if s.lab == nil {
+		writeErr(w, http.StatusNotFound, "experiments disabled: server started without a lab")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.DriverNames()})
+}
+
+type experimentResponse struct {
+	Name      string `json:"name"`
+	ElapsedMS int64  `json:"elapsedMs"`
+	Output    string `json:"output"`
+}
+
+// handleExperiment regenerates one named table/figure driver per-request
+// against the server's lab, caching the rendered result.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if s.lab == nil {
+		writeErr(w, http.StatusNotFound, "experiments disabled: server started without a lab")
+		return
+	}
+	name := r.PathValue("name")
+	if _, ok := experiments.FindDriver(name); !ok {
+		writeErr(w, http.StatusNotFound, "unknown experiment %q (see /v1/experiments)", name)
+		return
+	}
+	// The lab is static for the server's lifetime, so the key carries no
+	// snapshot epoch.
+	s.cached(w, nil, "experiment?name="+name, func() any {
+		res, err := experiments.RunDriver(s.lab, name)
+		if err != nil {
+			return experimentResponse{Name: name, Output: err.Error()}
+		}
+		return experimentResponse{Name: res.Name, ElapsedMS: res.Elapsed.Milliseconds(), Output: res.Output}
+	})
+}
+
+// handleReload atomically swaps in a fresh generation of the named
+// snapshot (default: the default snapshot) from ?path=, or from the
+// snapshot's recorded source when path is omitted. In-flight requests keep
+// the generation they resolved at dispatch. When an admin token is
+// configured every reload requires it (a reload is a full load + cache
+// invalidation, too expensive to hand to anonymous clients); without one,
+// source-only reloads are open — the dev/demo posture — and explicit
+// paths are refused outright.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("snap")
+	path := q.Get("path")
+	if s.adminToken != "" {
+		// Header only: a token in the URL would leak into access logs.
+		bearer := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !tokenOK(bearer, s.adminToken) {
+			writeErr(w, http.StatusForbidden, "reload requires the admin token (Authorization: Bearer)")
+			return
+		}
+	} else if path != "" {
+		writeErr(w, http.StatusForbidden, "reload with an explicit path requires the server to be started with an admin token")
+		return
+	}
+	snap, err := s.Reload(name, path)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, metaOf(snap))
+}
+
+// tokenOK compares a presented token in constant time.
+func tokenOK(got, want string) bool {
+	return got != "" && subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}
+
+// daysKey canonicalizes a day list for cache keys.
+func daysKey(days []int) string {
+	parts := make([]string, len(days))
+	for i, d := range days {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
+}

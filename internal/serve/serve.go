@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"v6class/internal/core"
+	"v6class/internal/experiments"
+)
+
+// Snapshot is one frozen census being served: an immutable analysis engine
+// plus the metadata a client needs to reason about what it is querying.
+// Every field is written once, before the snapshot is published; after
+// publication a Snapshot is read-only and may be shared by any number of
+// in-flight requests.
+type Snapshot struct {
+	// Name is the registry key clients select with ?snap=.
+	Name string
+	// Source is the file the snapshot was loaded from; Reload re-reads
+	// it. Generated snapshots (Install with an empty source) have no
+	// file and cannot be source-reloaded.
+	Source string
+	// Epoch is the server-unique, monotonically increasing load
+	// generation. It keys the result cache and lets clients detect swaps.
+	Epoch uint64
+	// LoadedAt is when this generation was installed.
+	LoadedAt time.Time
+	// Analyzer is the frozen engine answering every query.
+	Analyzer core.Analyzer
+}
+
+// snapTable is the immutable snapshot registry generation: readers load it
+// with one atomic pointer read; writers build a new table and swap it in.
+type snapTable struct {
+	byName map[string]*Snapshot
+	names  []string  // sorted, for stable listings
+	def    *Snapshot // most recently installed; serves unqualified queries
+}
+
+// Options configures a Server.
+type Options struct {
+	// CacheEntries bounds the result cache; 0 means the default (4096).
+	CacheEntries int
+	// Lab, when non-nil, enables the /v1/experiments endpoints: every
+	// registered experiment driver becomes callable per-request (with
+	// cached results) against this lab.
+	Lab *experiments.Lab
+	// AdminToken, when non-empty, is required (Authorization: Bearer
+	// TOKEN) for every /v1/reload. Without a token configured, reloads
+	// may only re-read a snapshot's recorded source — a client can
+	// refresh data but never point the server at an arbitrary
+	// server-side file.
+	AdminToken string
+}
+
+// Server is a concurrent read-only query service over frozen census
+// snapshots. Construct with New, install at least one snapshot with
+// LoadFile or Install, and serve Handler.
+//
+// Concurrency model: the snapshot registry is an atomic pointer to an
+// immutable table (RCU). A request resolves its *Snapshot once, at
+// dispatch, and uses that engine for its whole lifetime; Reload builds a
+// new table around a freshly loaded engine and swaps the pointer, so
+// in-flight requests keep their generation and never observe a partial
+// swap. Old generations are garbage-collected when the last request
+// holding them returns.
+type Server struct {
+	mu         sync.Mutex // serializes installs/reloads (readers never take it)
+	snaps      atomic.Pointer[snapTable]
+	nextEpoch  atomic.Uint64
+	cache      *Cache
+	lab        *experiments.Lab
+	adminToken string
+	started    time.Time
+}
+
+// New returns an empty Server; install a snapshot before serving.
+func New(opts Options) *Server {
+	s := &Server{
+		cache:      newCache(opts.CacheEntries),
+		lab:        opts.Lab,
+		adminToken: opts.AdminToken,
+		started:    time.Now(),
+	}
+	s.snaps.Store(&snapTable{byName: map[string]*Snapshot{}})
+	return s
+}
+
+// LoadFile reads a census snapshot file (written by Census.WriteTo or
+// ShardedCensus.WriteTo — the format is engine-agnostic), freezes it into
+// the concurrent engine, and installs it under name. Loading the same name
+// again atomically replaces the prior generation without disturbing
+// in-flight requests.
+func (s *Server) LoadFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("serve: loading snapshot %q: %w", name, err)
+	}
+	defer f.Close()
+	c, err := core.ReadShardedCensus(f)
+	if err != nil {
+		return fmt.Errorf("serve: loading snapshot %q from %s: %w", name, path, err)
+	}
+	c.Freeze()
+	s.Install(name, path, c)
+	return nil
+}
+
+// Install publishes an already built analyzer under name. The analyzer
+// must be immutable from here on (a frozen ShardedCensus, or a Census that
+// will never see another AddDay).
+func (s *Server) Install(name, source string, a core.Analyzer) *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The epoch is allocated inside the install lock so published
+	// generations are strictly monotonic even under concurrent reloads.
+	snap := &Snapshot{
+		Name:     name,
+		Source:   source,
+		Epoch:    s.nextEpoch.Add(1),
+		LoadedAt: time.Now(),
+		Analyzer: a,
+	}
+	old := s.snaps.Load()
+	next := &snapTable{byName: make(map[string]*Snapshot, len(old.byName)+1), def: snap}
+	for n, sn := range old.byName {
+		next.byName[n] = sn
+	}
+	// Replacing an already installed non-default snapshot keeps the
+	// current default: a reload of a secondary must not flip which
+	// dataset serves unqualified queries. A genuinely new name (or a new
+	// generation of the default itself) becomes the default.
+	if existing, ok := old.byName[name]; ok && old.def != nil && old.def != existing {
+		next.def = old.def
+	}
+	next.byName[name] = snap
+	next.names = make([]string, 0, len(next.byName))
+	for n := range next.byName {
+		next.names = append(next.names, n)
+	}
+	sort.Strings(next.names)
+	s.snaps.Store(next)
+	return snap
+}
+
+// Reload re-reads the named snapshot from the given path (or, when path is
+// empty, from the snapshot's recorded source) and swaps the new generation
+// in. Only installed snapshots can be reloaded — an unknown name is an
+// error, never a quiet install under a typo. On any error the current
+// generation keeps serving.
+func (s *Server) Reload(name, path string) (*Snapshot, error) {
+	t := s.snaps.Load()
+	snap := t.byName[name]
+	if name == "" {
+		snap = t.def
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("serve: no snapshot %q to reload", name)
+	}
+	if path == "" {
+		if snap.Source == "" {
+			return nil, fmt.Errorf("serve: snapshot %q is generated and has no file source to reload", snap.Name)
+		}
+		path = snap.Source
+	}
+	if err := s.LoadFile(snap.Name, path); err != nil {
+		return nil, err
+	}
+	return s.Snapshot(snap.Name), nil
+}
+
+// Snapshot resolves a snapshot by name; the empty name selects the
+// default (most recently installed). It returns nil when absent.
+func (s *Server) Snapshot(name string) *Snapshot {
+	t := s.snaps.Load()
+	if name == "" {
+		return t.def
+	}
+	return t.byName[name]
+}
+
+// Names returns the sorted installed snapshot names.
+func (s *Server) Names() []string {
+	return s.snaps.Load().names
+}
+
+// Handler returns the HTTP API; see doc.go for the endpoint reference.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/meta", s.snapshotHandler(s.handleMeta))
+	mux.HandleFunc("GET /v1/summary", s.snapshotHandler(s.handleSummary))
+	mux.HandleFunc("GET /v1/stability", s.snapshotHandler(s.handleStability))
+	mux.HandleFunc("GET /v1/lookup", s.snapshotHandler(s.handleLookup))
+	mux.HandleFunc("GET /v1/dense", s.snapshotHandler(s.handleDense))
+	mux.HandleFunc("GET /v1/topk", s.snapshotHandler(s.handleTopK))
+	mux.HandleFunc("GET /v1/overlap", s.snapshotHandler(s.handleOverlap))
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	return mux
+}

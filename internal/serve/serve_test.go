@@ -1,0 +1,624 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"v6class/internal/core"
+	"v6class/internal/experiments"
+	"v6class/internal/ipaddr"
+	"v6class/internal/spatial"
+	"v6class/internal/synth"
+	"v6class/internal/temporal"
+)
+
+// buildCensus ingests the synthetic world's days [from, to] sequentially.
+func buildCensus(t testing.TB, from, to int) *core.Census {
+	t.Helper()
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.01, StudyDays: 30})
+	c := core.NewCensus(core.CensusConfig{StudyDays: 30})
+	for d := from; d <= to; d++ {
+		c.AddDay(w.Day(d))
+	}
+	return c
+}
+
+// writeSnapshot persists a census to a temp file and returns the path.
+func writeSnapshot(t testing.TB, c *core.Census, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// get fetches a path from the test server and decodes the JSON into out,
+// returning the response for header/status inspection.
+func get(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", path, body, err)
+		}
+	}
+	return resp
+}
+
+// TestHandlersMatchAnalyzer asserts every snapshot-backed endpoint returns
+// exactly what the underlying Analyzer computes directly.
+func TestHandlersMatchAnalyzer(t *testing.T) {
+	direct := buildCensus(t, 5, 19)
+	path := writeSnapshot(t, direct, "a.state")
+	s := New(Options{})
+	if err := s.LoadFile("a", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	t.Run("meta", func(t *testing.T) {
+		var m metaResponse
+		resp := get(t, ts, "/v1/meta", &m)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if m.StudyDays != direct.StudyDays() || m.Addresses != direct.Keys(core.Addresses) || m.Prefixes64 != direct.Keys(core.Prefixes64) {
+			t.Errorf("meta %+v disagrees with analyzer (%d days, %d addrs, %d /64s)",
+				m, direct.StudyDays(), direct.Keys(core.Addresses), direct.Keys(core.Prefixes64))
+		}
+		if resp.Header.Get("X-V6-Snapshot") != "a" {
+			t.Errorf("snapshot header %q", resp.Header.Get("X-V6-Snapshot"))
+		}
+	})
+
+	t.Run("summary", func(t *testing.T) {
+		var got summaryResponse
+		get(t, ts, "/v1/summary?day=12", &got)
+		want := direct.Summary(12)
+		if got.Total != want.Total || got.Native != want.Native || got.Addrs64 != want.Addrs64 || got.MACs != want.MACs {
+			t.Errorf("summary %+v vs direct %+v", got, want)
+		}
+		for k, n := range want.ByKind {
+			if got.ByKind[k.String()] != n {
+				t.Errorf("kind %v: %d vs %d", k, got.ByKind[k.String()], n)
+			}
+		}
+	})
+
+	t.Run("stability", func(t *testing.T) {
+		opts := temporal.Options{Window: temporal.Window{Before: 5, After: 5}}
+		for _, pop := range []struct {
+			name string
+			p    core.Population
+		}{{"addrs", core.Addresses}, {"64s", core.Prefixes64}} {
+			var got stabilityResponse
+			get(t, ts, "/v1/stability?pop="+pop.name+"&ref=12&n=3&window=5", &got)
+			want := direct.StabilityWith(pop.p, 12, 3, opts)
+			if got.Active != want.Active || got.Stable != want.Stable || got.NotStable != want.NotStable {
+				t.Errorf("pop %s: %+v vs direct %+v", pop.name, got, want)
+			}
+		}
+		var weekly stabilityResponse
+		get(t, ts, "/v1/stability?pop=addrs&ref=10&n=3&weekly=true", &weekly)
+		wantW := direct.WeeklyStability(core.Addresses, 10, 3)
+		if weekly.Active != wantW.Active || weekly.Stable != wantW.Stable {
+			t.Errorf("weekly %+v vs direct %+v", weekly, wantW)
+		}
+		// Weekly ignores window, so the response must not echo one and
+		// any window value must yield the identical (cached-once) body.
+		var weeklyW3 stabilityResponse
+		get(t, ts, "/v1/stability?pop=addrs&ref=10&n=3&weekly=true&window=3", &weeklyW3)
+		if weeklyW3.Window != 0 || weekly.Window != 0 {
+			t.Errorf("weekly responses must echo window 0, got %d and %d", weekly.Window, weeklyW3.Window)
+		}
+		if weeklyW3 != weekly {
+			t.Errorf("weekly with window=3 differs: %+v vs %+v", weeklyW3, weekly)
+		}
+	})
+
+	t.Run("lookup", func(t *testing.T) {
+		addrs := direct.AddrsActiveOn(12)
+		if len(addrs) == 0 {
+			t.Fatal("no active addresses on day 12")
+		}
+		a := addrs[0]
+		var got lookupResponse
+		get(t, ts, "/v1/lookup?addr="+a.String()+"&ref=12&n=3&window=7", &got)
+		want := direct.LookupAddr(a)
+		if got.Address == nil || !reflect.DeepEqual(*got.Address, want.Report) {
+			t.Errorf("lookup address report %+v vs direct %+v", got.Address, want.Report)
+		}
+		if !reflect.DeepEqual(got.Prefix64, want.Prefix64) {
+			t.Errorf("lookup /64 report %+v vs direct %+v", got.Prefix64, want.Prefix64)
+		}
+		if got.Kind != want.Kind.String() {
+			t.Errorf("kind %q vs %q", got.Kind, want.Kind)
+		}
+		opts := temporal.Options{Window: temporal.Window{Before: 7, After: 7}}
+		if got.Stable == nil || *got.Stable != direct.AddrStable(a, 12, 3, opts) {
+			t.Errorf("stable %v vs direct %v", got.Stable, direct.AddrStable(a, 12, 3, opts))
+		}
+
+		// Bare /64 lookup agrees with the address's prefix64 report.
+		p64 := ipaddr.PrefixFrom(a, 64)
+		var gotP lookupResponse
+		get(t, ts, "/v1/lookup?p64="+p64.String(), &gotP)
+		if !reflect.DeepEqual(gotP.Prefix64, want.Prefix64) {
+			t.Errorf("p64 lookup %+v vs direct %+v", gotP.Prefix64, want.Prefix64)
+		}
+
+		// An address the census never saw is known:false but classified.
+		var missing lookupResponse
+		get(t, ts, "/v1/lookup?addr=2001:db8:ffff:ffff::1", &missing)
+		if missing.Address == nil || missing.Address.Known {
+			t.Errorf("unknown address should report known:false, got %+v", missing.Address)
+		}
+		if missing.Kind == "" {
+			t.Error("unknown address should still be format-classified")
+		}
+	})
+
+	t.Run("dense", func(t *testing.T) {
+		var got denseResponse
+		get(t, ts, "/v1/dense?day=12&n=2&p=112", &got)
+		want := direct.NativeSet(12).DenseFixed(denseClass(2, 112))
+		if got.Prefixes != len(want.Prefixes) || got.Covered != want.CoveredAddresses || got.Density != want.Density() {
+			t.Errorf("dense %+v vs direct %d prefixes covered %d", got, len(want.Prefixes), want.CoveredAddresses)
+		}
+		var least denseResponse
+		get(t, ts, "/v1/dense?from=5&to=19&n=2&p=112&least=true", &least)
+		wantL := direct.NativeSet(rangeDays(5, 19)...).DenseLeastSpecific(denseClass(2, 112))
+		if least.Prefixes != len(wantL.Prefixes) || least.Covered != wantL.CoveredAddresses {
+			t.Errorf("densify %+v vs direct %d prefixes", least, len(wantL.Prefixes))
+		}
+	})
+
+	t.Run("topk", func(t *testing.T) {
+		var got topkResponse
+		get(t, ts, "/v1/topk?pop=addrs&p=48&k=5&day=12", &got)
+		want := direct.TopAggregates(core.Addresses, 48, 5, 12)
+		if len(got.Rows) != len(want) {
+			t.Fatalf("topk rows %d vs %d", len(got.Rows), len(want))
+		}
+		for i, row := range got.Rows {
+			if row.Prefix != want[i].Prefix.String() || row.Count != want[i].Count {
+				t.Errorf("row %d: %+v vs %v %d", i, row, want[i].Prefix, want[i].Count)
+			}
+		}
+	})
+
+	t.Run("overlap", func(t *testing.T) {
+		var got overlapResponse
+		get(t, ts, "/v1/overlap?pop=addrs&ref=12&before=5&after=5", &got)
+		want := direct.OverlapSeries(core.Addresses, 12, 5, 5)
+		if !reflect.DeepEqual(got.Series, want) {
+			t.Errorf("overlap %v vs direct %v", got.Series, want)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		for path, status := range map[string]int{
+			"/v1/summary":                             400, // missing day
+			"/v1/stability?pop=bogus":                 400,
+			"/v1/stability?pop=addrs":                 400, // missing ref
+			"/v1/lookup":                              400, // missing key
+			"/v1/lookup?addr=not-an-ip":               400,
+			"/v1/lookup?p64=2001:db8::/48":            400, // census keys /64s only
+			"/v1/stability?pop=addrs&ref=12&n=0":      400, // degenerate n
+			"/v1/lookup?addr=2001:db8::1&n=-3":        400,
+			"/v1/dense?n=2&p=112":                     400, // missing day selection
+			"/v1/dense?day=1&p=200":                   400,
+			"/v1/topk?day=1&k=0":                      400,
+			"/v1/meta?snap=nope":                      404,
+			"/v1/summary?day=12&snap=x":               404,
+			"/v1/dense?from=9&to=2&n=1":               400,
+			"/v1/overlap?pop=addrs":                   400,
+			"/v1/stability?pop=addrs&ref=2&window=-1": 400,
+		} {
+			resp := get(t, ts, path, nil)
+			if resp.StatusCode != status {
+				t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, status)
+			}
+		}
+	})
+}
+
+func denseClass(n uint64, p int) spatial.DensityClass { return spatial.DensityClass{N: n, P: p} }
+
+func rangeDays(from, to int) []int {
+	var out []int
+	for d := from; d <= to; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestCacheServesRepeatQueries asserts the second identical expensive query
+// is a cache hit with an identical body.
+func TestCacheServesRepeatQueries(t *testing.T) {
+	direct := buildCensus(t, 5, 19)
+	s := New(Options{})
+	s.Install("a", "test", direct)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const q = "/v1/dense?from=5&to=19&n=2&p=112&least=true"
+	var first, second denseResponse
+	get(t, ts, q, &first)
+	h0, _ := s.cache.Stats()
+	get(t, ts, q, &second)
+	h1, _ := s.cache.Stats()
+	if h1 != h0+1 {
+		t.Errorf("second query should hit the cache (hits %d -> %d)", h0, h1)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached response differs: %+v vs %+v", first, second)
+	}
+
+	// limit is render-only: a different limit must serve from the same
+	// cached sweep, truncated.
+	var limited denseResponse
+	get(t, ts, q+"&limit=1", &limited)
+	h2, _ := s.cache.Stats()
+	if h2 != h1+1 {
+		t.Errorf("limit variation should hit the cached sweep (hits %d -> %d)", h1, h2)
+	}
+	if len(limited.Examples) > 1 {
+		t.Errorf("limit=1 returned %d examples", len(limited.Examples))
+	}
+	if limited.Prefixes != first.Prefixes || limited.Covered != first.Covered {
+		t.Errorf("limited response changed the sweep results: %+v vs %+v", limited, first)
+	}
+
+	// k is render-only on topk the same way.
+	var top5, top2 topkResponse
+	get(t, ts, "/v1/topk?pop=addrs&p=48&k=5&day=12", &top5)
+	h3, _ := s.cache.Stats()
+	get(t, ts, "/v1/topk?pop=addrs&p=48&k=2&day=12", &top2)
+	h4, _ := s.cache.Stats()
+	if h4 != h3+1 {
+		t.Errorf("k variation should hit the cached sweep (hits %d -> %d)", h3, h4)
+	}
+	if len(top2.Rows) != 2 || top2.K != 2 || !reflect.DeepEqual(top2.Rows, top5.Rows[:2]) {
+		t.Errorf("k=2 rows %+v inconsistent with k=5 rows %+v", top2.Rows, top5.Rows)
+	}
+	if top2.Occupied != top5.Occupied {
+		t.Errorf("occupied changed with k: %d vs %d", top2.Occupied, top5.Occupied)
+	}
+}
+
+// TestConcurrentClientsWithReload is the acceptance scenario: 8 concurrent
+// clients issue queries under -race while snapshots are live-swapped via
+// /v1/reload; every response must succeed and match one of the two
+// generations exactly.
+func TestConcurrentClientsWithReload(t *testing.T) {
+	censusA := buildCensus(t, 5, 12) // generation A: days 5-12 only
+	censusB := buildCensus(t, 5, 19) // generation B: days 5-19
+	pathA := writeSnapshot(t, censusA, "a.state")
+	pathB := writeSnapshot(t, censusB, "b.state")
+
+	optsDefault := temporal.Options{Window: temporal.Window{Before: 7, After: 7}}
+	stabA := censusA.StabilityWith(core.Addresses, 12, 3, optsDefault)
+	stabB := censusB.StabilityWith(core.Addresses, 12, 3, optsDefault)
+	if stabA == stabB {
+		t.Fatal("test needs generations with distinguishable stability results")
+	}
+	sumA, sumB := censusA.Summary(15), censusB.Summary(15)
+	if sumA.Total == sumB.Total {
+		t.Fatal("test needs generations with distinguishable day-15 summaries")
+	}
+
+	s := New(Options{AdminToken: "swap-secret"})
+	if err := s.LoadFile("live", pathA); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	const perClient = 30
+	stop := make(chan struct{})
+	var wg, clientsDone sync.WaitGroup
+
+	// The reloader swaps A <-> B for the test's whole duration.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		paths := []string{pathB, pathA}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, err := http.NewRequest("POST", ts.URL+"/v1/reload?snap=live&path="+paths[i%2], nil)
+			if err != nil {
+				t.Errorf("reload request: %v", err)
+				return
+			}
+			req.Header.Set("Authorization", "Bearer swap-secret")
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("reload status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		clientsDone.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer clientsDone.Done()
+			for i := 0; i < perClient; i++ {
+				switch i % 2 {
+				case 0:
+					var got stabilityResponse
+					resp := get(t, ts, "/v1/stability?pop=addrs&ref=12&n=3&window=7", &got)
+					if resp.StatusCode != 200 {
+						t.Errorf("client %d: stability status %d", c, resp.StatusCode)
+						return
+					}
+					gotSplit := [3]int{got.Active, got.Stable, got.NotStable}
+					wantA := [3]int{stabA.Active, stabA.Stable, stabA.NotStable}
+					wantB := [3]int{stabB.Active, stabB.Stable, stabB.NotStable}
+					if gotSplit != wantA && gotSplit != wantB {
+						t.Errorf("client %d: stability %v matches neither generation %v / %v", c, gotSplit, wantA, wantB)
+						return
+					}
+				case 1:
+					var got summaryResponse
+					resp := get(t, ts, "/v1/summary?day=15", &got)
+					if resp.StatusCode != 200 {
+						t.Errorf("client %d: summary status %d", c, resp.StatusCode)
+						return
+					}
+					if got.Total != sumA.Total && got.Total != sumB.Total {
+						t.Errorf("client %d: summary total %d matches neither %d / %d", c, got.Total, sumA.Total, sumB.Total)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Stop the reloader once every client has finished; clientsDone counts
+	// only the client goroutines (the reloader exits via stop).
+	clientsDone.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// TestReloadKeepsDefaultAndRejectsUnknown covers the registry semantics:
+// reloading a secondary snapshot must not steal the default, and a typoed
+// name must never quietly install a new snapshot.
+func TestReloadKeepsDefaultAndRejectsUnknown(t *testing.T) {
+	pathA := writeSnapshot(t, buildCensus(t, 5, 9), "a.state")
+	pathB := writeSnapshot(t, buildCensus(t, 5, 19), "b.state")
+	s := New(Options{AdminToken: "secret"})
+	if err := s.LoadFile("secondary", pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadFile("primary", pathB); err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshot("").Name != "primary" {
+		t.Fatalf("default should be the most recently installed, got %q", s.Snapshot("").Name)
+	}
+	if _, err := s.Reload("secondary", ""); err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshot("").Name != "primary" {
+		t.Errorf("reloading a secondary stole the default: %q", s.Snapshot("").Name)
+	}
+	// A fresh generation of the default itself stays the default.
+	if _, err := s.Reload("primary", ""); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Snapshot(""); d.Name != "primary" || d.Epoch <= 2 {
+		t.Errorf("default after self-reload: %q epoch %d", d.Name, d.Epoch)
+	}
+
+	// Unknown name + explicit path must error, not install "liev".
+	if _, err := s.Reload("liev", pathA); err == nil {
+		t.Fatal("reload of an unknown name should fail")
+	}
+	if s.Snapshot("liev") != nil {
+		t.Error("failed reload installed a snapshot under the typoed name")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	post := func(path, token string) int {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/v1/reload?snap=liev&path="+pathA, "secret"); code != 400 {
+		t.Errorf("HTTP reload of unknown name: status %d, want 400", code)
+	}
+	// With a token configured, every reload requires it — via the
+	// Authorization header only, never the URL.
+	if code := post("/v1/reload?snap=primary&path="+pathA, ""); code != 403 {
+		t.Errorf("unauthenticated path reload: status %d, want 403", code)
+	}
+	if code := post("/v1/reload?snap=primary&path="+pathA, "wrong"); code != 403 {
+		t.Errorf("wrong-token path reload: status %d, want 403", code)
+	}
+	if code := post("/v1/reload?snap=primary&token=secret", ""); code != 403 {
+		t.Errorf("URL token must not authorize: status %d, want 403", code)
+	}
+	if code := post("/v1/reload?snap=primary", ""); code != 403 {
+		t.Errorf("tokenless source reload with token configured: status %d, want 403", code)
+	}
+	if code := post("/v1/reload?snap=primary", "secret"); code != 200 {
+		t.Errorf("authorized source reload: status %d, want 200", code)
+	}
+	if code := post("/v1/reload?snap=primary&path="+pathA, "secret"); code != 200 {
+		t.Errorf("authorized path reload: status %d, want 200", code)
+	}
+	// A generated snapshot (no file source) cannot be source-reloaded.
+	s.Install("gen", "", buildCensus(t, 5, 6))
+	if code := post("/v1/reload?snap=gen", "secret"); code != 400 {
+		t.Errorf("source reload of a generated snapshot: status %d, want 400", code)
+	}
+}
+
+// TestReloadPathNeedsTokenConfigured asserts explicit-path reloads are
+// refused outright when the server has no admin token.
+func TestReloadPathNeedsTokenConfigured(t *testing.T) {
+	path := writeSnapshot(t, buildCensus(t, 5, 9), "a.state")
+	s := New(Options{})
+	if err := s.LoadFile("live", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/reload?snap=live&path="+path, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 403 {
+		t.Errorf("path reload without configured token: status %d, want 403", resp.StatusCode)
+	}
+	// Source-only reload stays available.
+	resp, err = ts.Client().Post(ts.URL+"/v1/reload?snap=live", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("source-only reload: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReloadFailureKeepsServing asserts a bad reload leaves the current
+// generation untouched.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	direct := buildCensus(t, 5, 12)
+	path := writeSnapshot(t, direct, "a.state")
+	s := New(Options{AdminToken: "secret"})
+	if err := s.LoadFile("live", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	before := get(t, ts, "/v1/meta", nil).Header.Get("X-V6-Epoch")
+	req, err := http.NewRequest("POST", ts.URL+"/v1/reload?snap=live&path=/does/not/exist", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer secret")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad reload status %d, want 400", resp.StatusCode)
+	}
+	after := get(t, ts, "/v1/meta", nil)
+	if after.StatusCode != 200 || after.Header.Get("X-V6-Epoch") != before {
+		t.Errorf("failed reload changed the serving generation (%s -> %s)", before, after.Header.Get("X-V6-Epoch"))
+	}
+}
+
+// TestExperimentsEndpoint runs one driver per-request through the server
+// and compares with a direct RunDriver call.
+func TestExperimentsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment regeneration in -short mode")
+	}
+	lab := experiments.NewLab(synthTestConfig())
+	s := New(Options{Lab: lab})
+	s.Install("demo", "demo", buildCensus(t, 5, 12))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var list struct {
+		Experiments []string `json:"experiments"`
+	}
+	get(t, ts, "/v1/experiments", &list)
+	if len(list.Experiments) == 0 {
+		t.Fatal("no experiments listed")
+	}
+
+	var got experimentResponse
+	resp := get(t, ts, "/v1/experiments/table1", &got)
+	if resp.StatusCode != 200 {
+		t.Fatalf("experiment status %d", resp.StatusCode)
+	}
+	want, err := experiments.RunDriver(lab, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != want.Output {
+		t.Errorf("served experiment output differs from direct run:\n%s\nvs\n%s", got.Output, want.Output)
+	}
+
+	if resp := get(t, ts, "/v1/experiments/bogus", nil); resp.StatusCode != 404 {
+		t.Errorf("unknown experiment status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestExperimentsDisabled asserts the endpoints 404 without a lab.
+func TestExperimentsDisabled(t *testing.T) {
+	s := New(Options{})
+	s.Install("a", "test", buildCensus(t, 5, 6))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp := get(t, ts, "/v1/experiments", nil); resp.StatusCode != 404 {
+		t.Errorf("experiments without lab: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func synthTestConfig() synth.Config {
+	return synth.Config{Seed: 7, Scale: 0.002}
+}

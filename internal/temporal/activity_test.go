@@ -1,0 +1,73 @@
+package temporal
+
+import "testing"
+
+func TestBitSetRuns(t *testing.T) {
+	for _, tc := range []struct {
+		days []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{5}, 1},
+		{[]int{5, 6, 7}, 1},
+		{[]int{5, 7, 9}, 3},
+		{[]int{0, 1, 2, 10, 11, 30}, 3},
+		{[]int{63, 64}, 1}, // run across a word boundary
+		{[]int{63, 65}, 2}, // gap at the word boundary
+		{[]int{0, 63, 64, 127}, 3},
+	} {
+		b := NewBitSet(128)
+		for _, d := range tc.days {
+			b.Set(d)
+		}
+		if got := b.Runs(); got != tc.want {
+			t.Errorf("Runs(%v) = %d, want %d", tc.days, got, tc.want)
+		}
+	}
+}
+
+func TestStoreActivity(t *testing.T) {
+	s := NewStore[string](30)
+	if _, ok := s.Activity("nobody"); ok {
+		t.Error("unknown key should report no activity")
+	}
+	for _, d := range []Day{3, 4, 5, 9, 20, 21} {
+		s.Observe("k", d)
+	}
+	act, ok := s.Activity("k")
+	if !ok {
+		t.Fatal("observed key should report activity")
+	}
+	want := Activity{First: 3, Last: 21, ActiveDays: 6, Runs: 3}
+	if act != want {
+		t.Errorf("Activity = %+v, want %+v", act, want)
+	}
+	if act.SpanDays() != 19 {
+		t.Errorf("SpanDays = %d, want 19", act.SpanDays())
+	}
+	if got := act.Availability(); got != 6.0/19 {
+		t.Errorf("Availability = %v, want %v", got, 6.0/19)
+	}
+	if got := act.Volatility(); got != 3.0/19 {
+		t.Errorf("Volatility = %v, want %v", got, 3.0/19)
+	}
+}
+
+func TestShardedActivityMatchesStore(t *testing.T) {
+	plain := NewStore[int](60)
+	sharded := NewShardedStoreN(60, 8, func(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 })
+	for k := 0; k < 200; k++ {
+		for d := 0; d < 60; d += 1 + k%7 {
+			plain.Observe(k, Day(d))
+			sharded.Observe(k, Day(d))
+		}
+	}
+	sharded.Freeze()
+	for k := 0; k < 200; k++ {
+		a, aok := plain.Activity(k)
+		b, bok := sharded.Activity(k) // lock-free: the store is frozen
+		if aok != bok || a != b {
+			t.Fatalf("key %d: store %+v/%v vs sharded %+v/%v", k, a, aok, b, bok)
+		}
+	}
+}

@@ -103,6 +103,21 @@ func (b *BitSet) Last(to int) int {
 	return -1
 }
 
+// Runs returns the number of maximal contiguous runs of active days: 1 for
+// a continuously active key, approaching half the span for day-on/day-off
+// flicker, 0 for an empty set.
+func (b *BitSet) Runs() int {
+	runs := 0
+	carry := uint64(0) // bit 63 of the previous word, shifted into bit 0
+	for _, w := range b.w {
+		// A run starts at every set bit whose predecessor is clear.
+		starts := w &^ (w<<1 | carry)
+		runs += bits.OnesCount64(starts)
+		carry = w >> 63
+	}
+	return runs
+}
+
 // maskLow returns a uint64 with the low n bits set (n in [0,64]).
 func maskLow(n int) uint64 {
 	if n >= 64 {

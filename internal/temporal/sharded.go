@@ -256,6 +256,15 @@ func (s *ShardedStore[K]) Days(k K) []Day {
 	return out
 }
 
+// Activity returns the activity profile of k. Like every point query it
+// touches only k's shard: under its lock before Freeze, lock-free after.
+func (s *ShardedStore[K]) Activity(k K) (Activity, bool) {
+	var out Activity
+	var ok bool
+	s.withShard(k, func(st *Store[K]) { out, ok = st.Activity(k) })
+	return out, ok
+}
+
 // NDStable reports whether k is nd-stable with respect to ref under opts.
 func (s *ShardedStore[K]) NDStable(k K, ref Day, n int, opts Options) bool {
 	var out bool

@@ -95,6 +95,57 @@ func (s *Store[K]) Days(k K) []Day {
 	return out
 }
 
+// Activity is the temporal activity profile of one key: its extent within
+// the study period, how many days it was observed, and in how many maximal
+// contiguous runs those observations cluster. It is the point-query result
+// behind per-prefix availability and volatility reporting.
+type Activity struct {
+	First, Last Day // first and last active day
+	ActiveDays  int // distinct active days
+	Runs        int // maximal contiguous runs of active days
+}
+
+// SpanDays returns the inclusive length of the activity span.
+func (a Activity) SpanDays() int { return int(a.Last-a.First) + 1 }
+
+// Availability returns the fraction of the span's days the key was active,
+// in (0, 1]: 1 for continuously active keys.
+func (a Activity) Availability() float64 {
+	if a.ActiveDays == 0 {
+		return 0
+	}
+	return float64(a.ActiveDays) / float64(a.SpanDays())
+}
+
+// Volatility returns the key's activity fragmentation: runs per day of
+// span, in (0, 1]. A continuously active key scores 1/span (low); perfect
+// day-on/day-off flicker approaches 1/2; a single-day key scores 1.
+func (a Activity) Volatility() float64 {
+	if a.ActiveDays == 0 {
+		return 0
+	}
+	return float64(a.Runs) / float64(a.SpanDays())
+}
+
+// Activity returns the activity profile of k; ok is false when k was never
+// observed.
+func (s *Store[K]) Activity(k K) (Activity, bool) {
+	b := s.keys[k]
+	if b == nil {
+		return Activity{}, false
+	}
+	first := b.First(0)
+	if first < 0 {
+		return Activity{}, false
+	}
+	return Activity{
+		First:      Day(first),
+		Last:       Day(b.Last(s.numDays - 1)),
+		ActiveDays: b.Count(),
+		Runs:       b.Runs(),
+	}, true
+}
+
 // Window is a sliding observation window around a reference day, expressed
 // as day offsets: the paper's "(-7d,+7d)" is Window{Before: 7, After: 7}.
 type Window struct {
