@@ -30,13 +30,22 @@
 // window as snapshot "demo", and enables the /v1/experiments endpoints.
 // See internal/serve for the endpoint reference, and examples/queryclient
 // for a walkthrough.
+//
+// For diagnosing serve-path regressions in production, -pprof-addr serves
+// the standard net/http/pprof profiles on a separate side listener (off by
+// default, and never exposed on the query listener):
+//
+//	v6served -state census.state -pprof-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"path/filepath"
 	"strings"
 
@@ -105,6 +114,20 @@ func buildServer(cfg config) (*serve.Server, error) {
 	return s, nil
 }
 
+// pprofHandler builds the net/http/pprof mux served on the side listener
+// selected by -pprof-addr. The profiles stay off the query listener
+// entirely: diagnosing a serve-path regression in production must not
+// expose profiling to query clients.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("v6served: ")
@@ -119,11 +142,24 @@ func main() {
 	flag.Uint64Var(&cfg.demoSeed, "demo-seed", 7, "seed of the demo world")
 	flag.IntVar(&cfg.cache, "cache", 0, "result cache entries (0 = default)")
 	flag.StringVar(&cfg.adminToken, "admin-token", "", "token authorizing /v1/reload with an explicit path= (unset: source-only reloads)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: disabled)")
 	flag.Parse()
 
 	s, err := buildServer(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pprofAddr != "" {
+		// Bind synchronously so a bad -pprof-addr fails startup instead of
+		// killing an already-serving process from the goroutine.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listener: %v", err)
+		}
+		log.Printf("pprof on %s/debug/pprof/", ln.Addr())
+		go func() {
+			log.Fatal(http.Serve(ln, pprofHandler()))
+		}()
 	}
 	log.Printf("serving %v on %s", s.Names(), *listen)
 	log.Fatal(http.ListenAndServe(*listen, s.Handler()))

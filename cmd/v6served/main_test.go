@@ -144,3 +144,20 @@ func TestBuildServerErrors(t *testing.T) {
 		t.Error("foreign file should fail to load")
 	}
 }
+
+func TestPprofHandler(t *testing.T) {
+	h := pprofHandler()
+	for path, want := range map[string]int{
+		"/debug/pprof/":        200,
+		"/debug/pprof/cmdline": 200,
+		"/debug/pprof/symbol":  200,
+		"/other":               404,
+	} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != want {
+			t.Errorf("GET %s = %d, want %d", path, rec.Code, want)
+		}
+	}
+}

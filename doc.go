@@ -21,15 +21,19 @@
 //     logs into record chunks, classify them on a GOMAXPROCS-sized worker
 //     pool, and route the surviving observations by key hash over
 //     per-shard channels into temporal.ShardedStore shards (each shard an
-//     independent key map with its own per-day counters). Because
-//     observations are idempotent day-bits and the Table 1 tallies are
-//     sums, the result is identical to the sequential engine no matter how
-//     the scheduler interleaves the pipeline — the equivalence suite in
-//     internal/core enforces this.
+//     independent slab-backed store with its own per-day counters);
+//     applied batches recycle to the workers through free lists, so
+//     steady-state routing allocates nothing. Because observations are
+//     idempotent day-bits and the Table 1 tallies are sums, the result is
+//     identical to the sequential engine no matter how the scheduler
+//     interleaves the pipeline — the equivalence suite in internal/core
+//     enforces this.
 //   - Freeze is the barrier between the two phases of a ShardedCensus:
 //     before it, any number of goroutines may ingest; after it, ingestion
-//     panics, every query is lock-free, and analyses fan out across shards
-//     in parallel.
+//     panics, every shard's slab is compacted into one contiguous block,
+//     every query is lock-free, and bulk analyses partition the frozen row
+//     space into row-range tiles executed on a bounded worker pool (see
+//     Performance below).
 //   - internal/experiments regenerates independent table/figure cells on a
 //     bounded worker pool (experiments.RunAll) over a concurrency-safe
 //     shared Lab; sequential and parallel runs render identical output.
@@ -38,6 +42,43 @@
 // million-address synthetic world; sweep core counts with
 //
 //	go test -bench=BenchmarkIngest -cpu=1,2,4,8
+//
+// # Performance
+//
+// The temporal stores are the hot path of both ingestion and serving, and
+// their layout is built around the study period being fixed per census:
+//
+//   - Slab layout. Every key's activity occupies a fixed-stride window of
+//     a shared slab — stride = ceil(StudyDays/64) uint64 words — indexed
+//     by a dense row table (map[K]uint32, rows in insertion order). Rows
+//     live in arena chunks of 4096 rows, so growth never copies existing
+//     rows and a million-address day costs a few hundred slab allocations
+//     instead of a million heap bitsets; ingest allocations drop by more
+//     than an order of magnitude versus the per-key *BitSet layout.
+//   - Word-level sweeps. Stability, weekly, epoch, overlap and range
+//     analyses are linear scans over dense rows using word AND/OR masks
+//     and popcount — no per-key pointer chasing, no per-day Get probes. A
+//     40-day study has stride 1: classifying a million-key day reads one
+//     contiguous word per key.
+//   - Freeze compaction. ShardedStore.Freeze fuses each shard's chunks
+//     into one exactly-sized contiguous slab (in parallel across shards)
+//     before flipping read-only, so post-freeze sweeps run over compact
+//     memory with zero slack.
+//   - Tiled parallel sweeps. Post-freeze bulk queries cut the frozen row
+//     space into row-range tiles — subdividing within shards whenever
+//     GOMAXPROCS exceeds the shard count, with a 4096-row floor per tile —
+//     and run them on a bounded worker pool, merging the per-tile partial
+//     results additively. Sweeps therefore parallelize to the machine
+//     regardless of how the snapshot was sharded (a snapshot loaded on a
+//     larger machine than wrote it still uses every core).
+//   - Zero-allocation ingest parsing. cdnlog.ReadAll scans byte slices in
+//     place (cdnlog.ParseLine) and addresses parse through the
+//     ipaddr.ParseAddrBytes fast path, held to byte-for-byte agreement
+//     with the string parser by fuzzing; day tallies are pre-sized.
+//
+// BenchmarkStability and BenchmarkOverlap track the sweep paths,
+// BenchmarkIngest the ingest path; CI publishes all of them with -benchmem
+// as BENCH_pr.json next to the committed pre-slab BENCH_baseline.json.
 //
 // # Serving layer
 //

@@ -51,6 +51,10 @@ const (
 	KindEmbeddedIPv4
 )
 
+// NumKinds is the number of distinct Kind values, for pre-sizing per-kind
+// tallies.
+const NumKinds = int(KindEmbeddedIPv4) + 1
+
 var kindNames = [...]string{
 	KindOther:         "other",
 	KindTeredo:        "teredo",

@@ -1,0 +1,74 @@
+package cdnlog
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+// Parse-path benchmark: the zero-allocation byte-slice reader against the
+// old string-path line discipline (preserved as parseLineRef for fuzz
+// parity), over one serialized aggregated day. Run with -benchmem; the
+// byte path's point is the allocation column.
+
+var (
+	benchDayOnce sync.Once
+	benchDayText []byte
+	benchDayRecs int
+)
+
+func benchDay() ([]byte, int) {
+	benchDayOnce.Do(func() {
+		const n = 20000
+		recs := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			a := ipaddr.AddrFromSegments([8]uint16{
+				0x2001, 0xdb8, uint16(i >> 8), uint16(i), 0, 0, uint16(i * 7), uint16(i*13 + 1),
+			})
+			recs = append(recs, Record{Addr: a, Hits: uint64(i%97 + 1)})
+		}
+		var buf bytes.Buffer
+		if err := WriteDay(&buf, DayLog{Day: 5, Records: recs}); err != nil {
+			panic(err)
+		}
+		benchDayText = buf.Bytes()
+		benchDayRecs = n
+	})
+	return benchDayText, benchDayRecs
+}
+
+func BenchmarkIngestParse(b *testing.B) {
+	data, n := benchDay()
+	b.Run("bytes", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			logs, err := ReadAll(bytes.NewReader(data))
+			if err != nil || len(logs) != 1 || len(logs[0].Records) != n {
+				b.Fatalf("bad parse: %v", err)
+			}
+		}
+	})
+	b.Run("reference-strings", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			sc := bufio.NewScanner(bytes.NewReader(data))
+			got := 0
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if line == "" || strings.HasPrefix(line, "#") {
+					continue
+				}
+				if _, ok := parseLineRef(line); ok {
+					got++
+				}
+			}
+			if got != n {
+				b.Fatalf("reference parsed %d records", got)
+			}
+		}
+	})
+}

@@ -11,11 +11,13 @@ package cdnlog
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"sort"
-	"strconv"
-	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"v6class/internal/ipaddr"
 )
@@ -117,7 +119,10 @@ func WriteDay(w io.Writer, d DayLog) error {
 }
 
 // ReadAll parses a stream of WriteDay-formatted logs (one or more days).
-// Blank lines and lines beginning with "//" are ignored.
+// Blank lines and lines beginning with "//" are ignored. The hot loop works
+// on the scanner's byte slices in place — no per-line string, field split,
+// or trim garbage — so reading a million-record day allocates only the
+// records themselves.
 func ReadAll(r io.Reader) ([]DayLog, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
@@ -126,40 +131,174 @@ func ReadAll(r io.Reader) ([]DayLog, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "//") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || (len(line) >= 2 && line[0] == '/' && line[1] == '/') {
 			continue
 		}
-		if strings.HasPrefix(line, "#day ") {
-			day, err := strconv.Atoi(strings.TrimSpace(line[len("#day "):]))
+		if day, ok := cutDayHeader(line); ok {
+			dayNo, err := parseDayNumber(day)
 			if err != nil {
 				return nil, fmt.Errorf("cdnlog: line %d: bad day header %q", lineNo, line)
 			}
-			out = append(out, DayLog{Day: day})
+			out = append(out, DayLog{Day: dayNo})
 			cur = &out[len(out)-1]
 			continue
 		}
 		if cur == nil {
 			return nil, fmt.Errorf("cdnlog: line %d: record before any #day header", lineNo)
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("cdnlog: line %d: want \"addr hits\", got %q", lineNo, line)
-		}
-		addr, err := ipaddr.ParseAddr(fields[0])
+		rec, err := ParseLine(line)
 		if err != nil {
 			return nil, fmt.Errorf("cdnlog: line %d: %v", lineNo, err)
 		}
-		hits, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil || hits == 0 {
-			return nil, fmt.Errorf("cdnlog: line %d: bad hit count %q", lineNo, fields[1])
-		}
-		cur.Records = append(cur.Records, Record{Addr: addr, Hits: hits})
+		cur.Records = append(cur.Records, rec)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ParseLine parses one aggregated-log record line, "addr hits" separated by
+// whitespace, from a byte slice without allocating: the address goes
+// through the ipaddr byte fast path and the hit count is decoded in place.
+// Hit counts of zero are rejected (zero-hit addresses never enter the
+// aggregation).
+func ParseLine(line []byte) (Record, error) {
+	addrField, rest := cutField(line)
+	hitsField, extra := cutField(rest)
+	if len(addrField) == 0 || len(hitsField) == 0 || len(extra) != 0 {
+		return Record{}, fmt.Errorf("want \"addr hits\", got %q", line)
+	}
+	addr, err := ipaddr.ParseAddrBytes(addrField)
+	if err != nil {
+		return Record{}, err
+	}
+	hits, ok := parseHits(hitsField)
+	if !ok || hits == 0 {
+		return Record{}, fmt.Errorf("bad hit count %q", hitsField)
+	}
+	return Record{Addr: addr, Hits: hits}, nil
+}
+
+// isSpace matches the ASCII whitespace fast path; non-ASCII bytes go
+// through the unicode.IsSpace slow path so the byte scanner splits exactly
+// where strings.Fields and strings.TrimSpace did.
+func isSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// leadingSpace returns the byte length of a whitespace rune at the start of
+// b, or 0 when b does not start with whitespace.
+func leadingSpace(b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	if b[0] < utf8.RuneSelf {
+		if isSpace(b[0]) {
+			return 1
+		}
+		return 0
+	}
+	if r, size := utf8.DecodeRune(b); unicode.IsSpace(r) {
+		return size
+	}
+	return 0
+}
+
+// cutField splits b at its first whitespace run: the leading field and the
+// remainder with the run consumed, splitting where strings.Fields would.
+func cutField(b []byte) (field, rest []byte) {
+	i := 0
+	for i < len(b) {
+		if b[i] < utf8.RuneSelf {
+			if isSpace(b[i]) {
+				break
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(b[i:])
+		if unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	field = b[:i]
+	rest = b[i:]
+	for {
+		n := leadingSpace(rest)
+		if n == 0 {
+			break
+		}
+		rest = rest[n:]
+	}
+	return field, rest
+}
+
+// cutDayHeader strips a "#day " prefix, returning the remainder trimmed.
+func cutDayHeader(line []byte) ([]byte, bool) {
+	const prefix = "#day "
+	if len(line) < len(prefix) || string(line[:len(prefix)]) != prefix {
+		return nil, false
+	}
+	return bytes.TrimSpace(line[len(prefix):]), true
+}
+
+// parseDayNumber decodes a day index with an optional sign, the grammar
+// strconv.Atoi accepted here before the byte-path rewrite.
+func parseDayNumber(b []byte) (int, error) {
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty day number")
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad day number")
+		}
+		d := int(c - '0')
+		if n > (math.MaxInt-d)/10 {
+			return 0, fmt.Errorf("day number out of range")
+		}
+		n = n*10 + d
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// parseHits decodes a base-10 uint64 with strconv.ParseUint's strictness:
+// digits only, no sign, overflow rejected.
+func parseHits(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	const cutoff = math.MaxUint64/10 + 1
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n >= cutoff {
+			return 0, false
+		}
+		n = n*10 + d
+		if n < d {
+			return 0, false
+		}
+	}
+	return n, true
 }
 
 // Merge unions several day logs for the same or different days into one

@@ -1,0 +1,73 @@
+package cdnlog
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+// parseLineRef is the pre-slab string-path record parser, kept verbatim as
+// the reference implementation: ParseLine's zero-allocation byte path must
+// agree with it on arbitrary inputs.
+func parseLineRef(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return Record{}, false
+	}
+	addr, err := ipaddr.ParseAddr(fields[0])
+	if err != nil {
+		return Record{}, false
+	}
+	hits, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil || hits == 0 {
+		return Record{}, false
+	}
+	return Record{Addr: addr, Hits: hits}, true
+}
+
+// FuzzParseLine holds the byte-slice record parser to byte-for-byte
+// agreement with the old string path: same accept/reject verdict, same
+// address, same hit count. Inputs are pre-trimmed as ReadAll trims before
+// dispatching to ParseLine.
+func FuzzParseLine(f *testing.F) {
+	for _, seed := range []string{
+		"2001:db8::1 5",
+		"2001:db8::1\t5",
+		"2001:db8::1  18446744073709551615",
+		"2001:db8::1 18446744073709551616", // overflow
+		"2001:db8::1 0",
+		"2001:db8::1 +5",
+		"2001:db8::1 05",
+		"::ffff:192.0.2.1 7",
+		"2001:db8::1",
+		"2001:db8::1 5 6",
+		"not-an-addr 5",
+		"2001:db8::zz 5",
+		" 2001:db8::1 5",
+		"#day 3",
+		"2001:db8::1 5",    // non-ASCII whitespace separator
+		"2001:db8::1 5",    // en quad: strings.Fields splits these
+		"2001:db8::1 5 ",   // trailing unicode space
+		"　2001:db8::1 5",   // leading ideographic space
+		"2001:db8::1\xc25", // invalid UTF-8 must not split
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		line := string(bytes.TrimSpace([]byte(s)))
+		if ref := strings.TrimSpace(s); line != ref {
+			t.Fatalf("bytes.TrimSpace(%q) = %q, strings.TrimSpace = %q", s, line, ref)
+		}
+		want, wantOK := parseLineRef(line)
+		got, err := ParseLine([]byte(line))
+		if wantOK != (err == nil) {
+			t.Fatalf("ParseLine(%q) err=%v, reference ok=%v", line, err, wantOK)
+		}
+		if wantOK && got != want {
+			t.Fatalf("ParseLine(%q) = %+v, reference = %+v", line, got, want)
+		}
+	})
+}

@@ -97,8 +97,10 @@ type keyStore[K comparable] interface {
 	OverlapSeries(ref temporal.Day, before, after int) []int
 	StableKeys(ref temporal.Day, n int, opts temporal.Options) []K
 	KeysActiveOn(d temporal.Day) []K
-	Range(fn func(k K, days *temporal.BitSet) bool)
-	Restore(k K, b *temporal.BitSet)
+	// Slab-row serialization surface: Range yields each key's day words
+	// (aliasing the live slab; read-only), Restore installs them.
+	Range(fn func(k K, days []uint64) bool)
+	Restore(k K, days []uint64)
 	// Point queries (per-key, lock-free after a ShardedStore freeze).
 	Active(k K, d temporal.Day) bool
 	Days(k K) []temporal.Day
@@ -200,7 +202,7 @@ func (c *Census) AddDay(log cdnlog.DayLog) {
 	day := log.Day
 	sum := c.kinds[day]
 	if sum.ByKind == nil {
-		sum = addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}
+		sum = addrclass.Summary{ByKind: make(map[addrclass.Kind]int, addrclass.NumKinds)}
 	}
 	getMACs := func() map[addrclass.MAC]bool {
 		m := c.macs[day]

@@ -8,7 +8,6 @@ import (
 
 	"v6class/internal/addrclass"
 	"v6class/internal/ipaddr"
-	"v6class/internal/temporal"
 )
 
 // Census persistence: a compact binary snapshot of the ingested state so a
@@ -37,20 +36,21 @@ func (c *censusState) WriteTo(w io.Writer) (int64, error) {
 	write(uint32(c.cfg.StudyDays))
 	write(boolByte(c.cfg.KeepTransition))
 
-	// Address store.
+	// Address store: each key's slab row serializes directly, no
+	// intermediate bitset.
 	write(uint64(c.addrs.Len()))
-	c.addrs.Range(func(k ipaddr.Addr, b *temporal.BitSet) bool {
+	c.addrs.Range(func(k ipaddr.Addr, days []uint64) bool {
 		buf := k.As16()
 		cw.Write(buf[:])
-		writeWords(cw, b.Words())
+		writeWords(cw, days)
 		return cw.err == nil
 	})
 
 	// /64 store: keys serialize as their 8-byte network identifiers.
 	write(uint64(c.p64s.Len()))
-	c.p64s.Range(func(k ipaddr.Prefix, b *temporal.BitSet) bool {
+	c.p64s.Range(func(k ipaddr.Prefix, days []uint64) bool {
 		write(k.Addr().NetworkID())
-		writeWords(cw, b.Words())
+		writeWords(cw, days)
 		return cw.err == nil
 	})
 
@@ -136,21 +136,24 @@ func readSnapshot(r io.Reader, build func(CensusConfig) *censusState) error {
 	}
 	c := build(CensusConfig{StudyDays: int(studyDays), KeepTransition: keep != 0})
 
-	// Address store.
+	// Address store. Restore copies the words into the slab, so one
+	// scratch buffer serves every key.
 	var nAddrs uint64
 	if err := read(&nAddrs); err != nil {
 		return err
 	}
+	var scratch []uint64
 	for i := uint64(0); i < nAddrs; i++ {
 		var buf [16]byte
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return err
 		}
-		words, err := readWords(br)
+		words, err := readWords(br, scratch)
 		if err != nil {
 			return err
 		}
-		c.addrs.Restore(ipaddr.AddrFrom16(buf), temporal.BitSetFromWords(words))
+		scratch = words
+		c.addrs.Restore(ipaddr.AddrFrom16(buf), words)
 	}
 
 	// /64 store.
@@ -163,14 +166,15 @@ func readSnapshot(r io.Reader, build func(CensusConfig) *censusState) error {
 		if err := read(&net); err != nil {
 			return err
 		}
-		words, err := readWords(br)
+		words, err := readWords(br, scratch)
 		if err != nil {
 			return err
 		}
+		scratch = words
 		p := ipaddr.PrefixFrom(ipaddr.AddrFromSegments([8]uint16{
 			uint16(net >> 48), uint16(net >> 32), uint16(net >> 16), uint16(net),
 		}), 64)
-		c.p64s.Restore(p, temporal.BitSetFromWords(words))
+		c.p64s.Restore(p, words)
 	}
 
 	// Per-day format summaries.
@@ -241,7 +245,9 @@ func writeWords(cw *countingWriter, words []uint64) {
 	}
 }
 
-func readWords(r io.Reader) ([]uint64, error) {
+// readWords decodes one length-prefixed word row, reusing scratch's backing
+// array when it is large enough.
+func readWords(r io.Reader, scratch []uint64) ([]uint64, error) {
 	var n uint16
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
@@ -249,7 +255,11 @@ func readWords(r io.Reader) ([]uint64, error) {
 	if n > 1<<14 {
 		return nil, fmt.Errorf("core: implausible bitset size %d", n)
 	}
-	words := make([]uint64, n)
+	words := scratch
+	if cap(words) < int(n) {
+		words = make([]uint64, n)
+	}
+	words = words[:n]
 	if err := binary.Read(r, binary.LittleEndian, words); err != nil {
 		return nil, err
 	}

@@ -137,6 +137,13 @@ func (c *ShardedCensus) Ingest(logs <-chan cdnlog.DayLog) {
 	addrCh := make([]chan []temporal.Obs[ipaddr.Addr], nShards)
 	p64Ch := make([]chan []temporal.Obs[ipaddr.Prefix], c.sp64s.NumShards())
 
+	// Applied batches recycle to the classify workers through free lists,
+	// so steady-state routing allocates no batch memory: an applier
+	// returns each emptied batch (dropping it only when the list is
+	// full), and workers prefer a recycled batch over a fresh one.
+	addrFree := make(chan []temporal.Obs[ipaddr.Addr], 2*len(addrCh)+2*c.workers)
+	p64Free := make(chan []temporal.Obs[ipaddr.Prefix], 2*len(p64Ch)+2*c.workers)
+
 	var appliers sync.WaitGroup
 	for i := range addrCh {
 		addrCh[i] = make(chan []temporal.Obs[ipaddr.Addr], 4)
@@ -145,6 +152,10 @@ func (c *ShardedCensus) Ingest(logs <-chan cdnlog.DayLog) {
 			defer appliers.Done()
 			for batch := range addrCh[i] {
 				c.saddrs.ApplyBatch(i, batch)
+				select {
+				case addrFree <- batch[:0]:
+				default:
+				}
 			}
 		}(i)
 	}
@@ -155,6 +166,10 @@ func (c *ShardedCensus) Ingest(logs <-chan cdnlog.DayLog) {
 			defer appliers.Done()
 			for batch := range p64Ch[i] {
 				c.sp64s.ApplyBatch(i, batch)
+				select {
+				case p64Free <- batch[:0]:
+				default:
+				}
 			}
 		}(i)
 	}
@@ -164,7 +179,7 @@ func (c *ShardedCensus) Ingest(logs <-chan cdnlog.DayLog) {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
-			c.classifyWorker(jobs, addrCh, p64Ch)
+			c.classifyWorker(jobs, addrCh, p64Ch, addrFree, p64Free)
 		}()
 	}
 
@@ -191,7 +206,7 @@ func (c *ShardedCensus) Ingest(logs <-chan cdnlog.DayLog) {
 func (c *ShardedCensus) ensureDay(day int) {
 	c.mu.Lock()
 	if c.kinds[day].ByKind == nil {
-		c.kinds[day] = addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}
+		c.kinds[day] = addrclass.Summary{ByKind: make(map[addrclass.Kind]int, addrclass.NumKinds)}
 	}
 	c.mu.Unlock()
 }
@@ -205,16 +220,33 @@ type dayTally struct {
 // classifyWorker drains jobs, classifying records into worker-local tallies
 // and routing surviving observations to shard batches; on exit it flushes
 // the batches and merges the tallies (both merges commute, so worker
-// scheduling cannot change the result).
-func (c *ShardedCensus) classifyWorker(jobs <-chan ingestJob, addrCh []chan []temporal.Obs[ipaddr.Addr], p64Ch []chan []temporal.Obs[ipaddr.Prefix]) {
+// scheduling cannot change the result). New shard batches come from the
+// free lists when an applier has recycled one.
+func (c *ShardedCensus) classifyWorker(jobs <-chan ingestJob, addrCh []chan []temporal.Obs[ipaddr.Addr], p64Ch []chan []temporal.Obs[ipaddr.Prefix], addrFree chan []temporal.Obs[ipaddr.Addr], p64Free chan []temporal.Obs[ipaddr.Prefix]) {
 	tallies := make(map[int]*dayTally)
 	addrBuf := make([][]temporal.Obs[ipaddr.Addr], len(addrCh))
 	p64Buf := make([][]temporal.Obs[ipaddr.Prefix], len(p64Ch))
+	newAddrBatch := func() []temporal.Obs[ipaddr.Addr] {
+		select {
+		case b := <-addrFree:
+			return b
+		default:
+			return make([]temporal.Obs[ipaddr.Addr], 0, shardBatch)
+		}
+	}
+	newP64Batch := func() []temporal.Obs[ipaddr.Prefix] {
+		select {
+		case b := <-p64Free:
+			return b
+		default:
+			return make([]temporal.Obs[ipaddr.Prefix], 0, shardBatch)
+		}
+	}
 
 	for j := range jobs {
 		t := tallies[j.day]
 		if t == nil {
-			t = &dayTally{sum: addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}}
+			t = &dayTally{sum: addrclass.Summary{ByKind: make(map[addrclass.Kind]int, addrclass.NumKinds)}}
 			tallies[j.day] = t
 		}
 		getMACs := func() map[addrclass.MAC]bool {
@@ -229,6 +261,9 @@ func (c *ShardedCensus) classifyWorker(jobs <-chan ingestJob, addrCh []chan []te
 				continue
 			}
 			ai := c.saddrs.ShardFor(r.Addr)
+			if addrBuf[ai] == nil {
+				addrBuf[ai] = newAddrBatch()
+			}
 			addrBuf[ai] = append(addrBuf[ai], temporal.Obs[ipaddr.Addr]{Key: r.Addr, Day: d})
 			if len(addrBuf[ai]) >= shardBatch {
 				addrCh[ai] <- addrBuf[ai]
@@ -236,6 +271,9 @@ func (c *ShardedCensus) classifyWorker(jobs <-chan ingestJob, addrCh []chan []te
 			}
 			p := ipaddr.PrefixFrom(r.Addr, 64)
 			pi := c.sp64s.ShardFor(p)
+			if p64Buf[pi] == nil {
+				p64Buf[pi] = newP64Batch()
+			}
 			p64Buf[pi] = append(p64Buf[pi], temporal.Obs[ipaddr.Prefix]{Key: p, Day: d})
 			if len(p64Buf[pi]) >= shardBatch {
 				p64Ch[pi] <- p64Buf[pi]
@@ -259,7 +297,7 @@ func (c *ShardedCensus) classifyWorker(jobs <-chan ingestJob, addrCh []chan []te
 	for day, t := range tallies {
 		sum := c.kinds[day]
 		if sum.ByKind == nil {
-			sum = addrclass.Summary{ByKind: make(map[addrclass.Kind]int)}
+			sum = addrclass.Summary{ByKind: make(map[addrclass.Kind]int, addrclass.NumKinds)}
 		}
 		sum.Total += t.sum.Total
 		for k, n := range t.sum.ByKind {

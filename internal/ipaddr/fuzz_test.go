@@ -40,6 +40,16 @@ func FuzzParse(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, s string) {
 		a, err := ParseAddr(s)
+		// The []byte fast path is an independent implementation of the
+		// same grammar; it must agree with the string path on every
+		// input — same verdict, same value.
+		ab, berr := ParseAddrBytes([]byte(s))
+		if (err == nil) != (berr == nil) {
+			t.Fatalf("ParseAddr(%q) err=%v but ParseAddrBytes err=%v", s, err, berr)
+		}
+		if err == nil && a != ab {
+			t.Fatalf("ParseAddr(%q) = %v but ParseAddrBytes = %v", s, a, ab)
+		}
 		if err != nil {
 			return
 		}

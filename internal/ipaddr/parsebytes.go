@@ -1,0 +1,154 @@
+package ipaddr
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// ParseAddrBytes parses an IPv6 address from a byte slice in any RFC 4291
+// text form, exactly as ParseAddr does for strings, but without allocating
+// on the success path: fields are scanned in place into fixed-size segment
+// arrays, so a log-ingest loop can hand it bufio.Scanner sub-slices
+// directly. It is maintained as an independent implementation of the same
+// grammar; FuzzParse holds the two paths to byte-for-byte agreement.
+func ParseAddrBytes(b []byte) (Addr, error) {
+	if len(b) == 0 {
+		return Addr{}, fmt.Errorf("ipaddr: empty address")
+	}
+	// Reject zones and port-ish forms outright.
+	for _, c := range b {
+		switch c {
+		case '%', '[', ']', '/', ' ':
+			return Addr{}, fmt.Errorf("ipaddr: invalid character in %q", b)
+		}
+	}
+
+	var segs [8]uint16 // parsed segments
+	n := 0             // segments parsed so far
+	ellipsis := -1     // index in segs where "::" appeared
+	rest := b
+
+	// Leading "::".
+	if len(rest) >= 2 && rest[0] == ':' && rest[1] == ':' {
+		ellipsis = 0
+		rest = rest[2:]
+		if len(rest) == 0 {
+			return Addr{}, nil // "::"
+		}
+	} else if rest[0] == ':' {
+		return Addr{}, fmt.Errorf("ipaddr: address %q begins with lone colon", b)
+	}
+
+	for len(rest) > 0 {
+		i := bytes.IndexByte(rest, ':')
+		// An embedded IPv4 suffix occupies the final two segments.
+		firstField := rest
+		if i >= 0 {
+			firstField = rest[:i]
+		}
+		if bytes.IndexByte(firstField, '.') >= 0 {
+			v4, err := parseIPv4Bytes(rest)
+			if err != nil {
+				return Addr{}, fmt.Errorf("ipaddr: bad IPv4 suffix in %q: %v", b, err)
+			}
+			if n > 6 {
+				return Addr{}, fmt.Errorf("ipaddr: too many segments in %q", b)
+			}
+			segs[n] = uint16(v4 >> 16)
+			segs[n+1] = uint16(v4)
+			n += 2
+			break
+		}
+		var field []byte
+		if i < 0 {
+			field, rest = rest, nil
+		} else {
+			field, rest = rest[:i], rest[i+1:]
+			if len(rest) == 0 && len(field) != 0 {
+				// Trailing single colon is only valid as part of "::".
+				return Addr{}, fmt.Errorf("ipaddr: address %q ends with lone colon", b)
+			}
+		}
+		if len(field) == 0 {
+			// "::" in the middle.
+			if ellipsis >= 0 {
+				return Addr{}, fmt.Errorf("ipaddr: multiple \"::\" in %q", b)
+			}
+			ellipsis = n
+			continue
+		}
+		if len(field) > 4 {
+			return Addr{}, fmt.Errorf("ipaddr: segment %q too long in %q", field, b)
+		}
+		var v uint32
+		for _, c := range field {
+			d, ok := hexVal(c)
+			if !ok {
+				return Addr{}, fmt.Errorf("ipaddr: bad hex digit %q in %q", string(c), b)
+			}
+			v = v<<4 | uint32(d)
+		}
+		if n == 8 {
+			return Addr{}, fmt.Errorf("ipaddr: too many segments in %q", b)
+		}
+		segs[n] = uint16(v)
+		n++
+	}
+
+	var out [8]uint16
+	if ellipsis < 0 {
+		if n != 8 {
+			return Addr{}, fmt.Errorf("ipaddr: %q has %d segments, want 8", b, n)
+		}
+		out = segs
+	} else {
+		if n >= 8 {
+			return Addr{}, fmt.Errorf("ipaddr: %q has no room for \"::\"", b)
+		}
+		// Expand the ellipsis with zeros.
+		copy(out[:], segs[:ellipsis])
+		copy(out[8-(n-ellipsis):], segs[ellipsis:n])
+	}
+	return AddrFromSegments(out), nil
+}
+
+// parseIPv4Bytes parses a dotted-quad IPv4 address into its 32-bit value,
+// with the same strictness as the string path: exactly four octets, no
+// empty or over-long octets, no leading zeros, each at most 255.
+func parseIPv4Bytes(b []byte) (uint32, error) {
+	var v uint32
+	octets := 0
+	start := 0
+	for i := 0; i <= len(b); i++ {
+		if i < len(b) && b[i] != '.' {
+			continue
+		}
+		p := b[start:i]
+		start = i + 1
+		if octets == 4 {
+			return 0, fmt.Errorf("need 4 octets, have more")
+		}
+		if len(p) == 0 || len(p) > 3 {
+			return 0, fmt.Errorf("bad octet %q", p)
+		}
+		if len(p) > 1 && p[0] == '0' {
+			return 0, fmt.Errorf("octet %q has leading zero", p)
+		}
+		var o uint32
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("bad octet %q", p)
+			}
+			o = o*10 + uint32(c-'0')
+		}
+		if o > 255 {
+			return 0, fmt.Errorf("octet %q out of range", p)
+		}
+		v = v<<8 | o
+		octets++
+	}
+	if octets != 4 {
+		return 0, fmt.Errorf("need 4 octets, have %d", octets)
+	}
+	return v, nil
+}

@@ -23,6 +23,14 @@
 //     dense sweeps, top-k, experiments): 16 independently locked shards
 //     bounded per shard, with arbitrary eviction.
 //
+// A cache miss on a bulk analysis re-runs the sweep against the frozen
+// engine, so the serve path inherits the slab-backed temporal layout
+// directly: stability, overlap and epoch sweeps are word-level scans over
+// compacted contiguous slabs, tiled across every core regardless of how
+// the snapshot was sharded when written (see the Performance section of
+// the root package docs). Profiling a production instance goes through
+// cmd/v6served's -pprof-addr side listener.
+//
 // # Cache keying
 //
 // Cache keys are canonical strings of the form

@@ -1,10 +1,11 @@
 package temporal
 
-import "math/bits"
-
-// BitSet is a fixed-capacity bit set indexed by day number. It is the
-// per-address activity record: bit i is set when the address was observed
-// active on study day i.
+// BitSet is a fixed-capacity bit set indexed by day number: bit i is set
+// when the key was observed active on study day i. The slab-backed Store
+// keeps its day bits in shared slabs rather than one BitSet per key; BitSet
+// remains the standalone activity record — the unit of snapshot
+// serialization and the naive reference implementation the slab's
+// word-level bulk operations are property-tested against.
 type BitSet struct {
 	w []uint64
 }
@@ -16,121 +17,41 @@ func NewBitSet(n int) *BitSet {
 
 // Set marks day i active. Out-of-range days are ignored.
 func (b *BitSet) Set(i int) {
-	if i < 0 || i >= len(b.w)*64 {
-		return
-	}
-	b.w[i/64] |= 1 << (i % 64)
+	wordSet(b.w, i)
 }
 
 // Get reports whether day i is active.
 func (b *BitSet) Get(i int) bool {
-	if i < 0 || i >= len(b.w)*64 {
-		return false
-	}
-	return b.w[i/64]&(1<<(i%64)) != 0
+	return wordGet(b.w, i)
 }
 
 // Count returns the number of active days.
 func (b *BitSet) Count() int {
-	n := 0
-	for _, w := range b.w {
-		n += bits.OnesCount64(w)
-	}
-	return n
+	return wordsCount(b.w)
 }
 
 // AnyInRange reports whether any day in [from, to] (inclusive) is active.
 func (b *BitSet) AnyInRange(from, to int) bool {
-	if from < 0 {
-		from = 0
-	}
-	max := len(b.w)*64 - 1
-	if to > max {
-		to = max
-	}
-	for i := from; i <= to; {
-		word, bit := i/64, i%64
-		w := b.w[word] >> bit
-		// Bits remaining in this word that are still within range.
-		remain := 64 - bit
-		if span := to - i + 1; span < remain {
-			remain = span
-		}
-		if w&maskLow(remain) != 0 {
-			return true
-		}
-		i += remain
-	}
-	return false
+	return wordsAnyInRange(b.w, from, to)
 }
 
 // First returns the first active day at or after from, or -1 if none.
 func (b *BitSet) First(from int) int {
-	if from < 0 {
-		from = 0
-	}
-	for i := from / 64; i < len(b.w); i++ {
-		w := b.w[i]
-		if i == from/64 {
-			w &^= maskLow(from % 64)
-		}
-		if w != 0 {
-			return i*64 + bits.TrailingZeros64(w)
-		}
-	}
-	return -1
+	return wordsFirst(b.w, from)
 }
 
 // Last returns the last active day at or before to, or -1 if none.
 func (b *BitSet) Last(to int) int {
-	max := len(b.w)*64 - 1
-	if to > max {
-		to = max
-	}
-	if to < 0 {
-		return -1
-	}
-	for i := to / 64; i >= 0; i-- {
-		w := b.w[i]
-		if i == to/64 {
-			keep := to%64 + 1
-			w &= maskLow(keep)
-		}
-		if w != 0 {
-			return i*64 + 63 - bits.LeadingZeros64(w)
-		}
-	}
-	return -1
+	return wordsLast(b.w, to)
 }
 
 // Runs returns the number of maximal contiguous runs of active days: 1 for
 // a continuously active key, approaching half the span for day-on/day-off
 // flicker, 0 for an empty set.
 func (b *BitSet) Runs() int {
-	runs := 0
-	carry := uint64(0) // bit 63 of the previous word, shifted into bit 0
-	for _, w := range b.w {
-		// A run starts at every set bit whose predecessor is clear.
-		starts := w &^ (w<<1 | carry)
-		runs += bits.OnesCount64(starts)
-		carry = w >> 63
-	}
-	return runs
-}
-
-// maskLow returns a uint64 with the low n bits set (n in [0,64]).
-func maskLow(n int) uint64 {
-	if n >= 64 {
-		return ^uint64(0)
-	}
-	return (1 << n) - 1
+	return wordsRuns(b.w)
 }
 
 // Words exposes the raw backing words (little-endian day order) for
 // serialization. The returned slice must not be modified.
 func (b *BitSet) Words() []uint64 { return b.w }
-
-// BitSetFromWords reconstructs a BitSet from serialized words.
-func BitSetFromWords(w []uint64) *BitSet {
-	return &BitSet{w: append([]uint64(nil), w...)}
-}

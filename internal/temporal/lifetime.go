@@ -69,19 +69,17 @@ func (s *Store[K]) Lifetimes(from, to Day) LifetimeStats {
 		SpanHistogram:       make([]int, span),
 		ActiveDaysHistogram: make([]int, span),
 	}
-	for _, b := range s.keys {
-		first := b.First(int(from))
+	for r := range s.keys {
+		w := s.row(uint32(r))
+		first := wordsFirst(w, int(from))
 		if first < 0 || first > int(to) {
 			continue
 		}
-		last := b.Last(int(to))
+		last := wordsLast(w, int(to))
 		out.Keys++
 		life := last - first // 0-based span
 		out.SpanHistogram[life]++
-		days := 0
-		for d := b.First(first); d >= 0 && d <= int(to); d = b.First(d + 1) {
-			days++
-		}
+		days := wordsCountRange(w, first, int(to))
 		out.ActiveDaysHistogram[days-1]++
 		if days == 1 {
 			out.SingleDay++
@@ -97,14 +95,15 @@ func (s *Store[K]) Lifetimes(from, to Day) LifetimeStats {
 func (s *Store[K]) ReturnProbability(from, to Day, maxGap int) []float64 {
 	num := make([]int, maxGap+1)
 	den := make([]int, maxGap+1)
-	for _, b := range s.keys {
-		for d := b.First(int(from)); d >= 0 && d <= int(to); d = b.First(d + 1) {
+	for r := range s.keys {
+		w := s.row(uint32(r))
+		for d := wordsFirst(w, int(from)); d >= 0 && d <= int(to); d = wordsFirst(w, d+1) {
 			for g := 1; g <= maxGap; g++ {
 				if d+g > int(to) {
 					break
 				}
 				den[g]++
-				if b.Get(d + g) {
+				if wordGet(w, d+g) {
 					num[g]++
 				}
 			}
@@ -128,13 +127,15 @@ func (s *Store[K]) TopRecurring(from, to Day, limit int) []K {
 		n int
 	}
 	var all []kc
-	for k, b := range s.keys {
-		n := 0
-		for d := b.First(int(from)); d >= 0 && d <= int(to); d = b.First(d + 1) {
-			n++
+	for r := range s.keys {
+		w := s.row(uint32(r))
+		lo := int(from)
+		if lo < 0 {
+			lo = 0
 		}
+		n := wordsCountRange(w, lo, int(to))
 		if n > 1 {
-			all = append(all, kc{k, n})
+			all = append(all, kc{s.keys[r], n})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })

@@ -19,11 +19,15 @@ import (
 //     number of goroutines; each locks only the shard it touches. Queries
 //     are also safe (they lock each shard while reading it) but see an
 //     in-progress census.
-//   - Freeze flips the store into its read-only phase: subsequent writes
-//     panic, and queries stop taking locks entirely. Call it once ingestion
-//     has completed (after any ingesting goroutines have been joined).
-//   - Queries fan out across shards on up to GOMAXPROCS goroutines and
-//     merge, so post-freeze analyses parallelize for free.
+//   - Freeze flips the store into its read-only phase: it compacts every
+//     shard's slab into one read-optimized contiguous block, subsequent
+//     writes panic, and queries stop taking locks entirely. Call it once
+//     ingestion has completed (after any ingesting goroutines have been
+//     joined).
+//   - Post-freeze bulk sweeps partition the frozen row space into
+//     row-range tiles — splitting within shards when there are fewer
+//     shards than GOMAXPROCS — and run them on a bounded worker pool, so
+//     analyses parallelize to the machine regardless of shard count.
 type ShardedStore[K comparable] struct {
 	numDays int
 	hash    func(K) uint64
@@ -97,13 +101,25 @@ func (s *ShardedStore[K]) ShardFor(k K) int {
 }
 
 // Freeze ends the ingestion phase. After Freeze, writes panic and queries
-// run lock-free. Callers must join all ingesting goroutines first; Freeze
-// itself acquires every shard lock once so that their effects are visible
-// to subsequent lock-free readers.
+// run lock-free over compacted slabs: every shard's arena chunks are fused
+// into one exactly-sized contiguous block (in parallel across shards)
+// before the store flips read-only. Callers must join all ingesting
+// goroutines first; Freeze acquires every shard lock for the duration of
+// compaction so that all effects are visible to subsequent lock-free
+// readers.
 func (s *ShardedStore[K]) Freeze() {
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
 	}
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.shards[i].st.Compact()
+		}(i)
+	}
+	wg.Wait()
 	s.frozen.Store(true)
 	for i := range s.shards {
 		s.shards[i].mu.Unlock()
@@ -143,13 +159,13 @@ func (s *ShardedStore[K]) ApplyBatch(shard int, batch []Obs[K]) {
 	sh.mu.Unlock()
 }
 
-// Restore installs a deserialized activity bitset for k, routing to its
+// Restore installs deserialized activity words for k, routing to its
 // shard. Safe for concurrent use before Freeze.
-func (s *ShardedStore[K]) Restore(k K, b *BitSet) {
+func (s *ShardedStore[K]) Restore(k K, days []uint64) {
 	s.writable()
 	sh := &s.shards[s.ShardFor(k)]
 	sh.mu.Lock()
-	sh.st.Restore(k, b)
+	sh.st.Restore(k, days)
 	sh.mu.Unlock()
 }
 
@@ -165,26 +181,6 @@ func (s *ShardedStore[K]) withShard(k K, fn func(st *Store[K])) {
 	fn(sh.st)
 }
 
-// shardMap runs fn over every shard concurrently and returns the per-shard
-// results in shard order. Before Freeze each shard is read under its lock.
-func shardMap[K comparable, T any](s *ShardedStore[K], fn func(st *Store[K]) T) []T {
-	out := make([]T, len(s.shards))
-	if len(s.shards) == 1 {
-		s.withShard0(0, func(st *Store[K]) { out[0] = fn(st) })
-		return out
-	}
-	var wg sync.WaitGroup
-	for i := range s.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			s.withShard0(i, func(st *Store[K]) { out[i] = fn(st) })
-		}(i)
-	}
-	wg.Wait()
-	return out
-}
-
 // withShard0 is withShard by shard index.
 func (s *ShardedStore[K]) withShard0(i int, fn func(st *Store[K])) {
 	sh := &s.shards[i]
@@ -197,7 +193,91 @@ func (s *ShardedStore[K]) withShard0(i int, fn func(st *Store[K])) {
 	fn(sh.st)
 }
 
-// sumInts merges per-shard int results.
+// shardMap runs fn over every shard in shard order and returns the
+// per-shard results. It is the merge scaffold for the cheap aggregates
+// (lengths, per-day counters) whose cost is far below goroutine overhead;
+// the per-key sweeps go through sweepTiles instead. Before Freeze each
+// shard is read under its lock.
+func shardMap[K comparable, T any](s *ShardedStore[K], fn func(st *Store[K]) T) []T {
+	out := make([]T, len(s.shards))
+	for i := range s.shards {
+		s.withShard0(i, func(st *Store[K]) { out[i] = fn(st) })
+	}
+	return out
+}
+
+// minTileRows is the smallest row count worth splitting into a further
+// tile: below this the sweep is cheaper than the goroutine handoff.
+const minTileRows = 1 << 12
+
+// rowTile is one unit of a partitioned sweep: rows [r0, r1) of one shard.
+type rowTile struct {
+	shard, r0, r1 int
+}
+
+// sweepTiles runs fn over disjoint row ranges covering every shard and
+// returns the per-tile results in deterministic (shard, row) order, to be
+// merged additively by the caller. Post-freeze the frozen row space is cut
+// into enough tiles that every core participates even when shards are
+// fewer than GOMAXPROCS, and the tiles run on a bounded worker pool.
+// Before Freeze each shard is one tile read under its lock on the calling
+// goroutine (an in-progress census; cheap consistency over parallelism).
+func sweepTiles[K comparable, T any](s *ShardedStore[K], fn func(st *Store[K], r0, r1 int) T) []T {
+	if !s.frozen.Load() {
+		out := make([]T, len(s.shards))
+		for i := range s.shards {
+			s.withShard0(i, func(st *Store[K]) { out[i] = fn(st, 0, st.Rows()) })
+		}
+		return out
+	}
+	procs := runtime.GOMAXPROCS(0)
+	perShard := (procs + len(s.shards) - 1) / len(s.shards)
+	tiles := make([]rowTile, 0, len(s.shards)*perShard)
+	for i := range s.shards {
+		rows := s.shards[i].st.Rows()
+		nt := perShard
+		if most := (rows + minTileRows - 1) / minTileRows; nt > most {
+			nt = most
+		}
+		if nt < 1 {
+			nt = 1
+		}
+		for t := 0; t < nt; t++ {
+			tiles = append(tiles, rowTile{shard: i, r0: rows * t / nt, r1: rows * (t + 1) / nt})
+		}
+	}
+	out := make([]T, len(tiles))
+	workers := procs
+	if workers > len(tiles) {
+		workers = len(tiles)
+	}
+	if workers <= 1 {
+		for i, t := range tiles {
+			out[i] = fn(s.shards[t.shard].st, t.r0, t.r1)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tiles) {
+					return
+				}
+				t := tiles[i]
+				out[i] = fn(s.shards[t.shard].st, t.r0, t.r1)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// sumInts merges per-tile int results.
 func sumInts(parts []int) int {
 	n := 0
 	for _, p := range parts {
@@ -206,7 +286,7 @@ func sumInts(parts []int) int {
 	return n
 }
 
-// sumVecs merges per-shard []int results element-wise.
+// sumVecs merges per-tile []int results element-wise.
 func sumVecs(parts [][]int) []int {
 	if len(parts) == 0 {
 		return nil
@@ -220,7 +300,7 @@ func sumVecs(parts [][]int) []int {
 	return out
 }
 
-// concat merges per-shard key slices (nil when all empty, matching Store's
+// concat merges per-tile key slices (nil when all empty, matching Store's
 // nil results).
 func concat[K any](parts [][]K) []K {
 	n := 0
@@ -283,10 +363,12 @@ func (s *ShardedStore[K]) ActivePerDay() []int {
 }
 
 // ClassifyDay computes the nd-stable split of the population active on ref
-// by summing the disjoint per-shard splits.
+// by summing the disjoint per-tile splits.
 func (s *ShardedStore[K]) ClassifyDay(ref Day, n int, opts Options) DailyStability {
 	out := DailyStability{Ref: ref, N: n}
-	for _, p := range shardMap(s, func(st *Store[K]) DailyStability { return st.ClassifyDay(ref, n, opts) }) {
+	for _, p := range sweepTiles(s, func(st *Store[K], r0, r1 int) DailyStability {
+		return st.ClassifyDayRows(ref, n, opts, r0, r1)
+	}) {
 		out.Active += p.Active
 		out.Stable += p.Stable
 	}
@@ -297,7 +379,9 @@ func (s *ShardedStore[K]) ClassifyDay(ref Day, n int, opts Options) DailyStabili
 // ClassifyWeek computes the weekly stability split.
 func (s *ShardedStore[K]) ClassifyWeek(start Day, n int, opts Options) WeeklyStability {
 	out := WeeklyStability{Start: start, N: n}
-	for _, p := range shardMap(s, func(st *Store[K]) WeeklyStability { return st.ClassifyWeek(start, n, opts) }) {
+	for _, p := range sweepTiles(s, func(st *Store[K], r0, r1 int) WeeklyStability {
+		return st.ClassifyWeekRows(start, n, opts, r0, r1)
+	}) {
 		out.Active += p.Active
 		out.Stable += p.Stable
 	}
@@ -307,50 +391,65 @@ func (s *ShardedStore[K]) ClassifyWeek(start Day, n int, opts Options) WeeklySta
 
 // StableKeys returns the nd-stable keys for reference day ref.
 func (s *ShardedStore[K]) StableKeys(ref Day, n int, opts Options) []K {
-	return concat(shardMap(s, func(st *Store[K]) []K { return st.StableKeys(ref, n, opts) }))
+	return concat(sweepTiles(s, func(st *Store[K], r0, r1 int) []K {
+		return st.StableKeysRows(ref, n, opts, r0, r1)
+	}))
 }
 
 // OverlapSeries returns the Figure 4 overlap curve around ref.
 func (s *ShardedStore[K]) OverlapSeries(ref Day, before, after int) []int {
-	return sumVecs(shardMap(s, func(st *Store[K]) []int { return st.OverlapSeries(ref, before, after) }))
+	return sumVecs(sweepTiles(s, func(st *Store[K], r0, r1 int) []int {
+		return st.OverlapSeriesRows(ref, before, after, r0, r1)
+	}))
 }
 
 // ActiveInRange returns the distinct keys active on at least one day of
 // [from, to].
 func (s *ShardedStore[K]) ActiveInRange(from, to Day) int {
-	return sumInts(shardMap(s, func(st *Store[K]) int { return st.ActiveInRange(from, to) }))
+	return sumInts(sweepTiles(s, func(st *Store[K], r0, r1 int) int {
+		return st.ActiveInRangeRows(from, to, r0, r1)
+	}))
 }
 
 // EpochStable counts keys active during both inclusive day ranges.
 func (s *ShardedStore[K]) EpochStable(aFrom, aTo, bFrom, bTo Day) int {
-	return sumInts(shardMap(s, func(st *Store[K]) int { return st.EpochStable(aFrom, aTo, bFrom, bTo) }))
+	return sumInts(sweepTiles(s, func(st *Store[K], r0, r1 int) int {
+		return st.EpochStableRows(aFrom, aTo, bFrom, bTo, r0, r1)
+	}))
 }
 
 // EpochStableKeys returns the keys counted by EpochStable.
 func (s *ShardedStore[K]) EpochStableKeys(aFrom, aTo, bFrom, bTo Day) []K {
-	return concat(shardMap(s, func(st *Store[K]) []K { return st.EpochStableKeys(aFrom, aTo, bFrom, bTo) }))
+	return concat(sweepTiles(s, func(st *Store[K], r0, r1 int) []K {
+		return st.EpochStableKeysRows(aFrom, aTo, bFrom, bTo, r0, r1)
+	}))
 }
 
 // KeysActiveOn returns the distinct keys active on day d.
 func (s *ShardedStore[K]) KeysActiveOn(d Day) []K {
-	return concat(shardMap(s, func(st *Store[K]) []K { return st.KeysActiveOn(d) }))
+	return concat(sweepTiles(s, func(st *Store[K], r0, r1 int) []K {
+		return st.KeysActiveOnRows(d, r0, r1)
+	}))
 }
 
 // StabilitySpectrum returns, for each n in [1, maxN], the count of keys
 // nd-stable on ref.
 func (s *ShardedStore[K]) StabilitySpectrum(ref Day, maxN int, opts Options) []int {
-	return sumVecs(shardMap(s, func(st *Store[K]) []int { return st.StabilitySpectrum(ref, maxN, opts) }))
+	return sumVecs(sweepTiles(s, func(st *Store[K], r0, r1 int) []int {
+		return st.StabilitySpectrumRows(ref, maxN, opts, r0, r1)
+	}))
 }
 
-// Range visits every key with its activity bitset, shard by shard, for
-// serialization. Returning false stops the iteration. Range takes each
-// shard's lock unless the store is frozen.
-func (s *ShardedStore[K]) Range(fn func(k K, days *BitSet) bool) {
+// Range visits every key with its slab row of day words, shard by shard,
+// for serialization. Returning false stops the iteration. Range takes each
+// shard's lock unless the store is frozen. The row slices alias the live
+// slabs and must not be modified or retained.
+func (s *ShardedStore[K]) Range(fn func(k K, days []uint64) bool) {
 	for i := range s.shards {
 		stop := false
 		s.withShard0(i, func(st *Store[K]) {
-			st.Range(func(k K, b *BitSet) bool {
-				if !fn(k, b) {
+			st.Range(func(k K, days []uint64) bool {
+				if !fn(k, days) {
 					stop = true
 					return false
 				}

@@ -123,7 +123,7 @@ func TestShardedStoreRestoreRoutes(t *testing.T) {
 	b := NewBitSet(20)
 	b.Set(3)
 	b.Set(11)
-	sh.Restore(42, b)
+	sh.Restore(42, b.Words())
 	if got := sh.Days(42); !reflect.DeepEqual(got, []Day{3, 11}) {
 		t.Fatalf("Days(42) = %v, want [3 11]", got)
 	}
@@ -192,7 +192,7 @@ func assertStoresAgree(t *testing.T, seq *Store[uint64], sh *ShardedStore[uint64
 	}
 	// Range must visit every key exactly once.
 	seen := make(map[uint64]int)
-	sh.Range(func(k uint64, days *BitSet) bool {
+	sh.Range(func(k uint64, days []uint64) bool {
 		seen[k]++
 		return true
 	})

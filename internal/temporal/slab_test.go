@@ -1,0 +1,322 @@
+package temporal
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Property tests for the slab-backed Store: every word-level bulk
+// operation must agree with a naive per-bit reference computed over plain
+// BitSets (the pre-slab representation), across randomized stores, day
+// ranges, and windows; and Compact must be invisible to every query.
+
+// refStore is the naive reference: one BitSet per key, per-bit loops only.
+type refStore struct {
+	numDays int
+	keys    map[uint64]*BitSet
+}
+
+func newRefStore(numDays int) *refStore {
+	return &refStore{numDays: numDays, keys: make(map[uint64]*BitSet)}
+}
+
+func (r *refStore) observe(k uint64, d Day) {
+	if d < 0 || int(d) >= r.numDays {
+		return
+	}
+	b := r.keys[k]
+	if b == nil {
+		b = NewBitSet(r.numDays)
+		r.keys[k] = b
+	}
+	b.Set(int(d))
+}
+
+// anyIn is the per-bit reference for AnyInRange.
+func anyIn(b *BitSet, from, to int) bool {
+	for d := from; d <= to; d++ {
+		if b.Get(d) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refStore) activeInRange(from, to Day) int {
+	n := 0
+	for _, b := range r.keys {
+		if anyIn(b, int(from), int(to)) {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *refStore) epochStable(aFrom, aTo, bFrom, bTo Day) int {
+	n := 0
+	for _, b := range r.keys {
+		if anyIn(b, int(aFrom), int(aTo)) && anyIn(b, int(bFrom), int(bTo)) {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *refStore) overlapSeries(ref Day, before, after int) []int {
+	out := make([]int, before+after+1)
+	for _, b := range r.keys {
+		if !b.Get(int(ref)) {
+			continue
+		}
+		for i := range out {
+			d := int(ref) - before + i
+			if d >= 0 && d < r.numDays && b.Get(d) {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// ndStableRef is the per-bit reference for the pair test.
+func ndStableRef(b *BitSet, ref Day, n int, opts Options) bool {
+	if !b.Get(int(ref)) {
+		return false
+	}
+	w := opts.window()
+	need := n + opts.SlewDays
+	lo, hi := int(ref)-w.Before, int(ref)+w.After
+	if !opts.AnyPair {
+		for d := lo; d <= hi; d++ {
+			if b.Get(d) && abs(d-int(ref)) >= need {
+				return true
+			}
+		}
+		return false
+	}
+	first, last := -1, -1
+	for d := lo; d <= hi; d++ {
+		if d >= 0 && b.Get(d) {
+			if first < 0 {
+				first = d
+			}
+			last = d
+		}
+	}
+	return first >= 0 && last-first >= need
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (r *refStore) classifyDay(ref Day, n int, opts Options) DailyStability {
+	out := DailyStability{Ref: ref, N: n}
+	for _, b := range r.keys {
+		if !b.Get(int(ref)) {
+			continue
+		}
+		out.Active++
+		if ndStableRef(b, ref, n, opts) {
+			out.Stable++
+		}
+	}
+	out.NotStable = out.Active - out.Stable
+	return out
+}
+
+// randomSlabStores builds a Store and its reference from one random
+// observation stream.
+func randomSlabStores(seed int64, keys, obs, numDays int) (*Store[uint64], *refStore) {
+	rng := rand.New(rand.NewSource(seed))
+	st := NewStore[uint64](numDays)
+	ref := newRefStore(numDays)
+	for i := 0; i < obs; i++ {
+		k := uint64(rng.Intn(keys))
+		d := Day(rng.Intn(numDays))
+		st.Observe(k, d)
+		ref.observe(k, d)
+	}
+	return st, ref
+}
+
+// TestPropSlabMatchesBitwiseReference drives randomized stores through
+// every bulk word-level operation and checks each against the per-bit
+// reference, over randomized day ranges and windows, both before and after
+// Compact.
+func TestPropSlabMatchesBitwiseReference(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		numDays := 20 + int(seed*31)%300
+		st, ref := randomSlabStores(seed, 200, 4000, numDays)
+		rng := rand.New(rand.NewSource(seed * 977))
+		check := func(phase string) {
+			for trial := 0; trial < 40; trial++ {
+				from := Day(rng.Intn(numDays))
+				to := from + Day(rng.Intn(numDays-int(from)))
+				if got, want := st.ActiveInRange(from, to), ref.activeInRange(from, to); got != want {
+					t.Fatalf("%s seed %d: ActiveInRange(%d,%d) = %d, want %d", phase, seed, from, to, got, want)
+				}
+				bFrom := Day(rng.Intn(numDays))
+				bTo := bFrom + Day(rng.Intn(numDays-int(bFrom)))
+				if got, want := st.EpochStable(from, to, bFrom, bTo), ref.epochStable(from, to, bFrom, bTo); got != want {
+					t.Fatalf("%s seed %d: EpochStable = %d, want %d", phase, seed, got, want)
+				}
+				refDay := Day(rng.Intn(numDays))
+				before, after := rng.Intn(12), rng.Intn(12)
+				if got, want := st.OverlapSeries(refDay, before, after), ref.overlapSeries(refDay, before, after); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s seed %d: OverlapSeries(%d,%d,%d) = %v, want %v", phase, seed, refDay, before, after, got, want)
+				}
+				opts := Options{
+					Window:   Window{Before: 1 + rng.Intn(10), After: 1 + rng.Intn(10)},
+					SlewDays: rng.Intn(2),
+					AnyPair:  rng.Intn(2) == 0,
+				}
+				n := 1 + rng.Intn(5)
+				if got, want := st.ClassifyDay(refDay, n, opts), ref.classifyDay(refDay, n, opts); got != want {
+					t.Fatalf("%s seed %d: ClassifyDay(%d,%d,%+v) = %+v, want %+v", phase, seed, refDay, n, opts, got, want)
+				}
+			}
+			// Per-key agreement: days and activity against the BitSets.
+			for k, b := range ref.keys {
+				days := st.Days(k)
+				var want []Day
+				for d := 0; d < numDays; d++ {
+					if b.Get(d) {
+						want = append(want, Day(d))
+					}
+				}
+				if !reflect.DeepEqual(days, want) {
+					t.Fatalf("%s seed %d: Days(%d) = %v, want %v", phase, seed, k, days, want)
+				}
+				act, ok := st.Activity(k)
+				if !ok {
+					t.Fatalf("%s seed %d: Activity(%d) unknown", phase, seed, k)
+				}
+				if act.ActiveDays != b.Count() || act.Runs != b.Runs() {
+					t.Fatalf("%s seed %d: Activity(%d) = %+v, want count %d runs %d", phase, seed, k, act, b.Count(), b.Runs())
+				}
+			}
+		}
+		check("chunked")
+		st.Compact()
+		check("compacted")
+		// The key set is sealed, but existing keys remain observable.
+		var anyKey uint64
+		for k := range ref.keys {
+			anyKey = k
+			break
+		}
+		st.Observe(anyKey, Day(numDays-1))
+		ref.observe(anyKey, Day(numDays-1))
+		check("post-compact-observe")
+	}
+}
+
+// TestSlabCompactSealsNewKeys verifies Compact's growth seal.
+func TestSlabCompactSealsNewKeys(t *testing.T) {
+	st := NewStore[uint64](10)
+	st.Observe(1, 2)
+	st.Compact()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe of a new key after Compact did not panic")
+		}
+	}()
+	st.Observe(2, 3)
+}
+
+// TestSlabGrowthAcrossChunks exercises row allocation across several arena
+// chunks and row identity after growth.
+func TestSlabGrowthAcrossChunks(t *testing.T) {
+	const numDays = 130 // stride 3
+	const keys = 3*(1<<chunkShift) + 17
+	st := NewStore[uint64](numDays)
+	for k := uint64(0); k < keys; k++ {
+		st.Observe(k, Day(k%numDays))
+	}
+	if st.Len() != keys {
+		t.Fatalf("Len = %d, want %d", st.Len(), keys)
+	}
+	for k := uint64(0); k < keys; k += 97 {
+		if !st.Active(k, Day(k%numDays)) {
+			t.Fatalf("key %d lost its day %d", k, k%numDays)
+		}
+		if st.Active(k, Day((k+1)%numDays)) {
+			t.Fatalf("key %d has a stray day", k)
+		}
+	}
+	st.Compact()
+	for k := uint64(0); k < keys; k += 97 {
+		if !st.Active(k, Day(k%numDays)) {
+			t.Fatalf("key %d lost its day %d after Compact", k, k%numDays)
+		}
+	}
+}
+
+// TestShardedParallelSweepTiles runs the post-freeze sweeps with enough
+// rows and GOMAXPROCS to force multi-tile row-range partitioning within
+// shards, from several goroutines at once — the -race workhorse for the
+// tiled sweep path — and checks results against a sequential Store.
+func TestShardedParallelSweepTiles(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	const numDays = 60
+	const keys = 3 * minTileRows // forces several tiles per shard at 2 shards
+	seq := NewStore[uint64](numDays)
+	sh := NewShardedStoreN[uint64](numDays, 2, hash64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 6*keys; i++ {
+		k := uint64(rng.Intn(keys))
+		d := Day(rng.Intn(numDays))
+		seq.Observe(k, d)
+		sh.Observe(k, d)
+	}
+	sh.Freeze()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := Options{Window: Window{Before: 7, After: 7}}
+			for d := 0; d < numDays; d += 5 {
+				day := Day(d)
+				if got, want := sh.ClassifyDay(day, 3, opts), seq.ClassifyDay(day, 3, opts); got != want {
+					t.Errorf("ClassifyDay(%d) = %+v, want %+v", d, got, want)
+					return
+				}
+				if got, want := sh.ClassifyWeek(day, 3, opts), seq.ClassifyWeek(day, 3, opts); got != want {
+					t.Errorf("ClassifyWeek(%d) = %+v, want %+v", d, got, want)
+					return
+				}
+				if got, want := sh.ActiveInRange(day, day+10), seq.ActiveInRange(day, day+10); got != want {
+					t.Errorf("ActiveInRange(%d) = %d, want %d", d, got, want)
+					return
+				}
+				if got, want := sh.OverlapSeries(day, 7, 7), seq.OverlapSeries(day, 7, 7); !reflect.DeepEqual(got, want) {
+					t.Errorf("OverlapSeries(%d) = %v, want %v", d, got, want)
+					return
+				}
+				if got, want := sh.StabilitySpectrum(day, 5, opts), seq.StabilitySpectrum(day, 5, opts); !reflect.DeepEqual(got, want) {
+					t.Errorf("StabilitySpectrum(%d) = %v, want %v", d, got, want)
+					return
+				}
+			}
+			a := seq.KeysActiveOn(10)
+			b := sh.KeysActiveOn(10)
+			sortKeys(a)
+			sortKeys(b)
+			if !reflect.DeepEqual(a, b) {
+				t.Error("KeysActiveOn mismatch under parallel sweep")
+			}
+		}()
+	}
+	wg.Wait()
+}

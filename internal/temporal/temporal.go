@@ -11,20 +11,54 @@
 //
 // The Store is generic over the classified key so the same machinery serves
 // full 128-bit addresses and /64 prefixes (or any other aggregate).
+//
+// # Storage layout
+//
+// Since the study length is fixed per Store, every key's day bits occupy a
+// fixed-stride window of a shared slab: stride = ceil(numDays/64) words.
+// Keys map to dense row indices (map[K]uint32) in insertion order, and rows
+// live contiguously in arena chunks of 1<<chunkShift rows each, so growth
+// never copies existing rows and a million keys cost a few hundred
+// allocations instead of a million BitSets. Every bulk analysis
+// (ClassifyDay, ClassifyWeek, OverlapSeries, EpochStable, ActiveInRange,
+// StabilitySpectrum, Lifetimes) is a linear sweep of dense rows using
+// word-level AND/OR and popcount — no per-key pointer chasing — and each
+// has a row-range form so ShardedStore can partition sweeps across cores.
 package temporal
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Day is a zero-based day index within a study period.
 type Day int
+
+// chunkShift is the log2 row count of one arena chunk: 4096 rows per chunk
+// keeps small stores cheap (one chunk is 32 KiB at stride 1) while a
+// million-row store needs only a few hundred chunk allocations.
+const chunkShift = 12
 
 // Store records which days each key was observed active. The zero Store is
 // not usable; construct with NewStore. Store is not safe for concurrent
 // mutation.
 type Store[K comparable] struct {
 	numDays int
-	keys    map[K]*BitSet
-	perDay  []int // observations of distinct keys per day
+	stride  int // slab words per key: ceil(numDays/64)
+
+	rowOf map[K]uint32 // key -> dense row index
+	keys  []K          // row index -> key, in insertion order
+
+	// The slab arena: row r's words are chunks[r>>shift][(r&mask)*stride :
+	// +stride]. Before Compact, shift/mask select fixed-size growth chunks;
+	// Compact fuses them into one exactly-sized slab (shift wide enough
+	// that every row lands in chunk 0) for read-optimized sweeps.
+	chunks [][]uint64
+	shift  uint
+	mask   uint32
+
+	perDay []int // observations of distinct keys per day
+	sealed bool  // set by Compact: no further keys may be added
 }
 
 // NewStore returns a Store for a study period of numDays days.
@@ -34,8 +68,11 @@ func NewStore[K comparable](numDays int) *Store[K] {
 	}
 	return &Store[K]{
 		numDays: numDays,
-		keys:    make(map[K]*BitSet),
+		stride:  (numDays + 63) / 64,
+		rowOf:   make(map[K]uint32),
 		perDay:  make([]int, numDays),
+		shift:   chunkShift,
+		mask:    1<<chunkShift - 1,
 	}
 }
 
@@ -45,27 +82,75 @@ func (s *Store[K]) NumDays() int { return s.numDays }
 // Len returns the number of distinct keys ever observed.
 func (s *Store[K]) Len() int { return len(s.keys) }
 
+// Rows returns the number of slab rows, equal to Len; rows index the keys
+// in insertion order. Row-range sweep partitioning is defined over [0,
+// Rows()).
+func (s *Store[K]) Rows() int { return len(s.keys) }
+
+// row returns the slab window of row r.
+func (s *Store[K]) row(r uint32) []uint64 {
+	ch := s.chunks[r>>s.shift]
+	off := int(r&s.mask) * s.stride
+	return ch[off : off+s.stride : off+s.stride]
+}
+
+// addRow assigns the next dense row to k, growing the arena by one chunk
+// when the current one is full.
+func (s *Store[K]) addRow(k K) uint32 {
+	if s.sealed {
+		panic("temporal: new key after Compact")
+	}
+	r := uint32(len(s.keys))
+	if r == ^uint32(0)>>1 {
+		panic("temporal: too many keys")
+	}
+	if int(r>>s.shift) == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]uint64, (1<<s.shift)*s.stride))
+	}
+	s.keys = append(s.keys, k)
+	s.rowOf[k] = r
+	return r
+}
+
+// Compact fuses the arena chunks into one exactly-sized contiguous slab and
+// trims slack, the read-optimized layout for bulk sweeps. After Compact no
+// new keys may be added (Observe on existing keys still works); it is
+// called by ShardedStore.Freeze on every shard.
+func (s *Store[K]) Compact() {
+	if s.sealed {
+		return
+	}
+	chunkWords := (1 << s.shift) * s.stride
+	flat := make([]uint64, len(s.keys)*s.stride)
+	for c, ch := range s.chunks {
+		copy(flat[c*chunkWords:], ch)
+	}
+	s.chunks = [][]uint64{flat}
+	s.shift = 31
+	s.mask = 1<<31 - 1
+	s.keys = append(make([]K, 0, len(s.keys)), s.keys...)
+	s.sealed = true
+}
+
 // Observe records that k was active on day d. Observations outside the study
 // period are ignored. Duplicate observations are idempotent.
 func (s *Store[K]) Observe(k K, d Day) {
 	if d < 0 || int(d) >= s.numDays {
 		return
 	}
-	b := s.keys[k]
-	if b == nil {
-		b = NewBitSet(s.numDays)
-		s.keys[k] = b
+	r, ok := s.rowOf[k]
+	if !ok {
+		r = s.addRow(k)
 	}
-	if !b.Get(int(d)) {
-		b.Set(int(d))
+	if wordSet(s.row(r), int(d)) {
 		s.perDay[d]++
 	}
 }
 
 // Active reports whether k was observed on day d.
 func (s *Store[K]) Active(k K, d Day) bool {
-	b := s.keys[k]
-	return b != nil && b.Get(int(d))
+	r, ok := s.rowOf[k]
+	return ok && wordGet(s.row(r), int(d))
 }
 
 // ActiveCount returns the number of distinct keys observed on day d.
@@ -84,12 +169,13 @@ func (s *Store[K]) ActivePerDay() []int {
 
 // Days returns the sorted active days of k (empty when never observed).
 func (s *Store[K]) Days(k K) []Day {
-	b := s.keys[k]
-	if b == nil {
+	r, ok := s.rowOf[k]
+	if !ok {
 		return nil
 	}
+	w := s.row(r)
 	var out []Day
-	for d := b.First(0); d >= 0; d = b.First(d + 1) {
+	for d := wordsFirst(w, 0); d >= 0; d = wordsFirst(w, d+1) {
 		out = append(out, Day(d))
 	}
 	return out
@@ -130,19 +216,20 @@ func (a Activity) Volatility() float64 {
 // Activity returns the activity profile of k; ok is false when k was never
 // observed.
 func (s *Store[K]) Activity(k K) (Activity, bool) {
-	b := s.keys[k]
-	if b == nil {
+	r, rok := s.rowOf[k]
+	if !rok {
 		return Activity{}, false
 	}
-	first := b.First(0)
+	w := s.row(r)
+	first := wordsFirst(w, 0)
 	if first < 0 {
 		return Activity{}, false
 	}
 	return Activity{
 		First:      Day(first),
-		Last:       Day(b.Last(s.numDays - 1)),
-		ActiveDays: b.Count(),
-		Runs:       b.Runs(),
+		Last:       Day(wordsLast(w, s.numDays-1)),
+		ActiveDays: wordsCount(w),
+		Runs:       wordsRuns(w),
 	}, true
 }
 
@@ -184,28 +271,29 @@ func (o Options) window() Window {
 // under opts. A key inactive on ref is never nd-stable for that reference
 // day (the daily analysis classifies the population active on ref).
 func (s *Store[K]) NDStable(k K, ref Day, n int, opts Options) bool {
-	b := s.keys[k]
-	if b == nil || !b.Get(int(ref)) {
+	r, ok := s.rowOf[k]
+	if !ok {
 		return false
 	}
-	return s.ndStableActive(b, ref, n, opts)
+	w := s.row(r)
+	return wordGet(w, int(ref)) && ndStableActive(w, ref, n, opts)
 }
 
-// ndStableActive assumes b.Get(ref) and applies the pair test.
-func (s *Store[K]) ndStableActive(b *BitSet, ref Day, n int, opts Options) bool {
-	w := opts.window()
+// ndStableActive assumes day ref is set in w and applies the pair test.
+func ndStableActive(w []uint64, ref Day, n int, opts Options) bool {
+	win := opts.window()
 	need := n + opts.SlewDays
-	lo, hi := int(ref)-w.Before, int(ref)+w.After
+	lo, hi := int(ref)-win.Before, int(ref)+win.After
 	if !opts.AnyPair {
 		// A partner day at distance >= need on either side of ref.
-		return b.AnyInRange(lo, int(ref)-need) || b.AnyInRange(int(ref)+need, hi)
+		return wordsAnyInRange(w, lo, int(ref)-need) || wordsAnyInRange(w, int(ref)+need, hi)
 	}
 	// Any pair: the extremal active days within the window decide.
-	first := b.First(lo)
+	first := wordsFirst(w, lo)
 	if first < 0 || first > hi {
 		return false
 	}
-	last := b.Last(hi)
+	last := wordsLast(w, hi)
 	return last-first >= need
 }
 
@@ -222,27 +310,46 @@ type DailyStability struct {
 // ClassifyDay computes the nd-stable split of the population active on ref,
 // the shape of one column of Table 2a/2b.
 func (s *Store[K]) ClassifyDay(ref Day, n int, opts Options) DailyStability {
-	out := DailyStability{Ref: ref, N: n}
-	for _, b := range s.keys {
-		if !b.Get(int(ref)) {
-			continue
-		}
-		out.Active++
-		if s.ndStableActive(b, ref, n, opts) {
-			out.Stable++
-		}
-	}
+	out := s.ClassifyDayRows(ref, n, opts, 0, len(s.keys))
 	out.NotStable = out.Active - out.Stable
 	return out
 }
 
-// StableKeys returns the nd-stable keys for reference day ref, in no
-// particular order.
+// ClassifyDayRows is the partial ClassifyDay over rows [r0, r1): the
+// additive merge unit of a partitioned sweep. NotStable is left zero; the
+// merger derives it after summing.
+func (s *Store[K]) ClassifyDayRows(ref Day, n int, opts Options, r0, r1 int) DailyStability {
+	out := DailyStability{Ref: ref, N: n}
+	if int(ref) < 0 || int(ref) >= s.stride*64 {
+		return out
+	}
+	wi, bit := int(ref)/64, uint(int(ref)%64)
+	for r := r0; r < r1; r++ {
+		w := s.row(uint32(r))
+		if w[wi]>>bit&1 == 0 {
+			continue
+		}
+		out.Active++
+		if ndStableActive(w, ref, n, opts) {
+			out.Stable++
+		}
+	}
+	return out
+}
+
+// StableKeys returns the nd-stable keys for reference day ref, in row
+// (insertion) order.
 func (s *Store[K]) StableKeys(ref Day, n int, opts Options) []K {
+	return s.StableKeysRows(ref, n, opts, 0, len(s.keys))
+}
+
+// StableKeysRows is StableKeys restricted to rows [r0, r1).
+func (s *Store[K]) StableKeysRows(ref Day, n int, opts Options, r0, r1 int) []K {
 	var out []K
-	for k, b := range s.keys {
-		if b.Get(int(ref)) && s.ndStableActive(b, ref, n, opts) {
-			out = append(out, k)
+	for r := r0; r < r1; r++ {
+		w := s.row(uint32(r))
+		if wordGet(w, int(ref)) && ndStableActive(w, ref, n, opts) {
+			out = append(out, s.keys[r])
 		}
 	}
 	return out
@@ -263,19 +370,28 @@ type WeeklyStability struct {
 // those days is reported, and "not stable" is the remainder of the week's
 // unique active keys.
 func (s *Store[K]) ClassifyWeek(start Day, n int, opts Options) WeeklyStability {
+	out := s.ClassifyWeekRows(start, n, opts, 0, len(s.keys))
+	out.NotStable = out.Active - out.Stable
+	return out
+}
+
+// ClassifyWeekRows is the partial ClassifyWeek over rows [r0, r1), the
+// additive merge unit of a partitioned sweep (NotStable left zero).
+func (s *Store[K]) ClassifyWeekRows(start Day, n int, opts Options, r0, r1 int) WeeklyStability {
 	out := WeeklyStability{Start: start, N: n}
-	for _, b := range s.keys {
+	for r := r0; r < r1; r++ {
+		w := s.row(uint32(r))
 		activeInWeek := false
 		stable := false
 		for d := start; d < start+7; d++ {
 			if int(d) >= s.numDays {
 				break
 			}
-			if !b.Get(int(d)) {
+			if !wordGet(w, int(d)) {
 				continue
 			}
 			activeInWeek = true
-			if s.ndStableActive(b, d, n, opts) {
+			if ndStableActive(w, d, n, opts) {
 				stable = true
 				break
 			}
@@ -287,7 +403,6 @@ func (s *Store[K]) ClassifyWeek(start Day, n int, opts Options) WeeklyStability 
 			}
 		}
 	}
-	out.NotStable = out.Active - out.Stable
 	return out
 }
 
@@ -296,15 +411,45 @@ func (s *Store[K]) ClassifyWeek(start Day, n int, opts Options) WeeklyStability 
 // curve of Figure 4. Days outside the study period report zero. The result
 // has before+after+1 entries; entry before corresponds to ref itself.
 func (s *Store[K]) OverlapSeries(ref Day, before, after int) []int {
+	return s.OverlapSeriesRows(ref, before, after, 0, len(s.keys))
+}
+
+// OverlapSeriesRows is OverlapSeries restricted to rows [r0, r1); partial
+// series merge by element-wise addition.
+func (s *Store[K]) OverlapSeriesRows(ref Day, before, after, r0, r1 int) []int {
 	out := make([]int, before+after+1)
-	for _, b := range s.keys {
-		if !b.Get(int(ref)) {
+	base := int(ref) - before
+	// Clamp the counted window to the study period; the tail of the last
+	// in-period word is masked off below.
+	lo, hi := base, int(ref)+after
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= s.numDays {
+		hi = s.numDays - 1
+	}
+	if hi < lo || int(ref) < 0 || int(ref) >= s.stride*64 {
+		return out
+	}
+	refW, refBit := int(ref)/64, uint(int(ref)%64)
+	loW, hiW := lo/64, hi/64
+	for r := r0; r < r1; r++ {
+		w := s.row(uint32(r))
+		if w[refW]>>refBit&1 == 0 {
 			continue
 		}
-		for i := range out {
-			d := int(ref) - before + i
-			if d >= 0 && d < s.numDays && b.Get(d) {
-				out[i]++
+		for wi := loW; wi <= hiW; wi++ {
+			v := w[wi]
+			if wi == loW {
+				v &^= maskLow(lo % 64)
+			}
+			if wi == hiW {
+				v &= maskLow(hi%64 + 1)
+			}
+			for v != 0 {
+				d := wi*64 + bits.TrailingZeros64(v)
+				out[d-base]++
+				v &= v - 1
 			}
 		}
 	}
@@ -314,9 +459,14 @@ func (s *Store[K]) OverlapSeries(ref Day, before, after int) []int {
 // ActiveInRange returns the number of distinct keys active on at least one
 // day of [from, to] (inclusive).
 func (s *Store[K]) ActiveInRange(from, to Day) int {
+	return s.ActiveInRangeRows(from, to, 0, len(s.keys))
+}
+
+// ActiveInRangeRows is ActiveInRange restricted to rows [r0, r1).
+func (s *Store[K]) ActiveInRangeRows(from, to Day, r0, r1 int) int {
 	n := 0
-	for _, b := range s.keys {
-		if b.AnyInRange(int(from), int(to)) {
+	for r := r0; r < r1; r++ {
+		if wordsAnyInRange(s.row(uint32(r)), int(from), int(to)) {
 			n++
 		}
 	}
@@ -327,9 +477,15 @@ func (s *Store[K]) ActiveInRange(from, to Day) int {
 // (inclusive ranges): the paper's 6m-stable and 1y-stable classes, where the
 // two ranges are the same calendar window six months or a year apart.
 func (s *Store[K]) EpochStable(aFrom, aTo, bFrom, bTo Day) int {
+	return s.EpochStableRows(aFrom, aTo, bFrom, bTo, 0, len(s.keys))
+}
+
+// EpochStableRows is EpochStable restricted to rows [r0, r1).
+func (s *Store[K]) EpochStableRows(aFrom, aTo, bFrom, bTo Day, r0, r1 int) int {
 	n := 0
-	for _, b := range s.keys {
-		if b.AnyInRange(int(aFrom), int(aTo)) && b.AnyInRange(int(bFrom), int(bTo)) {
+	for r := r0; r < r1; r++ {
+		w := s.row(uint32(r))
+		if wordsAnyInRange(w, int(aFrom), int(aTo)) && wordsAnyInRange(w, int(bFrom), int(bTo)) {
 			n++
 		}
 	}
@@ -338,22 +494,37 @@ func (s *Store[K]) EpochStable(aFrom, aTo, bFrom, bTo Day) int {
 
 // EpochStableKeys returns the keys counted by EpochStable.
 func (s *Store[K]) EpochStableKeys(aFrom, aTo, bFrom, bTo Day) []K {
+	return s.EpochStableKeysRows(aFrom, aTo, bFrom, bTo, 0, len(s.keys))
+}
+
+// EpochStableKeysRows is EpochStableKeys restricted to rows [r0, r1).
+func (s *Store[K]) EpochStableKeysRows(aFrom, aTo, bFrom, bTo Day, r0, r1 int) []K {
 	var out []K
-	for k, b := range s.keys {
-		if b.AnyInRange(int(aFrom), int(aTo)) && b.AnyInRange(int(bFrom), int(bTo)) {
-			out = append(out, k)
+	for r := r0; r < r1; r++ {
+		w := s.row(uint32(r))
+		if wordsAnyInRange(w, int(aFrom), int(aTo)) && wordsAnyInRange(w, int(bFrom), int(bTo)) {
+			out = append(out, s.keys[r])
 		}
 	}
 	return out
 }
 
-// KeysActiveOn returns the distinct keys active on day d, in no particular
-// order.
+// KeysActiveOn returns the distinct keys active on day d, in row
+// (insertion) order.
 func (s *Store[K]) KeysActiveOn(d Day) []K {
+	return s.KeysActiveOnRows(d, 0, len(s.keys))
+}
+
+// KeysActiveOnRows is KeysActiveOn restricted to rows [r0, r1).
+func (s *Store[K]) KeysActiveOnRows(d Day, r0, r1 int) []K {
 	var out []K
-	for k, b := range s.keys {
-		if b.Get(int(d)) {
-			out = append(out, k)
+	if int(d) < 0 || int(d) >= s.stride*64 {
+		return out
+	}
+	wi, bit := int(d)/64, uint(int(d)%64)
+	for r := r0; r < r1; r++ {
+		if s.row(uint32(r))[wi]>>bit&1 != 0 {
+			out = append(out, s.keys[r])
 		}
 	}
 	return out
@@ -363,15 +534,22 @@ func (s *Store[K]) KeysActiveOn(d Day) []K {
 // are nd-stable on ref — the monotone non-increasing spectrum used by the
 // window-sweep ablation. (nd-stable implies (n-1)d-stable, Section 5.1.)
 func (s *Store[K]) StabilitySpectrum(ref Day, maxN int, opts Options) []int {
+	return s.StabilitySpectrumRows(ref, maxN, opts, 0, len(s.keys))
+}
+
+// StabilitySpectrumRows is StabilitySpectrum restricted to rows [r0, r1);
+// partial spectra merge by element-wise addition.
+func (s *Store[K]) StabilitySpectrumRows(ref Day, maxN int, opts Options, r0, r1 int) []int {
 	out := make([]int, maxN)
-	for _, b := range s.keys {
-		if !b.Get(int(ref)) {
+	for r := r0; r < r1; r++ {
+		w := s.row(uint32(r))
+		if !wordGet(w, int(ref)) {
 			continue
 		}
 		// Find the largest n for which the key qualifies; it then counts
 		// toward every smaller n.
 		for n := maxN; n >= 1; n-- {
-			if s.ndStableActive(b, ref, n, opts) {
+			if ndStableActive(w, ref, n, opts) {
 				for i := 0; i < n; i++ {
 					out[i]++
 				}
@@ -391,11 +569,12 @@ func (s *Store[K]) LongestGapStable(limit int) []K {
 		gap int
 	}
 	var all []kg
-	for k, b := range s.keys {
-		first := b.First(0)
-		last := b.Last(s.numDays - 1)
+	for r := range s.keys {
+		w := s.row(uint32(r))
+		first := wordsFirst(w, 0)
+		last := wordsLast(w, s.numDays-1)
 		if first >= 0 && last > first {
-			all = append(all, kg{k: k, gap: last - first})
+			all = append(all, kg{k: s.keys[r], gap: last - first})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].gap > all[j].gap })
@@ -409,26 +588,38 @@ func (s *Store[K]) LongestGapStable(limit int) []K {
 	return out
 }
 
-// Range visits every key with its activity bitset, for serialization.
-// Returning false stops the iteration. The bitsets must not be modified.
-func (s *Store[K]) Range(fn func(k K, days *BitSet) bool) {
-	for k, b := range s.keys {
-		if !fn(k, b) {
+// Range visits every key with its slab row of day words (little-endian day
+// order), in insertion order, for serialization. Returning false stops the
+// iteration. The row slices alias the live slab and must not be modified or
+// retained.
+func (s *Store[K]) Range(fn func(k K, days []uint64) bool) {
+	for r := range s.keys {
+		if !fn(s.keys[r], s.row(uint32(r))) {
 			return
 		}
 	}
 }
 
-// Restore installs a deserialized activity bitset for k, replacing any
-// existing record and updating the per-day counters.
-func (s *Store[K]) Restore(k K, b *BitSet) {
-	if old := s.keys[k]; old != nil {
-		for d := old.First(0); d >= 0 && d < s.numDays; d = old.First(d + 1) {
+// Restore installs deserialized activity words for k, replacing any
+// existing record and updating the per-day counters. Words beyond the
+// store's stride (possible only when the snapshot's study period was
+// longer) are dropped.
+func (s *Store[K]) Restore(k K, days []uint64) {
+	r, ok := s.rowOf[k]
+	if !ok {
+		r = s.addRow(k)
+	}
+	w := s.row(r)
+	if ok {
+		for d := wordsFirst(w, 0); d >= 0 && d < s.numDays; d = wordsFirst(w, d+1) {
 			s.perDay[d]--
 		}
 	}
-	s.keys[k] = b
-	for d := b.First(0); d >= 0 && d < s.numDays; d = b.First(d + 1) {
+	n := copy(w, days)
+	for i := n; i < len(w); i++ {
+		w[i] = 0
+	}
+	for d := wordsFirst(w, 0); d >= 0 && d < s.numDays; d = wordsFirst(w, d+1) {
 		s.perDay[d]++
 	}
 }

@@ -1,0 +1,144 @@
+package temporal
+
+import "math/bits"
+
+// Word-level primitives over a day-bit row: a []uint64 in little-endian day
+// order (bit i of word i/64 is study day i). These are shared by BitSet and
+// by the slab-backed Store, whose rows are windows of one contiguous slab;
+// keeping them as free functions lets the bulk analytics run branch-free
+// over dense memory without materializing a BitSet per key.
+
+// wordGet reports whether day i is set. Out-of-range days are inactive.
+func wordGet(w []uint64, i int) bool {
+	return i >= 0 && i < len(w)*64 && w[i/64]&(1<<(i%64)) != 0
+}
+
+// wordSet marks day i and reports whether it was newly set. Out-of-range
+// days are ignored.
+func wordSet(w []uint64, i int) bool {
+	if i < 0 || i >= len(w)*64 {
+		return false
+	}
+	if w[i/64]&(1<<(i%64)) != 0 {
+		return false
+	}
+	w[i/64] |= 1 << (i % 64)
+	return true
+}
+
+// wordsAnyInRange reports whether any day in [from, to] (inclusive) is set.
+func wordsAnyInRange(w []uint64, from, to int) bool {
+	if from < 0 {
+		from = 0
+	}
+	max := len(w)*64 - 1
+	if to > max {
+		to = max
+	}
+	for i := from; i <= to; {
+		word, bit := i/64, i%64
+		v := w[word] >> bit
+		// Bits remaining in this word that are still within range.
+		remain := 64 - bit
+		if span := to - i + 1; span < remain {
+			remain = span
+		}
+		if v&maskLow(remain) != 0 {
+			return true
+		}
+		i += remain
+	}
+	return false
+}
+
+// wordsCountRange returns the number of set days in [from, to] (inclusive).
+func wordsCountRange(w []uint64, from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	max := len(w)*64 - 1
+	if to > max {
+		to = max
+	}
+	n := 0
+	for i := from; i <= to; {
+		word, bit := i/64, i%64
+		v := w[word] >> bit
+		remain := 64 - bit
+		if span := to - i + 1; span < remain {
+			remain = span
+		}
+		n += bits.OnesCount64(v & maskLow(remain))
+		i += remain
+	}
+	return n
+}
+
+// wordsCount returns the number of set days.
+func wordsCount(w []uint64) int {
+	n := 0
+	for _, v := range w {
+		n += bits.OnesCount64(v)
+	}
+	return n
+}
+
+// wordsFirst returns the first set day at or after from, or -1 if none.
+func wordsFirst(w []uint64, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from / 64; i < len(w); i++ {
+		v := w[i]
+		if i == from/64 {
+			v &^= maskLow(from % 64)
+		}
+		if v != 0 {
+			return i*64 + bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
+
+// wordsLast returns the last set day at or before to, or -1 if none.
+func wordsLast(w []uint64, to int) int {
+	max := len(w)*64 - 1
+	if to > max {
+		to = max
+	}
+	if to < 0 {
+		return -1
+	}
+	for i := to / 64; i >= 0; i-- {
+		v := w[i]
+		if i == to/64 {
+			keep := to%64 + 1
+			v &= maskLow(keep)
+		}
+		if v != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(v)
+		}
+	}
+	return -1
+}
+
+// wordsRuns returns the number of maximal contiguous runs of set days.
+func wordsRuns(w []uint64) int {
+	runs := 0
+	carry := uint64(0) // bit 63 of the previous word, shifted into bit 0
+	for _, v := range w {
+		// A run starts at every set bit whose predecessor is clear.
+		starts := v &^ (v<<1 | carry)
+		runs += bits.OnesCount64(starts)
+		carry = v >> 63
+	}
+	return runs
+}
+
+// maskLow returns a uint64 with the low n bits set (n in [0,64]).
+func maskLow(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << n) - 1
+}

@@ -1,0 +1,96 @@
+package v6class
+
+import (
+	"sync"
+	"testing"
+
+	"v6class/internal/core"
+)
+
+// Analysis-sweep benchmarks: the temporal bulk queries that dominate the
+// serving path on cache misses — stability classification, overlap series,
+// and epoch/range sweeps — over the same million-address world as
+// BenchmarkIngest, on both engines. Run with -benchmem: the storage layout
+// of internal/temporal is the variable these exist to track, and allocs/op
+// is as much the signal as ns/op.
+
+var (
+	stabilityOnce sync.Once
+	stabilitySeq  *core.Census
+	stabilitySh   *core.ShardedCensus
+)
+
+// stabilityWorld ingests the shared benchmark world into both engines once
+// per process, returning them ready for read-only analyses.
+func stabilityWorld() (*core.Census, *core.ShardedCensus) {
+	stabilityOnce.Do(func() {
+		logs, _ := ingestWorld()
+		cfg := core.CensusConfig{StudyDays: ingestStudyDays}
+		stabilitySeq = core.NewCensus(cfg)
+		for _, l := range logs {
+			stabilitySeq.AddDay(l)
+		}
+		stabilitySh = core.NewShardedCensus(cfg)
+		stabilitySh.AddDays(logs)
+		stabilitySh.Freeze()
+	})
+	return stabilitySeq, stabilitySh
+}
+
+// stabilityEngines returns the two engines behind their shared analysis
+// interface, in deterministic bench order.
+func stabilityEngines() []struct {
+	name string
+	a    core.Analyzer
+} {
+	seq, sh := stabilityWorld()
+	return []struct {
+		name string
+		a    core.Analyzer
+	}{
+		{"sequential", seq},
+		{"sharded", sh},
+	}
+}
+
+// BenchmarkStability measures the daily and weekly nd-stable
+// classifications (Table 2) plus the window-sweep spectrum over both
+// populations — the per-key scans at the heart of Section 5.1.
+func BenchmarkStability(b *testing.B) {
+	for _, e := range stabilityEngines() {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				day := e.a.Stability(core.Addresses, 12, 3)
+				if day.Active == 0 {
+					b.Fatal("bad result")
+				}
+				if p := e.a.Stability(core.Prefixes64, 12, 3); p.Active == 0 {
+					b.Fatal("bad result")
+				}
+				if wk := e.a.WeeklyStability(core.Addresses, 10, 3); wk.Active == 0 {
+					b.Fatal("bad result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOverlap measures the Figure 4 overlap curve and the epoch/range
+// activity sweeps, the other word-level bulk scans of the serving path.
+func BenchmarkOverlap(b *testing.B) {
+	for _, e := range stabilityEngines() {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if s := e.a.OverlapSeries(core.Addresses, 12, 7, 7); len(s) != 15 {
+					b.Fatal("bad result")
+				}
+				if n := e.a.EpochStable(core.Addresses, 10, 11, 12, 13); n == 0 {
+					b.Fatal("bad result")
+				}
+				if n := e.a.ActiveInRange(core.Prefixes64, 10, 13); n == 0 {
+					b.Fatal("bad result")
+				}
+			}
+		})
+	}
+}
