@@ -26,20 +26,19 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 
+	"v6class"
 	"v6class/internal/addrclass"
 	"v6class/internal/cdnlog"
-	"v6class/internal/core"
 	"v6class/internal/ipaddr"
 	"v6class/internal/mraplot"
 	"v6class/internal/spatial"
 	"v6class/internal/stats"
-	"v6class/internal/temporal"
 )
 
 func main() {
@@ -85,8 +84,8 @@ func usage() {
 }
 
 // readLogs loads all day sections from the input (gzip transparent).
-func readLogs(path string) []cdnlog.DayLog {
-	logs, err := cdnlog.ReadFile(path)
+func readLogs(path string) []v6class.DayLog {
+	logs, err := v6class.ReadLogs(path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,32 +95,42 @@ func readLogs(path string) []cdnlog.DayLog {
 	return logs
 }
 
-// buildCensus constructs the chosen ingestion engine and feeds it logs.
-// With parallel true the sharded concurrent pipeline ingests and freezes
-// the census; both engines answer every analysis identically.
-func buildCensus(logs []cdnlog.DayLog, cfg core.CensusConfig, parallel bool) core.Analyzer {
-	if parallel {
-		c := core.NewShardedCensus(cfg)
-		c.AddDays(logs)
-		c.Freeze()
-		return c
+// engineOpts translates the -parallel flag into façade options: the
+// sequential engine by default, the sharded concurrent pipeline with
+// GOMAXPROCS-scaled defaults under -parallel.
+func engineOpts(parallel bool, extra ...v6class.Option) []v6class.Option {
+	if !parallel {
+		extra = append(extra, v6class.WithSequential())
 	}
-	c := core.NewCensus(cfg)
-	for _, l := range logs {
-		c.AddDay(l)
-	}
-	return c
+	return extra
 }
 
-// censusOf ingests logs into a census sized to fit them.
-func censusOf(logs []cdnlog.DayLog, parallel bool) core.Analyzer {
+// buildCensus constructs the chosen ingestion engine, feeds it logs, and
+// leaves it ingesting (callers freeze when they are done adding days).
+func buildCensus(logs []v6class.DayLog, studyDays int, parallel bool, extra ...v6class.Option) v6class.Engine {
+	opts := engineOpts(parallel, append(extra, v6class.WithStudyDays(studyDays))...)
+	eng, err := v6class.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.AddDays(logs); err != nil {
+		log.Fatal(err)
+	}
+	return eng
+}
+
+// censusOf ingests logs into a frozen, query-ready census sized to fit
+// them.
+func censusOf(logs []v6class.DayLog, parallel bool, extra ...v6class.Option) v6class.Engine {
 	maxDay := 0
 	for _, l := range logs {
 		if l.Day > maxDay {
 			maxDay = l.Day
 		}
 	}
-	return buildCensus(logs, core.CensusConfig{StudyDays: maxDay + 1}, parallel)
+	eng := buildCensus(logs, maxDay+1, parallel, extra...)
+	eng.Freeze()
+	return eng
 }
 
 func cmdSummary(args []string) {
@@ -167,27 +176,15 @@ func cmdStability(args []string) {
 	parallel := fs.Bool("parallel", false, "ingest with the sharded concurrent pipeline")
 	fs.Parse(args)
 
-	var c core.Analyzer
+	var c v6class.Engine
 	switch {
 	case *state != "":
-		f, err := os.Open(*state)
+		eng, err := v6class.Open(*state, engineOpts(*parallel)...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if *parallel {
-			sc, err := core.ReadShardedCensus(f)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sc.Freeze()
-			c = sc
-		} else {
-			c, err = core.ReadCensus(f)
-			if err != nil {
-				log.Fatal(err)
-			}
-		}
+		eng.Freeze()
+		c = eng
 		if *ref < 0 {
 			log.Fatal("-state requires an explicit -ref day")
 		}
@@ -202,17 +199,29 @@ func cmdStability(args []string) {
 		}
 	}
 
-	opts := temporal.Options{Window: temporal.Window{Before: *window, After: *window}}
+	opts := v6class.StabilityOptions{Window: v6class.StabilityWindow{Before: *window, After: *window}}
 	for _, pop := range []struct {
 		name string
-		p    core.Population
-	}{{"addresses", core.Addresses}, {"/64 prefixes", core.Prefixes64}} {
-		st := c.StabilityWith(pop.p, *ref, *n, opts)
+		p    v6class.Population
+	}{{"addresses", v6class.Addresses}, {"/64 prefixes", v6class.Prefixes64}} {
+		st, err := c.StabilityWith(pop.p, *ref, *n, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%s active on day %d: %d\n", pop.name, *ref, st.Active)
 		fmt.Printf("  %dd-stable (-%dd,+%dd): %d (%.2f%%)\n",
 			*n, *window, *window, st.Stable, pct(st.Stable, st.Active))
 		fmt.Printf("  not %dd-stable:        %d (%.2f%%)\n", *n, st.NotStable, pct(st.NotStable, st.Active))
 	}
+}
+
+// must unwraps a façade query result, exiting on lifecycle errors (which
+// indicate a bug in this command, not bad user input).
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }
 
 func pct(a, b int) float64 {
@@ -439,15 +448,15 @@ func cmdLSP(args []string) {
 			maxB = l.Day + shift
 		}
 	}
-	c := core.NewCensus(core.CensusConfig{StudyDays: maxB + 1})
-	for _, l := range logsA {
-		c.AddDay(l)
-	}
+	c := buildCensus(logsA, maxB+1, false)
 	for _, l := range logsB {
 		l.Day += shift
-		c.AddDay(l)
+		if err := c.AddDay(l); err != nil {
+			log.Fatal(err)
+		}
 	}
-	got := c.LongestStablePrefixes(0, maxA, logsB[0].Day+shift, maxB, *minBits, *minSupport)
+	c.Freeze()
+	got := must(c.LongestStablePrefixes(0, maxA, logsB[0].Day+shift, maxB, *minBits, *minSupport))
 	fmt.Printf("%d stable prefixes (>= /%d, support >= %d):\n", len(got), *minBits, *minSupport)
 	for i, p := range got {
 		if i >= *limit {
@@ -475,27 +484,24 @@ func cmdLifetime(args []string) {
 			maxDay = l.Day
 		}
 	}
-	addrs := temporal.NewStore[ipaddr.Addr](maxDay + 1)
-	p64s := temporal.NewStore[ipaddr.Prefix](maxDay + 1)
-	for _, l := range logs {
-		for _, r := range l.Records {
-			addrs.Observe(r.Addr, temporal.Day(l.Day))
-			p64s.Observe(ipaddr.PrefixFrom(r.Addr, 64), temporal.Day(l.Day))
-		}
-	}
-	report := func(name string, st temporal.LifetimeStats) {
+	// Transition-mechanism addresses stay in the stores here: lifetime
+	// statistics describe every observed address, not just the native
+	// population the classifiers run on.
+	c := buildCensus(logs, maxDay+1, false, v6class.WithKeepTransition())
+	c.Freeze()
+	report := func(name string, st v6class.LifetimeStats) {
 		fmt.Printf("%s: %d keys, %.1f%% single-day, median span %d day(s)\n",
 			name, st.Keys, 100*st.SingleDayShare(), st.MedianSpan())
 	}
-	report("addresses", addrs.Lifetimes(temporal.Day(minDay), temporal.Day(maxDay)))
-	report("/64s", p64s.Lifetimes(temporal.Day(minDay), temporal.Day(maxDay)))
+	report("addresses", must(c.LifetimeStats(v6class.Addresses, minDay, maxDay)))
+	report("/64s", must(c.LifetimeStats(v6class.Prefixes64, minDay, maxDay)))
 	maxGap := maxDay - minDay
 	if maxGap > 7 {
 		maxGap = 7
 	}
 	if maxGap >= 1 {
-		rp := addrs.ReturnProbability(temporal.Day(minDay), temporal.Day(maxDay), maxGap)
-		rp64 := p64s.ReturnProbability(temporal.Day(minDay), temporal.Day(maxDay), maxGap)
+		rp := must(c.ReturnProbability(v6class.Addresses, minDay, maxDay, maxGap))
+		rp64 := must(c.ReturnProbability(v6class.Prefixes64, minDay, maxDay, maxGap))
 		fmt.Println("return probability by gap (addresses vs /64s):")
 		for g := 1; g <= maxGap; g++ {
 			fmt.Printf("  +%dd: %.3f vs %.3f\n", g, rp[g], rp64[g])
@@ -530,7 +536,7 @@ func runIngest(args []string) error {
 	if *state == "" {
 		return fmt.Errorf("ingest requires -state")
 	}
-	logs, err := cdnlog.ReadFile(*in)
+	logs, err := v6class.ReadLogs(*in)
 	if err != nil {
 		return err
 	}
@@ -548,96 +554,57 @@ func runIngest(args []string) error {
 	if newDays == 0 {
 		newDays = maxDay + 30
 	}
-	// Observations beyond a census's study length are silently ignored by
-	// the temporal stores, so refusing up front is the only way to avoid
-	// quiet data loss.
-	checkFits := func(c core.Analyzer) error {
-		if maxDay >= c.StudyDays() {
-			return fmt.Errorf("snapshot %s has study length %d and cannot hold day %d; re-create it with a larger -study-days", *state, c.StudyDays(), maxDay)
-		}
-		return nil
-	}
 
 	// fresh reports whether overwriting state with a newly built census is
 	// permitted: always for a path that does not exist yet, only under
 	// -force when something unreadable is already there.
-	fresh := func(reason error) (core.Analyzer, error) {
+	fresh := func(reason error) (v6class.Engine, error) {
 		if reason != nil && !*force {
 			return nil, fmt.Errorf("refusing to overwrite %s: %v (use -force to replace it)", *state, reason)
 		}
 		if *studyDays > 0 && maxDay >= *studyDays {
 			return nil, fmt.Errorf("-study-days %d cannot hold day %d", *studyDays, maxDay)
 		}
-		return buildCensus(logs, core.CensusConfig{StudyDays: newDays}, *parallel), nil
+		eng, err := v6class.New(engineOpts(*parallel, v6class.WithStudyDays(newDays))...)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.AddDays(logs); err != nil {
+			return nil, err
+		}
+		return eng, nil
 	}
 
-	var c core.Analyzer
-	f, err := os.Open(*state)
+	var c v6class.Engine
+	eng, err := v6class.Open(*state, engineOpts(*parallel)...)
 	switch {
-	case err == nil && *parallel:
-		sc, rerr := core.ReadShardedCensus(f)
-		f.Close()
-		if rerr != nil {
-			if c, err = fresh(fmt.Errorf("not a readable census snapshot: %w", rerr)); err != nil {
-				return err
-			}
-		} else {
-			if err := checkFits(sc); err != nil {
-				return err
-			}
-			sc.AddDays(logs)
-			c = sc
-		}
 	case err == nil:
-		seq, rerr := core.ReadCensus(f)
-		f.Close()
-		if rerr != nil {
-			if c, err = fresh(fmt.Errorf("not a readable census snapshot: %w", rerr)); err != nil {
-				return err
-			}
-		} else {
-			if err := checkFits(seq); err != nil {
-				return err
-			}
-			for _, l := range logs {
-				seq.AddDay(l)
-			}
-			c = seq
+		// Observations beyond a census's study length are silently ignored
+		// by the temporal stores, so refusing up front is the only way to
+		// avoid quiet data loss.
+		if maxDay >= eng.StudyDays() {
+			return fmt.Errorf("snapshot %s has study length %d and cannot hold day %d; re-create it with a larger -study-days", *state, eng.StudyDays(), maxDay)
 		}
-	case os.IsNotExist(err):
+		if err := eng.AddDays(logs); err != nil {
+			return err
+		}
+		c = eng
+	case errors.Is(err, os.ErrNotExist):
 		if c, err = fresh(nil); err != nil {
 			return err
 		}
 	default:
-		// The path exists but cannot even be opened (permissions, a
-		// directory, ...): clobbering it was the old silent-overwrite bug.
+		// Something is at the path but it cannot be read as a snapshot — a
+		// foreign file, a truncated snapshot, a directory, a permissions
+		// problem. Clobbering it was the old silent-overwrite bug.
 		if c, err = fresh(err); err != nil {
 			return err
 		}
 	}
-	// Write to a temp file and rename over the target, so a failed or
-	// interrupted write can never destroy the existing snapshot.
-	tmp, err := os.CreateTemp(filepath.Dir(*state), ".v6census-state-*")
-	if err != nil {
-		return err
-	}
-	if _, err := c.WriteTo(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	// CreateTemp makes the file 0600; restore the conventional snapshot
-	// mode so other daily-pipeline users (v6served, backups) can read it.
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), *state); err != nil {
-		os.Remove(tmp.Name())
+	// Save writes temp-and-rename, so a failed or interrupted write can
+	// never destroy the existing snapshot, and the file lands 0644 for
+	// other daily-pipeline users (v6served, backups).
+	if err := c.Save(*state); err != nil {
 		return err
 	}
 	fmt.Printf("ingested %d day(s) into %s (study length %d)\n", len(logs), *state, c.StudyDays())
@@ -666,13 +633,22 @@ func cmdOverlap(args []string) {
 			maxDay = l.Day
 		}
 	}
-	series := c.OverlapSeries(core.Addresses, *ref, *ref-minDay, maxDay-*ref)
-	series64 := c.OverlapSeries(core.Prefixes64, *ref, *ref-minDay, maxDay-*ref)
+	// The overlap curves stream straight off the engine; collect them into
+	// day-indexed slices to print next to the per-day active counts.
+	collect := func(pop v6class.Population) []int {
+		out := make([]int, 0, maxDay-minDay+1)
+		for _, n := range must(c.OverlapSeries(pop, *ref, *ref-minDay, maxDay-*ref)) {
+			out = append(out, n)
+		}
+		return out
+	}
+	series := collect(v6class.Addresses)
+	series64 := collect(v6class.Prefixes64)
 	fmt.Printf("%-6s %12s %12s %12s %12s\n", "day", "active", "ref overlap", "active /64s", "ref /64s")
 	for d := minDay; d <= maxDay; d++ {
 		i := d - minDay
 		fmt.Printf("%-6d %12d %12d %12d %12d\n", d,
-			c.ActiveCount(core.Addresses, d), series[i],
-			c.ActiveCount(core.Prefixes64, d), series64[i])
+			must(c.ActiveCount(v6class.Addresses, d)), series[i],
+			must(c.ActiveCount(v6class.Prefixes64, d)), series64[i])
 	}
 }

@@ -49,6 +49,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"v6class"
 	"v6class/internal/experiments"
 	"v6class/internal/serve"
 	"v6class/internal/synth"
@@ -99,7 +100,8 @@ func buildServer(cfg config) (*serve.Server, error) {
 		// densest slice of the synthetic study. It installs first so a
 		// real -state snapshot, when also given, stays the default.
 		c := lab.ShardedCensus([2]int{synth.EpochMar2014 - 7, synth.EpochMar2014 + 13})
-		s.Install("demo", "", c) // no file source: generated, not reloadable
+		// no file source: generated, not reloadable
+		s.Install("demo", "", v6class.FromAnalyzer(c))
 		log.Printf("installed generated snapshot %q (seed %d, scale %g)", "demo", cfg.demoSeed, scale)
 	}
 	for _, st := range cfg.states {

@@ -7,7 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"v6class/internal/core"
+	"v6class"
 	"v6class/internal/synth"
 )
 
@@ -29,23 +29,22 @@ func TestParseState(t *testing.T) {
 	}
 }
 
-// writeSnapshot builds a small census and persists it.
+// writeSnapshot builds a small census through the public façade and
+// persists it, as the daily pipeline would.
 func writeSnapshot(t *testing.T) string {
 	t.Helper()
 	w := synth.NewWorld(synth.Config{Seed: 3, Scale: 0.005, StudyDays: 20})
-	c := core.NewCensus(core.CensusConfig{StudyDays: 20})
-	for d := 3; d <= 12; d++ {
-		c.AddDay(w.Day(d))
-	}
-	path := filepath.Join(t.TempDir(), "census.state")
-	f, err := os.Create(path)
+	c, err := v6class.New(v6class.WithStudyDays(20), v6class.WithSequential())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WriteTo(f); err != nil {
-		t.Fatal(err)
+	for d := 3; d <= 12; d++ {
+		if err := c.AddDay(w.Day(d)); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := f.Close(); err != nil {
+	path := filepath.Join(t.TempDir(), "census.state")
+	if err := c.Save(path); err != nil {
 		t.Fatal(err)
 	}
 	return path

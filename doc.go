@@ -1,99 +1,99 @@
-// Package v6class reproduces "Temporal and Spatial Classification of Active
-// IPv6 Addresses" (Plonka & Berger, IMC 2015) as a Go library.
+// Package v6class classifies active IPv6 addresses — a production-scale
+// implementation of "Temporal and Spatial Classification of Active IPv6
+// Addresses" (Plonka & Berger, IMC 2015).
 //
-// The implementation lives under internal/: see internal/core for the
-// classification engine, internal/experiments for the per-table/figure
-// reproduction drivers, and DESIGN.md for the full system inventory. The
-// benchmarks in this package regenerate every table and figure of the
-// paper's evaluation; run them with:
+// The package root is the public API: a single Engine interface over the
+// whole census lifecycle, constructed with functional options and queried
+// through scalar results and streaming iterators. The implementations —
+// the sequential engine, the sharded concurrent pipeline, the slab-backed
+// temporal matrix, the snapshot service — live under internal/ and are
+// reachable only through this surface.
 //
-//	go test -bench=. -benchmem
+// # Lifecycle
 //
-// # Concurrency model
+// An Engine moves through exactly two phases:
 //
-// The paper's datasets are a year of daily CDN logs with millions of
-// distinct addresses per day, so ingestion is built to scale with cores
-// while every analysis stays reproducible:
+//	eng, err := v6class.New(
+//		v6class.WithStudyDays(365),   // required
+//		v6class.WithShards(16),       // optional: size the concurrent engine
+//	)
+//	...
+//	eng.AddDays(logs)   // phase 1: ingestion (concurrent on the sharded engine)
+//	eng.Freeze()        // the barrier: ingestion ends, queries begin
+//	st, err := eng.Stability(v6class.Addresses, ref, 3)   // phase 2: queries
 //
-//   - core.Census is the sequential engine: one goroutine ingests with
-//     AddDay; analyses may run concurrently once ingestion is done.
-//   - core.ShardedCensus is the concurrent engine. AddDays/Ingest split
-//     logs into record chunks, classify them on a GOMAXPROCS-sized worker
-//     pool, and route the surviving observations by key hash over
-//     per-shard channels into temporal.ShardedStore shards (each shard an
-//     independent slab-backed store with its own per-day counters);
-//     applied batches recycle to the workers through free lists, so
-//     steady-state routing allocates nothing. Because observations are
-//     idempotent day-bits and the Table 1 tallies are sums, the result is
-//     identical to the sequential engine no matter how the scheduler
-//     interleaves the pipeline — the equivalence suite in internal/core
-//     enforces this.
-//   - Freeze is the barrier between the two phases of a ShardedCensus:
-//     before it, any number of goroutines may ingest; after it, ingestion
-//     panics, every shard's slab is compacted into one contiguous block,
-//     every query is lock-free, and bulk analyses partition the frozen row
-//     space into row-range tiles executed on a bounded worker pool (see
-//     Performance below).
-//   - internal/experiments regenerates independent table/figure cells on a
-//     bounded worker pool (experiments.RunAll) over a concurrency-safe
-//     shared Lab; sequential and parallel runs render identical output.
+// Ingestion methods return ErrFrozen once Freeze has been called; query
+// methods return ErrNotFrozen until it has. Both are typed sentinels for
+// errors.Is, so lifecycle misuse is a handleable error, never a panic out
+// of an internal layer. Freeze is idempotent; after it the engine is
+// immutable and every query is lock-free and safe under unbounded
+// concurrency.
 //
-// BenchmarkIngest in this package compares the two engines over a
-// million-address synthetic world; sweep core counts with
+// New picks the implementation from the options: WithSequential (or
+// WithShards(1)) selects the single-goroutine engine, WithShards(k)
+// the hash-partitioned concurrent pipeline, and with neither the choice
+// follows GOMAXPROCS. Both produce identical results for the same logs;
+// the root equivalence tests hold them to that.
 //
-//	go test -bench=BenchmarkIngest -cpu=1,2,4,8
+// # Options
 //
-// # Performance
+// Functional options configure construction only; they never mutate a
+// built engine. Invalid values and contradictory combinations (a negative
+// study length, WithSequential plus WithShards(8), WithWorkers on the
+// sequential engine) are reported by New and Open as errors wrapping
+// ErrConfig. WithWindow and WithStabilityOptions set the engine's default
+// nd-stable classification options; WithMACFilter drops EUI-64 records
+// whose embedded hardware address fails a predicate before they reach the
+// census.
 //
-// The temporal stores are the hot path of both ingestion and serving, and
-// their layout is built around the study period being fixed per census:
+// # Streaming queries
 //
-//   - Slab layout. Every key's activity occupies a fixed-stride window of
-//     a shared slab — stride = ceil(StudyDays/64) uint64 words — indexed
-//     by a dense row table (map[K]uint32, rows in insertion order). Rows
-//     live in arena chunks of 4096 rows, so growth never copies existing
-//     rows and a million-address day costs a few hundred slab allocations
-//     instead of a million heap bitsets; ingest allocations drop by more
-//     than an order of magnitude versus the per-key *BitSet layout.
-//   - Word-level sweeps. Stability, weekly, epoch, overlap and range
-//     analyses are linear scans over dense rows using word AND/OR masks
-//     and popcount — no per-key pointer chasing, no per-day Get probes. A
-//     40-day study has stride 1: classifying a million-key day reads one
-//     contiguous word per key.
-//   - Freeze compaction. ShardedStore.Freeze fuses each shard's chunks
-//     into one exactly-sized contiguous slab (in parallel across shards)
-//     before flipping read-only, so post-freeze sweeps run over compact
-//     memory with zero slack.
-//   - Tiled parallel sweeps. Post-freeze bulk queries cut the frozen row
-//     space into row-range tiles — subdividing within shards whenever
-//     GOMAXPROCS exceeds the shard count, with a 4096-row floor per tile —
-//     and run them on a bounded worker pool, merging the per-tile partial
-//     results additively. Sweeps therefore parallelize to the machine
-//     regardless of how the snapshot was sharded (a snapshot loaded on a
-//     larger machine than wrote it still uses every core).
-//   - Zero-allocation ingest parsing. cdnlog.ReadAll scans byte slices in
-//     place (cdnlog.ParseLine) and addresses parse through the
-//     ipaddr.ParseAddrBytes fast path, held to byte-for-byte agreement
-//     with the string parser by fuzzing; day tallies are pre-sized.
+// The bulk enumerations return Go iterators (iter.Seq / iter.Seq2) backed
+// directly by the engine's dense row storage:
 //
-// BenchmarkStability and BenchmarkOverlap track the sweep paths,
-// BenchmarkIngest the ingest path; CI publishes all of them with -benchmem
-// as BENCH_pr.json next to the committed pre-slab BENCH_baseline.json.
+//	addrs, err := eng.StableAddrs(ref, 3)
+//	...
+//	for a := range addrs {
+//		if enough() {
+//			break   // stops the row sweep; nothing leaks
+//		}
+//		probe(a)
+//	}
 //
-// # Serving layer
+// Enumeration allocates nothing per element, an early break stops the
+// underlying sweep at the current row (no goroutines are involved), and
+// every returned Seq restarts from the beginning on each range. Where a
+// slice is genuinely needed, collect one explicitly:
 //
-// Above both engines sits the online query path (internal/serve, run as
-// cmd/v6served): persisted census snapshots are loaded through the
-// sharded engine, frozen, and served over HTTP to any number of
-// concurrent clients — per-prefix lookups (format classification,
-// activity, availability/volatility, nd-stability), stability tables,
-// densify sweeps, top-k aggregates, and overlap series, all answered by
-// the same exported query API of internal/core that the batch tools use,
-// so served and batch results are identical by construction. Expensive
-// analyses go through a sharded result cache keyed by snapshot epoch, and
-// snapshots swap at runtime RCU-style (POST /v1/reload) without dropping
-// in-flight queries. See internal/serve for the architecture and endpoint
-// reference, examples/queryclient for a walkthrough, and
-// BenchmarkServe* in internal/serve for the serving-path benchmarks that
-// run next to the ingestion benchmarks in CI.
+//	targets := slices.Collect(addrs)
+//
+// Keys and Lifetimes yield every key as a Prefix — full addresses as
+// /128s, subnet keys as /64s — so one iterator shape serves both
+// populations.
+//
+// # Persistence
+//
+// Save/WriteTo serialize a census snapshot in an engine-agnostic format;
+// Open/Read restore one into either implementation. An opened engine is
+// ingesting: the daily pipeline extends yesterday's snapshot with today's
+// log and saves again, while a serving process Opens, Freezes and queries.
+// Save writes temp-and-rename, so an interrupted write never destroys the
+// existing snapshot.
+//
+// # Serving
+//
+// internal/serve (run as cmd/v6served) exposes frozen engines over HTTP —
+// point lookups, stability tables, dense-prefix sweeps, top-k aggregates,
+// overlap series — resolving snapshots RCU-style so reloads never disturb
+// in-flight queries. It consumes exactly this package's API: the handlers
+// render JSON straight off the streaming iterators. See
+// examples/queryclient for an end-to-end walkthrough.
+//
+// # Reproduction of the paper
+//
+// internal/experiments regenerates every table and figure of the paper's
+// evaluation over a synthetic world (cmd/v6report prints them all); the
+// benchmarks in this package and internal/serve track the ingest, sweep
+// and serving paths in CI. See DESIGN.md for the system inventory and the
+// internal package docs for the storage and concurrency models.
 package v6class

@@ -1,0 +1,472 @@
+package v6class
+
+import (
+	"fmt"
+	"io"
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/core"
+)
+
+// Engine is the one public census interface: ingest aggregated daily logs,
+// Freeze, then query. New picks the implementation — the sequential engine
+// or the sharded concurrent pipeline — from the functional options, and
+// Open restores either from a snapshot, so callers program against this
+// interface only.
+//
+// Lifecycle: an Engine is created ingesting. Ingestion methods accept logs
+// until Freeze; afterwards they return ErrFrozen. Query methods return
+// ErrNotFrozen until Freeze; afterwards the engine is immutable and every
+// query — scalar or streaming — is safe under unbounded concurrency.
+// Freeze is idempotent. Save and WriteTo work in both phases (persisting
+// mid-study is the daily-pipeline workflow) but must not run concurrently
+// with ingestion.
+//
+// The iterator-returning methods stream directly over the engine's dense
+// row storage: enumeration allocates nothing per element, breaking out of
+// the loop stops the underlying sweep at the current row, and no
+// goroutines are involved, so an abandoned iterator leaks nothing. Every
+// returned Seq is re-iterable from the start. Use slices.Collect (or
+// maps.Collect on the Seq2 forms) where a slice is genuinely needed.
+type Engine interface {
+	// StudyDays returns the configured study period length.
+	StudyDays() int
+	// Shards returns the temporal shard count: 1 for the sequential
+	// engine, the (power-of-two) shard count of the concurrent engine.
+	Shards() int
+	// Frozen reports whether Freeze has been called.
+	Frozen() bool
+
+	// AddDay ingests one aggregated daily log. On the sequential engine it
+	// must not be called concurrently; on the sharded engine any number of
+	// goroutines may ingest at once.
+	AddDay(log DayLog) error
+	// AddDays ingests a batch of daily logs (concurrently, on the sharded
+	// engine).
+	AddDays(logs []DayLog) error
+	// Ingest consumes daily logs from a channel until it is closed.
+	Ingest(logs <-chan DayLog) error
+	// Freeze ends the ingestion phase and makes every query valid. It is
+	// idempotent; ingesting goroutines must have returned first.
+	Freeze() error
+
+	// WriteTo serializes the census snapshot (engine-agnostic format).
+	WriteTo(w io.Writer) (int64, error)
+	// Save atomically persists the snapshot to path (temp file + rename;
+	// a failed write never destroys an existing snapshot).
+	Save(path string) error
+
+	// Summary returns the Table 1 format tally of one ingested day.
+	Summary(day int) (DaySummary, error)
+	// NumKeys returns the distinct keys of the population ever observed.
+	NumKeys(pop Population) (int, error)
+	// ActiveCount returns the distinct keys active on a day.
+	ActiveCount(pop Population, day int) (int, error)
+	// ActiveInRange returns the distinct keys active on at least one day
+	// of the inclusive range.
+	ActiveInRange(pop Population, from, to int) (int, error)
+	// Stability computes the daily nd-stable split under the engine's
+	// default options (a Table 2a/2b cell).
+	Stability(pop Population, ref, n int) (DailyStability, error)
+	// StabilityWith is Stability with explicit classification options.
+	StabilityWith(pop Population, ref, n int, opts StabilityOptions) (DailyStability, error)
+	// WeeklyStability computes the weekly nd-stable split under the
+	// engine's default options (a Table 2c/2d cell).
+	WeeklyStability(pop Population, start, n int) (WeeklyStability, error)
+	// EpochStable counts keys active in both inclusive day ranges (the
+	// 6m-/1y-stable classes).
+	EpochStable(pop Population, aFrom, aTo, bFrom, bTo int) (int, error)
+	// LookupAddr reports everything known about one address and its /64.
+	LookupAddr(a Addr) (AddrLookup, error)
+	// LookupPrefix64 reports the activity of one /64 prefix.
+	LookupPrefix64(p Prefix) (KeyReport, error)
+	// AddrStable reports whether one address is nd-stable w.r.t. ref.
+	AddrStable(a Addr, ref, n int, opts StabilityOptions) (bool, error)
+	// Prefix64Stable reports whether one /64 is nd-stable w.r.t. ref.
+	Prefix64Stable(p Prefix, ref, n int, opts StabilityOptions) (bool, error)
+	// LifetimeStats summarizes key lifetimes over an inclusive day range.
+	LifetimeStats(pop Population, from, to int) (LifetimeStats, error)
+	// ReturnProbability estimates, per gap g in [1, maxGap], the
+	// probability that a key active on a day is active again g days later.
+	ReturnProbability(pop Population, from, to, maxGap int) ([]float64, error)
+	// LongestStablePrefixes discovers the longest prefixes stable across
+	// two periods (the Section 7.2 proposal).
+	LongestStablePrefixes(aFrom, aTo, bFrom, bTo, minBits int, minSupport uint64) ([]LongestStablePrefix, error)
+
+	// StableAddrs streams the nd-stable addresses for a reference day
+	// under the engine's default options (probe-target selection).
+	StableAddrs(ref, n int) (iter.Seq[Addr], error)
+	// AddrsActiveOn streams every native address active on at least one of
+	// the given days, each exactly once.
+	AddrsActiveOn(days ...int) (iter.Seq[Addr], error)
+	// Prefixes64ActiveOn streams every /64 active on at least one of the
+	// given days, each exactly once.
+	Prefixes64ActiveOn(days ...int) (iter.Seq[Prefix], error)
+	// Keys streams every key of the population ever observed — addresses
+	// as /128 prefixes, subnet keys as /64s.
+	Keys(pop Population) (iter.Seq[Prefix], error)
+	// Lifetimes streams every key of the population with its activity
+	// profile.
+	Lifetimes(pop Population) (iter.Seq2[Prefix, Activity], error)
+	// TopAggregates streams the k most populated /p aggregates of the
+	// selected days' population, largest first (k <= 0 streams all).
+	TopAggregates(pop Population, p, k int, days ...int) (iter.Seq[TopAggregate], error)
+	// OverlapSeries streams (day, overlap-with-ref) pairs for each day in
+	// [ref-before, ref+after] — the Figure 4 curve.
+	OverlapSeries(pop Population, ref, before, after int) (iter.Seq2[int, int], error)
+}
+
+// engine adapts one of the two internal census implementations to the
+// Engine lifecycle. Exactly one of seq/sh is non-nil; a is always the
+// active one.
+type engine struct {
+	a    core.Analyzer
+	seq  *core.Census
+	sh   *core.ShardedCensus
+	opts StabilityOptions // engine-default classification options
+	keep func(MAC) bool   // nil: no MAC filter
+
+	// frozen publishes the query phase; it flips only after the sharded
+	// store has fully compacted, and freezeMu makes concurrent Freeze
+	// calls block until then — an idempotent Freeze must never return
+	// while the engine is still mid-compaction.
+	freezeMu sync.Mutex
+	frozen   atomic.Bool
+}
+
+var _ Engine = (*engine)(nil)
+
+// New constructs an empty Engine for a study period. WithStudyDays is
+// required; the remaining options select and size the implementation:
+//
+//	eng, err := v6class.New(
+//		v6class.WithStudyDays(365),
+//		v6class.WithShards(16),
+//	)
+//
+// Unset, the engine is chosen from GOMAXPROCS: sequential on a single
+// core, the sharded concurrent pipeline otherwise.
+func New(opts ...Option) (Engine, error) {
+	cfg, err := resolve(opts, false)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(cfg), nil
+}
+
+// newEngine builds the implementation a resolved config selects.
+func newEngine(cfg config) *engine {
+	ccfg := core.CensusConfig{
+		StudyDays:        cfg.studyDays,
+		KeepTransition:   cfg.keepTransition,
+		StabilityOptions: cfg.stability,
+	}
+	e := &engine{opts: cfg.stability, keep: cfg.macFilter}
+	if cfg.sequential {
+		e.seq = core.NewCensus(ccfg)
+		e.a = e.seq
+	} else {
+		e.sh = core.NewShardedCensusN(ccfg, cfg.shards, cfg.workers)
+		e.a = e.sh
+	}
+	return e
+}
+
+// FromAnalyzer adopts an already built census as a frozen, query-ready
+// Engine — the bridge for in-process callers (the experiments lab, tests)
+// that constructed an internal engine directly. The analyzer must not be
+// mutated afterwards.
+func FromAnalyzer(a Analyzer) Engine {
+	// Adopt the census's configured classification defaults so Stability,
+	// WeeklyStability and StableAddrs answer exactly as the analyzer
+	// itself would.
+	e := &engine{a: a, opts: a.StabilityDefaults()}
+	switch c := a.(type) {
+	case *core.Census:
+		e.seq = c
+	case *core.ShardedCensus:
+		e.sh = c
+		if !c.Frozen() {
+			c.Freeze()
+		}
+	}
+	e.frozen.Store(true)
+	return e
+}
+
+func (e *engine) StudyDays() int { return e.a.StudyDays() }
+
+func (e *engine) Shards() int {
+	if e.sh != nil {
+		return e.sh.NumShards()
+	}
+	return 1
+}
+
+func (e *engine) Frozen() bool { return e.frozen.Load() }
+
+// ingestable gates the mutation phase.
+func (e *engine) ingestable() error {
+	if e.frozen.Load() {
+		return ErrFrozen
+	}
+	return nil
+}
+
+// queryable gates the analysis phase.
+func (e *engine) queryable() error {
+	if !e.frozen.Load() {
+		return ErrNotFrozen
+	}
+	return nil
+}
+
+// checkPop rejects populations outside the two defined ones before they
+// reach internal layers that panic on them.
+func checkPop(pop Population) error {
+	if pop != Addresses && pop != Prefixes64 {
+		return fmt.Errorf("%w: unknown population %d", ErrConfig, pop)
+	}
+	return nil
+}
+
+// checkDay refuses logs whose day the study period cannot hold; the
+// temporal stores would otherwise silently ignore every observation.
+func (e *engine) checkDay(day int) error {
+	if day < 0 || day >= e.a.StudyDays() {
+		return fmt.Errorf("%w: day %d of a %d-day study", ErrDayRange, day, e.a.StudyDays())
+	}
+	return nil
+}
+
+// filterLog applies the configured MAC filter to one day's records,
+// returning the log unchanged when no filter is set.
+func (e *engine) filterLog(l DayLog) DayLog {
+	if e.keep == nil {
+		return l
+	}
+	recs := make([]Record, 0, len(l.Records))
+	for _, r := range l.Records {
+		if mac, ok := addrclass.EUI64MAC(r.Addr); ok && !e.keep(mac) {
+			continue
+		}
+		recs = append(recs, r)
+	}
+	l.Records = recs
+	return l
+}
+
+func (e *engine) AddDay(log DayLog) error {
+	if err := e.ingestable(); err != nil {
+		return err
+	}
+	if err := e.checkDay(log.Day); err != nil {
+		return err
+	}
+	log = e.filterLog(log)
+	if e.sh != nil {
+		e.sh.AddDay(log)
+	} else {
+		e.seq.AddDay(log)
+	}
+	return nil
+}
+
+func (e *engine) AddDays(logs []DayLog) error {
+	if err := e.ingestable(); err != nil {
+		return err
+	}
+	// Validate every day before ingesting any: the batch either lands
+	// whole or is refused whole.
+	for _, l := range logs {
+		if err := e.checkDay(l.Day); err != nil {
+			return err
+		}
+	}
+	if e.sh == nil {
+		for _, l := range logs {
+			e.seq.AddDay(e.filterLog(l))
+		}
+		return nil
+	}
+	if e.keep != nil {
+		filtered := make([]DayLog, len(logs))
+		for i, l := range logs {
+			filtered[i] = e.filterLog(l)
+		}
+		logs = filtered
+	}
+	e.sh.AddDays(logs)
+	return nil
+}
+
+func (e *engine) Ingest(logs <-chan DayLog) error {
+	if err := e.ingestable(); err != nil {
+		return err
+	}
+	if e.sh == nil {
+		var bad error
+		for l := range logs {
+			if err := e.checkDay(l.Day); err != nil {
+				// Keep draining so producers never block on a channel
+				// nobody reads; report the first refusal at the end.
+				if bad == nil {
+					bad = err
+				}
+				continue
+			}
+			e.seq.AddDay(e.filterLog(l))
+		}
+		return bad
+	}
+	// Day validation (and the MAC filter, when set) runs on a pipeline
+	// stage so the sharded ingest still overlaps classification with
+	// routing; the goroutine exits when logs closes. Out-of-period logs
+	// are dropped from the stream and reported after the drain.
+	var bad error
+	checked := make(chan DayLog, 1)
+	go func() {
+		defer close(checked)
+		for l := range logs {
+			if err := e.checkDay(l.Day); err != nil {
+				if bad == nil {
+					bad = err
+				}
+				continue
+			}
+			checked <- e.filterLog(l)
+		}
+	}()
+	e.sh.Ingest(checked)
+	return bad
+}
+
+func (e *engine) Freeze() error {
+	e.freezeMu.Lock()
+	defer e.freezeMu.Unlock()
+	if e.frozen.Load() {
+		return nil
+	}
+	if e.sh != nil {
+		e.sh.Freeze()
+	}
+	e.frozen.Store(true)
+	return nil
+}
+
+func (e *engine) Summary(day int) (DaySummary, error) {
+	if err := e.queryable(); err != nil {
+		return DaySummary{}, err
+	}
+	return e.a.Summary(day), nil
+}
+
+func (e *engine) NumKeys(pop Population) (int, error) {
+	if err := e.popQuery(pop); err != nil {
+		return 0, err
+	}
+	return e.a.Keys(pop), nil
+}
+
+// popQuery combines the freeze and population checks of the pop-keyed
+// scalar queries.
+func (e *engine) popQuery(pop Population) error {
+	if err := e.queryable(); err != nil {
+		return err
+	}
+	return checkPop(pop)
+}
+
+func (e *engine) ActiveCount(pop Population, day int) (int, error) {
+	if err := e.popQuery(pop); err != nil {
+		return 0, err
+	}
+	return e.a.ActiveCount(pop, day), nil
+}
+
+func (e *engine) ActiveInRange(pop Population, from, to int) (int, error) {
+	if err := e.popQuery(pop); err != nil {
+		return 0, err
+	}
+	return e.a.ActiveInRange(pop, from, to), nil
+}
+
+func (e *engine) Stability(pop Population, ref, n int) (DailyStability, error) {
+	return e.StabilityWith(pop, ref, n, e.opts)
+}
+
+func (e *engine) StabilityWith(pop Population, ref, n int, opts StabilityOptions) (DailyStability, error) {
+	if err := e.popQuery(pop); err != nil {
+		return DailyStability{}, err
+	}
+	return e.a.StabilityWith(pop, ref, n, opts), nil
+}
+
+func (e *engine) WeeklyStability(pop Population, start, n int) (WeeklyStability, error) {
+	if err := e.popQuery(pop); err != nil {
+		return WeeklyStability{}, err
+	}
+	return e.a.WeeklyStabilityWith(pop, start, n, e.opts), nil
+}
+
+func (e *engine) EpochStable(pop Population, aFrom, aTo, bFrom, bTo int) (int, error) {
+	if err := e.popQuery(pop); err != nil {
+		return 0, err
+	}
+	return e.a.EpochStable(pop, aFrom, aTo, bFrom, bTo), nil
+}
+
+func (e *engine) LookupAddr(a Addr) (AddrLookup, error) {
+	if err := e.queryable(); err != nil {
+		return AddrLookup{}, err
+	}
+	return e.a.LookupAddr(a), nil
+}
+
+func (e *engine) LookupPrefix64(p Prefix) (KeyReport, error) {
+	if err := e.queryable(); err != nil {
+		return KeyReport{}, err
+	}
+	return e.a.LookupPrefix64(p), nil
+}
+
+func (e *engine) AddrStable(a Addr, ref, n int, opts StabilityOptions) (bool, error) {
+	if err := e.queryable(); err != nil {
+		return false, err
+	}
+	return e.a.AddrStable(a, ref, n, opts), nil
+}
+
+func (e *engine) Prefix64Stable(p Prefix, ref, n int, opts StabilityOptions) (bool, error) {
+	if err := e.queryable(); err != nil {
+		return false, err
+	}
+	return e.a.Prefix64Stable(p, ref, n, opts), nil
+}
+
+func (e *engine) LifetimeStats(pop Population, from, to int) (LifetimeStats, error) {
+	if err := e.popQuery(pop); err != nil {
+		return LifetimeStats{}, err
+	}
+	return e.a.LifetimeStats(pop, from, to), nil
+}
+
+func (e *engine) ReturnProbability(pop Population, from, to, maxGap int) ([]float64, error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	if maxGap < 0 {
+		return nil, fmt.Errorf("%w: negative maxGap %d", ErrConfig, maxGap)
+	}
+	return e.a.ReturnProbability(pop, from, to, maxGap), nil
+}
+
+func (e *engine) LongestStablePrefixes(aFrom, aTo, bFrom, bTo, minBits int, minSupport uint64) ([]LongestStablePrefix, error) {
+	if err := e.queryable(); err != nil {
+		return nil, err
+	}
+	return e.a.LongestStablePrefixes(aFrom, aTo, bFrom, bTo, minBits, minSupport), nil
+}

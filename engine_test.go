@@ -1,0 +1,520 @@
+package v6class
+
+import (
+	"errors"
+	"runtime"
+	"slices"
+	"sync"
+	"testing"
+
+	"v6class/internal/core"
+	"v6class/internal/synth"
+)
+
+// testLogs generates a small deterministic study.
+func testLogs(t testing.TB, days int) []DayLog {
+	t.Helper()
+	w := synth.NewWorld(synth.Config{Seed: 5, Scale: 0.005, StudyDays: days})
+	logs := make([]DayLog, days)
+	for d := 0; d < days; d++ {
+		logs[d] = w.Day(d)
+	}
+	return logs
+}
+
+// frozenEngine builds an engine over logs and freezes it.
+func frozenEngine(t testing.TB, logs []DayLog, opts ...Option) Engine {
+	t.Helper()
+	eng, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddDays(logs); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestLifecycleErrors asserts the typed freeze errors: every query before
+// Freeze reports ErrNotFrozen, every ingestion afterwards ErrFrozen, and
+// none of it panics out of the internal layers.
+func TestLifecycleErrors(t *testing.T) {
+	logs := testLogs(t, 10)
+	for _, shape := range []struct {
+		name string
+		opt  Option
+	}{{"sequential", WithSequential()}, {"sharded", WithShards(4)}} {
+		t.Run(shape.name, func(t *testing.T) {
+			eng, err := New(WithStudyDays(10), shape.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.AddDays(logs); err != nil {
+				t.Fatal(err)
+			}
+
+			// Scalar and streaming queries both refuse before Freeze.
+			if _, err := eng.Stability(Addresses, 5, 3); !errors.Is(err, ErrNotFrozen) {
+				t.Errorf("Stability before Freeze: %v, want ErrNotFrozen", err)
+			}
+			if _, err := eng.Summary(5); !errors.Is(err, ErrNotFrozen) {
+				t.Errorf("Summary before Freeze: %v, want ErrNotFrozen", err)
+			}
+			if _, err := eng.StableAddrs(5, 3); !errors.Is(err, ErrNotFrozen) {
+				t.Errorf("StableAddrs before Freeze: %v, want ErrNotFrozen", err)
+			}
+			if _, err := eng.Keys(Addresses); !errors.Is(err, ErrNotFrozen) {
+				t.Errorf("Keys before Freeze: %v, want ErrNotFrozen", err)
+			}
+			if _, err := eng.TopAggregates(Addresses, 48, 5, 5); !errors.Is(err, ErrNotFrozen) {
+				t.Errorf("TopAggregates before Freeze: %v, want ErrNotFrozen", err)
+			}
+
+			if err := eng.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Freeze(); err != nil {
+				t.Errorf("second Freeze should be idempotent, got %v", err)
+			}
+			if !eng.Frozen() {
+				t.Error("Frozen() false after Freeze")
+			}
+
+			// Ingestion now refuses.
+			if err := eng.AddDay(logs[0]); !errors.Is(err, ErrFrozen) {
+				t.Errorf("AddDay after Freeze: %v, want ErrFrozen", err)
+			}
+			if err := eng.AddDays(logs); !errors.Is(err, ErrFrozen) {
+				t.Errorf("AddDays after Freeze: %v, want ErrFrozen", err)
+			}
+			ch := make(chan DayLog)
+			close(ch)
+			if err := eng.Ingest(ch); !errors.Is(err, ErrFrozen) {
+				t.Errorf("Ingest after Freeze: %v, want ErrFrozen", err)
+			}
+
+			// Queries now succeed.
+			if _, err := eng.Stability(Addresses, 5, 3); err != nil {
+				t.Errorf("Stability after Freeze: %v", err)
+			}
+
+			// Unknown populations are a typed error, not an internal panic.
+			if _, err := eng.Stability(Population(99), 5, 3); !errors.Is(err, ErrConfig) {
+				t.Errorf("bad population: %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+// TestDayRangeRefused asserts ingestion refuses out-of-period logs with
+// the typed ErrDayRange instead of silently dropping their observations,
+// on every ingestion path of both engine shapes.
+func TestDayRangeRefused(t *testing.T) {
+	logs := testLogs(t, 5)
+	late := DayLog{Day: 9, Records: logs[0].Records}
+	negative := DayLog{Day: -1, Records: logs[0].Records}
+	for _, shape := range []struct {
+		name string
+		opt  Option
+	}{{"sequential", WithSequential()}, {"sharded", WithShards(2)}} {
+		t.Run(shape.name, func(t *testing.T) {
+			eng, err := New(WithStudyDays(5), shape.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.AddDay(late); !errors.Is(err, ErrDayRange) {
+				t.Errorf("AddDay(day 9): %v, want ErrDayRange", err)
+			}
+			if err := eng.AddDay(negative); !errors.Is(err, ErrDayRange) {
+				t.Errorf("AddDay(day -1): %v, want ErrDayRange", err)
+			}
+			// AddDays is atomic: one bad day refuses the whole batch.
+			if err := eng.AddDays(append(slices.Clone(logs), late)); !errors.Is(err, ErrDayRange) {
+				t.Errorf("AddDays with a late day: %v, want ErrDayRange", err)
+			}
+			if err := eng.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+			if n := must(eng.NumKeys(Addresses)); n != 0 {
+				t.Errorf("refused batch still ingested %d keys", n)
+			}
+
+			// Ingest drains the channel (producers never block) and
+			// reports the refusal; in-period logs still land.
+			eng2, err := New(WithStudyDays(5), shape.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch := make(chan DayLog)
+			go func() {
+				defer close(ch)
+				ch <- late
+				for _, l := range logs {
+					ch <- l
+				}
+			}()
+			if err := eng2.Ingest(ch); !errors.Is(err, ErrDayRange) {
+				t.Errorf("Ingest with a late day: %v, want ErrDayRange", err)
+			}
+			eng2.Freeze()
+			if n := must(eng2.NumKeys(Addresses)); n == 0 {
+				t.Error("Ingest dropped the in-period logs along with the refusal")
+			}
+		})
+	}
+}
+
+// TestQueryParameterValidation asserts out-of-domain scalar parameters are
+// typed errors, never makeslice panics out of the temporal layer.
+func TestQueryParameterValidation(t *testing.T) {
+	eng := frozenEngine(t, testLogs(t, 10), WithStudyDays(10), WithSequential())
+	if _, err := eng.ReturnProbability(Addresses, 0, 9, -2); !errors.Is(err, ErrConfig) {
+		t.Errorf("ReturnProbability(maxGap=-2): %v, want ErrConfig", err)
+	}
+	if _, err := eng.OverlapSeries(Addresses, 5, -3, -4); !errors.Is(err, ErrConfig) {
+		t.Errorf("OverlapSeries(-3,-4): %v, want ErrConfig", err)
+	}
+	if _, err := eng.TopAggregates(Addresses, 200, 5, 5); !errors.Is(err, ErrConfig) {
+		t.Errorf("TopAggregates(p=200): %v, want ErrConfig", err)
+	}
+	if _, err := eng.TopAggregates(Addresses, -1, 5, 5); !errors.Is(err, ErrConfig) {
+		t.Errorf("TopAggregates(p=-1): %v, want ErrConfig", err)
+	}
+}
+
+// TestConcurrentFreezeBlocksUntilFrozen asserts an idempotent Freeze call
+// racing the first one never returns while shard compaction is still in
+// flight: every racer must be able to query immediately after its Freeze
+// returns, with no internal panic.
+func TestConcurrentFreezeBlocksUntilFrozen(t *testing.T) {
+	logs := testLogs(t, 10)
+	eng, err := New(WithStudyDays(10), WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddDays(logs); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := eng.Freeze(); err != nil {
+				t.Errorf("concurrent Freeze: %v", err)
+				return
+			}
+			// The engine must be fully frozen here: streaming queries
+			// panic inside temporal if compaction has not finished.
+			addrs, err := eng.AddrsActiveOn(5)
+			if err != nil {
+				t.Errorf("query after Freeze returned: %v", err)
+				return
+			}
+			for range addrs {
+				break
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestFromAnalyzerAdoptsStabilityDefaults asserts adopting a census built
+// with custom classification options answers Stability exactly as the
+// census itself would, not with the paper defaults.
+func TestFromAnalyzerAdoptsStabilityDefaults(t *testing.T) {
+	logs := testLogs(t, 14)
+	narrow := StabilityOptions{Window: StabilityWindow{Before: 2, After: 2}}
+	direct := core.NewCensus(core.CensusConfig{StudyDays: 14, StabilityOptions: narrow})
+	for _, l := range logs {
+		direct.AddDay(l)
+	}
+	eng := FromAnalyzer(direct)
+	want := direct.Stability(core.Addresses, 7, 3)
+	// Precondition: the narrow window must be distinguishable from the
+	// default one, or the equality below could not catch a regression.
+	if wide := direct.StabilityWith(core.Addresses, 7, 3, StabilityOptions{}); wide == want {
+		t.Fatalf("test world cannot distinguish windows (both split %+v)", wide)
+	}
+	if got := must(eng.Stability(Addresses, 7, 3)); got != want {
+		t.Errorf("adopted Stability %+v, want the census's own %+v", got, want)
+	}
+	gotW := must(eng.WeeklyStability(Addresses, 4, 3))
+	if want := direct.WeeklyStability(core.Addresses, 4, 3); gotW != want {
+		t.Errorf("adopted WeeklyStability %+v, want %+v", gotW, want)
+	}
+}
+
+// TestIteratorsMatchSliceForms is the equivalence test of the streaming
+// redesign: on both engine shapes, every iterator yields exactly what the
+// old slice-returning core analyses produce for the same census.
+func TestIteratorsMatchSliceForms(t *testing.T) {
+	logs := testLogs(t, 14)
+	// The reference: a sequential core census ingested directly.
+	direct := core.NewCensus(core.CensusConfig{StudyDays: 14})
+	for _, l := range logs {
+		direct.AddDay(l)
+	}
+
+	for _, shape := range []struct {
+		name string
+		opt  Option
+	}{{"sequential", WithSequential()}, {"sharded", WithShards(4)}} {
+		t.Run(shape.name, func(t *testing.T) {
+			eng := frozenEngine(t, logs, WithStudyDays(14), shape.opt)
+
+			// StableAddrs vs core.StableAddrs (sorted: the sharded engine
+			// enumerates in shard order).
+			wantStable := direct.StableAddrs(7, 3)
+			gotStable := slices.Collect(must(eng.StableAddrs(7, 3)))
+			assertSameAddrs(t, "StableAddrs", gotStable, wantStable)
+
+			// AddrsActiveOn vs core.AddrsActiveOn, single day.
+			assertSameAddrs(t, "AddrsActiveOn", slices.Collect(must(eng.AddrsActiveOn(7))), direct.AddrsActiveOn(7))
+
+			// Multi-day union vs the deduplicating spatial set build.
+			multi := slices.Collect(must(eng.AddrsActiveOn(3, 7, 11)))
+			if got, want := len(multi), direct.NativeSet(3, 7, 11).Len(); got != want {
+				t.Errorf("AddrsActiveOn(3,7,11): %d addrs, want %d distinct", got, want)
+			}
+			if dup := len(multi) - len(dedup(multi)); dup != 0 {
+				t.Errorf("AddrsActiveOn yielded %d duplicate addresses", dup)
+			}
+
+			// Keys count vs core.Keys for both populations.
+			for _, pop := range []Population{Addresses, Prefixes64} {
+				if got, want := len(slices.Collect(must(eng.Keys(pop)))), direct.Keys(pop); got != want {
+					t.Errorf("Keys(%v): %d, want %d", pop, got, want)
+				}
+			}
+
+			// TopAggregates vs the slice form (ordering included: ranked
+			// results are deterministic on both engines).
+			wantTop := direct.TopAggregates(core.Addresses, 48, 10, 7)
+			gotTop := slices.Collect(must(eng.TopAggregates(Addresses, 48, 10, 7)))
+			if !slices.Equal(gotTop, wantTop) {
+				t.Errorf("TopAggregates: %v, want %v", gotTop, wantTop)
+			}
+
+			// OverlapSeries pairs vs the slice form.
+			wantSeries := direct.OverlapSeries(core.Addresses, 7, 5, 5)
+			i := 0
+			for day, n := range must(eng.OverlapSeries(Addresses, 7, 5, 5)) {
+				if day != 7-5+i || n != wantSeries[i] {
+					t.Errorf("OverlapSeries[%d] = (%d, %d), want (%d, %d)", i, day, n, 7-5+i, wantSeries[i])
+				}
+				i++
+			}
+			if i != len(wantSeries) {
+				t.Errorf("OverlapSeries yielded %d entries, want %d", i, len(wantSeries))
+			}
+
+			// Lifetimes: every key's activity must match the point query.
+			seen := 0
+			for p, act := range must(eng.Lifetimes(Prefixes64)) {
+				seen++
+				rep := direct.LookupPrefix64(p)
+				if !rep.Known || rep.ActiveDays != act.ActiveDays || rep.Runs != act.Runs {
+					t.Fatalf("Lifetimes(%v) = %+v disagrees with lookup %+v", p, act, rep)
+				}
+			}
+			if seen != direct.Keys(core.Prefixes64) {
+				t.Errorf("Lifetimes yielded %d keys, want %d", seen, direct.Keys(core.Prefixes64))
+			}
+
+			// Scalar parity spot checks.
+			st := must(eng.Stability(Addresses, 7, 3))
+			if want := direct.Stability(core.Addresses, 7, 3); st != want {
+				t.Errorf("Stability %+v, want %+v", st, want)
+			}
+			lt := must(eng.LifetimeStats(Addresses, 0, 13))
+			if want := direct.LifetimeStats(core.Addresses, 0, 13); lt.Keys != want.Keys || lt.SingleDay != want.SingleDay {
+				t.Errorf("LifetimeStats %+v, want %+v", lt, want)
+			}
+			rp := must(eng.ReturnProbability(Addresses, 0, 13, 3))
+			if want := direct.ReturnProbability(core.Addresses, 0, 13, 3); !slices.Equal(rp, want) {
+				t.Errorf("ReturnProbability %v, want %v", rp, want)
+			}
+		})
+	}
+}
+
+// TestIteratorEarlyBreak asserts a consumer breaking after k elements
+// stops the sweep — the iterator yields exactly k times, re-iterating
+// restarts from the beginning, and no goroutine is left behind.
+func TestIteratorEarlyBreak(t *testing.T) {
+	logs := testLogs(t, 10)
+	for _, shape := range []struct {
+		name string
+		opt  Option
+	}{{"sequential", WithSequential()}, {"sharded", WithShards(4)}} {
+		t.Run(shape.name, func(t *testing.T) {
+			eng := frozenEngine(t, logs, WithStudyDays(10), shape.opt)
+			total := len(slices.Collect(must(eng.AddrsActiveOn(5))))
+			if total < 10 {
+				t.Fatalf("test world too small: %d active addresses", total)
+			}
+
+			before := runtime.NumGoroutine()
+			seq := must(eng.AddrsActiveOn(5))
+			yields := 0
+			for range seq {
+				yields++
+				if yields == 3 {
+					break
+				}
+			}
+			if yields != 3 {
+				t.Errorf("broke after 3, saw %d yields", yields)
+			}
+			// The same Seq restarts from the beginning.
+			if again := len(slices.Collect(seq)); again != total {
+				t.Errorf("re-iteration yielded %d, want %d", again, total)
+			}
+			if after := runtime.NumGoroutine(); after > before {
+				t.Errorf("iterator leaked goroutines: %d -> %d", before, after)
+			}
+
+			// Seq2 break behaves the same.
+			pairs := 0
+			for range must(eng.Lifetimes(Addresses)) {
+				pairs++
+				if pairs == 2 {
+					break
+				}
+			}
+			if pairs != 2 {
+				t.Errorf("Lifetimes broke after 2, saw %d", pairs)
+			}
+		})
+	}
+}
+
+// TestMACFilter asserts WithMACFilter drops exactly the EUI-64 records
+// whose hardware address fails the predicate, on both engine shapes and
+// on every ingestion path.
+func TestMACFilter(t *testing.T) {
+	logs := testLogs(t, 8)
+	// Find one MAC of a native EUI-64 address to filter out (transition
+	// addresses never reach the temporal stores, so filtering one would be
+	// invisible to key counts).
+	var victim MAC
+	found := false
+	for _, l := range logs {
+		for _, r := range l.Records {
+			if mac, ok := EUI64MAC(r.Addr); ok && !Classify(r.Addr).IsTransition() {
+				victim, found = mac, true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("no EUI-64 records in the test world")
+	}
+
+	for _, shape := range []struct {
+		name string
+		opt  Option
+	}{{"sequential", WithSequential()}, {"sharded", WithShards(2)}} {
+		t.Run(shape.name, func(t *testing.T) {
+			filtered := frozenEngine(t, logs, WithStudyDays(8), shape.opt,
+				WithMACFilter(func(m MAC) bool { return m != victim }))
+			keys, err := filtered.Keys(Addresses)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := range keys {
+				if mac, ok := EUI64MAC(p.Addr()); ok && mac == victim {
+					t.Fatalf("filtered engine still contains MAC %v (key %v)", victim, p)
+				}
+			}
+			// The filter must have removed something relative to baseline.
+			baseline := frozenEngine(t, logs, WithStudyDays(8), shape.opt)
+			nb := must(baseline.NumKeys(Addresses))
+			nf := must(filtered.NumKeys(Addresses))
+			if nf >= nb {
+				t.Errorf("MAC filter removed nothing: %d vs %d keys", nf, nb)
+			}
+		})
+	}
+}
+
+// TestSaveOpenRoundTrip persists through the façade and restores into both
+// implementations, checking query parity.
+func TestSaveOpenRoundTrip(t *testing.T) {
+	logs := testLogs(t, 12)
+	eng := frozenEngine(t, logs, WithStudyDays(12), WithShards(4))
+	path := t.TempDir() + "/census.state"
+	if err := eng.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	want := must(eng.Stability(Addresses, 6, 3))
+
+	for _, shape := range []struct {
+		name string
+		opts []Option
+	}{{"sequential", []Option{WithSequential()}}, {"sharded", []Option{WithShards(2)}}, {"auto", nil}} {
+		t.Run(shape.name, func(t *testing.T) {
+			got, err := Open(path, shape.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// An opened engine is ingesting; queries need Freeze first.
+			if _, err := got.Stability(Addresses, 6, 3); !errors.Is(err, ErrNotFrozen) {
+				t.Errorf("query on opened engine: %v, want ErrNotFrozen", err)
+			}
+			if err := got.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+			if st := must(got.Stability(Addresses, 6, 3)); st != want {
+				t.Errorf("restored stability %+v, want %+v", st, want)
+			}
+		})
+	}
+}
+
+// must unwraps façade results inside tests; a panic here fails the test
+// with the lifecycle error and its stack.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// assertSameAddrs compares address sets ignoring order (the sharded engine
+// enumerates shard by shard).
+func assertSameAddrs(t *testing.T, what string, got, want []Addr) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d addrs, want %d", what, len(got), len(want))
+		return
+	}
+	cmp := func(a, b Addr) int { return a.Cmp(b) }
+	g := slices.Clone(got)
+	w := slices.Clone(want)
+	slices.SortFunc(g, cmp)
+	slices.SortFunc(w, cmp)
+	if !slices.Equal(g, w) {
+		t.Errorf("%s: address sets differ", what)
+	}
+}
+
+// dedup returns the distinct addresses of s.
+func dedup(s []Addr) []Addr {
+	seen := make(map[Addr]bool, len(s))
+	var out []Addr
+	for _, a := range s {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package v6class_test
+
+import (
+	"fmt"
+	"log"
+
+	"v6class"
+)
+
+// Example walks the full Engine lifecycle: construct with functional
+// options, ingest a toy two-week study, Freeze, then query — scalar
+// results and a streaming iterator with an early break.
+func Example() {
+	// One engine API; options pick and size the implementation.
+	census, err := v6class.New(
+		v6class.WithStudyDays(15),
+		v6class.WithSequential(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A stable host visits every third day; a privacy host regenerates
+	// its address daily inside the same /64.
+	network := v6class.MustParseAddr("2001:db8:42:1::")
+	stable := v6class.MustParseAddr("2001:db8:42:1::103")
+	for day := 0; day < 15; day++ {
+		logDay := v6class.DayLog{Day: day}
+		if day%3 == 0 {
+			logDay.Records = append(logDay.Records, v6class.Record{Addr: stable, Hits: 3})
+		}
+		privacy := network.WithIID(0x1a2b<<48 | uint64(day)*0x9e3779b97f4a7c15>>16)
+		logDay.Records = append(logDay.Records, v6class.Record{Addr: privacy, Hits: 5})
+		if err := census.AddDay(logDay); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Queries before Freeze fail with the typed lifecycle error.
+	if _, err := census.Stability(v6class.Addresses, 6, 3); err != nil {
+		fmt.Println(err)
+	}
+	census.Freeze()
+
+	// The Table 2 cell: of the population active on day 6, who is
+	// 3d-stable within the paper's (-7d,+7d) window?
+	st, err := census.Stability(v6class.Addresses, 6, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 6: active %d, 3d-stable %d\n", st.Active, st.Stable)
+
+	// Streaming enumeration: the iterator sweeps the engine's dense rows;
+	// breaking out stops the sweep.
+	addrs, err := census.StableAddrs(6, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for a := range addrs {
+		fmt.Printf("probe target: %v\n", a)
+		break
+	}
+
+	// Output:
+	// v6class: engine is not frozen (call Freeze before querying)
+	// day 6: active 2, 3d-stable 1
+	// probe target: 2001:db8:42:1::103
+}

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"sort"
 
+	"log"
+
+	"v6class"
 	"v6class/internal/addrclass"
 	"v6class/internal/bgp"
-	"v6class/internal/core"
 	"v6class/internal/ipaddr"
 	"v6class/internal/spatial"
 	"v6class/internal/synth"
@@ -19,11 +21,17 @@ import (
 
 func main() {
 	world := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05})
-	census := core.NewCensus(core.CensusConfig{StudyDays: synth.StudyDays})
+	census, err := v6class.New(v6class.WithStudyDays(synth.StudyDays))
+	if err != nil {
+		log.Fatal(err)
+	}
 	ref := synth.EpochMar2015
 	for d := ref - 7; d <= ref+7; d++ {
-		census.AddDay(world.Day(d))
+		if err := census.AddDay(world.Day(d)); err != nil {
+			log.Fatal(err)
+		}
 	}
+	census.Freeze()
 
 	// Group the week's native addresses by ASN.
 	type netStats struct {
@@ -34,12 +42,22 @@ func main() {
 		stable int
 	}
 	byASN := map[bgp.ASN]*netStats{}
+	// The stable set and each day's actives stream off the engine; only
+	// the per-ASN grouping below materializes anything.
+	stableAddrs, err := census.StableAddrs(ref, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	stable := map[ipaddr.Addr]bool{}
-	for _, a := range census.StableAddrs(ref, 3) {
+	for a := range stableAddrs {
 		stable[a] = true
 	}
 	for d := ref; d < ref+7; d++ {
-		for _, a := range census.AddrsActiveOn(d) {
+		actives, err := census.AddrsActiveOn(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for a := range actives {
 			o, ok := world.Table.Lookup(a)
 			if !ok {
 				continue

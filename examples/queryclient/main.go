@@ -1,9 +1,9 @@
 // Queryclient walks through the v6served HTTP API end to end: it builds a
-// small census from the synthetic world, persists it, serves it with
-// internal/serve in-process, and then asks every kind of question a
-// network operator would — who is this address, is it stable, where are
-// the dense blocks, which aggregates dominate — finishing with a live
-// snapshot swap under load.
+// small census through the public v6class façade, persists it with
+// Engine.Save, serves it with internal/serve in-process, and then asks
+// every kind of question a network operator would — who is this address,
+// is it stable, where are the dense blocks, which aggregates dominate —
+// finishing with a live snapshot swap under load.
 //
 // The same walkthrough against a standalone server, with curl:
 //
@@ -46,7 +46,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"v6class/internal/core"
+	"v6class"
 	"v6class/internal/serve"
 	"v6class/internal/synth"
 )
@@ -54,12 +54,17 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// Build a 15-day census from the synthetic world and persist it, as a
-	// daily pipeline would with "v6census ingest -state".
+	// Build a 15-day census through the façade and persist it, as a daily
+	// pipeline would with "v6census ingest -state".
 	w := synth.NewWorld(synth.Config{Seed: 11, Scale: 0.01, StudyDays: 15})
-	c := core.NewCensus(core.CensusConfig{StudyDays: 15})
+	c, err := v6class.New(v6class.WithStudyDays(15))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for d := 0; d < 15; d++ {
-		c.AddDay(w.Day(d))
+		if err := c.AddDay(w.Day(d)); err != nil {
+			log.Fatal(err)
+		}
 	}
 	dir, err := os.MkdirTemp("", "queryclient")
 	if err != nil {
@@ -67,14 +72,10 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	state := filepath.Join(dir, "census.state")
-	f, err := os.Create(state)
-	if err != nil {
+	if err := c.Save(state); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c.WriteTo(f); err != nil {
-		log.Fatal(err)
-	}
-	f.Close()
+	c.Freeze() // done ingesting; the lookup below queries the engine directly
 
 	// Serve it, as "v6served -state census.state" would.
 	s := serve.New(serve.Options{})
@@ -110,8 +111,13 @@ func main() {
 	get("/v1/stability?pop=64s&ref=7&n=3&window=7")
 
 	fmt.Println("\n--- per-prefix lookup ---")
-	if addrs := c.AddrsActiveOn(7); len(addrs) > 0 {
-		get("/v1/lookup?addr=" + addrs[0].String() + "&ref=7")
+	// Pull one probe-worthy address off the streaming enumeration; the
+	// break below stops the row sweep after the first hit.
+	if addrs, err := c.AddrsActiveOn(7); err == nil {
+		for a := range addrs {
+			get("/v1/lookup?addr=" + a.String() + "&ref=7")
+			break
+		}
 	}
 
 	fmt.Println("\n--- spatial classification ---")

@@ -1,20 +1,19 @@
-// Quickstart: classify a handful of IPv6 addresses by format, run a
-// temporal stability analysis over a two-week toy log, and compute an MRA
-// plot — the three classifiers of Plonka & Berger (IMC 2015) in one page.
+// Quickstart: the public v6class API in one page — format-classify a
+// handful of IPv6 addresses, run a temporal stability analysis over a
+// two-week toy log, and stream the spatial aggregates, all through the
+// module-root façade (no internal imports).
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"v6class/internal/addrclass"
-	"v6class/internal/cdnlog"
-	"v6class/internal/core"
-	"v6class/internal/ipaddr"
-	"v6class/internal/mraplot"
+	"v6class"
 )
 
 func main() {
 	// --- Format classification (paper Figure 1 examples) ---
+	// Classify is a pure function of the address bits; no engine needed.
 	fmt.Println("Format classification:")
 	for _, s := range []string{
 		"2001:db8:10:1::103",                     // fixed IID
@@ -23,39 +22,73 @@ func main() {
 		"2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a", // privacy address
 		"2002:c000:204::1",                       // 6to4
 	} {
-		a := ipaddr.MustParseAddr(s)
-		kind := addrclass.Classify(a)
-		fmt.Printf("  %-42s %v\n", a, kind)
-		if mac, ok := addrclass.EUI64MAC(a); ok {
+		a := v6class.MustParseAddr(s)
+		fmt.Printf("  %-42s %v\n", a, v6class.Classify(a))
+		if mac, ok := v6class.EUI64MAC(a); ok {
 			fmt.Printf("  %-42s embedded MAC %v\n", "", mac)
 		}
 	}
 
 	// --- Temporal classification ---
 	// A 15-day toy study: one stable host and one privacy host in the
-	// same /64.
-	census := core.NewCensus(core.CensusConfig{StudyDays: 15})
-	stable := ipaddr.MustParseAddr("2001:db8:42:1::103")
-	network := ipaddr.MustParseAddr("2001:db8:42:1::")
+	// same /64. The engine lifecycle is ingest -> Freeze -> query.
+	census, err := v6class.New(v6class.WithStudyDays(15), v6class.WithSequential())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stable := v6class.MustParseAddr("2001:db8:42:1::103")
+	network := v6class.MustParseAddr("2001:db8:42:1::")
 	for day := 0; day < 15; day++ {
-		log := cdnlog.DayLog{Day: day}
+		logDay := v6class.DayLog{Day: day}
 		if day%3 == 0 { // the stable host visits every third day
-			log.Records = append(log.Records, cdnlog.Record{Addr: stable, Hits: 3})
+			logDay.Records = append(logDay.Records, v6class.Record{Addr: stable, Hits: 3})
 		}
 		// The privacy host regenerates its address daily.
 		privacy := network.WithIID(0x1a2b<<48 | uint64(day)*0x9e3779b97f4a7c15>>16)
-		log.Records = append(log.Records, cdnlog.Record{Addr: privacy, Hits: 5})
-		census.AddDay(log)
+		logDay.Records = append(logDay.Records, v6class.Record{Addr: privacy, Hits: 5})
+		if err := census.AddDay(logDay); err != nil {
+			log.Fatal(err)
+		}
 	}
-	st := census.Stability(core.Addresses, 6, 3)
+	census.Freeze()
+
+	st, err := census.Stability(v6class.Addresses, 6, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nTemporal classification at day 6 (3d-stable, -7d,+7d):\n")
 	fmt.Printf("  active %d: stable %d, not stable %d\n", st.Active, st.Stable, st.NotStable)
-	st64 := census.Stability(core.Prefixes64, 6, 3)
+	st64, err := census.Stability(v6class.Prefixes64, 6, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  /64s: active %d, stable %d (the /64 outlives its addresses)\n",
 		st64.Active, st64.Stable)
 
-	// --- Spatial classification ---
-	set := census.NativeSet(0, 3, 6, 9, 12)
-	fmt.Printf("\nMRA plot of all observed addresses (%d):\n", set.Len())
-	fmt.Print(mraplot.New("quickstart population", set.MRA()).ASCII())
+	// --- Streaming queries ---
+	// The bulk enumerations are iterators over the engine's dense rows:
+	// nothing is allocated per element, and breaking out stops the sweep.
+	addrs, err := census.AddrsActiveOn(0, 3, 6, 9, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDistinct addresses active on the stable host's days:")
+	n := 0
+	for a := range addrs {
+		if n++; n > 3 {
+			fmt.Println("  ... (break: the sweep stops here)")
+			break
+		}
+		fmt.Printf("  %v\n", a)
+	}
+
+	// Top /48 aggregates of the whole study, streamed largest-first.
+	top, err := census.TopAggregates(v6class.Addresses, 48, 3, 0, 3, 6, 9, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBusiest /48 aggregates:")
+	for agg := range top {
+		fmt.Printf("  %-40v %d addresses\n", agg.Prefix, agg.Count)
+	}
 }

@@ -1,59 +1,85 @@
 // Stability: run the paper's temporal classification over a month of
 // synthetic CDN logs — the Table 2 / Figure 4 methodology end to end —
-// and use the result to pick probe targets.
+// through the public v6class façade, and use the streaming iterators to
+// pick probe targets without materializing the population.
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"v6class/internal/core"
+	"v6class"
 	"v6class/internal/synth"
 )
 
+// must unwraps a query that cannot fail after Freeze.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	world := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05})
-	census := core.NewCensus(core.CensusConfig{StudyDays: synth.StudyDays})
+	census, err := v6class.New(v6class.WithStudyDays(synth.StudyDays))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Ingest a three-week window around the final epoch.
+	// Ingest a three-week window around the final epoch, then freeze:
+	// ingestion ends and every query below is valid.
 	ref := synth.EpochMar2015
 	fmt.Printf("ingesting days %d..%d of the synthetic study...\n", ref-7, ref+13)
 	for d := ref - 7; d <= ref+13; d++ {
-		census.AddDay(world.Day(d))
+		if err := census.AddDay(world.Day(d)); err != nil {
+			log.Fatal(err)
+		}
 	}
+	census.Freeze()
 
 	// Daily stability at the reference day, for several n.
 	fmt.Printf("\nstability of the population active on day %d:\n", ref)
 	for _, n := range []int{1, 2, 3, 5, 7} {
-		st := census.Stability(core.Addresses, ref, n)
+		st := must(census.Stability(v6class.Addresses, ref, n))
 		fmt.Printf("  %dd-stable addresses: %6d / %d (%.2f%%)\n",
 			n, st.Stable, st.Active, 100*float64(st.Stable)/float64(st.Active))
 	}
-	st64 := census.Stability(core.Prefixes64, ref, 3)
+	st64 := must(census.Stability(v6class.Prefixes64, ref, 3))
 	fmt.Printf("  3d-stable /64s:      %6d / %d (%.2f%%)\n",
 		st64.Stable, st64.Active, 100*float64(st64.Stable)/float64(st64.Active))
 
 	// Weekly roll-up (the Table 2c/2d methodology).
-	wk := census.WeeklyStability(core.Addresses, ref, 3)
+	wk := must(census.WeeklyStability(v6class.Addresses, ref, 3))
 	fmt.Printf("\nweekly: %d unique actives, %d 3d-stable (%.2f%%)\n",
 		wk.Active, wk.Stable, 100*float64(wk.Stable)/float64(wk.Active))
 
 	// The Figure 4 overlap curve: how quickly does today's population
-	// evaporate?
-	series := census.OverlapSeries(core.Addresses, ref, 7, 7)
+	// evaporate? The series streams as (day, overlap) pairs.
+	series := make(map[int]int)
+	for day, n := range must(census.OverlapSeries(v6class.Addresses, ref, 7, 7)) {
+		series[day] = n
+	}
 	fmt.Printf("\noverlap with day %d (Figure 4):\n", ref)
-	for i, v := range series {
-		day := ref - 7 + i
+	for day := ref - 7; day <= ref+7; day++ {
+		v := series[day]
 		bar := ""
-		for j := 0; j < 40*v/series[7]; j++ {
+		for j := 0; j < 40*v/series[ref]; j++ {
 			bar += "#"
 		}
 		fmt.Printf("  day %3d %6d %s\n", day, v, bar)
 	}
 
-	// Stable addresses are the paper's probe-target recommendation.
-	targets := census.StableAddrs(ref, 3)
-	fmt.Printf("\n%d 3d-stable addresses selected as probe targets; first 5:\n", len(targets))
-	for i := 0; i < len(targets) && i < 5; i++ {
-		fmt.Printf("  %v\n", targets[i])
+	// Stable addresses are the paper's probe-target recommendation: take
+	// the first five straight off the streaming iterator — the break stops
+	// the underlying row sweep — with the total from the scalar split.
+	st := must(census.Stability(v6class.Addresses, ref, 3))
+	fmt.Printf("\n%d 3d-stable addresses selected as probe targets; first 5:\n", st.Stable)
+	shown := 0
+	for a := range must(census.StableAddrs(ref, 3)) {
+		if shown++; shown > 5 {
+			break
+		}
+		fmt.Printf("  %v\n", a)
 	}
 }

@@ -50,6 +50,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"iter"
 
 	"v6class/internal/addrclass"
 	"v6class/internal/cdnlog"
@@ -106,6 +107,16 @@ type keyStore[K comparable] interface {
 	Days(k K) []temporal.Day
 	NDStable(k K, ref temporal.Day, n int, opts temporal.Options) bool
 	Activity(k K) (temporal.Activity, bool)
+	// Lifetime aggregates (row sweeps, tiled on a ShardedStore).
+	Lifetimes(from, to temporal.Day) temporal.LifetimeStats
+	ReturnProbability(from, to temporal.Day, maxGap int) []float64
+	// Streaming enumerations (see internal/temporal/seq.go); on a
+	// ShardedStore these require Freeze and panic otherwise, which the
+	// module-root façade converts into its typed ErrNotFrozen.
+	KeysSeq() iter.Seq[K]
+	StableKeysSeq(ref temporal.Day, n int, opts temporal.Options) iter.Seq[K]
+	KeysActiveAnySeq(days []temporal.Day) iter.Seq[K]
+	ActivitySeq() iter.Seq2[K, temporal.Activity]
 }
 
 // censusState is the engine-independent census: the two key stores plus the
@@ -128,10 +139,12 @@ type censusState struct {
 // accept an Analyzer and stay agnostic of the ingestion engine.
 type Analyzer interface {
 	StudyDays() int
+	StabilityDefaults() temporal.Options
 	Summary(day int) DaySummary
 	Stability(pop Population, ref, n int) temporal.DailyStability
 	StabilityWith(pop Population, ref, n int, opts temporal.Options) temporal.DailyStability
 	WeeklyStability(pop Population, start, n int) temporal.WeeklyStability
+	WeeklyStabilityWith(pop Population, start, n int, opts temporal.Options) temporal.WeeklyStability
 	EpochStable(pop Population, aFrom, aTo, bFrom, bTo int) int
 	ActiveCount(pop Population, day int) int
 	ActiveInRange(pop Population, from, to int) int
@@ -149,6 +162,19 @@ type Analyzer interface {
 	AddrStable(a ipaddr.Addr, ref, n int, opts temporal.Options) bool
 	Prefix64Stable(p ipaddr.Prefix, ref, n int, opts temporal.Options) bool
 	TopAggregates(pop Population, p, k int, days ...int) []TopAggregate
+	// Lifetime aggregates over an inclusive day range.
+	LifetimeStats(pop Population, from, to int) temporal.LifetimeStats
+	ReturnProbability(pop Population, from, to, maxGap int) []float64
+	// Streaming enumerations (seq.go): allocation-free per element, backed
+	// by the slab row sweeps. On an unfrozen ShardedCensus they panic; the
+	// module-root façade gates them behind its freeze lifecycle instead.
+	StableAddrsSeq(ref, n int, opts temporal.Options) iter.Seq[ipaddr.Addr]
+	AddrsActiveAnySeq(days ...int) iter.Seq[ipaddr.Addr]
+	Prefix64sActiveAnySeq(days ...int) iter.Seq[ipaddr.Prefix]
+	AddrsSeq() iter.Seq[ipaddr.Addr]
+	Prefix64sSeq() iter.Seq[ipaddr.Prefix]
+	AddrLifetimesSeq() iter.Seq2[ipaddr.Addr, temporal.Activity]
+	Prefix64LifetimesSeq() iter.Seq2[ipaddr.Prefix, temporal.Activity]
 	io.WriterTo
 }
 
@@ -181,6 +207,11 @@ func NewCensus(cfg CensusConfig) *Census {
 
 // StudyDays returns the configured study length.
 func (c *censusState) StudyDays() int { return c.cfg.StudyDays }
+
+// StabilityDefaults returns the configured default classification options
+// (the zero value means the paper's (-7d,+7d) window), so adopters of an
+// already built census can answer Stability exactly as it would.
+func (c *censusState) StabilityDefaults() temporal.Options { return c.cfg.StabilityOptions }
 
 // classifyRecord applies the Table 1 bookkeeping for one record into sum and
 // the day's MAC set (allocated through getMACs on first use), and reports
@@ -267,11 +298,18 @@ func (c *censusState) StabilityWith(pop Population, ref, n int, opts temporal.Op
 
 // WeeklyStability computes the weekly nd-stable split (a Table 2c/2d cell).
 func (c *censusState) WeeklyStability(pop Population, start, n int) temporal.WeeklyStability {
+	return c.WeeklyStabilityWith(pop, start, n, c.cfg.StabilityOptions)
+}
+
+// WeeklyStabilityWith is WeeklyStability with explicit classification
+// options, overriding the configured StabilityOptions (the post-restore
+// counterpart of StabilityWith: snapshots do not record options).
+func (c *censusState) WeeklyStabilityWith(pop Population, start, n int, opts temporal.Options) temporal.WeeklyStability {
 	switch pop {
 	case Addresses:
-		return c.addrs.ClassifyWeek(temporal.Day(start), n, c.cfg.StabilityOptions)
+		return c.addrs.ClassifyWeek(temporal.Day(start), n, opts)
 	case Prefixes64:
-		return c.p64s.ClassifyWeek(temporal.Day(start), n, c.cfg.StabilityOptions)
+		return c.p64s.ClassifyWeek(temporal.Day(start), n, opts)
 	}
 	panic(fmt.Sprintf("core: unknown population %d", pop))
 }
@@ -328,17 +366,12 @@ func (c *censusState) AddrsActiveOn(day int) []ipaddr.Addr {
 // NativeSet builds the spatial population of native addresses active on the
 // given days (e.g. one day, or a 7-day week). Each distinct address counts
 // once regardless of how many of the days it was active, matching the
-// paper's distinct-address populations.
+// paper's distinct-address populations: the day-mask row sweep behind
+// AddrsActiveAnySeq deduplicates by construction.
 func (c *censusState) NativeSet(days ...int) *spatial.AddressSet {
 	var set spatial.AddressSet
-	seen := make(map[ipaddr.Addr]bool)
-	for _, d := range days {
-		for _, a := range c.addrs.KeysActiveOn(temporal.Day(d)) {
-			if !seen[a] {
-				seen[a] = true
-				set.Add(a)
-			}
-		}
+	for a := range c.AddrsActiveAnySeq(days...) {
+		set.Add(a)
 	}
 	return &set
 }
@@ -347,14 +380,8 @@ func (c *censusState) NativeSet(days ...int) *spatial.AddressSet {
 // given days (for Figure 3's "/64s" curves).
 func (c *censusState) Prefix64Set(days ...int) *spatial.AddressSet {
 	var set spatial.AddressSet
-	seen := make(map[ipaddr.Prefix]bool)
-	for _, d := range days {
-		for _, p := range c.p64s.KeysActiveOn(temporal.Day(d)) {
-			if !seen[p] {
-				seen[p] = true
-				set.AddPrefix(p)
-			}
-		}
+	for p := range c.Prefix64sActiveAnySeq(days...) {
+		set.AddPrefix(p)
 	}
 	return &set
 }
@@ -375,33 +402,21 @@ type LongestStablePrefix struct {
 // minSupport supporting addresses and at least minBits length are returned,
 // deduplicated to the least-specific non-overlapping set, in prefix order.
 func (c *censusState) LongestStablePrefixes(aFrom, aTo, bFrom, bTo int, minBits int, minSupport uint64) []LongestStablePrefix {
-	// Build the period-A address trie.
+	// Build the period-A address trie; the day-mask sweep yields each
+	// address once, so no seen-set is needed.
 	var aTrie trie.Trie
-	seenA := make(map[ipaddr.Addr]bool)
-	for d := aFrom; d <= aTo; d++ {
-		for _, a := range c.addrs.KeysActiveOn(temporal.Day(d)) {
-			if !seenA[a] {
-				seenA[a] = true
-				aTrie.AddAddr(a)
-			}
-		}
+	for a := range c.AddrsActiveAnySeq(rangeDays(aFrom, aTo)...) {
+		aTrie.AddAddr(a)
 	}
 	if aTrie.Len() == 0 {
 		return nil
 	}
 	// Tally stable prefixes from period-B addresses.
 	var support trie.Trie
-	seenB := make(map[ipaddr.Addr]bool)
-	for d := bFrom; d <= bTo; d++ {
-		for _, b := range c.addrs.KeysActiveOn(temporal.Day(d)) {
-			if seenB[b] {
-				continue
-			}
-			seenB[b] = true
-			cpl := aTrie.MaxCommonPrefixLen(b)
-			if cpl >= minBits {
-				support.Add(ipaddr.PrefixFrom(b, cpl), 1)
-			}
+	for b := range c.AddrsActiveAnySeq(rangeDays(bFrom, bTo)...) {
+		cpl := aTrie.MaxCommonPrefixLen(b)
+		if cpl >= minBits {
+			support.Add(ipaddr.PrefixFrom(b, cpl), 1)
 		}
 	}
 	// Report the least-specific prefixes meeting the support floor; the

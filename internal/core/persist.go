@@ -99,9 +99,16 @@ func ReadCensus(r io.Reader) (*Census, error) {
 // ReadShardedCensus deserializes a census snapshot into a concurrent
 // ShardedCensus ready for further ingestion (call Freeze before analyses).
 func ReadShardedCensus(r io.Reader) (*ShardedCensus, error) {
+	return ReadShardedCensusN(r, 0, 0)
+}
+
+// ReadShardedCensusN is ReadShardedCensus with explicit shard and worker
+// counts (zero selects the GOMAXPROCS-scaled default for either), for
+// callers that size the engine rather than the snapshot.
+func ReadShardedCensusN(r io.Reader, shards, workers int) (*ShardedCensus, error) {
 	var c *ShardedCensus
 	err := readSnapshot(r, func(cfg CensusConfig) *censusState {
-		c = NewShardedCensus(cfg)
+		c = NewShardedCensusN(cfg, shards, workers)
 		return &c.censusState
 	})
 	if err != nil {

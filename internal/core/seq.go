@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"iter"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/temporal"
+)
+
+// Streaming forms of the bulk enumerations, shared by both engines through
+// the keyStore interface. Each returns an iter.Seq backed directly by the
+// slab row sweeps of internal/temporal: enumeration allocates nothing per
+// element, and breaking out of the range stops the sweep at the current
+// row. On an unfrozen ShardedCensus the underlying store panics (see
+// temporal/seq.go); the module-root façade gates these behind its freeze
+// lifecycle and surfaces typed errors instead.
+
+// rangeDays expands an inclusive day range into the day list the
+// day-mask sweeps take.
+func rangeDays(from, to int) []int {
+	if to < from {
+		return nil
+	}
+	out := make([]int, 0, to-from+1)
+	for d := from; d <= to; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+// toDays converts façade day ints to temporal days.
+func toDays(days []int) []temporal.Day {
+	out := make([]temporal.Day, len(days))
+	for i, d := range days {
+		out[i] = temporal.Day(d)
+	}
+	return out
+}
+
+// StableAddrsSeq yields the nd-stable addresses for reference day ref under
+// opts — the streaming form of StableAddrs with explicit options.
+func (c *censusState) StableAddrsSeq(ref, n int, opts temporal.Options) iter.Seq[ipaddr.Addr] {
+	return c.addrs.StableKeysSeq(temporal.Day(ref), n, opts)
+}
+
+// AddrsActiveAnySeq yields every native address active on at least one of
+// the given days, each exactly once, in row (insertion) order.
+func (c *censusState) AddrsActiveAnySeq(days ...int) iter.Seq[ipaddr.Addr] {
+	return c.addrs.KeysActiveAnySeq(toDays(days))
+}
+
+// Prefix64sActiveAnySeq yields every /64 prefix active on at least one of
+// the given days, each exactly once, in row (insertion) order.
+func (c *censusState) Prefix64sActiveAnySeq(days ...int) iter.Seq[ipaddr.Prefix] {
+	return c.p64s.KeysActiveAnySeq(toDays(days))
+}
+
+// AddrsSeq yields every address ever observed, in row (insertion) order.
+func (c *censusState) AddrsSeq() iter.Seq[ipaddr.Addr] {
+	return c.addrs.KeysSeq()
+}
+
+// Prefix64sSeq yields every /64 prefix ever observed, in row (insertion)
+// order.
+func (c *censusState) Prefix64sSeq() iter.Seq[ipaddr.Prefix] {
+	return c.p64s.KeysSeq()
+}
+
+// AddrLifetimesSeq yields every observed address with its activity profile.
+func (c *censusState) AddrLifetimesSeq() iter.Seq2[ipaddr.Addr, temporal.Activity] {
+	return c.addrs.ActivitySeq()
+}
+
+// Prefix64LifetimesSeq yields every observed /64 with its activity profile.
+func (c *censusState) Prefix64LifetimesSeq() iter.Seq2[ipaddr.Prefix, temporal.Activity] {
+	return c.p64s.ActivitySeq()
+}
+
+// LifetimeStats computes lifetime statistics of the selected population
+// over the inclusive day range [from, to].
+func (c *censusState) LifetimeStats(pop Population, from, to int) temporal.LifetimeStats {
+	switch pop {
+	case Addresses:
+		return c.addrs.Lifetimes(temporal.Day(from), temporal.Day(to))
+	case Prefixes64:
+		return c.p64s.Lifetimes(temporal.Day(from), temporal.Day(to))
+	}
+	panic(fmt.Sprintf("core: unknown population %d", pop))
+}
+
+// ReturnProbability estimates, for each gap g in [1, maxGap], the
+// probability that a key of the population active on some day of [from,
+// to-g] is active again exactly g days later.
+func (c *censusState) ReturnProbability(pop Population, from, to, maxGap int) []float64 {
+	switch pop {
+	case Addresses:
+		return c.addrs.ReturnProbability(temporal.Day(from), temporal.Day(to), maxGap)
+	case Prefixes64:
+		return c.p64s.ReturnProbability(temporal.Day(from), temporal.Day(to), maxGap)
+	}
+	panic(fmt.Sprintf("core: unknown population %d", pop))
+}

@@ -105,6 +105,9 @@ func (c *ShardedCensus) Freeze() {
 // Frozen reports whether Freeze has been called.
 func (c *ShardedCensus) Frozen() bool { return c.saddrs.Frozen() }
 
+// NumShards returns the temporal shard count of each key store.
+func (c *ShardedCensus) NumShards() int { return c.saddrs.NumShards() }
+
 // AddDay ingests one aggregated daily log through the pipeline.
 func (c *ShardedCensus) AddDay(log cdnlog.DayLog) { c.AddDays([]cdnlog.DayLog{log}) }
 

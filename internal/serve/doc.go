@@ -9,15 +9,16 @@
 // Three layers, all read-only after startup:
 //
 //   - A snapshot registry: named *Snapshot entries, each wrapping a frozen
-//     core.Analyzer (snapshot files load through core.ReadShardedCensus and
-//     are frozen immediately, so every query is lock-free and internally
-//     parallel). The registry itself is an atomic.Pointer to an immutable
-//     table — readers pay one pointer load, never a lock.
+//     v6class.Engine (snapshot files load through v6class.Open and freeze
+//     immediately, so every query is lock-free and internally parallel).
+//     The registry itself is an atomic.Pointer to an immutable table —
+//     readers pay one pointer load, never a lock.
 //   - Request handlers: each resolves its *Snapshot once at dispatch and
 //     computes against that generation only, translating HTTP parameters to
-//     the exported query API of internal/core (point lookups, stability
-//     tables, densify sweeps, top-k aggregates, overlap series) and, when a
-//     lab is attached, the per-request experiment drivers of
+//     the public façade API of the module root (point lookups, stability
+//     tables, densify sweeps, top-k aggregates, overlap series; the dense
+//     and top-k paths render straight off the streaming iterators) and,
+//     when a lab is attached, the per-request experiment drivers of
 //     internal/experiments.
 //   - A sharded result cache for the expensive analyses (stability tables,
 //     dense sweeps, top-k, experiments): 16 independently locked shards

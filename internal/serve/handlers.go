@@ -9,11 +9,9 @@ import (
 	"strings"
 	"time"
 
-	"v6class/internal/core"
+	"v6class"
 	"v6class/internal/experiments"
-	"v6class/internal/ipaddr"
 	"v6class/internal/spatial"
-	"v6class/internal/temporal"
 )
 
 // maxDayRange bounds from/to day selections so a single request cannot ask
@@ -96,6 +94,18 @@ func (s *Server) cached(w http.ResponseWriter, snap *Snapshot, key string, compu
 	writeBody(w, http.StatusOK, body)
 }
 
+// strict unwraps an Engine query that cannot fail on an installed
+// snapshot: Install freezes every engine and the population/parameter
+// validation runs before dispatch, so a residual error is a programming
+// bug, surfaced by panicking into the server's failure path rather than
+// being cached as a response body.
+func strict[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // intParam parses an optional integer query parameter.
 func intParam(r *http.Request, name string, def int) (int, error) {
 	v := r.URL.Query().Get(name)
@@ -119,12 +129,12 @@ func requireInt(r *http.Request, name string) (int, error) {
 
 // popParam parses the population selector: addresses by default, /64
 // prefixes for pop=64s.
-func popParam(r *http.Request) (core.Population, string, error) {
+func popParam(r *http.Request) (v6class.Population, string, error) {
 	switch v := r.URL.Query().Get("pop"); v {
 	case "", "addrs", "addresses":
-		return core.Addresses, "addrs", nil
+		return v6class.Addresses, "addrs", nil
 	case "64s", "p64", "prefixes64":
-		return core.Prefixes64, "64s", nil
+		return v6class.Prefixes64, "64s", nil
 	default:
 		return 0, "", fmt.Errorf("parameter pop: unknown population %q (want addrs or 64s)", v)
 	}
@@ -164,12 +174,12 @@ func daysParam(r *http.Request) ([]int, error) {
 
 // optsParam parses the stability window (window=N means the paper-style
 // (-Nd,+Nd) window, default 7).
-func optsParam(r *http.Request) (temporal.Options, int, error) {
+func optsParam(r *http.Request) (v6class.StabilityOptions, int, error) {
 	window, err := intParam(r, "window", 7)
 	if err != nil || window <= 0 {
-		return temporal.Options{}, 0, fmt.Errorf("parameter window: want a positive day count")
+		return v6class.StabilityOptions{}, 0, fmt.Errorf("parameter window: want a positive day count")
 	}
-	return temporal.Options{Window: temporal.Window{Before: window, After: window}}, window, nil
+	return v6class.StabilityOptions{Window: v6class.StabilityWindow{Before: window, After: window}}, window, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -202,9 +212,9 @@ func metaOf(snap *Snapshot) metaResponse {
 		Source:     snap.Source,
 		Epoch:      snap.Epoch,
 		LoadedAt:   snap.LoadedAt.UTC().Format(time.RFC3339),
-		StudyDays:  snap.Analyzer.StudyDays(),
-		Addresses:  snap.Analyzer.Keys(core.Addresses),
-		Prefixes64: snap.Analyzer.Keys(core.Prefixes64),
+		StudyDays:  snap.Engine.StudyDays(),
+		Addresses:  strict(snap.Engine.NumKeys(v6class.Addresses)),
+		Prefixes64: strict(snap.Engine.NumKeys(v6class.Prefixes64)),
 	}
 }
 
@@ -227,7 +237,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, snap *Sna
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sum := snap.Analyzer.Summary(day)
+	sum := strict(snap.Engine.Summary(day))
 	resp := summaryResponse{
 		Day:     sum.Day,
 		Total:   sum.Total,
@@ -286,10 +296,10 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request, snap *S
 	s.cached(w, snap, key, func() any {
 		resp := stabilityResponse{Pop: popName, Ref: ref, N: n, Window: window, Weekly: weekly}
 		if weekly {
-			st := snap.Analyzer.WeeklyStability(pop, ref, n)
+			st := strict(snap.Engine.WeeklyStability(pop, ref, n))
 			resp.Active, resp.Stable, resp.NotStable = st.Active, st.Stable, st.NotStable
 		} else {
-			st := snap.Analyzer.StabilityWith(pop, ref, n, opts)
+			st := strict(snap.Engine.StabilityWith(pop, ref, n, opts))
 			resp.Active, resp.Stable, resp.NotStable = st.Active, st.Stable, st.NotStable
 		}
 		return resp
@@ -297,13 +307,13 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request, snap *S
 }
 
 type lookupResponse struct {
-	Addr           string          `json:"addr,omitempty"`
-	Kind           string          `json:"kind,omitempty"`
-	Prefix         string          `json:"prefix,omitempty"`
-	Address        *core.KeyReport `json:"address,omitempty"`
-	Prefix64       core.KeyReport  `json:"prefix64"`
-	Stable         *bool           `json:"stable,omitempty"`
-	Prefix64Stable *bool           `json:"prefix64Stable,omitempty"`
+	Addr           string             `json:"addr,omitempty"`
+	Kind           string             `json:"kind,omitempty"`
+	Prefix         string             `json:"prefix,omitempty"`
+	Address        *v6class.KeyReport `json:"address,omitempty"`
+	Prefix64       v6class.KeyReport  `json:"prefix64"`
+	Stable         *bool              `json:"stable,omitempty"`
+	Prefix64Stable *bool              `json:"prefix64Stable,omitempty"`
 }
 
 // handleLookup is the per-prefix point lookup: format classification,
@@ -330,27 +340,27 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request, snap *Snap
 
 	switch {
 	case q.Get("addr") != "":
-		a, err := ipaddr.ParseAddr(q.Get("addr"))
+		a, err := v6class.ParseAddr(q.Get("addr"))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "parameter addr: %v", err)
 			return
 		}
-		lk := snap.Analyzer.LookupAddr(a)
+		lk := strict(snap.Engine.LookupAddr(a))
 		resp := lookupResponse{
 			Addr:     lk.Addr.String(),
 			Kind:     lk.Kind.String(),
-			Prefix:   ipaddr.PrefixFrom(a, 64).String(),
+			Prefix:   v6class.PrefixFrom(a, 64).String(),
 			Address:  &lk.Report,
 			Prefix64: lk.Prefix64,
 		}
 		if hasRef {
-			st := snap.Analyzer.AddrStable(a, ref, n, opts)
-			p64st := snap.Analyzer.Prefix64Stable(ipaddr.PrefixFrom(a, 64), ref, n, opts)
+			st := strict(snap.Engine.AddrStable(a, ref, n, opts))
+			p64st := strict(snap.Engine.Prefix64Stable(v6class.PrefixFrom(a, 64), ref, n, opts))
 			resp.Stable, resp.Prefix64Stable = &st, &p64st
 		}
 		writeJSON(w, http.StatusOK, resp)
 	case q.Get("p64") != "":
-		p, err := ipaddr.ParsePrefix(q.Get("p64"))
+		p, err := v6class.ParsePrefix(q.Get("p64"))
 		switch {
 		case err == nil && p.Bits() != 64:
 			// The census keys /64s only; answering a /48 or /56 question
@@ -358,20 +368,20 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request, snap *Snap
 			writeErr(w, http.StatusBadRequest, "parameter p64: want a /64 prefix, got /%d", p.Bits())
 			return
 		case err != nil:
-			a, aerr := ipaddr.ParseAddr(q.Get("p64"))
+			a, aerr := v6class.ParseAddr(q.Get("p64"))
 			if aerr != nil {
 				writeErr(w, http.StatusBadRequest, "parameter p64: %v", err)
 				return
 			}
-			p = ipaddr.PrefixFrom(a, 64)
+			p = v6class.PrefixFrom(a, 64)
 		}
-		p = ipaddr.PrefixFrom(p.Addr(), 64)
+		p = v6class.PrefixFrom(p.Addr(), 64)
 		resp := lookupResponse{
 			Prefix:   p.String(),
-			Prefix64: snap.Analyzer.LookupPrefix64(p),
+			Prefix64: strict(snap.Engine.LookupPrefix64(p)),
 		}
 		if hasRef {
-			p64st := snap.Analyzer.Prefix64Stable(p, ref, n, opts)
+			p64st := strict(snap.Engine.Prefix64Stable(p, ref, n, opts))
 			resp.Prefix64Stable = &p64st
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -438,7 +448,13 @@ func (s *Server) handleDense(w http.ResponseWriter, r *http.Request, snap *Snaps
 		return
 	}
 	body, err := s.cachedBody(snap, key, func() any {
-		set := snap.Analyzer.NativeSet(days...)
+		// The population builds straight off the streaming enumeration:
+		// the day-mask row sweep yields each active address exactly once,
+		// so no intermediate slice or seen-set exists at any point.
+		var set spatial.AddressSet
+		for a := range strict(snap.Engine.AddrsActiveOn(days...)) {
+			set.Add(a)
+		}
 		cls := spatial.DensityClass{N: uint64(n), P: p}
 		var res spatial.DensityResult
 		if least {
@@ -496,7 +512,9 @@ type topkResponse struct {
 
 // handleTopK returns the k most populated /p aggregates of the selected
 // days' population. Like dense, the aggregate sweep is cached under a
-// k-free key (with maxExamples rows) and k is applied at render time.
+// k-free key (with maxExamples rows) and k is applied at render time; the
+// ranking streams off the engine iterator, so only the retained rows are
+// ever rendered.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
 	pop, popName, err := popParam(r)
 	if err != nil {
@@ -528,13 +546,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, snap *Snapsh
 		return
 	}
 	body, err := s.cachedBody(snap, key, func() any {
-		all := snap.Analyzer.TopAggregates(pop, p, 0, days...)
-		resp := topkResponse{Pop: popName, P: p, Days: days, Occupied: len(all), Rows: []topkRow{}}
-		for i, agg := range all {
-			if i >= maxExamples {
-				break
+		resp := topkResponse{Pop: popName, P: p, Days: days, Rows: []topkRow{}}
+		for agg := range strict(snap.Engine.TopAggregates(pop, p, 0, days...)) {
+			if resp.Occupied < maxExamples {
+				resp.Rows = append(resp.Rows, topkRow{Prefix: agg.Prefix.String(), Count: agg.Count})
 			}
-			resp.Rows = append(resp.Rows, topkRow{Prefix: agg.Prefix.String(), Count: agg.Count})
+			resp.Occupied++
 		}
 		return resp
 	})
@@ -591,9 +608,13 @@ func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request, snap *Sna
 	}
 	key := fmt.Sprintf("overlap?pop=%s&ref=%d&before=%d&after=%d", popName, ref, before, after)
 	s.cached(w, snap, key, func() any {
+		series := make([]int, 0, before+after+1)
+		for _, n := range strict(snap.Engine.OverlapSeries(pop, ref, before, after)) {
+			series = append(series, n)
+		}
 		return overlapResponse{
 			Pop: popName, Ref: ref, Before: before, After: after,
-			Series: snap.Analyzer.OverlapSeries(pop, ref, before, after),
+			Series: series,
 		}
 	})
 }

@@ -3,13 +3,12 @@ package serve
 import (
 	"fmt"
 	"net/http"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"v6class/internal/core"
+	"v6class"
 	"v6class/internal/experiments"
 )
 
@@ -30,8 +29,8 @@ type Snapshot struct {
 	Epoch uint64
 	// LoadedAt is when this generation was installed.
 	LoadedAt time.Time
-	// Analyzer is the frozen engine answering every query.
-	Analyzer core.Analyzer
+	// Engine is the frozen façade engine answering every query.
+	Engine v6class.Engine
 }
 
 // snapTable is the immutable snapshot registry generation: readers load it
@@ -91,30 +90,34 @@ func New(opts Options) *Server {
 	return s
 }
 
-// LoadFile reads a census snapshot file (written by Census.WriteTo or
-// ShardedCensus.WriteTo — the format is engine-agnostic), freezes it into
-// the concurrent engine, and installs it under name. Loading the same name
-// again atomically replaces the prior generation without disturbing
-// in-flight requests.
+// LoadFile reads a census snapshot file (written by Engine.Save or any
+// WriteTo — the format is engine-agnostic), freezes it, and installs it
+// under name. Loading the same name again atomically replaces the prior
+// generation without disturbing in-flight requests.
 func (s *Server) LoadFile(name, path string) error {
-	f, err := os.Open(path)
+	eng, err := v6class.Open(path)
 	if err != nil {
 		return fmt.Errorf("serve: loading snapshot %q: %w", name, err)
 	}
-	defer f.Close()
-	c, err := core.ReadShardedCensus(f)
-	if err != nil {
-		return fmt.Errorf("serve: loading snapshot %q from %s: %w", name, path, err)
+	if err := eng.Freeze(); err != nil {
+		return fmt.Errorf("serve: freezing snapshot %q: %w", name, err)
 	}
-	c.Freeze()
-	s.Install(name, path, c)
+	s.Install(name, path, eng)
 	return nil
 }
 
-// Install publishes an already built analyzer under name. The analyzer
-// must be immutable from here on (a frozen ShardedCensus, or a Census that
-// will never see another AddDay).
-func (s *Server) Install(name, source string, a core.Analyzer) *Snapshot {
+// Install publishes an already built engine under name (use
+// v6class.FromAnalyzer to adopt an internally built census). An engine
+// still ingesting is frozen here — every query on an installed snapshot
+// must be valid, so an unfrozen install must not be representable; the
+// caller's ingesting goroutines must have returned.
+func (s *Server) Install(name, source string, eng v6class.Engine) *Snapshot {
+	if err := eng.Freeze(); err != nil {
+		// Freeze is idempotent and cannot fail today; a future error here
+		// means the snapshot would panic on every request, so refuse loudly
+		// at install time instead.
+		panic(fmt.Sprintf("serve: installing snapshot %q: %v", name, err))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// The epoch is allocated inside the install lock so published
@@ -124,7 +127,7 @@ func (s *Server) Install(name, source string, a core.Analyzer) *Snapshot {
 		Source:   source,
 		Epoch:    s.nextEpoch.Add(1),
 		LoadedAt: time.Now(),
-		Analyzer: a,
+		Engine:   eng,
 	}
 	old := s.snaps.Load()
 	next := &snapTable{byName: make(map[string]*Snapshot, len(old.byName)+1), def: snap}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"v6class"
 	"v6class/internal/core"
 	"v6class/internal/experiments"
 	"v6class/internal/ipaddr"
@@ -262,7 +263,7 @@ func rangeDays(from, to int) []int {
 func TestCacheServesRepeatQueries(t *testing.T) {
 	direct := buildCensus(t, 5, 19)
 	s := New(Options{})
-	s.Install("a", "test", direct)
+	s.Install("a", "test", v6class.FromAnalyzer(direct))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -500,7 +501,7 @@ func TestReloadKeepsDefaultAndRejectsUnknown(t *testing.T) {
 		t.Errorf("authorized path reload: status %d, want 200", code)
 	}
 	// A generated snapshot (no file source) cannot be source-reloaded.
-	s.Install("gen", "", buildCensus(t, 5, 6))
+	s.Install("gen", "", v6class.FromAnalyzer(buildCensus(t, 5, 6)))
 	if code := post("/v1/reload?snap=gen", "secret"); code != 400 {
 		t.Errorf("source reload of a generated snapshot: status %d, want 400", code)
 	}
@@ -578,7 +579,7 @@ func TestExperimentsEndpoint(t *testing.T) {
 	}
 	lab := experiments.NewLab(synthTestConfig())
 	s := New(Options{Lab: lab})
-	s.Install("demo", "demo", buildCensus(t, 5, 12))
+	s.Install("demo", "demo", v6class.FromAnalyzer(buildCensus(t, 5, 12)))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -608,10 +609,39 @@ func TestExperimentsEndpoint(t *testing.T) {
 	}
 }
 
+// TestInstallFreezesUnfrozenEngine asserts installing an engine the caller
+// forgot to freeze yields a queryable snapshot, not per-request panics.
+func TestInstallFreezesUnfrozenEngine(t *testing.T) {
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.01, StudyDays: 30})
+	eng, err := v6class.New(v6class.WithStudyDays(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 5; d <= 12; d++ {
+		if err := eng.AddDay(w.Day(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(Options{})
+	s.Install("raw", "", eng) // no Freeze: Install must supply it
+	if !eng.Frozen() {
+		t.Fatal("Install left the engine unfrozen")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var got stabilityResponse
+	if resp := get(t, ts, "/v1/stability?pop=addrs&ref=8&n=3", &got); resp.StatusCode != 200 {
+		t.Fatalf("query on freshly installed snapshot: status %d", resp.StatusCode)
+	}
+	if got.Active == 0 {
+		t.Error("installed snapshot answered with an empty census")
+	}
+}
+
 // TestExperimentsDisabled asserts the endpoints 404 without a lab.
 func TestExperimentsDisabled(t *testing.T) {
 	s := New(Options{})
-	s.Install("a", "test", buildCensus(t, 5, 6))
+	s.Install("a", "test", v6class.FromAnalyzer(buildCensus(t, 5, 6)))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	if resp := get(t, ts, "/v1/experiments", nil); resp.StatusCode != 404 {

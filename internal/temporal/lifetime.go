@@ -55,6 +55,13 @@ func (s LifetimeStats) MedianSpan() int {
 // Lifetimes computes lifetime statistics for all keys with any activity in
 // [from, to] (inclusive), using only observations within the range.
 func (s *Store[K]) Lifetimes(from, to Day) LifetimeStats {
+	return s.LifetimesRows(from, to, 0, len(s.keys))
+}
+
+// LifetimesRows is Lifetimes restricted to rows [r0, r1), the additive
+// merge unit of a partitioned sweep: partial stats over disjoint row ranges
+// merge with mergeLifetimes.
+func (s *Store[K]) LifetimesRows(from, to Day, r0, r1 int) LifetimeStats {
 	if int(from) < 0 {
 		from = 0
 	}
@@ -69,7 +76,7 @@ func (s *Store[K]) Lifetimes(from, to Day) LifetimeStats {
 		SpanHistogram:       make([]int, span),
 		ActiveDaysHistogram: make([]int, span),
 	}
-	for r := range s.keys {
+	for r := r0; r < r1; r++ {
 		w := s.row(uint32(r))
 		first := wordsFirst(w, int(from))
 		if first < 0 || first > int(to) {
@@ -88,34 +95,95 @@ func (s *Store[K]) Lifetimes(from, to Day) LifetimeStats {
 	return out
 }
 
-// ReturnProbability returns, for each gap g in [1, maxGap], the probability
-// that a key active on some day is active again exactly g days later,
-// estimated over the day range [from, to-maxGap]. This is the per-day decay
-// behind Figure 4's stepwise overlap curves.
-func (s *Store[K]) ReturnProbability(from, to Day, maxGap int) []float64 {
-	num := make([]int, maxGap+1)
-	den := make([]int, maxGap+1)
-	for r := range s.keys {
+// mergeLifetimes adds partial lifetime stats from a disjoint row range into
+// dst (Keys, SingleDay and both histograms are all sums over keys).
+func mergeLifetimes(dst *LifetimeStats, p LifetimeStats) {
+	dst.Keys += p.Keys
+	dst.SingleDay += p.SingleDay
+	if dst.SpanHistogram == nil {
+		dst.SpanHistogram = make([]int, len(p.SpanHistogram))
+		dst.ActiveDaysHistogram = make([]int, len(p.ActiveDaysHistogram))
+	}
+	for i, n := range p.SpanHistogram {
+		dst.SpanHistogram[i] += n
+	}
+	for i, n := range p.ActiveDaysHistogram {
+		dst.ActiveDaysHistogram[i] += n
+	}
+}
+
+// gapCounts is the additive partial result behind ReturnProbability: per-gap
+// return and opportunity counts over a row range.
+type gapCounts struct {
+	num, den []int
+}
+
+// returnCountsRows tallies, over rows [r0, r1), how often a key active on a
+// day of [from, to-g] was active again exactly g days later.
+func (s *Store[K]) returnCountsRows(from, to Day, maxGap, r0, r1 int) gapCounts {
+	gc := gapCounts{num: make([]int, maxGap+1), den: make([]int, maxGap+1)}
+	for r := r0; r < r1; r++ {
 		w := s.row(uint32(r))
 		for d := wordsFirst(w, int(from)); d >= 0 && d <= int(to); d = wordsFirst(w, d+1) {
 			for g := 1; g <= maxGap; g++ {
 				if d+g > int(to) {
 					break
 				}
-				den[g]++
+				gc.den[g]++
 				if wordGet(w, d+g) {
-					num[g]++
+					gc.num[g]++
 				}
 			}
 		}
 	}
-	out := make([]float64, maxGap+1)
-	for g := 1; g <= maxGap; g++ {
-		if den[g] > 0 {
-			out[g] = float64(num[g]) / float64(den[g])
+	return gc
+}
+
+// ReturnProbability returns, for each gap g in [1, maxGap], the probability
+// that a key active on some day is active again exactly g days later,
+// estimated over the day range [from, to-maxGap]. This is the per-day decay
+// behind Figure 4's stepwise overlap curves.
+func (s *Store[K]) ReturnProbability(from, to Day, maxGap int) []float64 {
+	return s.returnCountsRows(from, to, maxGap, 0, len(s.keys)).probabilities()
+}
+
+// probabilities converts tallied counts into per-gap probabilities.
+func (gc gapCounts) probabilities() []float64 {
+	out := make([]float64, len(gc.num))
+	for g := 1; g < len(gc.num); g++ {
+		if gc.den[g] > 0 {
+			out[g] = float64(gc.num[g]) / float64(gc.den[g])
 		}
 	}
 	return out
+}
+
+// Lifetimes computes lifetime statistics over every shard, partitioned into
+// row tiles post-freeze like the other bulk sweeps.
+func (s *ShardedStore[K]) Lifetimes(from, to Day) LifetimeStats {
+	var out LifetimeStats
+	for _, p := range sweepTiles(s, func(st *Store[K], r0, r1 int) LifetimeStats {
+		return st.LifetimesRows(from, to, r0, r1)
+	}) {
+		mergeLifetimes(&out, p)
+	}
+	return out
+}
+
+// ReturnProbability estimates per-gap return probabilities over every
+// shard, merging the per-tile return and opportunity counts before
+// dividing.
+func (s *ShardedStore[K]) ReturnProbability(from, to Day, maxGap int) []float64 {
+	total := gapCounts{num: make([]int, maxGap+1), den: make([]int, maxGap+1)}
+	for _, p := range sweepTiles(s, func(st *Store[K], r0, r1 int) gapCounts {
+		return st.returnCountsRows(from, to, maxGap, r0, r1)
+	}) {
+		for g := range p.num {
+			total.num[g] += p.num[g]
+			total.den[g] += p.den[g]
+		}
+	}
+	return total.probabilities()
 }
 
 // TopRecurring returns up to limit keys with the most active days in

@@ -1,0 +1,172 @@
+package temporal
+
+import "iter"
+
+// Streaming forms of the bulk enumerations: every …Seq method returns an
+// iter.Seq over the same dense row sweep as its slice-returning sibling,
+// yielding keys straight out of the slab row table so enumeration allocates
+// nothing per element. Breaking out of the range stops the sweep at the
+// current row — no goroutines are involved, so an abandoned iterator leaks
+// neither memory nor workers. Each Seq value is re-iterable: every range
+// restarts the sweep from row 0.
+//
+// On a ShardedStore the …Seq forms require Freeze (they read every shard
+// without locks); calling one on an unfrozen store panics. The façade at
+// the module root converts that rule into its typed ErrNotFrozen before
+// any sweep starts.
+
+// KeysSeq yields every key ever observed, in row (insertion) order.
+func (s *Store[K]) KeysSeq() iter.Seq[K] {
+	return func(yield func(K) bool) {
+		for r := range s.keys {
+			if !yield(s.keys[r]) {
+				return
+			}
+		}
+	}
+}
+
+// StableKeysSeq yields the nd-stable keys for reference day ref, in row
+// (insertion) order — the streaming form of StableKeys.
+func (s *Store[K]) StableKeysSeq(ref Day, n int, opts Options) iter.Seq[K] {
+	return func(yield func(K) bool) {
+		for r := range s.keys {
+			w := s.row(uint32(r))
+			if wordGet(w, int(ref)) && ndStableActive(w, ref, n, opts) {
+				if !yield(s.keys[r]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// dayMask builds the stride-sized word mask with a bit set for every
+// in-period day of days; ok is false when no day lands in the period.
+func (s *Store[K]) dayMask(days []Day) (mask []uint64, ok bool) {
+	mask = make([]uint64, s.stride)
+	for _, d := range days {
+		if d >= 0 && int(d) < s.numDays {
+			mask[d/64] |= 1 << (uint(d) % 64)
+			ok = true
+		}
+	}
+	return mask, ok
+}
+
+// KeysActiveAnySeq yields every key active on at least one of the given
+// days, in row (insertion) order, each key exactly once. The union is
+// deduplicated by construction — one AND of the row against a day mask per
+// key — so multi-day population builds need no seen-set.
+func (s *Store[K]) KeysActiveAnySeq(days []Day) iter.Seq[K] {
+	mask, any := s.dayMask(days)
+	return func(yield func(K) bool) {
+		if !any {
+			return
+		}
+		for r := range s.keys {
+			w := s.row(uint32(r))
+			for wi, m := range mask {
+				if m != 0 && w[wi]&m != 0 {
+					if !yield(s.keys[r]) {
+						return
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// ActivitySeq yields every key with its activity profile, in row
+// (insertion) order — the streaming per-key form of the lifetime analyses.
+func (s *Store[K]) ActivitySeq() iter.Seq2[K, Activity] {
+	return func(yield func(K, Activity) bool) {
+		for r := range s.keys {
+			w := s.row(uint32(r))
+			first := wordsFirst(w, 0)
+			if first < 0 {
+				continue
+			}
+			act := Activity{
+				First:      Day(first),
+				Last:       Day(wordsLast(w, s.numDays-1)),
+				ActiveDays: wordsCount(w),
+				Runs:       wordsRuns(w),
+			}
+			if !yield(s.keys[r], act) {
+				return
+			}
+		}
+	}
+}
+
+// seqFrozen guards the lock-free whole-store sweeps behind the streaming
+// forms: before Freeze the shards may be mutating concurrently, and unlike
+// the locking slice forms an iterator cannot hold a shard lock across a
+// caller's loop body without inviting deadlock.
+func (s *ShardedStore[K]) seqFrozen() {
+	if !s.frozen.Load() {
+		panic("temporal: streaming queries require a frozen ShardedStore")
+	}
+}
+
+// KeysSeq yields every key ever observed, shard by shard in row order.
+// Requires Freeze.
+func (s *ShardedStore[K]) KeysSeq() iter.Seq[K] {
+	s.seqFrozen()
+	return func(yield func(K) bool) {
+		for i := range s.shards {
+			for k := range s.shards[i].st.KeysSeq() {
+				if !yield(k) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// StableKeysSeq yields the nd-stable keys for reference day ref, shard by
+// shard in row order. Requires Freeze.
+func (s *ShardedStore[K]) StableKeysSeq(ref Day, n int, opts Options) iter.Seq[K] {
+	s.seqFrozen()
+	return func(yield func(K) bool) {
+		for i := range s.shards {
+			for k := range s.shards[i].st.StableKeysSeq(ref, n, opts) {
+				if !yield(k) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// KeysActiveAnySeq yields every key active on at least one of the given
+// days, each exactly once, shard by shard in row order. Requires Freeze.
+func (s *ShardedStore[K]) KeysActiveAnySeq(days []Day) iter.Seq[K] {
+	s.seqFrozen()
+	return func(yield func(K) bool) {
+		for i := range s.shards {
+			for k := range s.shards[i].st.KeysActiveAnySeq(days) {
+				if !yield(k) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ActivitySeq yields every key with its activity profile, shard by shard in
+// row order. Requires Freeze.
+func (s *ShardedStore[K]) ActivitySeq() iter.Seq2[K, Activity] {
+	s.seqFrozen()
+	return func(yield func(K, Activity) bool) {
+		for i := range s.shards {
+			for k, act := range s.shards[i].st.ActivitySeq() {
+				if !yield(k, act) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package temporal
+
+import (
+	"slices"
+	"testing"
+)
+
+// seqStore builds a store whose key k is active on days k, 2k, 3k... — a
+// deterministic mix of activity shapes.
+func seqStore(t *testing.T, keys, days int) *Store[int] {
+	t.Helper()
+	s := NewStore[int](days)
+	for k := 1; k <= keys; k++ {
+		for d := k; d < days; d += k {
+			s.Observe(k, Day(d))
+		}
+	}
+	return s
+}
+
+// TestSeqFormsMatchSliceForms asserts every streaming form enumerates
+// exactly what its slice sibling returns, in the same order.
+func TestSeqFormsMatchSliceForms(t *testing.T) {
+	s := seqStore(t, 40, 60)
+	opts := Options{}
+
+	if got, want := slices.Collect(s.KeysSeq()), len(s.keys); len(got) != want {
+		t.Errorf("KeysSeq yielded %d keys, want %d", len(got), want)
+	}
+	if got, want := slices.Collect(s.StableKeysSeq(12, 3, opts)), s.StableKeys(12, 3, opts); !slices.Equal(got, want) {
+		t.Errorf("StableKeysSeq %v, want %v", got, want)
+	}
+	if got, want := slices.Collect(s.KeysActiveAnySeq([]Day{12})), s.KeysActiveOn(12); !slices.Equal(got, want) {
+		t.Errorf("KeysActiveAnySeq([12]) %v, want KeysActiveOn %v", got, want)
+	}
+
+	// Union semantics: any-of-days equals the dedup'd union of the
+	// per-day slices, in row order.
+	days := []Day{10, 15, 30}
+	want := []int{}
+	seen := map[int]bool{}
+	for _, d := range days {
+		for _, k := range s.KeysActiveOn(d) {
+			if !seen[k] {
+				seen[k] = true
+				want = append(want, k)
+			}
+		}
+	}
+	slices.Sort(want) // row order == key insertion order == sorted here
+	if got := slices.Collect(s.KeysActiveAnySeq(days)); !slices.Equal(got, want) {
+		t.Errorf("KeysActiveAnySeq(%v) = %v, want %v", days, got, want)
+	}
+
+	// Out-of-period days contribute nothing; an all-out-of-period mask
+	// yields an empty sweep.
+	if got := slices.Collect(s.KeysActiveAnySeq([]Day{-3, 1000})); len(got) != 0 {
+		t.Errorf("out-of-period mask yielded %v", got)
+	}
+
+	// ActivitySeq vs the point query.
+	n := 0
+	for k, act := range s.ActivitySeq() {
+		wantAct, ok := s.Activity(k)
+		if !ok || act != wantAct {
+			t.Fatalf("ActivitySeq(%d) = %+v, want %+v (ok %v)", k, act, wantAct, ok)
+		}
+		n++
+	}
+	if n != s.Len() {
+		t.Errorf("ActivitySeq yielded %d keys, want %d", n, s.Len())
+	}
+}
+
+// TestSeqEarlyBreak asserts breaking after k elements stops the row scan:
+// the yield function runs exactly k times and the same Seq value restarts
+// from row 0 on the next range.
+func TestSeqEarlyBreak(t *testing.T) {
+	s := seqStore(t, 40, 60)
+	seq := s.KeysActiveAnySeq([]Day{12})
+	all := slices.Collect(seq)
+	if len(all) < 5 {
+		t.Fatalf("need at least 5 active keys, have %d", len(all))
+	}
+	yields := 0
+	seq(func(k int) bool {
+		yields++
+		return yields < 3
+	})
+	if yields != 3 {
+		t.Errorf("yield ran %d times after break at 3", yields)
+	}
+	if again := slices.Collect(seq); !slices.Equal(again, all) {
+		t.Errorf("re-iteration differs: %v vs %v", again, all)
+	}
+}
+
+// TestShardedSeqForms asserts the sharded streaming forms agree with the
+// sharded slice forms post-freeze, and panic before Freeze (the unfrozen
+// shards would race).
+func TestShardedSeqForms(t *testing.T) {
+	hash := func(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 }
+	s := NewShardedStoreN(60, 4, hash)
+	for k := 1; k <= 40; k++ {
+		for d := k; d < 60; d += k {
+			s.Observe(k, Day(d))
+		}
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("KeysSeq on an unfrozen ShardedStore should panic")
+			}
+		}()
+		s.KeysSeq()
+	}()
+
+	s.Freeze()
+	sortInts := func(v []int) []int { slices.Sort(v); return v }
+	if got, want := sortInts(slices.Collect(s.KeysSeq())), s.Len(); len(got) != want {
+		t.Errorf("KeysSeq yielded %d, want %d", len(got), want)
+	}
+	got := sortInts(slices.Collect(s.StableKeysSeq(12, 3, Options{})))
+	want := sortInts(s.StableKeys(12, 3, Options{}))
+	if !slices.Equal(got, want) {
+		t.Errorf("sharded StableKeysSeq %v, want %v", got, want)
+	}
+	gotAny := sortInts(slices.Collect(s.KeysActiveAnySeq([]Day{10, 15, 30})))
+	wantAny := []int{}
+	for k := 1; k <= 40; k++ {
+		if s.Active(k, 10) || s.Active(k, 15) || s.Active(k, 30) {
+			wantAny = append(wantAny, k)
+		}
+	}
+	if !slices.Equal(gotAny, wantAny) {
+		t.Errorf("sharded KeysActiveAnySeq %v, want %v", gotAny, wantAny)
+	}
+	n := 0
+	for k, act := range s.ActivitySeq() {
+		wantAct, ok := s.Activity(k)
+		if !ok || act != wantAct {
+			t.Fatalf("sharded ActivitySeq(%d) = %+v, want %+v", k, act, wantAct)
+		}
+		n++
+	}
+	if n != s.Len() {
+		t.Errorf("sharded ActivitySeq yielded %d, want %d", n, s.Len())
+	}
+}
+
+// TestShardedLifetimes asserts the tiled Lifetimes/ReturnProbability
+// sweeps agree with a sequential store over the same observations.
+func TestShardedLifetimes(t *testing.T) {
+	hash := func(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 }
+	sh := NewShardedStoreN(60, 4, hash)
+	seq := NewStore[int](60)
+	for k := 1; k <= 40; k++ {
+		for d := k; d < 60; d += k {
+			sh.Observe(k, Day(d))
+			seq.Observe(k, Day(d))
+		}
+	}
+	sh.Freeze()
+
+	gotL, wantL := sh.Lifetimes(0, 59), seq.Lifetimes(0, 59)
+	if gotL.Keys != wantL.Keys || gotL.SingleDay != wantL.SingleDay {
+		t.Errorf("sharded Lifetimes %+v, want %+v", gotL, wantL)
+	}
+	if !slices.Equal(gotL.SpanHistogram, wantL.SpanHistogram) {
+		t.Errorf("span histogram %v, want %v", gotL.SpanHistogram, wantL.SpanHistogram)
+	}
+	if !slices.Equal(gotL.ActiveDaysHistogram, wantL.ActiveDaysHistogram) {
+		t.Errorf("active-days histogram %v, want %v", gotL.ActiveDaysHistogram, wantL.ActiveDaysHistogram)
+	}
+	gotRP, wantRP := sh.ReturnProbability(0, 59, 5), seq.ReturnProbability(0, 59, 5)
+	if !slices.Equal(gotRP, wantRP) {
+		t.Errorf("sharded ReturnProbability %v, want %v", gotRP, wantRP)
+	}
+}

@@ -1,0 +1,198 @@
+package v6class
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// Lifecycle and configuration errors. Every Engine method that can fail
+// returns one of these (possibly wrapped with detail), so callers branch
+// with errors.Is instead of matching panic strings from internal layers.
+var (
+	// ErrFrozen is returned by ingestion methods after Freeze: a frozen
+	// engine is immutable.
+	ErrFrozen = errors.New("v6class: engine is frozen")
+	// ErrNotFrozen is returned by query methods before Freeze: queries
+	// require the immutable, lock-free post-freeze state.
+	ErrNotFrozen = errors.New("v6class: engine is not frozen (call Freeze before querying)")
+	// ErrConfig is wrapped by New and Open for invalid or conflicting
+	// functional options, and by queries for parameters outside their
+	// domain (an unknown population, a negative window).
+	ErrConfig = errors.New("v6class: invalid engine configuration")
+	// ErrDayRange is wrapped by ingestion methods refusing a log whose
+	// day falls outside [0, StudyDays): the temporal stores would silently
+	// drop its observations, which is quiet data loss, never acceptable.
+	ErrDayRange = errors.New("v6class: log day outside the study period")
+)
+
+// maxShards caps WithShards; larger requests clamp rather than error, so a
+// config tuned for a bigger machine still runs. 4096 shards saturate any
+// plausible host long before per-shard overhead would.
+const maxShards = 1 << 12
+
+// config is the resolved option set of New/Open.
+type config struct {
+	studyDays      int
+	keepTransition bool
+	stability      StabilityOptions
+	hasStability   bool
+	window         *StabilityWindow
+	shards         int // 0 = auto, 1 = sequential, >1 = sharded
+	sequential     bool
+	workers        int
+	macFilter      func(MAC) bool
+	err            error // first option error, reported by New/Open
+}
+
+// Option configures an Engine under construction. Options are applied in
+// order; contradictory combinations are reported by New or Open as errors
+// wrapping ErrConfig.
+type Option func(*config)
+
+// fail records the first option error.
+func (c *config) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: %s", ErrConfig, fmt.Sprintf(format, args...))
+	}
+}
+
+// WithStudyDays sets the study period length in days. It is required by New
+// and rejected by Open, whose study length comes from the snapshot.
+func WithStudyDays(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail("WithStudyDays(%d): study period must have at least one day", n)
+			return
+		}
+		c.studyDays = n
+	}
+}
+
+// WithKeepTransition retains Teredo/ISATAP/6to4 addresses in the temporal
+// stores instead of segregating them. The paper's analyses run without it.
+func WithKeepTransition() Option {
+	return func(c *config) { c.keepTransition = true }
+}
+
+// WithWindow sets the default nd-stable sliding window to (-before d,
+// +after d); the engine's Stability, WeeklyStability and StableAddrs use
+// it. Unset, the paper's (-7d,+7d) window applies.
+func WithWindow(before, after int) Option {
+	return func(c *config) {
+		if before < 0 || after < 0 || before+after == 0 {
+			c.fail("WithWindow(%d, %d): window must extend at least one day on one side", before, after)
+			return
+		}
+		c.window = &StabilityWindow{Before: before, After: after}
+	}
+}
+
+// WithStabilityOptions sets the full default classification options
+// (window, slew, pair rule). It conflicts with WithWindow.
+func WithStabilityOptions(opts StabilityOptions) Option {
+	return func(c *config) {
+		c.stability = opts
+		c.hasStability = true
+	}
+}
+
+// WithShards selects the concurrent sharded engine with k temporal shards
+// (rounded up to a power of two, clamped to an implementation maximum).
+// WithShards(1) selects the sequential engine. Unset, New picks the engine
+// from GOMAXPROCS.
+func WithShards(k int) Option {
+	return func(c *config) {
+		if k <= 0 {
+			c.fail("WithShards(%d): shard count must be positive", k)
+			return
+		}
+		if k > maxShards {
+			k = maxShards
+		}
+		c.shards = k
+	}
+}
+
+// WithSequential selects the sequential engine: ingestion on the caller's
+// goroutine, no pipeline. It conflicts with WithShards(k > 1) and
+// WithWorkers.
+func WithSequential() Option {
+	return func(c *config) { c.sequential = true }
+}
+
+// WithWorkers sets the classification worker count of the sharded
+// ingestion pipeline (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail("WithWorkers(%d): worker count must be positive", n)
+			return
+		}
+		c.workers = n
+	}
+}
+
+// WithMACFilter drops EUI-64 records whose embedded hardware address fails
+// keep before they reach the census — e.g. to exclude a known OUI from a
+// study. Records of every other format class always pass.
+func WithMACFilter(keep func(MAC) bool) Option {
+	return func(c *config) {
+		if keep == nil {
+			c.fail("WithMACFilter(nil): a filter function is required")
+			return
+		}
+		c.macFilter = keep
+	}
+}
+
+// resolve applies the options and settles cross-option conflicts. forOpen
+// relaxes the StudyDays requirement (the snapshot provides it) and instead
+// rejects options a snapshot already pins.
+func resolve(opts []Option, forOpen bool) (config, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.err != nil {
+		return c, c.err
+	}
+	if c.sequential && c.shards > 1 {
+		c.fail("WithSequential conflicts with WithShards(%d)", c.shards)
+	}
+	if c.sequential || c.shards == 1 {
+		if c.workers > 0 {
+			c.fail("WithWorkers(%d) configures the sharded pipeline and conflicts with the sequential engine", c.workers)
+		}
+		c.sequential = true
+		c.shards = 1
+	}
+	if c.hasStability && c.window != nil {
+		c.fail("WithStabilityOptions conflicts with WithWindow; set the window inside the options")
+	}
+	if c.window != nil {
+		c.stability.Window = *c.window
+	}
+	if forOpen {
+		if c.studyDays != 0 {
+			c.fail("WithStudyDays(%d): the study length of an opened engine comes from the snapshot", c.studyDays)
+		}
+		if c.keepTransition {
+			c.fail("WithKeepTransition: transition handling of an opened engine comes from the snapshot")
+		}
+	} else if c.studyDays <= 0 && c.err == nil {
+		c.fail("WithStudyDays is required")
+	}
+	if c.err != nil {
+		return c, c.err
+	}
+	if !c.sequential && c.shards == 0 && c.workers == 0 && runtime.GOMAXPROCS(0) == 1 {
+		// Auto mode on a single-core machine: the routing pipeline would
+		// pay its overhead for nothing. An explicit WithWorkers request
+		// keeps the pipeline — the option must mean the same thing on
+		// every host shape, never be silently discarded on one of them.
+		c.sequential = true
+		c.shards = 1
+	}
+	return c, nil
+}

@@ -1,0 +1,108 @@
+package v6class
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestOptionValidation covers the rejection matrix of New: zero and
+// negative study lengths, bad shard/worker counts, and contradictory
+// option combinations, all reported as errors wrapping ErrConfig.
+func TestOptionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		opts []Option
+		want string // substring of the error
+	}{
+		{"no options", nil, "WithStudyDays is required"},
+		{"zero study days", []Option{WithStudyDays(0)}, "at least one day"},
+		{"negative study days", []Option{WithStudyDays(-7)}, "at least one day"},
+		{"zero shards", []Option{WithStudyDays(10), WithShards(0)}, "must be positive"},
+		{"negative shards", []Option{WithStudyDays(10), WithShards(-4)}, "must be positive"},
+		{"zero workers", []Option{WithStudyDays(10), WithWorkers(0)}, "must be positive"},
+		{"sequential vs shards", []Option{WithStudyDays(10), WithSequential(), WithShards(8)}, "conflicts"},
+		{"shards vs sequential (order)", []Option{WithStudyDays(10), WithShards(8), WithSequential()}, "conflicts"},
+		{"workers on sequential", []Option{WithStudyDays(10), WithSequential(), WithWorkers(4)}, "sequential"},
+		{"workers on shards=1", []Option{WithStudyDays(10), WithShards(1), WithWorkers(4)}, "sequential"},
+		{"empty window", []Option{WithStudyDays(10), WithWindow(0, 0)}, "window"},
+		{"negative window", []Option{WithStudyDays(10), WithWindow(-1, 7)}, "window"},
+		{"window vs stability options", []Option{WithStudyDays(10), WithWindow(3, 3), WithStabilityOptions(StabilityOptions{SlewDays: 1})}, "conflicts"},
+		{"nil mac filter", []Option{WithStudyDays(10), WithMACFilter(nil)}, "filter function"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := New(tc.opts...)
+			if err == nil {
+				t.Fatalf("New(%s) accepted an invalid configuration (engine %v)", tc.name, eng)
+			}
+			if !errors.Is(err, ErrConfig) {
+				t.Errorf("error %v does not wrap ErrConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestShardClampingAndRounding asserts WithShards lands on the engine as a
+// power of two and huge requests clamp instead of failing.
+func TestShardClampingAndRounding(t *testing.T) {
+	for _, tc := range []struct {
+		in, want int
+	}{
+		{2, 2}, {3, 4}, {5, 8}, {16, 16}, {1000, 1024},
+		{1 << 19, maxShards}, // clamped, then a power of two already
+	} {
+		eng, err := New(WithStudyDays(10), WithShards(tc.in))
+		if err != nil {
+			t.Fatalf("WithShards(%d): %v", tc.in, err)
+		}
+		if got := eng.Shards(); got != tc.want {
+			t.Errorf("WithShards(%d) -> %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+	// WithShards(1) is the sequential engine.
+	eng, err := New(WithStudyDays(10), WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Shards() != 1 {
+		t.Errorf("WithShards(1) -> %d shards, want the sequential engine", eng.Shards())
+	}
+}
+
+// TestOpenRejectsSnapshotPinnedOptions asserts Open refuses options whose
+// values a snapshot already records.
+func TestOpenRejectsSnapshotPinnedOptions(t *testing.T) {
+	path := t.TempDir() + "/s.state"
+	eng, err := New(WithStudyDays(10), WithSequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, WithStudyDays(20)); !errors.Is(err, ErrConfig) {
+		t.Errorf("Open with WithStudyDays: %v, want ErrConfig", err)
+	}
+	if _, err := Open(path, WithKeepTransition()); !errors.Is(err, ErrConfig) {
+		t.Errorf("Open with WithKeepTransition: %v, want ErrConfig", err)
+	}
+	// Engine-shape options are fine and select the implementation.
+	seq, err := Open(path, WithSequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Shards() != 1 {
+		t.Errorf("sequential open: %d shards", seq.Shards())
+	}
+	sh, err := Open(path, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards() != 4 || sh.StudyDays() != 10 {
+		t.Errorf("sharded open: %d shards, %d days", sh.Shards(), sh.StudyDays())
+	}
+}

@@ -1,0 +1,91 @@
+package v6class
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"v6class/internal/core"
+)
+
+// Persistence at the façade: Open/Read restore an Engine from a snapshot
+// written by Save/WriteTo (the format is engine-agnostic — either
+// implementation reads either's snapshots), selecting the implementation
+// from the same functional options New takes. An opened engine is still
+// ingesting — extend it with more days and Save again (the daily-pipeline
+// workflow), or Freeze immediately to query.
+
+// Open restores an Engine from a snapshot file. WithStudyDays and
+// WithKeepTransition are rejected: both come from the snapshot.
+func Open(path string, opts ...Option) (Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("v6class: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	eng, err := Read(f, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("v6class: reading snapshot %s: %w", path, err)
+	}
+	return eng, nil
+}
+
+// Read restores an Engine from a snapshot stream; see Open.
+func Read(r io.Reader, opts ...Option) (Engine, error) {
+	cfg, err := resolve(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{opts: cfg.stability, keep: cfg.macFilter}
+	if cfg.sequential {
+		c, err := core.ReadCensus(r)
+		if err != nil {
+			return nil, err
+		}
+		e.seq, e.a = c, c
+		return e, nil
+	}
+	c, err := core.ReadShardedCensusN(r, cfg.shards, cfg.workers)
+	if err != nil {
+		return nil, err
+	}
+	e.sh, e.a = c, c
+	return e, nil
+}
+
+func (e *engine) WriteTo(w io.Writer) (int64, error) {
+	return e.a.WriteTo(w)
+}
+
+// Save writes the snapshot to a temp file in path's directory and renames
+// it over path, so a failed or interrupted write can never destroy an
+// existing snapshot. The file lands world-readable (0644), the
+// conventional snapshot mode for downstream serving and backups.
+func (e *engine) Save(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".v6class-state-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := e.a.WriteTo(tmp); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

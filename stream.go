@@ -1,0 +1,108 @@
+package v6class
+
+import (
+	"fmt"
+	"iter"
+)
+
+// The streaming query surface: every method returns an iterator backed
+// directly by the engine's slab row sweeps (see internal/temporal/seq.go).
+// Enumeration allocates nothing per element; breaking out of the range
+// stops the sweep at the current row, with no goroutines to leak. The
+// TopAggregates and OverlapSeries forms compute their (bounded) result
+// once up front — ranking and series are inherently materialized — and
+// stream the rendering.
+
+// prefixed lifts an address iterator to the uniform Prefix key form
+// (/128s), allocation-free per element.
+func prefixed(src iter.Seq[Addr]) iter.Seq[Prefix] {
+	return func(yield func(Prefix) bool) {
+		for a := range src {
+			if !yield(PrefixFrom(a, 128)) {
+				return
+			}
+		}
+	}
+}
+
+func (e *engine) StableAddrs(ref, n int) (iter.Seq[Addr], error) {
+	if err := e.queryable(); err != nil {
+		return nil, err
+	}
+	return e.a.StableAddrsSeq(ref, n, e.opts), nil
+}
+
+func (e *engine) AddrsActiveOn(days ...int) (iter.Seq[Addr], error) {
+	if err := e.queryable(); err != nil {
+		return nil, err
+	}
+	return e.a.AddrsActiveAnySeq(days...), nil
+}
+
+func (e *engine) Prefixes64ActiveOn(days ...int) (iter.Seq[Prefix], error) {
+	if err := e.queryable(); err != nil {
+		return nil, err
+	}
+	return e.a.Prefix64sActiveAnySeq(days...), nil
+}
+
+func (e *engine) Keys(pop Population) (iter.Seq[Prefix], error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	if pop == Prefixes64 {
+		return e.a.Prefix64sSeq(), nil
+	}
+	return prefixed(e.a.AddrsSeq()), nil
+}
+
+func (e *engine) Lifetimes(pop Population) (iter.Seq2[Prefix, Activity], error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	if pop == Prefixes64 {
+		return e.a.Prefix64LifetimesSeq(), nil
+	}
+	src := e.a.AddrLifetimesSeq()
+	return func(yield func(Prefix, Activity) bool) {
+		for a, act := range src {
+			if !yield(PrefixFrom(a, 128), act) {
+				return
+			}
+		}
+	}, nil
+}
+
+func (e *engine) TopAggregates(pop Population, p, k int, days ...int) (iter.Seq[TopAggregate], error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	if p < 0 || p > 128 {
+		return nil, fmt.Errorf("%w: aggregate prefix length %d outside [0, 128]", ErrConfig, p)
+	}
+	ranked := e.a.TopAggregates(pop, p, k, days...)
+	return func(yield func(TopAggregate) bool) {
+		for _, agg := range ranked {
+			if !yield(agg) {
+				return
+			}
+		}
+	}, nil
+}
+
+func (e *engine) OverlapSeries(pop Population, ref, before, after int) (iter.Seq2[int, int], error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	if before < 0 || after < 0 {
+		return nil, fmt.Errorf("%w: negative overlap window (-%d, +%d)", ErrConfig, before, after)
+	}
+	series := e.a.OverlapSeries(pop, ref, before, after)
+	return func(yield func(int, int) bool) {
+		for i, n := range series {
+			if !yield(ref-before+i, n) {
+				return
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,121 @@
+package v6class
+
+import (
+	"v6class/internal/addrclass"
+	"v6class/internal/cdnlog"
+	"v6class/internal/core"
+	"v6class/internal/ipaddr"
+	"v6class/internal/temporal"
+)
+
+// The façade vocabulary: aliases re-exporting the value types an Engine
+// consumer needs, so no main package has to import internal packages to
+// hold a result. Aliases (not definitions) keep the internal layers and the
+// façade interchangeable within the module — internal/serve can hand a
+// KeyReport straight through to JSON, and the equivalence tests can compare
+// façade and core results without conversions.
+
+// Addr is a 128-bit IPv6 address.
+type Addr = ipaddr.Addr
+
+// Prefix is an IPv6 prefix: an address plus a length in bits. The façade's
+// key enumerations yield every key as a Prefix — full addresses as /128s,
+// subnet keys as /64s — so one iterator type covers both populations.
+type Prefix = ipaddr.Prefix
+
+// Kind is an address-format class per Table 1 of the paper (EUI-64,
+// privacy, Teredo, 6to4, ...).
+type Kind = addrclass.Kind
+
+// MAC is a 48-bit hardware address as embedded in EUI-64 IIDs.
+type MAC = addrclass.MAC
+
+// Record is one aggregated daily log line: an active client address and
+// its hit count.
+type Record = cdnlog.Record
+
+// DayLog is the aggregated log of one study day.
+type DayLog = cdnlog.DayLog
+
+// Population selects which key population a temporal query classifies.
+type Population = core.Population
+
+const (
+	// Addresses classifies full /128 client addresses.
+	Addresses = core.Addresses
+	// Prefixes64 classifies the /64 prefixes extracted from them.
+	Prefixes64 = core.Prefixes64
+)
+
+// StabilityOptions configures nd-stable classification; the zero value uses
+// the paper's (-7d,+7d) window.
+type StabilityOptions = temporal.Options
+
+// StabilityWindow is the sliding observation window of StabilityOptions,
+// expressed as day offsets around the reference day.
+type StabilityWindow = temporal.Window
+
+// DailyStability is the nd-stable split of the population active on a
+// reference day (one Table 2a/2b cell).
+type DailyStability = temporal.DailyStability
+
+// WeeklyStability is the weekly nd-stable split (one Table 2c/2d cell).
+type WeeklyStability = temporal.WeeklyStability
+
+// Activity is the temporal activity profile of one key: extent, active
+// days, and contiguous runs.
+type Activity = temporal.Activity
+
+// LifetimeStats summarizes observed key lifetimes over a day range.
+type LifetimeStats = temporal.LifetimeStats
+
+// DaySummary is the Table 1 format tally of one ingested day.
+type DaySummary = core.DaySummary
+
+// KeyReport is everything the census knows about one key's activity.
+type KeyReport = core.KeyReport
+
+// AddrLookup is the full point-lookup result for one address.
+type AddrLookup = core.AddrLookup
+
+// TopAggregate is one occupied /p aggregate with its population.
+type TopAggregate = core.TopAggregate
+
+// LongestStablePrefix is one discovered stable network-identifier prefix
+// (the Section 7.2 future-work proposal).
+type LongestStablePrefix = core.LongestStablePrefix
+
+// Analyzer is the engine-independent analysis interface of the underlying
+// implementation. It appears in the façade only as the parameter of
+// FromAnalyzer, the bridge for in-process callers (the experiments lab,
+// tests) that have already built a census; external consumers never need to
+// name it.
+type Analyzer = core.Analyzer
+
+// ParseAddr parses an IPv6 address in standard text form.
+func ParseAddr(s string) (Addr, error) { return ipaddr.ParseAddr(s) }
+
+// MustParseAddr is ParseAddr, panicking on invalid input.
+func MustParseAddr(s string) Addr { return ipaddr.MustParseAddr(s) }
+
+// ParsePrefix parses an IPv6 prefix in CIDR form.
+func ParsePrefix(s string) (Prefix, error) { return ipaddr.ParsePrefix(s) }
+
+// MustParsePrefix is ParsePrefix, panicking on invalid input.
+func MustParsePrefix(s string) Prefix { return ipaddr.MustParsePrefix(s) }
+
+// PrefixFrom returns the prefix of the first bits bits of a.
+func PrefixFrom(a Addr, bits int) Prefix { return ipaddr.PrefixFrom(a, bits) }
+
+// Classify format-classifies an address per Table 1. It is a pure function
+// of the address bits and needs no Engine.
+func Classify(a Addr) Kind { return addrclass.Classify(a) }
+
+// EUI64MAC extracts the embedded hardware address of an EUI-64 IID; ok is
+// false for addresses of any other format.
+func EUI64MAC(a Addr) (MAC, bool) { return addrclass.EUI64MAC(a) }
+
+// ReadLogs parses aggregated daily logs ("#day N" sections) from a file;
+// "-" reads standard input and files ending in ".gz" are decompressed
+// transparently.
+func ReadLogs(path string) ([]DayLog, error) { return cdnlog.ReadFile(path) }
