@@ -14,12 +14,12 @@ BenchmarkIngest/sharded-8            	       1	 544961317 ns/op	   1934347 recor
 BenchmarkIngestStream-8              	       1	 640847210 ns/op	   1644939 records/s	51200 B/op	  12 allocs/op
 PASS
 ok  	v6class	12.921s
-pkg: v6class/internal/serve
+pkg: v6class/serve
 BenchmarkServeLookup-8               	       1	  68938929 ns/op
 some unrelated test log line
 BenchmarkServeStabilityCached-8      	       1	     47931 ns/op
 PASS
-ok  	v6class/internal/serve	0.163s
+ok  	v6class/serve	0.163s
 `
 
 func TestParseBench(t *testing.T) {
@@ -48,7 +48,7 @@ func TestParseBench(t *testing.T) {
 		t.Errorf("benchmem metrics: %v", stream.Metrics)
 	}
 	serveLookup := res.Benchmarks[3]
-	if serveLookup.Package != "v6class/internal/serve" {
+	if serveLookup.Package != "v6class/serve" {
 		t.Errorf("package tracking across pkg: lines broke: %+v", serveLookup)
 	}
 }

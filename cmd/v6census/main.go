@@ -33,12 +33,8 @@ import (
 	"os"
 
 	"v6class"
-	"v6class/internal/addrclass"
-	"v6class/internal/cdnlog"
-	"v6class/internal/ipaddr"
-	"v6class/internal/mraplot"
-	"v6class/internal/spatial"
-	"v6class/internal/stats"
+	"v6class/mraplot"
+	"v6class/stats"
 )
 
 func main() {
@@ -139,22 +135,23 @@ func cmdSummary(args []string) {
 	fs.Parse(args)
 	logs := readLogs(*in)
 
-	sum := addrclass.Summarize(cdnlog.UniqueAddrs(logs))
-	p64 := make(map[ipaddr.Prefix]bool)
-	macs := make(map[addrclass.MAC]bool)
-	for _, a := range cdnlog.UniqueAddrs(logs) {
-		k := addrclass.Classify(a)
+	addrs := v6class.UniqueAddrs(logs)
+	sum := v6class.Summarize(addrs)
+	p64 := make(map[v6class.Prefix]bool)
+	macs := make(map[v6class.MAC]bool)
+	for _, a := range addrs {
+		k := v6class.Classify(a)
 		if k.IsTransition() {
 			continue
 		}
-		p64[ipaddr.PrefixFrom(a, 64)] = true
-		if mac, ok := addrclass.EUI64MAC(a); ok {
+		p64[v6class.PrefixFrom(a, 64)] = true
+		if mac, ok := v6class.EUI64MAC(a); ok {
 			macs[mac] = true
 		}
 	}
 	fmt.Printf("days:               %d\n", len(logs))
 	fmt.Printf("unique addresses:   %d\n", sum.Total)
-	for _, k := range []addrclass.Kind{addrclass.KindTeredo, addrclass.KindISATAP, addrclass.Kind6to4} {
+	for _, k := range []v6class.Kind{v6class.KindTeredo, v6class.KindISATAP, v6class.Kind6to4} {
 		fmt.Printf("%-19s %d (%.2f%%)\n", k.String()+":", sum.ByKind[k], 100*float64(sum.ByKind[k])/float64(sum.Total))
 	}
 	fmt.Printf("other (native):     %d (%.2f%%)\n", sum.Native(), 100*float64(sum.Native())/float64(sum.Total))
@@ -162,7 +159,7 @@ func cmdSummary(args []string) {
 	if len(p64) > 0 {
 		fmt.Printf("avg addrs per /64:  %.2f\n", float64(sum.Native())/float64(len(p64)))
 	}
-	fmt.Printf("EUI-64 addresses:   %d\n", sum.ByKind[addrclass.KindEUI64])
+	fmt.Printf("EUI-64 addresses:   %d\n", sum.ByKind[v6class.KindEUI64])
 	fmt.Printf("EUI-64 MACs:        %d\n", len(macs))
 }
 
@@ -240,9 +237,9 @@ func cmdMRA(args []string) {
 	fs.Parse(args)
 	logs := readLogs(*in)
 
-	var set spatial.AddressSet
-	for _, a := range cdnlog.UniqueAddrs(logs) {
-		if *native && addrclass.Classify(a).IsTransition() {
+	var set v6class.AddressSet
+	for _, a := range v6class.UniqueAddrs(logs) {
+		if *native && v6class.Classify(a).IsTransition() {
 			continue
 		}
 		set.Add(a)
@@ -270,12 +267,12 @@ func cmdDense(args []string) {
 	fs.Parse(args)
 	logs := readLogs(*in)
 
-	var set spatial.AddressSet
-	for _, a := range cdnlog.UniqueAddrs(logs) {
+	var set v6class.AddressSet
+	for _, a := range v6class.UniqueAddrs(logs) {
 		set.Add(a)
 	}
-	cls := spatial.DensityClass{N: *n, P: *p}
-	var res spatial.DensityResult
+	cls := v6class.DensityClass{N: *n, P: *p}
+	var res v6class.DensityResult
 	if *least {
 		res = set.DenseLeastSpecific(cls)
 	} else {
@@ -286,7 +283,7 @@ func cmdDense(args []string) {
 	fmt.Printf("covered addresses:  %d\n", res.CoveredAddresses)
 	fmt.Printf("possible addresses: %.0f\n", res.PossibleAddresses)
 	fmt.Printf("address density:    %.10f\n", res.Density())
-	_, examples := spatial.ScanTargets(res, *limit)
+	_, examples := v6class.ScanTargets(res, *limit)
 	for _, ex := range examples {
 		fmt.Printf("  %v\n", ex)
 	}
@@ -300,13 +297,13 @@ func cmdPopDist(args []string) {
 	fs.Parse(args)
 	logs := readLogs(*in)
 
-	var set spatial.AddressSet
-	for _, a := range cdnlog.UniqueAddrs(logs) {
+	var set v6class.AddressSet
+	for _, a := range v6class.UniqueAddrs(logs) {
 		switch *of {
 		case "addrs":
 			set.Add(a)
 		case "64s":
-			set.AddPrefix(ipaddr.PrefixFrom(a, 64))
+			set.AddPrefix(v6class.PrefixFrom(a, 64))
 		default:
 			log.Fatalf("unknown unit %q", *of)
 		}
@@ -331,10 +328,10 @@ func cmdAguri(args []string) {
 	logs := readLogs(*in)
 
 	// Hits weight the aguri profile, as Cho et al.'s traffic profiler does.
-	var set spatial.AddressSet
+	var set v6class.AddressSet
 	for _, l := range logs {
 		for _, rec := range l.Records {
-			set.Trie().Add(ipaddr.PrefixFrom(rec.Addr, 128), rec.Hits)
+			set.Trie().Add(v6class.PrefixFrom(rec.Addr, 128), rec.Hits)
 		}
 	}
 	min := uint64(float64(set.Total()) * *frac)
@@ -354,17 +351,17 @@ func cmdClassify(args []string) {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	fs.Parse(args)
 	classifyOne := func(s string) {
-		a, err := ipaddr.ParseAddr(s)
+		a, err := v6class.ParseAddr(s)
 		if err != nil {
 			fmt.Printf("%-42s invalid: %v\n", s, err)
 			return
 		}
-		kind := addrclass.Classify(a)
+		kind := v6class.Classify(a)
 		fmt.Printf("%-42s %v", a, kind)
-		if mac, ok := addrclass.EUI64MAC(a); ok {
+		if mac, ok := v6class.EUI64MAC(a); ok {
 			fmt.Printf(" mac=%v", mac)
 		}
-		if v4, ok := addrclass.Embedded6to4IPv4(a); ok {
+		if v4, ok := v6class.Embedded6to4IPv4(a); ok {
 			fmt.Printf(" v4=%d.%d.%d.%d", v4>>24, v4>>16&0xff, v4>>8&0xff, v4&0xff)
 		}
 		fmt.Println()
@@ -394,13 +391,13 @@ func cmdSignature(args []string) {
 	fs.Parse(args)
 	logs := readLogs(*in)
 
-	var set spatial.AddressSet
-	for _, a := range cdnlog.UniqueAddrs(logs) {
+	var set v6class.AddressSet
+	for _, a := range v6class.UniqueAddrs(logs) {
 		set.Add(a)
 	}
 	m := set.MRA()
 	fmt.Printf("population:      %d addresses\n", set.Len())
-	fmt.Printf("signature:       %v\n", spatial.ClassifySignature(m))
+	fmt.Printf("signature:       %v\n", v6class.ClassifySignature(m))
 	fmt.Printf("u-bit notch:     %v\n", m.UBitNotch())
 	fmt.Printf("gamma16 @ 16-32: %.2f\n", m.Ratio(16, 16))
 	fmt.Printf("gamma16 @ 32-48: %.2f\n", m.Ratio(32, 16))

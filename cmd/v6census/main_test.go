@@ -1,12 +1,11 @@
 package main
 
 import (
+	"v6class"
+
 	"os"
 	"strings"
 	"testing"
-
-	"v6class/internal/cdnlog"
-	"v6class/internal/ipaddr"
 )
 
 // capture runs fn with os.Stdout redirected to a pipe and returns what it
@@ -44,11 +43,11 @@ func capture(t *testing.T, fn func()) string {
 // sampleLog writes a small two-day dataset and returns its path.
 func sampleLog(t *testing.T) string {
 	t.Helper()
-	rec := func(s string, hits uint64) cdnlog.Record {
-		return cdnlog.Record{Addr: ipaddr.MustParseAddr(s), Hits: hits}
+	rec := func(s string, hits uint64) v6class.Record {
+		return v6class.Record{Addr: v6class.MustParseAddr(s), Hits: hits}
 	}
-	logs := []cdnlog.DayLog{
-		{Day: 10, Records: []cdnlog.Record{
+	logs := []v6class.DayLog{
+		{Day: 10, Records: []v6class.Record{
 			rec("2001:db8:1:1::103", 5),
 			rec("2001:db8:1:1:21e:c2ff:fec0:11db", 2),
 			rec("2001:db8:1:2:3031:f3fd:bbdd:2c2a", 9),
@@ -56,13 +55,13 @@ func sampleLog(t *testing.T) string {
 			rec("2001:db8:1:3::2", 1),
 			rec("2002:c000:204::1", 3),
 		}},
-		{Day: 13, Records: []cdnlog.Record{
+		{Day: 13, Records: []v6class.Record{
 			rec("2001:db8:1:1::103", 4),
 			rec("2001:db8:1:2:aaaa:bbbb:cccc:dddd", 2),
 		}},
 	}
 	path := t.TempDir() + "/sample.log"
-	if err := cdnlog.WriteFile(path, logs); err != nil {
+	if err := v6class.WriteLogs(path, logs); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -166,11 +165,11 @@ func TestCmdSignature(t *testing.T) {
 
 func TestCmdLSP(t *testing.T) {
 	// Two periods sharing one stable /64 with rotated privacy hosts.
-	mk := func(day int, iids ...uint64) cdnlog.DayLog {
-		l := cdnlog.DayLog{Day: day}
-		base := ipaddr.MustParseAddr("2001:db8:77:1::")
+	mk := func(day int, iids ...uint64) v6class.DayLog {
+		l := v6class.DayLog{Day: day}
+		base := v6class.MustParseAddr("2001:db8:77:1::")
 		for _, iid := range iids {
-			l.Records = append(l.Records, cdnlog.Record{Addr: base.WithIID(iid), Hits: 1})
+			l.Records = append(l.Records, v6class.Record{Addr: base.WithIID(iid), Hits: 1})
 		}
 		return l
 	}
@@ -180,11 +179,11 @@ func TestCmdLSP(t *testing.T) {
 	// High-entropy privacy IIDs: the longest common prefix between the
 	// two periods is the /64 network identifier (plus at most a few
 	// coincidental IID bits).
-	if err := cdnlog.WriteFile(a, []cdnlog.DayLog{mk(0,
+	if err := v6class.WriteLogs(a, []v6class.DayLog{mk(0,
 		0x1a2b3c4d5e6f7081, 0x9b8c7d6e5f4a3b2c, 0x2f3e4d5c6b7a8901, 0xe1d2c3b4a5968778)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cdnlog.WriteFile(b, []cdnlog.DayLog{mk(0,
+	if err := v6class.WriteLogs(b, []v6class.DayLog{mk(0,
 		0x7a8b9cadbecfd0e1, 0x31425364758697a8, 0xc9dae8f708192a3b, 0x5f6e7d8c9badcabe)}); err != nil {
 		t.Fatal(err)
 	}
@@ -312,8 +311,8 @@ func TestIngestRefusesToOverwriteForeignState(t *testing.T) {
 			t.Fatal(err)
 		}
 		late := dir + "/late.log"
-		if err := cdnlog.WriteFile(late, []cdnlog.DayLog{{Day: 25, Records: []cdnlog.Record{
-			{Addr: ipaddr.MustParseAddr("2001:db8:1:1::103"), Hits: 1},
+		if err := v6class.WriteLogs(late, []v6class.DayLog{{Day: 25, Records: []v6class.Record{
+			{Addr: v6class.MustParseAddr("2001:db8:1:1::103"), Hits: 1},
 		}}}); err != nil {
 			t.Fatal(err)
 		}

@@ -16,9 +16,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"v6class"
 
-	"v6class/internal/cdnlog"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 func main() {
@@ -50,7 +50,7 @@ func generate(seed uint64, scale float64, from, to int, out string) (days, recor
 	for _, day := range logs {
 		records += len(day.Records)
 	}
-	if err := cdnlog.WriteFile(out, logs); err != nil {
+	if err := v6class.WriteLogs(out, logs); err != nil {
 		return 0, 0, err
 	}
 	return len(logs), records, nil

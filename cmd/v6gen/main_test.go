@@ -2,9 +2,9 @@ package main
 
 import (
 	"testing"
+	"v6class"
 
-	"v6class/internal/cdnlog"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 func TestGenerateRoundTrip(t *testing.T) {
@@ -16,7 +16,7 @@ func TestGenerateRoundTrip(t *testing.T) {
 	if days != 2 || records == 0 {
 		t.Fatalf("generated %d days, %d records", days, records)
 	}
-	logs, err := cdnlog.ReadFile(path)
+	logs, err := v6class.ReadLogs(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +42,11 @@ func TestGenerateGzipAndDeterminism(t *testing.T) {
 	if _, _, err := generate(9, 0.02, 100, 102, b); err != nil {
 		t.Fatal(err)
 	}
-	la, err := cdnlog.ReadFile(a)
+	la, err := v6class.ReadLogs(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lb, err := cdnlog.ReadFile(b)
+	lb, err := v6class.ReadLogs(b)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,7 @@
 // -only selects a comma-separated subset of: table1, table2, table3, fig2,
 // fig3, fig4, fig5a, fig5b, fig5plots, discovery, ptr, eui64, lsp,
 // signatures, highlights, growth, sweep, lifetimes (the registry names of
-// internal/experiments are accepted as synonyms).
+// package experiments are accepted as synonyms).
 // -workers bounds the pool regenerating independent experiments in
 // parallel (0 = GOMAXPROCS, 1 = sequential).
 // -svg writes the MRA plots as SVG files into the given directory.
@@ -24,9 +24,9 @@ import (
 	"path/filepath"
 	"strings"
 
-	"v6class/internal/experiments"
-	"v6class/internal/mraplot"
-	"v6class/internal/synth"
+	"v6class/experiments"
+	"v6class/mraplot"
+	"v6class/synth"
 )
 
 func main() {

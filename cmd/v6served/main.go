@@ -28,7 +28,7 @@
 // With -demo the server generates a small synthetic world instead of (or
 // in addition to) loading files, installs a census of its first epoch
 // window as snapshot "demo", and enables the /v1/experiments endpoints.
-// See internal/serve for the endpoint reference, and examples/queryclient
+// See package serve for the endpoint reference, and examples/queryclient
 // for a walkthrough.
 //
 // For diagnosing serve-path regressions in production, -pprof-addr serves
@@ -50,9 +50,9 @@ import (
 	"strings"
 
 	"v6class"
-	"v6class/internal/experiments"
-	"v6class/internal/serve"
-	"v6class/internal/synth"
+	"v6class/experiments"
+	"v6class/serve"
+	"v6class/synth"
 )
 
 // statePath is one -state argument: a snapshot name and its file path.

@@ -8,7 +8,7 @@ import (
 	"testing"
 
 	"v6class"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 func TestParseState(t *testing.T) {

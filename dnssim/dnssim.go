@@ -12,7 +12,7 @@ import (
 
 	"v6class/internal/ipaddr"
 	"v6class/internal/netmodel"
-	"v6class/internal/probe"
+	"v6class/probe"
 )
 
 // Zone is a populated reverse zone. Build one with NewZone.

@@ -6,8 +6,8 @@ import (
 
 	"v6class/internal/ipaddr"
 	"v6class/internal/netmodel"
-	"v6class/internal/probe"
-	"v6class/internal/synth"
+	"v6class/probe"
+	"v6class/synth"
 )
 
 func zoneAndTopo(t *testing.T) (*Zone, *probe.Topology) {

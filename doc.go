@@ -4,10 +4,12 @@
 //
 // The package root is the public API: a single Engine interface over the
 // whole census lifecycle, constructed with functional options and queried
-// through scalar results and streaming iterators. The implementations —
-// the sequential engine, the sharded concurrent pipeline, the slab-backed
-// temporal matrix, the snapshot service — live under internal/ and are
-// reachable only through this surface.
+// through scalar results, streaming iterators, and the spatial
+// classification surface. The engine implementations — the sequential
+// engine, the sharded concurrent pipeline, the slab-backed temporal
+// matrix, the arena trie — live under internal/ and are reachable only
+// through this surface; the supporting toolkit (serve, synth, experiments,
+// mraplot, stats, bgp, probe, dnssim) ships as public sibling packages.
 //
 // # Lifecycle
 //
@@ -71,6 +73,31 @@
 // /128s, subnet keys as /64s — so one iterator shape serves both
 // populations.
 //
+// # Spatial classification
+//
+// The Section 5.2 classifiers operate on an AddressSet, a population of
+// addresses (or fixed-length prefixes) over a counting radix trie. Build
+// one incrementally with Add/AddPrefix, or — the fast path — ask a frozen
+// engine for a whole day selection:
+//
+//	set, err := eng.SpatialSet(v6class.Addresses, 10, 11, 12, 13)
+//	...
+//	mra := set.MRA()                                        // n_p counts, γ ratios
+//	sig := v6class.ClassifySignature(mra)                   // Figure 2/5 shape class
+//	dense := set.DenseLeastSpecific(v6class.DensityClass{N: 2, P: 112})
+//	top := set.TopAggregates(48, 10)                        // most populated /48s
+//	profile := set.AguriProfile(0.01)                       // aguri traffic profile
+//
+// SpatialSet partitions the engine's dense row sweeps across a bounded
+// worker pool — each worker consumes its own shard or row-range sweep into
+// a private arena-backed sub-trie, and the sub-tries are grafted under a
+// spine of top-bit branch nodes. A radix trie's shape is a pure function
+// of the item set, so the parallel build is bit-identical to sequential
+// insertion; the returned set is immutable in use and safe for any number
+// of concurrent readers. The trie itself stores nodes in index-addressed
+// slabs (internal/trie), so building a million-address population costs a
+// few hundred allocations rather than one per address.
+//
 // # Persistence
 //
 // Save/WriteTo serialize a census snapshot in an engine-agnostic format;
@@ -82,18 +109,20 @@
 //
 // # Serving
 //
-// internal/serve (run as cmd/v6served) exposes frozen engines over HTTP —
+// Package serve (run as cmd/v6served) exposes frozen engines over HTTP —
 // point lookups, stability tables, dense-prefix sweeps, top-k aggregates,
 // overlap series — resolving snapshots RCU-style so reloads never disturb
 // in-flight queries. It consumes exactly this package's API: the handlers
-// render JSON straight off the streaming iterators. See
-// examples/queryclient for an end-to-end walkthrough.
+// render JSON straight off the streaming iterators, and each snapshot
+// memoizes its SpatialSet builds so every spatial query shape over the
+// same days shares one trie. See examples/queryclient for an end-to-end
+// walkthrough.
 //
 // # Reproduction of the paper
 //
-// internal/experiments regenerates every table and figure of the paper's
+// Package experiments regenerates every table and figure of the paper's
 // evaluation over a synthetic world (cmd/v6report prints them all); the
-// benchmarks in this package and internal/serve track the ingest, sweep
-// and serving paths in CI. See DESIGN.md for the system inventory and the
-// internal package docs for the storage and concurrency models.
+// benchmarks in this package and package serve track the ingest, sweep,
+// spatial-build and serving paths in CI. See DESIGN.md for the system
+// inventory and the package docs for the storage and concurrency models.
 package v6class

@@ -111,6 +111,10 @@ type Engine interface {
 	// Lifetimes streams every key of the population with its activity
 	// profile.
 	Lifetimes(pop Population) (iter.Seq2[Prefix, Activity], error)
+	// SpatialSet builds the spatial population (an AddressSet over the
+	// arena trie) of the selected days via the partitioned parallel build:
+	// dense classes, MRA signatures and aguri profiles all start here.
+	SpatialSet(pop Population, days ...int) (*AddressSet, error)
 	// TopAggregates streams the k most populated /p aggregates of the
 	// selected days' population, largest first (k <= 0 streams all).
 	TopAggregates(pop Population, p, k int, days ...int) (iter.Seq[TopAggregate], error)

@@ -8,7 +8,7 @@ import (
 	"testing"
 
 	"v6class/internal/core"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // testLogs generates a small deterministic study.

@@ -12,11 +12,8 @@ import (
 	"log"
 
 	"v6class"
-	"v6class/internal/addrclass"
-	"v6class/internal/bgp"
-	"v6class/internal/ipaddr"
-	"v6class/internal/spatial"
-	"v6class/internal/synth"
+	"v6class/bgp"
+	"v6class/synth"
 )
 
 func main() {
@@ -36,8 +33,8 @@ func main() {
 	// Group the week's native addresses by ASN.
 	type netStats struct {
 		name   string
-		addrs  []ipaddr.Addr
-		p64s   map[ipaddr.Prefix]bool
+		addrs  []v6class.Addr
+		p64s   map[v6class.Prefix]bool
 		eui64  int
 		stable int
 	}
@@ -48,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	stable := map[ipaddr.Addr]bool{}
+	stable := map[v6class.Addr]bool{}
 	for a := range stableAddrs {
 		stable[a] = true
 	}
@@ -64,12 +61,12 @@ func main() {
 			}
 			ns := byASN[o.ASN]
 			if ns == nil {
-				ns = &netStats{name: o.Name, p64s: map[ipaddr.Prefix]bool{}}
+				ns = &netStats{name: o.Name, p64s: map[v6class.Prefix]bool{}}
 				byASN[o.ASN] = ns
 			}
 			ns.addrs = append(ns.addrs, a)
-			ns.p64s[ipaddr.PrefixFrom(a, 64)] = true
-			if addrclass.IsEUI64(a) {
+			ns.p64s[v6class.PrefixFrom(a, 64)] = true
+			if v6class.IsEUI64(a) {
 				ns.eui64++
 			}
 			if stable[a] {
@@ -96,15 +93,15 @@ func main() {
 			break
 		}
 		ns := r.ns
-		var set spatial.AddressSet
-		seen := map[ipaddr.Addr]bool{}
+		var set v6class.AddressSet
+		seen := map[v6class.Addr]bool{}
 		for _, a := range ns.addrs {
 			if !seen[a] {
 				seen[a] = true
 				set.Add(a)
 			}
 		}
-		sig := spatial.ClassifySignature(set.MRA())
+		sig := v6class.ClassifySignature(set.MRA())
 		uniq := set.Len()
 		fmt.Printf("%-6d %-16s %8d %8d %7.2f %6.1f%% %5.1f%%  %v\n",
 			r.asn, ns.name, uniq, len(ns.p64s),
@@ -123,7 +120,7 @@ func main() {
 			continue
 		}
 		active := op.ProvisionedSubscribers(world.Env(i), ref)
-		var p64s map[ipaddr.Prefix]bool
+		var p64s map[v6class.Prefix]bool
 		for asn, ns := range byASN {
 			if asn == op.ASN {
 				p64s = ns.p64s

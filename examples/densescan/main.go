@@ -6,11 +6,11 @@ package main
 
 import (
 	"fmt"
+	"v6class"
 
-	"v6class/internal/dnssim"
-	"v6class/internal/probe"
-	"v6class/internal/spatial"
-	"v6class/internal/synth"
+	"v6class/dnssim"
+	"v6class/probe"
+	"v6class/synth"
 )
 
 func main() {
@@ -22,14 +22,14 @@ func main() {
 	routers := topo.RouterDataset(day.Addrs())
 	fmt.Printf("router dataset: %d interface addresses\n\n", len(routers))
 
-	var set spatial.AddressSet
+	var set v6class.AddressSet
 	for _, a := range routers {
 		set.Add(a)
 	}
 
 	// Sweep the paper's density classes.
 	fmt.Println("class        prefixes  covered  possible    density")
-	for _, cls := range []spatial.DensityClass{
+	for _, cls := range []v6class.DensityClass{
 		{N: 2, P: 124}, {N: 3, P: 120}, {N: 2, P: 116}, {N: 2, P: 112},
 	} {
 		r := set.DenseFixed(cls)
@@ -38,8 +38,8 @@ func main() {
 	}
 
 	// Expand one class into concrete scan targets.
-	res := set.DenseFixed(spatial.DensityClass{N: 3, P: 120})
-	total, examples := spatial.ScanTargets(res, 5)
+	res := set.DenseFixed(v6class.DensityClass{N: 3, P: 120})
+	total, examples := v6class.ScanTargets(res, 5)
 	fmt.Printf("\n3@/120-dense: %.0f probe-able addresses across %d prefixes; examples:\n",
 		total, len(res.Prefixes))
 	for _, p := range examples {

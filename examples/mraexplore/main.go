@@ -5,19 +5,19 @@ package main
 
 import (
 	"fmt"
+	"v6class"
 
-	"v6class/internal/mraplot"
-	"v6class/internal/spatial"
-	"v6class/internal/synth"
+	"v6class/mraplot"
+	"v6class/synth"
 )
 
 func main() {
 	world := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05})
 
 	// One week of activity, split by operator.
-	sets := map[string]*spatial.AddressSet{}
+	sets := map[string]*v6class.AddressSet{}
 	for _, name := range []string{"us-mobile-1", "eu-isp", "jp-isp", "eu-univ-dept"} {
-		sets[name] = &spatial.AddressSet{}
+		sets[name] = &v6class.AddressSet{}
 	}
 	for d := synth.EpochMar2015; d < synth.EpochMar2015+7; d++ {
 		for _, rec := range world.Day(d).Records {

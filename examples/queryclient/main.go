@@ -1,6 +1,6 @@
 // Queryclient walks through the v6served HTTP API end to end: it builds a
 // small census through the public v6class façade, persists it with
-// Engine.Save, serves it with internal/serve in-process, and then asks
+// Engine.Save, serves it with package serve in-process, and then asks
 // every kind of question a network operator would — who is this address,
 // is it stable, where are the dense blocks, which aggregates dominate —
 // finishing with a live snapshot swap under load.
@@ -47,8 +47,8 @@ import (
 	"path/filepath"
 
 	"v6class"
-	"v6class/internal/serve"
-	"v6class/internal/synth"
+	"v6class/serve"
+	"v6class/synth"
 )
 
 func main() {

@@ -9,7 +9,7 @@ import (
 	"log"
 
 	"v6class"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // must unwraps a query that cannot fail after Freeze.

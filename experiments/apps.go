@@ -5,13 +5,13 @@ import (
 	"sort"
 	"strings"
 
+	"v6class/dnssim"
 	"v6class/internal/addrclass"
 	"v6class/internal/core"
-	"v6class/internal/dnssim"
 	"v6class/internal/ipaddr"
-	"v6class/internal/probe"
 	"v6class/internal/spatial"
-	"v6class/internal/synth"
+	"v6class/probe"
+	"v6class/synth"
 )
 
 // RouterDiscoveryResult reproduces the Section 6.1.1 experiment: probing a

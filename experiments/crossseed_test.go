@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"v6class/internal/core"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // TestInvariantsAcrossSeeds guards against overfitting the reproduction to

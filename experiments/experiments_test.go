@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"v6class/internal/spatial"
-	"v6class/internal/stats"
-	"v6class/internal/synth"
+	"v6class/stats"
+	"v6class/synth"
 )
 
 // labCache shares one small lab across tests; experiments only read from it.

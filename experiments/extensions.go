@@ -5,12 +5,12 @@ import (
 	"sort"
 	"strings"
 
+	"v6class/bgp"
 	"v6class/internal/addrclass"
-	"v6class/internal/bgp"
 	"v6class/internal/cdnlog"
 	"v6class/internal/ipaddr"
 	"v6class/internal/spatial"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // SignatureCensusResult is the MRA-based classification of every active BGP

@@ -7,15 +7,15 @@ import (
 
 	"v6class/internal/ccdfplot"
 
+	"v6class/bgp"
 	"v6class/internal/addrclass"
-	"v6class/internal/bgp"
 	"v6class/internal/core"
 	"v6class/internal/ipaddr"
-	"v6class/internal/mraplot"
 	"v6class/internal/netmodel"
 	"v6class/internal/spatial"
-	"v6class/internal/stats"
-	"v6class/internal/synth"
+	"v6class/mraplot"
+	"v6class/stats"
+	"v6class/synth"
 )
 
 // Figure2Result holds the two contrasting MRA plots of Figure 2: a

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"v6class/internal/bgp"
+	"v6class/bgp"
 	"v6class/internal/core"
-	"v6class/internal/synth"
 	"v6class/internal/temporal"
+	"v6class/synth"
 )
 
 // GrowthResult reproduces the Section 4.1 deployment-growth observations:

@@ -11,7 +11,7 @@ import (
 
 	"v6class/internal/cdnlog"
 	"v6class/internal/core"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // Lab wires a synthetic world to the analysis engine and caches generated

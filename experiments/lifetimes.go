@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"v6class/internal/ipaddr"
-	"v6class/internal/synth"
 	"v6class/internal/temporal"
+	"v6class/synth"
 )
 
 // LifetimesResult quantifies the paper's Section 1 motivation — "the vast

@@ -4,7 +4,7 @@ import (
 	"sync"
 	"testing"
 
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // TestRunAllParallelMatchesSequential regenerates every driver on one

@@ -5,9 +5,9 @@ import (
 	"strings"
 
 	"v6class/internal/ipaddr"
-	"v6class/internal/probe"
 	"v6class/internal/spatial"
-	"v6class/internal/synth"
+	"v6class/probe"
+	"v6class/synth"
 )
 
 // Table3Classes are the twelve density classes of the paper's Table 3, in

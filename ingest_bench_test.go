@@ -5,10 +5,10 @@ import (
 	"sync"
 	"testing"
 
+	"v6class/experiments"
 	"v6class/internal/cdnlog"
 	"v6class/internal/core"
-	"v6class/internal/experiments"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // Ingestion benchmarks: the sequential Census against the sharded

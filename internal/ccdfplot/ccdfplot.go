@@ -9,7 +9,7 @@ import (
 	"math"
 	"strings"
 
-	"v6class/internal/stats"
+	"v6class/stats"
 )
 
 // Series is one named CCDF curve.

@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"v6class/internal/stats"
+	"v6class/stats"
 )
 
 func samplePlot() Plot {

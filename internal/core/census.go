@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"runtime"
 
 	"v6class/internal/addrclass"
 	"v6class/internal/cdnlog"
@@ -116,6 +117,7 @@ type keyStore[K comparable] interface {
 	KeysSeq() iter.Seq[K]
 	StableKeysSeq(ref temporal.Day, n int, opts temporal.Options) iter.Seq[K]
 	KeysActiveAnySeq(days []temporal.Day) iter.Seq[K]
+	KeysActiveAnySeqs(n int, days []temporal.Day) []iter.Seq[K]
 	ActivitySeq() iter.Seq2[K, temporal.Activity]
 }
 
@@ -171,6 +173,8 @@ type Analyzer interface {
 	StableAddrsSeq(ref, n int, opts temporal.Options) iter.Seq[ipaddr.Addr]
 	AddrsActiveAnySeq(days ...int) iter.Seq[ipaddr.Addr]
 	Prefix64sActiveAnySeq(days ...int) iter.Seq[ipaddr.Prefix]
+	AddrsActiveAnySeqs(n int, days ...int) []iter.Seq[ipaddr.Addr]
+	Prefix64sActiveAnySeqs(n int, days ...int) []iter.Seq[ipaddr.Prefix]
 	AddrsSeq() iter.Seq[ipaddr.Addr]
 	Prefix64sSeq() iter.Seq[ipaddr.Prefix]
 	AddrLifetimesSeq() iter.Seq2[ipaddr.Addr, temporal.Activity]
@@ -366,24 +370,22 @@ func (c *censusState) AddrsActiveOn(day int) []ipaddr.Addr {
 // NativeSet builds the spatial population of native addresses active on the
 // given days (e.g. one day, or a 7-day week). Each distinct address counts
 // once regardless of how many of the days it was active, matching the
-// paper's distinct-address populations: the day-mask row sweep behind
-// AddrsActiveAnySeq deduplicates by construction.
+// paper's distinct-address populations: the day-mask row sweeps behind
+// AddrsActiveAnySeqs deduplicate by construction. The trie is built through
+// the partitioned parallel build, with each worker consuming its own
+// row-range (or shard) sweep; a radix trie's shape is a pure function of
+// the item set, so the result is identical to sequential insertion.
 func (c *censusState) NativeSet(days ...int) *spatial.AddressSet {
-	var set spatial.AddressSet
-	for a := range c.AddrsActiveAnySeq(days...) {
-		set.Add(a)
-	}
-	return &set
+	workers := runtime.GOMAXPROCS(0)
+	return spatial.BuildAddressSet(workers, c.AddrsActiveAnySeqs(workers, days...)...)
 }
 
 // Prefix64Set builds the spatial population of distinct active /64s on the
-// given days (for Figure 3's "/64s" curves).
+// given days (for Figure 3's "/64s" curves), through the same parallel
+// build as NativeSet.
 func (c *censusState) Prefix64Set(days ...int) *spatial.AddressSet {
-	var set spatial.AddressSet
-	for p := range c.Prefix64sActiveAnySeq(days...) {
-		set.AddPrefix(p)
-	}
-	return &set
+	workers := runtime.GOMAXPROCS(0)
+	return spatial.BuildPrefixSet(workers, c.Prefix64sActiveAnySeqs(workers, days...)...)
 }
 
 // LongestStablePrefix is one discovered stable network-identifier prefix

@@ -9,7 +9,7 @@ import (
 	"v6class/internal/cdnlog"
 	"v6class/internal/ipaddr"
 	"v6class/internal/spatial"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // The equivalence suite: for several seeded synthetic worlds, the sharded

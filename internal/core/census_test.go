@@ -7,7 +7,7 @@ import (
 	"v6class/internal/cdnlog"
 	"v6class/internal/ipaddr"
 	"v6class/internal/spatial"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 func day(dayNum int, addrs ...string) cdnlog.DayLog {

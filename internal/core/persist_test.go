@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 func TestCensusSnapshotRoundTrip(t *testing.T) {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"v6class/internal/addrclass"
 	"v6class/internal/ipaddr"
 	"v6class/internal/temporal"
@@ -112,22 +110,14 @@ type TopAggregate struct {
 // order, so equal censuses rank identically). k <= 0 returns every occupied
 // aggregate.
 func (c *censusState) TopAggregates(pop Population, p, k int, days ...int) []TopAggregate {
-	var dense []TopAggregate
 	src := c.NativeSet
 	if pop == Prefixes64 {
 		src = c.Prefix64Set
 	}
-	for _, pc := range src(days...).Trie().FixedLengthDense(1, p) {
-		dense = append(dense, TopAggregate{Prefix: pc.Prefix, Count: pc.Count})
-	}
-	sort.Slice(dense, func(i, j int) bool {
-		if dense[i].Count != dense[j].Count {
-			return dense[i].Count > dense[j].Count
-		}
-		return dense[i].Prefix.Cmp(dense[j].Prefix) < 0
-	})
-	if k > 0 && len(dense) > k {
-		dense = dense[:k]
+	ranked := src(days...).TopAggregates(p, k)
+	dense := make([]TopAggregate, len(ranked))
+	for i, pc := range ranked {
+		dense[i] = TopAggregate{Prefix: pc.Prefix, Count: pc.Count}
 	}
 	return dense
 }

@@ -7,8 +7,8 @@ import (
 
 	"v6class/internal/addrclass"
 	"v6class/internal/ipaddr"
-	"v6class/internal/synth"
 	"v6class/internal/temporal"
+	"v6class/synth"
 )
 
 // queryWorld builds matched sequential and sharded censuses over the same

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"v6class/internal/cdnlog"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // Race coverage for the concurrent census: several Ingest pipelines running

@@ -56,6 +56,19 @@ func (c *censusState) Prefix64sActiveAnySeq(days ...int) iter.Seq[ipaddr.Prefix]
 	return c.p64s.KeysActiveAnySeq(toDays(days))
 }
 
+// AddrsActiveAnySeqs splits AddrsActiveAnySeq into up to n independent
+// row-range streams for bounded fan-out consumers: together the streams
+// yield exactly the single sweep's addresses, and each may be consumed on
+// its own goroutine (post-freeze on the sharded engine).
+func (c *censusState) AddrsActiveAnySeqs(n int, days ...int) []iter.Seq[ipaddr.Addr] {
+	return c.addrs.KeysActiveAnySeqs(n, toDays(days))
+}
+
+// Prefix64sActiveAnySeqs is AddrsActiveAnySeqs for the /64 population.
+func (c *censusState) Prefix64sActiveAnySeqs(n int, days ...int) []iter.Seq[ipaddr.Prefix] {
+	return c.p64s.KeysActiveAnySeqs(n, toDays(days))
+}
+
 // AddrsSeq yields every address ever observed, in row (insertion) order.
 func (c *censusState) AddrsSeq() iter.Seq[ipaddr.Addr] {
 	return c.addrs.KeysSeq()

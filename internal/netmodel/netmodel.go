@@ -23,8 +23,8 @@
 package netmodel
 
 import (
+	"v6class/bgp"
 	"v6class/internal/addrclass"
-	"v6class/internal/bgp"
 	"v6class/internal/ipaddr"
 	"v6class/internal/uint128"
 )

@@ -1,11 +1,25 @@
 // Package spatial implements the spatial classification of Section 5.2 of
 // Plonka & Berger (IMC 2015): Multi-Resolution Aggregate (MRA) count ratios
-// over an address population, prefix-density classes ("n@/p-dense"), and the
-// aggregate population distributions of Kohler et al. used in Figure 3.
+// over an address population, prefix-density classes ("n@/p-dense"), the
+// aggregate population distributions of Kohler et al. used in Figure 3,
+// and the MRA-signature classifier of signature.go.
+//
+// An AddressSet sits on the arena-backed counting trie of internal/trie.
+// Populations are built either incrementally (Add/AddPrefix) or in bulk
+// from streaming enumerations via BuildAddressSet/BuildPrefixSet, which
+// feed the trie's partitioned parallel build: one worker per source sweep,
+// items routed by top address bits into private sub-arenas, sub-roots
+// grafted under a spine. Either way the resulting trie — and so every
+// classification — is a pure function of the population. A built set is
+// safe for unbounded concurrent readers; the module-root façade re-exports
+// this package's types and lifts the bulk build to Engine.SpatialSet.
 package spatial
 
 import (
 	"fmt"
+	"iter"
+	"math"
+	"sort"
 
 	"v6class/internal/ipaddr"
 	"v6class/internal/trie"
@@ -36,6 +50,51 @@ func (s *AddressSet) Total() uint64 { return s.tr.Total() }
 // Trie exposes the underlying counting trie for advanced operations
 // (aguri aggregation, custom walks).
 func (s *AddressSet) Trie() *trie.Trie { return &s.tr }
+
+// BuildAddressSet constructs an address population by consuming the given
+// streams concurrently through the partitioned trie build (see
+// trie.BuildFromSeq): parallelism is bounded by workers (<= 0 means
+// GOMAXPROCS) and by the stream count, and the result is identical to
+// sequential Add calls in any order. The streams are typically the
+// engine's per-shard/per-row-range day-mask sweeps, which yield each
+// address exactly once.
+func BuildAddressSet(workers int, sources ...iter.Seq[ipaddr.Addr]) *AddressSet {
+	srcs := make([]iter.Seq[trie.PrefixCount], len(sources))
+	for i, src := range sources {
+		srcs[i] = addrItems(src)
+	}
+	return &AddressSet{tr: *trie.BuildFromSeq(workers, srcs...)}
+}
+
+// BuildPrefixSet is BuildAddressSet for fixed-length aggregate populations
+// (e.g. the active /64s of a day range).
+func BuildPrefixSet(workers int, sources ...iter.Seq[ipaddr.Prefix]) *AddressSet {
+	srcs := make([]iter.Seq[trie.PrefixCount], len(sources))
+	for i, src := range sources {
+		srcs[i] = prefixItems(src)
+	}
+	return &AddressSet{tr: *trie.BuildFromSeq(workers, srcs...)}
+}
+
+func addrItems(src iter.Seq[ipaddr.Addr]) iter.Seq[trie.PrefixCount] {
+	return func(yield func(trie.PrefixCount) bool) {
+		for a := range src {
+			if !yield(trie.PrefixCount{Prefix: ipaddr.PrefixFrom(a, 128), Count: 1}) {
+				return
+			}
+		}
+	}
+}
+
+func prefixItems(src iter.Seq[ipaddr.Prefix]) iter.Seq[trie.PrefixCount] {
+	return func(yield func(trie.PrefixCount) bool) {
+		for p := range src {
+			if !yield(trie.PrefixCount{Prefix: p, Count: 1}) {
+				return
+			}
+		}
+	}
+}
 
 // MRA holds the active-aggregate counts n_p of a population for every
 // prefix length p in [0, 128], from which MRA count ratios are derived.
@@ -138,12 +197,28 @@ func summarizeDense(c DensityClass, prefixes []trie.PrefixCount) DensityResult {
 	return r
 }
 
+// prefixSizeFloat returns 2^(128-bits): the address capacity of a /bits
+// prefix. Ldexp sets the exponent directly — exact (powers of two are
+// representable up to 2^128) and O(1).
 func prefixSizeFloat(bits int) float64 {
-	size := 1.0
-	for i := 0; i < 128-bits; i++ {
-		size *= 2
+	return math.Ldexp(1, 128-bits)
+}
+
+// TopAggregates returns the occupied /p aggregates of the set ranked by
+// covered item count, largest first (ties in prefix order); k <= 0 returns
+// all. It is the ranking behind the census and serve top-k queries.
+func (s *AddressSet) TopAggregates(p, k int) []trie.PrefixCount {
+	out := s.tr.FixedLengthDense(1, p)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Prefix.Cmp(out[j].Prefix) < 0
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
 	}
-	return size
+	return out
 }
 
 // AggregatePopulations returns the per-/p-prefix item counts of the set —

@@ -252,16 +252,28 @@ func TestAddressSetAccessors(t *testing.T) {
 	}
 }
 
+// BenchmarkMRA100k measures the end-to-end spatial-classification unit: a
+// 100k-address population built from scratch and its 129 aggregate counts
+// computed, per iteration. Construction dominates, so allocs/op tracks the
+// trie's node-allocation strategy (the acceptance gauge of the arena trie;
+// pre-arena numbers are committed in BENCH_spatial_baseline.json).
 func BenchmarkMRA100k(b *testing.B) {
-	var s AddressSet
 	r := rand.New(rand.NewSource(1))
 	net := ipaddr.MustParseAddr("2001:db8::")
-	for i := 0; i < 100000; i++ {
-		s.Add(net.WithIID(r.Uint64()))
+	addrs := make([]ipaddr.Addr, 100000)
+	for i := range addrs {
+		addrs[i] = net.WithIID(r.Uint64())
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = s.MRA()
+		var s AddressSet
+		for _, a := range addrs {
+			s.Add(a)
+		}
+		if m := s.MRA(); m.N == 0 {
+			b.Fatal("bad result")
+		}
 	}
 }
 

@@ -60,11 +60,17 @@ func (s *Store[K]) dayMask(days []Day) (mask []uint64, ok bool) {
 // key — so multi-day population builds need no seen-set.
 func (s *Store[K]) KeysActiveAnySeq(days []Day) iter.Seq[K] {
 	mask, any := s.dayMask(days)
+	return s.keysActiveAnyRowsSeq(mask, any, 0, len(s.keys))
+}
+
+// keysActiveAnyRowsSeq is the row-range unit of KeysActiveAnySeq: the same
+// day-mask sweep restricted to rows [r0, r1).
+func (s *Store[K]) keysActiveAnyRowsSeq(mask []uint64, any bool, r0, r1 int) iter.Seq[K] {
 	return func(yield func(K) bool) {
 		if !any {
 			return
 		}
-		for r := range s.keys {
+		for r := r0; r < r1; r++ {
 			w := s.row(uint32(r))
 			for wi, m := range mask {
 				if m != 0 && w[wi]&m != 0 {
@@ -76,6 +82,28 @@ func (s *Store[K]) KeysActiveAnySeq(days []Day) iter.Seq[K] {
 			}
 		}
 	}
+}
+
+// KeysActiveAnySeqs splits the KeysActiveAnySeq sweep into up to n
+// independent streams over disjoint row ranges, for bounded fan-out
+// consumers (the parallel spatial build) that give each worker its own
+// sweep. Together the streams yield exactly the keys of KeysActiveAnySeq;
+// tiny stores return fewer streams than asked (never more than one per
+// minTileRows rows, matching the tiled analysis sweeps).
+func (s *Store[K]) KeysActiveAnySeqs(n int, days []Day) []iter.Seq[K] {
+	rows := len(s.keys)
+	if most := (rows + minTileRows - 1) / minTileRows; n > most {
+		n = most
+	}
+	if n < 1 {
+		n = 1
+	}
+	mask, any := s.dayMask(days)
+	out := make([]iter.Seq[K], 0, n)
+	for t := 0; t < n; t++ {
+		out = append(out, s.keysActiveAnyRowsSeq(mask, any, rows*t/n, rows*(t+1)/n))
+	}
+	return out
 }
 
 // ActivitySeq yields every key with its activity profile, in row
@@ -154,6 +182,24 @@ func (s *ShardedStore[K]) KeysActiveAnySeq(days []Day) iter.Seq[K] {
 			}
 		}
 	}
+}
+
+// KeysActiveAnySeqs splits the day-mask union sweep into up to n
+// independent streams: at least one per shard, shards split further into
+// row ranges when there are fewer shards than requested streams, mirroring
+// the tiling of the bounded analysis sweeps. Requires Freeze (the streams
+// read the compacted shards lock-free, possibly concurrently).
+func (s *ShardedStore[K]) KeysActiveAnySeqs(n int, days []Day) []iter.Seq[K] {
+	s.seqFrozen()
+	if n < 1 {
+		n = 1
+	}
+	perShard := (n + len(s.shards) - 1) / len(s.shards)
+	out := make([]iter.Seq[K], 0, len(s.shards)*perShard)
+	for i := range s.shards {
+		out = append(out, s.shards[i].st.KeysActiveAnySeqs(perShard, days)...)
+	}
+	return out
 }
 
 // ActivitySeq yields every key with its activity profile, shard by shard in

@@ -1,0 +1,255 @@
+package trie
+
+import (
+	"iter"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+// The arena ≡ pointer-reference equivalence suite: identical random insert
+// sequences must produce bit-identical answers from every analysis on the
+// arena trie and the preserved recursive reference (reference_test.go).
+
+// checkEquivalence asserts that tr and ref agree on every analysis surface.
+func checkEquivalence(t *testing.T, tr *Trie, ref *refTrie, addrs []ipaddr.Addr, prefixes []ipaddr.Prefix) {
+	t.Helper()
+	if tr.Len() != ref.Len() {
+		t.Fatalf("Len: arena %d, reference %d", tr.Len(), ref.Len())
+	}
+	if tr.Nodes() != ref.Nodes() {
+		t.Fatalf("Nodes: arena %d, reference %d", tr.Nodes(), ref.Nodes())
+	}
+	if tr.Total() != ref.Total() {
+		t.Fatalf("Total: arena %d, reference %d", tr.Total(), ref.Total())
+	}
+	if got, want := tr.Items(), ref.Items(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Items (walk order): arena %v, reference %v", got, want)
+	}
+	if got, want := tr.AggregateCounts(), ref.AggregateCounts(); got != want {
+		t.Fatalf("AggregateCounts: arena %v, reference %v", got, want)
+	}
+	for _, cls := range []struct {
+		n uint64
+		p int
+	}{{1, 64}, {2, 112}, {3, 120}, {2, 48}} {
+		if got, want := tr.DensePrefixes(cls.n, cls.p), ref.DensePrefixes(cls.n, cls.p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("DensePrefixes(%d,%d): arena %v, reference %v", cls.n, cls.p, got, want)
+		}
+		if got, want := tr.FixedLengthDense(cls.n, cls.p), ref.FixedLengthDense(cls.n, cls.p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("FixedLengthDense(%d,%d): arena %v, reference %v", cls.n, cls.p, got, want)
+		}
+	}
+	for _, min := range []uint64{1, 2, 5, 50} {
+		if got, want := tr.AguriAggregate(min), ref.AguriAggregate(min); !reflect.DeepEqual(got, want) {
+			t.Fatalf("AguriAggregate(%d): arena %v, reference %v", min, got, want)
+		}
+	}
+	for _, p := range prefixes {
+		if got, want := tr.Count(p), ref.Count(p); got != want {
+			t.Fatalf("Count(%v): arena %d, reference %d", p, got, want)
+		}
+		if got, want := tr.SubtreeCount(p), ref.SubtreeCount(p); got != want {
+			t.Fatalf("SubtreeCount(%v): arena %d, reference %d", p, got, want)
+		}
+	}
+	for _, a := range addrs {
+		gp, gc, gok := tr.LongestPrefixMatch(a)
+		wp, wc, wok := ref.LongestPrefixMatch(a)
+		if gp != wp || gc != wc || gok != wok {
+			t.Fatalf("LongestPrefixMatch(%v): arena (%v,%d,%v), reference (%v,%d,%v)", a, gp, gc, gok, wp, wc, wok)
+		}
+		if got, want := tr.MaxCommonPrefixLen(a), ref.MaxCommonPrefixLen(a); got != want {
+			t.Fatalf("MaxCommonPrefixLen(%v): arena %d, reference %d", a, got, want)
+		}
+	}
+}
+
+// TestPropArenaMatchesReference drives both implementations with random
+// mixed-length insert sequences (duplicates, nested prefixes, clustered and
+// scattered addresses) and requires full agreement.
+func TestPropArenaMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for round := 0; round < 25; round++ {
+		set := randPrefixSet(r, 50+r.Intn(300))
+		var tr Trie
+		var ref refTrie
+		for _, pc := range set {
+			tr.Add(pc.Prefix, pc.Count)
+			ref.Add(pc.Prefix, pc.Count)
+		}
+		var addrs []ipaddr.Addr
+		var prefixes []ipaddr.Prefix
+		for _, pc := range set[:10] {
+			addrs = append(addrs, pc.Prefix.Addr())
+			prefixes = append(prefixes, pc.Prefix, pc.Prefix.Truncate(r.Intn(pc.Prefix.Bits()+1)))
+		}
+		for i := 0; i < 10; i++ {
+			var buf [16]byte
+			r.Read(buf[:])
+			addrs = append(addrs, ipaddr.AddrFrom16(buf))
+			prefixes = append(prefixes, ipaddr.PrefixFrom(ipaddr.AddrFrom16(buf), r.Intn(129)))
+		}
+		checkEquivalence(t, &tr, &ref, addrs, prefixes)
+	}
+}
+
+// TestPropArenaMatchesReferenceAddrs is the uniform-depth /128 version —
+// the address-population shape the spatial classifier uses.
+func TestPropArenaMatchesReferenceAddrs(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	for round := 0; round < 10; round++ {
+		var tr Trie
+		var ref refTrie
+		var addrs []ipaddr.Addr
+		for i := 0; i < 500; i++ {
+			var buf [16]byte
+			r.Read(buf[:])
+			if r.Intn(3) > 0 {
+				copy(buf[:6], []byte{0x20, 0x01, 0x0d, 0xb8, byte(r.Intn(4)), byte(r.Intn(8))})
+			}
+			a := ipaddr.AddrFrom16(buf)
+			tr.AddAddr(a)
+			ref.AddAddr(a)
+			if i%29 == 0 {
+				addrs = append(addrs, a)
+			}
+		}
+		checkEquivalence(t, &tr, &ref, addrs, nil)
+	}
+}
+
+// sliceSources splits items into n streams for BuildFromSeq.
+func sliceSources(items []PrefixCount, n int) []iter.Seq[PrefixCount] {
+	out := make([]iter.Seq[PrefixCount], 0, n)
+	for i := 0; i < n; i++ {
+		part := items[len(items)*i/n : len(items)*(i+1)/n]
+		out = append(out, func(yield func(PrefixCount) bool) {
+			for _, pc := range part {
+				if !yield(pc) {
+					return
+				}
+			}
+		})
+	}
+	return out
+}
+
+// TestBuildFromSeqMatchesSequential checks the partitioned parallel build
+// against plain sequential insertion, including short (< spineBits)
+// prefixes, duplicates across sources, and zero counts.
+func TestBuildFromSeqMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for round := 0; round < 10; round++ {
+		items := randPrefixSet(r, 2000)
+		// Salt in edge cases: short prefixes spanning partitions, an
+		// explicit duplicate in two different sources, a zero count.
+		items = append(items,
+			PrefixCount{Prefix: ipaddr.PrefixFrom(ipaddr.MustParseAddr("2001:db8::"), 3), Count: 7},
+			PrefixCount{Prefix: ipaddr.PrefixFrom(ipaddr.Addr{}, 0), Count: 2},
+			PrefixCount{Prefix: ipaddr.MustParsePrefix("2600::/5"), Count: 1},
+			PrefixCount{Prefix: ipaddr.MustParsePrefix("2001:db8::/64"), Count: 0},
+			PrefixCount{Prefix: ipaddr.MustParsePrefix("fe80::1/128"), Count: 1},
+			PrefixCount{Prefix: ipaddr.MustParsePrefix("fe80::1/128"), Count: 1},
+		)
+		var want Trie
+		for _, pc := range items {
+			want.Add(pc.Prefix, pc.Count)
+		}
+		for _, nsrc := range []int{1, 3, 8} {
+			got := BuildFromSeq(4, sliceSources(items, nsrc)...)
+			if got.Len() != want.Len() || got.Total() != want.Total() || got.Nodes() != want.Nodes() {
+				t.Fatalf("round %d, %d sources: got len=%d total=%d nodes=%d, want len=%d total=%d nodes=%d",
+					round, nsrc, got.Len(), got.Total(), got.Nodes(), want.Len(), want.Total(), want.Nodes())
+			}
+			if !reflect.DeepEqual(got.Items(), want.Items()) {
+				t.Fatalf("round %d, %d sources: items diverge", round, nsrc)
+			}
+			if got.AggregateCounts() != want.AggregateCounts() {
+				t.Fatalf("round %d, %d sources: aggregate counts diverge", round, nsrc)
+			}
+			if !reflect.DeepEqual(got.DensePrefixes(2, 112), want.DensePrefixes(2, 112)) {
+				t.Fatalf("round %d, %d sources: dense prefixes diverge", round, nsrc)
+			}
+			if !reflect.DeepEqual(got.AguriAggregate(5), want.AguriAggregate(5)) {
+				t.Fatalf("round %d, %d sources: aguri diverges", round, nsrc)
+			}
+		}
+	}
+}
+
+// TestBuildFromSeqParallelRace forces the concurrent build path with more
+// workers than cores would otherwise grant and verifies the result under
+// the race detector: many sources, overlapping key ranges, sustained
+// contention on the partition locks.
+func TestBuildFromSeqParallelRace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	r := rand.New(rand.NewSource(80))
+	items := randPrefixSet(r, 20000)
+	var want Trie
+	for _, pc := range items {
+		want.Add(pc.Prefix, pc.Count)
+	}
+	// Every source walks a strided view of the full set, so all sources
+	// hit all partitions and duplicates merge across workers.
+	const nsrc = 16
+	sources := make([]iter.Seq[PrefixCount], nsrc)
+	for s := 0; s < nsrc; s++ {
+		s := s
+		sources[s] = func(yield func(PrefixCount) bool) {
+			for i := s; i < len(items); i += nsrc {
+				if !yield(items[i]) {
+					return
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	results := make([]*Trie, 4)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = BuildFromSeq(8, sources...)
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		if got.Len() != want.Len() || got.Total() != want.Total() || got.Nodes() != want.Nodes() {
+			t.Fatalf("build %d: got len=%d total=%d nodes=%d, want len=%d total=%d nodes=%d",
+				g, got.Len(), got.Total(), got.Nodes(), want.Len(), want.Total(), want.Nodes())
+		}
+		if !reflect.DeepEqual(got.Items(), want.Items()) {
+			t.Fatalf("build %d: items diverge from sequential insertion", g)
+		}
+		if got.AggregateCounts() != want.AggregateCounts() {
+			t.Fatalf("build %d: aggregate counts diverge", g)
+		}
+	}
+}
+
+// TestArenaDeepChain exercises the explicit traversal stacks at their bound:
+// a maximal-depth chain of nested prefixes (one item per length).
+func TestArenaDeepChain(t *testing.T) {
+	var tr Trie
+	var ref refTrie
+	base := ipaddr.MustParseAddr("2001:db8::1")
+	one := ipaddr.MustParseAddr("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff")
+	for bits := 0; bits <= 128; bits++ {
+		tr.Add(ipaddr.PrefixFrom(base, bits), 1)
+		ref.Add(ipaddr.PrefixFrom(base, bits), 1)
+	}
+	// A second chain on the far side of the space forces branch points all
+	// the way down.
+	for bits := 1; bits <= 128; bits++ {
+		tr.Add(ipaddr.PrefixFrom(one, bits), 1)
+		ref.Add(ipaddr.PrefixFrom(one, bits), 1)
+	}
+	checkEquivalence(t, &tr, &ref, []ipaddr.Addr{base, one}, []ipaddr.Prefix{
+		ipaddr.PrefixFrom(base, 64), ipaddr.PrefixFrom(one, 128), ipaddr.PrefixFrom(ipaddr.Addr{}, 0),
+	})
+}

@@ -1,0 +1,274 @@
+package trie
+
+import (
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"v6class/internal/ipaddr"
+)
+
+// Bulk parallel construction. BuildFromSeq consumes several item streams —
+// typically the engine's per-shard/per-row-range sweeps — on a bounded
+// worker pool: items are routed by their top spineBits address bits into
+// 2^spineBits partitions, each partition accumulating into a private
+// sub-arena (so two workers never insert into the same trie without the
+// partition's lock, and batching keeps that lock cold). The finished
+// sub-tries are then rebased into one contiguous arena and their roots
+// grafted under a spine of branch nodes covering the top bits.
+//
+// A radix trie's shape is a pure function of the item multiset, so the
+// parallel build produces a tree bitwise-equivalent (counts, totals, walk
+// order) to sequential insertion in any order.
+
+const (
+	// spineBits is the partition fan-out: 2^6 = 64 top-bit regions, enough
+	// to keep partition locks uncontended well past any realistic worker
+	// count while the spine stays trivially small.
+	spineBits = 6
+	numParts  = 1 << spineBits
+
+	// buildBatch is the per-worker, per-partition buffer length: one lock
+	// acquisition amortizes over this many inserts.
+	buildBatch = 256
+)
+
+// buildPart is one top-bit partition under construction.
+type buildPart struct {
+	mu sync.Mutex
+	tr Trie
+}
+
+// BuildFromSeq constructs a Trie by consuming the given item streams
+// concurrently. Parallelism is bounded by workers (<= 0 means GOMAXPROCS)
+// and by len(sources) — each stream is consumed by exactly one worker, so
+// callers wanting an n-way build pass n independent sweeps (see the
+// temporal ...Seqs forms). Items with Count == 0 are ignored, duplicates
+// merge as repeated Add calls would, and the result is identical to
+// sequential insertion.
+func BuildFromSeq(workers int, sources ...iter.Seq[PrefixCount]) *Trie {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	out := &Trie{}
+	if len(sources) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for _, src := range sources {
+			for pc := range src {
+				out.Add(pc.Prefix, pc.Count)
+			}
+		}
+		return out
+	}
+
+	parts := make([]buildPart, numParts)
+	// Items shorter than the spine (rare: a /0../5 aggregate) span several
+	// partitions and are inserted sequentially after the graft.
+	var shortMu sync.Mutex
+	var shorts []PrefixCount
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var bufs [numParts][]PrefixCount
+			flush := func(i int) {
+				p := &parts[i]
+				p.mu.Lock()
+				for _, pc := range bufs[i] {
+					p.tr.Add(pc.Prefix, pc.Count)
+				}
+				p.mu.Unlock()
+				bufs[i] = bufs[i][:0]
+			}
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= len(sources) {
+					break
+				}
+				for pc := range sources[si] {
+					if pc.Count == 0 {
+						continue
+					}
+					if pc.Prefix.Bits() < spineBits {
+						shortMu.Lock()
+						shorts = append(shorts, pc)
+						shortMu.Unlock()
+						continue
+					}
+					i := int(pc.Prefix.Addr().Uint128().Hi >> (64 - spineBits))
+					if bufs[i] == nil {
+						bufs[i] = make([]PrefixCount, 0, buildBatch)
+					}
+					bufs[i] = append(bufs[i], pc)
+					if len(bufs[i]) == buildBatch {
+						flush(i)
+					}
+				}
+			}
+			for i := range bufs {
+				if len(bufs[i]) > 0 {
+					flush(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out.graft(parts, workers)
+	for _, pc := range shorts {
+		out.Add(pc.Prefix, pc.Count)
+	}
+	return out
+}
+
+// graft merges the partition sub-tries into t: every sub-arena is copied
+// into t's arena at a precomputed base (rebasing child references; the
+// copies write disjoint slot ranges, so they run on the worker pool), then
+// the sub-roots are attached in partition order under a spine of pure
+// branch nodes over the top spineBits bits.
+func (t *Trie) graft(parts []buildPart, workers int) {
+	var extra uint64
+	for i := range parts {
+		if sub := &parts[i].tr; sub.root != nilRef {
+			extra += uint64(sub.n - 1)
+		}
+	}
+	if extra == 0 {
+		return
+	}
+	t.reserve(extra)
+	bases := make([]ref, len(parts))
+	roots := make([]ref, len(parts))
+	live := make([]int, 0, len(parts))
+	cur := t.n
+	for i := range parts {
+		sub := &parts[i].tr
+		if sub.root == nilRef {
+			continue
+		}
+		bases[i] = cur - 1 // sub reference j lands at bases[i]+j
+		roots[i] = bases[i] + sub.root
+		cur += sub.n - 1
+		live = append(live, i)
+		t.nodes += sub.nodes
+		t.items += sub.items
+	}
+	t.n = cur
+
+	if workers > len(live) {
+		workers = len(live)
+	}
+	var nextPart atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				li := int(nextPart.Add(1)) - 1
+				if li >= len(live) {
+					return
+				}
+				i := live[li]
+				t.rebaseCopy(&parts[i].tr, bases[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, i := range live {
+		t.attach(roots[i])
+	}
+}
+
+// reserve grows the chunk table so references [t.n, t.n+extra) are
+// addressable without further allocation.
+func (t *Trie) reserve(extra uint64) {
+	if t.n == 0 {
+		t.chunks = append(t.chunks, make([]node, chunkSize))
+		t.n = 1
+	}
+	if uint64(t.n)+extra > uint64(^ref(0)) {
+		panic("trie: arena full")
+	}
+	need := int((uint64(t.n) + extra + chunkMask) >> chunkShift)
+	for len(t.chunks) < need {
+		t.chunks = append(t.chunks, make([]node, chunkSize))
+	}
+}
+
+// rebaseCopy copies sub's nodes into t's (already reserved) arena: sub
+// reference j lands at base+j with child references shifted by base.
+func (t *Trie) rebaseCopy(sub *Trie, base ref) {
+	for j := ref(1); j < sub.n; j++ {
+		dst := t.at(base + j)
+		*dst = *sub.at(j)
+		if dst.child[0] != nilRef {
+			dst.child[0] += base
+		}
+		if dst.child[1] != nilRef {
+			dst.child[1] += base
+		}
+	}
+}
+
+// attach grafts an already-adopted subtree root into the trie. The
+// subtree's region must be disjoint from every stored region — true by
+// construction for top-bit partitions — so the walk only ever descends
+// through spine nodes and terminates at an empty slot or a divergence
+// (where it creates a pure branch node, building the spine).
+func (t *Trie) attach(r ref) {
+	if t.root == nilRef {
+		t.root = r
+		return
+	}
+	sub := t.at(r)
+	link := &t.root
+	for {
+		n := t.at(*link)
+		cpl := n.prefix.Addr().CommonPrefixLen(sub.prefix.Addr())
+		if cpl > n.prefix.Bits() {
+			cpl = n.prefix.Bits()
+		}
+		if cpl > sub.prefix.Bits() {
+			cpl = sub.prefix.Bits()
+		}
+		switch {
+		case cpl == n.prefix.Bits() && cpl < sub.prefix.Bits():
+			// Descend through the spine toward the subtree's region.
+			n.total += sub.total
+			child := &n.child[sub.prefix.Addr().Bit(n.prefix.Bits())]
+			if *child == nilRef {
+				*child = r
+				return
+			}
+			link = child
+
+		case cpl < n.prefix.Bits() && cpl < sub.prefix.Bits():
+			// Divergence: splice a spine branch above both.
+			old, oldTotal := *link, n.total
+			oldBit := n.prefix.Addr().Bit(cpl)
+			br := t.newNode(ipaddr.PrefixFrom(sub.prefix.Addr(), cpl), 0, oldTotal+sub.total)
+			bn := t.at(br)
+			bn.child[oldBit] = old
+			bn.child[oldBit^1] = r
+			*link = br
+			return
+
+		default:
+			// Equal prefixes or one containing the other would mean two
+			// partitions shared a region, which the top-bit routing
+			// forbids.
+			panic("trie: overlapping graft regions")
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package trie
+
+import (
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+// FuzzTrie feeds arbitrary prefix/count streams into the arena trie and
+// holds its bookkeeping invariants — and full agreement with the pointer
+// reference — for every input. Each 18-byte record of the corpus encodes
+// one insert: 16 address bytes, a prefix length byte (mod 129), a count
+// byte (mod 7; zero counts must be no-ops).
+func FuzzTrie(f *testing.F) {
+	seed := make([]byte, 0, 18*4)
+	for _, s := range []string{
+		"2001:db8::1", "2001:db8::", "fe80::1", "::",
+	} {
+		var rec [18]byte
+		a16 := ipaddr.MustParseAddr(s).As16()
+		copy(rec[:16], a16[:])
+		rec[16] = 64
+		rec[17] = 1
+		seed = append(seed, rec[:]...)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Trie
+		var ref refTrie
+		counts := make(map[ipaddr.Prefix]uint64)
+		var total uint64
+		var prefixes []ipaddr.Prefix
+		for len(data) >= 18 {
+			var buf [16]byte
+			copy(buf[:], data[:16])
+			bits := int(data[16]) % 129
+			count := uint64(data[17] % 7)
+			data = data[18:]
+
+			p := ipaddr.PrefixFrom(ipaddr.AddrFrom16(buf), bits)
+			tr.Add(p, count)
+			ref.Add(p, count)
+			if count > 0 {
+				counts[p] += count
+				total += count
+			}
+			if len(prefixes) < 64 {
+				prefixes = append(prefixes, p)
+			}
+
+			// Bookkeeping must hold after every single insert, not just at
+			// the end — a transiently broken total would be invisible to a
+			// final-state check.
+			if tr.Total() != total {
+				t.Fatalf("Total = %d, want %d", tr.Total(), total)
+			}
+			if tr.Len() != len(counts) {
+				t.Fatalf("Len = %d, want %d", tr.Len(), len(counts))
+			}
+		}
+
+		// Items/nodes/total bookkeeping against the flat model.
+		if tr.Len() != len(counts) || tr.Total() != total {
+			t.Fatalf("final bookkeeping: len=%d total=%d, want len=%d total=%d",
+				tr.Len(), tr.Total(), len(counts), total)
+		}
+		if root := ipaddr.PrefixFrom(ipaddr.Addr{}, 0); tr.SubtreeCount(root) != total {
+			t.Fatalf("SubtreeCount(::/0) = %d, want Total %d", tr.SubtreeCount(root), total)
+		}
+		// Count ≡ SubtreeCount consistency: the exact count never exceeds
+		// the subtree count, and both match the model / the reference.
+		for _, p := range prefixes {
+			c, sc := tr.Count(p), tr.SubtreeCount(p)
+			if c != counts[p] {
+				t.Fatalf("Count(%v) = %d, want %d", p, c, counts[p])
+			}
+			if c > sc {
+				t.Fatalf("Count(%v) = %d exceeds SubtreeCount %d", p, c, sc)
+			}
+			if rc, rsc := ref.Count(p), ref.SubtreeCount(p); c != rc || sc != rsc {
+				t.Fatalf("reference divergence at %v: (%d,%d) vs (%d,%d)", p, c, sc, rc, rsc)
+			}
+		}
+		// Node accounting: a binary radix trie over items distinct prefixes
+		// needs at most 2*items-1 nodes, and every analysis agrees with the
+		// reference.
+		if tr.Nodes() != ref.Nodes() || (tr.Len() > 0 && tr.Nodes() > 2*tr.Len()-1) {
+			t.Fatalf("Nodes = %d (reference %d) for %d items", tr.Nodes(), ref.Nodes(), tr.Len())
+		}
+		gotItems, wantItems := tr.Items(), ref.Items()
+		if len(gotItems) != len(wantItems) {
+			t.Fatalf("walk yields %d items, reference %d", len(gotItems), len(wantItems))
+		}
+		for i := range gotItems {
+			if gotItems[i] != wantItems[i] {
+				t.Fatalf("walk item %d: %v, reference %v", i, gotItems[i], wantItems[i])
+			}
+			if i > 0 && gotItems[i-1].Prefix.Cmp(gotItems[i].Prefix) >= 0 {
+				t.Fatalf("walk order violation at %d: %v !< %v", i, gotItems[i-1].Prefix, gotItems[i].Prefix)
+			}
+		}
+		if tr.AggregateCounts() != ref.AggregateCounts() {
+			t.Fatal("AggregateCounts diverges from reference")
+		}
+	})
+}

@@ -1,0 +1,280 @@
+package trie
+
+import (
+	"v6class/internal/ipaddr"
+)
+
+// refTrie is the original pointer-per-node recursive trie, preserved
+// verbatim as the equivalence oracle for the arena implementation: the
+// property suite inserts identical random sequences into both and requires
+// bit-identical answers from every analysis.
+
+type refNode struct {
+	prefix ipaddr.Prefix
+	count  uint64
+	total  uint64
+	child  [2]*refNode
+}
+
+type refTrie struct {
+	root  *refNode
+	items int
+	nodes int
+}
+
+func (t *refTrie) Len() int { return t.items }
+
+func (t *refTrie) Nodes() int { return t.nodes }
+
+func (t *refTrie) Total() uint64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.total
+}
+
+func (t *refTrie) AddAddr(a ipaddr.Addr) { t.Add(ipaddr.PrefixFrom(a, 128), 1) }
+
+func (t *refTrie) Add(p ipaddr.Prefix, count uint64) {
+	if count == 0 {
+		return
+	}
+	if t.root == nil {
+		t.root = &refNode{prefix: p, count: count, total: count}
+		t.items++
+		t.nodes++
+		return
+	}
+	t.root = t.insert(t.root, p, count)
+}
+
+func (t *refTrie) insert(n *refNode, q ipaddr.Prefix, c uint64) *refNode {
+	cpl := n.prefix.Addr().CommonPrefixLen(q.Addr())
+	if cpl > n.prefix.Bits() {
+		cpl = n.prefix.Bits()
+	}
+	if cpl > q.Bits() {
+		cpl = q.Bits()
+	}
+	switch {
+	case cpl == n.prefix.Bits() && cpl == q.Bits():
+		if n.count == 0 {
+			t.items++
+		}
+		n.count += c
+		n.total += c
+		return n
+
+	case cpl == n.prefix.Bits():
+		n.total += c
+		b := q.Addr().Bit(n.prefix.Bits())
+		if n.child[b] == nil {
+			n.child[b] = &refNode{prefix: q, count: c, total: c}
+			t.items++
+			t.nodes++
+		} else {
+			n.child[b] = t.insert(n.child[b], q, c)
+		}
+		return n
+
+	case cpl == q.Bits():
+		nn := &refNode{prefix: q, count: c, total: c + n.total}
+		nn.child[n.prefix.Addr().Bit(cpl)] = n
+		t.items++
+		t.nodes++
+		return nn
+
+	default:
+		br := &refNode{prefix: ipaddr.PrefixFrom(q.Addr(), cpl), total: n.total + c}
+		br.child[n.prefix.Addr().Bit(cpl)] = n
+		br.child[q.Addr().Bit(cpl)] = &refNode{prefix: q, count: c, total: c}
+		t.items += 1
+		t.nodes += 2
+		return br
+	}
+}
+
+func (t *refTrie) Count(p ipaddr.Prefix) uint64 {
+	n := t.root
+	for n != nil {
+		if !n.prefix.ContainsPrefix(p) {
+			return 0
+		}
+		if n.prefix == p {
+			return n.count
+		}
+		if n.prefix.Bits() >= p.Bits() {
+			return 0
+		}
+		n = n.child[p.Addr().Bit(n.prefix.Bits())]
+	}
+	return 0
+}
+
+func (t *refTrie) SubtreeCount(p ipaddr.Prefix) uint64 {
+	n := t.root
+	for n != nil {
+		if p.ContainsPrefix(n.prefix) {
+			return n.total
+		}
+		if !n.prefix.ContainsPrefix(p) {
+			return 0
+		}
+		n = n.child[p.Addr().Bit(n.prefix.Bits())]
+	}
+	return 0
+}
+
+func (t *refTrie) LongestPrefixMatch(a ipaddr.Addr) (p ipaddr.Prefix, count uint64, ok bool) {
+	n := t.root
+	for n != nil && n.prefix.Contains(a) {
+		if n.count > 0 {
+			p, count, ok = n.prefix, n.count, true
+		}
+		if n.prefix.Bits() == 128 {
+			break
+		}
+		n = n.child[a.Bit(n.prefix.Bits())]
+	}
+	return p, count, ok
+}
+
+func (t *refTrie) MaxCommonPrefixLen(a ipaddr.Addr) int {
+	n := t.root
+	if n == nil {
+		return -1
+	}
+	for {
+		cpl := n.prefix.Addr().CommonPrefixLen(a)
+		if cpl < n.prefix.Bits() {
+			return cpl
+		}
+		if n.prefix.Bits() == 128 {
+			return 128
+		}
+		next := n.child[a.Bit(n.prefix.Bits())]
+		if next == nil {
+			return n.prefix.Bits()
+		}
+		n = next
+	}
+}
+
+func (t *refTrie) Walk(fn func(PrefixCount) bool) {
+	t.walkNodes(t.root, func(n *refNode) bool {
+		if n.count == 0 {
+			return true
+		}
+		return fn(PrefixCount{Prefix: n.prefix, Count: n.count})
+	})
+}
+
+func (t *refTrie) walkNodes(n *refNode, fn func(*refNode) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !fn(n) {
+		return false
+	}
+	return t.walkNodes(n.child[0], fn) && t.walkNodes(n.child[1], fn)
+}
+
+func (t *refTrie) Items() []PrefixCount {
+	var out []PrefixCount
+	t.Walk(func(pc PrefixCount) bool {
+		out = append(out, pc)
+		return true
+	})
+	return out
+}
+
+func (t *refTrie) AggregateCounts() [129]uint64 {
+	var counts [129]uint64
+	if t.root == nil {
+		return counts
+	}
+	var hist [129]uint64
+	t.walkNodes(t.root, func(n *refNode) bool {
+		if n.child[0] != nil && n.child[1] != nil {
+			hist[n.prefix.Bits()]++
+		}
+		return true
+	})
+	running := uint64(1)
+	for p := 0; p <= 128; p++ {
+		counts[p] = running
+		if p < 128 {
+			running += hist[p]
+		}
+	}
+	return counts
+}
+
+func (t *refTrie) DensePrefixes(n uint64, p int) []PrefixCount {
+	if n == 0 {
+		n = 1
+	}
+	var out []PrefixCount
+	t.dense(t.root, n, p, &out)
+	return out
+}
+
+func (t *refTrie) dense(nd *refNode, n uint64, p int, out *[]PrefixCount) {
+	if nd == nil {
+		return
+	}
+	if nd.total < n {
+		return
+	}
+	if nd.total >= denseThreshold(n, p, nd.prefix.Bits()) {
+		*out = append(*out, PrefixCount{Prefix: nd.prefix, Count: nd.total})
+		return
+	}
+	t.dense(nd.child[0], n, p, out)
+	t.dense(nd.child[1], n, p, out)
+}
+
+func (t *refTrie) FixedLengthDense(n uint64, p int) []PrefixCount {
+	var out []PrefixCount
+	t.fixedDense(t.root, n, p, &out)
+	return out
+}
+
+func (t *refTrie) fixedDense(nd *refNode, n uint64, p int, out *[]PrefixCount) {
+	if nd == nil || nd.total < n {
+		return
+	}
+	if nd.prefix.Bits() >= p {
+		*out = append(*out, PrefixCount{Prefix: nd.prefix.Truncate(p), Count: nd.total})
+		return
+	}
+	t.fixedDense(nd.child[0], n, p, out)
+	t.fixedDense(nd.child[1], n, p, out)
+}
+
+func (t *refTrie) AguriAggregate(minCount uint64) []PrefixCount {
+	if minCount == 0 {
+		minCount = 1
+	}
+	var out []PrefixCount
+	rem := t.aguri(t.root, minCount, &out)
+	if rem > 0 {
+		out = append(out, PrefixCount{Prefix: ipaddr.PrefixFrom(ipaddr.Addr{}, 0), Count: rem})
+	}
+	sortPrefixCounts(out)
+	return out
+}
+
+func (t *refTrie) aguri(nd *refNode, minCount uint64, out *[]PrefixCount) uint64 {
+	if nd == nil {
+		return 0
+	}
+	acc := nd.count
+	acc += t.aguri(nd.child[0], minCount, out)
+	acc += t.aguri(nd.child[1], minCount, out)
+	if acc >= minCount {
+		*out = append(*out, PrefixCount{Prefix: nd.prefix, Count: acc})
+		return 0
+	}
+	return acc
+}

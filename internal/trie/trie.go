@@ -7,6 +7,26 @@
 // dense prefixes, and the active-aggregate counts n_p of Kohler et al.
 // (IMW 2002) from which Multi-Resolution Aggregate count ratios are derived.
 //
+// # Storage layout
+//
+// Nodes live in an index-based arena: fixed-size chunks of []node addressed
+// by uint32 references, with reference 0 reserved as the nil sentinel.
+// Children are indices, not pointers, so a million-item trie costs a few
+// hundred chunk allocations instead of a million node allocations, nodes sit
+// contiguously for cache-friendly walks, and the garbage collector sees a
+// handful of slices instead of a pointer web. Chunks are never moved or
+// resized once allocated, so node references (and Go pointers temporarily
+// taken into the arena) stay valid across growth.
+//
+// Every operation — insert, point queries, walks, densify, aguri — is
+// iterative with an explicit bounded stack (path compression caps the depth
+// at 129), so deep tries cannot overflow the goroutine stack and walks
+// allocate nothing.
+//
+// Bulk construction from streaming enumerations goes through BuildFromSeq
+// (see build.go), which partitions the address space by top bits across a
+// bounded worker pool and grafts the resulting sub-tries under a spine.
+//
 // A Trie is not safe for concurrent mutation; concurrent readers are safe
 // once construction is complete.
 package trie
@@ -19,6 +39,24 @@ import (
 	"v6class/internal/ipaddr"
 )
 
+// ref is an arena node reference; nilRef (0) is "no node".
+type ref = uint32
+
+const (
+	nilRef ref = 0
+
+	// chunkShift sizes arena chunks: 8192 nodes (~384 KiB) per chunk keeps
+	// small tries cheap while a million-node trie needs ~128 allocations.
+	chunkShift = 13
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+
+	// maxDepth bounds every explicit traversal stack: path compression
+	// means each level strictly lengthens the prefix, so a root-to-leaf
+	// path has at most 129 nodes; +3 slack for pending siblings.
+	maxDepth = 132
+)
+
 // node is a trie node. Internal nodes exist exactly at branch points (two
 // children) or where an item (count > 0) was stored; path compression elides
 // all other positions.
@@ -26,22 +64,53 @@ type node struct {
 	prefix ipaddr.Prefix
 	count  uint64 // count stored exactly at this prefix
 	total  uint64 // count plus all descendants' counts (maintained on insert)
-	child  [2]*node
+	child  [2]ref
 }
 
 // Trie is a prefix-keyed counting radix trie. The zero value is an empty
 // trie ready for use.
 type Trie struct {
-	root  *node
-	items int // number of distinct prefixes with count > 0
-	nodes int // total node count, for introspection
+	chunks [][]node
+	n      ref // allocated nodes, including the reserved sentinel slot 0
+	root   ref
+	items  int // number of distinct prefixes with count > 0
+	nodes  int // total node count, for introspection
 }
 
 // PrefixCount pairs a prefix with an observation count; it is the element
-// type of aggregation and densification results.
+// type of aggregation and densification results (and of BuildFromSeq input
+// streams).
 type PrefixCount struct {
 	Prefix ipaddr.Prefix
 	Count  uint64
+}
+
+// at returns the node for reference i. The pointer stays valid across
+// arena growth (chunks are never moved), but not across concurrent
+// mutation.
+func (t *Trie) at(i ref) *node {
+	return &t.chunks[i>>chunkShift][i&chunkMask]
+}
+
+// newNode appends a node to the arena and returns its reference.
+func (t *Trie) newNode(p ipaddr.Prefix, count, total uint64) ref {
+	if t.n == 0 {
+		t.chunks = append(t.chunks, make([]node, chunkSize))
+		t.n = 1 // slot 0 is the nil sentinel
+	}
+	i := t.n
+	if i == ^ref(0) {
+		panic("trie: arena full")
+	}
+	if int(i>>chunkShift) == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]node, chunkSize))
+	}
+	t.n++
+	nd := t.at(i)
+	nd.prefix, nd.count, nd.total = p, count, total
+	nd.child[0], nd.child[1] = nilRef, nilRef
+	t.nodes++
+	return i
 }
 
 // Len returns the number of distinct prefixes stored (with nonzero count).
@@ -52,84 +121,92 @@ func (t *Trie) Nodes() int { return t.nodes }
 
 // Total returns the sum of all stored counts.
 func (t *Trie) Total() uint64 {
-	if t.root == nil {
+	if t.root == nilRef {
 		return 0
 	}
-	return t.root.total
+	return t.at(t.root).total
 }
 
 // AddAddr records one observation of the full address a (a /128 item).
 func (t *Trie) AddAddr(a ipaddr.Addr) { t.Add(ipaddr.PrefixFrom(a, 128), 1) }
 
-// Add records count observations of prefix p.
+// Add records count observations of prefix p. The insert is one iterative
+// root-to-leaf walk rewriting at most one link; ancestors' totals are bumped
+// on the way down.
 func (t *Trie) Add(p ipaddr.Prefix, count uint64) {
 	if count == 0 {
 		return
 	}
-	if t.root == nil {
-		t.root = &node{prefix: p, count: count, total: count}
+	if t.root == nilRef {
+		t.root = t.newNode(p, count, count)
 		t.items++
-		t.nodes++
 		return
 	}
-	t.root = t.insert(t.root, p, count)
-}
-
-func (t *Trie) insert(n *node, q ipaddr.Prefix, c uint64) *node {
-	cpl := n.prefix.Addr().CommonPrefixLen(q.Addr())
-	if cpl > n.prefix.Bits() {
-		cpl = n.prefix.Bits()
-	}
-	if cpl > q.Bits() {
-		cpl = q.Bits()
-	}
-	switch {
-	case cpl == n.prefix.Bits() && cpl == q.Bits():
-		// q is exactly this node.
-		if n.count == 0 {
-			t.items++
+	link := &t.root
+	for {
+		n := t.at(*link)
+		cpl := n.prefix.Addr().CommonPrefixLen(p.Addr())
+		if cpl > n.prefix.Bits() {
+			cpl = n.prefix.Bits()
 		}
-		n.count += c
-		n.total += c
-		return n
-
-	case cpl == n.prefix.Bits():
-		// q lies below n; descend.
-		n.total += c
-		b := q.Addr().Bit(n.prefix.Bits())
-		if n.child[b] == nil {
-			n.child[b] = &node{prefix: q, count: c, total: c}
-			t.items++
-			t.nodes++
-		} else {
-			n.child[b] = t.insert(n.child[b], q, c)
+		if cpl > p.Bits() {
+			cpl = p.Bits()
 		}
-		return n
+		switch {
+		case cpl == n.prefix.Bits() && cpl == p.Bits():
+			// p is exactly this node.
+			if n.count == 0 {
+				t.items++
+			}
+			n.count += count
+			n.total += count
+			return
 
-	case cpl == q.Bits():
-		// q is an ancestor of n; splice a new item node above n.
-		nn := &node{prefix: q, count: c, total: c + n.total}
-		nn.child[n.prefix.Addr().Bit(cpl)] = n
-		t.items++
-		t.nodes++
-		return nn
+		case cpl == n.prefix.Bits():
+			// p lies below n; descend.
+			n.total += count
+			child := &n.child[p.Addr().Bit(n.prefix.Bits())]
+			if *child == nilRef {
+				// newNode may grow the chunk table but never moves
+				// existing chunks, so child stays a valid slot.
+				*child = t.newNode(p, count, count)
+				t.items++
+				return
+			}
+			link = child
 
-	default:
-		// n and q diverge below cpl; create a pure branch node.
-		br := &node{prefix: ipaddr.PrefixFrom(q.Addr(), cpl), total: n.total + c}
-		br.child[n.prefix.Addr().Bit(cpl)] = n
-		br.child[q.Addr().Bit(cpl)] = &node{prefix: q, count: c, total: c}
-		t.items += 1
-		t.nodes += 2
-		return br
+		case cpl == p.Bits():
+			// p is an ancestor of n; splice a new item node above n.
+			old, oldTotal := *link, n.total
+			oldBit := n.prefix.Addr().Bit(cpl)
+			nn := t.newNode(p, count, count+oldTotal)
+			t.at(nn).child[oldBit] = old
+			*link = nn
+			t.items++
+			return
+
+		default:
+			// n and p diverge below cpl; create a pure branch node.
+			old, oldTotal := *link, n.total
+			oldBit := n.prefix.Addr().Bit(cpl)
+			br := t.newNode(ipaddr.PrefixFrom(p.Addr(), cpl), 0, oldTotal+count)
+			leaf := t.newNode(p, count, count)
+			bn := t.at(br)
+			bn.child[oldBit] = old
+			bn.child[oldBit^1] = leaf
+			*link = br
+			t.items++
+			return
+		}
 	}
 }
 
 // Count returns the count stored exactly at prefix p (not including more
 // specific descendants).
 func (t *Trie) Count(p ipaddr.Prefix) uint64 {
-	n := t.root
-	for n != nil {
+	i := t.root
+	for i != nilRef {
+		n := t.at(i)
 		if !n.prefix.ContainsPrefix(p) {
 			return 0
 		}
@@ -139,7 +216,7 @@ func (t *Trie) Count(p ipaddr.Prefix) uint64 {
 		if n.prefix.Bits() >= p.Bits() {
 			return 0
 		}
-		n = n.child[p.Addr().Bit(n.prefix.Bits())]
+		i = n.child[p.Addr().Bit(n.prefix.Bits())]
 	}
 	return 0
 }
@@ -147,15 +224,16 @@ func (t *Trie) Count(p ipaddr.Prefix) uint64 {
 // SubtreeCount returns the sum of counts of all stored items covered by p
 // (including p itself).
 func (t *Trie) SubtreeCount(p ipaddr.Prefix) uint64 {
-	n := t.root
-	for n != nil {
+	i := t.root
+	for i != nilRef {
+		n := t.at(i)
 		if p.ContainsPrefix(n.prefix) {
 			return n.total
 		}
 		if !n.prefix.ContainsPrefix(p) {
 			return 0
 		}
-		n = n.child[p.Addr().Bit(n.prefix.Bits())]
+		i = n.child[p.Addr().Bit(n.prefix.Bits())]
 	}
 	return 0
 }
@@ -163,15 +241,19 @@ func (t *Trie) SubtreeCount(p ipaddr.Prefix) uint64 {
 // LongestPrefixMatch returns the longest stored prefix (count > 0) that
 // contains a, with its count. ok is false when no stored prefix covers a.
 func (t *Trie) LongestPrefixMatch(a ipaddr.Addr) (p ipaddr.Prefix, count uint64, ok bool) {
-	n := t.root
-	for n != nil && n.prefix.Contains(a) {
+	i := t.root
+	for i != nilRef {
+		n := t.at(i)
+		if !n.prefix.Contains(a) {
+			break
+		}
 		if n.count > 0 {
 			p, count, ok = n.prefix, n.count, true
 		}
 		if n.prefix.Bits() == 128 {
 			break
 		}
-		n = n.child[a.Bit(n.prefix.Bits())]
+		i = n.child[a.Bit(n.prefix.Bits())]
 	}
 	return p, count, ok
 }
@@ -181,11 +263,12 @@ func (t *Trie) LongestPrefixMatch(a ipaddr.Addr) (p ipaddr.Prefix, count uint64,
 // descending a binary trie by a's bits always reaches the subtree sharing
 // the longest prefix, this is a single root-to-leaf walk.
 func (t *Trie) MaxCommonPrefixLen(a ipaddr.Addr) int {
-	n := t.root
-	if n == nil {
+	i := t.root
+	if i == nilRef {
 		return -1
 	}
 	for {
+		n := t.at(i)
 		cpl := n.prefix.Addr().CommonPrefixLen(a)
 		if cpl < n.prefix.Bits() {
 			// Diverged inside this node's compressed path.
@@ -195,21 +278,20 @@ func (t *Trie) MaxCommonPrefixLen(a ipaddr.Addr) int {
 			return 128
 		}
 		next := n.child[a.Bit(n.prefix.Bits())]
-		if next == nil {
-			// a's side is empty; the best match is this node's own
-			// prefix (if it is an item) or anything below the other
-			// child, all sharing exactly n.prefix.Bits() bits... unless
-			// the node itself is an item whose prefix fully matches.
+		if next == nilRef {
+			// a's side is empty; the best match is this node's own prefix
+			// (if it is an item) or anything below the other child, all
+			// sharing exactly n.prefix.Bits() bits.
 			return n.prefix.Bits()
 		}
-		n = next
+		i = next
 	}
 }
 
 // Walk visits every stored item (count > 0) in lexicographic (in-order)
 // prefix order. Returning false from fn stops the walk.
 func (t *Trie) Walk(fn func(PrefixCount) bool) {
-	t.walkNodes(t.root, func(n *node) bool {
+	t.walkNodes(func(n *node) bool {
 		if n.count == 0 {
 			return true
 		}
@@ -218,15 +300,32 @@ func (t *Trie) Walk(fn func(PrefixCount) bool) {
 }
 
 // walkNodes visits every node in-order (parent before children; children in
-// bit order — for a trie this yields prefixes in ipaddr.Prefix.Cmp order).
-func (t *Trie) walkNodes(n *node, fn func(*node) bool) bool {
-	if n == nil {
+// bit order — for a trie this yields prefixes in ipaddr.Prefix.Cmp order),
+// iteratively on a bounded explicit stack.
+func (t *Trie) walkNodes(fn func(*node) bool) bool {
+	if t.root == nilRef {
 		return true
 	}
-	if !fn(n) {
-		return false
+	var stack [maxDepth]ref
+	sp := 1
+	stack[0] = t.root
+	for sp > 0 {
+		sp--
+		n := t.at(stack[sp])
+		if !fn(n) {
+			return false
+		}
+		// Push child 1 first so child 0 pops (and is visited) first.
+		if n.child[1] != nilRef {
+			stack[sp] = n.child[1]
+			sp++
+		}
+		if n.child[0] != nilRef {
+			stack[sp] = n.child[0]
+			sp++
+		}
 	}
-	return t.walkNodes(n.child[0], fn) && t.walkNodes(n.child[1], fn)
+	return true
 }
 
 // Items returns all stored items in order. It is a convenience for tests and
@@ -251,12 +350,12 @@ func (t *Trie) Items() []PrefixCount {
 // 129 values come from one walk building a histogram of split bits.
 func (t *Trie) AggregateCounts() [129]uint64 {
 	var counts [129]uint64
-	if t.root == nil {
+	if t.root == nilRef {
 		return counts
 	}
 	var hist [129]uint64 // hist[s]: branch points splitting at bit s
-	t.walkNodes(t.root, func(n *node) bool {
-		if n.child[0] != nil && n.child[1] != nil {
+	t.walkNodes(func(n *node) bool {
+		if n.child[0] != nilRef && n.child[1] != nilRef {
 			hist[n.prefix.Bits()]++
 		}
 		return true
@@ -286,8 +385,46 @@ func (t *Trie) DensePrefixes(n uint64, p int) []PrefixCount {
 		n = 1
 	}
 	var out []PrefixCount
-	t.dense(t.root, n, p, &out)
+	t.prunedWalk(func(nd *node) bool {
+		if nd.total < n {
+			// No descendant can reach the reporting floor.
+			return false
+		}
+		if nd.total >= denseThreshold(n, p, nd.prefix.Bits()) {
+			out = append(out, PrefixCount{Prefix: nd.prefix, Count: nd.total})
+			return false
+		}
+		return true
+	})
 	return out
+}
+
+// prunedWalk visits nodes in preorder (parent first, child 0 before child
+// 1) on a bounded explicit stack; fn's return controls whether the walk
+// descends into the node's children. It is the shared traversal of the
+// subtree-pruning sweeps (densify, fixed-length dense).
+func (t *Trie) prunedWalk(fn func(*node) bool) {
+	if t.root == nilRef {
+		return
+	}
+	var stack [maxDepth]ref
+	sp := 1
+	stack[0] = t.root
+	for sp > 0 {
+		sp--
+		n := t.at(stack[sp])
+		if !fn(n) {
+			continue
+		}
+		if n.child[1] != nilRef {
+			stack[sp] = n.child[1]
+			sp++
+		}
+		if n.child[0] != nilRef {
+			stack[sp] = n.child[0]
+			sp++
+		}
+	}
 }
 
 // denseThreshold returns the minimum subtree count for a node at prefix
@@ -305,45 +442,35 @@ func denseThreshold(n uint64, p, length int) uint64 {
 	return n << shift
 }
 
-func (t *Trie) dense(nd *node, n uint64, p int, out *[]PrefixCount) {
-	if nd == nil {
-		return
-	}
-	if nd.total < n {
-		// No descendant can reach the reporting floor.
-		return
-	}
-	if nd.total >= denseThreshold(n, p, nd.prefix.Bits()) {
-		*out = append(*out, PrefixCount{Prefix: nd.prefix, Count: nd.total})
-		return
-	}
-	t.dense(nd.child[0], n, p, out)
-	t.dense(nd.child[1], n, p, out)
-}
-
 // FixedLengthDense returns every length-p prefix covering at least n items,
 // i.e. the paper's "n@/p-dense" class with the prefix length fixed, along
 // with covered item counts, in prefix order. This matches the paper's
 // shortcut of inserting items pre-truncated to /p.
 func (t *Trie) FixedLengthDense(n uint64, p int) []PrefixCount {
 	var out []PrefixCount
-	t.fixedDense(t.root, n, p, &out)
+	t.prunedWalk(func(nd *node) bool {
+		if nd.total < n {
+			return false
+		}
+		if nd.prefix.Bits() >= p {
+			// The whole subtree lies within one /p; its covering prefix is
+			// the node's truncation. (An ancestor cannot have emitted it:
+			// ancestors are shorter than p or we would have stopped there.)
+			out = append(out, PrefixCount{Prefix: nd.prefix.Truncate(p), Count: nd.total})
+			return false
+		}
+		return true
+	})
 	return out
 }
 
-func (t *Trie) fixedDense(nd *node, n uint64, p int, out *[]PrefixCount) {
-	if nd == nil || nd.total < n {
-		return
-	}
-	if nd.prefix.Bits() >= p {
-		// The whole subtree lies within one /p; its covering prefix is the
-		// node's truncation. (An ancestor cannot have emitted it: ancestors
-		// are shorter than p or we would have stopped there.)
-		*out = append(*out, PrefixCount{Prefix: nd.prefix.Truncate(p), Count: nd.total})
-		return
-	}
-	t.fixedDense(nd.child[0], n, p, out)
-	t.fixedDense(nd.child[1], n, p, out)
+// aguriFrame is one explicit-stack frame of the post-order aguri walk: acc
+// accumulates the node's own count plus whatever its children could not
+// emit.
+type aguriFrame struct {
+	idx   ref
+	stage uint8
+	acc   uint64
 }
 
 // AguriAggregate performs the aggregation of Cho et al.: items whose counts
@@ -359,31 +486,55 @@ func (t *Trie) AguriAggregate(minCount uint64) []PrefixCount {
 		minCount = 1
 	}
 	var out []PrefixCount
-	rem := t.aguri(t.root, minCount, &out)
+	var rem uint64
+	if t.root != nilRef {
+		// Post-order on an explicit frame stack: a child frame's
+		// unemitted remainder is added to its parent's accumulator when
+		// the child pops.
+		var stack [maxDepth]aguriFrame
+		sp := 1
+		stack[0] = aguriFrame{idx: t.root}
+		for sp > 0 {
+			f := &stack[sp-1]
+			n := t.at(f.idx)
+			switch f.stage {
+			case 0:
+				f.stage = 1
+				f.acc = n.count
+				if n.child[0] != nilRef {
+					stack[sp] = aguriFrame{idx: n.child[0]}
+					sp++
+				}
+			case 1:
+				f.stage = 2
+				if n.child[1] != nilRef {
+					stack[sp] = aguriFrame{idx: n.child[1]}
+					sp++
+				}
+			default:
+				var up uint64
+				if f.acc >= minCount {
+					out = append(out, PrefixCount{Prefix: n.prefix, Count: f.acc})
+				} else {
+					up = f.acc
+				}
+				sp--
+				if sp > 0 {
+					stack[sp-1].acc += up
+				} else {
+					rem = up
+				}
+			}
+		}
+	}
 	if rem > 0 {
 		// Remainder aggregates to the root of the address space.
 		out = append(out, PrefixCount{Prefix: ipaddr.PrefixFrom(ipaddr.Addr{}, 0), Count: rem})
 	}
-	// Emit in prefix order: the recursion appends children before parents
-	// (post-order); re-sort for a stable, readable profile.
+	// Emit in prefix order: the post-order walk appends children before
+	// parents; re-sort for a stable, readable profile.
 	sortPrefixCounts(out)
 	return out
-}
-
-// aguri returns the count that could not be emitted within nd's subtree and
-// must aggregate into nd's ancestors.
-func (t *Trie) aguri(nd *node, minCount uint64, out *[]PrefixCount) uint64 {
-	if nd == nil {
-		return 0
-	}
-	acc := nd.count
-	acc += t.aguri(nd.child[0], minCount, out)
-	acc += t.aguri(nd.child[1], minCount, out)
-	if acc >= minCount {
-		*out = append(*out, PrefixCount{Prefix: nd.prefix, Count: acc})
-		return 0
-	}
-	return acc
 }
 
 func sortPrefixCounts(s []PrefixCount) {
@@ -394,15 +545,26 @@ func sortPrefixCounts(s []PrefixCount) {
 // indented by tree depth, annotated with counts.
 func (t *Trie) String() string {
 	var b strings.Builder
-	var rec func(n *node, depth int)
-	rec = func(n *node, depth int) {
-		if n == nil {
-			return
-		}
-		fmt.Fprintf(&b, "%s%v count=%d total=%d\n", strings.Repeat("  ", depth), n.prefix, n.count, n.total)
-		rec(n.child[0], depth+1)
-		rec(n.child[1], depth+1)
+	if t.root == nilRef {
+		return ""
 	}
-	rec(t.root, 0)
+	type frame struct {
+		idx   ref
+		depth int
+	}
+	stack := make([]frame, 1, maxDepth)
+	stack[0] = frame{idx: t.root}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := t.at(f.idx)
+		fmt.Fprintf(&b, "%s%v count=%d total=%d\n", strings.Repeat("  ", f.depth), n.prefix, n.count, n.total)
+		if n.child[1] != nilRef {
+			stack = append(stack, frame{idx: n.child[1], depth: f.depth + 1})
+		}
+		if n.child[0] != nilRef {
+			stack = append(stack, frame{idx: n.child[0], depth: f.depth + 1})
+		}
+	}
 	return b.String()
 }

@@ -14,11 +14,11 @@
 package probe
 
 import (
-	"v6class/internal/bgp"
+	"v6class/bgp"
 	"v6class/internal/ipaddr"
 	"v6class/internal/netmodel"
-	"v6class/internal/synth"
 	"v6class/internal/uint128"
+	"v6class/synth"
 )
 
 // Topology is the simulated router infrastructure of a world.

@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"v6class/internal/ipaddr"
-	"v6class/internal/synth"
 	"v6class/internal/uint128"
+	"v6class/synth"
 )
 
 func topo(t *testing.T) *Topology {

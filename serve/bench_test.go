@@ -11,7 +11,7 @@ import (
 
 	"v6class/internal/core"
 	"v6class/internal/ipaddr"
-	"v6class/internal/synth"
+	"v6class/synth"
 )
 
 // Serving benchmarks: request latency through the full handler stack

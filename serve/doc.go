@@ -19,7 +19,7 @@
 //     tables, densify sweeps, top-k aggregates, overlap series; the dense
 //     and top-k paths render straight off the streaming iterators) and,
 //     when a lab is attached, the per-request experiment drivers of
-//     internal/experiments.
+//     package experiments.
 //   - A sharded result cache for the expensive analyses (stability tables,
 //     dense sweeps, top-k, experiments): 16 independently locked shards
 //     bounded per shard, with arbitrary eviction.

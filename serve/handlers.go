@@ -10,8 +10,7 @@ import (
 	"time"
 
 	"v6class"
-	"v6class/internal/experiments"
-	"v6class/internal/spatial"
+	"v6class/experiments"
 )
 
 // maxDayRange bounds from/to day selections so a single request cannot ask
@@ -439,52 +438,42 @@ func (s *Server) handleDense(w http.ResponseWriter, r *http.Request, snap *Snaps
 	}
 	least := r.URL.Query().Get("least") == "true"
 	key := fmt.Sprintf("dense?n=%d&p=%d&least=%v&days=%s", n, p, least, daysKey(days))
-	// The hot path serves the per-limit rendered body directly; a miss
-	// derives it from the limit-free cached sweep, so neither path
-	// recomputes and repeat queries skip the decode entirely.
 	renderKey := snapKey(snap, fmt.Sprintf("%s&limit=%d", key, limit))
+	// The hot path serves the per-limit rendered body directly. A miss
+	// reads two per-snapshot memos — the spatial population (one parallel
+	// trie build shared with top-k and every other dense parameterization
+	// of the same days) and the limit-free sweep struct — then truncates a
+	// copy of the struct to the requested limit and marshals once: no
+	// recompute, and no decode of a cached JSON body.
 	if body, ok := s.cache.Get(renderKey); ok {
 		writeBody(w, http.StatusOK, body)
 		return
 	}
-	body, err := s.cachedBody(snap, key, func() any {
-		// The population builds straight off the streaming enumeration:
-		// the day-mask row sweep yields each active address exactly once,
-		// so no intermediate slice or seen-set exists at any point.
-		var set spatial.AddressSet
-		for a := range strict(snap.Engine.AddrsActiveOn(days...)) {
-			set.Add(a)
-		}
-		cls := spatial.DensityClass{N: uint64(n), P: p}
-		var res spatial.DensityResult
+	resp := snap.results.do(maxResultEntries, key, func() any {
+		set := snap.addressSet(v6class.Addresses, "addrs", days)
+		cls := v6class.DensityClass{N: uint64(n), P: p}
+		var res v6class.DensityResult
 		if least {
 			res = set.DenseLeastSpecific(cls)
 		} else {
 			res = set.DenseFixed(cls)
 		}
-		resp := denseResponse{
+		out := denseResponse{
 			N: uint64(n), P: p, Least: least, Days: days,
 			Prefixes: len(res.Prefixes),
 			Covered:  res.CoveredAddresses,
 			Possible: res.PossibleAddresses,
 			Density:  res.Density(),
 		}
-		_, examples := spatial.ScanTargets(res, maxExamples)
+		_, examples := v6class.ScanTargets(res, maxExamples)
 		for _, ex := range examples {
-			resp.Examples = append(resp.Examples, ex.String())
+			out.Examples = append(out.Examples, ex.String())
 		}
-		return resp
-	})
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "encoding response")
-		return
-	}
-	var resp denseResponse
-	if err := json.Unmarshal(body, &resp); err != nil {
-		writeErr(w, http.StatusInternalServerError, "decoding cached response")
-		return
-	}
+		return out
+	}).(denseResponse)
 	if len(resp.Examples) > limit {
+		// resp is a copy of the memoized struct; shortening the slice
+		// header is render-local.
 		resp.Examples = resp.Examples[:limit]
 	}
 	rendered, err := json.Marshal(resp)
@@ -545,25 +534,21 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, snap *Snapsh
 		writeBody(w, http.StatusOK, body)
 		return
 	}
-	body, err := s.cachedBody(snap, key, func() any {
-		resp := topkResponse{Pop: popName, P: p, Days: days, Rows: []topkRow{}}
-		for agg := range strict(snap.Engine.TopAggregates(pop, p, 0, days...)) {
-			if resp.Occupied < maxExamples {
-				resp.Rows = append(resp.Rows, topkRow{Prefix: agg.Prefix.String(), Count: agg.Count})
+	// Like dense: the ranking derives from the per-snapshot shared
+	// population (one build covers every aggregate length and k), and the
+	// k-free struct is memoized so a render-key miss truncates and
+	// marshals without recomputing or decoding.
+	resp := snap.results.do(maxResultEntries, key, func() any {
+		set := snap.addressSet(pop, popName, days)
+		out := topkResponse{Pop: popName, P: p, Days: days, Rows: []topkRow{}}
+		for _, agg := range set.TopAggregates(p, 0) {
+			if out.Occupied < maxExamples {
+				out.Rows = append(out.Rows, topkRow{Prefix: agg.Prefix.String(), Count: agg.Count})
 			}
-			resp.Occupied++
+			out.Occupied++
 		}
-		return resp
-	})
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "encoding response")
-		return
-	}
-	var resp topkResponse
-	if err := json.Unmarshal(body, &resp); err != nil {
-		writeErr(w, http.StatusInternalServerError, "decoding cached response")
-		return
-	}
+		return out
+	}).(topkResponse)
 	resp.K = k
 	if len(resp.Rows) > k {
 		resp.Rows = resp.Rows[:k]

@@ -1,0 +1,78 @@
+package serve
+
+import "sync"
+
+// memo is a bounded per-snapshot singleflight cache: the first caller of a
+// key runs build while concurrent callers of the same key wait for the one
+// result, so an expensive computation (a spatial population build, a
+// densify sweep) happens at most once per snapshot generation however many
+// clients race on it. When the bound is reached an arbitrary entry is
+// evicted; correctness never depends on presence, because every value is a
+// pure function of the snapshot's immutable engine. A memo lives inside a
+// *Snapshot, so a reload naturally invalidates it: the fresh generation
+// starts with an empty memo and the old one is garbage-collected with its
+// snapshot.
+type memo[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	v    V
+	ok   bool
+}
+
+// do returns the memoized value for key, computing it via build on first
+// use. bound caps the entry count (evicting arbitrarily, like the result
+// cache); an entry evicted while still being built simply completes for its
+// waiters and is dropped. A build that panics is never memoized: the entry
+// is forgotten so the panic (surfaced to the panicking request by the HTTP
+// server) cannot latch a zero value, and waiters retry with a fresh entry.
+func (m *memo[V]) do(bound int, key string, build func() V) V {
+	for {
+		m.mu.Lock()
+		if m.entries == nil {
+			m.entries = make(map[string]*memoEntry[V])
+		}
+		e := m.entries[key]
+		if e == nil {
+			if len(m.entries) >= bound {
+				for k := range m.entries {
+					delete(m.entries, k)
+					break
+				}
+			}
+			e = &memoEntry[V]{}
+			m.entries[key] = e
+		}
+		m.mu.Unlock()
+		e.once.Do(func() {
+			defer func() {
+				if !e.ok {
+					m.forget(key, e)
+				}
+			}()
+			e.v = build()
+			e.ok = true
+		})
+		if e.ok {
+			// sync.Once publishes e.v/e.ok to every goroutine whose Do has
+			// returned.
+			return e.v
+		}
+		// The build panicked — in this goroutine the panic already
+		// propagated, so reaching here means another caller's build died
+		// after we started waiting. The entry is gone; retry fresh.
+	}
+}
+
+// forget drops an entry whose build failed, unless a fresh entry has
+// already replaced it.
+func (m *memo[V]) forget(key string, e *memoEntry[V]) {
+	m.mu.Lock()
+	if m.entries[key] == e {
+		delete(m.entries, key)
+	}
+	m.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMemoSingleflightAndBound(t *testing.T) {
+	var m memo[int]
+	builds := 0
+	for i := 0; i < 3; i++ {
+		if got := m.do(2, "a", func() int { builds++; return 7 }); got != 7 {
+			t.Fatalf("do = %d, want 7", got)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("built %d times, want 1", builds)
+	}
+	m.do(2, "b", func() int { return 8 })
+	m.do(2, "c", func() int { return 9 }) // evicts an arbitrary entry
+	if got := len(m.entries); got != 2 {
+		t.Fatalf("bound not enforced: %d entries", got)
+	}
+}
+
+// TestMemoPanickingBuildNotLatched holds the review finding: a build that
+// panics must not consume the entry — later callers retry and succeed
+// instead of reading a zero value forever.
+func TestMemoPanickingBuildNotLatched(t *testing.T) {
+	var m memo[int]
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first build should have panicked through do")
+			}
+		}()
+		m.do(4, "k", func() int { panic("transient") })
+	}()
+	if got := m.do(4, "k", func() int { return 42 }); got != 42 {
+		t.Fatalf("retry after panic = %d, want 42", got)
+	}
+	if got := m.do(4, "k", func() int { t.Fatal("rebuilt a good entry"); return 0 }); got != 42 {
+		t.Fatalf("memoized value = %d, want 42", got)
+	}
+}
+
+// TestMemoConcurrent exercises the singleflight under the race detector.
+func TestMemoConcurrent(t *testing.T) {
+	var m memo[int]
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := string(rune('a' + (g+i)%5))
+				want := int('a' + (g+i)%5)
+				if got := m.do(3, key, func() int { return want }); got != want {
+					t.Errorf("do(%q) = %d, want %d", key, got, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

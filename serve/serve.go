@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"v6class"
-	"v6class/internal/experiments"
+	"v6class/experiments"
 )
 
 // Snapshot is one frozen census being served: an immutable analysis engine
@@ -31,6 +31,34 @@ type Snapshot struct {
 	LoadedAt time.Time
 	// Engine is the frozen façade engine answering every query.
 	Engine v6class.Engine
+
+	// sets memoizes the spatial populations built from this generation's
+	// engine, keyed by population and day selection, so dense, top-k and
+	// future MRA queries over the same days share one parallel trie build
+	// instead of one build per query shape. results memoizes the derived
+	// limit-free response structs, so a render-key miss re-marshals a
+	// truncated copy without recomputing or decoding JSON. Both are
+	// internal caches, concurrent-safe, and die with the generation.
+	sets    memo[*v6class.AddressSet]
+	results memo[any]
+}
+
+// Bounds for the per-snapshot memos: populations are large (a trie over
+// every active address of the selected days), so only a few day selections
+// stay resident; derived response structs are small.
+const (
+	maxSetEntries    = 4
+	maxResultEntries = 256
+)
+
+// addressSet returns this generation's spatial population for (pop, days),
+// built at most once per snapshot however many query shapes (dense sweep
+// parameters, top-k aggregate lengths) read it.
+func (snap *Snapshot) addressSet(pop v6class.Population, popName string, days []int) *v6class.AddressSet {
+	key := popName + "|" + daysKey(days)
+	return snap.sets.do(maxSetEntries, key, func() *v6class.AddressSet {
+		return strict(snap.Engine.SpatialSet(pop, days...))
+	})
 }
 
 // snapTable is the immutable snapshot registry generation: readers load it

@@ -12,12 +12,11 @@ import (
 	"testing"
 
 	"v6class"
+	"v6class/experiments"
 	"v6class/internal/core"
-	"v6class/internal/experiments"
 	"v6class/internal/ipaddr"
-	"v6class/internal/spatial"
-	"v6class/internal/synth"
 	"v6class/internal/temporal"
+	"v6class/synth"
 )
 
 // buildCensus ingests the synthetic world's days [from, to] sequentially.
@@ -248,7 +247,7 @@ func TestHandlersMatchAnalyzer(t *testing.T) {
 	})
 }
 
-func denseClass(n uint64, p int) spatial.DensityClass { return spatial.DensityClass{N: n, P: p} }
+func denseClass(n uint64, p int) v6class.DensityClass { return v6class.DensityClass{N: n, P: p} }
 
 func rangeDays(from, to int) []int {
 	var out []int
@@ -280,35 +279,50 @@ func TestCacheServesRepeatQueries(t *testing.T) {
 		t.Errorf("cached response differs: %+v vs %+v", first, second)
 	}
 
-	// limit is render-only: a different limit must serve from the same
-	// cached sweep, truncated.
+	// limit is render-only: a different limit renders a truncated copy of
+	// the memoized limit-free sweep struct — no recompute, no decode of a
+	// cached body.
+	snap := s.Snapshot("a")
 	var limited denseResponse
 	get(t, ts, q+"&limit=1", &limited)
-	h2, _ := s.cache.Stats()
-	if h2 != h1+1 {
-		t.Errorf("limit variation should hit the cached sweep (hits %d -> %d)", h1, h2)
-	}
 	if len(limited.Examples) > 1 {
 		t.Errorf("limit=1 returned %d examples", len(limited.Examples))
 	}
 	if limited.Prefixes != first.Prefixes || limited.Covered != first.Covered {
 		t.Errorf("limited response changed the sweep results: %+v vs %+v", limited, first)
 	}
-
-	// k is render-only on topk the same way.
-	var top5, top2 topkResponse
-	get(t, ts, "/v1/topk?pop=addrs&p=48&k=5&day=12", &top5)
-	h3, _ := s.cache.Stats()
-	get(t, ts, "/v1/topk?pop=addrs&p=48&k=2&day=12", &top2)
-	h4, _ := s.cache.Stats()
-	if h4 != h3+1 {
-		t.Errorf("k variation should hit the cached sweep (hits %d -> %d)", h3, h4)
+	if got := len(snap.results.entries); got != 1 {
+		t.Errorf("limit variation built %d sweep structs, want the 1 shared one", got)
 	}
+
+	// k is render-only on topk the same way, and dense + topk over the
+	// same day selection share one spatial population build.
+	var top5, top2 topkResponse
+	get(t, ts, "/v1/topk?pop=addrs&p=48&k=5&from=5&to=19", &top5)
+	get(t, ts, "/v1/topk?pop=addrs&p=48&k=2&from=5&to=19", &top2)
 	if len(top2.Rows) != 2 || top2.K != 2 || !reflect.DeepEqual(top2.Rows, top5.Rows[:2]) {
 		t.Errorf("k=2 rows %+v inconsistent with k=5 rows %+v", top2.Rows, top5.Rows)
 	}
 	if top2.Occupied != top5.Occupied {
 		t.Errorf("occupied changed with k: %d vs %d", top2.Occupied, top5.Occupied)
+	}
+	if got := len(snap.results.entries); got != 2 {
+		t.Errorf("k variation built %d memoized structs, want 2 (one dense, one topk)", got)
+	}
+	if got := len(snap.sets.entries); got != 1 {
+		t.Errorf("dense and topk built %d populations for the same days, want the 1 shared build", got)
+	}
+
+	// The per-limit rendered bodies themselves are byte-cache hits on
+	// repeat.
+	hits0, _ := s.cache.Stats()
+	var again topkResponse
+	get(t, ts, "/v1/topk?pop=addrs&p=48&k=2&from=5&to=19", &again)
+	if hits1, _ := s.cache.Stats(); hits1 != hits0+1 {
+		t.Errorf("repeat k=2 query should hit the render cache (hits %d -> %d)", hits0, hits1)
+	}
+	if !reflect.DeepEqual(again, top2) {
+		t.Errorf("cached render differs: %+v vs %+v", again, top2)
 	}
 }
 

@@ -1,0 +1,88 @@
+package v6class
+
+import (
+	"runtime"
+
+	"v6class/internal/spatial"
+	"v6class/internal/trie"
+)
+
+// The spatial façade: the Section 5.2 classification surface lifted to the
+// module root, so no main package needs internal/spatial. An AddressSet is
+// built either incrementally (Add/AddPrefix on the zero value) or in one
+// shot from a frozen Engine via SpatialSet, which partitions the engine's
+// row sweeps across a bounded worker pool and assembles the arena trie in
+// parallel. Aliases (not definitions) keep the façade and the internal
+// layers interchangeable within the module.
+
+// AddressSet is a population of observed addresses (or fixed-length
+// prefixes) under spatial analysis: MRA aggregate counts, n@/p-dense
+// classes, aguri profiles. The zero value is an empty set ready for Add.
+type AddressSet = spatial.AddressSet
+
+// MRAResult holds the active-aggregate counts n_p of a population for every
+// prefix length p in [0, 128], from which MRA count ratios, ratio series
+// and signatures are derived.
+type MRAResult = spatial.MRA
+
+// RatioPoint is one plotted MRA ratio: γ^k_p at horizontal position p.
+type RatioPoint = spatial.RatioPoint
+
+// DensityClass identifies the paper's "n@/p-dense" spatial class: prefixes
+// of length P containing at least N observed addresses.
+type DensityClass = spatial.DensityClass
+
+// DensityResult summarizes a density classification (a Table 3 row).
+type DensityResult = spatial.DensityResult
+
+// PrefixCount pairs a prefix with an observation count; it is the element
+// type of densification and aggregation results.
+type PrefixCount = trie.PrefixCount
+
+// Signature is an MRA-derived spatial class for an address population,
+// mechanizing the visual reading of the paper's Figures 2 and 5.
+type Signature = spatial.Signature
+
+// The signature classes (see internal/spatial for the figure each mirrors).
+const (
+	SigEmpty            = spatial.SigEmpty
+	SigPrivacySparse    = spatial.SigPrivacySparse
+	SigDensePacked      = spatial.SigDensePacked
+	SigPoolSaturated    = spatial.SigPoolSaturated
+	SigStructuredSubnet = spatial.SigStructuredSubnet
+	SigEmbeddedIPv4     = spatial.SigEmbeddedIPv4
+)
+
+// MinSignatureAddrs is the smallest population ClassifySignature will
+// label; smaller sets return SigEmpty.
+const MinSignatureAddrs = spatial.MinSignatureAddrs
+
+// ClassifySignature labels a population by its MRA shape.
+func ClassifySignature(m MRAResult) Signature { return spatial.ClassifySignature(m) }
+
+// ScanTargets expands dense prefixes into the total number of probe-able
+// addresses they span, plus up to limit concrete example prefixes.
+func ScanTargets(r DensityResult, limit int) (total float64, examples []Prefix) {
+	return spatial.ScanTargets(r, limit)
+}
+
+// SpatialSet builds the spatial population of the selected kind active on
+// at least one of the given days: native addresses for Addresses, distinct
+// /64s for Prefixes64. Each distinct key counts once however many of the
+// days it was active (the day-mask sweeps deduplicate by construction).
+//
+// The underlying trie is assembled by the partitioned parallel build —
+// every worker consumes its own shard/row-range sweep — but a radix trie's
+// shape is a pure function of the item set, so the result is bit-identical
+// to sequential insertion. The returned set is immutable in practice
+// (callers must not Add to it) and safe for concurrent readers.
+func (e *engine) SpatialSet(pop Population, days ...int) (*AddressSet, error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if pop == Prefixes64 {
+		return spatial.BuildPrefixSet(workers, e.a.Prefix64sActiveAnySeqs(workers, days...)...), nil
+	}
+	return spatial.BuildAddressSet(workers, e.a.AddrsActiveAnySeqs(workers, days...)...), nil
+}

@@ -1,0 +1,58 @@
+package v6class
+
+import (
+	"sync"
+	"testing"
+)
+
+// Spatial benchmarks: the cost of building an address population and
+// classifying it (MRA counts, densify). Together with BenchmarkDensifyTrie
+// and BenchmarkServeDenseCold they are the acceptance gauge of the arena
+// trie work; the pre-refactor numbers are committed as
+// BENCH_spatial_baseline.json.
+
+var (
+	spatialBenchOnce sync.Once
+	spatialBenchEng  Engine
+)
+
+// spatialBenchEngine builds one frozen engine over the million-record
+// ingest world, once per process.
+func spatialBenchEngine(b *testing.B) Engine {
+	spatialBenchOnce.Do(func() {
+		logs, _ := ingestWorld()
+		eng, err := New(WithStudyDays(ingestStudyDays))
+		if err != nil {
+			panic(err)
+		}
+		if err := eng.AddDays(logs); err != nil {
+			panic(err)
+		}
+		if err := eng.Freeze(); err != nil {
+			panic(err)
+		}
+		spatialBenchEng = eng
+	})
+	return spatialBenchEng
+}
+
+// BenchmarkSpatialBuild measures building the spatial population of a
+// multi-day window straight off the engine's streaming enumerations — the
+// path behind every serve dense/top-k query and the experiments' NativeSet.
+// SpatialSet partitions the row sweeps across a bounded worker pool and
+// assembles the arena trie in parallel; sweep cores with -cpu to see it
+// scale.
+func BenchmarkSpatialBuild(b *testing.B) {
+	eng := spatialBenchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := eng.SpatialSet(Addresses, 10, 11, 12, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if set.Len() == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}

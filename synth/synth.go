@@ -17,7 +17,7 @@ import (
 	"runtime"
 	"sync"
 
-	"v6class/internal/bgp"
+	"v6class/bgp"
 	"v6class/internal/cdnlog"
 	"v6class/internal/ipaddr"
 	"v6class/internal/netmodel"

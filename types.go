@@ -11,7 +11,7 @@ import (
 // The façade vocabulary: aliases re-exporting the value types an Engine
 // consumer needs, so no main package has to import internal packages to
 // hold a result. Aliases (not definitions) keep the internal layers and the
-// façade interchangeable within the module — internal/serve can hand a
+// façade interchangeable within the module — package serve can hand a
 // KeyReport straight through to JSON, and the equivalence tests can compare
 // façade and core results without conversions.
 
@@ -26,6 +26,21 @@ type Prefix = ipaddr.Prefix
 // Kind is an address-format class per Table 1 of the paper (EUI-64,
 // privacy, Teredo, 6to4, ...).
 type Kind = addrclass.Kind
+
+// The format classes of Table 1.
+const (
+	KindOther         = addrclass.KindOther
+	KindTeredo        = addrclass.KindTeredo
+	Kind6to4          = addrclass.Kind6to4
+	KindISATAP        = addrclass.KindISATAP
+	KindEUI64         = addrclass.KindEUI64
+	KindLowIID        = addrclass.KindLowIID
+	KindStructuredIID = addrclass.KindStructuredIID
+	KindEmbeddedIPv4  = addrclass.KindEmbeddedIPv4
+)
+
+// KindSummary tallies a population of addresses by format class.
+type KindSummary = addrclass.Summary
 
 // MAC is a 48-bit hardware address as embedded in EUI-64 IIDs.
 type MAC = addrclass.MAC
@@ -111,11 +126,30 @@ func PrefixFrom(a Addr, bits int) Prefix { return ipaddr.PrefixFrom(a, bits) }
 // of the address bits and needs no Engine.
 func Classify(a Addr) Kind { return addrclass.Classify(a) }
 
+// Summarize format-classifies a whole population into a KindSummary.
+func Summarize(addrs []Addr) KindSummary { return addrclass.Summarize(addrs) }
+
+// IsEUI64 reports whether a has an EUI-64 expanded hardware-address IID.
+func IsEUI64(a Addr) bool { return addrclass.IsEUI64(a) }
+
 // EUI64MAC extracts the embedded hardware address of an EUI-64 IID; ok is
 // false for addresses of any other format.
 func EUI64MAC(a Addr) (MAC, bool) { return addrclass.EUI64MAC(a) }
+
+// Embedded6to4IPv4 extracts the IPv4 address embedded in a 6to4 address;
+// ok is false for any other format.
+func Embedded6to4IPv4(a Addr) (uint32, bool) { return addrclass.Embedded6to4IPv4(a) }
 
 // ReadLogs parses aggregated daily logs ("#day N" sections) from a file;
 // "-" reads standard input and files ending in ".gz" are decompressed
 // transparently.
 func ReadLogs(path string) ([]DayLog, error) { return cdnlog.ReadFile(path) }
+
+// WriteLogs writes aggregated daily logs in the text format ReadLogs
+// parses; "-" writes standard output and files ending in ".gz" are
+// compressed transparently.
+func WriteLogs(path string, logs []DayLog) error { return cdnlog.WriteFile(path, logs) }
+
+// UniqueAddrs returns the distinct addresses over all days of logs, in
+// first-appearance order.
+func UniqueAddrs(logs []DayLog) []Addr { return cdnlog.UniqueAddrs(logs) }
