@@ -25,6 +25,18 @@
 //	curl -X POST -H 'Authorization: Bearer SECRET' \
 //	  'localhost:8470/v1/reload?snap=census&path=/new/census.state'
 //
+// The server can also grow a snapshot in place. POST /v1/ingest streams
+// aggregated day logs (the "#day N" text format) into an unfrozen
+// successor generation layered over the named snapshot — reads keep
+// hitting the frozen generation, untouched — and POST /v1/freeze installs
+// the successor as the next generation in one atomic swap:
+//
+//	curl -X POST --data-binary @day15.log 'localhost:8470/v1/ingest?snap=census'
+//	curl -X POST 'localhost:8470/v1/freeze?snap=census'
+//
+// With -admin-token both write endpoints require the bearer token; with
+// -readonly they are disabled entirely (reloads stay available).
+//
 // With -demo the server generates a small synthetic world instead of (or
 // in addition to) loading files, installs a census of its first epoch
 // window as snapshot "demo", and enables the /v1/experiments endpoints.
@@ -69,6 +81,7 @@ type config struct {
 	demoSeed   uint64
 	cache      int
 	adminToken string
+	readOnly   bool
 }
 
 // parseState splits a -state argument into its name and path; bare paths
@@ -84,7 +97,7 @@ func parseState(arg string) statePath {
 // buildServer assembles the query service: loaded snapshot files plus,
 // in demo mode, a generated census and the experiments lab.
 func buildServer(cfg config) (*serve.Server, error) {
-	opts := serve.Options{CacheEntries: cfg.cache, AdminToken: cfg.adminToken}
+	opts := serve.Options{CacheEntries: cfg.cache, AdminToken: cfg.adminToken, ReadOnly: cfg.readOnly}
 	scale := cfg.demoScale
 	if scale <= 0 {
 		scale = 0.02
@@ -105,7 +118,7 @@ func buildServer(cfg config) (*serve.Server, error) {
 		log.Printf("installed generated snapshot %q (seed %d, scale %g)", "demo", cfg.demoSeed, scale)
 	}
 	for _, st := range cfg.states {
-		if err := s.LoadFile(st.name, st.path); err != nil {
+		if _, err := s.LoadFile(st.name, st.path); err != nil {
 			return nil, err
 		}
 		log.Printf("loaded snapshot %q from %s", st.name, st.path)
@@ -143,7 +156,8 @@ func main() {
 	flag.Float64Var(&cfg.demoScale, "demo-scale", 0.02, "population scale of the demo world")
 	flag.Uint64Var(&cfg.demoSeed, "demo-seed", 7, "seed of the demo world")
 	flag.IntVar(&cfg.cache, "cache", 0, "result cache entries (0 = default)")
-	flag.StringVar(&cfg.adminToken, "admin-token", "", "token authorizing /v1/reload with an explicit path= (unset: source-only reloads)")
+	flag.StringVar(&cfg.adminToken, "admin-token", "", "token authorizing /v1/ingest, /v1/freeze and /v1/reload with an explicit path= (unset: open writes, source-only reloads)")
+	flag.BoolVar(&cfg.readOnly, "readonly", false, "disable the write endpoints (/v1/ingest, /v1/freeze) entirely")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: disabled)")
 	flag.Parse()
 

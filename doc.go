@@ -107,6 +107,22 @@
 // Save writes temp-and-rename, so an interrupted write never destroys the
 // existing snapshot.
 //
+// # Generations
+//
+// A frozen engine can also grow in place, without the save/reopen cycle:
+// Successor returns an ingesting LiveEngine layered over the frozen parent.
+// The parent keeps answering every query, untouched, while the successor
+// absorbs new day logs; its memory cost during ingestion is proportional
+// to the new days' churn, because the two generations share the parent's
+// immutable slabs until the successor's own Freeze merges them. A frozen
+// successor answers exactly like an engine fed every generation's logs
+// directly — and can spawn the next generation in turn. For spatial state
+// the successor adds SpatialSetFrom, which extends a parent-generation
+// AddressSet by the generation's delta (a clone plus O(new keys) trie
+// inserts) instead of rebuilding it, bit-identical to the from-scratch
+// build. This is the substrate of package serve's live write path
+// (/v1/ingest + /v1/freeze).
+//
 // # Serving
 //
 // Package serve (run as cmd/v6served) exposes frozen engines over HTTP —

@@ -356,6 +356,11 @@ func (e *engine) Freeze() error {
 	}
 	if e.sh != nil {
 		e.sh.Freeze()
+	} else if e.seq != nil {
+		// Compact the sequential stores into their read-optimized slabs;
+		// on a successor generation this also merges the overlay into the
+		// parent's row space and arms the generational delta queries.
+		e.seq.Freeze()
 	}
 	e.frozen.Store(true)
 	return nil

@@ -79,7 +79,7 @@ func main() {
 
 	// Serve it, as "v6served -state census.state" would.
 	s := serve.New(serve.Options{})
-	if err := s.LoadFile("census", state); err != nil {
+	if _, err := s.LoadFile("census", state); err != nil {
 		log.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

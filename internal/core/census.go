@@ -103,6 +103,10 @@ type keyStore[K comparable] interface {
 	// (aliasing the live slab; read-only), Restore installs them.
 	Range(fn func(k K, days []uint64) bool)
 	Restore(k K, days []uint64)
+	// Generational delta surface (internal/temporal/successor.go): on a
+	// compacted successor store, Changed visits every key whose day words
+	// differ from the predecessor generation's. Other stores visit nothing.
+	Changed(fn func(k K, prev, cur []uint64) bool)
 	// Point queries (per-key, lock-free after a ShardedStore freeze).
 	Active(k K, d temporal.Day) bool
 	Days(k K) []temporal.Day
@@ -134,6 +138,11 @@ type censusState struct {
 	kinds map[int]addrclass.Summary
 	// Per-day EUI-64 distinct MAC tallies.
 	macs map[int]map[addrclass.MAC]bool
+	// parentMacs is the predecessor generation's per-day MAC view on a
+	// successor census (successor.go). Days ingested this generation get a
+	// copy-on-write clone in macs; untouched days read through to the
+	// parent's (immutable) sets, so summaries and snapshots stay whole.
+	parentMacs map[int]map[addrclass.MAC]bool
 }
 
 // Analyzer is the full analysis interface shared by Census and
@@ -179,6 +188,12 @@ type Analyzer interface {
 	Prefix64sSeq() iter.Seq[ipaddr.Prefix]
 	AddrLifetimesSeq() iter.Seq2[ipaddr.Addr, temporal.Activity]
 	Prefix64LifetimesSeq() iter.Seq2[ipaddr.Prefix, temporal.Activity]
+	// Generational delta enumerations (successor.go): on a frozen successor
+	// census they visit every key whose day words this generation differ
+	// from the predecessor's; on a first-generation census they visit
+	// nothing. The word slices alias internal storage (read-only).
+	ChangedAddrs(fn func(a ipaddr.Addr, prev, cur []uint64) bool)
+	ChangedPrefix64s(fn func(p ipaddr.Prefix, prev, cur []uint64) bool)
 	io.WriterTo
 }
 
@@ -242,8 +257,7 @@ func (c *Census) AddDay(log cdnlog.DayLog) {
 	getMACs := func() map[addrclass.MAC]bool {
 		m := c.macs[day]
 		if m == nil {
-			m = make(map[addrclass.MAC]bool)
-			c.macs[day] = m
+			m = c.cowDayMACs(day, 0)
 		}
 		return m
 	}
@@ -277,7 +291,7 @@ func (c *censusState) Summary(day int) DaySummary {
 		ByKind:  sum.ByKind,
 		Native:  sum.Native(),
 		Addrs64: c.p64s.ActiveCount(temporal.Day(day)),
-		MACs:    len(c.macs[day]),
+		MACs:    c.macCount(day),
 	}
 }
 

@@ -66,9 +66,12 @@ func (c *censusState) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
-	// Per-day EUI-64 MAC sets.
-	write(uint32(len(c.macs)))
-	for day, macs := range c.macs {
+	// Per-day EUI-64 MAC sets, through the merged generational view: on a
+	// successor census, days not re-ingested this generation read through
+	// to the predecessor's sets, so a snapshot is always whole.
+	macsView := c.macsView()
+	write(uint32(len(macsView)))
+	for day, macs := range macsView {
 		write(uint32(day))
 		write(uint32(len(macs)))
 		for mac := range macs {

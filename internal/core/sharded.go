@@ -310,8 +310,7 @@ func (c *ShardedCensus) classifyWorker(jobs <-chan ingestJob, addrCh []chan []te
 		if len(t.macs) > 0 {
 			m := c.macs[day]
 			if m == nil {
-				m = make(map[addrclass.MAC]bool, len(t.macs))
-				c.macs[day] = m
+				m = c.cowDayMACs(day, len(t.macs))
 			}
 			for mac := range t.macs {
 				m[mac] = true

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"v6class/internal/addrclass"
+	"v6class/internal/ipaddr"
+	"v6class/internal/temporal"
+)
+
+// The generational census lifecycle behind the serve service's live write
+// path: a frozen census spawns an ingesting successor that layers new daily
+// observations over the predecessor's immutable slabs (see
+// internal/temporal/successor.go for the storage mechanics). The successor
+// shares nothing mutable with its parent — Table 1 tallies are deep-copied,
+// MAC sets are copy-on-write per day — so the parent keeps serving reads
+// untouched while the successor ingests, and freezing the successor yields
+// a self-contained census that can spawn the next generation.
+
+// Freeze ends the sequential census's ingestion phase, compacting both key
+// stores into their read-optimized slabs (and, on a successor, merging the
+// overlay into the parent's row space). After Freeze new keys panic; it is
+// the sequential counterpart of ShardedCensus.Freeze and is what arms
+// ChangedAddrs/ChangedPrefix64s on a successor.
+func (c *Census) Freeze() {
+	c.addrs.(*temporal.Store[ipaddr.Addr]).Compact()
+	c.p64s.(*temporal.Store[ipaddr.Prefix]).Compact()
+}
+
+// Successor returns a new ingesting Census layered over c, which must be
+// frozen (Successor freezes it defensively; Compact is idempotent). The
+// parent census is never mutated again by either side.
+func (c *Census) Successor() *Census {
+	c.Freeze()
+	return &Census{censusState{
+		cfg:        c.cfg,
+		addrs:      c.addrs.(*temporal.Store[ipaddr.Addr]).Successor(),
+		p64s:       c.p64s.(*temporal.Store[ipaddr.Prefix]).Successor(),
+		kinds:      cloneKinds(c.kinds),
+		macs:       make(map[int]map[addrclass.MAC]bool),
+		parentMacs: c.macsView(),
+	}}
+}
+
+// Successor returns a new ingesting ShardedCensus layered over c, which
+// must be frozen (it panics otherwise, matching the sharded store's
+// lock-free read contract). The successor follows the usual lifecycle:
+// concurrent AddDays/Ingest, then Freeze.
+func (c *ShardedCensus) Successor() *ShardedCensus {
+	if !c.Frozen() {
+		panic("core: Successor of an unfrozen ShardedCensus")
+	}
+	saddrs := c.saddrs.Successor()
+	sp64s := c.sp64s.Successor()
+	return &ShardedCensus{
+		censusState: censusState{
+			cfg:        c.cfg,
+			addrs:      saddrs,
+			p64s:       sp64s,
+			kinds:      cloneKinds(c.kinds),
+			macs:       make(map[int]map[addrclass.MAC]bool),
+			parentMacs: c.macsView(),
+		},
+		saddrs:  saddrs,
+		sp64s:   sp64s,
+		workers: c.workers,
+	}
+}
+
+// ChangedAddrs visits every address whose day words this generation differ
+// from the predecessor generation's (newly observed addresses have all-zero
+// prev words). On a first-generation census it visits nothing. The word
+// slices alias internal storage and must not be modified or retained.
+func (c *censusState) ChangedAddrs(fn func(a ipaddr.Addr, prev, cur []uint64) bool) {
+	c.addrs.Changed(fn)
+}
+
+// ChangedPrefix64s is ChangedAddrs for the /64 prefix population.
+func (c *censusState) ChangedPrefix64s(fn func(p ipaddr.Prefix, prev, cur []uint64) bool) {
+	c.p64s.Changed(fn)
+}
+
+// cowDayMACs installs day's generation-local MAC set, seeding it from the
+// predecessor's set for that day when one exists (copy-on-write: the
+// parent's sets are immutable and shared until a day is re-ingested).
+func (c *censusState) cowDayMACs(day, sizeHint int) map[addrclass.MAC]bool {
+	var m map[addrclass.MAC]bool
+	if pm := c.parentMacs[day]; pm != nil {
+		m = make(map[addrclass.MAC]bool, len(pm)+sizeHint)
+		for mac := range pm {
+			m[mac] = true
+		}
+	} else {
+		m = make(map[addrclass.MAC]bool, sizeHint)
+	}
+	c.macs[day] = m
+	return m
+}
+
+// macCount returns the distinct EUI-64 MAC count for a day through the
+// generational view: the generation-local set when the day was re-ingested,
+// the predecessor's otherwise.
+func (c *censusState) macCount(day int) int {
+	if m, ok := c.macs[day]; ok {
+		return len(m)
+	}
+	return len(c.parentMacs[day])
+}
+
+// macsView returns the merged per-day MAC view: generation-local sets where
+// present, the predecessor's elsewhere. On a first-generation census it is
+// the macs map itself; the returned maps must be treated as read-only.
+func (c *censusState) macsView() map[int]map[addrclass.MAC]bool {
+	if len(c.parentMacs) == 0 {
+		return c.macs
+	}
+	out := make(map[int]map[addrclass.MAC]bool, len(c.parentMacs)+len(c.macs))
+	for day, m := range c.parentMacs {
+		out[day] = m
+	}
+	for day, m := range c.macs {
+		out[day] = m
+	}
+	return out
+}
+
+// cloneKinds deep-copies the per-day Table 1 tallies (the ByKind maps are
+// mutated in place during ingestion, so a successor needs its own).
+func cloneKinds(kinds map[int]addrclass.Summary) map[int]addrclass.Summary {
+	out := make(map[int]addrclass.Summary, len(kinds))
+	for day, sum := range kinds {
+		byKind := make(map[addrclass.Kind]int, len(sum.ByKind))
+		for k, n := range sum.ByKind {
+			byKind[k] = n
+		}
+		sum.ByKind = byKind
+		out[day] = sum
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"v6class/internal/ipaddr"
+	"v6class/synth"
+)
+
+// The generational equivalence suite: a census grown through a frozen
+// parent plus an ingesting successor must answer the full Analyzer surface
+// identically to one census fed every day directly, through both engines —
+// and the parent generation must keep answering as if the successor never
+// existed.
+
+func TestSuccessorCensusEquivalence(t *testing.T) {
+	cfg := synth.Config{Seed: 11, Scale: 0.01, StudyDays: 30}
+	const days, split = 25, 17
+	logs := worldLogs(t, cfg, days)
+	ccfg := CensusConfig{StudyDays: 30}
+
+	ref := NewCensus(ccfg)
+	for _, l := range logs {
+		ref.AddDay(l)
+	}
+	refParent := NewCensus(ccfg)
+	for _, l := range logs[:split] {
+		refParent.AddDay(l)
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		parent := NewCensus(ccfg)
+		for _, l := range logs[:split] {
+			parent.AddDay(l)
+		}
+		parent.Freeze()
+		succ := parent.Successor()
+		for _, l := range logs[split:] {
+			succ.AddDay(l)
+		}
+		succ.Freeze()
+		assertCensusesAgree(t, ref, succ, days)
+		// The frozen parent generation is untouched by the successor.
+		assertCensusesAgree(t, refParent, parent, split)
+		assertChangedDelta(t, parent, succ)
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		parent := NewShardedCensusN(ccfg, 8, 3)
+		parent.AddDays(logs[:split])
+		parent.Freeze()
+		succ := parent.Successor()
+		succ.AddDays(logs[split:])
+		succ.Freeze()
+		assertCensusesAgree(t, ref, succ, days)
+		assertCensusesAgree(t, refParent, parent, split)
+		assertChangedDelta(t, parent, succ)
+	})
+
+	t.Run("sharded-successor-of-sequential-snapshot", func(t *testing.T) {
+		// The serve reload path: a snapshot written by one engine is
+		// restored and extended generationally by the other.
+		parent := NewCensus(ccfg)
+		for _, l := range logs[:split] {
+			parent.AddDay(l)
+		}
+		var buf bytes.Buffer
+		if _, err := parent.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := ReadShardedCensus(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored.Freeze()
+		succ := restored.Successor()
+		succ.AddDays(logs[split:])
+		succ.Freeze()
+		assertCensusesAgree(t, ref, succ, days)
+	})
+}
+
+// assertChangedDelta holds ChangedAddrs to its contract against the two
+// generations' ground truth: it must visit exactly the addresses whose day
+// words differ between parent and successor, with the parent's words as
+// prev and the successor's as cur.
+func assertChangedDelta(t *testing.T, parent, succ Analyzer) {
+	t.Helper()
+	collect := func(a Analyzer) map[ipaddr.Addr][]uint64 {
+		// Range is not on Analyzer; rebuild rows from per-day activity.
+		out := make(map[ipaddr.Addr][]uint64)
+		days := a.StudyDays()
+		stride := (days + 63) / 64
+		for addr := range a.AddrsSeq() {
+			w := make([]uint64, stride)
+			for _, d := range a.LookupAddr(addr).Report.Days {
+				w[int(d)/64] |= 1 << (uint(d) % 64)
+			}
+			out[addr] = w
+		}
+		return out
+	}
+	parentRows, succRows := collect(parent), collect(succ)
+
+	visited := make(map[ipaddr.Addr]bool)
+	succ.ChangedAddrs(func(a ipaddr.Addr, prev, cur []uint64) bool {
+		if visited[a] {
+			t.Fatalf("ChangedAddrs visited %v twice", a)
+		}
+		visited[a] = true
+		pw := parentRows[a] // nil (all-zero) for addresses new this generation
+		for i := range prev {
+			var want uint64
+			if pw != nil {
+				want = pw[i]
+			}
+			if prev[i] != want {
+				t.Fatalf("addr %v prev word %d = %x, want parent's %x", a, i, prev[i], want)
+			}
+		}
+		if !slices.Equal(cur, succRows[a]) {
+			t.Fatalf("addr %v cur differs from successor's row", a)
+		}
+		return true
+	})
+	for a, sw := range succRows {
+		pw, had := parentRows[a]
+		changed := !had || !slices.Equal(pw, sw)
+		if changed != visited[a] {
+			t.Fatalf("addr %v: changed=%v, visited=%v", a, changed, visited[a])
+		}
+	}
+	if len(visited) == 0 {
+		t.Fatal("ChangedAddrs visited nothing; the synthetic world should add addresses every day")
+	}
+
+	// A first-generation census visits nothing.
+	parent.ChangedAddrs(func(ipaddr.Addr, []uint64, []uint64) bool {
+		t.Fatal("ChangedAddrs on a first-generation census visited a key")
+		return false
+	})
+}
+
+// TestSuccessorSnapshotRoundTrip writes a frozen successor census and reads
+// it back: the snapshot must carry the merged generational state — in
+// particular the MAC sets of days only the parent generation ingested.
+func TestSuccessorSnapshotRoundTrip(t *testing.T) {
+	cfg := synth.Config{Seed: 12, Scale: 0.01, StudyDays: 24}
+	const days, split = 20, 14
+	logs := worldLogs(t, cfg, days)
+	ccfg := CensusConfig{StudyDays: 24}
+
+	parent := NewCensus(ccfg)
+	for _, l := range logs[:split] {
+		parent.AddDay(l)
+	}
+	succ := parent.Successor()
+	for _, l := range logs[split:] {
+		succ.AddDay(l)
+	}
+	succ.Freeze()
+
+	var buf bytes.Buffer
+	if _, err := succ.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCensus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := NewCensus(ccfg)
+	for _, l := range logs {
+		ref.AddDay(l)
+	}
+	assertCensusesAgree(t, ref, back, days)
+}
+
+// TestSuccessorGuards covers the lifecycle panics at the census level.
+func TestSuccessorCensusGuards(t *testing.T) {
+	sh := NewShardedCensus(CensusConfig{StudyDays: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Successor of an unfrozen ShardedCensus did not panic")
+		}
+	}()
+	sh.Successor()
+}

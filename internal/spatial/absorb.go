@@ -1,0 +1,25 @@
+package spatial
+
+// The incremental-build path mirroring trie.Clone/Absorb at the population
+// level: a frozen generation's AddressSet becomes the next generation's by
+// cloning the arena and absorbing a small delta set of newly observed keys,
+// instead of a from-scratch BuildAddressSet over the whole population. The
+// trie's canonical-shape guarantee carries over: the absorbed set is
+// bit-identical to one built from scratch over the union.
+
+// Clone returns a deep copy of the set; mutating the clone (Add, AddPrefix,
+// Absorb) never disturbs the original.
+func (s *AddressSet) Clone() *AddressSet {
+	return &AddressSet{tr: *s.tr.Clone()}
+}
+
+// Absorb merges every item of delta into s, as if each had been added
+// directly; delta is not modified. Keys present in both sets accumulate
+// their observation counts, so delta sets meant to extend a distinct-key
+// population must contain only keys absent from s.
+func (s *AddressSet) Absorb(delta *AddressSet) {
+	if delta == nil {
+		return
+	}
+	s.tr.Absorb(&delta.tr)
+}

@@ -1,0 +1,146 @@
+package temporal
+
+import "slices"
+
+// The generational write path: a frozen census spawns an ingesting
+// successor store that layers new observations over the predecessor's
+// immutable slab instead of re-ingesting the whole study. The overlay holds
+// only the rows touched this generation — a key's row is copied from the
+// parent on first write (copy-on-write) or allocated fresh when the parent
+// never saw it — so memory during ingestion is proportional to the day's
+// churn, not the population. Compact then performs the copy-on-freeze row
+// extension: the parent slab is copied once into an exactly-sized flat
+// slab, dirty overlay rows are patched into their parent slots, genuinely
+// new keys extend the row space, and the per-key deltas (previous day
+// words of every changed key) are retained for Changed so downstream
+// incremental consumers (the spatial delta build) can see exactly what this
+// generation added. The parent pointer is dropped at that point, so
+// generation chains never accumulate: each frozen store is self-contained
+// and can spawn the next successor.
+
+// Successor returns a new ingesting Store layered over s. The parent must
+// not be mutated afterwards (it is typically frozen/compacted already; any
+// immutable store works). An uncompacted successor cannot itself spawn a
+// successor — Compact first — which keeps lookup chains one level deep.
+func (s *Store[K]) Successor() *Store[K] {
+	if s.parent != nil {
+		panic("temporal: Successor of an uncompacted successor store")
+	}
+	t := NewStore[K](s.numDays)
+	t.parent = s
+	copy(t.perDay, s.perDay)
+	return t
+}
+
+// compactSuccessor is Compact for a successor overlay: it merges the
+// overlay into the parent's row space. Parent keys keep their row indices
+// (patched with overlay words where dirty); new keys append in overlay
+// insertion order. The per-key deltas are recorded for Changed and the
+// parent pointer is dropped.
+func (s *Store[K]) compactSuccessor() {
+	p := s.parent
+	total := len(p.keys) + s.newKeys
+	flat := make([]uint64, total*s.stride)
+
+	// Copy the parent rows row-by-row through p.row, which handles any
+	// parent geometry (compacted flat slab or growth chunks alike).
+	for r := range p.keys {
+		copy(flat[r*s.stride:(r+1)*s.stride], p.row(uint32(r)))
+	}
+
+	keys := make([]K, len(p.keys), total)
+	copy(keys, p.keys)
+	rowOf := make(map[K]uint32, total)
+	for k, r := range p.rowOf {
+		rowOf[k] = r
+	}
+
+	// Patch dirty rows and extend with new keys, recording each key whose
+	// final words differ from its parent words (zeros for new keys).
+	next := len(p.keys)
+	for i, k := range s.keys {
+		src := s.row(uint32(i))
+		var dst []uint64
+		var prev []uint64 // parent words; nil means all-zero
+		if pr, ok := p.rowOf[k]; ok {
+			dst = flat[int(pr)*s.stride : (int(pr)+1)*s.stride]
+			prev = p.row(pr)
+		} else {
+			dst = flat[next*s.stride : (next+1)*s.stride]
+			keys = append(keys, k)
+			rowOf[k] = uint32(next)
+			next++
+		}
+		if dirty := prev == nil || !slices.Equal(src, prev); dirty {
+			s.changed = append(s.changed, k)
+			off := len(s.prevRows)
+			s.prevRows = append(s.prevRows, make([]uint64, s.stride)...)
+			copy(s.prevRows[off:], prev)
+		}
+		copy(dst, src)
+	}
+
+	s.chunks = [][]uint64{flat}
+	s.shift = 31
+	s.mask = 1<<31 - 1
+	s.keys = keys
+	s.rowOf = rowOf
+	s.parent = nil
+	s.newKeys = 0
+	s.sealed = true
+}
+
+// Changed visits every key whose day words this generation differ from the
+// parent generation's — keys with newly set day bits, including keys the
+// parent never observed (their prev words are all zero). prev and cur alias
+// internal storage and must not be modified or retained. Valid on a
+// compacted successor; a store with no predecessor (or an uncompacted
+// overlay) visits nothing. Returning false stops the iteration.
+func (s *Store[K]) Changed(fn func(k K, prev, cur []uint64) bool) {
+	for i, k := range s.changed {
+		cur := s.row(s.rowOf[k])
+		prev := s.prevRows[i*s.stride : (i+1)*s.stride]
+		if !fn(k, prev, cur) {
+			return
+		}
+	}
+}
+
+// Successor returns a new ingesting ShardedStore layered shard-by-shard
+// over s, which must be frozen (the per-shard overlays read the parent
+// slabs without locks). The shard count and key hash carry over, so every
+// key's overlay shard matches its parent shard. The successor follows the
+// usual sharded lifecycle: concurrent Observe/ApplyBatch, then Freeze,
+// which compacts every overlay into its parent's row space.
+func (s *ShardedStore[K]) Successor() *ShardedStore[K] {
+	if !s.Frozen() {
+		panic("temporal: Successor of an unfrozen ShardedStore")
+	}
+	t := &ShardedStore[K]{numDays: s.numDays, hash: s.hash, shards: make([]storeShard[K], len(s.shards))}
+	for i := range s.shards {
+		t.shards[i].st = s.shards[i].st.Successor()
+	}
+	return t
+}
+
+// Changed visits every key whose day words differ from the parent
+// generation's, shard by shard; it requires Freeze (the sweep reads every
+// shard without locks). See Store.Changed for the contract.
+func (s *ShardedStore[K]) Changed(fn func(k K, prev, cur []uint64) bool) {
+	if !s.Frozen() {
+		panic("temporal: Changed on an unfrozen ShardedStore")
+	}
+	for i := range s.shards {
+		stop := false
+		s.shards[i].st.Changed(func(k K, prev, cur []uint64) bool {
+			if !fn(k, prev, cur) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

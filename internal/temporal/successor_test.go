@@ -1,0 +1,318 @@
+package temporal
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// obsSet is a reproducible random observation set over string keys.
+func obsSet(r *rand.Rand, keys, perKey, numDays int) []Obs[string] {
+	var out []Obs[string]
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%04d", r.Intn(keys*2))
+		for j := 0; j < 1+r.Intn(perKey); j++ {
+			out = append(out, Obs[string]{Key: k, Day: Day(r.Intn(numDays))})
+		}
+	}
+	return out
+}
+
+// collect snapshots a store's full key->row-words view via Range.
+func collect(s interface {
+	Range(func(string, []uint64) bool)
+}) map[string][]uint64 {
+	out := make(map[string][]uint64)
+	s.Range(func(k string, days []uint64) bool {
+		out[k] = append([]uint64(nil), days...)
+		return true
+	})
+	return out
+}
+
+func sameView(t *testing.T, got, want map[string][]uint64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d keys, want %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("%s: missing key %q", label, k)
+		}
+		if !slices.Equal(g, w) {
+			t.Fatalf("%s: key %q words %v, want %v", label, k, g, w)
+		}
+	}
+}
+
+// TestSuccessorMerge is the copy-on-freeze equivalence property: a parent
+// generation extended through a successor overlay must, after Compact, be
+// indistinguishable (keys, day words, per-day counters, point queries) from
+// a single store that ingested both generations' observations.
+func TestSuccessorMerge(t *testing.T) {
+	const numDays = 90
+	r := rand.New(rand.NewSource(71))
+	gen1 := obsSet(r, 300, 6, numDays)
+	gen2 := obsSet(r, 120, 4, numDays)
+
+	parent := NewStore[string](numDays)
+	for _, o := range gen1 {
+		parent.Observe(o.Key, o.Day)
+	}
+	parent.Compact()
+	parentView := collect(parent)
+
+	succ := parent.Successor()
+	if succ.Len() != parent.Len() {
+		t.Fatalf("fresh successor Len = %d, want parent's %d", succ.Len(), parent.Len())
+	}
+	for _, o := range gen2 {
+		succ.Observe(o.Key, o.Day)
+	}
+
+	// The reference: one store fed both generations.
+	ref := NewStore[string](numDays)
+	for _, o := range gen1 {
+		ref.Observe(o.Key, o.Day)
+	}
+	for _, o := range gen2 {
+		ref.Observe(o.Key, o.Day)
+	}
+
+	// Pre-compact union reads: Len, Range, per-day counters and point
+	// queries must already present the union view.
+	if succ.Len() != ref.Len() {
+		t.Fatalf("uncompacted successor Len = %d, want %d", succ.Len(), ref.Len())
+	}
+	sameView(t, collect(succ), collect(ref), "uncompacted Range")
+	if !slices.Equal(succ.ActivePerDay(), ref.ActivePerDay()) {
+		t.Fatal("uncompacted ActivePerDay differs from reference")
+	}
+	for k := range collect(ref) {
+		ra, rok := ref.Activity(k)
+		sa, sok := succ.Activity(k)
+		if rok != sok || ra != sa {
+			t.Fatalf("Activity(%q) = %+v,%v want %+v,%v", k, sa, sok, ra, rok)
+		}
+		if !slices.Equal(succ.Days(k), ref.Days(k)) {
+			t.Fatalf("Days(%q) differs", k)
+		}
+	}
+
+	succ.Compact()
+	ref.Compact()
+	sameView(t, collect(succ), collect(ref), "compacted Range")
+	if succ.Len() != ref.Len() || succ.Rows() != ref.Rows() {
+		t.Fatalf("compacted Len/Rows = %d/%d, want %d/%d", succ.Len(), succ.Rows(), ref.Len(), ref.Rows())
+	}
+	if !slices.Equal(succ.ActivePerDay(), ref.ActivePerDay()) {
+		t.Fatal("compacted ActivePerDay differs from reference")
+	}
+	// Parent row indices are preserved: every parent key keeps its row.
+	for r := range parent.keys {
+		k := parent.keys[r]
+		if succ.rowOf[k] != uint32(r) {
+			t.Fatalf("parent key %q moved from row %d to %d", k, r, succ.rowOf[k])
+		}
+	}
+	// The frozen parent must not have been disturbed.
+	sameView(t, collect(parent), parentView, "parent after successor Compact")
+
+	// Bulk sweeps over the merged store match the reference.
+	for _, refDay := range []Day{0, 17, 45, 89} {
+		if g, w := succ.ClassifyDay(refDay, 3, Options{}), ref.ClassifyDay(refDay, 3, Options{}); g != w {
+			t.Fatalf("ClassifyDay(%d) = %+v, want %+v", refDay, g, w)
+		}
+	}
+	if g, w := succ.ActiveInRange(10, 40), ref.ActiveInRange(10, 40); g != w {
+		t.Fatalf("ActiveInRange = %d, want %d", g, w)
+	}
+}
+
+// TestSuccessorChanged holds Changed to its contract: it visits exactly the
+// keys whose day words differ from the parent generation's, with the right
+// prev/cur pairs — including brand-new keys (zero prev) — and skips keys
+// only touched idempotently.
+func TestSuccessorChanged(t *testing.T) {
+	const numDays = 10
+	parent := NewStore[string](numDays)
+	parent.Observe("old-quiet", 1)
+	parent.Observe("old-extended", 2)
+	parent.Observe("old-touched", 3)
+	parent.Compact()
+
+	succ := parent.Successor()
+	succ.Observe("old-extended", 7) // existing key, new day -> changed
+	succ.Observe("old-touched", 3)  // existing key, same day -> unchanged
+	succ.Observe("brand-new", 5)    // new key -> changed, zero prev
+	succ.Compact()
+
+	got := make(map[string][2][]uint64)
+	succ.Changed(func(k string, prev, cur []uint64) bool {
+		got[k] = [2][]uint64{append([]uint64(nil), prev...), append([]uint64(nil), cur...)}
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("Changed visited %d keys (%v), want 2", len(got), got)
+	}
+	ext, ok := got["old-extended"]
+	if !ok {
+		t.Fatal("Changed missed old-extended")
+	}
+	if ext[0][0] != 1<<2 || ext[1][0] != 1<<2|1<<7 {
+		t.Fatalf("old-extended prev/cur = %b/%b, want %b/%b", ext[0][0], ext[1][0], uint64(1<<2), uint64(1<<2|1<<7))
+	}
+	nw, ok := got["brand-new"]
+	if !ok {
+		t.Fatal("Changed missed brand-new")
+	}
+	if nw[0][0] != 0 || nw[1][0] != 1<<5 {
+		t.Fatalf("brand-new prev/cur = %b/%b, want 0/%b", nw[0][0], nw[1][0], uint64(1<<5))
+	}
+
+	// Early termination.
+	visits := 0
+	succ.Changed(func(string, []uint64, []uint64) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("Changed after false visited %d keys, want 1", visits)
+	}
+
+	// A plain store (no predecessor) visits nothing.
+	visits = 0
+	parent.Changed(func(string, []uint64, []uint64) bool { visits++; return true })
+	if visits != 0 {
+		t.Fatalf("Changed on a no-predecessor store visited %d keys", visits)
+	}
+}
+
+// TestSuccessorGuards covers the lifecycle panics: no successor chains off
+// uncompacted overlays, no Restore into an overlay, and no sharded
+// successor off an unfrozen store.
+func TestSuccessorGuards(t *testing.T) {
+	mustPanic := func(label string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", label)
+			}
+		}()
+		fn()
+	}
+
+	parent := NewStore[string](5)
+	parent.Observe("a", 1)
+	parent.Compact()
+	succ := parent.Successor()
+	mustPanic("Successor of uncompacted successor", func() { succ.Successor() })
+	mustPanic("Restore into successor", func() { succ.Restore("a", []uint64{1}) })
+	succ.Compact()
+	// A compacted successor is a first-class frozen store and may spawn the
+	// next generation.
+	succ.Successor()
+
+	var seed maphash.Seed = maphash.MakeSeed()
+	hash := func(k string) uint64 { return maphash.String(seed, k) }
+	sh := NewShardedStoreN[string](5, 4, hash)
+	sh.Observe("a", 1)
+	mustPanic("sharded Successor before Freeze", func() { sh.Successor() })
+	mustPanic("sharded Changed before Freeze", func() { sh.Changed(func(string, []uint64, []uint64) bool { return true }) })
+}
+
+// TestShardedSuccessor runs the generational cycle through the sharded
+// store: freeze, successor, concurrent-style ingest, freeze again; the
+// merged view must match a single-generation reference and Changed must
+// surface exactly the delta.
+func TestShardedSuccessor(t *testing.T) {
+	const numDays = 60
+	var seed maphash.Seed = maphash.MakeSeed()
+	hash := func(k string) uint64 { return maphash.String(seed, k) }
+	r := rand.New(rand.NewSource(72))
+	gen1 := obsSet(r, 500, 5, numDays)
+	gen2 := obsSet(r, 200, 3, numDays)
+
+	parent := NewShardedStoreN[string](numDays, 8, hash)
+	for _, o := range gen1 {
+		parent.Observe(o.Key, o.Day)
+	}
+	parent.Freeze()
+
+	succ := parent.Successor()
+	if succ.Frozen() {
+		t.Fatal("fresh sharded successor is frozen")
+	}
+	if succ.NumShards() != parent.NumShards() {
+		t.Fatalf("successor has %d shards, want %d", succ.NumShards(), parent.NumShards())
+	}
+	for _, o := range gen2 {
+		succ.Observe(o.Key, o.Day)
+	}
+	succ.Freeze()
+
+	ref := NewShardedStoreN[string](numDays, 8, hash)
+	for _, o := range gen1 {
+		ref.Observe(o.Key, o.Day)
+	}
+	for _, o := range gen2 {
+		ref.Observe(o.Key, o.Day)
+	}
+	ref.Freeze()
+
+	sameView(t, collect(succ), collect(ref), "sharded merged Range")
+	if succ.Len() != ref.Len() {
+		t.Fatalf("Len = %d, want %d", succ.Len(), ref.Len())
+	}
+	if !slices.Equal(succ.ActivePerDay(), ref.ActivePerDay()) {
+		t.Fatal("ActivePerDay differs from reference")
+	}
+	if g, w := succ.ClassifyDay(30, 3, Options{}), ref.ClassifyDay(30, 3, Options{}); g != w {
+		t.Fatalf("ClassifyDay = %+v, want %+v", g, w)
+	}
+
+	// Changed across shards: every visited key's cur must differ from prev,
+	// and replaying the prev->cur transitions onto the parent view must
+	// reproduce the merged view.
+	parentView := collect(parent)
+	mergedView := collect(succ)
+	visited := make(map[string]bool)
+	succ.Changed(func(k string, prev, cur []uint64) bool {
+		if visited[k] {
+			t.Fatalf("Changed visited %q twice", k)
+		}
+		visited[k] = true
+		if slices.Equal(prev, cur) {
+			t.Fatalf("Changed visited %q with prev == cur", k)
+		}
+		pw := parentView[k] // nil (all-zero) for new keys
+		for i := range prev {
+			var want uint64
+			if pw != nil {
+				want = pw[i]
+			}
+			if prev[i] != want {
+				t.Fatalf("key %q prev word %d = %x, want parent's %x", k, i, prev[i], want)
+			}
+		}
+		if !slices.Equal(cur, mergedView[k]) {
+			t.Fatalf("key %q cur differs from merged view", k)
+		}
+		return true
+	})
+	// Completeness: every key whose merged words differ from the parent's
+	// must have been visited.
+	for k, mw := range mergedView {
+		pw, had := parentView[k]
+		if (!had || !slices.Equal(pw, mw)) != visited[k] {
+			t.Fatalf("key %q: changed=%v but visited=%v", k, !had || !slices.Equal(pw, mw), visited[k])
+		}
+	}
+
+	// Early termination stops across shard boundaries.
+	visits := 0
+	succ.Changed(func(string, []uint64, []uint64) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("Changed after false visited %d keys, want 1", visits)
+	}
+}

@@ -59,6 +59,17 @@ type Store[K comparable] struct {
 
 	perDay []int // observations of distinct keys per day
 	sealed bool  // set by Compact: no further keys may be added
+
+	// Successor overlay state (successor.go). parent is the immutable
+	// predecessor generation this store copies rows from on first write;
+	// it is non-nil only between Successor and Compact. newKeys counts own
+	// keys absent from the parent, so Len stays the union size during
+	// ingestion. Compact merges the overlay into the parent's row space,
+	// records the per-key deltas in changed/prevRows, and drops parent.
+	parent   *Store[K]
+	newKeys  int
+	changed  []K
+	prevRows []uint64
 }
 
 // NewStore returns a Store for a study period of numDays days.
@@ -79,8 +90,14 @@ func NewStore[K comparable](numDays int) *Store[K] {
 // NumDays returns the length of the study period.
 func (s *Store[K]) NumDays() int { return s.numDays }
 
-// Len returns the number of distinct keys ever observed.
-func (s *Store[K]) Len() int { return len(s.keys) }
+// Len returns the number of distinct keys ever observed, counting the
+// parent generation's keys on an uncompacted successor.
+func (s *Store[K]) Len() int {
+	if s.parent != nil {
+		return s.parent.Len() + s.newKeys
+	}
+	return len(s.keys)
+}
 
 // Rows returns the number of slab rows, equal to Len; rows index the keys
 // in insertion order. Row-range sweep partitioning is defined over [0,
@@ -120,6 +137,10 @@ func (s *Store[K]) Compact() {
 	if s.sealed {
 		return
 	}
+	if s.parent != nil {
+		s.compactSuccessor()
+		return
+	}
 	chunkWords := (1 << s.shift) * s.stride
 	flat := make([]uint64, len(s.keys)*s.stride)
 	for c, ch := range s.chunks {
@@ -141,16 +162,39 @@ func (s *Store[K]) Observe(k K, d Day) {
 	r, ok := s.rowOf[k]
 	if !ok {
 		r = s.addRow(k)
+		if s.parent != nil {
+			if pr, pok := s.parent.rowOf[k]; pok {
+				// Copy-on-first-write: seed the overlay row with the
+				// parent's day words so the row stays the union view.
+				copy(s.row(r), s.parent.row(pr))
+			} else {
+				s.newKeys++
+			}
+		}
 	}
 	if wordSet(s.row(r), int(d)) {
 		s.perDay[d]++
 	}
 }
 
+// lookup returns k's day words: the overlay row when the key has been
+// written this generation, the parent generation's frozen row otherwise.
+func (s *Store[K]) lookup(k K) ([]uint64, bool) {
+	if r, ok := s.rowOf[k]; ok {
+		return s.row(r), true
+	}
+	if s.parent != nil {
+		if r, ok := s.parent.rowOf[k]; ok {
+			return s.parent.row(r), true
+		}
+	}
+	return nil, false
+}
+
 // Active reports whether k was observed on day d.
 func (s *Store[K]) Active(k K, d Day) bool {
-	r, ok := s.rowOf[k]
-	return ok && wordGet(s.row(r), int(d))
+	w, ok := s.lookup(k)
+	return ok && wordGet(w, int(d))
 }
 
 // ActiveCount returns the number of distinct keys observed on day d.
@@ -169,11 +213,10 @@ func (s *Store[K]) ActivePerDay() []int {
 
 // Days returns the sorted active days of k (empty when never observed).
 func (s *Store[K]) Days(k K) []Day {
-	r, ok := s.rowOf[k]
+	w, ok := s.lookup(k)
 	if !ok {
 		return nil
 	}
-	w := s.row(r)
 	var out []Day
 	for d := wordsFirst(w, 0); d >= 0; d = wordsFirst(w, d+1) {
 		out = append(out, Day(d))
@@ -216,11 +259,10 @@ func (a Activity) Volatility() float64 {
 // Activity returns the activity profile of k; ok is false when k was never
 // observed.
 func (s *Store[K]) Activity(k K) (Activity, bool) {
-	r, rok := s.rowOf[k]
+	w, rok := s.lookup(k)
 	if !rok {
 		return Activity{}, false
 	}
-	w := s.row(r)
 	first := wordsFirst(w, 0)
 	if first < 0 {
 		return Activity{}, false
@@ -271,11 +313,10 @@ func (o Options) window() Window {
 // under opts. A key inactive on ref is never nd-stable for that reference
 // day (the daily analysis classifies the population active on ref).
 func (s *Store[K]) NDStable(k K, ref Day, n int, opts Options) bool {
-	r, ok := s.rowOf[k]
+	w, ok := s.lookup(k)
 	if !ok {
 		return false
 	}
-	w := s.row(r)
 	return wordGet(w, int(ref)) && ndStableActive(w, ref, n, opts)
 }
 
@@ -593,6 +634,20 @@ func (s *Store[K]) LongestGapStable(limit int) []K {
 // iteration. The row slices alias the live slab and must not be modified or
 // retained.
 func (s *Store[K]) Range(fn func(k K, days []uint64) bool) {
+	if s.parent != nil {
+		// Uncompacted successor: the union view is the parent's rows not
+		// yet overridden by the overlay, then the overlay's rows (which
+		// include the copied-on-write ones).
+		for r := range s.parent.keys {
+			k := s.parent.keys[r]
+			if _, own := s.rowOf[k]; own {
+				continue
+			}
+			if !fn(k, s.parent.row(uint32(r))) {
+				return
+			}
+		}
+	}
 	for r := range s.keys {
 		if !fn(s.keys[r], s.row(uint32(r))) {
 			return
@@ -603,8 +658,13 @@ func (s *Store[K]) Range(fn func(k K, days []uint64) bool) {
 // Restore installs deserialized activity words for k, replacing any
 // existing record and updating the per-day counters. Words beyond the
 // store's stride (possible only when the snapshot's study period was
-// longer) are dropped.
+// longer) are dropped. Restore deserializes into fresh stores only; on a
+// successor overlay it panics (the replace semantics cannot compose with
+// copy-on-write rows).
 func (s *Store[K]) Restore(k K, days []uint64) {
+	if s.parent != nil {
+		panic("temporal: Restore into a successor store")
+	}
 	r, ok := s.rowOf[k]
 	if !ok {
 		r = s.addRow(k)

@@ -1,0 +1,49 @@
+package trie
+
+// The incremental-build path: a frozen population trie is extended into the
+// next generation's trie by deep-copying its arena (Clone) and replaying a
+// small delta trie into the copy (Absorb), so a daily census update costs
+// O(|delta| * depth) inserts plus one memcpy of the existing arena instead
+// of a from-scratch BuildFromSeq over the whole population. Because a
+// path-compressed radix trie's shape is a pure function of the item
+// multiset, the absorbed trie is logically identical — same structure, same
+// counts, same walk order — to one built from scratch over the union (the
+// equivalence property test in absorb_test.go holds it to that, node for
+// node).
+
+// Clone returns a deep copy of the trie: an independent arena with the same
+// node layout, so mutating the clone (Add, Absorb) never disturbs the
+// original. Readers of the original may run concurrently with Clone; the
+// original must not be mutated during the copy.
+func (t *Trie) Clone() *Trie {
+	out := &Trie{n: t.n, root: t.root, items: t.items, nodes: t.nodes}
+	if len(t.chunks) > 0 {
+		// One backing slab for every chunk copy: a per-chunk make would cost
+		// one allocation per 8192 nodes, which for a census-sized trie is
+		// most of the incremental path's allocation budget. Chunks are
+		// always full-length (newNode allocates them whole) and only ever
+		// indexed, never appended to; the capacity cap keeps a future bug
+		// from bleeding one chunk into the next.
+		backing := make([]node, len(t.chunks)<<chunkShift)
+		out.chunks = make([][]node, len(t.chunks))
+		for i, ch := range t.chunks {
+			c := backing[i<<chunkShift : (i+1)<<chunkShift : (i+1)<<chunkShift]
+			copy(c, ch)
+			out.chunks[i] = c
+		}
+	}
+	return out
+}
+
+// Absorb merges every item of delta into t, as if each had been inserted
+// with Add. The delta trie is not modified. Items present in both tries
+// accumulate their counts, exactly as repeated Add calls would.
+func (t *Trie) Absorb(delta *Trie) {
+	if delta == nil {
+		return
+	}
+	delta.Walk(func(pc PrefixCount) bool {
+		t.Add(pc.Prefix, pc.Count)
+		return true
+	})
+}

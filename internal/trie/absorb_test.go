@@ -1,0 +1,131 @@
+package trie
+
+import (
+	"iter"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"v6class/internal/ipaddr"
+)
+
+// sameTrie asserts two tries are bit-for-bit identical in every observable
+// respect: structure (String renders every node with its counts in walk
+// order), items, totals, node counts and the full aggregate-count spectrum.
+func sameTrie(t *testing.T, got, want *Trie, label string) {
+	t.Helper()
+	if g, w := got.String(), want.String(); g != w {
+		t.Fatalf("%s: structure differs\ngot:\n%s\nwant:\n%s", label, g, w)
+	}
+	if got.Len() != want.Len() || got.Total() != want.Total() || got.Nodes() != want.Nodes() {
+		t.Fatalf("%s: len/total/nodes = %d/%d/%d, want %d/%d/%d",
+			label, got.Len(), got.Total(), got.Nodes(), want.Len(), want.Total(), want.Nodes())
+	}
+	if !slices.Equal(got.Items(), want.Items()) {
+		t.Fatalf("%s: items differ", label)
+	}
+	if got.AggregateCounts() != want.AggregateCounts() {
+		t.Fatalf("%s: aggregate counts differ", label)
+	}
+}
+
+func itemsSeq(items []PrefixCount) iter.Seq[PrefixCount] {
+	return func(yield func(PrefixCount) bool) {
+		for _, pc := range items {
+			if !yield(pc) {
+				return
+			}
+		}
+	}
+}
+
+// TestAbsorbEquivalence is the incremental-build equivalence property:
+// Clone(base) + Absorb(delta) must equal a from-scratch build over the
+// union, bit for bit, for random mixed-length populations and random
+// base/delta splits — including overlapping items, empty bases and empty
+// deltas.
+func TestAbsorbEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for round := 0; round < 40; round++ {
+		all := randPrefixSet(r, 10+r.Intn(120))
+		// Random split point; rounds 0 and 1 force the degenerate splits.
+		cut := r.Intn(len(all) + 1)
+		if round == 0 {
+			cut = 0 // empty base
+		}
+		if round == 1 {
+			cut = len(all) // empty delta
+		}
+		baseItems, deltaItems := all[:cut], all[cut:]
+
+		var base, delta Trie
+		for _, pc := range baseItems {
+			base.Add(pc.Prefix, pc.Count)
+		}
+		for _, pc := range deltaItems {
+			delta.Add(pc.Prefix, pc.Count)
+		}
+
+		got := base.Clone()
+		got.Absorb(&delta)
+
+		// The reference: one sequential build over the full multiset.
+		var want Trie
+		for _, pc := range all {
+			want.Add(pc.Prefix, pc.Count)
+		}
+		sameTrie(t, got, &want, "absorb vs sequential")
+
+		// And the parallel build, which shares the same canonical-shape
+		// guarantee.
+		built := BuildFromSeq(4, itemsSeq(baseItems), itemsSeq(deltaItems))
+		sameTrie(t, got, built, "absorb vs BuildFromSeq")
+	}
+}
+
+// TestCloneIndependence proves a clone is a genuinely separate arena:
+// mutating either side never leaks into the other.
+func TestCloneIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	var orig Trie
+	for _, pc := range randPrefixSet(r, 200) {
+		orig.Add(pc.Prefix, pc.Count)
+	}
+	before := orig.String()
+
+	cl := orig.Clone()
+	sameTrie(t, cl, &orig, "fresh clone")
+
+	// Mutate the clone heavily; the original must not move.
+	for _, pc := range randPrefixSet(r, 300) {
+		cl.Add(pc.Prefix, pc.Count)
+	}
+	if got := orig.String(); got != before {
+		t.Fatal("mutating the clone changed the original")
+	}
+
+	// And the other way around.
+	snapshot := cl.String()
+	orig.Add(ipaddr.PrefixFrom(ipaddr.MustParseAddr("2001:db8::42"), 128), 1)
+	if got := cl.String(); got != snapshot {
+		t.Fatal("mutating the original changed the clone")
+	}
+}
+
+// TestCloneEmpty covers the zero-value edge: cloning an empty trie yields
+// an independent empty trie that accepts inserts.
+func TestCloneEmpty(t *testing.T) {
+	var empty Trie
+	cl := empty.Clone()
+	if cl.Len() != 0 || cl.Nodes() != 0 {
+		t.Fatalf("clone of empty trie has %d items, %d nodes", cl.Len(), cl.Nodes())
+	}
+	cl.AddAddr(ipaddr.MustParseAddr("2001:db8::1"))
+	if cl.Len() != 1 || empty.Len() != 0 {
+		t.Fatalf("after insert: clone len %d (want 1), original len %d (want 0)", cl.Len(), empty.Len())
+	}
+	empty.Absorb(cl)
+	if empty.Len() != 1 {
+		t.Fatalf("absorb into zero-value trie: len %d, want 1", empty.Len())
+	}
+}

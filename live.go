@@ -1,0 +1,120 @@
+package v6class
+
+import (
+	"fmt"
+	"io"
+
+	"v6class/internal/cdnlog"
+)
+
+// The live write path: a frozen Engine spawns an ingesting successor
+// generation (Successor) that layers new daily logs over the predecessor's
+// immutable state while the predecessor keeps serving reads; freezing the
+// successor yields the next query-ready generation. The successor also
+// answers the incremental spatial query (SpatialSetFrom) that lets a
+// serving layer extend a predecessor's AddressSet by the generation's
+// delta — a clone plus O(|delta|) trie inserts — instead of rebuilding it
+// from the whole population.
+
+// LiveEngine is the Engine of a successor generation: the full Engine
+// lifecycle plus the generational delta query.
+type LiveEngine interface {
+	Engine
+
+	// SpatialSetFrom is SpatialSet(pop, days...) computed incrementally
+	// from base, the predecessor generation's set for the SAME population
+	// and day selection: base is cloned and the keys newly qualifying this
+	// generation (active on a selected day now, on none of them before) are
+	// absorbed. Because a radix trie's shape is a pure function of the item
+	// set, the result is bit-identical to SpatialSet built from scratch.
+	// A nil base falls back to the full build. Requires Freeze; base is
+	// never modified.
+	SpatialSetFrom(base *AddressSet, pop Population, days ...int) (*AddressSet, error)
+}
+
+// Successor returns an ingesting LiveEngine layered over parent, which must
+// be a frozen Engine constructed by this package (New, Open, or a previous
+// Successor). The parent is not mutated and keeps answering queries
+// throughout the successor's lifecycle; the two generations share the
+// parent's immutable slabs until the successor freezes, so the successor's
+// memory cost during ingestion is proportional to the new days' churn, not
+// the whole population.
+func Successor(parent Engine) (LiveEngine, error) {
+	e, ok := parent.(*engine)
+	if !ok {
+		return nil, fmt.Errorf("%w: Successor requires an Engine constructed by this package", ErrConfig)
+	}
+	if !e.Frozen() {
+		return nil, ErrNotFrozen
+	}
+	child := &engine{opts: e.opts, keep: e.keep}
+	switch {
+	case e.sh != nil:
+		child.sh = e.sh.Successor()
+		child.a = child.sh
+	case e.seq != nil:
+		child.seq = e.seq.Successor()
+		child.a = child.seq
+	default:
+		// FromAnalyzer over a foreign Analyzer: no concrete census to layer
+		// over.
+		return nil, fmt.Errorf("%w: Successor requires an Engine backed by a census, not a foreign Analyzer", ErrConfig)
+	}
+	return child, nil
+}
+
+// SpatialSetFrom implements LiveEngine. The delta is exactly the set of
+// keys whose day words gained their first selected-day bit this generation:
+// a key already active on any selected day in the predecessor is already in
+// base, and the day-mask sweeps deduplicate, so each qualifying key is
+// absorbed exactly once with count 1 — matching the from-scratch build.
+func (e *engine) SpatialSetFrom(base *AddressSet, pop Population, days ...int) (*AddressSet, error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return e.SpatialSet(pop, days...)
+	}
+	// The selected-day mask, mirroring the temporal layer's dayMask:
+	// out-of-period days are skipped, so the qualification test agrees with
+	// the full build's sweep for every selection, including degenerate ones.
+	stride := (e.a.StudyDays() + 63) / 64
+	mask := make([]uint64, stride)
+	for _, d := range days {
+		if d >= 0 && d < e.a.StudyDays() {
+			mask[d/64] |= 1 << (uint(d) % 64)
+		}
+	}
+	hit := func(w []uint64) bool {
+		for i, m := range mask {
+			if m != 0 && w[i]&m != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	var delta AddressSet
+	if pop == Prefixes64 {
+		e.a.ChangedPrefix64s(func(p Prefix, prev, cur []uint64) bool {
+			if hit(cur) && !hit(prev) {
+				delta.AddPrefix(p)
+			}
+			return true
+		})
+	} else {
+		e.a.ChangedAddrs(func(a Addr, prev, cur []uint64) bool {
+			if hit(cur) && !hit(prev) {
+				delta.Add(a)
+			}
+			return true
+		})
+	}
+	out := base.Clone()
+	out.Absorb(&delta)
+	return out, nil
+}
+
+// ParseLogs parses aggregated daily logs ("#day N" sections, the text
+// format of ReadLogs) from a stream — the ingest-endpoint form of ReadLogs,
+// which reads files.
+func ParseLogs(r io.Reader) ([]DayLog, error) { return cdnlog.ReadAll(r) }

@@ -1,0 +1,205 @@
+package v6class
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"v6class/internal/core"
+	"v6class/synth"
+)
+
+// The generational façade suite: Successor lifecycle and error paths, and
+// the SpatialSetFrom equivalence — a set extended by the generation's delta
+// must be bit-identical to one built from scratch over the successor.
+
+// splitLogs generates a deterministic study and cuts it into two
+// generations at day split.
+func splitLogs(t testing.TB, days, split int) (gen1, gen2 []DayLog) {
+	t.Helper()
+	w := synth.NewWorld(synth.Config{Seed: 9, Scale: 0.005, StudyDays: days})
+	logs := make([]DayLog, days)
+	for d := 0; d < days; d++ {
+		logs[d] = w.Day(d)
+	}
+	return logs[:split], logs[split:]
+}
+
+func TestSuccessorErrors(t *testing.T) {
+	eng, err := New(WithStudyDays(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Successor(eng); !errors.Is(err, ErrNotFrozen) {
+		t.Fatalf("Successor of an unfrozen engine: %v, want ErrNotFrozen", err)
+	}
+
+	// A foreign Analyzer (neither census implementation) has nothing to
+	// layer over.
+	var fake fakeAnalyzer
+	if _, err := Successor(FromAnalyzer(&fake)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("Successor of a foreign Analyzer: %v, want ErrConfig", err)
+	}
+}
+
+// fakeAnalyzer is a non-census Analyzer: just enough surface for
+// FromAnalyzer to adopt it.
+type fakeAnalyzer struct{ core.Census }
+
+func TestSuccessorLifecycle(t *testing.T) {
+	const days, split = 20, 14
+	gen1, gen2 := splitLogs(t, days, split)
+
+	for _, shape := range []struct {
+		name string
+		opt  Option
+	}{{"sequential", WithSequential()}, {"sharded", WithShards(4)}} {
+		t.Run(shape.name, func(t *testing.T) {
+			parent := frozenEngine(t, gen1, WithStudyDays(days), shape.opt)
+			live, err := Successor(parent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live.Frozen() {
+				t.Fatal("fresh successor reports frozen")
+			}
+			// The successor is gated like any ingesting engine.
+			if _, err := live.Stability(Addresses, 5, 3); !errors.Is(err, ErrNotFrozen) {
+				t.Fatalf("query on ingesting successor: %v, want ErrNotFrozen", err)
+			}
+			if _, err := live.SpatialSetFrom(nil, Addresses, 5); !errors.Is(err, ErrNotFrozen) {
+				t.Fatalf("SpatialSetFrom on ingesting successor: %v, want ErrNotFrozen", err)
+			}
+			if err := live.AddDays(gen2); err != nil {
+				t.Fatal(err)
+			}
+			if err := live.AddDay(DayLog{Day: days + 5}); !errors.Is(err, ErrDayRange) {
+				t.Fatalf("out-of-period ingest: %v, want ErrDayRange", err)
+			}
+			if err := live.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+			if err := live.AddDays(gen2); !errors.Is(err, ErrFrozen) {
+				t.Fatalf("ingest after Freeze: %v, want ErrFrozen", err)
+			}
+
+			// The frozen successor answers like an engine fed both
+			// generations directly.
+			ref := frozenEngine(t, append(append([]DayLog{}, gen1...), gen2...), WithStudyDays(days), shape.opt)
+			for d := 0; d < days; d++ {
+				if g, w := must(live.ActiveCount(Addresses, d)), must(ref.ActiveCount(Addresses, d)); g != w {
+					t.Fatalf("ActiveCount(day %d) = %d, want %d", d, g, w)
+				}
+				if g, w := must(live.Summary(d)), must(ref.Summary(d)); g.Total != w.Total || g.MACs != w.MACs || g.Native != w.Native {
+					t.Fatalf("Summary(%d) = %+v, want %+v", d, g, w)
+				}
+			}
+			if g, w := must(live.Stability(Addresses, split, 3)), must(ref.Stability(Addresses, split, 3)); g != w {
+				t.Fatalf("Stability = %+v, want %+v", g, w)
+			}
+			if g, w := must(live.NumKeys(Prefixes64)), must(ref.NumKeys(Prefixes64)); g != w {
+				t.Fatalf("NumKeys = %d, want %d", g, w)
+			}
+
+			// The parent generation is untouched: same answers as a
+			// gen1-only engine, and still below the successor's key count.
+			refParent := frozenEngine(t, gen1, WithStudyDays(days), shape.opt)
+			for d := 0; d < split; d++ {
+				if g, w := must(parent.ActiveCount(Addresses, d)), must(refParent.ActiveCount(Addresses, d)); g != w {
+					t.Fatalf("parent ActiveCount(day %d) = %d, want %d", d, g, w)
+				}
+			}
+			if pk, lk := must(parent.NumKeys(Addresses)), must(live.NumKeys(Addresses)); pk >= lk {
+				t.Fatalf("parent keys %d not below successor keys %d; the synthetic world should add addresses", pk, lk)
+			}
+
+			// Chain: a frozen successor spawns the next generation.
+			if _, err := Successor(live); err != nil {
+				t.Fatal(err)
+			}
+
+			// Snapshot round-trip of the merged generation.
+			var buf bytes.Buffer
+			if _, err := live.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := back.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+			if g, w := must(back.NumKeys(Addresses)), must(live.NumKeys(Addresses)); g != w {
+				t.Fatalf("round-tripped NumKeys = %d, want %d", g, w)
+			}
+			if g, w := must(back.Summary(3)), must(live.Summary(3)); g.MACs != w.MACs {
+				t.Fatalf("round-tripped Summary(3).MACs = %d, want %d (parent-generation MAC sets must persist)", g.MACs, w.MACs)
+			}
+		})
+	}
+}
+
+// TestSpatialSetFromEquivalence is the incremental spatial property at the
+// façade level: extending the parent's set by the generation's delta must
+// render the same trie, node for node, as the from-scratch build — for both
+// populations, several day selections (old-only, new-only, spanning,
+// out-of-period) and both engines.
+func TestSpatialSetFromEquivalence(t *testing.T) {
+	const days, split = 20, 14
+	gen1, gen2 := splitLogs(t, days, split)
+
+	selections := [][]int{
+		{split - 1},                          // predecessor-only day: empty delta
+		{split + 2},                          // successor-only day
+		{split - 1, split + 2},               // spanning selection
+		{2, 5, split, split + 1, split + 3},  // wide union
+		{days + 7},                           // out-of-period: both sides empty
+		{},                                   // empty selection
+		{split + 2, split + 2, days + 7, -1}, // duplicates and junk days
+	}
+
+	for _, shape := range []struct {
+		name string
+		opt  Option
+	}{{"sequential", WithSequential()}, {"sharded", WithShards(4)}} {
+		t.Run(shape.name, func(t *testing.T) {
+			parent := frozenEngine(t, gen1, WithStudyDays(days), shape.opt)
+			live, err := Successor(parent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := live.AddDays(gen2); err != nil {
+				t.Fatal(err)
+			}
+			if err := live.Freeze(); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, sel := range selections {
+				for _, pop := range []Population{Addresses, Prefixes64} {
+					base := must(parent.SpatialSet(pop, sel...))
+					got := must(live.SpatialSetFrom(base, pop, sel...))
+					want := must(live.SpatialSet(pop, sel...))
+					if g, w := got.Trie().String(), want.Trie().String(); g != w {
+						t.Fatalf("pop %v days %v: incremental set differs from full build\ngot:\n%s\nwant:\n%s", pop, sel, g, w)
+					}
+					if got.Len() != want.Len() || got.Total() != want.Total() {
+						t.Fatalf("pop %v days %v: len/total %d/%d, want %d/%d", pop, sel, got.Len(), got.Total(), want.Len(), want.Total())
+					}
+					// base must never be modified.
+					if g, w := base.Trie().String(), must(parent.SpatialSet(pop, sel...)).Trie().String(); g != w {
+						t.Fatalf("pop %v days %v: SpatialSetFrom modified its base", pop, sel)
+					}
+				}
+			}
+
+			// nil base falls back to the full build.
+			got := must(live.SpatialSetFrom(nil, Addresses, split+1))
+			want := must(live.SpatialSet(Addresses, split+1))
+			if got.Trie().String() != want.Trie().String() {
+				t.Fatal("nil-base SpatialSetFrom differs from full build")
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"v6class/internal/cdnlog"
 	"v6class/internal/core"
 	"v6class/internal/ipaddr"
 	"v6class/synth"
@@ -63,7 +65,7 @@ func benchSetup(b *testing.B) {
 		f.Close()
 
 		benchServer = New(Options{})
-		if err := benchServer.LoadFile("bench", benchPath); err != nil {
+		if _, err := benchServer.LoadFile("bench", benchPath); err != nil {
 			panic(err)
 		}
 		benchMux = benchServer.Handler()
@@ -147,11 +149,41 @@ func BenchmarkServeTopK(b *testing.B) {
 	})
 }
 
+// BenchmarkIngestLive measures one day-log POST through the full write
+// path: request routing, body parse, and successor-census absorption. The
+// live session persists across iterations (re-observing a day is set
+// union at the census level, so the successor does not grow), matching
+// the cost profile of a long-running live feed.
+func BenchmarkIngestLive(b *testing.B) {
+	benchSetup(b)
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05, StudyDays: 40})
+	var buf bytes.Buffer
+	if err := cdnlog.WriteDay(&buf, w.Day(30)); err != nil {
+		b.Fatal(err)
+	}
+	body := buf.Bytes()
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("POST", "/v1/ingest?snap=bench", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		benchMux.ServeHTTP(rec, r)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.StopTimer()
+	// Drop the session so later benchmarks run against a clean server.
+	r := httptest.NewRequest("POST", "/v1/freeze?snap=bench&discard=true", nil)
+	benchMux.ServeHTTP(httptest.NewRecorder(), r)
+}
+
 // BenchmarkServeReload measures a full snapshot load + RCU swap.
 func BenchmarkServeReload(b *testing.B) {
 	benchSetup(b)
 	for i := 0; i < b.N; i++ {
-		if err := benchServer.LoadFile("bench", benchPath); err != nil {
+		if _, err := benchServer.LoadFile("bench", benchPath); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -63,8 +63,23 @@ func (c *Cache) shard(key string) *cacheShard {
 	return &c.shards[fnv1a(key)&(cacheShards-1)]
 }
 
-// Get returns the cached body for key, if present. The returned slice must
-// not be modified.
+// Get returns the cached body for key, if present. The returned slice
+// aliases the map entry — it is NOT a copy, so a mutation would corrupt
+// the body served to every later hit of the key, silently and without a
+// race report (the mutation happens outside the shard lock). The contract
+// is therefore: a cached body is immutable from the moment it is Put.
+//
+// Audit of the callers (enforced by TestCacheBodyImmutable):
+//   - cachedBody/cached hand the slice straight to writeBody, which only
+//     reads it (http.ResponseWriter.Write never mutates its argument).
+//   - handleDense/handleTopK render-key hits do the same. Their limit
+//     truncation happens on a COPY of the memoized response STRUCT before
+//     marshaling — never on a cached byte slice — and json.Marshal
+//     allocates a fresh buffer, so the slice later Put is not shared with
+//     any response already written.
+//
+// New callers must preserve this: render first, Put the final bytes, and
+// never append to or slice-assign into a body that came out of Get.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	sh := c.shard(key)
 	sh.mu.Lock()

@@ -75,6 +75,38 @@
 // by the X-V6-Epoch response header. A failed load (missing file, foreign
 // format, truncation) leaves the serving generation untouched.
 //
+// # Live write path
+//
+// The server can grow a snapshot without a file round-trip. POST
+// /v1/ingest?snap=NAME parses aggregated day logs from the request body
+// (the "#day N" text format of v6class.ReadLogs) into the snapshot's live
+// session: an unfrozen successor generation (v6class.Successor) layered
+// over the frozen serving engine. A snapshot has at most one live session;
+// the first ingest opens it and later ingests (serialized per session)
+// append to it. Nothing ingested is visible to reads — the frozen base
+// generation keeps answering every query, and readers cannot observe a
+// partial census by construction, because the successor is a different
+// object than the one the registry publishes.
+//
+// POST /v1/freeze?snap=NAME ends the session: the successor is frozen and
+// installed through the same locked, epoch-allocating RCU swap as a
+// reload, so generations stay strictly monotonic and a reader resolves
+// either the complete old census or the complete new one. Before
+// publishing, the freeze seeds the new generation's spatial memo: every
+// population memoized on the base snapshot is carried forward via
+// SpatialSetFrom — extended by the generation's delta rather than rebuilt
+// — and is bit-identical to what the first query would otherwise build
+// from scratch.
+//
+// If the snapshot was reloaded while the session was open, its base is no
+// longer the serving generation and a plain freeze answers 409 Conflict;
+// the client resolves the race explicitly with force=true (install anyway)
+// or discard=true (drop the session; also usable without a conflict to
+// abandon an ingest). Write-path gating: Options.ReadOnly disables both
+// endpoints (403); otherwise Options.AdminToken, when set, is required as
+// Authorization: Bearer exactly as for reloads; a tokenless writable
+// server is the open dev/demo posture.
+//
 // # Endpoints
 //
 //	GET  /healthz                 liveness, snapshot names, cache stats
@@ -82,12 +114,17 @@
 //	GET  /v1/summary?day=         Table 1 format tally of one day
 //	GET  /v1/stability?pop=&ref=&n=&window=[&weekly=true]   nd-stable split
 //	GET  /v1/lookup?addr=|p64=[&ref=&n=&window=]            point lookup
-//	GET  /v1/dense?day=|from=&to=&n=&p=[&least=true]        n@/p-dense sweep
-//	GET  /v1/topk?pop=&p=&k=&day=|from=&to=                 top-k aggregates
+//	GET  /v1/dense?day=|days=|from=&to=&n=&p=[&least=true]  n@/p-dense sweep
+//	GET  /v1/topk?pop=&p=&k=&day=|days=|from=&to=           top-k aggregates
 //	GET  /v1/overlap?pop=&ref=&before=&after=               Figure 4 series
 //	GET  /v1/experiments[/{name}]                           driver registry
 //	POST /v1/reload?snap=&path=                             swap a snapshot
+//	POST /v1/ingest?snap=                                   feed day logs to the live successor
+//	POST /v1/freeze?snap=[&force=true|&discard=true]        install (or drop) the successor
 //
 // Every snapshot-backed endpoint accepts ?snap=NAME to select among the
-// loaded snapshots; the default is the most recently installed one.
+// loaded snapshots; the default is the most recently installed one. Day
+// selections (day=N, days=N,M,... or from=N&to=N) are normalized — sorted
+// and deduplicated — before keying or echoing, so every spelling of the
+// same day set shares one cached population build.
 package serve

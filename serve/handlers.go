@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -140,7 +141,11 @@ func popParam(r *http.Request) (v6class.Population, string, error) {
 }
 
 // daysParam parses the day selection of population-building endpoints:
-// either day=N or an inclusive from=/to= range.
+// day=N, an explicit comma list days=N,M,..., or an inclusive from=/to=
+// range. The selection is returned normalized (sorted, deduplicated) — the
+// canonical form is used both for the memo/cache keys and for the response
+// echo, so days=2,1 and days=1,2 are the same query and share one
+// population build.
 func daysParam(r *http.Request) ([]int, error) {
 	q := r.URL.Query()
 	if q.Get("day") != "" {
@@ -150,8 +155,23 @@ func daysParam(r *http.Request) ([]int, error) {
 		}
 		return []int{d}, nil
 	}
+	if list := q.Get("days"); list != "" {
+		parts := strings.Split(list, ",")
+		if len(parts) > maxDayRange {
+			return nil, fmt.Errorf("parameter days: at most %d days", maxDayRange)
+		}
+		days := make([]int, 0, len(parts))
+		for _, p := range parts {
+			d, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("parameter days: bad day %q", p)
+			}
+			days = append(days, d)
+		}
+		return normalizeDays(days), nil
+	}
 	if q.Get("from") == "" || q.Get("to") == "" {
-		return nil, fmt.Errorf("missing day selection: give day=N or from=N&to=N")
+		return nil, fmt.Errorf("missing day selection: give day=N, days=N,M,... or from=N&to=N")
 	}
 	from, err := requireInt(r, "from")
 	if err != nil {
@@ -677,10 +697,22 @@ func tokenOK(got, want string) bool {
 	return got != "" && subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
 }
 
-// daysKey canonicalizes a day list for cache keys.
+// normalizeDays sorts and deduplicates a day selection in place, returning
+// the (possibly shortened) canonical slice.
+func normalizeDays(days []int) []int {
+	slices.Sort(days)
+	return slices.Compact(days)
+}
+
+// daysKey canonicalizes a day list for cache and memo keys. It normalizes a
+// copy rather than trusting the caller: the spatial memo holds only
+// maxSetEntries populations, and an order- or duplicate-sensitive key would
+// make days=2,1 rebuild (and possibly evict) the trie that days=1,2 just
+// built. Every selection with the same day set must key identically.
 func daysKey(days []int) string {
-	parts := make([]string, len(days))
-	for i, d := range days {
+	norm := normalizeDays(slices.Clone(days))
+	parts := make([]string, len(norm))
+	for i, d := range norm {
 		parts[i] = strconv.Itoa(d)
 	}
 	return strings.Join(parts, ",")

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"v6class"
+)
+
+// The live write path: POST /v1/ingest streams day-log records into an
+// unfrozen successor generation of a named snapshot while the current
+// frozen generation keeps serving every read, and POST /v1/freeze
+// atomically freezes the successor and installs it through the same RCU
+// swap as a reload. Readers never observe a partial census: until the
+// freeze lands they resolve the old generation, after it they resolve the
+// new one, and the install epoch stays monotonic because it is allocated
+// inside the install lock like every other generation's.
+
+// maxIngestBody bounds one ingest request's body; day logs beyond it
+// arrive as multiple requests against the same live session.
+const maxIngestBody = 256 << 20
+
+// liveSession is the at-most-one ingesting successor generation of a named
+// snapshot: created lazily by the first /v1/ingest, fed by every
+// subsequent one, and consumed — installed or discarded — by /v1/freeze.
+// The session lock serializes ingests so concurrent posts append rather
+// than race; reads never touch it.
+type liveSession struct {
+	mu      sync.Mutex
+	name    string
+	base    *Snapshot          // the generation the successor layers over
+	eng     v6class.LiveEngine // ingesting until freeze
+	records int
+	days    map[int]bool
+}
+
+// authWrite gates the write endpoints: a read-only server refuses
+// outright, a server with an admin token requires it, and a tokenless
+// writable server is open (the dev/demo posture, matching tokenless
+// source reloads).
+func (s *Server) authWrite(w http.ResponseWriter, r *http.Request) bool {
+	if s.readOnly {
+		writeErr(w, http.StatusForbidden, "server is read-only: write endpoints are disabled")
+		return false
+	}
+	if s.adminToken != "" {
+		// Header only: a token in the URL would leak into access logs.
+		bearer := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !tokenOK(bearer, s.adminToken) {
+			writeErr(w, http.StatusForbidden, "write endpoints require the admin token (Authorization: Bearer)")
+			return false
+		}
+	}
+	return true
+}
+
+// liveFor returns snap's live session, opening one over the snapshot's
+// current engine if none exists. An existing session keeps the base it
+// opened on even if the snapshot has since been reloaded; the freeze
+// handler is where that conflict surfaces.
+func (s *Server) liveFor(snap *Snapshot) (*liveSession, error) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if ls, ok := s.lives[snap.Name]; ok {
+		return ls, nil
+	}
+	eng, err := v6class.Successor(snap.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("opening ingest session for %q: %v", snap.Name, err)
+	}
+	ls := &liveSession{name: snap.Name, base: snap, eng: eng, days: map[int]bool{}}
+	s.lives[snap.Name] = ls
+	return ls, nil
+}
+
+type ingestResponse struct {
+	Snapshot     string `json:"snapshot"`
+	BaseEpoch    uint64 `json:"baseEpoch"`
+	Records      int    `json:"records"`
+	Days         []int  `json:"days"`
+	TotalRecords int    `json:"totalRecords"`
+	TotalDays    []int  `json:"totalDays"`
+}
+
+// handleIngest appends aggregated day logs (the text format of ReadLogs,
+// "#day N" sections) to the named snapshot's live successor generation.
+// The frozen base snapshot keeps answering every concurrent read; nothing
+// ingested is visible to queries until /v1/freeze installs the successor.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.authWrite(w, r) {
+		return
+	}
+	name := r.URL.Query().Get("snap")
+	snap := s.Snapshot(name)
+	if snap == nil {
+		writeErr(w, http.StatusNotFound, "no snapshot %q installed", name)
+		return
+	}
+	logs, err := v6class.ParseLogs(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parsing day logs: %v", err)
+		return
+	}
+	ls, err := s.liveFor(snap)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := ls.eng.AddDays(logs); err != nil {
+		// Days before the offending one are already absorbed; the session
+		// stays usable (re-ingesting a day is idempotent at the census
+		// level: observations are sets, not counters).
+		writeErr(w, http.StatusBadRequest, "ingesting: %v", err)
+		return
+	}
+	recs := 0
+	reqDays := map[int]bool{}
+	for _, l := range logs {
+		recs += len(l.Records)
+		reqDays[l.Day] = true
+		ls.days[l.Day] = true
+	}
+	ls.records += recs
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Snapshot:     ls.name,
+		BaseEpoch:    ls.base.Epoch,
+		Records:      recs,
+		Days:         sortedDays(reqDays),
+		TotalRecords: ls.records,
+		TotalDays:    sortedDays(ls.days),
+	})
+}
+
+type freezeResponse struct {
+	metaResponse
+	BaseEpoch    uint64 `json:"baseEpoch"`
+	Records      int    `json:"records"`
+	IngestedDays []int  `json:"ingestedDays"`
+	SeededSets   int    `json:"seededSets"`
+}
+
+// handleFreeze ends the named snapshot's live ingest session: the
+// successor engine is frozen and installed as the next generation through
+// the same atomic registry swap as a reload, so a reader resolves either
+// the complete old census or the complete new one, never a mix. The new
+// generation's spatial memo is seeded incrementally — each population the
+// base generation had built is extended by the successor's delta (a clone
+// plus O(new keys) trie inserts) instead of being rebuilt from scratch on
+// the first query.
+//
+// If the snapshot was reloaded after the session opened, the session's
+// base is no longer what clients are reading and installing it would
+// silently drop the reloaded generation's data; the freeze answers 409
+// unless force=true. discard=true drops the session without installing.
+func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
+	if !s.authWrite(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("snap")
+	if snap := s.Snapshot(name); snap != nil {
+		name = snap.Name // resolve the default snapshot's real name
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	ls := s.lives[name]
+	if ls == nil {
+		writeErr(w, http.StatusNotFound, "no live ingest session for snapshot %q", name)
+		return
+	}
+	if q.Get("discard") == "true" {
+		delete(s.lives, name)
+		writeJSON(w, http.StatusOK, map[string]any{"snapshot": name, "discarded": true, "records": ls.records})
+		return
+	}
+	if cur := s.Snapshot(ls.name); cur != ls.base && q.Get("force") != "true" {
+		writeErr(w, http.StatusConflict,
+			"snapshot %q was replaced (epoch %d) after this ingest session opened on epoch %d; freeze with force=true to install over it, or discard=true to drop the session",
+			ls.name, cur.Epoch, ls.base.Epoch)
+		return
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := ls.eng.Freeze(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "freezing successor: %v", err)
+		return
+	}
+	// Seed the new generation's spatial memo from the base generation's:
+	// every population the base built is carried forward by absorbing only
+	// this generation's delta. The result is bit-identical to a from-scratch
+	// build (a trie's shape is a pure function of its item set), so queries
+	// cannot tell — except by latency — whether they hit a seed.
+	seeds := map[string]*v6class.AddressSet{}
+	ls.base.sets.each(func(key string, set *v6class.AddressSet) {
+		pop, days, ok := parseSetKey(key)
+		if !ok {
+			return
+		}
+		if out, err := ls.eng.SpatialSetFrom(set, pop, days...); err == nil {
+			seeds[key] = out
+		}
+	})
+	installed := s.install(ls.name, ls.base.Source, ls.eng, seeds)
+	delete(s.lives, ls.name)
+	writeJSON(w, http.StatusOK, freezeResponse{
+		metaResponse: metaOf(installed),
+		BaseEpoch:    ls.base.Epoch,
+		Records:      ls.records,
+		IngestedDays: sortedDays(ls.days),
+		SeededSets:   len(seeds),
+	})
+}
+
+// parseSetKey inverts the spatial memo's key format, popName+"|"+daysKey:
+// freeze uses it to recompute each memoized population incrementally for
+// the successor generation.
+func parseSetKey(key string) (v6class.Population, []int, bool) {
+	popName, daysStr, ok := strings.Cut(key, "|")
+	if !ok {
+		return 0, nil, false
+	}
+	var pop v6class.Population
+	switch popName {
+	case "addrs":
+		pop = v6class.Addresses
+	case "64s":
+		pop = v6class.Prefixes64
+	default:
+		return 0, nil, false
+	}
+	if daysStr == "" {
+		return pop, nil, true
+	}
+	parts := strings.Split(daysStr, ",")
+	days := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(p)
+		if err != nil {
+			return 0, nil, false
+		}
+		days[i] = d
+	}
+	return pop, days, true
+}
+
+func sortedDays(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,535 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"v6class"
+	"v6class/internal/cdnlog"
+	"v6class/synth"
+)
+
+// logsBody serializes days [from, to] of the shared synthetic world (the
+// same world buildCensus ingests) in the ingest text format.
+func logsBody(t testing.TB, from, to int) []byte {
+	t.Helper()
+	w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.01, StudyDays: 30})
+	var buf bytes.Buffer
+	for d := from; d <= to; d++ {
+		if err := cdnlog.WriteDay(&buf, w.Day(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// post sends a POST (with optional bearer token) and returns the response
+// and raw body.
+func post(t testing.TB, ts *httptest.Server, path string, body []byte, token string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestIngestFreezeLifecycle walks the full write path: ingest day logs into
+// a live successor while reads keep answering from the frozen base, then
+// freeze-install and verify the merged generation answers like a census fed
+// every day directly — with its spatial memo seeded incrementally.
+func TestIngestFreezeLifecycle(t *testing.T) {
+	base := buildCensus(t, 0, 9)
+	path := writeSnapshot(t, base, "live.state")
+	s := New(Options{})
+	snap1, err := s.LoadFile("live", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Prime the base generation's spatial memo: this population must be
+	// carried into the successor generation by delta absorption.
+	var denseBefore denseResponse
+	get(t, ts, "/v1/dense?from=0&to=14&n=1&p=112", &denseBefore)
+
+	// The base census never saw day 12.
+	var sum summaryResponse
+	get(t, ts, "/v1/summary?day=12", &sum)
+	if sum.Total != 0 {
+		t.Fatalf("base generation Summary(12).Total = %d, want 0", sum.Total)
+	}
+
+	// Ingest days 10-12, then 13-14, in separate requests against the same
+	// live session.
+	resp, body := post(t, ts, "/v1/ingest?snap=live", logsBody(t, 10, 12), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+	var ing ingestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.BaseEpoch != snap1.Epoch || len(ing.Days) != 3 || ing.Records == 0 {
+		t.Fatalf("ingest response %+v, want baseEpoch %d, 3 days, records > 0", ing, snap1.Epoch)
+	}
+	resp, body = post(t, ts, "/v1/ingest?snap=live", logsBody(t, 13, 14), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second ingest status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if len(ing.TotalDays) != 5 || ing.TotalRecords <= ing.Records {
+		t.Fatalf("cumulative ingest response %+v, want 5 total days", ing)
+	}
+
+	// An out-of-period day is refused without killing the session.
+	resp, body = post(t, ts, "/v1/ingest?snap=live", []byte("#day 50\n2001:db8::1 3\n"), "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-period ingest status %d: %s", resp.StatusCode, body)
+	}
+
+	// Reads still resolve the frozen base generation, bit for bit.
+	var mid summaryResponse
+	r := get(t, ts, "/v1/summary?day=12", &mid)
+	if e := r.Header.Get("X-V6-Epoch"); e != strconv.FormatUint(snap1.Epoch, 10) {
+		t.Fatalf("mid-ingest read epoch %s, want %d", e, snap1.Epoch)
+	}
+	if mid.Total != 0 {
+		t.Fatalf("mid-ingest Summary(12).Total = %d, want 0 (successor must stay invisible)", mid.Total)
+	}
+
+	// Freeze: the successor becomes the serving generation atomically.
+	resp, body = post(t, ts, "/v1/freeze?snap=live", nil, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("freeze status %d: %s", resp.StatusCode, body)
+	}
+	var fr freezeResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Epoch <= snap1.Epoch || fr.BaseEpoch != snap1.Epoch || len(fr.IngestedDays) != 5 {
+		t.Fatalf("freeze response %+v, want epoch > %d over base %d with 5 days", fr, snap1.Epoch, snap1.Epoch)
+	}
+	if fr.SeededSets == 0 {
+		t.Fatal("freeze seeded no spatial sets despite a primed base memo")
+	}
+
+	// White box: the installed snapshot's memo already holds the primed
+	// population — before any query touches the new generation — and the
+	// seeded set is bit-identical to a from-scratch build on the new engine.
+	snap2 := s.Snapshot("live")
+	if snap2.Epoch != fr.Epoch {
+		t.Fatalf("installed epoch %d, want %d", snap2.Epoch, fr.Epoch)
+	}
+	seeded := map[string]bool{}
+	snap2.sets.each(func(key string, set *v6class.AddressSet) {
+		seeded[key] = true
+		pop, days, ok := parseSetKey(key)
+		if !ok {
+			t.Errorf("unparseable memo key %q", key)
+			return
+		}
+		want, err := snap2.Engine.SpatialSet(pop, days...)
+		if err != nil {
+			t.Errorf("rebuilding %q: %v", key, err)
+			return
+		}
+		if set.Trie().String() != want.Trie().String() {
+			t.Errorf("seeded set %q differs from a from-scratch build", key)
+		}
+	})
+	wantKey := "addrs|" + daysKey([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14})
+	if !seeded[wantKey] {
+		t.Fatalf("memo not seeded with %q; has %v", wantKey, seeded)
+	}
+
+	// The merged generation answers like a census fed all 15 days directly.
+	direct := buildCensus(t, 0, 14)
+	var after summaryResponse
+	get(t, ts, "/v1/summary?day=12", &after)
+	want := direct.Summary(12)
+	if after.Total != want.Total || after.MACs != want.MACs || after.Native != want.Native {
+		t.Fatalf("merged Summary(12) = %+v, want %+v", after, want)
+	}
+	refServer := New(Options{})
+	if _, err := refServer.LoadFile("ref", writeSnapshot(t, direct, "ref.state")); err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(refServer.Handler())
+	defer refTS.Close()
+	for _, q := range []string{"/v1/dense?from=0&to=14&n=1&p=112", "/v1/topk?pop=64s&from=0&to=14&p=48&k=5"} {
+		respA, bodyA := rawGet(t, ts, q)
+		respB, bodyB := rawGet(t, refTS, q)
+		if respA.StatusCode != 200 || respB.StatusCode != 200 || !bytes.Equal(bodyA, bodyB) {
+			t.Fatalf("query %s: merged generation answers differently from the direct census\ngot:  %s\nwant: %s", q, bodyA, bodyB)
+		}
+	}
+
+	// The session was consumed by the install.
+	if resp, body := post(t, ts, "/v1/freeze?snap=live", nil, ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("freeze after freeze: %d %s, want 404", resp.StatusCode, body)
+	}
+}
+
+// rawGet fetches a path and returns the response and raw body.
+func rawGet(t testing.TB, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestFreezeConflictForceDiscard covers the session-vs-reload race: a
+// freeze whose base generation was replaced answers 409 until the client
+// decides (force installs anyway, discard drops the session).
+func TestFreezeConflictForceDiscard(t *testing.T) {
+	base := buildCensus(t, 0, 9)
+	path := writeSnapshot(t, base, "live.state")
+	s := New(Options{})
+	if _, err := s.LoadFile("live", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, body := post(t, ts, "/v1/ingest?snap=live", logsBody(t, 10, 10), ""); resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	reloaded, err := s.Reload("live", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts, "/v1/freeze?snap=live", nil, "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("freeze after reload: %d %s, want 409", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts, "/v1/freeze?snap=live&force=true", nil, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forced freeze: %d %s", resp.StatusCode, body)
+	}
+	var fr freezeResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Epoch <= reloaded.Epoch {
+		t.Fatalf("forced install epoch %d not above reloaded epoch %d", fr.Epoch, reloaded.Epoch)
+	}
+
+	// A fresh session can be discarded without installing anything.
+	if resp, body := post(t, ts, "/v1/ingest?snap=live", logsBody(t, 11, 11), ""); resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	epoch := s.Snapshot("live").Epoch
+	resp, body = post(t, ts, "/v1/freeze?snap=live&discard=true", nil, "")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"discarded":true`)) {
+		t.Fatalf("discard: %d %s", resp.StatusCode, body)
+	}
+	if got := s.Snapshot("live").Epoch; got != epoch {
+		t.Fatalf("discard installed a generation: epoch %d -> %d", epoch, got)
+	}
+	if resp, _ := post(t, ts, "/v1/freeze?snap=live", nil, ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("freeze of discarded session: %d, want 404", resp.StatusCode)
+	}
+	var sum summaryResponse
+	get(t, ts, "/v1/summary?day=11", &sum)
+	if sum.Total != 0 {
+		t.Fatalf("discarded day visible: Summary(11).Total = %d", sum.Total)
+	}
+}
+
+// TestWriteEndpointAuth pins the write-path gating: read-only servers
+// refuse outright, token-bearing servers demand the token.
+func TestWriteEndpointAuth(t *testing.T) {
+	base := buildCensus(t, 0, 9)
+	path := writeSnapshot(t, base, "live.state")
+
+	t.Run("readonly", func(t *testing.T) {
+		s := New(Options{ReadOnly: true, AdminToken: "sek"})
+		if _, err := s.LoadFile("live", path); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		for _, ep := range []string{"/v1/ingest?snap=live", "/v1/freeze?snap=live"} {
+			// Even the admin token does not open a read-only server.
+			if resp, _ := post(t, ts, ep, logsBody(t, 10, 10), "sek"); resp.StatusCode != http.StatusForbidden {
+				t.Fatalf("%s on read-only server: %d, want 403", ep, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("token", func(t *testing.T) {
+		s := New(Options{AdminToken: "sek"})
+		if _, err := s.LoadFile("live", path); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		for _, token := range []string{"", "wrong"} {
+			if resp, _ := post(t, ts, "/v1/ingest?snap=live", logsBody(t, 10, 10), token); resp.StatusCode != http.StatusForbidden {
+				t.Fatalf("ingest with token %q: want 403", token)
+			}
+		}
+		if resp, body := post(t, ts, "/v1/ingest?snap=live", logsBody(t, 10, 10), "sek"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("authorized ingest: %d %s", resp.StatusCode, body)
+		}
+		if resp, _ := post(t, ts, "/v1/freeze?snap=live", nil, ""); resp.StatusCode != http.StatusForbidden {
+			t.Fatal("unauthorized freeze: want 403")
+		}
+		if resp, body := post(t, ts, "/v1/freeze?snap=live", nil, "sek"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("authorized freeze: %d %s", resp.StatusCode, body)
+		}
+	})
+}
+
+// TestDaysPermutationsShareOneBuild pins the daysKey normalization fix:
+// every spelling of the same day set must hit one memoized population (the
+// memo holds only maxSetEntries populations, so a permutation that keyed
+// separately would rebuild and evict) and echo the canonical day list.
+func TestDaysPermutationsShareOneBuild(t *testing.T) {
+	direct := buildCensus(t, 5, 19)
+	s := New(Options{})
+	if _, err := s.LoadFile("a", writeSnapshot(t, direct, "a.state")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var first []byte
+	for _, q := range []string{"days=6,7", "days=7,6", "days=6,6,7"} {
+		resp, body := rawGet(t, ts, "/v1/dense?"+q+"&n=1&p=112")
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", q, resp.StatusCode, body)
+		}
+		if first == nil {
+			first = body
+			var d denseResponse
+			if err := json.Unmarshal(body, &d); err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Days) != 2 || d.Days[0] != 6 || d.Days[1] != 7 {
+				t.Fatalf("echoed days %v, want the normalized [6 7]", d.Days)
+			}
+		} else if !bytes.Equal(first, body) {
+			t.Fatalf("%s answered differently from days=6,7:\n%s\nvs\n%s", q, body, first)
+		}
+	}
+	// topk over the same selection shares the same single population.
+	if resp, body := rawGet(t, ts, "/v1/topk?days=7,6&p=48&k=5"); resp.StatusCode != 200 {
+		t.Fatalf("topk: %d %s", resp.StatusCode, body)
+	}
+	builds := 0
+	s.Snapshot("a").sets.each(func(key string, _ *v6class.AddressSet) {
+		builds++
+		if key != "addrs|6,7" {
+			t.Errorf("unexpected memo key %q", key)
+		}
+	})
+	if builds != 1 {
+		t.Fatalf("%d population builds for one day set, want 1", builds)
+	}
+}
+
+// TestReloadReturnsOwnGeneration pins the Reload plumbing fix: each
+// concurrent Reload must report the generation it itself installed, so N
+// racing reloads return N distinct epochs.
+func TestReloadReturnsOwnGeneration(t *testing.T) {
+	base := buildCensus(t, 0, 9)
+	path := writeSnapshot(t, base, "live.state")
+	s := New(Options{})
+	if _, err := s.LoadFile("live", path); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	snaps := make([]*Snapshot, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sn, err := s.Reload("live", "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			snaps[i] = sn
+		}(i)
+	}
+	wg.Wait()
+	epochs := map[uint64]bool{}
+	for _, sn := range snaps {
+		if sn == nil {
+			t.Fatal("a reload returned no snapshot")
+		}
+		epochs[sn.Epoch] = true
+	}
+	if len(epochs) != n {
+		t.Fatalf("%d concurrent reloads reported %d distinct epochs; each must return its own install", n, len(epochs))
+	}
+}
+
+// TestConcurrentReadsDuringIngestFreeze is the write-path race test: read
+// handlers hammer the server while a full ingest+freeze cycle runs. Every
+// response must belong wholly to the base or the merged generation —
+// identified by its epoch header and byte-identical to that generation's
+// canonical answer — never to a partial census.
+func TestConcurrentReadsDuringIngestFreeze(t *testing.T) {
+	base := buildCensus(t, 0, 9)
+	path := writeSnapshot(t, base, "live.state")
+	s := New(Options{})
+	snap1, err := s.LoadFile("live", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	queries := []string{
+		"/v1/summary?day=12",
+		"/v1/dense?from=8&to=12&n=1&p=112&limit=5",
+		"/v1/stability?pop=addrs&ref=8&n=2&window=2",
+		"/v1/topk?pop=64s&from=8&to=12&p=48&k=5",
+	}
+	before := map[string]string{}
+	for _, q := range queries {
+		_, b := rawGet(t, ts, q)
+		before[q] = string(b)
+	}
+
+	type obs struct {
+		q, epoch, body string
+	}
+	var (
+		mu   sync.Mutex
+		seen []obs
+		stop = make(chan struct{})
+		wg   sync.WaitGroup
+	)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, q := range queries {
+					resp, err := ts.Client().Get(ts.URL + q)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					b, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if resp.StatusCode != 200 {
+						t.Errorf("%s: status %d mid-cycle", q, resp.StatusCode)
+						return
+					}
+					mu.Lock()
+					seen = append(seen, obs{q, resp.Header.Get("X-V6-Epoch"), string(b)})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// The writer: one day per request, then the freeze.
+	for d := 10; d <= 14; d++ {
+		if resp, body := post(t, ts, "/v1/ingest?snap=live", logsBody(t, d, d), ""); resp.StatusCode != 200 {
+			t.Fatalf("ingest day %d: %d %s", d, resp.StatusCode, body)
+		}
+	}
+	if resp, body := post(t, ts, "/v1/freeze?snap=live", nil, ""); resp.StatusCode != 200 {
+		t.Fatalf("freeze: %d %s", resp.StatusCode, body)
+	}
+	close(stop)
+	wg.Wait()
+
+	snap2 := s.Snapshot("live")
+	after := map[string]string{}
+	for _, q := range queries {
+		_, b := rawGet(t, ts, q)
+		after[q] = string(b)
+	}
+	e1 := strconv.FormatUint(snap1.Epoch, 10)
+	e2 := strconv.FormatUint(snap2.Epoch, 10)
+	fromOld, fromNew := 0, 0
+	for _, o := range seen {
+		switch o.epoch {
+		case e1:
+			fromOld++
+			if o.body != before[o.q] {
+				t.Fatalf("old-generation response to %s drifted mid-ingest:\n%s\nvs\n%s", o.q, o.body, before[o.q])
+			}
+		case e2:
+			fromNew++
+			if o.body != after[o.q] {
+				t.Fatalf("new-generation response to %s differs from its canonical answer:\n%s\nvs\n%s", o.q, o.body, after[o.q])
+			}
+		default:
+			t.Fatalf("response from unknown generation epoch %s (have %s, %s)", o.epoch, e1, e2)
+		}
+	}
+	if fromOld == 0 {
+		t.Error("hammer never observed the base generation")
+	}
+	t.Logf("observed %d old-generation and %d new-generation responses", fromOld, fromNew)
+}
+
+// TestCacheBodyImmutable enforces Get's aliasing contract: serving
+// truncated variants of a cached sweep must never mutate the cached body
+// (truncation happens on a struct copy, not the cached bytes).
+func TestCacheBodyImmutable(t *testing.T) {
+	direct := buildCensus(t, 5, 19)
+	s := New(Options{})
+	if _, err := s.LoadFile("a", writeSnapshot(t, direct, "a.state")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	q := "/v1/dense?from=5&to=19&n=1&p=112&limit="
+	_, full1 := rawGet(t, ts, q+"50")
+	_, short := rawGet(t, ts, q+"2")
+	_, full2 := rawGet(t, ts, q+"50")
+	if bytes.Equal(full1, short) {
+		t.Fatal("limit=2 body equals limit=50 body; truncation is not exercised")
+	}
+	if !bytes.Equal(full1, full2) {
+		t.Fatalf("cached limit=50 body changed after serving limit=2:\n%s\nvs\n%s", full1, full2)
+	}
+}

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // memo is a bounded per-snapshot singleflight cache: the first caller of a
 // key runs build while concurrent callers of the same key wait for the one
@@ -21,6 +24,11 @@ type memoEntry[V any] struct {
 	once sync.Once
 	v    V
 	ok   bool
+	// done flips (after v/ok are written) once the build has completed, so
+	// each can observe completed entries without joining the singleflight:
+	// the atomic store/load pair publishes v to goroutines that never ran
+	// or waited on the entry's once.
+	done atomic.Bool
 }
 
 // do returns the memoized value for key, computing it via build on first
@@ -55,6 +63,7 @@ func (m *memo[V]) do(bound int, key string, build func() V) V {
 			}()
 			e.v = build()
 			e.ok = true
+			e.done.Store(true)
 		})
 		if e.ok {
 			// sync.Once publishes e.v/e.ok to every goroutine whose Do has
@@ -75,4 +84,51 @@ func (m *memo[V]) forget(key string, e *memoEntry[V]) {
 		delete(m.entries, key)
 	}
 	m.mu.Unlock()
+}
+
+// seed pre-populates key with an already computed value, as if a do(key)
+// build had completed — the warm-start path for a successor snapshot whose
+// values were derived incrementally from the predecessor's memo. An
+// existing entry wins (a racing build is as correct as the seed); the bound
+// is enforced like do's.
+func (m *memo[V]) seed(bound int, key string, v V) {
+	e := &memoEntry[V]{v: v, ok: true}
+	e.once.Do(func() {})
+	e.done.Store(true)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry[V])
+	}
+	if _, exists := m.entries[key]; exists {
+		return
+	}
+	if len(m.entries) >= bound {
+		for k := range m.entries {
+			delete(m.entries, k)
+			break
+		}
+	}
+	m.entries[key] = e
+}
+
+// each visits every completed entry (in-flight builds are skipped — their
+// values are not yet published). The visit runs outside the memo lock, so
+// fn may itself use memos freely.
+func (m *memo[V]) each(fn func(key string, v V)) {
+	m.mu.Lock()
+	type kv struct {
+		k string
+		e *memoEntry[V]
+	}
+	all := make([]kv, 0, len(m.entries))
+	for k, e := range m.entries {
+		all = append(all, kv{k, e})
+	}
+	m.mu.Unlock()
+	for _, it := range all {
+		if it.e.done.Load() {
+			fn(it.k, it.e.v)
+		}
+	}
 }

@@ -78,11 +78,16 @@ type Options struct {
 	// cached results) against this lab.
 	Lab *experiments.Lab
 	// AdminToken, when non-empty, is required (Authorization: Bearer
-	// TOKEN) for every /v1/reload. Without a token configured, reloads
-	// may only re-read a snapshot's recorded source — a client can
-	// refresh data but never point the server at an arbitrary
-	// server-side file.
+	// TOKEN) for every /v1/reload, /v1/ingest and /v1/freeze. Without a
+	// token configured, reloads may only re-read a snapshot's recorded
+	// source — a client can refresh data but never point the server at an
+	// arbitrary server-side file — and the write endpoints are open (the
+	// dev/demo posture; see ReadOnly).
 	AdminToken string
+	// ReadOnly disables the write path entirely: /v1/ingest and
+	// /v1/freeze answer 403 regardless of token. Reload stays available
+	// (it re-reads files the server already trusts).
+	ReadOnly bool
 }
 
 // Server is a concurrent read-only query service over frozen census
@@ -103,7 +108,16 @@ type Server struct {
 	cache      *Cache
 	lab        *experiments.Lab
 	adminToken string
+	readOnly   bool
 	started    time.Time
+
+	// The live write path (ingest.go): at most one ingesting successor
+	// generation per snapshot name, created lazily by /v1/ingest and
+	// consumed (installed or discarded) by /v1/freeze. liveMu guards the
+	// map and serializes freezes; per-session ingest serializes on the
+	// session's own lock.
+	liveMu sync.Mutex
+	lives  map[string]*liveSession
 }
 
 // New returns an empty Server; install a snapshot before serving.
@@ -112,26 +126,28 @@ func New(opts Options) *Server {
 		cache:      newCache(opts.CacheEntries),
 		lab:        opts.Lab,
 		adminToken: opts.AdminToken,
+		readOnly:   opts.ReadOnly,
 		started:    time.Now(),
+		lives:      map[string]*liveSession{},
 	}
 	s.snaps.Store(&snapTable{byName: map[string]*Snapshot{}})
 	return s
 }
 
 // LoadFile reads a census snapshot file (written by Engine.Save or any
-// WriteTo — the format is engine-agnostic), freezes it, and installs it
-// under name. Loading the same name again atomically replaces the prior
-// generation without disturbing in-flight requests.
-func (s *Server) LoadFile(name, path string) error {
+// WriteTo — the format is engine-agnostic), freezes it, installs it under
+// name and returns the installed generation. Loading the same name again
+// atomically replaces the prior generation without disturbing in-flight
+// requests.
+func (s *Server) LoadFile(name, path string) (*Snapshot, error) {
 	eng, err := v6class.Open(path)
 	if err != nil {
-		return fmt.Errorf("serve: loading snapshot %q: %w", name, err)
+		return nil, fmt.Errorf("serve: loading snapshot %q: %w", name, err)
 	}
 	if err := eng.Freeze(); err != nil {
-		return fmt.Errorf("serve: freezing snapshot %q: %w", name, err)
+		return nil, fmt.Errorf("serve: freezing snapshot %q: %w", name, err)
 	}
-	s.Install(name, path, eng)
-	return nil
+	return s.Install(name, path, eng), nil
 }
 
 // Install publishes an already built engine under name (use
@@ -140,6 +156,14 @@ func (s *Server) LoadFile(name, path string) error {
 // must be valid, so an unfrozen install must not be representable; the
 // caller's ingesting goroutines must have returned.
 func (s *Server) Install(name, source string, eng v6class.Engine) *Snapshot {
+	return s.install(name, source, eng, nil)
+}
+
+// install is Install with optional spatial-memo seeds: populations derived
+// incrementally from the predecessor generation (the freeze path) are
+// planted before the snapshot is published, so the new generation's first
+// dense/topk queries reuse them instead of rebuilding from scratch.
+func (s *Server) install(name, source string, eng v6class.Engine, seeds map[string]*v6class.AddressSet) *Snapshot {
 	if err := eng.Freeze(); err != nil {
 		// Freeze is idempotent and cannot fail today; a future error here
 		// means the snapshot would panic on every request, so refuse loudly
@@ -156,6 +180,9 @@ func (s *Server) Install(name, source string, eng v6class.Engine) *Snapshot {
 		Epoch:    s.nextEpoch.Add(1),
 		LoadedAt: time.Now(),
 		Engine:   eng,
+	}
+	for key, set := range seeds {
+		snap.sets.seed(maxSetEntries, key, set)
 	}
 	old := s.snaps.Load()
 	next := &snapTable{byName: make(map[string]*Snapshot, len(old.byName)+1), def: snap}
@@ -199,10 +226,11 @@ func (s *Server) Reload(name, path string) (*Snapshot, error) {
 		}
 		path = snap.Source
 	}
-	if err := s.LoadFile(snap.Name, path); err != nil {
-		return nil, err
-	}
-	return s.Snapshot(snap.Name), nil
+	// Return the generation this call installed, straight from LoadFile: a
+	// re-resolution by name here could report a different generation when
+	// reloads race, and a caller acting on the result (logging the epoch,
+	// priming caches) must see its own install.
+	return s.LoadFile(snap.Name, path)
 }
 
 // Snapshot resolves a snapshot by name; the empty name selects the
@@ -234,5 +262,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/freeze", s.handleFreeze)
 	return mux
 }

@@ -74,7 +74,7 @@ func TestHandlersMatchAnalyzer(t *testing.T) {
 	direct := buildCensus(t, 5, 19)
 	path := writeSnapshot(t, direct, "a.state")
 	s := New(Options{})
-	if err := s.LoadFile("a", path); err != nil {
+	if _, err := s.LoadFile("a", path); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -348,7 +348,7 @@ func TestConcurrentClientsWithReload(t *testing.T) {
 	}
 
 	s := New(Options{AdminToken: "swap-secret"})
-	if err := s.LoadFile("live", pathA); err != nil {
+	if _, err := s.LoadFile("live", pathA); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -442,10 +442,10 @@ func TestReloadKeepsDefaultAndRejectsUnknown(t *testing.T) {
 	pathA := writeSnapshot(t, buildCensus(t, 5, 9), "a.state")
 	pathB := writeSnapshot(t, buildCensus(t, 5, 19), "b.state")
 	s := New(Options{AdminToken: "secret"})
-	if err := s.LoadFile("secondary", pathA); err != nil {
+	if _, err := s.LoadFile("secondary", pathA); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.LoadFile("primary", pathB); err != nil {
+	if _, err := s.LoadFile("primary", pathB); err != nil {
 		t.Fatal(err)
 	}
 	if s.Snapshot("").Name != "primary" {
@@ -526,7 +526,7 @@ func TestReloadKeepsDefaultAndRejectsUnknown(t *testing.T) {
 func TestReloadPathNeedsTokenConfigured(t *testing.T) {
 	path := writeSnapshot(t, buildCensus(t, 5, 9), "a.state")
 	s := New(Options{})
-	if err := s.LoadFile("live", path); err != nil {
+	if _, err := s.LoadFile("live", path); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -558,7 +558,7 @@ func TestReloadFailureKeepsServing(t *testing.T) {
 	direct := buildCensus(t, 5, 12)
 	path := writeSnapshot(t, direct, "a.state")
 	s := New(Options{AdminToken: "secret"})
-	if err := s.LoadFile("live", path); err != nil {
+	if _, err := s.LoadFile("live", path); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
