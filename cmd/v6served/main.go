@@ -37,6 +37,21 @@
 // With -admin-token both write endpoints require the bearer token; with
 // -readonly they are disabled entirely (reloads stay available).
 //
+// The server can also front a cluster. Repeatable -backend flags name the
+// serve instances holding one key-partitioned census (split with
+// remote.SplitLogs or ingested through a coordinator); v6served dials each
+// backend, composes them with a scatter-gather coordinator, and installs
+// the cluster as one queryable snapshot (-coordinator-name, default
+// "cluster"):
+//
+//	v6served -backend http://census-a:8470 -backend http://census-b:8470
+//	curl 'localhost:8470/v1/meta?snap=cluster'   # shards: 2
+//
+// Point queries route to the owning backend, counts and histograms merge,
+// and the paged enumerations k-way merge the backends' ordered streams, so
+// clients see one census. The coordinator snapshot is read-only from the
+// wire (its census lives on the backends).
+//
 // With -demo the server generates a small synthetic world instead of (or
 // in addition to) loading files, installs a census of its first epoch
 // window as snapshot "demo", and enables the /v1/experiments endpoints.
@@ -63,6 +78,7 @@ import (
 
 	"v6class"
 	"v6class/experiments"
+	"v6class/remote"
 	"v6class/serve"
 	"v6class/synth"
 )
@@ -76,6 +92,8 @@ type statePath struct {
 // can build servers directly.
 type config struct {
 	states     []statePath
+	backends   []string
+	coordName  string
 	demo       bool
 	demoScale  float64
 	demoSeed   uint64
@@ -123,8 +141,29 @@ func buildServer(cfg config) (*serve.Server, error) {
 		}
 		log.Printf("loaded snapshot %q from %s", st.name, st.path)
 	}
+	if len(cfg.backends) > 0 {
+		engines := make([]v6class.Engine, len(cfg.backends))
+		for i, u := range cfg.backends {
+			eng, err := remote.Dial(u)
+			if err != nil {
+				return nil, fmt.Errorf("dialing backend %s: %w", u, err)
+			}
+			engines[i] = eng
+		}
+		coord, err := remote.NewCoordinator(engines, nil)
+		if err != nil {
+			return nil, err
+		}
+		name := cfg.coordName
+		if name == "" {
+			name = "cluster"
+		}
+		// no file source: the census lives on the backends
+		s.Install(name, "", coord)
+		log.Printf("installed coordinator snapshot %q over %d backends", name, len(engines))
+	}
 	if len(s.Names()) == 0 {
-		return nil, fmt.Errorf("nothing to serve: give at least one -state snapshot or -demo")
+		return nil, fmt.Errorf("nothing to serve: give at least one -state snapshot, -backend or -demo")
 	}
 	return s, nil
 }
@@ -152,6 +191,11 @@ func main() {
 		cfg.states = append(cfg.states, parseState(v))
 		return nil
 	})
+	flag.Func("backend", "cluster backend base URL (repeatable); all backends compose into one coordinator snapshot", func(v string) error {
+		cfg.backends = append(cfg.backends, v)
+		return nil
+	})
+	flag.StringVar(&cfg.coordName, "coordinator-name", "cluster", "snapshot name of the composed cluster coordinator")
 	flag.BoolVar(&cfg.demo, "demo", false, "serve a generated synthetic census and enable /v1/experiments")
 	flag.Float64Var(&cfg.demoScale, "demo-scale", 0.02, "population scale of the demo world")
 	flag.Uint64Var(&cfg.demoSeed, "demo-seed", 7, "seed of the demo world")

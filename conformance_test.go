@@ -1,0 +1,660 @@
+package v6class_test
+
+// The Engine conformance suite: every implementation of the v6class.Engine
+// interface — the sequential engine, the sharded concurrent engine, a
+// remote engine speaking the serve wire API over httptest, and a
+// scatter-gather coordinator over three partitioned remote backends — must
+// answer every query identically. The suite builds the same deterministic
+// census four ways and deep-compares each implementation against the
+// sequential reference: scalars exactly, ordered enumerations in exact
+// order, unordered enumerations as sorted sets.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"sync"
+	"testing"
+
+	"v6class"
+	"v6class/remote"
+	"v6class/serve"
+)
+
+const confStudyDays = 30
+
+// confLogs generates the deterministic conformance census: 60 addresses
+// across 12 /64s under 3 /48s, each key active on its own period-and-phase
+// schedule, so the data mixes daily, intermittent and rare keys without
+// any randomness.
+func confLogs() []v6class.DayLog {
+	var addrs []v6class.Addr
+	for net := 0; net < 12; net++ {
+		for h := 0; h < 5; h++ {
+			addrs = append(addrs, v6class.MustParseAddr(
+				fmt.Sprintf("2001:db8:%x:%x::%x", net/4, net, h+1)))
+		}
+	}
+	logs := make([]v6class.DayLog, confStudyDays)
+	for day := 0; day < confStudyDays; day++ {
+		logs[day].Day = day
+		for i, a := range addrs {
+			period := 1 + i%7
+			if (day+i)%period != 0 {
+				continue
+			}
+			logs[day].Records = append(logs[day].Records,
+				v6class.Record{Addr: a, Hits: uint64(1 + (i+day)%4)})
+		}
+	}
+	return logs
+}
+
+// buildLocal constructs and freezes a local engine over the conformance
+// census.
+func buildLocal(t *testing.T, opts ...v6class.Option) v6class.Engine {
+	t.Helper()
+	eng, err := v6class.New(append([]v6class.Option{v6class.WithStudyDays(confStudyDays)}, opts...)...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := eng.AddDays(confLogs()); err != nil {
+		t.Fatalf("AddDays: %v", err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return eng
+}
+
+// serveEngine publishes an engine through a serve instance and dials it
+// back as a remote engine with a deliberately small page size, so every
+// enumeration crosses page boundaries.
+func serveEngine(t *testing.T, eng v6class.Engine) v6class.Engine {
+	t.Helper()
+	s := serve.New(serve.Options{})
+	s.Install("census", "", eng)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"), remote.WithPageSize(7))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return re
+}
+
+// buildCoordinator partitions the census across three backends, each
+// published over its own httptest serve instance and dialed back, and
+// composes them with the scatter-gather coordinator — the full cluster
+// path, wire and all.
+func buildCoordinator(t *testing.T) v6class.Engine {
+	t.Helper()
+	const n = 3
+	part := remote.PartitionByNetworkID(n)
+	split := remote.SplitLogs(confLogs(), n, part)
+	backends := make([]v6class.Engine, n)
+	for i := range backends {
+		eng, err := v6class.New(v6class.WithStudyDays(confStudyDays), v6class.WithSequential())
+		if err != nil {
+			t.Fatalf("New backend %d: %v", i, err)
+		}
+		if err := eng.AddDays(split[i]); err != nil {
+			t.Fatalf("AddDays backend %d: %v", i, err)
+		}
+		if err := eng.Freeze(); err != nil {
+			t.Fatalf("Freeze backend %d: %v", i, err)
+		}
+		backends[i] = serveEngine(t, eng)
+	}
+	coord, err := remote.NewCoordinator(backends, part)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return coord
+}
+
+// conformanceEngines returns the reference engine plus every implementation
+// under test.
+func conformanceEngines(t *testing.T) (ref v6class.Engine, under map[string]v6class.Engine) {
+	t.Helper()
+	ref = buildLocal(t, v6class.WithSequential())
+	return ref, map[string]v6class.Engine{
+		"sharded":     buildLocal(t, v6class.WithShards(4)),
+		"remote":      serveEngine(t, buildLocal(t, v6class.WithSequential())),
+		"coordinator": buildCoordinator(t),
+	}
+}
+
+// readAll drains and closes a response body.
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return data
+}
+
+// jsonDecode decodes a response body into out.
+func jsonDecode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func TestEngineConformanceScalars(t *testing.T) {
+	ref, under := conformanceEngines(t)
+	type scalarCase struct {
+		name string
+		eval func(e v6class.Engine) (any, error)
+	}
+	opts := v6class.StabilityOptions{Window: v6class.StabilityWindow{Before: 3, After: 2}}
+	probe := v6class.MustParseAddr("2001:db8:1:5::3")
+	probeMiss := v6class.MustParseAddr("2001:db8:ffff:ffff::1")
+	p64 := v6class.MustParsePrefix("2001:db8:2:9::/64")
+	cases := []scalarCase{
+		{"studyDays", func(e v6class.Engine) (any, error) { return e.StudyDays(), nil }},
+		{"numAddrs", func(e v6class.Engine) (any, error) { return e.NumKeys(v6class.Addresses) }},
+		{"num64s", func(e v6class.Engine) (any, error) { return e.NumKeys(v6class.Prefixes64) }},
+		{"summary0", func(e v6class.Engine) (any, error) { return e.Summary(0) }},
+		{"summary13", func(e v6class.Engine) (any, error) { return e.Summary(13) }},
+		{"active7", func(e v6class.Engine) (any, error) { return e.ActiveCount(v6class.Addresses, 7) }},
+		{"active64s7", func(e v6class.Engine) (any, error) { return e.ActiveCount(v6class.Prefixes64, 7) }},
+		{"activeRange", func(e v6class.Engine) (any, error) { return e.ActiveInRange(v6class.Addresses, 5, 12) }},
+		{"stability", func(e v6class.Engine) (any, error) { return e.Stability(v6class.Addresses, 14, 3) }},
+		{"stabilityWith", func(e v6class.Engine) (any, error) { return e.StabilityWith(v6class.Prefixes64, 10, 2, opts) }},
+		{"weekly", func(e v6class.Engine) (any, error) { return e.WeeklyStability(v6class.Addresses, 7, 5) }},
+		{"epoch", func(e v6class.Engine) (any, error) { return e.EpochStable(v6class.Addresses, 0, 6, 20, 29) }},
+		{"lookupAddr", func(e v6class.Engine) (any, error) { return e.LookupAddr(probe) }},
+		{"lookupMiss", func(e v6class.Engine) (any, error) { return e.LookupAddr(probeMiss) }},
+		{"lookup64", func(e v6class.Engine) (any, error) { return e.LookupPrefix64(p64) }},
+		{"addrStable", func(e v6class.Engine) (any, error) { return e.AddrStable(probe, 14, 3, opts) }},
+		{"p64Stable", func(e v6class.Engine) (any, error) { return e.Prefix64Stable(p64, 14, 3, opts) }},
+		{"lifetimeStats", func(e v6class.Engine) (any, error) { return e.LifetimeStats(v6class.Addresses, 0, 29) }},
+		{"returnProb", func(e v6class.Engine) (any, error) { return e.ReturnProbability(v6class.Addresses, 0, 29, 7) }},
+		{"returnCounts", func(e v6class.Engine) (any, error) {
+			num, den, err := e.ReturnCounts(v6class.Prefixes64, 0, 29, 7)
+			return [2][]int{num, den}, err
+		}},
+		{"lsp", func(e v6class.Engine) (any, error) { return e.LongestStablePrefixes(0, 9, 20, 29, 32, 2) }},
+	}
+	for _, tc := range cases {
+		want, err := tc.eval(ref)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", tc.name, err)
+		}
+		for name, e := range under {
+			got, err := tc.eval(e)
+			if err != nil {
+				t.Errorf("%s: %s: %v", tc.name, name, err)
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: %s = %+v, reference %+v", tc.name, name, got, want)
+			}
+		}
+	}
+}
+
+func TestEngineConformanceOrdered(t *testing.T) {
+	ref, under := conformanceEngines(t)
+	type seqCase struct {
+		name string
+		eval func(e v6class.Engine) (any, error)
+	}
+	keyStrings := func(s []v6class.Prefix) []string {
+		out := make([]string, len(s))
+		for i, p := range s {
+			out[i] = p.String()
+		}
+		return out
+	}
+	addrStrings := func(s []v6class.Addr) []string {
+		out := make([]string, len(s))
+		for i, a := range s {
+			out[i] = a.String()
+		}
+		return out
+	}
+	cases := []seqCase{
+		{"keysOrderedAddrs", func(e v6class.Engine) (any, error) {
+			seq, err := e.KeysOrdered(v6class.Addresses)
+			if err != nil {
+				return nil, err
+			}
+			return keyStrings(slices.Collect(seq)), nil
+		}},
+		{"keysOrdered64sDays", func(e v6class.Engine) (any, error) {
+			seq, err := e.KeysOrdered(v6class.Prefixes64, 3, 9, 21)
+			if err != nil {
+				return nil, err
+			}
+			return keyStrings(slices.Collect(seq)), nil
+		}},
+		{"lifetimesOrdered", func(e v6class.Engine) (any, error) {
+			seq, err := e.LifetimesOrdered(v6class.Addresses)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			for p, act := range seq {
+				out = append(out, fmt.Sprintf("%s f%d l%d a%d r%d", p, act.First, act.Last, act.ActiveDays, act.Runs))
+			}
+			return out, nil
+		}},
+		{"stableOrdered", func(e v6class.Engine) (any, error) {
+			seq, err := e.StableAddrsOrdered(14, 3)
+			if err != nil {
+				return nil, err
+			}
+			return addrStrings(slices.Collect(seq)), nil
+		}},
+		{"topAggregates48", func(e v6class.Engine) (any, error) {
+			seq, err := e.TopAggregates(v6class.Addresses, 48, 0, 0, 1, 2, 3, 4, 5, 6)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			for agg := range seq {
+				out = append(out, fmt.Sprintf("%s=%d", agg.Prefix, agg.Count))
+			}
+			return out, nil
+		}},
+		{"topAggregates64k2", func(e v6class.Engine) (any, error) {
+			seq, err := e.TopAggregates(v6class.Prefixes64, 48, 2, 10, 11, 12)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			for agg := range seq {
+				out = append(out, fmt.Sprintf("%s=%d", agg.Prefix, agg.Count))
+			}
+			return out, nil
+		}},
+		{"overlap", func(e v6class.Engine) (any, error) {
+			seq, err := e.OverlapSeries(v6class.Addresses, 14, 4, 4)
+			if err != nil {
+				return nil, err
+			}
+			var out []string
+			for day, n := range seq {
+				out = append(out, fmt.Sprintf("%d=%d", day, n))
+			}
+			return out, nil
+		}},
+		{"mra", func(e v6class.Engine) (any, error) {
+			set, err := e.SpatialSet(v6class.Addresses, 0, 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			m := set.MRA()
+			return fmt.Sprintf("n=%d c64=%d c48=%d c32=%d total=%d", m.N, m.Counts[64], m.Counts[48], m.Counts[32], set.Total()), nil
+		}},
+		// Unordered enumerations conform as sorted sets.
+		{"addrsActiveOn", func(e v6class.Engine) (any, error) {
+			seq, err := e.AddrsActiveOn(4, 5)
+			if err != nil {
+				return nil, err
+			}
+			out := addrStrings(slices.Collect(seq))
+			slices.Sort(out)
+			return out, nil
+		}},
+		{"prefixes64ActiveOn", func(e v6class.Engine) (any, error) {
+			seq, err := e.Prefixes64ActiveOn(8)
+			if err != nil {
+				return nil, err
+			}
+			out := keyStrings(slices.Collect(seq))
+			slices.Sort(out)
+			return out, nil
+		}},
+		{"keysUnordered", func(e v6class.Engine) (any, error) {
+			seq, err := e.Keys(v6class.Prefixes64)
+			if err != nil {
+				return nil, err
+			}
+			out := keyStrings(slices.Collect(seq))
+			slices.Sort(out)
+			return out, nil
+		}},
+	}
+	for _, tc := range cases {
+		want, err := tc.eval(ref)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", tc.name, err)
+		}
+		for name, e := range under {
+			got, err := tc.eval(e)
+			if err != nil {
+				t.Errorf("%s: %s: %v", tc.name, name, err)
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: %s = %v, reference %v", tc.name, name, got, want)
+			}
+		}
+	}
+}
+
+// TestEngineConformanceResume verifies the resumable forms: enumerations
+// resumed strictly after a mid-stream key must exactly produce the suffix
+// of the full stream, on every implementation.
+func TestEngineConformanceResume(t *testing.T) {
+	ref, under := conformanceEngines(t)
+	fullSeq, err := ref.KeysOrdered(v6class.Addresses)
+	if err != nil {
+		t.Fatalf("reference KeysOrdered: %v", err)
+	}
+	full := slices.Collect(fullSeq)
+	if len(full) < 6 {
+		t.Fatalf("conformance census too small: %d keys", len(full))
+	}
+	cut := len(full) / 3
+	after := full[cut]
+	wantSuffix := full[cut+1:]
+	for name, e := range under {
+		seq, err := e.KeysOrderedAfter(v6class.Addresses, after)
+		if err != nil {
+			t.Errorf("%s: KeysOrderedAfter: %v", name, err)
+			continue
+		}
+		got := slices.Collect(seq)
+		if !slices.Equal(got, wantSuffix) {
+			t.Errorf("%s: resumed stream has %d keys, want %d", name, len(got), len(wantSuffix))
+		}
+		// Early break must be safe and re-iteration must restart.
+		n := 0
+		for range seq {
+			n++
+			if n == 2 {
+				break
+			}
+		}
+		m := 0
+		for range seq {
+			m++
+		}
+		if m != len(wantSuffix) {
+			t.Errorf("%s: re-iteration after early break yields %d keys, want %d", name, m, len(wantSuffix))
+		}
+	}
+
+	// Stable-address resumption.
+	stableSeq, err := ref.StableAddrsOrdered(14, 3)
+	if err != nil {
+		t.Fatalf("reference StableAddrsOrdered: %v", err)
+	}
+	stable := slices.Collect(stableSeq)
+	if len(stable) < 3 {
+		t.Fatalf("too few stable addresses: %d", len(stable))
+	}
+	sAfter := stable[len(stable)/2]
+	sWant := stable[len(stable)/2+1:]
+	for name, e := range under {
+		seq, err := e.StableAddrsOrderedAfter(14, 3, sAfter)
+		if err != nil {
+			t.Errorf("%s: StableAddrsOrderedAfter: %v", name, err)
+			continue
+		}
+		if got := slices.Collect(seq); !slices.Equal(got, sWant) {
+			t.Errorf("%s: resumed stable stream mismatch: %d addrs, want %d", name, len(got), len(sWant))
+		}
+	}
+
+	// Lifetime resumption.
+	for name, e := range under {
+		seq, err := e.LifetimesOrderedAfter(v6class.Addresses, after)
+		if err != nil {
+			t.Errorf("%s: LifetimesOrderedAfter: %v", name, err)
+			continue
+		}
+		var got []v6class.Prefix
+		for p := range seq {
+			got = append(got, p)
+		}
+		if !slices.Equal(got, wantSuffix) {
+			t.Errorf("%s: resumed lifetimes stream mismatch: %d keys, want %d", name, len(got), len(wantSuffix))
+		}
+	}
+}
+
+// TestEngineConformanceTypedErrors verifies that typed sentinel errors
+// survive every transport: a misconfigured call answers an error that
+// errors.Is-matches the same façade sentinel on every implementation.
+func TestEngineConformanceTypedErrors(t *testing.T) {
+	_, under := conformanceEngines(t)
+	badAfter := v6class.MustParsePrefix("2001:db8::/64") // /64 key against the /128 population
+	for name, e := range under {
+		if _, err := e.KeysOrderedAfter(v6class.Addresses, badAfter); !errors.Is(err, v6class.ErrConfig) {
+			t.Errorf("%s: KeysOrderedAfter with mismatched key: err = %v, want ErrConfig", name, err)
+		}
+		if _, err := e.ReturnProbability(v6class.Addresses, 0, 29, -1); !errors.Is(err, v6class.ErrConfig) {
+			t.Errorf("%s: ReturnProbability(maxGap=-1): err = %v, want ErrConfig", name, err)
+		}
+	}
+}
+
+// TestRemoteIngest drives the full wire write path: a remote engine
+// ingests the conformance census into an empty served snapshot, freezes
+// it, and the served census must then answer like a locally built one.
+func TestRemoteIngest(t *testing.T) {
+	empty, err := v6class.New(v6class.WithStudyDays(confStudyDays), v6class.WithSequential())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := serve.New(serve.Options{})
+	s.Install("census", "", empty)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"), remote.WithPageSize(9))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if !re.Frozen() {
+		t.Fatal("a dialed engine must report frozen")
+	}
+	if err := re.AddDays(confLogs()); err != nil {
+		t.Fatalf("AddDays over the wire: %v", err)
+	}
+	if re.Frozen() {
+		t.Fatal("ingesting engine must report unfrozen")
+	}
+	// Out-of-period ingestion must surface the typed day-range error.
+	if err := re.AddDay(v6class.DayLog{Day: confStudyDays + 5}); !errors.Is(err, v6class.ErrDayRange) {
+		t.Fatalf("out-of-period AddDay: err = %v, want ErrDayRange", err)
+	}
+	if err := re.Freeze(); err != nil {
+		t.Fatalf("Freeze over the wire: %v", err)
+	}
+	if !re.Frozen() {
+		t.Fatal("frozen engine must report frozen")
+	}
+
+	ref := buildLocal(t, v6class.WithSequential())
+	wantKeys, _ := ref.NumKeys(v6class.Addresses)
+	gotKeys, err := re.NumKeys(v6class.Addresses)
+	if err != nil {
+		t.Fatalf("NumKeys: %v", err)
+	}
+	if gotKeys != wantKeys {
+		t.Fatalf("ingested census has %d addresses, want %d", gotKeys, wantKeys)
+	}
+	wantStab, _ := ref.Stability(v6class.Addresses, 14, 3)
+	gotStab, err := re.Stability(v6class.Addresses, 14, 3)
+	if err != nil {
+		t.Fatalf("Stability: %v", err)
+	}
+	if !reflect.DeepEqual(gotStab, wantStab) {
+		t.Fatalf("ingested stability %+v, want %+v", gotStab, wantStab)
+	}
+}
+
+// reloadableServer persists the reference census to a file and serves it,
+// so tests can force generation swaps with Reload.
+func reloadableServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	eng := buildLocal(t, v6class.WithSequential())
+	path := filepath.Join(t.TempDir(), "census.state")
+	if err := eng.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	s := serve.New(serve.Options{})
+	if _, err := s.LoadFile("census", path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+// TestCursorExpiredOnReload holds a page cursor across a snapshot reload
+// and asserts the enumeration fails closed: the server answers HTTP 410
+// with the cursor_expired envelope code, and the remote Pager surfaces an
+// error unwrapping serve.ErrCursorExpired instead of splicing generations.
+func TestCursorExpiredOnReload(t *testing.T) {
+	s, srv := reloadableServer(t)
+
+	// Raw wire level: fetch a first page, swap generations, replay the
+	// cursor.
+	resp, err := http.Get(srv.URL + "/v1/keys?limit=5")
+	if err != nil {
+		t.Fatalf("first page: %v", err)
+	}
+	var page struct {
+		Cursor string `json:"cursor"`
+	}
+	if err := jsonDecode(resp, &page); err != nil {
+		t.Fatalf("decoding first page: %v", err)
+	}
+	if page.Cursor == "" {
+		t.Fatal("first page carries no cursor; lower the limit")
+	}
+	if _, err := s.Reload("census", ""); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	resp, err = http.Get(srv.URL + "/v1/keys?limit=5&cursor=" + page.Cursor)
+	if err != nil {
+		t.Fatalf("stale page: %v", err)
+	}
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale cursor answered %d, want %d", resp.StatusCode, http.StatusGone)
+	}
+	body := readAll(t, resp)
+	werr := serve.DecodeError(resp.StatusCode, body)
+	if werr.Code != serve.CodeCursorExpired {
+		t.Fatalf("stale cursor code %q, want %q", werr.Code, serve.CodeCursorExpired)
+	}
+	if !errors.Is(werr, serve.ErrCursorExpired) {
+		t.Fatalf("envelope error %v does not unwrap to ErrCursorExpired", werr)
+	}
+
+	// Pager level: the page-at-a-time client must surface the same typed
+	// error, never restart silently.
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"), remote.WithPageSize(5))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	pager := re.KeysPager(v6class.Addresses)
+	if _, more, err := pager.Next(); err != nil || !more {
+		t.Fatalf("first Pager page: more=%v err=%v", more, err)
+	}
+	if _, err := s.Reload("census", ""); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if _, _, err := pager.Next(); !errors.Is(err, serve.ErrCursorExpired) {
+		t.Fatalf("Pager across reload: err = %v, want ErrCursorExpired", err)
+	}
+}
+
+// TestEnumerationRestartsAcrossReload reloads the snapshot between the
+// first and second page of an enumeration and asserts the materializing
+// iterator restarts transparently against the new generation, returning
+// the complete, un-spliced stream.
+func TestEnumerationRestartsAcrossReload(t *testing.T) {
+	s, _ := reloadableServer(t)
+
+	// Trip exactly one reload after the first /v1/keys page is served.
+	var once sync.Once
+	h := s.Handler()
+	tripping := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(w, r)
+		if r.URL.Path == "/v1/keys" {
+			once.Do(func() {
+				if _, err := s.Reload("census", ""); err != nil {
+					t.Errorf("Reload: %v", err)
+				}
+			})
+		}
+	}))
+	defer tripping.Close()
+
+	re, err := remote.Dial(tripping.URL, remote.WithSnapshot("census"), remote.WithPageSize(5))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	ref := buildLocal(t, v6class.WithSequential())
+	wantSeq, _ := ref.KeysOrdered(v6class.Addresses)
+	want := slices.Collect(wantSeq)
+	gotSeq, err := re.KeysOrdered(v6class.Addresses)
+	if err != nil {
+		t.Fatalf("KeysOrdered across reload: %v", err)
+	}
+	if got := slices.Collect(gotSeq); !slices.Equal(got, want) {
+		t.Fatalf("restarted enumeration yields %d keys, want %d", len(got), len(want))
+	}
+}
+
+// TestConcurrentQueriesAndReloads hammers the remote engine from several
+// goroutines while the server swaps generations underneath — the -race
+// exercise for the RCU registry, the paged enumerations and the retry
+// policy. Every enumeration must come back complete (both generations hold
+// the same census, so content never varies — only the generation does).
+func TestConcurrentQueriesAndReloads(t *testing.T) {
+	s, srv := reloadableServer(t)
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"),
+		remote.WithPageSize(5), remote.WithRetries(10))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	ref := buildLocal(t, v6class.WithSequential())
+	wantSeq, _ := ref.KeysOrdered(v6class.Addresses)
+	want := slices.Collect(wantSeq)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				seq, err := re.KeysOrdered(v6class.Addresses)
+				if err != nil {
+					t.Errorf("KeysOrdered under reloads: %v", err)
+					return
+				}
+				if got := slices.Collect(seq); !slices.Equal(got, want) {
+					t.Errorf("enumeration under reloads yields %d keys, want %d", len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := s.Reload("census", ""); err != nil {
+				t.Errorf("Reload: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -134,6 +134,28 @@
 // same days shares one trie. See examples/queryclient for an end-to-end
 // walkthrough.
 //
+// # Cluster tier
+//
+// Package remote closes the loop: remote.Dial(url) returns an Engine —
+// this same interface — backed by a serve instance over HTTP, so any
+// program written against the façade runs unchanged whether its census is
+// in-process or behind the network. Scalar queries map to single
+// requests; the streaming enumerations walk the server's cursor-paged
+// endpoints and restart transparently if the snapshot is reloaded
+// mid-walk, so an iterator never splices two generations. Errors arrive
+// as the same typed sentinels (ErrConfig, ErrDayRange, ErrNotFrozen, ...)
+// via the wire protocol's stable error codes.
+//
+// remote.NewCoordinator composes several such backends into one Engine
+// over a partitioned census: ingest splits each day's records by /64
+// partition, point queries route to the owning backend, scalars and
+// histograms merge by summation, ranked aggregates gather and re-rank,
+// and the ordered enumerations are heap-merged into one globally sorted
+// stream. cmd/v6served -backend wires this up as a serving tier: a
+// coordinator process dials N shard servers and serves the merged census
+// through the identical HTTP API, so clients cannot tell a cluster from
+// a single box. See examples/cluster for the full walkthrough.
+//
 // # Reproduction of the paper
 //
 // Package experiments regenerates every table and figure of the paper's

@@ -121,6 +121,42 @@ type Engine interface {
 	// OverlapSeries streams (day, overlap-with-ref) pairs for each day in
 	// [ref-before, ref+after] — the Figure 4 curve.
 	OverlapSeries(pop Population, ref, before, after int) (iter.Seq2[int, int], error)
+
+	// Ordered, resumable enumerations. The documented total order is the
+	// canonical key order: addresses (as /128s) ascend numerically by
+	// their 128-bit value; /64 keys ascend by base address, then prefix
+	// length — the in-order walk of a binary trie. Every engine
+	// implementation — sequential, sharded, remote, coordinator — yields
+	// the identical ordered stream for the same census, which is what
+	// makes pagination cursors portable and cross-backend gather merges
+	// possible. The ...After forms resume strictly after a key previously
+	// yielded (after need not itself be a key: the stream continues with
+	// the first key greater than it).
+
+	// KeysOrdered streams the keys of the population in ascending key
+	// order: every key ever observed when no days are given, otherwise
+	// the union of keys active on any listed day, each exactly once.
+	KeysOrdered(pop Population, days ...int) (iter.Seq[Prefix], error)
+	// KeysOrderedAfter resumes KeysOrdered strictly after a key. The
+	// after key's length must match the population (/128 for Addresses,
+	// /64 for Prefixes64), else ErrConfig.
+	KeysOrderedAfter(pop Population, after Prefix, days ...int) (iter.Seq[Prefix], error)
+	// LifetimesOrdered streams every key of the population with its
+	// activity profile, in ascending key order.
+	LifetimesOrdered(pop Population) (iter.Seq2[Prefix, Activity], error)
+	// LifetimesOrderedAfter resumes LifetimesOrdered strictly after a key.
+	LifetimesOrderedAfter(pop Population, after Prefix) (iter.Seq2[Prefix, Activity], error)
+	// StableAddrsOrdered streams the nd-stable addresses for a reference
+	// day under the engine's default options, in ascending address order.
+	StableAddrsOrdered(ref, n int) (iter.Seq[Addr], error)
+	// StableAddrsOrderedAfter resumes StableAddrsOrdered strictly after
+	// an address.
+	StableAddrsOrderedAfter(ref, n int, after Addr) (iter.Seq[Addr], error)
+	// ReturnCounts returns the per-gap return and opportunity tallies
+	// behind ReturnProbability. The counts — unlike the probabilities —
+	// are additive across disjoint key partitions, so a cluster
+	// coordinator sums them over backends and divides once.
+	ReturnCounts(pop Population, from, to, maxGap int) (num, den []int, err error)
 }
 
 // engine adapts one of the two internal census implementations to the

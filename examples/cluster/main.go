@@ -1,0 +1,178 @@
+// Cluster walks through the scatter-gather tier end to end: it partitions
+// a synthetic census across three shard servers, dials each one with
+// remote.Dial, composes the dialed engines into one remote.Coordinator,
+// and serves the merged census through the identical HTTP API — then asks
+// the cluster the same questions a single box would answer, including a
+// cursor-paged walk of the globally ordered key stream.
+//
+// The same topology with standalone processes, with curl:
+//
+//	# three shard servers, each holding one partition of the census
+//	# (a real deployment builds each partition with remote.SplitLogs or
+//	# by routing its collector feed by /64 hash)
+//	v6served -state shard0.state -listen :8471 &
+//	v6served -state shard1.state -listen :8472 &
+//	v6served -state shard2.state -listen :8473 &
+//
+//	# one coordinator over all three, serving the merged census
+//	v6served -backend http://localhost:8471 \
+//	         -backend http://localhost:8472 \
+//	         -backend http://localhost:8473 \
+//	         -listen :8470 &
+//
+//	# the cluster answers exactly like a single server
+//	curl -s localhost:8470/v1/meta                 # note "shards": 3
+//	curl -s 'localhost:8470/v1/summary?day=7'
+//	curl -s 'localhost:8470/v1/stability?pop=addrs&ref=7&n=3'
+//	curl -s 'localhost:8470/v1/lookup?addr=2001:db8::1&ref=7'
+//	curl -s 'localhost:8470/v1/topk?pop=addrs&p=48&k=5&day=7'
+//
+//	# page through every key in global address order; each response
+//	# carries a cursor token for the next page (absent on the last page)
+//	curl -s 'localhost:8470/v1/keys?pop=addrs&limit=500'
+//	curl -s "localhost:8470/v1/keys?pop=addrs&limit=500&cursor=$CURSOR"
+//
+//	# a reload on any tier invalidates in-flight cursors fail-closed:
+//	# the next page answers HTTP 410 {"error":{"code":"cursor_expired",...}}
+//	# and the client restarts the walk (package remote does so itself)
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"v6class"
+	"v6class/remote"
+	"v6class/serve"
+	"v6class/synth"
+)
+
+const (
+	studyDays = 15
+	backends  = 3
+)
+
+// serveEngine installs eng in a fresh serve instance on a loopback
+// listener and returns its base URL, as "v6served -state" would.
+func serveEngine(name string, eng v6class.Engine) string {
+	s := serve.New(serve.Options{})
+	s.Install(name, "", eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go (&http.Server{Handler: s.Handler()}).Serve(ln)
+	return "http://" + ln.Addr().String()
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// One synthetic world, split into three partitions by /64 hash — the
+	// same partition function the coordinator uses to route point queries,
+	// so an address and its covering /64 always land on the same shard.
+	w := synth.NewWorld(synth.Config{Seed: 11, Scale: 0.01, StudyDays: studyDays})
+	logs := w.Days(0, studyDays-1)
+	parts := remote.SplitLogs(logs, backends, remote.PartitionByNetworkID(backends))
+
+	// Build and serve each partition as its own census.
+	urls := make([]string, backends)
+	for i, part := range parts {
+		eng, err := v6class.New(v6class.WithStudyDays(studyDays))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.AddDays(part); err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Freeze(); err != nil {
+			log.Fatal(err)
+		}
+		urls[i] = serveEngine("census", eng)
+		fmt.Printf("shard %d: %s (%d keys)\n", i, urls[i], mustKeys(eng))
+	}
+
+	// Dial each shard and compose the cluster, as "v6served -backend ×3"
+	// would. A nil partition defaults to PartitionByNetworkID.
+	engines := make([]v6class.Engine, backends)
+	for i, u := range urls {
+		e, err := remote.Dial(u, remote.WithSnapshot("census"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[i] = e
+	}
+	coord, err := remote.NewCoordinator(engines, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The coordinator is itself a v6class.Engine: query it directly...
+	st, err := coord.Stability(v6class.Addresses, 7, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncluster stability(ref=7, n=3): active=%d stable=%d not-stable=%d\n",
+		st.Active, st.Stable, st.NotStable)
+
+	// ...or serve it, so clients cannot tell the cluster from a single box.
+	base := serveEngine("cluster", coord)
+	get := func(path string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("GET %s\n  %s\n", path, trim(body))
+	}
+
+	fmt.Println("\n--- the cluster over HTTP ---")
+	get("/v1/meta") // shards counts the backends
+	get("/v1/summary?day=7")
+	get("/v1/stability?pop=addrs&ref=7&n=3&window=7")
+	get("/v1/topk?pop=addrs&p=48&k=3&day=7")
+
+	// The ordered enumeration merges the three shards into one globally
+	// sorted stream; page through it exactly as a remote client does.
+	fmt.Println("\n--- cursor-paged ordered keys ---")
+	get("/v1/keys?pop=64s&limit=5")
+
+	// Or let package remote do the paging: dial the cluster itself.
+	top, err := remote.Dial(base, remote.WithSnapshot("cluster"), remote.WithPageSize(512))
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys, err := top.KeysOrdered(v6class.Prefixes64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, first, last := 0, "", ""
+	for p := range keys {
+		if n == 0 {
+			first = p.String()
+		}
+		last = p.String()
+		n++
+	}
+	fmt.Printf("\nremote.Dial(cluster): %d /64 keys in order, %s .. %s\n", n, first, last)
+}
+
+func mustKeys(eng v6class.Engine) int {
+	n, err := eng.NumKeys(v6class.Addresses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
+}
+
+func trim(b []byte) []byte {
+	const max = 200
+	if len(b) > max {
+		return append(b[:max:max], "..."...)
+	}
+	return b
+}

@@ -73,6 +73,19 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// ParseKind inverts Kind.String: it returns the Kind named by s, or false
+// for an unrecognized name. This is how wire clients reconstruct typed
+// kinds from the serve API's JSON, so the names here are a compatibility
+// surface.
+func ParseKind(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
 // IsTransition reports whether k is one of the early transition mechanisms
 // the paper culls from its census (Teredo, ISATAP, 6to4).
 func (k Kind) IsTransition() bool {

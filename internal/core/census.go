@@ -123,6 +123,16 @@ type keyStore[K comparable] interface {
 	KeysActiveAnySeq(days []temporal.Day) iter.Seq[K]
 	KeysActiveAnySeqs(n int, days []temporal.Day) []iter.Seq[K]
 	ActivitySeq() iter.Seq2[K, temporal.Activity]
+	// Ordered, resumable enumerations (internal/temporal/ordered.go): the
+	// same elements in ascending cmp order, restarting strictly after
+	// *after when non-nil. The key set must be final (frozen) first.
+	KeysOrderedSeq(cmp func(a, b K) int, after *K) iter.Seq[K]
+	KeysActiveAnyOrderedSeq(cmp func(a, b K) int, days []temporal.Day, after *K) iter.Seq[K]
+	StableKeysOrderedSeq(cmp func(a, b K) int, ref temporal.Day, n int, opts temporal.Options, after *K) iter.Seq[K]
+	ActivityOrderedSeq(cmp func(a, b K) int, after *K) iter.Seq2[K, temporal.Activity]
+	// ReturnCounts exposes the additive tallies behind ReturnProbability,
+	// mergeable across disjoint key partitions by element-wise addition.
+	ReturnCounts(from, to temporal.Day, maxGap int) (num, den []int)
 }
 
 // censusState is the engine-independent census: the two key stores plus the
@@ -188,6 +198,20 @@ type Analyzer interface {
 	Prefix64sSeq() iter.Seq[ipaddr.Prefix]
 	AddrLifetimesSeq() iter.Seq2[ipaddr.Addr, temporal.Activity]
 	Prefix64LifetimesSeq() iter.Seq2[ipaddr.Prefix, temporal.Activity]
+	// Ordered, resumable enumerations (ordered.go): ascending numeric
+	// address order (prefixes: base address, then prefix length),
+	// restarting strictly after *after when non-nil. An empty days slice
+	// enumerates every key ever observed; a non-empty one the union of
+	// keys active on any listed day. These are the streams a remote pager
+	// serves one page at a time and a cluster coordinator k-way merges.
+	AddrsOrderedSeq(days []int, after *ipaddr.Addr) iter.Seq[ipaddr.Addr]
+	Prefix64sOrderedSeq(days []int, after *ipaddr.Prefix) iter.Seq[ipaddr.Prefix]
+	StableAddrsOrderedSeq(ref, n int, opts temporal.Options, after *ipaddr.Addr) iter.Seq[ipaddr.Addr]
+	AddrLifetimesOrderedSeq(after *ipaddr.Addr) iter.Seq2[ipaddr.Addr, temporal.Activity]
+	Prefix64LifetimesOrderedSeq(after *ipaddr.Prefix) iter.Seq2[ipaddr.Prefix, temporal.Activity]
+	// ReturnCounts is the count form of ReturnProbability: per-gap return
+	// and opportunity tallies that merge across partitions by addition.
+	ReturnCounts(pop Population, from, to, maxGap int) (num, den []int)
 	// Generational delta enumerations (successor.go): on a frozen successor
 	// census they visit every key whose day words this generation differ
 	// from the predecessor's; on a first-generation census they visit
@@ -418,10 +442,24 @@ type LongestStablePrefix struct {
 // minSupport supporting addresses and at least minBits length are returned,
 // deduplicated to the least-specific non-overlapping set, in prefix order.
 func (c *censusState) LongestStablePrefixes(aFrom, aTo, bFrom, bTo int, minBits int, minSupport uint64) []LongestStablePrefix {
-	// Build the period-A address trie; the day-mask sweep yields each
-	// address once, so no seen-set is needed.
+	return LongestStablePrefixesFrom(
+		c.AddrsActiveAnySeq(rangeDays(aFrom, aTo)...),
+		c.AddrsActiveAnySeq(rangeDays(bFrom, bTo)...),
+		minBits, minSupport)
+}
+
+// LongestStablePrefixesFrom is the stream form of LongestStablePrefixes:
+// it computes the same report from any two address streams — period A and
+// period B — each yielding every address exactly once. A cluster
+// coordinator uses this to run the analysis over the merged per-backend
+// enumeration streams, since the per-backend reports cannot be merged (the
+// longest common prefix of a B address may be with an A address held by a
+// different backend).
+func LongestStablePrefixesFrom(periodA, periodB iter.Seq[ipaddr.Addr], minBits int, minSupport uint64) []LongestStablePrefix {
+	// Build the period-A address trie; the streams yield each address
+	// once, so no seen-set is needed.
 	var aTrie trie.Trie
-	for a := range c.AddrsActiveAnySeq(rangeDays(aFrom, aTo)...) {
+	for a := range periodA {
 		aTrie.AddAddr(a)
 	}
 	if aTrie.Len() == 0 {
@@ -429,7 +467,7 @@ func (c *censusState) LongestStablePrefixes(aFrom, aTo, bFrom, bTo int, minBits 
 	}
 	// Tally stable prefixes from period-B addresses.
 	var support trie.Trie
-	for b := range c.AddrsActiveAnySeq(rangeDays(bFrom, bTo)...) {
+	for b := range periodB {
 		cpl := aTrie.MaxCommonPrefixLen(b)
 		if cpl >= minBits {
 			support.Add(ipaddr.PrefixFrom(b, cpl), 1)

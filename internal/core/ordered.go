@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"iter"
+
+	"v6class/internal/ipaddr"
+	"v6class/internal/temporal"
+)
+
+// Ordered, resumable forms of the streaming enumerations. The total order
+// is the canonical one of internal/ipaddr: addresses ascend numerically
+// (uint128 compare) and prefixes ascend by base address, then prefix
+// length — a binary-trie in-order walk. Both engines share one memoized
+// sorted row permutation per store, so the sequential engine pays one
+// O(n log n) sort on first use and the sharded engine a k-way heap merge
+// of per-shard sorted sweeps. These orderings are the contract the serve
+// pagination cursors and the cluster coordinator's gather merges rely on.
+
+func addrCmp(a, b ipaddr.Addr) int     { return a.Cmp(b) }
+func prefixCmp(a, b ipaddr.Prefix) int { return a.Cmp(b) }
+
+// AddrsOrderedSeq yields native addresses in ascending numeric order,
+// strictly after *after when non-nil. An empty days slice enumerates every
+// address ever observed; a non-empty one the union of addresses active on
+// any listed day, each exactly once.
+func (c *censusState) AddrsOrderedSeq(days []int, after *ipaddr.Addr) iter.Seq[ipaddr.Addr] {
+	if len(days) == 0 {
+		return c.addrs.KeysOrderedSeq(addrCmp, after)
+	}
+	return c.addrs.KeysActiveAnyOrderedSeq(addrCmp, toDays(days), after)
+}
+
+// Prefix64sOrderedSeq is AddrsOrderedSeq for the /64 population, ascending
+// by base address then prefix length.
+func (c *censusState) Prefix64sOrderedSeq(days []int, after *ipaddr.Prefix) iter.Seq[ipaddr.Prefix] {
+	if len(days) == 0 {
+		return c.p64s.KeysOrderedSeq(prefixCmp, after)
+	}
+	return c.p64s.KeysActiveAnyOrderedSeq(prefixCmp, toDays(days), after)
+}
+
+// StableAddrsOrderedSeq yields the nd-stable addresses for reference day
+// ref under opts in ascending numeric order, strictly after *after when
+// non-nil — the ordered form of StableAddrsSeq.
+func (c *censusState) StableAddrsOrderedSeq(ref, n int, opts temporal.Options, after *ipaddr.Addr) iter.Seq[ipaddr.Addr] {
+	return c.addrs.StableKeysOrderedSeq(addrCmp, temporal.Day(ref), n, opts, after)
+}
+
+// AddrLifetimesOrderedSeq yields every observed address with its activity
+// profile in ascending numeric order, strictly after *after when non-nil.
+func (c *censusState) AddrLifetimesOrderedSeq(after *ipaddr.Addr) iter.Seq2[ipaddr.Addr, temporal.Activity] {
+	return c.addrs.ActivityOrderedSeq(addrCmp, after)
+}
+
+// Prefix64LifetimesOrderedSeq yields every observed /64 with its activity
+// profile in ascending prefix order, strictly after *after when non-nil.
+func (c *censusState) Prefix64LifetimesOrderedSeq(after *ipaddr.Prefix) iter.Seq2[ipaddr.Prefix, temporal.Activity] {
+	return c.p64s.ActivityOrderedSeq(prefixCmp, after)
+}
+
+// ReturnCounts returns the per-gap return and opportunity tallies behind
+// ReturnProbability. Unlike the probabilities, the counts are additive
+// across disjoint key partitions, which is how a cluster coordinator
+// recovers exact probabilities: sum counts over backends, divide once.
+func (c *censusState) ReturnCounts(pop Population, from, to, maxGap int) (num, den []int) {
+	switch pop {
+	case Addresses:
+		return c.addrs.ReturnCounts(temporal.Day(from), temporal.Day(to), maxGap)
+	case Prefixes64:
+		return c.p64s.ReturnCounts(temporal.Day(from), temporal.Day(to), maxGap)
+	}
+	panic(fmt.Sprintf("core: unknown population %d", pop))
+}

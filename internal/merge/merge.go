@@ -1,0 +1,114 @@
+// Package merge provides ordered k-way merging of sorted streaming
+// iterators. It is the gather half of every cross-shard and cross-backend
+// ordered enumeration: each shard (or cluster backend) sweeps its own rows
+// in key order, and a heap merge over the per-source heads yields one
+// globally ordered stream without materializing any source.
+package merge
+
+import (
+	"container/heap"
+	"iter"
+)
+
+// Ordered merges already-sorted sequences into one sorted sequence.
+//
+// cmp must be a total order and every seq must already yield its elements
+// in ascending cmp order; the merged sequence is then globally ascending.
+// Duplicates are preserved — ties between sources yield in source index
+// order, so the merge is deterministic. The result is re-iterable: each
+// range restarts every source from its beginning.
+//
+// The merge is streaming: at any moment only one pending element per
+// source is held (via iter.Pull), so merging k shards costs O(k) space and
+// O(log k) comparisons per element regardless of stream length. An early
+// break from the consumer stops every source iterator.
+func Ordered[T any](cmp func(a, b T) int, seqs ...iter.Seq[T]) iter.Seq[T] {
+	if len(seqs) == 1 {
+		return seqs[0]
+	}
+	return func(yield func(T) bool) {
+		h := &mergeHeap[T]{cmp: cmp}
+		stops := make([]func(), 0, len(seqs))
+		defer func() {
+			for _, stop := range stops {
+				stop()
+			}
+		}()
+		for i, s := range seqs {
+			if s == nil {
+				continue
+			}
+			next, stop := iter.Pull(s)
+			stops = append(stops, stop)
+			if v, ok := next(); ok {
+				h.items = append(h.items, head[T]{v: v, src: i, next: next})
+			}
+		}
+		heap.Init(h)
+		for h.Len() > 0 {
+			it := h.items[0]
+			if !yield(it.v) {
+				return
+			}
+			if v, ok := it.next(); ok {
+				h.items[0].v = v
+				heap.Fix(h, 0)
+			} else {
+				heap.Pop(h)
+			}
+		}
+	}
+}
+
+// OrderedUnique is Ordered with equal elements collapsed: when several
+// sources carry the same element, it is yielded exactly once. The sources
+// must each be duplicate-free for the output to be a set.
+func OrderedUnique[T any](cmp func(a, b T) int, seqs ...iter.Seq[T]) iter.Seq[T] {
+	src := Ordered(cmp, seqs...)
+	return func(yield func(T) bool) {
+		var last T
+		have := false
+		for v := range src {
+			if have && cmp(v, last) == 0 {
+				continue
+			}
+			last, have = v, true
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// head is one source's pending element inside the merge heap.
+type head[T any] struct {
+	v    T
+	src  int
+	next func() (T, bool)
+}
+
+type mergeHeap[T any] struct {
+	cmp   func(a, b T) int
+	items []head[T]
+}
+
+func (h *mergeHeap[T]) Len() int { return len(h.items) }
+
+func (h *mergeHeap[T]) Less(i, j int) bool {
+	if c := h.cmp(h.items[i].v, h.items[j].v); c != 0 {
+		return c < 0
+	}
+	return h.items[i].src < h.items[j].src
+}
+
+func (h *mergeHeap[T]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *mergeHeap[T]) Push(x any) { h.items = append(h.items, x.(head[T])) }
+
+func (h *mergeHeap[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

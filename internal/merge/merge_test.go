@@ -1,0 +1,97 @@
+package merge
+
+import (
+	"cmp"
+	"iter"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func seqOf(xs ...int) iter.Seq[int] {
+	return func(yield func(int) bool) {
+		for _, x := range xs {
+			if !yield(x) {
+				return
+			}
+		}
+	}
+}
+
+func TestOrderedBasic(t *testing.T) {
+	got := slices.Collect(Ordered(cmp.Compare[int],
+		seqOf(1, 4, 9),
+		seqOf(2, 4, 8, 16),
+		seqOf(),
+		seqOf(3),
+	))
+	want := []int{1, 2, 3, 4, 4, 8, 9, 16}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Ordered = %v, want %v", got, want)
+	}
+}
+
+func TestOrderedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(6)
+		var all []int
+		seqs := make([]iter.Seq[int], k)
+		for i := range seqs {
+			n := rng.Intn(20)
+			xs := make([]int, n)
+			for j := range xs {
+				xs[j] = rng.Intn(50)
+			}
+			slices.Sort(xs)
+			all = append(all, xs...)
+			seqs[i] = seqOf(xs...)
+		}
+		slices.Sort(all)
+		got := slices.Collect(Ordered(cmp.Compare[int], seqs...))
+		if !slices.Equal(got, all) {
+			t.Fatalf("trial %d: Ordered = %v, want %v", trial, got, all)
+		}
+	}
+}
+
+func TestOrderedReiterable(t *testing.T) {
+	s := Ordered(cmp.Compare[int], seqOf(1, 3), seqOf(2))
+	first := slices.Collect(s)
+	second := slices.Collect(s)
+	if !slices.Equal(first, second) {
+		t.Fatalf("second iteration %v differs from first %v", second, first)
+	}
+}
+
+func TestOrderedEarlyBreak(t *testing.T) {
+	s := Ordered(cmp.Compare[int], seqOf(1, 3, 5), seqOf(2, 4, 6))
+	var got []int
+	for v := range s {
+		got = append(got, v)
+		if len(got) == 3 {
+			break
+		}
+	}
+	if want := []int{1, 2, 3}; !slices.Equal(got, want) {
+		t.Fatalf("early break collected %v, want %v", got, want)
+	}
+}
+
+func TestOrderedUnique(t *testing.T) {
+	got := slices.Collect(OrderedUnique(cmp.Compare[int],
+		seqOf(1, 2, 5),
+		seqOf(2, 3, 5),
+		seqOf(5),
+	))
+	want := []int{1, 2, 3, 5}
+	if !slices.Equal(got, want) {
+		t.Fatalf("OrderedUnique = %v, want %v", got, want)
+	}
+}
+
+func TestOrderedEmpty(t *testing.T) {
+	if got := slices.Collect(Ordered(cmp.Compare[int])); len(got) != 0 {
+		t.Fatalf("empty merge yielded %v", got)
+	}
+}

@@ -1,0 +1,232 @@
+package temporal
+
+import (
+	"iter"
+	"slices"
+	"sort"
+
+	"v6class/internal/merge"
+)
+
+// Ordered enumeration sweeps: every …OrderedSeq method yields the same
+// elements as its row-order sibling in seq.go, but in ascending cmp order
+// and resumable from any previously yielded key. This is the primitive the
+// cluster tier is built on — a remote pager serves one page per request
+// and resumes strictly after the last key of the previous page, and a
+// cross-shard (or cross-backend) gather k-way-merges per-source ordered
+// streams into one globally ordered stream.
+//
+// The order is defined entirely by the caller's cmp, which must be a total
+// order over K and must be the same function for every ordered sweep of
+// one store: each Store memoizes a single sorted row permutation (built
+// lazily on first use, O(n log n) once, O(1) thereafter) and the binary
+// searches that implement resumption assume the permutation matches cmp.
+// The key set must be final before the first ordered sweep — frozen
+// sharded stores and the façade's frozen-engine gate both guarantee this.
+//
+// after, when non-nil, restarts the sweep strictly after *after: the
+// resumed stream yields exactly the keys that a full sweep would have
+// yielded after it passed *after, whether or not *after itself is a key of
+// the store. Nil means from the beginning.
+
+// orderedRowsFor returns the memoized row permutation sorting s.keys by
+// cmp, building it on first call.
+func (s *Store[K]) orderedRowsFor(cmp func(a, b K) int) []uint32 {
+	if p := s.orderedRows.Load(); p != nil && len(*p) == len(s.keys) {
+		return *p
+	}
+	s.orderedMu.Lock()
+	defer s.orderedMu.Unlock()
+	if p := s.orderedRows.Load(); p != nil && len(*p) == len(s.keys) {
+		return *p
+	}
+	rows := make([]uint32, len(s.keys))
+	for i := range rows {
+		rows[i] = uint32(i)
+	}
+	slices.SortFunc(rows, func(a, b uint32) int { return cmp(s.keys[a], s.keys[b]) })
+	s.orderedRows.Store(&rows)
+	return rows
+}
+
+// orderedFrom returns the permutation and the position of the first key
+// strictly greater than *after (0 when after is nil).
+func (s *Store[K]) orderedFrom(cmp func(a, b K) int, after *K) ([]uint32, int) {
+	perm := s.orderedRowsFor(cmp)
+	if after == nil {
+		return perm, 0
+	}
+	start := sort.Search(len(perm), func(i int) bool {
+		return cmp(s.keys[perm[i]], *after) > 0
+	})
+	return perm, start
+}
+
+// KeysOrderedSeq yields every key ever observed in ascending cmp order,
+// resuming strictly after *after when non-nil.
+func (s *Store[K]) KeysOrderedSeq(cmp func(a, b K) int, after *K) iter.Seq[K] {
+	return func(yield func(K) bool) {
+		perm, start := s.orderedFrom(cmp, after)
+		for _, r := range perm[start:] {
+			if !yield(s.keys[r]) {
+				return
+			}
+		}
+	}
+}
+
+// KeysActiveAnyOrderedSeq yields every key active on at least one of the
+// given days — each exactly once, like KeysActiveAnySeq — in ascending cmp
+// order, resuming strictly after *after when non-nil.
+func (s *Store[K]) KeysActiveAnyOrderedSeq(cmp func(a, b K) int, days []Day, after *K) iter.Seq[K] {
+	mask, any := s.dayMask(days)
+	return func(yield func(K) bool) {
+		if !any {
+			return
+		}
+		perm, start := s.orderedFrom(cmp, after)
+		for _, r := range perm[start:] {
+			w := s.row(r)
+			for wi, m := range mask {
+				if m != 0 && w[wi]&m != 0 {
+					if !yield(s.keys[r]) {
+						return
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// StableKeysOrderedSeq yields the nd-stable keys for reference day ref in
+// ascending cmp order, resuming strictly after *after when non-nil — the
+// ordered form of StableKeysSeq.
+func (s *Store[K]) StableKeysOrderedSeq(cmp func(a, b K) int, ref Day, n int, opts Options, after *K) iter.Seq[K] {
+	return func(yield func(K) bool) {
+		perm, start := s.orderedFrom(cmp, after)
+		for _, r := range perm[start:] {
+			w := s.row(r)
+			if wordGet(w, int(ref)) && ndStableActive(w, ref, n, opts) {
+				if !yield(s.keys[r]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ActivityOrderedSeq yields every key with its activity profile in
+// ascending cmp order, resuming strictly after *after when non-nil — the
+// ordered form of ActivitySeq.
+func (s *Store[K]) ActivityOrderedSeq(cmp func(a, b K) int, after *K) iter.Seq2[K, Activity] {
+	return func(yield func(K, Activity) bool) {
+		perm, start := s.orderedFrom(cmp, after)
+		for _, r := range perm[start:] {
+			w := s.row(r)
+			first := wordsFirst(w, 0)
+			if first < 0 {
+				continue
+			}
+			act := Activity{
+				First:      Day(first),
+				Last:       Day(wordsLast(w, s.numDays-1)),
+				ActiveDays: wordsCount(w),
+				Runs:       wordsRuns(w),
+			}
+			if !yield(s.keys[r], act) {
+				return
+			}
+		}
+	}
+}
+
+// ReturnCounts exposes the additive tallies behind ReturnProbability: for
+// each gap g in [1, maxGap], num[g] counts returns after exactly g days and
+// den[g] the opportunities. Unlike the probabilities, the counts merge
+// across disjoint key partitions by element-wise addition, which is what a
+// cluster coordinator sums over backends before dividing once.
+func (s *Store[K]) ReturnCounts(from, to Day, maxGap int) (num, den []int) {
+	gc := s.returnCountsRows(from, to, maxGap, 0, len(s.keys))
+	return gc.num, gc.den
+}
+
+// KeysOrderedSeq yields every key ever observed in ascending cmp order —
+// a k-way heap merge over the per-shard ordered sweeps. Requires Freeze.
+func (s *ShardedStore[K]) KeysOrderedSeq(cmp func(a, b K) int, after *K) iter.Seq[K] {
+	s.seqFrozen()
+	seqs := make([]iter.Seq[K], len(s.shards))
+	for i := range s.shards {
+		seqs[i] = s.shards[i].st.KeysOrderedSeq(cmp, after)
+	}
+	return merge.Ordered(cmp, seqs...)
+}
+
+// KeysActiveAnyOrderedSeq yields every key active on at least one of the
+// given days, each exactly once, in ascending cmp order. Requires Freeze.
+func (s *ShardedStore[K]) KeysActiveAnyOrderedSeq(cmp func(a, b K) int, days []Day, after *K) iter.Seq[K] {
+	s.seqFrozen()
+	seqs := make([]iter.Seq[K], len(s.shards))
+	for i := range s.shards {
+		seqs[i] = s.shards[i].st.KeysActiveAnyOrderedSeq(cmp, days, after)
+	}
+	return merge.Ordered(cmp, seqs...)
+}
+
+// StableKeysOrderedSeq yields the nd-stable keys for reference day ref in
+// ascending cmp order. Requires Freeze.
+func (s *ShardedStore[K]) StableKeysOrderedSeq(cmp func(a, b K) int, ref Day, n int, opts Options, after *K) iter.Seq[K] {
+	s.seqFrozen()
+	seqs := make([]iter.Seq[K], len(s.shards))
+	for i := range s.shards {
+		seqs[i] = s.shards[i].st.StableKeysOrderedSeq(cmp, ref, n, opts, after)
+	}
+	return merge.Ordered(cmp, seqs...)
+}
+
+// keyed carries a key/activity pair through the generic merge.
+type keyed[K comparable] struct {
+	k   K
+	act Activity
+}
+
+// ActivityOrderedSeq yields every key with its activity profile in
+// ascending cmp order. Requires Freeze.
+func (s *ShardedStore[K]) ActivityOrderedSeq(cmp func(a, b K) int, after *K) iter.Seq2[K, Activity] {
+	s.seqFrozen()
+	seqs := make([]iter.Seq[keyed[K]], len(s.shards))
+	for i := range s.shards {
+		st := s.shards[i].st
+		seqs[i] = func(yield func(keyed[K]) bool) {
+			for k, act := range st.ActivityOrderedSeq(cmp, after) {
+				if !yield(keyed[K]{k, act}) {
+					return
+				}
+			}
+		}
+	}
+	m := merge.Ordered(func(a, b keyed[K]) int { return cmp(a.k, b.k) }, seqs...)
+	return func(yield func(K, Activity) bool) {
+		for p := range m {
+			if !yield(p.k, p.act) {
+				return
+			}
+		}
+	}
+}
+
+// ReturnCounts merges the per-tile return and opportunity counts over
+// every shard — the count form of ReturnProbability.
+func (s *ShardedStore[K]) ReturnCounts(from, to Day, maxGap int) (num, den []int) {
+	num = make([]int, maxGap+1)
+	den = make([]int, maxGap+1)
+	for _, p := range sweepTiles(s, func(st *Store[K], r0, r1 int) gapCounts {
+		return st.returnCountsRows(from, to, maxGap, r0, r1)
+	}) {
+		for g := range p.num {
+			num[g] += p.num[g]
+			den[g] += p.den[g]
+		}
+	}
+	return num, den
+}

@@ -1,0 +1,210 @@
+package temporal
+
+import (
+	"cmp"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// fillRandom observes nKeys random int keys over random days and returns
+// the key set, identically into every supplied observer.
+func fillRandom(t *testing.T, numDays, nKeys int, seed int64, observe ...func(k int, d Day)) []int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := rng.Perm(nKeys * 4)[:nKeys]
+	for _, k := range keys {
+		for d := 0; d < numDays; d++ {
+			if rng.Intn(3) == 0 {
+				for _, ob := range observe {
+					ob(k, Day(d))
+				}
+			}
+		}
+		// Guarantee at least one observation so the key exists.
+		d := Day(rng.Intn(numDays))
+		for _, ob := range observe {
+			ob(k, d)
+		}
+	}
+	return keys
+}
+
+func TestStoreOrderedMatchesUnordered(t *testing.T) {
+	const numDays = 30
+	s := NewStore[int](numDays)
+	fillRandom(t, numDays, 200, 1, s.Observe)
+	s.Compact()
+
+	want := slices.Sorted(s.KeysSeq())
+	got := slices.Collect(s.KeysOrderedSeq(cmp.Compare[int], nil))
+	if !slices.Equal(got, want) {
+		t.Fatalf("KeysOrderedSeq mismatch:\n got %v\nwant %v", got, want)
+	}
+
+	days := []Day{3, 7, 19}
+	wantAct := slices.Sorted(s.KeysActiveAnySeq(days))
+	gotAct := slices.Collect(s.KeysActiveAnyOrderedSeq(cmp.Compare[int], days, nil))
+	if !slices.Equal(gotAct, wantAct) {
+		t.Fatalf("KeysActiveAnyOrderedSeq mismatch:\n got %v\nwant %v", gotAct, wantAct)
+	}
+
+	opts := Options{Window: Window{Before: 7, After: 7}}
+	wantStable := slices.Sorted(s.StableKeysSeq(10, 3, opts))
+	gotStable := slices.Collect(s.StableKeysOrderedSeq(cmp.Compare[int], 10, 3, opts, nil))
+	if !slices.Equal(gotStable, wantStable) {
+		t.Fatalf("StableKeysOrderedSeq mismatch:\n got %v\nwant %v", gotStable, wantStable)
+	}
+}
+
+func TestStoreOrderedResume(t *testing.T) {
+	const numDays = 20
+	s := NewStore[int](numDays)
+	fillRandom(t, numDays, 120, 2, s.Observe)
+	s.Compact()
+
+	full := slices.Collect(s.KeysOrderedSeq(cmp.Compare[int], nil))
+	// Resume from every position, including after the last key.
+	for i, k := range full {
+		after := k
+		got := slices.Collect(s.KeysOrderedSeq(cmp.Compare[int], &after))
+		if !slices.Equal(got, full[i+1:]) {
+			t.Fatalf("resume after %d: got %v, want %v", k, got, full[i+1:])
+		}
+	}
+	// Resume from a value that is not a key: strictly-after semantics.
+	mid := full[len(full)/2] - 1
+	if slices.Contains(full, mid) {
+		mid = full[len(full)/2]
+	}
+	got := slices.Collect(s.KeysOrderedSeq(cmp.Compare[int], &mid))
+	want := full[sortSearchAfter(full, mid):]
+	if !slices.Equal(got, want) {
+		t.Fatalf("resume after non-key %d: got %v, want %v", mid, got, want)
+	}
+}
+
+func sortSearchAfter(xs []int, v int) int {
+	i, _ := slices.BinarySearch(xs, v)
+	for i < len(xs) && xs[i] == v {
+		i++
+	}
+	return i
+}
+
+func TestShardedOrderedMergesGlobally(t *testing.T) {
+	const numDays = 25
+	hash := func(k int) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+	sh := NewShardedStoreN[int](numDays, 8, hash)
+	seq := NewStore[int](numDays)
+	fillRandom(t, numDays, 300, 3, sh.Observe, seq.Observe)
+	sh.Freeze()
+	seq.Compact()
+
+	want := slices.Collect(seq.KeysOrderedSeq(cmp.Compare[int], nil))
+	got := slices.Collect(sh.KeysOrderedSeq(cmp.Compare[int], nil))
+	if !slices.Equal(got, want) {
+		t.Fatalf("sharded ordered merge mismatch:\n got %v\nwant %v", got, want)
+	}
+	if !slices.IsSorted(got) {
+		t.Fatal("sharded ordered merge is not globally sorted")
+	}
+
+	// Resumption across the merge.
+	after := want[len(want)/3]
+	gotR := slices.Collect(sh.KeysOrderedSeq(cmp.Compare[int], &after))
+	if !slices.Equal(gotR, want[len(want)/3+1:]) {
+		t.Fatalf("sharded resume mismatch: got %d keys, want %d", len(gotR), len(want)-len(want)/3-1)
+	}
+
+	days := []Day{0, 12, 24}
+	wantAct := slices.Sorted(seq.KeysActiveAnySeq(days))
+	gotAct := slices.Collect(sh.KeysActiveAnyOrderedSeq(cmp.Compare[int], days, nil))
+	if !slices.Equal(gotAct, wantAct) {
+		t.Fatal("sharded KeysActiveAnyOrderedSeq mismatch")
+	}
+
+	opts := Options{Window: Window{Before: 7, After: 7}}
+	wantStable := slices.Sorted(seq.StableKeysSeq(12, 3, opts))
+	gotStable := slices.Collect(sh.StableKeysOrderedSeq(cmp.Compare[int], 12, 3, opts, nil))
+	if !slices.Equal(gotStable, wantStable) {
+		t.Fatal("sharded StableKeysOrderedSeq mismatch")
+	}
+}
+
+func TestActivityOrderedSeq(t *testing.T) {
+	const numDays = 15
+	hash := func(k int) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+	sh := NewShardedStoreN[int](numDays, 4, hash)
+	seq := NewStore[int](numDays)
+	fillRandom(t, numDays, 80, 4, sh.Observe, seq.Observe)
+	sh.Freeze()
+	seq.Compact()
+
+	type ka struct {
+		k   int
+		act Activity
+	}
+	collect := func(it func(func(int, Activity) bool)) []ka {
+		var out []ka
+		for k, act := range it {
+			out = append(out, ka{k, act})
+		}
+		return out
+	}
+	want := collect(seq.ActivityOrderedSeq(cmp.Compare[int], nil))
+	got := collect(sh.ActivityOrderedSeq(cmp.Compare[int], nil))
+	if !slices.Equal(got, want) {
+		t.Fatalf("ActivityOrderedSeq mismatch: got %d rows, want %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].k >= got[i].k {
+			t.Fatal("ActivityOrderedSeq not strictly ascending")
+		}
+	}
+}
+
+func TestReturnCountsMatchProbability(t *testing.T) {
+	const numDays = 30
+	hash := func(k int) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+	sh := NewShardedStoreN[int](numDays, 4, hash)
+	seq := NewStore[int](numDays)
+	fillRandom(t, numDays, 150, 5, sh.Observe, seq.Observe)
+	sh.Freeze()
+	seq.Compact()
+
+	num, den := seq.ReturnCounts(0, 29, 7)
+	numSh, denSh := sh.ReturnCounts(0, 29, 7)
+	if !slices.Equal(num, numSh) || !slices.Equal(den, denSh) {
+		t.Fatalf("ReturnCounts differ: seq %v/%v sharded %v/%v", num, den, numSh, denSh)
+	}
+	probs := seq.ReturnProbability(0, 29, 7)
+	for g := 1; g < len(probs); g++ {
+		want := 0.0
+		if den[g] > 0 {
+			want = float64(num[g]) / float64(den[g])
+		}
+		if probs[g] != want {
+			t.Fatalf("gap %d: probability %v, counts give %v", g, probs[g], want)
+		}
+	}
+}
+
+func TestOrderedEarlyBreakStopsSweep(t *testing.T) {
+	const numDays = 10
+	hash := func(k int) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+	sh := NewShardedStoreN[int](numDays, 4, hash)
+	fillRandom(t, numDays, 50, 6, sh.Observe)
+	sh.Freeze()
+
+	var got []int
+	for k := range sh.KeysOrderedSeq(cmp.Compare[int], nil) {
+		got = append(got, k)
+		if len(got) == 5 {
+			break
+		}
+	}
+	if len(got) != 5 || !slices.IsSorted(got) {
+		t.Fatalf("early break collected %v", got)
+	}
+}

@@ -29,6 +29,8 @@ package temporal
 import (
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Day is a zero-based day index within a study period.
@@ -70,6 +72,13 @@ type Store[K comparable] struct {
 	newKeys  int
 	changed  []K
 	prevRows []uint64
+
+	// orderedRows memoizes the cmp-sorted row permutation behind the
+	// ordered sweeps (ordered.go): built lazily by the first ordered
+	// enumeration, rebuilt only if keys were added since (which ordered
+	// callers must not allow — see KeysOrderedSeq).
+	orderedMu   sync.Mutex
+	orderedRows atomic.Pointer[[]uint32]
 }
 
 // NewStore returns a Store for a study period of numDays days.

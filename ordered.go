@@ -1,0 +1,143 @@
+package v6class
+
+import (
+	"fmt"
+	"iter"
+
+	"v6class/internal/core"
+	"v6class/internal/merge"
+)
+
+// Ordered enumeration surface of the local engine, plus the generic merge
+// helper the cluster tier composes per-backend ordered streams with. The
+// total order is documented on the Engine interface: addresses ascend
+// numerically, prefixes by (base address, prefix length). Under the hood
+// the sequential engine sorts one memoized row permutation and the sharded
+// engine k-way heap-merges per-shard sorted sweeps, so a million-key
+// enumeration still allocates nothing per element.
+
+// MergeOrdered merges already-sorted iterators into one sorted iterator
+// with a k-way heap merge: O(k) space, O(log k) comparisons per element,
+// streaming (an early break stops every source). cmp must be a total order
+// and every source must already be ascending under it. Ties yield in
+// source order, so the merge is deterministic — the property that lets a
+// cluster coordinator gather per-backend ordered pages into one stream
+// that is byte-identical to a single-box enumeration. Addr.Cmp and
+// Prefix.Cmp are the canonical comparators for the key streams.
+func MergeOrdered[T any](cmp func(a, b T) int, seqs ...iter.Seq[T]) iter.Seq[T] {
+	return merge.Ordered(cmp, seqs...)
+}
+
+// checkAfter validates a resumption key against the population: /128 for
+// Addresses, /64 for Prefixes64 — a mismatched key would silently resume
+// the wrong stream.
+func checkAfter(pop Population, after Prefix) error {
+	want := 128
+	if pop == Prefixes64 {
+		want = 64
+	}
+	if after.Bits() != want {
+		return fmt.Errorf("%w: resume key %v of a /%d population", ErrConfig, after, want)
+	}
+	return nil
+}
+
+func (e *engine) KeysOrdered(pop Population, days ...int) (iter.Seq[Prefix], error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	return e.keysOrdered(pop, nil, nil, days), nil
+}
+
+func (e *engine) KeysOrderedAfter(pop Population, after Prefix, days ...int) (iter.Seq[Prefix], error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	if err := checkAfter(pop, after); err != nil {
+		return nil, err
+	}
+	if pop == Prefixes64 {
+		return e.keysOrdered(pop, nil, &after, days), nil
+	}
+	a := after.Addr()
+	return e.keysOrdered(pop, &a, nil, days), nil
+}
+
+// keysOrdered dispatches to the population's ordered sweep; exactly one of
+// afterAddr/afterP64 may be set, matching pop.
+func (e *engine) keysOrdered(pop Population, afterAddr *Addr, afterP64 *Prefix, days []int) iter.Seq[Prefix] {
+	if pop == Prefixes64 {
+		return e.a.Prefix64sOrderedSeq(days, afterP64)
+	}
+	return prefixed(e.a.AddrsOrderedSeq(days, afterAddr))
+}
+
+func (e *engine) LifetimesOrdered(pop Population) (iter.Seq2[Prefix, Activity], error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	return e.lifetimesOrdered(pop, nil, nil), nil
+}
+
+func (e *engine) LifetimesOrderedAfter(pop Population, after Prefix) (iter.Seq2[Prefix, Activity], error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, err
+	}
+	if err := checkAfter(pop, after); err != nil {
+		return nil, err
+	}
+	if pop == Prefixes64 {
+		return e.lifetimesOrdered(pop, nil, &after), nil
+	}
+	a := after.Addr()
+	return e.lifetimesOrdered(pop, &a, nil), nil
+}
+
+func (e *engine) lifetimesOrdered(pop Population, afterAddr *Addr, afterP64 *Prefix) iter.Seq2[Prefix, Activity] {
+	if pop == Prefixes64 {
+		return e.a.Prefix64LifetimesOrderedSeq(afterP64)
+	}
+	src := e.a.AddrLifetimesOrderedSeq(afterAddr)
+	return func(yield func(Prefix, Activity) bool) {
+		for a, act := range src {
+			if !yield(PrefixFrom(a, 128), act) {
+				return
+			}
+		}
+	}
+}
+
+func (e *engine) StableAddrsOrdered(ref, n int) (iter.Seq[Addr], error) {
+	if err := e.queryable(); err != nil {
+		return nil, err
+	}
+	return e.a.StableAddrsOrderedSeq(ref, n, e.opts, nil), nil
+}
+
+func (e *engine) StableAddrsOrderedAfter(ref, n int, after Addr) (iter.Seq[Addr], error) {
+	if err := e.queryable(); err != nil {
+		return nil, err
+	}
+	return e.a.StableAddrsOrderedSeq(ref, n, e.opts, &after), nil
+}
+
+func (e *engine) ReturnCounts(pop Population, from, to, maxGap int) (num, den []int, err error) {
+	if err := e.popQuery(pop); err != nil {
+		return nil, nil, err
+	}
+	if maxGap < 0 {
+		return nil, nil, fmt.Errorf("%w: negative maxGap %d", ErrConfig, maxGap)
+	}
+	num, den = e.a.ReturnCounts(pop, from, to, maxGap)
+	return num, den, nil
+}
+
+// LongestStablePrefixesFrom computes the Section 7.2 longest-stable-prefix
+// report from two explicit address streams (period A and period B), each
+// yielding every address exactly once. This is the engine-agnostic form of
+// Engine.LongestStablePrefixes: a cluster coordinator feeds it the merged
+// per-backend ordered enumerations, since per-backend reports cannot be
+// combined after the fact.
+func LongestStablePrefixesFrom(periodA, periodB iter.Seq[Addr], minBits int, minSupport uint64) []LongestStablePrefix {
+	return core.LongestStablePrefixesFrom(periodA, periodB, minBits, minSupport)
+}

@@ -1,0 +1,140 @@
+package remote_test
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"v6class"
+	"v6class/remote"
+	"v6class/serve"
+	"v6class/synth"
+)
+
+// Cluster-tier benchmarks: the cost of the wire. BenchmarkRemoteLookup is
+// the scalar floor — one point query through HTTP client, handler stack
+// and envelope decode — and BenchmarkCoordinatorKeys is the enumeration
+// ceiling: a full globally ordered key sweep scatter-gathered from three
+// paged backends and heap-merged. They run in CI's bench job against the
+// committed BENCH_cluster_baseline.json.
+
+const (
+	benchStudyDays = 40
+	benchBackends  = 3
+)
+
+var (
+	benchOnce   sync.Once
+	benchRemote *remote.Engine
+	benchCoord  *remote.Coordinator
+	benchAddrs  []v6class.Addr
+)
+
+// benchSetup builds one scaled synthetic census, serves it whole behind
+// one httptest server for the remote engine, and partitioned behind three
+// more for the coordinator — once per process. The servers live for the
+// whole benchmark run; the process exit reclaims them.
+func benchSetup(b *testing.B) {
+	benchOnce.Do(func() {
+		w := synth.NewWorld(synth.Config{Seed: 7, Scale: 0.05, StudyDays: benchStudyDays})
+		logs := w.Days(10, 24)
+
+		build := func(part []v6class.DayLog) v6class.Engine {
+			eng, err := v6class.New(v6class.WithStudyDays(benchStudyDays))
+			if err != nil {
+				panic(err)
+			}
+			if err := eng.AddDays(part); err != nil {
+				panic(err)
+			}
+			if err := eng.Freeze(); err != nil {
+				panic(err)
+			}
+			return eng
+		}
+		dial := func(eng v6class.Engine) *remote.Engine {
+			s := serve.New(serve.Options{})
+			s.Install("bench", "", eng)
+			srv := httptest.NewServer(s.Handler())
+			r, err := remote.Dial(srv.URL, remote.WithSnapshot("bench"))
+			if err != nil {
+				panic(err)
+			}
+			return r
+		}
+
+		whole := build(logs)
+		benchRemote = dial(whole)
+		addrs, err := whole.AddrsActiveOn(17)
+		if err != nil {
+			panic(err)
+		}
+		for a := range addrs {
+			benchAddrs = append(benchAddrs, a)
+		}
+		if len(benchAddrs) == 0 {
+			panic("bench census has no active addresses")
+		}
+
+		parts := remote.SplitLogs(logs, benchBackends, remote.PartitionByNetworkID(benchBackends))
+		engines := make([]v6class.Engine, benchBackends)
+		for i, part := range parts {
+			engines[i] = dial(build(part))
+		}
+		benchCoord, err = remote.NewCoordinator(engines, nil)
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+// BenchmarkRemoteLookup measures one point lookup over the wire — HTTP
+// round trip, handler dispatch, JSON both ways — with concurrent clients.
+func BenchmarkRemoteLookup(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			a := benchAddrs[i%len(benchAddrs)]
+			if _, err := benchRemote.LookupAddr(a); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCoordinatorKeys drains the coordinator's globally ordered
+// address enumeration: every backend pages its sorted keys over HTTP and
+// the coordinator heap-merges the streams.
+func BenchmarkCoordinatorKeys(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		keys, err := benchCoord.KeysOrdered(v6class.Addresses)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for range keys {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("coordinator enumerated no keys")
+		}
+	}
+}
+
+// BenchmarkClusterStability scatter-gathers one nd-stable split: three
+// scalar backend calls merged by summation — the latency profile of every
+// aggregate query on the cluster.
+func BenchmarkClusterStability(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCoord.Stability(v6class.Addresses, 17, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,648 @@
+package remote
+
+import (
+	"fmt"
+	"io"
+	"iter"
+	"sort"
+	"sync"
+
+	"v6class"
+)
+
+// The cluster tier's scatter-gather side: a Coordinator composes several
+// backends — each holding a disjoint key partition of one census — into a
+// single v6class.Engine. Counts sum, histograms add element-wise, point
+// queries route to the partition owner, rankings re-rank after a map
+// merge, and ordered enumerations k-way merge the per-backend ordered
+// streams, so the composed engine answers byte-identically to a single
+// box holding the whole census.
+
+// Partition maps a key (an address as a /128, a subnet key as a /64) to
+// the index of the backend that owns it. A partition function must send an
+// address and its enclosing /64 to the same backend — per-/64 analyses
+// (LookupAddr's prefix64 half, the Addrs64 tally) are computed backend-
+// locally and would silently fracture otherwise.
+type Partition func(p v6class.Prefix) int
+
+// PartitionByNetworkID partitions by a multiplicative hash of the key's
+// top-64 network identifier across n backends. Hashing the network bits —
+// never the interface identifier — colocates an address with its /64 by
+// construction, and the golden-ratio multiplier spreads sequentially
+// assigned prefixes evenly.
+func PartitionByNetworkID(n int) Partition {
+	return func(p v6class.Prefix) int {
+		return int((p.Addr().NetworkID() * 0x9E3779B97F4A7C15) % uint64(n))
+	}
+}
+
+// SplitLogs partitions daily logs for an n-backend cluster: result[i]
+// holds, for every input day, the records owned by backend i. Feed each
+// slice to the matching backend (directly or through a remote Engine) and
+// the cluster ingests the same census a single box would.
+func SplitLogs(logs []v6class.DayLog, n int, part Partition) [][]v6class.DayLog {
+	out := make([][]v6class.DayLog, n)
+	for _, l := range logs {
+		buckets := make([][]v6class.Record, n)
+		for _, rec := range l.Records {
+			i := part(v6class.PrefixFrom(rec.Addr, 64))
+			buckets[i] = append(buckets[i], rec)
+		}
+		for i, recs := range buckets {
+			out[i] = append(out[i], v6class.DayLog{Day: l.Day, Records: recs})
+		}
+	}
+	return out
+}
+
+// Coordinator is the scatter-gather Engine over a partitioned cluster.
+// Construct with NewCoordinator; every backend must hold a disjoint key
+// partition under the same Partition function (ingest through AddDays or
+// SplitLogs and this holds by construction).
+type Coordinator struct {
+	backends []v6class.Engine
+	part     Partition
+	study    int
+}
+
+var _ v6class.Engine = (*Coordinator)(nil)
+
+// NewCoordinator composes backends into one Engine. part decides key
+// ownership; nil defaults to PartitionByNetworkID over the backend count.
+// The backends must agree on the study period — a mixed-period cluster
+// would silently truncate day-ranged queries on some partitions.
+func NewCoordinator(backends []v6class.Engine, part Partition) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("%w: a coordinator needs at least one backend", v6class.ErrConfig)
+	}
+	study := backends[0].StudyDays()
+	for i, b := range backends {
+		if b.StudyDays() != study {
+			return nil, fmt.Errorf("%w: backend %d has a %d-day study period, backend 0 has %d",
+				v6class.ErrConfig, i, b.StudyDays(), study)
+		}
+	}
+	if part == nil {
+		part = PartitionByNetworkID(len(backends))
+	}
+	return &Coordinator{backends: backends, part: part, study: study}, nil
+}
+
+// NumBackends returns the cluster fan-out; the serve layer reports it as
+// the meta endpoint's shards field.
+func (c *Coordinator) NumBackends() int { return len(c.backends) }
+
+// scatterLimit bounds how many backends one gather queries at once.
+const scatterLimit = 8
+
+// scatter runs fn against every backend with bounded parallelism and
+// collects the results in backend order; the first error wins.
+func scatter[T any](backends []v6class.Engine, fn func(b v6class.Engine) (T, error)) ([]T, error) {
+	out := make([]T, len(backends))
+	errs := make([]error, len(backends))
+	sem := make(chan struct{}, min(len(backends), scatterLimit))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(b)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sumScatter gathers one integer per backend and sums — the shape of every
+// disjoint-partition count.
+func (c *Coordinator) sumScatter(fn func(b v6class.Engine) (int, error)) (int, error) {
+	counts, err := scatter(c.backends, fn)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}
+
+func (c *Coordinator) StudyDays() int { return c.study }
+
+// Shards returns the backend count: the coordinator's unit of parallel
+// sweep is a whole backend.
+func (c *Coordinator) Shards() int { return len(c.backends) }
+
+// Frozen reports whether every backend is frozen.
+func (c *Coordinator) Frozen() bool {
+	for _, b := range c.backends {
+		if !b.Frozen() {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Coordinator) AddDay(log v6class.DayLog) error {
+	return c.AddDays([]v6class.DayLog{log})
+}
+
+// AddDays partitions the batch with the coordinator's Partition function
+// and ingests each slice into its owning backend, in parallel.
+func (c *Coordinator) AddDays(logs []v6class.DayLog) error {
+	split := SplitLogs(logs, len(c.backends), c.part)
+	_, err := scatterIndexed(c.backends, func(i int, b v6class.Engine) (struct{}, error) {
+		return struct{}{}, b.AddDays(split[i])
+	})
+	return err
+}
+
+// scatterIndexed is scatter with the backend index in hand.
+func scatterIndexed[T any](backends []v6class.Engine, fn func(i int, b v6class.Engine) (T, error)) ([]T, error) {
+	out := make([]T, len(backends))
+	errs := make([]error, len(backends))
+	sem := make(chan struct{}, min(len(backends), scatterLimit))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(i, b)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *Coordinator) Ingest(logs <-chan v6class.DayLog) error {
+	for l := range logs {
+		if err := c.AddDay(l); err != nil {
+			// Keep draining so producers never block on a channel nobody
+			// reads; the first refusal is the verdict.
+			for range logs {
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) Freeze() error {
+	_, err := scatter(c.backends, func(b v6class.Engine) (struct{}, error) {
+		return struct{}{}, b.Freeze()
+	})
+	return err
+}
+
+// WriteTo refuses: the census is partitioned across backends and a single
+// snapshot file would misrepresent it. Serialize each backend instead.
+func (c *Coordinator) WriteTo(w io.Writer) (int64, error) {
+	return 0, fmt.Errorf("%w: cluster coordinator cannot serialize a partitioned census; snapshot each backend", v6class.ErrConfig)
+}
+
+// Save refuses for the same reason as WriteTo.
+func (c *Coordinator) Save(path string) error {
+	_, err := c.WriteTo(nil)
+	return err
+}
+
+// Summary merges the per-backend Table 1 tallies. Address-keyed counts are
+// exact (each address lives in exactly one partition); the MACs tally is
+// an upper bound — a hardware address roaming across /64s in different
+// partitions counts once per partition.
+func (c *Coordinator) Summary(day int) (v6class.DaySummary, error) {
+	sums, err := scatter(c.backends, func(b v6class.Engine) (v6class.DaySummary, error) {
+		return b.Summary(day)
+	})
+	if err != nil {
+		return v6class.DaySummary{}, err
+	}
+	out := v6class.DaySummary{Day: day, ByKind: map[v6class.Kind]int{}}
+	for _, s := range sums {
+		out.Total += s.Total
+		out.Native += s.Native
+		out.Addrs64 += s.Addrs64
+		out.MACs += s.MACs
+		for k, n := range s.ByKind {
+			out.ByKind[k] += n
+		}
+	}
+	return out, nil
+}
+
+func (c *Coordinator) NumKeys(pop v6class.Population) (int, error) {
+	return c.sumScatter(func(b v6class.Engine) (int, error) { return b.NumKeys(pop) })
+}
+
+func (c *Coordinator) ActiveCount(pop v6class.Population, day int) (int, error) {
+	return c.sumScatter(func(b v6class.Engine) (int, error) { return b.ActiveCount(pop, day) })
+}
+
+func (c *Coordinator) ActiveInRange(pop v6class.Population, from, to int) (int, error) {
+	return c.sumScatter(func(b v6class.Engine) (int, error) { return b.ActiveInRange(pop, from, to) })
+}
+
+func (c *Coordinator) Stability(pop v6class.Population, ref, n int) (v6class.DailyStability, error) {
+	stats, err := scatter(c.backends, func(b v6class.Engine) (v6class.DailyStability, error) {
+		return b.Stability(pop, ref, n)
+	})
+	return mergeDaily(stats, ref, n), err
+}
+
+func (c *Coordinator) StabilityWith(pop v6class.Population, ref, n int, opts v6class.StabilityOptions) (v6class.DailyStability, error) {
+	stats, err := scatter(c.backends, func(b v6class.Engine) (v6class.DailyStability, error) {
+		return b.StabilityWith(pop, ref, n, opts)
+	})
+	return mergeDaily(stats, ref, n), err
+}
+
+func mergeDaily(stats []v6class.DailyStability, ref, n int) v6class.DailyStability {
+	out := v6class.DailyStability{Ref: v6class.Day(ref), N: n}
+	for _, s := range stats {
+		out.Active += s.Active
+		out.Stable += s.Stable
+		out.NotStable += s.NotStable
+	}
+	return out
+}
+
+func (c *Coordinator) WeeklyStability(pop v6class.Population, start, n int) (v6class.WeeklyStability, error) {
+	stats, err := scatter(c.backends, func(b v6class.Engine) (v6class.WeeklyStability, error) {
+		return b.WeeklyStability(pop, start, n)
+	})
+	out := v6class.WeeklyStability{Start: v6class.Day(start), N: n}
+	for _, s := range stats {
+		out.Active += s.Active
+		out.Stable += s.Stable
+		out.NotStable += s.NotStable
+	}
+	return out, err
+}
+
+func (c *Coordinator) EpochStable(pop v6class.Population, aFrom, aTo, bFrom, bTo int) (int, error) {
+	return c.sumScatter(func(b v6class.Engine) (int, error) {
+		return b.EpochStable(pop, aFrom, aTo, bFrom, bTo)
+	})
+}
+
+// owner routes a key to its partition backend.
+func (c *Coordinator) owner(p v6class.Prefix) v6class.Engine {
+	return c.backends[c.part(p)]
+}
+
+func (c *Coordinator) LookupAddr(a v6class.Addr) (v6class.AddrLookup, error) {
+	return c.owner(v6class.PrefixFrom(a, 64)).LookupAddr(a)
+}
+
+func (c *Coordinator) LookupPrefix64(p v6class.Prefix) (v6class.KeyReport, error) {
+	return c.owner(p).LookupPrefix64(p)
+}
+
+func (c *Coordinator) AddrStable(a v6class.Addr, ref, n int, opts v6class.StabilityOptions) (bool, error) {
+	return c.owner(v6class.PrefixFrom(a, 64)).AddrStable(a, ref, n, opts)
+}
+
+func (c *Coordinator) Prefix64Stable(p v6class.Prefix, ref, n int, opts v6class.StabilityOptions) (bool, error) {
+	return c.owner(p).Prefix64Stable(p, ref, n, opts)
+}
+
+// LifetimeStats merges per-backend lifetime statistics: counts sum,
+// histograms add element-wise (padded to the longest).
+func (c *Coordinator) LifetimeStats(pop v6class.Population, from, to int) (v6class.LifetimeStats, error) {
+	stats, err := scatter(c.backends, func(b v6class.Engine) (v6class.LifetimeStats, error) {
+		return b.LifetimeStats(pop, from, to)
+	})
+	if err != nil {
+		return v6class.LifetimeStats{}, err
+	}
+	var out v6class.LifetimeStats
+	for _, s := range stats {
+		out.Keys += s.Keys
+		out.SingleDay += s.SingleDay
+		out.SpanHistogram = addHist(out.SpanHistogram, s.SpanHistogram)
+		out.ActiveDaysHistogram = addHist(out.ActiveDaysHistogram, s.ActiveDaysHistogram)
+	}
+	return out, nil
+}
+
+// addHist adds b into a element-wise, growing a as needed.
+func addHist(a, b []int) []int {
+	if len(b) > len(a) {
+		grown := make([]int, len(b))
+		copy(grown, a)
+		a = grown
+	}
+	for i, n := range b {
+		a[i] += n
+	}
+	return a
+}
+
+// ReturnProbability sums the per-backend return and opportunity tallies —
+// which are additive across disjoint partitions, unlike the ratios — and
+// divides once.
+func (c *Coordinator) ReturnProbability(pop v6class.Population, from, to, maxGap int) ([]float64, error) {
+	num, den, err := c.ReturnCounts(pop, from, to, maxGap)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(num))
+	for g := 1; g < len(num); g++ {
+		if den[g] > 0 {
+			out[g] = float64(num[g]) / float64(den[g])
+		}
+	}
+	return out, nil
+}
+
+func (c *Coordinator) ReturnCounts(pop v6class.Population, from, to, maxGap int) (num, den []int, err error) {
+	type counts struct{ num, den []int }
+	all, err := scatter(c.backends, func(b v6class.Engine) (counts, error) {
+		n, d, err := b.ReturnCounts(pop, from, to, maxGap)
+		return counts{n, d}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ct := range all {
+		num = addHist(num, ct.num)
+		den = addHist(den, ct.den)
+	}
+	return num, den, nil
+}
+
+// LongestStablePrefixes runs the Section 7.2 discovery over the merged
+// ordered address streams of the two periods — the per-backend results
+// cannot be combined (a stable prefix may span partitions), but the merged
+// streams feed the same trie walk a single box runs.
+func (c *Coordinator) LongestStablePrefixes(aFrom, aTo, bFrom, bTo, minBits int, minSupport uint64) ([]v6class.LongestStablePrefix, error) {
+	periodA, err := c.orderedAddrsInRange(aFrom, aTo)
+	if err != nil {
+		return nil, err
+	}
+	periodB, err := c.orderedAddrsInRange(bFrom, bTo)
+	if err != nil {
+		return nil, err
+	}
+	return v6class.LongestStablePrefixesFrom(periodA, periodB, minBits, minSupport), nil
+}
+
+// rangeDays expands an inclusive day range into the explicit selection the
+// ordered enumerations take.
+func rangeDays(from, to int) []int {
+	if to < from {
+		return nil
+	}
+	days := make([]int, 0, to-from+1)
+	for d := from; d <= to; d++ {
+		days = append(days, d)
+	}
+	return days
+}
+
+// orderedAddrsInRange merges the per-backend ordered sweeps of addresses
+// active in the inclusive day range. An empty range is an empty stream.
+func (c *Coordinator) orderedAddrsInRange(from, to int) (iter.Seq[v6class.Addr], error) {
+	if to < from {
+		return func(yield func(v6class.Addr) bool) {}, nil
+	}
+	return c.mergedAddrs(func(b v6class.Engine) (iter.Seq[v6class.Addr], error) {
+		seq, err := b.KeysOrdered(v6class.Addresses, rangeDays(from, to)...)
+		if err != nil {
+			return nil, err
+		}
+		return addrsOf(seq), nil
+	})
+}
+
+// addrsOf views an ordered /128 key stream as an address stream.
+func addrsOf(seq iter.Seq[v6class.Prefix]) iter.Seq[v6class.Addr] {
+	return func(yield func(v6class.Addr) bool) {
+		for p := range seq {
+			if !yield(p.Addr()) {
+				return
+			}
+		}
+	}
+}
+
+// mergedAddrs gathers one ordered address stream per backend and k-way
+// merges them; partitions are disjoint, so the merge never deduplicates.
+func (c *Coordinator) mergedAddrs(fn func(b v6class.Engine) (iter.Seq[v6class.Addr], error)) (iter.Seq[v6class.Addr], error) {
+	seqs, err := scatter(c.backends, fn)
+	if err != nil {
+		return nil, err
+	}
+	return v6class.MergeOrdered(v6class.Addr.Cmp, seqs...), nil
+}
+
+// mergedKeys is mergedAddrs for prefix-keyed streams.
+func (c *Coordinator) mergedKeys(fn func(b v6class.Engine) (iter.Seq[v6class.Prefix], error)) (iter.Seq[v6class.Prefix], error) {
+	seqs, err := scatter(c.backends, fn)
+	if err != nil {
+		return nil, err
+	}
+	return v6class.MergeOrdered(v6class.Prefix.Cmp, seqs...), nil
+}
+
+func (c *Coordinator) StableAddrs(ref, n int) (iter.Seq[v6class.Addr], error) {
+	return c.StableAddrsOrdered(ref, n)
+}
+
+func (c *Coordinator) StableAddrsOrdered(ref, n int) (iter.Seq[v6class.Addr], error) {
+	return c.mergedAddrs(func(b v6class.Engine) (iter.Seq[v6class.Addr], error) {
+		return b.StableAddrsOrdered(ref, n)
+	})
+}
+
+func (c *Coordinator) StableAddrsOrderedAfter(ref, n int, after v6class.Addr) (iter.Seq[v6class.Addr], error) {
+	return c.mergedAddrs(func(b v6class.Engine) (iter.Seq[v6class.Addr], error) {
+		return b.StableAddrsOrderedAfter(ref, n, after)
+	})
+}
+
+func (c *Coordinator) AddrsActiveOn(days ...int) (iter.Seq[v6class.Addr], error) {
+	return c.mergedAddrs(func(b v6class.Engine) (iter.Seq[v6class.Addr], error) {
+		seq, err := b.KeysOrdered(v6class.Addresses, days...)
+		if err != nil {
+			return nil, err
+		}
+		return addrsOf(seq), nil
+	})
+}
+
+func (c *Coordinator) Prefixes64ActiveOn(days ...int) (iter.Seq[v6class.Prefix], error) {
+	return c.KeysOrdered(v6class.Prefixes64, days...)
+}
+
+func (c *Coordinator) Keys(pop v6class.Population) (iter.Seq[v6class.Prefix], error) {
+	return c.KeysOrdered(pop)
+}
+
+func (c *Coordinator) KeysOrdered(pop v6class.Population, days ...int) (iter.Seq[v6class.Prefix], error) {
+	return c.mergedKeys(func(b v6class.Engine) (iter.Seq[v6class.Prefix], error) {
+		return b.KeysOrdered(pop, days...)
+	})
+}
+
+func (c *Coordinator) KeysOrderedAfter(pop v6class.Population, after v6class.Prefix, days ...int) (iter.Seq[v6class.Prefix], error) {
+	return c.mergedKeys(func(b v6class.Engine) (iter.Seq[v6class.Prefix], error) {
+		return b.KeysOrderedAfter(pop, after, days...)
+	})
+}
+
+func (c *Coordinator) Lifetimes(pop v6class.Population) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+	return c.LifetimesOrdered(pop)
+}
+
+// keyedActivity pairs a key with its activity for the Seq2 merge.
+type keyedActivity struct {
+	p   v6class.Prefix
+	act v6class.Activity
+}
+
+func cmpKeyedActivity(a, b keyedActivity) int { return a.p.Cmp(b.p) }
+
+func (c *Coordinator) LifetimesOrdered(pop v6class.Population) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+	return c.mergedLifetimes(func(b v6class.Engine) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+		return b.LifetimesOrdered(pop)
+	})
+}
+
+func (c *Coordinator) LifetimesOrderedAfter(pop v6class.Population, after v6class.Prefix) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+	return c.mergedLifetimes(func(b v6class.Engine) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+		return b.LifetimesOrderedAfter(pop, after)
+	})
+}
+
+func (c *Coordinator) mergedLifetimes(fn func(b v6class.Engine) (iter.Seq2[v6class.Prefix, v6class.Activity], error)) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+	seqs, err := scatter(c.backends, func(b v6class.Engine) (iter.Seq[keyedActivity], error) {
+		seq2, err := fn(b)
+		if err != nil {
+			return nil, err
+		}
+		return func(yield func(keyedActivity) bool) {
+			for p, act := range seq2 {
+				if !yield(keyedActivity{p, act}) {
+					return
+				}
+			}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := v6class.MergeOrdered(cmpKeyedActivity, seqs...)
+	return func(yield func(v6class.Prefix, v6class.Activity) bool) {
+		for ka := range merged {
+			if !yield(ka.p, ka.act) {
+				return
+			}
+		}
+	}, nil
+}
+
+// SpatialSet rebuilds the spatial population from the merged ordered key
+// stream; the trie shape is a pure function of the item set, so the result
+// matches a single box building it.
+func (c *Coordinator) SpatialSet(pop v6class.Population, days ...int) (*v6class.AddressSet, error) {
+	seq, err := c.KeysOrdered(pop, days...)
+	if err != nil {
+		return nil, err
+	}
+	set := &v6class.AddressSet{}
+	for p := range seq {
+		if pop == v6class.Prefixes64 {
+			set.AddPrefix(p)
+		} else {
+			set.Add(p.Addr())
+		}
+	}
+	return set, nil
+}
+
+// TopAggregates gathers every backend's complete /p ranking and re-ranks
+// after a map merge: a /p aggregate can span partitions (only /64s and
+// finer are partition-local), so per-backend top-k lists cannot be merged
+// directly. Ties re-rank in prefix order — the same deterministic total
+// order every engine uses.
+func (c *Coordinator) TopAggregates(pop v6class.Population, p, k int, days ...int) (iter.Seq[v6class.TopAggregate], error) {
+	all, err := scatter(c.backends, func(b v6class.Engine) ([]v6class.TopAggregate, error) {
+		seq, err := b.TopAggregates(pop, p, 0, days...)
+		if err != nil {
+			return nil, err
+		}
+		var out []v6class.TopAggregate
+		for agg := range seq {
+			out = append(out, agg)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := map[v6class.Prefix]uint64{}
+	for _, aggs := range all {
+		for _, agg := range aggs {
+			counts[agg.Prefix] += agg.Count
+		}
+	}
+	merged := make([]v6class.TopAggregate, 0, len(counts))
+	for pfx, n := range counts {
+		merged = append(merged, v6class.TopAggregate{Prefix: pfx, Count: n})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return merged[i].Prefix.Cmp(merged[j].Prefix) < 0
+	})
+	if k > 0 && len(merged) > k {
+		merged = merged[:k]
+	}
+	return sliceSeq(merged), nil
+}
+
+// OverlapSeries sums the per-backend overlap curves day by day.
+func (c *Coordinator) OverlapSeries(pop v6class.Population, ref, before, after int) (iter.Seq2[int, int], error) {
+	series, err := scatter(c.backends, func(b v6class.Engine) ([]int, error) {
+		seq, err := b.OverlapSeries(pop, ref, before, after)
+		if err != nil {
+			return nil, err
+		}
+		var out []int
+		for _, n := range seq {
+			out = append(out, n)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sum []int
+	for _, s := range series {
+		sum = addHist(sum, s)
+	}
+	first := ref - before
+	return func(yield func(int, int) bool) {
+		for i, n := range sum {
+			if !yield(first+i, n) {
+				return
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,543 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+
+	"encoding/json"
+
+	"v6class"
+	"v6class/serve"
+)
+
+// Engine is a v6class.Engine whose census lives behind a serve instance.
+// Scalar queries are one HTTP request each; enumerations materialize the
+// cursor-paged endpoints (restarting from scratch, within the retry
+// budget, if a snapshot reload expires the cursor mid-stream) and then
+// iterate locally, so a returned iterator is re-iterable and never yields
+// a mix of two snapshot generations.
+//
+// Two documented deviations from a local engine: Stability and StableAddrs
+// answer under the server's wire defaults (the paper's ±7d window) rather
+// than this process's engine options — configure the server if its
+// defaults must differ — and NumKeys/Summary reflect the snapshot
+// generation serving at call time, so results may advance across a reload.
+type Engine struct {
+	c         *client
+	studyDays int
+	frozen    atomic.Bool
+}
+
+var _ v6class.Engine = (*Engine)(nil)
+
+type metaResponse struct {
+	Snapshot   string `json:"snapshot"`
+	Epoch      uint64 `json:"epoch"`
+	StudyDays  int    `json:"studyDays"`
+	Addresses  int    `json:"addresses"`
+	Prefixes64 int    `json:"prefixes64"`
+	Shards     int    `json:"shards"`
+}
+
+func (e *Engine) meta() (metaResponse, error) {
+	var m metaResponse
+	err := e.c.get("/v1/meta", nil, &m)
+	return m, err
+}
+
+// StudyDays returns the study period length observed at Dial time.
+func (e *Engine) StudyDays() int { return e.studyDays }
+
+// Shards reports 1: the backend's internal sharding is its own business,
+// and a remote engine is one backend.
+func (e *Engine) Shards() int { return 1 }
+
+// Frozen reports whether this client has ingestion in flight: true from
+// Dial (a serving snapshot is always frozen), false between the first
+// AddDay and the next Freeze.
+func (e *Engine) Frozen() bool { return e.frozen.Load() }
+
+// AddDay streams one daily log into the server's live successor
+// generation (POST /v1/ingest). The serving snapshot keeps answering
+// queries; nothing ingested is visible until Freeze.
+func (e *Engine) AddDay(log v6class.DayLog) error { return e.AddDays([]v6class.DayLog{log}) }
+
+// AddDays streams a batch of daily logs into the live successor.
+func (e *Engine) AddDays(logs []v6class.DayLog) error {
+	if len(logs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := v6class.FormatLogs(&buf, logs); err != nil {
+		return err
+	}
+	if err := e.c.call(http.MethodPost, "/v1/ingest", nil, buf.Bytes(), nil); err != nil {
+		return err
+	}
+	e.frozen.Store(false)
+	return nil
+}
+
+// Ingest drains the channel in batches until it closes.
+func (e *Engine) Ingest(logs <-chan v6class.DayLog) error {
+	batch := make([]v6class.DayLog, 0, 16)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := e.AddDays(batch)
+		batch = batch[:0]
+		return err
+	}
+	for l := range logs {
+		batch = append(batch, l)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// Freeze installs the live successor as the serving generation (POST
+// /v1/freeze). With no ingestion in flight it is a no-op, mirroring local
+// Freeze idempotence.
+func (e *Engine) Freeze() error {
+	if e.frozen.Load() {
+		return nil
+	}
+	if err := e.c.call(http.MethodPost, "/v1/freeze", nil, nil, nil); err != nil {
+		return err
+	}
+	e.frozen.Store(true)
+	return nil
+}
+
+// WriteTo streams the server's serialized census snapshot (GET
+// /v1/snapshot, the format Open and LoadFile read).
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	resp, err := e.c.roundTrip(http.MethodGet, "/v1/snapshot", nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return 0, serve.DecodeError(resp.StatusCode, data)
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// Save persists the streamed snapshot atomically (temp file + rename).
+func (e *Engine) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".v6class-remote-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := e.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+type summaryResponse struct {
+	Day     int            `json:"day"`
+	Total   int            `json:"total"`
+	Native  int            `json:"native"`
+	Addrs64 int            `json:"addrs64"`
+	MACs    int            `json:"macs"`
+	ByKind  map[string]int `json:"byKind"`
+}
+
+func (e *Engine) Summary(day int) (v6class.DaySummary, error) {
+	q := url.Values{}
+	q.Set("day", strconv.Itoa(day))
+	var resp summaryResponse
+	if err := e.c.get("/v1/summary", q, &resp); err != nil {
+		return v6class.DaySummary{}, err
+	}
+	out := v6class.DaySummary{
+		Day:     resp.Day,
+		Total:   resp.Total,
+		Native:  resp.Native,
+		Addrs64: resp.Addrs64,
+		MACs:    resp.MACs,
+		ByKind:  make(map[v6class.Kind]int, len(resp.ByKind)),
+	}
+	for name, n := range resp.ByKind {
+		k, ok := v6class.ParseKind(name)
+		if !ok {
+			return v6class.DaySummary{}, fmt.Errorf("remote: server reported unknown address kind %q", name)
+		}
+		out.ByKind[k] = n
+	}
+	return out, nil
+}
+
+func (e *Engine) NumKeys(pop v6class.Population) (int, error) {
+	m, err := e.meta()
+	if err != nil {
+		return 0, err
+	}
+	if pop == v6class.Prefixes64 {
+		return m.Prefixes64, nil
+	}
+	return m.Addresses, nil
+}
+
+type activeResponse struct {
+	Count int `json:"count"`
+}
+
+func (e *Engine) ActiveCount(pop v6class.Population, day int) (int, error) {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("day", strconv.Itoa(day))
+	var resp activeResponse
+	if err := e.c.get("/v1/active", q, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+func (e *Engine) ActiveInRange(pop v6class.Population, from, to int) (int, error) {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("from", strconv.Itoa(from))
+	q.Set("to", strconv.Itoa(to))
+	var resp activeResponse
+	if err := e.c.get("/v1/active", q, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+type stabilityResponse struct {
+	Active    int `json:"active"`
+	Stable    int `json:"stable"`
+	NotStable int `json:"notStable"`
+}
+
+// Stability answers under the wire default options (the paper's ±7d
+// window) — the server's engine defaults are not consulted.
+func (e *Engine) Stability(pop v6class.Population, ref, n int) (v6class.DailyStability, error) {
+	return e.StabilityWith(pop, ref, n, v6class.StabilityOptions{})
+}
+
+func (e *Engine) StabilityWith(pop v6class.Population, ref, n int, opts v6class.StabilityOptions) (v6class.DailyStability, error) {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("ref", strconv.Itoa(ref))
+	q.Set("n", strconv.Itoa(n))
+	serve.EncodeWindow(q, opts)
+	var resp stabilityResponse
+	if err := e.c.get("/v1/stability", q, &resp); err != nil {
+		return v6class.DailyStability{}, err
+	}
+	return v6class.DailyStability{
+		Ref: v6class.Day(ref), N: n,
+		Active: resp.Active, Stable: resp.Stable, NotStable: resp.NotStable,
+	}, nil
+}
+
+func (e *Engine) WeeklyStability(pop v6class.Population, start, n int) (v6class.WeeklyStability, error) {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("ref", strconv.Itoa(start))
+	q.Set("n", strconv.Itoa(n))
+	q.Set("weekly", "true")
+	var resp stabilityResponse
+	if err := e.c.get("/v1/stability", q, &resp); err != nil {
+		return v6class.WeeklyStability{}, err
+	}
+	return v6class.WeeklyStability{
+		Start: v6class.Day(start), N: n,
+		Active: resp.Active, Stable: resp.Stable, NotStable: resp.NotStable,
+	}, nil
+}
+
+type epochResponse struct {
+	Count int `json:"count"`
+}
+
+func (e *Engine) EpochStable(pop v6class.Population, aFrom, aTo, bFrom, bTo int) (int, error) {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("afrom", strconv.Itoa(aFrom))
+	q.Set("ato", strconv.Itoa(aTo))
+	q.Set("bfrom", strconv.Itoa(bFrom))
+	q.Set("bto", strconv.Itoa(bTo))
+	var resp epochResponse
+	if err := e.c.get("/v1/epoch", q, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+type lookupResponse struct {
+	Addr           string             `json:"addr"`
+	Kind           string             `json:"kind"`
+	Prefix         string             `json:"prefix"`
+	Address        *v6class.KeyReport `json:"address"`
+	Prefix64       v6class.KeyReport  `json:"prefix64"`
+	Stable         *bool              `json:"stable"`
+	Prefix64Stable *bool              `json:"prefix64Stable"`
+}
+
+func (e *Engine) LookupAddr(a v6class.Addr) (v6class.AddrLookup, error) {
+	q := url.Values{}
+	q.Set("addr", a.String())
+	var resp lookupResponse
+	if err := e.c.get("/v1/lookup", q, &resp); err != nil {
+		return v6class.AddrLookup{}, err
+	}
+	out := v6class.AddrLookup{Addr: a, Kind: v6class.Classify(a), Prefix64: resp.Prefix64}
+	if resp.Address != nil {
+		out.Report = *resp.Address
+	}
+	return out, nil
+}
+
+func (e *Engine) LookupPrefix64(p v6class.Prefix) (v6class.KeyReport, error) {
+	q := url.Values{}
+	q.Set("p64", p.String())
+	var resp lookupResponse
+	if err := e.c.get("/v1/lookup", q, &resp); err != nil {
+		return v6class.KeyReport{}, err
+	}
+	return resp.Prefix64, nil
+}
+
+func (e *Engine) AddrStable(a v6class.Addr, ref, n int, opts v6class.StabilityOptions) (bool, error) {
+	q := url.Values{}
+	q.Set("addr", a.String())
+	q.Set("ref", strconv.Itoa(ref))
+	q.Set("n", strconv.Itoa(n))
+	serve.EncodeWindow(q, opts)
+	var resp lookupResponse
+	if err := e.c.get("/v1/lookup", q, &resp); err != nil {
+		return false, err
+	}
+	if resp.Stable == nil {
+		return false, fmt.Errorf("remote: lookup response missing stability verdict")
+	}
+	return *resp.Stable, nil
+}
+
+func (e *Engine) Prefix64Stable(p v6class.Prefix, ref, n int, opts v6class.StabilityOptions) (bool, error) {
+	q := url.Values{}
+	q.Set("p64", p.String())
+	q.Set("ref", strconv.Itoa(ref))
+	q.Set("n", strconv.Itoa(n))
+	serve.EncodeWindow(q, opts)
+	var resp lookupResponse
+	if err := e.c.get("/v1/lookup", q, &resp); err != nil {
+		return false, err
+	}
+	if resp.Prefix64Stable == nil {
+		return false, fmt.Errorf("remote: lookup response missing stability verdict")
+	}
+	return *resp.Prefix64Stable, nil
+}
+
+type lifetimeStatsResponse struct {
+	Keys                int   `json:"keys"`
+	SingleDay           int   `json:"singleDay"`
+	SpanHistogram       []int `json:"spanHistogram"`
+	ActiveDaysHistogram []int `json:"activeDaysHistogram"`
+}
+
+func (e *Engine) LifetimeStats(pop v6class.Population, from, to int) (v6class.LifetimeStats, error) {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("from", strconv.Itoa(from))
+	q.Set("to", strconv.Itoa(to))
+	var resp lifetimeStatsResponse
+	if err := e.c.get("/v1/lifetimes/stats", q, &resp); err != nil {
+		return v6class.LifetimeStats{}, err
+	}
+	return v6class.LifetimeStats{
+		Keys: resp.Keys, SingleDay: resp.SingleDay,
+		SpanHistogram: resp.SpanHistogram, ActiveDaysHistogram: resp.ActiveDaysHistogram,
+	}, nil
+}
+
+type returnProbResponse struct {
+	Probabilities []float64 `json:"probabilities"`
+	Num           []int     `json:"num"`
+	Den           []int     `json:"den"`
+}
+
+func (e *Engine) returnProb(pop v6class.Population, from, to, maxGap int) (returnProbResponse, error) {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("from", strconv.Itoa(from))
+	q.Set("to", strconv.Itoa(to))
+	q.Set("maxgap", strconv.Itoa(maxGap))
+	var resp returnProbResponse
+	err := e.c.get("/v1/returnprob", q, &resp)
+	return resp, err
+}
+
+func (e *Engine) ReturnProbability(pop v6class.Population, from, to, maxGap int) ([]float64, error) {
+	resp, err := e.returnProb(pop, from, to, maxGap)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Probabilities, nil
+}
+
+func (e *Engine) ReturnCounts(pop v6class.Population, from, to, maxGap int) (num, den []int, err error) {
+	resp, err := e.returnProb(pop, from, to, maxGap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Num, resp.Den, nil
+}
+
+type lspResponse struct {
+	Rows []struct {
+		Prefix  string `json:"prefix"`
+		Support uint64 `json:"support"`
+	} `json:"rows"`
+}
+
+func (e *Engine) LongestStablePrefixes(aFrom, aTo, bFrom, bTo, minBits int, minSupport uint64) ([]v6class.LongestStablePrefix, error) {
+	q := url.Values{}
+	q.Set("afrom", strconv.Itoa(aFrom))
+	q.Set("ato", strconv.Itoa(aTo))
+	q.Set("bfrom", strconv.Itoa(bFrom))
+	q.Set("bto", strconv.Itoa(bTo))
+	q.Set("minbits", strconv.Itoa(minBits))
+	q.Set("minsupport", strconv.FormatUint(minSupport, 10))
+	var resp lspResponse
+	if err := e.c.get("/v1/lsp", q, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]v6class.LongestStablePrefix, 0, len(resp.Rows))
+	for _, row := range resp.Rows {
+		p, err := v6class.ParsePrefix(row.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("remote: bad prefix %q in lsp response: %v", row.Prefix, err)
+		}
+		out = append(out, v6class.LongestStablePrefix{Prefix: p, Support: row.Support})
+	}
+	return out, nil
+}
+
+type overlapResponse struct {
+	Ref    int   `json:"ref"`
+	Before int   `json:"before"`
+	Series []int `json:"series"`
+}
+
+func (e *Engine) OverlapSeries(pop v6class.Population, ref, before, after int) (iter.Seq2[int, int], error) {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("ref", strconv.Itoa(ref))
+	q.Set("before", strconv.Itoa(before))
+	q.Set("after", strconv.Itoa(after))
+	var resp overlapResponse
+	if err := e.c.get("/v1/overlap", q, &resp); err != nil {
+		return nil, err
+	}
+	first := resp.Ref - resp.Before
+	series := resp.Series
+	return func(yield func(int, int) bool) {
+		for i, n := range series {
+			if !yield(first+i, n) {
+				return
+			}
+		}
+	}, nil
+}
+
+type topkPageResponse struct {
+	Rows []struct {
+		Prefix string `json:"prefix"`
+		Count  uint64 `json:"count"`
+	} `json:"rows"`
+	Cursor string `json:"cursor"`
+}
+
+// TopAggregates walks the paged form of /v1/topk. The server memoizes and
+// offset-pages the full deterministic ranking, so the walk stops as soon
+// as k rows are in hand.
+func (e *Engine) TopAggregates(pop v6class.Population, p, k int, days ...int) (iter.Seq[v6class.TopAggregate], error) {
+	rows, err := retryExpired(e.c.retries, func() ([]v6class.TopAggregate, error) {
+		q := url.Values{}
+		serve.EncodePop(q, pop)
+		serve.EncodeDays(q, days)
+		q.Set("p", strconv.Itoa(p))
+		q.Set("page", "true")
+		q.Set("limit", strconv.Itoa(e.c.pageSize))
+		var out []v6class.TopAggregate
+		err := e.c.walkPages("/v1/topk", q, func(body []byte) (string, error) {
+			var page topkPageResponse
+			if err := json.Unmarshal(body, &page); err != nil {
+				return "", fmt.Errorf("remote: decoding topk page: %w", err)
+			}
+			for _, row := range page.Rows {
+				pfx, err := v6class.ParsePrefix(row.Prefix)
+				if err != nil {
+					return "", fmt.Errorf("remote: bad prefix %q in topk page: %v", row.Prefix, err)
+				}
+				out = append(out, v6class.TopAggregate{Prefix: pfx, Count: row.Count})
+				if k > 0 && len(out) == k {
+					return "", nil // enough rows; stop paging
+				}
+			}
+			return page.Cursor, nil
+		})
+		return out, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sliceSeq(rows), nil
+}
+
+// SpatialSet rebuilds the spatial population locally from the ordered key
+// enumeration: a radix trie's shape is a pure function of its item set, so
+// the result is bit-identical to the server building it.
+func (e *Engine) SpatialSet(pop v6class.Population, days ...int) (*v6class.AddressSet, error) {
+	seq, err := e.KeysOrdered(pop, days...)
+	if err != nil {
+		return nil, err
+	}
+	set := &v6class.AddressSet{}
+	for p := range seq {
+		if pop == v6class.Prefixes64 {
+			set.AddPrefix(p)
+		} else {
+			set.Add(p.Addr())
+		}
+	}
+	return set, nil
+}
+
+// sliceSeq adapts a materialized slice to a re-iterable sequence.
+func sliceSeq[T any](items []T) iter.Seq[T] {
+	return func(yield func(T) bool) {
+		for _, v := range items {
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"encoding/json"
+
+	"v6class"
+	"v6class/serve"
+)
+
+// The enumeration plumbing: the remote Engine answers the iterator methods
+// by materializing the server's cursor-paged endpoints. A whole
+// enumeration that loses its cursor to a snapshot reload (the server
+// answers cursor_expired, HTTP 410) restarts from scratch against the new
+// generation — up to the retry budget — so an Engine iterator never
+// splices two generations, at the cost of re-reading the pages already
+// fetched. The exported Pager skips that policy and exposes the raw
+// page-by-page flow, typed errors included.
+
+// getRaw performs one GET and returns the raw response body; non-2xx
+// responses decode through the serve error envelope into typed *WireError
+// values.
+func (c *client) getRaw(path string, q url.Values) ([]byte, error) {
+	resp, err := c.roundTrip(http.MethodGet, path, q, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("remote: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, serve.DecodeError(resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// walkPages drains one cursor-paged endpoint: it requests path with the
+// base query, hands each page body to consume, and follows the cursor
+// consume returns until it reports none. The base parameters ride on every
+// request — cursors are bound to their canonical query, which the server
+// re-derives from the parameters — while any one-shot resume position
+// (after=, offset=) is dropped once a cursor takes over.
+func (c *client) walkPages(path string, base url.Values, consume func(body []byte) (next string, err error)) error {
+	q := url.Values{}
+	for k, vs := range base {
+		q[k] = vs
+	}
+	for {
+		body, err := c.getRaw(path, q)
+		if err != nil {
+			return err
+		}
+		next, err := consume(body)
+		if err != nil {
+			return err
+		}
+		if next == "" {
+			return nil
+		}
+		q.Set("cursor", next)
+		q.Del("after")
+		q.Del("offset")
+	}
+}
+
+// retryExpired runs a full enumeration walk, restarting from scratch when
+// a snapshot reload expires the cursor mid-stream, up to retries restarts.
+// fetch must build fresh state on every call; any other error answers
+// immediately.
+func retryExpired[T any](retries int, fetch func() ([]T, error)) ([]T, error) {
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		out, err := fetch()
+		if err == nil {
+			return out, nil
+		}
+		if !errors.Is(err, serve.ErrCursorExpired) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// keysPage mirrors the /v1/keys page shape (the fields the client reads).
+type keysPage struct {
+	Keys   []string `json:"keys"`
+	Cursor string   `json:"cursor"`
+}
+
+func parseKeys(page keysPage, out []v6class.Prefix) ([]v6class.Prefix, error) {
+	for _, s := range page.Keys {
+		p, err := v6class.ParsePrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("remote: bad key %q in keys page: %v", s, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// keysQuery builds the canonical /v1/keys parameter set.
+func (e *Engine) keysQuery(pop v6class.Population, days []int) url.Values {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	serve.EncodeDays(q, days)
+	q.Set("limit", strconv.Itoa(e.c.pageSize))
+	return q
+}
+
+// fetchKeys materializes one ordered key enumeration from /v1/keys,
+// resuming strictly after the given key when non-empty.
+func (e *Engine) fetchKeys(pop v6class.Population, days []int, after string) ([]v6class.Prefix, error) {
+	return retryExpired(e.c.retries, func() ([]v6class.Prefix, error) {
+		q := e.keysQuery(pop, days)
+		if after != "" {
+			q.Set("after", after)
+		}
+		var out []v6class.Prefix
+		err := e.c.walkPages("/v1/keys", q, func(body []byte) (string, error) {
+			var page keysPage
+			if err := json.Unmarshal(body, &page); err != nil {
+				return "", fmt.Errorf("remote: decoding keys page: %w", err)
+			}
+			parsed, perr := parseKeys(page, out)
+			out = parsed
+			return page.Cursor, perr
+		})
+		return out, err
+	})
+}
+
+// KeysOrdered streams the keys of the population in the canonical total
+// order, materialized from the server's paged enumeration.
+func (e *Engine) KeysOrdered(pop v6class.Population, days ...int) (iter.Seq[v6class.Prefix], error) {
+	keys, err := e.fetchKeys(pop, days, "")
+	if err != nil {
+		return nil, err
+	}
+	return sliceSeq(keys), nil
+}
+
+// KeysOrderedAfter resumes KeysOrdered strictly after a key.
+func (e *Engine) KeysOrderedAfter(pop v6class.Population, after v6class.Prefix, days ...int) (iter.Seq[v6class.Prefix], error) {
+	keys, err := e.fetchKeys(pop, days, after.String())
+	if err != nil {
+		return nil, err
+	}
+	return sliceSeq(keys), nil
+}
+
+// Keys streams every key of the population ever observed.
+func (e *Engine) Keys(pop v6class.Population) (iter.Seq[v6class.Prefix], error) {
+	return e.KeysOrdered(pop)
+}
+
+// AddrsActiveOn streams every address active on at least one of the days.
+func (e *Engine) AddrsActiveOn(days ...int) (iter.Seq[v6class.Addr], error) {
+	keys, err := e.fetchKeys(v6class.Addresses, days, "")
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(v6class.Addr) bool) {
+		for _, p := range keys {
+			if !yield(p.Addr()) {
+				return
+			}
+		}
+	}, nil
+}
+
+// Prefixes64ActiveOn streams every /64 active on at least one of the days.
+func (e *Engine) Prefixes64ActiveOn(days ...int) (iter.Seq[v6class.Prefix], error) {
+	return e.KeysOrdered(v6class.Prefixes64, days...)
+}
+
+// stablePage mirrors the /v1/stable page shape.
+type stablePage struct {
+	Addrs  []string `json:"addrs"`
+	Cursor string   `json:"cursor"`
+}
+
+// fetchStable materializes the ordered nd-stable address enumeration.
+func (e *Engine) fetchStable(ref, n int, after string) ([]v6class.Addr, error) {
+	return retryExpired(e.c.retries, func() ([]v6class.Addr, error) {
+		q := url.Values{}
+		q.Set("ref", strconv.Itoa(ref))
+		q.Set("n", strconv.Itoa(n))
+		q.Set("limit", strconv.Itoa(e.c.pageSize))
+		if after != "" {
+			q.Set("after", after)
+		}
+		var out []v6class.Addr
+		err := e.c.walkPages("/v1/stable", q, func(body []byte) (string, error) {
+			var page stablePage
+			if err := json.Unmarshal(body, &page); err != nil {
+				return "", fmt.Errorf("remote: decoding stable page: %w", err)
+			}
+			for _, s := range page.Addrs {
+				a, err := v6class.ParseAddr(s)
+				if err != nil {
+					return "", fmt.Errorf("remote: bad address %q in stable page: %v", s, err)
+				}
+				out = append(out, a)
+			}
+			return page.Cursor, nil
+		})
+		return out, err
+	})
+}
+
+// StableAddrsOrdered streams the nd-stable addresses for a reference day
+// in ascending address order, under the server's default classification
+// options.
+func (e *Engine) StableAddrsOrdered(ref, n int) (iter.Seq[v6class.Addr], error) {
+	addrs, err := e.fetchStable(ref, n, "")
+	if err != nil {
+		return nil, err
+	}
+	return sliceSeq(addrs), nil
+}
+
+// StableAddrsOrderedAfter resumes StableAddrsOrdered strictly after an
+// address.
+func (e *Engine) StableAddrsOrderedAfter(ref, n int, after v6class.Addr) (iter.Seq[v6class.Addr], error) {
+	addrs, err := e.fetchStable(ref, n, after.String())
+	if err != nil {
+		return nil, err
+	}
+	return sliceSeq(addrs), nil
+}
+
+// StableAddrs streams the nd-stable addresses for a reference day, under
+// the server's default classification options.
+func (e *Engine) StableAddrs(ref, n int) (iter.Seq[v6class.Addr], error) {
+	return e.StableAddrsOrdered(ref, n)
+}
+
+// lifetimesPage mirrors the /v1/lifetimes page shape.
+type lifetimesPage struct {
+	Rows []struct {
+		Prefix     string `json:"prefix"`
+		First      int    `json:"first"`
+		Last       int    `json:"last"`
+		ActiveDays int    `json:"activeDays"`
+		Runs       int    `json:"runs"`
+	} `json:"rows"`
+	Cursor string `json:"cursor"`
+}
+
+// lifetimeEntry is one materialized (key, activity) pair.
+type lifetimeEntry struct {
+	p   v6class.Prefix
+	act v6class.Activity
+}
+
+// fetchLifetimes materializes the ordered lifetime enumeration.
+func (e *Engine) fetchLifetimes(pop v6class.Population, after string) ([]lifetimeEntry, error) {
+	return retryExpired(e.c.retries, func() ([]lifetimeEntry, error) {
+		q := url.Values{}
+		serve.EncodePop(q, pop)
+		q.Set("limit", strconv.Itoa(e.c.pageSize))
+		if after != "" {
+			q.Set("after", after)
+		}
+		var out []lifetimeEntry
+		err := e.c.walkPages("/v1/lifetimes", q, func(body []byte) (string, error) {
+			var page lifetimesPage
+			if err := json.Unmarshal(body, &page); err != nil {
+				return "", fmt.Errorf("remote: decoding lifetimes page: %w", err)
+			}
+			for _, row := range page.Rows {
+				p, err := v6class.ParsePrefix(row.Prefix)
+				if err != nil {
+					return "", fmt.Errorf("remote: bad key %q in lifetimes page: %v", row.Prefix, err)
+				}
+				out = append(out, lifetimeEntry{p: p, act: v6class.Activity{
+					First:      v6class.Day(row.First),
+					Last:       v6class.Day(row.Last),
+					ActiveDays: row.ActiveDays,
+					Runs:       row.Runs,
+				}})
+			}
+			return page.Cursor, nil
+		})
+		return out, err
+	})
+}
+
+// LifetimesOrdered streams every key of the population with its activity
+// profile, in the canonical key order.
+func (e *Engine) LifetimesOrdered(pop v6class.Population) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+	rows, err := e.fetchLifetimes(pop, "")
+	if err != nil {
+		return nil, err
+	}
+	return lifetimesSeq(rows), nil
+}
+
+// LifetimesOrderedAfter resumes LifetimesOrdered strictly after a key.
+func (e *Engine) LifetimesOrderedAfter(pop v6class.Population, after v6class.Prefix) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+	rows, err := e.fetchLifetimes(pop, after.String())
+	if err != nil {
+		return nil, err
+	}
+	return lifetimesSeq(rows), nil
+}
+
+// Lifetimes streams every key with its activity profile.
+func (e *Engine) Lifetimes(pop v6class.Population) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
+	return e.LifetimesOrdered(pop)
+}
+
+func lifetimesSeq(rows []lifetimeEntry) iter.Seq2[v6class.Prefix, v6class.Activity] {
+	return func(yield func(v6class.Prefix, v6class.Activity) bool) {
+		for _, r := range rows {
+			if !yield(r.p, r.act) {
+				return
+			}
+		}
+	}
+}
+
+// Pager walks the ordered key enumeration one page at a time, exposing the
+// raw cursor flow the Engine iterators hide. Unlike the iterators it never
+// restarts: a snapshot reload between pages surfaces from Next as an error
+// unwrapping serve.ErrCursorExpired, which makes it both the
+// constant-memory bulk-export primitive and the hook for observing
+// generation swaps mid-enumeration.
+type Pager struct {
+	e      *Engine
+	base   url.Values
+	cursor string
+	done   bool
+}
+
+// KeysPager starts a page-at-a-time walk of KeysOrdered(pop, days...).
+func (e *Engine) KeysPager(pop v6class.Population, days ...int) *Pager {
+	return &Pager{e: e, base: e.keysQuery(pop, days)}
+}
+
+// Next fetches the next page of keys. more is false once the enumeration
+// is exhausted; the final page may still carry keys. After an error the
+// pager keeps its position — a transient failure can be retried by calling
+// Next again, while a cursor_expired means the enumeration must restart.
+func (p *Pager) Next() (keys []v6class.Prefix, more bool, err error) {
+	if p.done {
+		return nil, false, nil
+	}
+	q := url.Values{}
+	for k, vs := range p.base {
+		q[k] = vs
+	}
+	if p.cursor != "" {
+		q.Set("cursor", p.cursor)
+	}
+	body, err := p.e.c.getRaw("/v1/keys", q)
+	if err != nil {
+		return nil, true, err
+	}
+	var page keysPage
+	if err := json.Unmarshal(body, &page); err != nil {
+		return nil, true, fmt.Errorf("remote: decoding keys page: %w", err)
+	}
+	keys, err = parseKeys(page, nil)
+	if err != nil {
+		return nil, true, err
+	}
+	p.cursor = page.Cursor
+	if p.cursor == "" {
+		p.done = true
+	}
+	return keys, !p.done, nil
+}

@@ -1,0 +1,191 @@
+// Package remote is the cluster tier's client side: it speaks the serve
+// package's versioned wire API and presents any v6class server — one box
+// or many — as a v6class.Engine.
+//
+// Dial connects to a single serve instance and returns an Engine whose
+// queries are answered over HTTP: scalar queries map to one request each,
+// enumerations walk the cursor-paged endpoints, and typed errors survive
+// the wire (the serve error envelope's machine codes unwrap to the same
+// sentinels a local engine returns, so errors.Is works identically).
+//
+// NewCoordinator composes several such backends — each holding a disjoint
+// key partition — into one Engine: point queries route to the partition
+// owner, bulk queries scatter to every backend in parallel and gather, and
+// ordered enumerations k-way merge the per-backend ordered streams into
+// one stream byte-identical to a single box holding the whole census.
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"encoding/json"
+
+	"v6class/serve"
+)
+
+// Option configures Dial.
+type Option func(*client)
+
+// WithSnapshot selects the named snapshot on the server (default: the
+// server's default snapshot).
+func WithSnapshot(name string) Option { return func(c *client) { c.snap = name } }
+
+// WithHTTPClient substitutes the http.Client used for every request —
+// httptest servers, custom transports, instrumented clients.
+func WithHTTPClient(hc *http.Client) Option { return func(c *client) { c.hc = hc } }
+
+// WithTimeout bounds each HTTP request (default 30s). The per-request
+// timeout is ignored when WithHTTPClient supplied a client with its own.
+func WithTimeout(d time.Duration) Option { return func(c *client) { c.timeout = d } }
+
+// WithRetries sets how many times a failed request is retried (default 2).
+// Transport errors and 5xx responses retry; 4xx responses never do. The
+// same budget bounds how many times a paged enumeration restarts after a
+// mid-stream cursor_expired.
+func WithRetries(n int) Option { return func(c *client) { c.retries = n } }
+
+// WithToken sends the admin token on write requests (ingest, freeze,
+// reload are refused without it on token-configured servers).
+func WithToken(token string) Option { return func(c *client) { c.token = token } }
+
+// WithPageSize sets the page size the enumeration endpoints are walked
+// with (default 1000; the server clamps to its own maximum).
+func WithPageSize(n int) Option {
+	return func(c *client) {
+		if n > 0 {
+			c.pageSize = n
+		}
+	}
+}
+
+// client is the HTTP plumbing shared by every Engine method: base URL,
+// snapshot selection, auth, timeouts and the retry policy.
+type client struct {
+	base     string
+	snap     string
+	token    string
+	hc       *http.Client
+	timeout  time.Duration
+	retries  int
+	pageSize int
+}
+
+// withQuery builds the request URL for path with q plus the snapshot
+// selector.
+func (c *client) withQuery(path string, q url.Values) string {
+	if q == nil {
+		q = url.Values{}
+	}
+	if c.snap != "" {
+		q.Set("snap", c.snap)
+	}
+	u := c.base + path
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	return u
+}
+
+// roundTrip performs one request with the retry policy: transport errors
+// and 5xx responses retry up to the budget, everything else answers
+// immediately. body is replayed per attempt. The caller owns the returned
+// response body.
+func (c *client) roundTrip(method, path string, q url.Values, body []byte) (*http.Response, error) {
+	u := c.withQuery(path, q)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, u, rd)
+		if err != nil {
+			return nil, fmt.Errorf("remote: building request: %w", err)
+		}
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("remote: %s %s: %w", method, path, err)
+			continue
+		}
+		if resp.StatusCode >= 500 && attempt < c.retries {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = serve.DecodeError(resp.StatusCode, b)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// call performs a request and decodes a JSON response into out (when
+// non-nil). Non-2xx responses decode through the serve error envelope, so
+// the returned error unwraps to the façade's typed sentinels.
+func (c *client) call(method, path string, q url.Values, body []byte, out any) error {
+	resp, err := c.roundTrip(method, path, q, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("remote: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return serve.DecodeError(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("remote: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// get is call for parameterless-body GET queries.
+func (c *client) get(path string, q url.Values, out any) error {
+	return c.call(http.MethodGet, path, q, nil, out)
+}
+
+// Dial connects to a v6class serve instance and returns its census as an
+// Engine. The dial itself performs one /v1/meta request, so a bad URL or
+// an unknown snapshot fails fast rather than on first query.
+//
+// The returned Engine answers every query over the wire against the
+// server's currently installed snapshot generation; enumerations that span
+// multiple pages restart transparently (up to the retry budget) if a
+// reload lands mid-stream, so an iterator never yields a mix of two
+// generations.
+func Dial(baseURL string, opts ...Option) (*Engine, error) {
+	c := &client{
+		base:     strings.TrimRight(baseURL, "/"),
+		hc:       nil,
+		timeout:  30 * time.Second,
+		retries:  2,
+		pageSize: 1000,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{Timeout: c.timeout}
+	}
+	e := &Engine{c: c}
+	meta, err := e.meta()
+	if err != nil {
+		return nil, err
+	}
+	e.studyDays = meta.StudyDays
+	e.frozen.Store(true)
+	return e, nil
+}

@@ -107,6 +107,52 @@
 // Authorization: Bearer exactly as for reloads; a tokenless writable
 // server is the open dev/demo posture.
 //
+// # Enumeration and cursor pagination
+//
+// The bulk enumerations of the engine API — every key, every stable
+// address, every lifetime row — are exposed as cursor-paged endpoints, so
+// a remote client can walk a million-key census without the server ever
+// buffering it. A page request answers up to limit rows (default 1000,
+// capped at 10000) plus, when more remain, an opaque cursor token; the
+// client passes it back verbatim as ?cursor= to fetch the next page. A
+// response without a cursor is the final page.
+//
+// The cursor is not a server-side handle: it encodes the snapshot name,
+// the serving generation's epoch, the canonical query, and the resume
+// position, all in one base64url token. That makes pagination stateless —
+// the server remembers nothing between pages — and fail-closed: if the
+// snapshot is reloaded mid-walk, the next page request's epoch no longer
+// matches and the server answers 410 Gone with code "cursor_expired"
+// rather than silently splicing two different censuses into one listing.
+// A cursor presented against a different snapshot or with different query
+// parameters is a 400 bad_param. Clients that keep their own position can
+// skip cursors entirely: the key-ordered endpoints accept ?after=KEY
+// (resume strictly after that key) and the ranked endpoints accept
+// ?offset=N, both of which survive reloads because they name a position
+// in the data rather than a generation.
+//
+// Ordered endpoints yield keys in ascending address order — the same
+// global order the engine's KeysOrdered iterator guarantees — so pages
+// concatenate into one sorted stream and a resumed walk never repeats or
+// skips a key.
+//
+// # Error envelope
+//
+// Every error response is a versioned JSON envelope with a stable
+// machine-readable code:
+//
+//	{"error": {"code": "unknown_snapshot", "message": "...", "snapshot": "census", "epoch": 7}}
+//
+// The codes — bad_param, unknown_snapshot, not_found, day_range,
+// not_frozen, frozen, cursor_expired, conflict, unauthorized, internal —
+// are the wire protocol's contract: messages may be reworded, codes never
+// change meaning. DecodeError parses an envelope back into a *WireError
+// whose Unwrap maps the code onto the module's typed sentinels
+// (v6class.ErrConfig, v6class.ErrDayRange, ErrCursorExpired, ...), so a
+// client holding only the HTTP response can still dispatch with errors.Is
+// exactly as if it had called the engine in-process. Package remote is
+// built on precisely this mapping.
+//
 // # Endpoints
 //
 //	GET  /healthz                 liveness, snapshot names, cache stats
@@ -117,10 +163,25 @@
 //	GET  /v1/dense?day=|days=|from=&to=&n=&p=[&least=true]  n@/p-dense sweep
 //	GET  /v1/topk?pop=&p=&k=&day=|days=|from=&to=           top-k aggregates
 //	GET  /v1/overlap?pop=&ref=&before=&after=               Figure 4 series
+//	GET  /v1/keys?pop=[&days=][&limit=&after=|cursor=]      ordered key pages
+//	GET  /v1/stable?ref=&n=[&limit=&after=|cursor=]         ordered stable addrs
+//	GET  /v1/lifetimes?pop=[&limit=&after=|cursor=]         ordered lifetime pages
+//	GET  /v1/lifetimes/stats?from=&to=                      lifetime histograms
+//	GET  /v1/active?pop=&day=|from=&to=                     active-key count
+//	GET  /v1/epoch?pop=&afrom=&ato=&bfrom=&bto=             epoch-stable count
+//	GET  /v1/returnprob?pop=&from=&to=&maxgap=              return probability
+//	GET  /v1/lsp?afrom=&ato=&bfrom=&bto=&minbits=&minsupport=  stable prefixes
+//	GET  /v1/mra?pop=[&days=]                               MRA profile
+//	GET  /v1/aguri?pop=[&days=]&fraction=                   aguri profile
+//	GET  /v1/snapshot                                       stream the census file
 //	GET  /v1/experiments[/{name}]                           driver registry
 //	POST /v1/reload?snap=&path=                             swap a snapshot
 //	POST /v1/ingest?snap=                                   feed day logs to the live successor
 //	POST /v1/freeze?snap=[&force=true|&discard=true]        install (or drop) the successor
+//
+// The paged form of /v1/topk (any of page=true, offset= or cursor=)
+// ranks once, memoizes the full ranking under the query's cache key, and
+// serves offset/limit cuts of it; the classic form is unchanged.
 //
 // Every snapshot-backed endpoint accepts ?snap=NAME to select among the
 // loaded snapshots; the default is the most recently installed one. Day

@@ -33,10 +33,6 @@ func writeBody(w http.ResponseWriter, status int, body []byte) {
 	w.Write(body)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 // snapshotHandler resolves the request's snapshot (?snap=NAME, default the
 // most recently installed) once, at dispatch; the handler then works
 // against that immutable generation for its whole lifetime, however many
@@ -47,7 +43,7 @@ func (s *Server) snapshotHandler(fn func(http.ResponseWriter, *http.Request, *Sn
 		name := r.URL.Query().Get("snap")
 		snap := s.Snapshot(name)
 		if snap == nil {
-			writeErr(w, http.StatusNotFound, "no snapshot %q installed", name)
+			writeErr(w, http.StatusNotFound, CodeUnknownSnapshot, nil, "no snapshot %q installed", name)
 			return
 		}
 		w.Header().Set("X-V6-Snapshot", snap.Name)
@@ -88,7 +84,7 @@ func (s *Server) cachedBody(snap *Snapshot, key string, compute func() any) ([]b
 func (s *Server) cached(w http.ResponseWriter, snap *Snapshot, key string, compute func() any) {
 	body, err := s.cachedBody(snap, key, compute)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "encoding response")
+		writeErr(w, http.StatusInternalServerError, CodeInternal, snap, "encoding response")
 		return
 	}
 	writeBody(w, http.StatusOK, body)
@@ -106,38 +102,24 @@ func strict[T any](v T, err error) T {
 	return v
 }
 
+// The handler-side param helpers are one-line adapters over the exported
+// wire vocabulary in params.go, which the remote client shares; the wire
+// format is defined exactly once.
+
 // intParam parses an optional integer query parameter.
 func intParam(r *http.Request, name string, def int) (int, error) {
-	v := r.URL.Query().Get(name)
-	if v == "" {
-		return def, nil
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		return 0, fmt.Errorf("parameter %s: %v", name, err)
-	}
-	return n, nil
+	return DecodeInt(r.URL.Query(), name, def)
 }
 
 // requireInt parses a mandatory integer query parameter.
 func requireInt(r *http.Request, name string) (int, error) {
-	if r.URL.Query().Get(name) == "" {
-		return 0, fmt.Errorf("missing required parameter %s", name)
-	}
-	return intParam(r, name, 0)
+	return RequireInt(r.URL.Query(), name)
 }
 
 // popParam parses the population selector: addresses by default, /64
 // prefixes for pop=64s.
 func popParam(r *http.Request) (v6class.Population, string, error) {
-	switch v := r.URL.Query().Get("pop"); v {
-	case "", "addrs", "addresses":
-		return v6class.Addresses, "addrs", nil
-	case "64s", "p64", "prefixes64":
-		return v6class.Prefixes64, "64s", nil
-	default:
-		return 0, "", fmt.Errorf("parameter pop: unknown population %q (want addrs or 64s)", v)
-	}
+	return DecodePop(r.URL.Query())
 }
 
 // daysParam parses the day selection of population-building endpoints:
@@ -147,58 +129,14 @@ func popParam(r *http.Request) (v6class.Population, string, error) {
 // echo, so days=2,1 and days=1,2 are the same query and share one
 // population build.
 func daysParam(r *http.Request) ([]int, error) {
-	q := r.URL.Query()
-	if q.Get("day") != "" {
-		d, err := requireInt(r, "day")
-		if err != nil {
-			return nil, err
-		}
-		return []int{d}, nil
-	}
-	if list := q.Get("days"); list != "" {
-		parts := strings.Split(list, ",")
-		if len(parts) > maxDayRange {
-			return nil, fmt.Errorf("parameter days: at most %d days", maxDayRange)
-		}
-		days := make([]int, 0, len(parts))
-		for _, p := range parts {
-			d, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil {
-				return nil, fmt.Errorf("parameter days: bad day %q", p)
-			}
-			days = append(days, d)
-		}
-		return normalizeDays(days), nil
-	}
-	if q.Get("from") == "" || q.Get("to") == "" {
-		return nil, fmt.Errorf("missing day selection: give day=N, days=N,M,... or from=N&to=N")
-	}
-	from, err := requireInt(r, "from")
-	if err != nil {
-		return nil, err
-	}
-	to, err := requireInt(r, "to")
-	if err != nil {
-		return nil, err
-	}
-	if to < from || to-from+1 > maxDayRange {
-		return nil, fmt.Errorf("bad day range [%d,%d] (want from <= to, at most %d days)", from, to, maxDayRange)
-	}
-	days := make([]int, 0, to-from+1)
-	for d := from; d <= to; d++ {
-		days = append(days, d)
-	}
-	return days, nil
+	return DecodeDays(r.URL.Query())
 }
 
-// optsParam parses the stability window (window=N means the paper-style
-// (-Nd,+Nd) window, default 7).
+// optsParam parses the stability options (window=N means the paper-style
+// (-Nd,+Nd) window, default 7; wbefore=/wafter= an asymmetric one; plus
+// slew= and anypair=).
 func optsParam(r *http.Request) (v6class.StabilityOptions, int, error) {
-	window, err := intParam(r, "window", 7)
-	if err != nil || window <= 0 {
-		return v6class.StabilityOptions{}, 0, fmt.Errorf("parameter window: want a positive day count")
-	}
-	return v6class.StabilityOptions{Window: v6class.StabilityWindow{Before: window, After: window}}, window, nil
+	return DecodeWindow(r.URL.Query())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -223,10 +161,18 @@ type metaResponse struct {
 	StudyDays  int    `json:"studyDays"`
 	Addresses  int    `json:"addresses"`
 	Prefixes64 int    `json:"prefixes64"`
+	// Shards is the cluster fan-out behind this snapshot: the number of
+	// backends a coordinator engine scatters to, 0 for a single-box
+	// engine.
+	Shards int `json:"shards,omitempty"`
 }
 
+// shardCounted is implemented by cluster-tier engines (the coordinator)
+// that fan queries out to several backends.
+type shardCounted interface{ NumBackends() int }
+
 func metaOf(snap *Snapshot) metaResponse {
-	return metaResponse{
+	m := metaResponse{
 		Snapshot:   snap.Name,
 		Source:     snap.Source,
 		Epoch:      snap.Epoch,
@@ -235,6 +181,10 @@ func metaOf(snap *Snapshot) metaResponse {
 		Addresses:  strict(snap.Engine.NumKeys(v6class.Addresses)),
 		Prefixes64: strict(snap.Engine.NumKeys(v6class.Prefixes64)),
 	}
+	if sc, ok := snap.Engine.(shardCounted); ok {
+		m.Shards = sc.NumBackends()
+	}
+	return m
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
@@ -253,7 +203,7 @@ type summaryResponse struct {
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
 	day, err := requireInt(r, "day")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	sum := strict(snap.Engine.Summary(day))
@@ -276,6 +226,10 @@ type stabilityResponse struct {
 	Ref       int    `json:"ref"`
 	N         int    `json:"n"`
 	Window    int    `json:"window"`
+	WBefore   int    `json:"wbefore,omitempty"`
+	WAfter    int    `json:"wafter,omitempty"`
+	Slew      int    `json:"slew,omitempty"`
+	AnyPair   bool   `json:"anypair,omitempty"`
 	Weekly    bool   `json:"weekly"`
 	Active    int    `json:"active"`
 	Stable    int    `json:"stable"`
@@ -285,35 +239,45 @@ type stabilityResponse struct {
 func (s *Server) handleStability(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
 	pop, popName, err := popParam(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	ref, err := requireInt(r, "ref")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	n, err := intParam(r, "n", 3)
 	if err != nil || n <= 0 {
-		writeErr(w, http.StatusBadRequest, "parameter n: want a positive day count")
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter n: want a positive day count")
 		return
 	}
 	opts, window, err := optsParam(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	weekly := r.URL.Query().Get("weekly") == "true"
+	var optsKey string
 	if weekly {
 		// Weekly classification follows the snapshot's configured window
-		// (the paper's ±7d); the window parameter applies to daily
-		// classification only, so zero it rather than echo (and cache
-		// under) a value that did not shape the result.
+		// (the paper's ±7d); the window/slew/anypair parameters apply to
+		// daily classification only, so zero them rather than echo (and
+		// cache under) values that did not shape the result.
 		window = 0
+		opts = v6class.StabilityOptions{}
+	} else {
+		optsKey = windowKey(opts)
 	}
-	key := fmt.Sprintf("stability?pop=%s&ref=%d&n=%d&window=%d&weekly=%v", popName, ref, n, window, weekly)
+	key := fmt.Sprintf("stability?pop=%s&ref=%d&n=%d&%s&weekly=%v", popName, ref, n, optsKey, weekly)
 	s.cached(w, snap, key, func() any {
 		resp := stabilityResponse{Pop: popName, Ref: ref, N: n, Window: window, Weekly: weekly}
+		if !weekly {
+			resp.Slew, resp.AnyPair = opts.SlewDays, opts.AnyPair
+			if window == 0 {
+				resp.WBefore, resp.WAfter = opts.Window.Before, opts.Window.After
+			}
+		}
 		if weekly {
 			st := strict(snap.Engine.WeeklyStability(pop, ref, n))
 			resp.Active, resp.Stable, resp.NotStable = st.Active, st.Stable, st.NotStable
@@ -342,18 +306,18 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request, snap *Snap
 	q := r.URL.Query()
 	n, err := intParam(r, "n", 3)
 	if err != nil || n <= 0 {
-		writeErr(w, http.StatusBadRequest, "parameter n: want a positive day count")
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter n: want a positive day count")
 		return
 	}
 	opts, _, err := optsParam(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	hasRef := q.Get("ref") != ""
 	ref, err := intParam(r, "ref", 0)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 
@@ -361,7 +325,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request, snap *Snap
 	case q.Get("addr") != "":
 		a, err := v6class.ParseAddr(q.Get("addr"))
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "parameter addr: %v", err)
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter addr: %v", err)
 			return
 		}
 		lk := strict(snap.Engine.LookupAddr(a))
@@ -384,12 +348,12 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request, snap *Snap
 		case err == nil && p.Bits() != 64:
 			// The census keys /64s only; answering a /48 or /56 question
 			// with the /64 of its base address would be a different key.
-			writeErr(w, http.StatusBadRequest, "parameter p64: want a /64 prefix, got /%d", p.Bits())
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter p64: want a /64 prefix, got /%d", p.Bits())
 			return
 		case err != nil:
 			a, aerr := v6class.ParseAddr(q.Get("p64"))
 			if aerr != nil {
-				writeErr(w, http.StatusBadRequest, "parameter p64: %v", err)
+				writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter p64: %v", err)
 				return
 			}
 			p = v6class.PrefixFrom(a, 64)
@@ -405,7 +369,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request, snap *Snap
 		}
 		writeJSON(w, http.StatusOK, resp)
 	default:
-		writeErr(w, http.StatusBadRequest, "missing lookup key: give addr= or p64=")
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "missing lookup key: give addr= or p64=")
 	}
 }
 
@@ -433,24 +397,28 @@ const maxExamples = 100
 // limit-free key (with maxExamples examples) and the requested limit is
 // applied at render time.
 func (s *Server) handleDense(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	if isPaged(r.URL.Query()) {
+		s.handleDensePage(w, r, snap)
+		return
+	}
 	days, err := daysParam(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	n, err := intParam(r, "n", 2)
 	if err != nil || n <= 0 {
-		writeErr(w, http.StatusBadRequest, "parameter n: want a positive count")
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter n: want a positive count")
 		return
 	}
 	p, err := intParam(r, "p", 112)
 	if err != nil || p < 0 || p > 128 {
-		writeErr(w, http.StatusBadRequest, "parameter p: want a prefix length in [0,128]")
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter p: want a prefix length in [0,128]")
 		return
 	}
 	limit, err := intParam(r, "limit", 20)
 	if err != nil || limit < 0 {
-		writeErr(w, http.StatusBadRequest, "parameter limit: want a non-negative count")
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter limit: want a non-negative count")
 		return
 	}
 	if limit > maxExamples {
@@ -498,7 +466,7 @@ func (s *Server) handleDense(w http.ResponseWriter, r *http.Request, snap *Snaps
 	}
 	rendered, err := json.Marshal(resp)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "encoding response")
+		writeErr(w, http.StatusInternalServerError, CodeInternal, snap, "encoding response")
 		return
 	}
 	s.cache.Put(renderKey, rendered)
@@ -525,24 +493,28 @@ type topkResponse struct {
 // ranking streams off the engine iterator, so only the retained rows are
 // ever rendered.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	if isPaged(r.URL.Query()) {
+		s.handleTopKPage(w, r, snap)
+		return
+	}
 	pop, popName, err := popParam(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	days, err := daysParam(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	p, err := intParam(r, "p", 48)
 	if err != nil || p < 0 || p > 128 {
-		writeErr(w, http.StatusBadRequest, "parameter p: want a prefix length in [0,128]")
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter p: want a prefix length in [0,128]")
 		return
 	}
 	k, err := intParam(r, "k", 10)
 	if err != nil || k <= 0 {
-		writeErr(w, http.StatusBadRequest, "parameter k: want a positive count")
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter k: want a positive count")
 		return
 	}
 	if k > maxExamples {
@@ -575,7 +547,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request, snap *Snapsh
 	}
 	rendered, err := json.Marshal(resp)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "encoding response")
+		writeErr(w, http.StatusInternalServerError, CodeInternal, snap, "encoding response")
 		return
 	}
 	s.cache.Put(renderKey, rendered)
@@ -593,22 +565,22 @@ type overlapResponse struct {
 func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
 	pop, popName, err := popParam(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	ref, err := requireInt(r, "ref")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	before, err := intParam(r, "before", 7)
 	if err != nil || before < 0 || before > maxDayRange {
-		writeErr(w, http.StatusBadRequest, "parameter before: want a day count in [0,%d]", maxDayRange)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter before: want a day count in [0,%d]", maxDayRange)
 		return
 	}
 	after, err := intParam(r, "after", 7)
 	if err != nil || after < 0 || after > maxDayRange {
-		writeErr(w, http.StatusBadRequest, "parameter after: want a day count in [0,%d]", maxDayRange)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter after: want a day count in [0,%d]", maxDayRange)
 		return
 	}
 	key := fmt.Sprintf("overlap?pop=%s&ref=%d&before=%d&after=%d", popName, ref, before, after)
@@ -626,7 +598,7 @@ func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request, snap *Sna
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	if s.lab == nil {
-		writeErr(w, http.StatusNotFound, "experiments disabled: server started without a lab")
+		writeErr(w, http.StatusNotFound, CodeNotFound, nil, "experiments disabled: server started without a lab")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": experiments.DriverNames()})
@@ -642,12 +614,12 @@ type experimentResponse struct {
 // against the server's lab, caching the rendered result.
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if s.lab == nil {
-		writeErr(w, http.StatusNotFound, "experiments disabled: server started without a lab")
+		writeErr(w, http.StatusNotFound, CodeNotFound, nil, "experiments disabled: server started without a lab")
 		return
 	}
 	name := r.PathValue("name")
 	if _, ok := experiments.FindDriver(name); !ok {
-		writeErr(w, http.StatusNotFound, "unknown experiment %q (see /v1/experiments)", name)
+		writeErr(w, http.StatusNotFound, CodeNotFound, nil, "unknown experiment %q (see /v1/experiments)", name)
 		return
 	}
 	// The lab is static for the server's lifetime, so the key carries no
@@ -677,16 +649,16 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		// Header only: a token in the URL would leak into access logs.
 		bearer := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
 		if !tokenOK(bearer, s.adminToken) {
-			writeErr(w, http.StatusForbidden, "reload requires the admin token (Authorization: Bearer)")
+			writeErr(w, http.StatusForbidden, CodeUnauthorized, nil, "reload requires the admin token (Authorization: Bearer)")
 			return
 		}
 	} else if path != "" {
-		writeErr(w, http.StatusForbidden, "reload with an explicit path requires the server to be started with an admin token")
+		writeErr(w, http.StatusForbidden, CodeUnauthorized, nil, "reload with an explicit path requires the server to be started with an admin token")
 		return
 	}
 	snap, err := s.Reload(name, path)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, metaOf(snap))

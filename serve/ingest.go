@@ -44,14 +44,14 @@ type liveSession struct {
 // source reloads).
 func (s *Server) authWrite(w http.ResponseWriter, r *http.Request) bool {
 	if s.readOnly {
-		writeErr(w, http.StatusForbidden, "server is read-only: write endpoints are disabled")
+		writeErr(w, http.StatusForbidden, CodeUnauthorized, nil, "server is read-only: write endpoints are disabled")
 		return false
 	}
 	if s.adminToken != "" {
 		// Header only: a token in the URL would leak into access logs.
 		bearer := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
 		if !tokenOK(bearer, s.adminToken) {
-			writeErr(w, http.StatusForbidden, "write endpoints require the admin token (Authorization: Bearer)")
+			writeErr(w, http.StatusForbidden, CodeUnauthorized, nil, "write endpoints require the admin token (Authorization: Bearer)")
 			return false
 		}
 	}
@@ -97,17 +97,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("snap")
 	snap := s.Snapshot(name)
 	if snap == nil {
-		writeErr(w, http.StatusNotFound, "no snapshot %q installed", name)
+		writeErr(w, http.StatusNotFound, CodeUnknownSnapshot, nil, "no snapshot %q installed", name)
 		return
 	}
 	logs, err := v6class.ParseLogs(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "parsing day logs: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parsing day logs: %v", err)
 		return
 	}
 	ls, err := s.liveFor(snap)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
 		return
 	}
 	ls.mu.Lock()
@@ -116,7 +116,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Days before the offending one are already absorbed; the session
 		// stays usable (re-ingesting a day is idempotent at the census
 		// level: observations are sets, not counters).
-		writeErr(w, http.StatusBadRequest, "ingesting: %v", err)
+		status, code := codeOfEngineErr(err)
+		writeErr(w, status, code, snap, "ingesting: %v", err)
 		return
 	}
 	recs := 0
@@ -171,7 +172,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
 	defer s.liveMu.Unlock()
 	ls := s.lives[name]
 	if ls == nil {
-		writeErr(w, http.StatusNotFound, "no live ingest session for snapshot %q", name)
+		writeErr(w, http.StatusNotFound, CodeNotFound, nil, "no live ingest session for snapshot %q", name)
 		return
 	}
 	if q.Get("discard") == "true" {
@@ -180,7 +181,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cur := s.Snapshot(ls.name); cur != ls.base && q.Get("force") != "true" {
-		writeErr(w, http.StatusConflict,
+		writeErr(w, http.StatusConflict, CodeConflict, ls.base,
 			"snapshot %q was replaced (epoch %d) after this ingest session opened on epoch %d; freeze with force=true to install over it, or discard=true to drop the session",
 			ls.name, cur.Epoch, ls.base.Epoch)
 		return
@@ -188,7 +189,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	if err := ls.eng.Freeze(); err != nil {
-		writeErr(w, http.StatusInternalServerError, "freezing successor: %v", err)
+		writeErr(w, http.StatusInternalServerError, CodeInternal, ls.base, "freezing successor: %v", err)
 		return
 	}
 	// Seed the new generation's spatial memo from the base generation's:

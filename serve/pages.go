@@ -1,0 +1,878 @@
+package serve
+
+import (
+	"fmt"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"v6class"
+)
+
+// The wire-grade enumeration surface: cursor-paged endpoints over the
+// engine's ordered, resumable iterators, plus the analysis endpoints the
+// cluster tier proxies (lifetime statistics, return probability, epoch
+// stability, longest-stable-prefixes, MRA and aguri profiles, and the raw
+// snapshot stream).
+//
+// Pagination contract. A page request names a canonical query (the
+// parameters that define the enumeration) and carries at most one resume
+// position: cursor= (an opaque token minted by the previous page) or
+// after= (a bare key, the stateless resume primitive). The response ends
+// with a cursor exactly when the enumeration may have more elements; a
+// missing cursor means the stream is exhausted. Cursors pin the snapshot
+// generation they were minted on — a reload between pages answers
+// cursor_expired (HTTP 410) instead of silently splicing two different
+// censuses into one enumeration — and they are bound to their canonical
+// query, so a cursor cannot be replayed against different parameters.
+
+// Page-size defaults and caps for the key-ordered enumerations.
+const (
+	defaultPageLimit = 1000
+	maxPageLimit     = 10000
+)
+
+// pageStart resolves where a paged enumeration resumes: the validated
+// cursor= position, the bare after= key, or "" for the first page. ok
+// false means the error response has been written.
+func pageStart(w http.ResponseWriter, q url.Values, snap *Snapshot, query string) (pos string, ok bool) {
+	tok := q.Get("cursor")
+	if tok == "" {
+		return q.Get("after"), true
+	}
+	c, err := DecodeCursor(tok)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return "", false
+	}
+	if c.Snapshot != snap.Name || c.Query != query {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap,
+			"cursor belongs to a different enumeration (cursor %q@%s, request %q@%s)",
+			c.Query, c.Snapshot, query, snap.Name)
+		return "", false
+	}
+	if c.Epoch != snap.Epoch {
+		writeErr(w, http.StatusGone, CodeCursorExpired, snap,
+			"cursor was minted on generation %d of snapshot %q but generation %d is now serving; restart the enumeration",
+			c.Epoch, c.Snapshot, snap.Epoch)
+		return "", false
+	}
+	return c.Pos, true
+}
+
+// nextCursor mints the token resuming query strictly after pos on snap's
+// generation.
+func nextCursor(snap *Snapshot, query, pos string) string {
+	return Cursor{Snapshot: snap.Name, Epoch: snap.Epoch, Query: query, Pos: pos}.Encode()
+}
+
+// parsePopKey parses a resume key of the population: a /128 prefix or bare
+// address for Addresses, a /64 prefix for Prefixes64.
+func parsePopKey(s string, pop v6class.Population) (v6class.Prefix, error) {
+	want := 128
+	if pop == v6class.Prefixes64 {
+		want = 64
+	}
+	p, err := v6class.ParsePrefix(s)
+	if err != nil {
+		a, aerr := v6class.ParseAddr(s)
+		if aerr != nil || pop != v6class.Addresses {
+			return v6class.Prefix{}, fmt.Errorf("resume key %q: %v", s, err)
+		}
+		p = v6class.PrefixFrom(a, 128)
+	}
+	if p.Bits() != want {
+		return v6class.Prefix{}, fmt.Errorf("resume key %q: want a /%d key for this population, got /%d", s, want, p.Bits())
+	}
+	return p, nil
+}
+
+type keysPage struct {
+	Snapshot string   `json:"snapshot"`
+	Epoch    uint64   `json:"epoch"`
+	Pop      string   `json:"pop"`
+	Days     []int    `json:"days,omitempty"`
+	Count    int      `json:"count"`
+	Keys     []string `json:"keys"`
+	Cursor   string   `json:"cursor,omitempty"`
+}
+
+// handleKeys pages the ordered key enumeration: every key of the
+// population ever observed (no day selection), or the union of keys active
+// on any selected day. Keys ascend in the canonical total order —
+// addresses numerically, /64s by base address — identically on every
+// engine implementation, which is what makes the cursor portable across a
+// coordinator's backends.
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	days, err := DecodeDaysOptional(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	limit, err := DecodeLimit(q, defaultPageLimit, maxPageLimit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	query := fmt.Sprintf("keys?pop=%s&days=%s", popName, daysKey(days))
+	pos, ok := pageStart(w, q, snap, query)
+	if !ok {
+		return
+	}
+	var seq iter.Seq[v6class.Prefix]
+	if pos == "" {
+		seq, err = snap.Engine.KeysOrdered(pop, days...)
+	} else {
+		var after v6class.Prefix
+		if after, err = parsePopKey(pos, pop); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+			return
+		}
+		seq, err = snap.Engine.KeysOrderedAfter(pop, after, days...)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	resp := keysPage{Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName, Days: days, Keys: []string{}}
+	more := collectPage(seq, limit, func(p v6class.Prefix) { resp.Keys = append(resp.Keys, p.String()) })
+	resp.Count = len(resp.Keys)
+	if more {
+		resp.Cursor = nextCursor(snap, query, resp.Keys[len(resp.Keys)-1])
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// collectPage drains up to limit elements into emit and reports whether
+// the sequence has at least one more (by peeking limit+1 before breaking),
+// so an exactly-full final page carries no cursor.
+func collectPage[T any](seq iter.Seq[T], limit int, emit func(T)) (more bool) {
+	n := 0
+	for v := range seq {
+		if n == limit {
+			return true
+		}
+		emit(v)
+		n++
+	}
+	return false
+}
+
+type lifetimeRow struct {
+	Prefix     string `json:"prefix"`
+	First      int    `json:"first"`
+	Last       int    `json:"last"`
+	ActiveDays int    `json:"activeDays"`
+	Runs       int    `json:"runs"`
+}
+
+type lifetimesPage struct {
+	Snapshot string        `json:"snapshot"`
+	Epoch    uint64        `json:"epoch"`
+	Pop      string        `json:"pop"`
+	Count    int           `json:"count"`
+	Rows     []lifetimeRow `json:"rows"`
+	Cursor   string        `json:"cursor,omitempty"`
+}
+
+// handleLifetimes pages every key of the population with its activity
+// profile, in the canonical key order.
+func (s *Server) handleLifetimes(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	limit, err := DecodeLimit(q, defaultPageLimit, maxPageLimit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	query := "lifetimes?pop=" + popName
+	pos, ok := pageStart(w, q, snap, query)
+	if !ok {
+		return
+	}
+	var seq iter.Seq2[v6class.Prefix, v6class.Activity]
+	if pos == "" {
+		seq, err = snap.Engine.LifetimesOrdered(pop)
+	} else {
+		var after v6class.Prefix
+		if after, err = parsePopKey(pos, pop); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+			return
+		}
+		seq, err = snap.Engine.LifetimesOrderedAfter(pop, after)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	resp := lifetimesPage{Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName, Rows: []lifetimeRow{}}
+	n := 0
+	more := false
+	for p, act := range seq {
+		if n == limit {
+			more = true
+			break
+		}
+		resp.Rows = append(resp.Rows, lifetimeRow{
+			Prefix:     p.String(),
+			First:      int(act.First),
+			Last:       int(act.Last),
+			ActiveDays: act.ActiveDays,
+			Runs:       act.Runs,
+		})
+		n++
+	}
+	resp.Count = len(resp.Rows)
+	if more {
+		resp.Cursor = nextCursor(snap, query, resp.Rows[len(resp.Rows)-1].Prefix)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type stablePage struct {
+	Snapshot string   `json:"snapshot"`
+	Epoch    uint64   `json:"epoch"`
+	Ref      int      `json:"ref"`
+	N        int      `json:"n"`
+	Count    int      `json:"count"`
+	Addrs    []string `json:"addrs"`
+	Cursor   string   `json:"cursor,omitempty"`
+}
+
+// handleStable pages the nd-stable addresses for a reference day in
+// ascending address order, under the engine's default classification
+// options (probe-target selection at wire scale).
+func (s *Server) handleStable(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	ref, err := RequireInt(q, "ref")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	n, err := DecodeInt(q, "n", 3)
+	if err != nil || n <= 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter n: want a positive day count")
+		return
+	}
+	limit, err := DecodeLimit(q, defaultPageLimit, maxPageLimit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	query := fmt.Sprintf("stable?ref=%d&n=%d", ref, n)
+	pos, ok := pageStart(w, q, snap, query)
+	if !ok {
+		return
+	}
+	var seq iter.Seq[v6class.Addr]
+	if pos == "" {
+		seq, err = snap.Engine.StableAddrsOrdered(ref, n)
+	} else {
+		after, aerr := v6class.ParseAddr(pos)
+		if aerr != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "resume key %q: %v", pos, aerr)
+			return
+		}
+		seq, err = snap.Engine.StableAddrsOrderedAfter(ref, n, after)
+	}
+	if err != nil {
+		status, code := codeOfEngineErr(err)
+		writeErr(w, status, code, snap, "%v", err)
+		return
+	}
+	resp := stablePage{Snapshot: snap.Name, Epoch: snap.Epoch, Ref: ref, N: n, Addrs: []string{}}
+	more := collectPage(seq, limit, func(a v6class.Addr) { resp.Addrs = append(resp.Addrs, a.String()) })
+	resp.Count = len(resp.Addrs)
+	if more {
+		resp.Cursor = nextCursor(snap, query, resp.Addrs[len(resp.Addrs)-1])
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cachedOrCompute is the manual caching flow for analysis endpoints whose
+// engine call can fail (day-range validation): the engine answers first,
+// failures map through codeOfEngineErr, and only successful bodies are
+// cached.
+func (s *Server) cachedOrCompute(w http.ResponseWriter, snap *Snapshot, key string, compute func() (any, error)) {
+	full := snapKey(snap, key)
+	if body, ok := s.cache.Get(full); ok {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	v, err := compute()
+	if err != nil {
+		status, code := codeOfEngineErr(err)
+		writeErr(w, status, code, snap, "%v", err)
+		return
+	}
+	s.cached(w, snap, key, func() any { return v })
+}
+
+type lifetimeStatsResponse struct {
+	Snapshot            string `json:"snapshot"`
+	Epoch               uint64 `json:"epoch"`
+	Pop                 string `json:"pop"`
+	From                int    `json:"from"`
+	To                  int    `json:"to"`
+	Keys                int    `json:"keys"`
+	SingleDay           int    `json:"singleDay"`
+	SpanHistogram       []int  `json:"spanHistogram"`
+	ActiveDaysHistogram []int  `json:"activeDaysHistogram"`
+}
+
+// handleLifetimeStats serves the aggregate lifetime statistics of a day
+// range — the scalar complement of the paged /v1/lifetimes rows, and the
+// form a coordinator can merge across backends (histograms are additive).
+func (s *Server) handleLifetimeStats(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	from, err := RequireInt(q, "from")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	to, err := RequireInt(q, "to")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	key := fmt.Sprintf("lifetimestats?pop=%s&from=%d&to=%d", popName, from, to)
+	s.cachedOrCompute(w, snap, key, func() (any, error) {
+		st, err := snap.Engine.LifetimeStats(pop, from, to)
+		if err != nil {
+			return nil, err
+		}
+		return lifetimeStatsResponse{
+			Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName, From: from, To: to,
+			Keys: st.Keys, SingleDay: st.SingleDay,
+			SpanHistogram: st.SpanHistogram, ActiveDaysHistogram: st.ActiveDaysHistogram,
+		}, nil
+	})
+}
+
+type activeResponse struct {
+	Snapshot string `json:"snapshot"`
+	Epoch    uint64 `json:"epoch"`
+	Pop      string `json:"pop"`
+	Days     []int  `json:"days"`
+	Count    int    `json:"count"`
+}
+
+// handleActive counts the distinct keys active on a day (day=N) or on at
+// least one day of a range (from=&to=).
+func (s *Server) handleActive(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	days, err := DecodeDays(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	key := fmt.Sprintf("active?pop=%s&days=%s", popName, daysKey(days))
+	s.cachedOrCompute(w, snap, key, func() (any, error) {
+		var count int
+		var err error
+		if len(days) == 1 {
+			count, err = snap.Engine.ActiveCount(pop, days[0])
+		} else if days[len(days)-1]-days[0]+1 == len(days) {
+			// A contiguous normalized selection is exactly ActiveInRange.
+			count, err = snap.Engine.ActiveInRange(pop, days[0], days[len(days)-1])
+		} else {
+			// A sparse selection falls back to the ordered union sweep.
+			seq, serr := snap.Engine.KeysOrdered(pop, days...)
+			if serr != nil {
+				return nil, serr
+			}
+			for range seq {
+				count++
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return activeResponse{Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName, Days: days, Count: count}, nil
+	})
+}
+
+type epochResponse struct {
+	Snapshot string `json:"snapshot"`
+	Epoch    uint64 `json:"epoch"`
+	Pop      string `json:"pop"`
+	AFrom    int    `json:"afrom"`
+	ATo      int    `json:"ato"`
+	BFrom    int    `json:"bfrom"`
+	BTo      int    `json:"bto"`
+	Count    int    `json:"count"`
+}
+
+// handleEpochStable counts keys active in both of two inclusive day ranges
+// (the paper's 6m-/1y-stable classes).
+func (s *Server) handleEpochStable(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	var bounds [4]int
+	for i, name := range []string{"afrom", "ato", "bfrom", "bto"} {
+		if bounds[i], err = RequireInt(q, name); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+			return
+		}
+	}
+	key := fmt.Sprintf("epoch?pop=%s&afrom=%d&ato=%d&bfrom=%d&bto=%d", popName, bounds[0], bounds[1], bounds[2], bounds[3])
+	s.cachedOrCompute(w, snap, key, func() (any, error) {
+		count, err := snap.Engine.EpochStable(pop, bounds[0], bounds[1], bounds[2], bounds[3])
+		if err != nil {
+			return nil, err
+		}
+		return epochResponse{
+			Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName,
+			AFrom: bounds[0], ATo: bounds[1], BFrom: bounds[2], BTo: bounds[3], Count: count,
+		}, nil
+	})
+}
+
+type returnProbResponse struct {
+	Snapshot      string    `json:"snapshot"`
+	Epoch         uint64    `json:"epoch"`
+	Pop           string    `json:"pop"`
+	From          int       `json:"from"`
+	To            int       `json:"to"`
+	MaxGap        int       `json:"maxGap"`
+	Probabilities []float64 `json:"probabilities"`
+	Num           []int     `json:"num"`
+	Den           []int     `json:"den"`
+}
+
+// handleReturnProb serves the return-probability curve with its raw
+// per-gap tallies. The probabilities are a backend-local ratio; the num
+// and den counts are additive across key partitions, which is what a
+// coordinator sums before dividing once.
+func (s *Server) handleReturnProb(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	from, err := RequireInt(q, "from")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	to, err := RequireInt(q, "to")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	maxGap, err := DecodeInt(q, "maxgap", 7)
+	if err != nil || maxGap <= 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter maxgap: want a positive day count")
+		return
+	}
+	key := fmt.Sprintf("returnprob?pop=%s&from=%d&to=%d&maxgap=%d", popName, from, to, maxGap)
+	s.cachedOrCompute(w, snap, key, func() (any, error) {
+		probs, err := snap.Engine.ReturnProbability(pop, from, to, maxGap)
+		if err != nil {
+			return nil, err
+		}
+		num, den, err := snap.Engine.ReturnCounts(pop, from, to, maxGap)
+		if err != nil {
+			return nil, err
+		}
+		return returnProbResponse{
+			Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName,
+			From: from, To: to, MaxGap: maxGap,
+			Probabilities: probs, Num: num, Den: den,
+		}, nil
+	})
+}
+
+type lspRow struct {
+	Prefix  string `json:"prefix"`
+	Support uint64 `json:"support"`
+}
+
+type lspResponse struct {
+	Snapshot   string   `json:"snapshot"`
+	Epoch      uint64   `json:"epoch"`
+	AFrom      int      `json:"afrom"`
+	ATo        int      `json:"ato"`
+	BFrom      int      `json:"bfrom"`
+	BTo        int      `json:"bto"`
+	MinBits    int      `json:"minBits"`
+	MinSupport uint64   `json:"minSupport"`
+	Rows       []lspRow `json:"rows"`
+}
+
+// handleLSP serves the Section 7.2 longest-stable-prefix discovery across
+// two periods.
+func (s *Server) handleLSP(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	var bounds [4]int
+	var err error
+	for i, name := range []string{"afrom", "ato", "bfrom", "bto"} {
+		if bounds[i], err = RequireInt(q, name); err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+			return
+		}
+	}
+	minBits, err := DecodeInt(q, "minbits", 32)
+	if err != nil || minBits < 0 || minBits > 128 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter minbits: want a prefix length in [0,128]")
+		return
+	}
+	minSupport, err := DecodeInt(q, "minsupport", 2)
+	if err != nil || minSupport < 1 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter minsupport: want a positive count")
+		return
+	}
+	key := fmt.Sprintf("lsp?afrom=%d&ato=%d&bfrom=%d&bto=%d&minbits=%d&minsupport=%d",
+		bounds[0], bounds[1], bounds[2], bounds[3], minBits, minSupport)
+	s.cachedOrCompute(w, snap, key, func() (any, error) {
+		lsps, err := snap.Engine.LongestStablePrefixes(bounds[0], bounds[1], bounds[2], bounds[3], minBits, uint64(minSupport))
+		if err != nil {
+			return nil, err
+		}
+		resp := lspResponse{
+			Snapshot: snap.Name, Epoch: snap.Epoch,
+			AFrom: bounds[0], ATo: bounds[1], BFrom: bounds[2], BTo: bounds[3],
+			MinBits: minBits, MinSupport: uint64(minSupport), Rows: []lspRow{},
+		}
+		for _, p := range lsps {
+			resp.Rows = append(resp.Rows, lspRow{Prefix: p.Prefix.String(), Support: p.Support})
+		}
+		return resp, nil
+	})
+}
+
+type mraResponse struct {
+	Snapshot string   `json:"snapshot"`
+	Epoch    uint64   `json:"epoch"`
+	Pop      string   `json:"pop"`
+	Days     []int    `json:"days,omitempty"`
+	N        uint64   `json:"n"`
+	Counts   []uint64 `json:"counts"`
+}
+
+// handleMRA serves the multi-resolution aggregate counts n_p of the
+// selected days' population (all study days when no selection is given),
+// off the per-snapshot shared spatial memo — the same trie build dense and
+// top-k use. Ratio series derive client-side from the counts.
+func (s *Server) handleMRA(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	days, err := DecodeDaysOptional(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	key := fmt.Sprintf("mra?pop=%s&days=%s", popName, daysKey(days))
+	s.cached(w, snap, key, func() any {
+		m := snap.addressSet(pop, popName, days).MRA()
+		return mraResponse{
+			Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName, Days: days,
+			N: m.N, Counts: m.Counts[:],
+		}
+	})
+}
+
+type aguriRow struct {
+	Prefix string `json:"prefix"`
+	Count  uint64 `json:"count"`
+}
+
+type aguriResponse struct {
+	Snapshot string     `json:"snapshot"`
+	Epoch    uint64     `json:"epoch"`
+	Pop      string     `json:"pop"`
+	Days     []int      `json:"days,omitempty"`
+	Fraction float64    `json:"fraction"`
+	Total    uint64     `json:"total"`
+	Rows     []aguriRow `json:"rows"`
+}
+
+// handleAguri serves the aguri aggregation profile of the selected days'
+// population: the prefixes aggregating at least fraction of total
+// observations.
+func (s *Server) handleAguri(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	days, err := DecodeDaysOptional(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	fraction, err := DecodeFloat(q, "fraction", 0.05)
+	if err != nil || fraction <= 0 || fraction > 1 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter fraction: want a value in (0,1]")
+		return
+	}
+	key := fmt.Sprintf("aguri?pop=%s&days=%s&fraction=%s", popName, daysKey(days), strconv.FormatFloat(fraction, 'g', -1, 64))
+	s.cached(w, snap, key, func() any {
+		set := snap.addressSet(pop, popName, days)
+		resp := aguriResponse{
+			Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName, Days: days,
+			Fraction: fraction, Total: set.Total(), Rows: []aguriRow{},
+		}
+		for _, pc := range set.AguriProfile(fraction) {
+			resp.Rows = append(resp.Rows, aguriRow{Prefix: pc.Prefix.String(), Count: pc.Count})
+		}
+		return resp
+	})
+}
+
+// rankedStart resolves the offset of a ranked (offset-paged) enumeration:
+// the validated cursor= position or the bare offset= parameter — the
+// ranked analog of after=. ok false means the error response was written.
+func rankedStart(w http.ResponseWriter, q url.Values, snap *Snapshot, query string) (int, bool) {
+	if q.Get("cursor") != "" {
+		pos, ok := pageStart(w, q, snap, query)
+		if !ok {
+			return 0, false
+		}
+		off, err := strconv.Atoi(pos)
+		if err != nil || off < 0 {
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "cursor position %q: want a non-negative offset", pos)
+			return 0, false
+		}
+		return off, true
+	}
+	off, err := DecodeInt(q, "offset", 0)
+	if err != nil || off < 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter offset: want a non-negative count")
+		return 0, false
+	}
+	return off, true
+}
+
+// pageBounds clips [offset, offset+limit) to n elements and mints the
+// next-page cursor when elements remain.
+func pageBounds(snap *Snapshot, query string, offset, limit, n int) (lo, hi int, cursor string) {
+	lo = min(offset, n)
+	hi = min(offset+limit, n)
+	if hi < n {
+		cursor = nextCursor(snap, query, strconv.Itoa(hi))
+	}
+	return lo, hi, cursor
+}
+
+// isPaged reports whether a ranked endpoint request asked for the paged
+// response shape rather than the classic capped one.
+func isPaged(q url.Values) bool {
+	return q.Get("cursor") != "" || q.Get("offset") != "" || q.Get("page") == "true"
+}
+
+type topkPageResponse struct {
+	Snapshot string    `json:"snapshot"`
+	Epoch    uint64    `json:"epoch"`
+	Pop      string    `json:"pop"`
+	P        int       `json:"p"`
+	Days     []int     `json:"days"`
+	Occupied int       `json:"occupied"`
+	Offset   int       `json:"offset"`
+	Count    int       `json:"count"`
+	Rows     []topkRow `json:"rows"`
+	Cursor   string    `json:"cursor,omitempty"`
+}
+
+// handleTopKPage is the paged form of /v1/topk: the full /p aggregate
+// ranking (count descending, ties in prefix order — a deterministic total
+// order, so offset pages never skip or repeat rows) with an offset cursor.
+// The full ranking is memoized per snapshot; a page request slices it.
+func (s *Server) handleTopKPage(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	pop, popName, err := DecodePop(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	// Unlike the classic form, the paged form allows an empty day
+	// selection: the whole-study population, the shape the remote engine's
+	// TopAggregates needs.
+	days, err := DecodeDaysOptional(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	p, err := DecodeInt(q, "p", 48)
+	if err != nil || p < 0 || p > 128 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter p: want a prefix length in [0,128]")
+		return
+	}
+	limit, err := DecodeLimit(q, defaultPageLimit, maxPageLimit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	query := fmt.Sprintf("topk?pop=%s&p=%d&days=%s&page", popName, p, daysKey(days))
+	offset, ok := rankedStart(w, q, snap, query)
+	if !ok {
+		return
+	}
+	rows := snap.results.do(maxResultEntries, query, func() any {
+		set := snap.addressSet(pop, popName, days)
+		aggs := set.TopAggregates(p, 0)
+		out := make([]topkRow, len(aggs))
+		for i, agg := range aggs {
+			out[i] = topkRow{Prefix: agg.Prefix.String(), Count: agg.Count}
+		}
+		return out
+	}).([]topkRow)
+	lo, hi, cursor := pageBounds(snap, query, offset, limit, len(rows))
+	writeJSON(w, http.StatusOK, topkPageResponse{
+		Snapshot: snap.Name, Epoch: snap.Epoch, Pop: popName, P: p, Days: days,
+		Occupied: len(rows), Offset: lo, Count: hi - lo, Rows: rows[lo:hi:hi], Cursor: cursor,
+	})
+}
+
+// densePageAll is the memoized full dense sweep behind the paged form:
+// every qualifying prefix, not just the example cap.
+type densePageAll struct {
+	prefixes []string
+	covered  uint64
+	possible float64
+	density  float64
+}
+
+type densePageResponse struct {
+	Snapshot string   `json:"snapshot"`
+	Epoch    uint64   `json:"epoch"`
+	N        uint64   `json:"n"`
+	P        int      `json:"p"`
+	Least    bool     `json:"leastSpecific"`
+	Days     []int    `json:"days"`
+	Prefixes int      `json:"prefixes"`
+	Covered  uint64   `json:"coveredAddresses"`
+	Possible float64  `json:"possibleAddresses"`
+	Density  float64  `json:"density"`
+	Offset   int      `json:"offset"`
+	Count    int      `json:"count"`
+	Page     []string `json:"page"`
+	Cursor   string   `json:"cursor,omitempty"`
+}
+
+// handleDensePage is the paged form of /v1/dense: the complete list of
+// qualifying prefixes (the unpaged endpoint caps examples at maxExamples)
+// under an offset cursor. The sweep's prefix order is deterministic, so
+// pages tile the result exactly.
+func (s *Server) handleDensePage(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	q := r.URL.Query()
+	days, err := DecodeDays(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	n, err := DecodeInt(q, "n", 2)
+	if err != nil || n <= 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter n: want a positive count")
+		return
+	}
+	p, err := DecodeInt(q, "p", 112)
+	if err != nil || p < 0 || p > 128 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter p: want a prefix length in [0,128]")
+		return
+	}
+	limit, err := DecodeLimit(q, defaultPageLimit, maxPageLimit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	least := q.Get("least") == "true"
+	query := fmt.Sprintf("dense?n=%d&p=%d&least=%v&days=%s&page", n, p, least, daysKey(days))
+	offset, ok := rankedStart(w, q, snap, query)
+	if !ok {
+		return
+	}
+	all := snap.results.do(maxResultEntries, query, func() any {
+		set := snap.addressSet(v6class.Addresses, "addrs", days)
+		cls := v6class.DensityClass{N: uint64(n), P: p}
+		var res v6class.DensityResult
+		if least {
+			res = set.DenseLeastSpecific(cls)
+		} else {
+			res = set.DenseFixed(cls)
+		}
+		out := densePageAll{
+			prefixes: make([]string, len(res.Prefixes)),
+			covered:  res.CoveredAddresses,
+			possible: res.PossibleAddresses,
+			density:  res.Density(),
+		}
+		for i, pc := range res.Prefixes {
+			out.prefixes[i] = pc.Prefix.String()
+		}
+		return out
+	}).(densePageAll)
+	lo, hi, cursor := pageBounds(snap, query, offset, limit, len(all.prefixes))
+	writeJSON(w, http.StatusOK, densePageResponse{
+		Snapshot: snap.Name, Epoch: snap.Epoch,
+		N: uint64(n), P: p, Least: least, Days: days,
+		Prefixes: len(all.prefixes), Covered: all.covered, Possible: all.possible, Density: all.density,
+		Offset: lo, Count: hi - lo, Page: all.prefixes[lo:hi:hi], Cursor: cursor,
+	})
+}
+
+// deferredWriter delays the 200 status until the first payload byte, so a
+// snapshot stream that fails before writing anything can still answer with
+// a proper error envelope.
+type deferredWriter struct {
+	w     http.ResponseWriter
+	wrote bool
+}
+
+func (d *deferredWriter) Write(p []byte) (int, error) {
+	if !d.wrote {
+		d.wrote = true
+		d.w.Header().Set("Content-Type", "application/octet-stream")
+		d.w.WriteHeader(http.StatusOK)
+	}
+	return d.w.Write(p)
+}
+
+// handleSnapshotDump streams the engine's serialized census (the format
+// Open and LoadFile read) — how an operator captures a backend's state, or
+// seeds a new backend from a serving one. Cluster coordinators refuse
+// serialization (their census is partitioned across backends), which
+// surfaces as a bad_param envelope here.
+func (s *Server) handleSnapshotDump(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	d := &deferredWriter{w: w}
+	if _, err := snap.Engine.WriteTo(d); err != nil {
+		if !d.wrote {
+			status, code := codeOfEngineErr(err)
+			writeErr(w, status, code, snap, "serializing snapshot: %v", err)
+		}
+		// Mid-stream failure: the status is already on the wire; the
+		// truncated body is the client's signal.
+		return
+	}
+}

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"v6class"
+)
+
+// The wire parameter vocabulary: one encoder/decoder pair per query-string
+// field, shared verbatim by the request handlers and the remote engine
+// client (package remote), so the wire format is defined exactly once and
+// can be round-trip tested. Handlers decode from r.URL.Query(); the client
+// encodes into the url.Values it requests with. Every decoder treats an
+// absent field as its documented default and reports malformed values as
+// plain errors, which handlers answer with the bad_param envelope code.
+
+// DecodeInt parses an optional integer field, returning def when absent.
+func DecodeInt(q url.Values, name string, def int) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return n, nil
+}
+
+// DecodeFloat parses an optional float field, returning def when absent.
+func DecodeFloat(q url.Values, name string, def float64) (float64, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return f, nil
+}
+
+// RequireInt parses a mandatory integer field.
+func RequireInt(q url.Values, name string) (int, error) {
+	if q.Get(name) == "" {
+		return 0, fmt.Errorf("missing required parameter %s", name)
+	}
+	return DecodeInt(q, name, 0)
+}
+
+// PopName returns the canonical wire name of a population: "addrs" or
+// "64s". These names appear in cursors, cache keys and response echoes.
+func PopName(pop v6class.Population) string {
+	if pop == v6class.Prefixes64 {
+		return "64s"
+	}
+	return "addrs"
+}
+
+// EncodePop sets the pop field to a population's canonical name.
+func EncodePop(v url.Values, pop v6class.Population) {
+	v.Set("pop", PopName(pop))
+}
+
+// DecodePop parses the population selector: addresses by default, /64
+// prefixes for pop=64s. The returned name is the canonical spelling.
+func DecodePop(q url.Values) (v6class.Population, string, error) {
+	switch v := q.Get("pop"); v {
+	case "", "addrs", "addresses":
+		return v6class.Addresses, "addrs", nil
+	case "64s", "p64", "prefixes64":
+		return v6class.Prefixes64, "64s", nil
+	default:
+		return 0, "", fmt.Errorf("parameter pop: unknown population %q (want addrs or 64s)", v)
+	}
+}
+
+// EncodeDays sets the canonical day selection (days=N,M,... normalized) —
+// the spelling every decoder normalizes to, so client-encoded requests hit
+// the same cache keys as any equivalent hand-written spelling.
+func EncodeDays(v url.Values, days []int) {
+	if len(days) == 0 {
+		return
+	}
+	v.Set("days", daysKey(days))
+}
+
+// DecodeDays parses a required day selection: day=N, an explicit comma
+// list days=N,M,..., or an inclusive from=N&to=N range. The selection
+// comes back normalized (sorted, deduplicated), the canonical form used
+// for cache keys and response echoes alike.
+func DecodeDays(q url.Values) ([]int, error) {
+	days, err := DecodeDaysOptional(q)
+	if err != nil {
+		return nil, err
+	}
+	if days == nil {
+		return nil, fmt.Errorf("missing day selection: give day=N, days=N,M,... or from=N&to=N")
+	}
+	return days, nil
+}
+
+// DecodeDaysOptional is DecodeDays for endpoints where the day selection
+// may be omitted entirely (e.g. /v1/keys, where no selection means every
+// key ever observed): it returns nil, nil when no day field is present.
+func DecodeDaysOptional(q url.Values) ([]int, error) {
+	if q.Get("day") != "" {
+		d, err := RequireInt(q, "day")
+		if err != nil {
+			return nil, err
+		}
+		return []int{d}, nil
+	}
+	if list := q.Get("days"); list != "" {
+		parts := strings.Split(list, ",")
+		if len(parts) > maxDayRange {
+			return nil, fmt.Errorf("parameter days: at most %d days", maxDayRange)
+		}
+		days := make([]int, 0, len(parts))
+		for _, p := range parts {
+			d, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("parameter days: bad day %q", p)
+			}
+			days = append(days, d)
+		}
+		return normalizeDays(days), nil
+	}
+	if q.Get("from") == "" && q.Get("to") == "" {
+		return nil, nil
+	}
+	if q.Get("from") == "" || q.Get("to") == "" {
+		return nil, fmt.Errorf("day ranges need both from= and to=")
+	}
+	from, err := RequireInt(q, "from")
+	if err != nil {
+		return nil, err
+	}
+	to, err := RequireInt(q, "to")
+	if err != nil {
+		return nil, err
+	}
+	if to < from || to-from+1 > maxDayRange {
+		return nil, fmt.Errorf("bad day range [%d,%d] (want from <= to, at most %d days)", from, to, maxDayRange)
+	}
+	days := make([]int, 0, to-from+1)
+	for d := from; d <= to; d++ {
+		days = append(days, d)
+	}
+	return days, nil
+}
+
+// EncodeWindow sets the stability-option fields: window=N for a symmetric
+// (-Nd,+Nd) window (omitted when the paper default ±7d), wbefore=/wafter=
+// for an asymmetric one, slew=N and anypair=true when set. The encoding is
+// what DecodeWindow parses, so a remote StabilityWith call reproduces the
+// server-side options exactly.
+func EncodeWindow(v url.Values, opts v6class.StabilityOptions) {
+	w := opts.Window
+	if w == (v6class.StabilityWindow{}) {
+		w = v6class.StabilityWindow{Before: 7, After: 7}
+	}
+	if w.Before == w.After {
+		v.Set("window", strconv.Itoa(w.Before))
+	} else {
+		v.Set("wbefore", strconv.Itoa(w.Before))
+		v.Set("wafter", strconv.Itoa(w.After))
+	}
+	if opts.SlewDays != 0 {
+		v.Set("slew", strconv.Itoa(opts.SlewDays))
+	}
+	if opts.AnyPair {
+		v.Set("anypair", "true")
+	}
+}
+
+// DecodeWindow parses the stability options: window=N (the paper-style
+// symmetric window, default 7), optionally overridden by an asymmetric
+// wbefore=/wafter= pair, plus slew=N and anypair=true. The int result is
+// the symmetric window for response echoes (0 when asymmetric).
+func DecodeWindow(q url.Values) (v6class.StabilityOptions, int, error) {
+	window, err := DecodeInt(q, "window", 7)
+	if err != nil || window <= 0 {
+		return v6class.StabilityOptions{}, 0, fmt.Errorf("parameter window: want a positive day count")
+	}
+	opts := v6class.StabilityOptions{Window: v6class.StabilityWindow{Before: window, After: window}}
+	if q.Get("wbefore") != "" || q.Get("wafter") != "" {
+		before, err := RequireInt(q, "wbefore")
+		if err != nil {
+			return opts, 0, err
+		}
+		after, err := RequireInt(q, "wafter")
+		if err != nil {
+			return opts, 0, err
+		}
+		if before < 0 || after < 0 {
+			return opts, 0, fmt.Errorf("parameters wbefore/wafter: want non-negative day counts")
+		}
+		opts.Window = v6class.StabilityWindow{Before: before, After: after}
+		window = 0
+		if before == after {
+			window = before
+		}
+	}
+	slew, err := DecodeInt(q, "slew", 0)
+	if err != nil || slew < 0 {
+		return opts, 0, fmt.Errorf("parameter slew: want a non-negative day count")
+	}
+	opts.SlewDays = slew
+	opts.AnyPair = q.Get("anypair") == "true"
+	return opts, window, nil
+}
+
+// windowKey canonicalizes stability options for cache keys: the sorted
+// url encoding of EncodeWindow's fields.
+func windowKey(opts v6class.StabilityOptions) string {
+	v := url.Values{}
+	EncodeWindow(v, opts)
+	return v.Encode()
+}
+
+// DecodeLimit parses the page-size field of the paged enumerations,
+// clamped to [1, max]; absent means def.
+func DecodeLimit(q url.Values, def, max int) (int, error) {
+	limit, err := DecodeInt(q, "limit", def)
+	if err != nil || limit <= 0 {
+		return 0, fmt.Errorf("parameter limit: want a positive count")
+	}
+	if limit > max {
+		limit = max
+	}
+	return limit, nil
+}
+
+// Cursor is the resumable position of a paged enumeration. A cursor pins
+// the exact snapshot generation it was minted on: Snapshot and Epoch name
+// the generation, Query the canonical query it belongs to (so a cursor
+// cannot be replayed against different parameters), and Pos the
+// endpoint-defined position — the last key yielded for the key-ordered
+// enumerations, an integer offset for the ranked ones.
+//
+// Cursors are opaque to clients: base64url text whose layout may change
+// between server versions. A cursor outlives its generation when the
+// snapshot is reloaded mid-enumeration; the server then fails closed with
+// the cursor_expired envelope code (HTTP 410) rather than silently mixing
+// keys of two different censuses in one enumeration.
+type Cursor struct {
+	Snapshot string
+	Epoch    uint64
+	Query    string
+	Pos      string
+}
+
+// cursorVersion guards the cursor layout; a decoder refuses other
+// versions so layout changes surface as bad_param, not misparses.
+const cursorVersion = "v1"
+
+// Encode serializes the cursor to its opaque wire form.
+func (c Cursor) Encode() string {
+	fields := []string{
+		cursorVersion,
+		url.QueryEscape(c.Snapshot),
+		strconv.FormatUint(c.Epoch, 10),
+		url.QueryEscape(c.Query),
+		url.QueryEscape(c.Pos),
+	}
+	return base64.RawURLEncoding.EncodeToString([]byte(strings.Join(fields, "|")))
+}
+
+// DecodeCursor parses an opaque cursor. Errors mean a malformed or
+// foreign-version cursor (bad_param), never an expired one — expiry is a
+// comparison against the serving generation, made by the handler.
+func DecodeCursor(s string) (Cursor, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("parameter cursor: %v", err)
+	}
+	fields := strings.Split(string(raw), "|")
+	if len(fields) != 5 || fields[0] != cursorVersion {
+		return Cursor{}, fmt.Errorf("parameter cursor: malformed or unsupported cursor")
+	}
+	snap, err1 := url.QueryUnescape(fields[1])
+	epoch, err2 := strconv.ParseUint(fields[2], 10, 64)
+	query, err3 := url.QueryUnescape(fields[3])
+	pos, err4 := url.QueryUnescape(fields[4])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return Cursor{}, fmt.Errorf("parameter cursor: malformed cursor")
+	}
+	return Cursor{Snapshot: snap, Epoch: epoch, Query: query, Pos: pos}, nil
+}

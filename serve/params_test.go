@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+
+	"v6class"
+)
+
+// The round-trip contract of the shared parameter vocabulary: whatever the
+// client side (package remote) encodes, the handler side must decode back
+// to the identical value — the property that makes one vocabulary safe to
+// share between both halves of the wire.
+
+func TestPopRoundTrip(t *testing.T) {
+	for _, pop := range []v6class.Population{v6class.Addresses, v6class.Prefixes64} {
+		v := url.Values{}
+		EncodePop(v, pop)
+		got, name, err := DecodePop(v)
+		if err != nil {
+			t.Fatalf("DecodePop(%v): %v", v, err)
+		}
+		if got != pop || name != PopName(pop) {
+			t.Errorf("pop %v round-tripped to %v (%q)", pop, got, name)
+		}
+	}
+	// Accepted aliases normalize to the canonical spelling.
+	aliases := map[string]string{
+		"": "addrs", "addrs": "addrs", "addresses": "addrs",
+		"64s": "64s", "p64": "64s", "prefixes64": "64s",
+	}
+	for alias, want := range aliases {
+		v := url.Values{}
+		if alias != "" {
+			v.Set("pop", alias)
+		}
+		if _, name, err := DecodePop(v); err != nil || name != want {
+			t.Errorf("alias %q: name %q err %v, want %q", alias, name, err, want)
+		}
+	}
+	v := url.Values{"pop": {"nope"}}
+	if _, _, err := DecodePop(v); err == nil {
+		t.Error("unknown population accepted")
+	}
+}
+
+func TestDaysRoundTrip(t *testing.T) {
+	cases := [][]int{
+		{4},
+		{1, 2, 3},
+		{9, 3, 21}, // encoder normalizes; decoder must agree
+	}
+	for _, days := range cases {
+		v := url.Values{}
+		EncodeDays(v, days)
+		got, err := DecodeDaysOptional(v)
+		if err != nil {
+			t.Fatalf("DecodeDaysOptional(%v): %v", v, err)
+		}
+		want := normalizeDays(append([]int(nil), days...))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("days %v round-tripped to %v, want %v", days, got, want)
+		}
+	}
+	// No selection encodes to no field and decodes to nil.
+	v := url.Values{}
+	EncodeDays(v, nil)
+	if len(v) != 0 {
+		t.Errorf("empty selection encoded fields: %v", v)
+	}
+	if got, err := DecodeDaysOptional(v); err != nil || got != nil {
+		t.Errorf("empty selection decoded to %v, %v", got, err)
+	}
+	// The required form refuses an absent selection...
+	if _, err := DecodeDays(v); err == nil {
+		t.Error("DecodeDays accepted an absent selection")
+	}
+	// ...and the range spelling decodes to the same normalized form.
+	v = url.Values{"from": {"3"}, "to": {"6"}}
+	if got, err := DecodeDays(v); err != nil || !reflect.DeepEqual(got, []int{3, 4, 5, 6}) {
+		t.Errorf("range decoded to %v, %v", got, err)
+	}
+	for _, bad := range []url.Values{
+		{"from": {"5"}, "to": {"2"}},
+		{"from": {"5"}},
+		{"days": {"1,x"}},
+	} {
+		if _, err := DecodeDays(bad); err == nil {
+			t.Errorf("bad selection %v accepted", bad)
+		}
+	}
+}
+
+func TestWindowRoundTrip(t *testing.T) {
+	cases := []v6class.StabilityOptions{
+		{},
+		{Window: v6class.StabilityWindow{Before: 7, After: 7}},
+		{Window: v6class.StabilityWindow{Before: 3, After: 3}},
+		{Window: v6class.StabilityWindow{Before: 3, After: 2}},
+		{Window: v6class.StabilityWindow{Before: 0, After: 5}},
+		{Window: v6class.StabilityWindow{Before: 4, After: 4}, SlewDays: 2},
+		{Window: v6class.StabilityWindow{Before: 2, After: 6}, SlewDays: 1, AnyPair: true},
+	}
+	for _, opts := range cases {
+		v := url.Values{}
+		EncodeWindow(v, opts)
+		got, echo, err := DecodeWindow(v)
+		if err != nil {
+			t.Fatalf("DecodeWindow(%v): %v", v, err)
+		}
+		// The zero window means the paper default; the decode comes back
+		// explicit.
+		want := opts
+		if want.Window == (v6class.StabilityWindow{}) {
+			want.Window = v6class.StabilityWindow{Before: 7, After: 7}
+		}
+		if got != want {
+			t.Errorf("opts %+v round-tripped to %+v", opts, got)
+		}
+		wantEcho := 0
+		if want.Window.Before == want.Window.After {
+			wantEcho = want.Window.Before
+		}
+		if echo != wantEcho {
+			t.Errorf("opts %+v: symmetric echo %d, want %d", opts, echo, wantEcho)
+		}
+	}
+	for _, bad := range []url.Values{
+		{"window": {"0"}},
+		{"window": {"x"}},
+		{"wbefore": {"3"}}, // asymmetric needs both halves
+		{"wbefore": {"-1"}, "wafter": {"2"}},
+		{"slew": {"-2"}},
+	} {
+		if _, _, err := DecodeWindow(bad); err == nil {
+			t.Errorf("bad window %v accepted", bad)
+		}
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	cases := []Cursor{
+		{Snapshot: "census", Epoch: 1, Query: "keys?pop=addrs&days=", Pos: "2001:db8::1/128"},
+		{Snapshot: "with|pipe", Epoch: 18446744073709551615, Query: "topk?pop=64s&p=48&days=0,1&page", Pos: "42"},
+		{Snapshot: "", Epoch: 0, Query: "", Pos: ""},
+		{Snapshot: "snap name", Epoch: 7, Query: "q&r=|x", Pos: "p|q"},
+	}
+	for _, c := range cases {
+		got, err := DecodeCursor(c.Encode())
+		if err != nil {
+			t.Fatalf("DecodeCursor(Encode(%+v)): %v", c, err)
+		}
+		if got != c {
+			t.Errorf("cursor %+v round-tripped to %+v", c, got)
+		}
+	}
+	for _, bad := range []string{
+		"not base64url!",
+		"djJ8eHx5fHp8dw", // v2|x|y|z|w: foreign version
+		"eA",             // x: too few fields
+	} {
+		if _, err := DecodeCursor(bad); err == nil {
+			t.Errorf("bad cursor %q accepted", bad)
+		}
+	}
+	// Cursors must survive a URL query-string round trip unchanged.
+	c := Cursor{Snapshot: "census", Epoch: 3, Query: "stable?ref=14&n=3", Pos: "2001:db8::5"}
+	v := url.Values{}
+	v.Set("cursor", c.Encode())
+	if !strings.Contains(v.Encode(), "cursor=") {
+		t.Fatal("cursor missing from encoded query")
+	}
+	parsed, err := url.ParseQuery(v.Encode())
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	got, err := DecodeCursor(parsed.Get("cursor"))
+	if err != nil || got != c {
+		t.Errorf("cursor through query string: %+v, %v", got, err)
+	}
+}
+
+func TestDecodeLimit(t *testing.T) {
+	if got, err := DecodeLimit(url.Values{}, 1000, 10000); err != nil || got != 1000 {
+		t.Errorf("default limit: %d, %v", got, err)
+	}
+	if got, err := DecodeLimit(url.Values{"limit": {"50"}}, 1000, 10000); err != nil || got != 50 {
+		t.Errorf("explicit limit: %d, %v", got, err)
+	}
+	if got, err := DecodeLimit(url.Values{"limit": {"99999"}}, 1000, 10000); err != nil || got != 10000 {
+		t.Errorf("clamped limit: %d, %v", got, err)
+	}
+	for _, bad := range []string{"0", "-3", "x"} {
+		if _, err := DecodeLimit(url.Values{"limit": {bad}}, 1000, 10000); err == nil {
+			t.Errorf("bad limit %q accepted", bad)
+		}
+	}
+}

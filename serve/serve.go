@@ -259,6 +259,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/dense", s.snapshotHandler(s.handleDense))
 	mux.HandleFunc("GET /v1/topk", s.snapshotHandler(s.handleTopK))
 	mux.HandleFunc("GET /v1/overlap", s.snapshotHandler(s.handleOverlap))
+	mux.HandleFunc("GET /v1/keys", s.snapshotHandler(s.handleKeys))
+	mux.HandleFunc("GET /v1/lifetimes", s.snapshotHandler(s.handleLifetimes))
+	mux.HandleFunc("GET /v1/lifetimes/stats", s.snapshotHandler(s.handleLifetimeStats))
+	mux.HandleFunc("GET /v1/stable", s.snapshotHandler(s.handleStable))
+	mux.HandleFunc("GET /v1/active", s.snapshotHandler(s.handleActive))
+	mux.HandleFunc("GET /v1/epoch", s.snapshotHandler(s.handleEpochStable))
+	mux.HandleFunc("GET /v1/returnprob", s.snapshotHandler(s.handleReturnProb))
+	mux.HandleFunc("GET /v1/lsp", s.snapshotHandler(s.handleLSP))
+	mux.HandleFunc("GET /v1/mra", s.snapshotHandler(s.handleMRA))
+	mux.HandleFunc("GET /v1/aguri", s.snapshotHandler(s.handleAguri))
+	mux.HandleFunc("GET /v1/snapshot", s.snapshotHandler(s.handleSnapshotDump))
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"v6class"
+)
+
+// The versioned error envelope. Every non-2xx response of the /v1 API is
+//
+//	{"error": {"code": "...", "message": "...", "snapshot": "...", "epoch": N}}
+//
+// where code is one of the stable machine codes below, message is
+// human-readable prose that may change freely, and snapshot/epoch name the
+// generation that answered (present whenever a snapshot was resolved, so a
+// client that hits cursor_expired can see which generation replaced its
+// cursor's). Clients dispatch on code, never on message text; the remote
+// engine maps codes back to the façade's typed sentinel errors so
+// errors.Is works identically against a local and a remote engine.
+const (
+	// CodeBadParam: a malformed or out-of-range request parameter
+	// (HTTP 400). Maps to v6class.ErrConfig.
+	CodeBadParam = "bad_param"
+	// CodeUnknownSnapshot: the requested snapshot name is not installed
+	// (HTTP 404). Maps to ErrUnknownSnapshot.
+	CodeUnknownSnapshot = "unknown_snapshot"
+	// CodeNotFound: some other named resource (an experiment, a live
+	// ingestion session) does not exist (HTTP 404).
+	CodeNotFound = "not_found"
+	// CodeDayRange: a day outside the snapshot's study period
+	// (HTTP 400). Maps to v6class.ErrDayRange.
+	CodeDayRange = "day_range"
+	// CodeNotFrozen: the engine cannot answer queries yet (HTTP 409).
+	// Maps to v6class.ErrNotFrozen.
+	CodeNotFrozen = "not_frozen"
+	// CodeFrozen: an ingestion request against a frozen engine
+	// (HTTP 409). Maps to v6class.ErrFrozen.
+	CodeFrozen = "frozen"
+	// CodeCursorExpired: the enumeration cursor was minted on a snapshot
+	// generation that has since been replaced (HTTP 410). The enumeration
+	// must be restarted from the beginning; resuming would mix keys of
+	// two different censuses. Maps to ErrCursorExpired.
+	CodeCursorExpired = "cursor_expired"
+	// CodeConflict: the request contradicts live ingestion state, e.g.
+	// freezing a session whose base snapshot was reloaded meanwhile
+	// (HTTP 409). Maps to ErrConflict.
+	CodeConflict = "conflict"
+	// CodeUnauthorized: a write endpoint refused the request (read-only
+	// server or missing/wrong admin token, HTTP 403). Maps to
+	// ErrUnauthorized.
+	CodeUnauthorized = "unauthorized"
+	// CodeInternal: an unexpected server-side failure (HTTP 5xx).
+	CodeInternal = "internal"
+)
+
+// Typed sentinels for the serve-level failure modes that have no façade
+// counterpart. WireError.Unwrap surfaces them, so clients test with
+// errors.Is exactly as they would for engine errors.
+var (
+	// ErrCursorExpired reports that a paged enumeration's generation was
+	// replaced mid-stream; restart the enumeration.
+	ErrCursorExpired = errors.New("serve: cursor expired (snapshot reloaded during enumeration)")
+	// ErrUnknownSnapshot reports a request against a snapshot name that
+	// is not installed.
+	ErrUnknownSnapshot = errors.New("serve: unknown snapshot")
+	// ErrConflict reports a write that contradicts live ingestion state.
+	ErrConflict = errors.New("serve: conflicting live state")
+	// ErrUnauthorized reports a refused write (read-only server or bad
+	// admin token).
+	ErrUnauthorized = errors.New("serve: unauthorized")
+)
+
+// WireError is the decoded form of one error envelope. The serve handlers
+// produce it and remote clients reconstruct it from response bodies, so a
+// coordinator relaying a backend failure preserves the code end to end.
+type WireError struct {
+	// Code is one of the Code* machine codes.
+	Code string `json:"code"`
+	// Message is human-readable detail; not a compatibility surface.
+	Message string `json:"message"`
+	// Snapshot and Epoch identify the generation that answered, when one
+	// was resolved.
+	Snapshot string `json:"snapshot,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+	// Status is the HTTP status the envelope traveled with; zero on the
+	// server side (the status is the response's, not the body's).
+	Status int `json:"-"`
+}
+
+func (e *WireError) Error() string {
+	return fmt.Sprintf("serve: %s (%s)", e.Message, e.Code)
+}
+
+// Unwrap maps the machine code to its typed sentinel, making errors.Is
+// against façade and serve sentinels work on both sides of the wire.
+func (e *WireError) Unwrap() error {
+	switch e.Code {
+	case CodeBadParam:
+		return v6class.ErrConfig
+	case CodeDayRange:
+		return v6class.ErrDayRange
+	case CodeNotFrozen:
+		return v6class.ErrNotFrozen
+	case CodeFrozen:
+		return v6class.ErrFrozen
+	case CodeCursorExpired:
+		return ErrCursorExpired
+	case CodeUnknownSnapshot:
+		return ErrUnknownSnapshot
+	case CodeConflict:
+		return ErrConflict
+	case CodeUnauthorized:
+		return ErrUnauthorized
+	}
+	return nil
+}
+
+type errEnvelope struct {
+	Error *WireError `json:"error"`
+}
+
+// DecodeError reconstructs the *WireError of a non-2xx response body. A
+// body that is not an envelope (a proxy error page, a truncated response)
+// decodes to a CodeInternal WireError carrying the status, so callers
+// always get the same shape.
+func DecodeError(status int, body []byte) *WireError {
+	var env errEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.Status = status
+		return env.Error
+	}
+	msg := string(body)
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	return &WireError{Code: CodeInternal, Message: fmt.Sprintf("HTTP %d: %s", status, msg), Status: status}
+}
+
+// writeErr answers with the error envelope. snap stamps the generation
+// into the envelope and may be nil when the failure precedes snapshot
+// resolution.
+func writeErr(w http.ResponseWriter, status int, code string, snap *Snapshot, format string, args ...any) {
+	we := &WireError{Code: code, Message: fmt.Sprintf(format, args...)}
+	if snap != nil {
+		we.Snapshot, we.Epoch = snap.Name, snap.Epoch
+	}
+	writeJSON(w, status, errEnvelope{Error: we})
+}
+
+// codeOfEngineErr maps a façade error from a write-path engine call to its
+// wire code; parameter-shaped failures default to bad_param.
+func codeOfEngineErr(err error) (int, string) {
+	switch {
+	case errors.Is(err, v6class.ErrDayRange):
+		return http.StatusBadRequest, CodeDayRange
+	case errors.Is(err, v6class.ErrFrozen):
+		return http.StatusConflict, CodeFrozen
+	case errors.Is(err, v6class.ErrNotFrozen):
+		return http.StatusConflict, CodeNotFrozen
+	}
+	return http.StatusBadRequest, CodeBadParam
+}

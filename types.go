@@ -1,6 +1,8 @@
 package v6class
 
 import (
+	"io"
+
 	"v6class/internal/addrclass"
 	"v6class/internal/cdnlog"
 	"v6class/internal/core"
@@ -61,6 +63,12 @@ const (
 	// Prefixes64 classifies the /64 prefixes extracted from them.
 	Prefixes64 = core.Prefixes64
 )
+
+// Day is a day index within the study period, as it appears inside result
+// structs (DailyStability.Ref, Activity.First/Last). The Engine API itself
+// takes plain ints; the alias exists so wire clients can reconstruct those
+// structs from JSON without importing internal packages.
+type Day = temporal.Day
 
 // StabilityOptions configures nd-stable classification; the zero value uses
 // the paper's (-7d,+7d) window.
@@ -126,6 +134,11 @@ func PrefixFrom(a Addr, bits int) Prefix { return ipaddr.PrefixFrom(a, bits) }
 // of the address bits and needs no Engine.
 func Classify(a Addr) Kind { return addrclass.Classify(a) }
 
+// ParseKind inverts Kind.String: it returns the Kind with that name, or
+// false for an unrecognized name. Wire clients (the remote engine) use it
+// to reconstruct typed kinds from the serve API's JSON summaries.
+func ParseKind(s string) (Kind, bool) { return addrclass.ParseKind(s) }
+
 // Summarize format-classifies a whole population into a KindSummary.
 func Summarize(addrs []Addr) KindSummary { return addrclass.Summarize(addrs) }
 
@@ -149,6 +162,19 @@ func ReadLogs(path string) ([]DayLog, error) { return cdnlog.ReadFile(path) }
 // parses; "-" writes standard output and files ending in ".gz" are
 // compressed transparently.
 func WriteLogs(path string, logs []DayLog) error { return cdnlog.WriteFile(path, logs) }
+
+// FormatLogs writes aggregated daily logs in the "#day N" text format to
+// any writer — the in-memory counterpart of WriteLogs and the inverse of
+// ParseLogs. The remote engine serializes ingestion batches with it before
+// POSTing them to a server's /v1/ingest.
+func FormatLogs(w io.Writer, logs []DayLog) error {
+	for _, l := range logs {
+		if err := cdnlog.WriteDay(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // UniqueAddrs returns the distinct addresses over all days of logs, in
 // first-appearance order.
