@@ -58,6 +58,15 @@
 // See package serve for the endpoint reference, and examples/queryclient
 // for a walkthrough.
 //
+// The server shuts down gracefully: SIGTERM or SIGINT stops accepting new
+// connections and drains in-flight requests for -drain-timeout (default
+// 10s) before force-closing the stragglers, logging a one-line summary.
+// -sweep-limit bounds concurrent expensive sweeps (excess requests are
+// shed with 429 + Retry-After; see package serve), and -partial-results
+// lets a -backend cluster coordinator answer degraded — from the live
+// majority, with a coverage annotation — instead of failing when a
+// minority of backends is down.
+//
 // For diagnosing serve-path regressions in production, -pprof-addr serves
 // the standard net/http/pprof profiles on a separate side listener (off by
 // default, and never exposed on the query listener):
@@ -67,14 +76,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"v6class"
 	"v6class/experiments"
@@ -98,6 +114,8 @@ type config struct {
 	demoScale  float64
 	demoSeed   uint64
 	cache      int
+	sweepLimit int
+	partial    bool
 	adminToken string
 	readOnly   bool
 }
@@ -115,7 +133,12 @@ func parseState(arg string) statePath {
 // buildServer assembles the query service: loaded snapshot files plus,
 // in demo mode, a generated census and the experiments lab.
 func buildServer(cfg config) (*serve.Server, error) {
-	opts := serve.Options{CacheEntries: cfg.cache, AdminToken: cfg.adminToken, ReadOnly: cfg.readOnly}
+	opts := serve.Options{
+		CacheEntries:     cfg.cache,
+		SweepConcurrency: cfg.sweepLimit,
+		AdminToken:       cfg.adminToken,
+		ReadOnly:         cfg.readOnly,
+	}
 	scale := cfg.demoScale
 	if scale <= 0 {
 		scale = 0.02
@@ -150,7 +173,11 @@ func buildServer(cfg config) (*serve.Server, error) {
 			}
 			engines[i] = eng
 		}
-		coord, err := remote.NewCoordinator(engines, nil)
+		var copts []remote.CoordinatorOption
+		if cfg.partial {
+			copts = append(copts, remote.WithPartialResults())
+		}
+		coord, err := remote.NewCoordinator(engines, nil, copts...)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +209,47 @@ func pprofHandler() http.Handler {
 	return mux
 }
 
+// countInflight wraps h so runServer can report, at shutdown, how many
+// requests the drain waited on.
+func countInflight(h http.Handler, n *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		defer n.Add(-1)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// runServer serves h on ln until ctx is cancelled (SIGTERM/SIGINT in
+// production), then drains: new connections are refused, in-flight
+// requests get up to drain to finish, and the returned summary says
+// whether they all did. The server carries conservative read-header and
+// idle timeouts so a stalled or idle peer cannot pin a connection — the
+// query handlers themselves are fast or admission-limited (see serve
+// Options.SweepConcurrency).
+func runServer(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) (string, error) {
+	var inflight atomic.Int64
+	srv := &http.Server{
+		Handler:           countInflight(h, &inflight),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return "", err
+	case <-ctx.Done():
+	}
+	waiting := inflight.Load()
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Sprintf("shutdown: drain timeout after %v, aborted %d in-flight request(s)", drain, inflight.Load()), nil
+	}
+	return fmt.Sprintf("shutdown: drained %d in-flight request(s)", waiting), nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("v6served: ")
@@ -200,6 +268,9 @@ func main() {
 	flag.Float64Var(&cfg.demoScale, "demo-scale", 0.02, "population scale of the demo world")
 	flag.Uint64Var(&cfg.demoSeed, "demo-seed", 7, "seed of the demo world")
 	flag.IntVar(&cfg.cache, "cache", 0, "result cache entries (0 = default)")
+	flag.IntVar(&cfg.sweepLimit, "sweep-limit", 0, "max concurrent expensive sweep requests before shedding with 429 (0 = default 16, negative = unlimited)")
+	flag.BoolVar(&cfg.partial, "partial-results", false, "cluster coordinator answers degraded (with coverage annotation) when a minority of backends is down")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before aborting them")
 	flag.StringVar(&cfg.adminToken, "admin-token", "", "token authorizing /v1/ingest, /v1/freeze and /v1/reload with an explicit path= (unset: open writes, source-only reloads)")
 	flag.BoolVar(&cfg.readOnly, "readonly", false, "disable the write endpoints (/v1/ingest, /v1/freeze) entirely")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: disabled)")
@@ -221,6 +292,16 @@ func main() {
 			log.Fatal(http.Serve(ln, pprofHandler()))
 		}()
 	}
-	log.Printf("serving %v on %s", s.Names(), *listen)
-	log.Fatal(http.ListenAndServe(*listen, s.Handler()))
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving %v on %s", s.Names(), ln.Addr())
+	summary, err := runServer(ctx, ln, s.Handler(), *drain)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print(summary)
 }

@@ -1,0 +1,116 @@
+package main
+
+// Graceful-shutdown tests for runServer: a cancelled context drains the
+// in-flight requests within the drain budget and reports the count, and a
+// request that outlives the budget is force-aborted, also reported.
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+type runResult struct {
+	summary string
+	err     error
+}
+
+// startRunServer launches runServer over a fresh loopback listener and
+// returns the base URL, the cancel that simulates SIGTERM, and the result
+// channel.
+func startRunServer(t *testing.T, h http.Handler, drain time.Duration) (string, context.CancelFunc, <-chan runResult) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rc := make(chan runResult, 1)
+	go func() {
+		s, err := runServer(ctx, ln, h, drain)
+		rc <- runResult{s, err}
+	}()
+	return "http://" + ln.Addr().String(), cancel, rc
+}
+
+func TestRunServerDrainsInflight(t *testing.T) {
+	inHandler := make(chan struct{}, 1)
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inHandler <- struct{}{}
+		<-release
+		io.WriteString(w, "done") //nolint:errcheck
+	})
+	base, cancel, rc := startRunServer(t, h, 5*time.Second)
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- string(body)
+	}()
+	<-inHandler
+
+	// SIGTERM lands mid-request: shutdown must wait for it.
+	cancel()
+	time.Sleep(50 * time.Millisecond) // let Shutdown begin refusing new work
+	close(release)
+
+	if body := <-got; body != "done" {
+		t.Fatalf("in-flight request during drain got %q, want \"done\"", body)
+	}
+	r := <-rc
+	if r.err != nil {
+		t.Fatalf("runServer: %v", r.err)
+	}
+	if !strings.Contains(r.summary, "drained 1 in-flight") {
+		t.Fatalf("summary = %q, want it to report draining 1 in-flight request", r.summary)
+	}
+}
+
+func TestRunServerAbortsOnDrainTimeout(t *testing.T) {
+	inHandler := make(chan struct{}, 1)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inHandler <- struct{}{}
+		// Never finishes on its own; only the forced close ends it.
+		<-r.Context().Done()
+	})
+	base, cancel, rc := startRunServer(t, h, 60*time.Millisecond)
+
+	go func() {
+		resp, err := http.Get(base + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+
+	cancel()
+	r := <-rc
+	if r.err != nil {
+		t.Fatalf("runServer: %v", r.err)
+	}
+	if !strings.Contains(r.summary, "drain timeout") || !strings.Contains(r.summary, "aborted") {
+		t.Fatalf("summary = %q, want a drain-timeout abort report", r.summary)
+	}
+}
+
+func TestRunServerServeError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // Serve on a closed listener fails immediately
+	if _, err := runServer(context.Background(), ln, http.NotFoundHandler(), time.Second); err == nil {
+		t.Fatal("runServer on a closed listener returned no error")
+	}
+}

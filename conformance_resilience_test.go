@@ -1,0 +1,290 @@
+package v6class_test
+
+// Conformance under faults: the cluster stays byte-identical to the
+// sequential reference while a backend misbehaves (strict mode retries
+// through the faults), fails fast naming the broken partition when one is
+// gone for good, and — only when explicitly asked — degrades to the
+// answering majority with an exact Coverage report.
+
+import (
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"v6class"
+	"v6class/remote"
+	"v6class/remote/chaos"
+	"v6class/serve"
+)
+
+// confBackendEngines builds the three partitioned backend engines of the
+// conformance census.
+func confBackendEngines(t *testing.T, part remote.Partition) []v6class.Engine {
+	t.Helper()
+	const n = 3
+	split := remote.SplitLogs(confLogs(), n, part)
+	engines := make([]v6class.Engine, n)
+	for i := range engines {
+		eng, err := v6class.New(v6class.WithStudyDays(confStudyDays), v6class.WithSequential())
+		if err != nil {
+			t.Fatalf("New backend %d: %v", i, err)
+		}
+		if err := eng.AddDays(split[i]); err != nil {
+			t.Fatalf("AddDays backend %d: %v", i, err)
+		}
+		if err := eng.Freeze(); err != nil {
+			t.Fatalf("Freeze backend %d: %v", i, err)
+		}
+		engines[i] = eng
+	}
+	return engines
+}
+
+// serveBackend publishes one engine over httptest and returns the server
+// (so a test can kill it) and its handler URL.
+func serveBackend(t *testing.T, eng v6class.Engine) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Options{})
+	s.Install("census", "", eng)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// collectKeys drains an ordered enumeration into a slice.
+func collectKeys(t *testing.T, e v6class.Engine, pop v6class.Population) []v6class.Prefix {
+	t.Helper()
+	seq, err := e.KeysOrdered(pop)
+	if err != nil && !errors.Is(err, v6class.ErrDegraded) {
+		t.Fatalf("KeysOrdered: %v", err)
+	}
+	var out []v6class.Prefix
+	for p := range seq {
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestClusterConformanceUnderFaults puts a chaos proxy — seeded 30% 503
+// bursts plus occasional connection resets — in front of one of the three
+// partitions and proves the strict-mode cluster still answers every query
+// byte-identical to the sequential reference: the client retry tier
+// absorbs every injected fault.
+func TestClusterConformanceUnderFaults(t *testing.T) {
+	ref := buildLocal(t, v6class.WithSequential())
+	part := remote.PartitionByNetworkID(3)
+	engines := confBackendEngines(t, part)
+	in := chaos.NewInjector(chaos.Policy{Seed: 42, FailRate: 0.25, ResetRate: 0.05})
+	backends := make([]v6class.Engine, len(engines))
+	for i, eng := range engines {
+		srv := serveBackend(t, eng)
+		dialURL := srv.URL
+		if i == 1 {
+			px, err := chaos.NewProxy(in, srv.URL)
+			if err != nil {
+				t.Fatalf("NewProxy: %v", err)
+			}
+			front := httptest.NewServer(px)
+			t.Cleanup(front.Close)
+			dialURL = front.URL
+		}
+		re, err := remote.Dial(dialURL, remote.WithSnapshot("census"),
+			remote.WithPageSize(7), remote.WithRetries(10),
+			remote.WithBackoff(remote.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond}))
+		if err != nil {
+			t.Fatalf("Dial backend %d: %v", i, err)
+		}
+		backends[i] = re
+	}
+	coord, err := remote.NewCoordinator(backends, part)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+
+	type q struct {
+		name string
+		eval func(e v6class.Engine) (any, error)
+	}
+	cases := []q{
+		{"numAddrs", func(e v6class.Engine) (any, error) { return e.NumKeys(v6class.Addresses) }},
+		{"num64s", func(e v6class.Engine) (any, error) { return e.NumKeys(v6class.Prefixes64) }},
+		{"summary13", func(e v6class.Engine) (any, error) { return e.Summary(13) }},
+		{"active7", func(e v6class.Engine) (any, error) { return e.ActiveCount(v6class.Addresses, 7) }},
+		{"stability", func(e v6class.Engine) (any, error) { return e.Stability(v6class.Addresses, 14, 3) }},
+		{"lifetimes", func(e v6class.Engine) (any, error) { return e.LifetimeStats(v6class.Addresses, 0, 29) }},
+	}
+	for round := 0; round < 3; round++ {
+		for _, tc := range cases {
+			want, err := tc.eval(ref)
+			if err != nil {
+				t.Fatalf("%s: reference: %v", tc.name, err)
+			}
+			got, err := tc.eval(coord)
+			if err != nil {
+				t.Fatalf("round %d %s through faults: %v", round, tc.name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d %s = %+v, reference %+v", round, tc.name, got, want)
+			}
+		}
+		if got, want := collectKeys(t, coord, v6class.Addresses), collectKeys(t, ref, v6class.Addresses); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d ordered enumeration diverged under faults: %d vs %d keys", round, len(got), len(want))
+		}
+	}
+	st := in.Stats()
+	if st.Faults == 0 {
+		t.Fatal("the chaos proxy injected no faults — the test proved nothing")
+	}
+	t.Logf("conformance held through %d injected faults across %d proxied requests", st.Faults, st.Requests)
+}
+
+// deadClusterSetup builds a 3-partition cluster, kills the given backends'
+// servers, and composes the rest into a coordinator. It returns the
+// coordinator, the per-partition local engines, and the killed servers'
+// URLs.
+func deadClusterSetup(t *testing.T, dead []int, copts ...remote.CoordinatorOption) (*remote.Coordinator, []v6class.Engine, []string) {
+	t.Helper()
+	part := remote.PartitionByNetworkID(3)
+	engines := confBackendEngines(t, part)
+	backends := make([]v6class.Engine, len(engines))
+	urls := make([]string, len(engines))
+	var killed []*httptest.Server
+	for i, eng := range engines {
+		srv := serveBackend(t, eng)
+		urls[i] = srv.URL
+		re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"),
+			remote.WithPageSize(7), remote.WithRetries(1),
+			remote.WithBackoff(remote.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}),
+			remote.WithAttemptTimeout(2*time.Second))
+		if err != nil {
+			t.Fatalf("Dial backend %d: %v", i, err)
+		}
+		backends[i] = re
+		for _, d := range dead {
+			if d == i {
+				killed = append(killed, srv)
+			}
+		}
+	}
+	for _, srv := range killed {
+		srv.Close()
+	}
+	coord, err := remote.NewCoordinator(backends, part, copts...)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return coord, engines, urls
+}
+
+// TestClusterFailsFastNamingBackend: the default strict cluster with one
+// partition gone answers with an error that wraps ErrUnavailable and names
+// exactly the dead backend — index and URL.
+func TestClusterFailsFastNamingBackend(t *testing.T) {
+	coord, _, urls := deadClusterSetup(t, []int{1})
+	_, err := coord.NumKeys(v6class.Addresses)
+	if !errors.Is(err, v6class.ErrUnavailable) {
+		t.Fatalf("strict query with a dead backend: %v, want ErrUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), "backend 1") {
+		t.Fatalf("error does not name the dead backend's index: %v", err)
+	}
+	if !strings.Contains(err.Error(), urls[1]) {
+		t.Fatalf("error does not name the dead backend's URL %s: %v", urls[1], err)
+	}
+}
+
+// TestClusterDegradedCoverage: with WithPartialResults, a minority outage
+// yields the answering partitions' merge plus an exact Coverage report
+// behind ErrDegraded; point queries owned by the dead partition still fail
+// strictly; and ordered enumerations merge exactly the live partitions.
+func TestClusterDegradedCoverage(t *testing.T) {
+	coord, engines, urls := deadClusterSetup(t, []int{1}, remote.WithPartialResults())
+
+	liveKeys := 0
+	for _, i := range []int{0, 2} {
+		n, err := engines[i].NumKeys(v6class.Addresses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveKeys += n
+	}
+	got, err := coord.NumKeys(v6class.Addresses)
+	if !errors.Is(err, v6class.ErrDegraded) {
+		t.Fatalf("degraded NumKeys err = %v, want ErrDegraded", err)
+	}
+	if got != liveKeys {
+		t.Fatalf("degraded NumKeys = %d, want %d (sum of live partitions)", got, liveKeys)
+	}
+	var de *remote.DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("degraded error is not a *DegradedError: %v", err)
+	}
+	cov := de.Coverage
+	if cov.Backends != 3 || cov.Answered != 2 || len(cov.Failed) != 1 {
+		t.Fatalf("Coverage = %+v, want 2/3 with one failure", cov)
+	}
+	if f := cov.Failed[0]; f.Index != 1 || f.URL != urls[1] || !errors.Is(f.Err, v6class.ErrUnavailable) {
+		t.Fatalf("Coverage.Failed[0] = %+v, want backend 1 at %s wrapping ErrUnavailable", f, urls[1])
+	}
+
+	// The ordered enumeration merges exactly the live partitions, still in
+	// global key order.
+	var want []v6class.Prefix
+	want = append(want, collectKeys(t, engines[0], v6class.Addresses)...)
+	want = append(want, collectKeys(t, engines[2], v6class.Addresses)...)
+	sortPrefixes(want)
+	gotKeys := collectKeys(t, coord, v6class.Addresses)
+	if !reflect.DeepEqual(gotKeys, want) {
+		t.Fatalf("degraded enumeration yielded %d keys, want %d from the live partitions", len(gotKeys), len(want))
+	}
+
+	// A point query owned by the dead partition has no degraded answer:
+	// it fails strictly, naming the backend.
+	part := remote.PartitionByNetworkID(3)
+	var deadAddr, liveAddr v6class.Addr
+	var haveDead, haveLive bool
+	for _, rec := range confLogs()[0].Records {
+		owner := part(v6class.PrefixFrom(rec.Addr, 64))
+		switch {
+		case owner == 1 && !haveDead:
+			deadAddr, haveDead = rec.Addr, true
+		case owner != 1 && !haveLive:
+			liveAddr, haveLive = rec.Addr, true
+		}
+	}
+	if !haveDead || !haveLive {
+		t.Fatal("conformance census has no address on both sides of the partition split")
+	}
+	if _, err := coord.LookupAddr(deadAddr); !errors.Is(err, v6class.ErrUnavailable) {
+		t.Fatalf("point query to the dead owner: %v, want ErrUnavailable", err)
+	} else if !strings.Contains(err.Error(), "backend 1") {
+		t.Fatalf("point-query error does not name the dead backend: %v", err)
+	}
+	if _, err := coord.LookupAddr(liveAddr); err != nil {
+		t.Fatalf("point query to a live owner under degradation: %v", err)
+	}
+}
+
+// sortPrefixes orders prefixes in the canonical key order used by every
+// ordered enumeration.
+func sortPrefixes(ps []v6class.Prefix) {
+	slices.SortFunc(ps, v6class.Prefix.Cmp)
+}
+
+// TestClusterMajorityDownNeverDegrades: even in partial mode, losing two
+// of three partitions fails the query outright — answering from a minority
+// of the census would be worse than failing.
+func TestClusterMajorityDownNeverDegrades(t *testing.T) {
+	coord, _, _ := deadClusterSetup(t, []int{0, 2}, remote.WithPartialResults())
+	_, err := coord.NumKeys(v6class.Addresses)
+	if !errors.Is(err, v6class.ErrUnavailable) {
+		t.Fatalf("majority-down query: %v, want ErrUnavailable", err)
+	}
+	if errors.Is(err, v6class.ErrDegraded) {
+		t.Fatalf("majority-down query degraded instead of failing: %v", err)
+	}
+}

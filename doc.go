@@ -156,6 +156,36 @@
 // through the identical HTTP API, so clients cannot tell a cluster from
 // a single box. See examples/cluster for the full walkthrough.
 //
+// # Resilience
+//
+// The cluster tier assumes backends fail. The remote client retries
+// transport errors, 5xx and 429 responses with capped exponential backoff
+// and full jitter (remote.WithBackoff), honoring a server's Retry-After
+// as the floor; each attempt runs under its own deadline
+// (remote.WithAttemptTimeout) inside a whole-call budget
+// (remote.WithTimeout), so a hung backend costs one attempt, never the
+// call. When the budget runs out the error wraps ErrUnavailable — the
+// availability sentinel — alongside the last wire failure.
+//
+// The coordinator watches each backend through a consecutive-failure
+// circuit breaker (remote.WithBreaker): a partition failing repeatedly
+// stops being asked at all until a cooldown admits a half-open probe.
+// Every scatter-gather runs under a fan-out deadline
+// (remote.WithFanoutTimeout), and point queries can hedge a duplicate
+// request to the owner after a delay (remote.WithHedge). By default the
+// cluster is strict: any backend failure fails the query with an error
+// naming the partition (index and URL). Opting in to
+// remote.WithPartialResults degrades instead: when a minority of
+// partitions is down with availability faults, merges proceed over the
+// answering majority and the error wraps ErrDegraded, with the exact
+// per-partition Coverage reachable via errors.As on
+// *remote.DegradedError. Writes and point queries never degrade.
+//
+// Package remote/chaos is the fault-injection harness behind the
+// resilience tests: a seeded, deterministic injector of 5xx bursts,
+// connection resets, hangs, truncated bodies and flapping, usable as an
+// http.RoundTripper (client side) or a reverse proxy (server side).
+//
 // # Reproduction of the paper
 //
 // Package experiments regenerates every table and figure of the paper's

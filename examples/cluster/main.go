@@ -35,9 +35,20 @@
 //	# a reload on any tier invalidates in-flight cursors fail-closed:
 //	# the next page answers HTTP 410 {"error":{"code":"cursor_expired",...}}
 //	# and the client restarts the walk (package remote does so itself)
+//
+//	# resilience: kill a shard and the strict coordinator answers HTTP 503
+//	# {"error":{"code":"unavailable",...}} naming the dead partition; a
+//	# coordinator started with -partial-results keeps answering from the
+//	# live majority instead, annotating results with their coverage
+//	kill %2
+//	curl -s localhost:8470/v1/summary?day=7   # 503, names the dead backend
+//
+// The walkthrough below ends by doing exactly that in-process: it kills
+// shard 1 and shows the strict failure next to the degraded answer.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -56,16 +67,19 @@ const (
 )
 
 // serveEngine installs eng in a fresh serve instance on a loopback
-// listener and returns its base URL, as "v6served -state" would.
-func serveEngine(name string, eng v6class.Engine) string {
+// listener and returns its base URL, as "v6served -state" would, plus a
+// stop function that kills the server — the walkthrough uses it to take a
+// shard down mid-demo.
+func serveEngine(name string, eng v6class.Engine) (string, func()) {
 	s := serve.New(serve.Options{})
 	s.Install(name, "", eng)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go (&http.Server{Handler: s.Handler()}).Serve(ln)
-	return "http://" + ln.Addr().String()
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }
 }
 
 func main() {
@@ -80,6 +94,7 @@ func main() {
 
 	// Build and serve each partition as its own census.
 	urls := make([]string, backends)
+	stops := make([]func(), backends)
 	for i, part := range parts {
 		eng, err := v6class.New(v6class.WithStudyDays(studyDays))
 		if err != nil {
@@ -91,7 +106,7 @@ func main() {
 		if err := eng.Freeze(); err != nil {
 			log.Fatal(err)
 		}
-		urls[i] = serveEngine("census", eng)
+		urls[i], stops[i] = serveEngine("census", eng)
 		fmt.Printf("shard %d: %s (%d keys)\n", i, urls[i], mustKeys(eng))
 	}
 
@@ -119,7 +134,7 @@ func main() {
 		st.Active, st.Stable, st.NotStable)
 
 	// ...or serve it, so clients cannot tell the cluster from a single box.
-	base := serveEngine("cluster", coord)
+	base, _ := serveEngine("cluster", coord)
 	get := func(path string) {
 		resp, err := http.Get(base + path)
 		if err != nil {
@@ -159,6 +174,33 @@ func main() {
 		n++
 	}
 	fmt.Printf("\nremote.Dial(cluster): %d /64 keys in order, %s .. %s\n", n, first, last)
+
+	// --- resilience: losing a shard ---
+	//
+	// A second coordinator over the same backends, opted into degraded
+	// answers. (The default is strict: every partition or nothing.)
+	partial, err := remote.NewCoordinator(engines, nil, remote.WithPartialResults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- killing shard 1 ---")
+	stops[1]()
+
+	// The strict cluster fails fast, and the error names exactly the dead
+	// partition — index and URL — behind the ErrUnavailable sentinel.
+	if _, err := coord.NumKeys(v6class.Addresses); errors.Is(err, v6class.ErrUnavailable) {
+		fmt.Printf("strict cluster:   %v\n", err)
+	}
+
+	// The partial cluster answers from the two live shards and annotates
+	// the result with exactly what is missing.
+	nKeys, err := partial.NumKeys(v6class.Addresses)
+	var de *remote.DegradedError
+	if errors.As(err, &de) {
+		fmt.Printf("degraded cluster: %d keys, coverage %s\n", nKeys, de.Coverage)
+	} else if err != nil {
+		log.Fatal(err)
+	}
 }
 
 func mustKeys(eng v6class.Engine) int {

@@ -24,6 +24,18 @@ var (
 	// day falls outside [0, StudyDays): the temporal stores would silently
 	// drop its observations, which is quiet data loss, never acceptable.
 	ErrDayRange = errors.New("v6class: log day outside the study period")
+	// ErrUnavailable is wrapped by cluster-backed engines (package remote)
+	// when a backend cannot be reached: the retry budget ran out, the
+	// circuit breaker is open, or the fan-out deadline passed. It marks an
+	// infrastructure failure, never a property of the census — retrying
+	// later may succeed where reformulating the query will not.
+	ErrUnavailable = errors.New("v6class: backend unavailable")
+	// ErrDegraded is wrapped by cluster coordinators running in opt-in
+	// partial-results mode when a merge proceeded without a minority of
+	// partitions. The accompanying result is valid but incomplete; the
+	// error unwraps (errors.As) to a remote.DegradedError carrying the
+	// exact Coverage. Strict mode — the default — never returns it.
+	ErrDegraded = errors.New("v6class: partial results (some partitions unavailable)")
 )
 
 // maxShards caps WithShards; larger requests clamp rather than error, so a

@@ -1,0 +1,107 @@
+package remote
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"v6class"
+)
+
+// The client's retry-delay policy. A struggling backend must never be
+// hammered with back-to-back requests: every retry waits a capped
+// exponentially growing delay with full jitter, and a server that answers
+// 429/503 with Retry-After gets at least the wait it asked for (clamped to
+// Max, so a confused server cannot park the client for an hour).
+
+// Backoff is the retry delay policy applied between request attempts.
+// The zero value means the defaults; configure with WithBackoff.
+type Backoff struct {
+	// Base caps the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Max caps every delay, including a server-requested Retry-After
+	// (default 5s).
+	Max time.Duration
+	// Factor grows the cap per attempt (default 2: 100ms, 200ms, 400ms…).
+	Factor float64
+}
+
+// norm resolves zero fields to the defaults.
+func (b Backoff) norm() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// delay computes the sleep before retry number attempt (0-based): full
+// jitter — uniform in [0, cap) where cap = Base·Factor^attempt clamped to
+// Max — with a server-requested Retry-After as the floor. Full jitter
+// desynchronizes a fleet of clients retrying against the same struggling
+// backend; the Retry-After floor keeps an explicit server hint authoritative.
+func (b Backoff) delay(attempt int, retryAfter time.Duration) time.Duration {
+	b = b.norm()
+	ceil := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+	if ceil > float64(b.Max) {
+		ceil = float64(b.Max)
+	}
+	d := time.Duration(rand.Float64() * ceil)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
+// parseRetryAfter decodes a Retry-After header: delay-seconds or an HTTP
+// date. Absent or malformed values mean no server hint.
+func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// unavailableError is the budget-exhausted classification: every attempt
+// failed with a retryable fault (transport error, 5xx, 429) and either the
+// retry budget or the whole-call timeout ran out. It unwraps to both
+// v6class.ErrUnavailable and the last attempt's error, so callers can test
+// the sentinel with errors.Is and still reach the underlying wire code.
+type unavailableError struct {
+	method, path string
+	attempts     int
+	last         error
+}
+
+func (e *unavailableError) Error() string {
+	return fmt.Sprintf("remote: %s %s unavailable after %d attempt(s): %v",
+		e.method, e.path, e.attempts, e.last)
+}
+
+func (e *unavailableError) Unwrap() []error {
+	return []error{v6class.ErrUnavailable, e.last}
+}

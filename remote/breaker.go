@@ -1,0 +1,99 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-backend health tracking for the coordinator: a consecutive-failure
+// circuit breaker. A backend that keeps failing availability-wise stops
+// being asked at all — queries fail (or degrade) instantly instead of
+// burning a full retry budget per scatter — until a cooldown passes and a
+// single half-open probe is allowed through to test recovery.
+
+// BreakerPolicy configures the coordinator's per-backend circuit breaker.
+type BreakerPolicy struct {
+	// Threshold is the consecutive availability-failure count that opens
+	// the circuit (default 5; negative disables the breaker entirely).
+	Threshold int
+	// Cooldown is how long an open circuit rejects requests before
+	// allowing one half-open probe (default 10s).
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) norm() BreakerPolicy {
+	if p.Threshold == 0 {
+		p.Threshold = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 10 * time.Second
+	}
+	return p
+}
+
+// The three breaker states. Closed passes everything; open rejects
+// everything until the cooldown elapses; half-open admits exactly one
+// probe whose verdict decides between closed (success) and another full
+// open period (failure).
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	policy BreakerPolicy
+
+	mu       sync.Mutex
+	state    int
+	failures int // consecutive availability failures
+	openedAt time.Time
+}
+
+func newBreaker(p BreakerPolicy) *breaker {
+	return &breaker{policy: p.norm()}
+}
+
+// allow reports whether a request may proceed. An open breaker past its
+// cooldown transitions to half-open and admits the caller as the probe;
+// while a probe is in flight every other caller is rejected.
+func (b *breaker) allow() bool {
+	if b.policy.Threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) >= b.policy.Cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is already in flight
+		return false
+	}
+}
+
+// record feeds one availability verdict back. Only availability failures
+// (errors wrapping v6class.ErrUnavailable) should count as !ok: a backend
+// that answers "bad parameter" is alive.
+func (b *breaker) record(ok bool) {
+	if b.policy.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.policy.Threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}

@@ -1,0 +1,351 @@
+// Package chaos is the cluster tier's fault-injection harness: a
+// deterministic fault source that can sit either inside an http.Client
+// (Transport, wrapping a RoundTripper) or in front of a server (Proxy, an
+// http.Handler forwarding to a real backend). Both inject the failure
+// modes a production cluster actually sees — 5xx bursts, connection
+// resets, hangs, truncated bodies, flapping backends — from a seeded
+// generator, so resilience tests are reproducible run to run.
+//
+// The conformance suite uses it to prove the remote client and the
+// scatter-gather coordinator stay byte-identical to a local engine while a
+// backend misbehaves, and that degraded mode reports exactly the coverage
+// it answered from.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Policy says which faults to inject and how often. Rates are per-request
+// probabilities in [0,1] and are tried in order (fail, reset, partial,
+// hang): their sum is the total fault probability and must not exceed 1.
+type Policy struct {
+	// Seed feeds the deterministic generator; the same seed and request
+	// sequence injects the same faults.
+	Seed uint64
+	// FailRate is the probability of answering with a synthetic error
+	// status instead of the real response.
+	FailRate float64
+	// Status is the synthetic status injected by FailRate faults
+	// (default 503).
+	Status int
+	// RetryAfter, when positive, stamps a Retry-After header (rounded up
+	// to whole seconds) on injected statuses.
+	RetryAfter time.Duration
+	// ResetRate is the probability of killing the connection: the
+	// Transport returns an ECONNRESET-wrapped error, the Proxy aborts the
+	// response mid-stream.
+	ResetRate float64
+	// PartialRate is the probability of truncating the response body
+	// halfway while promising the full Content-Length.
+	PartialRate float64
+	// HangRate is the probability of stalling for Hang before answering;
+	// a request context that expires first wins (the Transport returns
+	// its error, the Proxy aborts).
+	HangRate float64
+	// Hang is how long a HangRate fault stalls (default 30s — effectively
+	// "until the caller's deadline" in tests).
+	Hang time.Duration
+	// DownFor/UpFor, when DownFor > 0, flap the target by request count:
+	// each cycle, the first DownFor requests fault (by the rates above,
+	// or an unconditional Status fault when no rates are set) and the
+	// next UpFor requests pass clean.
+	DownFor, UpFor int
+	// MaxFaults, when positive, caps total injected faults: after the
+	// budget is spent every request passes clean. This is the
+	// faults-then-recovery switch.
+	MaxFaults int
+}
+
+// Stats counts what an Injector has done so far.
+type Stats struct {
+	// Requests is how many requests were seen.
+	Requests int
+	// Faults is how many of them had a fault injected.
+	Faults int
+}
+
+// fault is one injection decision.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultStatus
+	faultReset
+	faultPartial
+	faultHang
+)
+
+// Injector makes deterministic per-request fault decisions under a
+// Policy. One Injector may back both a Transport and a Proxy, or several
+// of either; decisions are serialized, so a fixed seed and request order
+// reproduce exactly.
+type Injector struct {
+	p Policy
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	requests int
+	faults   int
+}
+
+// NewInjector builds an Injector for p.
+func NewInjector(p Policy) *Injector {
+	if p.Status == 0 {
+		p.Status = http.StatusServiceUnavailable
+	}
+	if p.Hang <= 0 {
+		p.Hang = 30 * time.Second
+	}
+	return &Injector{
+		p:   p,
+		rng: rand.New(rand.NewPCG(p.Seed, p.Seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Stats reports the requests seen and faults injected so far.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return Stats{Requests: in.requests, Faults: in.faults}
+}
+
+// decide makes the fault decision for the next request.
+func (in *Injector) decide() fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.requests++
+	if in.p.MaxFaults > 0 && in.faults >= in.p.MaxFaults {
+		return faultNone
+	}
+	unconditional := false
+	if in.p.DownFor > 0 {
+		cycle := in.p.DownFor + in.p.UpFor
+		if (in.requests-1)%cycle >= in.p.DownFor {
+			return faultNone // up window
+		}
+		// Down window: fault by the rates, or unconditionally when none
+		// are configured.
+		unconditional = in.p.FailRate == 0 && in.p.ResetRate == 0 &&
+			in.p.PartialRate == 0 && in.p.HangRate == 0
+	}
+	if unconditional {
+		in.faults++
+		return faultStatus
+	}
+	r := in.rng.Float64()
+	for _, c := range []struct {
+		rate float64
+		f    fault
+	}{
+		{in.p.FailRate, faultStatus},
+		{in.p.ResetRate, faultReset},
+		{in.p.PartialRate, faultPartial},
+		{in.p.HangRate, faultHang},
+	} {
+		if r < c.rate {
+			in.faults++
+			return c.f
+		}
+		r -= c.rate
+	}
+	return faultNone
+}
+
+// retryAfterSeconds renders the policy's Retry-After as whole seconds,
+// rounding up so a sub-second hint is not truncated to zero.
+func (in *Injector) retryAfterSeconds() string {
+	return strconv.Itoa(int((in.p.RetryAfter + time.Second - 1) / time.Second))
+}
+
+// Transport wraps an http.RoundTripper with fault injection on the client
+// side of the wire: injected statuses, reset errors, hangs honoring the
+// request context, and truncated bodies. Use it inside an http.Client
+// handed to remote.Dial via remote.WithHTTPClient.
+type Transport struct {
+	// Injector makes the decisions.
+	Injector *Injector
+	// Next performs clean requests (default http.DefaultTransport).
+	Next http.RoundTripper
+}
+
+func (t *Transport) next() http.RoundTripper {
+	if t.Next != nil {
+		return t.Next
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.Injector
+	switch in.decide() {
+	case faultStatus:
+		body := fmt.Sprintf("chaos: injected HTTP %d", in.p.Status)
+		h := make(http.Header)
+		h.Set("Content-Type", "text/plain")
+		if in.p.RetryAfter > 0 {
+			h.Set("Retry-After", in.retryAfterSeconds())
+		}
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", in.p.Status, http.StatusText(in.p.Status)),
+			StatusCode:    in.p.Status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        h,
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case faultReset:
+		return nil, fmt.Errorf("chaos: %w", syscall.ECONNRESET)
+	case faultHang:
+		select {
+		case <-req.Context().Done():
+			return nil, fmt.Errorf("chaos: hang: %w", req.Context().Err())
+		case <-time.After(in.p.Hang):
+			return nil, fmt.Errorf("chaos: hang elapsed: %w", syscall.ECONNRESET)
+		}
+	case faultPartial:
+		resp, err := t.next().RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("chaos: reading body to truncate: %w", rerr)
+		}
+		// Promise the full length, deliver half, then fail the read the
+		// way a torn connection does.
+		resp.Body = &truncatedBody{data: data[:len(data)/2]}
+		resp.ContentLength = int64(len(data))
+		return resp, nil
+	}
+	return t.next().RoundTrip(req)
+}
+
+// truncatedBody yields its data then fails with unexpected EOF, as a read
+// from a connection torn mid-body does.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *truncatedBody) Close() error { return nil }
+
+// Proxy injects faults on the server side of the wire: it fronts one real
+// backend, forwarding clean requests and corrupting the rest. Serve it
+// from an httptest.Server and point remote.Dial at the proxy to subject a
+// real serve instance to faults without touching it.
+type Proxy struct {
+	in     *Injector
+	target *url.URL
+	client *http.Client
+}
+
+// NewProxy builds a Proxy forwarding to target (a base URL such as an
+// httptest.Server.URL).
+func NewProxy(in *Injector, target string) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy target: %w", err)
+	}
+	return &Proxy{in: in, target: u, client: &http.Client{}}, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch p.in.decide() {
+	case faultStatus:
+		if p.in.p.RetryAfter > 0 {
+			w.Header().Set("Retry-After", p.in.retryAfterSeconds())
+		}
+		w.WriteHeader(p.in.p.Status)
+		fmt.Fprintf(w, "chaos: injected HTTP %d", p.in.p.Status)
+		return
+	case faultReset:
+		// ErrAbortHandler makes net/http sever the connection without a
+		// response — the client sees a reset/EOF transport error.
+		panic(http.ErrAbortHandler)
+	case faultHang:
+		select {
+		case <-r.Context().Done():
+		case <-time.After(p.in.p.Hang):
+		}
+		panic(http.ErrAbortHandler)
+	case faultPartial:
+		status, header, body, err := p.forward(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		copyHeader(w.Header(), header)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(status)
+		w.(io.Writer).Write(body[:len(body)/2]) //nolint:errcheck
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	status, header, body, err := p.forward(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	copyHeader(w.Header(), header)
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck
+}
+
+// forward performs the real request against the target and returns the
+// whole response, buffered so partial-body faults can promise the true
+// length.
+func (p *Proxy) forward(r *http.Request) (int, http.Header, []byte, error) {
+	u := *p.target
+	u.Path = r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, body, nil
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst[k] = append(dst[k], v)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// faultSeq records n consecutive decisions.
+func faultSeq(in *Injector, n int) []fault {
+	out := make([]fault, n)
+	for i := range out {
+		out[i] = in.decide()
+	}
+	return out
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Policy{Seed: 42, FailRate: 0.2, ResetRate: 0.1, PartialRate: 0.05, HangRate: 0.05}
+	a := faultSeq(NewInjector(p), 500)
+	b := faultSeq(NewInjector(p), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if c := faultSeq(NewInjector(Policy{Seed: 43, FailRate: 0.2, ResetRate: 0.1, PartialRate: 0.05, HangRate: 0.05}), 500); equalSeq(a, c) {
+		t.Fatal("different seeds produced the identical 500-request fault sequence")
+	}
+}
+
+func equalSeq(a, b []fault) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRates(t *testing.T) {
+	const n = 4000
+	in := NewInjector(Policy{Seed: 7, FailRate: 0.3})
+	faults := 0
+	for _, f := range faultSeq(in, n) {
+		if f != faultNone {
+			faults++
+		}
+	}
+	if frac := float64(faults) / n; frac < 0.25 || frac > 0.35 {
+		t.Fatalf("30%% fail rate injected %.1f%% faults over %d requests", 100*frac, n)
+	}
+	if st := in.Stats(); st.Requests != n || st.Faults != faults {
+		t.Fatalf("Stats = %+v, want %d requests / %d faults", st, n, faults)
+	}
+}
+
+// TestMaxFaultsRecovery proves the faults-then-recovery switch: once the
+// budget is spent, every request passes clean forever.
+func TestMaxFaultsRecovery(t *testing.T) {
+	in := NewInjector(Policy{Seed: 1, FailRate: 1, MaxFaults: 5})
+	seq := faultSeq(in, 100)
+	for i, f := range seq {
+		if i < 5 && f == faultNone {
+			t.Fatalf("request %d inside the fault budget passed clean", i)
+		}
+		if i >= 5 && f != faultNone {
+			t.Fatalf("request %d after the budget was faulted", i)
+		}
+	}
+}
+
+// TestFlapping proves the request-count flap cycle: DownFor faulted,
+// UpFor clean, repeating.
+func TestFlapping(t *testing.T) {
+	in := NewInjector(Policy{Seed: 1, DownFor: 2, UpFor: 3})
+	for i, f := range faultSeq(in, 20) {
+		down := i%5 < 2
+		if down && f != faultStatus {
+			t.Fatalf("request %d in the down window got %v, want a status fault", i, f)
+		}
+		if !down && f != faultNone {
+			t.Fatalf("request %d in the up window got %v, want clean", i, f)
+		}
+	}
+}
+
+func TestTransportStatusAndRecovery(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "clean") //nolint:errcheck
+	}))
+	defer srv.Close()
+	in := NewInjector(Policy{Seed: 1, FailRate: 1, RetryAfter: 2 * time.Second, MaxFaults: 1})
+	hc := &http.Client{Transport: &Transport{Injector: in}}
+
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("faulted request errored at the transport: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("injected status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+
+	resp, err = hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("post-budget request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "clean" {
+		t.Fatalf("post-budget response = %d %q, want 200 \"clean\"", resp.StatusCode, body)
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	in := NewInjector(Policy{Seed: 1, ResetRate: 1})
+	hc := &http.Client{Transport: &Transport{Injector: in}}
+	if _, err := hc.Get("http://unreached.invalid/"); err == nil {
+		t.Fatal("reset fault returned no error")
+	}
+}
+
+func TestTransportPartialBody(t *testing.T) {
+	payload := strings.Repeat("x", 1000)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload) //nolint:errcheck
+	}))
+	defer srv.Close()
+	in := NewInjector(Policy{Seed: 1, PartialRate: 1})
+	hc := &http.Client{Transport: &Transport{Injector: in}}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("partial-body request errored early: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading truncated body: err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(body) != len(payload)/2 {
+		t.Fatalf("received %d bytes before the cut, want %d", len(body), len(payload)/2)
+	}
+}
+
+func TestTransportHangHonorsContext(t *testing.T) {
+	in := NewInjector(Policy{Seed: 1, HangRate: 1, Hang: time.Minute})
+	hc := &http.Client{Transport: &Transport{Injector: in}, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	if _, err := hc.Get("http://unreached.invalid/"); err == nil {
+		t.Fatal("hung request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hang ignored the request deadline: took %v", elapsed)
+	}
+}
+
+func TestProxyForwardsClean(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Echo-Query", r.URL.RawQuery)
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "pot") //nolint:errcheck
+	}))
+	defer backend.Close()
+	px, err := NewProxy(NewInjector(Policy{}), backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(px)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/meta?snap=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot || string(body) != "pot" {
+		t.Fatalf("forwarded response = %d %q, want 418 \"pot\"", resp.StatusCode, body)
+	}
+	if q := resp.Header.Get("X-Echo-Query"); q != "snap=x" {
+		t.Fatalf("query not forwarded: %q", q)
+	}
+}
+
+func TestProxyInjectsStatusAndReset(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "clean") //nolint:errcheck
+	}))
+	defer backend.Close()
+
+	px, err := NewProxy(NewInjector(Policy{Seed: 1, FailRate: 1, RetryAfter: time.Second}), backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(px)
+	defer front.Close()
+	resp, err := http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("injected proxy response = %d Retry-After %q, want 503 / \"1\"",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	rpx, err := NewProxy(NewInjector(Policy{Seed: 1, ResetRate: 1}), backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfront := httptest.NewServer(rpx)
+	defer rfront.Close()
+	if resp, err := http.Get(rfront.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("reset-injecting proxy answered instead of severing the connection")
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"io"
 	"iter"
 	"sort"
-	"sync"
+	"time"
 
 	"v6class"
 )
@@ -63,15 +63,37 @@ type Coordinator struct {
 	backends []v6class.Engine
 	part     Partition
 	study    int
+
+	// The resilience policy (resilience.go): per-backend breakers, the
+	// fan-out deadline, hedged point queries, and the strict/degraded
+	// merge mode.
+	breakers      []*breaker
+	breakerPolicy BreakerPolicy
+	fanout        time.Duration
+	hedge         time.Duration
+	partial       bool
 }
 
 var _ v6class.Engine = (*Coordinator)(nil)
+
+// defaultFanoutTimeout bounds a scatter-gather whose caller configured
+// nothing: generous enough for a full ordered-enumeration page walk on a
+// loaded cluster, short enough that a hung backend cannot wedge a query
+// forever.
+const defaultFanoutTimeout = 30 * time.Second
 
 // NewCoordinator composes backends into one Engine. part decides key
 // ownership; nil defaults to PartitionByNetworkID over the backend count.
 // The backends must agree on the study period — a mixed-period cluster
 // would silently truncate day-ranged queries on some partitions.
-func NewCoordinator(backends []v6class.Engine, part Partition) (*Coordinator, error) {
+//
+// The default resilience posture is strict: any backend failure fails the
+// query with an error naming the backend, answers are always byte-identical
+// to a single box holding the whole census, per-backend circuit breakers
+// stop hammering a dead partition, and a 30s fan-out deadline bounds every
+// scatter. See WithPartialResults, WithFanoutTimeout, WithHedge and
+// WithBreaker to tune.
+func NewCoordinator(backends []v6class.Engine, part Partition, opts ...CoordinatorOption) (*Coordinator, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("%w: a coordinator needs at least one backend", v6class.ErrConfig)
 	}
@@ -85,7 +107,15 @@ func NewCoordinator(backends []v6class.Engine, part Partition) (*Coordinator, er
 	if part == nil {
 		part = PartitionByNetworkID(len(backends))
 	}
-	return &Coordinator{backends: backends, part: part, study: study}, nil
+	c := &Coordinator{backends: backends, part: part, study: study, fanout: defaultFanoutTimeout}
+	for _, o := range opts {
+		o(c)
+	}
+	c.breakers = make([]*breaker, len(backends))
+	for i := range c.breakers {
+		c.breakers[i] = newBreaker(c.breakerPolicy)
+	}
+	return c, nil
 }
 
 // NumBackends returns the cluster fan-out; the serve layer reports it as
@@ -95,43 +125,19 @@ func (c *Coordinator) NumBackends() int { return len(c.backends) }
 // scatterLimit bounds how many backends one gather queries at once.
 const scatterLimit = 8
 
-// scatter runs fn against every backend with bounded parallelism and
-// collects the results in backend order; the first error wins.
-func scatter[T any](backends []v6class.Engine, fn func(b v6class.Engine) (T, error)) ([]T, error) {
-	out := make([]T, len(backends))
-	errs := make([]error, len(backends))
-	sem := make(chan struct{}, min(len(backends), scatterLimit))
-	var wg sync.WaitGroup
-	for i, b := range backends {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i], errs[i] = fn(b)
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
 // sumScatter gathers one integer per backend and sums — the shape of every
-// disjoint-partition count.
+// disjoint-partition count. In degraded mode the sum covers the answering
+// partitions and err carries the Coverage.
 func (c *Coordinator) sumScatter(fn func(b v6class.Engine) (int, error)) (int, error) {
-	counts, err := scatter(c.backends, fn)
-	if err != nil {
+	counts, err := gather(c, func(_ int, b v6class.Engine) (int, error) { return fn(b) })
+	if !degradedOnly(err) {
 		return 0, err
 	}
 	total := 0
 	for _, n := range counts {
 		total += n
 	}
-	return total, nil
+	return total, err
 }
 
 func (c *Coordinator) StudyDays() int { return c.study }
@@ -155,37 +161,16 @@ func (c *Coordinator) AddDay(log v6class.DayLog) error {
 }
 
 // AddDays partitions the batch with the coordinator's Partition function
-// and ingests each slice into its owning backend, in parallel.
+// and ingests each slice into its owning backend, in parallel. Writes
+// never degrade — a partially ingested batch is quiet data loss — and a
+// failure names every backend that refused (index plus base URL when the
+// backend is a remote.Engine), so operators know which partition to fix.
 func (c *Coordinator) AddDays(logs []v6class.DayLog) error {
 	split := SplitLogs(logs, len(c.backends), c.part)
-	_, err := scatterIndexed(c.backends, func(i int, b v6class.Engine) (struct{}, error) {
+	_, err := gatherStrict(c, func(i int, b v6class.Engine) (struct{}, error) {
 		return struct{}{}, b.AddDays(split[i])
 	})
 	return err
-}
-
-// scatterIndexed is scatter with the backend index in hand.
-func scatterIndexed[T any](backends []v6class.Engine, fn func(i int, b v6class.Engine) (T, error)) ([]T, error) {
-	out := make([]T, len(backends))
-	errs := make([]error, len(backends))
-	sem := make(chan struct{}, min(len(backends), scatterLimit))
-	var wg sync.WaitGroup
-	for i, b := range backends {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i], errs[i] = fn(i, b)
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }
 
 func (c *Coordinator) Ingest(logs <-chan v6class.DayLog) error {
@@ -202,7 +187,8 @@ func (c *Coordinator) Ingest(logs <-chan v6class.DayLog) error {
 }
 
 func (c *Coordinator) Freeze() error {
-	_, err := scatter(c.backends, func(b v6class.Engine) (struct{}, error) {
+	// A write: strict like AddDays, with failures naming their backend.
+	_, err := gatherStrict(c, func(_ int, b v6class.Engine) (struct{}, error) {
 		return struct{}{}, b.Freeze()
 	})
 	return err
@@ -225,10 +211,10 @@ func (c *Coordinator) Save(path string) error {
 // an upper bound — a hardware address roaming across /64s in different
 // partitions counts once per partition.
 func (c *Coordinator) Summary(day int) (v6class.DaySummary, error) {
-	sums, err := scatter(c.backends, func(b v6class.Engine) (v6class.DaySummary, error) {
+	sums, err := gather(c, func(_ int, b v6class.Engine) (v6class.DaySummary, error) {
 		return b.Summary(day)
 	})
-	if err != nil {
+	if !degradedOnly(err) {
 		return v6class.DaySummary{}, err
 	}
 	out := v6class.DaySummary{Day: day, ByKind: map[v6class.Kind]int{}}
@@ -241,7 +227,7 @@ func (c *Coordinator) Summary(day int) (v6class.DaySummary, error) {
 			out.ByKind[k] += n
 		}
 	}
-	return out, nil
+	return out, err
 }
 
 func (c *Coordinator) NumKeys(pop v6class.Population) (int, error) {
@@ -257,14 +243,14 @@ func (c *Coordinator) ActiveInRange(pop v6class.Population, from, to int) (int, 
 }
 
 func (c *Coordinator) Stability(pop v6class.Population, ref, n int) (v6class.DailyStability, error) {
-	stats, err := scatter(c.backends, func(b v6class.Engine) (v6class.DailyStability, error) {
+	stats, err := gather(c, func(_ int, b v6class.Engine) (v6class.DailyStability, error) {
 		return b.Stability(pop, ref, n)
 	})
 	return mergeDaily(stats, ref, n), err
 }
 
 func (c *Coordinator) StabilityWith(pop v6class.Population, ref, n int, opts v6class.StabilityOptions) (v6class.DailyStability, error) {
-	stats, err := scatter(c.backends, func(b v6class.Engine) (v6class.DailyStability, error) {
+	stats, err := gather(c, func(_ int, b v6class.Engine) (v6class.DailyStability, error) {
 		return b.StabilityWith(pop, ref, n, opts)
 	})
 	return mergeDaily(stats, ref, n), err
@@ -281,7 +267,7 @@ func mergeDaily(stats []v6class.DailyStability, ref, n int) v6class.DailyStabili
 }
 
 func (c *Coordinator) WeeklyStability(pop v6class.Population, start, n int) (v6class.WeeklyStability, error) {
-	stats, err := scatter(c.backends, func(b v6class.Engine) (v6class.WeeklyStability, error) {
+	stats, err := gather(c, func(_ int, b v6class.Engine) (v6class.WeeklyStability, error) {
 		return b.WeeklyStability(pop, start, n)
 	})
 	out := v6class.WeeklyStability{Start: v6class.Day(start), N: n}
@@ -299,34 +285,41 @@ func (c *Coordinator) EpochStable(pop v6class.Population, aFrom, aTo, bFrom, bTo
 	})
 }
 
-// owner routes a key to its partition backend.
-func (c *Coordinator) owner(p v6class.Prefix) v6class.Engine {
-	return c.backends[c.part(p)]
-}
+// Point queries route to the partition owner through pointCall — the
+// owner's circuit breaker plus the optional hedged second attempt — and
+// never degrade: no other backend holds the answer.
 
 func (c *Coordinator) LookupAddr(a v6class.Addr) (v6class.AddrLookup, error) {
-	return c.owner(v6class.PrefixFrom(a, 64)).LookupAddr(a)
+	return pointCall(c, v6class.PrefixFrom(a, 64), func(b v6class.Engine) (v6class.AddrLookup, error) {
+		return b.LookupAddr(a)
+	})
 }
 
 func (c *Coordinator) LookupPrefix64(p v6class.Prefix) (v6class.KeyReport, error) {
-	return c.owner(p).LookupPrefix64(p)
+	return pointCall(c, p, func(b v6class.Engine) (v6class.KeyReport, error) {
+		return b.LookupPrefix64(p)
+	})
 }
 
 func (c *Coordinator) AddrStable(a v6class.Addr, ref, n int, opts v6class.StabilityOptions) (bool, error) {
-	return c.owner(v6class.PrefixFrom(a, 64)).AddrStable(a, ref, n, opts)
+	return pointCall(c, v6class.PrefixFrom(a, 64), func(b v6class.Engine) (bool, error) {
+		return b.AddrStable(a, ref, n, opts)
+	})
 }
 
 func (c *Coordinator) Prefix64Stable(p v6class.Prefix, ref, n int, opts v6class.StabilityOptions) (bool, error) {
-	return c.owner(p).Prefix64Stable(p, ref, n, opts)
+	return pointCall(c, p, func(b v6class.Engine) (bool, error) {
+		return b.Prefix64Stable(p, ref, n, opts)
+	})
 }
 
 // LifetimeStats merges per-backend lifetime statistics: counts sum,
 // histograms add element-wise (padded to the longest).
 func (c *Coordinator) LifetimeStats(pop v6class.Population, from, to int) (v6class.LifetimeStats, error) {
-	stats, err := scatter(c.backends, func(b v6class.Engine) (v6class.LifetimeStats, error) {
+	stats, err := gather(c, func(_ int, b v6class.Engine) (v6class.LifetimeStats, error) {
 		return b.LifetimeStats(pop, from, to)
 	})
-	if err != nil {
+	if !degradedOnly(err) {
 		return v6class.LifetimeStats{}, err
 	}
 	var out v6class.LifetimeStats
@@ -336,7 +329,7 @@ func (c *Coordinator) LifetimeStats(pop v6class.Population, from, to int) (v6cla
 		out.SpanHistogram = addHist(out.SpanHistogram, s.SpanHistogram)
 		out.ActiveDaysHistogram = addHist(out.ActiveDaysHistogram, s.ActiveDaysHistogram)
 	}
-	return out, nil
+	return out, err
 }
 
 // addHist adds b into a element-wise, growing a as needed.
@@ -357,7 +350,7 @@ func addHist(a, b []int) []int {
 // divides once.
 func (c *Coordinator) ReturnProbability(pop v6class.Population, from, to, maxGap int) ([]float64, error) {
 	num, den, err := c.ReturnCounts(pop, from, to, maxGap)
-	if err != nil {
+	if !degradedOnly(err) {
 		return nil, err
 	}
 	out := make([]float64, len(num))
@@ -366,23 +359,23 @@ func (c *Coordinator) ReturnProbability(pop v6class.Population, from, to, maxGap
 			out[g] = float64(num[g]) / float64(den[g])
 		}
 	}
-	return out, nil
+	return out, err
 }
 
 func (c *Coordinator) ReturnCounts(pop v6class.Population, from, to, maxGap int) (num, den []int, err error) {
 	type counts struct{ num, den []int }
-	all, err := scatter(c.backends, func(b v6class.Engine) (counts, error) {
+	all, err := gather(c, func(_ int, b v6class.Engine) (counts, error) {
 		n, d, err := b.ReturnCounts(pop, from, to, maxGap)
 		return counts{n, d}, err
 	})
-	if err != nil {
+	if !degradedOnly(err) {
 		return nil, nil, err
 	}
 	for _, ct := range all {
 		num = addHist(num, ct.num)
 		den = addHist(den, ct.den)
 	}
-	return num, den, nil
+	return num, den, err
 }
 
 // LongestStablePrefixes runs the Section 7.2 discovery over the merged
@@ -390,15 +383,15 @@ func (c *Coordinator) ReturnCounts(pop v6class.Population, from, to, maxGap int)
 // cannot be combined (a stable prefix may span partitions), but the merged
 // streams feed the same trie walk a single box runs.
 func (c *Coordinator) LongestStablePrefixes(aFrom, aTo, bFrom, bTo, minBits int, minSupport uint64) ([]v6class.LongestStablePrefix, error) {
-	periodA, err := c.orderedAddrsInRange(aFrom, aTo)
-	if err != nil {
-		return nil, err
+	periodA, errA := c.orderedAddrsInRange(aFrom, aTo)
+	if !degradedOnly(errA) {
+		return nil, errA
 	}
-	periodB, err := c.orderedAddrsInRange(bFrom, bTo)
-	if err != nil {
-		return nil, err
+	periodB, errB := c.orderedAddrsInRange(bFrom, bTo)
+	if !degradedOnly(errB) {
+		return nil, errB
 	}
-	return v6class.LongestStablePrefixesFrom(periodA, periodB, minBits, minSupport), nil
+	return v6class.LongestStablePrefixesFrom(periodA, periodB, minBits, minSupport), firstDegraded(errA, errB)
 }
 
 // rangeDays expands an inclusive day range into the explicit selection the
@@ -442,21 +435,23 @@ func addrsOf(seq iter.Seq[v6class.Prefix]) iter.Seq[v6class.Addr] {
 
 // mergedAddrs gathers one ordered address stream per backend and k-way
 // merges them; partitions are disjoint, so the merge never deduplicates.
+// In degraded mode the merge spans the answering backends only and err
+// carries the Coverage.
 func (c *Coordinator) mergedAddrs(fn func(b v6class.Engine) (iter.Seq[v6class.Addr], error)) (iter.Seq[v6class.Addr], error) {
-	seqs, err := scatter(c.backends, fn)
-	if err != nil {
+	seqs, err := gather(c, func(_ int, b v6class.Engine) (iter.Seq[v6class.Addr], error) { return fn(b) })
+	if !degradedOnly(err) {
 		return nil, err
 	}
-	return v6class.MergeOrdered(v6class.Addr.Cmp, seqs...), nil
+	return v6class.MergeOrdered(v6class.Addr.Cmp, seqs...), err
 }
 
 // mergedKeys is mergedAddrs for prefix-keyed streams.
 func (c *Coordinator) mergedKeys(fn func(b v6class.Engine) (iter.Seq[v6class.Prefix], error)) (iter.Seq[v6class.Prefix], error) {
-	seqs, err := scatter(c.backends, fn)
-	if err != nil {
+	seqs, err := gather(c, func(_ int, b v6class.Engine) (iter.Seq[v6class.Prefix], error) { return fn(b) })
+	if !degradedOnly(err) {
 		return nil, err
 	}
-	return v6class.MergeOrdered(v6class.Prefix.Cmp, seqs...), nil
+	return v6class.MergeOrdered(v6class.Prefix.Cmp, seqs...), err
 }
 
 func (c *Coordinator) StableAddrs(ref, n int) (iter.Seq[v6class.Addr], error) {
@@ -530,7 +525,7 @@ func (c *Coordinator) LifetimesOrderedAfter(pop v6class.Population, after v6clas
 }
 
 func (c *Coordinator) mergedLifetimes(fn func(b v6class.Engine) (iter.Seq2[v6class.Prefix, v6class.Activity], error)) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
-	seqs, err := scatter(c.backends, func(b v6class.Engine) (iter.Seq[keyedActivity], error) {
+	seqs, err := gather(c, func(_ int, b v6class.Engine) (iter.Seq[keyedActivity], error) {
 		seq2, err := fn(b)
 		if err != nil {
 			return nil, err
@@ -543,7 +538,7 @@ func (c *Coordinator) mergedLifetimes(fn func(b v6class.Engine) (iter.Seq2[v6cla
 			}
 		}, nil
 	})
-	if err != nil {
+	if !degradedOnly(err) {
 		return nil, err
 	}
 	merged := v6class.MergeOrdered(cmpKeyedActivity, seqs...)
@@ -553,7 +548,7 @@ func (c *Coordinator) mergedLifetimes(fn func(b v6class.Engine) (iter.Seq2[v6cla
 				return
 			}
 		}
-	}, nil
+	}, err
 }
 
 // SpatialSet rebuilds the spatial population from the merged ordered key
@@ -561,7 +556,7 @@ func (c *Coordinator) mergedLifetimes(fn func(b v6class.Engine) (iter.Seq2[v6cla
 // matches a single box building it.
 func (c *Coordinator) SpatialSet(pop v6class.Population, days ...int) (*v6class.AddressSet, error) {
 	seq, err := c.KeysOrdered(pop, days...)
-	if err != nil {
+	if !degradedOnly(err) {
 		return nil, err
 	}
 	set := &v6class.AddressSet{}
@@ -572,7 +567,7 @@ func (c *Coordinator) SpatialSet(pop v6class.Population, days ...int) (*v6class.
 			set.Add(p.Addr())
 		}
 	}
-	return set, nil
+	return set, err
 }
 
 // TopAggregates gathers every backend's complete /p ranking and re-ranks
@@ -581,7 +576,7 @@ func (c *Coordinator) SpatialSet(pop v6class.Population, days ...int) (*v6class.
 // directly. Ties re-rank in prefix order — the same deterministic total
 // order every engine uses.
 func (c *Coordinator) TopAggregates(pop v6class.Population, p, k int, days ...int) (iter.Seq[v6class.TopAggregate], error) {
-	all, err := scatter(c.backends, func(b v6class.Engine) ([]v6class.TopAggregate, error) {
+	all, err := gather(c, func(_ int, b v6class.Engine) ([]v6class.TopAggregate, error) {
 		seq, err := b.TopAggregates(pop, p, 0, days...)
 		if err != nil {
 			return nil, err
@@ -592,7 +587,7 @@ func (c *Coordinator) TopAggregates(pop v6class.Population, p, k int, days ...in
 		}
 		return out, nil
 	})
-	if err != nil {
+	if !degradedOnly(err) {
 		return nil, err
 	}
 	counts := map[v6class.Prefix]uint64{}
@@ -614,12 +609,12 @@ func (c *Coordinator) TopAggregates(pop v6class.Population, p, k int, days ...in
 	if k > 0 && len(merged) > k {
 		merged = merged[:k]
 	}
-	return sliceSeq(merged), nil
+	return sliceSeq(merged), err
 }
 
 // OverlapSeries sums the per-backend overlap curves day by day.
 func (c *Coordinator) OverlapSeries(pop v6class.Population, ref, before, after int) (iter.Seq2[int, int], error) {
-	series, err := scatter(c.backends, func(b v6class.Engine) ([]int, error) {
+	series, err := gather(c, func(_ int, b v6class.Engine) ([]int, error) {
 		seq, err := b.OverlapSeries(pop, ref, before, after)
 		if err != nil {
 			return nil, err
@@ -630,7 +625,7 @@ func (c *Coordinator) OverlapSeries(pop v6class.Population, ref, before, after i
 		}
 		return out, nil
 	})
-	if err != nil {
+	if !degradedOnly(err) {
 		return nil, err
 	}
 	var sum []int
@@ -644,5 +639,5 @@ func (c *Coordinator) OverlapSeries(pop v6class.Population, ref, before, after i
 				return
 			}
 		}
-	}, nil
+	}, err
 }

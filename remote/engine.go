@@ -38,6 +38,12 @@ type Engine struct {
 
 var _ v6class.Engine = (*Engine)(nil)
 
+// BaseURL returns the server base URL this engine was dialed with. The
+// coordinator stamps it into backend failures and Coverage reports, so an
+// operator reading "backend 2 (http://census-c:8470) unavailable" knows
+// exactly which partition to fix.
+func (e *Engine) BaseURL() string { return e.c.base }
+
 type metaResponse struct {
 	Snapshot   string `json:"snapshot"`
 	Epoch      uint64 `json:"epoch"`

@@ -17,6 +17,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -40,15 +41,30 @@ func WithSnapshot(name string) Option { return func(c *client) { c.snap = name }
 // httptest servers, custom transports, instrumented clients.
 func WithHTTPClient(hc *http.Client) Option { return func(c *client) { c.hc = hc } }
 
-// WithTimeout bounds each HTTP request (default 30s). The per-request
-// timeout is ignored when WithHTTPClient supplied a client with its own.
+// WithTimeout bounds one whole logical call — every attempt plus every
+// backoff delay between them (default 30s). When the budget runs out the
+// call fails with an error wrapping v6class.ErrUnavailable rather than
+// starting another attempt. Zero or negative disables the bound.
 func WithTimeout(d time.Duration) Option { return func(c *client) { c.timeout = d } }
 
+// WithAttemptTimeout bounds each individual HTTP attempt inside the
+// whole-call budget (default 10s). A hung backend therefore costs one
+// attempt, not the whole call: the attempt is canceled, the client backs
+// off and retries. Zero or negative disables the per-attempt bound (the
+// whole-call timeout still applies).
+func WithAttemptTimeout(d time.Duration) Option { return func(c *client) { c.attempt = d } }
+
 // WithRetries sets how many times a failed request is retried (default 2).
-// Transport errors and 5xx responses retry; 4xx responses never do. The
+// Transport errors, 5xx responses and 429 responses retry (with the
+// Backoff policy's delay in between); other 4xx responses never do. The
 // same budget bounds how many times a paged enumeration restarts after a
 // mid-stream cursor_expired.
 func WithRetries(n int) Option { return func(c *client) { c.retries = n } }
+
+// WithBackoff sets the retry delay policy (see Backoff; the zero value
+// means the defaults: capped exponential from 100ms to 5s, factor 2, full
+// jitter, Retry-After honored as a floor).
+func WithBackoff(b Backoff) Option { return func(c *client) { c.backoff = b } }
 
 // WithToken sends the admin token on write requests (ingest, freeze,
 // reload are refused without it on token-configured servers).
@@ -71,8 +87,10 @@ type client struct {
 	snap     string
 	token    string
 	hc       *http.Client
-	timeout  time.Duration
+	timeout  time.Duration // whole-call budget: attempts + backoff
+	attempt  time.Duration // per-attempt deadline inside the budget
 	retries  int
+	backoff  Backoff
 	pageSize int
 }
 
@@ -92,39 +110,102 @@ func (c *client) withQuery(path string, q url.Values) string {
 	return u
 }
 
-// roundTrip performs one request with the retry policy: transport errors
-// and 5xx responses retry up to the budget, everything else answers
-// immediately. body is replayed per attempt. The caller owns the returned
-// response body.
+// attemptContext builds one attempt's context: the earlier of the
+// per-attempt deadline and the whole-call deadline. Without either, the
+// context is merely cancellable (so the transport can always be released).
+func (c *client) attemptContext(callDeadline time.Time) (context.Context, context.CancelFunc) {
+	d := callDeadline
+	if c.attempt > 0 {
+		if ad := time.Now().Add(c.attempt); d.IsZero() || ad.Before(d) {
+			d = ad
+		}
+	}
+	if d.IsZero() {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithDeadline(context.Background(), d)
+}
+
+// cancelOnClose ties an attempt context's cancel to the response body's
+// Close, so the context (and its timer) is released exactly when the caller
+// finishes reading — never before, which would kill the read mid-body.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnClose) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// drainLimit bounds how much of a doomed response body is read before the
+// connection is reused; larger bodies close the connection instead.
+const drainLimit = 64 << 10
+
+// roundTrip performs one logical request under the retry policy: transport
+// errors, 5xx and 429 responses retry up to the budget with capped
+// exponential backoff (full jitter, Retry-After honored as a floor), each
+// attempt bounded by the per-attempt deadline and the whole by the
+// whole-call timeout. Other responses answer immediately. Failed attempts
+// drain and close their bodies so the underlying connection is reused.
+// body is replayed per attempt. The caller owns the returned response body.
+//
+// When the budget — retries or time — runs out, the error wraps both
+// v6class.ErrUnavailable and the last attempt's failure.
 func (c *client) roundTrip(method, path string, q url.Values, body []byte) (*http.Response, error) {
 	u := c.withQuery(path, q)
+	var callDeadline time.Time
+	if c.timeout > 0 {
+		callDeadline = time.Now().Add(c.timeout)
+	}
 	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
+	for attempt := 0; ; attempt++ {
+		actx, cancel := c.attemptContext(callDeadline)
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequest(method, u, rd)
+		req, err := http.NewRequestWithContext(actx, method, u, rd)
 		if err != nil {
+			cancel()
 			return nil, fmt.Errorf("remote: building request: %w", err)
 		}
 		if c.token != "" {
 			req.Header.Set("Authorization", "Bearer "+c.token)
 		}
 		resp, err := c.hc.Do(req)
-		if err != nil {
+		var retryAfter time.Duration
+		switch {
+		case err != nil:
+			cancel()
 			lastErr = fmt.Errorf("remote: %s %s: %w", method, path, err)
-			continue
-		}
-		if resp.StatusCode >= 500 && attempt < c.retries {
+		case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			io.Copy(io.Discard, io.LimitReader(resp.Body, drainLimit)) //nolint:errcheck
 			resp.Body.Close()
+			cancel()
 			lastErr = serve.DecodeError(resp.StatusCode, b)
-			continue
+		default:
+			// Success, or a permanent (non-retryable 4xx) failure the
+			// caller decodes. The attempt context must survive until the
+			// body is consumed.
+			resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+			return resp, nil
 		}
-		return resp, nil
+		if attempt >= c.retries {
+			return nil, &unavailableError{method: method, path: path, attempts: attempt + 1, last: lastErr}
+		}
+		d := c.backoff.delay(attempt, retryAfter)
+		if !callDeadline.IsZero() && time.Now().Add(d).After(callDeadline) {
+			// The budget cannot fit another attempt; fail now rather than
+			// sleep into the deadline.
+			return nil, &unavailableError{method: method, path: path, attempts: attempt + 1, last: lastErr}
+		}
+		time.Sleep(d)
 	}
-	return nil, lastErr
 }
 
 // call performs a request and decodes a JSON response into out (when
@@ -171,6 +252,7 @@ func Dial(baseURL string, opts ...Option) (*Engine, error) {
 		base:     strings.TrimRight(baseURL, "/"),
 		hc:       nil,
 		timeout:  30 * time.Second,
+		attempt:  10 * time.Second,
 		retries:  2,
 		pageSize: 1000,
 	}
@@ -178,7 +260,10 @@ func Dial(baseURL string, opts ...Option) (*Engine, error) {
 		o(c)
 	}
 	if c.hc == nil {
-		c.hc = &http.Client{Timeout: c.timeout}
+		// Deadlines are carried by per-attempt request contexts, never by
+		// http.Client.Timeout — a client-level timeout would span retries
+		// of the same attempt budget twice.
+		c.hc = &http.Client{}
 	}
 	e := &Engine{c: c}
 	meta, err := e.meta()

@@ -1,0 +1,360 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"v6class"
+)
+
+// The coordinator's resilience policy: every scatter-gather runs through
+// per-backend circuit breakers and a fan-out deadline, and the caller
+// chooses between strict mode (the default — any backend failure fails the
+// query, naming the backend) and opt-in degraded mode (WithPartialResults —
+// merges proceed when a minority of partitions is down, annotated with a
+// Coverage report behind a typed v6class.ErrDegraded).
+
+// CoordinatorOption configures NewCoordinator beyond the backend list.
+type CoordinatorOption func(*Coordinator)
+
+// WithPartialResults turns on degraded mode: scalar, ranking and
+// enumeration merges proceed when a minority of partitions is unavailable.
+// The result then covers only the answering partitions and the returned
+// error wraps v6class.ErrDegraded; errors.As against *DegradedError yields
+// the exact Coverage. Failures that are not availability faults (a bad
+// parameter, a day outside the study) still fail the whole query — they
+// would be wrong on every partition alike — as does a majority outage.
+// Point queries never degrade: the owning partition is the only source.
+// Writes (AddDays, Ingest, Freeze) never degrade either: a partially
+// ingested batch would be quiet data loss.
+func WithPartialResults() CoordinatorOption {
+	return func(c *Coordinator) { c.partial = true }
+}
+
+// WithFanoutTimeout bounds one scatter-gather fan-out (default 30s): a
+// backend that has not answered by the deadline is treated as unavailable
+// and the merge proceeds (degraded mode) or fails fast (strict mode)
+// instead of blocking forever on a hung backend. Zero or negative disables
+// the bound.
+func WithFanoutTimeout(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.fanout = d }
+}
+
+// WithHedge enables hedged point queries: a point query still unanswered
+// after d is sent a second time to the same backend, and the first success
+// wins. Tames tail latency from a slow replica or a dropped packet at the
+// cost of occasional duplicate (idempotent, read-only) requests. Zero
+// disables hedging (the default).
+func WithHedge(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.hedge = d }
+}
+
+// WithBreaker sets the per-backend circuit breaker policy (see
+// BreakerPolicy; the zero value means the defaults: open after 5
+// consecutive availability failures, half-open probe after 10s).
+func WithBreaker(p BreakerPolicy) CoordinatorOption {
+	return func(c *Coordinator) { c.breakerPolicy = p }
+}
+
+// Coverage reports how much of the partitioned census contributed to a
+// degraded answer: exactly which partitions are missing and why.
+type Coverage struct {
+	// Backends is the cluster fan-out.
+	Backends int
+	// Answered is how many partitions contributed to the merge.
+	Answered int
+	// Failed lists the partitions missing from the answer.
+	Failed []BackendFailure
+}
+
+func (c Coverage) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d/%d partitions", c.Answered, c.Backends)
+	for i, f := range c.Failed {
+		if i == 0 {
+			sb.WriteString(" (missing ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.name())
+	}
+	if len(c.Failed) > 0 {
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// BackendFailure identifies one unavailable partition.
+type BackendFailure struct {
+	// Index is the backend's position in NewCoordinator order.
+	Index int
+	// URL is the backend's base URL when it is a remote.Engine (or
+	// anything else exposing BaseURL() string); empty otherwise.
+	URL string
+	// Err is what the backend failed with.
+	Err error
+}
+
+func (f BackendFailure) name() string {
+	if f.URL != "" {
+		return fmt.Sprintf("backend %d (%s)", f.Index, f.URL)
+	}
+	return fmt.Sprintf("backend %d", f.Index)
+}
+
+// DegradedError annotates a successful-but-partial merge in
+// WithPartialResults mode. It unwraps to v6class.ErrDegraded, so
+// errors.Is(err, v6class.ErrDegraded) detects degradation and
+// errors.As(err, &de) reaches the Coverage.
+type DegradedError struct {
+	Coverage Coverage
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("remote: degraded results: %s: %v", e.Coverage, firstFailure(e.Coverage))
+}
+
+func (e *DegradedError) Unwrap() error { return v6class.ErrDegraded }
+
+func firstFailure(c Coverage) error {
+	if len(c.Failed) == 0 {
+		return nil
+	}
+	return c.Failed[0].Err
+}
+
+// backendError names the backend behind a failure, so an operator reading
+// a strict-mode cluster error knows which partition to fix. It unwraps to
+// the underlying error, preserving every typed sentinel.
+type backendError struct {
+	index int
+	url   string
+	err   error
+}
+
+func (e *backendError) Error() string {
+	return fmt.Sprintf("remote: %s: %v", BackendFailure{Index: e.index, URL: e.url}.name(), e.err)
+}
+
+func (e *backendError) Unwrap() error { return e.err }
+
+// baseURLOf extracts a backend's dial URL when it has one.
+func baseURLOf(b v6class.Engine) string {
+	if r, ok := b.(interface{ BaseURL() string }); ok {
+		return r.BaseURL()
+	}
+	return ""
+}
+
+// The availability faults the coordinator itself raises.
+var (
+	errCircuitOpen   = fmt.Errorf("%w: circuit open (backend failing consecutively; half-open probe pending)", v6class.ErrUnavailable)
+	errFanoutTimeout = fmt.Errorf("%w: no reply within the fan-out deadline", v6class.ErrUnavailable)
+)
+
+// available is the breaker's verdict on one call outcome: only
+// availability faults count against a backend's health.
+func available(err error) bool {
+	return err == nil || !errors.Is(err, v6class.ErrUnavailable)
+}
+
+// degradedOnly reports whether err is nil or only a degradation
+// annotation — i.e. the accompanying result is usable.
+func degradedOnly(err error) bool {
+	return err == nil || errors.Is(err, v6class.ErrDegraded)
+}
+
+// firstDegraded propagates the first degradation annotation of a
+// multi-gather query (both errors, when non-nil, are degraded-only).
+func firstDegraded(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gather scatter-gathers fn over every backend under the coordinator's
+// policy and returns the answered results in backend order. The error is
+// nil (full coverage), a *DegradedError (partial mode, minority missing —
+// the results are usable), or fatal (strict mode, non-availability fault,
+// or majority outage — the results are nil). Breakers are consulted before
+// calling and fed the verdict after; backends that miss the fan-out
+// deadline count as unavailable, and their late replies are discarded
+// without blocking anyone.
+func gather[T any](c *Coordinator, fn func(i int, b v6class.Engine) (T, error)) ([]T, error) {
+	return gatherMode(c, c.partial, fn)
+}
+
+// gatherStrict is gather with degraded mode forced off — the write path
+// (AddDays, Freeze) must never partially apply.
+func gatherStrict[T any](c *Coordinator, fn func(i int, b v6class.Engine) (T, error)) ([]T, error) {
+	return gatherMode(c, false, fn)
+}
+
+func gatherMode[T any](c *Coordinator, partial bool, fn func(i int, b v6class.Engine) (T, error)) ([]T, error) {
+	n := len(c.backends)
+	type reply struct {
+		i   int
+		v   T
+		err error
+	}
+	// Buffered to the fan-out, so goroutines finishing after a deadline
+	// abandon never block on the send.
+	ch := make(chan reply, n)
+	sem := make(chan struct{}, min(n, scatterLimit))
+	fails := make([]error, n)
+	launched := 0
+	for i, b := range c.backends {
+		br := c.breakers[i]
+		if !br.allow() {
+			fails[i] = errCircuitOpen
+			continue
+		}
+		launched++
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			v, err := fn(i, b)
+			// The breaker hears every verdict, even one arriving after the
+			// gather gave up on this backend: a late success after a
+			// timeout still proves the backend alive.
+			br.record(available(err))
+			ch <- reply{i, v, err}
+		}()
+	}
+	vals := make([]T, n)
+	done := make([]bool, n)
+	var deadline <-chan time.Time
+	if c.fanout > 0 {
+		t := time.NewTimer(c.fanout)
+		defer t.Stop()
+		deadline = t.C
+	}
+collect:
+	for got := 0; got < launched; got++ {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				fails[r.i] = r.err
+			} else {
+				vals[r.i] = r.v
+				done[r.i] = true
+			}
+		case <-deadline:
+			break collect
+		}
+	}
+	for i := range fails {
+		if !done[i] && fails[i] == nil {
+			fails[i] = errFanoutTimeout
+		}
+	}
+	return resolveGather(c, partial, vals, done, fails)
+}
+
+// resolveGather applies the strict/degraded policy to one gather outcome.
+func resolveGather[T any](c *Coordinator, partial bool, vals []T, done []bool, fails []error) ([]T, error) {
+	cov := Coverage{Backends: len(vals)}
+	out := make([]T, 0, len(vals))
+	for i := range vals {
+		if done[i] {
+			out = append(out, vals[i])
+			cov.Answered++
+			continue
+		}
+		cov.Failed = append(cov.Failed, BackendFailure{
+			Index: i, URL: baseURLOf(c.backends[i]), Err: fails[i],
+		})
+	}
+	if len(cov.Failed) == 0 {
+		return out, nil
+	}
+	strictErr := func() error {
+		errs := make([]error, len(cov.Failed))
+		for i, f := range cov.Failed {
+			errs[i] = &backendError{index: f.Index, url: f.URL, err: f.Err}
+		}
+		return errors.Join(errs...)
+	}
+	if !partial {
+		return nil, strictErr()
+	}
+	// A failure that is not an availability fault (bad parameter, day
+	// range) would be wrong on every partition alike; degrading would mask
+	// the caller's bug. Fail fast regardless of mode.
+	for _, f := range cov.Failed {
+		if !errors.Is(f.Err, v6class.ErrUnavailable) {
+			return nil, strictErr()
+		}
+	}
+	// Degrade only past a minority outage: answering from a minority of
+	// the census would be more misleading than failing.
+	if 2*len(cov.Failed) >= cov.Backends {
+		return nil, fmt.Errorf("%w: %d of %d partitions down: %w",
+			v6class.ErrUnavailable, len(cov.Failed), cov.Backends, strictErr())
+	}
+	return out, &DegradedError{Coverage: cov}
+}
+
+// pointCall routes one key-owned query through the owner's breaker, with
+// an optional hedged second attempt. Point queries never degrade — the
+// owning partition is the only holder of the answer — so any availability
+// fault surfaces as a strict error naming the backend.
+func pointCall[T any](c *Coordinator, p v6class.Prefix, fn func(b v6class.Engine) (T, error)) (T, error) {
+	i := c.part(p)
+	b := c.backends[i]
+	br := c.breakers[i]
+	var zero T
+	if !br.allow() {
+		return zero, &backendError{index: i, url: baseURLOf(b), err: errCircuitOpen}
+	}
+	call := func() (T, error) {
+		v, err := fn(b)
+		br.record(available(err))
+		return v, err
+	}
+	if c.hedge <= 0 {
+		v, err := call()
+		if err != nil {
+			return zero, &backendError{index: i, url: baseURLOf(b), err: err}
+		}
+		return v, nil
+	}
+	type reply struct {
+		v   T
+		err error
+	}
+	ch := make(chan reply, 2)
+	launch := func() {
+		go func() {
+			v, err := call()
+			ch <- reply{v, err}
+		}()
+	}
+	launch()
+	hedge := time.NewTimer(c.hedge)
+	defer hedge.Stop()
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if pending--; pending == 0 {
+				return zero, &backendError{index: i, url: baseURLOf(b), err: firstErr}
+			}
+		case <-hedge.C:
+			launch()
+			pending++
+		}
+	}
+}

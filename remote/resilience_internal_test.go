@@ -1,0 +1,152 @@
+package remote
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"v6class"
+)
+
+// The backoff policy's contract: full jitter inside an exponentially
+// growing, capped ceiling, with Retry-After as an authoritative floor that
+// still cannot exceed the cap.
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second, Factor: 2}
+	for attempt := 0; attempt < 12; attempt++ {
+		ceil := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+		if ceil > float64(b.Max) {
+			ceil = float64(b.Max)
+		}
+		for trial := 0; trial < 200; trial++ {
+			d := b.delay(attempt, 0)
+			if d < 0 || float64(d) >= ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, time.Duration(ceil))
+			}
+		}
+	}
+}
+
+func TestBackoffRetryAfterFloor(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second, Factor: 2}
+	// A server hint above the jitter ceiling is authoritative: the delay
+	// is exactly the hint.
+	for trial := 0; trial < 50; trial++ {
+		if d := b.delay(0, 2*time.Second); d != 2*time.Second {
+			t.Fatalf("delay with 2s Retry-After = %v, want exactly 2s", d)
+		}
+	}
+	// But a confused server cannot park the client past Max.
+	if d := b.delay(0, time.Hour); d != b.Max {
+		t.Fatalf("delay with 1h Retry-After = %v, want clamped to %v", d, b.Max)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.delay(0, 0); d >= 100*time.Millisecond {
+		t.Fatalf("zero-value first delay %v, want < default base 100ms", d)
+	}
+	if d := b.delay(100, 0); d >= 5*time.Second {
+		t.Fatalf("zero-value late delay %v, want < default max 5s", d)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{" 1 ", time.Second},
+		{"-5", 0},
+		{"junk", 0},
+		{time.Now().Add(-time.Hour).UTC().Format("Mon, 02 Jan 2006 15:04:05 GMT"), 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// An HTTP date in the future yields roughly the wait until it.
+	future := time.Now().Add(90 * time.Second).UTC().Format("Mon, 02 Jan 2006 15:04:05 GMT")
+	if got := parseRetryAfter(future); got < 80*time.Second || got > 91*time.Second {
+		t.Errorf("parseRetryAfter(+90s date) = %v, want ~90s", got)
+	}
+}
+
+func TestUnavailableErrorUnwrapsBoth(t *testing.T) {
+	last := errors.New("wire: connection refused")
+	err := error(&unavailableError{method: "GET", path: "/v1/meta", attempts: 3, last: last})
+	if !errors.Is(err, v6class.ErrUnavailable) {
+		t.Fatal("unavailableError does not unwrap to ErrUnavailable")
+	}
+	if !errors.Is(err, last) {
+		t.Fatal("unavailableError does not unwrap to the last attempt's error")
+	}
+}
+
+// The breaker's lifecycle: consecutive availability failures open it, the
+// cooldown admits exactly one half-open probe, and the probe's verdict
+// picks between closing and another full open period.
+func TestBreakerLifecycle(t *testing.T) {
+	br := newBreaker(BreakerPolicy{Threshold: 2, Cooldown: 40 * time.Millisecond})
+	if !br.allow() {
+		t.Fatal("fresh breaker rejects")
+	}
+	br.record(false)
+	if !br.allow() {
+		t.Fatal("one failure below threshold opened the breaker")
+	}
+	br.record(false)
+	if br.allow() {
+		t.Fatal("threshold failures did not open the breaker")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if !br.allow() {
+		t.Fatal("cooldown elapsed but no half-open probe admitted")
+	}
+	if br.allow() {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+	br.record(true)
+	if !br.allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+
+	// The failure path: a failed probe reopens immediately.
+	br.record(false)
+	br.record(false)
+	time.Sleep(50 * time.Millisecond)
+	if !br.allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	br.record(false)
+	if br.allow() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	br := newBreaker(BreakerPolicy{Threshold: -1})
+	for i := 0; i < 100; i++ {
+		br.record(false)
+		if !br.allow() {
+			t.Fatal("disabled breaker rejected a request")
+		}
+	}
+}
+
+// BenchmarkBackoffDelay is the per-retry decision cost — noise floor
+// material, pinned so a future policy change cannot silently put math in
+// the hot retry path.
+func BenchmarkBackoffDelay(b *testing.B) {
+	var p Backoff
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.delay(i%8, 0)
+	}
+}

@@ -1,0 +1,506 @@
+package remote_test
+
+// Behavioral tests of the resilience tier: the client's Retry-After
+// obedience and per-attempt deadlines, the coordinator's circuit breaker,
+// hedged point queries, and the fan-out deadline's degraded fallback. All
+// fault schedules are driven by test-controlled handlers or the chaos
+// harness, so every scenario is reproducible.
+
+import (
+	"errors"
+	"iter"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"v6class"
+	"v6class/remote"
+	"v6class/remote/chaos"
+	"v6class/serve"
+)
+
+const resStudyDays = 10
+
+// resLogs is a minimal deterministic census: six addresses in two /64s,
+// everything active every day — just enough state for every endpoint to
+// answer.
+func resLogs() []v6class.DayLog {
+	addrs := []v6class.Addr{
+		v6class.MustParseAddr("2001:db8::1"),
+		v6class.MustParseAddr("2001:db8::2"),
+		v6class.MustParseAddr("2001:db8::3"),
+		v6class.MustParseAddr("2001:db8:0:1::1"),
+		v6class.MustParseAddr("2001:db8:0:1::2"),
+		v6class.MustParseAddr("2001:db8:0:1::3"),
+	}
+	logs := make([]v6class.DayLog, resStudyDays)
+	for day := range logs {
+		logs[day].Day = day
+		for _, a := range addrs {
+			logs[day].Records = append(logs[day].Records, v6class.Record{Addr: a, Hits: 2})
+		}
+	}
+	return logs
+}
+
+// resEngine builds and freezes a local engine over resLogs.
+func resEngine(t testing.TB) v6class.Engine {
+	t.Helper()
+	eng, err := v6class.New(v6class.WithStudyDays(resStudyDays), v6class.WithSequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddDays(resLogs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// resHandler publishes eng as a serve handler under snapshot "census".
+func resHandler(t testing.TB, eng v6class.Engine) http.Handler {
+	t.Helper()
+	s := serve.New(serve.Options{})
+	s.Install("census", "", eng)
+	return s.Handler()
+}
+
+// fastBackoff keeps retry delays negligible where the test does not
+// measure them.
+func fastBackoff() remote.Backoff {
+	return remote.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+}
+
+// TestRetryAfterHonored proves the client is not a tight loop: a server
+// shedding with 429 and Retry-After: 1 sees the retries spaced at least
+// the hinted second apart, even though the configured backoff base is one
+// millisecond.
+func TestRetryAfterHonored(t *testing.T) {
+	real := resHandler(t, resEngine(t))
+	var mu sync.Mutex
+	var times []time.Time
+	sheds := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		shed := sheds > 0
+		if shed {
+			sheds--
+		}
+		mu.Unlock()
+		if shed {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	// Base 1ms keeps the jittered component negligible; Max stays at its
+	// 5s default because Max also clamps the Retry-After floor.
+	if _, err := remote.Dial(srv.URL, remote.WithSnapshot("census"),
+		remote.WithRetries(4), remote.WithBackoff(remote.Backoff{Base: time.Millisecond})); err != nil {
+		t.Fatalf("Dial through 429s: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two sheds, one success)", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if gap := times[i].Sub(times[i-1]); gap < 900*time.Millisecond {
+			t.Fatalf("retry %d came %v after the 429, want >= ~1s (Retry-After ignored?)", i, gap)
+		}
+	}
+}
+
+// TestAttemptTimeoutFailsFast proves a hung backend costs one attempt
+// budget, not an unbounded wait: with a 50ms per-attempt deadline the
+// whole dial against a never-answering server resolves in well under the
+// 30s default whole-call timeout, classified unavailable.
+func TestAttemptTimeoutFailsFast(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	_, err := remote.Dial(srv.URL,
+		remote.WithAttemptTimeout(50*time.Millisecond),
+		remote.WithRetries(2),
+		remote.WithBackoff(fastBackoff()))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial against a hung server succeeded")
+	}
+	if !errors.Is(err, v6class.ErrUnavailable) {
+		t.Fatalf("error does not wrap ErrUnavailable: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("three 50ms attempts took %v — per-attempt deadline not applied", elapsed)
+	}
+}
+
+// flakyBackend wraps a healthy serve handler with a switchable 503 mode
+// and a request counter, so a test can break one cluster partition on
+// demand and count exactly how often it is asked.
+type flakyBackend struct {
+	h    http.Handler
+	fail atomic.Bool
+	hits atomic.Int64
+}
+
+func (f *flakyBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.hits.Add(1)
+	if f.fail.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+// dialBackend dials a handler with single-attempt fast-fail options, so
+// one coordinator scatter costs exactly one request per backend.
+func dialBackend(t *testing.T, h http.Handler) *remote.Engine {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"),
+		remote.WithRetries(0), remote.WithBackoff(fastBackoff()))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return re
+}
+
+// TestBreakerStopsHammering proves the coordinator's circuit breaker: a
+// backend failing consecutively stops receiving requests at all after the
+// threshold, queries fail naming it, and a half-open probe after the
+// cooldown restores it to service once healthy.
+func TestBreakerStopsHammering(t *testing.T) {
+	eng := resEngine(t)
+	flaky := &flakyBackend{h: resHandler(t, eng)}
+	backends := []v6class.Engine{
+		dialBackend(t, resHandler(t, eng)),
+		dialBackend(t, resHandler(t, eng)),
+		dialBackend(t, flaky),
+	}
+	coord, err := remote.NewCoordinator(backends, nil,
+		remote.WithBreaker(remote.BreakerPolicy{Threshold: 2, Cooldown: 200 * time.Millisecond}))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+
+	flaky.fail.Store(true)
+	// Two scatters feed the breaker its threshold of failures.
+	for i := 0; i < 2; i++ {
+		_, err := coord.NumKeys(v6class.Addresses)
+		if !errors.Is(err, v6class.ErrUnavailable) {
+			t.Fatalf("scatter %d against a failing backend: %v, want ErrUnavailable", i, err)
+		}
+		if !strings.Contains(err.Error(), "backend 2") {
+			t.Fatalf("error does not name the failing backend: %v", err)
+		}
+	}
+	// The circuit is open: further scatters fail instantly without a
+	// single request reaching the broken backend.
+	before := flaky.hits.Load()
+	for i := 0; i < 3; i++ {
+		if _, err := coord.NumKeys(v6class.Addresses); !errors.Is(err, v6class.ErrUnavailable) {
+			t.Fatalf("open-circuit scatter %d: %v, want ErrUnavailable", i, err)
+		}
+	}
+	if got := flaky.hits.Load(); got != before {
+		t.Fatalf("open circuit let %d request(s) through to the broken backend", got-before)
+	}
+
+	// Recovery: heal the backend, wait out the cooldown, and the half-open
+	// probe closes the circuit again.
+	flaky.fail.Store(false)
+	time.Sleep(250 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if _, err := coord.NumKeys(v6class.Addresses); err != nil {
+			t.Fatalf("scatter %d after recovery: %v", i, err)
+		}
+	}
+}
+
+// TestHedgedLookupTamesTail proves WithHedge: when the owning backend
+// sits on the first reply, a duplicate request races it and the fast
+// answer wins well before the slow one lands.
+func TestHedgedLookupTamesTail(t *testing.T) {
+	real := resHandler(t, resEngine(t))
+	var lookups atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "lookup") {
+			if lookups.Add(1) == 1 {
+				select {
+				case <-r.Context().Done():
+					return
+				case <-time.After(2 * time.Second):
+				}
+			}
+		}
+		real.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	coord, err := remote.NewCoordinator([]v6class.Engine{re}, nil,
+		remote.WithHedge(30*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+
+	start := time.Now()
+	if _, err := coord.LookupAddr(v6class.MustParseAddr("2001:db8::1")); err != nil {
+		t.Fatalf("hedged LookupAddr: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged lookup took %v — the hedge never fired", elapsed)
+	}
+	if n := lookups.Load(); n < 2 {
+		t.Fatalf("server saw %d lookup request(s), want >= 2 (primary + hedge)", n)
+	}
+}
+
+// stuckEngine wraps a healthy local engine but blocks NumKeys until
+// released — a backend that accepted the connection and then went silent.
+type stuckEngine struct {
+	v6class.Engine
+	release chan struct{}
+}
+
+func (s *stuckEngine) NumKeys(pop v6class.Population) (int, error) {
+	<-s.release
+	return s.Engine.NumKeys(pop)
+}
+
+// TestFanoutDeadlineDegrades proves the fan-out deadline: a backend that
+// never answers is cut off at the deadline and, in partial mode, the merge
+// proceeds over the answering majority with an exact Coverage report. The
+// default strict mode fails instead.
+func TestFanoutDeadlineDegrades(t *testing.T) {
+	eng := resEngine(t)
+	single, err := eng.NumKeys(v6class.Addresses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	mk := func(opts ...remote.CoordinatorOption) *remote.Coordinator {
+		backends := []v6class.Engine{eng, &stuckEngine{Engine: resEngine(t), release: release}, resEngine(t)}
+		c, err := remote.NewCoordinator(backends, nil,
+			append([]remote.CoordinatorOption{remote.WithFanoutTimeout(60 * time.Millisecond)}, opts...)...)
+		if err != nil {
+			t.Fatalf("NewCoordinator: %v", err)
+		}
+		return c
+	}
+
+	// Strict mode: the hung backend fails the query at the deadline.
+	if _, err := mk().NumKeys(v6class.Addresses); !errors.Is(err, v6class.ErrUnavailable) {
+		t.Fatalf("strict fan-out past a hung backend: %v, want ErrUnavailable", err)
+	}
+
+	// Partial mode: the two answering backends carry the merge, and the
+	// degradation annotation reports exactly who is missing.
+	got, err := mk(remote.WithPartialResults()).NumKeys(v6class.Addresses)
+	if !errors.Is(err, v6class.ErrDegraded) {
+		t.Fatalf("degraded fan-out: %v, want ErrDegraded", err)
+	}
+	if got != 2*single {
+		t.Fatalf("degraded NumKeys = %d, want %d (two answering backends)", got, 2*single)
+	}
+	var de *remote.DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("degraded error is not a *DegradedError: %v", err)
+	}
+	cov := de.Coverage
+	if cov.Backends != 3 || cov.Answered != 2 || len(cov.Failed) != 1 || cov.Failed[0].Index != 1 {
+		t.Fatalf("Coverage = %+v, want 2/3 answered missing backend 1", cov)
+	}
+	if !errors.Is(cov.Failed[0].Err, v6class.ErrUnavailable) {
+		t.Fatalf("missing backend's error %v does not wrap ErrUnavailable", cov.Failed[0].Err)
+	}
+}
+
+// drain exhausts an iterator, counting.
+func drain[T any](seq iter.Seq[T]) int {
+	n := 0
+	for range seq {
+		n++
+	}
+	return n
+}
+
+// TestChaoticRemoteRecovers drives a single remote engine through the
+// chaos transport — 5xx bursts, connection resets, truncated bodies, all
+// seeded — with a fault budget, and proves the retry tier answers every
+// query correctly once the faults dry up.
+func TestChaoticRemoteRecovers(t *testing.T) {
+	eng := resEngine(t)
+	srv := httptest.NewServer(resHandler(t, eng))
+	defer srv.Close()
+	in := chaos.NewInjector(chaos.Policy{
+		Seed:       11,
+		FailRate:   0.25,
+		ResetRate:  0.10,
+		RetryAfter: 0, // jittered backoff only; Retry-After has its own test
+		MaxFaults:  40,
+	})
+	hc := &http.Client{Transport: &chaos.Transport{Injector: in}}
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"),
+		remote.WithHTTPClient(hc), remote.WithRetries(8),
+		remote.WithBackoff(fastBackoff()), remote.WithPageSize(3))
+	if err != nil {
+		t.Fatalf("Dial through chaos: %v", err)
+	}
+
+	wantKeys, err := eng.NumKeys(v6class.Addresses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 30; round++ {
+		n, err := re.NumKeys(v6class.Addresses)
+		if err != nil {
+			t.Fatalf("round %d NumKeys through chaos: %v", round, err)
+		}
+		if n != wantKeys {
+			t.Fatalf("round %d NumKeys = %d, want %d", round, n, wantKeys)
+		}
+		keys, err := re.KeysOrdered(v6class.Addresses)
+		if err != nil {
+			t.Fatalf("round %d KeysOrdered through chaos: %v", round, err)
+		}
+		if got := drain(keys); got != wantKeys {
+			t.Fatalf("round %d enumerated %d keys, want %d", round, got, wantKeys)
+		}
+	}
+	st := in.Stats()
+	if st.Faults == 0 {
+		t.Fatal("the chaos transport injected no faults — the test proved nothing")
+	}
+	t.Logf("chaos: %d faults across %d requests, all queries correct", st.Faults, st.Requests)
+}
+
+// gatedKeys parks KeysOrdered until released, so a test can hold a serve
+// instance's sweep admission slot open from inside the engine.
+type gatedKeys struct {
+	v6class.Engine
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (g *gatedKeys) KeysOrdered(pop v6class.Population, days ...int) (iter.Seq[v6class.Prefix], error) {
+	g.entered <- struct{}{}
+	<-g.gate
+	return g.Engine.KeysOrdered(pop, days...)
+}
+
+// TestServeShedDrivesClientBackoff is the 429 loop closed end to end: a
+// serve instance with one sweep slot sheds the client's enumeration with
+// Retry-After: 1, the client's backoff waits the hinted second — no tight
+// loop, proven by request timestamps — and the retry succeeds once the
+// occupying sweep drains.
+func TestServeShedDrivesClientBackoff(t *testing.T) {
+	g := &gatedKeys{Engine: resEngine(t), entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	s := serve.New(serve.Options{SweepConcurrency: 1})
+	s.Install("census", "", g)
+
+	var mu sync.Mutex
+	var sweepTimes []time.Time
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/keys") {
+			mu.Lock()
+			sweepTimes = append(sweepTimes, time.Now())
+			mu.Unlock()
+		}
+		s.Handler().ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Park one sweep inside the engine, occupying the only slot.
+	occupied := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/v1/keys?pop=addrs&snap=census")
+		if err != nil {
+			occupied <- -1
+			return
+		}
+		resp.Body.Close()
+		occupied <- resp.StatusCode
+	}()
+	<-g.entered
+	time.AfterFunc(300*time.Millisecond, func() { close(g.gate) })
+
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"),
+		remote.WithRetries(5), remote.WithBackoff(remote.Backoff{Base: time.Millisecond}))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	seq, err := re.KeysOrdered(v6class.Addresses)
+	if err != nil {
+		t.Fatalf("KeysOrdered through saturation: %v", err)
+	}
+	if got := drain(seq); got != 6 {
+		t.Fatalf("enumerated %d keys, want 6", got)
+	}
+	if code := <-occupied; code != http.StatusOK {
+		t.Fatalf("occupying sweep finished with %d, want 200", code)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// sweepTimes: the parked request, then the client's shed attempt and
+	// its retries. The gap after the shed must be at least the hinted
+	// second — millisecond backoff base alone would retry instantly.
+	if len(sweepTimes) < 3 {
+		t.Fatalf("saw %d sweep requests, want the parked one plus a shed attempt and a retry", len(sweepTimes))
+	}
+	for i := 2; i < len(sweepTimes); i++ {
+		if gap := sweepTimes[i].Sub(sweepTimes[i-1]); gap < 900*time.Millisecond {
+			t.Fatalf("client retried %v after the 429, want >= ~1s (Retry-After ignored)", gap)
+		}
+	}
+}
+
+// BenchmarkResilienceFaultyLookup measures a point lookup through a
+// fault-injecting transport (25% 503s) with millisecond backoff: the
+// price of the retry tier when the cluster is genuinely unhealthy.
+func BenchmarkResilienceFaultyLookup(b *testing.B) {
+	eng := resEngine(b)
+	s := serve.New(serve.Options{})
+	s.Install("census", "", eng)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	in := chaos.NewInjector(chaos.Policy{Seed: 7, FailRate: 0.25})
+	hc := &http.Client{Transport: &chaos.Transport{Injector: in}}
+	re, err := remote.Dial(srv.URL, remote.WithSnapshot("census"),
+		remote.WithHTTPClient(hc), remote.WithRetries(6),
+		remote.WithBackoff(remote.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := v6class.MustParseAddr("2001:db8::1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := re.LookupAddr(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := in.Stats(); st.Faults == 0 && b.N > 20 {
+		b.Fatalf("no faults injected across %d requests", st.Requests)
+	}
+}

@@ -144,14 +144,39 @@
 //	{"error": {"code": "unknown_snapshot", "message": "...", "snapshot": "census", "epoch": 7}}
 //
 // The codes — bad_param, unknown_snapshot, not_found, day_range,
-// not_frozen, frozen, cursor_expired, conflict, unauthorized, internal —
-// are the wire protocol's contract: messages may be reworded, codes never
-// change meaning. DecodeError parses an envelope back into a *WireError
-// whose Unwrap maps the code onto the module's typed sentinels
-// (v6class.ErrConfig, v6class.ErrDayRange, ErrCursorExpired, ...), so a
-// client holding only the HTTP response can still dispatch with errors.Is
-// exactly as if it had called the engine in-process. Package remote is
-// built on precisely this mapping.
+// not_frozen, frozen, cursor_expired, conflict, unauthorized, overloaded,
+// unavailable, internal — are the wire protocol's contract: messages may
+// be reworded, codes never change meaning. DecodeError parses an envelope
+// back into a *WireError whose Unwrap maps the code onto the module's
+// typed sentinels (v6class.ErrConfig, v6class.ErrDayRange,
+// ErrCursorExpired, ...), so a client holding only the HTTP response can
+// still dispatch with errors.Is exactly as if it had called the engine
+// in-process. Package remote is built on precisely this mapping.
+//
+// # Resilience
+//
+// The expensive sweep endpoints — /v1/keys, /v1/stable, /v1/lifetimes,
+// /v1/mra, /v1/aguri — run under an admission semaphore
+// (Options.SweepConcurrency, default 16). When every slot is busy a sweep
+// is shed immediately with HTTP 429, code "overloaded" and a Retry-After
+// hint, rather than queued into a goroutine pile-up; the remote client's
+// backoff honors the hint and retries on its own. Scalar endpoints are
+// never limited: the census keeps answering cheap queries while the
+// sweeps are saturated.
+//
+// A snapshot backed by a cluster coordinator can lose backends at query
+// time. Such availability failures answer as HTTP 503, code
+// "unavailable", with a Retry-After hint (the error names the dead
+// partition); a coordinator built with remote.WithPartialResults instead
+// keeps answering from the live majority, and its ErrDegraded annotation
+// passes through the handlers untouched — degraded results are results.
+//
+// cmd/v6served completes the story on the process level: SIGTERM/SIGINT
+// triggers a graceful shutdown that refuses new connections and drains
+// in-flight requests for -drain-timeout (default 10s) before aborting
+// the stragglers, logging a one-line summary either way. The server
+// carries read-header and idle timeouts so stalled peers cannot pin
+// connections.
 //
 // # Endpoints
 //

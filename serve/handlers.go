@@ -3,6 +3,7 @@ package serve
 import (
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"slices"
@@ -48,7 +49,46 @@ func (s *Server) snapshotHandler(fn func(http.ResponseWriter, *http.Request, *Sn
 		}
 		w.Header().Set("X-V6-Snapshot", snap.Name)
 		w.Header().Set("X-V6-Epoch", strconv.FormatUint(snap.Epoch, 10))
+		// A cluster coordinator snapshot surfaces dead backends as
+		// availability errors out of strict(); answer those with a 503
+		// envelope and a retry hint instead of killing the connection.
+		// Anything else re-panics into the http.Server failure path.
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, v6class.ErrUnavailable) {
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, snap, "backend unavailable: %v", err)
+				return
+			}
+			panic(rec)
+		}()
 		fn(w, r, snap)
+	}
+}
+
+// limited wraps an expensive sweep handler with the admission semaphore:
+// when every slot is busy the request is shed immediately — HTTP 429, code
+// "overloaded", Retry-After hint — rather than queued, so overload turns
+// into client backoff instead of a goroutine pile-up. The remote client
+// honors the hint and retries on its own.
+func (s *Server) limited(fn func(http.ResponseWriter, *http.Request, *Snapshot)) func(http.ResponseWriter, *http.Request, *Snapshot) {
+	return func(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+		if s.sweepSem == nil {
+			fn(w, r, snap)
+			return
+		}
+		select {
+		case s.sweepSem <- struct{}{}:
+			defer func() { <-s.sweepSem }()
+			fn(w, r, snap)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, CodeOverloaded, snap,
+				"sweep concurrency limit (%d) saturated; retry shortly", cap(s.sweepSem))
+		}
 	}
 }
 
@@ -94,9 +134,13 @@ func (s *Server) cached(w http.ResponseWriter, snap *Snapshot, key string, compu
 // snapshot: Install freezes every engine and the population/parameter
 // validation runs before dispatch, so a residual error is a programming
 // bug, surfaced by panicking into the server's failure path rather than
-// being cached as a response body.
+// being cached as a response body. Two cluster-backed exceptions: a
+// degraded-mode coordinator's ErrDegraded annotation accompanies a usable
+// partial result and passes through (the census keeps answering with the
+// partitions it has), and an ErrUnavailable panic is caught by
+// snapshotHandler and answered as a 503 envelope.
 func strict[T any](v T, err error) T {
-	if err != nil {
+	if err != nil && !errors.Is(err, v6class.ErrDegraded) {
 		panic(err)
 	}
 	return v

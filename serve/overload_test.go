@@ -1,0 +1,143 @@
+package serve
+
+// Admission-control tests: with SweepConcurrency saturated, the expensive
+// sweep endpoints shed with a 429 "overloaded" envelope and a Retry-After
+// hint while the cheap endpoints keep answering, and the slot frees the
+// moment the occupying sweep finishes.
+
+import (
+	"errors"
+	"io"
+	"iter"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"v6class"
+)
+
+// gatedEngine wraps a healthy engine but parks KeysOrdered until released,
+// so a test can hold the sweep concurrency slot open deliberately.
+type gatedEngine struct {
+	v6class.Engine
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (g *gatedEngine) KeysOrdered(pop v6class.Population, days ...int) (iter.Seq[v6class.Prefix], error) {
+	g.entered <- struct{}{}
+	<-g.gate
+	return g.Engine.KeysOrdered(pop, days...)
+}
+
+// overloadEngine builds a tiny frozen census.
+func overloadEngine(t *testing.T) v6class.Engine {
+	t.Helper()
+	eng, err := v6class.New(v6class.WithStudyDays(5), v6class.WithSequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := make([]v6class.DayLog, 5)
+	for day := range logs {
+		logs[day].Day = day
+		logs[day].Records = []v6class.Record{
+			{Addr: v6class.MustParseAddr("2001:db8::1"), Hits: 1},
+			{Addr: v6class.MustParseAddr("2001:db8::2"), Hits: 1},
+		}
+	}
+	if err := eng.AddDays(logs); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestSweepSaturationSheds(t *testing.T) {
+	g := &gatedEngine{
+		Engine:  overloadEngine(t),
+		entered: make(chan struct{}, 1),
+		gate:    make(chan struct{}),
+	}
+	s := New(Options{SweepConcurrency: 1})
+	s.Install("census", "", g)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Occupy the only sweep slot with a request parked inside the engine.
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/v1/keys?pop=addrs")
+		if err != nil {
+			first <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	<-g.entered
+
+	// Saturated: another sweep is shed immediately with the full
+	// overloaded envelope and a retry hint.
+	resp, err := http.Get(srv.URL + "/v1/keys?pop=addrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated sweep status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("saturated sweep Retry-After = %q, want \"1\"", ra)
+	}
+	we := DecodeError(resp.StatusCode, body)
+	if we.Code != CodeOverloaded {
+		t.Fatalf("envelope code = %q, want %q", we.Code, CodeOverloaded)
+	}
+	if !errors.Is(we, ErrOverloaded) {
+		t.Fatalf("envelope does not unwrap to ErrOverloaded: %v", we)
+	}
+
+	// Cheap endpoints are not admission-limited: the census keeps
+	// answering scalars while the sweeps are saturated.
+	sresp, err := http.Get(srv.URL + "/v1/summary?day=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, sresp.Body) //nolint:errcheck
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("scalar endpoint under sweep saturation = %d, want 200", sresp.StatusCode)
+	}
+
+	// Release the parked sweep; it completes and frees the slot.
+	close(g.gate)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("occupying sweep finished with %d, want 200", code)
+	}
+	resp2, err := http.Get(srv.URL + "/v1/keys?pop=addrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body) //nolint:errcheck
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("sweep after release = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestSweepLimitDisabled proves a negative SweepConcurrency turns the
+// semaphore off entirely.
+func TestSweepLimitDisabled(t *testing.T) {
+	s := New(Options{SweepConcurrency: -1})
+	if s.sweepSem != nil {
+		t.Fatal("negative SweepConcurrency still built a semaphore")
+	}
+	s2 := New(Options{})
+	if s2.sweepSem == nil || cap(s2.sweepSem) != defaultSweepConcurrency {
+		t.Fatalf("default sweep semaphore capacity = %d, want %d", cap(s2.sweepSem), defaultSweepConcurrency)
+	}
+}

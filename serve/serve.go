@@ -88,7 +88,20 @@ type Options struct {
 	// /v1/freeze answer 403 regardless of token. Reload stays available
 	// (it re-reads files the server already trusts).
 	ReadOnly bool
+	// SweepConcurrency bounds how many expensive sweep requests —
+	// /v1/keys, /v1/stable, /v1/lifetimes, /v1/mra, /v1/aguri, the
+	// endpoints that walk or build whole populations — run at once.
+	// Excess requests are shed immediately with HTTP 429 (code
+	// "overloaded") and a Retry-After hint rather than queued, so load
+	// pushes back on clients instead of piling goroutines; the remote
+	// client's backoff turns the hint into a delayed retry. 0 means the
+	// default (16); negative disables the limit.
+	SweepConcurrency int
 }
+
+// defaultSweepConcurrency is the sweep admission limit when Options leaves
+// SweepConcurrency zero.
+const defaultSweepConcurrency = 16
 
 // Server is a concurrent read-only query service over frozen census
 // snapshots. Construct with New, install at least one snapshot with
@@ -110,6 +123,7 @@ type Server struct {
 	adminToken string
 	readOnly   bool
 	started    time.Time
+	sweepSem   chan struct{} // sweep admission semaphore; nil = unlimited
 
 	// The live write path (ingest.go): at most one ingesting successor
 	// generation per snapshot name, created lazily by /v1/ingest and
@@ -129,6 +143,13 @@ func New(opts Options) *Server {
 		readOnly:   opts.ReadOnly,
 		started:    time.Now(),
 		lives:      map[string]*liveSession{},
+	}
+	limit := opts.SweepConcurrency
+	if limit == 0 {
+		limit = defaultSweepConcurrency
+	}
+	if limit > 0 {
+		s.sweepSem = make(chan struct{}, limit)
 	}
 	s.snaps.Store(&snapTable{byName: map[string]*Snapshot{}})
 	return s
@@ -259,16 +280,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/dense", s.snapshotHandler(s.handleDense))
 	mux.HandleFunc("GET /v1/topk", s.snapshotHandler(s.handleTopK))
 	mux.HandleFunc("GET /v1/overlap", s.snapshotHandler(s.handleOverlap))
-	mux.HandleFunc("GET /v1/keys", s.snapshotHandler(s.handleKeys))
-	mux.HandleFunc("GET /v1/lifetimes", s.snapshotHandler(s.handleLifetimes))
+	mux.HandleFunc("GET /v1/keys", s.snapshotHandler(s.limited(s.handleKeys)))
+	mux.HandleFunc("GET /v1/lifetimes", s.snapshotHandler(s.limited(s.handleLifetimes)))
 	mux.HandleFunc("GET /v1/lifetimes/stats", s.snapshotHandler(s.handleLifetimeStats))
-	mux.HandleFunc("GET /v1/stable", s.snapshotHandler(s.handleStable))
+	mux.HandleFunc("GET /v1/stable", s.snapshotHandler(s.limited(s.handleStable)))
 	mux.HandleFunc("GET /v1/active", s.snapshotHandler(s.handleActive))
 	mux.HandleFunc("GET /v1/epoch", s.snapshotHandler(s.handleEpochStable))
 	mux.HandleFunc("GET /v1/returnprob", s.snapshotHandler(s.handleReturnProb))
 	mux.HandleFunc("GET /v1/lsp", s.snapshotHandler(s.handleLSP))
-	mux.HandleFunc("GET /v1/mra", s.snapshotHandler(s.handleMRA))
-	mux.HandleFunc("GET /v1/aguri", s.snapshotHandler(s.handleAguri))
+	mux.HandleFunc("GET /v1/mra", s.snapshotHandler(s.limited(s.handleMRA)))
+	mux.HandleFunc("GET /v1/aguri", s.snapshotHandler(s.limited(s.handleAguri)))
 	mux.HandleFunc("GET /v1/snapshot", s.snapshotHandler(s.handleSnapshotDump))
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)

@@ -52,6 +52,15 @@ const (
 	// server or missing/wrong admin token, HTTP 403). Maps to
 	// ErrUnauthorized.
 	CodeUnauthorized = "unauthorized"
+	// CodeOverloaded: the server shed the request because the sweep
+	// concurrency limit is saturated (HTTP 429). The response carries a
+	// Retry-After hint; the remote client's backoff honors it and retries
+	// automatically. Maps to ErrOverloaded.
+	CodeOverloaded = "overloaded"
+	// CodeUnavailable: the snapshot is a cluster coordinator and could not
+	// reach its backends (HTTP 503, with a Retry-After hint). Maps to
+	// v6class.ErrUnavailable.
+	CodeUnavailable = "unavailable"
 	// CodeInternal: an unexpected server-side failure (HTTP 5xx).
 	CodeInternal = "internal"
 )
@@ -71,6 +80,9 @@ var (
 	// ErrUnauthorized reports a refused write (read-only server or bad
 	// admin token).
 	ErrUnauthorized = errors.New("serve: unauthorized")
+	// ErrOverloaded reports a request shed by the sweep concurrency limit;
+	// retry after the Retry-After hint.
+	ErrOverloaded = errors.New("serve: overloaded (sweep concurrency limit saturated)")
 )
 
 // WireError is the decoded form of one error envelope. The serve handlers
@@ -114,6 +126,10 @@ func (e *WireError) Unwrap() error {
 		return ErrConflict
 	case CodeUnauthorized:
 		return ErrUnauthorized
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeUnavailable:
+		return v6class.ErrUnavailable
 	}
 	return nil
 }
