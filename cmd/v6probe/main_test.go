@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"v6class"
+)
+
+func defaultOpts() options {
+	return options{
+		seed: 7, scale: 0.05, studyDays: 16, trainDays: 1, probeDay: 8,
+		rounds: 3, budget: 256, n: 3, p: 116, per64: 64, workers: 4,
+		aliasK: 8, aliasTrig: 3, aliasCool: 8,
+	}
+}
+
+// TestRunDeterministic is the command-level acceptance check: two runs
+// with the same options produce byte-identical output — candidate
+// streams, hit sets and all.
+func TestRunDeterministic(t *testing.T) {
+	a, err := run(defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("runs diverge:\n--- run 1:\n%s--- run 2:\n%s", a, b)
+	}
+	if !strings.Contains(a, "round 2 day 10:") {
+		t.Errorf("missing final round line:\n%s", a)
+	}
+	for _, line := range strings.Split(a, "\n") {
+		if strings.Contains(line, "hits=0 ") {
+			t.Errorf("round with zero hits: %q", line)
+		}
+	}
+}
+
+// TestRunInjectedAliased injects a ground-truth aliased /64 and expects
+// the loop to detect and report it.
+func TestRunInjectedAliased(t *testing.T) {
+	opts := defaultOpts()
+	opts.injected = []v6class.Prefix{v6class.MustParsePrefix("2a00:1450:100:64::/64")}
+	out, err := run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "aliased: 2a00:1450:100:64::/64") {
+		t.Errorf("injected aliased prefix not reported:\n%s", out)
+	}
+}
+
+// TestRunValidation rejects impossible day plans.
+func TestRunValidation(t *testing.T) {
+	opts := defaultOpts()
+	opts.rounds = 20
+	if _, err := run(opts); err == nil {
+		t.Error("rounds overflowing the study accepted")
+	}
+	opts = defaultOpts()
+	opts.trainDays = 12
+	if _, err := run(opts); err == nil {
+		t.Error("training window past the probe day accepted")
+	}
+}

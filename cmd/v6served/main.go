@@ -65,7 +65,9 @@
 // shed with 429 + Retry-After; see package serve), and -partial-results
 // lets a -backend cluster coordinator answer degraded — from the live
 // majority, with a coverage annotation — instead of failing when a
-// minority of backends is down.
+// minority of backends is down. -access-log FILE appends one structured
+// line per request (time, method, path, the snapshot name and epoch that
+// answered, status, duration, bytes); "-" logs to stdout.
 //
 // For diagnosing serve-path regressions in production, -pprof-addr serves
 // the standard net/http/pprof profiles on a separate side listener (off by
@@ -118,6 +120,7 @@ type config struct {
 	partial    bool
 	adminToken string
 	readOnly   bool
+	accessLog  string
 }
 
 // parseState splits a -state argument into its name and path; bare paths
@@ -138,6 +141,17 @@ func buildServer(cfg config) (*serve.Server, error) {
 		SweepConcurrency: cfg.sweepLimit,
 		AdminToken:       cfg.adminToken,
 		ReadOnly:         cfg.readOnly,
+	}
+	switch cfg.accessLog {
+	case "":
+	case "-":
+		opts.AccessLog = os.Stdout
+	default:
+		f, err := os.OpenFile(cfg.accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("opening access log: %w", err)
+		}
+		opts.AccessLog = f
 	}
 	scale := cfg.demoScale
 	if scale <= 0 {
@@ -273,6 +287,7 @@ func main() {
 	drain := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests before aborting them")
 	flag.StringVar(&cfg.adminToken, "admin-token", "", "token authorizing /v1/ingest, /v1/freeze and /v1/reload with an explicit path= (unset: open writes, source-only reloads)")
 	flag.BoolVar(&cfg.readOnly, "readonly", false, "disable the write endpoints (/v1/ingest, /v1/freeze) entirely")
+	flag.StringVar(&cfg.accessLog, "access-log", "", "append one structured line per request to this file (\"-\" = stdout; empty: disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: disabled)")
 	flag.Parse()
 

@@ -20,6 +20,7 @@ import (
 	"reflect"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"v6class"
@@ -574,10 +575,67 @@ func TestCursorExpiredOnReload(t *testing.T) {
 	}
 }
 
+// TestEnumerationStreamsLazily asserts the windowed streaming of the
+// remote enumerations: breaking out of an iteration early must leave the
+// remaining pages unfetched, and a full drain must fetch them one page
+// request at a time rather than materializing the census up front.
+func TestEnumerationStreamsLazily(t *testing.T) {
+	s, _ := reloadableServer(t)
+	var pageRequests atomic.Int64
+	h := s.Handler()
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/keys" {
+			pageRequests.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer counting.Close()
+
+	re, err := remote.Dial(counting.URL, remote.WithSnapshot("census"), remote.WithPageSize(5))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	total, err := re.NumKeys(v6class.Addresses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPages := int64((total + 4) / 5)
+	if wantPages < 3 {
+		t.Fatalf("census too small (%d keys) to observe paging", total)
+	}
+
+	// Early break: only the eagerly fetched first page crosses the wire.
+	pageRequests.Store(0)
+	seq, err := re.KeysOrdered(v6class.Addresses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range seq {
+		break
+	}
+	if n := pageRequests.Load(); n != 1 {
+		t.Errorf("abandoned enumeration fetched %d pages, want 1", n)
+	}
+
+	// Re-iterating the same Seq replays the cached first page and walks
+	// the rest lazily: a full drain costs the remaining pages only.
+	var drained int
+	for range seq {
+		drained++
+	}
+	if drained != total {
+		t.Errorf("drained %d keys, want %d", drained, total)
+	}
+	if n := pageRequests.Load(); n != wantPages {
+		t.Errorf("full drain fetched %d pages total, want %d", n, wantPages)
+	}
+}
+
 // TestEnumerationRestartsAcrossReload reloads the snapshot between the
-// first and second page of an enumeration and asserts the materializing
-// iterator restarts transparently against the new generation, returning
-// the complete, un-spliced stream.
+// first and second page of an enumeration and asserts the streaming
+// iterator resumes transparently — strictly after the last yielded key,
+// against the new generation — returning the complete ascending stream
+// with no duplicates.
 func TestEnumerationRestartsAcrossReload(t *testing.T) {
 	s, _ := reloadableServer(t)
 

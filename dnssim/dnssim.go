@@ -7,6 +7,7 @@
 package dnssim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -69,6 +70,15 @@ func (z *Zone) PTR(a ipaddr.Addr) (string, bool) {
 // Add publishes a PTR record (used by tests and custom worlds).
 func (z *Zone) Add(a ipaddr.Addr, name string) {
 	z.records[a] = name
+}
+
+// Probe implements the target package's Prober over the reverse zone: a
+// hit is an existing PTR record. Driving the scan scheduler with a Zone
+// turns a candidate stream into the Section 6.2.3 name harvest — the
+// names themselves come from PTR on the hits afterwards.
+func (z *Zone) Probe(_ context.Context, target ipaddr.Addr) (bool, error) {
+	_, ok := z.records[target]
+	return ok, nil
 }
 
 // HarvestAddrs queries every address in the list and returns the distinct

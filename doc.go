@@ -186,6 +186,29 @@
 // connection resets, hangs, truncated bodies and flapping, usable as an
 // http.RoundTripper (client side) or a reverse proxy (server side).
 //
+// # Measurement loop
+//
+// Package target closes the loop the paper opens in Section 6.2: the
+// census's spatial knowledge drives new active measurement, and the
+// results feed back through ingestion. target.NewGenerator trains a
+// per-nybble conditional-probability model on an AddressSet's dense
+// regions and emits a ranked stream of candidate addresses not already
+// in the census — deterministically seeded, budgeted, with a per-/64
+// fairness cap. target.Scan drives candidates through a pluggable
+// Prober (probe.Topology and dnssim.Zone in-tree) on a bounded,
+// rate-limited worker pool, while target.NewAliasDetector filters
+// fully-responsive aliased prefixes: K pseudorandom probes under a
+// suspect /64 all answering marks it aliased, suppressing generation
+// there for a cooldown. target.NewLoop composes the full cycle —
+// generate → scan → ingest (via Successor) → freeze — each round
+// training on the census the previous round grew, with the parent
+// generation untouched throughout.
+//
+// Serve instances expose the generator as GET /v1/targets, and
+// cmd/v6probe runs the whole loop against the synthetic world,
+// reporting per-round hit-rates against a uniform-random baseline. See
+// examples/v6probe for the walkthrough.
+//
 // # Reproduction of the paper
 //
 // Package experiments regenerates every table and figure of the paper's

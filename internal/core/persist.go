@@ -2,13 +2,25 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 
 	"v6class/internal/addrclass"
 	"v6class/internal/ipaddr"
 )
+
+// sortedKeys returns a map's integer keys in ascending order.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
 
 // Census persistence: a compact binary snapshot of the ingested state so a
 // daily pipeline can extend a census incrementally (ingest today's log,
@@ -54,15 +66,24 @@ func (c *censusState) WriteTo(w io.Writer) (int64, error) {
 		return cw.err == nil
 	})
 
-	// Per-day format summaries.
+	// Per-day format summaries. Map sections iterate in sorted key order
+	// so the same census always serializes to the same bytes — snapshot
+	// byte-equality is how callers (and the measurement-loop conformance
+	// suite) prove an engine untouched.
 	write(uint32(len(c.kinds)))
-	for day, sum := range c.kinds {
+	for _, day := range sortedKeys(c.kinds) {
+		sum := c.kinds[day]
 		write(uint32(day))
 		write(uint32(sum.Total))
 		write(uint8(len(sum.ByKind)))
-		for kind, n := range sum.ByKind {
+		kinds := make([]addrclass.Kind, 0, len(sum.ByKind))
+		for kind := range sum.ByKind {
+			kinds = append(kinds, kind)
+		}
+		slices.Sort(kinds)
+		for _, kind := range kinds {
 			write(uint8(kind))
-			write(uint32(n))
+			write(uint32(sum.ByKind[kind]))
 		}
 	}
 
@@ -71,10 +92,16 @@ func (c *censusState) WriteTo(w io.Writer) (int64, error) {
 	// to the predecessor's sets, so a snapshot is always whole.
 	macsView := c.macsView()
 	write(uint32(len(macsView)))
-	for day, macs := range macsView {
+	for _, day := range sortedKeys(macsView) {
+		macs := macsView[day]
 		write(uint32(day))
 		write(uint32(len(macs)))
+		sorted := make([]addrclass.MAC, 0, len(macs))
 		for mac := range macs {
+			sorted = append(sorted, mac)
+		}
+		slices.SortFunc(sorted, func(a, b addrclass.MAC) int { return bytes.Compare(a[:], b[:]) })
+		for _, mac := range sorted {
 			cw.Write(mac[:])
 		}
 	}

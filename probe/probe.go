@@ -14,6 +14,8 @@
 package probe
 
 import (
+	"context"
+
 	"v6class/bgp"
 	"v6class/internal/ipaddr"
 	"v6class/internal/netmodel"
@@ -31,6 +33,10 @@ type Topology struct {
 	// observed only for targets that are still live — the mechanism
 	// behind the paper's Section 6.1.1 result.
 	active map[ipaddr.Addr]bool
+	// aliased holds prefixes injected by MarkAliased: every routed address
+	// under one of them answers probes, the signature of a CPE or
+	// firewall terminating a whole delegated prefix.
+	aliased []ipaddr.Prefix
 }
 
 // NewTopology builds the router topology of w, with probes happening on
@@ -188,6 +194,52 @@ func (t *Topology) Trace(target ipaddr.Addr) []ipaddr.Addr {
 // router interfaces always respond).
 func (t *Topology) isInfra(p ipaddr.Prefix, op *netmodel.Operator, target ipaddr.Addr) bool {
 	return target.NetworkID() == infraNet(p)
+}
+
+// MarkAliased injects an aliased prefix into the world: every routed
+// address under p answers echo requests from then on, simulating a CPE or
+// load balancer that terminates its whole delegated prefix. Alias-detection
+// experiments use this to plant ground truth. Not safe concurrently with
+// Responds; inject before probing starts.
+func (t *Topology) MarkAliased(p ipaddr.Prefix) {
+	t.aliased = append(t.aliased, p)
+}
+
+// Aliased returns the prefixes injected by MarkAliased.
+func (t *Topology) Aliased() []ipaddr.Prefix {
+	return append([]ipaddr.Prefix(nil), t.aliased...)
+}
+
+// Responds reports whether an echo request toward target elicits an echo
+// reply from the target itself: the address must be routed, and must be a
+// client address active on the probe day, an infrastructure interface, or
+// covered by an injected aliased prefix. This is the probe primitive of
+// the measurement loop (Trace is the TTL-limited path primitive).
+func (t *Topology) Responds(target ipaddr.Addr) bool {
+	origin, ok := t.world.Table.Lookup(target)
+	if !ok {
+		return false
+	}
+	if t.active[target] {
+		return true
+	}
+	op, _ := t.world.OperatorByName(origin.Name)
+	if op != nil && t.isInfra(origin.Prefix, op, target) {
+		return true
+	}
+	for _, p := range t.aliased {
+		if p.Contains(target) {
+			return true
+		}
+	}
+	return false
+}
+
+// Probe implements the target package's Prober over the simulated world:
+// a hit is an echo reply from the target (Responds). The context is
+// accepted for interface conformance; the simulation never blocks.
+func (t *Topology) Probe(_ context.Context, target ipaddr.Addr) (bool, error) {
+	return t.Responds(target), nil
 }
 
 // Discover probes every target and returns the distinct router interfaces

@@ -19,11 +19,18 @@ import (
 )
 
 // Engine is a v6class.Engine whose census lives behind a serve instance.
-// Scalar queries are one HTTP request each; enumerations materialize the
-// cursor-paged endpoints (restarting from scratch, within the retry
-// budget, if a snapshot reload expires the cursor mid-stream) and then
-// iterate locally, so a returned iterator is re-iterable and never yields
-// a mix of two snapshot generations.
+// Scalar queries are one HTTP request each; the ordered enumerations
+// stream the cursor-paged endpoints one page window at a time, so memory
+// stays bounded by the page size however large the census. A snapshot
+// reload that expires the cursor mid-stream resumes strictly after the
+// last yielded key against the new generation (within the retry budget):
+// the stream stays strictly ascending and duplicate-free, but rows before
+// and after the reload may come from different generations. Mid-stream
+// failures past the retry budget panic with an error wrapping
+// v6class.ErrUnavailable — iter.Seq has no error channel — which the
+// serve layer converts to a 503 when a coordinator relays the stream.
+// Returned iterators are re-iterable; each iteration walks the pages
+// afresh.
 //
 // Two documented deviations from a local engine: Stability and StableAddrs
 // answer under the server's wire defaults (the paper's ±7d window) rather

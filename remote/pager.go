@@ -16,13 +16,21 @@ import (
 )
 
 // The enumeration plumbing: the remote Engine answers the iterator methods
-// by materializing the server's cursor-paged endpoints. A whole
-// enumeration that loses its cursor to a snapshot reload (the server
-// answers cursor_expired, HTTP 410) restarts from scratch against the new
-// generation — up to the retry budget — so an Engine iterator never
-// splices two generations, at the cost of re-reading the pages already
-// fetched. The exported Pager skips that policy and exposes the raw
-// page-by-page flow, typed errors included.
+// by streaming the server's cursor-paged endpoints one page window at a
+// time — only the current page is resident, so enumerating a
+// million-key census costs pageSize rows of memory, not the census. The
+// first page is fetched eagerly (parameter and availability errors
+// surface from the method call, matching a local engine's fail-fast
+// construction); later pages are fetched lazily between yields. When a
+// snapshot reload expires the cursor mid-stream, the walk resumes
+// strictly after the last yielded key against the new generation — the
+// stream stays strictly ascending and duplicate-free, though rows before
+// and after the reload come from different generations. Mid-stream
+// failures past the retry budget have no error channel in iter.Seq; they
+// panic with an error wrapping v6class.ErrUnavailable, which the serve
+// layer's strict() recovery turns into a 503 when a coordinator is
+// relaying the stream. The exported Pager skips all of that policy and
+// exposes the raw page-by-page flow, typed errors included.
 
 // getRaw performs one GET and returns the raw response body; non-2xx
 // responses decode through the serve error envelope into typed *WireError
@@ -43,12 +51,12 @@ func (c *client) getRaw(path string, q url.Values) ([]byte, error) {
 	return data, nil
 }
 
-// walkPages drains one cursor-paged endpoint: it requests path with the
-// base query, hands each page body to consume, and follows the cursor
-// consume returns until it reports none. The base parameters ride on every
-// request — cursors are bound to their canonical query, which the server
-// re-derives from the parameters — while any one-shot resume position
-// (after=, offset=) is dropped once a cursor takes over.
+// walkPages drains one cursor-paged endpoint into the consumer: it
+// requests path with the base query, hands each page body to consume, and
+// follows the cursor consume returns until it reports none. Used by the
+// rank-ordered walks (e.g. /v1/topk) that cannot resume by key and must
+// materialize from a single generation; the key-ordered enumerations
+// stream through pageStream instead.
 func (c *client) walkPages(path string, base url.Values, consume func(body []byte) (next string, err error)) error {
 	q := url.Values{}
 	for k, vs := range base {
@@ -75,7 +83,9 @@ func (c *client) walkPages(path string, base url.Values, consume func(body []byt
 // retryExpired runs a full enumeration walk, restarting from scratch when
 // a snapshot reload expires the cursor mid-stream, up to retries restarts.
 // fetch must build fresh state on every call; any other error answers
-// immediately.
+// immediately. The streaming enumerations resume by key instead (see
+// pageStream); this remains the policy for the materialized walks whose
+// results must come from one generation, e.g. the ranked aggregates.
 func retryExpired[T any](retries int, fetch func() ([]T, error)) ([]T, error) {
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
@@ -89,6 +99,77 @@ func retryExpired[T any](retries int, fetch func() ([]T, error)) ([]T, error) {
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// pageStream is one cursor-paged endpoint prepared for lazy streaming:
+// the canonical query, the page decoder, and the resume position of a
+// decoded row.
+type pageStream[T any] struct {
+	c      *client
+	path   string
+	base   url.Values // canonical parameters; cursor/after ride separately
+	decode func(body []byte) (items []T, cursor string, err error)
+	keyOf  func(T) string // the after= position a yielded row resumes from
+}
+
+// fetch retrieves one page: by cursor when non-empty, otherwise resuming
+// strictly after the given key. A cursor expired by a snapshot reload
+// falls back to the key resume — against whatever generation now serves —
+// up to the retry budget; a key-resume request carries no cursor and
+// cannot itself expire.
+func (s *pageStream[T]) fetch(after, cursor string) ([]T, string, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.c.retries; attempt++ {
+		q := url.Values{}
+		for k, vs := range s.base {
+			q[k] = vs
+		}
+		if cursor != "" {
+			q.Set("cursor", cursor)
+		} else if after != "" {
+			q.Set("after", after)
+		}
+		body, err := s.c.getRaw(s.path, q)
+		if err == nil {
+			return s.decode(body)
+		}
+		if !errors.Is(err, serve.ErrCursorExpired) {
+			return nil, "", err
+		}
+		cursor = ""
+		lastErr = err
+	}
+	return nil, "", lastErr
+}
+
+// stream starts the lazy enumeration, resuming strictly after the given
+// key when non-empty. The first page is fetched here, eagerly; the
+// returned Seq is re-iterable — every iteration replays the cached first
+// page and then walks the remaining pages afresh.
+func (s *pageStream[T]) stream(after string) (iter.Seq[T], error) {
+	first, firstCursor, err := s.fetch(after, "")
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(T) bool) {
+		items, cursor, last := first, firstCursor, after
+		for {
+			for _, it := range items {
+				if !yield(it) {
+					return
+				}
+				last = s.keyOf(it)
+			}
+			if cursor == "" {
+				return
+			}
+			items, cursor, err = s.fetch(last, cursor)
+			if err != nil {
+				panic(fmt.Errorf("%w: enumeration of %s failed mid-stream: %v",
+					v6class.ErrUnavailable, s.path, err))
+			}
+		}
+	}, nil
 }
 
 // keysPage mirrors the /v1/keys page shape (the fields the client reads).
@@ -117,45 +198,31 @@ func (e *Engine) keysQuery(pop v6class.Population, days []int) url.Values {
 	return q
 }
 
-// fetchKeys materializes one ordered key enumeration from /v1/keys,
-// resuming strictly after the given key when non-empty.
-func (e *Engine) fetchKeys(pop v6class.Population, days []int, after string) ([]v6class.Prefix, error) {
-	return retryExpired(e.c.retries, func() ([]v6class.Prefix, error) {
-		q := e.keysQuery(pop, days)
-		if after != "" {
-			q.Set("after", after)
-		}
-		var out []v6class.Prefix
-		err := e.c.walkPages("/v1/keys", q, func(body []byte) (string, error) {
+// keysStream prepares the /v1/keys enumeration for streaming.
+func (e *Engine) keysStream(pop v6class.Population, days []int) *pageStream[v6class.Prefix] {
+	return &pageStream[v6class.Prefix]{
+		c: e.c, path: "/v1/keys", base: e.keysQuery(pop, days),
+		decode: func(body []byte) ([]v6class.Prefix, string, error) {
 			var page keysPage
 			if err := json.Unmarshal(body, &page); err != nil {
-				return "", fmt.Errorf("remote: decoding keys page: %w", err)
+				return nil, "", fmt.Errorf("remote: decoding keys page: %w", err)
 			}
-			parsed, perr := parseKeys(page, out)
-			out = parsed
-			return page.Cursor, perr
-		})
-		return out, err
-	})
+			keys, err := parseKeys(page, nil)
+			return keys, page.Cursor, err
+		},
+		keyOf: func(p v6class.Prefix) string { return p.String() },
+	}
 }
 
 // KeysOrdered streams the keys of the population in the canonical total
-// order, materialized from the server's paged enumeration.
+// order, one page window at a time.
 func (e *Engine) KeysOrdered(pop v6class.Population, days ...int) (iter.Seq[v6class.Prefix], error) {
-	keys, err := e.fetchKeys(pop, days, "")
-	if err != nil {
-		return nil, err
-	}
-	return sliceSeq(keys), nil
+	return e.keysStream(pop, days).stream("")
 }
 
 // KeysOrderedAfter resumes KeysOrdered strictly after a key.
 func (e *Engine) KeysOrderedAfter(pop v6class.Population, after v6class.Prefix, days ...int) (iter.Seq[v6class.Prefix], error) {
-	keys, err := e.fetchKeys(pop, days, after.String())
-	if err != nil {
-		return nil, err
-	}
-	return sliceSeq(keys), nil
+	return e.keysStream(pop, days).stream(after.String())
 }
 
 // Keys streams every key of the population ever observed.
@@ -165,12 +232,12 @@ func (e *Engine) Keys(pop v6class.Population) (iter.Seq[v6class.Prefix], error) 
 
 // AddrsActiveOn streams every address active on at least one of the days.
 func (e *Engine) AddrsActiveOn(days ...int) (iter.Seq[v6class.Addr], error) {
-	keys, err := e.fetchKeys(v6class.Addresses, days, "")
+	keys, err := e.keysStream(v6class.Addresses, days).stream("")
 	if err != nil {
 		return nil, err
 	}
 	return func(yield func(v6class.Addr) bool) {
-		for _, p := range keys {
+		for p := range keys {
 			if !yield(p.Addr()) {
 				return
 			}
@@ -189,54 +256,44 @@ type stablePage struct {
 	Cursor string   `json:"cursor"`
 }
 
-// fetchStable materializes the ordered nd-stable address enumeration.
-func (e *Engine) fetchStable(ref, n int, after string) ([]v6class.Addr, error) {
-	return retryExpired(e.c.retries, func() ([]v6class.Addr, error) {
-		q := url.Values{}
-		q.Set("ref", strconv.Itoa(ref))
-		q.Set("n", strconv.Itoa(n))
-		q.Set("limit", strconv.Itoa(e.c.pageSize))
-		if after != "" {
-			q.Set("after", after)
-		}
-		var out []v6class.Addr
-		err := e.c.walkPages("/v1/stable", q, func(body []byte) (string, error) {
+// stableStream prepares the /v1/stable enumeration for streaming.
+func (e *Engine) stableStream(ref, n int) *pageStream[v6class.Addr] {
+	q := url.Values{}
+	q.Set("ref", strconv.Itoa(ref))
+	q.Set("n", strconv.Itoa(n))
+	q.Set("limit", strconv.Itoa(e.c.pageSize))
+	return &pageStream[v6class.Addr]{
+		c: e.c, path: "/v1/stable", base: q,
+		decode: func(body []byte) ([]v6class.Addr, string, error) {
 			var page stablePage
 			if err := json.Unmarshal(body, &page); err != nil {
-				return "", fmt.Errorf("remote: decoding stable page: %w", err)
+				return nil, "", fmt.Errorf("remote: decoding stable page: %w", err)
 			}
+			out := make([]v6class.Addr, 0, len(page.Addrs))
 			for _, s := range page.Addrs {
 				a, err := v6class.ParseAddr(s)
 				if err != nil {
-					return "", fmt.Errorf("remote: bad address %q in stable page: %v", s, err)
+					return nil, "", fmt.Errorf("remote: bad address %q in stable page: %v", s, err)
 				}
 				out = append(out, a)
 			}
-			return page.Cursor, nil
-		})
-		return out, err
-	})
+			return out, page.Cursor, nil
+		},
+		keyOf: func(a v6class.Addr) string { return a.String() },
+	}
 }
 
 // StableAddrsOrdered streams the nd-stable addresses for a reference day
 // in ascending address order, under the server's default classification
 // options.
 func (e *Engine) StableAddrsOrdered(ref, n int) (iter.Seq[v6class.Addr], error) {
-	addrs, err := e.fetchStable(ref, n, "")
-	if err != nil {
-		return nil, err
-	}
-	return sliceSeq(addrs), nil
+	return e.stableStream(ref, n).stream("")
 }
 
 // StableAddrsOrderedAfter resumes StableAddrsOrdered strictly after an
 // address.
 func (e *Engine) StableAddrsOrderedAfter(ref, n int, after v6class.Addr) (iter.Seq[v6class.Addr], error) {
-	addrs, err := e.fetchStable(ref, n, after.String())
-	if err != nil {
-		return nil, err
-	}
-	return sliceSeq(addrs), nil
+	return e.stableStream(ref, n).stream(after.String())
 }
 
 // StableAddrs streams the nd-stable addresses for a reference day, under
@@ -257,31 +314,29 @@ type lifetimesPage struct {
 	Cursor string `json:"cursor"`
 }
 
-// lifetimeEntry is one materialized (key, activity) pair.
+// lifetimeEntry is one decoded (key, activity) pair.
 type lifetimeEntry struct {
 	p   v6class.Prefix
 	act v6class.Activity
 }
 
-// fetchLifetimes materializes the ordered lifetime enumeration.
-func (e *Engine) fetchLifetimes(pop v6class.Population, after string) ([]lifetimeEntry, error) {
-	return retryExpired(e.c.retries, func() ([]lifetimeEntry, error) {
-		q := url.Values{}
-		serve.EncodePop(q, pop)
-		q.Set("limit", strconv.Itoa(e.c.pageSize))
-		if after != "" {
-			q.Set("after", after)
-		}
-		var out []lifetimeEntry
-		err := e.c.walkPages("/v1/lifetimes", q, func(body []byte) (string, error) {
+// lifetimesStream prepares the /v1/lifetimes enumeration for streaming.
+func (e *Engine) lifetimesStream(pop v6class.Population) *pageStream[lifetimeEntry] {
+	q := url.Values{}
+	serve.EncodePop(q, pop)
+	q.Set("limit", strconv.Itoa(e.c.pageSize))
+	return &pageStream[lifetimeEntry]{
+		c: e.c, path: "/v1/lifetimes", base: q,
+		decode: func(body []byte) ([]lifetimeEntry, string, error) {
 			var page lifetimesPage
 			if err := json.Unmarshal(body, &page); err != nil {
-				return "", fmt.Errorf("remote: decoding lifetimes page: %w", err)
+				return nil, "", fmt.Errorf("remote: decoding lifetimes page: %w", err)
 			}
+			out := make([]lifetimeEntry, 0, len(page.Rows))
 			for _, row := range page.Rows {
 				p, err := v6class.ParsePrefix(row.Prefix)
 				if err != nil {
-					return "", fmt.Errorf("remote: bad key %q in lifetimes page: %v", row.Prefix, err)
+					return nil, "", fmt.Errorf("remote: bad key %q in lifetimes page: %v", row.Prefix, err)
 				}
 				out = append(out, lifetimeEntry{p: p, act: v6class.Activity{
 					First:      v6class.Day(row.First),
@@ -290,16 +345,16 @@ func (e *Engine) fetchLifetimes(pop v6class.Population, after string) ([]lifetim
 					Runs:       row.Runs,
 				}})
 			}
-			return page.Cursor, nil
-		})
-		return out, err
-	})
+			return out, page.Cursor, nil
+		},
+		keyOf: func(le lifetimeEntry) string { return le.p.String() },
+	}
 }
 
 // LifetimesOrdered streams every key of the population with its activity
 // profile, in the canonical key order.
 func (e *Engine) LifetimesOrdered(pop v6class.Population) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
-	rows, err := e.fetchLifetimes(pop, "")
+	rows, err := e.lifetimesStream(pop).stream("")
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +363,7 @@ func (e *Engine) LifetimesOrdered(pop v6class.Population) (iter.Seq2[v6class.Pre
 
 // LifetimesOrderedAfter resumes LifetimesOrdered strictly after a key.
 func (e *Engine) LifetimesOrderedAfter(pop v6class.Population, after v6class.Prefix) (iter.Seq2[v6class.Prefix, v6class.Activity], error) {
-	rows, err := e.fetchLifetimes(pop, after.String())
+	rows, err := e.lifetimesStream(pop).stream(after.String())
 	if err != nil {
 		return nil, err
 	}
@@ -320,9 +375,9 @@ func (e *Engine) Lifetimes(pop v6class.Population) (iter.Seq2[v6class.Prefix, v6
 	return e.LifetimesOrdered(pop)
 }
 
-func lifetimesSeq(rows []lifetimeEntry) iter.Seq2[v6class.Prefix, v6class.Activity] {
+func lifetimesSeq(rows iter.Seq[lifetimeEntry]) iter.Seq2[v6class.Prefix, v6class.Activity] {
 	return func(yield func(v6class.Prefix, v6class.Activity) bool) {
-		for _, r := range rows {
+		for r := range rows {
 			if !yield(r.p, r.act) {
 				return
 			}
@@ -332,8 +387,8 @@ func lifetimesSeq(rows []lifetimeEntry) iter.Seq2[v6class.Prefix, v6class.Activi
 
 // Pager walks the ordered key enumeration one page at a time, exposing the
 // raw cursor flow the Engine iterators hide. Unlike the iterators it never
-// restarts: a snapshot reload between pages surfaces from Next as an error
-// unwrapping serve.ErrCursorExpired, which makes it both the
+// restarts or resumes: a snapshot reload between pages surfaces from Next
+// as an error unwrapping serve.ErrCursorExpired, which makes it both the
 // constant-memory bulk-export primitive and the hook for observing
 // generation swaps mid-enumeration.
 type Pager struct {

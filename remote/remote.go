@@ -243,10 +243,11 @@ func (c *client) get(path string, q url.Values, out any) error {
 // an unknown snapshot fails fast rather than on first query.
 //
 // The returned Engine answers every query over the wire against the
-// server's currently installed snapshot generation; enumerations that span
-// multiple pages restart transparently (up to the retry budget) if a
-// reload lands mid-stream, so an iterator never yields a mix of two
-// generations.
+// server's currently installed snapshot generation; enumerations that
+// span multiple pages stream lazily and, if a reload lands mid-stream,
+// resume after the last yielded key (up to the retry budget), so an
+// iterator stays strictly ascending and duplicate-free across generation
+// swaps.
 func Dial(baseURL string, opts ...Option) (*Engine, error) {
 	c := &client{
 		base:     strings.TrimRight(baseURL, "/"),

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// accessRecorder wraps a ResponseWriter to observe what the handler
+// actually sent: the first status written and the body byte count.
+type accessRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (rec *accessRecorder) WriteHeader(code int) {
+	if rec.status == 0 {
+		rec.status = code
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *accessRecorder) Write(p []byte) (int, error) {
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	n, err := rec.ResponseWriter.Write(p)
+	rec.bytes += int64(n)
+	return n, err
+}
+
+// accessLogger emits one structured line per completed request. The
+// snapshot and epoch fields come from the X-V6-Snapshot/X-V6-Epoch
+// response headers the snapshot dispatcher stamps, so the log names the
+// exact generation that answered — across reloads, two lines for the
+// same path can legitimately show different epochs. Lines are written
+// under a mutex in a single Write call each, so concurrent requests
+// never interleave mid-line.
+type accessLogger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	next http.Handler
+}
+
+func (l *accessLogger) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &accessRecorder{ResponseWriter: w}
+	defer func() {
+		status := rec.status
+		if status == 0 {
+			// The handler wrote nothing (or panicked before writing);
+			// net/http will answer 200 for the former, 500-ish for the
+			// latter — record what we know.
+			status = http.StatusOK
+		}
+		snap := rec.Header().Get("X-V6-Snapshot")
+		if snap == "" {
+			snap = "-"
+		}
+		epoch := rec.Header().Get("X-V6-Epoch")
+		if epoch == "" {
+			epoch = "-"
+		}
+		line := fmt.Sprintf("time=%s method=%s path=%q snapshot=%s epoch=%s status=%d dur=%.3fms bytes=%d\n",
+			start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.RequestURI(),
+			snap, epoch, status, float64(time.Since(start).Microseconds())/1000, rec.bytes)
+		l.mu.Lock()
+		io.WriteString(l.w, line)
+		l.mu.Unlock()
+	}()
+	l.next.ServeHTTP(rec, r)
+}

@@ -156,7 +156,7 @@
 // # Resilience
 //
 // The expensive sweep endpoints — /v1/keys, /v1/stable, /v1/lifetimes,
-// /v1/mra, /v1/aguri — run under an admission semaphore
+// /v1/mra, /v1/aguri, /v1/targets — run under an admission semaphore
 // (Options.SweepConcurrency, default 16). When every slot is busy a sweep
 // is shed immediately with HTTP 429, code "overloaded" and a Retry-After
 // hint, rather than queued into a goroutine pile-up; the remote client's
@@ -170,6 +170,20 @@
 // partition); a coordinator built with remote.WithPartialResults instead
 // keeps answering from the live majority, and its ErrDegraded annotation
 // passes through the handlers untouched — degraded results are results.
+//
+// /v1/targets is the measurement-loop surface: it trains a package
+// target generator on the snapshot's dense regions (over the memoized
+// spatial set, so the trie is shared with /v1/dense and friends) and
+// answers the ranked candidate stream — addresses worth probing that the
+// census has not seen — with the budget capped server-side. The seed is
+// part of the cache key, so a fixed (snapshot, epoch, params) query is
+// computed once and answered identically thereafter.
+//
+// When Options.AccessLog is set (cmd/v6served -access-log), every
+// request is logged after completion as one structured line — method,
+// path, resolved snapshot and epoch, status, duration, response bytes —
+// written with a single serialized Write so concurrent requests never
+// interleave. "-" as the flag value logs to stdout.
 //
 // cmd/v6served completes the story on the process level: SIGTERM/SIGINT
 // triggers a graceful shutdown that refuses new connections and drains
@@ -198,6 +212,7 @@
 //	GET  /v1/lsp?afrom=&ato=&bfrom=&bto=&minbits=&minsupport=  stable prefixes
 //	GET  /v1/mra?pop=[&days=]                               MRA profile
 //	GET  /v1/aguri?pop=[&days=]&fraction=                   aguri profile
+//	GET  /v1/targets?budget=&n=&p=&per64=&seed=[&days=]     ranked probe candidates
 //	GET  /v1/snapshot                                       stream the census file
 //	GET  /v1/experiments[/{name}]                           driver registry
 //	POST /v1/reload?snap=&path=                             swap a snapshot

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -88,6 +89,12 @@ type Options struct {
 	// /v1/freeze answer 403 regardless of token. Reload stays available
 	// (it re-reads files the server already trusts).
 	ReadOnly bool
+	// AccessLog, when non-nil, receives one structured line per completed
+	// request: time, method, path, the snapshot name and epoch that
+	// answered, status, duration and body bytes. Writes are serialized;
+	// the writer needs no locking of its own. Typically an *os.File (see
+	// cmd/v6served's -access-log flag).
+	AccessLog io.Writer
 	// SweepConcurrency bounds how many expensive sweep requests —
 	// /v1/keys, /v1/stable, /v1/lifetimes, /v1/mra, /v1/aguri, the
 	// endpoints that walk or build whole populations — run at once.
@@ -122,6 +129,7 @@ type Server struct {
 	lab        *experiments.Lab
 	adminToken string
 	readOnly   bool
+	accessLog  io.Writer
 	started    time.Time
 	sweepSem   chan struct{} // sweep admission semaphore; nil = unlimited
 
@@ -141,6 +149,7 @@ func New(opts Options) *Server {
 		lab:        opts.Lab,
 		adminToken: opts.AdminToken,
 		readOnly:   opts.ReadOnly,
+		accessLog:  opts.AccessLog,
 		started:    time.Now(),
 		lives:      map[string]*liveSession{},
 	}
@@ -290,11 +299,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/lsp", s.snapshotHandler(s.handleLSP))
 	mux.HandleFunc("GET /v1/mra", s.snapshotHandler(s.limited(s.handleMRA)))
 	mux.HandleFunc("GET /v1/aguri", s.snapshotHandler(s.limited(s.handleAguri)))
+	mux.HandleFunc("GET /v1/targets", s.snapshotHandler(s.limited(s.handleTargets)))
 	mux.HandleFunc("GET /v1/snapshot", s.snapshotHandler(s.handleSnapshotDump))
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/freeze", s.handleFreeze)
+	if s.accessLog != nil {
+		return &accessLogger{w: s.accessLog, next: mux}
+	}
 	return mux
 }

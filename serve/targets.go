@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"v6class"
+	"v6class/target"
+)
+
+// maxTargetBudget bounds one /v1/targets request: the generator ranks
+// candidates lazily, but each row still renders into the response body,
+// so the budget is a response-size bound as much as a compute one.
+const maxTargetBudget = 4096
+
+type targetRow struct {
+	Addr   string  `json:"addr"`
+	Region string  `json:"region"`
+	Score  float64 `json:"score"`
+}
+
+type targetsResponse struct {
+	Budget  int         `json:"budget"`
+	N       uint64      `json:"n"`
+	P       int         `json:"p"`
+	Per64   int         `json:"per64"`
+	Seed    uint64      `json:"seed"`
+	Days    []int       `json:"days"`
+	Regions []string    `json:"regions"`
+	Targets []targetRow `json:"targets"`
+}
+
+// handleTargets serves GET /v1/targets: the census-driven target
+// generator over this snapshot's population. The model trains on the
+// selected days' dense regions (n=N, p=P — the same density-class
+// vocabulary as /v1/dense) and returns up to budget ranked candidate
+// addresses not in the census, with the per-/64 fairness cap applied.
+// Training builds the same spatial population as the dense and top-k
+// endpoints, so repeated target pulls over one day selection share a
+// single trie build through the snapshot's memo; the request runs under
+// the sweep admission limit because a cold pull is a full population
+// build plus a model training pass.
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	days, err := daysParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "%v", err)
+		return
+	}
+	budget, err := intParam(r, "budget", 64)
+	if err != nil || budget <= 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter budget: want a positive count")
+		return
+	}
+	if budget > maxTargetBudget {
+		budget = maxTargetBudget
+	}
+	n, err := intParam(r, "n", 3)
+	if err != nil || n <= 0 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter n: want a positive count")
+		return
+	}
+	p, err := intParam(r, "p", 120)
+	if err != nil || p < 0 || p > 128 {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter p: want a prefix length in [0,128]")
+		return
+	}
+	per64, err := intParam(r, "per64", 16)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter per64: %v", err)
+		return
+	}
+	var seed uint64
+	if v := r.URL.Query().Get("seed"); v != "" {
+		seed, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadParam, snap, "parameter seed: %v", err)
+			return
+		}
+	}
+	key := fmt.Sprintf("targets?budget=%d&n=%d&p=%d&per64=%d&seed=%d&days=%s",
+		budget, n, p, per64, seed, daysKey(days))
+	s.cached(w, snap, key, func() any {
+		set := snap.addressSet(v6class.Addresses, "addrs", days)
+		gen := strict(target.NewGenerator(set,
+			target.WithSeed(seed),
+			target.WithDensity(v6class.DensityClass{N: uint64(n), P: p}),
+			target.WithPer64(per64)))
+		resp := targetsResponse{
+			Budget: budget, N: uint64(n), P: p, Per64: per64, Seed: seed,
+			Days: days, Regions: []string{}, Targets: []targetRow{},
+		}
+		for _, rp := range gen.Regions() {
+			resp.Regions = append(resp.Regions, rp.String())
+		}
+		for c := range gen.Candidates(budget) {
+			resp.Targets = append(resp.Targets, targetRow{
+				Addr: c.Addr.String(), Region: c.Region.String(), Score: c.Score,
+			})
+		}
+		return resp
+	})
+}

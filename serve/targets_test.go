@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"v6class"
+)
+
+// targetsEngine builds a tiny frozen engine whose one dense /116 region
+// has exactly one unseen model candidate (2001:db8::212): three members
+// share nybble values such that the marginal-smoothed chain admits a
+// 2×1×2 path space, three paths of which are census members.
+func targetsEngine(t *testing.T) v6class.Engine {
+	t.Helper()
+	eng, err := v6class.New(v6class.WithStudyDays(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []v6class.Record
+	for _, s := range []string{"2001:db8::111", "2001:db8::211", "2001:db8::112"} {
+		recs = append(recs, v6class.Record{Addr: v6class.MustParseAddr(s), Hits: 1})
+	}
+	if err := eng.AddDay(v6class.DayLog{Day: 0, Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestTargetsEndpoint(t *testing.T) {
+	s := New(Options{})
+	s.Install("t", "", targetsEngine(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var resp targetsResponse
+	r := get(t, ts, "/v1/targets?day=0&n=3&p=116&budget=8", &resp)
+	if r.StatusCode != 200 {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if len(resp.Regions) != 1 || !strings.HasPrefix(resp.Regions[0], "2001:db8::/") {
+		t.Fatalf("regions = %v, want one region under 2001:db8::", resp.Regions)
+	}
+	if len(resp.Targets) != 1 || resp.Targets[0].Addr != "2001:db8::212" {
+		t.Fatalf("targets = %+v, want exactly 2001:db8::212", resp.Targets)
+	}
+	if resp.Targets[0].Region != resp.Regions[0] || resp.Targets[0].Score >= 0 {
+		t.Errorf("target row %+v: want region echo and negative log2 score", resp.Targets[0])
+	}
+
+	// Same query again is served from cache, byte-identical.
+	var resp2 targetsResponse
+	get(t, ts, "/v1/targets?day=0&n=3&p=116&budget=8", &resp2)
+	if resp2.Targets[0] != resp.Targets[0] {
+		t.Errorf("repeat query diverged: %+v vs %+v", resp2.Targets[0], resp.Targets[0])
+	}
+
+	// Parameter validation speaks the envelope vocabulary.
+	for _, q := range []string{
+		"/v1/targets",                      // missing day selection
+		"/v1/targets?day=0&budget=0",       // non-positive budget
+		"/v1/targets?day=0&p=200",          // prefix length out of range
+		"/v1/targets?day=0&seed=not-a-num", // malformed seed
+	} {
+		var env errEnvelope
+		if r := get(t, ts, q, &env); r.StatusCode != 400 || env.Error == nil || env.Error.Code != CodeBadParam {
+			t.Errorf("GET %s: status %d, envelope %+v; want 400 bad_param", q, r.StatusCode, env.Error)
+		}
+	}
+}
+
+// TestAccessLog exercises the Options.AccessLog middleware: one
+// structured line per request, naming the snapshot generation that
+// answered (or "-" before resolution).
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Options{AccessLog: &buf})
+	s.Install("t", "", targetsEngine(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get(t, ts, "/v1/meta", nil)
+	get(t, ts, "/v1/meta?snap=nope", nil)
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, want := range []string{
+		`method=GET path="/v1/meta" snapshot=t epoch=1 status=200`,
+		`method=GET path="/v1/meta?snap=nope" snapshot=- epoch=- status=404`,
+	} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d = %q, want substring %q", i, lines[i], want)
+		}
+		for _, field := range []string{"time=", "dur=", "bytes="} {
+			if !strings.Contains(lines[i], field) {
+				t.Errorf("line %d missing %s field: %q", i, field, lines[i])
+			}
+		}
+	}
+}

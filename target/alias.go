@@ -1,0 +1,270 @@
+package target
+
+import (
+	"context"
+	"encoding/binary"
+	"iter"
+	"sort"
+	"sync"
+
+	"v6class"
+)
+
+// AliasConfig tunes the alias detector. The zero value is usable: every
+// field has a documented default.
+type AliasConfig struct {
+	// K is the number of pseudorandom probes a check issues; all must
+	// answer to call the prefix aliased. Default 16.
+	K int
+	// Bits is the prefix length checked, clamped to [64, 96]. Default 64:
+	// residential delegations alias at the /64.
+	Bits int
+	// Trigger is the scan-hit count under one checked prefix that fires a
+	// check. Default 4.
+	Trigger int
+	// Cooldown is how many rounds a detection suppresses generation under
+	// the prefix, and how long a failed check blocks re-checking. Default
+	// 8.
+	Cooldown int
+	// Seed derives the check probes; a fixed seed makes every check's
+	// probe set a pure function of the prefix.
+	Seed uint64
+}
+
+func (c AliasConfig) withDefaults() AliasConfig {
+	if c.K <= 0 {
+		c.K = 16
+	}
+	if c.Bits < 64 {
+		c.Bits = 64
+	}
+	if c.Bits > 96 {
+		c.Bits = 96
+	}
+	if c.Trigger <= 0 {
+		c.Trigger = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8
+	}
+	return c
+}
+
+// AliasDetector flags aliased prefixes — delegations where some middlebox
+// answers for every address, which would otherwise flood the census with
+// phantom "active" addresses — and remembers them across rounds with a
+// cooldown. Safe for concurrent use by scan workers.
+type AliasDetector struct {
+	cfg AliasConfig
+
+	mu      sync.Mutex
+	aliased map[v6class.Prefix]int // prefix -> round detected
+	checked map[v6class.Prefix]int // prefix -> round last checked
+}
+
+// NewAliasDetector returns a detector with cfg's defaults applied.
+func NewAliasDetector(cfg AliasConfig) *AliasDetector {
+	return &AliasDetector{
+		cfg:     cfg.withDefaults(),
+		aliased: make(map[v6class.Prefix]int),
+		checked: make(map[v6class.Prefix]int),
+	}
+}
+
+// Config returns the detector's effective (defaulted) configuration.
+func (d *AliasDetector) Config() AliasConfig { return d.cfg }
+
+// CheckPrefix returns the checked-length prefix of a — the granularity
+// tallies and detections operate at.
+func (d *AliasDetector) CheckPrefix(a v6class.Addr) v6class.Prefix {
+	return v6class.PrefixFrom(a, d.cfg.Bits)
+}
+
+// ProbeAddrs returns the K pseudorandom check probes under p. The set is
+// a pure function of (Seed, p): deterministic across runs and workers.
+func (d *AliasDetector) ProbeAddrs(p v6class.Prefix) []v6class.Addr {
+	host := 128 - p.Bits()
+	base := p.First()
+	state := splitmix64(d.cfg.Seed ^ addrHash(0x616c696173, base) ^ uint64(p.Bits()))
+	out := make([]v6class.Addr, 0, d.cfg.K)
+	seen := make(map[v6class.Addr]bool, d.cfg.K)
+	for len(out) < d.cfg.K {
+		state = splitmix64(state)
+		hi, lo := base.NetworkID(), base.IID()
+		r := state
+		switch {
+		case host >= 64:
+			lo = r
+			if host > 64 {
+				state = splitmix64(state)
+				hi |= state & (1<<uint(host-64) - 1)
+			}
+		case host > 0:
+			lo |= r & (1<<uint(host) - 1)
+		}
+		var b [16]byte
+		binary.BigEndian.PutUint64(b[:8], hi)
+		binary.BigEndian.PutUint64(b[8:], lo)
+		a := v6class.AddrFrom16(b)
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Check runs the alias test for the checked prefix containing addr, in
+// the given round: K pseudorandom probes under the prefix, aliased iff
+// all answer. Detections and failed checks are both remembered — a
+// failed check is not repeated until Cooldown rounds pass, a detection
+// suppresses the prefix (see Suppress) for Cooldown rounds. Returns
+// whether the prefix is (now) considered aliased.
+func (d *AliasDetector) Check(ctx context.Context, pr Prober, addr v6class.Addr, round int) (bool, error) {
+	p := d.CheckPrefix(addr)
+	d.mu.Lock()
+	if det, ok := d.aliased[p]; ok && round-det < d.cfg.Cooldown {
+		d.mu.Unlock()
+		return true, nil
+	}
+	if last, ok := d.checked[p]; ok && round-last < d.cfg.Cooldown {
+		d.mu.Unlock()
+		return false, nil
+	}
+	d.checked[p] = round
+	d.mu.Unlock()
+
+	all := true
+	for _, a := range d.ProbeAddrs(p) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		hit, err := pr.Probe(ctx, a)
+		if err != nil {
+			return false, err
+		}
+		if !hit {
+			all = false
+			break
+		}
+	}
+	if all {
+		d.mu.Lock()
+		d.aliased[p] = round
+		d.mu.Unlock()
+	}
+	return all, nil
+}
+
+// Suppress reports whether candidate generation under a should be
+// suppressed in the given round: a detection within Cooldown covers it.
+// It has the WithSuppress shape once the round is bound:
+//
+//	WithSuppress(func(a v6class.Addr) bool { return det.Suppress(a, round) })
+func (d *AliasDetector) Suppress(a v6class.Addr, round int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for p, det := range d.aliased {
+		if round-det < d.cfg.Cooldown && p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// SuppressSnapshot returns a suppression predicate over the detector's
+// state as of the call: the prefixes whose detection is within Cooldown
+// of round, copied out under the lock. The predicate itself reads no
+// shared state, so — unlike a closure over Suppress — its answers cannot
+// change when scan workers detect new prefixes mid-round. Loop uses it
+// to keep each round's candidate stream a pure function of the state at
+// round start (mid-round detections are suppressed by the scan's own
+// live check instead).
+func (d *AliasDetector) SuppressSnapshot(round int) func(v6class.Addr) bool {
+	d.mu.Lock()
+	var cover []v6class.Prefix
+	for p, det := range d.aliased {
+		if round-det < d.cfg.Cooldown {
+			cover = append(cover, p)
+		}
+	}
+	d.mu.Unlock()
+	return func(a v6class.Addr) bool {
+		for _, p := range cover {
+			if p.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Aliased enumerates every detected prefix in ascending order with the
+// round it was detected — the façade-style enumeration ingest uses to
+// collapse aliased delegations. The Seq is re-iterable; it snapshots the
+// detector at call time of each iteration.
+func (d *AliasDetector) Aliased() iter.Seq2[v6class.Prefix, int] {
+	return func(yield func(v6class.Prefix, int) bool) {
+		d.mu.Lock()
+		type det struct {
+			p     v6class.Prefix
+			round int
+		}
+		all := make([]det, 0, len(d.aliased))
+		for p, r := range d.aliased {
+			all = append(all, det{p, r})
+		}
+		d.mu.Unlock()
+		sort.Slice(all, func(i, j int) bool { return all[i].p.Cmp(all[j].p) < 0 })
+		for _, a := range all {
+			if !yield(a.p, a.round) {
+				return
+			}
+		}
+	}
+}
+
+// CollapseAliased rewrites daily logs so each aliased prefix contributes
+// a single representative record (the prefix's first address, hits
+// summed) instead of its phantom per-address records — the optional
+// ingest-side collapse. Records are otherwise preserved in order; the
+// representative sits at the first collapsed record's position.
+func (d *AliasDetector) CollapseAliased(logs []v6class.DayLog) []v6class.DayLog {
+	d.mu.Lock()
+	prefixes := make([]v6class.Prefix, 0, len(d.aliased))
+	for p := range d.aliased {
+		prefixes = append(prefixes, p)
+	}
+	d.mu.Unlock()
+	if len(prefixes) == 0 {
+		return logs
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Cmp(prefixes[j]) < 0 })
+	covering := func(a v6class.Addr) (v6class.Prefix, bool) {
+		for _, p := range prefixes {
+			if p.Contains(a) {
+				return p, true
+			}
+		}
+		return v6class.Prefix{}, false
+	}
+	out := make([]v6class.DayLog, len(logs))
+	for i, day := range logs {
+		rewritten := v6class.DayLog{Day: day.Day, Records: make([]v6class.Record, 0, len(day.Records))}
+		rep := make(map[v6class.Prefix]int) // prefix -> index in rewritten
+		for _, rec := range day.Records {
+			if p, ok := covering(rec.Addr); ok {
+				if j, seen := rep[p]; seen {
+					rewritten.Records[j].Hits += rec.Hits
+				} else {
+					rep[p] = len(rewritten.Records)
+					rewritten.Records = append(rewritten.Records, v6class.Record{Addr: p.First(), Hits: rec.Hits})
+				}
+				continue
+			}
+			rewritten.Records = append(rewritten.Records, rec)
+		}
+		out[i] = rewritten
+	}
+	return out
+}

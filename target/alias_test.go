@@ -1,0 +1,123 @@
+package target_test
+
+import (
+	"context"
+	"testing"
+
+	"v6class"
+	"v6class/target"
+)
+
+var (
+	yes = target.ProberFunc(func(context.Context, v6class.Addr) (bool, error) { return true, nil })
+	no  = target.ProberFunc(func(context.Context, v6class.Addr) (bool, error) { return false, nil })
+)
+
+func TestAliasDetectAndCooldown(t *testing.T) {
+	det := target.NewAliasDetector(target.AliasConfig{K: 8, Cooldown: 3, Seed: 5})
+	addr := v6class.MustParseAddr("2001:db8:0:aa::1")
+	p64 := v6class.PrefixFrom(addr, 64)
+
+	aliased, err := det.Check(context.Background(), yes, addr, 0)
+	if err != nil || !aliased {
+		t.Fatalf("Check(all-answer) = %v, %v; want true", aliased, err)
+	}
+	for round := 0; round < 3; round++ {
+		if !det.Suppress(addr, round) {
+			t.Errorf("round %d: aliased prefix not suppressed", round)
+		}
+		if !det.Suppress(p64.Last(), round) {
+			t.Errorf("round %d: other addr under prefix not suppressed", round)
+		}
+	}
+	if det.Suppress(addr, 3) {
+		t.Error("suppression outlived cooldown")
+	}
+	if det.Suppress(v6class.MustParseAddr("2001:db8:0:bb::1"), 0) {
+		t.Error("unrelated /64 suppressed")
+	}
+}
+
+func TestAliasFailedCheckCooldown(t *testing.T) {
+	det := target.NewAliasDetector(target.AliasConfig{K: 4, Cooldown: 5})
+	addr := v6class.MustParseAddr("2001:db8::1")
+	if aliased, _ := det.Check(context.Background(), no, addr, 0); aliased {
+		t.Fatal("non-answering prefix marked aliased")
+	}
+	// Within cooldown the check does not repeat — even an all-answering
+	// prober cannot flip the verdict yet.
+	if aliased, _ := det.Check(context.Background(), yes, addr, 2); aliased {
+		t.Fatal("re-checked within cooldown")
+	}
+	if aliased, _ := det.Check(context.Background(), yes, addr, 5); !aliased {
+		t.Fatal("cooldown expiry did not allow a fresh check")
+	}
+}
+
+func TestAliasProbeAddrsDeterministic(t *testing.T) {
+	det := target.NewAliasDetector(target.AliasConfig{K: 16, Seed: 9})
+	p := v6class.MustParsePrefix("2001:db8:1:2::/64")
+	a1, a2 := det.ProbeAddrs(p), det.ProbeAddrs(p)
+	if len(a1) != 16 {
+		t.Fatalf("got %d probes, want 16", len(a1))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("probe set not deterministic")
+		}
+		if !p.Contains(a1[i]) {
+			t.Errorf("probe %v outside %v", a1[i], p)
+		}
+	}
+}
+
+func TestAliasedEnumerationOrdered(t *testing.T) {
+	det := target.NewAliasDetector(target.AliasConfig{K: 2})
+	for _, s := range []string{"2001:db8:0:b::1", "2001:db8:0:a::1", "2001:db8:0:c::1"} {
+		if _, err := det.Check(context.Background(), yes, v6class.MustParseAddr(s), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev v6class.Prefix
+	n := 0
+	for p, round := range det.Aliased() {
+		if n > 0 && p.Cmp(prev) <= 0 {
+			t.Errorf("enumeration not ascending: %v after %v", p, prev)
+		}
+		if round != 1 {
+			t.Errorf("round = %d, want 1", round)
+		}
+		prev = p
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("enumerated %d prefixes, want 3", n)
+	}
+}
+
+func TestCollapseAliased(t *testing.T) {
+	det := target.NewAliasDetector(target.AliasConfig{K: 2})
+	if _, err := det.Check(context.Background(), yes, v6class.MustParseAddr("2001:db8:0:a::1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	p := v6class.MustParsePrefix("2001:db8:0:a::/64")
+	logs := []v6class.DayLog{{Day: 3, Records: []v6class.Record{
+		{Addr: v6class.MustParseAddr("2001:db8:0:a::1"), Hits: 2},
+		{Addr: v6class.MustParseAddr("2001:db8:0:b::1"), Hits: 7},
+		{Addr: v6class.MustParseAddr("2001:db8:0:a::9"), Hits: 3},
+	}}}
+	out := det.CollapseAliased(logs)
+	if len(out) != 1 || len(out[0].Records) != 2 {
+		t.Fatalf("collapsed to %+v, want 2 records", out)
+	}
+	if r := out[0].Records[0]; r.Addr != p.First() || r.Hits != 5 {
+		t.Errorf("representative = %v/%d, want %v/5", r.Addr, r.Hits, p.First())
+	}
+	if r := out[0].Records[1]; r.Hits != 7 {
+		t.Errorf("untouched record rewritten: %+v", r)
+	}
+	// Original logs are not mutated.
+	if logs[0].Records[0].Hits != 2 || len(logs[0].Records) != 3 {
+		t.Error("input logs mutated")
+	}
+}

@@ -1,0 +1,100 @@
+package target_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"v6class"
+	"v6class/synth"
+	"v6class/target"
+)
+
+// benchSet builds the standard benchmark population: one day of the
+// small synthetic world, whose DHCP pool and client space give the model
+// a realistic mix of dense and sparse regions.
+func benchSet(b *testing.B) *v6class.AddressSet {
+	b.Helper()
+	world := synth.NewWorld(synth.Config{Seed: 11, Scale: 0.05, StudyDays: 16})
+	eng, err := v6class.New(v6class.WithStudyDays(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.AddDays(world.Days(0, 1)); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	set, err := eng.SpatialSet(v6class.Addresses, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// BenchmarkTargetGenerate measures training a generator and drawing one
+// full ranked candidate stream — the per-round model cost of the loop.
+func BenchmarkTargetGenerate(b *testing.B) {
+	set := benchSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen, err := target.NewGenerator(set,
+			target.WithDensity(v6class.DensityClass{N: 3, P: 116}),
+			target.WithPer64(64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for range gen.Candidates(256) {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkAliasDetect measures one full alias check: K pseudorandom
+// probes under the /64 plus the verdict bookkeeping.
+func BenchmarkAliasDetect(b *testing.B) {
+	yes := target.ProberFunc(func(context.Context, v6class.Addr) (bool, error) { return true, nil })
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := target.NewAliasDetector(target.AliasConfig{K: 16, Seed: 7})
+		a := v6class.MustParseAddr(fmt.Sprintf("2001:db8:%x::1", i%4096))
+		if aliased, err := det.Check(ctx, yes, a, 0); err != nil || !aliased {
+			b.Fatalf("Check = %v, %v", aliased, err)
+		}
+	}
+}
+
+// BenchmarkScanRound measures one generate→scan round through the worker
+// pool against a cheap prober — the scheduler overhead per candidate.
+func BenchmarkScanRound(b *testing.B) {
+	set := benchSet(b)
+	gen, err := target.NewGenerator(set,
+		target.WithDensity(v6class.DensityClass{N: 3, P: 116}),
+		target.WithPer64(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := target.ProberFunc(func(_ context.Context, a v6class.Addr) (bool, error) {
+		return a.Nybble(31)%2 == 0, nil
+	})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := target.Scan(ctx, pr, gen.Candidates(256), target.ScanConfig{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Probes == 0 {
+			b.Fatal("no probes")
+		}
+	}
+}

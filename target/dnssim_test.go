@@ -1,0 +1,96 @@
+package target_test
+
+import (
+	"context"
+	"slices"
+	"strings"
+	"testing"
+
+	"v6class"
+	"v6class/dnssim"
+	"v6class/probe"
+	"v6class/synth"
+	"v6class/target"
+)
+
+// TestGeneratorDrivesPTRHarvest is the Section 6.2.3 interplay: PTR
+// sweeps over generator-proposed candidates harvest more distinct names —
+// including names of hosts never observed active — than a uniform-random
+// sweep of the same dense regions with the same query budget. The DHCPv6
+// department publishes PTR records for its whole pool while the census
+// only ever sees the active subset, so a model that concentrates probes
+// inside the pool finds the silent hosts' names; uniform probing of the
+// surrounding space mostly queries NXDOMAIN.
+func TestGeneratorDrivesPTRHarvest(t *testing.T) {
+	world := synth.NewWorld(synth.Config{Seed: 11, Scale: 0.05, StudyDays: 16})
+	eng, err := v6class.New(v6class.WithStudyDays(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddDays(world.Days(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := eng.SpatialSet(v6class.Addresses, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone := dnssim.NewZone(probe.NewTopology(world, 0))
+
+	const budget = 256
+	gen, err := target.NewGenerator(set,
+		target.WithSeed(11),
+		target.WithDensity(v6class.DensityClass{N: 3, P: 116}),
+		target.WithPer64(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scan both candidate streams through the zone as the Prober: a hit
+	// is an existing PTR record, so the hit set is the harvestable set.
+	harvest := func(cands func(func(target.Candidate) bool)) []string {
+		res, err := target.Scan(context.Background(), zone, cands, target.ScanConfig{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return zone.HarvestAddrs(res.Hits)
+	}
+	modelNames := harvest(gen.Candidates(budget))
+	uniformNames := harvest(target.Take(target.Uniform(gen.Regions(), set, 11), budget))
+
+	if len(modelNames) <= len(uniformNames) {
+		t.Errorf("model harvested %d names, uniform %d; want model strictly ahead",
+			len(modelNames), len(uniformNames))
+	}
+
+	// The candidates exclude the census, so every harvested name belongs
+	// to an address never observed active — the paper's point that dense
+	// regions hold names beyond the active subset. The department pool
+	// must contribute some of them.
+	known := zone.HarvestAddrs(slices.Collect(func(yield func(v6class.Addr) bool) {
+		set.Trie().Walk(func(pc v6class.PrefixCount) bool {
+			if pc.Prefix.Bits() == 128 && !yield(pc.Prefix.Addr()) {
+				return false
+			}
+			return true
+		})
+	}))
+	fresh := 0
+	dhcp := false
+	for _, name := range modelNames {
+		if !slices.Contains(known, name) {
+			fresh++
+			if strings.HasPrefix(name, "dhcpv6-") {
+				dhcp = true
+			}
+		}
+	}
+	if fresh == 0 {
+		t.Error("model harvest found no names beyond the census's own")
+	}
+	if !dhcp {
+		t.Errorf("no silent dhcpv6-* host names among %d fresh names", fresh)
+	}
+}

@@ -1,0 +1,34 @@
+package target_test
+
+import (
+	"testing"
+
+	"v6class"
+	"v6class/target"
+)
+
+// FuzzCandidateCodec fuzzes the candidate wire codec: arbitrary input
+// must never panic the decoder, and every successfully decoded candidate
+// must round-trip byte-identically through Encode.
+func FuzzCandidateCodec(f *testing.F) {
+	a := v6class.MustParseAddr("2001:db8::212")
+	f.Add(target.Candidate{Addr: a, Region: v6class.PrefixFrom(a, 116), Score: -3.17}.Encode())
+	f.Add(target.Candidate{Addr: a, Region: v6class.PrefixFrom(a, 64)}.Encode())
+	f.Add("")
+	f.Add("2001:db8::1 2001:db8::/64")
+	f.Add("not-an-addr also-not 0000000000000000")
+	f.Add("2001:db8::1 2001:db8::/64 xyz")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := target.DecodeCandidate(s)
+		if err != nil {
+			return
+		}
+		again, err := target.DecodeCandidate(c.Encode())
+		if err != nil {
+			t.Fatalf("re-decoding %q (from %q): %v", c.Encode(), s, err)
+		}
+		if again != c {
+			t.Fatalf("round trip changed candidate: %+v vs %+v", again, c)
+		}
+	})
+}

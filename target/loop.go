@@ -1,0 +1,242 @@
+package target
+
+import (
+	"context"
+	"fmt"
+
+	"v6class"
+)
+
+// LoopConfig configures a measurement loop.
+type LoopConfig struct {
+	// Seed derives everything pseudorandom: candidate tie-breaking, alias
+	// probes, the uniform baseline. Same seed, same Prober, same parent
+	// census → byte-identical rounds.
+	Seed uint64
+	// Budget is the candidate budget per round. Default 1024.
+	Budget int
+	// Density is the dense class defining the model's regions. Default
+	// 3 @ /120.
+	Density v6class.DensityClass
+	// Per64 is the per-/64 fairness cap on generation. Default 16.
+	Per64 int
+	// Days is the day selection defining the training population. The
+	// ProbeDay is appended automatically if absent — without it, scan
+	// hits could never feed back into the model.
+	Days []int
+	// ProbeDay is the study day scan hits are recorded under. Pick a day
+	// inside the study period but beyond the parent's ingested window so
+	// each generation's delta is exactly its scan hits.
+	ProbeDay int
+	// Workers and Rate pass through to the scan scheduler.
+	Workers int
+	Rate    float64
+	// Alias configures the detector; a zero Seed inherits Seed.
+	Alias AliasConfig
+	// Baseline, when set, scans an equal budget of uniform-random
+	// candidates from the same dense regions each round and reports its
+	// hit-rate alongside. The baseline gets a fresh alias detector each
+	// round (so its phantom hits are filtered the same way, but the
+	// loop's detector state is never perturbed): the two scans differ
+	// only in generation policy.
+	Baseline bool
+}
+
+// RoundReport summarizes one generate → scan → ingest → freeze round.
+type RoundReport struct {
+	Round      int
+	Regions    int
+	Candidates int
+	Probes     int
+	Suppressed int
+	Hits       int
+	HitRate    float64
+	NewAliased []v6class.Prefix
+	// CensusAddrs is the training population size after ingesting the
+	// round's hits.
+	CensusAddrs int
+	// Baseline results are zero unless LoopConfig.Baseline is set.
+	BaselineCandidates int
+	BaselineHits       int
+	BaselineRate       float64
+}
+
+// Loop runs the closed measurement loop over a frozen census: each Round
+// trains a Generator on the current population, scans its ranked
+// candidates through the Prober, ingests the hits into a Successor
+// generation, freezes it, and extends the training set incrementally with
+// SpatialSetFrom — so round N+1's model knows what round N discovered.
+// The parent engine is never mutated; it keeps serving reads while the
+// loop grows new generations beside it. Not safe for concurrent use.
+type Loop struct {
+	cfg   LoopConfig
+	pr    Prober
+	eng   v6class.Engine
+	det   *AliasDetector
+	set   *v6class.AddressSet
+	round int
+}
+
+// NewLoop validates the configuration and builds the initial training set
+// from parent, which must be a frozen Engine constructed by v6class (the
+// Successor requirement).
+func NewLoop(parent v6class.Engine, pr Prober, cfg LoopConfig) (*Loop, error) {
+	if parent == nil || pr == nil {
+		return nil, fmt.Errorf("target: NewLoop requires an engine and a prober")
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 1024
+	}
+	if cfg.Density == (v6class.DensityClass{}) {
+		cfg.Density = v6class.DensityClass{N: 3, P: 120}
+	}
+	if cfg.Per64 == 0 {
+		cfg.Per64 = 16
+	}
+	if cfg.ProbeDay < 0 || cfg.ProbeDay >= parent.StudyDays() {
+		return nil, fmt.Errorf("target: ProbeDay %d outside study period [0, %d)", cfg.ProbeDay, parent.StudyDays())
+	}
+	hasProbeDay := false
+	for _, d := range cfg.Days {
+		if d == cfg.ProbeDay {
+			hasProbeDay = true
+			break
+		}
+	}
+	if !hasProbeDay {
+		cfg.Days = append(append([]int(nil), cfg.Days...), cfg.ProbeDay)
+	}
+	if cfg.Alias.Seed == 0 {
+		cfg.Alias.Seed = cfg.Seed
+	}
+	set, err := parent.SpatialSet(v6class.Addresses, cfg.Days...)
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{cfg: cfg, pr: pr, eng: parent, det: NewAliasDetector(cfg.Alias), set: set}, nil
+}
+
+// Engine returns the current generation: the original parent before any
+// hits, afterwards the latest frozen successor.
+func (l *Loop) Engine() v6class.Engine { return l.eng }
+
+// Detector returns the loop's alias detector (shared across rounds, so
+// cooldowns span rounds).
+func (l *Loop) Detector() *AliasDetector { return l.det }
+
+// Set returns the current training population.
+func (l *Loop) Set() *v6class.AddressSet { return l.set }
+
+// Rounds returns the number of completed rounds.
+func (l *Loop) Rounds() int { return l.round }
+
+// AdvanceProbeDay moves the loop to a new measurement day: subsequent
+// rounds record hits under day and probe through pr (typically a fresh
+// probe.NewTopology for that day). The day joins the training selection;
+// the incremental SpatialSetFrom extension stays exact because days
+// beyond the parent's ingested window only ever gain activity through
+// the loop's own ingests, so every newly qualifying key is in the
+// successor's delta.
+func (l *Loop) AdvanceProbeDay(day int, pr Prober) error {
+	if pr == nil {
+		return fmt.Errorf("target: AdvanceProbeDay requires a prober")
+	}
+	if day < 0 || day >= l.eng.StudyDays() {
+		return fmt.Errorf("target: probe day %d outside study period [0, %d)", day, l.eng.StudyDays())
+	}
+	l.pr = pr
+	l.cfg.ProbeDay = day
+	for _, d := range l.cfg.Days {
+		if d == day {
+			return nil
+		}
+	}
+	l.cfg.Days = append(l.cfg.Days, day)
+	return nil
+}
+
+// Round runs one generate → scan → ingest → freeze cycle and reports it.
+// A round with zero hits skips the ingest (no successor is spawned for
+// nothing); the loop state still advances.
+func (l *Loop) Round(ctx context.Context) (RoundReport, error) {
+	round := l.round
+	roundSeed := splitmix64(l.cfg.Seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15)
+	// Suppression is a snapshot of the detector at round start, not a live
+	// closure: scan workers detect aliases mid-round, and a live predicate
+	// would make the candidate stream's length depend on worker scheduling.
+	// Candidates that slip past the snapshot are still caught by the scan's
+	// own live check (counted in the report's Suppressed).
+	gen, err := NewGenerator(l.set,
+		WithSeed(roundSeed),
+		WithDensity(l.cfg.Density),
+		WithPer64(l.cfg.Per64),
+		WithSuppress(l.det.SuppressSnapshot(round)),
+	)
+	if err != nil {
+		return RoundReport{}, err
+	}
+	res, err := Scan(ctx, l.pr, gen.Candidates(l.cfg.Budget), ScanConfig{
+		Workers:  l.cfg.Workers,
+		Rate:     l.cfg.Rate,
+		Detector: l.det,
+		Round:    round,
+	})
+	if err != nil {
+		return RoundReport{}, err
+	}
+	rep := RoundReport{
+		Round:      round,
+		Regions:    len(gen.Regions()),
+		Candidates: res.Candidates,
+		Probes:     res.Probes,
+		Suppressed: res.Suppressed,
+		Hits:       len(res.Hits),
+		HitRate:    res.HitRate(),
+		NewAliased: res.NewAliased,
+	}
+	if l.cfg.Baseline {
+		base, err := Scan(ctx, l.pr,
+			Take(Uniform(gen.Regions(), l.set, roundSeed), l.cfg.Budget),
+			ScanConfig{Workers: l.cfg.Workers, Rate: l.cfg.Rate,
+				Detector: NewAliasDetector(l.cfg.Alias), Round: round})
+		if err != nil {
+			return RoundReport{}, err
+		}
+		rep.BaselineCandidates = base.Candidates
+		rep.BaselineHits = len(base.Hits)
+		rep.BaselineRate = base.HitRate()
+	}
+	if len(res.Hits) > 0 {
+		succ, err := v6class.Successor(l.eng)
+		if err != nil {
+			return RoundReport{}, err
+		}
+		if err := succ.AddDay(HitsToLog(l.cfg.ProbeDay, res.Hits)); err != nil {
+			return RoundReport{}, err
+		}
+		if err := succ.Freeze(); err != nil {
+			return RoundReport{}, err
+		}
+		set, err := succ.SpatialSetFrom(l.set, v6class.Addresses, l.cfg.Days...)
+		if err != nil {
+			return RoundReport{}, err
+		}
+		l.eng, l.set = succ, set
+	}
+	rep.CensusAddrs = l.set.Len()
+	l.round++
+	return rep, nil
+}
+
+// Run executes n rounds, stopping early on error or context cancellation.
+func (l *Loop) Run(ctx context.Context, n int) ([]RoundReport, error) {
+	reports := make([]RoundReport, 0, n)
+	for i := 0; i < n; i++ {
+		rep, err := l.Round(ctx)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

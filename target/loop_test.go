@@ -1,0 +1,298 @@
+package target_test
+
+import (
+	"bytes"
+	"context"
+	"slices"
+	"testing"
+
+	"v6class"
+	"v6class/probe"
+	"v6class/synth"
+	"v6class/target"
+)
+
+const (
+	loopStudyDays = 16
+	loopProbeDay0 = 8
+	loopRounds    = 3
+)
+
+// aliasedInjected is the ground-truth aliased /64 planted into the world.
+var aliasedInjected = v6class.MustParsePrefix("2a00:1450:100:a11a::/64")
+
+// plantAddrs are phantom census records under the aliased /64, shaped so
+// the Markov model generalizes beyond them (shared middle-nybble context)
+// and proposes fresh candidates there.
+func plantAddrs() []v6class.Addr {
+	base := aliasedInjected.First()
+	var out []v6class.Addr
+	for _, iid := range []uint64{0x111, 0x211, 0x311, 0x411, 0x511, 0x112, 0x113, 0x114} {
+		out = append(out, base.WithIID(iid))
+	}
+	return out
+}
+
+// loopWorld builds the deterministic test fixture: a synthetic world, a
+// parent census of day 0 (plus the aliased plant), and per-day
+// topologies with the aliased prefix injected.
+func loopWorld(t testing.TB) (*synth.World, v6class.Engine) {
+	t.Helper()
+	world := synth.NewWorld(synth.Config{Seed: 11, Scale: 0.05, StudyDays: loopStudyDays})
+	logs := world.Days(0, 1)
+	for _, a := range plantAddrs() {
+		logs[0].Records = append(logs[0].Records, v6class.Record{Addr: a, Hits: 1})
+	}
+	eng, err := v6class.New(v6class.WithStudyDays(loopStudyDays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddDays(logs); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return world, eng
+}
+
+func topoFor(world *synth.World, day int) *probe.Topology {
+	topo := probe.NewTopology(world, day)
+	topo.MarkAliased(aliasedInjected)
+	return topo
+}
+
+func newLoop(t testing.TB, world *synth.World, eng v6class.Engine) *target.Loop {
+	t.Helper()
+	loop, err := target.NewLoop(eng, topoFor(world, loopProbeDay0), target.LoopConfig{
+		Seed:     17,
+		Budget:   256,
+		Density:  v6class.DensityClass{N: 3, P: 116},
+		Per64:    64,
+		Days:     []int{0},
+		ProbeDay: loopProbeDay0,
+		Workers:  4,
+		Alias:    target.AliasConfig{K: 8, Trigger: 3, Cooldown: 8},
+		Baseline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop
+}
+
+// runLoop executes the standard rounds, advancing the probe day each
+// round as a real daily measurement would.
+func runLoop(t testing.TB, world *synth.World, loop *target.Loop) []target.RoundReport {
+	t.Helper()
+	var reports []target.RoundReport
+	for r := 0; r < loopRounds; r++ {
+		if r > 0 {
+			if err := loop.AdvanceProbeDay(loopProbeDay0+r, topoFor(world, loopProbeDay0+r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := loop.Round(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+func activeAddrs(t testing.TB, eng v6class.Engine, day int) []string {
+	t.Helper()
+	seq, err := eng.AddrsActiveOn(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for a := range seq {
+		out = append(out, a.String())
+	}
+	slices.Sort(out)
+	return out
+}
+
+// TestLoopClosedConformance is the acceptance suite of the measurement
+// loop: parent immutability, successor exactness, alias detection with
+// cooldown, hit-rate dominance over the uniform baseline, and cross-run
+// determinism — the properties ISSUE 9 requires under -race.
+func TestLoopClosedConformance(t *testing.T) {
+	world, parent := loopWorld(t)
+	var parentBefore bytes.Buffer
+	if _, err := parent.WriteTo(&parentBefore); err != nil {
+		t.Fatal(err)
+	}
+
+	loop := newLoop(t, world, parent)
+	reports := runLoop(t, world, loop)
+
+	// The parent engine is byte-identical after the whole loop.
+	var parentAfter bytes.Buffer
+	if _, err := parent.WriteTo(&parentAfter); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parentBefore.Bytes(), parentAfter.Bytes()) {
+		t.Error("parent engine mutated by the loop")
+	}
+
+	// Each round: hits exist and the model's hit-rate strictly beats the
+	// uniform baseline drawn from the same dense regions.
+	for _, rep := range reports {
+		t.Logf("round %d: regions=%d candidates=%d hits=%d rate=%.3f baseline=%d/%d rate=%.4f aliased=%v",
+			rep.Round, rep.Regions, rep.Candidates, rep.Hits, rep.HitRate,
+			rep.BaselineHits, rep.BaselineCandidates, rep.BaselineRate, rep.NewAliased)
+		if rep.Hits == 0 {
+			t.Errorf("round %d: no hits", rep.Round)
+		}
+		if rep.HitRate <= rep.BaselineRate {
+			t.Errorf("round %d: model rate %.4f does not beat uniform baseline %.4f",
+				rep.Round, rep.HitRate, rep.BaselineRate)
+		}
+	}
+
+	// The injected aliased /64 is detected in round 0 and never again
+	// reported new.
+	if len(reports[0].NewAliased) != 1 || reports[0].NewAliased[0] != aliasedInjected {
+		t.Errorf("round 0 NewAliased = %v, want [%v]", reports[0].NewAliased, aliasedInjected)
+	}
+	for _, rep := range reports[1:] {
+		if len(rep.NewAliased) != 0 {
+			t.Errorf("round %d re-detected aliased prefixes %v", rep.Round, rep.NewAliased)
+		}
+	}
+	found := false
+	for p := range loop.Detector().Aliased() {
+		if p == aliasedInjected {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("detector does not remember the injected aliased prefix")
+	}
+
+	// During cooldown, generation never re-proposes addresses under the
+	// aliased prefix (the phantom members are still in the census, so
+	// only suppression prevents it).
+	gen, err := target.NewGenerator(loop.Set(),
+		target.WithDensity(v6class.DensityClass{N: 3, P: 116}),
+		target.WithPer64(64),
+		target.WithSuppress(func(a v6class.Addr) bool { return loop.Detector().Suppress(a, loop.Rounds()) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range gen.Candidates(1024) {
+		if aliasedInjected.Contains(c.Addr) {
+			t.Errorf("candidate %v proposed under aliased prefix during cooldown", c.Addr)
+		}
+	}
+	// No hit was ever ingested under it either.
+	for _, day := range []int{loopProbeDay0, loopProbeDay0 + 1, loopProbeDay0 + 2} {
+		for _, s := range activeAddrs(t, loop.Engine(), day) {
+			if aliasedInjected.Contains(v6class.MustParseAddr(s)) {
+				t.Errorf("phantom hit %s ingested on day %d", s, day)
+			}
+		}
+	}
+}
+
+// TestLoopSuccessorExactness verifies one generate→scan→ingest→freeze
+// round: the new generation's probe-day actives are exactly the scan
+// hits, layered over an untouched parent.
+func TestLoopSuccessorExactness(t *testing.T) {
+	world, parent := loopWorld(t)
+	loop := newLoop(t, world, parent)
+	rep, err := loop.Round(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hits == 0 {
+		t.Fatal("round produced no hits")
+	}
+	if loop.Engine() == parent {
+		t.Fatal("loop did not spawn a successor")
+	}
+	// Parent has no probe-day activity; successor has exactly the hits.
+	if got := activeAddrs(t, parent, loopProbeDay0); len(got) != 0 {
+		t.Fatalf("parent active on probe day: %v", got)
+	}
+	got := activeAddrs(t, loop.Engine(), loopProbeDay0)
+	if len(got) != rep.Hits {
+		t.Fatalf("successor probe-day actives = %d, want %d", len(got), rep.Hits)
+	}
+	// Every probe-day active is a genuinely new key: census grew by
+	// exactly the hit count.
+	pn, err := parent.NumKeys(v6class.Addresses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := loop.Engine().NumKeys(v6class.Addresses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn-pn != rep.Hits {
+		t.Fatalf("census grew by %d keys, want %d", sn-pn, rep.Hits)
+	}
+	if loop.Set().Len() != rep.CensusAddrs {
+		t.Fatalf("report census size %d != set %d", rep.CensusAddrs, loop.Set().Len())
+	}
+}
+
+// TestLoopDeterministic runs the whole loop twice from scratch and
+// requires byte-identical candidate streams, hit sets, and reports
+// (modulo the scheduling-dependent probe counters).
+func TestLoopDeterministic(t *testing.T) {
+	type run struct {
+		reports    []target.RoundReport
+		hits       [][]string
+		candidates []string
+	}
+	do := func() run {
+		world, parent := loopWorld(t)
+		loop := newLoop(t, world, parent)
+		var r run
+		r.reports = runLoop(t, world, loop)
+		for d := 0; d < loopRounds; d++ {
+			r.hits = append(r.hits, activeAddrs(t, loop.Engine(), loopProbeDay0+d))
+		}
+		// The candidate stream of the next round, byte for byte.
+		gen, err := target.NewGenerator(loop.Set(),
+			target.WithSeed(99),
+			target.WithDensity(v6class.DensityClass{N: 3, P: 116}),
+			target.WithPer64(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range gen.Candidates(128) {
+			r.candidates = append(r.candidates, c.Encode())
+		}
+		return r
+	}
+	a, b := do(), do()
+	for i := range a.reports {
+		ra, rb := a.reports[i], b.reports[i]
+		// Probes/Suppressed can vary with worker scheduling around a
+		// mid-scan detection; everything observable must not.
+		ra.Probes, rb.Probes = 0, 0
+		ra.Suppressed, rb.Suppressed = 0, 0
+		if ra.Candidates != rb.Candidates || ra.Hits != rb.Hits || ra.HitRate != rb.HitRate ||
+			ra.CensusAddrs != rb.CensusAddrs || ra.BaselineHits != rb.BaselineHits ||
+			ra.BaselineCandidates != rb.BaselineCandidates ||
+			!slices.Equal(ra.NewAliased, rb.NewAliased) {
+			t.Errorf("round %d reports diverge:\n%+v\n%+v", i, ra, rb)
+		}
+	}
+	for d := range a.hits {
+		if !slices.Equal(a.hits[d], b.hits[d]) {
+			t.Errorf("day %d hit sets diverge", loopProbeDay0+d)
+		}
+	}
+	if !slices.Equal(a.candidates, b.candidates) {
+		t.Error("candidate streams diverge")
+	}
+	if len(a.candidates) == 0 {
+		t.Error("no candidates in determinism check")
+	}
+}

@@ -1,0 +1,511 @@
+package target
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"iter"
+	"math"
+	"sort"
+
+	"v6class"
+)
+
+// GenOption configures a Generator.
+type GenOption func(*genConfig)
+
+type genConfig struct {
+	seed       uint64
+	class      v6class.DensityClass
+	regions    []v6class.PrefixCount
+	per64      int
+	maxRegions int
+	suppress   func(v6class.Addr) bool
+}
+
+// WithSeed seeds the generator's tie-breaking. Streams are fully
+// deterministic for a fixed seed; different seeds reorder candidates of
+// equal model probability.
+func WithSeed(seed uint64) GenOption { return func(c *genConfig) { c.seed = seed } }
+
+// WithDensity selects the density class whose least-specific dense
+// prefixes become the model's regions. Default is 3 @ /120, a Table 3
+// class narrow enough to sweep and wide enough to generalize.
+func WithDensity(class v6class.DensityClass) GenOption {
+	return func(c *genConfig) { c.class = class }
+}
+
+// WithRegions overrides region discovery with an explicit dense-prefix
+// set (e.g. a DensityResult's Prefixes from an earlier sweep). Counts are
+// ignored; membership is re-derived from the training set.
+func WithRegions(prefixes []v6class.PrefixCount) GenOption {
+	return func(c *genConfig) { c.regions = append([]v6class.PrefixCount(nil), prefixes...) }
+}
+
+// WithPer64 caps the candidates emitted under any single /64 — the
+// fairness cap that keeps one dense delegation from monopolizing the
+// probe budget. Default 16; <= 0 means unlimited.
+func WithPer64(k int) GenOption { return func(c *genConfig) { c.per64 = k } }
+
+// WithMaxRegions bounds the number of (largest-membership) regions the
+// model trains on. Default 64; <= 0 means unlimited.
+func WithMaxRegions(n int) GenOption { return func(c *genConfig) { c.maxRegions = n } }
+
+// WithSuppress installs a candidate filter, typically
+// AliasDetector.Suppress: candidates for which fn returns true are
+// skipped without consuming budget.
+func WithSuppress(fn func(v6class.Addr) bool) GenOption {
+	return func(c *genConfig) { c.suppress = fn }
+}
+
+// region is one dense prefix's trained Markov chain: layer i models the
+// nybble at position start+i, conditioned on the previous nybble's value
+// (layer 0 conditions on the fixed virtual state 0).
+type region struct {
+	prefix v6class.Prefix
+	start  int // first modeled nybble position
+	layers int // modeled positions: 32 - start
+	count  uint64
+	prior  float64           // log2 P(region)
+	counts [][16][16]uint32  // transition counts per layer
+	marg   [][16]uint32      // per-layer marginal value counts
+	logp   [][16][16]float64 // log2 smoothed conditional probabilities
+	best   [][16]float64     // best completion after layer i in state v
+	root   float64           // best full-path log2 probability
+}
+
+// Generator is a trained candidate model. Train once with NewGenerator,
+// then draw any number of independent ranked streams with Candidates.
+// A Generator is immutable after construction and safe for concurrent use
+// (the suppress callback must then be concurrency-safe too).
+type Generator struct {
+	cfg     genConfig
+	set     *v6class.AddressSet
+	regions []*region
+}
+
+// NewGenerator trains a per-nybble conditional model on set's dense
+// regions. The set is retained (not copied) for census-membership
+// exclusion and must not be mutated while the Generator is in use — the
+// sets built by Engine.SpatialSet are immutable by contract already.
+func NewGenerator(set *v6class.AddressSet, opts ...GenOption) (*Generator, error) {
+	if set == nil {
+		return nil, fmt.Errorf("target: NewGenerator requires a non-nil address set")
+	}
+	cfg := genConfig{class: v6class.DensityClass{N: 3, P: 120}, per64: 16, maxRegions: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	g := &Generator{cfg: cfg, set: set}
+
+	prefixes := cfg.regions
+	if prefixes == nil {
+		prefixes = set.DenseLeastSpecific(cfg.class).Prefixes
+	}
+	g.regions = buildRegions(prefixes, cfg.maxRegions)
+	g.train()
+	return g, nil
+}
+
+// buildRegions normalizes a dense-prefix list into disjoint, generatable,
+// ascending regions: sorted, nested duplicates dropped, /125+ prefixes
+// (nothing left to model) dropped, then capped to the n largest.
+func buildRegions(prefixes []v6class.PrefixCount, maxRegions int) []*region {
+	sorted := append([]v6class.PrefixCount(nil), prefixes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Prefix.Cmp(sorted[j].Prefix) < 0 })
+	var out []*region
+	counts := make(map[*region]uint64, len(sorted))
+	for _, pc := range sorted {
+		if pc.Prefix.Bits() > 124 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].prefix.ContainsPrefix(pc.Prefix) {
+			continue
+		}
+		start := pc.Prefix.Bits() / 4
+		r := &region{prefix: pc.Prefix, start: start, layers: 32 - start}
+		counts[r] = pc.Count
+		out = append(out, r)
+	}
+	if maxRegions > 0 && len(out) > maxRegions {
+		// Keep the maxRegions most-populated regions, then restore
+		// ascending prefix order. Count here is the caller-supplied dense
+		// count; training recomputes exact membership.
+		sort.SliceStable(out, func(i, j int) bool { return counts[out[i]] > counts[out[j]] })
+		out = out[:maxRegions]
+		sort.Slice(out, func(i, j int) bool { return out[i].prefix.Cmp(out[j].prefix) < 0 })
+	}
+	return out
+}
+
+// train walks the set once in address order, routing each /128 member to
+// its region (regions are disjoint and ascending, so a single cursor
+// suffices) and accumulating nybble-transition counts, then finalizes
+// each region's probability tables.
+func (g *Generator) train() {
+	for _, r := range g.regions {
+		r.counts = make([][16][16]uint32, r.layers)
+	}
+	i := 0
+	g.set.Trie().Walk(func(pc v6class.PrefixCount) bool {
+		if pc.Prefix.Bits() != 128 {
+			return true
+		}
+		a := pc.Prefix.Addr()
+		for i < len(g.regions) && g.regions[i].prefix.Last().Less(a) {
+			i++
+		}
+		if i == len(g.regions) {
+			return false
+		}
+		if r := g.regions[i]; r.prefix.Contains(a) {
+			r.count++
+			prev := uint8(0)
+			for l := 0; l < r.layers; l++ {
+				v := a.Nybble(r.start + l)
+				if r.counts[l][prev][v] != math.MaxUint32 {
+					r.counts[l][prev][v]++
+				}
+				prev = v
+			}
+		}
+		return true
+	})
+
+	var total uint64
+	live := g.regions[:0]
+	for _, r := range g.regions {
+		if r.count > 0 {
+			total += r.count
+			live = append(live, r)
+		}
+	}
+	g.regions = live
+	for _, r := range g.regions {
+		r.prior = math.Log2(float64(r.count) / float64(total))
+		r.finalize()
+	}
+}
+
+// finalize converts counts to smoothed log2 conditionals and computes the
+// exact best-completion bound per (layer, state) — the admissible
+// heuristic that lets candidate enumeration emit strictly by descending
+// probability without materializing the path space.
+//
+// Smoothing interpolates each conditional row with the layer's marginal
+// distribution: P(v|prev) = (c[prev][v] + m[v]/Σm) / (Σc[prev] + 1). A
+// pure chain cannot generalize when few nybble layers vary — the observed
+// transition pairs then ARE the members — whereas the marginal mix admits
+// every (prev, v) whose value occurs anywhere in the layer, ranking unseen
+// combinations below seen ones. Values never observed at a layer stay
+// impossible, which keeps each region's path space finite.
+func (r *region) finalize() {
+	neg := math.Inf(-1)
+	r.logp = make([][16][16]float64, r.layers)
+	r.marg = make([][16]uint32, r.layers)
+	for l := range r.counts {
+		var layerTotal uint64
+		for prev := 0; prev < 16; prev++ {
+			for v := 0; v < 16; v++ {
+				c := r.counts[l][prev][v]
+				r.marg[l][v] += c
+				layerTotal += uint64(c)
+			}
+		}
+		for prev := 0; prev < 16; prev++ {
+			var rowTotal uint64
+			for v := 0; v < 16; v++ {
+				rowTotal += uint64(r.counts[l][prev][v])
+			}
+			for v := 0; v < 16; v++ {
+				if r.marg[l][v] == 0 {
+					r.logp[l][prev][v] = neg
+					continue
+				}
+				mix := float64(r.marg[l][v]) / float64(layerTotal)
+				r.logp[l][prev][v] = math.Log2(
+					(float64(r.counts[l][prev][v]) + mix) / (float64(rowTotal) + 1))
+			}
+		}
+	}
+	r.best = make([][16]float64, r.layers)
+	for v := 0; v < 16; v++ {
+		r.best[r.layers-1][v] = 0
+	}
+	for l := r.layers - 2; l >= 0; l-- {
+		for v := 0; v < 16; v++ {
+			b := neg
+			for nv := 0; nv < 16; nv++ {
+				if r.marg[l+1][nv] == 0 {
+					continue
+				}
+				if f := r.logp[l+1][v][nv] + r.best[l+1][nv]; f > b {
+					b = f
+				}
+			}
+			r.best[l][v] = b
+		}
+	}
+	r.root = neg
+	for v := 0; v < 16; v++ {
+		if r.marg[0][v] == 0 {
+			continue
+		}
+		if f := r.logp[0][0][v] + r.best[0][v]; f > r.root {
+			r.root = f
+		}
+	}
+}
+
+// Regions returns the trained dense regions in ascending order — the
+// prefix set a uniform baseline should draw from for a fair comparison.
+func (g *Generator) Regions() []v6class.Prefix {
+	out := make([]v6class.Prefix, len(g.regions))
+	for i, r := range g.regions {
+		out[i] = r.prefix
+	}
+	return out
+}
+
+// pathNode is one partial path through a region's trellis.
+type pathNode struct {
+	f     float64 // g + exact best completion: the A* priority
+	g     float64 // log2 probability of the filled layers
+	addr  v6class.Addr
+	depth int
+	last  uint8
+}
+
+// pathHeap is a max-heap on f with deterministic seeded tie-breaking.
+type pathHeap struct {
+	nodes []pathNode
+	seed  uint64
+}
+
+func (h *pathHeap) Len() int { return len(h.nodes) }
+func (h *pathHeap) Less(i, j int) bool {
+	a, b := h.nodes[i], h.nodes[j]
+	if a.f != b.f {
+		return a.f > b.f
+	}
+	ha := addrHash(h.seed, a.addr) ^ splitmix64(uint64(a.depth))
+	hb := addrHash(h.seed, b.addr) ^ splitmix64(uint64(b.depth))
+	if ha != hb {
+		return ha < hb
+	}
+	return a.addr.Less(b.addr)
+}
+func (h *pathHeap) Swap(i, j int) { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+func (h *pathHeap) Push(x any)    { h.nodes = append(h.nodes, x.(pathNode)) }
+func (h *pathHeap) Pop() (x any) {
+	n := len(h.nodes) - 1
+	x = h.nodes[n]
+	h.nodes = h.nodes[:n]
+	return
+}
+
+// regionStream enumerates one region's full paths in descending g order
+// via best-first search; best[][] is exact, so the first completion popped
+// is the global best remaining.
+type regionStream struct {
+	r    *region
+	h    pathHeap
+	done bool
+}
+
+func newRegionStream(r *region, seed uint64) *regionStream {
+	s := &regionStream{r: r, h: pathHeap{seed: seed}}
+	s.h.nodes = append(s.h.nodes, pathNode{f: r.root, addr: r.prefix.First()})
+	if math.IsInf(r.root, -1) {
+		s.done = true
+	}
+	return s
+}
+
+// next returns the region's next-most-probable address, or ok=false when
+// the region's observed transition space is exhausted.
+func (s *regionStream) next() (v6class.Addr, float64, bool) {
+	for !s.done && s.h.Len() > 0 {
+		n := heap.Pop(&s.h).(pathNode)
+		if n.depth == s.r.layers {
+			return n.addr, n.g, true
+		}
+		for v := uint8(0); v < 16; v++ {
+			if s.r.marg[n.depth][v] == 0 {
+				continue
+			}
+			g := n.g + s.r.logp[n.depth][n.last][v]
+			heap.Push(&s.h, pathNode{
+				f:     g + s.r.best[n.depth][v],
+				g:     g,
+				addr:  setNybble(n.addr, s.r.start+n.depth, v),
+				depth: n.depth + 1,
+				last:  v,
+			})
+		}
+	}
+	s.done = true
+	return v6class.Addr{}, 0, false
+}
+
+// Candidates returns the ranked candidate stream: up to budget addresses
+// not in the training census, highest model probability (region prior +
+// path) first, per-/64 fairness cap applied, suppressed candidates
+// skipped. The Seq is re-iterable; every iteration replays the identical
+// stream from the start.
+func (g *Generator) Candidates(budget int) iter.Seq[Candidate] {
+	return func(yield func(Candidate) bool) {
+		if budget <= 0 || len(g.regions) == 0 {
+			return
+		}
+		streams := make([]*regionStream, len(g.regions))
+		heads := make([]Candidate, len(g.regions))
+		ok := make([]bool, len(g.regions))
+		per64 := make(map[uint64]int)
+
+		// advance refills stream i's head with the next candidate that
+		// survives census exclusion, suppression, and the fairness cap.
+		advance := func(i int) {
+			s := streams[i]
+			r := g.regions[i]
+			for {
+				a, lp, more := s.next()
+				if !more {
+					ok[i] = false
+					return
+				}
+				if g.set.Trie().Count(v6class.PrefixFrom(a, 128)) > 0 {
+					continue
+				}
+				if g.cfg.suppress != nil && g.cfg.suppress(a) {
+					continue
+				}
+				if g.cfg.per64 > 0 && per64[a.NetworkID()] >= g.cfg.per64 {
+					if r.prefix.Bits() >= 64 {
+						// The whole region lies inside the capped /64.
+						ok[i] = false
+						return
+					}
+					continue
+				}
+				heads[i] = Candidate{Addr: a, Region: r.prefix, Score: r.prior + lp}
+				ok[i] = true
+				return
+			}
+		}
+		for i, r := range g.regions {
+			streams[i] = newRegionStream(r, g.cfg.seed)
+			advance(i)
+		}
+
+		for emitted := 0; emitted < budget; emitted++ {
+			best := -1
+			for i := range heads {
+				if !ok[i] {
+					continue
+				}
+				if best == -1 || candidateLess(g.cfg.seed, heads[best], heads[i]) {
+					best = i
+				}
+			}
+			if best == -1 {
+				return
+			}
+			c := heads[best]
+			per64[c.Addr.NetworkID()]++
+			if !yield(c) {
+				return
+			}
+			advance(best)
+		}
+	}
+}
+
+// candidateLess reports whether b outranks a: higher score first, seeded
+// hash then address value breaking ties.
+func candidateLess(seed uint64, a, b Candidate) bool {
+	if a.Score != b.Score {
+		return b.Score > a.Score
+	}
+	ha, hb := addrHash(seed, a.Addr), addrHash(seed, b.Addr)
+	if ha != hb {
+		return hb < ha
+	}
+	return b.Addr.Less(a.Addr)
+}
+
+// Uniform is the IPv4-style baseline the paper argues against: addresses
+// drawn uniformly at random from the same dense regions, deduplicated,
+// with census members excluded when exclude is non-nil. The stream is
+// deterministic for a seed and re-iterable; it ends when the regions'
+// space is effectively exhausted (4096 consecutive collisions).
+func Uniform(regions []v6class.Prefix, exclude *v6class.AddressSet, seed uint64) iter.Seq[Candidate] {
+	weights := make([]float64, len(regions))
+	var total float64
+	for i, p := range regions {
+		weights[i] = math.Exp2(float64(128 - p.Bits()))
+		total += weights[i]
+	}
+	score := -math.Log2(total)
+	return func(yield func(Candidate) bool) {
+		if total == 0 {
+			return
+		}
+		state := splitmix64(seed ^ 0xa5a5a5a5a5a5a5a5)
+		next := func() uint64 { state = splitmix64(state); return state }
+		seen := make(map[v6class.Addr]bool)
+		for misses := 0; misses < 4096; {
+			// Weighted region pick, then uniform host bits within it.
+			x := float64(next()>>11) / (1 << 53) * total
+			ri := 0
+			for ri < len(regions)-1 && x >= weights[ri] {
+				x -= weights[ri]
+				ri++
+			}
+			p := regions[ri]
+			hi, lo := p.First().NetworkID(), p.First().IID()
+			host := 128 - p.Bits()
+			switch {
+			case host >= 64:
+				lo = next()
+				if host > 64 {
+					hi |= next() & (1<<uint(host-64) - 1)
+				}
+			case host > 0:
+				lo |= next() & (1<<uint(host) - 1)
+			}
+			var b [16]byte
+			binary.BigEndian.PutUint64(b[:8], hi)
+			binary.BigEndian.PutUint64(b[8:], lo)
+			a := v6class.AddrFrom16(b)
+			if seen[a] || (exclude != nil && exclude.Trie().Count(v6class.PrefixFrom(a, 128)) > 0) {
+				misses++
+				continue
+			}
+			misses = 0
+			seen[a] = true
+			if !yield(Candidate{Addr: a, Region: p, Score: score}) {
+				return
+			}
+		}
+	}
+}
+
+// Take caps a candidate stream at n elements; like the model's own budget,
+// it composes with any Seq and stays re-iterable.
+func Take(seq iter.Seq[Candidate], n int) iter.Seq[Candidate] {
+	return func(yield func(Candidate) bool) {
+		if n <= 0 {
+			return
+		}
+		left := n
+		for c := range seq {
+			if !yield(c) {
+				return
+			}
+			if left--; left == 0 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package target
+
+import (
+	"context"
+	"iter"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"v6class"
+)
+
+// ScanConfig tunes a Scan run.
+type ScanConfig struct {
+	// Workers bounds the probe worker pool. Default 8.
+	Workers int
+	// Rate caps probes per second across the whole pool; 0 means
+	// unlimited (the simulation default).
+	Rate float64
+	// Detector, when non-nil, tallies hits per checked prefix, fires
+	// alias checks at the detector's trigger, suppresses candidates under
+	// known-aliased prefixes, and filters phantom hits from the result.
+	Detector *AliasDetector
+	// Round is the measurement round, the detector's cooldown clock.
+	Round int
+}
+
+// ScanResult summarizes one scan.
+type ScanResult struct {
+	// Candidates is the number of candidates consumed from the stream.
+	Candidates int
+	// Probes is the number of candidate probes issued (alias-check probes
+	// are counted separately via AliasChecks). It can vary with worker
+	// scheduling when a mid-scan detection suppresses in-flight work;
+	// Hits and NewAliased cannot.
+	Probes int
+	// Suppressed is the number of candidates skipped under aliased
+	// prefixes.
+	Suppressed int
+	// AliasChecks is the number of alias checks fired (each issuing up to
+	// the detector's K probes).
+	AliasChecks int
+	// Hits is the deduplicated, ascending list of answering candidates,
+	// with hits under aliased prefixes removed. For a fixed (candidate
+	// stream, Prober, detector seed) it is byte-identical across runs
+	// regardless of worker count.
+	Hits []v6class.Addr
+	// NewAliased lists the prefixes first detected as aliased during this
+	// scan, ascending.
+	NewAliased []v6class.Prefix
+}
+
+// HitRate is Hits per candidate consumed.
+func (r ScanResult) HitRate() float64 {
+	if r.Candidates == 0 {
+		return 0
+	}
+	return float64(len(r.Hits)) / float64(r.Candidates)
+}
+
+// Scan drives a candidate stream through the prober on a bounded worker
+// pool: candidates fan out to Workers goroutines, a rate limiter paces
+// the pool, a collector tallies hits and fires alias checks, and
+// cancelling the context stops everything promptly (the partial result is
+// returned with the context's error). The first Prober error aborts the
+// scan.
+func Scan(ctx context.Context, pr Prober, candidates iter.Seq[Candidate], cfg ScanConfig) (ScanResult, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var tick <-chan time.Time
+	if cfg.Rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / cfg.Rate))
+		defer t.Stop()
+		tick = t.C
+	}
+
+	var (
+		probes   atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	before := make(map[v6class.Prefix]bool)
+	if cfg.Detector != nil {
+		for p := range cfg.Detector.Aliased() {
+			before[p] = true
+		}
+	}
+
+	work := make(chan Candidate, workers)
+	hits := make(chan Candidate, workers)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				if tick != nil {
+					select {
+					case <-tick:
+					case <-ctx.Done():
+						return
+					}
+				}
+				hit, err := pr.Probe(ctx, c.Addr)
+				probes.Add(1)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if hit {
+					select {
+					case hits <- c:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var (
+		collected   []v6class.Addr
+		aliasChecks int
+	)
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		tally := make(map[v6class.Prefix]int)
+		for c := range hits {
+			collected = append(collected, c.Addr)
+			d := cfg.Detector
+			if d == nil {
+				continue
+			}
+			p := d.CheckPrefix(c.Addr)
+			tally[p]++
+			// Exactly one check per prefix per scan, fired when the
+			// tally reaches the trigger — a function of the hit totals,
+			// not of arrival order, so the checked set is deterministic.
+			if tally[p] == d.Config().Trigger {
+				aliasChecks++
+				if _, err := d.Check(ctx, pr, c.Addr, cfg.Round); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}
+	}()
+
+	produced, suppressed := 0, 0
+producer:
+	for c := range candidates {
+		produced++
+		if d := cfg.Detector; d != nil && d.Suppress(c.Addr, cfg.Round) {
+			suppressed++
+			continue
+		}
+		select {
+		case work <- c:
+		case <-ctx.Done():
+			break producer
+		}
+	}
+	close(work)
+	wg.Wait()
+	close(hits)
+	<-collectorDone
+
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+
+	res := ScanResult{
+		Candidates:  produced,
+		Probes:      int(probes.Load()),
+		Suppressed:  suppressed,
+		AliasChecks: aliasChecks,
+	}
+	var cover []v6class.Prefix
+	if cfg.Detector != nil {
+		for p := range cfg.Detector.Aliased() {
+			cover = append(cover, p)
+			if !before[p] {
+				res.NewAliased = append(res.NewAliased, p)
+			}
+		}
+	}
+	for _, a := range collected {
+		phantom := false
+		for _, p := range cover {
+			if p.Contains(a) {
+				phantom = true
+				break
+			}
+		}
+		if !phantom {
+			res.Hits = append(res.Hits, a)
+		}
+	}
+	sort.Slice(res.Hits, func(i, j int) bool { return res.Hits[i].Less(res.Hits[j]) })
+	res.Hits = dedupAddrs(res.Hits)
+	return res, firstErr
+}
+
+func dedupAddrs(s []v6class.Addr) []v6class.Addr {
+	out := s[:0]
+	for i, a := range s {
+		if i == 0 || a != s[i-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// HitsToLog batches scan hits into the aggregated daily-log form that
+// Engine.AddDay / serve's ingest endpoint accept: one record per hit
+// address, observed once, on the given study day.
+func HitsToLog(day int, hits []v6class.Addr) v6class.DayLog {
+	recs := make([]v6class.Record, len(hits))
+	for i, a := range hits {
+		recs[i] = v6class.Record{Addr: a, Hits: 1}
+	}
+	return v6class.DayLog{Day: day, Records: recs}
+}

@@ -1,0 +1,171 @@
+package target_test
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"slices"
+	"sync/atomic"
+	"testing"
+
+	"v6class"
+	"v6class/target"
+)
+
+func candidateSeq(addrs ...string) iter.Seq[target.Candidate] {
+	return func(yield func(target.Candidate) bool) {
+		for _, s := range addrs {
+			a := v6class.MustParseAddr(s)
+			if !yield(target.Candidate{Addr: a, Region: v6class.PrefixFrom(a, 64)}) {
+				return
+			}
+		}
+	}
+}
+
+// setProber answers for a fixed address set; safe under any concurrency.
+func setProber(addrs ...string) target.Prober {
+	m := make(map[v6class.Addr]bool)
+	for _, s := range addrs {
+		m[v6class.MustParseAddr(s)] = true
+	}
+	return target.ProberFunc(func(_ context.Context, a v6class.Addr) (bool, error) {
+		return m[a], nil
+	})
+}
+
+func TestScanPool(t *testing.T) {
+	cands := candidateSeq(
+		"2001:db8::1", "2001:db8::2", "2001:db8::3", "2001:db8::4",
+		"2001:db8:1::1", "2001:db8:1::2", "2001:db8:1::3", "2001:db8:1::4",
+	)
+	pr := setProber("2001:db8::2", "2001:db8:1::3", "2001:db8:1::1")
+	want := []string{"2001:db8::2", "2001:db8:1::1", "2001:db8:1::3"}
+
+	for _, workers := range []int{1, 4, 16} {
+		res, err := target.Scan(context.Background(), pr, cands, target.ScanConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Candidates != 8 || res.Probes != 8 {
+			t.Errorf("workers=%d: candidates=%d probes=%d, want 8/8", workers, res.Candidates, res.Probes)
+		}
+		var got []string
+		for _, a := range res.Hits {
+			got = append(got, a.String())
+		}
+		if !slices.Equal(got, want) {
+			t.Errorf("workers=%d: hits = %v, want %v", workers, got, want)
+		}
+		if r := res.HitRate(); r != 3.0/8 {
+			t.Errorf("workers=%d: hit rate = %v, want 0.375", workers, r)
+		}
+	}
+}
+
+func TestScanRateLimit(t *testing.T) {
+	cands := candidateSeq("2001:db8::1", "2001:db8::2", "2001:db8::3")
+	res, err := target.Scan(context.Background(), setProber(), cands,
+		target.ScanConfig{Workers: 2, Rate: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes != 3 {
+		t.Fatalf("probes = %d, want 3", res.Probes)
+	}
+}
+
+func TestScanProberErrorAborts(t *testing.T) {
+	boom := errors.New("probe failed")
+	var n atomic.Int64
+	pr := target.ProberFunc(func(_ context.Context, a v6class.Addr) (bool, error) {
+		if n.Add(1) >= 3 {
+			return false, boom
+		}
+		return false, nil
+	})
+	_, err := target.Scan(context.Background(), pr, candidateSeq(
+		"2001:db8::1", "2001:db8::2", "2001:db8::3", "2001:db8::4", "2001:db8::5",
+	), target.ScanConfig{Workers: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestScanContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	pr := target.ProberFunc(func(_ context.Context, a v6class.Addr) (bool, error) {
+		if n.Add(1) == 2 {
+			cancel()
+		}
+		return false, nil
+	})
+	endless := func(yield func(target.Candidate) bool) {
+		a := v6class.MustParseAddr("2001:db8::")
+		for {
+			a = a.Next()
+			if !yield(target.Candidate{Addr: a}) {
+				return
+			}
+		}
+	}
+	_, err := target.Scan(ctx, pr, endless, target.ScanConfig{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestScanDetectsAliasedPrefix(t *testing.T) {
+	// Everything under one /64 answers (an aliased delegation); one real
+	// host elsewhere.
+	aliased := v6class.MustParsePrefix("2001:db8:0:bad::/64")
+	real := v6class.MustParseAddr("2001:db8:0:1::7")
+	pr := target.ProberFunc(func(_ context.Context, a v6class.Addr) (bool, error) {
+		return aliased.Contains(a) || a == real, nil
+	})
+	det := target.NewAliasDetector(target.AliasConfig{K: 4, Trigger: 2, Cooldown: 4, Seed: 3})
+	cands := candidateSeq(
+		"2001:db8:0:bad::1", "2001:db8:0:bad::2", "2001:db8:0:bad::3",
+		"2001:db8:0:1::7", "2001:db8:0:1::8",
+	)
+	res, err := target.Scan(context.Background(), pr, cands,
+		target.ScanConfig{Workers: 4, Detector: det, Round: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NewAliased) != 1 || res.NewAliased[0] != aliased {
+		t.Fatalf("NewAliased = %v, want [%v]", res.NewAliased, aliased)
+	}
+	if len(res.Hits) != 1 || res.Hits[0] != real {
+		t.Fatalf("hits = %v, want [%v] (phantom hits filtered)", res.Hits, real)
+	}
+	if res.AliasChecks != 1 {
+		t.Errorf("alias checks = %d, want 1", res.AliasChecks)
+	}
+	// A later scan under cooldown suppresses the aliased prefix up front.
+	res2, err := target.Scan(context.Background(), pr, cands,
+		target.ScanConfig{Workers: 4, Detector: det, Round: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Suppressed != 3 {
+		t.Errorf("suppressed = %d, want 3", res2.Suppressed)
+	}
+	if len(res2.Hits) != 1 || res2.Hits[0] != real {
+		t.Errorf("hits = %v, want [%v]", res2.Hits, real)
+	}
+}
+
+func TestHitsToLog(t *testing.T) {
+	hits := []v6class.Addr{v6class.MustParseAddr("2001:db8::1"), v6class.MustParseAddr("2001:db8::2")}
+	log := target.HitsToLog(5, hits)
+	if log.Day != 5 || len(log.Records) != 2 {
+		t.Fatalf("log = %+v", log)
+	}
+	for i, r := range log.Records {
+		if r.Addr != hits[i] || r.Hits != 1 {
+			t.Errorf("record %d = %+v", i, r)
+		}
+	}
+}

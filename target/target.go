@@ -1,0 +1,143 @@
+// Package target closes the measurement loop of Plonka & Berger (IMC
+// 2015): it turns the census's spatial knowledge into active-measurement
+// work and feeds the results back through ingestion.
+//
+// Three pieces compose, mirroring the 6Prob pipeline shape:
+//
+//   - Generator: a per-nybble conditional-probability model trained from
+//     an *v6class.AddressSet's dense regions. It walks the arena trie,
+//     learns for each dense prefix a first-order Markov chain over nybble
+//     values (each nybble's distribution conditioned on the previous
+//     nybble — the conditional-entropy structure of 6Prob's quan/prob.go),
+//     and emits a ranked stream of candidate addresses NOT already in the
+//     census: highest model probability first, deterministically seeded,
+//     with a budget and a per-/64 fairness cap.
+//
+//   - AliasDetector: a prefix-level detector with cooldown (6Prob's
+//     aliasDetector shape). When hits concentrate under one /96–/64, it
+//     probes K seeded-pseudorandom addresses under the prefix; if every
+//     one answers, the prefix is aliased — its "hits" are an artifact of a
+//     CPE answering the whole delegation — so generation under it is
+//     suppressed for a cooldown and its hits are dropped from scan
+//     results. The aliased set is surfaced as an enumeration so ingest
+//     can collapse aliased /64s to a single representative.
+//
+//   - Scan: a bounded worker-pool scheduler driving candidates through a
+//     pluggable Prober — implemented in-tree by probe.Topology (echo
+//     replies in the simulated world) and dnssim.Zone (PTR existence) —
+//     rate-limited and cancellable, with hits batched into DayLog form
+//     for re-ingestion through a v6class.Successor generation.
+//
+// Loop ties them together: generate → scan → ingest → freeze, each round
+// training on the census the previous round grew.
+//
+// # Determinism
+//
+// Everything downstream of a fixed (census, seed, Prober) is
+// deterministic: the model is trained by an in-order trie walk, candidate
+// ranking breaks probability ties by a seeded hash and then by address
+// value, alias probes are a pure function of (seed, prefix), and scan
+// results are sorted canonically — so two runs with the same seed produce
+// byte-identical candidate streams and hit sets regardless of worker
+// scheduling.
+package target
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"v6class"
+)
+
+// Prober is the probe primitive the scheduler drives: report whether a
+// single target answers. Implementations must be safe for concurrent use;
+// probe.Topology and dnssim.Zone satisfy it in-tree, a real scanner wraps
+// raw sockets. An error aborts the scan (a non-answer is (false, nil)).
+type Prober interface {
+	Probe(ctx context.Context, target v6class.Addr) (bool, error)
+}
+
+// ProberFunc adapts a function to the Prober interface.
+type ProberFunc func(ctx context.Context, target v6class.Addr) (bool, error)
+
+// Probe implements Prober.
+func (f ProberFunc) Probe(ctx context.Context, target v6class.Addr) (bool, error) {
+	return f(ctx, target)
+}
+
+// Candidate is one generated probe target.
+type Candidate struct {
+	// Addr is the candidate address.
+	Addr v6class.Addr
+	// Region is the dense prefix the candidate was drawn from.
+	Region v6class.Prefix
+	// Score is the candidate's log2 model probability (region prior plus
+	// per-nybble conditional terms). Always <= 0; streams rank higher
+	// (closer to zero) scores first. Uniform baseline candidates carry
+	// their uniform log2 probability within the region set.
+	Score float64
+}
+
+// Encode renders a candidate in the loop's one-line wire form:
+//
+//	<addr> <region> <score-bits>
+//
+// with the score as the hexadecimal IEEE-754 bit pattern, so the
+// round-trip through text is exact (candidate streams are compared
+// byte-for-byte in the determinism conformance tests).
+func (c Candidate) Encode() string {
+	return fmt.Sprintf("%v %v %016x", c.Addr, c.Region, math.Float64bits(c.Score))
+}
+
+// DecodeCandidate parses the Encode form.
+func DecodeCandidate(s string) (Candidate, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return Candidate{}, fmt.Errorf("target: candidate %q: want 3 fields, have %d", s, len(fields))
+	}
+	addr, err := v6class.ParseAddr(fields[0])
+	if err != nil {
+		return Candidate{}, fmt.Errorf("target: candidate addr: %w", err)
+	}
+	region, err := v6class.ParsePrefix(fields[1])
+	if err != nil {
+		return Candidate{}, fmt.Errorf("target: candidate region: %w", err)
+	}
+	bits, err := strconv.ParseUint(fields[2], 16, 64)
+	if err != nil {
+		return Candidate{}, fmt.Errorf("target: candidate score: %w", err)
+	}
+	return Candidate{Addr: addr, Region: region, Score: math.Float64frombits(bits)}, nil
+}
+
+// setNybble returns a with its pos-th nybble (0 = most significant, 31 =
+// least) set to v.
+func setNybble(a v6class.Addr, pos int, v uint8) v6class.Addr {
+	b := a.As16()
+	i := pos / 2
+	if pos%2 == 0 {
+		b[i] = b[i]&0x0f | v<<4
+	} else {
+		b[i] = b[i]&0xf0 | v&0x0f
+	}
+	return v6class.AddrFrom16(b)
+}
+
+// splitmix64 is the 64-bit SplitMix step: a tiny, well-mixed, allocation-
+// free deterministic generator. All of the package's seeded randomness
+// (tie-break hashing, alias probe IIDs, the uniform baseline) derives from
+// it so runs are reproducible across platforms.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// addrHash folds an address and a seed into a 64-bit tie-break hash.
+func addrHash(seed uint64, a v6class.Addr) uint64 {
+	return splitmix64(seed ^ splitmix64(a.NetworkID()) ^ splitmix64(a.IID()*0x9e3779b97f4a7c15))
+}

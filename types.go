@@ -130,6 +130,11 @@ func MustParsePrefix(s string) Prefix { return ipaddr.MustParsePrefix(s) }
 // PrefixFrom returns the prefix of the first bits bits of a.
 func PrefixFrom(a Addr, bits int) Prefix { return ipaddr.PrefixFrom(a, bits) }
 
+// AddrFrom16 constructs an address from its 16-byte network-order form —
+// the constructor for callers (the target generator) that assemble
+// addresses nybble by nybble rather than parsing text.
+func AddrFrom16(b [16]byte) Addr { return ipaddr.AddrFrom16(b) }
+
 // Classify format-classifies an address per Table 1. It is a pure function
 // of the address bits and needs no Engine.
 func Classify(a Addr) Kind { return addrclass.Classify(a) }
