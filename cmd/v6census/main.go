@@ -15,13 +15,18 @@
 //	v6census signature [-in FILE]                      MRA-based spatial signature
 //	v6census lsp       -a FILE -b FILE [-min-bits N] [-min-support N]
 //	v6census lifetime  [-in FILE]                      lifespan and return-rate stats
-//	v6census ingest    -in FILE -state FILE [-force]   add logs to a census snapshot
+//	v6census ingest    -in FILE -state FILE [-force] [-format v1|v2]   add logs to a census snapshot
 //	v6census overlap   [-in FILE] [-ref DAY]           Figure 4 overlap series
+//	v6census convert   -in SNAP -out SNAP [-format v1|v2]   rewrite a snapshot between formats
 //
 // All subcommands read every "#day N" section of the input; files ending
 // in ".gz" are decompressed transparently. The stability, ingest and
 // overlap subcommands accept -parallel to ingest through the sharded
 // concurrent pipeline (identical results, GOMAXPROCS-scaled throughput).
+//
+// Snapshots save in format v2 (the mmap layout Open maps in O(1)) unless
+// -format v1 selects the legacy stream; convert rewrites existing files
+// either way, so archives from older builds upgrade in place.
 package main
 
 import (
@@ -69,14 +74,28 @@ func main() {
 		cmdIngest(args)
 	case "overlap":
 		cmdOverlap(args)
+	case "convert":
+		cmdConvert(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: v6census {summary|stability|mra|dense|popdist|aguri|classify|signature|lsp|lifetime|ingest|overlap} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: v6census {summary|stability|mra|dense|popdist|aguri|classify|signature|lsp|lifetime|ingest|overlap|convert} [flags]")
 	os.Exit(2)
+}
+
+// parseFormat maps the -format flag onto the façade's snapshot formats.
+func parseFormat(s string) (v6class.SnapshotFormat, error) {
+	switch s {
+	case "", "v2":
+		return v6class.FormatV2, nil
+	case "v1":
+		return v6class.FormatV1, nil
+	default:
+		return 0, fmt.Errorf("unknown snapshot format %q (want v1 or v2)", s)
+	}
 }
 
 // readLogs loads all day sections from the input (gzip transparent).
@@ -527,11 +546,16 @@ func runIngest(args []string) error {
 	studyDays := fs.Int("study-days", 0, "study length for a new snapshot (default: max day + 30)")
 	parallel := fs.Bool("parallel", false, "ingest with the sharded concurrent pipeline")
 	force := fs.Bool("force", false, "replace an existing -state file that is not a readable census snapshot")
+	formatFlag := fs.String("format", "v2", "snapshot format to save: v2 (mmap layout) or v1 (legacy stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *state == "" {
 		return fmt.Errorf("ingest requires -state")
+	}
+	format, err := parseFormat(*formatFlag)
+	if err != nil {
+		return err
 	}
 	logs, err := v6class.ReadLogs(*in)
 	if err != nil {
@@ -598,13 +622,62 @@ func runIngest(args []string) error {
 			return err
 		}
 	}
-	// Save writes temp-and-rename, so a failed or interrupted write can
-	// never destroy the existing snapshot, and the file lands 0644 for
+	// SaveSnapshot writes temp-and-rename, so a failed or interrupted write
+	// can never destroy the existing snapshot, and the file lands 0644 for
 	// other daily-pipeline users (v6served, backups).
-	if err := c.Save(*state); err != nil {
+	if err := v6class.SaveSnapshot(c, *state, format); err != nil {
 		return err
 	}
 	fmt.Printf("ingested %d day(s) into %s (study length %d)\n", len(logs), *state, c.StudyDays())
+	return nil
+}
+
+// cmdConvert rewrites a census snapshot between the on-disk formats.
+func cmdConvert(args []string) {
+	if err := runConvert(args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runConvert is cmdConvert's testable body: sniff and open the input
+// snapshot (either format), then save it in the requested one. Opening and
+// re-saving is exact — both formats round-trip the census byte-for-byte —
+// so converting v1→v2→v1 reproduces the original file.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	in := fs.String("in", "", "input snapshot path")
+	out := fs.String("out", "", "output snapshot path (default: -in, converted in place via temp-and-rename)")
+	formatFlag := fs.String("format", "v2", "target snapshot format: v2 (mmap layout) or v1 (legacy stream)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("convert requires -in")
+	}
+	if *out == "" {
+		*out = *in
+	}
+	format, err := parseFormat(*formatFlag)
+	if err != nil {
+		return err
+	}
+	srcInfo, err := v6class.SniffSnapshot(*in)
+	if err != nil {
+		return err
+	}
+	eng, err := v6class.Open(*in, v6class.WithSequential())
+	if err != nil {
+		return err
+	}
+	if err := v6class.SaveSnapshot(eng, *out, format); err != nil {
+		return err
+	}
+	dstInfo, err := v6class.SniffSnapshot(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s (v%d, %d bytes) -> %s (v%d, %d bytes)\n",
+		*in, srcInfo.Version, srcInfo.Size, *out, dstInfo.Version, dstInfo.Size)
 	return nil
 }
 

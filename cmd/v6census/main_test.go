@@ -351,3 +351,74 @@ func TestCmdOverlap(t *testing.T) {
 		t.Errorf("day rows missing:\n%s", out)
 	}
 }
+
+// TestCmdConvert exercises the format converter: ingest saves v2 by
+// default (or v1 under -format), and convert rewrites between the formats
+// losslessly — a v1→v2→v1 round trip reproduces the original file.
+func TestCmdConvert(t *testing.T) {
+	path := sampleLog(t)
+	dir := t.TempDir()
+	v1 := dir + "/census.v1"
+	if err := runIngest([]string{"-in", path, "-state", v1, "-format", "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := v6class.SniffSnapshot(v1); err != nil || info.Version != 1 {
+		t.Fatalf("ingest -format v1 wrote version %d (err %v), want 1", info.Version, err)
+	}
+
+	v2 := dir + "/census.v2"
+	if err := runConvert([]string{"-in", v1, "-out", v2}); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := v6class.SniffSnapshot(v2); err != nil || info.Version != 2 {
+		t.Fatalf("convert wrote version %d (err %v), want 2", info.Version, err)
+	}
+
+	back := dir + "/census.back"
+	if err := runConvert([]string{"-in", v2, "-out", back, "-format", "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(got) {
+		t.Error("v1 -> v2 -> v1 round trip changed the snapshot bytes")
+	}
+
+	// In-place upgrade: -out defaults to -in.
+	if err := runConvert([]string{"-in", v1}); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := v6class.SniffSnapshot(v1); info.Version != 2 {
+		t.Fatalf("in-place convert left version %d, want 2", info.Version)
+	}
+
+	// A converted snapshot still answers queries like the original census.
+	eng, err := v6class.Open(v1, v6class.WithSequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Freeze()
+	n, err := eng.NumKeys(v6class.Addresses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("converted census has %d addresses, want 6", n)
+	}
+
+	for _, bad := range [][]string{
+		{},                                 // missing -in
+		{"-in", v1, "-format", "v9"},       // unknown format
+		{"-in", dir + "/nope", "-out", v2}, // unreadable input
+	} {
+		if err := runConvert(bad); err == nil {
+			t.Errorf("runConvert(%v) succeeded, want error", bad)
+		}
+	}
+}

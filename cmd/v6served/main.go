@@ -52,6 +52,20 @@
 // clients see one census. The coordinator snapshot is read-only from the
 // wire (its census lives on the backends).
 //
+// Historical snapshots mount as a time-travel catalog. Each repeatable
+// -catalog flag maps a calendar date range onto a snapshot file,
+//
+//	v6served -state live.state \
+//	  -catalog 2015-03=/data/2015-03.state@2015-03-01..2015-03-30 \
+//	  -catalog 2015-04=/data/2015-04.state@2015-04-01..2015-04-30
+//	curl 'localhost:8470/v1/at/summary?date=2015-03-17'
+//
+// where the range start is the snapshot's study day 0. Catalog snapshots
+// load lazily on first query (format v2 files map in O(1)) and at most
+// -catalog-resident of them (default 4) stay in memory under LRU; they are
+// separate from the -state registry and never serve unqualified queries.
+// See the "Time travel" section of package serve.
+//
 // With -demo the server generates a small synthetic world instead of (or
 // in addition to) loading files, installs a census of its first epoch
 // window as snapshot "demo", and enables the /v1/experiments endpoints.
@@ -109,18 +123,20 @@ type statePath struct {
 // config is the parsed command line, separated from flag handling so tests
 // can build servers directly.
 type config struct {
-	states     []statePath
-	backends   []string
-	coordName  string
-	demo       bool
-	demoScale  float64
-	demoSeed   uint64
-	cache      int
-	sweepLimit int
-	partial    bool
-	adminToken string
-	readOnly   bool
-	accessLog  string
+	states          []statePath
+	backends        []string
+	coordName       string
+	catalog         []serve.CatalogEntry
+	catalogResident int
+	demo            bool
+	demoScale       float64
+	demoSeed        uint64
+	cache           int
+	sweepLimit      int
+	partial         bool
+	adminToken      string
+	readOnly        bool
+	accessLog       string
 }
 
 // parseState splits a -state argument into its name and path; bare paths
@@ -133,6 +149,35 @@ func parseState(arg string) statePath {
 	return statePath{name: strings.TrimSuffix(base, filepath.Ext(base)), path: arg}
 }
 
+// parseCatalog splits a -catalog argument, NAME=PATH@START..END with
+// YYYY-MM-DD dates, into a catalog entry.
+func parseCatalog(arg string) (serve.CatalogEntry, error) {
+	name, rest, ok := strings.Cut(arg, "=")
+	if !ok || name == "" {
+		return serve.CatalogEntry{}, fmt.Errorf("catalog spec %q: want NAME=PATH@START..END", arg)
+	}
+	path, dates, ok := strings.Cut(rest, "@")
+	if !ok || path == "" {
+		return serve.CatalogEntry{}, fmt.Errorf("catalog spec %q: want NAME=PATH@START..END", arg)
+	}
+	startStr, endStr, ok := strings.Cut(dates, "..")
+	if !ok {
+		return serve.CatalogEntry{}, fmt.Errorf("catalog spec %q: want date range START..END", arg)
+	}
+	start, err := time.ParseInLocation("2006-01-02", startStr, time.UTC)
+	if err != nil {
+		return serve.CatalogEntry{}, fmt.Errorf("catalog spec %q: bad start date: %v", arg, err)
+	}
+	end, err := time.ParseInLocation("2006-01-02", endStr, time.UTC)
+	if err != nil {
+		return serve.CatalogEntry{}, fmt.Errorf("catalog spec %q: bad end date: %v", arg, err)
+	}
+	if end.Before(start) {
+		return serve.CatalogEntry{}, fmt.Errorf("catalog spec %q: end date precedes start", arg)
+	}
+	return serve.CatalogEntry{Name: name, Path: path, Start: start, End: end}, nil
+}
+
 // buildServer assembles the query service: loaded snapshot files plus,
 // in demo mode, a generated census and the experiments lab.
 func buildServer(cfg config) (*serve.Server, error) {
@@ -141,6 +186,8 @@ func buildServer(cfg config) (*serve.Server, error) {
 		SweepConcurrency: cfg.sweepLimit,
 		AdminToken:       cfg.adminToken,
 		ReadOnly:         cfg.readOnly,
+		Catalog:          cfg.catalog,
+		CatalogResident:  cfg.catalogResident,
 	}
 	switch cfg.accessLog {
 	case "":
@@ -203,8 +250,11 @@ func buildServer(cfg config) (*serve.Server, error) {
 		s.Install(name, "", coord)
 		log.Printf("installed coordinator snapshot %q over %d backends", name, len(engines))
 	}
-	if len(s.Names()) == 0 {
-		return nil, fmt.Errorf("nothing to serve: give at least one -state snapshot, -backend or -demo")
+	if len(cfg.catalog) > 0 {
+		log.Printf("mounted a catalog of %d historical snapshot(s)", len(cfg.catalog))
+	}
+	if len(s.Names()) == 0 && len(cfg.catalog) == 0 {
+		return nil, fmt.Errorf("nothing to serve: give at least one -state snapshot, -backend, -catalog or -demo")
 	}
 	return s, nil
 }
@@ -278,6 +328,15 @@ func main() {
 		return nil
 	})
 	flag.StringVar(&cfg.coordName, "coordinator-name", "cluster", "snapshot name of the composed cluster coordinator")
+	flag.Func("catalog", "historical snapshot for /v1/at: NAME=PATH@START..END with YYYY-MM-DD dates (repeatable)", func(v string) error {
+		e, err := parseCatalog(v)
+		if err != nil {
+			return err
+		}
+		cfg.catalog = append(cfg.catalog, e)
+		return nil
+	})
+	flag.IntVar(&cfg.catalogResident, "catalog-resident", 0, "max catalog snapshots kept loaded under LRU (0 = default 4)")
 	flag.BoolVar(&cfg.demo, "demo", false, "serve a generated synthetic census and enable /v1/experiments")
 	flag.Float64Var(&cfg.demoScale, "demo-scale", 0.02, "population scale of the demo world")
 	flag.Uint64Var(&cfg.demoSeed, "demo-seed", 7, "seed of the demo world")

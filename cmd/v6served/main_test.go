@@ -160,3 +160,28 @@ func TestPprofHandler(t *testing.T) {
 		}
 	}
 }
+
+func TestParseCatalog(t *testing.T) {
+	e, err := parseCatalog("2015-03=/data/mar.state@2015-03-01..2015-03-30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "2015-03" || e.Path != "/data/mar.state" ||
+		e.Start.Format("2006-01-02") != "2015-03-01" || e.End.Format("2006-01-02") != "2015-03-30" {
+		t.Errorf("parsed %+v", e)
+	}
+	for _, bad := range []string{
+		"",
+		"name-only",
+		"a=path-no-dates",
+		"a=p@2015-03-01",             // no range
+		"a=p@2015-99-01..2015-03-30", // bad start
+		"a=p@2015-03-01..nope",       // bad end
+		"a=p@2015-03-30..2015-03-01", // inverted
+		"=p@2015-03-01..2015-03-30",  // empty name
+	} {
+		if _, err := parseCatalog(bad); err == nil {
+			t.Errorf("parseCatalog(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -120,15 +120,36 @@ func buildCoordinator(t *testing.T) v6class.Engine {
 	return coord
 }
 
+// openSnapshotEngine saves the conformance census as a v2 snapshot and
+// reopens it from disk — the mmap/attach read path — with the given engine
+// options, so the suite holds snapshot-opened engines to the same answers.
+func openSnapshotEngine(t *testing.T, opts ...v6class.Option) v6class.Engine {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "conformance.v6census")
+	if err := buildLocal(t, v6class.WithSequential()).Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	eng, err := v6class.Open(path, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return eng
+}
+
 // conformanceEngines returns the reference engine plus every implementation
 // under test.
 func conformanceEngines(t *testing.T) (ref v6class.Engine, under map[string]v6class.Engine) {
 	t.Helper()
 	ref = buildLocal(t, v6class.WithSequential())
 	return ref, map[string]v6class.Engine{
-		"sharded":     buildLocal(t, v6class.WithShards(4)),
-		"remote":      serveEngine(t, buildLocal(t, v6class.WithSequential())),
-		"coordinator": buildCoordinator(t),
+		"sharded":           buildLocal(t, v6class.WithShards(4)),
+		"remote":            serveEngine(t, buildLocal(t, v6class.WithSequential())),
+		"coordinator":       buildCoordinator(t),
+		"opened-v2":         openSnapshotEngine(t, v6class.WithSequential()),
+		"opened-v2-sharded": openSnapshotEngine(t, v6class.WithShards(4)),
 	}
 }
 

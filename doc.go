@@ -107,6 +107,40 @@
 // Save writes temp-and-rename, so an interrupted write never destroys the
 // existing snapshot.
 //
+// Two on-disk formats exist, distinguished by a 16-byte magic and read
+// transparently by Open/Read/SniffSnapshot:
+//
+//	v2 (default)  the mmap layout: fixed header, section table, and
+//	              checksummed 8-aligned sections holding the key tables
+//	              and day-word slabs exactly as the engine stores them
+//	              in memory
+//	v1 (legacy)   the streaming format of earlier releases
+//
+// A v2 file is laid out as
+//
+//	offset 0     magic "v6census-state-2" (16 bytes)
+//	offset 16    header: flags, study days, section count, reserved (4 u32)
+//	offset 32    section table: 6 entries of {kind, count, offset, length}
+//	offset 176   the sections, 8-aligned and tightly packed, in kind order:
+//	             address keys, address day-rows, /64 keys, /64 day-rows,
+//	             kind summaries, MAC sets
+//	EOF-28       trailer: six per-section CRC-32Cs plus the header CRC-32C
+//
+// Because v2 sections are the in-memory layout, Open maps the file
+// (copy-on-write, falling back to a plain read where mmap is unavailable)
+// and adopts the sections in place instead of decoding them: opening a
+// million-address census costs milliseconds and a few hundred allocations
+// rather than seconds and one per key, and untouched sections stay on
+// disk until queries fault them in. Both formats round-trip byte
+// identically — an engine opened from either writes the same snapshot —
+// so archives convert losslessly in both directions (v6census convert).
+// SaveSnapshot/WriteSnapshot select a format explicitly, SnapshotFormat
+// naming the choice; SniffSnapshot reports a file's format version and
+// size without loading it. Every section of a v2 file is CRC-protected
+// and bounds-checked against the section table, so a truncated, bit
+// flipped or foreign file surfaces as an error wrapping the corruption
+// sentinel — never a panic, and never a silently wrong census.
+//
 // # Generations
 //
 // A frozen engine can also grow in place, without the save/reopen cycle:

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package core
+
+import "os"
+
+// MapFile is the portable stub: no mapping support, callers read the whole
+// file instead.
+func MapFile(f *os.File) (data []byte, holder any, ok bool) {
+	return nil, nil, false
+}

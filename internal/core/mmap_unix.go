@@ -1,0 +1,42 @@
+//go:build unix
+
+package core
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// MapFile maps f read-write-private: reads hit the page cache, writes are
+// copy-on-write into anonymous pages and never reach the file, which is
+// exactly the contract temporal.AttachStore needs for adopted slabs. The
+// returned holder keeps the mapping alive — pass it to OpenCensusBytes as
+// retain (a finalizer unmaps when the census is collected). ok is false when
+// the platform or file refuses the mapping (empty files included); callers
+// then fall back to reading the whole file.
+func MapFile(f *os.File) (data []byte, holder any, ok bool) {
+	fi, err := f.Stat()
+	if err != nil || fi.Size() <= 0 || fi.Size() != int64(int(fi.Size())) {
+		return nil, nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, false
+	}
+	h := &mmapHolder{data: b}
+	runtime.SetFinalizer(h, (*mmapHolder).unmap)
+	return b, h, true
+}
+
+// mmapHolder pins a mapping until the owning census is garbage collected.
+type mmapHolder struct {
+	data []byte
+}
+
+func (h *mmapHolder) unmap() {
+	if h.data != nil {
+		_ = syscall.Munmap(h.data)
+		h.data = nil
+	}
+}

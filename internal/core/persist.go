@@ -27,16 +27,26 @@ func sortedKeys[V any](m map[int]V) []int {
 // save, classify) without replaying the whole study. The format is
 // versioned and self-describing enough to reject foreign files.
 
-// censusMagic identifies the snapshot format; bump the trailing digit on
-// incompatible changes.
+// censusMagic identifies the legacy v1 stream snapshot format; bump the
+// trailing digit on incompatible changes. The current default format is v2
+// (persistv2.go), a section-table layout the readers attach without
+// decoding; both magics are accepted by ReadCensus/ReadShardedCensus.
 const censusMagic = "v6census-state-1"
 
-// WriteTo serializes the census state. It implements io.WriterTo. The
-// method is shared by Census and ShardedCensus (the snapshot format does
-// not record sharding; a snapshot written by either engine is readable by
-// ReadCensus and ReadShardedCensus alike). A ShardedCensus must not be
-// ingesting concurrently while it is written.
+// WriteTo serializes the census state in the current default format (v2).
+// It implements io.WriterTo. The method is shared by Census and
+// ShardedCensus (the snapshot format does not record sharding; a snapshot
+// written by either engine is readable by ReadCensus and ReadShardedCensus
+// alike). A ShardedCensus must not be ingesting concurrently while it is
+// written.
 func (c *censusState) WriteTo(w io.Writer) (int64, error) {
+	return c.writeToV2(w)
+}
+
+// WriteToV1 serializes the census state in the legacy v1 stream format, for
+// interoperability with pre-v2 readers (and the v1 half of the format
+// conversion tooling). New snapshots should use WriteTo.
+func (c *censusState) WriteToV1(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
 	write := func(v any) {
 		if cw.err == nil {
@@ -112,11 +122,23 @@ func (c *censusState) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.err
 }
 
-// ReadCensus deserializes a census snapshot written by WriteTo into a
-// sequential Census.
+// ReadCensus deserializes a census snapshot written by WriteTo (either
+// format version; the leading magic selects the decoder) into a sequential
+// Census.
 func ReadCensus(r io.Reader) (*Census, error) {
+	br, v2, err := sniffSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if v2 {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading snapshot: %w", err)
+		}
+		return OpenCensusBytes(data, nil)
+	}
 	var c *Census
-	err := readSnapshot(r, func(cfg CensusConfig) *censusState {
+	err = readSnapshot(br, func(cfg CensusConfig) *censusState {
 		c = NewCensus(cfg)
 		return &c.censusState
 	})
@@ -124,6 +146,18 @@ func ReadCensus(r io.Reader) (*Census, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// sniffSnapshot peeks a stream's magic and reports whether it is a v2
+// snapshot. Streams too short to hold a magic fall through to the v1 decoder
+// for its header error.
+func sniffSnapshot(r io.Reader) (*bufio.Reader, bool, error) {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(len(censusMagicV2))
+	if err != nil && len(prefix) < len(censusMagicV2) {
+		return br, false, nil
+	}
+	return br, SnapshotVersion(prefix) == 2, nil
 }
 
 // ReadShardedCensus deserializes a census snapshot into a concurrent
@@ -136,8 +170,19 @@ func ReadShardedCensus(r io.Reader) (*ShardedCensus, error) {
 // counts (zero selects the GOMAXPROCS-scaled default for either), for
 // callers that size the engine rather than the snapshot.
 func ReadShardedCensusN(r io.Reader, shards, workers int) (*ShardedCensus, error) {
+	br, v2, err := sniffSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	if v2 {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading snapshot: %w", err)
+		}
+		return OpenShardedCensusBytes(data, shards, workers)
+	}
 	var c *ShardedCensus
-	err := readSnapshot(r, func(cfg CensusConfig) *censusState {
+	err = readSnapshot(br, func(cfg CensusConfig) *censusState {
 		c = NewShardedCensusN(cfg, shards, workers)
 		return &c.censusState
 	})

@@ -101,7 +101,8 @@ func TestCensusSnapshotIncremental(t *testing.T) {
 	}
 }
 
-// validSnapshot serializes a small census for corruption tests.
+// validSnapshot serializes a small census in the v1 stream format for the
+// v1 decoder's corruption tests (persistv2_test.go sweeps the v2 format).
 func validSnapshot(t *testing.T) []byte {
 	t.Helper()
 	c := NewCensus(CensusConfig{StudyDays: 20})
@@ -113,7 +114,7 @@ func validSnapshot(t *testing.T) []byte {
 	))
 	c.AddDay(day(7, "2001:db8:1:1::1", "2001:db8:42::7"))
 	var buf bytes.Buffer
-	if _, err := c.WriteTo(&buf); err != nil {
+	if _, err := c.WriteToV1(&buf); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -156,7 +157,7 @@ func TestReadCensusTruncated(t *testing.T) {
 // version (the magic's trailing digit) and of foreign kinds entirely.
 func TestReadCensusVersionMismatch(t *testing.T) {
 	full := validSnapshot(t)
-	futureVersion := "v6census-state-2" + string(full[len(censusMagic):])
+	futureVersion := "v6census-state-3" + string(full[len(censusMagic):])
 	wrongKind := "v6report-resultsX" + string(full[len(censusMagic):])
 	textFile := "#day 3\n2001:db8::1 5\n"
 	for _, rd := range readers {

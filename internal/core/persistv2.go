@@ -1,0 +1,576 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"slices"
+	"unsafe"
+
+	"v6class/internal/addrclass"
+	"v6class/internal/ipaddr"
+	"v6class/internal/temporal"
+	"v6class/internal/uint128"
+)
+
+// Snapshot format v2: a section-table layout whose payload sections are the
+// engine's in-memory representations, so opening a snapshot is one read (or
+// mmap) plus pointer fixup instead of a per-key decode loop.
+//
+//	[  0, 16)  magic "v6census-state-2"
+//	[ 16, 20)  uint32 flags           bit 0 = KeepTransition; others reserved 0
+//	[ 20, 24)  uint32 studyDays
+//	[ 24, 28)  uint32 sectionCount    always 6
+//	[ 28, 32)  uint32 reserved        0
+//	[ 32,176)  section table, 6 x 24 bytes:
+//	             uint32 kind, uint32 count, uint64 offset, uint64 length
+//	sections   8-byte-aligned, tightly packed in table order
+//	trailer    6 x uint32 per-section CRC-32C, then uint32 CRC-32C of [0,176)
+//
+// All integers are little-endian. Section kinds, in their fixed file order:
+//
+//	1 addrKeys  count addresses, 16 bytes each: uint64 Hi, uint64 Lo
+//	2 addrRows  count day-word rows, stride = ceil(studyDays/64) words each
+//	3 p64Keys   count /64s, 8 bytes each: uint64 network identifier
+//	4 p64Rows   count day-word rows, same stride
+//	5 kinds     count per-day format summaries, v1 body layout
+//	6 macs      count per-day EUI-64 MAC sets, v1 body layout
+//
+// The key and row sections are exactly what temporal.AttachStore adopts: on a
+// little-endian host the openers alias the row sections in place (zero-copy;
+// under a MAP_PRIVATE mapping post-open writes dirty private pages, never the
+// file), and on big-endian or misaligned buffers they fall back to a linear
+// copy-decode. Sections are tightly packed (each offset is the 8-aligned end
+// of its predecessor) and the file length is exactly trailer end, so any
+// truncation, hole, or overlap is detected structurally before checksums run.
+
+// censusMagicV2 identifies the v2 section-table snapshot format.
+const censusMagicV2 = "v6census-state-2"
+
+const (
+	v2HeaderSize    = 32
+	v2TableEntry    = 24
+	v2SectionCount  = 6
+	v2DataStart     = v2HeaderSize + v2SectionCount*v2TableEntry // 176
+	v2TrailerSize   = (v2SectionCount + 1) * 4                   // 28
+	v2MinFileSize   = v2DataStart + v2TrailerSize
+	v2FlagKeepTrans = 1 << 0
+)
+
+// Section kinds, in their required file order.
+const (
+	secAddrKeys = 1 + iota
+	secAddrRows
+	secP64Keys
+	secP64Rows
+	secKinds
+	secMACs
+)
+
+// ErrCorruptSnapshot is wrapped by every structural, checksum, or bounds
+// failure while parsing a v2 snapshot; match with errors.Is.
+var ErrCorruptSnapshot = errors.New("core: corrupt census snapshot")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var le = binary.LittleEndian
+
+// SnapshotVersion inspects the leading bytes of a snapshot (at least 16) and
+// reports its format version: 1 or 2, or 0 when the prefix is not a census
+// snapshot.
+func SnapshotVersion(prefix []byte) int {
+	if len(prefix) < len(censusMagic) {
+		return 0
+	}
+	switch string(prefix[:len(censusMagic)]) {
+	case censusMagic:
+		return 1
+	case censusMagicV2:
+		return 2
+	}
+	return 0
+}
+
+// corruptf wraps ErrCorruptSnapshot with detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
+
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// hostLE reports whether the host is little-endian, deciding whether row
+// sections may be aliased as []uint64 without a byte swap.
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// wordsView returns b (whose length must be a multiple of 8) as a []uint64 of
+// little-endian words: a zero-copy alias when the host representation matches
+// (little-endian and 8-aligned), a copy-decode otherwise. zeroCopy reports
+// which, so callers know whether the result pins b's backing memory.
+func wordsView(b []byte) (words []uint64, zeroCopy bool) {
+	n := len(b) / 8
+	if n == 0 {
+		return nil, false
+	}
+	if hostLE && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n), true
+	}
+	words = make([]uint64, n)
+	for i := range words {
+		words[i] = le.Uint64(b[i*8:])
+	}
+	return words, false
+}
+
+// writeToV2 serializes the census state in the v2 section-table format. The
+// writer streams front to back — section lengths are computable up front and
+// checksums accumulate as payload bytes pass through — so it needs no seek
+// and works over any io.Writer (files, HTTP responses, pipes).
+func (c *censusState) writeToV2(w io.Writer) (int64, error) {
+	nAddrs := uint64(c.addrs.Len())
+	n64 := uint64(c.p64s.Len())
+	stride := uint64((c.cfg.StudyDays + 63) / 64)
+	kindsBuf := encodeKindsV2(c.kinds)
+	macsView := c.macsView()
+	macsBuf := encodeMACsV2(macsView)
+
+	type section struct {
+		kind, count uint32
+		off, length uint64
+	}
+	secs := [v2SectionCount]section{
+		{kind: secAddrKeys, count: uint32(nAddrs), length: nAddrs * 16},
+		{kind: secAddrRows, count: uint32(nAddrs), length: nAddrs * stride * 8},
+		{kind: secP64Keys, count: uint32(n64), length: n64 * 8},
+		{kind: secP64Rows, count: uint32(n64), length: n64 * stride * 8},
+		{kind: secKinds, count: uint32(len(c.kinds)), length: uint64(len(kindsBuf))},
+		{kind: secMACs, count: uint32(len(macsView)), length: uint64(len(macsBuf))},
+	}
+	off := uint64(v2DataStart)
+	for i := range secs {
+		secs[i].off = off
+		off = align8(off + secs[i].length)
+	}
+
+	hdr := make([]byte, v2DataStart)
+	copy(hdr, censusMagicV2)
+	var flags uint32
+	if c.cfg.KeepTransition {
+		flags |= v2FlagKeepTrans
+	}
+	le.PutUint32(hdr[16:], flags)
+	le.PutUint32(hdr[20:], uint32(c.cfg.StudyDays))
+	le.PutUint32(hdr[24:], v2SectionCount)
+	for i, s := range secs {
+		e := hdr[v2HeaderSize+i*v2TableEntry:]
+		le.PutUint32(e[0:], s.kind)
+		le.PutUint32(e[4:], s.count)
+		le.PutUint64(e[8:], s.off)
+		le.PutUint64(e[16:], s.length)
+	}
+
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	cw.Write(hdr)
+	var crcs [v2SectionCount + 1]uint32
+	crcs[v2SectionCount] = crc32.Checksum(hdr, castagnoli)
+
+	sw := sectionWriterV2{cw: cw}
+	// Address keys, then address rows: two passes over the store, in the
+	// same Range order, so row i's words belong to key i.
+	sw.begin()
+	c.addrs.Range(func(k ipaddr.Addr, _ []uint64) bool {
+		u := k.Uint128()
+		sw.putUint64(u.Hi)
+		sw.putUint64(u.Lo)
+		return cw.err == nil
+	})
+	crcs[0] = sw.end()
+	sw.begin()
+	c.addrs.Range(func(_ ipaddr.Addr, days []uint64) bool {
+		sw.putWords(days)
+		return cw.err == nil
+	})
+	crcs[1] = sw.end()
+
+	// /64 keys and rows.
+	sw.begin()
+	c.p64s.Range(func(k ipaddr.Prefix, _ []uint64) bool {
+		sw.putUint64(k.Addr().NetworkID())
+		return cw.err == nil
+	})
+	crcs[2] = sw.end()
+	sw.begin()
+	c.p64s.Range(func(_ ipaddr.Prefix, days []uint64) bool {
+		sw.putWords(days)
+		return cw.err == nil
+	})
+	crcs[3] = sw.end()
+
+	sw.begin()
+	sw.putBytes(kindsBuf)
+	crcs[4] = sw.end()
+	sw.begin()
+	sw.putBytes(macsBuf)
+	crcs[5] = sw.end()
+
+	trailer := make([]byte, v2TrailerSize)
+	for i, crc := range crcs {
+		le.PutUint32(trailer[i*4:], crc)
+	}
+	cw.Write(trailer)
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// sectionWriterV2 streams one section: payload bytes accumulate a CRC-32C and
+// the section pads with zeros to the 8-byte boundary on end.
+type sectionWriterV2 struct {
+	cw  *countingWriter
+	buf []byte
+	crc uint32
+	n   uint64
+}
+
+func (s *sectionWriterV2) begin() {
+	s.crc, s.n = 0, 0
+	if s.buf == nil {
+		s.buf = make([]byte, 0, 1<<15)
+	}
+}
+
+func (s *sectionWriterV2) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	s.crc = crc32.Update(s.crc, castagnoli, s.buf)
+	s.cw.Write(s.buf)
+	s.n += uint64(len(s.buf))
+	s.buf = s.buf[:0]
+}
+
+func (s *sectionWriterV2) putUint64(v uint64) {
+	if len(s.buf)+8 > cap(s.buf) {
+		s.flush()
+	}
+	s.buf = le.AppendUint64(s.buf, v)
+}
+
+func (s *sectionWriterV2) putWords(words []uint64) {
+	for _, w := range words {
+		s.putUint64(w)
+	}
+}
+
+func (s *sectionWriterV2) putBytes(p []byte) {
+	s.flush()
+	s.crc = crc32.Update(s.crc, castagnoli, p)
+	s.cw.Write(p)
+	s.n += uint64(len(p))
+}
+
+// end flushes, pads to 8 bytes, and returns the section's CRC (over payload
+// only, not padding).
+func (s *sectionWriterV2) end() uint32 {
+	s.flush()
+	if pad := int(align8(s.n) - s.n); pad > 0 {
+		var z [8]byte
+		s.cw.Write(z[:pad])
+	}
+	return s.crc
+}
+
+// encodeKindsV2 serializes the per-day format summaries in the v1 body
+// layout (sorted day order, sorted kinds within a day — snapshot bytes stay
+// a deterministic function of state).
+func encodeKindsV2(kinds map[int]addrclass.Summary) []byte {
+	var b []byte
+	for _, day := range sortedKeys(kinds) {
+		sum := kinds[day]
+		b = le.AppendUint32(b, uint32(day))
+		b = le.AppendUint32(b, uint32(sum.Total))
+		b = append(b, uint8(len(sum.ByKind)))
+		ks := make([]addrclass.Kind, 0, len(sum.ByKind))
+		for kind := range sum.ByKind {
+			ks = append(ks, kind)
+		}
+		slices.Sort(ks)
+		for _, kind := range ks {
+			b = append(b, uint8(kind))
+			b = le.AppendUint32(b, uint32(sum.ByKind[kind]))
+		}
+	}
+	return b
+}
+
+// encodeMACsV2 serializes the per-day EUI-64 MAC sets in the v1 body layout.
+func encodeMACsV2(view map[int]map[addrclass.MAC]bool) []byte {
+	var b []byte
+	for _, day := range sortedKeys(view) {
+		macs := view[day]
+		b = le.AppendUint32(b, uint32(day))
+		b = le.AppendUint32(b, uint32(len(macs)))
+		sorted := make([]addrclass.MAC, 0, len(macs))
+		for mac := range macs {
+			sorted = append(sorted, mac)
+		}
+		slices.SortFunc(sorted, func(x, y addrclass.MAC) int { return bytes.Compare(x[:], y[:]) })
+		for _, mac := range sorted {
+			b = append(b, mac[:]...)
+		}
+	}
+	return b
+}
+
+// snapshotV2 is a parsed (but not yet attached) v2 snapshot. The key and row
+// word slices may alias the input buffer (see wordsView).
+type snapshotV2 struct {
+	cfg      CensusConfig
+	addrKeys []uint64 // count x (Hi, Lo)
+	addrRows []uint64
+	p64Keys  []uint64 // count x network identifier
+	p64Rows  []uint64
+	kinds    map[int]addrclass.Summary
+	macs     map[int]map[addrclass.MAC]bool
+}
+
+// parseSnapshotV2 validates and decodes a complete v2 snapshot image. Every
+// failure wraps ErrCorruptSnapshot; no input can make it panic (the fuzz
+// target in persistv2_fuzz_test.go holds it to that).
+func parseSnapshotV2(data []byte) (*snapshotV2, error) {
+	if len(data) < v2MinFileSize {
+		return nil, corruptf("truncated header: %d bytes", len(data))
+	}
+	if string(data[:len(censusMagicV2)]) != censusMagicV2 {
+		return nil, corruptf("bad magic %q", data[:len(censusMagicV2)])
+	}
+	flags := le.Uint32(data[16:])
+	if flags&^uint32(v2FlagKeepTrans) != 0 {
+		return nil, corruptf("unknown flags %#x", flags)
+	}
+	studyDays := le.Uint32(data[20:])
+	if studyDays == 0 || studyDays > 1<<20 {
+		return nil, corruptf("implausible study length %d", studyDays)
+	}
+	if n := le.Uint32(data[24:]); n != v2SectionCount {
+		return nil, corruptf("section count %d, want %d", n, v2SectionCount)
+	}
+	if r := le.Uint32(data[28:]); r != 0 {
+		return nil, corruptf("nonzero reserved header field %#x", r)
+	}
+
+	type section struct {
+		count       uint32
+		off, length uint64
+	}
+	var secs [v2SectionCount]section
+	cursor := uint64(v2DataStart)
+	for i := range secs {
+		e := data[v2HeaderSize+i*v2TableEntry:]
+		kind := le.Uint32(e[0:])
+		if kind != uint32(i+1) {
+			return nil, corruptf("section %d has kind %d, want %d", i, kind, i+1)
+		}
+		secs[i] = section{count: le.Uint32(e[4:]), off: le.Uint64(e[8:]), length: le.Uint64(e[16:])}
+		if secs[i].off%8 != 0 {
+			return nil, corruptf("misaligned section %d offset %d", i, secs[i].off)
+		}
+		if secs[i].off != cursor {
+			return nil, corruptf("section %d offset %d, want %d", i, secs[i].off, cursor)
+		}
+		if secs[i].length > uint64(len(data)) || secs[i].off+secs[i].length > uint64(len(data)) {
+			return nil, corruptf("section %d [%d,+%d) exceeds snapshot size %d",
+				i, secs[i].off, secs[i].length, len(data))
+		}
+		cursor = align8(secs[i].off + secs[i].length)
+	}
+	if uint64(len(data)) != cursor+v2TrailerSize {
+		return nil, corruptf("snapshot size %d, want %d", len(data), cursor+v2TrailerSize)
+	}
+
+	trailer := data[cursor:]
+	if got, want := crc32.Checksum(data[:v2DataStart], castagnoli), le.Uint32(trailer[v2SectionCount*4:]); got != want {
+		return nil, corruptf("header checksum %#x, want %#x", got, want)
+	}
+	body := make([][]byte, v2SectionCount)
+	for i, s := range secs {
+		body[i] = data[s.off : s.off+s.length]
+		if got, want := crc32.Checksum(body[i], castagnoli), le.Uint32(trailer[i*4:]); got != want {
+			return nil, corruptf("section %d checksum %#x, want %#x", i, got, want)
+		}
+	}
+
+	stride := uint64((studyDays + 63) / 64)
+	nAddrs := uint64(secs[0].count)
+	if secs[0].length != nAddrs*16 {
+		return nil, corruptf("address key section length %d for %d keys", secs[0].length, nAddrs)
+	}
+	if secs[1].count != secs[0].count || secs[1].length != nAddrs*stride*8 {
+		return nil, corruptf("address row section %d x %d does not match %d keys at stride %d",
+			secs[1].count, secs[1].length, nAddrs, stride)
+	}
+	n64 := uint64(secs[2].count)
+	if secs[2].length != n64*8 {
+		return nil, corruptf("/64 key section length %d for %d keys", secs[2].length, n64)
+	}
+	if secs[3].count != secs[2].count || secs[3].length != n64*stride*8 {
+		return nil, corruptf("/64 row section %d x %d does not match %d keys at stride %d",
+			secs[3].count, secs[3].length, n64, stride)
+	}
+
+	kinds, err := decodeKindsV2(body[4], secs[4].count)
+	if err != nil {
+		return nil, err
+	}
+	macs, err := decodeMACsV2(body[5], secs[5].count)
+	if err != nil {
+		return nil, err
+	}
+
+	snap := &snapshotV2{
+		cfg:   CensusConfig{StudyDays: int(studyDays), KeepTransition: flags&v2FlagKeepTrans != 0},
+		kinds: kinds,
+		macs:  macs,
+	}
+	snap.addrKeys, _ = wordsView(body[0])
+	snap.addrRows, _ = wordsView(body[1])
+	snap.p64Keys, _ = wordsView(body[2])
+	snap.p64Rows, _ = wordsView(body[3])
+	return snap, nil
+}
+
+// decodeKindsV2 decodes the per-day format summary section, requiring exact
+// consumption of the section bytes.
+func decodeKindsV2(sec []byte, count uint32) (map[int]addrclass.Summary, error) {
+	kinds := make(map[int]addrclass.Summary, min(int(count), len(sec)/9+1))
+	cur := 0
+	for i := uint32(0); i < count; i++ {
+		if cur+9 > len(sec) {
+			return nil, corruptf("kind summary %d truncated", i)
+		}
+		day := le.Uint32(sec[cur:])
+		total := le.Uint32(sec[cur+4:])
+		nKinds := int(sec[cur+8])
+		cur += 9
+		if cur+nKinds*5 > len(sec) {
+			return nil, corruptf("kind summary %d truncated", i)
+		}
+		sum := addrclass.Summary{Total: int(total), ByKind: make(map[addrclass.Kind]int, nKinds)}
+		for j := 0; j < nKinds; j++ {
+			sum.ByKind[addrclass.Kind(sec[cur])] = int(le.Uint32(sec[cur+1:]))
+			cur += 5
+		}
+		kinds[int(day)] = sum
+	}
+	if cur != len(sec) {
+		return nil, corruptf("%d trailing bytes after kind summaries", len(sec)-cur)
+	}
+	return kinds, nil
+}
+
+// decodeMACsV2 decodes the per-day MAC set section, requiring exact
+// consumption of the section bytes.
+func decodeMACsV2(sec []byte, count uint32) (map[int]map[addrclass.MAC]bool, error) {
+	macs := make(map[int]map[addrclass.MAC]bool, min(int(count), len(sec)/8+1))
+	cur := 0
+	for i := uint32(0); i < count; i++ {
+		if cur+8 > len(sec) {
+			return nil, corruptf("MAC set %d truncated", i)
+		}
+		day := le.Uint32(sec[cur:])
+		n := int(le.Uint32(sec[cur+4:]))
+		cur += 8
+		if n > (len(sec)-cur)/6 {
+			return nil, corruptf("MAC set %d truncated", i)
+		}
+		set := make(map[addrclass.MAC]bool, n)
+		for j := 0; j < n; j++ {
+			var mac addrclass.MAC
+			copy(mac[:], sec[cur:cur+6])
+			set[mac] = true
+			cur += 6
+		}
+		macs[int(day)] = set
+	}
+	if cur != len(sec) {
+		return nil, corruptf("%d trailing bytes after MAC sets", len(sec)-cur)
+	}
+	return macs, nil
+}
+
+// addrList rebuilds the address key table from its (Hi, Lo) word pairs.
+func addrList(words []uint64) []ipaddr.Addr {
+	out := make([]ipaddr.Addr, len(words)/2)
+	for i := range out {
+		out[i] = ipaddr.AddrFrom128(uint128.New(words[2*i], words[2*i+1]))
+	}
+	return out
+}
+
+// p64List rebuilds the /64 key table from its network-identifier words.
+func p64List(words []uint64) []ipaddr.Prefix {
+	out := make([]ipaddr.Prefix, len(words))
+	for i, net := range words {
+		out[i] = ipaddr.PrefixFrom(ipaddr.AddrFrom128(uint128.New(net, 0)), 64)
+	}
+	return out
+}
+
+// OpenCensusBytes opens a v2 snapshot image as a sequential Census, adopting
+// the row sections in place where possible (little-endian host, 8-aligned
+// buffer). data must stay valid and writable for the census's lifetime when
+// adopted — retain, when non-nil, is pinned by the stores for exactly that
+// long (a file-mapping holder goes here). The census is immediately queryable
+// and still ingestible (the daily pipeline's extend-save-classify loop).
+func OpenCensusBytes(data []byte, retain any) (*Census, error) {
+	snap, err := parseSnapshotV2(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Census{censusState{
+		cfg:   snap.cfg,
+		addrs: temporal.AttachStore(snap.cfg.StudyDays, addrList(snap.addrKeys), snap.addrRows, retain),
+		p64s:  temporal.AttachStore(snap.cfg.StudyDays, p64List(snap.p64Keys), snap.p64Rows, retain),
+		kinds: snap.kinds,
+		macs:  snap.macs,
+	}}, nil
+}
+
+// OpenShardedCensusBytes opens a v2 snapshot image as a concurrent
+// ShardedCensus, scattering rows to their hash shards in two linear passes
+// (the rows are copied into the shards; data need not outlive the call).
+// Zero shards or workers selects the GOMAXPROCS-scaled defaults.
+func OpenShardedCensusBytes(data []byte, shards, workers int) (*ShardedCensus, error) {
+	snap, err := parseSnapshotV2(data)
+	if err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		shards = temporal.DefaultShardCount()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	saddrs := temporal.AttachShardedStore(snap.cfg.StudyDays, shards, hashAddr, addrList(snap.addrKeys), snap.addrRows)
+	sp64s := temporal.AttachShardedStore(snap.cfg.StudyDays, shards, hashP64, p64List(snap.p64Keys), snap.p64Rows)
+	return &ShardedCensus{
+		censusState: censusState{
+			cfg:   snap.cfg,
+			addrs: saddrs,
+			p64s:  sp64s,
+			kinds: snap.kinds,
+			macs:  snap.macs,
+		},
+		saddrs:  saddrs,
+		sp64s:   sp64s,
+		workers: workers,
+	}, nil
+}

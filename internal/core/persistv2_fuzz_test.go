@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotV2 drives the v2 header/section-table decoder with arbitrary
+// bytes: every input must either parse cleanly — in which case the opened
+// census must re-serialize to a snapshot that parses again — or fail with an
+// error wrapping ErrCorruptSnapshot. Nothing may panic.
+func FuzzSnapshotV2(f *testing.F) {
+	valid := v2Bytes(f)
+	f.Add(valid)
+	f.Add([]byte(censusMagicV2))
+	f.Add(append([]byte(censusMagicV2), make([]byte, v2MinFileSize)...))
+	truncated := bytes.Clone(valid[:len(valid)-8])
+	f.Add(truncated)
+	flipped := bytes.Clone(valid)
+	flipped[v2DataStart+3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := parseSnapshotV2(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("parse error %v does not wrap ErrCorruptSnapshot", err)
+			}
+			return
+		}
+		if snap.cfg.StudyDays <= 0 {
+			t.Fatalf("accepted snapshot with study length %d", snap.cfg.StudyDays)
+		}
+		c, err := OpenCensusBytes(bytes.Clone(data), nil)
+		if err != nil {
+			t.Fatalf("parse accepted but open rejected: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatalf("re-serializing an opened snapshot: %v", err)
+		}
+		if _, err := parseSnapshotV2(buf.Bytes()); err != nil {
+			t.Fatalf("re-serialized snapshot does not parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// buildV2TestCensus ingests a small census covering every section: native
+// addresses (some EUI-64 so the MAC section is populated), transition
+// mechanisms (so kinds tally beyond the temporal stores), and two days.
+func buildV2TestCensus(t testing.TB) *Census {
+	t.Helper()
+	c := NewCensus(CensusConfig{StudyDays: 20})
+	c.AddDay(day(3,
+		"2001:db8:1:1::1",
+		"2001:db8:1:1:21e:c2ff:fec0:11db",
+		"2001:db8:9:2:3031:f3fd:bbdd:2c2a",
+		"2002:c000:204::1",
+	))
+	c.AddDay(day(7, "2001:db8:1:1::1", "2001:db8:42::7"))
+	return c
+}
+
+// v2Bytes serializes the test census in the v2 format.
+func v2Bytes(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buildV2TestCensus(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fixHeaderCRC recomputes the trailing header checksum after a test mutates
+// header or table bytes, so the mutation reaches the check it targets.
+func fixHeaderCRC(b []byte) {
+	le.PutUint32(b[len(b)-4:], crc32.Checksum(b[:v2DataStart], castagnoli))
+}
+
+func TestSnapshotVersionSniff(t *testing.T) {
+	if v := SnapshotVersion([]byte(censusMagic)); v != 1 {
+		t.Errorf("v1 magic sniffed as %d", v)
+	}
+	if v := SnapshotVersion(v2Bytes(t)); v != 2 {
+		t.Errorf("v2 snapshot sniffed as %d", v)
+	}
+	for _, in := range []string{"", "v6census", "v6report-resultsX", "v6census-state-3"} {
+		if v := SnapshotVersion([]byte(in)); v != 0 {
+			t.Errorf("SnapshotVersion(%q) = %d, want 0", in, v)
+		}
+	}
+}
+
+// TestSnapshotV2ByteIdentity proves the formats describe one state: a census
+// opened from either format re-serializes to byte-identical snapshots in
+// both formats, through both engine shapes.
+func TestSnapshotV2ByteIdentity(t *testing.T) {
+	orig := buildV2TestCensus(t)
+	var v1, v2 bytes.Buffer
+	if _, err := orig.WriteToV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := orig.WriteTo(&v2); err != nil || n != int64(v2.Len()) {
+		t.Fatalf("WriteTo = (%d, %v), buffered %d", n, err, v2.Len())
+	}
+
+	open := func(t *testing.T, b []byte) *Census {
+		c, err := ReadCensus(bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	for name, src := range map[string][]byte{"from-v1": v1.Bytes(), "from-v2": v2.Bytes()} {
+		t.Run(name, func(t *testing.T) {
+			c := open(t, src)
+			var gotV1, gotV2 bytes.Buffer
+			if _, err := c.WriteToV1(&gotV1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.WriteTo(&gotV2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotV1.Bytes(), v1.Bytes()) {
+				t.Error("reopened census writes different v1 bytes")
+			}
+			if !bytes.Equal(gotV2.Bytes(), v2.Bytes()) {
+				t.Error("reopened census writes different v2 bytes")
+			}
+		})
+	}
+}
+
+// TestSnapshotV2ShardedByteIdentity is the sharded-shape identity: a sharded
+// census reopened at the same shard count re-serializes identically (rows
+// route to the same shards in the same per-shard order).
+func TestSnapshotV2ShardedByteIdentity(t *testing.T) {
+	sc := NewShardedCensusN(CensusConfig{StudyDays: 20}, 8, 2)
+	sc.AddDay(day(3,
+		"2001:db8:1:1::1",
+		"2001:db8:1:1:21e:c2ff:fec0:11db",
+		"2002:c000:204::1",
+	))
+	sc.AddDay(day(7, "2001:db8:1:1::1", "2001:db8:42::7"))
+	sc.Freeze()
+	var first bytes.Buffer
+	if _, err := sc.WriteTo(&first); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ReadShardedCensusN(bytes.NewReader(first.Bytes()), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Freeze()
+	var second bytes.Buffer
+	if _, err := re.WriteTo(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("sharded census reopened at the same shard count writes different bytes")
+	}
+}
+
+// TestSnapshotV2AttachedIngestion extends a v2-opened census (the daily
+// pipeline's restore-and-continue path) and checks it matches a single-pass
+// census — including through a freeze via the sharded shape.
+func TestSnapshotV2AttachedIngestion(t *testing.T) {
+	resumed, err := ReadCensus(bytes.NewReader(v2Bytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := buildV2TestCensus(t)
+	extra := day(11, "2001:db8:1:1::1", "2001:db8:77::9")
+	resumed.AddDay(extra)
+	full.AddDay(extra)
+	var a, b bytes.Buffer
+	if _, err := resumed.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("extended v2-opened census diverges from single-pass census")
+	}
+}
+
+// v2Readers drives each snapshot entry point an error-path must fail
+// through: the raw parser and both engine readers.
+var v2Readers = []struct {
+	name string
+	read func(b []byte) error
+}{
+	{"parse", func(b []byte) error { _, err := parseSnapshotV2(b); return err }},
+	{"sequential", func(b []byte) error {
+		_, err := ReadCensus(bytes.NewReader(b))
+		return err
+	}},
+	{"sharded", func(b []byte) error {
+		_, err := ReadShardedCensusN(bytes.NewReader(b), 4, 1)
+		return err
+	}},
+}
+
+// TestSnapshotV2TruncationSweep cuts a valid snapshot at and around every
+// section boundary (plus header, table, and trailer edges): every cut must
+// yield a typed error, never a panic or a silently partial census.
+func TestSnapshotV2TruncationSweep(t *testing.T) {
+	full := v2Bytes(t)
+	cuts := []int{0, 1, 15, 16, 20, v2HeaderSize, v2DataStart - 1, v2DataStart,
+		len(full) - v2TrailerSize, len(full) - 4, len(full) - 1}
+	for i := 0; i < v2SectionCount; i++ {
+		e := full[v2HeaderSize+i*v2TableEntry:]
+		off, ln := int(le.Uint64(e[8:])), int(le.Uint64(e[16:]))
+		cuts = append(cuts, off-1, off, off+1, off+ln-1, off+ln)
+	}
+	for _, n := range cuts {
+		if n < 0 || n >= len(full) {
+			continue
+		}
+		if err := v2Readers[0].read(full[:n]); err == nil || !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("parse of %d/%d bytes: got %v, want ErrCorruptSnapshot", n, len(full), err)
+		}
+		// The engine readers must error too (cuts below the magic fall
+		// through to the v1 decoder's header error).
+		for _, rd := range v2Readers[1:] {
+			if err := rd.read(full[:n]); err == nil {
+				t.Errorf("%s: reading %d of %d bytes should fail", rd.name, n, len(full))
+			}
+		}
+	}
+	for _, rd := range v2Readers {
+		if err := rd.read(full); err != nil {
+			t.Errorf("%s: full snapshot failed: %v", rd.name, err)
+		}
+	}
+}
+
+// TestSnapshotV2BadChecksum flips one payload byte in every non-empty
+// section, and the stored header checksum itself; each flip must surface as
+// a checksum mismatch.
+func TestSnapshotV2BadChecksum(t *testing.T) {
+	full := v2Bytes(t)
+	for i := 0; i < v2SectionCount; i++ {
+		e := full[v2HeaderSize+i*v2TableEntry:]
+		off, ln := int(le.Uint64(e[8:])), int(le.Uint64(e[16:]))
+		if ln == 0 {
+			t.Fatalf("test census leaves section %d empty; grow the fixture", i)
+		}
+		bad := bytes.Clone(full)
+		bad[off+ln/2] ^= 0x40
+		for _, rd := range v2Readers {
+			err := rd.read(bad)
+			if err == nil || !strings.Contains(err.Error(), "checksum") {
+				t.Errorf("%s: section %d bit flip: got %v, want checksum mismatch", rd.name, i, err)
+			}
+			if rd.name == "parse" && !errors.Is(err, ErrCorruptSnapshot) {
+				t.Errorf("section %d: %v is not ErrCorruptSnapshot", i, err)
+			}
+		}
+	}
+	bad := bytes.Clone(full)
+	bad[len(bad)-2] ^= 0x01 // stored header CRC
+	if err := v2Readers[0].read(bad); err == nil || !strings.Contains(err.Error(), "header checksum") {
+		t.Errorf("corrupt stored header CRC: got %v, want header checksum mismatch", err)
+	}
+}
+
+// TestSnapshotV2MisalignedOffset rejects section offsets off the 8-byte
+// grid, and aligned offsets that leave holes or overlap.
+func TestSnapshotV2MisalignedOffset(t *testing.T) {
+	for i := 0; i < v2SectionCount; i++ {
+		bad := v2Bytes(t)
+		e := bad[v2HeaderSize+i*v2TableEntry:]
+		le.PutUint64(e[8:], le.Uint64(e[8:])+4)
+		err := v2Readers[0].read(bad)
+		if err == nil || !errors.Is(err, ErrCorruptSnapshot) || !strings.Contains(err.Error(), "misaligned") {
+			t.Errorf("section %d offset +4: got %v, want misaligned-offset error", i, err)
+		}
+		le.PutUint64(e[8:], le.Uint64(e[8:])+4) // now +8: aligned but displaced
+		err = v2Readers[0].read(bad)
+		if err == nil || !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("section %d offset +8: got %v, want ErrCorruptSnapshot", i, err)
+		}
+	}
+}
+
+// TestSnapshotV2WrongMagic covers cross-version confusion: a v1 magic in
+// front of a v2 body routes to the v1 decoder and must error (not panic,
+// not half-parse); unknown magics are rejected outright.
+func TestSnapshotV2WrongMagic(t *testing.T) {
+	full := v2Bytes(t)
+	v1Magic := bytes.Clone(full)
+	copy(v1Magic, censusMagic)
+	for _, rd := range v2Readers[1:] {
+		if err := rd.read(v1Magic); err == nil {
+			t.Errorf("%s: v1 magic over a v2 body should be rejected", rd.name)
+		}
+	}
+	if err := v2Readers[0].read(v1Magic); err == nil || !errors.Is(err, ErrCorruptSnapshot) {
+		t.Errorf("parse: v1 magic: got %v, want ErrCorruptSnapshot", err)
+	}
+	future := bytes.Clone(full)
+	copy(future, "v6census-state-9")
+	for _, rd := range v2Readers {
+		if err := rd.read(future); err == nil {
+			t.Errorf("%s: unknown magic should be rejected", rd.name)
+		}
+	}
+}
+
+// TestSnapshotV2ImplausibleHeader rejects headers whose fields would make
+// the reader allocate or loop absurdly, or that disagree with the sections.
+func TestSnapshotV2ImplausibleHeader(t *testing.T) {
+	mutate := func(fn func(b []byte)) []byte {
+		b := v2Bytes(t)
+		fn(b)
+		fixHeaderCRC(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"zero study days":     mutate(func(b []byte) { le.PutUint32(b[20:], 0) }),
+		"huge study days":     mutate(func(b []byte) { le.PutUint32(b[20:], 1<<20+1) }),
+		"wrong section count": mutate(func(b []byte) { le.PutUint32(b[24:], 5) }),
+		"nonzero reserved":    mutate(func(b []byte) { le.PutUint32(b[28:], 7) }),
+		"unknown flags":       mutate(func(b []byte) { le.PutUint32(b[16:], 0x80) }),
+		"wrong section kind":  mutate(func(b []byte) { le.PutUint32(b[v2HeaderSize:], 9) }),
+		"key/row count skew":  mutate(func(b []byte) { le.PutUint32(b[v2HeaderSize+4:], le.Uint32(b[v2HeaderSize+4:])+1) }),
+		// Shrinking studyDays changes the stride the row sections must
+		// match.
+		"stride mismatch": mutate(func(b []byte) { le.PutUint32(b[20:], 200) }),
+	}
+	for name, b := range cases {
+		for _, rd := range v2Readers {
+			if err := rd.read(b); err == nil {
+				t.Errorf("%s: %s should be rejected", rd.name, name)
+			}
+		}
+		if err := v2Readers[0].read(b); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("parse: %s: %v is not ErrCorruptSnapshot", name, err)
+		}
+	}
+}
+
+// TestSnapshotV2TrailingGarbage rejects bytes appended after the trailer.
+func TestSnapshotV2TrailingGarbage(t *testing.T) {
+	full := append(v2Bytes(t), 0, 0, 0, 0)
+	for _, rd := range v2Readers {
+		if err := rd.read(full); err == nil {
+			t.Errorf("%s: trailing garbage should be rejected", rd.name)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package temporal
+
+import "math/bits"
+
+// Attach-from-buffer construction: the snapshot v2 readers hand a Store its
+// key table and day-word slab exactly as they sit in the file (or an mmap of
+// it), and the Store adopts them instead of replaying key-by-key Restores.
+// The only copies are the partial tail chunk (so addRow can still grow the
+// store for the daily-pipeline workflow) and, on ShardedStore, the per-shard
+// scatter. The per-day counters rebuild in one O(set bits) pass and the
+// key -> row map builds lazily on first point access (see Store.index).
+
+// AttachStore constructs a Store over a deserialized snapshot: keys is the
+// row -> key table and slab the contiguous day-word matrix, len(keys)*stride
+// words at stride ceil(numDays/64). Both slices are adopted, not copied —
+// the caller must not reuse them — and slab must be writable (a MAP_PRIVATE
+// mapping qualifies: in-place Observes dirty private pages, never the file).
+// retain, when non-nil, is pinned by the store for the lifetime of the slab
+// memory, which is how a file mapping outlives its *os.File.
+//
+// The resulting store is ingestion-ready: Observe and Restore work on
+// existing and new keys alike, and Compact on an untouched attach re-adopts
+// the slab in place (no copy), so open → freeze costs O(1) in the matrix.
+func AttachStore[K comparable](numDays int, keys []K, slab []uint64, retain any) *Store[K] {
+	if numDays <= 0 {
+		panic("temporal: study period must have at least one day")
+	}
+	stride := (numDays + 63) / 64
+	if len(slab) != len(keys)*stride {
+		panic("temporal: attach slab does not match key count")
+	}
+	s := &Store[K]{
+		numDays:  numDays,
+		stride:   stride,
+		keys:     keys,
+		perDay:   make([]int, numDays),
+		shift:    chunkShift,
+		mask:     1<<chunkShift - 1,
+		attached: slab,
+		retain:   retain,
+	}
+	// Full chunks view the slab in place; a partial tail chunk is copied
+	// into a growable full-size chunk so addRow still works after attach.
+	chunkWords := (1 << chunkShift) * stride
+	full := len(keys) >> chunkShift
+	for c := 0; c < full; c++ {
+		s.chunks = append(s.chunks, slab[c*chunkWords:(c+1)*chunkWords:(c+1)*chunkWords])
+	}
+	if tail := len(keys) & (1<<chunkShift - 1); tail > 0 {
+		ch := make([]uint64, chunkWords)
+		copy(ch, slab[full*chunkWords:])
+		s.chunks = append(s.chunks, ch)
+	}
+	// Rebuild the per-day distinct-key counters: word i of the slab holds
+	// days [64*(i%stride), 64*(i%stride)+63) of row i/stride. Bits beyond
+	// numDays are ignored, matching Restore's counting semantics.
+	for i, w := range slab {
+		base := i % stride * 64
+		for ; w != 0; w &= w - 1 {
+			if d := base + bits.TrailingZeros64(w); d < numDays {
+				s.perDay[d]++
+			}
+		}
+	}
+	return s
+}
+
+// AttachShardedStore constructs a ShardedStore from the same snapshot
+// sections AttachStore takes, scattering rows to their hash shards. Unlike
+// the sequential attach this copies each row once (a shard partition cannot
+// alias one contiguous file section), but it still replaces the per-key
+// decode-and-route of the v1 reader with two linear passes. Within each
+// shard, rows keep their slab order, so a census read through either
+// reader serializes identically. shardCount rounds up to a power of two;
+// zero selects the GOMAXPROCS-scaled default.
+func AttachShardedStore[K comparable](numDays, shardCount int, hash func(K) uint64, keys []K, slab []uint64) *ShardedStore[K] {
+	if shardCount <= 0 {
+		shardCount = DefaultShardCount()
+	}
+	s := NewShardedStoreN(numDays, shardCount, hash)
+	stride := (numDays + 63) / 64
+	if len(slab) != len(keys)*stride {
+		panic("temporal: attach slab does not match key count")
+	}
+	n := len(s.shards)
+	shardOf := make([]uint16, len(keys))
+	counts := make([]int, n)
+	for i, k := range keys {
+		sh := uint16(hash(k) & uint64(n-1))
+		shardOf[i] = sh
+		counts[sh]++
+	}
+	type part struct {
+		keys []K
+		slab []uint64
+	}
+	parts := make([]part, n)
+	for i := range parts {
+		parts[i] = part{
+			keys: make([]K, 0, counts[i]),
+			slab: make([]uint64, 0, counts[i]*stride),
+		}
+	}
+	for i, k := range keys {
+		p := &parts[shardOf[i]]
+		p.keys = append(p.keys, k)
+		p.slab = append(p.slab, slab[i*stride:(i+1)*stride]...)
+	}
+	for i := range s.shards {
+		s.shards[i].st = AttachStore(numDays, parts[i].keys, parts[i].slab, nil)
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+package temporal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// attachFixture builds a conventional store, serializes its slab via Range,
+// and returns an attached reconstruction alongside the original.
+func attachFixture(t *testing.T, numDays, nKeys int) (orig, att *Store[string]) {
+	t.Helper()
+	orig = NewStore[string](numDays)
+	for i := 0; i < nKeys; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		orig.Observe(k, Day(i%numDays))
+		orig.Observe(k, Day((i*7+3)%numDays))
+	}
+	stride := (numDays + 63) / 64
+	keys := make([]string, 0, nKeys)
+	slab := make([]uint64, 0, nKeys*stride)
+	orig.Range(func(k string, days []uint64) bool {
+		keys = append(keys, k)
+		slab = append(slab, days...)
+		return true
+	})
+	return orig, AttachStore(numDays, keys, slab, nil)
+}
+
+func TestAttachStoreEquivalence(t *testing.T) {
+	for _, nKeys := range []int{0, 3, 4096, 5000} {
+		t.Run(fmt.Sprintf("keys=%d", nKeys), func(t *testing.T) {
+			const numDays = 40
+			orig, att := attachFixture(t, numDays, nKeys)
+			if att.Len() != orig.Len() {
+				t.Fatalf("Len = %d, want %d", att.Len(), orig.Len())
+			}
+			for d := 0; d < numDays; d++ {
+				if got, want := att.ActiveCount(Day(d)), orig.ActiveCount(Day(d)); got != want {
+					t.Fatalf("ActiveCount(%d) = %d, want %d", d, got, want)
+				}
+			}
+			// Point queries exercise the lazily built key index.
+			for i := 0; i < nKeys; i += 97 {
+				k := fmt.Sprintf("k%04d", i)
+				if att.Days(k) == nil {
+					t.Fatalf("key %q lost in attach", k)
+				}
+				if !att.Active(k, Day(i%numDays)) {
+					t.Fatalf("key %q inactive on its day", k)
+				}
+			}
+			got := att.ClassifyDay(3, 2, Options{})
+			want := orig.ClassifyDay(3, 2, Options{})
+			if got != want {
+				t.Fatalf("ClassifyDay = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestAttachStoreCompactInPlace proves the open → freeze fast path: when no
+// keys were added since attach, Compact re-adopts the attached slab without
+// allocating a new one, including tail-chunk write-back of post-attach
+// observes.
+func TestAttachStoreCompactInPlace(t *testing.T) {
+	const numDays = 40
+	orig, att := attachFixture(t, numDays, 5000)
+	// Mutate an existing key in the copied tail chunk and one in a full
+	// chunk view before compacting.
+	att.Observe("k4999", 11)
+	att.Observe("k0001", 12)
+	orig.Observe("k4999", 11)
+	orig.Observe("k0001", 12)
+	slab := att.attached
+	att.Compact()
+	if !att.sealed {
+		t.Fatal("Compact did not seal the store")
+	}
+	if len(att.chunks) != 1 || &att.chunks[0][0] != &slab[0] {
+		t.Fatal("Compact copied the attached slab instead of re-adopting it")
+	}
+	if !att.Active("k4999", 11) || !att.Active("k0001", 12) {
+		t.Fatal("post-attach observes lost by in-place compact")
+	}
+	if got, want := att.ClassifyDay(3, 2, Options{}), orig.ClassifyDay(3, 2, Options{}); got != want {
+		t.Fatalf("ClassifyDay after compact = %+v, want %+v", got, want)
+	}
+}
+
+// TestAttachStoreGrowth checks that an attached store accepts new keys (the
+// daily-pipeline extension path) and that Compact then falls back to the
+// copying path, releasing the attached slab.
+func TestAttachStoreGrowth(t *testing.T) {
+	const numDays = 40
+	_, att := attachFixture(t, numDays, 5000)
+	att.Observe("fresh-key", 7)
+	if !att.Active("fresh-key", 7) {
+		t.Fatal("new key not observable after attach")
+	}
+	if att.Len() != 5001 {
+		t.Fatalf("Len = %d, want 5001", att.Len())
+	}
+	att.Compact()
+	if att.attached != nil {
+		t.Fatal("grown store kept the attached slab after copying compact")
+	}
+	if !att.Active("fresh-key", 7) || !att.Active("k0000", 0) {
+		t.Fatal("rows lost in copying compact")
+	}
+}
+
+func TestAttachShardedStoreEquivalence(t *testing.T) {
+	const numDays = 40
+	hash := func(k string) uint64 {
+		var h uint64 = 1469598103934665603
+		for i := 0; i < len(k); i++ {
+			h = (h ^ uint64(k[i])) * 1099511628211
+		}
+		return h
+	}
+	orig, _ := attachFixture(t, numDays, 5000)
+	stride := (numDays + 63) / 64
+	var keys []string
+	slab := make([]uint64, 0, 5000*stride)
+	orig.Range(func(k string, days []uint64) bool {
+		keys = append(keys, k)
+		slab = append(slab, days...)
+		return true
+	})
+	sh := AttachShardedStore(numDays, 8, hash, keys, slab)
+	if sh.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", sh.Len(), orig.Len())
+	}
+	for d := 0; d < numDays; d++ {
+		if got, want := sh.ActiveCount(Day(d)), orig.ActiveCount(Day(d)); got != want {
+			t.Fatalf("ActiveCount(%d) = %d, want %d", d, got, want)
+		}
+	}
+	if got, want := sh.ClassifyDay(3, 2, Options{}), orig.ClassifyDay(3, 2, Options{}); got != want {
+		t.Fatalf("ClassifyDay = %+v, want %+v", got, want)
+	}
+	// Still ingesting: new keys route to shards, then Freeze.
+	sh.Observe("fresh-key", 7)
+	sh.Freeze()
+	if !sh.Active("fresh-key", 7) {
+		t.Fatal("new key lost through freeze")
+	}
+	// Per-shard row order must match the v1 route-in-file-order layout.
+	want := NewShardedStoreN(numDays, 8, hash)
+	for i := range keys {
+		want.Restore(keys[i], slab[i*stride:(i+1)*stride])
+	}
+	want.Observe("fresh-key", 7)
+	want.Freeze()
+	var gotOrder, wantOrder []string
+	sh.Range(func(k string, _ []uint64) bool { gotOrder = append(gotOrder, k); return true })
+	want.Range(func(k string, _ []uint64) bool { wantOrder = append(wantOrder, k); return true })
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("Range count %d, want %d", len(gotOrder), len(wantOrder))
+	}
+	for i := range gotOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("Range order diverges at %d: %q vs %q", i, gotOrder[i], wantOrder[i])
+		}
+	}
+}

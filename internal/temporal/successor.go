@@ -50,8 +50,9 @@ func (s *Store[K]) compactSuccessor() {
 
 	keys := make([]K, len(p.keys), total)
 	copy(keys, p.keys)
+	pIdx := p.index()
 	rowOf := make(map[K]uint32, total)
-	for k, r := range p.rowOf {
+	for k, r := range pIdx {
 		rowOf[k] = r
 	}
 
@@ -62,7 +63,7 @@ func (s *Store[K]) compactSuccessor() {
 		src := s.row(uint32(i))
 		var dst []uint64
 		var prev []uint64 // parent words; nil means all-zero
-		if pr, ok := p.rowOf[k]; ok {
+		if pr, ok := pIdx[k]; ok {
 			dst = flat[int(pr)*s.stride : (int(pr)+1)*s.stride]
 			prev = p.row(pr)
 		} else {
@@ -84,7 +85,7 @@ func (s *Store[K]) compactSuccessor() {
 	s.shift = 31
 	s.mask = 1<<31 - 1
 	s.keys = keys
-	s.rowOf = rowOf
+	s.rowIdx.Store(&rowOf)
 	s.parent = nil
 	s.newKeys = 0
 	s.sealed = true
@@ -97,8 +98,12 @@ func (s *Store[K]) compactSuccessor() {
 // compacted successor; a store with no predecessor (or an uncompacted
 // overlay) visits nothing. Returning false stops the iteration.
 func (s *Store[K]) Changed(fn func(k K, prev, cur []uint64) bool) {
+	if len(s.changed) == 0 {
+		return
+	}
+	idx := s.index()
 	for i, k := range s.changed {
-		cur := s.row(s.rowOf[k])
+		cur := s.row(idx[k])
 		prev := s.prevRows[i*s.stride : (i+1)*s.stride]
 		if !fn(k, prev, cur) {
 			return

@@ -114,8 +114,8 @@ func TestSuccessorMerge(t *testing.T) {
 	// Parent row indices are preserved: every parent key keeps its row.
 	for r := range parent.keys {
 		k := parent.keys[r]
-		if succ.rowOf[k] != uint32(r) {
-			t.Fatalf("parent key %q moved from row %d to %d", k, r, succ.rowOf[k])
+		if succ.index()[k] != uint32(r) {
+			t.Fatalf("parent key %q moved from row %d to %d", k, r, succ.index()[k])
 		}
 	}
 	// The frozen parent must not have been disturbed.

@@ -48,8 +48,16 @@ type Store[K comparable] struct {
 	numDays int
 	stride  int // slab words per key: ceil(numDays/64)
 
-	rowOf map[K]uint32 // key -> dense row index
-	keys  []K          // row index -> key, in insertion order
+	// rowIdx points at the key -> dense row index map. Stores built by
+	// NewStore allocate it eagerly; stores built by AttachStore leave it
+	// nil and index() derives it from keys on first point access, so a
+	// snapshot attach stays O(1) and bulk sweeps never pay for a map they
+	// don't read. The atomic pointer makes the lazy build safe under
+	// concurrent post-freeze point queries; mutation (addRow) stays
+	// single-threaded per the Store contract.
+	rowIdx   atomic.Pointer[map[K]uint32]
+	rowIdxMu sync.Mutex
+	keys     []K // row index -> key, in insertion order
 
 	// The slab arena: row r's words are chunks[r>>shift][(r&mask)*stride :
 	// +stride]. Before Compact, shift/mask select fixed-size growth chunks;
@@ -61,6 +69,15 @@ type Store[K comparable] struct {
 
 	perDay []int // observations of distinct keys per day
 	sealed bool  // set by Compact: no further keys may be added
+
+	// Attach state (attach.go). attached is the adopted contiguous slab a
+	// snapshot reader handed to AttachStore — typically a view of an
+	// mmap'd file — and retain pins whatever object owns that memory (the
+	// mapping holder) for as long as the store can reference it. Compact
+	// re-adopts the attached slab in place when no keys were added since
+	// attach, so the open → freeze → serve path never copies the matrix.
+	attached []uint64
+	retain   any
 
 	// Successor overlay state (successor.go). parent is the immutable
 	// predecessor generation this store copies rows from on first write;
@@ -86,14 +103,37 @@ func NewStore[K comparable](numDays int) *Store[K] {
 	if numDays <= 0 {
 		panic("temporal: study period must have at least one day")
 	}
-	return &Store[K]{
+	s := &Store[K]{
 		numDays: numDays,
 		stride:  (numDays + 63) / 64,
-		rowOf:   make(map[K]uint32),
 		perDay:  make([]int, numDays),
 		shift:   chunkShift,
 		mask:    1<<chunkShift - 1,
 	}
+	m := make(map[K]uint32)
+	s.rowIdx.Store(&m)
+	return s
+}
+
+// index returns the key -> row map, deriving it from the key table on
+// first use for attached stores. The double-checked build is safe for any
+// number of concurrent readers; writers (addRow) are single-threaded per
+// the Store contract and only ever add entries.
+func (s *Store[K]) index() map[K]uint32 {
+	if m := s.rowIdx.Load(); m != nil {
+		return *m
+	}
+	s.rowIdxMu.Lock()
+	defer s.rowIdxMu.Unlock()
+	if m := s.rowIdx.Load(); m != nil {
+		return *m
+	}
+	m := make(map[K]uint32, len(s.keys))
+	for r, k := range s.keys {
+		m[k] = uint32(r)
+	}
+	s.rowIdx.Store(&m)
+	return m
 }
 
 // NumDays returns the length of the study period.
@@ -134,7 +174,7 @@ func (s *Store[K]) addRow(k K) uint32 {
 		s.chunks = append(s.chunks, make([]uint64, (1<<s.shift)*s.stride))
 	}
 	s.keys = append(s.keys, k)
-	s.rowOf[k] = r
+	s.index()[k] = r
 	return r
 }
 
@@ -150,12 +190,31 @@ func (s *Store[K]) Compact() {
 		s.compactSuccessor()
 		return
 	}
+	if s.attached != nil && len(s.keys)*s.stride == len(s.attached) {
+		// No keys were added since AttachStore: re-adopt the attached slab
+		// as the compact flat in place. Only the copied tail chunk is
+		// written back (in-place Observes already landed in the full-chunk
+		// views); on an mmap'd slab those writes dirty private
+		// copy-on-write pages, never the file.
+		if tail := len(s.keys) & (1<<chunkShift - 1); tail > 0 {
+			full := len(s.keys) >> chunkShift
+			copy(s.attached[(full<<chunkShift)*s.stride:], s.chunks[full][:tail*s.stride])
+		}
+		s.chunks = [][]uint64{s.attached}
+		s.shift = 31
+		s.mask = 1<<31 - 1
+		s.sealed = true
+		return
+	}
 	chunkWords := (1 << s.shift) * s.stride
 	flat := make([]uint64, len(s.keys)*s.stride)
 	for c, ch := range s.chunks {
 		copy(flat[c*chunkWords:], ch)
 	}
 	s.chunks = [][]uint64{flat}
+	// A grown attached store has fully copied off the adopted slab; drop
+	// the reference so an underlying file mapping can be reclaimed.
+	s.attached, s.retain = nil, nil
 	s.shift = 31
 	s.mask = 1<<31 - 1
 	s.keys = append(make([]K, 0, len(s.keys)), s.keys...)
@@ -168,11 +227,11 @@ func (s *Store[K]) Observe(k K, d Day) {
 	if d < 0 || int(d) >= s.numDays {
 		return
 	}
-	r, ok := s.rowOf[k]
+	r, ok := s.index()[k]
 	if !ok {
 		r = s.addRow(k)
 		if s.parent != nil {
-			if pr, pok := s.parent.rowOf[k]; pok {
+			if pr, pok := s.parent.index()[k]; pok {
 				// Copy-on-first-write: seed the overlay row with the
 				// parent's day words so the row stays the union view.
 				copy(s.row(r), s.parent.row(pr))
@@ -189,11 +248,11 @@ func (s *Store[K]) Observe(k K, d Day) {
 // lookup returns k's day words: the overlay row when the key has been
 // written this generation, the parent generation's frozen row otherwise.
 func (s *Store[K]) lookup(k K) ([]uint64, bool) {
-	if r, ok := s.rowOf[k]; ok {
+	if r, ok := s.index()[k]; ok {
 		return s.row(r), true
 	}
 	if s.parent != nil {
-		if r, ok := s.parent.rowOf[k]; ok {
+		if r, ok := s.parent.index()[k]; ok {
 			return s.parent.row(r), true
 		}
 	}
@@ -647,9 +706,10 @@ func (s *Store[K]) Range(fn func(k K, days []uint64) bool) {
 		// Uncompacted successor: the union view is the parent's rows not
 		// yet overridden by the overlay, then the overlay's rows (which
 		// include the copied-on-write ones).
+		own := s.index()
 		for r := range s.parent.keys {
 			k := s.parent.keys[r]
-			if _, own := s.rowOf[k]; own {
+			if _, ok := own[k]; ok {
 				continue
 			}
 			if !fn(k, s.parent.row(uint32(r))) {
@@ -674,7 +734,7 @@ func (s *Store[K]) Restore(k K, days []uint64) {
 	if s.parent != nil {
 		panic("temporal: Restore into a successor store")
 	}
-	r, ok := s.rowOf[k]
+	r, ok := s.index()[k]
 	if !ok {
 		r = s.addRow(k)
 	}

@@ -15,20 +15,81 @@ import (
 // from the same functional options New takes. An opened engine is still
 // ingesting — extend it with more days and Save again (the daily-pipeline
 // workflow), or Freeze immediately to query.
+//
+// Two snapshot formats exist. Save and WriteTo emit the v2 section-table
+// format, whose payload sections are the engines' in-memory layouts: Open
+// maps (or reads) a v2 file in one step and adopts the sections in place
+// instead of decoding key by key. The legacy v1 stream format remains fully
+// supported — Open and Read sniff the leading magic and accept either — and
+// SaveSnapshot/WriteSnapshot write it on request for older readers. See the
+// package documentation's persistence-format section for the layouts.
 
 // Open restores an Engine from a snapshot file. WithStudyDays and
 // WithKeepTransition are rejected: both come from the snapshot.
+//
+// A v2 snapshot opens O(1) in the census size: the file is memory-mapped
+// where the platform supports it (private, copy-on-write — later ingestion
+// never touches the file) and read whole otherwise, and the engine adopts
+// the mapped sections directly. Use Read to force the streaming path.
 func Open(path string, opts ...Option) (Engine, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("v6class: opening snapshot: %w", err)
 	}
 	defer f.Close()
+	var magic [16]byte
+	if n, _ := io.ReadFull(f, magic[:]); n == len(magic) && core.SnapshotVersion(magic[:]) == 2 {
+		eng, err := openV2(f, opts)
+		if err != nil {
+			return nil, fmt.Errorf("v6class: reading snapshot %s: %w", path, err)
+		}
+		return eng, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("v6class: opening snapshot: %w", err)
+	}
 	eng, err := Read(f, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("v6class: reading snapshot %s: %w", path, err)
 	}
 	return eng, nil
+}
+
+// openV2 opens a v2 snapshot file by mapping (preferred) or reading it
+// whole, then attaching the selected engine to the image.
+func openV2(f *os.File, opts []Option) (Engine, error) {
+	cfg, err := resolve(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	data, holder, mapped := core.MapFile(f)
+	if !mapped {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		if data, err = io.ReadAll(f); err != nil {
+			return nil, err
+		}
+	}
+	e := &engine{opts: cfg.stability, keep: cfg.macFilter}
+	if cfg.sequential {
+		// The sequential engine aliases the image; holder pins the mapping
+		// for the engine's lifetime.
+		c, err := core.OpenCensusBytes(data, holder)
+		if err != nil {
+			return nil, err
+		}
+		e.seq, e.a = c, c
+		return e, nil
+	}
+	// The sharded engine scatters rows into its shards — the image is not
+	// referenced afterwards, so a mapping unmaps when holder is collected.
+	c, err := core.OpenShardedCensusBytes(data, cfg.shards, cfg.workers)
+	if err != nil {
+		return nil, err
+	}
+	e.sh, e.a = c, c
+	return e, nil
 }
 
 // Read restores an Engine from a snapshot stream; see Open.
@@ -58,11 +119,18 @@ func (e *engine) WriteTo(w io.Writer) (int64, error) {
 	return e.a.WriteTo(w)
 }
 
-// Save writes the snapshot to a temp file in path's directory and renames
-// it over path, so a failed or interrupted write can never destroy an
-// existing snapshot. The file lands world-readable (0644), the
-// conventional snapshot mode for downstream serving and backups.
+// Save writes the snapshot (v2 format) to a temp file in path's directory
+// and renames it over path, so a failed or interrupted write can never
+// destroy an existing snapshot. The file lands world-readable (0644), the
+// conventional snapshot mode for downstream serving and backups. To persist
+// the legacy v1 format use SaveSnapshot.
 func (e *engine) Save(path string) error {
+	return saveAtomic(path, e.a.WriteTo)
+}
+
+// saveAtomic implements the temp-file-plus-rename snapshot write around any
+// serializer.
+func saveAtomic(path string, write func(io.Writer) (int64, error)) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".v6class-state-*")
 	if err != nil {
 		return err
@@ -72,7 +140,7 @@ func (e *engine) Save(path string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if _, err := e.a.WriteTo(tmp); err != nil {
+	if _, err := write(tmp); err != nil {
 		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -88,4 +156,81 @@ func (e *engine) Save(path string) error {
 		return err
 	}
 	return nil
+}
+
+// SnapshotFormat selects the on-disk snapshot format for SaveSnapshot and
+// WriteSnapshot.
+type SnapshotFormat int
+
+const (
+	// FormatDefault is the library's current default format (v2).
+	FormatDefault SnapshotFormat = iota
+	// FormatV1 is the legacy per-key stream format, readable by pre-v2
+	// releases.
+	FormatV1
+	// FormatV2 is the section-table format Open maps in O(1).
+	FormatV2
+)
+
+// v1Writer is satisfied by engines that can emit the legacy stream format.
+type v1Writer interface {
+	WriteToV1(w io.Writer) (int64, error)
+}
+
+// WriteSnapshot serializes an engine's snapshot in an explicit format.
+// FormatV1 requires a local engine (sequential or sharded); remote engines
+// stream their backend's format and return ErrConfig for it.
+func WriteSnapshot(eng Engine, w io.Writer, format SnapshotFormat) (int64, error) {
+	switch format {
+	case FormatDefault, FormatV2:
+		return eng.WriteTo(w)
+	case FormatV1:
+		if e, ok := eng.(*engine); ok {
+			if v1, ok := e.a.(v1Writer); ok {
+				return v1.WriteToV1(w)
+			}
+		}
+		return 0, fmt.Errorf("%w: engine cannot write snapshot format v1", ErrConfig)
+	}
+	return 0, fmt.Errorf("%w: unknown snapshot format %d", ErrConfig, format)
+}
+
+// SaveSnapshot is Save with an explicit format choice, with the same
+// atomic temp-file-plus-rename write.
+func SaveSnapshot(eng Engine, path string, format SnapshotFormat) error {
+	if format == FormatDefault || format == FormatV2 {
+		return eng.Save(path)
+	}
+	return saveAtomic(path, func(w io.Writer) (int64, error) {
+		return WriteSnapshot(eng, w, format)
+	})
+}
+
+// SnapshotInfo describes a snapshot file without opening it.
+type SnapshotInfo struct {
+	// Version is the snapshot format version (1 or 2).
+	Version int
+	// Size is the file size in bytes.
+	Size int64
+}
+
+// SniffSnapshot inspects a snapshot file's magic and size. Files that are
+// not census snapshots return an error.
+func SniffSnapshot(path string) (SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("v6class: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	var magic [16]byte
+	n, _ := io.ReadFull(f, magic[:])
+	v := core.SnapshotVersion(magic[:n])
+	if v == 0 {
+		return SnapshotInfo{}, fmt.Errorf("v6class: %s is not a census snapshot", path)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("v6class: inspecting snapshot: %w", err)
+	}
+	return SnapshotInfo{Version: v, Size: fi.Size()}, nil
 }

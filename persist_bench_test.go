@@ -1,0 +1,109 @@
+package v6class
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// Persistence benchmarks over the million-address ingest world: cold Open
+// of both on-disk formats, and serialization of the default format. The
+// point of format v2 is visible here — Open(v1) decodes the whole stream
+// back into fresh stores, Open(v2) maps the file and adopts the sections
+// in place, so its cost is near-constant in the census size.
+
+var (
+	persistBenchOnce sync.Once
+	persistBenchEng  Engine
+	persistV1Path    string
+	persistV2Path    string
+	persistBenchErr  error
+)
+
+// persistBench builds the benchmark census once per process and saves it
+// in both formats. The temp directory lives until process exit, like every
+// per-process benchmark fixture.
+func persistBench(tb testing.TB) (eng Engine, v1, v2 string) {
+	tb.Helper()
+	persistBenchOnce.Do(func() {
+		logs, _ := ingestWorld()
+		e, err := New(WithStudyDays(ingestStudyDays), WithSequential())
+		if err != nil {
+			persistBenchErr = err
+			return
+		}
+		if err := e.AddDays(logs); err != nil {
+			persistBenchErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "v6class-persist-bench-")
+		if err != nil {
+			persistBenchErr = err
+			return
+		}
+		persistV1Path = filepath.Join(dir, "census.v1")
+		persistV2Path = filepath.Join(dir, "census.v2")
+		if err := SaveSnapshot(e, persistV1Path, FormatV1); err != nil {
+			persistBenchErr = err
+			return
+		}
+		if err := SaveSnapshot(e, persistV2Path, FormatV2); err != nil {
+			persistBenchErr = err
+			return
+		}
+		persistBenchEng = e
+	})
+	if persistBenchErr != nil {
+		tb.Fatal(persistBenchErr)
+	}
+	return persistBenchEng, persistV1Path, persistV2Path
+}
+
+// benchOpen measures a cold Open of path; SetBytes reports throughput
+// against the file size so the two formats compare as MB/s too.
+func benchOpen(b *testing.B, path string) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := Open(path, WithSequential())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eng.StudyDays() != ingestStudyDays {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+func BenchmarkOpenV1(b *testing.B) {
+	_, v1, _ := persistBench(b)
+	benchOpen(b, v1)
+}
+
+func BenchmarkOpenV2(b *testing.B) {
+	_, _, v2 := persistBench(b)
+	benchOpen(b, v2)
+}
+
+// BenchmarkSaveV2 measures serializing the census into the v2 layout (the
+// Save path minus the filesystem rename dance).
+func BenchmarkSaveV2(b *testing.B) {
+	eng, _, v2 := persistBench(b)
+	fi, err := os.Stat(v2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

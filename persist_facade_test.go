@@ -1,0 +1,179 @@
+package v6class_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"v6class"
+)
+
+// TestSnapshotFormats drives the façade's format surface: Save emits v2,
+// SaveSnapshot selects either format, SniffSnapshot identifies both, and an
+// engine opened from either format re-serializes to identical bytes.
+func TestSnapshotFormats(t *testing.T) {
+	eng := buildLocal(t, v6class.WithSequential())
+	dir := t.TempDir()
+	v2Path := filepath.Join(dir, "census.v2")
+	v1Path := filepath.Join(dir, "census.v1")
+	if err := eng.Save(v2Path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := v6class.SaveSnapshot(eng, v1Path, v6class.FormatV1); err != nil {
+		t.Fatalf("SaveSnapshot(v1): %v", err)
+	}
+
+	for path, wantVersion := range map[string]int{v2Path: 2, v1Path: 1} {
+		info, err := v6class.SniffSnapshot(path)
+		if err != nil {
+			t.Fatalf("SniffSnapshot(%s): %v", path, err)
+		}
+		if info.Version != wantVersion {
+			t.Errorf("%s: version %d, want %d", path, info.Version, wantVersion)
+		}
+		fi, _ := os.Stat(path)
+		if info.Size != fi.Size() {
+			t.Errorf("%s: size %d, want %d", path, info.Size, fi.Size())
+		}
+	}
+
+	fromV2, err := v6class.Open(v2Path, v6class.WithSequential())
+	if err != nil {
+		t.Fatalf("Open(v2): %v", err)
+	}
+	fromV1, err := v6class.Open(v1Path, v6class.WithSequential())
+	if err != nil {
+		t.Fatalf("Open(v1): %v", err)
+	}
+	for _, e := range []v6class.Engine{fromV2, fromV1} {
+		if err := e.Freeze(); err != nil {
+			t.Fatalf("Freeze: %v", err)
+		}
+	}
+	for _, pop := range []v6class.Population{v6class.Addresses, v6class.Prefixes64} {
+		a, _ := fromV2.NumKeys(pop)
+		b, _ := fromV1.NumKeys(pop)
+		if a != b {
+			t.Errorf("population %d: %d keys from v2, %d from v1", pop, a, b)
+		}
+	}
+	sa, err := fromV2.Stability(v6class.Addresses, 14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := fromV1.Stability(v6class.Addresses, 14, 3)
+	if sa != sb {
+		t.Errorf("stability diverges across formats: %+v vs %+v", sa, sb)
+	}
+
+	// Byte identity: whichever format an engine was opened from, it must
+	// re-serialize to the same snapshots.
+	var a2, b2 bytes.Buffer
+	if _, err := fromV2.WriteTo(&a2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fromV1.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a2.Bytes(), b2.Bytes()) {
+		t.Error("v2 snapshots from v2- and v1-opened engines differ")
+	}
+	onDisk, err := os.ReadFile(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a2.Bytes(), onDisk) {
+		t.Error("reopened engine writes different v2 bytes than the original save")
+	}
+	var a1 bytes.Buffer
+	if _, err := v6class.WriteSnapshot(fromV2, &a1, v6class.FormatV1); err != nil {
+		t.Fatal(err)
+	}
+	v1OnDisk, err := os.ReadFile(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a1.Bytes(), v1OnDisk) {
+		t.Error("v2-opened engine writes different v1 bytes than the original save")
+	}
+
+	// Remote engines stream their backend's snapshot; asking them for the
+	// legacy format is a config error.
+	re := serveEngine(t, eng)
+	if _, err := v6class.WriteSnapshot(re, io.Discard, v6class.FormatV1); !errors.Is(err, v6class.ErrConfig) {
+		t.Errorf("WriteSnapshot(remote, v1) = %v, want ErrConfig", err)
+	}
+
+	// Sniffing a non-snapshot fails.
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("#day 3\n2001:db8::1 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v6class.SniffSnapshot(junk); err == nil {
+		t.Error("SniffSnapshot accepted a text file")
+	}
+}
+
+// TestOpenV2ExtendAndResave exercises the daily-pipeline loop through the
+// mmap path: open a v2 snapshot, ingest another day, save, reopen — and
+// match a census built in one pass.
+func TestOpenV2ExtendAndResave(t *testing.T) {
+	logs := confLogs()
+	half, rest := logs[:confStudyDays/2], logs[confStudyDays/2:]
+
+	mk := func() v6class.Engine {
+		eng, err := v6class.New(v6class.WithStudyDays(confStudyDays), v6class.WithSequential())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	path := filepath.Join(t.TempDir(), "mid.v6census")
+	partial := mk()
+	if err := partial.AddDays(half); err != nil {
+		t.Fatal(err)
+	}
+	if err := partial.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := v6class.Open(path, v6class.WithSequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.AddDays(rest); err != nil {
+		t.Fatal(err)
+	}
+
+	full := mk()
+	if err := full.AddDays(logs); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if _, err := resumed.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshot-resumed census diverges from single-pass census")
+	}
+	if err := resumed.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := resumed.ActiveCount(v6class.Addresses, confStudyDays-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := full.ActiveCount(v6class.Addresses, confStudyDays-1)
+	if ra != rb {
+		t.Errorf("final-day active count %d, want %d", ra, rb)
+	}
+}

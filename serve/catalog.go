@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"v6class"
+)
+
+// The time-travel surface: a serve instance configured with a Catalog can
+// answer any read endpoint against the historical snapshot covering a
+// calendar date. GET /v1/at?date=YYYY-MM-DD resolves the date to its
+// catalog entry and reports the snapshot's metadata (including the date's
+// day index within that snapshot's study period); GET /v1/at/{endpoint}
+// re-dispatches the request to /v1/{endpoint} with the resolved snapshot
+// pinned, so every existing read handler — summaries, stability, dense
+// classes, enumerations — works unchanged across the whole archive.
+// Catalog snapshots load lazily on first use and at most a configured
+// number stay resident (LRU); each loaded generation gets its own epoch, so
+// the shared result cache keys them exactly like registry snapshots.
+
+// CatalogEntry describes one historical snapshot file and the inclusive
+// calendar date range its study period covers: Start is day 0 of the
+// snapshot's study, and a queried date maps to day index date-Start.
+type CatalogEntry struct {
+	// Name identifies the entry in /v1/at responses and headers.
+	Name string
+	// Path is the snapshot file (either format; Open sniffs it).
+	Path string
+	// Start is the calendar date of study day 0 (UTC; time-of-day ignored).
+	Start time.Time
+	// End is the last covered calendar date, inclusive.
+	End time.Time
+}
+
+// pinnedSnapshotKey carries a resolved catalog snapshot through the request
+// context into snapshotHandler, overriding ?snap= resolution.
+type pinnedSnapshotKey struct{}
+
+// catalog is the lazily loaded, LRU-bounded residency set over the
+// configured entries.
+type catalog struct {
+	s       *Server
+	entries []CatalogEntry // sorted by Start
+	budget  int
+
+	mu       sync.Mutex
+	resident map[string]*Snapshot
+	order    []string // most recently used first
+}
+
+// defaultCatalogResident is the residency budget when Options leaves
+// CatalogResident zero.
+const defaultCatalogResident = 4
+
+func newCatalog(s *Server, entries []CatalogEntry, budget int) *catalog {
+	if budget <= 0 {
+		budget = defaultCatalogResident
+	}
+	sorted := make([]CatalogEntry, len(entries))
+	copy(sorted, entries)
+	for i := range sorted {
+		sorted[i].Start = dateOnly(sorted[i].Start)
+		sorted[i].End = dateOnly(sorted[i].End)
+	}
+	slices.SortStableFunc(sorted, func(a, b CatalogEntry) int {
+		return a.Start.Compare(b.Start)
+	})
+	return &catalog{s: s, entries: sorted, budget: budget, resident: map[string]*Snapshot{}}
+}
+
+func dateOnly(t time.Time) time.Time {
+	y, m, d := t.UTC().Date()
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// lookup finds the first entry covering date (entries are sorted by Start;
+// overlapping ranges resolve to the earliest).
+func (c *catalog) lookup(date time.Time) (CatalogEntry, bool) {
+	for _, e := range c.entries {
+		if !date.Before(e.Start) && !date.After(e.End) {
+			return e, true
+		}
+	}
+	return CatalogEntry{}, false
+}
+
+// snapshotFor returns the loaded snapshot of a catalog entry, loading it on
+// first use and evicting the least recently used resident snapshots past
+// the budget. Evicted generations keep serving their in-flight requests and
+// are garbage-collected when the last one returns.
+func (c *catalog) snapshotFor(e CatalogEntry) (*Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if snap, ok := c.resident[e.Name]; ok {
+		c.touch(e.Name)
+		return snap, nil
+	}
+	info, err := v6class.SniffSnapshot(e.Path)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := v6class.Open(e.Path)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Freeze(); err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		Name:      e.Name,
+		Source:    e.Path,
+		Epoch:     c.s.nextEpoch.Add(1),
+		LoadedAt:  time.Now(),
+		Engine:    eng,
+		Format:    info.Version,
+		SizeBytes: info.Size,
+	}
+	c.resident[e.Name] = snap
+	c.order = append([]string{e.Name}, c.order...)
+	for len(c.order) > c.budget {
+		last := c.order[len(c.order)-1]
+		c.order = c.order[:len(c.order)-1]
+		delete(c.resident, last)
+	}
+	return snap, nil
+}
+
+// touch moves a resident entry to the front of the LRU order.
+func (c *catalog) touch(name string) {
+	for i, n := range c.order {
+		if n == name {
+			c.order = append([]string{name}, append(c.order[:i:i], c.order[i+1:]...)...)
+			return
+		}
+	}
+}
+
+// Resident returns the names of the currently loaded catalog snapshots,
+// most recently used first (diagnostics and tests).
+func (c *catalog) Resident() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return slices.Clone(c.order)
+}
+
+// atResponse is the GET /v1/at metadata envelope.
+type atResponse struct {
+	Date      string `json:"date"`
+	Snapshot  string `json:"snapshot"`
+	Source    string `json:"source"`
+	Start     string `json:"start"`
+	End       string `json:"end"`
+	DayIndex  int    `json:"dayIndex"`
+	StudyDays int    `json:"studyDays"`
+	Epoch     uint64 `json:"epoch"`
+	Format    int    `json:"format"`
+	SizeBytes int64  `json:"sizeBytes"`
+}
+
+// handleAt serves both time-travel forms: /v1/at?date=D reports which
+// snapshot covers the date, and /v1/at/{endpoint}?date=D re-dispatches the
+// request to /v1/{endpoint} against that snapshot — with the date's day
+// index supplied as the day/ref parameter when the caller gave none, so
+// `/v1/at/summary?date=2015-03-17` answers directly.
+func (s *Server) handleAt(w http.ResponseWriter, r *http.Request) {
+	if len(s.catalog.entries) == 0 {
+		writeErr(w, http.StatusNotFound, CodeNotFound, nil, "no snapshot catalog configured")
+		return
+	}
+	dateStr := r.URL.Query().Get("date")
+	if dateStr == "" {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, nil, "missing required parameter date (YYYY-MM-DD)")
+		return
+	}
+	date, err := time.ParseInLocation("2006-01-02", dateStr, time.UTC)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, nil, "bad date %q: want YYYY-MM-DD", dateStr)
+		return
+	}
+	entry, ok := s.catalog.lookup(date)
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound, nil, "no catalog snapshot covers %s", dateStr)
+		return
+	}
+	snap, err := s.catalog.snapshotFor(entry)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInternal, nil, "loading catalog snapshot %q: %v", entry.Name, err)
+		return
+	}
+	dayIndex := int(date.Sub(entry.Start) / (24 * time.Hour))
+
+	rest := r.PathValue("rest")
+	if rest == "" {
+		w.Header().Set("X-V6-Snapshot", snap.Name)
+		w.Header().Set("X-V6-Epoch", strconv.FormatUint(snap.Epoch, 10))
+		writeJSON(w, http.StatusOK, atResponse{
+			Date:      dateStr,
+			Snapshot:  entry.Name,
+			Source:    entry.Path,
+			Start:     entry.Start.Format("2006-01-02"),
+			End:       entry.End.Format("2006-01-02"),
+			DayIndex:  dayIndex,
+			StudyDays: snap.Engine.StudyDays(),
+			Epoch:     snap.Epoch,
+			Format:    snap.Format,
+			SizeBytes: snap.SizeBytes,
+		})
+		return
+	}
+	if rest == "at" || strings.HasPrefix(rest, "at/") {
+		writeErr(w, http.StatusBadRequest, CodeBadParam, nil, "cannot nest /v1/at")
+		return
+	}
+
+	// Re-dispatch through the route table with the snapshot pinned. The
+	// date translates to this snapshot's day index for endpoints the caller
+	// did not explicitly day-qualify.
+	r2 := r.Clone(context.WithValue(r.Context(), pinnedSnapshotKey{}, snap))
+	r2.URL.Path = "/v1/" + rest
+	r2.SetPathValue("rest", "")
+	q := r2.URL.Query()
+	q.Del("date")
+	q.Del("snap")
+	if !q.Has("day") && !q.Has("days") && !q.Has("from") {
+		q.Set("day", strconv.Itoa(dayIndex))
+	}
+	if !q.Has("ref") {
+		q.Set("ref", strconv.Itoa(dayIndex))
+	}
+	r2.URL.RawQuery = q.Encode()
+	s.muxOnce.Do(s.buildMux)
+	s.mux.ServeHTTP(w, r2)
+}

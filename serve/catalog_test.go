@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"v6class/internal/core"
+)
+
+func date(s string) time.Time {
+	d, err := time.ParseInLocation("2006-01-02", s, time.UTC)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestCatalogTimeTravel drives the /v1/at surface over a two-entry catalog:
+// metadata resolution, day-index translation, endpoint re-dispatch against
+// the pinned snapshot, explicit-parameter precedence, and the error paths.
+func TestCatalogTimeTravel(t *testing.T) {
+	january := buildCensus(t, 5, 19)
+	march := buildCensus(t, 0, 10)
+	janPath := writeSnapshot(t, january, "jan.state")
+	marPath := writeSnapshot(t, march, "mar.state")
+
+	s := New(Options{Catalog: []CatalogEntry{
+		{Name: "2015-03", Path: marPath, Start: date("2015-03-01"), End: date("2015-03-30")},
+		{Name: "2015-01", Path: janPath, Start: date("2015-01-01"), End: date("2015-01-30")},
+	}})
+	// The catalog serves even with no default snapshot installed.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	t.Run("metadata", func(t *testing.T) {
+		var at atResponse
+		resp := get(t, ts, "/v1/at?date=2015-01-13", &at)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		fi, err := os.Stat(janPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at.Snapshot != "2015-01" || at.DayIndex != 12 || at.Start != "2015-01-01" || at.End != "2015-01-30" {
+			t.Errorf("resolution %+v", at)
+		}
+		if at.Format != 2 || at.SizeBytes != fi.Size() || at.StudyDays != 30 || at.Epoch == 0 {
+			t.Errorf("provenance %+v (want format 2, size %d)", at, fi.Size())
+		}
+		if resp.Header.Get("X-V6-Snapshot") != "2015-01" {
+			t.Errorf("snapshot header %q", resp.Header.Get("X-V6-Snapshot"))
+		}
+	})
+
+	t.Run("redispatch", func(t *testing.T) {
+		var got summaryResponse
+		resp := get(t, ts, "/v1/at/summary?date=2015-01-13", &got)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		want := january.Summary(12)
+		if got.Total != want.Total || got.Native != want.Native || got.Day != 12 {
+			t.Errorf("summary %+v vs direct day-12 %+v", got, want)
+		}
+		if resp.Header.Get("X-V6-Snapshot") != "2015-01" {
+			t.Errorf("snapshot header %q", resp.Header.Get("X-V6-Snapshot"))
+		}
+
+		// A different date in the other entry reaches the other census.
+		var other summaryResponse
+		get(t, ts, "/v1/at/summary?date=2015-03-06", &other)
+		if want := march.Summary(5); other.Total != want.Total || other.Day != 5 {
+			t.Errorf("march summary %+v vs direct day-5 %+v", other, want)
+		}
+	})
+
+	t.Run("explicit day wins", func(t *testing.T) {
+		var got summaryResponse
+		get(t, ts, "/v1/at/summary?date=2015-01-13&day=7", &got)
+		if want := january.Summary(7); got.Total != want.Total || got.Day != 7 {
+			t.Errorf("summary %+v vs direct day-7 %+v", got, want)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		for path, status := range map[string]int{
+			"/v1/at":                        400, // missing date
+			"/v1/at?date=2015-99-01":        400, // unparsable
+			"/v1/at?date=2015-07-04":        404, // uncovered
+			"/v1/at/at?date=2015-01-13":     400, // recursion
+			"/v1/at/nosuch?date=2015-01-13": 404, // unknown endpoint downstream
+		} {
+			if resp := get(t, ts, path, nil); resp.StatusCode != status {
+				t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, status)
+			}
+		}
+	})
+}
+
+// TestCatalogResidency exercises the LRU budget: with room for one resident
+// snapshot, alternating dates evict and reload, and a reload is a new
+// generation (fresh epoch), so stale cache entries cannot be served for it.
+func TestCatalogResidency(t *testing.T) {
+	janPath := writeSnapshot(t, buildCensus(t, 5, 19), "jan.state")
+	marPath := writeSnapshot(t, buildCensus(t, 0, 10), "mar.state")
+	s := New(Options{
+		Catalog: []CatalogEntry{
+			{Name: "jan", Path: janPath, Start: date("2015-01-01"), End: date("2015-01-30")},
+			{Name: "mar", Path: marPath, Start: date("2015-03-01"), End: date("2015-03-30")},
+		},
+		CatalogResident: 1,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var first atResponse
+	get(t, ts, "/v1/at?date=2015-01-02", &first)
+	if got := s.catalog.Resident(); !reflect.DeepEqual(got, []string{"jan"}) {
+		t.Fatalf("resident %v after jan query", got)
+	}
+	var again atResponse
+	get(t, ts, "/v1/at?date=2015-01-03", &again)
+	if again.Epoch != first.Epoch {
+		t.Errorf("resident snapshot changed epoch across queries: %d then %d", first.Epoch, again.Epoch)
+	}
+
+	get(t, ts, "/v1/at?date=2015-03-02", nil)
+	if got := s.catalog.Resident(); !reflect.DeepEqual(got, []string{"mar"}) {
+		t.Fatalf("resident %v after mar query (budget 1)", got)
+	}
+
+	var reloaded atResponse
+	get(t, ts, "/v1/at?date=2015-01-02", &reloaded)
+	if reloaded.Epoch <= again.Epoch {
+		t.Errorf("reload after eviction kept epoch %d (was %d); caches would alias generations",
+			reloaded.Epoch, again.Epoch)
+	}
+}
+
+// TestSnapshotInfo checks the ?info=1 provenance report of /v1/snapshot for
+// both on-disk formats and for an in-memory install.
+func TestSnapshotInfo(t *testing.T) {
+	c := buildCensus(t, 5, 19)
+	v2Path := writeSnapshot(t, c, "a.state")
+	v1Path := writeSnapshotV1(t, buildCensus(t, 5, 19))
+
+	s := New(Options{})
+	if _, err := s.LoadFile("v2", v2Path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadFile("v1", v1Path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for name, path := range map[string]string{"v2": v2Path, "v1": v1Path} {
+		var info snapshotInfoResponse
+		resp := get(t, ts, "/v1/snapshot?info=1&snap="+name, &info)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", name, resp.StatusCode)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFormat := 2
+		if name == "v1" {
+			wantFormat = 1
+		}
+		if info.Format != wantFormat || info.SizeBytes != fi.Size() || info.Source != path || info.StudyDays != 30 {
+			t.Errorf("%s info %+v (want format %d, size %d, source %s)", name, info, wantFormat, fi.Size(), path)
+		}
+	}
+}
+
+// writeSnapshotV1 persists a census in the legacy stream format.
+func writeSnapshotV1(t testing.TB, c *core.Census) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "legacy.state")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteToV1(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

@@ -179,6 +179,34 @@
 // part of the cache key, so a fixed (snapshot, epoch, params) query is
 // computed once and answered identically thereafter.
 //
+// # Time travel: the snapshot catalog
+//
+// Options.Catalog (cmd/v6served -catalog) maps calendar date ranges onto
+// historical snapshot files: each CatalogEntry names a file plus the
+// inclusive [Start, End] dates its study period covers, with Start being
+// study day 0. GET /v1/at?date=YYYY-MM-DD resolves a date to its entry and
+// reports the covering snapshot's metadata — name, source, day index,
+// format version, file size, epoch. GET /v1/at/{endpoint}?date=... goes
+// further and re-dispatches to any read endpoint against that snapshot:
+// the request is re-routed with the resolved generation pinned (bypassing
+// ?snap=) and the date's day index injected as the day/ref parameter when
+// the caller gave none, so /v1/at/summary?date=2015-03-17 answers the
+// Table-1 tally of that calendar day directly, and explicit day/days/from
+// or ref parameters still win when present.
+//
+// Catalog snapshots are loaded lazily on first use — Open's v2 path maps
+// the file rather than decoding it, so a cold hit costs about one page
+// fault per touched page, not a parse of the whole census — and at most
+// Options.CatalogResident of them (default 4) stay resident under LRU;
+// eviction drops the reference and the garbage collector reclaims the
+// engine (and unmaps the file) once its last in-flight request returns.
+// Every load allocates a fresh epoch from the same server-wide counter as
+// installs, so the shared result cache keys catalog generations exactly
+// like registry generations and an evicted-and-reloaded snapshot can never
+// be served stale results. Catalog snapshots live outside the registry:
+// they are not listed in /healthz, cannot be reloaded or ingested into,
+// and never become the default snapshot.
+//
 // When Options.AccessLog is set (cmd/v6served -access-log), every
 // request is logged after completion as one structured line — method,
 // path, resolved snapshot and epoch, status, duration, response bytes —
@@ -213,7 +241,9 @@
 //	GET  /v1/mra?pop=[&days=]                               MRA profile
 //	GET  /v1/aguri?pop=[&days=]&fraction=                   aguri profile
 //	GET  /v1/targets?budget=&n=&p=&per64=&seed=[&days=]     ranked probe candidates
-//	GET  /v1/snapshot                                       stream the census file
+//	GET  /v1/snapshot[?info=1]                              stream the census file (info=1: format/size/source)
+//	GET  /v1/at?date=                                       catalog resolution for a calendar date
+//	GET  /v1/at/{endpoint}?date=                            any read endpoint against the covering snapshot
 //	GET  /v1/experiments[/{name}]                           driver registry
 //	POST /v1/reload?snap=&path=                             swap a snapshot
 //	POST /v1/ingest?snap=                                   feed day logs to the live successor

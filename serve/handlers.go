@@ -34,18 +34,23 @@ func writeBody(w http.ResponseWriter, status int, body []byte) {
 	w.Write(body)
 }
 
-// snapshotHandler resolves the request's snapshot (?snap=NAME, default the
-// most recently installed) once, at dispatch; the handler then works
-// against that immutable generation for its whole lifetime, however many
-// reloads land meanwhile. The resolved name and epoch are echoed as
-// headers so clients (and the reload tests) can tell generations apart.
+// snapshotHandler resolves the request's snapshot once, at dispatch; the
+// handler then works against that immutable generation for its whole
+// lifetime, however many reloads land meanwhile. A snapshot pinned to the
+// request context (the /v1/at time-travel re-dispatch) wins; otherwise
+// ?snap=NAME selects from the registry, defaulting to the most recently
+// installed. The resolved name and epoch are echoed as headers so clients
+// (and the reload tests) can tell generations apart.
 func (s *Server) snapshotHandler(fn func(http.ResponseWriter, *http.Request, *Snapshot)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		name := r.URL.Query().Get("snap")
-		snap := s.Snapshot(name)
-		if snap == nil {
-			writeErr(w, http.StatusNotFound, CodeUnknownSnapshot, nil, "no snapshot %q installed", name)
-			return
+		snap, pinned := r.Context().Value(pinnedSnapshotKey{}).(*Snapshot)
+		if !pinned {
+			name := r.URL.Query().Get("snap")
+			snap = s.Snapshot(name)
+			if snap == nil {
+				writeErr(w, http.StatusNotFound, CodeUnknownSnapshot, nil, "no snapshot %q installed", name)
+				return
+			}
 		}
 		w.Header().Set("X-V6-Snapshot", snap.Name)
 		w.Header().Set("X-V6-Epoch", strconv.FormatUint(snap.Epoch, 10))

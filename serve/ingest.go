@@ -207,7 +207,7 @@ func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
 			seeds[key] = out
 		}
 	})
-	installed := s.install(ls.name, ls.base.Source, ls.eng, seeds)
+	installed := s.install(ls.name, ls.base.Source, ls.eng, seeds, 0, 0)
 	delete(s.lives, ls.name)
 	writeJSON(w, http.StatusOK, freezeResponse{
 		metaResponse: metaOf(installed),

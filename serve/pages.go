@@ -859,12 +859,37 @@ func (d *deferredWriter) Write(p []byte) (int, error) {
 	return d.w.Write(p)
 }
 
+// snapshotInfoResponse is the ?info=1 envelope of /v1/snapshot: which
+// snapshot generation is serving and what it was loaded from — format 2 is
+// the mmap-layout default, 1 the legacy stream, 0 a generation built in
+// memory (ingest/Install) rather than loaded from a file, in which case
+// sizeBytes is 0 too.
+type snapshotInfoResponse struct {
+	metaResponse
+	Source    string `json:"source"`
+	Format    int    `json:"format"`
+	SizeBytes int64  `json:"sizeBytes"`
+	StudyDays int    `json:"studyDays"`
+}
+
 // handleSnapshotDump streams the engine's serialized census (the format
 // Open and LoadFile read) — how an operator captures a backend's state, or
 // seeds a new backend from a serving one. Cluster coordinators refuse
 // serialization (their census is partitioned across backends), which
-// surfaces as a bad_param envelope here.
+// surfaces as a bad_param envelope here. With ?info=1 it instead reports
+// the serving generation's provenance: source path, on-disk snapshot
+// format version, and file size.
 func (s *Server) handleSnapshotDump(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+	if r.URL.Query().Get("info") == "1" {
+		writeJSON(w, http.StatusOK, snapshotInfoResponse{
+			metaResponse: metaOf(snap),
+			Source:       snap.Source,
+			Format:       snap.Format,
+			SizeBytes:    snap.SizeBytes,
+			StudyDays:    snap.Engine.StudyDays(),
+		})
+		return
+	}
 	d := &deferredWriter{w: w}
 	if _, err := snap.Engine.WriteTo(d); err != nil {
 		if !d.wrote {

@@ -32,6 +32,11 @@ type Snapshot struct {
 	LoadedAt time.Time
 	// Engine is the frozen façade engine answering every query.
 	Engine v6class.Engine
+	// Format is the snapshot file's format version (1 or 2) for
+	// file-loaded snapshots, 0 for generated (Install-ed) ones.
+	Format int
+	// SizeBytes is the snapshot file's on-disk size, 0 when generated.
+	SizeBytes int64
 
 	// sets memoizes the spatial populations built from this generation's
 	// engine, keyed by population and day selection, so dense, top-k and
@@ -95,6 +100,16 @@ type Options struct {
 	// the writer needs no locking of its own. Typically an *os.File (see
 	// cmd/v6served's -access-log flag).
 	AccessLog io.Writer
+	// Catalog lists historical snapshot files with the date ranges they
+	// cover; the /v1/at endpoints resolve a calendar date to its covering
+	// snapshot, loading it on first use and keeping at most
+	// CatalogResident resident (see catalog.go). Entries are independent
+	// of the ?snap= registry: they never become the default snapshot.
+	Catalog []CatalogEntry
+	// CatalogResident bounds how many catalog snapshots stay loaded at
+	// once; least-recently-used entries are released past it. 0 means the
+	// default (4).
+	CatalogResident int
 	// SweepConcurrency bounds how many expensive sweep requests —
 	// /v1/keys, /v1/stable, /v1/lifetimes, /v1/mra, /v1/aguri, the
 	// endpoints that walk or build whole populations — run at once.
@@ -133,6 +148,13 @@ type Server struct {
 	started    time.Time
 	sweepSem   chan struct{} // sweep admission semaphore; nil = unlimited
 
+	// The time-travel catalog (catalog.go): historical snapshots resolved
+	// by calendar date, loaded lazily and kept resident under an LRU
+	// budget. mux is the route table /v1/at re-dispatches through.
+	catalog *catalog
+	muxOnce sync.Once
+	mux     *http.ServeMux
+
 	// The live write path (ingest.go): at most one ingesting successor
 	// generation per snapshot name, created lazily by /v1/ingest and
 	// consumed (installed or discarded) by /v1/freeze. liveMu guards the
@@ -160,6 +182,7 @@ func New(opts Options) *Server {
 	if limit > 0 {
 		s.sweepSem = make(chan struct{}, limit)
 	}
+	s.catalog = newCatalog(s, opts.Catalog, opts.CatalogResident)
 	s.snaps.Store(&snapTable{byName: map[string]*Snapshot{}})
 	return s
 }
@@ -170,6 +193,10 @@ func New(opts Options) *Server {
 // atomically replaces the prior generation without disturbing in-flight
 // requests.
 func (s *Server) LoadFile(name, path string) (*Snapshot, error) {
+	info, err := v6class.SniffSnapshot(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading snapshot %q: %w", name, err)
+	}
 	eng, err := v6class.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading snapshot %q: %w", name, err)
@@ -177,7 +204,7 @@ func (s *Server) LoadFile(name, path string) (*Snapshot, error) {
 	if err := eng.Freeze(); err != nil {
 		return nil, fmt.Errorf("serve: freezing snapshot %q: %w", name, err)
 	}
-	return s.Install(name, path, eng), nil
+	return s.install(name, path, eng, nil, info.Version, info.Size), nil
 }
 
 // Install publishes an already built engine under name (use
@@ -186,14 +213,15 @@ func (s *Server) LoadFile(name, path string) (*Snapshot, error) {
 // must be valid, so an unfrozen install must not be representable; the
 // caller's ingesting goroutines must have returned.
 func (s *Server) Install(name, source string, eng v6class.Engine) *Snapshot {
-	return s.install(name, source, eng, nil)
+	return s.install(name, source, eng, nil, 0, 0)
 }
 
-// install is Install with optional spatial-memo seeds: populations derived
+// install is Install with optional spatial-memo seeds — populations derived
 // incrementally from the predecessor generation (the freeze path) are
 // planted before the snapshot is published, so the new generation's first
-// dense/topk queries reuse them instead of rebuilding from scratch.
-func (s *Server) install(name, source string, eng v6class.Engine, seeds map[string]*v6class.AddressSet) *Snapshot {
+// dense/topk queries reuse them instead of rebuilding from scratch — and
+// the file metadata (format version, byte size) of file-loaded snapshots.
+func (s *Server) install(name, source string, eng v6class.Engine, seeds map[string]*v6class.AddressSet, format int, sizeBytes int64) *Snapshot {
 	if err := eng.Freeze(); err != nil {
 		// Freeze is idempotent and cannot fail today; a future error here
 		// means the snapshot would panic on every request, so refuse loudly
@@ -205,11 +233,13 @@ func (s *Server) install(name, source string, eng v6class.Engine, seeds map[stri
 	// The epoch is allocated inside the install lock so published
 	// generations are strictly monotonic even under concurrent reloads.
 	snap := &Snapshot{
-		Name:     name,
-		Source:   source,
-		Epoch:    s.nextEpoch.Add(1),
-		LoadedAt: time.Now(),
-		Engine:   eng,
+		Name:      name,
+		Source:    source,
+		Epoch:     s.nextEpoch.Add(1),
+		LoadedAt:  time.Now(),
+		Engine:    eng,
+		Format:    format,
+		SizeBytes: sizeBytes,
 	}
 	for key, set := range seeds {
 		snap.sets.seed(maxSetEntries, key, set)
@@ -278,8 +308,18 @@ func (s *Server) Names() []string {
 	return s.snaps.Load().names
 }
 
-// Handler returns the HTTP API; see doc.go for the endpoint reference.
+// Handler returns the HTTP API; see doc.go for the endpoint reference. The
+// route table is built once and reused by subsequent calls (the /v1/at
+// time-travel endpoint re-dispatches requests through it).
 func (s *Server) Handler() http.Handler {
+	s.muxOnce.Do(s.buildMux)
+	if s.accessLog != nil {
+		return &accessLogger{w: s.accessLog, next: s.mux}
+	}
+	return s.mux
+}
+
+func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/meta", s.snapshotHandler(s.handleMeta))
@@ -301,13 +341,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/aguri", s.snapshotHandler(s.limited(s.handleAguri)))
 	mux.HandleFunc("GET /v1/targets", s.snapshotHandler(s.limited(s.handleTargets)))
 	mux.HandleFunc("GET /v1/snapshot", s.snapshotHandler(s.handleSnapshotDump))
+	mux.HandleFunc("GET /v1/at", s.handleAt)
+	mux.HandleFunc("GET /v1/at/{rest...}", s.handleAt)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/freeze", s.handleFreeze)
-	if s.accessLog != nil {
-		return &accessLogger{w: s.accessLog, next: mux}
-	}
-	return mux
+	s.mux = mux
 }
